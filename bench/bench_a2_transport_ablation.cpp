@@ -1,0 +1,111 @@
+// Ablation A2: in-process loopback bus vs real TCP sockets.
+//
+// The same F1 cycle — SID transfer, dynamic invoke, trader import over a
+// remote gateway — on both transports.  Expected shape: identical results,
+// with TCP paying syscall + loopback latency per round trip; the COSM
+// mechanisms themselves are transport-agnostic.
+
+#include <benchmark/benchmark.h>
+
+#include "core/generic_client.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "rpc/tcp.h"
+#include "services/car_rental.h"
+#include "sidl/parser.h"
+#include "trader/facade.h"
+#include "trader/sid_export.h"
+#include "uims/editor.h"
+
+namespace {
+
+using namespace cosm;
+using wire::Value;
+
+struct Deployment {
+  explicit Deployment(rpc::Network& net)
+      : server(net, "host"), client(net), trader("trader") {
+    services::CarRentalConfig config;
+    config.tradable = true;
+    rental_ref = server.add(services::make_car_rental_service(config));
+    trader.types().add(services::canonical_car_rental_type());
+    auto sid = std::make_shared<sidl::Sid>(
+        sidl::parse_sid(services::car_rental_sidl(config)));
+    trader::export_sid_offer(trader, *sid, rental_ref);
+    trader_ref = server.add(trader::make_trader_service(trader));
+  }
+
+  rpc::RpcServer server;
+  core::GenericClient client;
+  trader::Trader trader;
+  sidl::ServiceRef rental_ref;
+  sidl::ServiceRef trader_ref;
+};
+
+void run_bind(benchmark::State& state, rpc::Network& net) {
+  Deployment d(net);
+  for (auto _ : state) {
+    core::Binding b = d.client.bind(d.rental_ref);
+    benchmark::DoNotOptimize(b.sid());
+  }
+}
+
+void run_invoke(benchmark::State& state, rpc::Network& net) {
+  Deployment d(net);
+  core::Binding rental = d.client.bind(d.rental_ref);
+  for (auto _ : state) {
+    Value models = rental.invoke("ListModels", {});
+    benchmark::DoNotOptimize(models);
+  }
+}
+
+void run_remote_import(benchmark::State& state, rpc::Network& net) {
+  Deployment d(net);
+  trader::RemoteTraderGateway gateway(net, d.trader_ref);
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  for (auto _ : state) {
+    auto offers = gateway.import(request);
+    benchmark::DoNotOptimize(offers);
+  }
+}
+
+void BM_Bind_InProc(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  run_bind(state, net);
+}
+BENCHMARK(BM_Bind_InProc);
+
+void BM_Bind_Tcp(benchmark::State& state) {
+  rpc::TcpNetwork net;
+  run_bind(state, net);
+}
+BENCHMARK(BM_Bind_Tcp);
+
+void BM_Invoke_InProc(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  run_invoke(state, net);
+}
+BENCHMARK(BM_Invoke_InProc);
+
+void BM_Invoke_Tcp(benchmark::State& state) {
+  rpc::TcpNetwork net;
+  run_invoke(state, net);
+}
+BENCHMARK(BM_Invoke_Tcp);
+
+void BM_RemoteImport_InProc(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  run_remote_import(state, net);
+}
+BENCHMARK(BM_RemoteImport_InProc);
+
+void BM_RemoteImport_Tcp(benchmark::State& state) {
+  rpc::TcpNetwork net;
+  run_remote_import(state, net);
+}
+BENCHMARK(BM_RemoteImport_Tcp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Ablation A3: static-only vs dynamic-property matching.
+//
+// Dynamic properties buy freshness (live availability influences matching)
+// at the cost of one exporter round trip per dynamic offer per import.
+// Expected shape: import cost grows linearly with the number of dynamic
+// offers evaluated; static offers cost the same as in C5; the staleness of
+// the static design shows up as bookings against sold-out providers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "sidl/parser.h"
+#include "trader/trader.h"
+
+namespace {
+
+using namespace cosm;
+using wire::Value;
+
+struct Fleet {
+  std::int64_t cars = 5;
+};
+
+struct World {
+  explicit World(std::size_t providers, bool dynamic)
+      : runtime(net) {
+    trader::ServiceType type;
+    type.name = "Rental";
+    type.attributes = {{"ChargePerDay", sidl::TypeDesc::float_(), true},
+                       {"CarsAvailable", sidl::TypeDesc::int_(), true}};
+    runtime.trader().types().add(type);
+
+    auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(
+        "module Rental { interface I { long CurrentAvailability(); }; };"));
+    for (std::size_t i = 0; i < providers; ++i) {
+      auto fleet = std::make_shared<Fleet>();
+      fleets.push_back(fleet);
+      auto object = std::make_shared<rpc::ServiceObject>(sid);
+      object->on("CurrentAvailability", [fleet](const std::vector<Value>&) {
+        return Value::integer(fleet->cars);
+      });
+      auto ref = runtime.host(object);
+      if (dynamic) {
+        runtime.trader().export_offer(
+            "Rental", ref,
+            {{"ChargePerDay", Value::real(50.0 + static_cast<double>(i))}},
+            {{"CarsAvailable", "CurrentAvailability"}});
+      } else {
+        // Static design: availability frozen at export time.
+        runtime.trader().export_offer(
+            "Rental", ref,
+            {{"ChargePerDay", Value::real(50.0 + static_cast<double>(i))},
+             {"CarsAvailable", Value::integer(fleet->cars)}});
+      }
+    }
+  }
+
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime;
+  std::vector<std::shared_ptr<Fleet>> fleets;
+};
+
+trader::ImportRequest available_request() {
+  trader::ImportRequest request;
+  request.service_type = "Rental";
+  request.constraint = "CarsAvailable > 0";
+  request.preference = "min ChargePerDay";
+  return request;
+}
+
+void BM_ImportStaticProps(benchmark::State& state) {
+  World world(static_cast<std::size_t>(state.range(0)), /*dynamic=*/false);
+  auto request = available_request();
+  for (auto _ : state) {
+    auto offers = world.runtime.trader().import(request);
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["providers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ImportStaticProps)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_ImportDynamicProps(benchmark::State& state) {
+  World world(static_cast<std::size_t>(state.range(0)), /*dynamic=*/true);
+  auto request = available_request();
+  for (auto _ : state) {
+    auto offers = world.runtime.trader().import(request);
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["providers"] = static_cast<double>(state.range(0));
+  state.counters["fetches"] =
+      static_cast<double>(world.runtime.trader().dynamic_fetches());
+}
+BENCHMARK(BM_ImportDynamicProps)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_StalenessOfStaticDesign(benchmark::State& state) {
+  // Fleets empty out after export; the static trader keeps matching
+  // sold-out providers, the dynamic one stops.  The counter reports how
+  // many stale matches the static design returns.
+  World static_world(16, false);
+  World dynamic_world(16, true);
+  for (auto& fleet : static_world.fleets) fleet->cars = 0;
+  for (auto& fleet : dynamic_world.fleets) fleet->cars = 0;
+  auto request = available_request();
+  std::size_t stale = 0, fresh = 0;
+  for (auto _ : state) {
+    stale = static_world.runtime.trader().import(request).size();
+    fresh = dynamic_world.runtime.trader().import(request).size();
+  }
+  state.counters["stale_matches_static"] = static_cast<double>(stale);
+  state.counters["matches_dynamic"] = static_cast<double>(fresh);
+}
+BENCHMARK(BM_StalenessOfStaticDesign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Experiment C1 (§2.2): time-to-market of an innovative service.
+//
+// Two dimensions:
+//   1. Simulated calendar time until the first successful client call,
+//      using the establishment model (type standardisation, per-trader
+//      registration, client stub development vs SID authoring + browser
+//      registration).
+//   2. Real mechanical steps: the number of registry interactions and the
+//      measured wall time of the live system performing each path's
+//      registration + first call.
+//
+// Expected shape ("being the first pays most"): the mediation path reaches
+// the first call orders of magnitude sooner, and the gap grows with
+// federation size; once the type exists (mature market), the trader path's
+// residual cost is per-trader registration + client development.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "core/cost_meter.h"
+#include "core/mediation.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "services/market.h"
+#include "sidl/parser.h"
+#include "trader/sid_export.h"
+
+using namespace cosm;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+void print_outcome(const std::string& label,
+                   const services::EstablishmentOutcome& outcome) {
+  std::cout << "  " << label << "\n";
+  for (const auto& phase : outcome.phases) {
+    std::cout << "    " << std::left << std::setw(44) << phase.name
+              << std::right << std::setw(7) << phase.hours << " h\n";
+  }
+  std::cout << "    " << std::left << std::setw(44) << "TOTAL" << std::right
+            << std::setw(7) << outcome.total_hours() << " h  ("
+            << outcome.total_hours() / 24 << " days)\n";
+}
+
+}  // namespace
+
+int main() {
+  services::CarRentalConfig provider;
+  provider.name = "Innovator";
+  provider.tradable = true;
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid(services::car_rental_sidl(provider)));
+  const std::size_t ops = sid->operations.size();
+
+  // --- part 1: simulated calendar time ---
+  std::cout << "C1: time to first successful client call (simulated calendar)\n\n";
+  services::EstablishmentModel model;
+
+  print_outcome("trader path, new service type, 1 trader:",
+                services::trader_path_establishment(model, ops, 1, false));
+  std::cout << "\n";
+  print_outcome("trader path, new service type, 8-trader federation:",
+                services::trader_path_establishment(model, ops, 8, false));
+  std::cout << "\n";
+  print_outcome("trader path, type already standardised:",
+                services::trader_path_establishment(model, ops, 1, true));
+  std::cout << "\n";
+  print_outcome("mediation path (COSM):",
+                services::mediation_path_establishment(model));
+
+  auto fresh = services::trader_path_establishment(model, ops, 1, false);
+  auto mediated = services::mediation_path_establishment(model);
+  std::cout << "\n  speedup (fresh trader path / mediation path): "
+            << fresh.total_hours() / mediated.total_hours() << "x\n\n";
+
+  // --- part 2: mechanical steps + live wall time ---
+  std::cout << "C1b: live-system registration + first call\n\n";
+
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  core::TransitionCostMeter trader_meter, mediation_meter;
+
+  // Trader path: standardise type, export offer, client imports and calls.
+  auto t0 = Clock::now();
+  runtime.trader().types().add(trader::service_type_from_sid(*sid));
+  trader_meter.count_registration();  // type registration
+  auto ref = runtime.host(services::make_car_rental_service(provider));
+  trader::export_sid_offer(runtime.trader(), *sid, ref);
+  trader_meter.count_registration();  // offer export
+  trader_meter.count_stub_units(ops);  // pre-COSM client development
+
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  auto offers = runtime.trader().import(request);
+  core::GenericClient client(net);
+  core::Binding via_trader = client.bind(offers.front().ref);
+  via_trader.invoke("ListModels", {});
+  double trader_us = us_since(t0);
+
+  // Mediation path: register SID at browser, generic client browses + calls.
+  t0 = Clock::now();
+  auto ref2 = runtime.offer_mediated("Innovator2",
+                                     services::make_car_rental_service(provider));
+  (void)ref2;
+  mediation_meter.count_registration();  // browser registration — that's it
+  core::MediationSession session(client, runtime.browser_ref());
+  core::Binding via_browser = session.select("Innovator2");
+  mediation_meter.count_sid_transfer();
+  via_browser.invoke("ListModels", {});
+  double mediation_us = us_since(t0);
+
+  std::cout << std::fixed << std::setprecision(0);
+  std::cout << "  path        developer-cost-units   live-us-to-first-call\n";
+  std::cout << "  trader      " << std::setw(12) << trader_meter.developer_cost()
+            << std::setw(22) << trader_us << "\n";
+  std::cout << "  mediation   " << std::setw(12)
+            << mediation_meter.developer_cost() << std::setw(22) << mediation_us
+            << "\n";
+  std::cout << "\n  trader meter:    " << trader_meter.summary() << "\n";
+  std::cout << "  mediation meter: " << mediation_meter.summary() << "\n";
+
+  bool shape_holds = fresh.total_hours() > 100 * mediated.total_hours() &&
+                     trader_meter.developer_cost() > mediation_meter.developer_cost();
+  std::cout << (shape_holds ? "\n  RESULT: shape holds (mediation >>100x faster "
+                              "to market, lower developer cost)\n"
+                            : "\n  RESULT: FAILURE — expected shape violated\n");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Experiment C3 (§3.1): dynamic vs static marshalling.
+//
+// The generic client marshals against *transferred* type descriptions; the
+// pre-COSM baseline compiles the layout in.  Expected shape: dynamic
+// marshalling is a small-constant-factor slower (interpretation +
+// self-describing tags) — the price of openness — and the gap narrows as
+// payloads grow (string copying dominates).
+
+#include <benchmark/benchmark.h>
+
+#include "sidl/parser.h"
+#include "wire/codec.h"
+#include "wire/marshal.h"
+#include "wire/static_codec.h"
+
+namespace {
+
+using namespace cosm;
+using wire::Value;
+
+Value select_value(int extras) {
+  std::vector<Value> extra_list;
+  for (int i = 0; i < extras; ++i) {
+    extra_list.push_back(Value::string("extra-item-" + std::to_string(i)));
+  }
+  return Value::structure(
+      "BookCar_t", {{"offer_code", Value::string("offer-4711")},
+                    {"customer", Value::string("K. Mueller")},
+                    {"extras", Value::sequence(std::move(extra_list))}});
+}
+
+sidl::TypePtr book_type() {
+  return sidl::parse_type(
+      "struct BookCar_t { string offer_code; string customer; "
+      "sequence<string> extras; }");
+}
+
+wire::static_stub::BookCarRequest select_struct(int extras) {
+  wire::static_stub::BookCarRequest m;
+  m.offer_code = "offer-4711";
+  m.customer = "K. Mueller";
+  for (int i = 0; i < extras; ++i) m.extras.push_back("extra-item-" + std::to_string(i));
+  return m;
+}
+
+void BM_DynamicMarshal(benchmark::State& state) {
+  wire::DynamicMarshaller marshaller(book_type());
+  Value v = select_value(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes b = marshaller.marshal(v);
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["extras"] = static_cast<double>(state.range(0));
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_DynamicMarshal)->RangeMultiplier(4)->Range(0, 64);
+
+void BM_StaticMarshal(benchmark::State& state) {
+  auto m = select_struct(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ByteWriter w;
+    wire::static_stub::encode(w, m);
+    bytes = w.size();
+    benchmark::DoNotOptimize(w);
+  }
+  state.counters["extras"] = static_cast<double>(state.range(0));
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_StaticMarshal)->RangeMultiplier(4)->Range(0, 64);
+
+void BM_DynamicUnmarshal(benchmark::State& state) {
+  wire::DynamicMarshaller marshaller(book_type());
+  Bytes b = marshaller.marshal(select_value(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    Value v = marshaller.unmarshal(b);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["extras"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DynamicUnmarshal)->RangeMultiplier(4)->Range(0, 64);
+
+void BM_StaticUnmarshal(benchmark::State& state) {
+  ByteWriter w;
+  wire::static_stub::encode(w, select_struct(static_cast<int>(state.range(0))));
+  Bytes b = w.take();
+  for (auto _ : state) {
+    ByteReader r(b);
+    auto m = wire::static_stub::decode_book_car_request(r);
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["extras"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_StaticUnmarshal)->RangeMultiplier(4)->Range(0, 64);
+
+void BM_DynamicValidationOnly(benchmark::State& state) {
+  // The type-check half of dynamic marshalling, isolated.
+  auto type = book_type();
+  Value v = select_value(16);
+  for (auto _ : state) {
+    bool ok = wire::conforms(v, *type);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_DynamicValidationOnly);
+
+void BM_SidTransferCost(benchmark::State& state) {
+  // Encoding a SID value (print + tag) vs its reuse over many calls: the
+  // one-off cost dynamic marshalling amortises.
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module M {
+      typedef struct { string a; long b; } T_t;
+      interface I { T_t Op([in] T_t x); };
+    };
+  )"));
+  Value v = Value::sid(sid);
+  for (auto _ : state) {
+    Bytes b = wire::encode_value(v);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_SidTransferCost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

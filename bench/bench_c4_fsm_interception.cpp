@@ -1,0 +1,93 @@
+// Experiment C4 (§4.2): local FSM interception vs server-side rejection.
+//
+// A client mixes valid and protocol-violating invocations; the generic
+// client with local enforcement rejects violations before any RPC, while
+// the enforcement-off client pays a full round trip for the server to say
+// no.  The in-proc network simulates a LAN round trip (100 us) so the saved
+// wire time is visible.  Expected shape: local interception's advantage
+// grows linearly with the invalid-call ratio; at 0% invalid the two paths
+// cost the same.
+
+#include <benchmark/benchmark.h>
+
+#include "common/error.h"
+#include "core/generic_client.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "services/stock_quote.h"
+
+namespace {
+
+using namespace cosm;
+using wire::Value;
+
+struct Fixture {
+  explicit Fixture(bool enforce_locally)
+      : net(rpc::InProcOptions{std::chrono::microseconds(100)}),
+        server(net, "host"),
+        client(net, core::GenericClientOptions{enforce_locally,
+                                               std::chrono::milliseconds(5000)}),
+        ref(server.add(services::make_stock_quote_service({}))) {}
+
+  rpc::InProcNetwork net;
+  rpc::RpcServer server;
+  core::GenericClient client;
+  sidl::ServiceRef ref;
+};
+
+/// Issue 100 calls, `invalid_pct` of them out of protocol (GetQuote while
+/// logged out), the rest valid Login/GetQuote/Logout traffic.
+void run_mix(core::Binding& binding, int invalid_pct, std::uint64_t& rejected_local,
+             std::uint64_t& rejected_remote) {
+  for (int i = 0; i < 100; ++i) {
+    bool make_invalid = (i % 100) < invalid_pct;
+    try {
+      if (make_invalid) {
+        // Ensure we are logged out so the call violates the protocol.
+        if (binding.state() == "LOGGED_IN") binding.invoke("Logout", {});
+        binding.invoke("GetQuote", {Value::string("IBM")});
+      } else {
+        if (binding.state() == "LOGGED_OUT") {
+          binding.invoke("Login", {Value::string("bench")});
+        }
+        binding.invoke("GetQuote", {Value::string("IBM")});
+      }
+    } catch (const ProtocolError&) {
+      ++rejected_local;
+    } catch (const RemoteFault&) {
+      ++rejected_remote;
+    }
+  }
+}
+
+void BM_LocalInterception(benchmark::State& state) {
+  Fixture fx(/*enforce_locally=*/true);
+  core::Binding binding = fx.client.bind(fx.ref);
+  std::uint64_t local = 0, remote = 0;
+  for (auto _ : state) {
+    run_mix(binding, static_cast<int>(state.range(0)), local, remote);
+  }
+  state.counters["invalid_pct"] = static_cast<double>(state.range(0));
+  state.counters["rejected_locally"] = static_cast<double>(local);
+  state.counters["rejected_remotely"] = static_cast<double>(remote);
+  state.counters["rpc_frames"] = static_cast<double>(fx.net.frames_served());
+}
+BENCHMARK(BM_LocalInterception)->DenseRange(0, 100, 25)->Unit(benchmark::kMillisecond);
+
+void BM_ServerSideRejection(benchmark::State& state) {
+  Fixture fx(/*enforce_locally=*/false);
+  core::Binding binding = fx.client.bind(fx.ref);
+  std::uint64_t local = 0, remote = 0;
+  for (auto _ : state) {
+    run_mix(binding, static_cast<int>(state.range(0)), local, remote);
+  }
+  state.counters["invalid_pct"] = static_cast<double>(state.range(0));
+  state.counters["rejected_locally"] = static_cast<double>(local);
+  state.counters["rejected_remotely"] = static_cast<double>(remote);
+  state.counters["rpc_frames"] = static_cast<double>(fx.net.frames_served());
+}
+BENCHMARK(BM_ServerSideRejection)->DenseRange(0, 100, 25)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Experiment C5 (§2.1): trader matching scalability.
+//
+// Import cost as a function of (a) the offer population, (b) the constraint
+// complexity (number of comparison terms), and (c) the preference policy.
+// Offers are exported directly (no live service objects) so only the
+// matching engine is measured.  Expected shape: linear in population
+// (unindexed scan, as in the 1994 prototype), linear in terms, and a
+// modest ranking surcharge for min/max.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "trader/trader.h"
+
+namespace {
+
+using namespace cosm;
+using trader::AttrMap;
+using wire::Value;
+
+std::unique_ptr<trader::Trader> populated_trader(std::size_t offers) {
+  auto t = std::make_unique<trader::Trader>("bench");
+  trader::ServiceType type;
+  type.name = "CarRentalService";
+  type.attributes = {
+      {"ChargePerDay", sidl::TypeDesc::float_(), true},
+      {"AverageMilage", sidl::TypeDesc::int_(), true},
+      {"ChargeCurrency", sidl::TypeDesc::string_(), true},
+      {"Insured", sidl::TypeDesc::bool_(), true},
+  };
+  t->types().add(type);
+
+  Rng rng(7);
+  static const char* currencies[] = {"USD", "DEM", "FF", "SFR", "GBP"};
+  for (std::size_t i = 0; i < offers; ++i) {
+    AttrMap attrs = {
+        {"ChargePerDay", Value::real(20.0 + rng.uniform() * 180.0)},
+        {"AverageMilage", Value::integer(rng.range(1000, 80000))},
+        {"ChargeCurrency", Value::string(currencies[rng.below(5)])},
+        {"Insured", Value::boolean(rng.chance(0.5))},
+    };
+    sidl::ServiceRef ref{"svc-" + std::to_string(i), "inproc://x",
+                         "CarRentalService"};
+    t->export_offer("CarRentalService", ref, std::move(attrs));
+  }
+  return t;
+}
+
+void BM_ImportVsPopulation(benchmark::State& state) {
+  auto t = populated_trader(static_cast<std::size_t>(state.range(0)));
+  trader::ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "ChargePerDay < 100 && ChargeCurrency == USD";
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    auto offers = t->import(request);
+    matched = offers.size();
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["offers"] = static_cast<double>(state.range(0));
+  state.counters["matched"] = static_cast<double>(matched);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ImportVsPopulation)
+    ->RangeMultiplier(10)
+    ->Range(10, 100000)
+    ->Complexity(benchmark::oN);
+
+void BM_ImportVsConstraintTerms(benchmark::State& state) {
+  auto t = populated_trader(1024);
+  // Build a constraint with N comparison terms.
+  std::ostringstream constraint;
+  for (int i = 0; i < state.range(0); ++i) {
+    if (i) constraint << " && ";
+    switch (i % 4) {
+      case 0: constraint << "ChargePerDay < " << 200 - i; break;
+      case 1: constraint << "AverageMilage > " << 500 + i; break;
+      case 2: constraint << "ChargeCurrency != XXX"; break;
+      default: constraint << "exists Insured"; break;
+    }
+  }
+  trader::ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = constraint.str();
+  for (auto _ : state) {
+    auto offers = t->import(request);
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["terms"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ImportVsConstraintTerms)->DenseRange(1, 16, 3);
+
+void BM_ImportPreferencePolicies(benchmark::State& state) {
+  auto t = populated_trader(4096);
+  static const char* policies[] = {"first", "random", "min ChargePerDay",
+                                   "max AverageMilage"};
+  trader::ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.preference = policies[state.range(0)];
+  for (auto _ : state) {
+    auto offers = t->import(request);
+    benchmark::DoNotOptimize(offers);
+  }
+  state.SetLabel(policies[state.range(0)]);
+}
+BENCHMARK(BM_ImportPreferencePolicies)->DenseRange(0, 3, 1);
+
+void BM_ConstraintParseOnly(benchmark::State& state) {
+  const std::string text =
+      "ChargePerDay < 100 && (ChargeCurrency == USD || ChargeCurrency == DEM) "
+      "&& exists Insured && AverageMilage > 5000";
+  for (auto _ : state) {
+    auto c = trader::Constraint::parse(text);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ConstraintParseOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

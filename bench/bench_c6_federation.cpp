@@ -1,0 +1,127 @@
+// Experiment C6 (§2.2): federated trader search.
+//
+// A hub trader links to N scope traders, each holding a slice of the
+// market.  Import cost vs federation size and hop limit, over in-process
+// links and over real RPC links.  Expected shape: linear in the number of
+// traders actually visited; a hop limit of 1 suffices for a star topology;
+// deeper chains pay per hop.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "trader/facade.h"
+#include "trader/trader.h"
+
+namespace {
+
+using namespace cosm;
+using trader::AttrMap;
+using wire::Value;
+
+trader::ServiceType rental_type() {
+  trader::ServiceType type;
+  type.name = "CarRentalService";
+  type.attributes = {{"ChargePerDay", sidl::TypeDesc::float_(), true}};
+  return type;
+}
+
+void populate(trader::Trader& t, std::size_t offers, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < offers; ++i) {
+    AttrMap attrs = {{"ChargePerDay", Value::real(20.0 + rng.uniform() * 180.0)}};
+    sidl::ServiceRef ref{t.name() + "-svc-" + std::to_string(i), "inproc://x",
+                         "CarRentalService"};
+    t.export_offer("CarRentalService", ref, std::move(attrs));
+  }
+}
+
+trader::ImportRequest cheap_request(int hops) {
+  trader::ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "ChargePerDay < 120";
+  request.preference = "min ChargePerDay";
+  request.hop_limit = hops;
+  return request;
+}
+
+void BM_StarFederationLocalLinks(benchmark::State& state) {
+  const std::size_t scopes = static_cast<std::size_t>(state.range(0));
+  trader::Trader hub("hub");
+  hub.types().add(rental_type());
+  std::vector<std::unique_ptr<trader::Trader>> leaves;
+  for (std::size_t i = 0; i < scopes; ++i) {
+    leaves.push_back(std::make_unique<trader::Trader>("scope-" + std::to_string(i)));
+    leaves.back()->types().add(rental_type());
+    populate(*leaves.back(), 64, i + 1);
+    hub.link("scope-" + std::to_string(i),
+             std::make_shared<trader::LocalTraderGateway>(*leaves.back()));
+  }
+  auto request = cheap_request(1);
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    auto offers = hub.import(request);
+    matched = offers.size();
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["scopes"] = static_cast<double>(scopes);
+  state.counters["matched"] = static_cast<double>(matched);
+}
+BENCHMARK(BM_StarFederationLocalLinks)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_ChainFederationHopLimit(benchmark::State& state) {
+  // hub -> t1 -> t2 -> ... -> t8, 64 offers at each node.
+  constexpr std::size_t kChain = 8;
+  std::vector<std::unique_ptr<trader::Trader>> chain;
+  for (std::size_t i = 0; i <= kChain; ++i) {
+    chain.push_back(std::make_unique<trader::Trader>("t" + std::to_string(i)));
+    chain.back()->types().add(rental_type());
+    populate(*chain.back(), 64, i + 100);
+    if (i > 0) {
+      chain[i - 1]->link("next",
+                         std::make_shared<trader::LocalTraderGateway>(*chain[i]));
+    }
+  }
+  auto request = cheap_request(static_cast<int>(state.range(0)));
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    auto offers = chain[0]->import(request);
+    matched = offers.size();
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["hop_limit"] = static_cast<double>(state.range(0));
+  state.counters["matched"] = static_cast<double>(matched);
+}
+BENCHMARK(BM_ChainFederationHopLimit)->DenseRange(0, 8, 1);
+
+void BM_StarFederationRpcLinks(benchmark::State& state) {
+  // Same star topology, but every link crosses the RPC substrate.
+  const std::size_t scopes = static_cast<std::size_t>(state.range(0));
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "traders");
+  trader::Trader hub("hub");
+  hub.types().add(rental_type());
+  std::vector<std::unique_ptr<trader::Trader>> leaves;
+  for (std::size_t i = 0; i < scopes; ++i) {
+    leaves.push_back(std::make_unique<trader::Trader>("scope-" + std::to_string(i)));
+    leaves.back()->types().add(rental_type());
+    populate(*leaves.back(), 64, i + 1);
+    auto ref = server.add(trader::make_trader_service(*leaves.back()));
+    hub.link("scope-" + std::to_string(i),
+             std::make_shared<trader::RemoteTraderGateway>(net, ref));
+  }
+  auto request = cheap_request(1);
+  for (auto _ : state) {
+    auto offers = hub.import(request);
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["scopes"] = static_cast<double>(scopes);
+}
+BENCHMARK(BM_StarFederationRpcLinks)->RangeMultiplier(4)->Range(1, 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

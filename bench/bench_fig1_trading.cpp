@@ -1,0 +1,86 @@
+// Experiment F1 (Fig. 1): the ODP trader triangle.
+//
+// Measures each leg of the export -> import -> bind -> invoke cycle and the
+// full cycle, sweeping the offer population.  Expected shape: export and
+// bind are O(1); import grows linearly with the offer population (the
+// trader scans and ranks all matching offers).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sidl/parser.h"
+#include "trader/sid_export.h"
+#include "trader/trader.h"
+
+namespace {
+
+using namespace cosm;
+
+void BM_Export(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  runtime.trader().types().add(services::canonical_car_rental_type());
+  services::CarRentalConfig config;
+  config.tradable = true;
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid(services::car_rental_sidl(config)));
+  sidl::ServiceRef ref{"svc-x", "inproc://provider", config.name};
+
+  for (auto _ : state) {
+    std::string id = trader::export_sid_offer(runtime.trader(), *sid, ref);
+    state.PauseTiming();
+    runtime.trader().withdraw(id);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Export);
+
+void BM_Import(benchmark::State& state) {
+  bench::Market market(static_cast<std::size_t>(state.range(0)));
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  request.constraint = "ChargePerDay < 90 && ChargeCurrency == USD";
+  request.preference = "min ChargePerDay";
+
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    auto offers = market.runtime.trader().import(request);
+    matched = offers.size();
+    benchmark::DoNotOptimize(offers);
+  }
+  state.counters["offers"] = static_cast<double>(state.range(0));
+  state.counters["matched"] = static_cast<double>(matched);
+}
+BENCHMARK(BM_Import)->RangeMultiplier(4)->Range(1, 4096);
+
+void BM_Bind(benchmark::State& state) {
+  bench::Market market(8);
+  core::GenericClient client = market.runtime.make_client();
+  for (auto _ : state) {
+    core::Binding binding = client.bind(market.refs.front());
+    benchmark::DoNotOptimize(binding.sid());
+  }
+}
+BENCHMARK(BM_Bind);
+
+void BM_FullTriangle(benchmark::State& state) {
+  bench::Market market(static_cast<std::size_t>(state.range(0)));
+  core::GenericClient client = market.runtime.make_client();
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  request.preference = "min ChargePerDay";
+  request.max_matches = 1;
+
+  for (auto _ : state) {
+    auto offers = market.runtime.trader().import(request);
+    core::Binding rental = client.bind(offers.front().ref);
+    wire::Value models = rental.invoke("ListModels", {});
+    benchmark::DoNotOptimize(models);
+  }
+  state.counters["offers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FullTriangle)->RangeMultiplier(4)->Range(1, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

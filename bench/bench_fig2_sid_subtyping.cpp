@@ -1,0 +1,78 @@
+// Experiment F2 (Fig. 2 / §3.1): SID record subtyping.
+//
+// A SID grows extension modules this component does not understand; the
+// parser must skip them while preserving their text, and conformance to the
+// base SID must keep holding.  Expected shape: parse cost grows mildly
+// (linearly in skipped text), conformance cost is independent of the number
+// of unknown extensions.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "sidl/parser.h"
+#include "sidl/printer.h"
+#include "sidl/sid.h"
+
+namespace {
+
+using namespace cosm;
+
+std::string sid_with_extensions(int extensions) {
+  std::ostringstream os;
+  os << "module Extended {\n"
+        "  typedef enum { A, B, C } Mode_t;\n"
+        "  typedef struct { Mode_t mode; string note; long count; } Req_t;\n"
+        "  interface I {\n"
+        "    Req_t Process([in] Req_t request);\n"
+        "    void Reset();\n"
+        "  };\n";
+  for (int i = 0; i < extensions; ++i) {
+    os << "  module Vendor_Ext_" << i << " {\n"
+          "    const long Version = " << i << ";\n"
+          "    const string Blob = \"payload payload payload payload\";\n"
+          "    module Nested { const boolean Deep = true; };\n"
+          "  };\n";
+  }
+  os << "};\n";
+  return os.str();
+}
+
+void BM_ParseWithUnknownExtensions(benchmark::State& state) {
+  std::string text = sid_with_extensions(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sidl::Sid sid = sidl::parse_sid(text);
+    benchmark::DoNotOptimize(sid);
+  }
+  state.counters["extensions"] = static_cast<double>(state.range(0));
+  state.counters["source_bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_ParseWithUnknownExtensions)->DenseRange(0, 16, 4);
+
+void BM_ConformanceCheckVsExtensions(benchmark::State& state) {
+  sidl::Sid base = sidl::parse_sid(sid_with_extensions(0));
+  sidl::Sid extended = sidl::parse_sid(
+      sid_with_extensions(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    bool ok = sidl::conforms_to(extended, base);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["extensions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ConformanceCheckVsExtensions)->DenseRange(0, 16, 4);
+
+void BM_ForwardExtendedSid(benchmark::State& state) {
+  // A base-only component re-emits (prints) a SID whose extensions it never
+  // interpreted — the two-hop transmission that makes open extension work.
+  sidl::Sid sid = sidl::parse_sid(sid_with_extensions(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    std::string text = sidl::print_sid(sid);
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["extensions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ForwardExtendedSid)->DenseRange(0, 16, 8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Experiment F3 (Fig. 3): dynamic binding to innovative services.
+//
+// Per-stage cost of the pipeline SID-transfer -> GUI-generation ->
+// dynamic-invocation, as the interface grows (operations x parameters).
+// Expected shape: every stage linear in SID size; the invoke stage
+// dominated by the RPC round trip, not interpretation.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/generic_client.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+#include "uims/form.h"
+
+namespace {
+
+using namespace cosm;
+using wire::Value;
+
+std::string synthetic_sidl(int operations, int params_per_op) {
+  std::ostringstream os;
+  os << "module Synthetic {\n"
+        "  typedef struct { long a; double b; string c; } Item_t;\n"
+        "  interface I {\n";
+  for (int op = 0; op < operations; ++op) {
+    os << "    Item_t Op" << op << "(";
+    for (int p = 0; p < params_per_op; ++p) {
+      os << (p ? ", " : "") << "[in] Item_t p" << p;
+    }
+    os << ");\n";
+  }
+  os << "  };\n};\n";
+  return os.str();
+}
+
+rpc::ServiceObjectPtr synthetic_service(int operations, int params_per_op) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid(synthetic_sidl(operations, params_per_op)));
+  auto object = std::make_shared<rpc::ServiceObject>(sid);
+  Value item = Value::structure("Item_t", {{"a", Value::integer(1)},
+                                           {"b", Value::real(2.0)},
+                                           {"c", Value::string("three")}});
+  for (int op = 0; op < operations; ++op) {
+    object->on("Op" + std::to_string(op),
+               [item](const std::vector<Value>&) { return item; });
+  }
+  return object;
+}
+
+void BM_Stage1_SidTransfer(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  auto ref = server.add(synthetic_service(static_cast<int>(state.range(0)), 3));
+  core::GenericClient client(net);
+  for (auto _ : state) {
+    core::Binding b = client.bind(ref);  // includes SID fetch + parse
+    benchmark::DoNotOptimize(b.sid());
+  }
+  state.counters["operations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Stage1_SidTransfer)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_Stage2_GuiGeneration(benchmark::State& state) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid(synthetic_sidl(static_cast<int>(state.range(0)), 3)));
+  std::size_t widgets = 0;
+  for (auto _ : state) {
+    uims::ServiceForm form = uims::generate_form(*sid);
+    widgets = uims::widget_count(form);
+    benchmark::DoNotOptimize(form);
+  }
+  state.counters["operations"] = static_cast<double>(state.range(0));
+  state.counters["widgets"] = static_cast<double>(widgets);
+}
+BENCHMARK(BM_Stage2_GuiGeneration)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_Stage3_DynamicInvoke(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  int params = static_cast<int>(state.range(0));
+  auto ref = server.add(synthetic_service(1, params));
+  core::GenericClient client(net);
+  core::Binding b = client.bind(ref);
+  Value item = Value::structure("Item_t", {{"a", Value::integer(1)},
+                                           {"b", Value::real(2.0)},
+                                           {"c", Value::string("three")}});
+  std::vector<Value> args(static_cast<std::size_t>(params), item);
+  for (auto _ : state) {
+    Value result = b.invoke("Op0", args);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["params"] = static_cast<double>(params);
+}
+BENCHMARK(BM_Stage3_DynamicInvoke)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_FullPipeline(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  auto ref = server.add(synthetic_service(4, 2));
+  core::GenericClient client(net);
+  Value item = Value::structure("Item_t", {{"a", Value::integer(1)},
+                                           {"b", Value::real(2.0)},
+                                           {"c", Value::string("three")}});
+  for (auto _ : state) {
+    core::Binding b = client.bind(ref);
+    uims::ServiceForm form = b.form();
+    Value result = b.invoke("Op0", {item, item});
+    benchmark::DoNotOptimize(form);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment F4 (Fig. 4): browser mediation.
+//
+// Registration cost, browse cost vs registry size, keyword search, and the
+// cascaded-binding chain (browser registered at browser, depth 1..8).
+// Expected shape: browse/search linear in registry size; a cascade descent
+// costs one bind + one browse per level (linear in depth).
+
+#include <benchmark/benchmark.h>
+
+#include "core/mediation.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/weather.h"
+
+namespace {
+
+using namespace cosm;
+
+void BM_Registration(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  auto object = services::make_weather_service({});
+  auto ref = runtime.host(object);
+  sidl::SidPtr sid = runtime.repository().get(ref.id);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    runtime.browser().register_service("entry-" + std::to_string(i++), sid, ref);
+  }
+  state.counters["registry_size"] = static_cast<double>(runtime.browser().size());
+}
+BENCHMARK(BM_Registration);
+
+void BM_BrowseVsRegistrySize(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  auto ref = runtime.host(services::make_weather_service({}));
+  sidl::SidPtr sid = runtime.repository().get(ref.id);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    runtime.browser().register_service("svc-" + std::to_string(i), sid, ref);
+  }
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession session(client, runtime.browser_ref());
+  for (auto _ : state) {
+    auto items = session.browse();
+    benchmark::DoNotOptimize(items);
+  }
+  state.counters["entries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BrowseVsRegistrySize)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_SearchVsRegistrySize(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  auto ref = runtime.host(services::make_weather_service({}));
+  sidl::SidPtr sid = runtime.repository().get(ref.id);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    runtime.browser().register_service("svc-" + std::to_string(i), sid, ref);
+  }
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession session(client, runtime.browser_ref());
+  for (auto _ : state) {
+    auto hits = session.search("forecast");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["entries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SearchVsRegistrySize)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_CascadeDescent(benchmark::State& state) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  int depth = static_cast<int>(state.range(0));
+
+  // Build a chain of browsers: root -> b1 -> ... -> b_depth, with the
+  // weather service registered at the deepest one.
+  std::vector<std::unique_ptr<core::ServiceBrowser>> browsers;
+  core::ServiceBrowser* parent = &runtime.browser();
+  for (int i = 0; i < depth; ++i) {
+    browsers.push_back(
+        std::make_unique<core::ServiceBrowser>("level-" + std::to_string(i)));
+    auto ref = runtime.server().add(core::make_browser_service(*browsers.back()));
+    parent->register_service("Deeper", runtime.server().find(ref.id)->sid(), ref);
+    parent = browsers.back().get();
+  }
+  auto weather_ref = runtime.host(services::make_weather_service({}));
+  parent->register_service("Weather", runtime.repository().get(weather_ref.id),
+                           weather_ref);
+
+  core::GenericClient client = runtime.make_client();
+  for (auto _ : state) {
+    std::vector<core::MediationSession> chain;
+    chain.emplace_back(client, runtime.browser_ref());
+    for (int i = 0; i < depth; ++i) {
+      chain.push_back(chain.back().enter("Deeper"));
+    }
+    core::Binding weather = chain.back().select("Weather");
+    benchmark::DoNotOptimize(weather.sid());
+  }
+  state.counters["depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_CascadeDescent)->DenseRange(1, 8, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

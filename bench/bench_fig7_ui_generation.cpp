@@ -1,0 +1,122 @@
+// Experiment F7 (Fig. 7): automatic user-interface generation.
+//
+// Measures form-model generation from the paper's CarRentalService SID and
+// from synthetic SIDs of growing width, text rendering, and form editing
+// throughput (the "typed form for local parameter entry and analysis").
+// Expected shape: generation linear in widget count; entry validation cost
+// independent of service size.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "services/car_rental.h"
+#include "sidl/parser.h"
+#include "uims/editor.h"
+#include "uims/form.h"
+
+namespace {
+
+using namespace cosm;
+
+sidl::SidPtr car_sid() {
+  services::CarRentalConfig config;
+  config.tradable = true;
+  return std::make_shared<sidl::Sid>(
+      sidl::parse_sid(services::car_rental_sidl(config)));
+}
+
+void BM_GenerateCarRentalForm(benchmark::State& state) {
+  auto sid = car_sid();
+  std::size_t widgets = 0;
+  for (auto _ : state) {
+    uims::ServiceForm form = uims::generate_form(*sid);
+    widgets = uims::widget_count(form);
+    benchmark::DoNotOptimize(form);
+  }
+  state.counters["widgets"] = static_cast<double>(widgets);
+}
+BENCHMARK(BM_GenerateCarRentalForm);
+
+void BM_RenderCarRentalForm(benchmark::State& state) {
+  auto sid = car_sid();
+  uims::ServiceForm form = uims::generate_form(*sid);
+  for (auto _ : state) {
+    std::string text = uims::render_text(form);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_RenderCarRentalForm);
+
+std::string wide_struct_sidl(int fields) {
+  std::ostringstream os;
+  os << "module Wide {\n  typedef struct {\n";
+  for (int i = 0; i < fields; ++i) {
+    switch (i % 4) {
+      case 0: os << "    long f" << i << ";\n"; break;
+      case 1: os << "    string f" << i << ";\n"; break;
+      case 2: os << "    boolean f" << i << ";\n"; break;
+      default: os << "    sequence<double> f" << i << ";\n"; break;
+    }
+  }
+  os << "  } Big_t;\n  interface I { void Op([in] Big_t arg); };\n};\n";
+  return os.str();
+}
+
+void BM_GenerateVsWidgetCount(benchmark::State& state) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid(wide_struct_sidl(static_cast<int>(state.range(0)))));
+  std::size_t widgets = 0;
+  for (auto _ : state) {
+    uims::ServiceForm form = uims::generate_form(*sid);
+    widgets = uims::widget_count(form);
+    benchmark::DoNotOptimize(form);
+  }
+  state.counters["widgets"] = static_cast<double>(widgets);
+}
+BENCHMARK(BM_GenerateVsWidgetCount)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_FormEntryValidation(benchmark::State& state) {
+  auto sid = car_sid();
+  uims::FormEditor editor(sid, "SelectCar");
+  int i = 0;
+  for (auto _ : state) {
+    editor.set("selection.days", std::to_string(i++ % 30 + 1));
+    benchmark::DoNotOptimize(editor);
+  }
+}
+BENCHMARK(BM_FormEntryValidation);
+
+void BM_FormEntryRejection(benchmark::State& state) {
+  // Ill-typed input is rejected locally — measure the rejection path.
+  auto sid = car_sid();
+  uims::FormEditor editor(sid, "SelectCar");
+  std::size_t rejected = 0;
+  for (auto _ : state) {
+    try {
+      editor.set("selection.days", "not-a-number");
+    } catch (const TypeError&) {
+      ++rejected;
+    }
+  }
+  state.counters["rejected"] = static_cast<double>(rejected);
+}
+BENCHMARK(BM_FormEntryRejection);
+
+void BM_BuildArgumentsFromForm(benchmark::State& state) {
+  auto sid = car_sid();
+  uims::FormEditor editor(sid, "SelectCar");
+  editor.set("selection.model", "VW_Golf");
+  editor.set("selection.booking_date", "1994-06-21");
+  editor.set("selection.days", "3");
+  for (auto _ : state) {
+    auto args = editor.arguments();
+    benchmark::DoNotOptimize(args);
+  }
+}
+BENCHMARK(BM_BuildArgumentsFromForm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

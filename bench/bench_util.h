@@ -1,0 +1,50 @@
+// Shared helpers for the experiment benchmarks.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "services/market.h"
+#include "wire/value.h"
+
+namespace cosm::bench {
+
+/// A runtime pre-loaded with N tradable car-rental providers (canonical
+/// service type registered first so heterogeneous providers type-check).
+struct Market {
+  explicit Market(std::size_t providers, std::uint64_t seed = 1994,
+                  rpc::Network* external_net = nullptr)
+      : runtime(external_net ? *external_net : inproc) {
+    runtime.trader().types().add(services::canonical_car_rental_type());
+    services::MarketConfig config;
+    config.providers = providers;
+    config.seed = seed;
+    for (const auto& provider : services::generate_market(config)) {
+      auto [ref, offer] =
+          runtime.offer_traded(services::make_car_rental_service(provider));
+      refs.push_back(ref);
+      runtime.browser().register_service(provider.name,
+                                         runtime.repository().get(ref.id), ref);
+    }
+  }
+
+  rpc::InProcNetwork inproc;
+  core::CosmRuntime runtime;
+  std::vector<sidl::ServiceRef> refs;
+};
+
+/// Quote a car through the generated form (robust to provider drift).
+inline wire::Value quote_via_form(core::Binding& rental, const std::string& model,
+                                  int days) {
+  uims::FormEditor editor = rental.edit("SelectCar");
+  editor.set("selection.model", model);
+  editor.set("selection.booking_date", "1994-06-21");
+  editor.set("selection.days", std::to_string(days));
+  return rental.invoke_form(editor);
+}
+
+}  // namespace cosm::bench

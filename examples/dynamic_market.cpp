@@ -1,0 +1,143 @@
+// Dynamic service properties: the trader consults exporters at import time.
+//
+// Two rental providers export offers whose CarsAvailable property is
+// *dynamic*: instead of a stored value, the offer names an operation
+// (CurrentAvailability) that the trader invokes on the live service during
+// matching.  An importer asking for "CarsAvailable > 0" therefore sees the
+// market as it is *now* — bookings made between imports change the result
+// with no re-export.  Offers also carry leases: an expired offer vanishes
+// from the market when the trader's clock passes it.
+
+#include <iostream>
+
+#include "core/generic_client.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "sidl/parser.h"
+#include "uims/editor.h"
+
+using namespace cosm;
+using wire::Value;
+
+namespace {
+
+/// A car-rental provider extended with a CurrentAvailability operation the
+/// trader can poll.
+rpc::ServiceObjectPtr availability_provider(const services::CarRentalConfig& config,
+                                            std::shared_ptr<std::int64_t> fleet) {
+  std::string sidl_text = services::car_rental_sidl(config);
+  // Extend the generated SID with the side-band availability operation.
+  sidl_text.insert(sidl_text.rfind("};"),
+                   "  interface COSM_Management {\n"
+                   "    long CurrentAvailability();\n"
+                   "  };\n");
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(sidl_text));
+  auto object = std::make_shared<rpc::ServiceObject>(sid);
+
+  object->on("CurrentAvailability", [fleet](const std::vector<Value>&) {
+    return Value::integer(*fleet);
+  });
+  object->on("SelectCar", [fleet, config](const std::vector<Value>& args) {
+    bool available = *fleet > 0 && args.at(0).at("days").as_int() > 0;
+    return Value::structure(
+        "SelectCarReturn_t",
+        {{"available", Value::boolean(available)},
+         {"total_charge",
+          Value::real(config.charge_per_day *
+                      static_cast<double>(args.at(0).at("days").as_int()))},
+         {"offer_code", Value::string(available ? "quote-" + config.name : "")}});
+  });
+  object->on("BookCar", [fleet](const std::vector<Value>&) {
+    bool ok = *fleet > 0;
+    if (ok) --*fleet;
+    return Value::structure("BookCarResult_t",
+                            {{"confirmed", Value::boolean(ok)},
+                             {"booking_id", Value::integer(ok ? *fleet + 1 : 0)}});
+  });
+  object->on("ListModels", [config](const std::vector<Value>&) {
+    std::vector<Value> models;
+    for (const auto& m : config.models) {
+      models.push_back(Value::enumerated("CarModel_t", m));
+    }
+    return Value::sequence(std::move(models));
+  });
+  return object;
+}
+
+std::size_t live_offers(core::CosmRuntime& runtime) {
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  request.constraint = "CarsAvailable > 0";
+  request.preference = "min ChargePerDay";
+  return runtime.trader().import(request).size();
+}
+
+}  // namespace
+
+int main() {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+
+  // Canonical type, with CarsAvailable declared (it will be dynamic).
+  trader::ServiceType type = services::canonical_car_rental_type();
+  type.attributes.push_back({"CarsAvailable", sidl::TypeDesc::int_(), true});
+  runtime.trader().types().add(type);
+
+  // Two providers with tiny live fleets.
+  auto fleet_a = std::make_shared<std::int64_t>(2);
+  auto fleet_b = std::make_shared<std::int64_t>(1);
+  services::CarRentalConfig a, b;
+  a.name = "AlsterCars";
+  a.charge_per_day = 55;
+  b.name = "ElbeMobil";
+  b.charge_per_day = 70;
+
+  auto ref_a = runtime.host(availability_provider(a, fleet_a));
+  auto ref_b = runtime.host(availability_provider(b, fleet_b));
+
+  auto export_with_availability = [&](const services::CarRentalConfig& cfg,
+                                      const sidl::ServiceRef& ref) {
+    trader::AttrMap attrs = {
+        {"CarModel", Value::enumerated("CarModel_t", cfg.models.front())},
+        {"AverageMilage", Value::integer(cfg.average_milage)},
+        {"ChargePerDay", Value::real(cfg.charge_per_day)},
+        {"ChargeCurrency", Value::string(cfg.currency)},
+    };
+    return runtime.trader().export_offer(
+        services::car_rental_service_type_name(), ref, std::move(attrs),
+        {{"CarsAvailable", "CurrentAvailability"}});
+  };
+  auto offer_a = export_with_availability(a, ref_a);
+  export_with_availability(b, ref_b);
+
+  std::cout << "offers with live availability: " << live_offers(runtime)
+            << " (fleets: " << *fleet_a << " + " << *fleet_b << ")\n";
+
+  // Book AlsterCars dry through the generic client.
+  core::GenericClient client = runtime.make_client();
+  core::Binding rental = client.bind(ref_a);
+  for (int i = 0; i < 2; ++i) {
+    uims::FormEditor select = rental.edit("SelectCar");
+    select.set("selection.model", "AUDI");
+    select.set("selection.booking_date", "1994-07-01");
+    select.set("selection.days", "2");
+    Value quote = rental.invoke_form(select);
+    uims::FormEditor book = rental.edit("BookCar");
+    book.set("booking.offer_code", quote.at("offer_code").as_string());
+    book.set("booking.customer", "walk-in");
+    rental.invoke_form(book);
+  }
+  std::cout << "after booking AlsterCars out (fleet " << *fleet_a
+            << "): matching offers: " << live_offers(runtime) << "\n";
+  std::cout << "trader issued " << runtime.trader().dynamic_fetches()
+            << " dynamic property fetches so far\n";
+
+  // Leases: AlsterCars' offer expires at hour 24; ElbeMobil renews.
+  runtime.trader().set_lease(offer_a, 24);
+  runtime.trader().advance_clock(25);
+  std::cout << "\nafter 25h (AlsterCars lease expired): offers in market: "
+            << runtime.trader().offer_count() << ", swept total: "
+            << runtime.trader().offers_expired_total() << "\n";
+  return 0;
+}

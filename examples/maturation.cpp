@@ -1,0 +1,86 @@
+// Service maturation (§4.1): an innovative service starts in the
+// "pre-tradable" stage — reachable only through mediation — and later
+// *extends its SID* with a COSM_TraderExport module to become tradable,
+// without breaking any existing client.  The extended SID is a subtype of
+// the original (Fig. 2): base-only consumers keep working.
+
+#include <iostream>
+
+#include "core/mediation.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "services/market.h"
+#include "sidl/parser.h"
+#include "trader/sid_export.h"
+
+int main() {
+  using namespace cosm;
+
+  rpc::InProcNetwork network;
+  core::CosmRuntime runtime(network);
+
+  // --- stage 1: innovative / pre-tradable ---
+  services::CarRentalConfig config;
+  config.name = "PioneerRentals";
+  config.tradable = false;  // no trader export yet: nothing to standardise
+  auto ref = runtime.offer_mediated("PioneerRentals",
+                                    services::make_car_rental_service(config));
+  std::cout << "stage 1: mediation only\n";
+  std::cout << "  trader types: " << runtime.trader().types().size() << "\n";
+
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession session(client, runtime.browser_ref());
+  core::Binding early = session.select("PioneerRentals");
+  std::cout << "  early adopter books via mediation: "
+            << early.invoke("ListModels", {}).to_debug_string() << "\n\n";
+
+  // --- stage 2: the market matures; the provider extends its SID ---
+  config.tradable = true;  // same service, now with COSM_TraderExport
+  auto mature_sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid(services::car_rental_sidl(config)));
+
+  // The extended SID conforms to the original: base-only components are
+  // unaffected (Fig. 2).
+  sidl::SidPtr original = runtime.repository().get(ref.id);
+  std::cout << "stage 2: SID extended (extensions " << original->extension_count()
+            << " -> " << mature_sid->extension_count() << "); conforms to original: "
+            << std::boolalpha << sidl::conforms_to(*mature_sid, *original) << "\n";
+
+  // New SID version goes to the repository and the browser entry is
+  // refreshed; the running service instance is unchanged.
+  runtime.repository().put(ref.id, mature_sid);
+  runtime.browser().register_service("PioneerRentals", mature_sid, ref);
+  std::cout << "  repository now holds " << runtime.repository().history(ref.id).size()
+            << " SID versions\n";
+
+  // The service type is derived from the mature SID and registered at the
+  // trader's type manager — the standardisation §2.2 deferred until the
+  // market was ready.
+  std::string offer_id = trader::export_sid_offer(runtime.trader(), *mature_sid, ref);
+  std::cout << "  service type standardised + offer exported: " << offer_id << "\n\n";
+
+  // --- stage 3: both access paths coexist (§4.1) ---
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  request.preference = "min ChargePerDay";
+  auto offers = runtime.trader().import(request);
+  std::cout << "stage 3: trader finds " << offers.size() << " offer(s)\n";
+
+  core::Binding via_trader = client.bind(offers.at(0).ref);
+  core::Binding via_browser = session.select("PioneerRentals");
+  std::cout << "  same instance via trader and browser: "
+            << (via_trader.ref() == via_browser.ref()) << "\n";
+
+  // The §2.2 time-to-market comparison, in simulated calendar time.
+  services::EstablishmentModel model;
+  auto trader_path = services::trader_path_establishment(
+      model, mature_sid->operations.size(), 1, false);
+  auto mediation_path = services::mediation_path_establishment(model);
+  std::cout << "\n  hours to first client call —\n"
+            << "    trader path:    " << trader_path.total_hours() << " ("
+            << trader_path.total_hours() / 24 << " days)\n"
+            << "    mediation path: " << mediation_path.total_hours() << " ("
+            << mediation_path.total_hours() / 24 << " days)\n";
+  return 0;
+}

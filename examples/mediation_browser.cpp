@@ -1,0 +1,87 @@
+// Browser mediation (§3, Fig. 4): innovative services with no standardised
+// type register their SIDs at browsers; a cascaded browser (a browser
+// registered at another browser) extends the reachable market; the generic
+// client enforces each service's FSM locally.
+
+#include <iostream>
+
+#include "common/error.h"
+#include "core/mediation.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/stock_quote.h"
+#include "services/weather.h"
+
+int main() {
+  using namespace cosm;
+
+  rpc::InProcNetwork network;
+  core::CosmRuntime runtime(network);
+
+  // A second, specialised browser hosting financial services...
+  core::ServiceBrowser finance_browser("finance-browser");
+  auto finance_browser_ref =
+      runtime.server().add(core::make_browser_service(finance_browser));
+
+  // ...registered at the main browser: the Fig. 4 cascade.
+  runtime.browser().register_service(
+      "FinanceServices",
+      runtime.server().find(finance_browser_ref.id)->sid(),
+      finance_browser_ref);
+
+  // Innovative services go straight to the browsers — no service type, no
+  // standardisation, no trader.
+  runtime.offer_mediated("WeatherOracle",
+                         services::make_weather_service({}));
+  auto ticker_ref = runtime.host(services::make_stock_quote_service({}));
+  finance_browser.register_service("TickerService",
+                                   runtime.repository().get(ticker_ref.id),
+                                   ticker_ref);
+
+  // --- the human-user stand-in browses ---
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession root(client, runtime.browser_ref());
+  std::cout << "root browser entries:\n";
+  for (const auto& item : root.browse()) {
+    std::cout << "  - " << item.name << "\n";
+  }
+
+  // Keyword search over annotations.
+  auto hits = root.search("forecast");
+  std::cout << "\nsearch 'forecast': " << hits.size() << " hit(s): "
+            << hits.at(0).name << "\n";
+
+  // Use the weather service through the generic client.
+  core::Binding weather = root.select("WeatherOracle");
+  wire::Value forecast = weather.invoke(
+      "GetForecast", {wire::Value::string("Hamburg"), wire::Value::integer(2)});
+  std::cout << "forecast: " << forecast.to_debug_string() << "\n";
+
+  // Descend into the cascaded browser (depth 1) and bind the ticker.
+  core::MediationSession finance = root.enter("FinanceServices");
+  std::cout << "\nfinance browser (cascade depth " << finance.depth() << "):\n";
+  for (const auto& item : finance.browse()) {
+    std::cout << "  - " << item.name << "\n";
+  }
+
+  core::Binding ticker = finance.select("TickerService");
+  std::cout << "\nticker state: " << ticker.state()
+            << "; allowed now:";
+  for (const auto& op : ticker.allowed_operations()) std::cout << " " << op;
+  std::cout << "\n";
+
+  // §4.2: an out-of-protocol call is rejected *locally* — no RPC happens.
+  try {
+    ticker.invoke("GetQuote", {wire::Value::string("IBM")});
+  } catch (const ProtocolError& e) {
+    std::cout << "local rejection: " << e.what() << "\n";
+  }
+
+  ticker.invoke("Login", {wire::Value::string("mueller")});
+  wire::Value quote = ticker.invoke("GetQuote", {wire::Value::string("IBM")});
+  std::cout << "after login: " << quote.to_debug_string() << "\n";
+  ticker.invoke("Logout", {});
+  std::cout << "state after logout: " << ticker.state()
+            << "; local rejections: " << ticker.local_rejections() << "\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the complete COSM loop in one page.
+//
+// 1. Assemble the runtime (trader, browser, name server, repository, binder).
+// 2. A provider writes a SID and offers its car rental service — via the
+//    browser (mediation) and, because its SID carries a COSM_TraderExport
+//    module, via the ODP trader too.
+// 3. A generic client finds the service both ways, transfers the SID,
+//    renders the generated user interface, fills the SelectCar form, and
+//    books a car — with zero compiled-in knowledge of the service.
+
+#include <iostream>
+
+#include "core/mediation.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "uims/form.h"
+
+int main() {
+  using namespace cosm;
+
+  // --- infrastructure ---
+  rpc::InProcNetwork network;
+  core::CosmRuntime runtime(network);
+
+  // --- provider side ---
+  services::CarRentalConfig config;
+  config.name = "HanseRentACar";
+  config.charge_per_day = 65.0;
+  config.currency = "DEM";
+  config.tradable = true;
+  auto [ref, offer_id] = runtime.offer_traded(
+      services::make_car_rental_service(config));
+  runtime.browser().register_service("HanseRentACar",
+                                     runtime.repository().get(ref.id), ref);
+  std::cout << "provider online: " << ref.to_string() << "\n"
+            << "trader offer:    " << offer_id << "\n\n";
+
+  // --- client side: discovery via the trader (typed import) ---
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  request.constraint = "ChargePerDay < 100 && ChargeCurrency == \"DEM\"";
+  request.preference = "min ChargePerDay";
+  auto offers = runtime.trader().import(request);
+  std::cout << "trader matched " << offers.size() << " offer(s); best: "
+            << offers.at(0).id << "\n\n";
+
+  // --- client side: discovery via mediation (browse) ---
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession session(client, runtime.browser_ref());
+  for (const auto& item : session.browse()) {
+    std::cout << "browser entry: " << item.name << "\n";
+  }
+
+  // --- bind + generated UI (Fig. 3 / Fig. 7) ---
+  core::Binding rental = session.select("HanseRentACar");
+  std::cout << "\n" << uims::render_text(rental.form()) << "\n";
+
+  // --- drive the service through the generated form ---
+  uims::FormEditor editor = rental.edit("SelectCar");
+  editor.set("selection.model", "VW_Golf");
+  editor.set("selection.booking_date", "1994-06-21");
+  editor.set("selection.days", "3");
+  wire::Value quote = rental.invoke_form(editor);
+  std::cout << "quote: " << quote.to_debug_string() << "\n";
+
+  uims::FormEditor booking = rental.edit("BookCar");
+  booking.set("booking.offer_code", quote.at("offer_code").as_string());
+  booking.set("booking.customer", "K. Mueller");
+  wire::Value result = rental.invoke_form(booking);
+  std::cout << "booking: " << result.to_debug_string() << "\n";
+  std::cout << "\ncommunication state after booking: " << rental.state() << "\n";
+
+  return result.at("confirmed").as_bool() ? 0 : 1;
+}

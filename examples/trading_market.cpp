@@ -1,0 +1,82 @@
+// Trading in an open market (§2, Fig. 1): a population of competing car
+// rental providers exports typed offers; importers query with constraints
+// and preferences; a second, federated trader in another scope contributes
+// its offers across a trader link.
+
+#include <iostream>
+
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "services/market.h"
+#include "trader/facade.h"
+
+int main() {
+  using namespace cosm;
+
+  rpc::InProcNetwork network;
+  core::CosmRuntime hamburg(network);   // scope "hamburg"
+  core::CosmRuntime munich(network);    // scope "munich"
+
+  // Federation: the Hamburg trader can forward imports to Munich over RPC
+  // (§2.2 "trader federation ... for geographic scopes").
+  hamburg.trader().link("munich", std::make_shared<trader::RemoteTraderGateway>(
+                                      network, munich.trader_ref()));
+
+  // Standardise the CarRentalService type in both scopes (§2.1: exporters
+  // "always have to refer to a distinct, predefined service type").
+  hamburg.trader().types().add(services::canonical_car_rental_type());
+  munich.trader().types().add(services::canonical_car_rental_type());
+
+  // Populate both scopes with competing providers.
+  services::MarketConfig market;
+  market.providers = 12;
+  market.seed = 1994;
+  auto configs = services::generate_market(market);
+  std::size_t i = 0;
+  for (const auto& config : configs) {
+    auto& runtime = (i++ % 2 == 0) ? hamburg : munich;
+    runtime.offer_traded(services::make_car_rental_service(config));
+  }
+  std::cout << "offers in hamburg: " << hamburg.trader().offer_count()
+            << ", munich: " << munich.trader().offer_count() << "\n\n";
+
+  // Importer: cheapest USD rental, local scope only.
+  trader::ImportRequest local;
+  local.service_type = services::car_rental_service_type_name();
+  local.constraint = "ChargeCurrency == \"USD\"";
+  local.preference = "min ChargePerDay";
+  auto local_offers = hamburg.trader().import(local);
+  std::cout << "local USD offers: " << local_offers.size() << "\n";
+
+  // Same import, one federation hop: Munich's offers join the result.
+  trader::ImportRequest federated = local;
+  federated.hop_limit = 1;
+  auto all_offers = hamburg.trader().import(federated);
+  std::cout << "federated USD offers: " << all_offers.size() << "\n\n";
+
+  if (all_offers.empty()) {
+    std::cout << "no matching offers in this market\n";
+    return 0;
+  }
+  const auto& best = all_offers.front();
+  std::cout << "best offer " << best.id << " at "
+            << best.attributes.at("ChargePerDay").to_debug_string() << "/day\n";
+
+  // Fig. 1 steps 4-5: bind to the selected exporter and use it.
+  core::GenericClient client(network);
+  core::Binding rental = client.bind(best.ref);
+  wire::Value models = rental.invoke("ListModels", {});
+  std::cout << "models: " << models.to_debug_string() << "\n";
+
+  // Price ceiling sweep: how the match count shrinks as the constraint
+  // tightens.
+  std::cout << "\nceiling  matches (federated)\n";
+  for (int ceiling : {200, 150, 100, 75, 50, 40}) {
+    trader::ImportRequest sweep = federated;
+    sweep.constraint = "ChargePerDay < " + std::to_string(ceiling);
+    std::cout << "  " << ceiling << "      "
+              << hamburg.trader().import(sweep).size() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "common/bytes.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace cosm {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  u64(bits);
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  varint((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::raw(const std::uint8_t* data, std::size_t n) {
+  bytes_.insert(bytes_.end(), data, data + n);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (size_ - pos_ < n) {
+    throw WireError("byte reader underrun: need " + std::to_string(n) +
+                    " bytes, have " + std::to_string(size_ - pos_));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) throw WireError("malformed varint: too many bytes");
+    std::uint8_t b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::int64_t ByteReader::svarint() {
+  std::uint64_t z = varint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+std::string ByteReader::str() {
+  std::uint64_t n = varint();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::string to_hex(const Bytes& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i) out.push_back(' ');
+    out.push_back(digits[bytes[i] >> 4]);
+    out.push_back(digits[bytes[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace cosm

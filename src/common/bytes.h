@@ -1,0 +1,81 @@
+// Byte-buffer primitives shared by the wire and RPC layers.
+//
+// ByteWriter appends primitive values in a fixed little-endian layout;
+// ByteReader consumes them with bounds checking.  Variable-length integers
+// use LEB128-style base-128 encoding, which keeps small lengths (the common
+// case for SIDL-described values) to a single byte.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cosm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitives to a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : bytes_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+  /// Zig-zag signed LEB128.
+  void svarint(std::int64_t v);
+  /// varint length followed by raw bytes.
+  void str(std::string_view s);
+  void raw(const std::uint8_t* data, std::size_t n);
+  void raw(const Bytes& b) { raw(b.data(), b.size()); }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  const Bytes& bytes() const noexcept { return bytes_; }
+  Bytes take() { return std::move(bytes_); }
+
+ private:
+  Bytes bytes_;
+};
+
+/// Consumes primitives from a byte span with bounds checking; throws
+/// cosm::WireError on underrun or malformed varints.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const Bytes& b) : ByteReader(b.data(), b.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::uint64_t varint();
+  std::int64_t svarint();
+  std::string str();
+  Bytes raw(std::size_t n);
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool at_end() const noexcept { return pos_ == size_; }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex dump (debugging aid for wire-level tests).
+std::string to_hex(const Bytes& bytes);
+
+}  // namespace cosm

@@ -1,0 +1,10 @@
+#include "common/error.h"
+
+namespace cosm {
+
+std::string ParseError::format(const std::string& what, int line, int column) {
+  return what + " (at line " + std::to_string(line) + ", column " +
+         std::to_string(column) + ")";
+}
+
+}  // namespace cosm

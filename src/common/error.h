@@ -1,0 +1,87 @@
+// COSM common error hierarchy.
+//
+// All recoverable failures in the COSM libraries are reported as exceptions
+// derived from cosm::Error (Core Guidelines E.14: use purpose-designed user
+// types as exceptions).  Each subsystem derives its own error type so callers
+// can catch at the granularity they care about.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cosm {
+
+/// Root of the COSM exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition or API-contract violation by the caller.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+/// Failure while parsing SIDL text or a trader constraint expression.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error(format(what, line, column)), line_(line), column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  static std::string format(const std::string& what, int line, int column);
+  int line_;
+  int column_;
+};
+
+/// A value does not conform to the type description it was checked against.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error(what) {}
+};
+
+/// Failure while encoding or decoding wire bytes.
+class WireError : public Error {
+ public:
+  explicit WireError(const std::string& what) : Error(what) {}
+};
+
+/// Failure in the RPC substrate (transport, framing, dispatch, timeout).
+class RpcError : public Error {
+ public:
+  explicit RpcError(const std::string& what) : Error(what) {}
+};
+
+/// The remote side reported an application-level fault.
+class RemoteFault : public RpcError {
+ public:
+  explicit RemoteFault(const std::string& what) : RpcError(what) {}
+};
+
+/// A name, reference, offer, type or group could not be resolved.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// An operation was attempted in a communication state the service's FSM
+/// specification does not allow (rejected locally by the generic client).
+class ProtocolError : public Error {
+ public:
+  ProtocolError(const std::string& what, std::string state, std::string op)
+      : Error(what), state_(std::move(state)), operation_(std::move(op)) {}
+
+  const std::string& state() const noexcept { return state_; }
+  const std::string& operation() const noexcept { return operation_; }
+
+ private:
+  std::string state_;
+  std::string operation_;
+};
+
+}  // namespace cosm

@@ -1,0 +1,16 @@
+#include "common/id.h"
+
+#include <atomic>
+
+namespace cosm {
+
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string next_name(const std::string& prefix) {
+  return prefix + "-" + std::to_string(next_id());
+}
+
+}  // namespace cosm

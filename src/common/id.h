@@ -1,0 +1,17 @@
+// Process-unique identifier generation for service references, offers and
+// RPC requests.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosm {
+
+/// Monotonic process-unique 64-bit id (thread-safe).
+std::uint64_t next_id();
+
+/// "prefix-<id>" convenience for human-readable unique names.
+std::string next_name(const std::string& prefix);
+
+}  // namespace cosm

@@ -1,0 +1,56 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace cosm {
+
+std::uint64_t Rng::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) throw ContractError("Rng::below: bound must be positive");
+  // Rejection sampling: discard the biased tail of the 2^64 range.
+  std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw ContractError("Rng::range: lo > hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Rng::ident(std::size_t length) {
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    s.push_back(static_cast<char>('a' + below(26)));
+  }
+  return s;
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  if (weights.empty()) throw ContractError("Rng::weighted: empty weights");
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (x < weights[i]) return i;
+    x -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace cosm

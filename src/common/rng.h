@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for workload generators,
+// property tests and selection policies.
+//
+// All randomness in COSM flows through SplitMix64 seeded explicitly, so every
+// benchmark and test run is reproducible bit-for-bit.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosm {
+
+/// SplitMix64: tiny, fast, well-distributed; good enough for workload
+/// generation and far simpler to audit than std::mt19937.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (rejection sampling).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  bool chance(double p) { return uniform() < p; }
+
+  /// Random lowercase identifier of the given length.
+  std::string ident(std::size_t length);
+
+  /// Pick an element index weighted by `weights` (must be non-empty).
+  std::size_t weighted(const std::vector<double>& weights);
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[below(v.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cosm

@@ -1,0 +1,10 @@
+#include "common/sim_clock.h"
+
+namespace cosm {
+
+std::string SimClock::stamp() const {
+  return "day " + std::to_string(hours_ / 24) + ", hour " +
+         std::to_string(hours_ % 24);
+}
+
+}  // namespace cosm

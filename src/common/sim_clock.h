@@ -1,0 +1,32 @@
+// Simulated market clock for the time-to-market experiments (C1).
+//
+// The §2.2 argument is about *calendar* delays (standardisation takes months,
+// SID registration takes seconds).  A simulated clock lets benchmarks advance
+// logical days deterministically instead of sleeping.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosm {
+
+/// Logical simulation clock counting in hours; starts at hour 0.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  void advance_hours(std::uint64_t h) { hours_ += h; }
+  void advance_days(std::uint64_t d) { hours_ += d * 24; }
+
+  std::uint64_t hours() const noexcept { return hours_; }
+  double days() const noexcept { return static_cast<double>(hours_) / 24.0; }
+
+  /// "day D, hour H" for logs.
+  std::string stamp() const;
+
+ private:
+  std::uint64_t hours_ = 0;
+};
+
+}  // namespace cosm

@@ -1,0 +1,162 @@
+#include "core/browser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+#include "sidl/validate.h"
+
+namespace cosm::core {
+
+ServiceBrowser::ServiceBrowser(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw ContractError("browser needs a name");
+}
+
+void ServiceBrowser::register_service(const std::string& entry_name,
+                                      sidl::SidPtr sid,
+                                      const sidl::ServiceRef& ref) {
+  if (entry_name.empty()) throw ContractError("entry name must not be empty");
+  if (!sid) throw ContractError("registration needs a SID");
+  if (!ref.valid()) throw ContractError("registration needs a valid reference");
+  sidl::ensure_valid(*sid);
+  std::lock_guard lock(mutex_);
+  for (auto& entry : entries_) {
+    if (entry.name == entry_name) {
+      entry.sid = std::move(sid);
+      entry.ref = ref;
+      ++registrations_;
+      return;
+    }
+  }
+  entries_.push_back({entry_name, std::move(sid), ref});
+  ++registrations_;
+}
+
+void ServiceBrowser::withdraw(const std::string& entry_name) {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->name == entry_name) {
+      entries_.erase(it);
+      return;
+    }
+  }
+  throw NotFound("browser '" + name_ + "' has no entry '" + entry_name + "'");
+}
+
+std::vector<BrowserEntry> ServiceBrowser::list() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+BrowserEntry ServiceBrowser::describe(const std::string& entry_name) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry.name == entry_name) return entry;
+  }
+  throw NotFound("browser '" + name_ + "' has no entry '" + entry_name + "'");
+}
+
+namespace {
+
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool contains_ci(const std::string& haystack, const std::string& needle_lower) {
+  return lowered(haystack).find(needle_lower) != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<BrowserEntry> ServiceBrowser::search(const std::string& keyword) const {
+  std::string needle = lowered(keyword);
+  std::lock_guard lock(mutex_);
+  std::vector<BrowserEntry> hits;
+  for (const auto& entry : entries_) {
+    bool hit = contains_ci(entry.name, needle) ||
+               contains_ci(entry.sid->name, needle);
+    if (!hit) {
+      for (const auto& op : entry.sid->operations) {
+        if (contains_ci(op.name, needle)) hit = true;
+      }
+    }
+    if (!hit) {
+      for (const auto& [element, text] : entry.sid->annotations) {
+        if (contains_ci(text, needle)) hit = true;
+      }
+    }
+    if (hit) hits.push_back(entry);
+  }
+  return hits;
+}
+
+std::size_t ServiceBrowser::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+const std::string& browser_sidl() {
+  static const std::string text = R"(
+module BrowserService {
+  typedef struct { string name; ServiceReference ref; } Entry_t;
+  interface COSM_Operations {
+    void Register([in] string name, [in] SID description, [in] ServiceReference ref);
+    void WithdrawEntry([in] string name);
+    sequence<Entry_t> List();
+    SID Describe([in] string name);
+    sequence<Entry_t> Search([in] string keyword);
+  };
+  module COSM_Annotations {
+    annotate BrowserService "Registry of innovative services: browse, inspect, bind";
+    annotate Register "Register a service's interface description and reference";
+    annotate List "Enumerate all registered services";
+    annotate Describe "Fetch the full interface description of an entry";
+    annotate Search "Keyword search over names, operations and annotations";
+  };
+};
+)";
+  return text;
+}
+
+rpc::ServiceObjectPtr make_browser_service(ServiceBrowser& browser) {
+  using wire::Value;
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(browser_sidl()));
+  auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
+
+  auto entries_to_value = [](const std::vector<BrowserEntry>& entries) {
+    std::vector<Value> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) {
+      out.push_back(Value::structure(
+          "Entry_t",
+          {{"name", Value::string(e.name)}, {"ref", Value::service_ref(e.ref)}}));
+    }
+    return Value::sequence(std::move(out));
+  };
+
+  object->on("Register", [&browser](const std::vector<Value>& args) {
+    browser.register_service(args.at(0).as_string(), args.at(1).as_sid(),
+                             args.at(2).as_ref());
+    return Value::null();
+  });
+  object->on("WithdrawEntry", [&browser](const std::vector<Value>& args) {
+    browser.withdraw(args.at(0).as_string());
+    return Value::null();
+  });
+  object->on("List", [&browser, entries_to_value](const std::vector<Value>&) {
+    return entries_to_value(browser.list());
+  });
+  object->on("Describe", [&browser](const std::vector<Value>& args) {
+    return Value::sid(browser.describe(args.at(0).as_string()).sid);
+  });
+  object->on("Search", [&browser, entries_to_value](const std::vector<Value>& args) {
+    return entries_to_value(browser.search(args.at(0).as_string()));
+  });
+  return object;
+}
+
+}  // namespace cosm::core

@@ -1,0 +1,71 @@
+// The Service Browser — the well-known component where innovative services
+// register their SIDs (§3.2, Fig. 4 step 1).
+//
+// Unlike a trader, the browser needs no predefined service type: a
+// registration is (name, SID, reference), nothing more.  Human users (or
+// their scripted stand-ins) browse the entries, read annotations, and pick
+// a reference to bind to.  A browser is itself a COSM service — it can
+// register its own SID at another browser, producing the cascade of
+// bindings the paper describes.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpc/service_object.h"
+#include "sidl/service_ref.h"
+#include "sidl/sid.h"
+
+namespace cosm::core {
+
+struct BrowserEntry {
+  std::string name;
+  sidl::SidPtr sid;
+  sidl::ServiceRef ref;
+};
+
+class ServiceBrowser {
+ public:
+  explicit ServiceBrowser(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Register a service under a display name.  Re-registration under the
+  /// same name replaces the entry (services may extend their SID over time,
+  /// §2.3).  The SID is validated on admission.
+  void register_service(const std::string& entry_name, sidl::SidPtr sid,
+                        const sidl::ServiceRef& ref);
+
+  /// Remove an entry; throws cosm::NotFound.
+  void withdraw(const std::string& entry_name);
+
+  /// All entries, in registration order.
+  std::vector<BrowserEntry> list() const;
+
+  /// Entry by name; throws cosm::NotFound.
+  BrowserEntry describe(const std::string& entry_name) const;
+
+  /// Case-insensitive keyword search over entry names, service names,
+  /// operation names and annotation texts.
+  std::vector<BrowserEntry> search(const std::string& keyword) const;
+
+  std::size_t size() const;
+  std::uint64_t registrations_total() const noexcept { return registrations_; }
+
+ private:
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::vector<BrowserEntry> entries_;
+  std::uint64_t registrations_ = 0;
+};
+
+/// SIDL text of the browser's own interface.
+const std::string& browser_sidl();
+
+/// Wrap a browser in a ServiceObject (the browser must outlive it).
+rpc::ServiceObjectPtr make_browser_service(ServiceBrowser& browser);
+
+}  // namespace cosm::core

@@ -1,0 +1,17 @@
+#include "core/cost_meter.h"
+
+#include <sstream>
+
+namespace cosm::core {
+
+std::string TransitionCostMeter::summary() const {
+  std::ostringstream os;
+  os << "stub units: " << stub_units_
+     << ", configuration: " << configuration_units_
+     << ", registrations: " << registration_units_
+     << ", SID transfers (automatic): " << sid_transfers_
+     << " => developer cost " << developer_cost();
+  return os.str();
+}
+
+}  // namespace cosm::core

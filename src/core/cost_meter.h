@@ -1,0 +1,57 @@
+// Transition-cost accounting (§2.3).
+//
+// The paper's economic argument is that COSM drives the *transition costs*
+// of an open service market toward zero: making a service available,
+// switching providers, adding value-adding services, extending interfaces.
+// The meter gives those costs units so experiments C1/C2 can compare the
+// pre-COSM baseline (hand-written stubs, manual reconfiguration) with the
+// COSM path (SID registration, generic client).
+//
+// Units are deliberately simple and favour the *baseline* where judgement
+// is needed: one "stub unit" per operation a developer must hand-code, one
+// "configuration unit" per manual wiring step, one "registration unit" per
+// registry interaction.  What matters is the shape — which curve grows with
+// the number of providers — not the absolute magnitudes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cosm::core {
+
+class TransitionCostMeter {
+ public:
+  /// Developer hand-writes marshalling/stub code for one operation.
+  void count_stub_units(std::uint64_t operations) { stub_units_ += operations; }
+  /// Manual configuration action (editing an address, rebuilding a client).
+  void count_configuration() { ++configuration_units_; }
+  /// Registry interaction (trader export, type registration, browser
+  /// registration).
+  void count_registration() { ++registration_units_; }
+  /// Automatic SID transfer (costless for the developer, counted for
+  /// completeness).
+  void count_sid_transfer() { ++sid_transfers_; }
+
+  std::uint64_t stub_units() const noexcept { return stub_units_; }
+  std::uint64_t configuration_units() const noexcept { return configuration_units_; }
+  std::uint64_t registration_units() const noexcept { return registration_units_; }
+  std::uint64_t sid_transfers() const noexcept { return sid_transfers_; }
+
+  /// Developer-borne total: the §2.3 "transition cost".
+  std::uint64_t developer_cost() const noexcept {
+    return stub_units_ + configuration_units_ + registration_units_;
+  }
+
+  void reset() { *this = TransitionCostMeter{}; }
+
+  std::string summary() const;
+
+ private:
+  std::uint64_t stub_units_ = 0;
+  std::uint64_t configuration_units_ = 0;
+  std::uint64_t registration_units_ = 0;
+  std::uint64_t sid_transfers_ = 0;
+};
+
+}  // namespace cosm::core

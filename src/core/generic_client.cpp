@@ -1,0 +1,95 @@
+#include "core/generic_client.h"
+
+#include "common/error.h"
+#include "sidl/validate.h"
+
+namespace cosm::core {
+
+Binding::Binding(std::unique_ptr<rpc::RpcChannel> channel, sidl::SidPtr sid,
+                 GenericClientOptions options)
+    : channel_(std::move(channel)), sid_(std::move(sid)), options_(options) {
+  if (sid_->fsm) state_ = sid_->fsm->initial;
+}
+
+bool Binding::fsm_restricted(const std::string& operation) const {
+  if (!sid_->fsm) return false;
+  for (const auto& tr : sid_->fsm->transitions) {
+    if (tr.operation == operation) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Binding::allowed_operations() const {
+  std::vector<std::string> ops;
+  for (const auto& op : sid_->operations) {
+    if (allowed(op.name)) ops.push_back(op.name);
+  }
+  return ops;
+}
+
+bool Binding::allowed(const std::string& operation) const {
+  if (!options_.enforce_fsm || !sid_->fsm || !fsm_restricted(operation)) {
+    return sid_->find_operation(operation) != nullptr;
+  }
+  return sid_->fsm->find(state_, operation) != nullptr;
+}
+
+wire::Value Binding::invoke(const std::string& operation,
+                            std::vector<wire::Value> args) {
+  const sidl::OperationDesc* op = sid_->find_operation(operation);
+  if (op == nullptr) {
+    throw NotFound("service '" + sid_->name + "' has no operation '" +
+                   operation + "'");
+  }
+
+  // Local protocol enforcement (§4.2): invocations that do not conform to
+  // the current communication state are "intercepted by the generic client
+  // and, therefore, already rejected locally".
+  const sidl::FsmTransition* transition = nullptr;
+  if (options_.enforce_fsm && sid_->fsm && fsm_restricted(operation)) {
+    transition = sid_->fsm->find(state_, operation);
+    if (transition == nullptr) {
+      ++rejections_;
+      throw ProtocolError("operation '" + operation +
+                              "' is not allowed in communication state '" +
+                              state_ + "' (rejected locally)",
+                          state_, operation);
+    }
+  }
+
+  wire::Value result = channel_->call(*op, std::move(args));
+  ++invocations_;
+  if (transition != nullptr) {
+    state_ = transition->to;
+  } else if (!options_.enforce_fsm && sid_->fsm && fsm_restricted(operation)) {
+    // Even without enforcement the client mirrors the server's state so a
+    // later re-enable starts from the right state.
+    if (const auto* tr = sid_->fsm->find(state_, operation)) state_ = tr->to;
+  }
+  return result;
+}
+
+uims::ServiceForm Binding::form() const { return uims::generate_form(*sid_); }
+
+uims::FormEditor Binding::edit(const std::string& operation) const {
+  return uims::FormEditor(sid_, operation);
+}
+
+wire::Value Binding::invoke_form(const uims::FormEditor& editor) {
+  return invoke(editor.operation().name, editor.arguments());
+}
+
+GenericClient::GenericClient(rpc::Network& network, GenericClientOptions options)
+    : network_(network), options_(options) {}
+
+Binding GenericClient::bind(const sidl::ServiceRef& ref) {
+  if (!ref.valid()) throw ContractError("cannot bind an invalid reference");
+  auto channel = std::make_unique<rpc::RpcChannel>(
+      network_, ref, rpc::ChannelOptions{options_.timeout});
+  sidl::SidPtr sid = channel->fetch_sid();  // SID transfer, Fig. 3
+  sidl::ensure_valid(*sid);
+  ++bindings_;
+  return Binding(std::move(channel), std::move(sid), options_);
+}
+
+}  // namespace cosm::core

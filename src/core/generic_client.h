@@ -1,0 +1,119 @@
+// The Generic Client — the paper's central mechanism (§3.2).
+//
+// A generic client binds to *arbitrary* services knowing nothing about them
+// at compile time.  On bind it transfers the service's SID (Fig. 3), then:
+//   * generates the user interface from the SID (src/uims),
+//   * marshals parameters dynamically against the transferred signature,
+//   * tracks the communication state of the session and rejects invocations
+//     the service's FSM does not allow *locally*, before any RPC (§4.2),
+//   * treats service references in results as first-class: binding to them
+//     yields further Bindings — the Fig. 4 cascade.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/channel.h"
+#include "rpc/network.h"
+#include "sidl/service_ref.h"
+#include "sidl/sid.h"
+#include "uims/editor.h"
+#include "uims/form.h"
+#include "wire/value.h"
+
+namespace cosm::core {
+
+struct GenericClientOptions {
+  /// Local FSM enforcement (§4.2).  Benchmark C4 turns this off to measure
+  /// the cost of server-side-only rejection.
+  bool enforce_fsm = true;
+  std::chrono::milliseconds timeout{5000};
+};
+
+class GenericClient;
+
+/// A live binding to one service: channel + transferred SID + session FSM
+/// state.  Move-only.
+class Binding {
+ public:
+  Binding(Binding&&) noexcept = default;
+  Binding& operator=(Binding&&) noexcept = default;
+  Binding(const Binding&) = delete;
+  Binding& operator=(const Binding&) = delete;
+
+  const sidl::SidPtr& sid() const noexcept { return sid_; }
+  const sidl::ServiceRef& ref() const noexcept { return channel_->ref(); }
+
+  /// Current communication state ("" when the service has no FSM).
+  const std::string& state() const noexcept { return state_; }
+
+  /// Operations the FSM allows in the current state (all operations when
+  /// the service has no FSM).
+  std::vector<std::string> allowed_operations() const;
+
+  /// Would invoke(op) pass the local protocol check right now?
+  bool allowed(const std::string& operation) const;
+
+  /// Invoke an operation with dynamically marshalled arguments.  Throws
+  /// cosm::ProtocolError on a local FSM rejection (no RPC issued),
+  /// cosm::NotFound for unknown operations, cosm::TypeError for
+  /// non-conforming arguments, cosm::RemoteFault for server errors.
+  wire::Value invoke(const std::string& operation, std::vector<wire::Value> args);
+
+  /// The generated user interface for the whole service (Fig. 7).
+  uims::ServiceForm form() const;
+
+  /// A typed form editor for one operation.
+  uims::FormEditor edit(const std::string& operation) const;
+
+  /// Invoke using the editor's captured argument values.
+  wire::Value invoke_form(const uims::FormEditor& editor);
+
+  /// Local FSM rejections on this binding (instrumentation for C4).
+  std::uint64_t local_rejections() const noexcept { return rejections_; }
+  std::uint64_t invocations() const noexcept { return invocations_; }
+
+ private:
+  friend class GenericClient;
+  Binding(std::unique_ptr<rpc::RpcChannel> channel, sidl::SidPtr sid,
+          GenericClientOptions options);
+
+  bool fsm_restricted(const std::string& operation) const;
+
+  std::unique_ptr<rpc::RpcChannel> channel_;
+  sidl::SidPtr sid_;
+  GenericClientOptions options_;
+  std::string state_;
+  std::uint64_t rejections_ = 0;
+  std::uint64_t invocations_ = 0;
+};
+
+class GenericClient {
+ public:
+  explicit GenericClient(rpc::Network& network, GenericClientOptions options = {});
+
+  /// Bind to a service by reference: opens a channel, transfers the SID,
+  /// initialises the session's communication state.
+  Binding bind(const sidl::ServiceRef& ref);
+
+  /// Bind to a reference received inside a result value (Fig. 4: "a further
+  /// binding can be effected out of the user interface based on this
+  /// service reference").
+  Binding bind(const wire::Value& ref_value) { return bind(ref_value.as_ref()); }
+
+  std::uint64_t bindings_established() const noexcept { return bindings_; }
+
+  rpc::Network& network() noexcept { return network_; }
+  const GenericClientOptions& options() const noexcept { return options_; }
+
+ private:
+  rpc::Network& network_;
+  GenericClientOptions options_;
+  std::uint64_t bindings_ = 0;
+};
+
+}  // namespace cosm::core

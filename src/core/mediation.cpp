@@ -1,0 +1,111 @@
+#include "core/mediation.h"
+
+#include "common/error.h"
+
+namespace cosm::core {
+
+namespace {
+
+std::vector<BrowseItem> items_from(const wire::Value& entries) {
+  std::vector<BrowseItem> items;
+  items.reserve(entries.elements().size());
+  for (const wire::Value& e : entries.elements()) {
+    items.push_back({e.at("name").as_string(), e.at("ref").as_ref()});
+  }
+  return items;
+}
+
+}  // namespace
+
+MediationSession::MediationSession(GenericClient& client,
+                                   const sidl::ServiceRef& browser_ref)
+    : MediationSession(client, browser_ref, 0) {}
+
+MediationSession::MediationSession(GenericClient& client,
+                                   const sidl::ServiceRef& browser_ref,
+                                   std::size_t depth)
+    : client_(client), browser_(client.bind(browser_ref)), depth_(depth) {
+  // A mediation session only makes sense against something browser-shaped.
+  if (browser_.sid()->find_operation("List") == nullptr ||
+      browser_.sid()->find_operation("Describe") == nullptr) {
+    throw TypeError("service '" + browser_.sid()->name +
+                    "' does not offer a browsing interface");
+  }
+}
+
+std::vector<BrowseItem> MediationSession::browse() {
+  return items_from(browser_.invoke("List", {}));
+}
+
+std::vector<BrowseItem> MediationSession::search(const std::string& keyword) {
+  return items_from(browser_.invoke("Search", {wire::Value::string(keyword)}));
+}
+
+sidl::SidPtr MediationSession::describe(const std::string& entry_name) {
+  return browser_.invoke("Describe", {wire::Value::string(entry_name)}).as_sid();
+}
+
+sidl::ServiceRef MediationSession::find_ref(const std::string& entry_name) {
+  for (const auto& item : browse()) {
+    if (item.name == entry_name) return item.ref;
+  }
+  throw NotFound("no browser entry named '" + entry_name + "'");
+}
+
+Binding MediationSession::select(const std::string& entry_name) {
+  return client_.bind(find_ref(entry_name));
+}
+
+MediationSession MediationSession::enter(const std::string& entry_name) {
+  return MediationSession(client_, find_ref(entry_name), depth_ + 1);
+}
+
+namespace {
+
+/// Browser-shaped = offers the browsing operations a session needs.
+bool browser_shaped(const sidl::Sid& sid) {
+  return sid.find_operation("List") != nullptr &&
+         sid.find_operation("Describe") != nullptr &&
+         sid.find_operation("Search") != nullptr;
+}
+
+}  // namespace
+
+void MediationSession::deep_search_into(const std::string& keyword,
+                                        std::size_t remaining_depth,
+                                        const std::string& prefix,
+                                        std::set<std::string>& visited,
+                                        std::vector<DeepHit>& hits) {
+  for (const auto& item : search(keyword)) {
+    hits.push_back({prefix + item.name, item.ref});
+  }
+  if (remaining_depth == 0) return;
+  for (const auto& item : browse()) {
+    if (!visited.insert(item.ref.id).second) continue;  // cycle / revisit
+    sidl::SidPtr entry_sid;
+    try {
+      entry_sid = describe(item.name);
+    } catch (const Error&) {
+      continue;  // entry vanished between browse and describe
+    }
+    if (!browser_shaped(*entry_sid)) continue;
+    try {
+      MediationSession nested(client_, item.ref, depth_ + 1);
+      nested.deep_search_into(keyword, remaining_depth - 1,
+                              prefix + item.name + "/", visited, hits);
+    } catch (const Error&) {
+      // Unreachable cascaded browser: skip its subtree.
+    }
+  }
+}
+
+std::vector<DeepHit> MediationSession::deep_search(const std::string& keyword,
+                                                   std::size_t max_depth) {
+  std::vector<DeepHit> hits;
+  std::set<std::string> visited;
+  visited.insert(browser_.ref().id);
+  deep_search_into(keyword, max_depth, "", visited, hits);
+  return hits;
+}
+
+}  // namespace cosm::core

@@ -1,0 +1,84 @@
+// Mediation sessions: the browse -> select -> bind -> interact loop of
+// Fig. 4, driven programmatically.
+//
+// The paper puts a human in this loop; experiments need a deterministic
+// stand-in.  A MediationSession wraps a binding to a browser and exposes
+// the user-level actions: list entries, search, descend into a cascaded
+// browser, and bind to an application service.  Every action goes through
+// the generic client — the session has no compiled-in knowledge of any
+// service it touches.
+
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/generic_client.h"
+#include "sidl/service_ref.h"
+
+namespace cosm::core {
+
+/// One row of a browse result as the user sees it.
+struct BrowseItem {
+  std::string name;
+  sidl::ServiceRef ref;
+};
+
+/// A deep-search hit: the slash-separated path of browser entries leading
+/// to the service, and its reference.
+struct DeepHit {
+  std::string path;  // e.g. "Financial/TickerService"
+  sidl::ServiceRef ref;
+};
+
+class MediationSession {
+ public:
+  /// Open a session against a browser reference.
+  MediationSession(GenericClient& client, const sidl::ServiceRef& browser_ref);
+
+  /// Fig. 4 step 2: list the browser's entries.
+  std::vector<BrowseItem> browse();
+
+  /// Keyword search (annotations, names, operations).
+  std::vector<BrowseItem> search(const std::string& keyword);
+
+  /// Recursive keyword search across the browser cascade: hits from this
+  /// browser plus, up to `max_depth` levels down, from every entry that is
+  /// itself browser-shaped.  Cycles (browsers registered at each other) are
+  /// broken by tracking visited browser references.
+  std::vector<DeepHit> deep_search(const std::string& keyword,
+                                   std::size_t max_depth = 4);
+
+  /// Fetch the SID of an entry without binding (reading the description).
+  sidl::SidPtr describe(const std::string& entry_name);
+
+  /// Fig. 4 step 3: bind to the selected entry's service.
+  Binding select(const std::string& entry_name);
+
+  /// Descend into a cascaded browser entry: a new session against the
+  /// browser registered under `entry_name`.  The cascade depth is tracked
+  /// across descents.
+  MediationSession enter(const std::string& entry_name);
+
+  /// How many browser hops this session is below the root (0 = root).
+  std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  MediationSession(GenericClient& client, const sidl::ServiceRef& browser_ref,
+                   std::size_t depth);
+
+  sidl::ServiceRef find_ref(const std::string& entry_name);
+
+  void deep_search_into(const std::string& keyword, std::size_t remaining_depth,
+                        const std::string& prefix,
+                        std::set<std::string>& visited,
+                        std::vector<DeepHit>& hits);
+
+  GenericClient& client_;
+  Binding browser_;
+  std::size_t depth_;
+};
+
+}  // namespace cosm::core

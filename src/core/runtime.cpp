@@ -1,0 +1,71 @@
+#include "core/runtime.h"
+
+#include "rpc/activity_facade.h"
+#include "rpc/channel.h"
+#include "trader/sid_export.h"
+
+namespace cosm::core {
+
+CosmRuntime::CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options)
+    : network_(network),
+      trader_("trader"),
+      browser_("browser"),
+      server_(network, "cosm", server_options),
+      binder_(network),
+      activities_(network) {
+  trader_ref_ = server_.add(trader::make_trader_service(trader_));
+  browser_ref_ = server_.add(make_browser_service(browser_));
+  names_ref_ = server_.add(naming::make_name_server_service(names_));
+  repository_ref_ = server_.add(naming::make_interface_repository_service(repository_));
+  groups_ref_ = server_.add(naming::make_group_manager_service(groups_));
+  activities_ref_ = server_.add(rpc::make_activity_manager_service(activities_));
+
+  names_.bind_name(WellKnownNames::kTrader, trader_ref_);
+  names_.bind_name(WellKnownNames::kBrowser, browser_ref_);
+  names_.bind_name(WellKnownNames::kNameServer, names_ref_);
+  names_.bind_name(WellKnownNames::kRepository, repository_ref_);
+  names_.bind_name(WellKnownNames::kGroupManager, groups_ref_);
+  names_.bind_name(WellKnownNames::kActivityManager, activities_ref_);
+
+  // ODP dynamic properties: the trader evaluates them by invoking the named
+  // operation on the exporter over this runtime's network.
+  trader_.set_dynamic_fetcher(
+      [this](const sidl::ServiceRef& exporter, const std::string& operation) {
+        rpc::RpcChannel channel(network_, exporter);
+        return channel.call(operation, {});
+      });
+
+  // The infrastructure's own SIDs live in the repository like everyone
+  // else's.
+  repository_.put(trader_ref_.id, server_.find(trader_ref_.id)->sid());
+  repository_.put(browser_ref_.id, server_.find(browser_ref_.id)->sid());
+  repository_.put(names_ref_.id, server_.find(names_ref_.id)->sid());
+  repository_.put(repository_ref_.id, server_.find(repository_ref_.id)->sid());
+  repository_.put(groups_ref_.id, server_.find(groups_ref_.id)->sid());
+  repository_.put(activities_ref_.id, server_.find(activities_ref_.id)->sid());
+}
+
+sidl::ServiceRef CosmRuntime::host(rpc::ServiceObjectPtr object) {
+  sidl::SidPtr sid = object->sid();
+  sidl::ServiceRef ref = server_.add(std::move(object));
+  repository_.put(ref.id, std::move(sid));
+  return ref;
+}
+
+sidl::ServiceRef CosmRuntime::offer_mediated(const std::string& entry_name,
+                                             rpc::ServiceObjectPtr object) {
+  sidl::SidPtr sid = object->sid();
+  sidl::ServiceRef ref = host(std::move(object));
+  browser_.register_service(entry_name, std::move(sid), ref);
+  return ref;
+}
+
+std::pair<sidl::ServiceRef, std::string> CosmRuntime::offer_traded(
+    rpc::ServiceObjectPtr object) {
+  sidl::SidPtr sid = object->sid();
+  sidl::ServiceRef ref = host(std::move(object));
+  std::string offer_id = trader::export_sid_offer(trader_, *sid, ref);
+  return {ref, offer_id};
+}
+
+}  // namespace cosm::core

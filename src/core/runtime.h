@@ -1,0 +1,108 @@
+// CosmRuntime: the assembled Fig. 6 stack in one object.
+//
+// Wires the Communication Level (a Network), the Service Support Level
+// (name server, interface manager, group manager, binder), the Controlling
+// Level (ODP trader) and the mediation components (browser) behind one RPC
+// server, binds them under well-known names, and offers the two
+// registration paths the paper integrates:
+//   * offer_mediated(...)  — register the SID at the browser (Fig. 4),
+//   * offer_traded(...)    — export to the trader from the SID's
+//     COSM_TraderExport module (§4.1),
+// plus host(...) for bare hosting.  Examples, tests and benchmarks build on
+// this instead of re-wiring the stack by hand.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/browser.h"
+#include "core/generic_client.h"
+#include "naming/binder.h"
+#include "naming/facades.h"
+#include "naming/group_manager.h"
+#include "naming/interface_repository.h"
+#include "naming/name_server.h"
+#include "rpc/activity.h"
+#include "rpc/network.h"
+#include "rpc/server.h"
+#include "trader/facade.h"
+#include "trader/trader.h"
+
+namespace cosm::core {
+
+/// Well-known name-server paths of the infrastructure services.
+struct WellKnownNames {
+  static constexpr const char* kTrader = "cosm/trader";
+  static constexpr const char* kBrowser = "cosm/browser";
+  static constexpr const char* kNameServer = "cosm/names";
+  static constexpr const char* kRepository = "cosm/repository";
+  static constexpr const char* kGroupManager = "cosm/groups";
+  static constexpr const char* kActivityManager = "cosm/activities";
+};
+
+class CosmRuntime {
+ public:
+  /// Assemble the stack on a network the caller owns.
+  explicit CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options = {});
+
+  // --- local access to the components ---
+  naming::NameServer& names() noexcept { return names_; }
+  naming::GroupManager& groups() noexcept { return groups_; }
+  naming::InterfaceRepository& repository() noexcept { return repository_; }
+  naming::Binder& binder() noexcept { return binder_; }
+  rpc::ActivityManager& activities() noexcept { return activities_; }
+  trader::Trader& trader() noexcept { return trader_; }
+  ServiceBrowser& browser() noexcept { return browser_; }
+  rpc::RpcServer& server() noexcept { return server_; }
+  rpc::Network& network() noexcept { return network_; }
+
+  // --- well-known references ---
+  const sidl::ServiceRef& trader_ref() const noexcept { return trader_ref_; }
+  const sidl::ServiceRef& browser_ref() const noexcept { return browser_ref_; }
+  const sidl::ServiceRef& name_server_ref() const noexcept { return names_ref_; }
+  const sidl::ServiceRef& repository_ref() const noexcept { return repository_ref_; }
+  const sidl::ServiceRef& group_manager_ref() const noexcept { return groups_ref_; }
+  const sidl::ServiceRef& activity_manager_ref() const noexcept {
+    return activities_ref_;
+  }
+
+  /// Host a service (no registration anywhere): it becomes reachable and
+  /// its SID is stored in the interface repository.
+  sidl::ServiceRef host(rpc::ServiceObjectPtr object);
+
+  /// Mediation path: host + register at the browser under `entry_name`.
+  sidl::ServiceRef offer_mediated(const std::string& entry_name,
+                                  rpc::ServiceObjectPtr object);
+
+  /// Trading path (§4.1): host + export to the trader using the SID's
+  /// COSM_TraderExport module.  Returns (reference, offer id).  Throws
+  /// cosm::NotFound when the SID lacks the extension.
+  std::pair<sidl::ServiceRef, std::string> offer_traded(rpc::ServiceObjectPtr object);
+
+  /// A generic client on this runtime's network.
+  GenericClient make_client(GenericClientOptions options = {}) {
+    return GenericClient(network_, options);
+  }
+
+ private:
+  rpc::Network& network_;
+  naming::NameServer names_;
+  naming::GroupManager groups_;
+  naming::InterfaceRepository repository_;
+  trader::Trader trader_;
+  ServiceBrowser browser_;
+  rpc::RpcServer server_;
+  naming::Binder binder_;
+  rpc::ActivityManager activities_;
+
+  sidl::ServiceRef trader_ref_;
+  sidl::ServiceRef browser_ref_;
+  sidl::ServiceRef names_ref_;
+  sidl::ServiceRef repository_ref_;
+  sidl::ServiceRef groups_ref_;
+  sidl::ServiceRef activities_ref_;
+};
+
+}  // namespace cosm::core

@@ -1,0 +1,24 @@
+#include "naming/binder.h"
+
+#include "common/error.h"
+
+namespace cosm::naming {
+
+BoundService Binder::bind(const sidl::ServiceRef& ref) {
+  if (!ref.valid()) throw ContractError("cannot bind an invalid reference");
+  BoundService bound;
+  bound.channel = std::make_unique<rpc::RpcChannel>(
+      network_, ref, rpc::ChannelOptions{options_.timeout});
+  if (options_.probe_on_bind) {
+    bound.sid = bound.channel->fetch_sid();
+    if (!ref.interface_name.empty() && bound.sid->name != ref.interface_name) {
+      throw TypeError("reference '" + ref.id + "' claims interface '" +
+                      ref.interface_name + "' but the server speaks '" +
+                      bound.sid->name + "'");
+    }
+  }
+  ++bindings_;
+  return bound;
+}
+
+}  // namespace cosm::naming

@@ -1,0 +1,51 @@
+// Binder (Fig. 6, Service Support Level).
+//
+// Turns a service reference into a live, usable channel — the "binding
+// establishment" of Fig. 1 steps 4–5 and Fig. 4 step 3.  With probing
+// enabled the binder performs the SID handshake on bind, verifying the
+// server is alive and actually speaks the interface the reference claims.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "rpc/channel.h"
+#include "rpc/network.h"
+#include "sidl/service_ref.h"
+
+namespace cosm::naming {
+
+struct BinderOptions {
+  /// Fetch the SID on bind to verify liveness + interface identity.
+  bool probe_on_bind = true;
+  std::chrono::milliseconds timeout{5000};
+};
+
+/// The result of a successful binding: the channel, plus the SID when the
+/// binder probed for it.
+struct BoundService {
+  std::unique_ptr<rpc::RpcChannel> channel;
+  sidl::SidPtr sid;  // null when probing is disabled
+};
+
+class Binder {
+ public:
+  explicit Binder(rpc::Network& network, BinderOptions options = {})
+      : network_(network), options_(options) {}
+
+  /// Establish a binding.  Throws cosm::RpcError when the endpoint is
+  /// unreachable and cosm::TypeError when a probed SID's name contradicts
+  /// the reference's interface name (a stale or forged reference).
+  BoundService bind(const sidl::ServiceRef& ref);
+
+  std::uint64_t bindings_established() const noexcept { return bindings_; }
+
+ private:
+  rpc::Network& network_;
+  BinderOptions options_;
+  std::uint64_t bindings_ = 0;
+};
+
+}  // namespace cosm::naming

@@ -1,0 +1,159 @@
+#include "naming/facades.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::naming {
+
+namespace {
+
+using rpc::ServiceObject;
+using rpc::ServiceObjectPtr;
+using wire::Value;
+
+sidl::SidPtr parse_shared(const std::string& text) {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(text));
+}
+
+}  // namespace
+
+const std::string& name_server_sidl() {
+  static const std::string text = R"(
+module NameServerService {
+  typedef struct { string name; ServiceReference ref; } Binding_t;
+  interface COSM_Operations {
+    void BindName([in] string name, [in] ServiceReference ref);
+    void UnbindName([in] string name);
+    ServiceReference Resolve([in] string name);
+    sequence<Binding_t> List([in] string prefix);
+  };
+  module COSM_Annotations {
+    annotate NameServerService "Maps hierarchical names to service references";
+    annotate BindName "Bind or rebind a name to a service reference";
+    annotate UnbindName "Remove a name binding";
+    annotate Resolve "Look up the reference bound to a name";
+    annotate List "Enumerate bindings under a name prefix";
+  };
+};
+)";
+  return text;
+}
+
+const std::string& group_manager_sidl() {
+  static const std::string text = R"(
+module GroupManagerService {
+  interface COSM_Operations {
+    void Join([in] string group, [in] ServiceReference member);
+    void Leave([in] string group, [in] ServiceReference member);
+    sequence<ServiceReference> Members([in] string group);
+    sequence<string> Groups();
+  };
+  module COSM_Annotations {
+    annotate GroupManagerService "Maintains named multicast groups of services";
+  };
+};
+)";
+  return text;
+}
+
+const std::string& interface_repository_sidl() {
+  static const std::string text = R"(
+module InterfaceRepositoryService {
+  interface COSM_Operations {
+    void Put([in] string id, [in] SID description);
+    SID Get([in] string id);
+    sequence<string> Ids();
+    sequence<string> ConformingTo([in] SID base);
+  };
+  module COSM_Annotations {
+    annotate InterfaceRepositoryService "Stores and serves service interface descriptions";
+    annotate Put "Store a new version of a service's interface description";
+    annotate Get "Fetch the latest interface description of a service";
+    annotate ConformingTo "List services structurally conforming to a base description";
+  };
+};
+)";
+  return text;
+}
+
+ServiceObjectPtr make_name_server_service(NameServer& ns) {
+  auto object = std::make_shared<ServiceObject>(parse_shared(name_server_sidl()));
+
+  object->on("BindName", [&ns](const std::vector<Value>& args) {
+    ns.bind_name(args.at(0).as_string(), args.at(1).as_ref());
+    return Value::null();
+  });
+  object->on("UnbindName", [&ns](const std::vector<Value>& args) {
+    ns.unbind_name(args.at(0).as_string());
+    return Value::null();
+  });
+  object->on("Resolve", [&ns](const std::vector<Value>& args) {
+    return Value::service_ref(ns.resolve(args.at(0).as_string()));
+  });
+  object->on("List", [&ns](const std::vector<Value>& args) {
+    std::vector<Value> out;
+    for (auto& [name, ref] : ns.list(args.at(0).as_string())) {
+      out.push_back(Value::structure(
+          "Binding_t",
+          {{"name", Value::string(name)}, {"ref", Value::service_ref(ref)}}));
+    }
+    return Value::sequence(std::move(out));
+  });
+  return object;
+}
+
+ServiceObjectPtr make_group_manager_service(GroupManager& gm) {
+  auto object = std::make_shared<ServiceObject>(parse_shared(group_manager_sidl()));
+
+  object->on("Join", [&gm](const std::vector<Value>& args) {
+    gm.join(args.at(0).as_string(), args.at(1).as_ref());
+    return Value::null();
+  });
+  object->on("Leave", [&gm](const std::vector<Value>& args) {
+    gm.leave(args.at(0).as_string(), args.at(1).as_ref());
+    return Value::null();
+  });
+  object->on("Members", [&gm](const std::vector<Value>& args) {
+    std::vector<Value> out;
+    for (auto& member : gm.members(args.at(0).as_string())) {
+      out.push_back(Value::service_ref(member));
+    }
+    return Value::sequence(std::move(out));
+  });
+  object->on("Groups", [&gm](const std::vector<Value>&) {
+    std::vector<Value> out;
+    for (auto& name : gm.groups()) out.push_back(Value::string(name));
+    return Value::sequence(std::move(out));
+  });
+  return object;
+}
+
+ServiceObjectPtr make_interface_repository_service(InterfaceRepository& repo) {
+  auto object =
+      std::make_shared<ServiceObject>(parse_shared(interface_repository_sidl()));
+
+  object->on("Put", [&repo](const std::vector<Value>& args) {
+    repo.put(args.at(0).as_string(), args.at(1).as_sid());
+    return Value::null();
+  });
+  object->on("Get", [&repo](const std::vector<Value>& args) {
+    return Value::sid(repo.get(args.at(0).as_string()));
+  });
+  object->on("Ids", [&repo](const std::vector<Value>&) {
+    std::vector<Value> out;
+    for (auto& id : repo.ids()) out.push_back(Value::string(id));
+    return Value::sequence(std::move(out));
+  });
+  object->on("ConformingTo", [&repo](const std::vector<Value>& args) {
+    std::vector<Value> out;
+    for (auto& id : repo.conforming_to(*args.at(0).as_sid())) {
+      out.push_back(Value::string(id));
+    }
+    return Value::sequence(std::move(out));
+  });
+  return object;
+}
+
+}  // namespace cosm::naming

@@ -1,0 +1,33 @@
+// RPC facades for the Service Support Level components.
+//
+// Each facade wraps a local component in a ServiceObject whose interface is
+// itself described in SIDL — the support infrastructure eats its own dog
+// food, so a generic client can browse and drive the name server exactly
+// like any application service (§3.2: "the browser may also act as an
+// application service as well").
+
+#pragma once
+
+#include "naming/group_manager.h"
+#include "naming/interface_repository.h"
+#include "naming/name_server.h"
+#include "rpc/service_object.h"
+
+namespace cosm::naming {
+
+/// SIDL text of each facade's interface (exposed for tests and docs).
+const std::string& name_server_sidl();
+const std::string& group_manager_sidl();
+const std::string& interface_repository_sidl();
+
+/// Wrap a NameServer.  The facade holds a reference; the component must
+/// outlive the returned object.
+rpc::ServiceObjectPtr make_name_server_service(NameServer& ns);
+
+/// Wrap a GroupManager.
+rpc::ServiceObjectPtr make_group_manager_service(GroupManager& gm);
+
+/// Wrap an InterfaceRepository.
+rpc::ServiceObjectPtr make_interface_repository_service(InterfaceRepository& repo);
+
+}  // namespace cosm::naming

@@ -1,0 +1,52 @@
+#include "naming/group_manager.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosm::naming {
+
+void GroupManager::join(const std::string& group, const sidl::ServiceRef& member) {
+  if (group.empty()) throw ContractError("group name must not be empty");
+  if (!member.valid()) throw ContractError("cannot join with an invalid reference");
+  std::lock_guard lock(mutex_);
+  auto& members = groups_[group];
+  if (std::find(members.begin(), members.end(), member) == members.end()) {
+    members.push_back(member);
+  }
+}
+
+void GroupManager::leave(const std::string& group, const sidl::ServiceRef& member) {
+  std::lock_guard lock(mutex_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) throw NotFound("unknown group '" + group + "'");
+  auto& members = it->second;
+  auto mit = std::find(members.begin(), members.end(), member);
+  if (mit == members.end()) {
+    throw NotFound("reference '" + member.id + "' is not a member of '" + group + "'");
+  }
+  members.erase(mit);
+  if (members.empty()) groups_.erase(it);
+}
+
+std::vector<sidl::ServiceRef> GroupManager::members(const std::string& group) const {
+  std::lock_guard lock(mutex_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? std::vector<sidl::ServiceRef>{} : it->second;
+}
+
+std::vector<std::string> GroupManager::groups() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& [name, members] : groups_) names.push_back(name);
+  return names;
+}
+
+std::size_t GroupManager::size(const std::string& group) const {
+  std::lock_guard lock(mutex_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+}  // namespace cosm::naming

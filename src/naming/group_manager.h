@@ -1,0 +1,39 @@
+// Group manager (Fig. 6, Service Support Level).
+//
+// Maintains named multicast groups of service references; the multicast
+// primitives in src/rpc deliver to a group's member list.  Trader
+// federations are one client: each federated trader joins a scope group.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sidl/service_ref.h"
+
+namespace cosm::naming {
+
+class GroupManager {
+ public:
+  /// Add a member; joining twice is a no-op.
+  void join(const std::string& group, const sidl::ServiceRef& member);
+
+  /// Remove a member; throws cosm::NotFound when not a member.
+  void leave(const std::string& group, const sidl::ServiceRef& member);
+
+  /// Member list in join order; empty for unknown groups.
+  std::vector<sidl::ServiceRef> members(const std::string& group) const;
+
+  /// All group names, sorted.
+  std::vector<std::string> groups() const;
+
+  std::size_t size(const std::string& group) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<sidl::ServiceRef>> groups_;
+};
+
+}  // namespace cosm::naming

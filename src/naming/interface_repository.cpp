@@ -1,0 +1,69 @@
+#include "naming/interface_repository.h"
+
+#include "common/error.h"
+#include "sidl/validate.h"
+
+namespace cosm::naming {
+
+void InterfaceRepository::put(const std::string& service_id, sidl::SidPtr sid) {
+  if (service_id.empty()) throw ContractError("service id must not be empty");
+  if (!sid) throw ContractError("cannot store a null SID");
+  sidl::ensure_valid(*sid);
+  std::lock_guard lock(mutex_);
+  versions_[service_id].push_back(std::move(sid));
+}
+
+sidl::SidPtr InterfaceRepository::get(const std::string& service_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = versions_.find(service_id);
+  if (it == versions_.end() || it->second.empty()) {
+    throw NotFound("no SID stored for service '" + service_id + "'");
+  }
+  return it->second.back();
+}
+
+bool InterfaceRepository::has(const std::string& service_id) const {
+  std::lock_guard lock(mutex_);
+  return versions_.count(service_id) > 0;
+}
+
+std::vector<sidl::SidPtr> InterfaceRepository::history(
+    const std::string& service_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = versions_.find(service_id);
+  return it == versions_.end() ? std::vector<sidl::SidPtr>{} : it->second;
+}
+
+void InterfaceRepository::remove(const std::string& service_id) {
+  std::lock_guard lock(mutex_);
+  if (versions_.erase(service_id) == 0) {
+    throw NotFound("no SID stored for service '" + service_id + "'");
+  }
+}
+
+std::vector<std::string> InterfaceRepository::ids() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(versions_.size());
+  for (const auto& [id, sids] : versions_) out.push_back(id);
+  return out;
+}
+
+std::vector<std::string> InterfaceRepository::conforming_to(
+    const sidl::Sid& base) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [id, sids] : versions_) {
+    if (!sids.empty() && sidl::conforms_to(*sids.back(), base)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::size_t InterfaceRepository::size() const {
+  std::lock_guard lock(mutex_);
+  return versions_.size();
+}
+
+}  // namespace cosm::naming

@@ -1,0 +1,51 @@
+// Interface repository ("Interface Manager" in Fig. 6).
+//
+// Stores SIDs by service id, keeps version history (a service may extend its
+// SID over time — the §4.1 maturation path adds a COSM_TraderExport module
+// to an already-registered description), and answers structural queries:
+// "which registered services conform to this base SID?" — the question a
+// generic component asks before treating an unknown service as a browser,
+// trader, etc.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sidl/sid.h"
+
+namespace cosm::naming {
+
+class InterfaceRepository {
+ public:
+  /// Store a (new version of a) service's SID.
+  void put(const std::string& service_id, sidl::SidPtr sid);
+
+  /// Latest SID; throws cosm::NotFound.
+  sidl::SidPtr get(const std::string& service_id) const;
+
+  bool has(const std::string& service_id) const;
+
+  /// All stored versions, oldest first; empty when unknown.
+  std::vector<sidl::SidPtr> history(const std::string& service_id) const;
+
+  /// Remove every version; throws cosm::NotFound when unknown.
+  void remove(const std::string& service_id);
+
+  /// All known service ids, sorted.
+  std::vector<std::string> ids() const;
+
+  /// Ids of services whose latest SID conforms to `base` (Fig. 2 subtype
+  /// query).
+  std::vector<std::string> conforming_to(const sidl::Sid& base) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<sidl::SidPtr>> versions_;
+};
+
+}  // namespace cosm::naming

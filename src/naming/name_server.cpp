@@ -1,0 +1,51 @@
+#include "naming/name_server.h"
+
+#include "common/error.h"
+
+namespace cosm::naming {
+
+void NameServer::bind_name(const std::string& path, sidl::ServiceRef ref) {
+  if (path.empty()) throw ContractError("name path must not be empty");
+  if (!ref.valid()) throw ContractError("cannot bind an invalid reference");
+  std::lock_guard lock(mutex_);
+  bindings_[path] = std::move(ref);
+}
+
+void NameServer::unbind_name(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (bindings_.erase(path) == 0) {
+    throw NotFound("name '" + path + "' is not bound");
+  }
+}
+
+sidl::ServiceRef NameServer::resolve(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  auto it = bindings_.find(path);
+  if (it == bindings_.end()) {
+    throw NotFound("name '" + path + "' is not bound");
+  }
+  return it->second;
+}
+
+bool NameServer::has(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  return bindings_.count(path) > 0;
+}
+
+std::vector<std::pair<std::string, sidl::ServiceRef>> NameServer::list(
+    const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, sidl::ServiceRef>> out;
+  for (auto it = bindings_.lower_bound(prefix); it != bindings_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::size_t NameServer::size() const {
+  std::lock_guard lock(mutex_);
+  return bindings_.size();
+}
+
+}  // namespace cosm::naming

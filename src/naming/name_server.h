@@ -1,0 +1,45 @@
+// Name server (Fig. 6, Service Support Level).
+//
+// Maps hierarchical path names ("market/rental/hamburg") to service
+// references.  Name binding is orthogonal to trading and mediation: names
+// locate *well-known* infrastructure (the browser, the trader, the
+// repository), while offers and SIDs describe the open service population.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sidl/service_ref.h"
+
+namespace cosm::naming {
+
+class NameServer {
+ public:
+  /// Bind or rebind a name.  Path segments are separated by '/'.
+  void bind_name(const std::string& path, sidl::ServiceRef ref);
+
+  /// Remove a binding; throws cosm::NotFound when the name is unbound.
+  void unbind_name(const std::string& path);
+
+  /// Resolve a name; throws cosm::NotFound when unbound.
+  sidl::ServiceRef resolve(const std::string& path) const;
+
+  bool has(const std::string& path) const;
+
+  /// All bindings under a prefix (inclusive), sorted by name.  An empty
+  /// prefix lists everything.
+  std::vector<std::pair<std::string, sidl::ServiceRef>> list(
+      const std::string& prefix) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, sidl::ServiceRef> bindings_;
+};
+
+}  // namespace cosm::naming

@@ -1,0 +1,101 @@
+#include "naming/persistence.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+#include "sidl/printer.h"
+#include "sidl/validate.h"
+
+namespace cosm::naming {
+
+namespace fs = std::filesystem;
+
+std::string encode_service_id(const std::string& id) {
+  std::ostringstream os;
+  for (unsigned char c : id) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.') {
+      os << c;
+    } else {
+      os << '%' << "0123456789ABCDEF"[c >> 4] << "0123456789ABCDEF"[c & 0xF];
+    }
+  }
+  return os.str();
+}
+
+std::string decode_service_id(const std::string& stem) {
+  std::string out;
+  for (std::size_t i = 0; i < stem.size(); ++i) {
+    if (stem[i] == '%' && i + 2 < stem.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      int hi = hex(stem[i + 1]), lo = hex(stem[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(stem[i]);
+  }
+  return out;
+}
+
+std::size_t save_repository(const InterfaceRepository& repo,
+                            const fs::path& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    throw Error("cannot create directory '" + directory.string() +
+                "': " + ec.message());
+  }
+  std::size_t written = 0;
+  for (const auto& id : repo.ids()) {
+    sidl::SidPtr sid = repo.get(id);
+    fs::path file = directory / (encode_service_id(id) + ".sidl");
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot write '" + file.string() + "'");
+    out << sidl::print_sid(*sid);
+    if (!out.good()) throw Error("write failed for '" + file.string() + "'");
+    ++written;
+  }
+  return written;
+}
+
+std::size_t load_repository(InterfaceRepository& repo, const fs::path& directory,
+                            std::vector<std::string>* errors) {
+  if (!fs::is_directory(directory)) {
+    throw Error("'" + directory.string() + "' is not a directory");
+  }
+  std::size_t loaded = 0;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".sidl") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic load order
+  for (const auto& file : files) {
+    try {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) throw Error("cannot read '" + file.string() + "'");
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(buffer.str()));
+      repo.put(decode_service_id(file.stem().string()), std::move(sid));
+      ++loaded;
+    } catch (const Error& e) {
+      if (errors) errors->push_back(file.filename().string() + ": " + e.what());
+    }
+  }
+  return loaded;
+}
+
+}  // namespace cosm::naming

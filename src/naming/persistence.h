@@ -1,0 +1,39 @@
+// Interface-repository persistence.
+//
+// SIDs are stored on disk in their SIDL source form — one `<service-id>.sidl`
+// file per service, latest version only — so a repository survives restarts
+// and its contents interoperate with the `sidlc` command-line tool and any
+// other SIDL processor (the same openness argument as on the wire: the
+// persistent form *is* the interchange form).
+
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "naming/interface_repository.h"
+
+namespace cosm::naming {
+
+/// Write every service's latest SID to `directory` (created if absent) as
+/// `<urlencoded-service-id>.sidl`.  Returns the number of files written.
+/// Throws cosm::Error on I/O failure.
+std::size_t save_repository(const InterfaceRepository& repo,
+                            const std::filesystem::path& directory);
+
+/// Load every `*.sidl` file in `directory` into the repository (as a new
+/// version when the id already exists).  Returns the number of SIDs
+/// loaded.  Files that fail to parse or validate are skipped and reported
+/// via the optional `errors` sink.  Throws cosm::Error when the directory
+/// does not exist.
+std::size_t load_repository(InterfaceRepository& repo,
+                            const std::filesystem::path& directory,
+                            std::vector<std::string>* errors = nullptr);
+
+/// Filename-safe encoding of a service id ('/' and other separators
+/// percent-encoded); exposed for tests.
+std::string encode_service_id(const std::string& id);
+std::string decode_service_id(const std::string& filename_stem);
+
+}  // namespace cosm::naming

@@ -1,0 +1,142 @@
+#include "rpc/activity.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/id.h"
+#include "rpc/channel.h"
+
+namespace cosm::rpc {
+
+std::string to_string(ActivityState state) {
+  switch (state) {
+    case ActivityState::Active: return "active";
+    case ActivityState::Committed: return "committed";
+    case ActivityState::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+ActivityManager::Activity& ActivityManager::find(const std::string& activity_id) {
+  auto it = activities_.find(activity_id);
+  if (it == activities_.end()) {
+    throw NotFound("unknown activity '" + activity_id + "'");
+  }
+  return it->second;
+}
+
+const ActivityManager::Activity& ActivityManager::find(
+    const std::string& activity_id) const {
+  auto it = activities_.find(activity_id);
+  if (it == activities_.end()) {
+    throw NotFound("unknown activity '" + activity_id + "'");
+  }
+  return it->second;
+}
+
+std::string ActivityManager::begin(const std::string& label) {
+  std::lock_guard lock(mutex_);
+  std::string id = next_name("act");
+  Activity activity;
+  activity.label = label;
+  activities_.emplace(id, std::move(activity));
+  return id;
+}
+
+void ActivityManager::enlist(const std::string& activity_id,
+                             const sidl::ServiceRef& participant) {
+  if (!participant.valid()) {
+    throw ContractError("cannot enlist an invalid reference");
+  }
+  std::lock_guard lock(mutex_);
+  Activity& activity = find(activity_id);
+  if (activity.state != ActivityState::Active) {
+    throw ContractError("activity '" + activity_id + "' is already " +
+                        to_string(activity.state));
+  }
+  auto& ps = activity.participants;
+  if (std::find(ps.begin(), ps.end(), participant) == ps.end()) {
+    ps.push_back(participant);
+  }
+}
+
+TxnOutcome ActivityManager::complete(const std::string& activity_id) {
+  std::vector<sidl::ServiceRef> participants;
+  {
+    std::lock_guard lock(mutex_);
+    Activity& activity = find(activity_id);
+    if (activity.state != ActivityState::Active) {
+      throw ContractError("activity '" + activity_id + "' is already " +
+                          to_string(activity.state));
+    }
+    participants = activity.participants;
+  }
+
+  TxnOutcome outcome = TxnOutcome::Committed;
+  if (!participants.empty()) {
+    outcome = coordinator_.run(participants, activity_id).outcome;
+  }
+
+  std::lock_guard lock(mutex_);
+  Activity& activity = find(activity_id);
+  activity.state = outcome == TxnOutcome::Committed ? ActivityState::Committed
+                                                    : ActivityState::Aborted;
+  if (outcome == TxnOutcome::Committed) {
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  return outcome;
+}
+
+void ActivityManager::abort(const std::string& activity_id) {
+  std::vector<sidl::ServiceRef> participants;
+  {
+    std::lock_guard lock(mutex_);
+    Activity& activity = find(activity_id);
+    if (activity.state != ActivityState::Active) {
+      throw ContractError("activity '" + activity_id + "' is already " +
+                          to_string(activity.state));
+    }
+    activity.state = ActivityState::Aborted;
+    participants = activity.participants;
+    ++aborted_;
+  }
+  // Deliver the decision; participants treat aborts for unknown
+  // transactions as no-ops, so this is safe regardless of their state.
+  for (const auto& p : participants) {
+    try {
+      RpcChannel channel(network_, p);
+      channel.call("_abort", {wire::Value::string(activity_id)});
+    } catch (const Error&) {
+      // Unreachable participant: it never prepared, so nothing to undo.
+    }
+  }
+}
+
+ActivityState ActivityManager::state(const std::string& activity_id) const {
+  std::lock_guard lock(mutex_);
+  return find(activity_id).state;
+}
+
+std::vector<sidl::ServiceRef> ActivityManager::participants(
+    const std::string& activity_id) const {
+  std::lock_guard lock(mutex_);
+  return find(activity_id).participants;
+}
+
+std::string ActivityManager::label(const std::string& activity_id) const {
+  std::lock_guard lock(mutex_);
+  return find(activity_id).label;
+}
+
+std::vector<std::string> ActivityManager::active() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [id, activity] : activities_) {
+    if (activity.state == ActivityState::Active) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cosm::rpc

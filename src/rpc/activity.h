@@ -1,0 +1,76 @@
+// Activity manager (the "Activity Manager" box of Fig. 6's Controlling
+// Level — declared outside the authors' prototype scope; implemented here
+// as the future-work extension).
+//
+// An *activity* is a unit of distributed work spanning several services: a
+// client begins an activity, enlists every participant it touches, performs
+// its calls, and then completes (atomic via two-phase commit over the
+// enlisted participants) or aborts.  Participants reuse the TxnHooks
+// machinery from txn.h.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpc/network.h"
+#include "rpc/txn.h"
+#include "sidl/service_ref.h"
+
+namespace cosm::rpc {
+
+enum class ActivityState { Active, Committed, Aborted };
+
+std::string to_string(ActivityState state);
+
+class ActivityManager {
+ public:
+  explicit ActivityManager(Network& network)
+      : network_(network), coordinator_(network) {}
+
+  /// Start a new activity; returns its id.
+  std::string begin(const std::string& label = "");
+
+  /// Add a participant (idempotent).  Throws cosm::NotFound for unknown
+  /// activities, cosm::ContractError when the activity already finished.
+  void enlist(const std::string& activity_id, const sidl::ServiceRef& participant);
+
+  /// Drive 2PC over the enlisted participants; the activity ends Committed
+  /// or Aborted.  An activity with no participants commits trivially.
+  TxnOutcome complete(const std::string& activity_id);
+
+  /// Abort: every enlisted participant receives the abort decision.
+  void abort(const std::string& activity_id);
+
+  ActivityState state(const std::string& activity_id) const;
+  std::vector<sidl::ServiceRef> participants(const std::string& activity_id) const;
+  std::string label(const std::string& activity_id) const;
+
+  /// Ids of activities still Active (for shutdown sweeps).
+  std::vector<std::string> active() const;
+
+  std::uint64_t committed_total() const noexcept { return committed_; }
+  std::uint64_t aborted_total() const noexcept { return aborted_; }
+
+ private:
+  struct Activity {
+    std::string label;
+    ActivityState state = ActivityState::Active;
+    std::vector<sidl::ServiceRef> participants;
+  };
+
+  Activity& find(const std::string& activity_id);
+  const Activity& find(const std::string& activity_id) const;
+
+  Network& network_;
+  TxnCoordinator coordinator_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Activity> activities_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace cosm::rpc

@@ -1,0 +1,70 @@
+#include "rpc/activity_facade.h"
+
+#include "sidl/parser.h"
+
+namespace cosm::rpc {
+
+using wire::Value;
+
+const std::string& activity_manager_sidl() {
+  static const std::string text = R"(
+module ActivityManagerService {
+  interface COSM_Operations {
+    string Begin([in] string label);
+    void Enlist([in] string activity, [in] ServiceReference participant);
+    boolean Complete([in] string activity);
+    void Abort([in] string activity);
+    string State([in] string activity);
+    sequence<ServiceReference> Participants([in] string activity);
+    sequence<string> Active();
+  };
+  module COSM_Annotations {
+    annotate ActivityManagerService "Distributed activities completed atomically via 2PC";
+    annotate Begin "Start an activity; returns its id";
+    annotate Enlist "Add a transactional participant to an activity";
+    annotate Complete "Atomically complete; true when committed";
+    annotate Abort "Abort the activity and notify participants";
+  };
+};
+)";
+  return text;
+}
+
+ServiceObjectPtr make_activity_manager_service(ActivityManager& manager) {
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(activity_manager_sidl()));
+  auto object = std::make_shared<ServiceObject>(std::move(sid));
+
+  object->on("Begin", [&manager](const std::vector<Value>& args) {
+    return Value::string(manager.begin(args.at(0).as_string()));
+  });
+  object->on("Enlist", [&manager](const std::vector<Value>& args) {
+    manager.enlist(args.at(0).as_string(), args.at(1).as_ref());
+    return Value::null();
+  });
+  object->on("Complete", [&manager](const std::vector<Value>& args) {
+    return Value::boolean(manager.complete(args.at(0).as_string()) ==
+                          TxnOutcome::Committed);
+  });
+  object->on("Abort", [&manager](const std::vector<Value>& args) {
+    manager.abort(args.at(0).as_string());
+    return Value::null();
+  });
+  object->on("State", [&manager](const std::vector<Value>& args) {
+    return Value::string(to_string(manager.state(args.at(0).as_string())));
+  });
+  object->on("Participants", [&manager](const std::vector<Value>& args) {
+    std::vector<Value> out;
+    for (const auto& p : manager.participants(args.at(0).as_string())) {
+      out.push_back(Value::service_ref(p));
+    }
+    return Value::sequence(std::move(out));
+  });
+  object->on("Active", [&manager](const std::vector<Value>&) {
+    std::vector<Value> out;
+    for (const auto& id : manager.active()) out.push_back(Value::string(id));
+    return Value::sequence(std::move(out));
+  });
+  return object;
+}
+
+}  // namespace cosm::rpc

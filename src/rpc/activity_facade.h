@@ -1,0 +1,18 @@
+// RPC facade for the activity manager: remote clients begin, enlist,
+// complete and abort activities through a SIDL-described interface, like
+// every other COSM component.
+
+#pragma once
+
+#include "rpc/activity.h"
+#include "rpc/service_object.h"
+
+namespace cosm::rpc {
+
+/// SIDL text of the activity manager's interface.
+const std::string& activity_manager_sidl();
+
+/// Wrap an ActivityManager (which must outlive the returned object).
+ServiceObjectPtr make_activity_manager_service(ActivityManager& manager);
+
+}  // namespace cosm::rpc

@@ -1,0 +1,56 @@
+#include "rpc/channel.h"
+
+#include "common/error.h"
+#include "common/id.h"
+#include "rpc/message.h"
+#include "wire/codec.h"
+#include "wire/marshal.h"
+
+namespace cosm::rpc {
+
+RpcChannel::RpcChannel(Network& network, sidl::ServiceRef ref, ChannelOptions options)
+    : network_(network),
+      ref_(std::move(ref)),
+      options_(options),
+      session_(next_name("sess")) {
+  if (!ref_.valid()) throw ContractError("RpcChannel needs a valid service reference");
+}
+
+wire::Value RpcChannel::roundtrip(const std::string& operation, Bytes body) {
+  Message request =
+      Message::request(next_request_++, ref_.id, operation, std::move(body));
+  request.session = session_;
+  Bytes reply_frame = network_.call(ref_.endpoint, request.encode(), options_.timeout);
+  Message reply = Message::decode(reply_frame);
+  ++calls_;
+  switch (reply.type) {
+    case MsgType::Response:
+      return wire::decode_value(reply.body);
+    case MsgType::Fault:
+      throw RemoteFault(reply.fault);
+    case MsgType::Request:
+      break;
+  }
+  throw RpcError("unexpected message type in reply");
+}
+
+wire::Value RpcChannel::call(const std::string& operation,
+                             std::vector<wire::Value> args) {
+  return roundtrip(operation,
+                   wire::encode_value(wire::Value::sequence(std::move(args))));
+}
+
+wire::Value RpcChannel::call(const sidl::OperationDesc& op,
+                             std::vector<wire::Value> args) {
+  Bytes body = wire::marshal_arguments(op, args);
+  wire::Value result = roundtrip(op.name, std::move(body));
+  wire::ensure_conforms(result, *op.result);
+  return result;
+}
+
+sidl::SidPtr RpcChannel::fetch_sid() {
+  wire::Value v = call("_get_sid", {});
+  return v.as_sid();
+}
+
+}  // namespace cosm::rpc

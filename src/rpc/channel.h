@@ -1,0 +1,65 @@
+// Client-side RPC channel.
+//
+// A channel binds to one service reference and carries calls.  It owns a
+// session id: the server keys per-client FSM communication state on it, so
+// one channel == one communication relationship in the paper's sense.
+//
+// Two call flavours:
+//   * untyped — arguments encoded as-is; validation happens at the server.
+//     This is what a pre-COSM client would do after hand-reading a service's
+//     documentation.
+//   * typed   — an OperationDesc (usually from a transferred SID) validates
+//     arguments before encoding and the result after decoding.  This is the
+//     path the generic client uses.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/network.h"
+#include "sidl/service_ref.h"
+#include "sidl/sid.h"
+#include "wire/value.h"
+
+namespace cosm::rpc {
+
+struct ChannelOptions {
+  std::chrono::milliseconds timeout{5000};
+};
+
+class RpcChannel {
+ public:
+  RpcChannel(Network& network, sidl::ServiceRef ref, ChannelOptions options = {});
+
+  /// Untyped call.
+  wire::Value call(const std::string& operation, std::vector<wire::Value> args);
+
+  /// Typed call: validates arguments against `op` before sending and the
+  /// result against op.result after receiving.
+  wire::Value call(const sidl::OperationDesc& op, std::vector<wire::Value> args);
+
+  /// Fetch the service's SID via the built-in "_get_sid" operation — the
+  /// SID-transfer arrow of Fig. 3.
+  sidl::SidPtr fetch_sid();
+
+  const sidl::ServiceRef& ref() const noexcept { return ref_; }
+  const std::string& session() const noexcept { return session_; }
+
+  /// Calls issued on this channel (instrumentation).
+  std::uint64_t calls_made() const noexcept { return calls_; }
+
+ private:
+  wire::Value roundtrip(const std::string& operation, Bytes body);
+
+  Network& network_;
+  sidl::ServiceRef ref_;
+  ChannelOptions options_;
+  std::string session_;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace cosm::rpc

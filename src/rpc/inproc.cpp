@@ -1,0 +1,49 @@
+#include "rpc/inproc.h"
+
+#include <thread>
+
+#include "common/error.h"
+#include "common/id.h"
+
+namespace cosm::rpc {
+
+std::string InProcNetwork::listen(const std::string& hint, FrameHandler handler) {
+  if (!handler) throw ContractError("listen: handler must be callable");
+  std::lock_guard lock(mutex_);
+  std::string endpoint = "inproc://" + (hint.empty() ? "ep" : hint);
+  if (endpoints_.count(endpoint)) {
+    endpoint = "inproc://" + (hint.empty() ? "ep" : hint) + "-" +
+               std::to_string(next_id());
+  }
+  endpoints_.emplace(endpoint, std::move(handler));
+  return endpoint;
+}
+
+void InProcNetwork::unlisten(const std::string& endpoint) {
+  std::lock_guard lock(mutex_);
+  endpoints_.erase(endpoint);
+}
+
+Bytes InProcNetwork::call(const std::string& endpoint, const Bytes& request,
+                          std::chrono::milliseconds timeout) {
+  (void)timeout;  // in-proc handlers are synchronous; they cannot hang
+  FrameHandler handler;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) {
+      throw RpcError("no endpoint bound at '" + endpoint + "'");
+    }
+    // Copy the handler so the registry lock is not held during the call
+    // (handlers may themselves issue calls — browsers call traders, etc.).
+    handler = it->second;
+  }
+  if (options_.latency.count() > 0) {
+    std::this_thread::sleep_for(options_.latency);
+  }
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(request.size(), std::memory_order_relaxed);
+  return handler(request);
+}
+
+}  // namespace cosm::rpc

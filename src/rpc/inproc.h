@@ -1,0 +1,49 @@
+// In-process loopback network.
+//
+// Endpoints live in a registry guarded by a mutex; call() invokes the
+// handler on the caller's thread.  Optional simulated latency and a frame
+// counter make it a measurable stand-in for the paper's workstation-cluster
+// LAN in deterministic benchmarks.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "rpc/network.h"
+
+namespace cosm::rpc {
+
+struct InProcOptions {
+  /// Added to every round trip (sleep), modelling network latency; zero by
+  /// default so unit tests run at full speed.
+  std::chrono::microseconds latency{0};
+};
+
+class InProcNetwork final : public Network {
+ public:
+  InProcNetwork() = default;
+  explicit InProcNetwork(InProcOptions options) : options_(options) {}
+
+  std::string listen(const std::string& hint, FrameHandler handler) override;
+  void unlisten(const std::string& endpoint) override;
+  Bytes call(const std::string& endpoint, const Bytes& request,
+             std::chrono::milliseconds timeout) override;
+  std::string scheme() const override { return "inproc"; }
+
+  /// Total round trips served (instrumentation for experiments).
+  std::uint64_t frames_served() const noexcept { return frames_.load(); }
+  /// Total request bytes carried (instrumentation for experiments).
+  std::uint64_t bytes_carried() const noexcept { return bytes_.load(); }
+
+ private:
+  InProcOptions options_;
+  std::mutex mutex_;
+  std::map<std::string, FrameHandler> endpoints_;
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace cosm::rpc

@@ -1,0 +1,75 @@
+#include "rpc/message.h"
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+
+std::string to_string(MsgType type) {
+  switch (type) {
+    case MsgType::Request: return "request";
+    case MsgType::Response: return "response";
+    case MsgType::Fault: return "fault";
+  }
+  return "?";
+}
+
+Bytes Message::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.varint(request_id);
+  w.str(target);
+  w.str(operation);
+  w.str(session);
+  w.varint(body.size());
+  w.raw(body);
+  w.str(fault);
+  return w.take();
+}
+
+Message Message::decode(const Bytes& frame) {
+  ByteReader r(frame);
+  Message m;
+  std::uint8_t t = r.u8();
+  if (t > static_cast<std::uint8_t>(MsgType::Fault)) {
+    throw WireError("invalid message type " + std::to_string(t));
+  }
+  m.type = static_cast<MsgType>(t);
+  m.request_id = r.varint();
+  m.target = r.str();
+  m.operation = r.str();
+  m.session = r.str();
+  std::uint64_t n = r.varint();
+  m.body = r.raw(n);
+  m.fault = r.str();
+  if (!r.at_end()) throw WireError("trailing bytes after message");
+  return m;
+}
+
+Message Message::request(std::uint64_t id, std::string target, std::string op,
+                         Bytes body) {
+  Message m;
+  m.type = MsgType::Request;
+  m.request_id = id;
+  m.target = std::move(target);
+  m.operation = std::move(op);
+  m.body = std::move(body);
+  return m;
+}
+
+Message Message::response(std::uint64_t id, Bytes body) {
+  Message m;
+  m.type = MsgType::Response;
+  m.request_id = id;
+  m.body = std::move(body);
+  return m;
+}
+
+Message Message::make_fault(std::uint64_t id, std::string text) {
+  Message m;
+  m.type = MsgType::Fault;
+  m.request_id = id;
+  m.fault = std::move(text);
+  return m;
+}
+
+}  // namespace cosm::rpc

@@ -1,0 +1,53 @@
+// RPC message format.
+//
+// One Message is one framed unit on the wire.  Requests carry a target
+// service id, an operation name and the encoded argument sequence; responses
+// carry the encoded result; faults carry the remote error text.  The
+// request id correlates responses with requests.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace cosm::rpc {
+
+enum class MsgType : std::uint8_t {
+  Request = 0,
+  Response = 1,
+  Fault = 2,
+};
+
+std::string to_string(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::Request;
+  std::uint64_t request_id = 0;
+  /// Target service instance id (requests only).
+  std::string target;
+  /// Operation name (requests only).
+  std::string operation;
+  /// Client session id; the server tracks per-session FSM communication
+  /// state under this key (requests only).
+  std::string session;
+  /// Encoded argument sequence (requests) or encoded result value
+  /// (responses); empty for faults.
+  Bytes body;
+  /// Human-readable error (faults only).
+  std::string fault;
+
+  bool operator==(const Message&) const = default;
+
+  Bytes encode() const;
+  /// Throws cosm::WireError on malformed frames.
+  static Message decode(const Bytes& frame);
+
+  static Message request(std::uint64_t id, std::string target, std::string op,
+                         Bytes body);
+  static Message response(std::uint64_t id, Bytes body);
+  static Message make_fault(std::uint64_t id, std::string text);
+};
+
+}  // namespace cosm::rpc

@@ -1,0 +1,32 @@
+#include "rpc/multicast.h"
+
+#include "common/error.h"
+#include "rpc/channel.h"
+
+namespace cosm::rpc {
+
+std::vector<MulticastOutcome> multicast_call(Network& network,
+                                             const std::vector<sidl::ServiceRef>& members,
+                                             const std::string& operation,
+                                             const std::vector<wire::Value>& args,
+                                             MulticastOptions options) {
+  std::vector<MulticastOutcome> outcomes;
+  outcomes.reserve(members.size());
+  std::size_t successes = 0;
+  for (const auto& member : members) {
+    MulticastOutcome outcome;
+    outcome.member = member;
+    try {
+      RpcChannel channel(network, member, ChannelOptions{options.timeout});
+      outcome.result = channel.call(operation, args);
+      ++successes;
+    } catch (const Error& e) {
+      outcome.error = e.what();
+    }
+    outcomes.push_back(std::move(outcome));
+    if (options.quorum > 0 && successes >= options.quorum) break;
+  }
+  return outcomes;
+}
+
+}  // namespace cosm::rpc

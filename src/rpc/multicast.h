@@ -1,0 +1,46 @@
+// Multicast / broadcast calls (the "Multicast/Broadcast" box of Fig. 6).
+//
+// COSM uses group communication for trader federation queries and for
+// broadcasting withdrawals.  This implementation delivers the same request
+// to every member reference and gathers per-member outcomes; a failing
+// member never aborts the sweep.
+
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpc/network.h"
+#include "sidl/service_ref.h"
+#include "wire/value.h"
+
+namespace cosm::rpc {
+
+struct MulticastOutcome {
+  sidl::ServiceRef member;
+  /// Present on success.
+  std::optional<wire::Value> result;
+  /// Non-empty on failure (fault text or transport error).
+  std::string error;
+
+  bool ok() const noexcept { return result.has_value(); }
+};
+
+struct MulticastOptions {
+  std::chrono::milliseconds timeout{5000};
+  /// Stop after this many successful responses (0 = all members).  A "first
+  /// responder wins" pattern uses 1.
+  std::size_t quorum = 0;
+};
+
+/// Deliver `operation(args)` to every member in order; returns one outcome
+/// per contacted member.  Delivery is sequential and deterministic.
+std::vector<MulticastOutcome> multicast_call(Network& network,
+                                             const std::vector<sidl::ServiceRef>& members,
+                                             const std::string& operation,
+                                             const std::vector<wire::Value>& args,
+                                             MulticastOptions options = {});
+
+}  // namespace cosm::rpc

@@ -1,0 +1,52 @@
+// Transport abstraction (the "Communication Level" of Fig. 6).
+//
+// A Network binds frame handlers to endpoint addresses and performs
+// synchronous round trips.  Two implementations exist:
+//   * InProcNetwork — a loopback bus inside one process; deterministic and
+//     fast, used by tests and most benchmarks, with optional simulated
+//     per-call latency so experiments can model LAN round trips;
+//   * TcpNetwork — real sockets on 127.0.0.1 with length-prefixed frames,
+//     used to validate the mechanisms over genuine I/O (ablation A2).
+//
+// Endpoint addresses are URLs: "inproc://name" or "tcp://127.0.0.1:port".
+
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace cosm::rpc {
+
+/// Server-side frame handler: consumes a request frame, produces the
+/// response frame.  Handlers must not throw; RPC-level faults are encoded
+/// into the returned frame by the RpcServer.
+using FrameHandler = std::function<Bytes(const Bytes&)>;
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Bind `handler` under a new endpoint; `hint` influences the address
+  /// (in-proc uses it as the name).  Returns the endpoint URL.
+  virtual std::string listen(const std::string& hint, FrameHandler handler) = 0;
+
+  /// Remove a binding; subsequent calls to the endpoint fail.
+  virtual void unlisten(const std::string& endpoint) = 0;
+
+  /// Synchronous round trip.  Throws cosm::RpcError on unknown endpoint,
+  /// connection failure or timeout.
+  virtual Bytes call(const std::string& endpoint, const Bytes& request,
+                     std::chrono::milliseconds timeout) = 0;
+
+  /// Scheme prefix this network serves ("inproc" or "tcp").
+  virtual std::string scheme() const = 0;
+};
+
+}  // namespace cosm::rpc

@@ -1,0 +1,116 @@
+#include "rpc/server.h"
+
+#include "common/error.h"
+#include "common/id.h"
+#include "wire/codec.h"
+#include "wire/marshal.h"
+
+namespace cosm::rpc {
+
+RpcServer::RpcServer(Network& network, const std::string& host_hint,
+                     ServerOptions options)
+    : network_(network), options_(options) {
+  endpoint_ = network_.listen(host_hint, [this](const Bytes& frame) {
+    return handle(frame);
+  });
+}
+
+RpcServer::~RpcServer() { network_.unlisten(endpoint_); }
+
+sidl::ServiceRef RpcServer::add(ServiceObjectPtr object) {
+  if (!object) throw ContractError("RpcServer::add: null service object");
+  sidl::ServiceRef ref;
+  ref.id = next_name("svc");
+  ref.endpoint = endpoint_;
+  ref.interface_name = object->sid()->name;
+  std::lock_guard lock(mutex_);
+  services_[ref.id] = std::move(object);
+  return ref;
+}
+
+void RpcServer::remove(const sidl::ServiceRef& ref) {
+  std::lock_guard lock(mutex_);
+  services_.erase(ref.id);
+}
+
+ServiceObjectPtr RpcServer::find(const std::string& service_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = services_.find(service_id);
+  return it == services_.end() ? nullptr : it->second;
+}
+
+Bytes RpcServer::handle(const Bytes& frame) {
+  std::uint64_t request_id = 0;
+  try {
+    Message request = Message::decode(frame);
+    request_id = request.request_id;
+    if (request.type != MsgType::Request) {
+      throw RpcError("server received a non-request message");
+    }
+    return handle_message(request);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lock(mutex_);
+      ++faults_;
+    }
+    return Message::make_fault(request_id, e.what()).encode();
+  }
+}
+
+Bytes RpcServer::handle_message(const Message& request) {
+  {
+    std::lock_guard lock(mutex_);
+    ++requests_;
+    if (options_.at_most_once) {
+      auto key = std::make_pair(request.session, request.request_id);
+      auto it = replay_.find(key);
+      if (it != replay_.end()) return it->second;
+    }
+  }
+
+  ServiceObjectPtr service = find(request.target);
+  if (!service) {
+    throw NotFound("no service instance '" + request.target +
+                   "' at this endpoint");
+  }
+
+  const bool infrastructure =
+      !request.operation.empty() && request.operation[0] == '_';
+
+  wire::Value result;
+  if (request.operation == "_get_sid") {
+    // Built-in SID transfer (Fig. 3): every hosted service can hand out its
+    // interface description without the implementor writing anything.
+    result = wire::Value::sid(service->sid());
+  } else if (infrastructure) {
+    wire::Value args_value = wire::decode_value(request.body);
+    result = service->dispatch(request.session, request.operation,
+                               args_value.elements());
+  } else {
+    const sidl::OperationDesc* op = service->sid()->find_operation(request.operation);
+    if (op == nullptr) {
+      throw NotFound("service '" + service->sid()->name +
+                     "' has no operation '" + request.operation + "'");
+    }
+    std::vector<wire::Value> args = wire::unmarshal_arguments(*op, request.body);
+    result = service->dispatch(request.session, request.operation, args);
+    wire::ensure_conforms(result, *op->result);
+  }
+
+  Bytes encoded = Message::response(request.request_id, wire::encode_value(result)).encode();
+
+  if (options_.at_most_once) {
+    std::lock_guard lock(mutex_);
+    auto key = std::make_pair(request.session, request.request_id);
+    if (replay_.emplace(key, encoded).second) {
+      replay_order_.push_back(key);
+      if (replay_order_.size() > options_.replay_cache_capacity) {
+        replay_.erase(replay_order_.front());
+        replay_order_.erase(replay_order_.begin());
+      }
+    }
+  }
+  return encoded;
+}
+
+}  // namespace cosm::rpc

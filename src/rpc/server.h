@@ -1,0 +1,76 @@
+// RPC server: hosts ServiceObjects behind one network endpoint.
+//
+// The server owns the endpoint registration, decodes request frames,
+// resolves the target service instance, unmarshals arguments against the
+// operation's SID signature, dispatches, and marshals the (conformance-
+// checked) result.  All failures become Fault messages — a server never
+// kills a connection over an application error.
+//
+// With `at_most_once` enabled the server keeps a per-session replay cache of
+// response frames keyed by request id, giving transactional-RPC semantics
+// over retrying transports (the "Transactional RPC" box of Fig. 6).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "rpc/message.h"
+#include "rpc/network.h"
+#include "rpc/service_object.h"
+#include "sidl/service_ref.h"
+
+namespace cosm::rpc {
+
+struct ServerOptions {
+  /// Enable the replay cache (at-most-once execution for retried requests).
+  bool at_most_once = false;
+  /// Replay-cache capacity per server (entries evicted FIFO).
+  std::size_t replay_cache_capacity = 4096;
+};
+
+class RpcServer {
+ public:
+  /// Binds an endpoint on `network`; `host_hint` names it (in-proc).
+  RpcServer(Network& network, const std::string& host_hint,
+            ServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Host a service instance; returns the reference clients bind to.
+  sidl::ServiceRef add(ServiceObjectPtr object);
+
+  /// Stop hosting an instance.
+  void remove(const sidl::ServiceRef& ref);
+
+  /// Find a hosted instance by service id; nullptr when absent.
+  ServiceObjectPtr find(const std::string& service_id) const;
+
+  const std::string& endpoint() const noexcept { return endpoint_; }
+
+  std::uint64_t requests_handled() const noexcept { return requests_; }
+  std::uint64_t faults_returned() const noexcept { return faults_; }
+
+ private:
+  Bytes handle(const Bytes& frame);
+  Bytes handle_message(const Message& request);
+
+  Network& network_;
+  ServerOptions options_;
+  std::string endpoint_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ServiceObjectPtr> services_;  // id -> object
+  // Replay cache: (session, request id) -> encoded response frame.
+  std::map<std::pair<std::string, std::uint64_t>, Bytes> replay_;
+  std::vector<std::pair<std::string, std::uint64_t>> replay_order_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace cosm::rpc

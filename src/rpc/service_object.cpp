@@ -1,0 +1,86 @@
+#include "rpc/service_object.h"
+
+#include "common/error.h"
+#include "sidl/validate.h"
+
+namespace cosm::rpc {
+
+ServiceObject::ServiceObject(sidl::SidPtr sid, ServiceObjectOptions options)
+    : sid_(std::move(sid)), options_(options) {
+  if (!sid_) throw ContractError("ServiceObject needs a SID");
+  sidl::ensure_valid(*sid_);
+}
+
+void ServiceObject::on(const std::string& operation, OpHandler handler) {
+  if (!handler) throw ContractError("handler for '" + operation + "' must be callable");
+  if (operation.empty()) throw ContractError("operation name must not be empty");
+  if (operation[0] != '_' && sid_->find_operation(operation) == nullptr) {
+    throw ContractError("operation '" + operation +
+                        "' is not declared in SID '" + sid_->name + "'");
+  }
+  handlers_[operation] = std::move(handler);
+}
+
+bool ServiceObject::fsm_restricted(const std::string& operation) const {
+  if (!sid_->fsm) return false;
+  for (const auto& tr : sid_->fsm->transitions) {
+    if (tr.operation == operation) return true;
+  }
+  return false;
+}
+
+wire::Value ServiceObject::dispatch(const std::string& session,
+                                    const std::string& operation,
+                                    const std::vector<wire::Value>& args) {
+  auto it = handlers_.find(operation);
+  if (it == handlers_.end()) {
+    throw NotFound("service '" + sid_->name + "' does not implement operation '" +
+                   operation + "'");
+  }
+
+  const bool infrastructure = !operation.empty() && operation[0] == '_';
+  const sidl::FsmTransition* transition = nullptr;
+
+  if (!infrastructure && options_.enforce_fsm && sid_->fsm &&
+      fsm_restricted(operation)) {
+    std::lock_guard lock(mutex_);
+    auto state_it = session_states_.find(session);
+    const std::string& state =
+        state_it == session_states_.end() ? sid_->fsm->initial : state_it->second;
+    transition = sid_->fsm->find(state, operation);
+    if (transition == nullptr) {
+      ++rejections_;
+      throw ProtocolError("operation '" + operation +
+                              "' is not allowed in communication state '" +
+                              state + "'",
+                          state, operation);
+    }
+  }
+
+  wire::Value result = it->second(args);
+
+  {
+    std::lock_guard lock(mutex_);
+    ++dispatches_;
+    if (transition != nullptr) session_states_[session] = transition->to;
+  }
+  return result;
+}
+
+std::string ServiceObject::session_state(const std::string& session) const {
+  std::lock_guard lock(mutex_);
+  auto it = session_states_.find(session);
+  if (it != session_states_.end()) return it->second;
+  return sid_->fsm ? sid_->fsm->initial : "";
+}
+
+void ServiceObject::reset_session(const std::string& session) {
+  std::lock_guard lock(mutex_);
+  session_states_.erase(session);
+}
+
+bool ServiceObject::implements(const std::string& operation) const {
+  return handlers_.count(operation) > 0;
+}
+
+}  // namespace cosm::rpc

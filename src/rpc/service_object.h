@@ -1,0 +1,82 @@
+// Dynamic service skeleton.
+//
+// A ServiceObject pairs a SID with operation handlers.  Dispatch is fully
+// dynamic: the operation is looked up in the SID at call time and arguments
+// arrive as wire::Values — the server-side mirror of the generic client.
+//
+// When the SID carries a COSM_FSM extension, the object enforces the
+// protocol per client session (defence in depth: the generic client already
+// rejects non-conforming invocations locally, §4.2, but servers cannot trust
+// clients to do so).  An operation that appears in no FSM transition at all
+// (e.g. a side-band query) is unrestricted; operations named with a leading
+// underscore are infrastructure (e.g. "_get_sid") and bypass the FSM.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sidl/sid.h"
+#include "wire/value.h"
+
+namespace cosm::rpc {
+
+using OpHandler = std::function<wire::Value(const std::vector<wire::Value>&)>;
+
+struct ServiceObjectOptions {
+  /// Server-side FSM enforcement (benchmark C4 turns the client side off and
+  /// relies on this path).
+  bool enforce_fsm = true;
+};
+
+class ServiceObject {
+ public:
+  explicit ServiceObject(sidl::SidPtr sid, ServiceObjectOptions options = {});
+
+  /// Register the implementation of an operation.  Operations declared in
+  /// the SID must be registered before they can be dispatched; handlers for
+  /// "_"-prefixed infrastructure operations may be registered freely.
+  void on(const std::string& operation, OpHandler handler);
+
+  /// Dispatch a call.  Throws cosm::NotFound for unknown operations,
+  /// cosm::ProtocolError for FSM violations; handler exceptions propagate.
+  wire::Value dispatch(const std::string& session, const std::string& operation,
+                       const std::vector<wire::Value>& args);
+
+  const sidl::SidPtr& sid() const noexcept { return sid_; }
+
+  /// Current FSM state of a session (initial state if the session is new).
+  std::string session_state(const std::string& session) const;
+
+  /// Forget a session (binding released).
+  void reset_session(const std::string& session);
+
+  /// True when a handler exists for the operation.
+  bool implements(const std::string& operation) const;
+
+  /// Total successful dispatches (instrumentation).
+  std::uint64_t dispatch_count() const noexcept { return dispatches_; }
+  /// Total FSM rejections (instrumentation for C4).
+  std::uint64_t fsm_rejections() const noexcept { return rejections_; }
+
+ private:
+  /// Is the operation restricted by the FSM (appears in some transition)?
+  bool fsm_restricted(const std::string& operation) const;
+
+  sidl::SidPtr sid_;
+  ServiceObjectOptions options_;
+  std::map<std::string, OpHandler> handlers_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> session_states_;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+using ServiceObjectPtr = std::shared_ptr<ServiceObject>;
+
+}  // namespace cosm::rpc

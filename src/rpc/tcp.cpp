@@ -1,0 +1,285 @@
+#include "rpc/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+
+namespace {
+
+/// Read exactly n bytes; returns false on orderly EOF at a frame boundary,
+/// throws on mid-frame EOF or socket error.
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n, bool allow_eof_at_start) {
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) {
+      if (got == 0 && allow_eof_at_start) return false;
+      throw RpcError("tcp: connection closed mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RpcError(std::string("tcp: read failed: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::write(fd, buf + sent, n - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RpcError(std::string("tcp: write failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+void write_frame(int fd, const Bytes& payload) {
+  std::uint8_t header[4];
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_exact(fd, header, 4);
+  if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
+}
+
+/// Returns empty optional-like flag via bool; fills `out`.
+bool read_frame(int fd, Bytes& out, bool allow_eof_at_start) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, 4, allow_eof_at_start)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
+  if (len > kMaxFrame) throw RpcError("tcp: frame exceeds 64 MiB bound");
+  out.resize(len);
+  if (len > 0) read_exact(fd, out.data(), len, false);
+  return true;
+}
+
+/// Timeout is reported as a distinct type: a timed-out call must NOT be
+/// retried on a fresh connection (the server may already be executing it).
+struct TimeoutError : RpcError {
+  TimeoutError() : RpcError("tcp: call timed out") {}
+};
+
+void wait_readable(int fd, std::chrono::milliseconds timeout) {
+  struct pollfd pfd{fd, POLLIN, 0};
+  int ms = timeout.count() <= 0 ? -1 : static_cast<int>(timeout.count());
+  int r = ::poll(&pfd, 1, ms);
+  if (r == 0) throw TimeoutError();
+  if (r < 0) throw RpcError(std::string("tcp: poll failed: ") + std::strerror(errno));
+}
+
+}  // namespace
+
+struct TcpNetwork::Listener {
+  int listen_fd = -1;
+  std::string endpoint;
+  FrameHandler handler;
+  std::thread accept_thread;
+  std::mutex conn_mutex;
+  std::vector<int> conn_fds;
+  std::vector<std::thread> conn_threads;
+  std::atomic<bool> stopping{false};
+
+  void serve_connection(int fd) {
+    Bytes request;
+    try {
+      while (read_frame(fd, request, /*allow_eof_at_start=*/true)) {
+        Bytes response = handler(request);
+        write_frame(fd, response);
+      }
+    } catch (const Error&) {
+      // Connection torn down (peer reset or shutdown); drop it.
+    }
+    ::close(fd);
+  }
+
+  void accept_loop() {
+    for (;;) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener closed
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard lock(conn_mutex);
+      if (stopping.load()) {
+        ::close(fd);
+        return;
+      }
+      conn_fds.push_back(fd);
+      conn_threads.emplace_back([this, fd] { serve_connection(fd); });
+    }
+  }
+
+  void stop() {
+    stopping.store(true);
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    if (accept_thread.joinable()) accept_thread.join();
+    {
+      std::lock_guard lock(conn_mutex);
+      for (int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& t : conn_threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  ~Listener() { stop(); }
+};
+
+TcpNetwork::~TcpNetwork() { close_all(); }
+
+void TcpNetwork::close_all() {
+  std::map<std::string, std::shared_ptr<Listener>> listeners;
+  std::map<std::string, int> connections;
+  {
+    std::lock_guard lock(mutex_);
+    listeners.swap(listeners_);
+    connections.swap(connections_);
+  }
+  for (auto& [ep, fd] : connections) ::close(fd);
+  for (auto& [ep, l] : listeners) l->stop();
+}
+
+std::string TcpNetwork::listen(const std::string& hint, FrameHandler handler) {
+  (void)hint;  // TCP endpoints are named by their port
+  if (!handler) throw ContractError("listen: handler must be callable");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw RpcError(std::string("tcp: socket failed: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int err = errno;
+    ::close(fd);
+    throw RpcError(std::string("tcp: bind failed: ") + std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    int err = errno;
+    ::close(fd);
+    throw RpcError(std::string("tcp: listen failed: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    int err = errno;
+    ::close(fd);
+    throw RpcError(std::string("tcp: getsockname failed: ") + std::strerror(err));
+  }
+
+  auto listener = std::make_shared<Listener>();
+  listener->listen_fd = fd;
+  listener->handler = std::move(handler);
+  listener->endpoint =
+      "tcp://127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+  listener->accept_thread = std::thread([l = listener.get()] { l->accept_loop(); });
+
+  std::lock_guard lock(mutex_);
+  listeners_[listener->endpoint] = listener;
+  return listener->endpoint;
+}
+
+void TcpNetwork::unlisten(const std::string& endpoint) {
+  std::shared_ptr<Listener> listener;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = listeners_.find(endpoint);
+    if (it == listeners_.end()) return;
+    listener = it->second;
+    listeners_.erase(it);
+  }
+  listener->stop();
+}
+
+Bytes TcpNetwork::call(const std::string& endpoint, const Bytes& request,
+                       std::chrono::milliseconds timeout) {
+  constexpr const char* kPrefix = "tcp://";
+  if (endpoint.rfind(kPrefix, 0) != 0) {
+    throw RpcError("tcp: bad endpoint '" + endpoint + "'");
+  }
+  std::string hostport = endpoint.substr(std::strlen(kPrefix));
+  auto colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    throw RpcError("tcp: endpoint missing port: '" + endpoint + "'");
+  }
+  std::string host = hostport.substr(0, colon);
+  int port = std::stoi(hostport.substr(colon + 1));
+
+  auto connect_fresh = [&]() -> int {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw RpcError(std::string("tcp: socket failed: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw RpcError("tcp: bad host '" + host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      int err = errno;
+      ::close(fd);
+      throw RpcError("tcp: connect to " + endpoint + " failed: " + std::strerror(err));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  };
+
+  // The per-network mutex serialises calls; acceptable for this substrate's
+  // purpose (realistic I/O path, not peak concurrency).
+  std::lock_guard lock(mutex_);
+  auto it = connections_.find(endpoint);
+  int fd = it == connections_.end() ? -1 : it->second;
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd < 0) {
+      fd = connect_fresh();
+      connections_[endpoint] = fd;
+    }
+    try {
+      write_frame(fd, request);
+      wait_readable(fd, timeout);
+      Bytes response;
+      if (!read_frame(fd, response, /*allow_eof_at_start=*/true)) {
+        throw RpcError("tcp: server closed connection");
+      }
+      return response;
+    } catch (const TimeoutError&) {
+      // The server may still execute the request; drop the connection so a
+      // late response cannot be mistaken for the next call's, and surface
+      // the timeout — retrying would risk duplicate execution.
+      ::close(fd);
+      connections_.erase(endpoint);
+      throw;
+    } catch (const RpcError&) {
+      ::close(fd);
+      connections_.erase(endpoint);
+      fd = -1;
+      if (attempt == 1) throw;
+      // Retry once with a fresh connection (the cached one may be stale).
+    }
+  }
+  throw RpcError("tcp: unreachable");
+}
+
+}  // namespace cosm::rpc

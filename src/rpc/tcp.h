@@ -1,0 +1,46 @@
+// TCP loopback network: real sockets, length-prefixed frames.
+//
+// Each listen() binds an ephemeral port on 127.0.0.1 and serves connections
+// on dedicated threads; each connection carries a sequence of
+// (u32-length-prefixed) request/response frames.  The client side caches one
+// connection per endpoint.  This transport exists to demonstrate the COSM
+// mechanisms over genuine socket I/O (ablation A2) — the in-proc bus is the
+// default everywhere determinism matters.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rpc/network.h"
+
+namespace cosm::rpc {
+
+class TcpNetwork final : public Network {
+ public:
+  TcpNetwork() = default;
+  ~TcpNetwork() override;
+
+  std::string listen(const std::string& hint, FrameHandler handler) override;
+  void unlisten(const std::string& endpoint) override;
+  Bytes call(const std::string& endpoint, const Bytes& request,
+             std::chrono::milliseconds timeout) override;
+  std::string scheme() const override { return "tcp"; }
+
+ private:
+  struct Listener;
+
+  void close_all();
+
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Listener>> listeners_;
+  /// Cached client connections: endpoint -> connected fd.
+  std::map<std::string, int> connections_;
+};
+
+}  // namespace cosm::rpc

@@ -1,0 +1,118 @@
+#include "rpc/txn.h"
+
+#include <memory>
+#include <set>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+
+namespace cosm::rpc {
+
+std::string to_string(TxnOutcome outcome) {
+  return outcome == TxnOutcome::Committed ? "committed" : "aborted";
+}
+
+void install_txn_participant(ServiceObject& object, TxnHooks hooks) {
+  if (!hooks.prepare || !hooks.commit || !hooks.abort) {
+    throw ContractError("txn participant needs prepare, commit and abort hooks");
+  }
+
+  // Per-object transaction state, shared by the three handlers.
+  struct State {
+    std::mutex mutex;
+    std::set<std::string> prepared;
+  };
+  auto state = std::make_shared<State>();
+
+  object.on("_prepare", [state, prepare = hooks.prepare](
+                            const std::vector<wire::Value>& args) {
+    if (args.size() != 1) throw ContractError("_prepare expects (txn_id)");
+    const std::string& txn_id = args[0].as_string();
+    bool vote = prepare(txn_id);
+    if (vote) {
+      std::lock_guard lock(state->mutex);
+      state->prepared.insert(txn_id);
+    }
+    return wire::Value::boolean(vote);
+  });
+
+  object.on("_commit", [state, commit = hooks.commit](
+                           const std::vector<wire::Value>& args) {
+    if (args.size() != 1) throw ContractError("_commit expects (txn_id)");
+    const std::string& txn_id = args[0].as_string();
+    bool was_prepared;
+    {
+      std::lock_guard lock(state->mutex);
+      was_prepared = state->prepared.erase(txn_id) > 0;
+    }
+    if (!was_prepared) {
+      // 2PC safety: a commit decision must never reach an unprepared
+      // participant; if it does, the coordinator and participant disagree.
+      throw RpcError("commit for unprepared transaction '" + txn_id + "'");
+    }
+    commit(txn_id);
+    return wire::Value::null();
+  });
+
+  object.on("_abort", [state, abort = hooks.abort](
+                          const std::vector<wire::Value>& args) {
+    if (args.size() != 1) throw ContractError("_abort expects (txn_id)");
+    const std::string& txn_id = args[0].as_string();
+    bool was_prepared;
+    {
+      std::lock_guard lock(state->mutex);
+      was_prepared = state->prepared.erase(txn_id) > 0;
+    }
+    if (was_prepared) abort(txn_id);
+    // Abort for an unknown transaction is a no-op (idempotent).
+    return wire::Value::null();
+  });
+}
+
+TxnReport TxnCoordinator::run(const std::vector<sidl::ServiceRef>& participants,
+                              const std::string& txn_id) {
+  TxnReport report;
+  report.txn_id = txn_id;
+
+  std::vector<wire::Value> args{wire::Value::string(txn_id)};
+
+  // Phase 1: prepare.
+  std::vector<const sidl::ServiceRef*> prepared;
+  for (const auto& p : participants) {
+    bool vote = false;
+    try {
+      RpcChannel channel(network_, p);
+      vote = channel.call("_prepare", args).as_bool();
+    } catch (const Error&) {
+      vote = false;
+    }
+    if (vote) {
+      prepared.push_back(&p);
+    } else {
+      report.dissenters.push_back(p.id);
+    }
+  }
+
+  // Phase 2: decision.
+  const bool commit = report.dissenters.empty() && !participants.empty();
+  const std::string decision_op = commit ? "_commit" : "_abort";
+  for (const sidl::ServiceRef* p : prepared) {
+    try {
+      RpcChannel channel(network_, *p);
+      channel.call(decision_op, args);
+    } catch (const Error&) {
+      // A participant that misses the decision recovers by asking the
+      // coordinator (not modelled); the decision itself stands.
+    }
+  }
+
+  report.outcome = commit ? TxnOutcome::Committed : TxnOutcome::Aborted;
+  if (commit) {
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  return report;
+}
+
+}  // namespace cosm::rpc

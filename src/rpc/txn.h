@@ -1,0 +1,69 @@
+// Transactional RPC: two-phase commit over service groups.
+//
+// Fig. 6 places a TP-Monitor and "Transactional RPC" in the architecture but
+// the authors' prototype left them out; this is the future-work extension.
+// A participant service mixes in _prepare/_commit/_abort handlers via
+// TxnParticipant; the coordinator drives the classic 2PC protocol and the
+// at-most-once replay cache in RpcServer keeps retried decisions idempotent.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpc/network.h"
+#include "rpc/service_object.h"
+#include "sidl/service_ref.h"
+
+namespace cosm::rpc {
+
+/// Participant-side transaction hooks.
+struct TxnHooks {
+  /// Vote: return true to vote commit.  Must leave the participant able to
+  /// either commit or abort until the decision arrives.
+  std::function<bool(const std::string& txn_id)> prepare;
+  std::function<void(const std::string& txn_id)> commit;
+  std::function<void(const std::string& txn_id)> abort;
+};
+
+/// Install _prepare/_commit/_abort handlers on a service object.  The
+/// participant tracks per-transaction votes so a decision for an unknown or
+/// already-finished transaction is ignored (idempotence).
+void install_txn_participant(ServiceObject& object, TxnHooks hooks);
+
+enum class TxnOutcome { Committed, Aborted };
+
+std::string to_string(TxnOutcome outcome);
+
+struct TxnReport {
+  TxnOutcome outcome = TxnOutcome::Aborted;
+  std::string txn_id;
+  /// Participants that voted no / failed during prepare.
+  std::vector<std::string> dissenters;
+};
+
+/// Two-phase-commit coordinator.
+class TxnCoordinator {
+ public:
+  explicit TxnCoordinator(Network& network) : network_(network) {}
+
+  /// Run one transaction across the participants.  Phase 1 collects votes
+  /// with _prepare; if all vote yes, phase 2 sends _commit, else _abort.
+  /// Transport failure during prepare counts as a no vote.
+  TxnReport run(const std::vector<sidl::ServiceRef>& participants,
+                const std::string& txn_id);
+
+  std::uint64_t committed() const noexcept { return committed_; }
+  std::uint64_t aborted() const noexcept { return aborted_; }
+
+ private:
+  Network& network_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace cosm::rpc

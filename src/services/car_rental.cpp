@@ -1,0 +1,221 @@
+#include "services/car_rental.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/id.h"
+#include "sidl/parser.h"
+
+namespace cosm::services {
+
+const std::string& car_rental_service_type_name() {
+  static const std::string name = "CarRentalService";
+  return name;
+}
+
+const std::vector<std::string>& car_model_pool() {
+  static const std::vector<std::string> pool = {
+      "AUDI", "FIAT_Uno", "VW_Golf", "RENAULT_5", "VOLVO_240", "TRABANT"};
+  return pool;
+}
+
+trader::ServiceType canonical_car_rental_type() {
+  trader::ServiceType type;
+  type.name = car_rental_service_type_name();
+  type.attributes = {
+      {"CarModel", sidl::TypeDesc::enum_("CarModel_t", car_model_pool()), true},
+      {"AverageMilage", sidl::TypeDesc::int_(), true},
+      {"ChargePerDay", sidl::TypeDesc::float_(), true},
+      {"ChargeCurrency", sidl::TypeDesc::string_(), true},
+  };
+  return type;
+}
+
+namespace {
+
+/// Render a double as a SIDL float literal (always with a decimal point so
+/// it re-parses as a float, never as a long).
+std::string float_literal(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  std::string s = os.str();
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string car_rental_sidl(const CarRentalConfig& config) {
+  if (config.models.empty()) {
+    throw ContractError("car rental provider needs at least one model");
+  }
+  std::ostringstream os;
+  os << "module " << config.name << " {\n";
+
+  os << "  typedef enum {";
+  for (std::size_t i = 0; i < config.models.size(); ++i) {
+    os << (i ? ", " : " ") << config.models[i];
+  }
+  os << " } CarModel_t;\n";
+
+  os << "  typedef struct {\n"
+        "    CarModel_t model;\n"
+        "    string booking_date;\n"
+        "    long days;\n";
+  for (int i = 0; i < config.extra_fields; ++i) {
+    os << "    optional<string> extra_" << i << ";\n";
+  }
+  os << "  } SelectCar_t;\n";
+
+  os << "  typedef struct {\n"
+        "    boolean available;\n"
+        "    double total_charge;\n"
+        "    string offer_code;\n"
+        "  } SelectCarReturn_t;\n";
+
+  os << "  typedef struct {\n"
+        "    string offer_code;\n"
+        "    string customer;\n"
+        "  } BookCar_t;\n";
+
+  os << "  typedef struct {\n"
+        "    boolean confirmed;\n"
+        "    long booking_id;\n"
+        "  } BookCarResult_t;\n";
+
+  os << "  interface COSM_Operations {\n"
+        "    SelectCarReturn_t SelectCar([in] SelectCar_t selection);\n"
+        "    BookCarResult_t BookCar([in] BookCar_t booking);\n"
+        "    sequence<CarModel_t> ListModels();\n"
+        "  };\n";
+
+  if (config.tradable) {
+    os << "  module COSM_TraderExport {\n"
+          "    const string TOD = \"" << car_rental_service_type_name() << "\";\n"
+          "    const CarModel_t CarModel = " << config.models.front() << ";\n"
+          "    const long AverageMilage = " << config.average_milage << ";\n"
+          "    const double ChargePerDay = " << float_literal(config.charge_per_day) << ";\n"
+          "    const string ChargeCurrency = \"" << config.currency << "\";\n"
+          "  };\n";
+  }
+
+  // The §3.1 FSM: selection may be revised while SELECTED; booking
+  // completes the interaction and returns to INIT.
+  os << "  module COSM_FSM {\n"
+        "    states { INIT, SELECTED };\n"
+        "    initial INIT;\n"
+        "    transition INIT SelectCar SELECTED;\n"
+        "    transition SELECTED SelectCar SELECTED;\n"
+        "    transition SELECTED BookCar INIT;\n"
+        "  };\n";
+
+  os << "  module COSM_Annotations {\n"
+        "    annotate " << config.name << " \"Rent a car from " << config.name
+     << " (" << config.currency << " " << config.charge_per_day << "/day)\";\n"
+        "    annotate SelectCar \"Select a car model and booking period; returns a quote\";\n"
+        "    annotate BookCar \"Book a previously quoted offer\";\n"
+        "    annotate ListModels \"List the car models on offer\";\n"
+        "  };\n";
+
+  os << "};\n";
+  return os.str();
+}
+
+namespace {
+
+struct Quote {
+  std::string model;
+  std::int64_t days = 0;
+};
+
+class CarRentalImpl {
+ public:
+  explicit CarRentalImpl(CarRentalConfig config) : config_(std::move(config)) {
+    for (const auto& model : config_.models) {
+      fleet_[model] = config_.fleet_per_model;
+    }
+  }
+
+  wire::Value select_car(const std::vector<wire::Value>& args) {
+    const wire::Value& selection = args.at(0);
+    const std::string& model = selection.at("model").enum_label();
+    std::int64_t days = selection.at("days").as_int();
+
+    std::lock_guard lock(mutex_);
+    bool available = days > 0 && fleet_.count(model) > 0 && fleet_[model] > 0;
+    std::string offer_code;
+    double total = 0.0;
+    if (available) {
+      total = config_.charge_per_day * static_cast<double>(days);
+      offer_code = next_name(config_.name + "-offer");
+      quotes_[offer_code] = Quote{model, days};
+    }
+    return wire::Value::structure(
+        "SelectCarReturn_t",
+        {{"available", wire::Value::boolean(available)},
+         {"total_charge", wire::Value::real(total)},
+         {"offer_code", wire::Value::string(offer_code)}});
+  }
+
+  wire::Value book_car(const std::vector<wire::Value>& args) {
+    const wire::Value& booking = args.at(0);
+    const std::string& offer_code = booking.at("offer_code").as_string();
+
+    std::lock_guard lock(mutex_);
+    auto it = quotes_.find(offer_code);
+    bool confirmed = false;
+    std::int64_t booking_id = 0;
+    if (it != quotes_.end() && fleet_[it->second.model] > 0) {
+      --fleet_[it->second.model];
+      quotes_.erase(it);
+      confirmed = true;
+      booking_id = static_cast<std::int64_t>(next_id());
+    }
+    return wire::Value::structure(
+        "BookCarResult_t",
+        {{"confirmed", wire::Value::boolean(confirmed)},
+         {"booking_id", wire::Value::integer(booking_id)}});
+  }
+
+  wire::Value list_models(const std::vector<wire::Value>&) const {
+    std::vector<wire::Value> out;
+    out.reserve(config_.models.size());
+    for (const auto& model : config_.models) {
+      out.push_back(wire::Value::enumerated("CarModel_t", model));
+    }
+    return wire::Value::sequence(std::move(out));
+  }
+
+ private:
+  CarRentalConfig config_;
+  std::mutex mutex_;
+  std::map<std::string, std::int64_t> fleet_;
+  std::map<std::string, Quote> quotes_;
+};
+
+}  // namespace
+
+rpc::ServiceObjectPtr make_car_rental_service(const CarRentalConfig& config) {
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(car_rental_sidl(config)));
+  auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
+  auto impl = std::make_shared<CarRentalImpl>(config);
+
+  object->on("SelectCar", [impl](const std::vector<wire::Value>& args) {
+    return impl->select_car(args);
+  });
+  object->on("BookCar", [impl](const std::vector<wire::Value>& args) {
+    return impl->book_car(args);
+  });
+  object->on("ListModels", [impl](const std::vector<wire::Value>& args) {
+    return impl->list_models(args);
+  });
+  return object;
+}
+
+}  // namespace cosm::services

@@ -1,0 +1,67 @@
+// The paper's running example: the car rental service (§1, §2.1, §4.1).
+//
+// The SID follows the paper's CarRentalService definition: an enum of car
+// models, SelectCar/BookCar operations, the INIT/SELECTED finite state
+// machine of §3.1 (the paper's `Commit` role is played by BookCar, which
+// completes a selection and returns the session to INIT), and — for
+// tradable providers — a COSM_TraderExport module carrying the §2.1
+// service-property values (CarModel, AverageMilage, ChargePerDay,
+// ChargeCurrency).
+//
+// A provider config controls the market-facing attributes and small
+// interface variations, so experiments can spawn populations of "similar
+// but different" competitors (§2.3's switching-cost scenario).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/service_object.h"
+#include "trader/service_type.h"
+
+namespace cosm::services {
+
+struct CarRentalConfig {
+  /// Provider name; becomes the SID module name.
+  std::string name = "CarRentalService";
+  /// Car models on offer (labels of the CarModel_t enum).
+  std::vector<std::string> models = {"AUDI", "FIAT_Uno", "VW_Golf"};
+  double charge_per_day = 80.0;
+  std::string currency = "USD";  // one of USD, DEM, FF, SFR, GBP
+  std::int64_t average_milage = 12000;
+  /// Include the COSM_TraderExport module (tradable vs pre-tradable stage).
+  bool tradable = false;
+  /// Interface variation knob: providers with extra_fields > 0 extend
+  /// SelectCar_t with additional optional fields (record subtyping in the
+  /// wild: older clients still conform).
+  int extra_fields = 0;
+  /// Cars available per model (bookings deplete it).
+  std::int64_t fleet_per_model = 100;
+};
+
+/// The provider's SIDL text.
+std::string car_rental_sidl(const CarRentalConfig& config);
+
+/// A ready-to-host service object implementing the interface: SelectCar
+/// quotes a price and reserves an offer code, BookCar turns an offer code
+/// into a booking and depletes the fleet, ListModels is side-band
+/// (unrestricted by the FSM).
+rpc::ServiceObjectPtr make_car_rental_service(const CarRentalConfig& config);
+
+/// The §2.1 service type definition ("ServiceType CarRentalService") for
+/// registering at a trader's type manager.
+const std::string& car_rental_service_type_name();
+
+/// The full standardised pool of car models — the labels the market-wide
+/// CarModel_t enum agrees on.  Individual providers offer subsets.
+const std::vector<std::string>& car_model_pool();
+
+/// The standardised ("mature market", §4.1) CarRentalService type covering
+/// the full model pool: CarModel, AverageMilage, ChargePerDay,
+/// ChargeCurrency.  Register this at a trader before exporting offers from
+/// heterogeneous providers.
+trader::ServiceType canonical_car_rental_type();
+
+}  // namespace cosm::services

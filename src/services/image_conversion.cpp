@@ -1,0 +1,159 @@
+#include "services/image_conversion.h"
+
+#include <memory>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/generic_client.h"
+#include "sidl/parser.h"
+
+namespace cosm::services {
+
+namespace {
+
+std::string image_type_block() {
+  return "  typedef struct {\n"
+         "    string name;\n"
+         "    string format;\n"
+         "    long width;\n"
+         "    long height;\n"
+         "    string data;\n"
+         "  } Image_t;\n";
+}
+
+/// Synthetic pixel stream: each format uses a distinct alphabet so a
+/// conversion is observable and testable.
+char format_symbol(const std::string& format) {
+  if (format == "PBM") return '#';
+  if (format == "PGM") return '%';
+  if (format == "XBM") return '@';
+  throw ContractError("unknown image format '" + format + "'");
+}
+
+}  // namespace
+
+std::string convert_image_data(const std::string& data,
+                               const std::string& from_format,
+                               const std::string& to_format) {
+  char from = format_symbol(from_format);
+  char to = format_symbol(to_format);
+  std::string out = data;
+  for (char& c : out) {
+    if (c == from) c = to;
+  }
+  return out;
+}
+
+std::string image_server_sidl(const ImageServerConfig& config) {
+  std::ostringstream os;
+  os << "module " << config.name << " {\n"
+     << image_type_block()
+     << "  interface COSM_Operations {\n"
+        "    Image_t GetImage([in] string name);\n"
+        "    sequence<string> ListImages();\n"
+        "  };\n"
+        "  module COSM_Annotations {\n"
+        "    annotate " << config.name << " \"Image archive serving "
+     << config.format << " images\";\n"
+        "    annotate GetImage \"Fetch an image by name\";\n"
+        "  };\n"
+        "};\n";
+  return os.str();
+}
+
+rpc::ServiceObjectPtr make_image_server(const ImageServerConfig& config) {
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(image_server_sidl(config)));
+  auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
+
+  auto make_image = [config](const std::string& name) {
+    // Deterministic synthetic pixels: rows of the format's symbol broken by
+    // a diagonal derived from the image name.
+    std::string data;
+    std::size_t seed = std::hash<std::string>{}(name);
+    char symbol = format_symbol(config.format);
+    for (std::int64_t y = 0; y < config.height; ++y) {
+      for (std::int64_t x = 0; x < config.width; ++x) {
+        data.push_back(
+            static_cast<std::size_t>(x + y) % 7 == seed % 7 ? '.' : symbol);
+      }
+    }
+    return wire::Value::structure(
+        "Image_t", {{"name", wire::Value::string(name)},
+                    {"format", wire::Value::string(config.format)},
+                    {"width", wire::Value::integer(config.width)},
+                    {"height", wire::Value::integer(config.height)},
+                    {"data", wire::Value::string(data)}});
+  };
+
+  object->on("GetImage", [make_image](const std::vector<wire::Value>& args) {
+    return make_image(args.at(0).as_string());
+  });
+  object->on("ListImages", [](const std::vector<wire::Value>&) {
+    std::vector<wire::Value> names;
+    for (const char* n : {"lena", "peppers", "baboon"}) {
+      names.push_back(wire::Value::string(n));
+    }
+    return wire::Value::sequence(std::move(names));
+  });
+  return object;
+}
+
+std::string format_converter_sidl(const FormatConverterConfig& config) {
+  std::ostringstream os;
+  os << "module " << config.name << " {\n"
+     << image_type_block()
+     << "  interface COSM_Operations {\n"
+        "    Image_t GetImageAs([in] string name, [in] string format);\n"
+        "    ServiceReference Upstream();\n"
+        "  };\n"
+        "  module COSM_Annotations {\n"
+        "    annotate " << config.name
+     << " \"Value-adding converter: serves upstream images re-coded to "
+     << config.target_format << "\";\n"
+        "    annotate GetImageAs \"Fetch an image converted to the requested format\";\n"
+        "    annotate Upstream \"The image server this converter adds value to\";\n"
+        "  };\n"
+        "};\n";
+  return os.str();
+}
+
+rpc::ServiceObjectPtr make_format_converter(rpc::Network& network,
+                                            const sidl::ServiceRef& upstream,
+                                            const FormatConverterConfig& config) {
+  auto sid =
+      std::make_shared<sidl::Sid>(sidl::parse_sid(format_converter_sidl(config)));
+  auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
+
+  // The converter is a generic client of its upstream: it binds through the
+  // same SID-transfer mechanism as any end user (§2.3 — value-adding
+  // services pay no special adaptation cost either).
+  struct Chain {
+    core::GenericClient client;
+    core::Binding upstream;
+    Chain(rpc::Network& net, const sidl::ServiceRef& up)
+        : client(net), upstream(client.bind(up)) {}
+  };
+  auto chain = std::make_shared<Chain>(network, upstream);
+  sidl::ServiceRef upstream_ref = upstream;
+
+  object->on("GetImageAs", [chain](const std::vector<wire::Value>& args) {
+    const std::string& name = args.at(0).as_string();
+    const std::string& format = args.at(1).as_string();
+    wire::Value image =
+        chain->upstream.invoke("GetImage", {wire::Value::string(name)});
+    std::string converted = convert_image_data(
+        image.at("data").as_string(), image.at("format").as_string(), format);
+    return wire::Value::structure(
+        "Image_t", {{"name", image.at("name")},
+                    {"format", wire::Value::string(format)},
+                    {"width", image.at("width")},
+                    {"height", image.at("height")},
+                    {"data", wire::Value::string(converted)}});
+  });
+  object->on("Upstream", [upstream_ref](const std::vector<wire::Value>&) {
+    return wire::Value::service_ref(upstream_ref);
+  });
+  return object;
+}
+
+}  // namespace cosm::services

@@ -1,0 +1,60 @@
+// The §2.3 value-adding scenario: "if there is a demand for a graphics
+// image server in format X, but a suitable image server only supplies
+// format Y, it may be profitable to provide a value-adding service by
+// converting Y to X".
+//
+// ImageServer serves synthetic images in one fixed format; FormatConverter
+// is a COSM service that is *itself a generic client* of an upstream image
+// server — it fetches Y-format images over the same substrate and re-codes
+// them, demonstrating that value chains compose without per-service
+// adaptation code.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rpc/network.h"
+#include "rpc/service_object.h"
+#include "sidl/service_ref.h"
+
+namespace cosm::services {
+
+struct ImageServerConfig {
+  std::string name = "ImageArchive";
+  /// Format this archive serves: one of PBM, PGM, XBM.
+  std::string format = "PGM";
+  /// Synthetic image dimensions.
+  std::int64_t width = 32;
+  std::int64_t height = 32;
+};
+
+/// SIDL: GetImage(name) -> Image_t{ name, format, width, height, data },
+/// ListImages() -> sequence<string>.
+std::string image_server_sidl(const ImageServerConfig& config);
+
+rpc::ServiceObjectPtr make_image_server(const ImageServerConfig& config);
+
+struct FormatConverterConfig {
+  std::string name = "ImageConverter";
+  /// Format the converter produces.
+  std::string target_format = "XBM";
+};
+
+/// SIDL: GetImageAs(name, format) -> Image_t (plus Upstream() ->
+/// ServiceReference so clients can discover the value chain).
+std::string format_converter_sidl(const FormatConverterConfig& config);
+
+/// The converter binds to `upstream` (an image server) over `network` and
+/// re-codes its images on demand.
+rpc::ServiceObjectPtr make_format_converter(rpc::Network& network,
+                                            const sidl::ServiceRef& upstream,
+                                            const FormatConverterConfig& config);
+
+/// The deterministic "conversion" both sides agree on (exposed for tests):
+/// re-codes pixel data between the synthetic formats.
+std::string convert_image_data(const std::string& data,
+                               const std::string& from_format,
+                               const std::string& to_format);
+
+}  // namespace cosm::services

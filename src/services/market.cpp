@@ -1,0 +1,76 @@
+#include "services/market.h"
+
+namespace cosm::services {
+
+std::vector<CarRentalConfig> generate_market(const MarketConfig& config) {
+  Rng rng(config.seed);
+  static const std::vector<std::string> kCurrencies = {"USD", "DEM", "FF",
+                                                       "SFR", "GBP"};
+  const std::vector<std::string>& kModelPool = car_model_pool();
+
+  std::vector<CarRentalConfig> providers;
+  providers.reserve(config.providers);
+  for (std::size_t i = 0; i < config.providers; ++i) {
+    CarRentalConfig c;
+    c.name = "CarRental_" + std::to_string(i);
+    // Between 1 and all models, drawn without replacement from the pool.
+    std::size_t model_count = 1 + rng.below(kModelPool.size());
+    std::vector<std::string> pool = kModelPool;
+    c.models.clear();
+    for (std::size_t m = 0; m < model_count; ++m) {
+      std::size_t pick = rng.below(pool.size());
+      c.models.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    c.charge_per_day = 30.0 + static_cast<double>(rng.below(12000)) / 100.0;
+    c.currency = kCurrencies[rng.below(kCurrencies.size())];
+    c.average_milage = rng.range(5000, 60000);
+    c.tradable = rng.uniform() < config.tradable_fraction;
+    c.extra_fields =
+        config.max_extra_fields > 0
+            ? static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                  config.max_extra_fields + 1)))
+            : 0;
+    c.fleet_per_model = rng.range(5, 200);
+    providers.push_back(std::move(c));
+  }
+  return providers;
+}
+
+std::uint64_t EstablishmentOutcome::total_hours() const {
+  std::uint64_t total = 0;
+  for (const auto& phase : phases) total += phase.hours;
+  return total;
+}
+
+EstablishmentOutcome trader_path_establishment(const EstablishmentModel& model,
+                                               std::size_t operations,
+                                               std::size_t federated_traders,
+                                               bool type_already_standardised) {
+  EstablishmentOutcome out;
+  out.phases.push_back({"author SID", model.sid_authoring_hours});
+  if (!type_already_standardised) {
+    out.phases.push_back(
+        {"service type standardisation", model.type_standardisation_hours});
+  }
+  std::size_t traders = federated_traders == 0 ? 1 : federated_traders;
+  out.phases.push_back(
+      {"type registration at " + std::to_string(traders) + " trader(s)",
+       model.type_registration_hours * traders});
+  out.phases.push_back({"offer export", model.offer_export_hours});
+  out.phases.push_back(
+      {"client stub development (" + std::to_string(operations) + " ops)",
+       model.client_dev_hours_per_op * operations});
+  return out;
+}
+
+EstablishmentOutcome mediation_path_establishment(const EstablishmentModel& model) {
+  EstablishmentOutcome out;
+  out.phases.push_back({"author SID", model.sid_authoring_hours});
+  out.phases.push_back({"browser registration", model.browser_registration_hours});
+  // No client development: the generic client already exists (§3.3 "there is
+  // no adaptation effort required for generic clients").
+  return out;
+}
+
+}  // namespace cosm::services

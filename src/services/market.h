@@ -1,0 +1,75 @@
+// Synthetic open-market workload generator (replacing the paper's
+// "CompuServe"-style market anecdote with something measurable).
+//
+// Generates deterministic populations of car-rental competitors with varied
+// prices, currencies, fleets and small interface differences, plus the
+// §2.2 service-establishment timeline model used by experiment C1: the
+// trader path pays type standardisation + registration + client development
+// before the first successful call; the mediation path pays SID authoring +
+// browser registration only.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "services/car_rental.h"
+
+namespace cosm::services {
+
+struct MarketConfig {
+  std::size_t providers = 16;
+  std::uint64_t seed = 1;
+  /// Fraction of providers that carry a COSM_TraderExport module.
+  double tradable_fraction = 1.0;
+  /// Maximum number of optional extra fields a provider adds to its
+  /// SelectCar_t (interface drift across competitors).
+  int max_extra_fields = 3;
+};
+
+/// Deterministic population of provider configurations.
+std::vector<CarRentalConfig> generate_market(const MarketConfig& config);
+
+// --- §2.2 establishment timeline model (simulated calendar hours) ---
+
+struct EstablishmentModel {
+  /// "Service type standardisation (by global agreement)": months.
+  std::uint64_t type_standardisation_hours = 24 * 90;
+  /// "Service type registration at a trader's type manager": per trader.
+  std::uint64_t type_registration_hours = 24;
+  /// Exporting the actual offer once the type exists.
+  std::uint64_t offer_export_hours = 2;
+  /// "Development of client applications": per operation to stub.
+  std::uint64_t client_dev_hours_per_op = 8;
+  /// Writing the SID (both paths author an interface description).
+  std::uint64_t sid_authoring_hours = 4;
+  /// Registering SID + reference at a browser.
+  std::uint64_t browser_registration_hours = 1;
+};
+
+struct EstablishmentPhase {
+  std::string name;
+  std::uint64_t hours;
+};
+
+struct EstablishmentOutcome {
+  std::vector<EstablishmentPhase> phases;
+  std::uint64_t total_hours() const;
+};
+
+/// Hours until the first client can successfully call an innovative service
+/// via the ODP trader path (§2.2's four-phase overhead).  `federated_traders`
+/// multiplies the registration phase; `type_already_standardised` models the
+/// mature-market case where only registration remains.
+EstablishmentOutcome trader_path_establishment(const EstablishmentModel& model,
+                                               std::size_t operations,
+                                               std::size_t federated_traders,
+                                               bool type_already_standardised);
+
+/// Hours until the first generic client can call the service via mediation.
+EstablishmentOutcome mediation_path_establishment(const EstablishmentModel& model);
+
+}  // namespace cosm::services

@@ -1,0 +1,66 @@
+#include "services/stock_quote.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+#include "sidl/parser.h"
+
+namespace cosm::services {
+
+std::string stock_quote_sidl(const StockQuoteConfig& config) {
+  std::ostringstream os;
+  os << "module " << config.name << " {\n"
+     << "  typedef struct {\n"
+        "    string symbol;\n"
+        "    double price;\n"
+        "    double change;\n"
+        "  } Quote_t;\n"
+        "  interface COSM_Operations {\n"
+        "    boolean Login([in] string user);\n"
+        "    Quote_t GetQuote([in] string symbol);\n"
+        "    void Logout();\n"
+        "  };\n"
+        "  module COSM_FSM {\n"
+        "    states { LOGGED_OUT, LOGGED_IN };\n"
+        "    initial LOGGED_OUT;\n"
+        "    transition LOGGED_OUT Login LOGGED_IN;\n"
+        "    transition LOGGED_IN GetQuote LOGGED_IN;\n"
+        "    transition LOGGED_IN Logout LOGGED_OUT;\n"
+        "  };\n"
+        "  module COSM_Annotations {\n"
+        "    annotate " << config.name << " \"Session-based stock quotes\";\n"
+        "    annotate Login \"Open a quote session\";\n"
+        "    annotate GetQuote \"Current price for a ticker symbol\";\n"
+        "  };\n"
+        "};\n";
+  return os.str();
+}
+
+rpc::ServiceObjectPtr make_stock_quote_service(const StockQuoteConfig& config) {
+  auto sid =
+      std::make_shared<sidl::Sid>(sidl::parse_sid(stock_quote_sidl(config)));
+  auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
+
+  std::uint64_t seed = config.seed;
+  object->on("Login", [](const std::vector<wire::Value>& args) {
+    return wire::Value::boolean(!args.at(0).as_string().empty());
+  });
+  object->on("GetQuote", [seed](const std::vector<wire::Value>& args) {
+    const std::string& symbol = args.at(0).as_string();
+    Rng rng(seed ^ std::hash<std::string>{}(symbol));
+    double price = 10.0 + rng.uniform() * 490.0;
+    double change = -5.0 + rng.uniform() * 10.0;
+    return wire::Value::structure(
+        "Quote_t", {{"symbol", wire::Value::string(symbol)},
+                    {"price", wire::Value::real(std::round(price * 100) / 100)},
+                    {"change", wire::Value::real(std::round(change * 100) / 100)}});
+  });
+  object->on("Logout", [](const std::vector<wire::Value>&) {
+    return wire::Value::null();
+  });
+  return object;
+}
+
+}  // namespace cosm::services

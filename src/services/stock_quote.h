@@ -1,0 +1,24 @@
+// Another innovative service, with a richer FSM than the car rental: a
+// stock quote service that requires a login session.  Exercises the §3.1
+// protocol restrictions: LOGGED_OUT --Login--> LOGGED_IN --GetQuote-->
+// LOGGED_IN --Logout--> LOGGED_OUT; quotes before login are rejected by the
+// generic client *locally*.
+
+#pragma once
+
+#include <string>
+
+#include "rpc/service_object.h"
+
+namespace cosm::services {
+
+struct StockQuoteConfig {
+  std::string name = "TickerService";
+  std::uint64_t seed = 23;
+};
+
+std::string stock_quote_sidl(const StockQuoteConfig& config);
+
+rpc::ServiceObjectPtr make_stock_quote_service(const StockQuoteConfig& config);
+
+}  // namespace cosm::services

@@ -1,0 +1,66 @@
+#include "services/weather.h"
+
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+#include "sidl/parser.h"
+
+namespace cosm::services {
+
+std::string weather_sidl(const WeatherConfig& config) {
+  std::ostringstream os;
+  os << "module " << config.name << " {\n"
+     << "  typedef enum { SUNNY, CLOUDY, RAIN, SNOW, STORM } Condition_t;\n"
+        "  typedef struct {\n"
+        "    string city;\n"
+        "    long day;\n"
+        "    double temperature;\n"
+        "    Condition_t condition;\n"
+        "  } Forecast_t;\n"
+        "  interface COSM_Operations {\n"
+        "    Forecast_t GetForecast([in] string city, [in] long day);\n"
+        "    sequence<string> Cities();\n"
+        "  };\n"
+        "  module COSM_Annotations {\n"
+        "    annotate " << config.name
+     << " \"Weather forecasts for European cities — an innovative service "
+        "with no standardised type\";\n"
+        "    annotate GetForecast \"Forecast for a city, N days ahead\";\n"
+        "  };\n"
+        "};\n";
+  return os.str();
+}
+
+rpc::ServiceObjectPtr make_weather_service(const WeatherConfig& config) {
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(weather_sidl(config)));
+  auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
+
+  std::uint64_t seed = config.seed;
+  object->on("GetForecast", [seed](const std::vector<wire::Value>& args) {
+    const std::string& city = args.at(0).as_string();
+    std::int64_t day = args.at(1).as_int();
+    // Deterministic per (seed, city, day).
+    Rng rng(seed ^ std::hash<std::string>{}(city) ^
+            static_cast<std::uint64_t>(day) * 0x9E3779B97F4A7C15ULL);
+    static const char* conditions[] = {"SUNNY", "CLOUDY", "RAIN", "SNOW", "STORM"};
+    double temperature = -10.0 + rng.uniform() * 40.0;
+    return wire::Value::structure(
+        "Forecast_t",
+        {{"city", wire::Value::string(city)},
+         {"day", wire::Value::integer(day)},
+         {"temperature", wire::Value::real(temperature)},
+         {"condition",
+          wire::Value::enumerated("Condition_t", conditions[rng.below(5)])}});
+  });
+  object->on("Cities", [](const std::vector<wire::Value>&) {
+    std::vector<wire::Value> cities;
+    for (const char* c : {"Hamburg", "Paris", "Zurich", "London", "Rome"}) {
+      cities.push_back(wire::Value::string(c));
+    }
+    return wire::Value::sequence(std::move(cities));
+  });
+  return object;
+}
+
+}  // namespace cosm::services

@@ -1,0 +1,25 @@
+// An "innovative service" stand-in (§2.2): a weather forecast service that
+// no service type standardises.  It exists purely through mediation — SID
+// at the browser, generic clients everywhere — until/unless it matures.
+
+#pragma once
+
+#include <string>
+
+#include "rpc/service_object.h"
+
+namespace cosm::services {
+
+struct WeatherConfig {
+  std::string name = "WeatherOracle";
+  /// Deterministic forecast seed.
+  std::uint64_t seed = 7;
+};
+
+/// SIDL: GetForecast(city, day) -> Forecast_t{ city, day, temperature,
+/// condition }, Cities() -> sequence<string>.
+std::string weather_sidl(const WeatherConfig& config);
+
+rpc::ServiceObjectPtr make_weather_service(const WeatherConfig& config);
+
+}  // namespace cosm::services

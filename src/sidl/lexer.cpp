@@ -1,0 +1,215 @@
+#include "sidl/lexer.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace cosm::sidl {
+
+std::string to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::Ident: return "identifier";
+    case TokKind::IntLit: return "integer literal";
+    case TokKind::FloatLit: return "float literal";
+    case TokKind::StringLit: return "string literal";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::LAngle: return "'<'";
+    case TokKind::RAngle: return "'>'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Comma: return "','";
+    case TokKind::Equals: return "'='";
+    case TokKind::Minus: return "'-'";
+    case TokKind::End: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const noexcept { return pos_ >= src_.size(); }
+  char peek() const noexcept { return done() ? '\0' : src_[pos_]; }
+  char peek2() const noexcept {
+    return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  auto error = [&](const std::string& msg) -> ParseError {
+    return ParseError(msg, cur.line(), cur.column());
+  };
+
+  while (!cur.done()) {
+    char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && cur.peek2() == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && cur.peek2() == '*') {
+      int start_line = cur.line();
+      cur.advance();
+      cur.advance();
+      bool closed = false;
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek2() == '/') {
+          cur.advance();
+          cur.advance();
+          closed = true;
+          break;
+        }
+        cur.advance();
+      }
+      if (!closed) {
+        throw ParseError("unterminated block comment", start_line, 1);
+      }
+      continue;
+    }
+
+    Token tok;
+    tok.line = cur.line();
+    tok.column = cur.column();
+    tok.begin = cur.pos();
+
+    if (is_ident_start(c)) {
+      std::string text;
+      while (!cur.done() && is_ident_char(cur.peek())) text.push_back(cur.advance());
+      tok.kind = TokKind::Ident;
+      tok.text = std::move(text);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && std::isdigit(static_cast<unsigned char>(cur.peek2())))) {
+      std::string text;
+      if (c == '-') text.push_back(cur.advance());
+      bool is_float = false;
+      while (!cur.done()) {
+        char d = cur.peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          text.push_back(cur.advance());
+        } else if (d == '.' && !is_float &&
+                   std::isdigit(static_cast<unsigned char>(cur.peek2()))) {
+          is_float = true;
+          text.push_back(cur.advance());
+        } else if ((d == 'e' || d == 'E') &&
+                   (std::isdigit(static_cast<unsigned char>(cur.peek2())) ||
+                    cur.peek2() == '-' || cur.peek2() == '+')) {
+          is_float = true;
+          text.push_back(cur.advance());
+          if (cur.peek() == '-' || cur.peek() == '+') text.push_back(cur.advance());
+        } else {
+          break;
+        }
+      }
+      tok.kind = is_float ? TokKind::FloatLit : TokKind::IntLit;
+      tok.text = std::move(text);
+    } else if (c == '"') {
+      cur.advance();  // opening quote
+      std::string text;
+      bool closed = false;
+      while (!cur.done()) {
+        char d = cur.advance();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\') {
+          if (cur.done()) break;
+          char e = cur.advance();
+          switch (e) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '\\': text.push_back('\\'); break;
+            case '"': text.push_back('"'); break;
+            default: text.push_back(e); break;
+          }
+        } else if (d == '\n') {
+          throw error("newline in string literal");
+        } else {
+          text.push_back(d);
+        }
+      }
+      if (!closed) throw error("unterminated string literal");
+      tok.kind = TokKind::StringLit;
+      tok.text = std::move(text);
+    } else {
+      cur.advance();
+      switch (c) {
+        case '{': tok.kind = TokKind::LBrace; break;
+        case '}': tok.kind = TokKind::RBrace; break;
+        case '(': tok.kind = TokKind::LParen; break;
+        case ')': tok.kind = TokKind::RParen; break;
+        case '[': tok.kind = TokKind::LBracket; break;
+        case ']': tok.kind = TokKind::RBracket; break;
+        case '<': tok.kind = TokKind::LAngle; break;
+        case '>': tok.kind = TokKind::RAngle; break;
+        case ';': tok.kind = TokKind::Semi; break;
+        case ',': tok.kind = TokKind::Comma; break;
+        case '=': tok.kind = TokKind::Equals; break;
+        case '-': tok.kind = TokKind::Minus; break;
+        default:
+          throw ParseError(std::string("unexpected character '") + c + "'",
+                           tok.line, tok.column);
+      }
+      tok.text = std::string(1, c);
+    }
+
+    tok.end = cur.pos();
+    tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokKind::End;
+  end.line = cur.line();
+  end.column = cur.column();
+  end.begin = end.end = cur.pos();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace cosm::sidl

@@ -1,0 +1,52 @@
+// SIDL tokenizer.
+//
+// Produces the full token stream for a SIDL compilation unit.  Tokens carry
+// byte offsets into the source so the parser can capture the verbatim text
+// of unknown extension modules (the skip-and-preserve rule of §4.1).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cosm::sidl {
+
+enum class TokKind {
+  Ident,
+  IntLit,
+  FloatLit,
+  StringLit,
+  LBrace,    // {
+  RBrace,    // }
+  LParen,    // (
+  RParen,    // )
+  LBracket,  // [
+  RBracket,  // ]
+  LAngle,    // <
+  RAngle,    // >
+  Semi,      // ;
+  Comma,     // ,
+  Equals,    // =
+  Minus,     // -  (only in numeric literal contexts; kept for robustness)
+  End,
+};
+
+std::string to_string(TokKind kind);
+
+struct Token {
+  TokKind kind;
+  std::string text;   // identifier text, literal spelling (unquoted for strings)
+  int line = 1;
+  int column = 1;
+  std::size_t begin = 0;  // byte offset of first char
+  std::size_t end = 0;    // byte offset one past last char
+};
+
+/// Tokenize SIDL source.  Handles // and /* */ comments.  Throws
+/// cosm::ParseError on malformed input (unterminated string/comment,
+/// unexpected character).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace cosm::sidl

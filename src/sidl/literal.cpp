@@ -1,0 +1,36 @@
+#include "sidl/literal.h"
+
+#include <sstream>
+
+namespace cosm::sidl {
+
+std::string Literal::to_sidl() const {
+  struct Visitor {
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const {
+      std::ostringstream os;
+      os.precision(17);  // max_digits10: exact double round-trip
+      os << d;
+      std::string s = os.str();
+      // Keep float literals recognisable as floats on re-parse.
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    std::string operator()(const std::string& s) const {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      return out + "\"";
+    }
+    std::string operator()(const EnumLabel& e) const { return e.label; }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
+}  // namespace cosm::sidl

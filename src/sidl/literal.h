@@ -1,0 +1,54 @@
+// Literal constant values as they appear in SIDL `const` declarations —
+// notably inside COSM_TraderExport extension modules, where they carry the
+// service-property values an ODP trader matches on (§4.1).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cosm::sidl {
+
+/// An enumeration label used as a constant value, e.g. `Model = FIAT_Uno`.
+struct EnumLabel {
+  std::string label;
+  bool operator==(const EnumLabel&) const = default;
+};
+
+/// Constant value: boolean, integer, float, string or enum label.
+class Literal {
+ public:
+  using Storage = std::variant<bool, std::int64_t, double, std::string, EnumLabel>;
+
+  Literal() : v_(std::int64_t{0}) {}
+  explicit Literal(bool b) : v_(b) {}
+  explicit Literal(std::int64_t i) : v_(i) {}
+  explicit Literal(double d) : v_(d) {}
+  explicit Literal(std::string s) : v_(std::move(s)) {}
+  explicit Literal(EnumLabel e) : v_(std::move(e)) {}
+
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(v_); }
+  bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_float() const noexcept { return std::holds_alternative<double>(v_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(v_); }
+  bool is_enum() const noexcept { return std::holds_alternative<EnumLabel>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_float() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const EnumLabel& as_enum() const { return std::get<EnumLabel>(v_); }
+
+  const Storage& storage() const noexcept { return v_; }
+
+  bool operator==(const Literal&) const = default;
+
+  /// SIDL source form: `true`, `4711`, `80.5`, `"USD"`, `FIAT_Uno`.
+  std::string to_sidl() const;
+
+ private:
+  Storage v_;
+};
+
+}  // namespace cosm::sidl

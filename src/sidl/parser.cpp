@@ -1,0 +1,467 @@
+#include "sidl/parser.h"
+
+#include <map>
+
+#include "common/error.h"
+#include "sidl/lexer.h"
+
+namespace cosm::sidl {
+
+namespace {
+
+bool is_primitive_keyword(const std::string& s) {
+  return s == "void" || s == "boolean" || s == "long" || s == "short" ||
+         s == "float" || s == "double" || s == "string" ||
+         s == "ServiceReference" || s == "SID" || s == "any";
+}
+
+class Parser {
+ public:
+  Parser(std::string_view source, const ParserOptions& options)
+      : source_(source), options_(options), tokens_(tokenize(source)) {}
+
+  Sid parse_sid() {
+    expect_keyword("module");
+    Sid sid;
+    sid.name = expect(TokKind::Ident).text;
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace)) {
+      parse_item(sid);
+    }
+    expect(TokKind::RBrace);
+    accept(TokKind::Semi);
+    expect(TokKind::End);
+    return sid;
+  }
+
+  TypePtr parse_standalone_type() {
+    TypePtr t = parse_typespec("");
+    expect(TokKind::End);
+    return t;
+  }
+
+ private:
+  // --- token stream helpers ---
+
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool at(TokKind kind) const { return peek().kind == kind; }
+
+  bool at_keyword(const std::string& kw) const {
+    return peek().kind == TokKind::Ident && peek().text == kw;
+  }
+
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (t.kind != TokKind::End) ++pos_;
+    return t;
+  }
+
+  bool accept(TokKind kind) {
+    if (at(kind)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  const Token& expect(TokKind kind) {
+    if (!at(kind)) {
+      fail("expected " + to_string(kind) + ", found " + describe(peek()));
+    }
+    return advance();
+  }
+
+  void expect_keyword(const std::string& kw) {
+    if (!at_keyword(kw)) {
+      fail("expected '" + kw + "', found " + describe(peek()));
+    }
+    advance();
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, peek().line, peek().column);
+  }
+
+  static std::string describe(const Token& t) {
+    if (t.kind == TokKind::Ident) return "'" + t.text + "'";
+    if (t.kind == TokKind::End) return "end of input";
+    return to_string(t.kind);
+  }
+
+  // --- items ---
+
+  void parse_item(Sid& sid) {
+    if (at_keyword("typedef")) {
+      parse_typedef(sid);
+    } else if (at_keyword("interface")) {
+      parse_interface(sid);
+    } else if (at_keyword("module")) {
+      parse_submodule(sid);
+    } else if (at_keyword("const")) {
+      auto [name, lit] = parse_const();
+      sid.constants.emplace_back(std::move(name), std::move(lit));
+    } else {
+      fail("expected typedef, interface, module or const, found " +
+           describe(peek()));
+    }
+  }
+
+  void parse_typedef(Sid& sid) {
+    expect_keyword("typedef");
+    std::string name;
+    TypePtr type;
+    // Paper order: `typedef CarModel_t enum { ... };` — the name comes first
+    // when the next token is an identifier that is neither a primitive nor a
+    // declared type, and the token after it starts a constructed typespec.
+    if (peek().kind == TokKind::Ident && !is_primitive_keyword(peek().text) &&
+        !named_types_.count(peek().text) && peek(1).kind == TokKind::Ident &&
+        (peek(1).text == "enum" || peek(1).text == "struct" ||
+         peek(1).text == "sequence" || peek(1).text == "optional" ||
+         is_primitive_keyword(peek(1).text))) {
+      name = advance().text;
+      type = parse_typespec(name);
+    } else {
+      type = parse_typespec("");
+      name = expect(TokKind::Ident).text;
+      type = with_name(type, name);
+    }
+    expect(TokKind::Semi);
+    if (named_types_.count(name)) fail("duplicate type name '" + name + "'");
+    named_types_[name] = type;
+    sid.types.emplace_back(name, type);
+  }
+
+  /// Rebuild an anonymous enum/struct with the typedef name attached.
+  static TypePtr with_name(const TypePtr& t, const std::string& name) {
+    if (t->kind() == TypeKind::Enum && t->name().empty()) {
+      return TypeDesc::enum_(name, t->labels());
+    }
+    if (t->kind() == TypeKind::Struct && t->name().empty()) {
+      return TypeDesc::struct_(name, t->fields());
+    }
+    return t;
+  }
+
+  TypePtr parse_typespec(const std::string& name_hint) {
+    const Token& t = peek();
+    if (t.kind != TokKind::Ident) {
+      fail("expected type, found " + describe(t));
+    }
+    const std::string& kw = t.text;
+    if (kw == "void") { advance(); return TypeDesc::void_(); }
+    if (kw == "boolean") { advance(); return TypeDesc::bool_(); }
+    if (kw == "long" || kw == "short") {
+      advance();
+      accept_keyword("long");  // tolerate "long long"
+      return TypeDesc::int_();
+    }
+    if (kw == "float" || kw == "double") { advance(); return TypeDesc::float_(); }
+    if (kw == "string") { advance(); return TypeDesc::string_(); }
+    if (kw == "ServiceReference") { advance(); return TypeDesc::service_ref(); }
+    if (kw == "SID") { advance(); return TypeDesc::sid(); }
+    if (kw == "any") { advance(); return TypeDesc::any(); }
+    if (kw == "enum") {
+      advance();
+      // optional inline tag name: enum Name { ... }
+      std::string tag = name_hint;
+      if (peek().kind == TokKind::Ident) tag = advance().text;
+      expect(TokKind::LBrace);
+      std::vector<std::string> labels;
+      while (!at(TokKind::RBrace)) {
+        labels.push_back(parse_label());
+        if (!accept(TokKind::Comma)) break;
+      }
+      expect(TokKind::RBrace);
+      if (labels.empty()) fail("enum must declare at least one label");
+      return TypeDesc::enum_(tag, std::move(labels));
+    }
+    if (kw == "struct") {
+      advance();
+      std::string tag = name_hint;
+      if (peek().kind == TokKind::Ident) tag = advance().text;
+      expect(TokKind::LBrace);
+      std::vector<FieldDesc> fields;
+      while (!at(TokKind::RBrace)) {
+        TypePtr ft = parse_typespec("");
+        if (ft->kind() == TypeKind::Void) fail("struct field cannot be void");
+        std::string fname = expect(TokKind::Ident).text;
+        expect(TokKind::Semi);
+        fields.push_back({std::move(fname), std::move(ft)});
+      }
+      expect(TokKind::RBrace);
+      return TypeDesc::struct_(tag, std::move(fields));
+    }
+    if (kw == "sequence" || kw == "optional") {
+      advance();
+      expect(TokKind::LAngle);
+      TypePtr elem = parse_typespec("");
+      if (elem->kind() == TypeKind::Void) fail(kw + " element cannot be void");
+      expect(TokKind::RAngle);
+      return kw == "sequence" ? TypeDesc::sequence(std::move(elem))
+                              : TypeDesc::optional(std::move(elem));
+    }
+    // Named reference to an earlier typedef.
+    auto it = named_types_.find(kw);
+    if (it == named_types_.end()) {
+      fail("unknown type '" + kw + "' (types must be declared before use)");
+    }
+    advance();
+    return it->second;
+  }
+
+  bool accept_keyword(const std::string& kw) {
+    if (at_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Enum labels may contain '-' in the paper ("FIAT-Uno"); the lexer splits
+  /// that into Ident Minus Ident, so rejoin with '_' to keep labels
+  /// identifier-shaped.
+  std::string parse_label() {
+    std::string label = expect(TokKind::Ident).text;
+    while (at(TokKind::Minus) && peek(1).kind == TokKind::Ident) {
+      advance();
+      label += "_" + advance().text;
+    }
+    return label;
+  }
+
+  void parse_interface(Sid& sid) {
+    expect_keyword("interface");
+    std::string iface = expect(TokKind::Ident).text;
+    if (sid.interface_name.empty()) sid.interface_name = iface;
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace)) {
+      sid.operations.push_back(parse_operation(sid));
+    }
+    expect(TokKind::RBrace);
+    accept(TokKind::Semi);
+  }
+
+  OperationDesc parse_operation(const Sid& sid) {
+    OperationDesc op;
+    op.result = parse_typespec("");
+    op.name = expect(TokKind::Ident).text;
+    if (sid.find_operation(op.name) != nullptr) {
+      fail("duplicate operation '" + op.name + "'");
+    }
+    expect(TokKind::LParen);
+    int arg_index = 0;
+    while (!at(TokKind::RParen)) {
+      ParamDesc p;
+      // Direction: "[in]" (paper style) or bare "in"/"out"/"inout".
+      if (accept(TokKind::LBracket)) {
+        p.dir = parse_dir();
+        expect(TokKind::RBracket);
+      } else if (at_keyword("in") || at_keyword("out") || at_keyword("inout")) {
+        // Only treat as a direction when a type follows (an identifier named
+        // "in" used as a type would be pathological; directions win).
+        p.dir = parse_dir();
+      }
+      p.type = parse_typespec("");
+      if (p.type->kind() == TypeKind::Void) fail("parameter cannot be void");
+      if (peek().kind == TokKind::Ident) {
+        p.name = advance().text;
+      } else {
+        p.name = "arg" + std::to_string(arg_index);
+      }
+      ++arg_index;
+      op.params.push_back(std::move(p));
+      if (!accept(TokKind::Comma)) break;
+    }
+    expect(TokKind::RParen);
+    expect(TokKind::Semi);
+    return op;
+  }
+
+  ParamDir parse_dir() {
+    const Token& t = expect(TokKind::Ident);
+    if (t.text == "in") return ParamDir::In;
+    if (t.text == "out") return ParamDir::Out;
+    if (t.text == "inout") return ParamDir::InOut;
+    fail("expected parameter direction in/out/inout, found '" + t.text + "'");
+  }
+
+  std::pair<std::string, Literal> parse_const() {
+    expect_keyword("const");
+    // Declared type: primitive keyword or a (possibly undeclared, e.g. "ID",
+    // "String" in the paper) type identifier.  The literal's own shape
+    // determines the stored value.
+    expect(TokKind::Ident);
+    std::string name = expect(TokKind::Ident).text;
+    expect(TokKind::Equals);
+    Literal lit = parse_literal();
+    expect(TokKind::Semi);
+    return {std::move(name), std::move(lit)};
+  }
+
+  Literal parse_literal() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::IntLit:
+        advance();
+        return Literal(static_cast<std::int64_t>(std::stoll(t.text)));
+      case TokKind::FloatLit:
+        advance();
+        return Literal(std::stod(t.text));
+      case TokKind::StringLit:
+        advance();
+        return Literal(t.text);
+      case TokKind::Ident: {
+        if (t.text == "true") { advance(); return Literal(true); }
+        if (t.text == "false") { advance(); return Literal(false); }
+        // Enum label constant, possibly hyphenated (FIAT-Uno).
+        return Literal(EnumLabel{parse_label()});
+      }
+      default:
+        fail("expected literal, found " + describe(t));
+    }
+  }
+
+  // --- extension modules ---
+
+  void parse_submodule(Sid& sid) {
+    expect_keyword("module");
+    std::string name = expect(TokKind::Ident).text;
+    if (name == "COSM_TraderExport") {
+      parse_trader_export(sid);
+    } else if (name == "COSM_FSM") {
+      parse_fsm(sid);
+    } else if (name == "COSM_Annotations") {
+      parse_annotations(sid);
+    } else if (options_.strict_unknown_modules) {
+      fail("unknown extension module '" + name +
+           "' (strict mode rejects unrecognised modules)");
+    } else {
+      skip_unknown_module(sid, std::move(name));
+    }
+  }
+
+  void parse_trader_export(Sid& sid) {
+    if (sid.trader_export) fail("duplicate COSM_TraderExport module");
+    expect(TokKind::LBrace);
+    TraderExport te;
+    while (!at(TokKind::RBrace)) {
+      auto [name, lit] = parse_const();
+      if (name == "TOD") {
+        if (!lit.is_string()) fail("TOD must be a string constant");
+        te.service_type = lit.as_string();
+      } else {
+        te.attributes.emplace_back(std::move(name), std::move(lit));
+      }
+    }
+    expect(TokKind::RBrace);
+    accept(TokKind::Semi);
+    if (te.service_type.empty()) {
+      fail("COSM_TraderExport requires a TOD (service type name) constant");
+    }
+    sid.trader_export = std::move(te);
+  }
+
+  void parse_fsm(Sid& sid) {
+    if (sid.fsm) fail("duplicate COSM_FSM module");
+    expect(TokKind::LBrace);
+    FsmSpec fsm;
+    while (!at(TokKind::RBrace)) {
+      if (accept_keyword("states")) {
+        expect(TokKind::LBrace);
+        while (!at(TokKind::RBrace)) {
+          fsm.states.push_back(expect(TokKind::Ident).text);
+          if (!accept(TokKind::Comma)) break;
+        }
+        expect(TokKind::RBrace);
+        expect(TokKind::Semi);
+      } else if (accept_keyword("initial")) {
+        fsm.initial = expect(TokKind::Ident).text;
+        expect(TokKind::Semi);
+      } else if (accept_keyword("transition")) {
+        FsmTransition tr;
+        tr.from = expect(TokKind::Ident).text;
+        tr.operation = expect(TokKind::Ident).text;
+        tr.to = expect(TokKind::Ident).text;
+        expect(TokKind::Semi);
+        fsm.transitions.push_back(std::move(tr));
+      } else if (accept(TokKind::LParen)) {
+        // Paper's tuple form: (INIT, SelectCar, SELECTED)
+        FsmTransition tr;
+        tr.from = expect(TokKind::Ident).text;
+        expect(TokKind::Comma);
+        tr.operation = expect(TokKind::Ident).text;
+        expect(TokKind::Comma);
+        tr.to = expect(TokKind::Ident).text;
+        expect(TokKind::RParen);
+        accept(TokKind::Comma);
+        accept(TokKind::Semi);
+        fsm.transitions.push_back(std::move(tr));
+      } else {
+        fail("expected states/initial/transition in COSM_FSM, found " +
+             describe(peek()));
+      }
+    }
+    expect(TokKind::RBrace);
+    accept(TokKind::Semi);
+    sid.fsm = std::move(fsm);
+  }
+
+  void parse_annotations(Sid& sid) {
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace)) {
+      expect_keyword("annotate");
+      std::string element = expect(TokKind::Ident).text;
+      std::string text = expect(TokKind::StringLit).text;
+      expect(TokKind::Semi);
+      sid.annotations[element] = std::move(text);
+    }
+    expect(TokKind::RBrace);
+    accept(TokKind::Semi);
+  }
+
+  /// §4.1 skipping rule: consume the module's balanced braces, preserving
+  /// its body text verbatim for onward transmission.
+  void skip_unknown_module(Sid& sid, std::string name) {
+    const Token& open = expect(TokKind::LBrace);
+    std::size_t body_begin = open.end;
+    int depth = 1;
+    std::size_t body_end = body_begin;
+    while (depth > 0) {
+      const Token& t = advance();
+      if (t.kind == TokKind::End) {
+        fail("unterminated module '" + name + "'");
+      }
+      if (t.kind == TokKind::LBrace) ++depth;
+      if (t.kind == TokKind::RBrace) {
+        --depth;
+        if (depth == 0) body_end = t.begin;
+      }
+    }
+    accept(TokKind::Semi);
+    sid.unknown_extensions.push_back(
+        {std::move(name),
+         std::string(source_.substr(body_begin, body_end - body_begin))});
+  }
+
+  std::string_view source_;
+  ParserOptions options_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, TypePtr> named_types_;
+};
+
+}  // namespace
+
+Sid parse_sid(std::string_view source, const ParserOptions& options) {
+  return Parser(source, options).parse_sid();
+}
+
+TypePtr parse_type(std::string_view source) {
+  return Parser(source, ParserOptions{}).parse_standalone_type();
+}
+
+}  // namespace cosm::sidl

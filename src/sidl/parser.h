@@ -1,0 +1,56 @@
+// SIDL parser: SIDL source text -> Sid model.
+//
+// The concrete syntax conforms to (a subset of) OMG CORBA IDL, extended the
+// way §4.1 describes: COSM-specific information is embedded as distinguished
+// modules (`COSM_TraderExport`, `COSM_FSM`, `COSM_Annotations`) inside the
+// service's module, and *unknown* modules are skipped but preserved verbatim
+// so the SID stays processable by components that understand fewer
+// extensions (the record-subtyping rule of Fig. 2).
+//
+// Accepted grammar sketch:
+//
+//   sid        := "module" IDENT "{" item* "}" ";"?
+//   item       := typedef | interface | submodule | const
+//   typedef    := "typedef" typespec IDENT ";"          // IDL order
+//              |  "typedef" IDENT typespec ";"          // paper's order
+//   typespec   := "void" | "boolean" | "long" | "short" | "float" | "double"
+//              |  "string" | "ServiceReference" | "SID"
+//              |  "enum" "{" IDENT ("," IDENT)* "}"
+//              |  "struct" "{" (typespec IDENT ";")* "}"
+//              |  "sequence" "<" typespec ">" | "optional" "<" typespec ">"
+//              |  IDENT                                  // earlier typedef
+//   interface  := "interface" IDENT "{" operation* "}" ";"?
+//   operation  := typespec IDENT "(" [param ("," param)*] ")" ";"
+//   param      := ("[" dir "]" | dir)? typespec IDENT?   // dir: in|out|inout
+//   const      := "const" (IDENT|typespec-keyword) IDENT "=" literal ";"
+//   COSM_FSM   := "states" "{" IDENT,+ "}" ";" "initial" IDENT ";"
+//                 ("transition" IDENT IDENT IDENT ";"
+//                  | "(" IDENT "," IDENT "," IDENT ")" ";"?)*
+//   COSM_Annotations := ("annotate" IDENT STRING ";")*
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sidl/sid.h"
+#include "sidl/type_desc.h"
+
+namespace cosm::sidl {
+
+struct ParserOptions {
+  /// When true, an unknown extension module is a parse error instead of
+  /// being skipped.  This deliberately violates the paper's skipping rule
+  /// and exists for the A1 ablation benchmark.
+  bool strict_unknown_modules = false;
+};
+
+/// Parse one SID (a single top-level module).  Throws cosm::ParseError.
+Sid parse_sid(std::string_view source, const ParserOptions& options = {});
+
+/// Parse a standalone type specification, e.g. "sequence<struct { long x; }>".
+/// Named references cannot be resolved here, so only self-contained specs
+/// are accepted.  Throws cosm::ParseError.
+TypePtr parse_type(std::string_view source);
+
+}  // namespace cosm::sidl

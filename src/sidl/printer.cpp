@@ -1,0 +1,177 @@
+#include "sidl/printer.h"
+
+#include <sstream>
+
+namespace cosm::sidl {
+
+namespace {
+
+/// Inside a SID, enum/struct types declared as typedefs are referenced by
+/// name; anonymous ones are expanded structurally.
+std::string type_ref(const TypeDesc& t) {
+  switch (t.kind()) {
+    case TypeKind::Enum:
+    case TypeKind::Struct:
+      if (!t.name().empty()) return t.name();
+      return print_type(t);
+    case TypeKind::Sequence:
+      return "sequence<" + type_ref(*t.element()) + ">";
+    case TypeKind::Optional:
+      return "optional<" + type_ref(*t.element()) + ">";
+    default:
+      return to_string(t.kind());
+  }
+}
+
+void print_typedef(std::ostream& os, const std::string& name, const TypeDesc& t) {
+  switch (t.kind()) {
+    case TypeKind::Enum: {
+      os << "  typedef enum {";
+      const auto& labels = t.labels();
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        os << (i ? ", " : " ") << labels[i];
+      }
+      os << " } " << name << ";\n";
+      return;
+    }
+    case TypeKind::Struct: {
+      os << "  typedef struct {";
+      if (t.fields().empty()) {
+        os << " } " << name << ";\n";
+        return;
+      }
+      os << "\n";
+      for (const auto& f : t.fields()) {
+        os << "    " << type_ref(*f.type) << " " << f.name << ";\n";
+      }
+      os << "  } " << name << ";\n";
+      return;
+    }
+    default:
+      os << "  typedef " << type_ref(t) << " " << name << ";\n";
+      return;
+  }
+}
+
+/// Spelling for a const declaration's type slot; the parser infers the value
+/// from the literal, so any identifier-shaped spelling that matches the
+/// literal's flavour will round-trip.
+std::string const_type_spelling(const Literal& lit) {
+  if (lit.is_bool()) return "boolean";
+  if (lit.is_int()) return "long";
+  if (lit.is_float()) return "double";
+  if (lit.is_string()) return "string";
+  return "long";  // enum label: declared enum type name is not preserved
+}
+
+}  // namespace
+
+std::string print_type(const TypeDesc& t) {
+  switch (t.kind()) {
+    case TypeKind::Enum: {
+      std::string s = "enum";
+      if (!t.name().empty()) s += " " + t.name();
+      s += " {";
+      const auto& labels = t.labels();
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        s += (i ? ", " : " ") + labels[i];
+      }
+      return s + " }";
+    }
+    case TypeKind::Struct: {
+      std::string s = "struct";
+      if (!t.name().empty()) s += " " + t.name();
+      s += " { ";
+      for (const auto& f : t.fields()) {
+        s += type_ref(*f.type) + " " + f.name + "; ";
+      }
+      return s + "}";
+    }
+    case TypeKind::Sequence:
+      return "sequence<" + print_type(*t.element()) + ">";
+    case TypeKind::Optional:
+      return "optional<" + print_type(*t.element()) + ">";
+    default:
+      return to_string(t.kind());
+  }
+}
+
+std::string print_sid(const Sid& sid) {
+  std::ostringstream os;
+  os << "module " << sid.name << " {\n";
+
+  for (const auto& [name, type] : sid.types) {
+    print_typedef(os, name, *type);
+  }
+
+  for (const auto& [name, lit] : sid.constants) {
+    os << "  const " << const_type_spelling(lit) << " " << name << " = "
+       << lit.to_sidl() << ";\n";
+  }
+
+  if (!sid.operations.empty()) {
+    os << "  interface "
+       << (sid.interface_name.empty() ? "COSM_Operations" : sid.interface_name)
+       << " {\n";
+    for (const auto& op : sid.operations) {
+      os << "    " << type_ref(*op.result) << " " << op.name << "(";
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        const auto& p = op.params[i];
+        if (i) os << ", ";
+        os << "[" << to_string(p.dir) << "] " << type_ref(*p.type) << " "
+           << p.name;
+      }
+      os << ");\n";
+    }
+    os << "  };\n";
+  }
+
+  if (sid.trader_export) {
+    const auto& te = *sid.trader_export;
+    os << "  module COSM_TraderExport {\n";
+    os << "    const string TOD = \"" << te.service_type << "\";\n";
+    for (const auto& [name, lit] : te.attributes) {
+      os << "    const " << const_type_spelling(lit) << " " << name << " = "
+         << lit.to_sidl() << ";\n";
+    }
+    os << "  };\n";
+  }
+
+  if (sid.fsm) {
+    const auto& fsm = *sid.fsm;
+    os << "  module COSM_FSM {\n";
+    os << "    states {";
+    for (std::size_t i = 0; i < fsm.states.size(); ++i) {
+      os << (i ? ", " : " ") << fsm.states[i];
+    }
+    os << " };\n";
+    os << "    initial " << fsm.initial << ";\n";
+    for (const auto& tr : fsm.transitions) {
+      os << "    transition " << tr.from << " " << tr.operation << " " << tr.to
+         << ";\n";
+    }
+    os << "  };\n";
+  }
+
+  if (!sid.annotations.empty()) {
+    os << "  module COSM_Annotations {\n";
+    for (const auto& [element, text] : sid.annotations) {
+      os << "    annotate " << element << " \"";
+      for (char c : text) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+      }
+      os << "\";\n";
+    }
+    os << "  };\n";
+  }
+
+  for (const auto& ext : sid.unknown_extensions) {
+    os << "  module " << ext.name << " {" << ext.raw_body << "};\n";
+  }
+
+  os << "};\n";
+  return os.str();
+}
+
+}  // namespace cosm::sidl

@@ -1,0 +1,25 @@
+// SID printer: Sid model -> canonical SIDL source text.
+//
+// Printing is how SIDs travel: a SID is transferred over the wire in its
+// SIDL source form and re-parsed on receipt (§3.1 "interface descriptions
+// are regarded as objects which can be communicated").  The printer is the
+// exact inverse of the parser for the canonical form:
+// parse_sid(print_sid(s)) == s for every well-formed s, including unknown
+// extension modules, which are re-emitted verbatim.
+
+#pragma once
+
+#include <string>
+
+#include "sidl/sid.h"
+
+namespace cosm::sidl {
+
+/// Render the SID as canonical SIDL text.
+std::string print_sid(const Sid& sid);
+
+/// Render a typespec the way the printer does inside a SID (named types are
+/// referenced by name, anonymous ones expanded inline).
+std::string print_type(const TypeDesc& type);
+
+}  // namespace cosm::sidl

@@ -1,0 +1,23 @@
+#include "sidl/service_ref.h"
+
+#include "common/error.h"
+
+namespace cosm::sidl {
+
+ServiceRef ServiceRef::from_string(const std::string& s) {
+  auto first = s.find('|');
+  if (first == std::string::npos) {
+    throw WireError("malformed service reference: '" + s + "'");
+  }
+  auto second = s.find('|', first + 1);
+  if (second == std::string::npos) {
+    throw WireError("malformed service reference: '" + s + "'");
+  }
+  ServiceRef ref;
+  ref.id = s.substr(0, first);
+  ref.endpoint = s.substr(first + 1, second - first - 1);
+  ref.interface_name = s.substr(second + 1);
+  return ref;
+}
+
+}  // namespace cosm::sidl

@@ -1,0 +1,33 @@
+// First-class service references (§3.2).
+//
+// A ServiceRef globally identifies a service instance and is a SIDL *base
+// type*: references travel as RPC parameters and return values, which is
+// what enables the Fig. 4 binding cascade (a browse result carries
+// references that seed further bindings).
+
+#pragma once
+
+#include <string>
+
+namespace cosm::sidl {
+
+struct ServiceRef {
+  /// Globally unique service instance id (e.g. "svc-42").
+  std::string id;
+  /// Transport endpoint, e.g. "inproc://carrental-1" or "tcp://127.0.0.1:9901".
+  std::string endpoint;
+  /// Name of the service's SID module, e.g. "CarRentalService".
+  std::string interface_name;
+
+  bool valid() const noexcept { return !id.empty() && !endpoint.empty(); }
+
+  bool operator==(const ServiceRef&) const = default;
+
+  /// "id|endpoint|interface" — the wire form.
+  std::string to_string() const { return id + "|" + endpoint + "|" + interface_name; }
+
+  /// Inverse of to_string(); throws cosm::WireError on malformed input.
+  static ServiceRef from_string(const std::string& s);
+};
+
+}  // namespace cosm::sidl

@@ -1,0 +1,130 @@
+#include "sidl/sid.h"
+
+#include <algorithm>
+
+namespace cosm::sidl {
+
+std::string to_string(ParamDir dir) {
+  switch (dir) {
+    case ParamDir::In: return "in";
+    case ParamDir::Out: return "out";
+    case ParamDir::InOut: return "inout";
+  }
+  return "?";
+}
+
+bool FsmSpec::has_state(const std::string& s) const {
+  return std::find(states.begin(), states.end(), s) != states.end();
+}
+
+const FsmTransition* FsmSpec::find(const std::string& state,
+                                   const std::string& operation) const {
+  for (const auto& t : transitions) {
+    if (t.from == state && t.operation == operation) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> FsmSpec::allowed(const std::string& state) const {
+  std::vector<std::string> ops;
+  for (const auto& t : transitions) {
+    if (t.from == state &&
+        std::find(ops.begin(), ops.end(), t.operation) == ops.end()) {
+      ops.push_back(t.operation);
+    }
+  }
+  return ops;
+}
+
+const Literal* TraderExport::find(const std::string& attr) const {
+  for (const auto& [name, value] : attributes) {
+    if (name == attr) return &value;
+  }
+  return nullptr;
+}
+
+const OperationDesc* Sid::find_operation(const std::string& op_name) const {
+  for (const auto& op : operations) {
+    if (op.name == op_name) return &op;
+  }
+  return nullptr;
+}
+
+TypePtr Sid::find_type(const std::string& type_name) const {
+  for (const auto& [name, type] : types) {
+    if (name == type_name) return type;
+  }
+  return nullptr;
+}
+
+const std::string* Sid::find_annotation(const std::string& element) const {
+  auto it = annotations.find(element);
+  return it == annotations.end() ? nullptr : &it->second;
+}
+
+std::size_t Sid::extension_count() const {
+  std::size_t n = unknown_extensions.size();
+  if (fsm) ++n;
+  if (trader_export) ++n;
+  if (!annotations.empty()) ++n;
+  return n;
+}
+
+bool Sid::operator==(const Sid& o) const {
+  if (name != o.name || interface_name != o.interface_name) return false;
+  if (operations != o.operations || constants != o.constants) return false;
+  if (fsm != o.fsm || trader_export != o.trader_export) return false;
+  if (annotations != o.annotations || unknown_extensions != o.unknown_extensions) {
+    return false;
+  }
+  if (types.size() != o.types.size()) return false;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (types[i].first != o.types[i].first) return false;
+    if (!types[i].second->equals(*o.types[i].second)) return false;
+  }
+  return true;
+}
+
+bool conforms_to(const Sid& sub, const Sid& base) {
+  // Every base type name must be present ("contains at least the elements
+  // of SIDBase", Fig. 2).  Shapes are not compared here: a named type may
+  // legitimately evolve covariantly (results) or contravariantly
+  // (in-parameters), and the per-operation checks below apply the right
+  // variance at each use site.
+  for (const auto& [name, base_type] : base.types) {
+    (void)base_type;
+    if (!sub.find_type(name)) return false;
+  }
+  // Every base operation must be present with a conforming signature.
+  for (const auto& base_op : base.operations) {
+    const OperationDesc* sub_op = sub.find_operation(base_op.name);
+    if (!sub_op) return false;
+    // Covariant result: the sub's result must conform to the base's.
+    if (!conforms_to(*sub_op->result, *base_op.result)) return false;
+    if (sub_op->params.size() != base_op.params.size()) return false;
+    for (std::size_t i = 0; i < base_op.params.size(); ++i) {
+      const ParamDesc& sp = sub_op->params[i];
+      const ParamDesc& bp = base_op.params[i];
+      if (sp.dir != bp.dir) return false;
+      bool ok = false;
+      switch (bp.dir) {
+        case ParamDir::In:
+          // Contravariant: the sub must accept everything the base accepts.
+          ok = conforms_to(*bp.type, *sp.type);
+          break;
+        case ParamDir::Out:
+          // Covariant: what the sub produces must fit what callers expect.
+          ok = conforms_to(*sp.type, *bp.type);
+          break;
+        case ParamDir::InOut:
+          // Invariant.
+          ok = sp.type->equals(*bp.type);
+          break;
+      }
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cosm::sidl

@@ -1,0 +1,155 @@
+// The Service Interface Description (SID) model — the paper's central data
+// structure (§3.1).
+//
+// A SID is a *communicable first-class object*: it travels over the wire (in
+// its SIDL source form), is registered at browsers, stored in interface
+// repositories, and interpreted by generic clients to generate user
+// interfaces, marshal parameters dynamically and enforce the service's FSM
+// protocol locally.
+//
+// The model realises the paper's record-subtyping scheme (Fig. 2): a SID
+// always carries the *base* elements (type definitions + operation
+// signatures) and optionally any number of *extension* elements.  Known
+// extensions (FSM spec, trader export, annotations) are parsed into typed
+// form; unknown extensions are preserved verbatim so the SID stays
+// processable — and re-transmittable — by components that do not understand
+// them (§4.1: "IDL interpreters can be extended to recognise only known
+// module names and skip those that do not bear any meaning to them").
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sidl/literal.h"
+#include "sidl/type_desc.h"
+
+namespace cosm::sidl {
+
+/// Parameter passing direction, CORBA-IDL style.
+enum class ParamDir { In, Out, InOut };
+
+std::string to_string(ParamDir dir);
+
+struct ParamDesc {
+  ParamDir dir = ParamDir::In;
+  std::string name;
+  TypePtr type;
+
+  bool operator==(const ParamDesc& o) const {
+    return dir == o.dir && name == o.name && type->equals(*o.type);
+  }
+};
+
+/// One operation signature in the service's computational interface.
+struct OperationDesc {
+  std::string name;
+  TypePtr result;  // TypeDesc::void_() for void operations
+  std::vector<ParamDesc> params;
+
+  bool operator==(const OperationDesc& o) const {
+    return name == o.name && result->equals(*o.result) && params == o.params;
+  }
+};
+
+/// One allowed transition: (current state, operation, resulting state).
+struct FsmTransition {
+  std::string from;
+  std::string operation;
+  std::string to;
+
+  bool operator==(const FsmTransition&) const = default;
+};
+
+/// Finite-state-machine restriction of legal invocation sequences (§3.1).
+struct FsmSpec {
+  std::vector<std::string> states;
+  std::string initial;
+  std::vector<FsmTransition> transitions;
+
+  bool operator==(const FsmSpec&) const = default;
+
+  bool has_state(const std::string& s) const;
+  /// The transition enabled for (state, operation), or nullptr if the
+  /// operation is not allowed in that state.
+  const FsmTransition* find(const std::string& state, const std::string& operation) const;
+  /// All operations allowed in `state`.
+  std::vector<std::string> allowed(const std::string& state) const;
+};
+
+/// COSM_TraderExport extension: the service-type name and property values
+/// needed to additionally register the service at an ODP trader (§4.1).
+struct TraderExport {
+  /// "TOD" — type-of-description: the ODP service type name.
+  std::string service_type;
+  /// Property values in declaration order, e.g. {"ChargePerDay", 80.0}.
+  std::vector<std::pair<std::string, Literal>> attributes;
+
+  bool operator==(const TraderExport&) const = default;
+
+  const Literal* find(const std::string& attr) const;
+};
+
+/// An extension module this component does not understand, preserved
+/// verbatim (including whitespace) for onward transmission.
+struct ExtensionModule {
+  std::string name;
+  std::string raw_body;  // text between the module's braces
+
+  bool operator==(const ExtensionModule&) const = default;
+};
+
+class Sid;
+using SidPtr = std::shared_ptr<const Sid>;
+
+/// A complete service interface description.
+class Sid {
+ public:
+  /// Service/module name, e.g. "CarRentalService".
+  std::string name;
+
+  /// Interface name the operations were declared under (first interface
+  /// block), e.g. "COSM_Operations".
+  std::string interface_name;
+
+  /// Named type definitions in declaration order.
+  std::vector<std::pair<std::string, TypePtr>> types;
+
+  /// Operation signatures (merged across interface blocks, in order).
+  std::vector<OperationDesc> operations;
+
+  /// Top-level constants (outside any COSM extension module).
+  std::vector<std::pair<std::string, Literal>> constants;
+
+  // --- extensions (each optional; their presence makes this a subtype of
+  // the base SID in the Fig. 2 sense) ---
+  std::optional<FsmSpec> fsm;
+  std::optional<TraderExport> trader_export;
+  /// element name (operation, parameter or type) -> natural-language text.
+  std::map<std::string, std::string> annotations;
+  /// Unknown extension modules, preserved raw.
+  std::vector<ExtensionModule> unknown_extensions;
+
+  // --- lookups ---
+  const OperationDesc* find_operation(const std::string& op_name) const;
+  TypePtr find_type(const std::string& type_name) const;
+  const std::string* find_annotation(const std::string& element) const;
+
+  /// Number of extension elements present (known + unknown) — the "distance"
+  /// above the base SID type.
+  std::size_t extension_count() const;
+
+  bool operator==(const Sid& o) const;
+};
+
+/// SID conformance (Fig. 2): `sub` conforms to `base` iff it offers at least
+/// the base's named types (by name) and at least the base's operations with
+/// conforming signatures — covariant results, contravariant in-parameters,
+/// invariant inout-parameters, all by structural conformance at the use
+/// site.  Extensions never break conformance.
+bool conforms_to(const Sid& sub, const Sid& base);
+
+}  // namespace cosm::sidl

@@ -1,0 +1,184 @@
+#include "sidl/type_desc.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosm::sidl {
+
+std::string to_string(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::Void: return "void";
+    case TypeKind::Bool: return "boolean";
+    case TypeKind::Int: return "long";
+    case TypeKind::Float: return "double";
+    case TypeKind::String: return "string";
+    case TypeKind::Enum: return "enum";
+    case TypeKind::Struct: return "struct";
+    case TypeKind::Sequence: return "sequence";
+    case TypeKind::Optional: return "optional";
+    case TypeKind::ServiceRef: return "ServiceReference";
+    case TypeKind::Sid: return "SID";
+    case TypeKind::Any: return "any";
+  }
+  return "?";
+}
+
+TypePtr TypeDesc::void_() {
+  static const TypePtr t{new TypeDesc(TypeKind::Void)};
+  return t;
+}
+TypePtr TypeDesc::bool_() {
+  static const TypePtr t{new TypeDesc(TypeKind::Bool)};
+  return t;
+}
+TypePtr TypeDesc::int_() {
+  static const TypePtr t{new TypeDesc(TypeKind::Int)};
+  return t;
+}
+TypePtr TypeDesc::float_() {
+  static const TypePtr t{new TypeDesc(TypeKind::Float)};
+  return t;
+}
+TypePtr TypeDesc::string_() {
+  static const TypePtr t{new TypeDesc(TypeKind::String)};
+  return t;
+}
+TypePtr TypeDesc::service_ref() {
+  static const TypePtr t{new TypeDesc(TypeKind::ServiceRef)};
+  return t;
+}
+TypePtr TypeDesc::sid() {
+  static const TypePtr t{new TypeDesc(TypeKind::Sid)};
+  return t;
+}
+TypePtr TypeDesc::any() {
+  static const TypePtr t{new TypeDesc(TypeKind::Any)};
+  return t;
+}
+
+TypePtr TypeDesc::enum_(std::string name, std::vector<std::string> labels) {
+  if (labels.empty()) throw ContractError("enum type needs at least one label");
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc(TypeKind::Enum));
+  t->name_ = std::move(name);
+  t->labels_ = std::move(labels);
+  return t;
+}
+
+TypePtr TypeDesc::struct_(std::string name, std::vector<FieldDesc> fields) {
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc(TypeKind::Struct));
+  t->name_ = std::move(name);
+  for (const auto& f : fields) {
+    if (!f.type) throw ContractError("struct field '" + f.name + "' has null type");
+  }
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+TypePtr TypeDesc::sequence(TypePtr element) {
+  if (!element) throw ContractError("sequence element type is null");
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc(TypeKind::Sequence));
+  t->element_ = std::move(element);
+  return t;
+}
+
+TypePtr TypeDesc::optional(TypePtr element) {
+  if (!element) throw ContractError("optional element type is null");
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc(TypeKind::Optional));
+  t->element_ = std::move(element);
+  return t;
+}
+
+int TypeDesc::label_index(const std::string& label) const noexcept {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const FieldDesc* TypeDesc::find_field(const std::string& field_name) const noexcept {
+  for (const auto& f : fields_) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+bool TypeDesc::equals(const TypeDesc& other) const noexcept {
+  if (this == &other) return true;
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::Enum:
+      return name_ == other.name_ && labels_ == other.labels_;
+    case TypeKind::Struct: {
+      if (name_ != other.name_ || fields_.size() != other.fields_.size()) return false;
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->equals(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+    case TypeKind::Sequence:
+    case TypeKind::Optional:
+      return element_->equals(*other.element_);
+    default:
+      return true;  // primitive kinds carry no payload
+  }
+}
+
+std::string TypeDesc::describe() const {
+  switch (kind_) {
+    case TypeKind::Enum: {
+      std::string s = "enum " + name_ + " { ";
+      for (std::size_t i = 0; i < labels_.size(); ++i) {
+        if (i) s += ", ";
+        s += labels_[i];
+      }
+      return s + " }";
+    }
+    case TypeKind::Struct: {
+      std::string s = "struct " + name_ + " { ";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i) s += "; ";
+        s += fields_[i].type->kind() == TypeKind::Struct ||
+                     fields_[i].type->kind() == TypeKind::Enum
+                 ? fields_[i].type->name()
+                 : fields_[i].type->describe();
+        s += " " + fields_[i].name;
+      }
+      return s + " }";
+    }
+    case TypeKind::Sequence:
+      return "sequence<" + element_->describe() + ">";
+    case TypeKind::Optional:
+      return "optional<" + element_->describe() + ">";
+    default:
+      return to_string(kind_);
+  }
+}
+
+bool conforms_to(const TypeDesc& sub, const TypeDesc& base) {
+  if (&sub == &base) return true;
+  if (base.kind() == TypeKind::Any) return true;  // top type
+  if (sub.kind() != base.kind()) return false;
+  switch (base.kind()) {
+    case TypeKind::Enum:
+      // Every base label must be offered by the subtype.
+      return std::all_of(base.labels().begin(), base.labels().end(),
+                         [&](const std::string& l) { return sub.label_index(l) >= 0; });
+    case TypeKind::Struct:
+      // Width subtyping: sub must have every base field, conforming; extra
+      // fields are exactly the "additional elements" of Fig. 2.
+      return std::all_of(base.fields().begin(), base.fields().end(),
+                         [&](const FieldDesc& bf) {
+                           const FieldDesc* sf = sub.find_field(bf.name);
+                           return sf != nullptr && conforms_to(*sf->type, *bf.type);
+                         });
+    case TypeKind::Sequence:
+    case TypeKind::Optional:
+      return conforms_to(*sub.element(), *base.element());
+    default:
+      return true;
+  }
+}
+
+}  // namespace cosm::sidl

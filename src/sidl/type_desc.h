@@ -1,0 +1,116 @@
+// Dynamic type descriptions for SIDL-described values.
+//
+// A TypeDesc is the runtime representation of a SIDL type.  It drives the
+// dynamic marshaller (src/wire), UI form generation (src/uims) and trader
+// attribute schemas (src/trader).  TypeDescs are immutable and shared via
+// shared_ptr<const TypeDesc> (TypePtr); structural equality is what matters,
+// not identity.
+//
+// Supported kinds mirror the paper's SIDL: primitives (void, boolean, long,
+// float/double, string), enumerations, structs (records), sequences,
+// optionals, and the two COSM base types that make mediation work:
+// ServiceRef (first-class service references, §3.2) and Sid (interface
+// descriptions as communicable first-class objects, §3.1).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cosm::sidl {
+
+class TypeDesc;
+using TypePtr = std::shared_ptr<const TypeDesc>;
+
+enum class TypeKind {
+  Void,
+  Bool,
+  Int,     // SIDL "long": 64-bit signed
+  Float,   // SIDL "float"/"double": IEEE double
+  String,
+  Enum,
+  Struct,
+  Sequence,
+  Optional,
+  ServiceRef,
+  Sid,
+  /// Matches any value ("any" in SIDL).  Used where genericity is the point:
+  /// trader attribute values, browser registries.
+  Any,
+};
+
+/// Human-readable kind name ("struct", "sequence", ...).
+std::string to_string(TypeKind kind);
+
+struct FieldDesc {
+  std::string name;
+  TypePtr type;
+};
+
+class TypeDesc {
+ public:
+  // Factory functions; primitive singletons are shared process-wide.
+  static TypePtr void_();
+  static TypePtr bool_();
+  static TypePtr int_();
+  static TypePtr float_();
+  static TypePtr string_();
+  static TypePtr service_ref();
+  static TypePtr sid();
+  static TypePtr any();
+  static TypePtr enum_(std::string name, std::vector<std::string> labels);
+  static TypePtr struct_(std::string name, std::vector<FieldDesc> fields);
+  static TypePtr sequence(TypePtr element);
+  static TypePtr optional(TypePtr element);
+
+  TypeKind kind() const noexcept { return kind_; }
+  bool is(TypeKind k) const noexcept { return kind_ == k; }
+
+  /// Type name for Enum/Struct; empty for anonymous/other kinds.
+  const std::string& name() const noexcept { return name_; }
+
+  /// Enum labels (Enum only).
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  /// Index of a label, or -1 if absent (Enum only).
+  int label_index(const std::string& label) const noexcept;
+
+  /// Struct fields (Struct only).
+  const std::vector<FieldDesc>& fields() const noexcept { return fields_; }
+  /// Field lookup by name; nullptr if absent (Struct only).
+  const FieldDesc* find_field(const std::string& field_name) const noexcept;
+
+  /// Element type (Sequence/Optional only).
+  const TypePtr& element() const noexcept { return element_; }
+
+  /// Structural equality.
+  bool equals(const TypeDesc& other) const noexcept;
+
+  /// Compact human-readable description, e.g.
+  /// "struct SelectCar_t { CarModel_t model; string date }".
+  std::string describe() const;
+
+ private:
+  explicit TypeDesc(TypeKind kind) : kind_(kind) {}
+
+  TypeKind kind_;
+  std::string name_;
+  std::vector<std::string> labels_;
+  std::vector<FieldDesc> fields_;
+  TypePtr element_;
+};
+
+/// Structural width-subtyping conformance check (§3.1, Fig. 2):
+///   * identical primitives conform;
+///   * an enum conforms to a base enum if it offers at least the base's
+///     labels (so every base value stays representable);
+///   * a struct conforms to a base struct if it has every base field with a
+///     conforming type (extra fields allowed — record subtyping as in
+///     Quest/TL, the languages the paper cites);
+///   * sequences and optionals are covariant in their element type.
+bool conforms_to(const TypeDesc& sub, const TypeDesc& base);
+inline bool conforms_to(const TypePtr& sub, const TypePtr& base) {
+  return sub && base && conforms_to(*sub, *base);
+}
+
+}  // namespace cosm::sidl

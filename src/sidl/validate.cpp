@@ -1,0 +1,106 @@
+#include "sidl/validate.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace cosm::sidl {
+
+std::vector<std::string> validate_sid(const Sid& sid) {
+  std::vector<std::string> issues;
+  auto issue = [&](std::string msg) { issues.push_back(std::move(msg)); };
+
+  if (sid.name.empty()) issue("SID has no module name");
+
+  // Operation-level rules.
+  for (const auto& op : sid.operations) {
+    std::set<std::string> param_names;
+    for (const auto& p : op.params) {
+      if (!param_names.insert(p.name).second) {
+        issue("operation '" + op.name + "' has duplicate parameter '" + p.name + "'");
+      }
+    }
+  }
+
+  // FSM rules.
+  if (sid.fsm) {
+    const FsmSpec& fsm = *sid.fsm;
+    if (fsm.states.empty()) {
+      issue("FSM declares no states");
+    }
+    std::set<std::string> states(fsm.states.begin(), fsm.states.end());
+    if (states.size() != fsm.states.size()) {
+      issue("FSM declares duplicate states");
+    }
+    if (fsm.initial.empty()) {
+      issue("FSM has no initial state");
+    } else if (!states.count(fsm.initial)) {
+      issue("FSM initial state '" + fsm.initial + "' is not declared");
+    }
+    std::set<std::pair<std::string, std::string>> seen;
+    for (const auto& tr : fsm.transitions) {
+      if (!states.count(tr.from)) {
+        issue("FSM transition source state '" + tr.from + "' is not declared");
+      }
+      if (!states.count(tr.to)) {
+        issue("FSM transition target state '" + tr.to + "' is not declared");
+      }
+      if (sid.find_operation(tr.operation) == nullptr) {
+        issue("FSM transition operation '" + tr.operation +
+              "' is not in the service signature");
+      }
+      if (!seen.insert({tr.from, tr.operation}).second) {
+        issue("FSM has conflicting transitions for (" + tr.from + ", " +
+              tr.operation + ") — the machine must be deterministic");
+      }
+    }
+  }
+
+  // Trader-export rules.
+  if (sid.trader_export) {
+    const TraderExport& te = *sid.trader_export;
+    if (te.service_type.empty()) {
+      issue("trader export has empty service type (TOD)");
+    }
+    std::set<std::string> attrs;
+    for (const auto& [name, lit] : te.attributes) {
+      (void)lit;
+      if (!attrs.insert(name).second) {
+        issue("trader export has duplicate attribute '" + name + "'");
+      }
+    }
+  }
+
+  // Annotation targets should exist: operation, parameter, type, state or
+  // the service itself.
+  for (const auto& [element, text] : sid.annotations) {
+    (void)text;
+    bool known = element == sid.name || sid.find_operation(element) != nullptr ||
+                 sid.find_type(element) != nullptr;
+    if (!known && sid.fsm) {
+      known = sid.fsm->has_state(element);
+    }
+    if (!known) {
+      for (const auto& op : sid.operations) {
+        for (const auto& p : op.params) {
+          if (p.name == element) known = true;
+        }
+      }
+    }
+    if (!known) {
+      issue("annotation target '" + element + "' does not name any SID element");
+    }
+  }
+
+  return issues;
+}
+
+void ensure_valid(const Sid& sid) {
+  auto issues = validate_sid(sid);
+  if (issues.empty()) return;
+  std::string msg = "SID '" + sid.name + "' is not well-formed:";
+  for (const auto& i : issues) msg += "\n  - " + i;
+  throw TypeError(msg);
+}
+
+}  // namespace cosm::sidl

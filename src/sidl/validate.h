@@ -1,0 +1,24 @@
+// SID well-formedness validation.
+//
+// Parsing guarantees syntactic shape; validation checks the cross-element
+// rules: the FSM must reference declared states and real operations, trader
+// attributes must be unique, parameter names must be unique per operation,
+// annotations should point at existing elements.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sidl/sid.h"
+
+namespace cosm::sidl {
+
+/// All well-formedness violations found, as human-readable messages; empty
+/// means the SID is valid.
+std::vector<std::string> validate_sid(const Sid& sid);
+
+/// Throws cosm::TypeError listing every violation if the SID is not valid.
+void ensure_valid(const Sid& sid);
+
+}  // namespace cosm::sidl

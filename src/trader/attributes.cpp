@@ -1,0 +1,25 @@
+#include "trader/attributes.h"
+
+#include "common/error.h"
+
+namespace cosm::trader {
+
+wire::Value attrs_to_value(const AttrMap& attrs) {
+  std::vector<wire::Value> items;
+  items.reserve(attrs.size());
+  for (const auto& [name, value] : attrs) {
+    items.push_back(wire::Value::structure(
+        "Attribute_t", {{"name", wire::Value::string(name)}, {"value", value}}));
+  }
+  return wire::Value::sequence(std::move(items));
+}
+
+AttrMap attrs_from_value(const wire::Value& value) {
+  AttrMap attrs;
+  for (const wire::Value& item : value.elements()) {
+    attrs[item.at("name").as_string()] = item.at("value");
+  }
+  return attrs;
+}
+
+}  // namespace cosm::trader

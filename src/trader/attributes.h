@@ -1,0 +1,25 @@
+// Service-property attribute maps and their wire representation.
+//
+// An offer's attributes are named scalar values ("ChargePerDay" -> 80.0).
+// On the wire they travel as a sequence of Attribute_t structs whose value
+// field is `any` — the trader facade works for every service type without
+// per-type stubs.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "wire/value.h"
+
+namespace cosm::trader {
+
+using AttrMap = std::map<std::string, wire::Value>;
+
+/// AttrMap -> sequence of Attribute_t{ name, value } structs.
+wire::Value attrs_to_value(const AttrMap& attrs);
+
+/// Inverse of attrs_to_value; throws cosm::TypeError on malformed input.
+AttrMap attrs_from_value(const wire::Value& value);
+
+}  // namespace cosm::trader

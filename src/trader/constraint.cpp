@@ -1,0 +1,444 @@
+#include "trader/constraint.h"
+
+#include <cctype>
+#include <optional>
+#include <set>
+
+#include "common/error.h"
+
+namespace cosm::trader {
+
+namespace detail {
+
+enum class NodeKind { And, Or, Not, Exists, Cmp, In, True, False };
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// One operand of a comparison: either a literal or an attribute name that
+/// resolves at evaluation time (falling back to a label literal when the
+/// attribute is absent everywhere).
+struct Operand {
+  enum class Kind { Ident, Int, Float, String };
+  Kind kind = Kind::Ident;
+  std::string text;   // Ident name or String payload
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+struct Node {
+  NodeKind kind;
+  std::unique_ptr<Node> lhs;  // And/Or/Not
+  std::unique_ptr<Node> rhs;  // And/Or
+  std::string attr;           // Exists
+  CmpOp op = CmpOp::Eq;       // Cmp
+  Operand a, b;               // Cmp; `a` also the In subject
+  std::vector<Operand> set;   // In members
+};
+
+namespace {
+
+// ---- evaluation ----
+
+/// Resolved operand value at evaluation time.
+struct Resolved {
+  enum class Kind { Missing, Number, Text, Boolean };
+  Kind kind = Kind::Missing;
+  double number = 0.0;
+  std::string text;
+  bool boolean = false;
+};
+
+Resolved resolve_value(const wire::Value& v) {
+  using wire::ValueKind;
+  Resolved r;
+  switch (v.kind()) {
+    case ValueKind::Int:
+      r.kind = Resolved::Kind::Number;
+      r.number = static_cast<double>(v.as_int());
+      return r;
+    case ValueKind::Float:
+      r.kind = Resolved::Kind::Number;
+      r.number = v.as_real();
+      return r;
+    case ValueKind::String:
+      r.kind = Resolved::Kind::Text;
+      r.text = v.as_string();
+      return r;
+    case ValueKind::Enum:
+      // Enum values compare by label (so `Currency == USD` works).
+      r.kind = Resolved::Kind::Text;
+      r.text = v.enum_label();
+      return r;
+    case ValueKind::Bool:
+      r.kind = Resolved::Kind::Boolean;
+      r.boolean = v.as_bool();
+      return r;
+    default:
+      return r;  // structured attributes are not comparable
+  }
+}
+
+Resolved resolve_operand(const Operand& o, const AttrMap& attrs) {
+  Resolved r;
+  switch (o.kind) {
+    case Operand::Kind::Int:
+      r.kind = Resolved::Kind::Number;
+      r.number = static_cast<double>(o.i);
+      return r;
+    case Operand::Kind::Float:
+      r.kind = Resolved::Kind::Number;
+      r.number = o.f;
+      return r;
+    case Operand::Kind::String:
+      r.kind = Resolved::Kind::Text;
+      r.text = o.text;
+      return r;
+    case Operand::Kind::Ident: {
+      if (o.text == "true" || o.text == "false") {
+        r.kind = Resolved::Kind::Boolean;
+        r.boolean = o.text == "true";
+        return r;
+      }
+      auto it = attrs.find(o.text);
+      if (it != attrs.end()) return resolve_value(it->second);
+      // Not an attribute of this offer: the identifier denotes itself
+      // (enum label / symbolic constant).
+      r.kind = Resolved::Kind::Text;
+      r.text = o.text;
+      return r;
+    }
+  }
+  return r;
+}
+
+bool compare(CmpOp op, const Resolved& a, const Resolved& b) {
+  if (a.kind == Resolved::Kind::Missing || b.kind == Resolved::Kind::Missing) {
+    return false;
+  }
+  if (a.kind != b.kind) return false;
+  int cmp;
+  switch (a.kind) {
+    case Resolved::Kind::Number:
+      cmp = a.number < b.number ? -1 : (a.number > b.number ? 1 : 0);
+      break;
+    case Resolved::Kind::Text:
+      cmp = a.text.compare(b.text) < 0 ? -1 : (a.text == b.text ? 0 : 1);
+      break;
+    case Resolved::Kind::Boolean:
+      cmp = static_cast<int>(a.boolean) - static_cast<int>(b.boolean);
+      break;
+    default:
+      return false;
+  }
+  switch (op) {
+    case CmpOp::Eq: return cmp == 0;
+    case CmpOp::Ne: return cmp != 0;
+    case CmpOp::Lt: return cmp < 0;
+    case CmpOp::Le: return cmp <= 0;
+    case CmpOp::Gt: return cmp > 0;
+    case CmpOp::Ge: return cmp >= 0;
+  }
+  return false;
+}
+
+bool eval_node(const Node& n, const AttrMap& attrs) {
+  switch (n.kind) {
+    case NodeKind::True: return true;
+    case NodeKind::False: return false;
+    case NodeKind::And: return eval_node(*n.lhs, attrs) && eval_node(*n.rhs, attrs);
+    case NodeKind::Or: return eval_node(*n.lhs, attrs) || eval_node(*n.rhs, attrs);
+    case NodeKind::Not: return !eval_node(*n.lhs, attrs);
+    case NodeKind::Exists: return attrs.count(n.attr) > 0;
+    case NodeKind::Cmp:
+      return compare(n.op, resolve_operand(n.a, attrs), resolve_operand(n.b, attrs));
+    case NodeKind::In: {
+      Resolved subject = resolve_operand(n.a, attrs);
+      for (const Operand& member : n.set) {
+        if (compare(CmpOp::Eq, subject, resolve_operand(member, attrs))) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void collect_attrs(const Node& n, std::set<std::string>& out) {
+  switch (n.kind) {
+    case NodeKind::And:
+    case NodeKind::Or:
+      collect_attrs(*n.lhs, out);
+      collect_attrs(*n.rhs, out);
+      return;
+    case NodeKind::Not:
+      collect_attrs(*n.lhs, out);
+      return;
+    case NodeKind::Exists:
+      out.insert(n.attr);
+      return;
+    case NodeKind::Cmp:
+      if (n.a.kind == Operand::Kind::Ident) out.insert(n.a.text);
+      if (n.b.kind == Operand::Kind::Ident) out.insert(n.b.text);
+      return;
+    case NodeKind::In:
+      if (n.a.kind == Operand::Kind::Ident) out.insert(n.a.text);
+      for (const Operand& member : n.set) {
+        if (member.kind == Operand::Kind::Ident) out.insert(member.text);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+// ---- parsing ----
+
+struct CTok {
+  enum class Kind { Ident, Int, Float, String, AndAnd, OrOr, Not, LParen, RParen,
+                    LBrace, RBrace, Comma, Eq, Ne, Lt, Le, Gt, Ge, End };
+  Kind kind;
+  std::string text;
+  int column;
+};
+
+std::vector<CTok> lex(const std::string& s) {
+  std::vector<CTok> toks;
+  std::size_t i = 0;
+  auto err = [&](const std::string& m) {
+    throw ParseError("constraint: " + m, 1, static_cast<int>(i + 1));
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    int col = static_cast<int>(i + 1);
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+    auto push = [&](CTok::Kind k, std::string text, std::size_t advance_by) {
+      toks.push_back({k, std::move(text), col});
+      i += advance_by;
+    };
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < s.size() && (std::isalnum(static_cast<unsigned char>(s[j])) || s[j] == '_')) ++j;
+      push(CTok::Kind::Ident, s.substr(i, j - i), j - i);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < s.size() &&
+                std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      std::size_t j = i + 1;
+      bool is_float = false;
+      while (j < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[j])) || s[j] == '.')) {
+        if (s[j] == '.') is_float = true;
+        ++j;
+      }
+      push(is_float ? CTok::Kind::Float : CTok::Kind::Int, s.substr(i, j - i), j - i);
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != quote) ++j;
+      if (j >= s.size()) err("unterminated string literal");
+      push(CTok::Kind::String, s.substr(i + 1, j - i - 1), j - i + 1);
+    } else if (c == '&' && i + 1 < s.size() && s[i + 1] == '&') {
+      push(CTok::Kind::AndAnd, "&&", 2);
+    } else if (c == '|' && i + 1 < s.size() && s[i + 1] == '|') {
+      push(CTok::Kind::OrOr, "||", 2);
+    } else if (c == '=' && i + 1 < s.size() && s[i + 1] == '=') {
+      push(CTok::Kind::Eq, "==", 2);
+    } else if (c == '!' && i + 1 < s.size() && s[i + 1] == '=') {
+      push(CTok::Kind::Ne, "!=", 2);
+    } else if (c == '<' && i + 1 < s.size() && s[i + 1] == '=') {
+      push(CTok::Kind::Le, "<=", 2);
+    } else if (c == '>' && i + 1 < s.size() && s[i + 1] == '=') {
+      push(CTok::Kind::Ge, ">=", 2);
+    } else if (c == '<') {
+      push(CTok::Kind::Lt, "<", 1);
+    } else if (c == '>') {
+      push(CTok::Kind::Gt, ">", 1);
+    } else if (c == '!') {
+      push(CTok::Kind::Not, "!", 1);
+    } else if (c == '(') {
+      push(CTok::Kind::LParen, "(", 1);
+    } else if (c == ')') {
+      push(CTok::Kind::RParen, ")", 1);
+    } else if (c == '{') {
+      push(CTok::Kind::LBrace, "{", 1);
+    } else if (c == '}') {
+      push(CTok::Kind::RBrace, "}", 1);
+    } else if (c == ',') {
+      push(CTok::Kind::Comma, ",", 1);
+    } else {
+      err(std::string("unexpected character '") + c + "'");
+    }
+  }
+  toks.push_back({CTok::Kind::End, "", static_cast<int>(s.size() + 1)});
+  return toks;
+}
+
+class ConstraintParser {
+ public:
+  explicit ConstraintParser(std::vector<CTok> toks) : toks_(std::move(toks)) {}
+
+  std::unique_ptr<Node> parse() {
+    auto node = parse_or();
+    if (!at(CTok::Kind::End)) fail("trailing input after expression");
+    return node;
+  }
+
+ private:
+  const CTok& peek() const { return toks_[pos_]; }
+  bool at(CTok::Kind k) const { return peek().kind == k; }
+  const CTok& advance() { return toks_[pos_ == toks_.size() - 1 ? pos_ : pos_++]; }
+  bool accept(CTok::Kind k) {
+    if (at(k)) { advance(); return true; }
+    return false;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("constraint: " + msg, 1, peek().column);
+  }
+
+  std::unique_ptr<Node> parse_or() {
+    auto lhs = parse_and();
+    while (accept(CTok::Kind::OrOr)) {
+      auto node = std::make_unique<Node>();
+      node->kind = NodeKind::Or;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_and();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_and() {
+    auto lhs = parse_unary();
+    while (accept(CTok::Kind::AndAnd)) {
+      auto node = std::make_unique<Node>();
+      node->kind = NodeKind::And;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_unary();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_unary() {
+    if (accept(CTok::Kind::Not)) {
+      auto node = std::make_unique<Node>();
+      node->kind = NodeKind::Not;
+      node->lhs = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<Node> parse_primary() {
+    if (accept(CTok::Kind::LParen)) {
+      auto node = parse_or();
+      if (!accept(CTok::Kind::RParen)) fail("expected ')'");
+      return node;
+    }
+    if (at(CTok::Kind::Ident) && peek().text == "exists") {
+      advance();
+      if (!at(CTok::Kind::Ident)) fail("expected attribute name after 'exists'");
+      auto node = std::make_unique<Node>();
+      node->kind = NodeKind::Exists;
+      node->attr = advance().text;
+      return node;
+    }
+    // Bare true/false as a full expression.
+    if (at(CTok::Kind::Ident) &&
+        (peek().text == "true" || peek().text == "false") &&
+        !is_cmp(toks_[pos_ + 1].kind)) {
+      auto node = std::make_unique<Node>();
+      node->kind = advance().text == "true" ? NodeKind::True : NodeKind::False;
+      return node;
+    }
+    // Comparison or set membership.
+    auto node = std::make_unique<Node>();
+    node->a = parse_operand();
+    if (at(CTok::Kind::Ident) && peek().text == "in") {
+      advance();
+      node->kind = NodeKind::In;
+      if (!accept(CTok::Kind::LBrace)) fail("expected '{' after 'in'");
+      if (at(CTok::Kind::RBrace)) fail("'in' set must not be empty");
+      node->set.push_back(parse_operand());
+      while (accept(CTok::Kind::Comma)) node->set.push_back(parse_operand());
+      if (!accept(CTok::Kind::RBrace)) fail("expected '}' closing the 'in' set");
+      return node;
+    }
+    node->kind = NodeKind::Cmp;
+    switch (peek().kind) {
+      case CTok::Kind::Eq: node->op = CmpOp::Eq; break;
+      case CTok::Kind::Ne: node->op = CmpOp::Ne; break;
+      case CTok::Kind::Lt: node->op = CmpOp::Lt; break;
+      case CTok::Kind::Le: node->op = CmpOp::Le; break;
+      case CTok::Kind::Gt: node->op = CmpOp::Gt; break;
+      case CTok::Kind::Ge: node->op = CmpOp::Ge; break;
+      default: fail("expected comparison operator");
+    }
+    advance();
+    node->b = parse_operand();
+    return node;
+  }
+
+  static bool is_cmp(CTok::Kind k) {
+    return k == CTok::Kind::Eq || k == CTok::Kind::Ne || k == CTok::Kind::Lt ||
+           k == CTok::Kind::Le || k == CTok::Kind::Gt || k == CTok::Kind::Ge;
+  }
+
+  Operand parse_operand() {
+    Operand o;
+    switch (peek().kind) {
+      case CTok::Kind::Ident:
+        o.kind = Operand::Kind::Ident;
+        o.text = advance().text;
+        return o;
+      case CTok::Kind::Int:
+        o.kind = Operand::Kind::Int;
+        o.i = std::stoll(advance().text);
+        return o;
+      case CTok::Kind::Float:
+        o.kind = Operand::Kind::Float;
+        o.f = std::stod(advance().text);
+        return o;
+      case CTok::Kind::String:
+        o.kind = Operand::Kind::String;
+        o.text = advance().text;
+        return o;
+      default:
+        fail("expected attribute name or literal");
+    }
+  }
+
+  std::vector<CTok> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+}  // namespace detail
+
+Constraint::Constraint() = default;
+Constraint::~Constraint() = default;
+Constraint::Constraint(Constraint&&) noexcept = default;
+Constraint& Constraint::operator=(Constraint&&) noexcept = default;
+
+Constraint Constraint::parse(const std::string& text) {
+  Constraint c;
+  c.text_ = text;
+  bool blank = true;
+  for (char ch : text) {
+    if (!std::isspace(static_cast<unsigned char>(ch))) blank = false;
+  }
+  if (blank) return c;
+  c.root_ = detail::ConstraintParser(detail::lex(text)).parse();
+  return c;
+}
+
+bool Constraint::eval(const AttrMap& attrs) const {
+  return root_ == nullptr || detail::eval_node(*root_, attrs);
+}
+
+std::vector<std::string> Constraint::referenced_attributes() const {
+  std::set<std::string> set;
+  if (root_) detail::collect_attrs(*root_, set);
+  return {set.begin(), set.end()};
+}
+
+}  // namespace cosm::trader

@@ -1,0 +1,68 @@
+// Trader constraint language (§2.1: "retrieve a list of services which
+// conforms to any given client request").
+//
+// Importers filter offers with boolean expressions over service properties:
+//
+//     ChargePerDay < 100 && ChargeCurrency == USD && exists AverageMilage
+//
+// Grammar:
+//     expr   := or
+//     or     := and ( "||" and )*
+//     and    := unary ( "&&" unary )*
+//     unary  := "!" unary | primary
+//     primary:= "(" expr ")" | "exists" IDENT | "true" | "false"
+//            |  operand "in" "{" operand ("," operand)* "}" | cmp
+//     cmp    := operand ( "==" | "!=" | "<" | "<=" | ">" | ">=" ) operand
+//     operand:= IDENT | NUMBER | STRING
+//
+// Semantics (deliberately forgiving — an offer that cannot satisfy a
+// comparison simply does not match):
+//   * a bare identifier names the offer's attribute when one exists,
+//     otherwise it denotes itself as an enum-label/string literal;
+//   * numbers compare numerically across long/double;
+//   * enum values compare by label, including against strings;
+//   * a comparison over a missing attribute or incomparable kinds is false;
+//   * `exists A` tests attribute presence;
+//   * `A in { x, y, z }` holds iff A equals one of the set members.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trader/attributes.h"
+
+namespace cosm::trader {
+
+namespace detail {
+struct Node;
+}
+
+class Constraint {
+ public:
+  /// Parse a constraint expression; throws cosm::ParseError.  An empty or
+  /// all-whitespace string yields the always-true constraint.
+  static Constraint parse(const std::string& text);
+
+  Constraint();  // always-true
+  ~Constraint();
+  Constraint(Constraint&&) noexcept;
+  Constraint& operator=(Constraint&&) noexcept;
+  Constraint(const Constraint&) = delete;
+  Constraint& operator=(const Constraint&) = delete;
+
+  /// Evaluate against an offer's attributes.
+  bool eval(const AttrMap& attrs) const;
+
+  /// Attribute names the expression references (for match diagnostics).
+  std::vector<std::string> referenced_attributes() const;
+
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+  std::unique_ptr<detail::Node> root_;  // null = always true
+};
+
+}  // namespace cosm::trader

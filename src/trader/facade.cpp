@@ -1,0 +1,175 @@
+#include "trader/facade.h"
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "sidl/parser.h"
+
+namespace cosm::trader {
+
+using wire::Value;
+
+const std::string& trader_sidl() {
+  static const std::string text = R"(
+module TraderService {
+  typedef struct { string name; any value; } Attribute_t;
+  typedef struct {
+    string id;
+    string type;
+    ServiceReference ref;
+    sequence<Attribute_t> attributes;
+  } Offer_t;
+  typedef struct { string name; string type_spec; boolean required; } AttributeDef_t;
+  typedef struct { string name; string operation; } DynamicAttr_t;
+  interface COSM_Operations {
+    string Export([in] string type, [in] ServiceReference ref,
+                  [in] sequence<Attribute_t> attributes);
+    string ExportDynamic([in] string type, [in] ServiceReference ref,
+                         [in] sequence<Attribute_t> attributes,
+                         [in] sequence<DynamicAttr_t> dynamics);
+    void Withdraw([in] string id);
+    void Modify([in] string id, [in] sequence<Attribute_t> attributes);
+    sequence<Offer_t> Import([in] string type, [in] string constraint,
+                             [in] string preference, [in] long max_matches,
+                             [in] long hop_limit);
+    sequence<Offer_t> ListOffers([in] string type);
+    void AddType([in] string name, [in] string supertype,
+                 [in] sequence<AttributeDef_t> schema);
+    void RemoveType([in] string name);
+    sequence<string> TypeNames();
+  };
+  module COSM_Annotations {
+    annotate TraderService "ODP trader: typed service offers, constraint matching, federation";
+    annotate Export "Register a service offer under a registered service type";
+    annotate Import "Retrieve ranked offers matching a constraint";
+    annotate AddType "Management interface: register a new service type";
+  };
+};
+)";
+  return text;
+}
+
+Value offer_to_value(const Offer& offer) {
+  return Value::structure("Offer_t",
+                          {{"id", Value::string(offer.id)},
+                           {"type", Value::string(offer.service_type)},
+                           {"ref", Value::service_ref(offer.ref)},
+                           {"attributes", attrs_to_value(offer.attributes)}});
+}
+
+Offer offer_from_value(const Value& value) {
+  Offer offer;
+  offer.id = value.at("id").as_string();
+  offer.service_type = value.at("type").as_string();
+  offer.ref = value.at("ref").as_ref();
+  offer.attributes = attrs_from_value(value.at("attributes"));
+  return offer;
+}
+
+namespace {
+
+Value offers_to_value(const std::vector<Offer>& offers) {
+  std::vector<Value> out;
+  out.reserve(offers.size());
+  for (const auto& offer : offers) out.push_back(offer_to_value(offer));
+  return Value::sequence(std::move(out));
+}
+
+}  // namespace
+
+rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(trader_sidl()));
+  auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
+
+  object->on("Export", [&trader](const std::vector<Value>& args) {
+    return Value::string(trader.export_offer(args.at(0).as_string(),
+                                             args.at(1).as_ref(),
+                                             attrs_from_value(args.at(2))));
+  });
+  object->on("ExportDynamic", [&trader](const std::vector<Value>& args) {
+    std::map<std::string, std::string> dynamics;
+    for (const Value& d : args.at(3).elements()) {
+      dynamics[d.at("name").as_string()] = d.at("operation").as_string();
+    }
+    return Value::string(trader.export_offer(args.at(0).as_string(),
+                                             args.at(1).as_ref(),
+                                             attrs_from_value(args.at(2)),
+                                             std::move(dynamics)));
+  });
+  object->on("Withdraw", [&trader](const std::vector<Value>& args) {
+    trader.withdraw(args.at(0).as_string());
+    return Value::null();
+  });
+  object->on("Modify", [&trader](const std::vector<Value>& args) {
+    trader.modify(args.at(0).as_string(), attrs_from_value(args.at(1)));
+    return Value::null();
+  });
+  object->on("Import", [&trader](const std::vector<Value>& args) {
+    ImportRequest request;
+    request.service_type = args.at(0).as_string();
+    request.constraint = args.at(1).as_string();
+    request.preference = args.at(2).as_string();
+    std::int64_t max_matches = args.at(3).as_int();
+    std::int64_t hop_limit = args.at(4).as_int();
+    if (max_matches < 0 || hop_limit < 0) {
+      throw ContractError("Import: max_matches and hop_limit must be >= 0");
+    }
+    request.max_matches = static_cast<std::size_t>(max_matches);
+    request.hop_limit = static_cast<int>(hop_limit);
+    return offers_to_value(trader.import(request));
+  });
+  object->on("ListOffers", [&trader](const std::vector<Value>& args) {
+    return offers_to_value(trader.list_offers(args.at(0).as_string()));
+  });
+  object->on("AddType", [&trader](const std::vector<Value>& args) {
+    ServiceType type;
+    type.name = args.at(0).as_string();
+    type.supertype = args.at(1).as_string();
+    for (const Value& def : args.at(2).elements()) {
+      AttributeDef attr;
+      attr.name = def.at("name").as_string();
+      attr.type = sidl::parse_type(def.at("type_spec").as_string());
+      attr.required = def.at("required").as_bool();
+      type.attributes.push_back(std::move(attr));
+    }
+    trader.types().add(std::move(type));
+    return Value::null();
+  });
+  object->on("RemoveType", [&trader](const std::vector<Value>& args) {
+    trader.types().remove(args.at(0).as_string());
+    return Value::null();
+  });
+  object->on("TypeNames", [&trader](const std::vector<Value>&) {
+    std::vector<Value> out;
+    for (auto& name : trader.types().names()) out.push_back(Value::string(name));
+    return Value::sequence(std::move(out));
+  });
+  return object;
+}
+
+RemoteTraderGateway::RemoteTraderGateway(rpc::Network& network,
+                                         sidl::ServiceRef trader_ref)
+    : network_(network), ref_(std::move(trader_ref)) {
+  if (!ref_.valid()) {
+    throw ContractError("RemoteTraderGateway needs a valid trader reference");
+  }
+}
+
+std::vector<Offer> RemoteTraderGateway::import(const ImportRequest& request) {
+  rpc::RpcChannel channel(network_, ref_);
+  Value result = channel.call(
+      "Import", {Value::string(request.service_type),
+                 Value::string(request.constraint),
+                 Value::string(request.preference),
+                 Value::integer(static_cast<std::int64_t>(request.max_matches)),
+                 Value::integer(request.hop_limit)});
+  std::vector<Offer> offers;
+  offers.reserve(result.elements().size());
+  for (const Value& v : result.elements()) offers.push_back(offer_from_value(v));
+  return offers;
+}
+
+std::string RemoteTraderGateway::describe() const {
+  return "remote:" + ref_.to_string();
+}
+
+}  // namespace cosm::trader

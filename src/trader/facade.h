@@ -1,0 +1,42 @@
+// RPC facade for the trader and the remote federation gateway.
+//
+// The facade exposes the full computational interface of §2.1 — export,
+// withdraw, modify, import, list — plus the management interface (service
+// type insertion/deletion) over the COSM RPC substrate, described in SIDL
+// like any other service.  RemoteTraderGateway lets one trader's federation
+// link point at another trader across the network.
+
+#pragma once
+
+#include <memory>
+
+#include "rpc/network.h"
+#include "rpc/service_object.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+
+/// SIDL text of the trader's interface.
+const std::string& trader_sidl();
+
+/// Wrap a Trader in a ServiceObject.  The trader must outlive the object.
+rpc::ServiceObjectPtr make_trader_service(Trader& trader);
+
+/// Offer <-> wire conversions (shared by facade and gateway).
+wire::Value offer_to_value(const Offer& offer);
+Offer offer_from_value(const wire::Value& value);
+
+/// Federation link target reachable over RPC.
+class RemoteTraderGateway final : public TraderGateway {
+ public:
+  RemoteTraderGateway(rpc::Network& network, sidl::ServiceRef trader_ref);
+
+  std::vector<Offer> import(const ImportRequest& request) override;
+  std::string describe() const override;
+
+ private:
+  rpc::Network& network_;
+  sidl::ServiceRef ref_;
+};
+
+}  // namespace cosm::trader

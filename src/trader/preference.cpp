@@ -1,0 +1,98 @@
+#include "trader/preference.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cosm::trader {
+
+std::string to_string(PreferenceKind kind) {
+  switch (kind) {
+    case PreferenceKind::First: return "first";
+    case PreferenceKind::Random: return "random";
+    case PreferenceKind::Min: return "min";
+    case PreferenceKind::Max: return "max";
+  }
+  return "?";
+}
+
+Preference Preference::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string word, attr, extra;
+  in >> word >> attr >> extra;
+  if (!extra.empty()) {
+    throw ParseError("preference: trailing input '" + extra + "'", 1, 1);
+  }
+  Preference p;
+  if (word.empty() || word == "first") {
+    p.kind_ = PreferenceKind::First;
+  } else if (word == "random") {
+    p.kind_ = PreferenceKind::Random;
+  } else if (word == "min" || word == "max") {
+    p.kind_ = word == "min" ? PreferenceKind::Min : PreferenceKind::Max;
+    if (attr.empty()) {
+      throw ParseError("preference: '" + word + "' needs an attribute name", 1, 1);
+    }
+    p.attr_ = attr;
+    attr.clear();
+  } else {
+    throw ParseError("preference: unknown policy '" + word + "'", 1, 1);
+  }
+  if (!attr.empty()) {
+    throw ParseError("preference: unexpected '" + attr + "' after '" + word + "'",
+                     1, 1);
+  }
+  return p;
+}
+
+namespace {
+
+std::optional<double> numeric_attr(const AttrMap& attrs, const std::string& name) {
+  auto it = attrs.find(name);
+  if (it == attrs.end()) return std::nullopt;
+  switch (it->second.kind()) {
+    case wire::ValueKind::Int:
+      return static_cast<double>(it->second.as_int());
+    case wire::ValueKind::Float:
+      return it->second.as_real();
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> Preference::rank(const std::vector<const AttrMap*>& offers,
+                                          Rng& rng) const {
+  std::vector<std::size_t> order(offers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  switch (kind_) {
+    case PreferenceKind::First:
+      return order;
+    case PreferenceKind::Random: {
+      // Fisher-Yates with the trader's deterministic generator.
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.below(i)]);
+      }
+      return order;
+    }
+    case PreferenceKind::Min:
+    case PreferenceKind::Max: {
+      const bool want_min = kind_ == PreferenceKind::Min;
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        auto vx = numeric_attr(*offers[x], attr_);
+        auto vy = numeric_attr(*offers[y], attr_);
+        if (vx.has_value() != vy.has_value()) return vx.has_value();
+        if (!vx.has_value()) return false;
+        return want_min ? *vx < *vy : *vx > *vy;
+      });
+      return order;
+    }
+  }
+  return order;
+}
+
+}  // namespace cosm::trader

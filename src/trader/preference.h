@@ -1,0 +1,42 @@
+// Import preferences: how a trader ranks matching offers to pick the "best
+// possible" service (§2.1, Fig. 1 step 3).
+//
+// Syntax:  "first" | "random" | "min <Attr>" | "max <Attr>"
+// An empty preference string means "first" (export order).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trader/attributes.h"
+
+namespace cosm::trader {
+
+enum class PreferenceKind { First, Random, Min, Max };
+
+std::string to_string(PreferenceKind kind);
+
+class Preference {
+ public:
+  /// Parse a preference spec; throws cosm::ParseError.
+  static Preference parse(const std::string& text);
+
+  Preference() = default;
+
+  PreferenceKind kind() const noexcept { return kind_; }
+  const std::string& attribute() const noexcept { return attr_; }
+
+  /// Rank offer indices over their attribute maps.  Offers missing the
+  /// ranked attribute (or holding a non-numeric value) sort after all
+  /// rankable ones, keeping their relative order.  `rng` drives Random.
+  std::vector<std::size_t> rank(const std::vector<const AttrMap*>& offers,
+                                Rng& rng) const;
+
+ private:
+  PreferenceKind kind_ = PreferenceKind::First;
+  std::string attr_;
+};
+
+}  // namespace cosm::trader

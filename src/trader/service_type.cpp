@@ -1,0 +1,185 @@
+#include "trader/service_type.h"
+
+#include "common/error.h"
+#include "wire/marshal.h"
+
+namespace cosm::trader {
+
+const AttributeDef* ServiceType::find_attribute(const std::string& attr_name) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr_name) return &a;
+  }
+  return nullptr;
+}
+
+void ServiceTypeManager::add(ServiceType type) {
+  if (type.name.empty()) throw ContractError("service type needs a name");
+  for (const auto& a : type.attributes) {
+    if (!a.type) {
+      throw ContractError("attribute '" + a.name + "' of type '" + type.name +
+                          "' has no type description");
+    }
+  }
+  std::lock_guard lock(mutex_);
+  if (types_.count(type.name)) {
+    throw ContractError("service type '" + type.name + "' already registered");
+  }
+  if (!type.supertype.empty() && !types_.count(type.supertype)) {
+    throw ContractError("supertype '" + type.supertype + "' of '" + type.name +
+                        "' is not registered");
+  }
+  types_.emplace(type.name, std::move(type));
+}
+
+void ServiceTypeManager::remove(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (!types_.count(name)) throw NotFound("unknown service type '" + name + "'");
+  for (const auto& [other_name, other] : types_) {
+    if (other.supertype == name) {
+      throw ContractError("cannot remove service type '" + name + "': '" +
+                          other_name + "' derives from it");
+    }
+  }
+  types_.erase(name);
+}
+
+bool ServiceTypeManager::has(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return types_.count(name) > 0;
+}
+
+ServiceType ServiceTypeManager::get(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = types_.find(name);
+  if (it == types_.end()) throw NotFound("unknown service type '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> ServiceTypeManager::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(types_.size());
+  for (const auto& [name, type] : types_) out.push_back(name);
+  return out;
+}
+
+bool ServiceTypeManager::is_subtype_locked(const std::string& sub,
+                                           const std::string& base) const {
+  std::string current = sub;
+  // Supertype chains are acyclic by construction (a type's supertype must
+  // already exist when the type is added), so this walk terminates.
+  while (!current.empty()) {
+    if (current == base) return true;
+    auto it = types_.find(current);
+    if (it == types_.end()) return false;
+    current = it->second.supertype;
+  }
+  return false;
+}
+
+bool ServiceTypeManager::is_subtype(const std::string& sub,
+                                    const std::string& base) const {
+  std::lock_guard lock(mutex_);
+  return is_subtype_locked(sub, base);
+}
+
+std::vector<std::string> ServiceTypeManager::subtypes_of(
+    const std::string& base) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, type] : types_) {
+    if (is_subtype_locked(name, base)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<AttributeDef> ServiceTypeManager::schema_of(
+    const std::string& type_name) const {
+  // Collect the schema along the supertype chain: a subtype inherits its
+  // base's attributes.
+  std::vector<AttributeDef> schema;
+  std::lock_guard lock(mutex_);
+  std::string current = type_name;
+  while (!current.empty()) {
+    auto it = types_.find(current);
+    if (it == types_.end()) {
+      throw NotFound("unknown service type '" + current + "'");
+    }
+    for (const auto& a : it->second.attributes) schema.push_back(a);
+    current = it->second.supertype;
+  }
+  return schema;
+}
+
+void ServiceTypeManager::check_offer(const std::string& type_name,
+                                     const AttrMap& attrs,
+                                     const std::set<std::string>& dynamic_names) const {
+  std::vector<AttributeDef> schema = schema_of(type_name);
+
+  for (const auto& def : schema) {
+    auto it = attrs.find(def.name);
+    if (it == attrs.end()) {
+      if (def.required && !dynamic_names.count(def.name)) {
+        throw TypeError("offer of type '" + type_name +
+                        "' is missing required attribute '" + def.name + "'");
+      }
+      continue;
+    }
+    if (!wire::conforms(it->second, *def.type)) {
+      throw TypeError("attribute '" + def.name + "' of offer (type '" +
+                      type_name + "') does not conform to " + def.type->describe());
+    }
+  }
+  for (const auto& [name, value] : attrs) {
+    bool declared = false;
+    for (const auto& def : schema) {
+      if (def.name == name) declared = true;
+    }
+    if (!declared) {
+      throw TypeError("offer declares attribute '" + name +
+                      "' which type '" + type_name + "' does not define");
+    }
+  }
+  for (const auto& name : dynamic_names) {
+    bool declared = false;
+    for (const auto& def : schema) {
+      if (def.name == name) declared = true;
+    }
+    if (!declared) {
+      throw TypeError("offer declares dynamic attribute '" + name +
+                      "' which type '" + type_name + "' does not define");
+    }
+    if (attrs.count(name)) {
+      throw TypeError("attribute '" + name +
+                      "' is both static and dynamic in the same offer");
+    }
+  }
+}
+
+void check_signature(const ServiceType& type, const sidl::Sid& sid) {
+  for (const auto& required : type.signature) {
+    const sidl::OperationDesc* offered = sid.find_operation(required.name);
+    if (offered == nullptr) {
+      throw TypeError("SID '" + sid.name + "' does not implement operation '" +
+                      required.name + "' required by service type '" +
+                      type.name + "'");
+    }
+    // Reuse SID-level operation conformance: wrap both in minimal SIDs.
+    sidl::Sid base, sub;
+    base.name = sub.name = "sig";
+    base.operations.push_back(required);
+    sub.operations.push_back(*offered);
+    if (!sidl::conforms_to(sub, base)) {
+      throw TypeError("operation '" + required.name + "' of SID '" + sid.name +
+                      "' does not conform to the signature of service type '" +
+                      type.name + "'");
+    }
+  }
+}
+
+std::size_t ServiceTypeManager::size() const {
+  std::lock_guard lock(mutex_);
+  return types_.size();
+}
+
+}  // namespace cosm::trader

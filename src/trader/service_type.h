@@ -1,0 +1,98 @@
+// ODP service types and the type manager (§2.1).
+//
+// "The notion of the service type plays a central role in an ODP trading
+// context": a service type names an interface signature plus a set of
+// characterising attributes.  The type manager is the trader's management
+// interface — inserting and deleting service types at runtime is exactly
+// the costly standardisation step §2.2 complains about, which is why the
+// mediation path exists.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sidl/sid.h"
+#include "sidl/type_desc.h"
+#include "trader/attributes.h"
+
+namespace cosm::trader {
+
+struct AttributeDef {
+  std::string name;
+  sidl::TypePtr type;
+  /// Required attributes must be present in every offer of the type.
+  bool required = true;
+};
+
+struct ServiceType {
+  std::string name;
+  /// Name of the supertype ("" = none).  Offers of a subtype satisfy
+  /// imports of the base type.
+  std::string supertype;
+  std::vector<AttributeDef> attributes;
+  /// Operation signatures offers of this type must implement (empty = not
+  /// checked; signature checking happens against the exporter's SID when
+  /// one is provided).
+  std::vector<sidl::OperationDesc> signature;
+
+  const AttributeDef* find_attribute(const std::string& attr_name) const;
+};
+
+class ServiceTypeManager {
+ public:
+  /// Register a type; throws cosm::ContractError for duplicates or an
+  /// unknown supertype.
+  void add(ServiceType type);
+
+  /// Remove a type; throws cosm::NotFound when unknown and
+  /// cosm::ContractError when other types still derive from it.
+  void remove(const std::string& name);
+
+  bool has(const std::string& name) const;
+
+  /// Copy of the type; throws cosm::NotFound.
+  ServiceType get(const std::string& name) const;
+
+  /// Sorted list of all type names.
+  std::vector<std::string> names() const;
+
+  /// Reflexive-transitive subtype check along supertype chains.
+  bool is_subtype(const std::string& sub, const std::string& base) const;
+
+  /// All types T with is_subtype(T, base), including base itself.
+  std::vector<std::string> subtypes_of(const std::string& base) const;
+
+  /// The full attribute schema of a type, including attributes inherited
+  /// along the supertype chain.  Throws cosm::NotFound.
+  std::vector<AttributeDef> schema_of(const std::string& type_name) const;
+
+  /// Validate an offer's attributes against the type's schema (required
+  /// attributes present, every attribute declared and conforming).
+  /// `dynamic_names` lists attributes whose values are fetched from the
+  /// exporter at import time (ODP dynamic properties): they count as
+  /// provided and are type-checked when fetched, not here.  Throws
+  /// cosm::TypeError.
+  void check_offer(const std::string& type_name, const AttrMap& attrs,
+                   const std::set<std::string>& dynamic_names = {}) const;
+
+  std::size_t size() const;
+
+ private:
+  bool is_subtype_locked(const std::string& sub, const std::string& base) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ServiceType> types_;
+};
+
+/// Verify an exporter's SID implements the service type's operational
+/// interface signature (§2.1: "service types identify distinct operational
+/// interface signatures"): every signature operation must be present in the
+/// SID with a conforming signature.  No-op when the type declares no
+/// signature.  Throws cosm::TypeError.
+void check_signature(const ServiceType& type, const sidl::Sid& sid);
+
+}  // namespace cosm::trader

@@ -1,0 +1,83 @@
+#include "trader/sid_export.h"
+
+#include "common/error.h"
+
+namespace cosm::trader {
+
+namespace {
+
+/// The enum type in `sid` declaring `label`, when exactly one does.
+sidl::TypePtr enum_type_for_label(const sidl::Sid& sid, const std::string& label) {
+  sidl::TypePtr found;
+  for (const auto& [name, type] : sid.types) {
+    if (type->kind() == sidl::TypeKind::Enum && type->label_index(label) >= 0) {
+      if (found) return nullptr;  // ambiguous
+      found = type;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+std::pair<std::string, AttrMap> trader_export_from_sid(const sidl::Sid& sid) {
+  if (!sid.trader_export) {
+    throw NotFound("SID '" + sid.name + "' carries no COSM_TraderExport module");
+  }
+  const sidl::TraderExport& te = *sid.trader_export;
+  AttrMap attrs;
+  for (const auto& [name, literal] : te.attributes) {
+    std::string enum_type_name;
+    if (literal.is_enum()) {
+      if (auto t = enum_type_for_label(sid, literal.as_enum().label)) {
+        enum_type_name = t->name();
+      }
+    }
+    attrs[name] = wire::from_literal(literal, enum_type_name);
+  }
+  return {te.service_type, std::move(attrs)};
+}
+
+ServiceType service_type_from_sid(const sidl::Sid& sid) {
+  if (!sid.trader_export) {
+    throw NotFound("SID '" + sid.name + "' carries no COSM_TraderExport module");
+  }
+  ServiceType type;
+  type.name = sid.trader_export->service_type;
+  for (const auto& [name, literal] : sid.trader_export->attributes) {
+    AttributeDef def;
+    def.name = name;
+    if (literal.is_bool()) {
+      def.type = sidl::TypeDesc::bool_();
+    } else if (literal.is_int()) {
+      def.type = sidl::TypeDesc::int_();
+    } else if (literal.is_float()) {
+      def.type = sidl::TypeDesc::float_();
+    } else if (literal.is_string()) {
+      def.type = sidl::TypeDesc::string_();
+    } else {
+      sidl::TypePtr enum_type = enum_type_for_label(sid, literal.as_enum().label);
+      // When the label cannot be tied to one declared enum the schema keeps
+      // the attribute open — `any` admits the label regardless of tagging.
+      def.type = enum_type ? enum_type : sidl::TypeDesc::any();
+    }
+    type.attributes.push_back(std::move(def));
+  }
+  type.signature = sid.operations;
+  return type;
+}
+
+std::string export_sid_offer(Trader& trader, const sidl::Sid& sid,
+                             const sidl::ServiceRef& ref) {
+  auto [type_name, attrs] = trader_export_from_sid(sid);
+  if (!trader.types().has(type_name)) {
+    trader.types().add(service_type_from_sid(sid));
+  } else {
+    // §2.1: offers of a type must implement its operational interface
+    // signature, when the registered type declares one.
+    check_signature(trader.types().get(type_name), sid);
+  }
+  return trader.export_offer(type_name, ref, std::move(attrs));
+}
+
+}  // namespace cosm::trader

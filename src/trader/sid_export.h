@@ -1,0 +1,38 @@
+// Bridging mediation and trading (§4.1).
+//
+// A service that carries a COSM_TraderExport extension in its SID can be
+// registered at an ODP trader without any extra information: the extension
+// names the service type (TOD) and supplies the property values.  These
+// helpers extract that registration, and — for the maturation path — derive
+// a brand-new service type definition from a mature service's SID so the
+// type can be standardised "after several other market participants have
+// provided comparable services" (§2.2).
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sidl/sid.h"
+#include "trader/service_type.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+
+/// (service type name, attribute values) from the SID's COSM_TraderExport.
+/// Enum-label attribute values are tagged with the enum type declared in the
+/// SID that carries the label, when exactly one such type exists.
+/// Throws cosm::NotFound when the SID has no trader export.
+std::pair<std::string, AttrMap> trader_export_from_sid(const sidl::Sid& sid);
+
+/// Derive a ServiceType from a SID: the attribute schema comes from the
+/// trader-export values' shapes, the signature from the SID's operations.
+/// Throws cosm::NotFound when the SID has no trader export.
+ServiceType service_type_from_sid(const sidl::Sid& sid);
+
+/// Convenience: ensure the type is registered (deriving it from the SID if
+/// missing) and export the offer.  Returns the offer id.
+std::string export_sid_offer(Trader& trader, const sidl::Sid& sid,
+                             const sidl::ServiceRef& ref);
+
+}  // namespace cosm::trader

@@ -1,0 +1,285 @@
+#include "trader/trader.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "wire/marshal.h"
+
+namespace cosm::trader {
+
+Trader::Trader(std::string name, std::uint64_t rng_seed)
+    : name_(std::move(name)), rng_(rng_seed) {
+  if (name_.empty()) throw ContractError("trader needs a name");
+}
+
+void Trader::set_dynamic_fetcher(DynamicFetcher fetcher) {
+  std::lock_guard lock(mutex_);
+  dynamic_fetcher_ = std::move(fetcher);
+}
+
+std::string Trader::export_offer(const std::string& service_type,
+                                 const sidl::ServiceRef& ref, AttrMap attributes) {
+  return export_offer(service_type, ref, std::move(attributes), {});
+}
+
+std::string Trader::export_offer(const std::string& service_type,
+                                 const sidl::ServiceRef& ref, AttrMap attributes,
+                                 std::map<std::string, std::string> dynamic_attrs) {
+  if (!ref.valid()) throw ContractError("cannot export an invalid reference");
+  std::set<std::string> dynamic_names;
+  for (const auto& [attr, operation] : dynamic_attrs) {
+    if (operation.empty()) {
+      throw ContractError("dynamic attribute '" + attr + "' needs an operation");
+    }
+    dynamic_names.insert(attr);
+  }
+  types_.check_offer(service_type, attributes, dynamic_names);
+  std::lock_guard lock(mutex_);
+  Offer offer;
+  offer.id = name_ + "/offer-" + std::to_string(next_offer_++);
+  offer.service_type = service_type;
+  offer.ref = ref;
+  offer.attributes = std::move(attributes);
+  offer.dynamic_attrs = std::move(dynamic_attrs);
+  offers_.push_back(std::move(offer));
+  ++exports_;
+  return offers_.back().id;
+}
+
+bool Trader::resolve_dynamic(const Offer& offer, AttrMap& merged) {
+  DynamicFetcher fetcher;
+  {
+    std::lock_guard lock(mutex_);
+    fetcher = dynamic_fetcher_;
+  }
+  if (!fetcher) return false;  // unresolved dynamics: conservative no-match
+  std::vector<AttributeDef> schema = types_.schema_of(offer.service_type);
+  for (const auto& [attr, operation] : offer.dynamic_attrs) {
+    wire::Value value;
+    try {
+      value = fetcher(offer.ref, operation);
+      {
+        std::lock_guard lock(mutex_);
+        ++dynamic_fetches_;
+      }
+    } catch (const Error&) {
+      return false;  // exporter unreachable or faulted
+    }
+    for (const auto& def : schema) {
+      if (def.name == attr && !wire::conforms(value, *def.type)) {
+        return false;  // exporter returned an ill-typed property value
+      }
+    }
+    merged[attr] = std::move(value);
+  }
+  return true;
+}
+
+void Trader::set_lease(const std::string& offer_id,
+                       std::uint64_t expires_at_hours) {
+  std::lock_guard lock(mutex_);
+  for (auto& offer : offers_) {
+    if (offer.id == offer_id) {
+      offer.lease_expires_at = expires_at_hours;
+      return;
+    }
+  }
+  throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
+}
+
+std::size_t Trader::advance_clock(std::uint64_t hours) {
+  std::lock_guard lock(mutex_);
+  clock_hours_ += hours;
+  std::size_t swept = 0;
+  for (auto it = offers_.begin(); it != offers_.end();) {
+    if (it->lease_expires_at != 0 && it->lease_expires_at <= clock_hours_) {
+      it = offers_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  expired_ += swept;
+  return swept;
+}
+
+std::uint64_t Trader::clock_hours() const {
+  std::lock_guard lock(mutex_);
+  return clock_hours_;
+}
+
+void Trader::withdraw(const std::string& offer_id) {
+  std::lock_guard lock(mutex_);
+  for (auto it = offers_.begin(); it != offers_.end(); ++it) {
+    if (it->id == offer_id) {
+      offers_.erase(it);
+      return;
+    }
+  }
+  throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
+}
+
+void Trader::modify(const std::string& offer_id, AttrMap attributes) {
+  std::string type;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& offer : offers_) {
+      if (offer.id == offer_id) {
+        type = offer.service_type;
+        break;
+      }
+    }
+  }
+  if (type.empty()) {
+    throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
+  }
+  types_.check_offer(type, attributes);
+  std::lock_guard lock(mutex_);
+  for (auto& offer : offers_) {
+    if (offer.id == offer_id) {
+      offer.attributes = std::move(attributes);
+      return;
+    }
+  }
+  throw NotFound("offer '" + offer_id + "' vanished during modify");
+}
+
+std::vector<Offer> Trader::list_offers(const std::string& service_type) const {
+  if (!types_.has(service_type)) {
+    throw NotFound("unknown service type '" + service_type + "'");
+  }
+  std::lock_guard lock(mutex_);
+  std::vector<Offer> out;
+  for (const auto& offer : offers_) {
+    if (types_.is_subtype(offer.service_type, service_type)) {
+      out.push_back(offer);
+    }
+  }
+  return out;
+}
+
+std::vector<Offer> Trader::match_local(const ImportRequest& request,
+                                       const Constraint& constraint) {
+  // Snapshot under the lock, evaluate outside it: dynamic-property fetches
+  // issue RPCs and must not hold the trader lock (the exporter might be
+  // served by the same thread pool).
+  std::vector<Offer> candidates;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& offer : offers_) {
+      if (!types_.is_subtype(offer.service_type, request.service_type)) continue;
+      ++evaluated_;
+      candidates.push_back(offer);
+    }
+  }
+  std::vector<Offer> matched;
+  for (Offer& offer : candidates) {
+    if (offer.dynamic_attrs.empty()) {
+      if (constraint.eval(offer.attributes)) matched.push_back(std::move(offer));
+      continue;
+    }
+    AttrMap merged = offer.attributes;
+    if (!resolve_dynamic(offer, merged)) continue;
+    if (constraint.eval(merged)) {
+      // The importer sees the fetched values (they are what matched).
+      offer.attributes = std::move(merged);
+      matched.push_back(std::move(offer));
+    }
+  }
+  return matched;
+}
+
+std::vector<Offer> Trader::import(const ImportRequest& request) {
+  if (!types_.has(request.service_type)) {
+    throw NotFound("trader '" + name_ + "' has no service type '" +
+                   request.service_type + "'");
+  }
+  Constraint constraint = Constraint::parse(request.constraint);
+  Preference preference = Preference::parse(request.preference);
+
+  std::vector<Offer> matched = match_local(request, constraint);
+
+  // Federation sweep: forward with a decremented hop budget; duplicate
+  // offers (diamond topologies) collapse on offer id.
+  if (request.hop_limit > 0) {
+    std::vector<std::pair<std::string, std::shared_ptr<TraderGateway>>> links;
+    {
+      std::lock_guard lock(mutex_);
+      links = links_;
+    }
+    std::set<std::string> seen;
+    for (const auto& offer : matched) seen.insert(offer.id);
+    ImportRequest forwarded = request;
+    forwarded.hop_limit = request.hop_limit - 1;
+    forwarded.max_matches = 0;       // rank after the merge, not per trader
+    forwarded.preference.clear();    // remote ranking would be wasted work
+    for (const auto& [link_name, gateway] : links) {
+      try {
+        for (Offer& offer : gateway->import(forwarded)) {
+          if (seen.insert(offer.id).second) matched.push_back(std::move(offer));
+        }
+      } catch (const Error&) {
+        // An unreachable federated trader reduces the result set; it must
+        // not fail the local import.
+      }
+    }
+  }
+
+  // Rank and cap.
+  std::vector<const AttrMap*> attr_ptrs;
+  attr_ptrs.reserve(matched.size());
+  for (const auto& offer : matched) attr_ptrs.push_back(&offer.attributes);
+  std::vector<std::size_t> order;
+  {
+    std::lock_guard lock(mutex_);
+    order = preference.rank(attr_ptrs, rng_);
+    ++imports_;
+  }
+
+  std::vector<Offer> ranked;
+  ranked.reserve(matched.size());
+  for (std::size_t idx : order) ranked.push_back(std::move(matched[idx]));
+  if (request.max_matches > 0 && ranked.size() > request.max_matches) {
+    ranked.resize(request.max_matches);
+  }
+  return ranked;
+}
+
+void Trader::link(const std::string& link_name,
+                  std::shared_ptr<TraderGateway> gateway) {
+  if (!gateway) throw ContractError("link needs a gateway");
+  std::lock_guard lock(mutex_);
+  for (const auto& [existing, g] : links_) {
+    if (existing == link_name) {
+      throw ContractError("trader '" + name_ + "' already has a link '" +
+                          link_name + "'");
+    }
+  }
+  links_.emplace_back(link_name, std::move(gateway));
+}
+
+void Trader::unlink(const std::string& link_name) {
+  std::lock_guard lock(mutex_);
+  for (auto it = links_.begin(); it != links_.end(); ++it) {
+    if (it->first == link_name) {
+      links_.erase(it);
+      return;
+    }
+  }
+  throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
+}
+
+std::vector<std::string> Trader::links() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(links_.size());
+  for (const auto& [link_name, gateway] : links_) out.push_back(link_name);
+  return out;
+}
+
+std::size_t Trader::offer_count() const {
+  std::lock_guard lock(mutex_);
+  return offers_.size();
+}
+
+}  // namespace cosm::trader

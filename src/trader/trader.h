@@ -1,0 +1,183 @@
+// The ODP trader (§2, Fig. 1).
+//
+// Exporters register typed service offers (step 1); importers issue typed
+// requests with constraint and preference (step 2); the trader returns
+// ranked matching offers (step 3); binding happens outside the trader
+// (steps 4–5 — see naming::Binder).
+//
+// Federation (§2.2 "trader federation … for geographic scopes"): a trader
+// holds links to other traders; an import with hop_limit > 0 is propagated
+// with a decremented limit, results are merged and deduplicated by offer id.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sidl/service_ref.h"
+#include "trader/attributes.h"
+#include "trader/constraint.h"
+#include "trader/preference.h"
+#include "trader/service_type.h"
+
+namespace cosm::trader {
+
+struct Offer {
+  std::string id;
+  std::string service_type;
+  sidl::ServiceRef ref;
+  AttrMap attributes;
+  /// ODP dynamic properties: attribute name -> operation to invoke on the
+  /// exporter at import time to obtain the current value (e.g. live
+  /// availability).  Matching merges fetched values into `attributes`.
+  std::map<std::string, std::string> dynamic_attrs;
+  /// Lease expiry on the trader's logical clock, in hours (0 = no lease).
+  std::uint64_t lease_expires_at = 0;
+
+  bool operator==(const Offer&) const = default;
+};
+
+struct ImportRequest {
+  /// Service type to match (offers of subtypes match too).
+  std::string service_type;
+  /// Constraint expression over service properties ("" = all offers).
+  std::string constraint;
+  /// Ranking policy ("" = export order).
+  std::string preference;
+  /// Cap on returned offers (0 = unlimited).
+  std::size_t max_matches = 0;
+  /// Federation propagation budget: 0 = local only.
+  int hop_limit = 0;
+};
+
+/// Abstract link target for federation: another trader reachable either
+/// in-process (tests) or over RPC (see facade.h).
+class TraderGateway {
+ public:
+  virtual ~TraderGateway() = default;
+  virtual std::vector<Offer> import(const ImportRequest& request) = 0;
+  virtual std::string describe() const = 0;
+};
+
+class Trader {
+ public:
+  explicit Trader(std::string name, std::uint64_t rng_seed = 42);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// The type manager doubles as the trader's management interface (§2.1).
+  ServiceTypeManager& types() noexcept { return types_; }
+  const ServiceTypeManager& types() const noexcept { return types_; }
+
+  /// How the trader evaluates dynamic properties: invoke `operation` on the
+  /// exporter and return the scalar result.  Installed by the runtime
+  /// (wired to an RPC channel); absent by default, in which case offers
+  /// with unresolved dynamic attributes simply do not match.
+  using DynamicFetcher =
+      std::function<wire::Value(const sidl::ServiceRef& exporter,
+                                const std::string& operation)>;
+
+  void set_dynamic_fetcher(DynamicFetcher fetcher);
+
+  /// Register an offer (Fig. 1 step 1).  Validates that the type exists and
+  /// the attributes satisfy its schema.  Returns the offer id.
+  std::string export_offer(const std::string& service_type,
+                           const sidl::ServiceRef& ref, AttrMap attributes);
+
+  /// Register an offer with ODP dynamic properties: `dynamic_attrs` maps
+  /// attribute names to the exporter operation that yields the current
+  /// value.  Dynamic attributes satisfy required-attribute checks at export
+  /// and are fetched + type-checked during each import.
+  std::string export_offer(const std::string& service_type,
+                           const sidl::ServiceRef& ref, AttrMap attributes,
+                           std::map<std::string, std::string> dynamic_attrs);
+
+  /// Remove an offer; throws cosm::NotFound.
+  void withdraw(const std::string& offer_id);
+
+  // --- offer leases (ODP-style bounded offer lifetime) ---
+  // The trader keeps a logical clock in hours; an offer with a lease is
+  // swept when the clock passes its expiry.  Exporters renew by calling
+  // set_lease again.
+
+  /// Give an offer a lease expiring at `expires_at_hours` on the trader's
+  /// logical clock (0 removes the lease).  Throws cosm::NotFound.
+  void set_lease(const std::string& offer_id, std::uint64_t expires_at_hours);
+
+  /// Advance the logical clock, sweeping expired offers; returns how many
+  /// were swept.
+  std::size_t advance_clock(std::uint64_t hours);
+
+  std::uint64_t clock_hours() const;
+  std::uint64_t offers_expired_total() const noexcept { return expired_; }
+
+  /// Replace an offer's attributes; throws cosm::NotFound / cosm::TypeError.
+  void modify(const std::string& offer_id, AttrMap attributes);
+
+  /// All offers of a type (and its subtypes), in export order.
+  std::vector<Offer> list_offers(const std::string& service_type) const;
+
+  /// Match + rank (Fig. 1 steps 2–3), consulting federation links within
+  /// the request's hop limit.  Throws cosm::ParseError on a bad constraint
+  /// or preference and cosm::NotFound for an unknown service type.
+  std::vector<Offer> import(const ImportRequest& request);
+
+  // --- federation ---
+  void link(const std::string& link_name, std::shared_ptr<TraderGateway> gateway);
+  void unlink(const std::string& link_name);
+  std::vector<std::string> links() const;
+
+  // --- instrumentation ---
+  std::uint64_t exports_total() const noexcept { return exports_; }
+  std::uint64_t imports_total() const noexcept { return imports_; }
+  std::uint64_t offers_evaluated() const noexcept { return evaluated_; }
+  std::uint64_t dynamic_fetches() const noexcept { return dynamic_fetches_; }
+  std::size_t offer_count() const;
+
+ private:
+  std::vector<Offer> match_local(const ImportRequest& request,
+                                 const Constraint& constraint);
+
+  std::string name_;
+  ServiceTypeManager types_;
+
+  /// Resolve an offer's dynamic attributes into a merged attribute map;
+  /// returns false when a fetch fails or yields a non-conforming value (the
+  /// offer then does not match).
+  bool resolve_dynamic(const Offer& offer, AttrMap& merged);
+
+  mutable std::mutex mutex_;
+  std::vector<Offer> offers_;  // export order
+  std::vector<std::pair<std::string, std::shared_ptr<TraderGateway>>> links_;
+  DynamicFetcher dynamic_fetcher_;
+  Rng rng_;
+  std::uint64_t exports_ = 0;
+  std::uint64_t imports_ = 0;
+  std::uint64_t evaluated_ = 0;
+  std::uint64_t dynamic_fetches_ = 0;
+  std::uint64_t next_offer_ = 1;
+  std::uint64_t clock_hours_ = 0;
+  std::uint64_t expired_ = 0;
+};
+
+/// In-process gateway wrapping a local trader (unit tests, single-process
+/// federations).
+class LocalTraderGateway final : public TraderGateway {
+ public:
+  explicit LocalTraderGateway(Trader& trader) : trader_(trader) {}
+  std::vector<Offer> import(const ImportRequest& request) override {
+    return trader_.import(request);
+  }
+  std::string describe() const override { return "local:" + trader_.name(); }
+
+ private:
+  Trader& trader_;
+};
+
+}  // namespace cosm::trader

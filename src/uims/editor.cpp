@@ -1,0 +1,329 @@
+#include "uims/editor.h"
+
+#include <cctype>
+
+#include "common/error.h"
+#include "wire/marshal.h"
+
+namespace cosm::uims {
+
+using sidl::TypeDesc;
+using sidl::TypeKind;
+using wire::Value;
+
+Value parse_scalar(const std::string& text, const TypeDesc& type) {
+  try {
+    switch (type.kind()) {
+      case TypeKind::Bool:
+        if (text == "true" || text == "1" || text == "yes" || text == "on") {
+          return Value::boolean(true);
+        }
+        if (text == "false" || text == "0" || text == "no" || text == "off") {
+          return Value::boolean(false);
+        }
+        throw TypeError("'" + text + "' is not a boolean");
+      case TypeKind::Int: {
+        std::size_t pos = 0;
+        std::int64_t v = std::stoll(text, &pos);
+        if (pos != text.size()) throw TypeError("'" + text + "' is not a long");
+        return Value::integer(v);
+      }
+      case TypeKind::Float: {
+        std::size_t pos = 0;
+        double v = std::stod(text, &pos);
+        if (pos != text.size()) throw TypeError("'" + text + "' is not a double");
+        return Value::real(v);
+      }
+      case TypeKind::String:
+        return Value::string(text);
+      case TypeKind::Enum:
+        if (type.label_index(text) < 0) {
+          throw TypeError("'" + text + "' is not a label of enum " + type.name());
+        }
+        return Value::enumerated(type.name(), text);
+      case TypeKind::ServiceRef:
+        return Value::service_ref(sidl::ServiceRef::from_string(text));
+      default:
+        throw TypeError("cannot parse text into " + sidl::to_string(type.kind()) +
+                        " — not a scalar editor");
+    }
+  } catch (const std::invalid_argument&) {
+    throw TypeError("'" + text + "' is not a valid " + sidl::to_string(type.kind()));
+  } catch (const std::out_of_range&) {
+    throw TypeError("'" + text + "' is out of range for " + sidl::to_string(type.kind()));
+  }
+}
+
+namespace {
+
+struct PathStep {
+  std::string field;
+  std::size_t index = 0;
+  bool is_index = false;
+};
+
+std::vector<PathStep> parse_path(const std::string& path) {
+  std::vector<PathStep> steps;
+  std::size_t i = 0;
+  bool expect_field = true;
+  while (i < path.size()) {
+    if (path[i] == '.') {
+      ++i;
+      expect_field = true;
+      continue;
+    }
+    if (path[i] == '[') {
+      std::size_t close = path.find(']', i);
+      if (close == std::string::npos) {
+        throw NotFound("malformed path '" + path + "': unterminated '['");
+      }
+      PathStep s;
+      s.is_index = true;
+      try {
+        s.index = static_cast<std::size_t>(
+            std::stoul(path.substr(i + 1, close - i - 1)));
+      } catch (const std::exception&) {
+        throw NotFound("malformed path '" + path + "': bad index");
+      }
+      steps.push_back(s);
+      i = close + 1;
+      expect_field = false;
+      continue;
+    }
+    if (!expect_field && !steps.empty()) {
+      throw NotFound("malformed path '" + path + "'");
+    }
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '.' && path[j] != '[') ++j;
+    PathStep s;
+    s.field = path.substr(i, j - i);
+    if (s.field.empty()) throw NotFound("malformed path '" + path + "'");
+    steps.push_back(std::move(s));
+    i = j;
+    expect_field = false;
+  }
+  if (steps.empty()) throw NotFound("empty path");
+  return steps;
+}
+
+using LeafFn = Value (*)(const Value&, const TypeDesc&, const void*);
+
+Value rebuild(const Value& current, const TypeDesc& type,
+              const std::vector<PathStep>& steps, std::size_t depth,
+              const std::string& path, LeafFn leaf, const void* ctx,
+              bool peel_optional_at_leaf) {
+  // Optionals are transparent to paths: editing "p.x" where p is
+  // optional<struct> edits the payload, which must be present.  For leaves,
+  // transparency applies to value edits (set/set_ref/add/remove) but not to
+  // presence toggles, which address the optional itself.
+  if (type.kind() == TypeKind::Optional &&
+      (depth < steps.size() || peel_optional_at_leaf)) {
+    if (!current.has_payload()) {
+      throw NotFound("path '" + path + "': optional is absent — toggle presence first");
+    }
+    Value inner = rebuild(current.payload(), *type.element(), steps, depth, path,
+                          leaf, ctx, peel_optional_at_leaf);
+    return Value::optional_of(std::move(inner));
+  }
+  if (depth == steps.size()) {
+    return leaf(current, type, ctx);
+  }
+  const PathStep& step = steps[depth];
+  if (step.is_index) {
+    if (type.kind() != TypeKind::Sequence) {
+      throw NotFound("path '" + path + "': [index] applied to " +
+                     sidl::to_string(type.kind()));
+    }
+    const auto& elems = current.elements();
+    if (step.index >= elems.size()) {
+      throw NotFound("path '" + path + "': index " + std::to_string(step.index) +
+                     " out of range (size " + std::to_string(elems.size()) + ")");
+    }
+    std::vector<Value> updated(elems);
+    updated[step.index] = rebuild(elems[step.index], *type.element(), steps,
+                                  depth + 1, path, leaf, ctx, peel_optional_at_leaf);
+    return Value::sequence(std::move(updated));
+  }
+  if (type.kind() != TypeKind::Struct) {
+    throw NotFound("path '" + path + "': field '" + step.field + "' applied to " +
+                   sidl::to_string(type.kind()));
+  }
+  const sidl::FieldDesc* fd = type.find_field(step.field);
+  if (fd == nullptr) {
+    throw NotFound("path '" + path + "': struct " + type.name() +
+                   " has no field '" + step.field + "'");
+  }
+  std::vector<std::pair<std::string, Value>> fields;
+  fields.reserve(current.field_count());
+  for (std::size_t i = 0; i < current.field_count(); ++i) {
+    if (current.field_name(i) == step.field) {
+      fields.emplace_back(step.field,
+                          rebuild(current.field(i), *fd->type, steps, depth + 1,
+                                  path, leaf, ctx, peel_optional_at_leaf));
+    } else {
+      fields.emplace_back(current.field_name(i), current.field(i));
+    }
+  }
+  return Value::structure(current.type_name(), std::move(fields));
+}
+
+const TypeDesc* peel(const TypeDesc* type, const Value** value,
+                     const PathStep& step, const std::string& path) {
+  // Walk one step for read-only navigation; optionals are transparent.
+  while (type->kind() == TypeKind::Optional) {
+    if (!(*value)->has_payload()) {
+      throw NotFound("path '" + path + "': optional is absent");
+    }
+    *value = &(*value)->payload();
+    type = type->element().get();
+  }
+  if (step.is_index) {
+    if (type->kind() != TypeKind::Sequence) {
+      throw NotFound("path '" + path + "': [index] applied to " +
+                     sidl::to_string(type->kind()));
+    }
+    const auto& elems = (*value)->elements();
+    if (step.index >= elems.size()) {
+      throw NotFound("path '" + path + "': index out of range");
+    }
+    *value = &elems[step.index];
+    return type->element().get();
+  }
+  if (type->kind() != TypeKind::Struct) {
+    throw NotFound("path '" + path + "': field '" + step.field + "' applied to " +
+                   sidl::to_string(type->kind()));
+  }
+  const sidl::FieldDesc* fd = type->find_field(step.field);
+  if (fd == nullptr) {
+    throw NotFound("path '" + path + "': no field '" + step.field + "'");
+  }
+  *value = (*value)->find_field(step.field);
+  return fd->type.get();
+}
+
+}  // namespace
+
+FormEditor::FormEditor(sidl::SidPtr sid, const std::string& operation)
+    : sid_(std::move(sid)) {
+  if (!sid_) throw ContractError("FormEditor needs a SID");
+  op_ = sid_->find_operation(operation);
+  if (op_ == nullptr) {
+    throw NotFound("SID '" + sid_->name + "' has no operation '" + operation + "'");
+  }
+  form_ = generate_operation_form(*sid_, operation);
+  for (const auto& p : op_->params) {
+    if (p.dir == sidl::ParamDir::Out) continue;
+    in_params_.push_back(&p);
+    values_.push_back(wire::default_value(*p.type));
+  }
+}
+
+void FormEditor::apply_at(const std::string& path, LeafFn leaf, const void* ctx,
+                          bool peel_optional_at_leaf) {
+  auto steps = parse_path(path);
+  for (std::size_t i = 0; i < in_params_.size(); ++i) {
+    if (in_params_[i]->name == steps[0].field) {
+      values_[i] = rebuild(values_[i], *in_params_[i]->type, steps, 1, path,
+                           leaf, ctx, peel_optional_at_leaf);
+      return;
+    }
+  }
+  throw NotFound("operation '" + op_->name + "' has no in-parameter '" +
+                 steps[0].field + "'");
+}
+
+void FormEditor::set(const std::string& path, const std::string& text) {
+  apply_at(
+      path,
+      [](const Value&, const TypeDesc& type, const void* ctx) {
+        return parse_scalar(*static_cast<const std::string*>(ctx), type);
+      },
+      &text);
+}
+
+void FormEditor::set_ref(const std::string& path, const sidl::ServiceRef& ref) {
+  apply_at(
+      path,
+      [](const Value&, const TypeDesc& type, const void* ctx) {
+        if (type.kind() != TypeKind::ServiceRef) {
+          throw TypeError("path does not address a ServiceReference widget");
+        }
+        return Value::service_ref(*static_cast<const sidl::ServiceRef*>(ctx));
+      },
+      &ref);
+}
+
+std::size_t FormEditor::add_element(const std::string& path) {
+  std::size_t new_index = 0;
+  auto grow = [](const Value& current, const TypeDesc& type,
+                 const void* ctx) -> Value {
+    if (type.kind() != TypeKind::Sequence) {
+      throw TypeError("path does not address a sequence widget");
+    }
+    std::vector<Value> elems = current.elements();
+    elems.push_back(wire::default_value(*type.element()));
+    *const_cast<std::size_t*>(static_cast<const std::size_t*>(ctx)) =
+        elems.size() - 1;
+    return Value::sequence(std::move(elems));
+  };
+  apply_at(path, grow, &new_index);
+  return new_index;
+}
+
+void FormEditor::remove_element(const std::string& path, std::size_t index) {
+  auto shrink = [](const Value& current, const TypeDesc& type,
+                   const void* ctx) -> Value {
+    if (type.kind() != TypeKind::Sequence) {
+      throw TypeError("path does not address a sequence widget");
+    }
+    std::size_t idx = *static_cast<const std::size_t*>(ctx);
+    std::vector<Value> elems = current.elements();
+    if (idx >= elems.size()) {
+      throw NotFound("sequence element " + std::to_string(idx) + " out of range");
+    }
+    elems.erase(elems.begin() + static_cast<std::ptrdiff_t>(idx));
+    return Value::sequence(std::move(elems));
+  };
+  apply_at(path, shrink, &index);
+}
+
+void FormEditor::set_present(const std::string& path, bool present) {
+  auto toggle = [](const Value& current, const TypeDesc& type,
+                   const void* ctx) -> Value {
+    if (type.kind() != TypeKind::Optional) {
+      throw TypeError("path does not address an optional widget");
+    }
+    bool want = *static_cast<const bool*>(ctx);
+    if (!want) return Value::optional_absent();
+    if (current.is(wire::ValueKind::Optional) && current.has_payload()) {
+      return current;  // already present; keep edits
+    }
+    return Value::optional_of(wire::default_value(*type.element()));
+  };
+  apply_at(path, toggle, &present, /*peel_optional_at_leaf=*/false);
+}
+
+std::vector<Value> FormEditor::arguments() const {
+  // Final validation pass: every argument must conform to its parameter.
+  for (std::size_t i = 0; i < in_params_.size(); ++i) {
+    wire::ensure_conforms(values_[i], *in_params_[i]->type);
+  }
+  return values_;
+}
+
+Value FormEditor::get(const std::string& path) const {
+  auto steps = parse_path(path);
+  for (std::size_t i = 0; i < in_params_.size(); ++i) {
+    if (in_params_[i]->name != steps[0].field) continue;
+    const Value* value = &values_[i];
+    const TypeDesc* type = in_params_[i]->type.get();
+    for (std::size_t d = 1; d < steps.size(); ++d) {
+      type = peel(type, &value, steps[d], path);
+    }
+    return *value;
+  }
+  throw NotFound("operation '" + op_->name + "' has no in-parameter '" +
+                 steps[0].field + "'");
+}
+
+}  // namespace cosm::uims

@@ -1,0 +1,76 @@
+// Form editors: capture user input into typed wire values.
+//
+// A FormEditor is the model behind a generated operation form ("typed form
+// for local parameter entry and analysis", §4.2): each in-parameter starts
+// at its default value and is edited through paths like
+// "selection.model" or "extras[2]".  Input is parsed and validated against
+// the SIDL type at the addressed position, so ill-typed entries are
+// rejected *locally*, before any RPC happens.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sidl/sid.h"
+#include "uims/form.h"
+#include "wire/value.h"
+
+namespace cosm::uims {
+
+class FormEditor {
+ public:
+  /// Create an editor for one operation of a SID; throws cosm::NotFound.
+  FormEditor(sidl::SidPtr sid, const std::string& operation);
+
+  /// Set a scalar at `path` from user text.  Paths address parameters by
+  /// name, struct fields by ".field" and sequence elements by "[index]",
+  /// e.g. "selection.model" or "selection.extras[0]".
+  /// Throws cosm::TypeError on invalid text, cosm::NotFound on bad paths.
+  void set(const std::string& path, const std::string& text);
+
+  /// Set a service-reference widget directly (bind buttons deliver refs,
+  /// not text).
+  void set_ref(const std::string& path, const sidl::ServiceRef& ref);
+
+  /// Append a default-valued element to the sequence at `path`; returns the
+  /// new element's index.
+  std::size_t add_element(const std::string& path);
+
+  /// Remove an element from the sequence at `path`.
+  void remove_element(const std::string& path, std::size_t index);
+
+  /// Toggle an optional's presence (present => default payload).
+  void set_present(const std::string& path, bool present);
+
+  /// Current argument values (validated against the signature on build).
+  std::vector<wire::Value> arguments() const;
+
+  /// The value currently at `path` (for display).
+  wire::Value get(const std::string& path) const;
+
+  const OperationForm& form() const noexcept { return form_; }
+  const sidl::OperationDesc& operation() const noexcept { return *op_; }
+
+ private:
+  /// Rebuild values_ applying `leaf` at the addressed position.  When
+  /// `peel_optional_at_leaf` is true (value edits), an optional at the leaf
+  /// is transparent and the leaf applies to its payload; when false
+  /// (presence toggles), the leaf addresses the optional itself.
+  void apply_at(const std::string& path,
+                wire::Value (*leaf)(const wire::Value&, const sidl::TypeDesc&,
+                                    const void* ctx),
+                const void* ctx, bool peel_optional_at_leaf = true);
+
+  sidl::SidPtr sid_;
+  const sidl::OperationDesc* op_;
+  OperationForm form_;
+  std::vector<const sidl::ParamDesc*> in_params_;
+  std::vector<wire::Value> values_;
+};
+
+/// Parse user text into a scalar value of the given type (exposed for
+/// tests); throws cosm::TypeError.
+wire::Value parse_scalar(const std::string& text, const sidl::TypeDesc& type);
+
+}  // namespace cosm::uims

@@ -1,0 +1,226 @@
+#include "uims/form.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cosm::uims {
+
+using sidl::TypeKind;
+
+std::string to_string(WidgetKind kind) {
+  switch (kind) {
+    case WidgetKind::CheckBox: return "checkbox";
+    case WidgetKind::NumberField: return "number";
+    case WidgetKind::TextField: return "text";
+    case WidgetKind::EnumChoice: return "choice";
+    case WidgetKind::StructGroup: return "group";
+    case WidgetKind::SequenceEditor: return "list";
+    case WidgetKind::OptionalToggle: return "optional";
+    case WidgetKind::BindButton: return "bind";
+    case WidgetKind::SidViewer: return "sid";
+    case WidgetKind::AnyField: return "any";
+  }
+  return "?";
+}
+
+Widget widget_for(const sidl::Sid& sid, const std::string& label,
+                  const sidl::TypePtr& type) {
+  if (!type) throw ContractError("widget_for: null type");
+  Widget w;
+  w.label = label;
+  w.type = type;
+  if (const std::string* note = sid.find_annotation(label)) {
+    w.annotation = *note;
+  } else if (!type->name().empty()) {
+    if (const std::string* type_note = sid.find_annotation(type->name())) {
+      w.annotation = *type_note;
+    }
+  }
+  switch (type->kind()) {
+    case TypeKind::Bool:
+      w.kind = WidgetKind::CheckBox;
+      break;
+    case TypeKind::Int:
+    case TypeKind::Float:
+      w.kind = WidgetKind::NumberField;
+      break;
+    case TypeKind::String:
+      w.kind = WidgetKind::TextField;
+      break;
+    case TypeKind::Enum:
+      w.kind = WidgetKind::EnumChoice;
+      w.choices = type->labels();
+      break;
+    case TypeKind::Struct:
+      w.kind = WidgetKind::StructGroup;
+      for (const auto& f : type->fields()) {
+        w.children.push_back(widget_for(sid, f.name, f.type));
+      }
+      break;
+    case TypeKind::Sequence:
+      w.kind = WidgetKind::SequenceEditor;
+      w.children.push_back(widget_for(sid, label + "[]", type->element()));
+      break;
+    case TypeKind::Optional:
+      w.kind = WidgetKind::OptionalToggle;
+      w.children.push_back(widget_for(sid, label, type->element()));
+      break;
+    case TypeKind::ServiceRef:
+      w.kind = WidgetKind::BindButton;
+      break;
+    case TypeKind::Sid:
+      w.kind = WidgetKind::SidViewer;
+      break;
+    case TypeKind::Any:
+      w.kind = WidgetKind::AnyField;
+      break;
+    case TypeKind::Void:
+      throw ContractError("void has no widget");
+  }
+  return w;
+}
+
+OperationForm generate_operation_form(const sidl::Sid& sid,
+                                      const std::string& operation) {
+  const sidl::OperationDesc* op = sid.find_operation(operation);
+  if (op == nullptr) {
+    throw NotFound("SID '" + sid.name + "' has no operation '" + operation + "'");
+  }
+  OperationForm form;
+  form.operation = op->name;
+  if (const std::string* note = sid.find_annotation(op->name)) {
+    form.annotation = *note;
+  }
+  for (const auto& p : op->params) {
+    if (p.dir == sidl::ParamDir::Out) continue;
+    form.inputs.push_back(widget_for(sid, p.name, p.type));
+  }
+  if (op->result->kind() != TypeKind::Void) {
+    form.result_view = widget_for(sid, "result", op->result);
+  }
+  if (sid.fsm) {
+    for (const auto& tr : sid.fsm->transitions) {
+      if (tr.operation == op->name) form.fsm_restricted = true;
+    }
+  }
+  return form;
+}
+
+ServiceForm generate_form(const sidl::Sid& sid) {
+  ServiceForm form;
+  form.service = sid.name;
+  if (const std::string* note = sid.find_annotation(sid.name)) {
+    form.annotation = *note;
+  }
+  form.operations.reserve(sid.operations.size());
+  for (const auto& op : sid.operations) {
+    form.operations.push_back(generate_operation_form(sid, op.name));
+  }
+  return form;
+}
+
+namespace {
+
+void render_widget(std::ostream& os, const Widget& w, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad;
+  switch (w.kind) {
+    case WidgetKind::CheckBox:
+      os << "[ ] " << w.label;
+      break;
+    case WidgetKind::NumberField:
+      os << w.label << ": [____0____]";
+      break;
+    case WidgetKind::TextField:
+      os << w.label << ": [_________]";
+      break;
+    case WidgetKind::EnumChoice: {
+      os << w.label << ": (";
+      for (std::size_t i = 0; i < w.choices.size(); ++i) {
+        os << (i ? " | " : " ") << w.choices[i];
+      }
+      os << " )";
+      break;
+    }
+    case WidgetKind::StructGroup: {
+      os << "+-- " << w.label;
+      if (!w.type->name().empty()) os << " : " << w.type->name();
+      for (const auto& child : w.children) {
+        os << "\n";
+        render_widget(os, child, indent + 1);
+      }
+      break;
+    }
+    case WidgetKind::SequenceEditor:
+      os << w.label << ": [list of " << sidl::to_string(w.children[0].type->kind())
+         << "] (+ add)";
+      break;
+    case WidgetKind::OptionalToggle:
+      os << "( ) omit / (*) provide " << w.label << "\n";
+      render_widget(os, w.children[0], indent + 1);
+      return;  // child already rendered with label
+    case WidgetKind::BindButton:
+      os << "<" << w.label << ": BIND TO SERVICE>";
+      break;
+    case WidgetKind::SidViewer:
+      os << "<" << w.label << ": interface description>";
+      break;
+    case WidgetKind::AnyField:
+      os << w.label << ": [any value]";
+      break;
+  }
+  if (!w.annotation.empty()) os << "   // " << w.annotation;
+}
+
+}  // namespace
+
+std::string render_text(const OperationForm& form) {
+  std::ostringstream os;
+  os << "== " << form.operation;
+  if (form.fsm_restricted) os << "  (protocol-controlled)";
+  os << " ==\n";
+  if (!form.annotation.empty()) os << "   " << form.annotation << "\n";
+  for (const auto& w : form.inputs) {
+    render_widget(os, w, 1);
+    os << "\n";
+  }
+  os << "  [ INVOKE " << form.operation << " ]\n";
+  if (form.result_view.type) {
+    os << "  result:\n";
+    render_widget(os, form.result_view, 2);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_text(const ServiceForm& form) {
+  std::ostringstream os;
+  os << "### Service: " << form.service << " ###\n";
+  if (!form.annotation.empty()) os << form.annotation << "\n";
+  for (const auto& op : form.operations) {
+    os << render_text(op);
+  }
+  return os.str();
+}
+
+namespace {
+
+std::size_t count_widgets(const Widget& w) {
+  std::size_t n = 1;
+  for (const auto& c : w.children) n += count_widgets(c);
+  return n;
+}
+
+}  // namespace
+
+std::size_t widget_count(const ServiceForm& form) {
+  std::size_t n = 0;
+  for (const auto& op : form.operations) {
+    for (const auto& w : op.inputs) n += count_widgets(w);
+    if (op.result_view.type) n += count_widgets(op.result_view);
+  }
+  return n;
+}
+
+}  // namespace cosm::uims

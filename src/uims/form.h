@@ -1,0 +1,88 @@
+// UIMS form models: the "well-defined relationship of linguistic service
+// description elements to corresponding (graphical) user interface
+// management system components at the client site" (§3.2, Fig. 3/Fig. 7).
+//
+// The model is headless: a Widget tree describes what a GUI toolkit would
+// render — typed value editors per parameter, operation buttons, binding
+// buttons for service references — and a text renderer materialises the
+// Fig. 7 style form for terminals and tests.  Because every widget is
+// derived from the transferred SID, "type conformance between co-operating
+// client and server interfaces is always given implicitly" (§4.2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sidl/sid.h"
+#include "sidl/type_desc.h"
+
+namespace cosm::uims {
+
+enum class WidgetKind {
+  CheckBox,        // boolean
+  NumberField,     // long / double
+  TextField,       // string
+  EnumChoice,      // enum: radio group / dropdown
+  StructGroup,     // struct: framed group of child widgets
+  SequenceEditor,  // sequence: growable list of element editors
+  OptionalToggle,  // optional: presence toggle + payload editor
+  BindButton,      // ServiceReference: "bind to this service" control (Fig. 4)
+  SidViewer,       // SID: description display
+  AnyField,        // any: free-form value entry
+};
+
+std::string to_string(WidgetKind kind);
+
+struct Widget {
+  WidgetKind kind = WidgetKind::TextField;
+  /// Element name (parameter or field name).
+  std::string label;
+  /// Natural-language help from COSM_Annotations ("" when absent).
+  std::string annotation;
+  sidl::TypePtr type;
+  /// StructGroup: one child per field.  SequenceEditor/OptionalToggle: one
+  /// child, the element/payload prototype.
+  std::vector<Widget> children;
+  /// EnumChoice: the selectable labels.
+  std::vector<std::string> choices;
+};
+
+/// The form for one operation: an input editor per in/inout parameter, an
+/// invoke button (implicit) and a result display.
+struct OperationForm {
+  std::string operation;
+  std::string annotation;
+  std::vector<Widget> inputs;
+  Widget result_view;
+  /// True when the service's FSM restricts this operation (the generic
+  /// client greys the button out in states where it is not allowed).
+  bool fsm_restricted = false;
+};
+
+/// The complete generated user interface for a service.
+struct ServiceForm {
+  std::string service;
+  std::string annotation;
+  std::vector<OperationForm> operations;
+};
+
+/// Build the widget for a single type (exposed for tests).
+Widget widget_for(const sidl::Sid& sid, const std::string& label,
+                  const sidl::TypePtr& type);
+
+/// Generate the form for one operation; throws cosm::NotFound.
+OperationForm generate_operation_form(const sidl::Sid& sid,
+                                      const std::string& operation);
+
+/// Generate the full service form (every operation, in SID order).
+ServiceForm generate_form(const sidl::Sid& sid);
+
+/// Fig. 7 style text rendering.
+std::string render_text(const OperationForm& form);
+std::string render_text(const ServiceForm& form);
+
+/// Count widgets in a form tree (benchmark F7 reports generated widgets/s).
+std::size_t widget_count(const ServiceForm& form);
+
+}  // namespace cosm::uims

@@ -1,0 +1,166 @@
+#include "wire/codec.h"
+
+#include "common/error.h"
+#include "sidl/parser.h"
+#include "sidl/printer.h"
+
+namespace cosm::wire {
+
+namespace {
+
+// Wire tags; part of the stable wire format — append only.
+enum Tag : std::uint8_t {
+  kNull = 0,
+  kFalse = 1,
+  kTrue = 2,
+  kInt = 3,
+  kFloat = 4,
+  kString = 5,
+  kEnum = 6,
+  kStruct = 7,
+  kSequence = 8,
+  kOptAbsent = 9,
+  kOptPresent = 10,
+  kServiceRef = 11,
+  kSid = 12,
+};
+
+}  // namespace
+
+void encode_value(ByteWriter& w, const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Null:
+      w.u8(kNull);
+      return;
+    case ValueKind::Bool:
+      w.u8(v.as_bool() ? kTrue : kFalse);
+      return;
+    case ValueKind::Int:
+      w.u8(kInt);
+      w.svarint(v.as_int());
+      return;
+    case ValueKind::Float:
+      w.u8(kFloat);
+      w.f64(v.as_real());
+      return;
+    case ValueKind::String:
+      w.u8(kString);
+      w.str(v.as_string());
+      return;
+    case ValueKind::Enum:
+      w.u8(kEnum);
+      w.str(v.type_name());
+      w.str(v.enum_label());
+      return;
+    case ValueKind::Struct: {
+      w.u8(kStruct);
+      w.str(v.type_name());
+      w.varint(v.field_count());
+      for (std::size_t i = 0; i < v.field_count(); ++i) {
+        w.str(v.field_name(i));
+        encode_value(w, v.field(i));
+      }
+      return;
+    }
+    case ValueKind::Sequence: {
+      w.u8(kSequence);
+      w.varint(v.elements().size());
+      for (const Value& e : v.elements()) encode_value(w, e);
+      return;
+    }
+    case ValueKind::Optional:
+      if (v.has_payload()) {
+        w.u8(kOptPresent);
+        encode_value(w, v.payload());
+      } else {
+        w.u8(kOptAbsent);
+      }
+      return;
+    case ValueKind::ServiceRef:
+      w.u8(kServiceRef);
+      w.str(v.as_ref().to_string());
+      return;
+    case ValueKind::Sid:
+      w.u8(kSid);
+      w.str(sidl::print_sid(*v.as_sid()));
+      return;
+  }
+  throw WireError("encode_value: unknown value kind");
+}
+
+Bytes encode_value(const Value& value) {
+  ByteWriter w;
+  encode_value(w, value);
+  return w.take();
+}
+
+Value decode_value(ByteReader& r) {
+  std::uint8_t tag = r.u8();
+  switch (tag) {
+    case kNull:
+      return Value::null();
+    case kFalse:
+      return Value::boolean(false);
+    case kTrue:
+      return Value::boolean(true);
+    case kInt:
+      return Value::integer(r.svarint());
+    case kFloat:
+      return Value::real(r.f64());
+    case kString:
+      return Value::string(r.str());
+    case kEnum: {
+      std::string type_name = r.str();
+      std::string label = r.str();
+      if (label.empty()) throw WireError("enum value with empty label");
+      return Value::enumerated(std::move(type_name), std::move(label));
+    }
+    case kStruct: {
+      std::string type_name = r.str();
+      std::uint64_t n = r.varint();
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        fields.emplace_back(std::move(name), decode_value(r));
+      }
+      return Value::structure(std::move(type_name), std::move(fields));
+    }
+    case kSequence: {
+      std::uint64_t n = r.varint();
+      std::vector<Value> elems;
+      elems.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) elems.push_back(decode_value(r));
+      return Value::sequence(std::move(elems));
+    }
+    case kOptAbsent:
+      return Value::optional_absent();
+    case kOptPresent:
+      return Value::optional_of(decode_value(r));
+    case kServiceRef:
+      return Value::service_ref(sidl::ServiceRef::from_string(r.str()));
+    case kSid: {
+      std::string text = r.str();
+      try {
+        auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(text));
+        return Value::sid(std::move(sid));
+      } catch (const ParseError& e) {
+        throw WireError(std::string("SID payload failed to parse: ") + e.what());
+      }
+    }
+    default:
+      throw WireError("decode_value: unknown tag " + std::to_string(tag));
+  }
+}
+
+Value decode_value(const Bytes& bytes) {
+  ByteReader r(bytes);
+  Value v = decode_value(r);
+  if (!r.at_end()) {
+    throw WireError("decode_value: " + std::to_string(r.remaining()) +
+                    " trailing bytes");
+  }
+  return v;
+}
+
+}  // namespace cosm::wire

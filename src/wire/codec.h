@@ -1,0 +1,33 @@
+// Self-describing TLV encoding of Values.
+//
+// Every value carries a one-byte kind tag, so a receiver can decode without
+// prior knowledge of the type — the property that lets a Browser accept
+// registrations of services it has never heard of.  Type *checking* against
+// a SID happens separately in the marshaller (marshal.h).
+//
+// SIDs are encoded in their SIDL source form (a string) and re-parsed on
+// decode: this is precisely how the paper keeps extended SIDs processable by
+// components that understand fewer extension modules — the unknown modules
+// ride along as text.
+
+#pragma once
+
+#include "common/bytes.h"
+#include "wire/value.h"
+
+namespace cosm::wire {
+
+/// Append the value's TLV encoding to the writer.
+void encode_value(ByteWriter& writer, const Value& value);
+
+/// Convenience: encode into a fresh byte vector.
+Bytes encode_value(const Value& value);
+
+/// Decode one value; throws cosm::WireError on malformed bytes (including a
+/// SID payload that fails to parse).
+Value decode_value(ByteReader& reader);
+
+/// Convenience: decode a byte vector that holds exactly one value.
+Value decode_value(const Bytes& bytes);
+
+}  // namespace cosm::wire

@@ -1,0 +1,189 @@
+#include "wire/marshal.h"
+
+#include "common/error.h"
+#include "wire/codec.h"
+
+namespace cosm::wire {
+
+using sidl::TypeDesc;
+using sidl::TypeKind;
+
+namespace {
+
+/// Returns an empty string when conforming, else a description of the first
+/// violation (path-prefixed).
+std::string check(const Value& v, const TypeDesc& t, const std::string& path) {
+  auto fail = [&](const std::string& msg) { return path + ": " + msg; };
+  switch (t.kind()) {
+    case TypeKind::Void:
+      return v.is_null() ? "" : fail("expected void (null), got " + to_string(v.kind()));
+    case TypeKind::Bool:
+      return v.is(ValueKind::Bool) ? "" : fail("expected boolean, got " + to_string(v.kind()));
+    case TypeKind::Int:
+      return v.is(ValueKind::Int) ? "" : fail("expected long, got " + to_string(v.kind()));
+    case TypeKind::Float:
+      return v.is(ValueKind::Float) ? "" : fail("expected double, got " + to_string(v.kind()));
+    case TypeKind::String:
+      return v.is(ValueKind::String) ? "" : fail("expected string, got " + to_string(v.kind()));
+    case TypeKind::ServiceRef:
+      return v.is(ValueKind::ServiceRef) ? ""
+             : fail("expected ServiceReference, got " + to_string(v.kind()));
+    case TypeKind::Sid:
+      return v.is(ValueKind::Sid) ? "" : fail("expected SID, got " + to_string(v.kind()));
+    case TypeKind::Any:
+      return "";  // the top type accepts every value
+    case TypeKind::Enum: {
+      if (!v.is(ValueKind::Enum)) return fail("expected enum, got " + to_string(v.kind()));
+      if (!v.type_name().empty() && !t.name().empty() && v.type_name() != t.name()) {
+        return fail("enum type mismatch: value is " + v.type_name() +
+                    ", expected " + t.name());
+      }
+      if (t.label_index(v.enum_label()) < 0) {
+        return fail("label '" + v.enum_label() + "' is not declared by enum " + t.name());
+      }
+      return "";
+    }
+    case TypeKind::Struct: {
+      if (!v.is(ValueKind::Struct)) {
+        return fail("expected struct, got " + to_string(v.kind()));
+      }
+      if (!v.type_name().empty() && !t.name().empty() && v.type_name() != t.name()) {
+        // Allow structurally conforming values under a different name only
+        // when one side is anonymous; named mismatches are errors.
+        return fail("struct type mismatch: value is " + v.type_name() +
+                    ", expected " + t.name());
+      }
+      for (const auto& f : t.fields()) {
+        const Value* fv = v.find_field(f.name);
+        if (!fv) return fail("missing field '" + f.name + "'");
+        std::string err = check(*fv, *f.type, path + "." + f.name);
+        if (!err.empty()) return err;
+      }
+      return "";  // extra value fields allowed: width subtyping
+    }
+    case TypeKind::Sequence: {
+      if (!v.is(ValueKind::Sequence)) {
+        return fail("expected sequence, got " + to_string(v.kind()));
+      }
+      std::size_t i = 0;
+      for (const Value& e : v.elements()) {
+        std::string err = check(e, *t.element(), path + "[" + std::to_string(i) + "]");
+        if (!err.empty()) return err;
+        ++i;
+      }
+      return "";
+    }
+    case TypeKind::Optional: {
+      if (!v.is(ValueKind::Optional)) {
+        return fail("expected optional, got " + to_string(v.kind()));
+      }
+      if (!v.has_payload()) return "";
+      return check(v.payload(), *t.element(), path + ".value");
+    }
+  }
+  return fail("unknown type kind");
+}
+
+}  // namespace
+
+bool conforms(const Value& value, const TypeDesc& type) {
+  return check(value, type, "$").empty();
+}
+
+void ensure_conforms(const Value& value, const TypeDesc& type) {
+  std::string err = check(value, type, "$");
+  if (!err.empty()) throw TypeError("value does not conform: " + err);
+}
+
+DynamicMarshaller::DynamicMarshaller(sidl::TypePtr type) : type_(std::move(type)) {
+  if (!type_) throw ContractError("DynamicMarshaller needs a type");
+}
+
+Bytes DynamicMarshaller::marshal(const Value& value) const {
+  ensure_conforms(value, *type_);
+  return encode_value(value);
+}
+
+Value DynamicMarshaller::unmarshal(const Bytes& bytes) const {
+  Value v = decode_value(bytes);
+  ensure_conforms(v, *type_);
+  return v;
+}
+
+Bytes marshal_arguments(const sidl::OperationDesc& op, const std::vector<Value>& args) {
+  std::size_t expected = 0;
+  for (const auto& p : op.params) {
+    if (p.dir != sidl::ParamDir::Out) ++expected;
+  }
+  if (args.size() != expected) {
+    throw TypeError("operation '" + op.name + "' expects " +
+                    std::to_string(expected) + " argument(s), got " +
+                    std::to_string(args.size()));
+  }
+  std::size_t ai = 0;
+  for (const auto& p : op.params) {
+    if (p.dir == sidl::ParamDir::Out) continue;
+    std::string err = check(args[ai], *p.type, "$." + p.name);
+    if (!err.empty()) {
+      throw TypeError("argument for '" + op.name + "' does not conform: " + err);
+    }
+    ++ai;
+  }
+  return encode_value(Value::sequence(args));
+}
+
+std::vector<Value> unmarshal_arguments(const sidl::OperationDesc& op, const Bytes& bytes) {
+  Value v = decode_value(bytes);
+  if (!v.is(ValueKind::Sequence)) {
+    throw WireError("argument frame for '" + op.name + "' is not a sequence");
+  }
+  std::vector<Value> args = v.elements();
+  std::size_t expected = 0;
+  for (const auto& p : op.params) {
+    if (p.dir != sidl::ParamDir::Out) ++expected;
+  }
+  if (args.size() != expected) {
+    throw TypeError("operation '" + op.name + "' expects " +
+                    std::to_string(expected) + " argument(s), got " +
+                    std::to_string(args.size()));
+  }
+  std::size_t ai = 0;
+  for (const auto& p : op.params) {
+    if (p.dir == sidl::ParamDir::Out) continue;
+    std::string err = check(args[ai], *p.type, "$." + p.name);
+    if (!err.empty()) {
+      throw TypeError("received argument for '" + op.name + "' does not conform: " + err);
+    }
+    ++ai;
+  }
+  return args;
+}
+
+Value default_value(const TypeDesc& t) {
+  switch (t.kind()) {
+    case TypeKind::Void: return Value::null();
+    case TypeKind::Bool: return Value::boolean(false);
+    case TypeKind::Int: return Value::integer(0);
+    case TypeKind::Float: return Value::real(0.0);
+    case TypeKind::String: return Value::string("");
+    case TypeKind::Enum: return Value::enumerated(t.name(), t.labels().front());
+    case TypeKind::Struct: {
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(t.fields().size());
+      for (const auto& f : t.fields()) {
+        fields.emplace_back(f.name, default_value(*f.type));
+      }
+      return Value::structure(t.name(), std::move(fields));
+    }
+    case TypeKind::Sequence: return Value::sequence({});
+    case TypeKind::Optional: return Value::optional_absent();
+    case TypeKind::ServiceRef: return Value::service_ref({});
+    case TypeKind::Sid:
+      throw ContractError("no default value for SID-typed parameters");
+    case TypeKind::Any:
+      return Value::null();
+  }
+  throw ContractError("default_value: unknown type kind");
+}
+
+}  // namespace cosm::wire

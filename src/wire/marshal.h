@@ -1,0 +1,59 @@
+// Dynamic marshalling: TypeDesc-driven conformance checking + TLV encoding.
+//
+// "This idea allows not only a dynamic marshalling of transferred
+// parameters, it also provides a prerequisite for a generic client
+// component" (§3.1).  The DynamicMarshaller is constructed from a TypeDesc
+// obtained out of a *transferred* SID — no compiled-in stubs — and
+// validates every value against that description before encoding and after
+// decoding.
+
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "sidl/sid.h"
+#include "sidl/type_desc.h"
+#include "wire/value.h"
+
+namespace cosm::wire {
+
+/// Does `value` conform to `type`?  Structs may carry extra fields (record
+/// width subtyping, Fig. 2); enum values must use one of the declared
+/// labels; enum/struct type names must match when both sides name them.
+bool conforms(const Value& value, const sidl::TypeDesc& type);
+
+/// Like conforms(), but explains the first violation found; throws
+/// cosm::TypeError.
+void ensure_conforms(const Value& value, const sidl::TypeDesc& type);
+
+/// Marshaller for a single TypeDesc.
+class DynamicMarshaller {
+ public:
+  explicit DynamicMarshaller(sidl::TypePtr type);
+
+  /// Validate + encode.  Throws cosm::TypeError on non-conforming values.
+  Bytes marshal(const Value& value) const;
+
+  /// Decode + validate.  Throws cosm::WireError / cosm::TypeError.
+  Value unmarshal(const Bytes& bytes) const;
+
+  const sidl::TypePtr& type() const noexcept { return type_; }
+
+ private:
+  sidl::TypePtr type_;
+};
+
+/// Marshal a full argument list against an operation signature (in/inout
+/// parameters, positional).  Returns one encoded Sequence value.
+Bytes marshal_arguments(const sidl::OperationDesc& op, const std::vector<Value>& args);
+
+/// Inverse of marshal_arguments.
+std::vector<Value> unmarshal_arguments(const sidl::OperationDesc& op, const Bytes& bytes);
+
+/// Build a default-initialised value for a type: zero/empty scalars, the
+/// first enum label, absent optionals, empty sequences, all-default struct
+/// fields.  Used by UI form generation to seed editors.
+Value default_value(const sidl::TypeDesc& type);
+
+}  // namespace cosm::wire

@@ -1,0 +1,66 @@
+#include "wire/static_codec.h"
+
+#include "common/error.h"
+
+namespace cosm::wire::static_stub {
+
+void encode(ByteWriter& w, const SelectCarRequest& m) {
+  w.u8(static_cast<std::uint8_t>(m.model));
+  w.str(m.booking_date);
+  w.svarint(m.days);
+}
+
+void encode(ByteWriter& w, const SelectCarReply& m) {
+  w.u8(m.available ? 1 : 0);
+  w.f64(m.total_charge);
+  w.str(m.offer_code);
+}
+
+void encode(ByteWriter& w, const BookCarRequest& m) {
+  w.str(m.offer_code);
+  w.str(m.customer);
+  w.varint(m.extras.size());
+  for (const auto& e : m.extras) w.str(e);
+}
+
+void encode(ByteWriter& w, const BookCarReply& m) {
+  w.u8(m.confirmed ? 1 : 0);
+  w.svarint(m.booking_id);
+}
+
+SelectCarRequest decode_select_car_request(ByteReader& r) {
+  SelectCarRequest m;
+  std::uint8_t model = r.u8();
+  if (model > 2) throw WireError("invalid CarModel discriminant");
+  m.model = static_cast<CarModel>(model);
+  m.booking_date = r.str();
+  m.days = r.svarint();
+  return m;
+}
+
+SelectCarReply decode_select_car_reply(ByteReader& r) {
+  SelectCarReply m;
+  m.available = r.u8() != 0;
+  m.total_charge = r.f64();
+  m.offer_code = r.str();
+  return m;
+}
+
+BookCarRequest decode_book_car_request(ByteReader& r) {
+  BookCarRequest m;
+  m.offer_code = r.str();
+  m.customer = r.str();
+  std::uint64_t n = r.varint();
+  m.extras.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) m.extras.push_back(r.str());
+  return m;
+}
+
+BookCarReply decode_book_car_reply(ByteReader& r) {
+  BookCarReply m;
+  m.confirmed = r.u8() != 0;
+  m.booking_id = r.svarint();
+  return m;
+}
+
+}  // namespace cosm::wire::static_stub

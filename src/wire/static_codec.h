@@ -1,0 +1,63 @@
+// Hand-written ("compiled-stub") codecs for the paper-era baseline.
+//
+// Before COSM, a client developer wrote per-service marshalling stubs from
+// the service's published description (§3.1 "traditionally, service
+// descriptions are used as an input for stub code generation").  These
+// fixed-layout codecs for the CarRental messages are that baseline: they
+// encode the same logical content as the dynamic marshaller but with all
+// type knowledge compiled in.  Benchmark C3 compares the two.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace cosm::wire::static_stub {
+
+enum class CarModel : std::uint8_t { AUDI = 0, FIAT_Uno = 1, VW_Golf = 2 };
+
+struct SelectCarRequest {
+  CarModel model = CarModel::AUDI;
+  std::string booking_date;
+  std::int64_t days = 0;
+
+  bool operator==(const SelectCarRequest&) const = default;
+};
+
+struct SelectCarReply {
+  bool available = false;
+  double total_charge = 0.0;
+  std::string offer_code;
+
+  bool operator==(const SelectCarReply&) const = default;
+};
+
+struct BookCarRequest {
+  std::string offer_code;
+  std::string customer;
+  std::vector<std::string> extras;
+
+  bool operator==(const BookCarRequest&) const = default;
+};
+
+struct BookCarReply {
+  bool confirmed = false;
+  std::int64_t booking_id = 0;
+
+  bool operator==(const BookCarReply&) const = default;
+};
+
+void encode(ByteWriter& w, const SelectCarRequest& m);
+void encode(ByteWriter& w, const SelectCarReply& m);
+void encode(ByteWriter& w, const BookCarRequest& m);
+void encode(ByteWriter& w, const BookCarReply& m);
+
+SelectCarRequest decode_select_car_request(ByteReader& r);
+SelectCarReply decode_select_car_reply(ByteReader& r);
+BookCarRequest decode_book_car_request(ByteReader& r);
+BookCarReply decode_book_car_reply(ByteReader& r);
+
+}  // namespace cosm::wire::static_stub

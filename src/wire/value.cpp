@@ -1,0 +1,274 @@
+#include "wire/value.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cosm::wire {
+
+std::string to_string(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::Null: return "null";
+    case ValueKind::Bool: return "bool";
+    case ValueKind::Int: return "int";
+    case ValueKind::Float: return "float";
+    case ValueKind::String: return "string";
+    case ValueKind::Enum: return "enum";
+    case ValueKind::Struct: return "struct";
+    case ValueKind::Sequence: return "sequence";
+    case ValueKind::Optional: return "optional";
+    case ValueKind::ServiceRef: return "service-ref";
+    case ValueKind::Sid: return "sid";
+  }
+  return "?";
+}
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = ValueKind::Bool;
+  v.b_ = b;
+  return v;
+}
+
+Value Value::integer(std::int64_t i) {
+  Value v;
+  v.kind_ = ValueKind::Int;
+  v.i_ = i;
+  return v;
+}
+
+Value Value::real(double d) {
+  Value v;
+  v.kind_ = ValueKind::Float;
+  v.f_ = d;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = ValueKind::String;
+  v.s_ = std::move(s);
+  return v;
+}
+
+Value Value::enumerated(std::string type_name, std::string label) {
+  if (label.empty()) throw ContractError("enum value needs a label");
+  Value v;
+  v.kind_ = ValueKind::Enum;
+  v.name_ = std::move(type_name);
+  v.s_ = std::move(label);
+  return v;
+}
+
+Value Value::structure(std::string type_name,
+                       std::vector<std::pair<std::string, Value>> fields) {
+  Value v;
+  v.kind_ = ValueKind::Struct;
+  v.name_ = std::move(type_name);
+  v.field_names_.reserve(fields.size());
+  v.elems_.reserve(fields.size());
+  for (auto& [name, value] : fields) {
+    v.field_names_.push_back(std::move(name));
+    v.elems_.push_back(std::move(value));
+  }
+  return v;
+}
+
+Value Value::sequence(std::vector<Value> elements) {
+  Value v;
+  v.kind_ = ValueKind::Sequence;
+  v.elems_ = std::move(elements);
+  return v;
+}
+
+Value Value::optional_absent() {
+  Value v;
+  v.kind_ = ValueKind::Optional;
+  return v;
+}
+
+Value Value::optional_of(Value payload) {
+  Value v;
+  v.kind_ = ValueKind::Optional;
+  v.elems_.push_back(std::move(payload));
+  return v;
+}
+
+Value Value::service_ref(sidl::ServiceRef ref) {
+  Value v;
+  v.kind_ = ValueKind::ServiceRef;
+  v.ref_ = std::move(ref);
+  return v;
+}
+
+Value Value::sid(sidl::SidPtr sid) {
+  if (!sid) throw ContractError("SID value needs a non-null SID");
+  Value v;
+  v.kind_ = ValueKind::Sid;
+  v.sid_ = std::move(sid);
+  return v;
+}
+
+void Value::require(ValueKind k, const char* what) const {
+  if (kind_ != k) {
+    throw TypeError(std::string("value is ") + to_string(kind_) + ", not " + what);
+  }
+}
+
+bool Value::as_bool() const {
+  require(ValueKind::Bool, "bool");
+  return b_;
+}
+
+std::int64_t Value::as_int() const {
+  require(ValueKind::Int, "int");
+  return i_;
+}
+
+double Value::as_real() const {
+  require(ValueKind::Float, "float");
+  return f_;
+}
+
+const std::string& Value::as_string() const {
+  require(ValueKind::String, "string");
+  return s_;
+}
+
+const std::string& Value::type_name() const {
+  if (kind_ != ValueKind::Enum && kind_ != ValueKind::Struct) {
+    throw TypeError("value of kind " + to_string(kind_) + " has no type name");
+  }
+  return name_;
+}
+
+const std::string& Value::enum_label() const {
+  require(ValueKind::Enum, "enum");
+  return s_;
+}
+
+std::size_t Value::field_count() const {
+  require(ValueKind::Struct, "struct");
+  return elems_.size();
+}
+
+const std::string& Value::field_name(std::size_t i) const {
+  require(ValueKind::Struct, "struct");
+  if (i >= field_names_.size()) throw TypeError("struct field index out of range");
+  return field_names_[i];
+}
+
+const Value& Value::field(std::size_t i) const {
+  require(ValueKind::Struct, "struct");
+  if (i >= elems_.size()) throw TypeError("struct field index out of range");
+  return elems_[i];
+}
+
+const Value* Value::find_field(const std::string& name) const {
+  require(ValueKind::Struct, "struct");
+  for (std::size_t i = 0; i < field_names_.size(); ++i) {
+    if (field_names_[i] == name) return &elems_[i];
+  }
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& name) const {
+  const Value* v = find_field(name);
+  if (!v) {
+    throw TypeError("struct '" + name_ + "' has no field '" + name + "'");
+  }
+  return *v;
+}
+
+const std::vector<Value>& Value::elements() const {
+  require(ValueKind::Sequence, "sequence");
+  return elems_;
+}
+
+bool Value::has_payload() const {
+  require(ValueKind::Optional, "optional");
+  return !elems_.empty();
+}
+
+const Value& Value::payload() const {
+  require(ValueKind::Optional, "optional");
+  if (elems_.empty()) throw TypeError("optional value is absent");
+  return elems_[0];
+}
+
+const sidl::ServiceRef& Value::as_ref() const {
+  require(ValueKind::ServiceRef, "service-ref");
+  return ref_;
+}
+
+const sidl::SidPtr& Value::as_sid() const {
+  require(ValueKind::Sid, "sid");
+  return sid_;
+}
+
+bool Value::operator==(const Value& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case ValueKind::Null: return true;
+    case ValueKind::Bool: return b_ == o.b_;
+    case ValueKind::Int: return i_ == o.i_;
+    case ValueKind::Float: return f_ == o.f_;
+    case ValueKind::String: return s_ == o.s_;
+    case ValueKind::Enum: return name_ == o.name_ && s_ == o.s_;
+    case ValueKind::Struct:
+      return name_ == o.name_ && field_names_ == o.field_names_ && elems_ == o.elems_;
+    case ValueKind::Sequence:
+    case ValueKind::Optional:
+      return elems_ == o.elems_;
+    case ValueKind::ServiceRef: return ref_ == o.ref_;
+    case ValueKind::Sid:
+      return (sid_ == o.sid_) || (sid_ && o.sid_ && *sid_ == *o.sid_);
+  }
+  return false;
+}
+
+std::string Value::to_debug_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ValueKind::Null: os << "null"; break;
+    case ValueKind::Bool: os << (b_ ? "true" : "false"); break;
+    case ValueKind::Int: os << i_; break;
+    case ValueKind::Float: os << f_; break;
+    case ValueKind::String: os << '"' << s_ << '"'; break;
+    case ValueKind::Enum: os << name_ << "." << s_; break;
+    case ValueKind::Struct: {
+      os << name_ << "{ ";
+      for (std::size_t i = 0; i < elems_.size(); ++i) {
+        if (i) os << ", ";
+        os << field_names_[i] << ": " << elems_[i].to_debug_string();
+      }
+      os << " }";
+      break;
+    }
+    case ValueKind::Sequence: {
+      os << "[";
+      for (std::size_t i = 0; i < elems_.size(); ++i) {
+        if (i) os << ", ";
+        os << elems_[i].to_debug_string();
+      }
+      os << "]";
+      break;
+    }
+    case ValueKind::Optional:
+      os << (elems_.empty() ? "absent" : "some(" + elems_[0].to_debug_string() + ")");
+      break;
+    case ValueKind::ServiceRef: os << "ref(" << ref_.to_string() << ")"; break;
+    case ValueKind::Sid: os << "sid(" << (sid_ ? sid_->name : "?") << ")"; break;
+  }
+  return os.str();
+}
+
+Value from_literal(const sidl::Literal& lit, const std::string& enum_type_name) {
+  if (lit.is_bool()) return Value::boolean(lit.as_bool());
+  if (lit.is_int()) return Value::integer(lit.as_int());
+  if (lit.is_float()) return Value::real(lit.as_float());
+  if (lit.is_string()) return Value::string(lit.as_string());
+  return Value::enumerated(enum_type_name, lit.as_enum().label);
+}
+
+}  // namespace cosm::wire

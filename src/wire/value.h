@@ -1,0 +1,120 @@
+// Dynamic values — the data model every COSM component exchanges.
+//
+// A Value is a self-describing runtime datum shaped by SIDL types.  Because
+// generic clients know services only through their transferred SIDs (§3.1),
+// parameters and results cannot be compiled-in C++ structs; they are Values
+// interpreted against TypeDescs.  ServiceRef and Sid are first-class value
+// kinds — the property that makes browser registration (a call carrying a
+// SID) and the Fig. 4 binding cascade (results carrying references) plain
+// RPC traffic.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sidl/service_ref.h"
+#include "sidl/sid.h"
+
+namespace cosm::wire {
+
+class Value;
+
+enum class ValueKind {
+  Null,  // void results / absent optionals
+  Bool,
+  Int,
+  Float,
+  String,
+  Enum,
+  Struct,
+  Sequence,
+  Optional,
+  ServiceRef,
+  Sid,
+};
+
+std::string to_string(ValueKind kind);
+
+class Value {
+ public:
+  /// Default-constructed value is Null.
+  Value() = default;
+
+  // --- factories ---
+  static Value null() { return Value(); }
+  static Value boolean(bool b);
+  static Value integer(std::int64_t i);
+  static Value real(double d);
+  static Value string(std::string s);
+  static Value enumerated(std::string type_name, std::string label);
+  static Value structure(std::string type_name,
+                         std::vector<std::pair<std::string, Value>> fields);
+  static Value sequence(std::vector<Value> elements);
+  static Value optional_absent();
+  static Value optional_of(Value payload);
+  static Value service_ref(sidl::ServiceRef ref);
+  static Value sid(sidl::SidPtr sid);
+
+  // --- inspection ---
+  ValueKind kind() const noexcept { return kind_; }
+  bool is(ValueKind k) const noexcept { return kind_ == k; }
+  bool is_null() const noexcept { return kind_ == ValueKind::Null; }
+
+  /// Accessors throw cosm::TypeError when the kind does not match.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_real() const;
+  const std::string& as_string() const;
+
+  /// Enum/Struct type name (may be empty for anonymous types).
+  const std::string& type_name() const;
+  /// Enum label.
+  const std::string& enum_label() const;
+
+  /// Struct fields.
+  std::size_t field_count() const;
+  const std::string& field_name(std::size_t i) const;
+  const Value& field(std::size_t i) const;
+  /// Field lookup by name; nullptr if absent.
+  const Value* find_field(const std::string& name) const;
+  /// Field lookup that throws cosm::TypeError when absent.
+  const Value& at(const std::string& name) const;
+
+  /// Sequence elements.
+  const std::vector<Value>& elements() const;
+
+  /// Optional payload.
+  bool has_payload() const;
+  const Value& payload() const;
+
+  const sidl::ServiceRef& as_ref() const;
+  const sidl::SidPtr& as_sid() const;
+
+  bool operator==(const Value& o) const;
+
+  /// Debug rendering, e.g. `SelectCar_t{ model: CarModel_t.VW_Golf, days: 3 }`.
+  std::string to_debug_string() const;
+
+ private:
+  void require(ValueKind k, const char* what) const;
+
+  ValueKind kind_ = ValueKind::Null;
+  bool b_ = false;
+  std::int64_t i_ = 0;
+  double f_ = 0.0;
+  std::string s_;                         // String payload / Enum label
+  std::string name_;                      // Enum/Struct type name
+  std::vector<std::string> field_names_;  // Struct only, parallel to elems_
+  std::vector<Value> elems_;              // Struct fields / Sequence / Optional payload
+  sidl::ServiceRef ref_;
+  sidl::SidPtr sid_;
+};
+
+/// Convert a SIDL literal (e.g. a trader-export attribute) into a Value.
+Value from_literal(const sidl::Literal& lit, const std::string& enum_type_name = "");
+
+}  // namespace cosm::wire

@@ -1,0 +1,179 @@
+#include "support/generators.h"
+
+#include <utility>
+
+namespace cosm::testing {
+
+using sidl::TypeDesc;
+using sidl::TypeKind;
+using sidl::TypePtr;
+using wire::Value;
+
+TypePtr random_type(Rng& rng, const GenOptions& options, int depth) {
+  const bool leaf_only = depth >= options.max_depth;
+  // Leaf kinds first; composites appended when depth allows.
+  std::vector<int> kinds = {0, 1, 2, 3};  // bool,int,float,string
+  if (options.allow_ref_types) kinds.push_back(4);  // service ref
+  if (options.allow_named_types) kinds.push_back(5);  // enum
+  if (!leaf_only) {
+    if (options.allow_named_types) kinds.push_back(6);  // struct
+    kinds.push_back(7);  // sequence
+    kinds.push_back(8);  // optional
+  }
+  switch (kinds[rng.below(kinds.size())]) {
+    case 0: return TypeDesc::bool_();
+    case 1: return TypeDesc::int_();
+    case 2: return TypeDesc::float_();
+    case 3: return TypeDesc::string_();
+    case 4: return TypeDesc::service_ref();
+    case 5: {
+      std::size_t n = 1 + rng.below(static_cast<std::uint64_t>(options.max_width));
+      std::vector<std::string> labels;
+      for (std::size_t i = 0; i < n; ++i) {
+        labels.push_back("L" + std::to_string(i) + "_" + rng.ident(3));
+      }
+      return TypeDesc::enum_("E_" + rng.ident(4), std::move(labels));
+    }
+    case 6: {
+      std::size_t n = rng.below(static_cast<std::uint64_t>(options.max_width) + 1);
+      std::vector<sidl::FieldDesc> fields;
+      for (std::size_t i = 0; i < n; ++i) {
+        fields.push_back({"f" + std::to_string(i) + "_" + rng.ident(3),
+                          random_type(rng, options, depth + 1)});
+      }
+      return TypeDesc::struct_("S_" + rng.ident(4), std::move(fields));
+    }
+    case 7:
+      return TypeDesc::sequence(random_type(rng, options, depth + 1));
+    default:
+      return TypeDesc::optional(random_type(rng, options, depth + 1));
+  }
+}
+
+Value random_value(Rng& rng, const TypeDesc& type, const GenOptions& options) {
+  switch (type.kind()) {
+    case TypeKind::Void: return Value::null();
+    case TypeKind::Bool: return Value::boolean(rng.chance(0.5));
+    case TypeKind::Int: return Value::integer(rng.range(-1000000, 1000000));
+    case TypeKind::Float: return Value::real(rng.uniform() * 2000.0 - 1000.0);
+    case TypeKind::String: return Value::string(rng.ident(rng.below(12)));
+    case TypeKind::Enum:
+      return Value::enumerated(type.name(),
+                               type.labels()[rng.below(type.labels().size())]);
+    case TypeKind::Struct: {
+      std::vector<std::pair<std::string, Value>> fields;
+      for (const auto& f : type.fields()) {
+        fields.emplace_back(f.name, random_value(rng, *f.type, options));
+      }
+      return Value::structure(type.name(), std::move(fields));
+    }
+    case TypeKind::Sequence: {
+      std::size_t n = rng.below(static_cast<std::uint64_t>(options.max_width) + 1);
+      std::vector<Value> elems;
+      for (std::size_t i = 0; i < n; ++i) {
+        elems.push_back(random_value(rng, *type.element(), options));
+      }
+      return Value::sequence(std::move(elems));
+    }
+    case TypeKind::Optional:
+      return rng.chance(0.5)
+                 ? Value::optional_absent()
+                 : Value::optional_of(random_value(rng, *type.element(), options));
+    case TypeKind::ServiceRef: {
+      sidl::ServiceRef ref;
+      ref.id = "svc-" + rng.ident(4);
+      ref.endpoint = "inproc://" + rng.ident(5);
+      ref.interface_name = "I" + rng.ident(4);
+      return Value::service_ref(std::move(ref));
+    }
+    case TypeKind::Sid:
+    case TypeKind::Any:
+      return Value::integer(static_cast<std::int64_t>(rng.below(100)));
+  }
+  return Value::null();
+}
+
+sidl::Sid random_sid(Rng& rng, const GenOptions& options) {
+  sidl::Sid sid;
+  sid.name = "Svc_" + rng.ident(5);
+  sid.interface_name = "COSM_Operations";
+
+  // Named types (top-level typedefs must be enum/struct to print as
+  // typedefs that round-trip by name).
+  std::size_t type_count = 1 + rng.below(3);
+  for (std::size_t i = 0; i < type_count; ++i) {
+    TypePtr t;
+    std::string name = "T" + std::to_string(i) + "_t";
+    if (rng.chance(0.5)) {
+      std::size_t labels = 1 + rng.below(4);
+      std::vector<std::string> ls;
+      for (std::size_t l = 0; l < labels; ++l) {
+        ls.push_back("V" + std::to_string(l) + "_" + rng.ident(2));
+      }
+      t = TypeDesc::enum_(name, std::move(ls));
+    } else {
+      std::size_t nf = rng.below(4);
+      std::vector<sidl::FieldDesc> fields;
+      for (std::size_t f = 0; f < nf; ++f) {
+        GenOptions inner = options;
+        inner.max_depth = 2;
+        inner.allow_named_types = false;  // keep fields self-contained
+        fields.push_back({"g" + std::to_string(f), random_type(rng, inner, 1)});
+      }
+      t = TypeDesc::struct_(name, std::move(fields));
+    }
+    sid.types.emplace_back(name, std::move(t));
+  }
+
+  // Operations over primitives and the named types.
+  std::size_t op_count = 1 + rng.below(4);
+  for (std::size_t i = 0; i < op_count; ++i) {
+    sidl::OperationDesc op;
+    op.name = "Op" + std::to_string(i) + "_" + rng.ident(3);
+    op.result = rng.chance(0.3) ? TypeDesc::void_()
+                                : sid.types[rng.below(sid.types.size())].second;
+    std::size_t params = rng.below(3);
+    for (std::size_t p = 0; p < params; ++p) {
+      sidl::ParamDesc pd;
+      pd.name = "p" + std::to_string(p);
+      pd.dir = sidl::ParamDir::In;
+      pd.type = rng.chance(0.5) ? TypeDesc::string_()
+                                : sid.types[rng.below(sid.types.size())].second;
+      op.params.push_back(std::move(pd));
+    }
+    sid.operations.push_back(std::move(op));
+  }
+
+  if (rng.chance(0.5)) {
+    sidl::FsmSpec fsm;
+    fsm.states = {"A", "B"};
+    fsm.initial = "A";
+    fsm.transitions.push_back({"A", sid.operations[0].name, "B"});
+    if (sid.operations.size() > 1) {
+      fsm.transitions.push_back({"B", sid.operations[1].name, "A"});
+    }
+    sid.fsm = std::move(fsm);
+  }
+
+  if (rng.chance(0.5)) {
+    sidl::TraderExport te;
+    te.service_type = "Type_" + rng.ident(4);
+    te.attributes.emplace_back("Price", sidl::Literal(10.0 + rng.uniform() * 90));
+    te.attributes.emplace_back("Grade",
+                               sidl::Literal(static_cast<std::int64_t>(rng.below(5))));
+    sid.trader_export = std::move(te);
+  }
+
+  if (rng.chance(0.5)) {
+    sid.annotations[sid.operations[0].name] = "does something " + rng.ident(6);
+    sid.annotations[sid.name] = "service " + rng.ident(6);
+  }
+
+  if (rng.chance(0.4)) {
+    sid.unknown_extensions.push_back(
+        {"X_" + rng.ident(4), " const long Mystery = 1; "});
+  }
+  return sid;
+}
+
+}  // namespace cosm::testing

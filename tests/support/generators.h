@@ -1,0 +1,42 @@
+// Property-test generators: random TypeDescs, SIDs and conforming Values,
+// all driven by the deterministic cosm::Rng so failures reproduce from the
+// seed printed by the test.
+
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "sidl/sid.h"
+#include "sidl/type_desc.h"
+#include "wire/value.h"
+
+namespace cosm::testing {
+
+struct GenOptions {
+  /// Maximum nesting depth of generated types.
+  int max_depth = 3;
+  /// Maximum struct fields / enum labels / sequence elements.
+  int max_width = 4;
+  /// Allow ServiceRef / Sid leaf types (off for contexts that cannot carry
+  /// them, e.g. trader attributes).
+  bool allow_ref_types = true;
+  /// Allow named enum/struct leaves.  Must be off for types nested inside a
+  /// SID typedef: the printer references named types by name, and a nested
+  /// name with no top-level declaration would not re-parse.
+  bool allow_named_types = true;
+};
+
+/// A random, self-contained type description.
+sidl::TypePtr random_type(Rng& rng, const GenOptions& options = {},
+                          int depth = 0);
+
+/// A random value conforming to `type`.
+wire::Value random_value(Rng& rng, const sidl::TypeDesc& type,
+                         const GenOptions& options = {});
+
+/// A random well-formed SID: named types, operations over them, optional
+/// FSM / trader export / annotations / unknown extensions.
+sidl::Sid random_sid(Rng& rng, const GenOptions& options = {});
+
+}  // namespace cosm::testing

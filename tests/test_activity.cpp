@@ -1,0 +1,162 @@
+#include "rpc/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/activity_facade.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+
+namespace cosm::rpc {
+namespace {
+
+using wire::Value;
+
+struct Ledger {
+  bool vote = true;
+  int committed = 0, aborted = 0;
+};
+
+ServiceObjectPtr ledger_service(Ledger& ledger) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module Ledger { interface I { void Post(); }; };"));
+  auto object = std::make_shared<ServiceObject>(sid);
+  object->on("Post", [](const std::vector<Value>&) { return Value::null(); });
+  install_txn_participant(
+      *object, TxnHooks{[&ledger](const std::string&) { return ledger.vote; },
+                        [&ledger](const std::string&) { ++ledger.committed; },
+                        [&ledger](const std::string&) { ++ledger.aborted; }});
+  return object;
+}
+
+class ActivityTest : public ::testing::Test {
+ protected:
+  InProcNetwork net;
+  RpcServer server{net, "host"};
+  ActivityManager manager{net};
+};
+
+TEST_F(ActivityTest, EmptyActivityCommitsTrivially) {
+  auto id = manager.begin("no-op");
+  EXPECT_EQ(manager.state(id), ActivityState::Active);
+  EXPECT_EQ(manager.complete(id), TxnOutcome::Committed);
+  EXPECT_EQ(manager.state(id), ActivityState::Committed);
+  EXPECT_EQ(manager.label(id), "no-op");
+}
+
+TEST_F(ActivityTest, CompleteCommitsAllParticipants) {
+  Ledger a, b;
+  auto ra = server.add(ledger_service(a));
+  auto rb = server.add(ledger_service(b));
+  auto id = manager.begin("transfer");
+  manager.enlist(id, ra);
+  manager.enlist(id, rb);
+  manager.enlist(id, ra);  // idempotent
+  EXPECT_EQ(manager.participants(id).size(), 2u);
+
+  EXPECT_EQ(manager.complete(id), TxnOutcome::Committed);
+  EXPECT_EQ(a.committed, 1);
+  EXPECT_EQ(b.committed, 1);
+  EXPECT_EQ(manager.committed_total(), 1u);
+}
+
+TEST_F(ActivityTest, DissenterAbortsActivity) {
+  Ledger a, b;
+  b.vote = false;
+  auto id = manager.begin();
+  manager.enlist(id, server.add(ledger_service(a)));
+  manager.enlist(id, server.add(ledger_service(b)));
+  EXPECT_EQ(manager.complete(id), TxnOutcome::Aborted);
+  EXPECT_EQ(manager.state(id), ActivityState::Aborted);
+  EXPECT_EQ(a.aborted, 1);
+  EXPECT_EQ(a.committed + b.committed, 0);
+  EXPECT_EQ(manager.aborted_total(), 1u);
+}
+
+TEST_F(ActivityTest, ExplicitAbort) {
+  Ledger a;
+  auto id = manager.begin();
+  manager.enlist(id, server.add(ledger_service(a)));
+  manager.abort(id);
+  EXPECT_EQ(manager.state(id), ActivityState::Aborted);
+  // The participant never prepared, so its abort hook is not invoked; the
+  // decision delivery is a harmless no-op.
+  EXPECT_EQ(a.aborted, 0);
+  EXPECT_EQ(a.committed, 0);
+}
+
+TEST_F(ActivityTest, FinishedActivityRejectsFurtherUse) {
+  Ledger a;
+  auto ref = server.add(ledger_service(a));
+  auto id = manager.begin();
+  manager.complete(id);
+  EXPECT_THROW(manager.enlist(id, ref), ContractError);
+  EXPECT_THROW(manager.complete(id), ContractError);
+  EXPECT_THROW(manager.abort(id), ContractError);
+}
+
+TEST_F(ActivityTest, UnknownActivityThrows) {
+  EXPECT_THROW(manager.state("ghost"), NotFound);
+  EXPECT_THROW(manager.complete("ghost"), NotFound);
+  EXPECT_THROW(manager.participants("ghost"), NotFound);
+}
+
+TEST_F(ActivityTest, InvalidParticipantRejected) {
+  auto id = manager.begin();
+  EXPECT_THROW(manager.enlist(id, sidl::ServiceRef{}), ContractError);
+}
+
+TEST_F(ActivityTest, ActiveListTracksLifecycle) {
+  auto id1 = manager.begin();
+  auto id2 = manager.begin();
+  EXPECT_EQ(manager.active().size(), 2u);
+  manager.complete(id1);
+  manager.abort(id2);
+  EXPECT_TRUE(manager.active().empty());
+}
+
+TEST_F(ActivityTest, FacadeDrivesFullLifecycleOverRpc) {
+  Ledger a;
+  auto participant = server.add(ledger_service(a));
+  auto manager_ref = server.add(make_activity_manager_service(manager));
+  RpcChannel channel(net, manager_ref);
+
+  std::string id =
+      channel.call("Begin", {Value::string("remote-transfer")}).as_string();
+  channel.call("Enlist", {Value::string(id), Value::service_ref(participant)});
+  EXPECT_EQ(channel.call("State", {Value::string(id)}).as_string(), "active");
+  EXPECT_EQ(channel.call("Participants", {Value::string(id)}).elements().size(),
+            1u);
+  EXPECT_EQ(channel.call("Active", {}).elements().size(), 1u);
+
+  EXPECT_TRUE(channel.call("Complete", {Value::string(id)}).as_bool());
+  EXPECT_EQ(channel.call("State", {Value::string(id)}).as_string(), "committed");
+  EXPECT_EQ(a.committed, 1);
+
+  // Errors surface as faults.
+  EXPECT_THROW(channel.call("Abort", {Value::string(id)}), RemoteFault);
+  EXPECT_THROW(channel.call("State", {Value::string("ghost")}), RemoteFault);
+}
+
+TEST_F(ActivityTest, FacadeSidlParses) {
+  sidl::Sid sid = sidl::parse_sid(activity_manager_sidl());
+  EXPECT_EQ(sid.name, "ActivityManagerService");
+  EXPECT_NE(sid.find_operation("Complete"), nullptr);
+}
+
+TEST_F(ActivityTest, ConcurrentActivitiesAreIndependent) {
+  Ledger a;
+  auto ref = server.add(ledger_service(a));
+  auto id1 = manager.begin();
+  auto id2 = manager.begin();
+  manager.enlist(id1, ref);
+  manager.enlist(id2, ref);
+  EXPECT_EQ(manager.complete(id1), TxnOutcome::Committed);
+  EXPECT_EQ(manager.complete(id2), TxnOutcome::Committed);
+  EXPECT_EQ(a.committed, 2);
+}
+
+}  // namespace
+}  // namespace cosm::rpc

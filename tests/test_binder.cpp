@@ -1,0 +1,75 @@
+#include "naming/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+
+namespace cosm::naming {
+namespace {
+
+using wire::Value;
+
+rpc::ServiceObjectPtr echo_service() {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module Echo { interface I { string Echo([in] string s); }; };"));
+  auto object = std::make_shared<rpc::ServiceObject>(sid);
+  object->on("Echo", [](const std::vector<Value>& args) { return args.at(0); });
+  return object;
+}
+
+TEST(Binder, BindProbesAndDeliversSid) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  auto ref = server.add(echo_service());
+
+  Binder binder(net);
+  BoundService bound = binder.bind(ref);
+  ASSERT_TRUE(bound.sid);
+  EXPECT_EQ(bound.sid->name, "Echo");
+  EXPECT_EQ(bound.channel->call("Echo", {Value::string("hi")}).as_string(), "hi");
+  EXPECT_EQ(binder.bindings_established(), 1u);
+}
+
+TEST(Binder, ProbeDetectsInterfaceMismatch) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  auto ref = server.add(echo_service());
+  ref.interface_name = "SomethingElse";  // stale/forged reference
+
+  Binder binder(net);
+  EXPECT_THROW(binder.bind(ref), TypeError);
+}
+
+TEST(Binder, ProbeDetectsDeadEndpoint) {
+  rpc::InProcNetwork net;
+  Binder binder(net);
+  sidl::ServiceRef dead{"svc-x", "inproc://nowhere", "Echo"};
+  EXPECT_THROW(binder.bind(dead), RpcError);
+}
+
+TEST(Binder, ProbeCanBeDisabled) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  auto ref = server.add(echo_service());
+  ref.interface_name = "WrongButUnchecked";
+
+  BinderOptions options;
+  options.probe_on_bind = false;
+  Binder binder(net, options);
+  BoundService bound = binder.bind(ref);
+  EXPECT_EQ(bound.sid, nullptr);
+  // The channel still works; validation happens per call.
+  EXPECT_EQ(bound.channel->call("Echo", {Value::string("x")}).as_string(), "x");
+}
+
+TEST(Binder, InvalidReferenceRejected) {
+  rpc::InProcNetwork net;
+  Binder binder(net);
+  EXPECT_THROW(binder.bind(sidl::ServiceRef{}), ContractError);
+}
+
+}  // namespace
+}  // namespace cosm::naming

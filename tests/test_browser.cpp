@@ -1,0 +1,128 @@
+#include "core/browser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+
+namespace cosm::core {
+namespace {
+
+using wire::Value;
+
+sidl::SidPtr weather_sid() {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module WeatherOracle {
+      interface I { double GetForecast([in] string city); };
+      module COSM_Annotations {
+        annotate GetForecast "weather forecast for a city";
+      };
+    };
+  )"));
+}
+
+sidl::ServiceRef ref_for(const std::string& id) {
+  return {id, "inproc://host", "WeatherOracle"};
+}
+
+TEST(Browser, RegisterListDescribe) {
+  ServiceBrowser browser("b");
+  browser.register_service("Weather", weather_sid(), ref_for("w1"));
+  ASSERT_EQ(browser.size(), 1u);
+  auto entries = browser.list();
+  EXPECT_EQ(entries[0].name, "Weather");
+  EXPECT_EQ(browser.describe("Weather").sid->name, "WeatherOracle");
+  EXPECT_THROW(browser.describe("Ghost"), NotFound);
+}
+
+TEST(Browser, ReRegistrationReplaces) {
+  ServiceBrowser browser("b");
+  browser.register_service("Weather", weather_sid(), ref_for("w1"));
+  browser.register_service("Weather", weather_sid(), ref_for("w2"));
+  EXPECT_EQ(browser.size(), 1u);
+  EXPECT_EQ(browser.describe("Weather").ref.id, "w2");
+  EXPECT_EQ(browser.registrations_total(), 2u);
+}
+
+TEST(Browser, WithdrawRemoves) {
+  ServiceBrowser browser("b");
+  browser.register_service("Weather", weather_sid(), ref_for("w1"));
+  browser.withdraw("Weather");
+  EXPECT_EQ(browser.size(), 0u);
+  EXPECT_THROW(browser.withdraw("Weather"), NotFound);
+}
+
+TEST(Browser, AdmissionChecks) {
+  ServiceBrowser browser("b");
+  EXPECT_THROW(browser.register_service("", weather_sid(), ref_for("x")),
+               ContractError);
+  EXPECT_THROW(browser.register_service("W", nullptr, ref_for("x")),
+               ContractError);
+  EXPECT_THROW(browser.register_service("W", weather_sid(), sidl::ServiceRef{}),
+               ContractError);
+  // Ill-formed SIDs rejected at registration (garbage in the market hurts
+  // everyone).
+  auto bad = std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module M {
+      interface I { void Op(); };
+      module COSM_FSM { states { A }; initial GHOST; };
+    };
+  )"));
+  EXPECT_THROW(browser.register_service("Bad", bad, ref_for("x")), TypeError);
+}
+
+TEST(Browser, SearchOverNamesOpsAndAnnotations) {
+  ServiceBrowser browser("b");
+  browser.register_service("Weather", weather_sid(), ref_for("w1"));
+  EXPECT_EQ(browser.search("weather").size(), 1u);    // entry/service name
+  EXPECT_EQ(browser.search("getfore").size(), 1u);    // operation name, ci
+  EXPECT_EQ(browser.search("FORECAST").size(), 1u);   // annotation text, ci
+  EXPECT_TRUE(browser.search("stock").empty());
+  EXPECT_EQ(browser.search("").size(), 1u);           // empty matches all
+}
+
+TEST(Browser, FacadeOverRpc) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  ServiceBrowser browser("b");
+  auto browser_ref = server.add(make_browser_service(browser));
+  rpc::RpcChannel channel(net, browser_ref);
+
+  channel.call("Register", {Value::string("Weather"), Value::sid(weather_sid()),
+                            Value::service_ref(ref_for("w1"))});
+  Value listed = channel.call("List", {});
+  ASSERT_EQ(listed.elements().size(), 1u);
+  EXPECT_EQ(listed.elements()[0].at("name").as_string(), "Weather");
+
+  Value described = channel.call("Describe", {Value::string("Weather")});
+  EXPECT_EQ(described.as_sid()->name, "WeatherOracle");
+
+  Value hits = channel.call("Search", {Value::string("forecast")});
+  EXPECT_EQ(hits.elements().size(), 1u);
+
+  channel.call("WithdrawEntry", {Value::string("Weather")});
+  EXPECT_TRUE(channel.call("List", {}).elements().empty());
+}
+
+TEST(Browser, CascadedBrowserIsJustAnotherEntry) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  ServiceBrowser root("root");
+  ServiceBrowser nested("nested");
+  auto nested_ref = server.add(make_browser_service(nested));
+  // Fig. 4: "the browser may also act as an application service as well and
+  // register its own SID at yet another browser".
+  root.register_service("MoreServices",
+                        server.find(nested_ref.id)->sid(), nested_ref);
+  EXPECT_EQ(root.describe("MoreServices").sid->name, "BrowserService");
+}
+
+TEST(Browser, NeedsName) {
+  EXPECT_THROW(ServiceBrowser{""}, ContractError);
+}
+
+}  // namespace
+}  // namespace cosm::core

@@ -1,0 +1,161 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace cosm {
+namespace {
+
+TEST(Bytes, U8RoundTrip) {
+  ByteWriter w;
+  w.u8(0);
+  w.u8(0x7F);
+  w.u8(0xFF);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_EQ(r.u8(), 0x7F);
+  EXPECT_EQ(r.u8(), 0xFF);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, U32LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Bytes, U64RoundTrip) {
+  ByteWriter w;
+  w.u64(0xDEADBEEFCAFEBABEULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u64(), 0xDEADBEEFCAFEBABEULL);
+}
+
+TEST(Bytes, F64RoundTripExactly) {
+  for (double v : {0.0, -0.0, 1.5, -3.25, 1e300, -1e-300,
+                   std::numeric_limits<double>::infinity()}) {
+    ByteWriter w;
+    w.f64(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.f64(), v);
+  }
+}
+
+TEST(Bytes, F64NanRoundTrips) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Unsigned) {
+  ByteWriter w;
+  w.varint(GetParam());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.varint(), GetParam());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST_P(VarintRoundTrip, SignedPositiveAndNegative) {
+  auto v = static_cast<std::int64_t>(GetParam() & 0x7FFFFFFFFFFFFFFFULL);
+  for (std::int64_t s : {v, -v}) {
+    ByteWriter w;
+    w.svarint(s);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.svarint(), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL,
+                                           16383ULL, 16384ULL, 0xFFFFFFFFULL,
+                                           0x7FFFFFFFFFFFFFFFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+TEST(Bytes, SmallVarintIsOneByte) {
+  ByteWriter w;
+  w.varint(42);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Bytes, SvarintMinInt64RoundTrips) {
+  ByteWriter w;
+  w.svarint(std::numeric_limits<std::int64_t>::min());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.svarint(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Bytes, StringRoundTripIncludingNulBytes) {
+  std::string s = "hello";
+  s.push_back('\0');
+  s += "world";
+  ByteWriter w;
+  w.str(s);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), s);
+}
+
+TEST(Bytes, EmptyStringRoundTrips) {
+  ByteWriter w;
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, UnderrunThrowsWireError) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.u8(), WireError);
+  EXPECT_THROW(ByteReader(w.bytes()).u64(), WireError);
+}
+
+TEST(Bytes, StringLengthBeyondBufferThrows) {
+  ByteWriter w;
+  w.varint(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), WireError);
+}
+
+TEST(Bytes, MalformedVarintTooLongThrows) {
+  Bytes bad(11, 0x80);  // never terminates within 64 bits
+  ByteReader r(bad);
+  EXPECT_THROW(r.varint(), WireError);
+}
+
+TEST(Bytes, RawRoundTrip) {
+  ByteWriter w;
+  Bytes payload = {1, 2, 3, 4, 5};
+  w.raw(payload);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.raw(5), payload);
+}
+
+TEST(Bytes, ToHexFormatsBytes) {
+  EXPECT_EQ(to_hex({0x00, 0xAB, 0x10}), "00 ab 10");
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(Bytes, PositionAndRemainingTrackProgress) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u8();
+  EXPECT_EQ(r.position(), 1u);
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+}  // namespace
+}  // namespace cosm

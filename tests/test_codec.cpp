@@ -1,0 +1,126 @@
+#include "wire/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sidl/parser.h"
+#include "support/generators.h"
+
+namespace cosm::wire {
+namespace {
+
+Value round_trip(const Value& v) { return decode_value(encode_value(v)); }
+
+TEST(Codec, ScalarsRoundTrip) {
+  for (const Value& v :
+       {Value::null(), Value::boolean(true), Value::boolean(false),
+        Value::integer(0), Value::integer(-123456789), Value::real(2.75),
+        Value::string(""), Value::string("hello world")}) {
+    EXPECT_EQ(round_trip(v), v);
+  }
+}
+
+TEST(Codec, EnumRoundTrip) {
+  Value e = Value::enumerated("CarModel_t", "FIAT_Uno");
+  EXPECT_EQ(round_trip(e), e);
+}
+
+TEST(Codec, NestedStructureRoundTrip) {
+  Value v = Value::structure(
+      "Outer",
+      {{"list", Value::sequence({Value::integer(1), Value::integer(2)})},
+       {"inner", Value::structure("Inner", {{"s", Value::string("x")}})},
+       {"maybe", Value::optional_of(Value::real(1.5))},
+       {"none", Value::optional_absent()}});
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Codec, ServiceRefRoundTrip) {
+  sidl::ServiceRef ref{"svc-9", "tcp://127.0.0.1:1234", "WeatherOracle"};
+  EXPECT_EQ(round_trip(Value::service_ref(ref)).as_ref(), ref);
+}
+
+TEST(Codec, SidTravelsInSourceFormAndReparses) {
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module M {
+      typedef enum { A, B } E_t;
+      interface I { E_t Op([in] string s); };
+      module Unknown_Ext { const long X = 1; };
+    };
+  )"));
+  Value decoded = round_trip(Value::sid(sid));
+  EXPECT_EQ(*decoded.as_sid(), *sid);
+  // The unknown extension survived the wire hop.
+  ASSERT_EQ(decoded.as_sid()->unknown_extensions.size(), 1u);
+  EXPECT_EQ(decoded.as_sid()->unknown_extensions[0].name, "Unknown_Ext");
+}
+
+TEST(Codec, EmptySequenceAndEmptyStruct) {
+  EXPECT_EQ(round_trip(Value::sequence({})), Value::sequence({}));
+  EXPECT_EQ(round_trip(Value::structure("S", {})), Value::structure("S", {}));
+}
+
+TEST(Codec, TrailingBytesRejected) {
+  Bytes b = encode_value(Value::integer(5));
+  b.push_back(0);
+  EXPECT_THROW(decode_value(b), WireError);
+}
+
+TEST(Codec, UnknownTagRejected) {
+  Bytes b = {0xEE};
+  EXPECT_THROW(decode_value(b), WireError);
+}
+
+TEST(Codec, TruncatedStructRejected) {
+  Bytes b = encode_value(Value::structure("S", {{"x", Value::integer(1)}}));
+  b.resize(b.size() - 1);
+  EXPECT_THROW(decode_value(b), WireError);
+}
+
+TEST(Codec, EmptyInputRejected) {
+  EXPECT_THROW(decode_value(Bytes{}), WireError);
+}
+
+TEST(Codec, MalformedSidPayloadRejected) {
+  ByteWriter w;
+  w.u8(12);  // kSid tag
+  w.str("module Broken {");
+  EXPECT_THROW(decode_value(w.bytes()), WireError);
+}
+
+TEST(Codec, EnumWithEmptyLabelRejected) {
+  ByteWriter w;
+  w.u8(6);  // kEnum tag
+  w.str("E");
+  w.str("");
+  EXPECT_THROW(decode_value(w.bytes()), WireError);
+}
+
+TEST(Codec, StreamsMultipleValuesSequentially) {
+  ByteWriter w;
+  encode_value(w, Value::integer(1));
+  encode_value(w, Value::string("two"));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(decode_value(r).as_int(), 1);
+  EXPECT_EQ(decode_value(r).as_string(), "two");
+  EXPECT_TRUE(r.at_end());
+}
+
+/// Property: encode/decode is the identity over random typed values.
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTrip, RandomValuesSurvive) {
+  cosm::Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    auto type = cosm::testing::random_type(rng);
+    Value v = cosm::testing::random_value(rng, *type);
+    EXPECT_EQ(round_trip(v), v) << v.to_debug_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(7, 11, 13, 17, 19, 23, 29, 31));
+
+}  // namespace
+}  // namespace cosm::wire

@@ -1,0 +1,167 @@
+#include "trader/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::trader {
+namespace {
+
+using wire::Value;
+
+AttrMap car_offer() {
+  return {
+      {"CarModel", Value::enumerated("CarModel_t", "FIAT_Uno")},
+      {"AverageMilage", Value::integer(12000)},
+      {"ChargePerDay", Value::real(80.0)},
+      {"ChargeCurrency", Value::string("USD")},
+      {"Insured", Value::boolean(true)},
+  };
+}
+
+/// (expression, expected result against car_offer()).
+struct Case {
+  const char* expr;
+  bool expected;
+};
+
+class ConstraintEval : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ConstraintEval, MatchesExpectation) {
+  Constraint c = Constraint::parse(GetParam().expr);
+  EXPECT_EQ(c.eval(car_offer()), GetParam().expected) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparisons, ConstraintEval,
+    ::testing::Values(
+        Case{"ChargePerDay == 80", true}, Case{"ChargePerDay == 80.0", true},
+        Case{"ChargePerDay != 80", false}, Case{"ChargePerDay < 100", true},
+        Case{"ChargePerDay < 80", false}, Case{"ChargePerDay <= 80", true},
+        Case{"ChargePerDay > 79.5", true}, Case{"ChargePerDay >= 80.5", false},
+        Case{"AverageMilage == 12000", true},
+        Case{"100 < ChargePerDay", false},  // literal on the left
+        Case{"AverageMilage > ChargePerDay", true}));  // attr vs attr
+
+INSTANTIATE_TEST_SUITE_P(
+    StringsAndEnums, ConstraintEval,
+    ::testing::Values(
+        Case{"ChargeCurrency == \"USD\"", true},
+        Case{"ChargeCurrency == 'USD'", true},
+        Case{"ChargeCurrency == USD", true},  // bare label literal
+        Case{"ChargeCurrency != DEM", true},
+        Case{"CarModel == FIAT_Uno", true},   // enum label equality
+        Case{"CarModel == \"FIAT_Uno\"", true},
+        Case{"CarModel == VW_Golf", false},
+        Case{"ChargeCurrency < \"ZZZ\"", true}));  // lexicographic
+
+INSTANTIATE_TEST_SUITE_P(
+    Booleans, ConstraintEval,
+    ::testing::Values(
+        Case{"Insured == true", true}, Case{"Insured != true", false},
+        Case{"Insured == false", false}, Case{"true", true},
+        Case{"false", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logic, ConstraintEval,
+    ::testing::Values(
+        Case{"ChargePerDay < 100 && ChargeCurrency == USD", true},
+        Case{"ChargePerDay < 50 && ChargeCurrency == USD", false},
+        Case{"ChargePerDay < 50 || ChargeCurrency == USD", true},
+        Case{"!(ChargePerDay < 50)", true},
+        Case{"!(ChargePerDay < 50) && !(AverageMilage > 50000)", true},
+        Case{"(ChargePerDay < 50 || Insured == true) && CarModel == FIAT_Uno", true},
+        // && binds tighter than ||.
+        Case{"false && false || true", true},
+        Case{"true || false && false", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ExistsAndMissing, ConstraintEval,
+    ::testing::Values(
+        Case{"exists ChargePerDay", true}, Case{"exists Discount", false},
+        Case{"!exists Discount", true},
+        // Comparisons over missing attributes are false, never errors.
+        Case{"Discount < 10", false}, Case{"Discount == Discount", true},
+        // ("Discount" falls back to the literal string on both sides.)
+        Case{"Mileage > 0 || exists ChargePerDay", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    TypeMismatches, ConstraintEval,
+    ::testing::Values(
+        // Number vs string: no match, no error.
+        Case{"ChargeCurrency < 100", false},
+        Case{"ChargePerDay == \"80\"", false},
+        Case{"Insured == 1", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SetMembership, ConstraintEval,
+    ::testing::Values(
+        Case{"ChargeCurrency in { USD, DEM }", true},
+        Case{"ChargeCurrency in { \"FF\", \"DEM\" }", false},
+        Case{"CarModel in { VW_Golf, FIAT_Uno }", true},
+        Case{"ChargePerDay in { 79, 80, 81 }", true},
+        Case{"ChargePerDay in { 79.5, 80.5 }", false},
+        Case{"Missing in { 1, 2 }", false},
+        // Attributes can appear in the set too.
+        Case{"80 in { ChargePerDay, AverageMilage }", true},
+        Case{"ChargePerDay < 100 && ChargeCurrency in { USD, GBP }", true}));
+
+TEST(Constraint, InSetSyntaxErrors) {
+  EXPECT_THROW(Constraint::parse("A in { }"), ParseError);
+  EXPECT_THROW(Constraint::parse("A in USD"), ParseError);
+  EXPECT_THROW(Constraint::parse("A in { USD"), ParseError);
+  EXPECT_THROW(Constraint::parse("A in { USD DEM }"), ParseError);
+}
+
+TEST(Constraint, InSetReferencedAttributes) {
+  auto attrs = Constraint::parse("Currency in { USD, Fallback }")
+                   .referenced_attributes();
+  EXPECT_EQ(attrs.size(), 3u);  // Currency, USD, Fallback (idents all count)
+}
+
+TEST(Constraint, EmptyAndBlankAlwaysTrue) {
+  EXPECT_TRUE(Constraint::parse("").eval({}));
+  EXPECT_TRUE(Constraint::parse("   \t\n").eval({}));
+  EXPECT_TRUE(Constraint().eval(car_offer()));
+}
+
+TEST(Constraint, ReferencedAttributesCollected) {
+  Constraint c = Constraint::parse(
+      "ChargePerDay < 100 && exists Discount || Model == VW");
+  auto attrs = c.referenced_attributes();
+  // Sorted set: ChargePerDay, Discount, Model, VW (idents on either side).
+  EXPECT_EQ(attrs.size(), 4u);
+}
+
+TEST(Constraint, TextPreserved) {
+  EXPECT_EQ(Constraint::parse("A == 1").text(), "A == 1");
+}
+
+TEST(Constraint, MoveSemantics) {
+  Constraint a = Constraint::parse("ChargePerDay < 100");
+  Constraint b = std::move(a);
+  EXPECT_TRUE(b.eval(car_offer()));
+}
+
+class ConstraintSyntaxError : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConstraintSyntaxError, Throws) {
+  EXPECT_THROW(Constraint::parse(GetParam()), ParseError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(BadInputs, ConstraintSyntaxError,
+                         ::testing::Values("A ==", "== 5", "A < < B",
+                                           "(A == 1", "A == 1)", "A = 1",
+                                           "A && B",  // operands are not exprs
+                                           "exists", "A == 1 &&",
+                                           "A == \"unterminated", "# nonsense",
+                                           "A == 1 extra"));
+
+TEST(Constraint, StructuredAttributesNeverMatch) {
+  AttrMap attrs = {{"Blob", Value::sequence({Value::integer(1)})}};
+  EXPECT_FALSE(Constraint::parse("Blob == 1").eval(attrs));
+  EXPECT_TRUE(Constraint::parse("exists Blob").eval(attrs));
+}
+
+}  // namespace
+}  // namespace cosm::trader

@@ -1,0 +1,97 @@
+// Scripted end-to-end tests for the cosm_shell interactive generic client.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Run the shell with `script` on stdin; returns captured stdout+stderr.
+std::string run_shell(const std::string& script, int* exit_code = nullptr) {
+  fs::path dir = fs::temp_directory_path();
+  fs::path in_file = dir / ("cosm-shell-in-" + std::to_string(::getpid()));
+  fs::path out_file = dir / ("cosm-shell-out-" + std::to_string(::getpid()));
+  std::ofstream(in_file) << script;
+  std::string cmd = std::string(COSM_SHELL_PATH) + " < " + in_file.string() +
+                    " > " + out_file.string() + " 2>&1";
+  int status = std::system(cmd.c_str());
+  if (exit_code) *exit_code = WEXITSTATUS(status);
+  std::ifstream in(out_file);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  fs::remove(in_file);
+  fs::remove(out_file);
+  return buffer.str();
+}
+
+TEST(CosmShell, BrowsesTheDemoMarket) {
+  int rc = -1;
+  std::string out = run_shell("ls\nquit\n", &rc);
+  EXPECT_EQ(rc, 0);
+  for (const char* entry : {"HanseRentACar", "WeatherOracle", "TickerService",
+                            "ImageArchive", "ImageConverter"}) {
+    EXPECT_NE(out.find(entry), std::string::npos) << entry;
+  }
+}
+
+TEST(CosmShell, FullBookingFlowThroughForms) {
+  std::string out = run_shell(
+      "bind HanseRentACar\n"
+      "op SelectCar\n"
+      "set selection.model VW_Golf\n"
+      "set selection.booking_date 1994-06-21\n"
+      "set selection.days 3\n"
+      "invoke\n"
+      "state\n"
+      "quit\n");
+  EXPECT_NE(out.find("bound to HanseRentACar"), std::string::npos);
+  EXPECT_NE(out.find("available: true"), std::string::npos);
+  EXPECT_NE(out.find("total_charge: 195"), std::string::npos);  // 3 * 65 DEM
+  EXPECT_NE(out.find("state: SELECTED"), std::string::npos);
+}
+
+TEST(CosmShell, FsmViolationReportedNotFatal) {
+  std::string out = run_shell(
+      "bind TickerService\n"
+      "state\n"
+      "call GetQuote\n"  // wrong arity AND wrong state: rejected locally
+      "quit\n");
+  EXPECT_NE(out.find("state: LOGGED_OUT"), std::string::npos);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("bye"), std::string::npos);  // shell survived
+}
+
+TEST(CosmShell, DeepSearchAndInfo) {
+  std::string out = run_shell(
+      "search forecast\n"
+      "info WeatherOracle\n"
+      "quit\n");
+  EXPECT_NE(out.find("WeatherOracle"), std::string::npos);
+  EXPECT_NE(out.find("GetForecast/2"), std::string::npos);
+}
+
+TEST(CosmShell, InvalidFieldValueRejectedLocally) {
+  std::string out = run_shell(
+      "bind HanseRentACar\n"
+      "op SelectCar\n"
+      "set selection.days many\n"
+      "quit\n");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("is not a valid long"), std::string::npos);
+}
+
+TEST(CosmShell, UnknownCommandAndMissingBindingGuarded) {
+  std::string out = run_shell(
+      "frobnicate\n"
+      "state\n"
+      "quit\n");
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_NE(out.find("no binding"), std::string::npos);
+}
+
+}  // namespace

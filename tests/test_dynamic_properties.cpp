@@ -1,0 +1,254 @@
+// ODP dynamic properties: attribute values fetched from the exporter at
+// import time, plus the §2.1 signature check at export.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "sidl/parser.h"
+#include "trader/sid_export.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+namespace {
+
+using wire::Value;
+
+ServiceType rental_type_with_availability() {
+  ServiceType t;
+  t.name = "CarRentalService";
+  t.attributes = {{"ChargePerDay", sidl::TypeDesc::float_(), true},
+                  {"CarsAvailable", sidl::TypeDesc::int_(), true}};
+  return t;
+}
+
+sidl::ServiceRef mk_ref(const std::string& id) {
+  return {id, "inproc://host", "CarRentalService"};
+}
+
+class DynamicPropsTest : public ::testing::Test {
+ protected:
+  DynamicPropsTest() : trader("t") {
+    trader.types().add(rental_type_with_availability());
+  }
+
+  /// Install a fetcher that returns `availability` and counts calls.
+  void install_fetcher(std::int64_t availability) {
+    trader.set_dynamic_fetcher(
+        [this, availability](const sidl::ServiceRef&, const std::string& op) {
+          ++fetch_calls;
+          last_operation = op;
+          return Value::integer(availability);
+        });
+  }
+
+  Trader trader;
+  int fetch_calls = 0;
+  std::string last_operation;
+};
+
+TEST_F(DynamicPropsTest, DynamicAttrSatisfiesRequiredAtExport) {
+  // CarsAvailable is required but provided dynamically: export succeeds.
+  EXPECT_NO_THROW(trader.export_offer("CarRentalService", mk_ref("a"),
+                                      {{"ChargePerDay", Value::real(80)}},
+                                      {{"CarsAvailable", "CurrentAvailability"}}));
+  // Without the dynamic declaration the same export fails.
+  EXPECT_THROW(trader.export_offer("CarRentalService", mk_ref("b"),
+                                   {{"ChargePerDay", Value::real(80)}}),
+               TypeError);
+}
+
+TEST_F(DynamicPropsTest, UndeclaredDynamicAttrRejected) {
+  EXPECT_THROW(trader.export_offer("CarRentalService", mk_ref("a"),
+                                   {{"ChargePerDay", Value::real(80)},
+                                    {"CarsAvailable", Value::integer(1)}},
+                                   {{"Bogus", "Op"}}),
+               TypeError);
+}
+
+TEST_F(DynamicPropsTest, StaticAndDynamicConflictRejected) {
+  EXPECT_THROW(trader.export_offer("CarRentalService", mk_ref("a"),
+                                   {{"ChargePerDay", Value::real(80)},
+                                    {"CarsAvailable", Value::integer(1)}},
+                                   {{"CarsAvailable", "Op"}}),
+               TypeError);
+}
+
+TEST_F(DynamicPropsTest, EmptyOperationRejected) {
+  EXPECT_THROW(trader.export_offer("CarRentalService", mk_ref("a"),
+                                   {{"ChargePerDay", Value::real(80)}},
+                                   {{"CarsAvailable", ""}}),
+               ContractError);
+}
+
+TEST_F(DynamicPropsTest, ImportFetchesAndMatches) {
+  trader.export_offer("CarRentalService", mk_ref("a"),
+                      {{"ChargePerDay", Value::real(80)}},
+                      {{"CarsAvailable", "CurrentAvailability"}});
+  install_fetcher(5);
+
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "CarsAvailable > 0";
+  auto offers = trader.import(request);
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(fetch_calls, 1);
+  EXPECT_EQ(last_operation, "CurrentAvailability");
+  // The importer sees the fetched value merged into the attributes.
+  EXPECT_EQ(offers[0].attributes.at("CarsAvailable").as_int(), 5);
+  EXPECT_EQ(trader.dynamic_fetches(), 1u);
+}
+
+TEST_F(DynamicPropsTest, ImportFiltersOnFetchedValue) {
+  trader.export_offer("CarRentalService", mk_ref("a"),
+                      {{"ChargePerDay", Value::real(80)}},
+                      {{"CarsAvailable", "CurrentAvailability"}});
+  install_fetcher(0);  // sold out right now
+
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "CarsAvailable > 0";
+  EXPECT_TRUE(trader.import(request).empty());
+}
+
+TEST_F(DynamicPropsTest, NoFetcherMeansNoMatch) {
+  trader.export_offer("CarRentalService", mk_ref("a"),
+                      {{"ChargePerDay", Value::real(80)}},
+                      {{"CarsAvailable", "CurrentAvailability"}});
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  EXPECT_TRUE(trader.import(request).empty());  // conservative
+}
+
+TEST_F(DynamicPropsTest, FetchFailureSkipsOffer) {
+  trader.export_offer("CarRentalService", mk_ref("down"),
+                      {{"ChargePerDay", Value::real(80)}},
+                      {{"CarsAvailable", "CurrentAvailability"}});
+  trader.export_offer("CarRentalService", mk_ref("static"),
+                      {{"ChargePerDay", Value::real(90)},
+                       {"CarsAvailable", Value::integer(3)}});
+  trader.set_dynamic_fetcher(
+      [](const sidl::ServiceRef&, const std::string&) -> Value {
+        throw RpcError("exporter unreachable");
+      });
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  auto offers = trader.import(request);
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].ref.id, "static");
+}
+
+TEST_F(DynamicPropsTest, IllTypedFetchedValueSkipsOffer) {
+  trader.export_offer("CarRentalService", mk_ref("liar"),
+                      {{"ChargePerDay", Value::real(80)}},
+                      {{"CarsAvailable", "CurrentAvailability"}});
+  trader.set_dynamic_fetcher(
+      [](const sidl::ServiceRef&, const std::string&) {
+        return Value::string("many");  // schema says long
+      });
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  EXPECT_TRUE(trader.import(request).empty());
+}
+
+TEST(DynamicPropsRuntime, FetcherWiredOverRpc) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  runtime.trader().types().add(rental_type_with_availability());
+
+  // A live service whose CurrentAvailability op reports fleet state.
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module CarRentalService {
+      interface I { long CurrentAvailability(); };
+    };
+  )"));
+  auto object = std::make_shared<rpc::ServiceObject>(sid);
+  std::int64_t fleet = 2;
+  object->on("CurrentAvailability", [&fleet](const std::vector<Value>&) {
+    return Value::integer(fleet);
+  });
+  auto ref = runtime.host(object);
+
+  runtime.trader().export_offer("CarRentalService", ref,
+                                {{"ChargePerDay", Value::real(70)}},
+                                {{"CarsAvailable", "CurrentAvailability"}});
+
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "CarsAvailable > 0";
+  EXPECT_EQ(runtime.trader().import(request).size(), 1u);
+
+  fleet = 0;  // the market moved between imports
+  EXPECT_TRUE(runtime.trader().import(request).empty());
+}
+
+// --- §2.1 signature checking ---
+
+TEST(SignatureCheck, ConformingSidAccepted) {
+  ServiceType type;
+  type.name = "T";
+  sidl::Sid shape = sidl::parse_sid(
+      "module S { interface I { string Get([in] long id); }; };");
+  type.signature = shape.operations;
+
+  sidl::Sid good = sidl::parse_sid(
+      "module Impl { interface I { string Get([in] long id); void Extra(); }; };");
+  EXPECT_NO_THROW(check_signature(type, good));
+}
+
+TEST(SignatureCheck, MissingOperationRejected) {
+  ServiceType type;
+  type.name = "T";
+  sidl::Sid shape = sidl::parse_sid(
+      "module S { interface I { string Get([in] long id); }; };");
+  type.signature = shape.operations;
+
+  sidl::Sid bad = sidl::parse_sid("module Impl { interface I { void Other(); }; };");
+  EXPECT_THROW(check_signature(type, bad), TypeError);
+}
+
+TEST(SignatureCheck, WrongSignatureRejected) {
+  ServiceType type;
+  type.name = "T";
+  sidl::Sid shape = sidl::parse_sid(
+      "module S { interface I { string Get([in] long id); }; };");
+  type.signature = shape.operations;
+
+  sidl::Sid bad = sidl::parse_sid(
+      "module Impl { interface I { long Get([in] long id); }; };");
+  EXPECT_THROW(check_signature(type, bad), TypeError);
+}
+
+TEST(SignatureCheck, EmptySignatureIsNoOp) {
+  ServiceType type;
+  type.name = "T";
+  sidl::Sid any = sidl::parse_sid("module Impl { interface I { void X(); }; };");
+  EXPECT_NO_THROW(check_signature(type, any));
+}
+
+TEST(SignatureCheck, EnforcedOnSidExportAgainstRegisteredType) {
+  Trader trader("t");
+  // Register a type whose signature demands SelectCar + BookCar.
+  sidl::Sid canonical = sidl::parse_sid(R"(
+    module Canon {
+      interface I { void SelectCar(); void BookCar(); };
+      module COSM_TraderExport { const string TOD = "CarRentalService"; };
+    };
+  )");
+  trader.types().add(service_type_from_sid(canonical));
+
+  // An exporter missing BookCar is rejected.
+  sidl::Sid partial = sidl::parse_sid(R"(
+    module Partial {
+      interface I { void SelectCar(); };
+      module COSM_TraderExport { const string TOD = "CarRentalService"; };
+    };
+  )");
+  sidl::ServiceRef ref{"svc", "inproc://x", "Partial"};
+  EXPECT_THROW(export_sid_offer(trader, partial, ref), TypeError);
+  EXPECT_NO_THROW(export_sid_offer(trader, canonical, ref));
+}
+
+}  // namespace
+}  // namespace cosm::trader

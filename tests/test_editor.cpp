@@ -1,0 +1,177 @@
+#include "uims/editor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+#include "wire/marshal.h"
+
+namespace cosm::uims {
+namespace {
+
+using wire::Value;
+
+sidl::SidPtr car_sid() {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module CarRentalService {
+      typedef enum { AUDI, FIAT_Uno, VW_Golf } CarModel_t;
+      typedef struct {
+        CarModel_t model;
+        string booking_date;
+        long days;
+        sequence<string> extras;
+        optional<double> discount;
+      } SelectCar_t;
+      typedef struct { boolean ok; } Return_t;
+      interface COSM_Operations {
+        Return_t SelectCar([in] SelectCar_t selection, [in] boolean express);
+      };
+    };
+  )"));
+}
+
+class EditorTest : public ::testing::Test {
+ protected:
+  EditorTest() : editor(car_sid(), "SelectCar") {}
+  FormEditor editor;
+};
+
+TEST_F(EditorTest, StartsAtDefaults) {
+  auto args = editor.arguments();
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0].at("model").enum_label(), "AUDI");  // first label
+  EXPECT_EQ(args[0].at("days").as_int(), 0);
+  EXPECT_FALSE(args[1].as_bool());
+}
+
+TEST_F(EditorTest, SetNestedScalars) {
+  editor.set("selection.model", "VW_Golf");
+  editor.set("selection.booking_date", "1994-06-21");
+  editor.set("selection.days", "3");
+  editor.set("express", "true");
+  auto args = editor.arguments();
+  EXPECT_EQ(args[0].at("model").enum_label(), "VW_Golf");
+  EXPECT_EQ(args[0].at("booking_date").as_string(), "1994-06-21");
+  EXPECT_EQ(args[0].at("days").as_int(), 3);
+  EXPECT_TRUE(args[1].as_bool());
+}
+
+TEST_F(EditorTest, InvalidEnumLabelRejected) {
+  EXPECT_THROW(editor.set("selection.model", "TRABANT"), TypeError);
+}
+
+TEST_F(EditorTest, MalformedNumbersRejected) {
+  EXPECT_THROW(editor.set("selection.days", "three"), TypeError);
+  EXPECT_THROW(editor.set("selection.days", "3x"), TypeError);
+  EXPECT_THROW(editor.set("selection.days", ""), TypeError);
+}
+
+TEST_F(EditorTest, SequenceAddSetRemove) {
+  EXPECT_EQ(editor.add_element("selection.extras"), 0u);
+  EXPECT_EQ(editor.add_element("selection.extras"), 1u);
+  editor.set("selection.extras[0]", "gps");
+  editor.set("selection.extras[1]", "child-seat");
+  auto args = editor.arguments();
+  ASSERT_EQ(args[0].at("extras").elements().size(), 2u);
+  EXPECT_EQ(args[0].at("extras").elements()[0].as_string(), "gps");
+
+  editor.remove_element("selection.extras", 0);
+  args = editor.arguments();
+  ASSERT_EQ(args[0].at("extras").elements().size(), 1u);
+  EXPECT_EQ(args[0].at("extras").elements()[0].as_string(), "child-seat");
+}
+
+TEST_F(EditorTest, SequenceIndexOutOfRange) {
+  EXPECT_THROW(editor.set("selection.extras[0]", "x"), NotFound);
+  editor.add_element("selection.extras");
+  EXPECT_THROW(editor.set("selection.extras[5]", "x"), NotFound);
+  EXPECT_THROW(editor.remove_element("selection.extras", 5), NotFound);
+}
+
+TEST_F(EditorTest, OptionalToggleAndEdit) {
+  // Editing an absent optional fails with guidance.
+  EXPECT_THROW(editor.set("selection.discount", "5"), NotFound);
+  editor.set_present("selection.discount", true);
+  editor.set("selection.discount", "7.5");
+  auto args = editor.arguments();
+  EXPECT_DOUBLE_EQ(args[0].at("discount").payload().as_real(), 7.5);
+  // Toggling on again keeps the edit.
+  editor.set_present("selection.discount", true);
+  EXPECT_DOUBLE_EQ(editor.arguments()[0].at("discount").payload().as_real(), 7.5);
+  editor.set_present("selection.discount", false);
+  EXPECT_FALSE(editor.arguments()[0].at("discount").has_payload());
+}
+
+TEST_F(EditorTest, BadPathsReported) {
+  EXPECT_THROW(editor.set("ghost.model", "AUDI"), NotFound);
+  EXPECT_THROW(editor.set("selection.ghost", "x"), NotFound);
+  EXPECT_THROW(editor.set("selection.model.too_deep", "x"), NotFound);
+  EXPECT_THROW(editor.set("selection[0]", "x"), NotFound);
+  EXPECT_THROW(editor.set("", "x"), NotFound);
+  EXPECT_THROW(editor.set("selection.extras[x]", "v"), NotFound);
+  EXPECT_THROW(editor.set("selection.extras[1", "v"), NotFound);
+}
+
+TEST_F(EditorTest, WrongWidgetOperationsRejected) {
+  EXPECT_THROW(editor.add_element("selection.days"), TypeError);
+  EXPECT_THROW(editor.set_present("selection.days", true), TypeError);
+  EXPECT_THROW(editor.set_ref("selection.days", {"a", "b", "c"}), TypeError);
+}
+
+TEST_F(EditorTest, GetReadsCurrentValue) {
+  editor.set("selection.days", "9");
+  EXPECT_EQ(editor.get("selection.days").as_int(), 9);
+  EXPECT_EQ(editor.get("selection").at("days").as_int(), 9);
+  EXPECT_THROW(editor.get("ghost"), NotFound);
+}
+
+TEST_F(EditorTest, FormExposedAndOperationNamed) {
+  EXPECT_EQ(editor.form().operation, "SelectCar");
+  EXPECT_EQ(editor.operation().name, "SelectCar");
+  EXPECT_EQ(editor.form().inputs.size(), 2u);
+}
+
+TEST(Editor, UnknownOperationThrows) {
+  EXPECT_THROW(FormEditor(car_sid(), "Teleport"), NotFound);
+  EXPECT_THROW(FormEditor(nullptr, "X"), ContractError);
+}
+
+TEST(Editor, ServiceRefWidget) {
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(
+      "module M { interface I { void Bind([in] ServiceReference target); }; };"));
+  FormEditor editor(sid, "Bind");
+  sidl::ServiceRef ref{"svc-1", "inproc://x", "I"};
+  editor.set_ref("target", ref);
+  EXPECT_EQ(editor.arguments()[0].as_ref(), ref);
+  // Text entry also works (wire form).
+  editor.set("target", ref.to_string());
+  EXPECT_EQ(editor.arguments()[0].as_ref(), ref);
+}
+
+TEST(ParseScalar, BooleansAcceptCommonSpellings) {
+  auto t = sidl::TypeDesc::bool_();
+  for (const char* yes : {"true", "1", "yes", "on"}) {
+    EXPECT_TRUE(parse_scalar(yes, *t).as_bool()) << yes;
+  }
+  for (const char* no : {"false", "0", "no", "off"}) {
+    EXPECT_FALSE(parse_scalar(no, *t).as_bool()) << no;
+  }
+  EXPECT_THROW(parse_scalar("maybe", *t), TypeError);
+}
+
+TEST(ParseScalar, NumbersAndStrings) {
+  EXPECT_EQ(parse_scalar("-17", *sidl::TypeDesc::int_()).as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse_scalar("2.5", *sidl::TypeDesc::float_()).as_real(), 2.5);
+  EXPECT_EQ(parse_scalar("free text", *sidl::TypeDesc::string_()).as_string(),
+            "free text");
+  EXPECT_THROW(parse_scalar("1e999", *sidl::TypeDesc::float_()), TypeError);
+}
+
+TEST(ParseScalar, NonScalarTypesRejected) {
+  EXPECT_THROW(parse_scalar("x", *sidl::parse_type("sequence<long>")), TypeError);
+  EXPECT_THROW(parse_scalar("x", *sidl::parse_type("struct { long a; }")),
+               TypeError);
+}
+
+}  // namespace
+}  // namespace cosm::uims

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "trader/facade.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+namespace {
+
+using sidl::TypeDesc;
+using wire::Value;
+
+ServiceType rental_type() {
+  ServiceType t;
+  t.name = "CarRentalService";
+  t.attributes = {{"ChargePerDay", TypeDesc::float_(), true}};
+  return t;
+}
+
+AttrMap charge(double c) { return {{"ChargePerDay", Value::real(c)}}; }
+
+sidl::ServiceRef mk_ref(const std::string& id) {
+  return {id, "inproc://host", "CarRentalService"};
+}
+
+std::unique_ptr<Trader> make_trader(const std::string& name) {
+  auto t = std::make_unique<Trader>(name);
+  t->types().add(rental_type());
+  return t;
+}
+
+ImportRequest all_rentals(int hops) {
+  ImportRequest r;
+  r.service_type = "CarRentalService";
+  r.hop_limit = hops;
+  return r;
+}
+
+TEST(Federation, HopLimitZeroStaysLocal) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  a->export_offer("CarRentalService", mk_ref("local"), charge(10));
+  b->export_offer("CarRentalService", mk_ref("remote"), charge(20));
+
+  EXPECT_EQ(a->import(all_rentals(0)).size(), 1u);
+  EXPECT_EQ(a->import(all_rentals(1)).size(), 2u);
+}
+
+TEST(Federation, HopLimitBoundsChainDepth) {
+  // a -> b -> c: offers only at c.
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto c = make_trader("c");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  b->link("c", std::make_shared<LocalTraderGateway>(*c));
+  c->export_offer("CarRentalService", mk_ref("deep"), charge(5));
+
+  EXPECT_EQ(a->import(all_rentals(1)).size(), 0u);
+  EXPECT_EQ(a->import(all_rentals(2)).size(), 1u);
+}
+
+TEST(Federation, DiamondTopologyDeduplicates) {
+  // a -> {b, c} -> d: d's offer reachable twice, returned once.
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto c = make_trader("c");
+  auto d = make_trader("d");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  a->link("c", std::make_shared<LocalTraderGateway>(*c));
+  b->link("d", std::make_shared<LocalTraderGateway>(*d));
+  c->link("d", std::make_shared<LocalTraderGateway>(*d));
+  d->export_offer("CarRentalService", mk_ref("shared"), charge(7));
+
+  auto offers = a->import(all_rentals(2));
+  EXPECT_EQ(offers.size(), 1u);
+}
+
+TEST(Federation, CyclesTerminateViaHopLimit) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  b->link("a", std::make_shared<LocalTraderGateway>(*a));
+  a->export_offer("CarRentalService", mk_ref("at-a"), charge(1));
+  b->export_offer("CarRentalService", mk_ref("at-b"), charge(2));
+
+  auto offers = a->import(all_rentals(5));
+  EXPECT_EQ(offers.size(), 2u);  // dedup despite ping-pong
+}
+
+TEST(Federation, MergedResultsAreRankedGlobally) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  a->export_offer("CarRentalService", mk_ref("pricey"), charge(90));
+  b->export_offer("CarRentalService", mk_ref("bargain"), charge(15));
+
+  ImportRequest request = all_rentals(1);
+  request.preference = "min ChargePerDay";
+  auto offers = a->import(request);
+  ASSERT_EQ(offers.size(), 2u);
+  EXPECT_EQ(offers[0].ref.id, "bargain");  // remote offer can win
+}
+
+TEST(Federation, MaxMatchesAppliedAfterMerge) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  for (int i = 0; i < 5; ++i) {
+    a->export_offer("CarRentalService", mk_ref("a" + std::to_string(i)), charge(50 + i));
+    b->export_offer("CarRentalService", mk_ref("b" + std::to_string(i)), charge(10 + i));
+  }
+  ImportRequest request = all_rentals(1);
+  request.preference = "min ChargePerDay";
+  request.max_matches = 3;
+  auto offers = a->import(request);
+  ASSERT_EQ(offers.size(), 3u);
+  for (const auto& o : offers) {
+    EXPECT_EQ(o.ref.id[0], 'b');  // the three cheapest live at b
+  }
+}
+
+TEST(Federation, UnknownTypeAtLinkedTraderIsNotFatal) {
+  auto a = make_trader("a");
+  Trader bare("bare");  // never learned CarRentalService
+  a->link("bare", std::make_shared<LocalTraderGateway>(bare));
+  a->export_offer("CarRentalService", mk_ref("local"), charge(10));
+  EXPECT_EQ(a->import(all_rentals(1)).size(), 1u);
+}
+
+TEST(Federation, RemoteGatewayOverRpc) {
+  rpc::InProcNetwork net;
+  auto local = make_trader("local");
+  auto remote = make_trader("remote");
+  remote->export_offer("CarRentalService", mk_ref("over-the-wire"), charge(33));
+
+  rpc::RpcServer server(net, "remote-host");
+  auto remote_ref = server.add(make_trader_service(*remote));
+  local->link("remote", std::make_shared<RemoteTraderGateway>(net, remote_ref));
+
+  auto offers = local->import(all_rentals(1));
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].ref.id, "over-the-wire");
+  EXPECT_DOUBLE_EQ(offers[0].attributes.at("ChargePerDay").as_real(), 33.0);
+}
+
+TEST(Federation, UnreachableRemoteTraderSkipped) {
+  rpc::InProcNetwork net;
+  auto local = make_trader("local");
+  local->export_offer("CarRentalService", mk_ref("here"), charge(1));
+  sidl::ServiceRef dead{"ghost", "inproc://nowhere", "TraderService"};
+  local->link("dead", std::make_shared<RemoteTraderGateway>(net, dead));
+  EXPECT_EQ(local->import(all_rentals(1)).size(), 1u);
+}
+
+TEST(Federation, GatewayDescribe) {
+  auto t = make_trader("x");
+  EXPECT_EQ(LocalTraderGateway(*t).describe(), "local:x");
+}
+
+}  // namespace
+}  // namespace cosm::trader

@@ -1,0 +1,161 @@
+#include "uims/form.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::uims {
+namespace {
+
+sidl::Sid car_sid() {
+  return sidl::parse_sid(R"(
+    module CarRentalService {
+      typedef enum { AUDI, FIAT_Uno, VW_Golf } CarModel_t;
+      typedef struct {
+        CarModel_t model;
+        string booking_date;
+        long days;
+        sequence<string> extras;
+        optional<double> discount;
+      } SelectCar_t;
+      typedef struct { boolean available; double total_charge; } Return_t;
+      interface COSM_Operations {
+        Return_t SelectCar([in] SelectCar_t selection);
+        void Reset();
+        sequence<CarModel_t> ListModels();
+      };
+      module COSM_FSM {
+        states { INIT, SELECTED };
+        initial INIT;
+        transition INIT SelectCar SELECTED;
+        transition SELECTED Reset INIT;
+      };
+      module COSM_Annotations {
+        annotate CarRentalService "Rent a car";
+        annotate SelectCar "Select and quote";
+        annotate booking_date "ISO date of pickup";
+      };
+    };
+  )");
+}
+
+/// Widget mapping per SIDL type kind — the §3.2 "well-defined relationship
+/// of linguistic service description elements to UIMS components".
+struct KindCase {
+  const char* type_spec;
+  WidgetKind expected;
+};
+
+class WidgetMapping : public ::testing::TestWithParam<KindCase> {};
+
+TEST_P(WidgetMapping, TypeToWidget) {
+  sidl::Sid empty;
+  empty.name = "M";
+  auto type = sidl::parse_type(GetParam().type_spec);
+  Widget w = widget_for(empty, "x", type);
+  EXPECT_EQ(w.kind, GetParam().expected) << GetParam().type_spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WidgetMapping,
+    ::testing::Values(KindCase{"boolean", WidgetKind::CheckBox},
+                      KindCase{"long", WidgetKind::NumberField},
+                      KindCase{"double", WidgetKind::NumberField},
+                      KindCase{"string", WidgetKind::TextField},
+                      KindCase{"enum E { A, B }", WidgetKind::EnumChoice},
+                      KindCase{"struct { long x; }", WidgetKind::StructGroup},
+                      KindCase{"sequence<long>", WidgetKind::SequenceEditor},
+                      KindCase{"optional<string>", WidgetKind::OptionalToggle},
+                      KindCase{"ServiceReference", WidgetKind::BindButton},
+                      KindCase{"SID", WidgetKind::SidViewer},
+                      KindCase{"any", WidgetKind::AnyField}));
+
+TEST(Form, EnumChoicesListLabels) {
+  sidl::Sid empty;
+  empty.name = "M";
+  Widget w = widget_for(empty, "m", sidl::parse_type("enum E { A, B, C }"));
+  EXPECT_EQ(w.choices, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(Form, StructGroupNestsChildren) {
+  sidl::Sid sid = car_sid();
+  Widget w = widget_for(sid, "selection", sid.find_type("SelectCar_t"));
+  ASSERT_EQ(w.children.size(), 5u);
+  EXPECT_EQ(w.children[0].kind, WidgetKind::EnumChoice);
+  EXPECT_EQ(w.children[3].kind, WidgetKind::SequenceEditor);
+  EXPECT_EQ(w.children[4].kind, WidgetKind::OptionalToggle);
+  // Sequence and optional wrap a prototype child.
+  ASSERT_EQ(w.children[3].children.size(), 1u);
+  EXPECT_EQ(w.children[3].children[0].kind, WidgetKind::TextField);
+}
+
+TEST(Form, VoidHasNoWidget) {
+  sidl::Sid empty;
+  empty.name = "M";
+  EXPECT_THROW(widget_for(empty, "x", sidl::TypeDesc::void_()), ContractError);
+}
+
+TEST(Form, AnnotationsAttachToWidgetsAndOperations) {
+  sidl::Sid sid = car_sid();
+  OperationForm form = generate_operation_form(sid, "SelectCar");
+  EXPECT_EQ(form.annotation, "Select and quote");
+  // Parameter field annotation found by element name.
+  const Widget& group = form.inputs.at(0);
+  const Widget* date = nullptr;
+  for (const auto& c : group.children) {
+    if (c.label == "booking_date") date = &c;
+  }
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(date->annotation, "ISO date of pickup");
+}
+
+TEST(Form, FsmRestrictionMarked) {
+  sidl::Sid sid = car_sid();
+  EXPECT_TRUE(generate_operation_form(sid, "SelectCar").fsm_restricted);
+  EXPECT_FALSE(generate_operation_form(sid, "ListModels").fsm_restricted);
+}
+
+TEST(Form, UnknownOperationThrows) {
+  EXPECT_THROW(generate_operation_form(car_sid(), "Teleport"), NotFound);
+}
+
+TEST(Form, VoidResultHasNoResultView) {
+  OperationForm form = generate_operation_form(car_sid(), "Reset");
+  EXPECT_EQ(form.result_view.type, nullptr);
+  EXPECT_TRUE(form.inputs.empty());
+}
+
+TEST(Form, ServiceFormCoversAllOperations) {
+  ServiceForm form = generate_form(car_sid());
+  EXPECT_EQ(form.service, "CarRentalService");
+  EXPECT_EQ(form.annotation, "Rent a car");
+  ASSERT_EQ(form.operations.size(), 3u);
+  EXPECT_GT(widget_count(form), 8u);
+}
+
+TEST(Form, TextRenderingShowsStructure) {
+  std::string text = render_text(generate_form(car_sid()));
+  EXPECT_NE(text.find("CarRentalService"), std::string::npos);
+  EXPECT_NE(text.find("INVOKE SelectCar"), std::string::npos);
+  EXPECT_NE(text.find("AUDI | FIAT_Uno | VW_Golf"), std::string::npos);
+  EXPECT_NE(text.find("(protocol-controlled)"), std::string::npos);
+  EXPECT_NE(text.find("ISO date of pickup"), std::string::npos);
+}
+
+TEST(Form, OutParamsGetNoInputWidgets) {
+  sidl::Sid sid = sidl::parse_sid(R"(
+    module M { interface I { void Op([in] long a, [out] string b); }; };
+  )");
+  OperationForm form = generate_operation_form(sid, "Op");
+  EXPECT_EQ(form.inputs.size(), 1u);
+  EXPECT_EQ(form.inputs[0].label, "a");
+}
+
+TEST(Form, WidgetKindNames) {
+  EXPECT_EQ(to_string(WidgetKind::CheckBox), "checkbox");
+  EXPECT_EQ(to_string(WidgetKind::BindButton), "bind");
+}
+
+}  // namespace
+}  // namespace cosm::uims

@@ -1,0 +1,160 @@
+#include "core/generic_client.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "services/stock_quote.h"
+#include "sidl/parser.h"
+
+namespace cosm::core {
+namespace {
+
+using wire::Value;
+
+class GenericClientTest : public ::testing::Test {
+ protected:
+  GenericClientTest() : server(net, "host"), client(net) {
+    ticker_ref = server.add(services::make_stock_quote_service({}));
+  }
+
+  rpc::InProcNetwork net;
+  rpc::RpcServer server;
+  GenericClient client;
+  sidl::ServiceRef ticker_ref;
+};
+
+TEST_F(GenericClientTest, BindTransfersSid) {
+  Binding b = client.bind(ticker_ref);
+  EXPECT_EQ(b.sid()->name, "TickerService");
+  EXPECT_EQ(b.ref().id, ticker_ref.id);
+  EXPECT_EQ(client.bindings_established(), 1u);
+}
+
+TEST_F(GenericClientTest, InitialFsmStateFromSid) {
+  Binding b = client.bind(ticker_ref);
+  EXPECT_EQ(b.state(), "LOGGED_OUT");
+  EXPECT_EQ(b.allowed_operations(), std::vector<std::string>{"Login"});
+  EXPECT_TRUE(b.allowed("Login"));
+  EXPECT_FALSE(b.allowed("GetQuote"));
+}
+
+TEST_F(GenericClientTest, LocalFsmRejectionWithoutRpc) {
+  Binding b = client.bind(ticker_ref);
+  std::uint64_t frames_before = net.frames_served();
+  EXPECT_THROW(b.invoke("GetQuote", {Value::string("IBM")}), ProtocolError);
+  // No RPC was issued — the rejection happened locally (§4.2).
+  EXPECT_EQ(net.frames_served(), frames_before);
+  EXPECT_EQ(b.local_rejections(), 1u);
+}
+
+TEST_F(GenericClientTest, FsmStateAdvancesOnSuccess) {
+  Binding b = client.bind(ticker_ref);
+  b.invoke("Login", {Value::string("user")});
+  EXPECT_EQ(b.state(), "LOGGED_IN");
+  Value quote = b.invoke("GetQuote", {Value::string("IBM")});
+  EXPECT_GT(quote.at("price").as_real(), 0.0);
+  EXPECT_EQ(b.state(), "LOGGED_IN");  // self-loop
+  b.invoke("Logout", {});
+  EXPECT_EQ(b.state(), "LOGGED_OUT");
+  EXPECT_EQ(b.invocations(), 3u);
+}
+
+TEST_F(GenericClientTest, UnknownOperationRejectedLocally) {
+  Binding b = client.bind(ticker_ref);
+  EXPECT_THROW(b.invoke("Teleport", {}), NotFound);
+}
+
+TEST_F(GenericClientTest, ArgumentTypesValidatedLocally) {
+  Binding b = client.bind(ticker_ref);
+  std::uint64_t frames_before = net.frames_served();
+  EXPECT_THROW(b.invoke("Login", {Value::integer(42)}), TypeError);
+  EXPECT_EQ(net.frames_served(), frames_before);
+}
+
+TEST_F(GenericClientTest, EnforcementOffGoesToServer) {
+  GenericClientOptions options;
+  options.enforce_fsm = false;
+  GenericClient lax(net, options);
+  Binding b = lax.bind(ticker_ref);
+  std::uint64_t frames_before = net.frames_served();
+  // The call reaches the server, which rejects it there (defence in depth).
+  EXPECT_THROW(b.invoke("GetQuote", {Value::string("IBM")}), RemoteFault);
+  EXPECT_GT(net.frames_served(), frames_before);
+  EXPECT_EQ(b.local_rejections(), 0u);
+}
+
+TEST_F(GenericClientTest, EnforcementOffStillMirrorsState) {
+  GenericClientOptions options;
+  options.enforce_fsm = false;
+  GenericClient lax(net, options);
+  Binding b = lax.bind(ticker_ref);
+  b.invoke("Login", {Value::string("user")});
+  EXPECT_EQ(b.state(), "LOGGED_IN");
+}
+
+TEST_F(GenericClientTest, SessionsAreIndependent) {
+  Binding b1 = client.bind(ticker_ref);
+  Binding b2 = client.bind(ticker_ref);
+  b1.invoke("Login", {Value::string("a")});
+  EXPECT_EQ(b1.state(), "LOGGED_IN");
+  EXPECT_EQ(b2.state(), "LOGGED_OUT");
+  EXPECT_THROW(b2.invoke("GetQuote", {Value::string("IBM")}), ProtocolError);
+}
+
+TEST_F(GenericClientTest, FormGenerationAndInvokeForm) {
+  Binding b = client.bind(ticker_ref);
+  uims::ServiceForm form = b.form();
+  EXPECT_EQ(form.service, "TickerService");
+
+  uims::FormEditor login = b.edit("Login");
+  login.set("user", "mueller");
+  EXPECT_TRUE(b.invoke_form(login).as_bool());
+
+  uims::FormEditor quote = b.edit("GetQuote");
+  quote.set("symbol", "IBM");
+  Value q = b.invoke_form(quote);
+  EXPECT_EQ(q.at("symbol").as_string(), "IBM");
+}
+
+TEST_F(GenericClientTest, BindFromResultValue) {
+  // A service that hands out a reference to the ticker.
+  auto directory_sid = std::make_shared<sidl::Sid>(sidl::parse_sid(
+      "module Directory { interface I { ServiceReference Find([in] string n); }; };"));
+  auto directory = std::make_shared<rpc::ServiceObject>(directory_sid);
+  sidl::ServiceRef ticker = ticker_ref;
+  directory->on("Find", [ticker](const std::vector<Value>&) {
+    return Value::service_ref(ticker);
+  });
+  auto dir_ref = server.add(directory);
+
+  Binding dir = client.bind(dir_ref);
+  Value found = dir.invoke("Find", {Value::string("ticker")});
+  Binding t = client.bind(found);  // Fig. 4 cascade
+  EXPECT_EQ(t.sid()->name, "TickerService");
+}
+
+TEST_F(GenericClientTest, InvalidRefRejected) {
+  EXPECT_THROW(client.bind(sidl::ServiceRef{}), ContractError);
+}
+
+TEST_F(GenericClientTest, DeadEndpointSurfacesRpcError) {
+  sidl::ServiceRef dead{"x", "inproc://nowhere", "I"};
+  EXPECT_THROW(client.bind(dead), RpcError);
+}
+
+TEST_F(GenericClientTest, ResultConformanceChecked) {
+  // A service whose SID promises a long but whose handler returns a string:
+  // the server-side conformance check turns this into a fault.
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module Liar { interface I { long Get(); }; };"));
+  auto liar = std::make_shared<rpc::ServiceObject>(sid);
+  liar->on("Get", [](const std::vector<Value>&) { return Value::string("lie"); });
+  auto liar_ref = server.add(liar);
+  Binding b = client.bind(liar_ref);
+  EXPECT_THROW(b.invoke("Get", {}), RemoteFault);
+}
+
+}  // namespace
+}  // namespace cosm::core

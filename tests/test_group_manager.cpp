@@ -1,0 +1,72 @@
+#include "naming/group_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::naming {
+namespace {
+
+sidl::ServiceRef ref(const std::string& id) {
+  return {id, "inproc://host", "I"};
+}
+
+TEST(GroupManager, JoinAndMembers) {
+  GroupManager gm;
+  gm.join("traders", ref("t1"));
+  gm.join("traders", ref("t2"));
+  auto members = gm.members("traders");
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].id, "t1");  // join order preserved
+  EXPECT_EQ(members[1].id, "t2");
+}
+
+TEST(GroupManager, DoubleJoinIsIdempotent) {
+  GroupManager gm;
+  gm.join("g", ref("x"));
+  gm.join("g", ref("x"));
+  EXPECT_EQ(gm.size("g"), 1u);
+}
+
+TEST(GroupManager, LeaveRemovesMember) {
+  GroupManager gm;
+  gm.join("g", ref("x"));
+  gm.join("g", ref("y"));
+  gm.leave("g", ref("x"));
+  ASSERT_EQ(gm.size("g"), 1u);
+  EXPECT_EQ(gm.members("g")[0].id, "y");
+}
+
+TEST(GroupManager, LastLeaveDeletesGroup) {
+  GroupManager gm;
+  gm.join("g", ref("x"));
+  gm.leave("g", ref("x"));
+  EXPECT_TRUE(gm.groups().empty());
+}
+
+TEST(GroupManager, LeaveErrors) {
+  GroupManager gm;
+  EXPECT_THROW(gm.leave("ghost", ref("x")), NotFound);
+  gm.join("g", ref("x"));
+  EXPECT_THROW(gm.leave("g", ref("other")), NotFound);
+}
+
+TEST(GroupManager, ContractChecks) {
+  GroupManager gm;
+  EXPECT_THROW(gm.join("", ref("x")), ContractError);
+  EXPECT_THROW(gm.join("g", sidl::ServiceRef{}), ContractError);
+}
+
+TEST(GroupManager, GroupsSortedAndMembersOfUnknownEmpty) {
+  GroupManager gm;
+  gm.join("zeta", ref("a"));
+  gm.join("alpha", ref("b"));
+  auto groups = gm.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], "alpha");
+  EXPECT_TRUE(gm.members("ghost").empty());
+  EXPECT_EQ(gm.size("ghost"), 0u);
+}
+
+}  // namespace
+}  // namespace cosm::naming

@@ -1,0 +1,86 @@
+#include "rpc/inproc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+namespace {
+
+TEST(InProc, ListenAndCall) {
+  InProcNetwork net;
+  std::string ep = net.listen("echo", [](const Bytes& b) { return b; });
+  EXPECT_EQ(ep.rfind("inproc://", 0), 0u);
+  Bytes payload = {1, 2, 3};
+  EXPECT_EQ(net.call(ep, payload, std::chrono::milliseconds(100)), payload);
+}
+
+TEST(InProc, HintBecomesEndpointName) {
+  InProcNetwork net;
+  EXPECT_EQ(net.listen("myservice", [](const Bytes& b) { return b; }),
+            "inproc://myservice");
+}
+
+TEST(InProc, DuplicateHintsGetUniqueEndpoints) {
+  InProcNetwork net;
+  auto e1 = net.listen("same", [](const Bytes& b) { return b; });
+  auto e2 = net.listen("same", [](const Bytes& b) { return b; });
+  EXPECT_NE(e1, e2);
+}
+
+TEST(InProc, UnknownEndpointThrows) {
+  InProcNetwork net;
+  EXPECT_THROW(net.call("inproc://ghost", {}, std::chrono::milliseconds(10)),
+               RpcError);
+}
+
+TEST(InProc, UnlistenDisconnects) {
+  InProcNetwork net;
+  auto ep = net.listen("temp", [](const Bytes& b) { return b; });
+  net.unlisten(ep);
+  EXPECT_THROW(net.call(ep, {}, std::chrono::milliseconds(10)), RpcError);
+}
+
+TEST(InProc, NullHandlerRejected) {
+  InProcNetwork net;
+  EXPECT_THROW(net.listen("x", nullptr), ContractError);
+}
+
+TEST(InProc, CountsFramesAndBytes) {
+  InProcNetwork net;
+  auto ep = net.listen("count", [](const Bytes& b) { return b; });
+  net.call(ep, {1, 2, 3}, std::chrono::milliseconds(10));
+  net.call(ep, {4}, std::chrono::milliseconds(10));
+  EXPECT_EQ(net.frames_served(), 2u);
+  EXPECT_EQ(net.bytes_carried(), 4u);
+}
+
+TEST(InProc, HandlersMayCallOtherEndpoints) {
+  // Browsers call traders, converters call archives: reentrancy must work.
+  InProcNetwork net;
+  auto inner = net.listen("inner", [](const Bytes&) { return Bytes{9}; });
+  auto outer = net.listen("outer", [&net, inner](const Bytes&) {
+    return net.call(inner, {}, std::chrono::milliseconds(10));
+  });
+  EXPECT_EQ(net.call(outer, {}, std::chrono::milliseconds(10)), Bytes{9});
+}
+
+TEST(InProc, SimulatedLatencyIsApplied) {
+  InProcOptions options;
+  options.latency = std::chrono::microseconds(2000);
+  InProcNetwork net(options);
+  auto ep = net.listen("slow", [](const Bytes& b) { return b; });
+  auto start = std::chrono::steady_clock::now();
+  net.call(ep, {}, std::chrono::milliseconds(100));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
+            1500);
+}
+
+TEST(InProc, SchemeIsInproc) {
+  InProcNetwork net;
+  EXPECT_EQ(net.scheme(), "inproc");
+}
+
+}  // namespace
+}  // namespace cosm::rpc

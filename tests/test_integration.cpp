@@ -1,0 +1,243 @@
+// End-to-end scenario tests mirroring the paper's figures: the trader
+// triangle (Fig. 1), dynamic binding (Fig. 3), browser mediation cascade
+// (Fig. 4), the full stack (Fig. 6) and the §4.1 maturation path — plus the
+// same flows over real TCP sockets.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/cost_meter.h"
+#include "core/mediation.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "rpc/multicast.h"
+#include "rpc/tcp.h"
+#include "services/car_rental.h"
+#include "services/image_conversion.h"
+#include "services/market.h"
+#include "services/stock_quote.h"
+#include "sidl/parser.h"
+#include "trader/sid_export.h"
+
+namespace cosm {
+namespace {
+
+using wire::Value;
+
+Value select_args(const std::string& model, int days) {
+  return Value::structure("SelectCar_t",
+                          {{"model", Value::enumerated("CarModel_t", model)},
+                           {"booking_date", Value::string("1994-06-21")},
+                           {"days", Value::integer(days)}});
+}
+
+TEST(Integration, Fig1TraderTriangle) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  runtime.trader().types().add(services::canonical_car_rental_type());
+
+  // Step 1: exporters register.
+  services::MarketConfig market;
+  market.providers = 6;
+  market.seed = 7;
+  for (const auto& config : services::generate_market(market)) {
+    runtime.offer_traded(services::make_car_rental_service(config));
+  }
+
+  // Step 2+3: importer queries, trader selects best.
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  request.preference = "min ChargePerDay";
+  auto offers = runtime.trader().import(request);
+  ASSERT_EQ(offers.size(), 6u);
+  double best = offers.front().attributes.at("ChargePerDay").as_real();
+  for (const auto& o : offers) {
+    EXPECT_LE(best, o.attributes.at("ChargePerDay").as_real());
+  }
+
+  // Steps 4+5: bind to the selected exporter and interact.  Market
+  // providers drift in their interfaces (extra optional fields), so a
+  // hand-built struct would not conform — the generated form seeds every
+  // declared field from the *transferred* SID, which is the point of the
+  // generic client.
+  core::GenericClient client = runtime.make_client();
+  core::Binding rental = client.bind(offers.front().ref);
+  Value models = rental.invoke("ListModels", {});
+  ASSERT_FALSE(models.elements().empty());
+  uims::FormEditor editor = rental.edit("SelectCar");
+  editor.set("selection.model", models.elements()[0].enum_label());
+  editor.set("selection.booking_date", "1994-06-21");
+  editor.set("selection.days", "2");
+  Value quote = rental.invoke_form(editor);
+  EXPECT_TRUE(quote.at("available").as_bool());
+}
+
+TEST(Integration, Fig3DynamicBindingPipeline) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  auto ref = runtime.offer_mediated("Ticker",
+                                    services::make_stock_quote_service({}));
+
+  core::GenericClient client = runtime.make_client();
+  // SID transfer.
+  core::Binding binding = client.bind(ref);
+  // GUI generation from the transferred SID.
+  uims::ServiceForm form = binding.form();
+  EXPECT_GT(uims::widget_count(form), 0u);
+  // Form-driven dynamic invocation.
+  uims::FormEditor login = binding.edit("Login");
+  login.set("user", "merz");
+  EXPECT_TRUE(binding.invoke_form(login).as_bool());
+}
+
+TEST(Integration, Fig4MediationCascade) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+
+  // Nested browser registered at the root browser, service registered at
+  // the nested browser.
+  core::ServiceBrowser nested("regional");
+  auto nested_ref = runtime.server().add(core::make_browser_service(nested));
+  runtime.browser().register_service(
+      "Regional", runtime.server().find(nested_ref.id)->sid(), nested_ref);
+  auto rental_ref = runtime.host(services::make_car_rental_service({}));
+  nested.register_service("CityRental",
+                          runtime.repository().get(rental_ref.id), rental_ref);
+
+  // User path: browse -> descend -> select -> interact.
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession root(client, runtime.browser_ref());
+  core::MediationSession regional = root.enter("Regional");
+  core::Binding rental = regional.select("CityRental");
+  Value quote = rental.invoke("SelectCar", {select_args("VW_Golf", 1)});
+  EXPECT_TRUE(quote.at("available").as_bool());
+  EXPECT_EQ(rental.state(), "SELECTED");
+}
+
+TEST(Integration, MaturationPathKeepsClientsWorking) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+
+  services::CarRentalConfig config;
+  config.name = "Pioneer";
+  config.tradable = false;
+  auto ref = runtime.offer_mediated("Pioneer",
+                                    services::make_car_rental_service(config));
+
+  core::GenericClient client = runtime.make_client();
+  core::Binding early = client.bind(ref);  // bound against the v1 SID
+
+  // The provider matures: extended SID with trader export.
+  config.tradable = true;
+  auto v2 = std::make_shared<sidl::Sid>(
+      sidl::parse_sid(services::car_rental_sidl(config)));
+  EXPECT_TRUE(sidl::conforms_to(*v2, *early.sid()));
+  runtime.repository().put(ref.id, v2);
+  runtime.browser().register_service("Pioneer", v2, ref);
+  trader::export_sid_offer(runtime.trader(), *v2, ref);
+
+  // Old binding still works; new clients find it via the trader.
+  EXPECT_NO_THROW(early.invoke("ListModels", {}));
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  auto offers = runtime.trader().import(request);
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].ref, ref);
+}
+
+TEST(Integration, ValueChainOverRuntime) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  auto archive_ref = runtime.offer_mediated(
+      "Archive", services::make_image_server({}));
+  runtime.offer_mediated(
+      "Converter", services::make_format_converter(net, archive_ref, {}));
+
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession session(client, runtime.browser_ref());
+  core::Binding converter = session.select("Converter");
+  Value image = converter.invoke(
+      "GetImageAs", {Value::string("lena"), Value::string("PBM")});
+  EXPECT_EQ(image.at("format").as_string(), "PBM");
+}
+
+TEST(Integration, FullFlowOverTcpSockets) {
+  rpc::TcpNetwork net;
+  core::CosmRuntime runtime(net);
+
+  services::CarRentalConfig config;
+  config.tradable = true;
+  auto [ref, offer_id] = runtime.offer_traded(
+      services::make_car_rental_service(config));
+  runtime.browser().register_service("Rental",
+                                     runtime.repository().get(ref.id), ref);
+  EXPECT_EQ(ref.endpoint.rfind("tcp://127.0.0.1:", 0), 0u);
+
+  core::GenericClient client = runtime.make_client();
+  core::MediationSession session(client, runtime.browser_ref());
+  core::Binding rental = session.select("Rental");
+  Value quote = rental.invoke("SelectCar", {select_args("AUDI", 2)});
+  EXPECT_TRUE(quote.at("available").as_bool());
+  Value booking = rental.invoke(
+      "BookCar", {Value::structure("BookCar_t",
+                                   {{"offer_code", quote.at("offer_code")},
+                                    {"customer", Value::string("tcp user")}})});
+  EXPECT_TRUE(booking.at("confirmed").as_bool());
+
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  EXPECT_EQ(runtime.trader().import(request).size(), 1u);
+}
+
+TEST(Integration, MulticastWithdrawalAcrossGroup) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  // Three rental providers join a group; a multicast ListModels reaches all.
+  std::vector<sidl::ServiceRef> refs;
+  for (int i = 0; i < 3; ++i) {
+    auto ref = runtime.host(services::make_car_rental_service({}));
+    runtime.groups().join("rentals", ref);
+    refs.push_back(ref);
+  }
+  auto outcomes =
+      rpc::multicast_call(net, runtime.groups().members("rentals"), "ListModels", {});
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok());
+}
+
+TEST(Integration, CostMeterComparesPaths) {
+  core::TransitionCostMeter baseline, cosm_path;
+  // Baseline: 3 providers, hand-written stubs (3 ops each) + reconfiguration.
+  for (int provider = 0; provider < 3; ++provider) {
+    baseline.count_stub_units(3);
+    baseline.count_configuration();
+  }
+  // COSM: 3 providers register once; the client adapts automatically.
+  for (int provider = 0; provider < 3; ++provider) {
+    cosm_path.count_registration();
+    cosm_path.count_sid_transfer();
+  }
+  EXPECT_GT(baseline.developer_cost(), cosm_path.developer_cost());
+  EXPECT_EQ(cosm_path.developer_cost(), 3u);
+  EXPECT_NE(baseline.summary().find("stub units: 9"), std::string::npos);
+  baseline.reset();
+  EXPECT_EQ(baseline.developer_cost(), 0u);
+}
+
+TEST(Integration, RepositoryConformanceQueryFindsBrowsers) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  // "Which services are browser-shaped?" — structural discovery over SIDs.
+  sidl::Sid browser_base = sidl::parse_sid(R"(
+    module AnyBrowser {
+      typedef struct { string name; ServiceReference ref; } Entry_t;
+      interface I { sequence<Entry_t> List(); SID Describe([in] string name); };
+    };
+  )");
+  auto hits = runtime.repository().conforming_to(browser_base);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], runtime.browser_ref().id);
+}
+
+}  // namespace
+}  // namespace cosm

@@ -1,0 +1,95 @@
+#include "naming/interface_repository.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::naming {
+namespace {
+
+sidl::SidPtr sid(const std::string& text) {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(text));
+}
+
+TEST(InterfaceRepository, PutAndGetLatest) {
+  InterfaceRepository repo;
+  repo.put("svc-1", sid("module A { interface I { void Op(); }; };"));
+  EXPECT_EQ(repo.get("svc-1")->name, "A");
+  EXPECT_TRUE(repo.has("svc-1"));
+}
+
+TEST(InterfaceRepository, VersionHistoryOldestFirst) {
+  InterfaceRepository repo;
+  repo.put("svc-1", sid("module A { interface I { void Op(); }; };"));
+  repo.put("svc-1", sid("module A { interface I { void Op(); void Op2(); }; };"));
+  auto history = repo.history("svc-1");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0]->operations.size(), 1u);
+  EXPECT_EQ(history[1]->operations.size(), 2u);
+  EXPECT_EQ(repo.get("svc-1")->operations.size(), 2u);
+}
+
+TEST(InterfaceRepository, GetUnknownThrows) {
+  InterfaceRepository repo;
+  EXPECT_THROW(repo.get("ghost"), NotFound);
+  EXPECT_TRUE(repo.history("ghost").empty());
+}
+
+TEST(InterfaceRepository, RemoveDropsAllVersions) {
+  InterfaceRepository repo;
+  repo.put("svc-1", sid("module A { interface I { void Op(); }; };"));
+  repo.remove("svc-1");
+  EXPECT_FALSE(repo.has("svc-1"));
+  EXPECT_THROW(repo.remove("svc-1"), NotFound);
+}
+
+TEST(InterfaceRepository, RejectsNullAndInvalid) {
+  InterfaceRepository repo;
+  EXPECT_THROW(repo.put("x", nullptr), ContractError);
+  EXPECT_THROW(repo.put("", sid("module A { };")), ContractError);
+  // An ill-formed SID (FSM referencing a ghost op) is rejected on admission.
+  auto bad = sid(R"(
+    module B {
+      interface I { void Op(); };
+      module COSM_FSM { states { S }; initial S; transition S Ghost S; };
+    };
+  )");
+  EXPECT_THROW(repo.put("x", bad), TypeError);
+}
+
+TEST(InterfaceRepository, IdsSorted) {
+  InterfaceRepository repo;
+  repo.put("zz", sid("module A { };"));
+  repo.put("aa", sid("module B { };"));
+  auto ids = repo.ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "aa");
+  EXPECT_EQ(repo.size(), 2u);
+}
+
+TEST(InterfaceRepository, ConformingToQuery) {
+  InterfaceRepository repo;
+  repo.put("browserish", sid(R"(
+    module B1 { interface I { sequence<string> List(); SID Describe([in] string n); }; };
+  )"));
+  repo.put("other", sid("module O { interface I { void Op(); }; };"));
+
+  sidl::Sid base = sidl::parse_sid(
+      "module Base { interface I { sequence<string> List(); }; };");
+  auto hits = repo.conforming_to(base);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], "browserish");
+}
+
+TEST(InterfaceRepository, ConformingToUsesLatestVersion) {
+  InterfaceRepository repo;
+  repo.put("svc", sid("module S { interface I { void Op(); }; };"));
+  sidl::Sid base = sidl::parse_sid("module B { interface I { void Newer(); }; };");
+  EXPECT_TRUE(repo.conforming_to(base).empty());
+  repo.put("svc", sid("module S { interface I { void Op(); void Newer(); }; };"));
+  EXPECT_EQ(repo.conforming_to(base).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cosm::naming

@@ -1,0 +1,94 @@
+// Offer leases: bounded offer lifetime on the trader's logical clock.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+namespace {
+
+using wire::Value;
+
+class LeaseTest : public ::testing::Test {
+ protected:
+  LeaseTest() : trader("t") {
+    ServiceType type;
+    type.name = "T";
+    type.attributes = {{"Price", sidl::TypeDesc::float_(), true}};
+    trader.types().add(type);
+  }
+
+  std::string offer(const std::string& id) {
+    return trader.export_offer("T", {id, "inproc://x", "T"},
+                               {{"Price", Value::real(1.0)}});
+  }
+
+  Trader trader;
+};
+
+TEST_F(LeaseTest, UnleasedOffersNeverExpire) {
+  offer("a");
+  EXPECT_EQ(trader.advance_clock(1000000), 0u);
+  EXPECT_EQ(trader.offer_count(), 1u);
+}
+
+TEST_F(LeaseTest, ExpiredOffersSwept) {
+  auto id = offer("a");
+  offer("b");
+  trader.set_lease(id, 24);
+  EXPECT_EQ(trader.advance_clock(23), 0u);
+  EXPECT_EQ(trader.offer_count(), 2u);
+  EXPECT_EQ(trader.advance_clock(1), 1u);  // clock hits 24
+  EXPECT_EQ(trader.offer_count(), 1u);
+  EXPECT_EQ(trader.offers_expired_total(), 1u);
+}
+
+TEST_F(LeaseTest, RenewalExtendsLife) {
+  auto id = offer("a");
+  trader.set_lease(id, 10);
+  trader.advance_clock(5);
+  trader.set_lease(id, 20);  // renewed before expiry
+  EXPECT_EQ(trader.advance_clock(10), 0u);  // clock 15 < 20
+  EXPECT_EQ(trader.advance_clock(5), 1u);   // clock 20
+}
+
+TEST_F(LeaseTest, LeaseRemovalMakesOfferPermanent) {
+  auto id = offer("a");
+  trader.set_lease(id, 10);
+  trader.set_lease(id, 0);
+  EXPECT_EQ(trader.advance_clock(100), 0u);
+}
+
+TEST_F(LeaseTest, ClockAccumulates) {
+  EXPECT_EQ(trader.clock_hours(), 0u);
+  trader.advance_clock(3);
+  trader.advance_clock(4);
+  EXPECT_EQ(trader.clock_hours(), 7u);
+}
+
+TEST_F(LeaseTest, SetLeaseOnUnknownOfferThrows) {
+  EXPECT_THROW(trader.set_lease("ghost", 5), NotFound);
+}
+
+TEST_F(LeaseTest, ExpiredOfferNoLongerMatches) {
+  auto id = offer("a");
+  trader.set_lease(id, 1);
+  trader.advance_clock(2);
+  ImportRequest request;
+  request.service_type = "T";
+  EXPECT_TRUE(trader.import(request).empty());
+}
+
+TEST_F(LeaseTest, MassExpirySweepsAllAtOnce) {
+  for (int i = 0; i < 10; ++i) {
+    trader.set_lease(offer("o" + std::to_string(i)),
+                     static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(trader.advance_clock(5), 5u);
+  EXPECT_EQ(trader.advance_clock(100), 5u);
+  EXPECT_EQ(trader.offers_expired_total(), 10u);
+}
+
+}  // namespace
+}  // namespace cosm::trader

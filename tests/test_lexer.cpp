@@ -1,0 +1,127 @@
+#include "sidl/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::sidl {
+namespace {
+
+std::vector<TokKind> kinds(const std::string& src) {
+  std::vector<TokKind> out;
+  for (const auto& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::End);
+}
+
+TEST(Lexer, IdentifiersAndPunctuation) {
+  auto toks = tokenize("module Foo { };");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokKind::Ident);
+  EXPECT_EQ(toks[0].text, "module");
+  EXPECT_EQ(toks[1].text, "Foo");
+  EXPECT_EQ(toks[2].kind, TokKind::LBrace);
+  EXPECT_EQ(toks[3].kind, TokKind::RBrace);
+  EXPECT_EQ(toks[4].kind, TokKind::Semi);
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  auto toks = tokenize("4711 80.5 -3 -2.25 1e6 2.5e-3");
+  EXPECT_EQ(toks[0].kind, TokKind::IntLit);
+  EXPECT_EQ(toks[0].text, "4711");
+  EXPECT_EQ(toks[1].kind, TokKind::FloatLit);
+  EXPECT_EQ(toks[2].kind, TokKind::IntLit);
+  EXPECT_EQ(toks[2].text, "-3");
+  EXPECT_EQ(toks[3].kind, TokKind::FloatLit);
+  EXPECT_EQ(toks[4].kind, TokKind::FloatLit);  // 1e6
+  EXPECT_EQ(toks[5].kind, TokKind::FloatLit);  // 2.5e-3
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  auto toks = tokenize(R"("hello" "a\"b" "tab\there" "")");
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "a\"b");
+  EXPECT_EQ(toks[2].text, "tab\there");
+  EXPECT_EQ(toks[3].text, "");
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto k = kinds("foo // this is ignored\nbar");
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_EQ(k[0], TokKind::Ident);
+  EXPECT_EQ(k[1], TokKind::Ident);
+}
+
+TEST(Lexer, BlockCommentsSkippedAcrossLines) {
+  auto toks = tokenize("a /* x\ny\nz */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(tokenize("a /* never closed"), ParseError);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("\"no closing quote"), ParseError);
+}
+
+TEST(Lexer, NewlineInStringThrows) {
+  EXPECT_THROW(tokenize("\"line\nbreak\""), ParseError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrowsWithPosition) {
+  try {
+    tokenize("foo $");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 5);
+  }
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, ByteOffsetsSliceSource) {
+  std::string src = "module  Foo";
+  auto toks = tokenize(src);
+  EXPECT_EQ(src.substr(toks[1].begin, toks[1].end - toks[1].begin), "Foo");
+}
+
+TEST(Lexer, AngleBracketsAndBrackets) {
+  auto k = kinds("sequence<long> [in]");
+  EXPECT_EQ(k[1], TokKind::LAngle);
+  EXPECT_EQ(k[3], TokKind::RAngle);
+  EXPECT_EQ(k[4], TokKind::LBracket);
+  EXPECT_EQ(k[6], TokKind::RBracket);
+}
+
+TEST(Lexer, MinusBetweenIdentifiersIsAToken) {
+  // "FIAT-Uno": the parser rejoins these into one label.
+  auto toks = tokenize("FIAT-Uno");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "FIAT");
+  EXPECT_EQ(toks[1].kind, TokKind::Minus);
+  EXPECT_EQ(toks[2].text, "Uno");
+}
+
+TEST(Lexer, UnderscoreIdentifiers) {
+  auto toks = tokenize("_get_sid COSM_FSM");
+  EXPECT_EQ(toks[0].text, "_get_sid");
+  EXPECT_EQ(toks[1].text, "COSM_FSM");
+}
+
+}  // namespace
+}  // namespace cosm::sidl

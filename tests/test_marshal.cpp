@@ -1,0 +1,182 @@
+#include "wire/marshal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sidl/parser.h"
+#include "support/generators.h"
+#include "wire/codec.h"
+
+namespace cosm::wire {
+namespace {
+
+using sidl::TypeDesc;
+
+TEST(Conforms, PrimitivesStrict) {
+  EXPECT_TRUE(conforms(Value::integer(1), *TypeDesc::int_()));
+  EXPECT_FALSE(conforms(Value::integer(1), *TypeDesc::float_()));
+  EXPECT_FALSE(conforms(Value::real(1.0), *TypeDesc::int_()));
+  EXPECT_TRUE(conforms(Value::null(), *TypeDesc::void_()));
+  EXPECT_FALSE(conforms(Value::integer(0), *TypeDesc::void_()));
+}
+
+TEST(Conforms, AnyAcceptsEverything) {
+  EXPECT_TRUE(conforms(Value::integer(1), *TypeDesc::any()));
+  EXPECT_TRUE(conforms(Value::structure("S", {}), *TypeDesc::any()));
+  EXPECT_TRUE(conforms(Value::null(), *TypeDesc::any()));
+}
+
+TEST(Conforms, EnumLabelMustBeDeclared) {
+  auto e = TypeDesc::enum_("E", {"A", "B"});
+  EXPECT_TRUE(conforms(Value::enumerated("E", "A"), *e));
+  EXPECT_FALSE(conforms(Value::enumerated("E", "Z"), *e));
+}
+
+TEST(Conforms, EnumTypeNameMatchedWhenBothNamed) {
+  auto e = TypeDesc::enum_("E", {"A"});
+  EXPECT_FALSE(conforms(Value::enumerated("F", "A"), *e));
+  // Anonymous value enum against named type: allowed (label membership only).
+  EXPECT_TRUE(conforms(Value::enumerated("", "A"), *e));
+}
+
+TEST(Conforms, StructWidthSubtyping) {
+  auto t = TypeDesc::struct_("S", {{"x", TypeDesc::int_()}});
+  Value exact = Value::structure("S", {{"x", Value::integer(1)}});
+  Value wider = Value::structure(
+      "S", {{"x", Value::integer(1)}, {"extra", Value::string("kept")}});
+  Value missing = Value::structure("S", {});
+  EXPECT_TRUE(conforms(exact, *t));
+  EXPECT_TRUE(conforms(wider, *t));  // extra fields ride along
+  EXPECT_FALSE(conforms(missing, *t));
+}
+
+TEST(Conforms, StructNameMismatchRejected) {
+  auto t = TypeDesc::struct_("S", {});
+  EXPECT_FALSE(conforms(Value::structure("T", {}), *t));
+  EXPECT_TRUE(conforms(Value::structure("", {}), *t));
+}
+
+TEST(Conforms, SequenceElementwise) {
+  auto t = TypeDesc::sequence(TypeDesc::int_());
+  EXPECT_TRUE(conforms(Value::sequence({Value::integer(1)}), *t));
+  EXPECT_FALSE(conforms(Value::sequence({Value::string("x")}), *t));
+  EXPECT_TRUE(conforms(Value::sequence({}), *t));
+}
+
+TEST(Conforms, OptionalAbsentAlwaysConforms) {
+  auto t = TypeDesc::optional(TypeDesc::int_());
+  EXPECT_TRUE(conforms(Value::optional_absent(), *t));
+  EXPECT_TRUE(conforms(Value::optional_of(Value::integer(1)), *t));
+  EXPECT_FALSE(conforms(Value::optional_of(Value::string("x")), *t));
+}
+
+TEST(EnsureConforms, ErrorNamesThePath) {
+  auto t = TypeDesc::struct_(
+      "S", {{"inner", TypeDesc::struct_("T", {{"n", TypeDesc::int_()}})}});
+  Value bad = Value::structure(
+      "S", {{"inner", Value::structure("T", {{"n", Value::string("oops")}})}});
+  try {
+    ensure_conforms(bad, *t);
+    FAIL() << "expected TypeError";
+  } catch (const TypeError& e) {
+    EXPECT_NE(std::string(e.what()).find("$.inner.n"), std::string::npos);
+  }
+}
+
+TEST(DynamicMarshaller, RoundTripChecksBothSides) {
+  auto t = TypeDesc::struct_("S", {{"x", TypeDesc::int_()}});
+  DynamicMarshaller m(t);
+  Value good = Value::structure("S", {{"x", Value::integer(42)}});
+  EXPECT_EQ(m.unmarshal(m.marshal(good)), good);
+  EXPECT_THROW(m.marshal(Value::structure("S", {})), TypeError);
+  // Bytes that decode to a non-conforming value are rejected on unmarshal.
+  EXPECT_THROW(m.unmarshal(encode_value(Value::integer(1))), TypeError);
+}
+
+TEST(DynamicMarshaller, NullTypeRejected) {
+  EXPECT_THROW(DynamicMarshaller(nullptr), ContractError);
+}
+
+TEST(MarshalArguments, PositionalInParams) {
+  sidl::Sid sid = sidl::parse_sid(R"(
+    module M { interface I { void Op([in] long a, [in] string b); }; };
+  )");
+  const auto& op = sid.operations[0];
+  Bytes b = marshal_arguments(op, {Value::integer(1), Value::string("x")});
+  auto args = unmarshal_arguments(op, b);
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0].as_int(), 1);
+  EXPECT_EQ(args[1].as_string(), "x");
+}
+
+TEST(MarshalArguments, CountMismatchRejected) {
+  sidl::Sid sid =
+      sidl::parse_sid("module M { interface I { void Op([in] long a); }; };");
+  const auto& op = sid.operations[0];
+  EXPECT_THROW(marshal_arguments(op, {}), TypeError);
+  EXPECT_THROW(marshal_arguments(op, {Value::integer(1), Value::integer(2)}),
+               TypeError);
+}
+
+TEST(MarshalArguments, OutParamsNotSent) {
+  sidl::Sid sid = sidl::parse_sid(
+      "module M { interface I { void Op([in] long a, [out] string b); }; };");
+  const auto& op = sid.operations[0];
+  Bytes b = marshal_arguments(op, {Value::integer(1)});  // only the in-param
+  auto args = unmarshal_arguments(op, b);
+  EXPECT_EQ(args.size(), 1u);
+}
+
+TEST(MarshalArguments, NonConformingArgumentNamed) {
+  sidl::Sid sid =
+      sidl::parse_sid("module M { interface I { void Op([in] long amount); }; };");
+  try {
+    marshal_arguments(sid.operations[0], {Value::string("NaN")});
+    FAIL() << "expected TypeError";
+  } catch (const TypeError& e) {
+    EXPECT_NE(std::string(e.what()).find("amount"), std::string::npos);
+  }
+}
+
+TEST(DefaultValue, PerKind) {
+  EXPECT_EQ(default_value(*TypeDesc::bool_()), Value::boolean(false));
+  EXPECT_EQ(default_value(*TypeDesc::int_()), Value::integer(0));
+  EXPECT_EQ(default_value(*TypeDesc::string_()), Value::string(""));
+  auto e = TypeDesc::enum_("E", {"FIRST", "SECOND"});
+  EXPECT_EQ(default_value(*e).enum_label(), "FIRST");
+  EXPECT_EQ(default_value(*TypeDesc::sequence(TypeDesc::int_())),
+            Value::sequence({}));
+  EXPECT_FALSE(default_value(*TypeDesc::optional(TypeDesc::int_())).has_payload());
+  EXPECT_EQ(default_value(*TypeDesc::any()), Value::null());
+  EXPECT_THROW(default_value(*TypeDesc::sid()), ContractError);
+}
+
+TEST(DefaultValue, StructDefaultsConform) {
+  auto t = TypeDesc::struct_(
+      "S", {{"a", TypeDesc::int_()},
+            {"b", TypeDesc::enum_("E", {"X"})},
+            {"c", TypeDesc::optional(TypeDesc::string_())}});
+  EXPECT_TRUE(conforms(default_value(*t), *t));
+}
+
+/// Property: every random value conforms to the type that generated it, and
+/// the default value of every random type conforms to that type.
+class MarshalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MarshalProperty, GeneratedValuesConform) {
+  cosm::Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    auto type = cosm::testing::random_type(rng);
+    Value v = cosm::testing::random_value(rng, *type);
+    EXPECT_TRUE(conforms(v, *type)) << type->describe() << " vs "
+                                    << v.to_debug_string();
+    EXPECT_TRUE(conforms(default_value(*type), *type)) << type->describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarshalProperty,
+                         ::testing::Values(3, 9, 27, 81, 243));
+
+}  // namespace
+}  // namespace cosm::wire

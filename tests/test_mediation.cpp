@@ -1,0 +1,143 @@
+#include "core/mediation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/stock_quote.h"
+#include "services/weather.h"
+
+namespace cosm::core {
+namespace {
+
+using wire::Value;
+
+class MediationTest : public ::testing::Test {
+ protected:
+  MediationTest() : runtime(net), client(net) {
+    runtime.offer_mediated("WeatherOracle", services::make_weather_service({}));
+    runtime.offer_mediated("Ticker", services::make_stock_quote_service({}));
+  }
+
+  rpc::InProcNetwork net;
+  CosmRuntime runtime;
+  GenericClient client;
+};
+
+TEST_F(MediationTest, BrowseListsRegistrations) {
+  MediationSession session(client, runtime.browser_ref());
+  auto items = session.browse();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].name, "WeatherOracle");
+  EXPECT_EQ(session.depth(), 0u);
+}
+
+TEST_F(MediationTest, SearchFindsByAnnotation) {
+  MediationSession session(client, runtime.browser_ref());
+  auto hits = session.search("forecast");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].name, "WeatherOracle");
+}
+
+TEST_F(MediationTest, DescribeWithoutBinding) {
+  MediationSession session(client, runtime.browser_ref());
+  sidl::SidPtr sid = session.describe("Ticker");
+  EXPECT_EQ(sid->name, "TickerService");
+  ASSERT_TRUE(sid->fsm.has_value());
+}
+
+TEST_F(MediationTest, SelectBindsAndWorks) {
+  MediationSession session(client, runtime.browser_ref());
+  Binding weather = session.select("WeatherOracle");
+  Value forecast = weather.invoke(
+      "GetForecast", {Value::string("Hamburg"), Value::integer(1)});
+  EXPECT_EQ(forecast.at("city").as_string(), "Hamburg");
+}
+
+TEST_F(MediationTest, SelectUnknownEntryThrows) {
+  MediationSession session(client, runtime.browser_ref());
+  EXPECT_THROW(session.select("Ghost"), NotFound);
+}
+
+TEST_F(MediationTest, CascadeDescendsIntoNestedBrowser) {
+  ServiceBrowser nested("nested");
+  auto nested_ref = runtime.server().add(make_browser_service(nested));
+  runtime.browser().register_service(
+      "Financial", runtime.server().find(nested_ref.id)->sid(), nested_ref);
+  auto ticker_ref = runtime.host(services::make_stock_quote_service(
+      services::StockQuoteConfig{"NestedTicker", 5}));
+  nested.register_service("NestedTicker",
+                          runtime.repository().get(ticker_ref.id), ticker_ref);
+
+  MediationSession root(client, runtime.browser_ref());
+  MediationSession finance = root.enter("Financial");
+  EXPECT_EQ(finance.depth(), 1u);
+  auto items = finance.browse();
+  ASSERT_EQ(items.size(), 1u);
+  Binding ticker = finance.select("NestedTicker");
+  EXPECT_EQ(ticker.sid()->name, "NestedTicker");
+}
+
+TEST_F(MediationTest, DeepSearchSpansCascade) {
+  // root -> Financial (browser) -> NestedTicker; the ticker annotation
+  // matches "quote" only from the nested browser.
+  ServiceBrowser nested("nested");
+  auto nested_ref = runtime.server().add(make_browser_service(nested));
+  runtime.browser().register_service(
+      "Financial", runtime.server().find(nested_ref.id)->sid(), nested_ref);
+  auto ticker_ref = runtime.host(services::make_stock_quote_service(
+      services::StockQuoteConfig{"NestedTicker", 5}));
+  nested.register_service("NestedTicker",
+                          runtime.repository().get(ticker_ref.id), ticker_ref);
+
+  MediationSession root(client, runtime.browser_ref());
+  // Shallow search sees only the root-level ticker (fixture), not the
+  // nested one...
+  ASSERT_EQ(root.search("quote").size(), 1u);
+  // ...deep search finds both, the nested one with its cascade path.
+  auto hits = root.deep_search("quote");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].path, "Ticker");
+  EXPECT_EQ(hits[1].path, "Financial/NestedTicker");
+  EXPECT_EQ(hits[1].ref, ticker_ref);
+
+  // Depth 0 restricts to the root browser.
+  EXPECT_EQ(root.deep_search("quote", 0).size(), 1u);
+}
+
+TEST_F(MediationTest, DeepSearchSurvivesBrowserCycles) {
+  // Two browsers registered at each other; deep search must terminate.
+  ServiceBrowser b1("b1"), b2("b2");
+  auto r1 = runtime.server().add(make_browser_service(b1));
+  auto r2 = runtime.server().add(make_browser_service(b2));
+  b1.register_service("Other", runtime.server().find(r2.id)->sid(), r2);
+  b2.register_service("Other", runtime.server().find(r1.id)->sid(), r1);
+  runtime.browser().register_service("Ring",
+                                     runtime.server().find(r1.id)->sid(), r1);
+  auto weather_ref = runtime.host(services::make_weather_service(
+      services::WeatherConfig{"DeepWeather", 3}));
+  b2.register_service("DeepWeather", runtime.repository().get(weather_ref.id),
+                      weather_ref);
+
+  MediationSession root(client, runtime.browser_ref());
+  auto hits = root.deep_search("forecast", 8);
+  // The top-level WeatherOracle plus the one inside the ring, exactly once.
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[1].path, "Ring/Other/DeepWeather");
+}
+
+TEST_F(MediationTest, EnteringNonBrowserFails) {
+  MediationSession session(client, runtime.browser_ref());
+  // WeatherOracle has no List/Describe: not a browsing interface.
+  EXPECT_THROW(session.enter("WeatherOracle"), TypeError);
+}
+
+TEST_F(MediationTest, SessionAgainstNonBrowserRefFails) {
+  auto weather_ref = runtime.host(services::make_weather_service(
+      services::WeatherConfig{"W2", 9}));
+  EXPECT_THROW(MediationSession(client, weather_ref), TypeError);
+}
+
+}  // namespace
+}  // namespace cosm::core

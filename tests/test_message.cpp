@@ -1,0 +1,67 @@
+#include "rpc/message.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+namespace {
+
+TEST(Message, RequestRoundTrip) {
+  Message m = Message::request(42, "svc-1", "SelectCar", {1, 2, 3});
+  m.session = "sess-9";
+  Message out = Message::decode(m.encode());
+  EXPECT_EQ(out, m);
+  EXPECT_EQ(out.type, MsgType::Request);
+  EXPECT_EQ(out.session, "sess-9");
+}
+
+TEST(Message, ResponseRoundTrip) {
+  Message m = Message::response(7, {0xAB});
+  Message out = Message::decode(m.encode());
+  EXPECT_EQ(out.type, MsgType::Response);
+  EXPECT_EQ(out.request_id, 7u);
+  EXPECT_EQ(out.body, Bytes{0xAB});
+  EXPECT_TRUE(out.target.empty());
+}
+
+TEST(Message, FaultCarriesText) {
+  Message m = Message::make_fault(9, "no such operation");
+  Message out = Message::decode(m.encode());
+  EXPECT_EQ(out.type, MsgType::Fault);
+  EXPECT_EQ(out.fault, "no such operation");
+  EXPECT_TRUE(out.body.empty());
+}
+
+TEST(Message, EmptyBodyRoundTrips) {
+  Message m = Message::request(1, "t", "op", {});
+  EXPECT_EQ(Message::decode(m.encode()).body, Bytes{});
+}
+
+TEST(Message, InvalidTypeByteRejected) {
+  Message m = Message::request(1, "t", "op", {});
+  Bytes b = m.encode();
+  b[0] = 99;
+  EXPECT_THROW(Message::decode(b), WireError);
+}
+
+TEST(Message, TrailingBytesRejected) {
+  Bytes b = Message::request(1, "t", "op", {}).encode();
+  b.push_back(0);
+  EXPECT_THROW(Message::decode(b), WireError);
+}
+
+TEST(Message, TruncatedFrameRejected) {
+  Bytes b = Message::request(1, "target", "operation", {1, 2, 3}).encode();
+  b.resize(b.size() / 2);
+  EXPECT_THROW(Message::decode(b), WireError);
+}
+
+TEST(Message, ToStringNames) {
+  EXPECT_EQ(to_string(MsgType::Request), "request");
+  EXPECT_EQ(to_string(MsgType::Response), "response");
+  EXPECT_EQ(to_string(MsgType::Fault), "fault");
+}
+
+}  // namespace
+}  // namespace cosm::rpc

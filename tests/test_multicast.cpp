@@ -1,0 +1,95 @@
+#include "rpc/multicast.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+
+namespace cosm::rpc {
+namespace {
+
+using wire::Value;
+
+ServiceObjectPtr tagged_service(int tag) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module Member { interface I { long Tag(); long Boom(); }; };"));
+  auto object = std::make_shared<ServiceObject>(sid);
+  object->on("Tag", [tag](const std::vector<Value>&) { return Value::integer(tag); });
+  object->on("Boom", [](const std::vector<Value>&) -> Value {
+    throw RemoteFault("boom");
+  });
+  return object;
+}
+
+class MulticastTest : public ::testing::Test {
+ protected:
+  InProcNetwork net;
+  RpcServer server{net, "host"};
+
+  std::vector<sidl::ServiceRef> members(int n) {
+    std::vector<sidl::ServiceRef> refs;
+    for (int i = 0; i < n; ++i) refs.push_back(server.add(tagged_service(i)));
+    return refs;
+  }
+};
+
+TEST_F(MulticastTest, DeliversToAllMembersInOrder) {
+  auto refs = members(4);
+  auto outcomes = multicast_call(net, refs, "Tag", {});
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(outcomes[i].ok());
+    EXPECT_EQ(outcomes[i].result->as_int(), i);
+    EXPECT_EQ(outcomes[i].member, refs[i]);
+  }
+}
+
+TEST_F(MulticastTest, EmptyGroupYieldsNoOutcomes) {
+  EXPECT_TRUE(multicast_call(net, {}, "Tag", {}).empty());
+}
+
+TEST_F(MulticastTest, FailingMemberDoesNotAbortSweep) {
+  auto refs = members(3);
+  auto outcomes = multicast_call(net, refs, "Boom", {});
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o.ok());
+    EXPECT_NE(o.error.find("boom"), std::string::npos);
+  }
+}
+
+TEST_F(MulticastTest, UnreachableMemberReportedNotFatal) {
+  auto refs = members(2);
+  refs.push_back(sidl::ServiceRef{"ghost", "inproc://nowhere", "Member"});
+  auto outcomes = multicast_call(net, refs, "Tag", {});
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[1].ok());
+  EXPECT_FALSE(outcomes[2].ok());
+}
+
+TEST_F(MulticastTest, QuorumStopsEarly) {
+  auto refs = members(5);
+  MulticastOptions options;
+  options.quorum = 2;
+  auto outcomes = multicast_call(net, refs, "Tag", {}, options);
+  EXPECT_EQ(outcomes.size(), 2u);  // stopped after two successes
+}
+
+TEST_F(MulticastTest, QuorumCountsOnlySuccesses) {
+  auto refs = members(2);
+  // Prepend an unreachable member: quorum 2 must still contact 3 members.
+  std::vector<sidl::ServiceRef> with_ghost = {
+      sidl::ServiceRef{"ghost", "inproc://nowhere", "Member"}};
+  with_ghost.insert(with_ghost.end(), refs.begin(), refs.end());
+  MulticastOptions options;
+  options.quorum = 2;
+  auto outcomes = multicast_call(net, with_ghost, "Tag", {}, options);
+  EXPECT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[0].ok());
+}
+
+}  // namespace
+}  // namespace cosm::rpc

@@ -1,0 +1,72 @@
+#include "naming/name_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::naming {
+namespace {
+
+sidl::ServiceRef ref(const std::string& id) {
+  return {id, "inproc://host", "I"};
+}
+
+TEST(NameServer, BindAndResolve) {
+  NameServer ns;
+  ns.bind_name("market/rental/hamburg", ref("svc-1"));
+  EXPECT_EQ(ns.resolve("market/rental/hamburg").id, "svc-1");
+  EXPECT_TRUE(ns.has("market/rental/hamburg"));
+  EXPECT_FALSE(ns.has("market/rental/munich"));
+}
+
+TEST(NameServer, RebindReplaces) {
+  NameServer ns;
+  ns.bind_name("a", ref("svc-1"));
+  ns.bind_name("a", ref("svc-2"));
+  EXPECT_EQ(ns.resolve("a").id, "svc-2");
+  EXPECT_EQ(ns.size(), 1u);
+}
+
+TEST(NameServer, ResolveUnboundThrows) {
+  NameServer ns;
+  EXPECT_THROW(ns.resolve("ghost"), NotFound);
+}
+
+TEST(NameServer, UnbindRemovesAndThrowsWhenAbsent) {
+  NameServer ns;
+  ns.bind_name("a", ref("svc-1"));
+  ns.unbind_name("a");
+  EXPECT_FALSE(ns.has("a"));
+  EXPECT_THROW(ns.unbind_name("a"), NotFound);
+}
+
+TEST(NameServer, EmptyPathAndInvalidRefRejected) {
+  NameServer ns;
+  EXPECT_THROW(ns.bind_name("", ref("svc-1")), ContractError);
+  EXPECT_THROW(ns.bind_name("a", sidl::ServiceRef{}), ContractError);
+}
+
+TEST(NameServer, ListByPrefix) {
+  NameServer ns;
+  ns.bind_name("cosm/trader", ref("t"));
+  ns.bind_name("cosm/browser", ref("b"));
+  ns.bind_name("market/rental", ref("m"));
+  auto cosm_entries = ns.list("cosm/");
+  ASSERT_EQ(cosm_entries.size(), 2u);
+  EXPECT_EQ(cosm_entries[0].first, "cosm/browser");  // sorted
+  EXPECT_EQ(cosm_entries[1].first, "cosm/trader");
+  EXPECT_EQ(ns.list("").size(), 3u);
+  EXPECT_TRUE(ns.list("zzz").empty());
+}
+
+TEST(NameServer, PrefixDoesNotMatchPartialOverruns) {
+  NameServer ns;
+  ns.bind_name("ab", ref("1"));
+  ns.bind_name("abc", ref("2"));
+  ns.bind_name("b", ref("3"));
+  EXPECT_EQ(ns.list("ab").size(), 2u);
+  EXPECT_EQ(ns.list("abc").size(), 1u);
+}
+
+}  // namespace
+}  // namespace cosm::naming

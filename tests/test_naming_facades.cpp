@@ -1,0 +1,99 @@
+// The Service Support Level components driven purely over RPC through their
+// SIDL facades — the dogfooding test: infrastructure services are ordinary
+// COSM services.
+
+#include "naming/facades.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+
+namespace cosm::naming {
+namespace {
+
+using wire::Value;
+
+class FacadesTest : public ::testing::Test {
+ protected:
+  rpc::InProcNetwork net;
+  rpc::RpcServer server{net, "host"};
+  NameServer ns;
+  GroupManager gm;
+  InterfaceRepository repo;
+};
+
+TEST_F(FacadesTest, NameServerOverRpc) {
+  auto ref = server.add(make_name_server_service(ns));
+  rpc::RpcChannel channel(net, ref);
+
+  sidl::ServiceRef target{"svc-7", "inproc://x", "I"};
+  channel.call("BindName", {Value::string("cosm/demo"), Value::service_ref(target)});
+  EXPECT_EQ(channel.call("Resolve", {Value::string("cosm/demo")}).as_ref(), target);
+
+  Value listed = channel.call("List", {Value::string("cosm/")});
+  ASSERT_EQ(listed.elements().size(), 1u);
+  EXPECT_EQ(listed.elements()[0].at("name").as_string(), "cosm/demo");
+
+  channel.call("UnbindName", {Value::string("cosm/demo")});
+  EXPECT_THROW(channel.call("Resolve", {Value::string("cosm/demo")}),
+               RemoteFault);
+}
+
+TEST_F(FacadesTest, NameServerFacadeSidIsValidSidl) {
+  sidl::Sid sid = sidl::parse_sid(name_server_sidl());
+  EXPECT_EQ(sid.name, "NameServerService");
+  EXPECT_NE(sid.find_operation("BindName"), nullptr);
+  EXPECT_NE(sid.find_annotation("Resolve"), nullptr);
+}
+
+TEST_F(FacadesTest, GroupManagerOverRpc) {
+  auto ref = server.add(make_group_manager_service(gm));
+  rpc::RpcChannel channel(net, ref);
+
+  sidl::ServiceRef m1{"m1", "inproc://x", "I"}, m2{"m2", "inproc://y", "I"};
+  channel.call("Join", {Value::string("traders"), Value::service_ref(m1)});
+  channel.call("Join", {Value::string("traders"), Value::service_ref(m2)});
+  Value members = channel.call("Members", {Value::string("traders")});
+  EXPECT_EQ(members.elements().size(), 2u);
+
+  channel.call("Leave", {Value::string("traders"), Value::service_ref(m1)});
+  EXPECT_EQ(channel.call("Members", {Value::string("traders")}).elements().size(), 1u);
+
+  Value groups = channel.call("Groups", {});
+  ASSERT_EQ(groups.elements().size(), 1u);
+  EXPECT_EQ(groups.elements()[0].as_string(), "traders");
+}
+
+TEST_F(FacadesTest, RepositoryOverRpcCarriesSidsAsValues) {
+  auto ref = server.add(make_interface_repository_service(repo));
+  rpc::RpcChannel channel(net, ref);
+
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(
+      "module Weather { interface I { string Get([in] string city); }; };"));
+  channel.call("Put", {Value::string("svc-w"), Value::sid(sid)});
+
+  Value fetched = channel.call("Get", {Value::string("svc-w")});
+  EXPECT_EQ(*fetched.as_sid(), *sid);
+
+  Value ids = channel.call("Ids", {});
+  ASSERT_EQ(ids.elements().size(), 1u);
+
+  auto base = std::make_shared<sidl::Sid>(sidl::parse_sid(
+      "module Base { interface I { string Get([in] string city); }; };"));
+  Value conforming = channel.call("ConformingTo", {Value::sid(base)});
+  ASSERT_EQ(conforming.elements().size(), 1u);
+  EXPECT_EQ(conforming.elements()[0].as_string(), "svc-w");
+}
+
+TEST_F(FacadesTest, FacadeErrorsSurfaceAsFaults) {
+  auto ref = server.add(make_interface_repository_service(repo));
+  rpc::RpcChannel channel(net, ref);
+  EXPECT_THROW(channel.call("Get", {Value::string("ghost")}), RemoteFault);
+}
+
+}  // namespace
+}  // namespace cosm::naming

@@ -1,0 +1,343 @@
+#include "sidl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/validate.h"
+
+namespace cosm::sidl {
+namespace {
+
+/// The paper's §4.1 example, verbatim in spirit (hyphenated labels and the
+/// [in] direction syntax included).
+const char* kPaperExample = R"(
+module CarRentalService {
+  // the base part:
+  typedef enum { AUDI, FIAT-Uno, VW-Golf } CarModel_t;
+  typedef struct {
+    CarModel_t model;
+    string BookingDate;
+  } SelectCar_t;
+  typedef struct { boolean ok; } SelectCarReturn_t;
+  typedef struct { boolean ok; } BookCarReturn_t;
+  interface COSM_Operations {
+    SelectCarReturn_t SelectCar ( [in] SelectCar_t selection );
+    BookCarReturn_t BookCar ( );
+  };
+  // the extension:
+  module COSM_TraderExport {
+    const long ServiceID = 4711;
+    const string TOD = "CarRentalService";
+    const CarModel_t Model = FIAT-Uno;
+    const float ChargePerDay = 80.0;
+    const string ChargeCurrency = "USD";
+  };
+};
+)";
+
+TEST(Parser, PaperExampleParses) {
+  Sid sid = parse_sid(kPaperExample);
+  EXPECT_EQ(sid.name, "CarRentalService");
+  EXPECT_EQ(sid.interface_name, "COSM_Operations");
+  ASSERT_EQ(sid.operations.size(), 2u);
+  EXPECT_EQ(sid.operations[0].name, "SelectCar");
+  ASSERT_EQ(sid.operations[0].params.size(), 1u);
+  EXPECT_EQ(sid.operations[0].params[0].name, "selection");
+  EXPECT_EQ(sid.operations[0].params[0].dir, ParamDir::In);
+  EXPECT_TRUE(sid.operations[1].params.empty());
+}
+
+TEST(Parser, PaperExampleHyphenLabelsJoined) {
+  Sid sid = parse_sid(kPaperExample);
+  TypePtr model = sid.find_type("CarModel_t");
+  ASSERT_TRUE(model);
+  EXPECT_GE(model->label_index("FIAT_Uno"), 0);
+  EXPECT_GE(model->label_index("VW_Golf"), 0);
+}
+
+TEST(Parser, PaperExampleTraderExport) {
+  Sid sid = parse_sid(kPaperExample);
+  ASSERT_TRUE(sid.trader_export.has_value());
+  EXPECT_EQ(sid.trader_export->service_type, "CarRentalService");
+  const Literal* charge = sid.trader_export->find("ChargePerDay");
+  ASSERT_NE(charge, nullptr);
+  EXPECT_DOUBLE_EQ(charge->as_float(), 80.0);
+  const Literal* model = sid.trader_export->find("Model");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->as_enum().label, "FIAT_Uno");
+  // TOD is hoisted into service_type, not kept as an attribute.
+  EXPECT_EQ(sid.trader_export->find("TOD"), nullptr);
+}
+
+TEST(Parser, PaperTypedefOrderAlsoAccepted) {
+  // §2.1 writes "typedef CarModel_t enum { ... }" — name first.
+  Sid sid = parse_sid(R"(
+    module M {
+      typedef CarModel_t enum { AUDI, FIATUno, VW-Golf };
+      typedef Price_t double;
+      interface I { void Op([in] CarModel_t m, [in] Price_t p); };
+    };
+  )");
+  ASSERT_TRUE(sid.find_type("CarModel_t"));
+  EXPECT_EQ(sid.find_type("CarModel_t")->kind(), TypeKind::Enum);
+  EXPECT_EQ(sid.find_type("Price_t")->kind(), TypeKind::Float);
+}
+
+TEST(Parser, FsmKeywordForm) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I { void SelectCar(); void Commit(); };
+      module COSM_FSM {
+        states { INIT, SELECTED };
+        initial INIT;
+        transition INIT SelectCar SELECTED;
+        transition SELECTED SelectCar SELECTED;
+        transition SELECTED Commit INIT;
+      };
+    };
+  )");
+  ASSERT_TRUE(sid.fsm.has_value());
+  EXPECT_EQ(sid.fsm->initial, "INIT");
+  EXPECT_EQ(sid.fsm->states.size(), 2u);
+  EXPECT_EQ(sid.fsm->transitions.size(), 3u);
+  EXPECT_NE(sid.fsm->find("INIT", "SelectCar"), nullptr);
+  EXPECT_EQ(sid.fsm->find("INIT", "Commit"), nullptr);
+}
+
+TEST(Parser, FsmTupleFormFromPaper) {
+  // §3.1 writes transitions as (INIT, SelectCar, SELECTED) tuples.
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I { void SelectCar(); void Commit(); };
+      module COSM_FSM {
+        states { INIT, SELECTED };
+        initial INIT;
+        (INIT, SelectCar, SELECTED)
+        (SELECTED, SelectCar, SELECTED)
+        (SELECTED, Commit, INIT)
+      };
+    };
+  )");
+  ASSERT_TRUE(sid.fsm.has_value());
+  EXPECT_EQ(sid.fsm->transitions.size(), 3u);
+}
+
+TEST(Parser, AnnotationsModule) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I { void Op(); };
+      module COSM_Annotations {
+        annotate Op "does the thing";
+        annotate M "the service";
+      };
+    };
+  )");
+  ASSERT_NE(sid.find_annotation("Op"), nullptr);
+  EXPECT_EQ(*sid.find_annotation("Op"), "does the thing");
+  EXPECT_EQ(sid.find_annotation("nope"), nullptr);
+}
+
+TEST(Parser, UnknownModuleSkippedAndPreserved) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I { void Op(); };
+      module FancyNewExtension {
+        const long Depth = 3;
+        module Nested { const long X = 1; };
+      };
+    };
+  )");
+  ASSERT_EQ(sid.unknown_extensions.size(), 1u);
+  EXPECT_EQ(sid.unknown_extensions[0].name, "FancyNewExtension");
+  // Body preserved verbatim, including the nested module.
+  EXPECT_NE(sid.unknown_extensions[0].raw_body.find("Nested"), std::string::npos);
+  EXPECT_NE(sid.unknown_extensions[0].raw_body.find("Depth = 3"), std::string::npos);
+}
+
+TEST(Parser, StrictModeRejectsUnknownModules) {
+  ParserOptions strict;
+  strict.strict_unknown_modules = true;
+  EXPECT_THROW(
+      parse_sid("module M { interface I { void Op(); }; module X { }; };", strict),
+      ParseError);
+  // The same text parses fine in the default (paper) mode.
+  EXPECT_NO_THROW(
+      parse_sid("module M { interface I { void Op(); }; module X { }; };"));
+}
+
+TEST(Parser, SequenceOptionalAndNestedTypes) {
+  Sid sid = parse_sid(R"(
+    module M {
+      typedef struct {
+        sequence<string> tags;
+        optional<long> limit;
+        sequence<sequence<double>> matrix;
+      } Q_t;
+      interface I { Q_t Get([in] Q_t q); };
+    };
+  )");
+  TypePtr q = sid.find_type("Q_t");
+  ASSERT_TRUE(q);
+  EXPECT_EQ(q->find_field("tags")->type->kind(), TypeKind::Sequence);
+  EXPECT_EQ(q->find_field("limit")->type->kind(), TypeKind::Optional);
+  EXPECT_EQ(q->find_field("matrix")->type->element()->kind(), TypeKind::Sequence);
+}
+
+TEST(Parser, ServiceRefSidAndAnyBaseTypes) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I {
+        void Register([in] string name, [in] SID description, [in] ServiceReference ref);
+        any Get([in] any key);
+      };
+    };
+  )");
+  EXPECT_EQ(sid.operations[0].params[1].type->kind(), TypeKind::Sid);
+  EXPECT_EQ(sid.operations[0].params[2].type->kind(), TypeKind::ServiceRef);
+  EXPECT_EQ(sid.operations[1].result->kind(), TypeKind::Any);
+}
+
+TEST(Parser, ParamDirectionsBareAndBracketed) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I {
+        void Op([in] long a, out string b, inout double c, long d);
+      };
+    };
+  )");
+  const auto& params = sid.operations[0].params;
+  EXPECT_EQ(params[0].dir, ParamDir::In);
+  EXPECT_EQ(params[1].dir, ParamDir::Out);
+  EXPECT_EQ(params[2].dir, ParamDir::InOut);
+  EXPECT_EQ(params[3].dir, ParamDir::In);  // default
+}
+
+TEST(Parser, UnnamedParamsGetSyntheticNames) {
+  Sid sid = parse_sid("module M { interface I { void Op([in] long, [in] string); }; };");
+  EXPECT_EQ(sid.operations[0].params[0].name, "arg0");
+  EXPECT_EQ(sid.operations[0].params[1].name, "arg1");
+}
+
+TEST(Parser, TopLevelConstants) {
+  Sid sid = parse_sid(R"(
+    module M {
+      const long Version = 2;
+      const string Vendor = "dbis";
+      const boolean Experimental = true;
+      interface I { void Op(); };
+    };
+  )");
+  ASSERT_EQ(sid.constants.size(), 3u);
+  EXPECT_EQ(sid.constants[0].second.as_int(), 2);
+  EXPECT_EQ(sid.constants[1].second.as_string(), "dbis");
+  EXPECT_TRUE(sid.constants[2].second.as_bool());
+}
+
+TEST(Parser, MultipleInterfacesMergeOperations) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface A { void Op1(); };
+      interface B { void Op2(); };
+    };
+  )");
+  EXPECT_EQ(sid.interface_name, "A");
+  EXPECT_EQ(sid.operations.size(), 2u);
+}
+
+// --- error cases ---
+
+TEST(ParserErrors, UnknownTypeReference) {
+  EXPECT_THROW(parse_sid("module M { interface I { Missing_t Op(); }; };"),
+               ParseError);
+}
+
+TEST(ParserErrors, DuplicateTypeName) {
+  EXPECT_THROW(parse_sid(R"(
+    module M {
+      typedef long X_t;
+      typedef string X_t;
+    };
+  )"),
+               ParseError);
+}
+
+TEST(ParserErrors, DuplicateOperation) {
+  EXPECT_THROW(parse_sid("module M { interface I { void Op(); void Op(); }; };"),
+               ParseError);
+}
+
+TEST(ParserErrors, VoidParameterRejected) {
+  EXPECT_THROW(parse_sid("module M { interface I { void Op([in] void x); }; };"),
+               ParseError);
+}
+
+TEST(ParserErrors, EmptyEnumRejected) {
+  EXPECT_THROW(parse_sid("module M { typedef enum { } E_t; };"), ParseError);
+}
+
+TEST(ParserErrors, MissingSemicolonAfterTypedef) {
+  EXPECT_THROW(parse_sid("module M { typedef long X_t interface I {}; };"),
+               ParseError);
+}
+
+TEST(ParserErrors, UnterminatedModule) {
+  EXPECT_THROW(parse_sid("module M { interface I { void Op(); };"), ParseError);
+}
+
+TEST(ParserErrors, UnterminatedUnknownExtension) {
+  EXPECT_THROW(parse_sid("module M { module X { const long A = 1; };"), ParseError);
+}
+
+TEST(ParserErrors, TraderExportWithoutTOD) {
+  EXPECT_THROW(parse_sid(R"(
+    module M {
+      interface I { void Op(); };
+      module COSM_TraderExport { const long Price = 5; };
+    };
+  )"),
+               ParseError);
+}
+
+TEST(ParserErrors, DuplicateFsmModule) {
+  EXPECT_THROW(parse_sid(R"(
+    module M {
+      interface I { void Op(); };
+      module COSM_FSM { states { A }; initial A; };
+      module COSM_FSM { states { B }; initial B; };
+    };
+  )"),
+               ParseError);
+}
+
+TEST(ParserErrors, TrailingInputAfterModule) {
+  EXPECT_THROW(parse_sid("module M { }; extra"), ParseError);
+}
+
+TEST(ParserErrors, ReportsLineNumbers) {
+  try {
+    parse_sid("module M {\n  typedef bogus;\n};");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+// --- standalone type parsing ---
+
+TEST(ParseType, SelfContainedSpecs) {
+  EXPECT_EQ(parse_type("long")->kind(), TypeKind::Int);
+  EXPECT_EQ(parse_type("sequence<string>")->kind(), TypeKind::Sequence);
+  auto s = parse_type("struct { long x; double y; }");
+  EXPECT_EQ(s->kind(), TypeKind::Struct);
+  EXPECT_EQ(s->fields().size(), 2u);
+  auto e = parse_type("enum Color { RED, GREEN }");
+  EXPECT_EQ(e->name(), "Color");
+}
+
+TEST(ParseType, RejectsTrailingInput) {
+  EXPECT_THROW(parse_type("long long long"), ParseError);
+  EXPECT_THROW(parse_type("UnknownName_t"), ParseError);
+}
+
+}  // namespace
+}  // namespace cosm::sidl

@@ -1,0 +1,115 @@
+#include "naming/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::naming {
+namespace {
+
+namespace fs = std::filesystem;
+
+sidl::SidPtr sid(const std::string& text) {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(text));
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir = fs::temp_directory_path() /
+          ("cosm-persist-" + std::to_string(::getpid()) + "-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir);
+  }
+  void TearDown() override { fs::remove_all(dir); }
+
+  fs::path dir;
+};
+
+TEST_F(PersistenceTest, SaveLoadRoundTrip) {
+  InterfaceRepository repo;
+  repo.put("svc-1", sid("module Alpha { interface I { void A(); }; };"));
+  repo.put("svc-2", sid(R"(
+    module Beta {
+      typedef enum { X, Y } E_t;
+      interface I { E_t B([in] string s); };
+      module COSM_FSM { states { S }; initial S; };
+      module Vendor { const long V = 9; };
+    };
+  )"));
+
+  EXPECT_EQ(save_repository(repo, dir), 2u);
+
+  InterfaceRepository loaded;
+  EXPECT_EQ(load_repository(loaded, dir), 2u);
+  EXPECT_EQ(*loaded.get("svc-1"), *repo.get("svc-1"));
+  EXPECT_EQ(*loaded.get("svc-2"), *repo.get("svc-2"));
+  // Unknown extensions survive the disk round trip too.
+  EXPECT_EQ(loaded.get("svc-2")->unknown_extensions.size(), 1u);
+}
+
+TEST_F(PersistenceTest, SavesLatestVersionOnly) {
+  InterfaceRepository repo;
+  repo.put("svc", sid("module V1 { interface I { void Op(); }; };"));
+  repo.put("svc", sid("module V2 { interface I { void Op(); void Op2(); }; };"));
+  save_repository(repo, dir);
+
+  InterfaceRepository loaded;
+  load_repository(loaded, dir);
+  EXPECT_EQ(loaded.get("svc")->name, "V2");
+  EXPECT_EQ(loaded.history("svc").size(), 1u);
+}
+
+TEST_F(PersistenceTest, ServiceIdsWithSeparatorsEncode) {
+  InterfaceRepository repo;
+  repo.put("market/rental svc#1", sid("module M { interface I { void Op(); }; };"));
+  save_repository(repo, dir);
+  InterfaceRepository loaded;
+  load_repository(loaded, dir);
+  EXPECT_TRUE(loaded.has("market/rental svc#1"));
+}
+
+TEST_F(PersistenceTest, CorruptFileSkippedAndReported) {
+  InterfaceRepository repo;
+  repo.put("good", sid("module G { interface I { void Op(); }; };"));
+  save_repository(repo, dir);
+  {
+    std::ofstream bad(dir / "broken.sidl");
+    bad << "module Broken {";
+  }
+  InterfaceRepository loaded;
+  std::vector<std::string> errors;
+  EXPECT_EQ(load_repository(loaded, dir, &errors), 1u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("broken.sidl"), std::string::npos);
+  EXPECT_TRUE(loaded.has("good"));
+}
+
+TEST_F(PersistenceTest, NonSidlFilesIgnored) {
+  fs::create_directories(dir);
+  std::ofstream(dir / "README.txt") << "not a sid";
+  InterfaceRepository loaded;
+  EXPECT_EQ(load_repository(loaded, dir), 0u);
+}
+
+TEST_F(PersistenceTest, MissingDirectoryThrows) {
+  InterfaceRepository repo;
+  EXPECT_THROW(load_repository(repo, dir / "nope"), Error);
+}
+
+TEST(ServiceIdEncoding, RoundTripsAwkwardIds) {
+  for (const char* id : {"plain", "with/slash", "with space", "a%b", "ü.umlaut",
+                         "trailing.", "-dash_underscore-"}) {
+    EXPECT_EQ(decode_service_id(encode_service_id(id)), id) << id;
+  }
+  // Encoded form contains no path separators.
+  EXPECT_EQ(encode_service_id("a/b\\c").find('/'), std::string::npos);
+  EXPECT_EQ(encode_service_id("a/b\\c").find('\\'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cosm::naming

@@ -1,0 +1,122 @@
+#include "trader/preference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::trader {
+namespace {
+
+using wire::Value;
+
+std::vector<AttrMap> price_maps(std::initializer_list<double> prices) {
+  std::vector<AttrMap> maps;
+  for (double p : prices) maps.push_back({{"Price", Value::real(p)}});
+  return maps;
+}
+
+std::vector<const AttrMap*> ptrs(const std::vector<AttrMap>& maps) {
+  std::vector<const AttrMap*> out;
+  for (const auto& m : maps) out.push_back(&m);
+  return out;
+}
+
+TEST(Preference, ParseForms) {
+  EXPECT_EQ(Preference::parse("").kind(), PreferenceKind::First);
+  EXPECT_EQ(Preference::parse("first").kind(), PreferenceKind::First);
+  EXPECT_EQ(Preference::parse("random").kind(), PreferenceKind::Random);
+  auto p = Preference::parse("min ChargePerDay");
+  EXPECT_EQ(p.kind(), PreferenceKind::Min);
+  EXPECT_EQ(p.attribute(), "ChargePerDay");
+  EXPECT_EQ(Preference::parse("max Milage").kind(), PreferenceKind::Max);
+}
+
+TEST(Preference, ParseErrors) {
+  EXPECT_THROW(Preference::parse("cheapest"), ParseError);
+  EXPECT_THROW(Preference::parse("min"), ParseError);
+  EXPECT_THROW(Preference::parse("min A B"), ParseError);
+  EXPECT_THROW(Preference::parse("first extra"), ParseError);
+  EXPECT_THROW(Preference::parse("random extra"), ParseError);
+}
+
+TEST(Preference, FirstKeepsOrder) {
+  auto maps = price_maps({30, 10, 20});
+  Rng rng(1);
+  auto order = Preference::parse("first").rank(ptrs(maps), rng);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Preference, MinSortsAscending) {
+  auto maps = price_maps({30, 10, 20});
+  Rng rng(1);
+  auto order = Preference::parse("min Price").rank(ptrs(maps), rng);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Preference, MaxSortsDescending) {
+  auto maps = price_maps({30, 10, 20});
+  Rng rng(1);
+  auto order = Preference::parse("max Price").rank(ptrs(maps), rng);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(Preference, MinIsStableOnTies) {
+  auto maps = price_maps({10, 10, 10});
+  Rng rng(1);
+  auto order = Preference::parse("min Price").rank(ptrs(maps), rng);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Preference, MissingAttributeRanksLast) {
+  std::vector<AttrMap> maps = {{{"Price", Value::real(50)}},
+                               {},  // no Price
+                               {{"Price", Value::real(10)}}};
+  Rng rng(1);
+  auto order = Preference::parse("min Price").rank(ptrs(maps), rng);
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(Preference, NonNumericAttributeRanksLast) {
+  std::vector<AttrMap> maps = {{{"Price", Value::string("expensive")}},
+                               {{"Price", Value::real(10)}}};
+  Rng rng(1);
+  auto order = Preference::parse("min Price").rank(ptrs(maps), rng);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(Preference, IntegerAttributesRankNumerically) {
+  std::vector<AttrMap> maps = {{{"N", Value::integer(200)}},
+                               {{"N", Value::integer(30)}}};
+  Rng rng(1);
+  auto order = Preference::parse("min N").rank(ptrs(maps), rng);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(Preference, RandomIsDeterministicPerSeedAndCoversPermutations) {
+  auto maps = price_maps({1, 2, 3, 4});
+  Rng rng1(42), rng2(42);
+  auto o1 = Preference::parse("random").rank(ptrs(maps), rng1);
+  auto o2 = Preference::parse("random").rank(ptrs(maps), rng2);
+  EXPECT_EQ(o1, o2);
+
+  // Each rank call advances the generator: repeated shuffles differ.
+  auto o3 = Preference::parse("random").rank(ptrs(maps), rng1);
+  std::vector<std::size_t> sorted = o3;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2, 3}));  // a permutation
+}
+
+TEST(Preference, EmptyOfferList) {
+  Rng rng(1);
+  EXPECT_TRUE(Preference::parse("min X").rank({}, rng).empty());
+}
+
+TEST(Preference, KindToString) {
+  EXPECT_EQ(to_string(PreferenceKind::First), "first");
+  EXPECT_EQ(to_string(PreferenceKind::Random), "random");
+  EXPECT_EQ(to_string(PreferenceKind::Min), "min");
+  EXPECT_EQ(to_string(PreferenceKind::Max), "max");
+}
+
+}  // namespace
+}  // namespace cosm::trader

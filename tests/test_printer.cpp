@@ -1,0 +1,115 @@
+#include "sidl/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sidl/parser.h"
+#include "support/generators.h"
+
+namespace cosm::sidl {
+namespace {
+
+Sid reparse(const Sid& sid) { return parse_sid(print_sid(sid)); }
+
+TEST(Printer, CarRentalRoundTrip) {
+  Sid sid = parse_sid(R"(
+    module CarRentalService {
+      typedef enum { AUDI, FIAT_Uno, VW_Golf } CarModel_t;
+      typedef struct { CarModel_t model; string date; long days; } SelectCar_t;
+      typedef struct { boolean ok; double charge; } Return_t;
+      interface COSM_Operations {
+        Return_t SelectCar([in] SelectCar_t selection);
+        void Reset();
+      };
+      module COSM_TraderExport {
+        const string TOD = "CarRentalService";
+        const double ChargePerDay = 80.5;
+        const CarModel_t Model = FIAT_Uno;
+      };
+      module COSM_FSM {
+        states { INIT, SELECTED };
+        initial INIT;
+        transition INIT SelectCar SELECTED;
+        transition SELECTED Reset INIT;
+      };
+      module COSM_Annotations {
+        annotate SelectCar "quote a rental";
+      };
+      module VendorSpecific { const long Magic = 99; };
+    };
+  )");
+  Sid again = reparse(sid);
+  EXPECT_EQ(sid, again);
+}
+
+TEST(Printer, UnknownExtensionsSurviveTwoHops) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I { void Op(); };
+      module Mystery { const string Key = "v\"alue"; module Inner { }; };
+    };
+  )");
+  // Print -> parse -> print -> parse: the extension body must be stable
+  // (this is what lets a base-only component forward an extended SID).
+  Sid hop1 = reparse(sid);
+  Sid hop2 = reparse(hop1);
+  EXPECT_EQ(hop1, hop2);
+  ASSERT_EQ(hop2.unknown_extensions.size(), 1u);
+  EXPECT_NE(hop2.unknown_extensions[0].raw_body.find("Inner"), std::string::npos);
+}
+
+TEST(Printer, EmptySidPrintsAndReparses) {
+  Sid sid;
+  sid.name = "Empty";
+  Sid again = reparse(sid);
+  EXPECT_EQ(again.name, "Empty");
+  EXPECT_TRUE(again.operations.empty());
+}
+
+TEST(Printer, FloatConstantsKeepPrecision) {
+  Sid sid;
+  sid.name = "M";
+  sid.constants.emplace_back("Pi", Literal(3.141592653589793));
+  sid.constants.emplace_back("Tiny", Literal(1e-15));
+  sid.constants.emplace_back("Whole", Literal(80.0));
+  Sid again = reparse(sid);
+  EXPECT_EQ(sid.constants, again.constants);
+}
+
+TEST(Printer, PrintTypeFormats) {
+  EXPECT_EQ(print_type(*TypeDesc::int_()), "long");
+  EXPECT_EQ(print_type(*TypeDesc::sequence(TypeDesc::string_())),
+            "sequence<string>");
+  auto e = TypeDesc::enum_("E", {"A", "B"});
+  EXPECT_EQ(print_type(*e), "enum E { A, B }");
+}
+
+TEST(Printer, AnnotationQuotesEscaped) {
+  Sid sid;
+  sid.name = "M";
+  sid.operations.push_back({"Op", TypeDesc::void_(), {}});
+  sid.annotations["Op"] = "say \"hi\" \\ slash";
+  Sid again = reparse(sid);
+  EXPECT_EQ(again.annotations["Op"], "say \"hi\" \\ slash");
+}
+
+/// The big property: print -> parse is the identity on the model, for many
+/// random SIDs.  This is exactly the mechanism SID transfer relies on.
+class PrintParseRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrintParseRoundTrip, Identity) {
+  cosm::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    Sid sid = cosm::testing::random_sid(rng);
+    std::string text = print_sid(sid);
+    Sid again;
+    ASSERT_NO_THROW(again = parse_sid(text)) << text;
+    EXPECT_EQ(sid, again) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace cosm::sidl

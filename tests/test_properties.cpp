@@ -1,0 +1,233 @@
+// Cross-cutting property tests: generated-input invariants that single-case
+// tests cannot cover.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/generic_client.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "rpc/tcp.h"
+#include "sidl/parser.h"
+#include "sidl/printer.h"
+#include "support/generators.h"
+#include "trader/constraint.h"
+#include "wire/codec.h"
+
+namespace cosm {
+namespace {
+
+using wire::Value;
+
+// --- constraint language fuzz: random expression-shaped inputs either
+// parse (and then evaluate without crashing on arbitrary attribute maps) or
+// throw ParseError — never anything else. ---
+
+std::string random_expression(Rng& rng, int depth = 0) {
+  if (depth > 3 || rng.chance(0.4)) {
+    // Leaf: comparison or exists.
+    static const char* ops[] = {"==", "!=", "<", "<=", ">", ">="};
+    auto operand = [&rng]() -> std::string {
+      switch (rng.below(4)) {
+        case 0: return "Attr" + std::to_string(rng.below(4));
+        case 1: return std::to_string(rng.range(-100, 100));
+        case 2: return std::to_string(rng.uniform() * 100);
+        default: return "\"" + rng.ident(3) + "\"";
+      }
+    };
+    if (rng.chance(0.15)) return "exists Attr" + std::to_string(rng.below(4));
+    return operand() + " " + ops[rng.below(6)] + " " + operand();
+  }
+  std::string lhs = random_expression(rng, depth + 1);
+  std::string rhs = random_expression(rng, depth + 1);
+  switch (rng.below(3)) {
+    case 0: return "(" + lhs + ") && (" + rhs + ")";
+    case 1: return "(" + lhs + ") || (" + rhs + ")";
+    default: return "!(" + lhs + ")";
+  }
+}
+
+trader::AttrMap random_attrs(Rng& rng) {
+  trader::AttrMap attrs;
+  for (std::uint64_t i = 0; i < rng.below(5); ++i) {
+    std::string name = "Attr" + std::to_string(rng.below(4));
+    switch (rng.below(4)) {
+      case 0: attrs[name] = Value::integer(rng.range(-100, 100)); break;
+      case 1: attrs[name] = Value::real(rng.uniform() * 100); break;
+      case 2: attrs[name] = Value::string(rng.ident(3)); break;
+      default: attrs[name] = Value::boolean(rng.chance(0.5)); break;
+    }
+  }
+  return attrs;
+}
+
+class ConstraintFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConstraintFuzz, WellFormedExpressionsEvaluateSafely) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    std::string expr = random_expression(rng);
+    trader::Constraint c = trader::Constraint::parse(expr);  // must not throw
+    for (int j = 0; j < 5; ++j) {
+      trader::AttrMap attrs = random_attrs(rng);
+      (void)c.eval(attrs);  // must not throw, any result is legal
+    }
+    // Referenced attributes are a subset of the Attr0..Attr3 + literals.
+    for (const auto& name : c.referenced_attributes()) {
+      EXPECT_FALSE(name.empty());
+    }
+  }
+}
+
+TEST_P(ConstraintFuzz, MangledExpressionsThrowParseErrorOnly) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 200; ++i) {
+    std::string expr = random_expression(rng);
+    // Mangle: delete a random slice.
+    if (!expr.empty()) {
+      std::size_t from = rng.below(expr.size());
+      std::size_t len = 1 + rng.below(5);
+      expr.erase(from, len);
+    }
+    try {
+      trader::Constraint c = trader::Constraint::parse(expr);
+      (void)c.eval(random_attrs(rng));  // still fine if it parsed
+    } catch (const ParseError&) {
+      // acceptable
+    }
+    // Anything else (segfault, std::exception, logic_error) fails the test.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintFuzz, ::testing::Values(1, 7, 42, 1994));
+
+// --- FSM walk equivalence: over random operation sequences, the generic
+// client's local decision always matches the server's. ---
+
+class FsmWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FsmWalk, LocalAndServerDecisionsAgree) {
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "host");
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module Machine {
+      interface I { void A(); void B(); void C(); string Peek(); };
+      module COSM_FSM {
+        states { S0, S1, S2 };
+        initial S0;
+        transition S0 A S1;
+        transition S1 B S2;
+        transition S2 C S0;
+        transition S1 A S1;
+        transition S2 A S1;
+      };
+    };
+  )"));
+  auto object = std::make_shared<rpc::ServiceObject>(sid);
+  for (const char* op : {"A", "B", "C"}) {
+    object->on(op, [](const std::vector<Value>&) { return Value::null(); });
+  }
+  object->on("Peek", [](const std::vector<Value>&) { return Value::string("x"); });
+  auto ref = server.add(object);
+
+  // Two clients: one enforcing locally, one trusting the server.
+  core::GenericClient enforcing(net);
+  core::GenericClientOptions lax_options;
+  lax_options.enforce_fsm = false;
+  core::GenericClient lax(net, lax_options);
+  core::Binding local = enforcing.bind(ref);
+  core::Binding remote = lax.bind(ref);
+
+  Rng rng(GetParam());
+  static const char* ops[] = {"A", "B", "C", "Peek"};
+  for (int i = 0; i < 200; ++i) {
+    const char* op = ops[rng.below(4)];
+    bool local_ok = true, remote_ok = true;
+    try {
+      local.invoke(op, {});
+    } catch (const ProtocolError&) {
+      local_ok = false;
+    }
+    try {
+      remote.invoke(op, {});
+    } catch (const RemoteFault&) {
+      remote_ok = false;
+    }
+    EXPECT_EQ(local_ok, remote_ok) << "op " << op << " at step " << i;
+    EXPECT_EQ(local.state(), remote.state()) << "diverged at step " << i;
+  }
+  // The enforcing client never paid a round trip for a rejection:
+  EXPECT_GT(local.local_rejections(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsmWalk, ::testing::Values(3, 17, 99));
+
+// --- transport equivalence: identical dynamic calls produce identical
+// results over in-proc and TCP. ---
+
+TEST(TransportEquivalence, SameResultsOnBothTransports) {
+  auto build = [](rpc::RpcServer& server) {
+    auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+      module Echo {
+        typedef struct { string s; long n; sequence<double> xs; } Blob_t;
+        interface I { Blob_t Echo([in] Blob_t b); };
+      };
+    )"));
+    auto object = std::make_shared<rpc::ServiceObject>(sid);
+    object->on("Echo", [](const std::vector<Value>& args) { return args.at(0); });
+    return server.add(object);
+  };
+
+  rpc::InProcNetwork inproc;
+  rpc::RpcServer s1(inproc, "host");
+  auto ref1 = build(s1);
+
+  rpc::TcpNetwork tcp;
+  rpc::RpcServer s2(tcp, "host");
+  auto ref2 = build(s2);
+
+  core::GenericClient c1(inproc);
+  core::GenericClient c2(tcp);
+  core::Binding b1 = c1.bind(ref1);
+  core::Binding b2 = c2.bind(ref2);
+  EXPECT_EQ(*b1.sid(), *b2.sid());
+
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Value> xs;
+    for (std::uint64_t j = 0; j < rng.below(6); ++j) {
+      xs.push_back(Value::real(rng.uniform()));
+    }
+    Value blob = Value::structure(
+        "Blob_t", {{"s", Value::string(rng.ident(8))},
+                   {"n", Value::integer(rng.range(-1000, 1000))},
+                   {"xs", Value::sequence(std::move(xs))}});
+    Value r1 = b1.invoke("Echo", {blob});
+    Value r2 = b2.invoke("Echo", {blob});
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(r1, blob);
+  }
+}
+
+// --- SID wire-transfer property: random SIDs survive encode/decode as
+// values (the browser-registration path). ---
+
+class SidWireTransfer : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SidWireTransfer, RandomSidsSurviveTheWire) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    auto sid = std::make_shared<sidl::Sid>(cosm::testing::random_sid(rng));
+    Value v = Value::sid(sid);
+    Value back = wire::decode_value(wire::encode_value(v));
+    EXPECT_EQ(*back.as_sid(), *sid) << sidl::print_sid(*sid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SidWireTransfer, ::testing::Values(5, 25, 125));
+
+}  // namespace
+}  // namespace cosm

@@ -1,0 +1,87 @@
+#include "core/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "services/weather.h"
+
+namespace cosm::core {
+namespace {
+
+TEST(Runtime, WellKnownNamesBound) {
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net);
+  EXPECT_EQ(runtime.names().resolve(WellKnownNames::kTrader), runtime.trader_ref());
+  EXPECT_EQ(runtime.names().resolve(WellKnownNames::kBrowser), runtime.browser_ref());
+  EXPECT_EQ(runtime.names().resolve(WellKnownNames::kNameServer),
+            runtime.name_server_ref());
+  EXPECT_EQ(runtime.names().resolve(WellKnownNames::kRepository),
+            runtime.repository_ref());
+  EXPECT_EQ(runtime.names().resolve(WellKnownNames::kGroupManager),
+            runtime.group_manager_ref());
+}
+
+TEST(Runtime, InfrastructureSidsInRepository) {
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net);
+  EXPECT_EQ(runtime.repository().size(), 6u);
+  EXPECT_EQ(runtime.repository().get(runtime.trader_ref().id)->name,
+            "TraderService");
+  EXPECT_EQ(runtime.repository().get(runtime.browser_ref().id)->name,
+            "BrowserService");
+}
+
+TEST(Runtime, HostStoresSidAndServes) {
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net);
+  auto ref = runtime.host(services::make_weather_service({}));
+  EXPECT_EQ(runtime.repository().get(ref.id)->name, "WeatherOracle");
+  GenericClient client = runtime.make_client();
+  Binding b = client.bind(ref);
+  EXPECT_EQ(b.sid()->name, "WeatherOracle");
+}
+
+TEST(Runtime, OfferMediatedRegistersAtBrowser) {
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net);
+  runtime.offer_mediated("Weather", services::make_weather_service({}));
+  EXPECT_EQ(runtime.browser().size(), 1u);
+  EXPECT_EQ(runtime.browser().describe("Weather").sid->name, "WeatherOracle");
+}
+
+TEST(Runtime, OfferTradedExportsFromSid) {
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net);
+  services::CarRentalConfig config;
+  config.tradable = true;
+  auto [ref, offer_id] = runtime.offer_traded(
+      services::make_car_rental_service(config));
+  EXPECT_FALSE(offer_id.empty());
+  EXPECT_TRUE(runtime.trader().types().has("CarRentalService"));
+  EXPECT_EQ(runtime.trader().offer_count(), 1u);
+  EXPECT_EQ(runtime.repository().get(ref.id)->name, "CarRentalService");
+}
+
+TEST(Runtime, OfferTradedWithoutExportModuleFails) {
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net);
+  services::CarRentalConfig config;
+  config.tradable = false;
+  EXPECT_THROW(runtime.offer_traded(services::make_car_rental_service(config)),
+               NotFound);
+}
+
+TEST(Runtime, TwoRuntimesShareOneNetwork) {
+  rpc::InProcNetwork net;
+  CosmRuntime a(net), b(net);
+  // Distinct endpoints, both reachable.
+  EXPECT_NE(a.trader_ref().endpoint, b.trader_ref().endpoint);
+  GenericClient client(net);
+  EXPECT_EQ(client.bind(a.browser_ref()).sid()->name, "BrowserService");
+  EXPECT_EQ(client.bind(b.browser_ref()).sid()->name, "BrowserService");
+}
+
+}  // namespace
+}  // namespace cosm::core

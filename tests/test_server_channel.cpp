@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+#include "wire/codec.h"
+
+namespace cosm::rpc {
+namespace {
+
+using wire::Value;
+
+sidl::SidPtr calc_sid() {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module Calc {
+      typedef struct { long a; long b; } Pair_t;
+      interface I {
+        long Add([in] Pair_t p);
+        long Fail();
+        string Greet([in] string name);
+      };
+    };
+  )"));
+}
+
+ServiceObjectPtr calc_service() {
+  auto object = std::make_shared<ServiceObject>(calc_sid());
+  object->on("Add", [](const std::vector<Value>& args) {
+    return Value::integer(args.at(0).at("a").as_int() +
+                          args.at(0).at("b").as_int());
+  });
+  object->on("Fail", [](const std::vector<Value>&) -> Value {
+    throw RemoteFault("deliberate failure");
+  });
+  object->on("Greet", [](const std::vector<Value>& args) {
+    return Value::string("hello " + args.at(0).as_string());
+  });
+  return object;
+}
+
+Value pair(std::int64_t a, std::int64_t b) {
+  return Value::structure("Pair_t",
+                          {{"a", Value::integer(a)}, {"b", Value::integer(b)}});
+}
+
+class ServerChannelTest : public ::testing::Test {
+ protected:
+  InProcNetwork net;
+  RpcServer server{net, "host"};
+};
+
+TEST_F(ServerChannelTest, EndToEndCall) {
+  auto ref = server.add(calc_service());
+  RpcChannel channel(net, ref);
+  EXPECT_EQ(channel.call("Add", {pair(2, 3)}).as_int(), 5);
+}
+
+TEST_F(ServerChannelTest, TypedCallValidatesResult) {
+  auto ref = server.add(calc_service());
+  RpcChannel channel(net, ref);
+  auto sid = channel.fetch_sid();
+  const auto* op = sid->find_operation("Add");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(channel.call(*op, {pair(10, 20)}).as_int(), 30);
+}
+
+TEST_F(ServerChannelTest, GetSidIsBuiltIn) {
+  auto ref = server.add(calc_service());
+  RpcChannel channel(net, ref);
+  sidl::SidPtr sid = channel.fetch_sid();
+  EXPECT_EQ(sid->name, "Calc");
+  EXPECT_EQ(sid->operations.size(), 3u);
+}
+
+TEST_F(ServerChannelTest, HandlerExceptionBecomesRemoteFault) {
+  auto ref = server.add(calc_service());
+  RpcChannel channel(net, ref);
+  try {
+    channel.call("Fail", {});
+    FAIL() << "expected RemoteFault";
+  } catch (const RemoteFault& e) {
+    EXPECT_NE(std::string(e.what()).find("deliberate failure"), std::string::npos);
+  }
+  EXPECT_EQ(server.faults_returned(), 1u);
+}
+
+TEST_F(ServerChannelTest, UnknownOperationFaults) {
+  auto ref = server.add(calc_service());
+  RpcChannel channel(net, ref);
+  EXPECT_THROW(channel.call("Nope", {}), RemoteFault);
+}
+
+TEST_F(ServerChannelTest, UnknownTargetFaults) {
+  server.add(calc_service());
+  sidl::ServiceRef bogus{"svc-ghost", server.endpoint(), "Calc"};
+  RpcChannel channel(net, bogus);
+  EXPECT_THROW(channel.call("Add", {pair(1, 1)}), RemoteFault);
+}
+
+TEST_F(ServerChannelTest, ServerValidatesArgumentsAgainstSid) {
+  auto ref = server.add(calc_service());
+  RpcChannel channel(net, ref);
+  // Wrong arity.
+  EXPECT_THROW(channel.call("Add", {}), RemoteFault);
+  // Wrong type.
+  EXPECT_THROW(channel.call("Add", {Value::string("not a pair")}), RemoteFault);
+  // Struct missing a declared field.
+  EXPECT_THROW(channel.call("Add", {Value::structure("Pair_t", {})}), RemoteFault);
+}
+
+TEST_F(ServerChannelTest, ServerChecksResultConformance) {
+  auto sid = calc_sid();
+  auto object = std::make_shared<ServiceObject>(sid);
+  object->on("Add", [](const std::vector<Value>&) {
+    return Value::string("not a long");  // lying implementation
+  });
+  object->on("Fail", [](const std::vector<Value>&) { return Value(); });
+  object->on("Greet", [](const std::vector<Value>&) { return Value(); });
+  auto ref = server.add(object);
+  RpcChannel channel(net, ref);
+  EXPECT_THROW(channel.call("Add", {pair(1, 1)}), RemoteFault);
+}
+
+TEST_F(ServerChannelTest, RemoveMakesServiceUnreachable) {
+  auto ref = server.add(calc_service());
+  server.remove(ref);
+  RpcChannel channel(net, ref);
+  EXPECT_THROW(channel.call("Add", {pair(1, 1)}), RemoteFault);
+  EXPECT_EQ(server.find(ref.id), nullptr);
+}
+
+TEST_F(ServerChannelTest, MultipleInstancesSameEndpoint) {
+  auto ref1 = server.add(calc_service());
+  auto ref2 = server.add(calc_service());
+  EXPECT_EQ(ref1.endpoint, ref2.endpoint);
+  EXPECT_NE(ref1.id, ref2.id);
+  RpcChannel c1(net, ref1), c2(net, ref2);
+  EXPECT_EQ(c1.call("Add", {pair(1, 1)}).as_int(), 2);
+  EXPECT_EQ(c2.call("Add", {pair(2, 2)}).as_int(), 4);
+}
+
+TEST_F(ServerChannelTest, ChannelsHaveDistinctSessions) {
+  auto ref = server.add(calc_service());
+  RpcChannel c1(net, ref), c2(net, ref);
+  EXPECT_NE(c1.session(), c2.session());
+}
+
+TEST_F(ServerChannelTest, InvalidRefRejectedLocally) {
+  EXPECT_THROW(RpcChannel(net, sidl::ServiceRef{}), ContractError);
+}
+
+TEST_F(ServerChannelTest, CallsCountInstrumentation) {
+  auto ref = server.add(calc_service());
+  RpcChannel channel(net, ref);
+  channel.call("Greet", {Value::string("x")});
+  channel.call("Greet", {Value::string("y")});
+  EXPECT_EQ(channel.calls_made(), 2u);
+  EXPECT_EQ(server.requests_handled(), 2u);
+}
+
+TEST(AtMostOnce, ReplayCacheReturnsCachedResponse) {
+  InProcNetwork net;
+  ServerOptions options;
+  options.at_most_once = true;
+  RpcServer server(net, "host", options);
+
+  int executions = 0;
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { long Bump(); }; };"));
+  auto object = std::make_shared<ServiceObject>(sid);
+  object->on("Bump", [&executions](const std::vector<Value>&) {
+    return Value::integer(++executions);
+  });
+  auto ref = server.add(object);
+
+  // Hand-craft the same request twice (same session + request id): the
+  // second must be served from the replay cache without re-executing.
+  Message request = Message::request(
+      77, ref.id, "Bump", wire::encode_value(Value::sequence({})));
+  request.session = "retry-session";
+  Bytes frame = request.encode();
+  Bytes r1 = net.call(server.endpoint(), frame, std::chrono::milliseconds(100));
+  Bytes r2 = net.call(server.endpoint(), frame, std::chrono::milliseconds(100));
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(executions, 1);
+}
+
+TEST(AtMostOnce, DifferentRequestIdsExecuteSeparately) {
+  InProcNetwork net;
+  ServerOptions options;
+  options.at_most_once = true;
+  RpcServer server(net, "host", options);
+
+  int executions = 0;
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { long Bump(); }; };"));
+  auto object = std::make_shared<ServiceObject>(sid);
+  object->on("Bump", [&executions](const std::vector<Value>&) {
+    return Value::integer(++executions);
+  });
+  auto ref = server.add(object);
+  RpcChannel channel(net, ref);
+  channel.call("Bump", {});
+  channel.call("Bump", {});
+  EXPECT_EQ(executions, 2);
+}
+
+}  // namespace
+}  // namespace cosm::rpc

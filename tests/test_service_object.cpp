@@ -1,0 +1,156 @@
+#include "rpc/service_object.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::rpc {
+namespace {
+
+using wire::Value;
+
+sidl::SidPtr fsm_sid() {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module Door {
+      interface I {
+        void Open();
+        void Close();
+        string Peek();
+      };
+      module COSM_FSM {
+        states { CLOSED, OPEN };
+        initial CLOSED;
+        transition CLOSED Open OPEN;
+        transition OPEN Close CLOSED;
+      };
+    };
+  )"));
+}
+
+ServiceObjectPtr door(ServiceObjectOptions options = {}) {
+  auto object = std::make_shared<ServiceObject>(fsm_sid(), options);
+  object->on("Open", [](const std::vector<Value>&) { return Value::null(); });
+  object->on("Close", [](const std::vector<Value>&) { return Value::null(); });
+  object->on("Peek", [](const std::vector<Value>&) { return Value::string("ajar"); });
+  return object;
+}
+
+TEST(ServiceObject, RequiresSid) {
+  EXPECT_THROW(ServiceObject(nullptr), ContractError);
+}
+
+TEST(ServiceObject, RejectsInvalidSid) {
+  auto bad = std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module M {
+      interface I { void Op(); };
+      module COSM_FSM { states { A }; initial GHOST; };
+    };
+  )"));
+  EXPECT_THROW(ServiceObject{bad}, TypeError);
+}
+
+TEST(ServiceObject, HandlerForUndeclaredOperationRejected) {
+  auto object = std::make_shared<ServiceObject>(fsm_sid());
+  EXPECT_THROW(
+      object->on("Teleport", [](const std::vector<Value>&) { return Value(); }),
+      ContractError);
+  // Infrastructure ops are exempt.
+  EXPECT_NO_THROW(
+      object->on("_probe", [](const std::vector<Value>&) { return Value(); }));
+}
+
+TEST(ServiceObject, DispatchUnknownOperationThrowsNotFound) {
+  auto object = door();
+  EXPECT_THROW(object->dispatch("s", "Missing", {}), NotFound);
+}
+
+TEST(ServiceObject, UnimplementedDeclaredOperationThrowsNotFound) {
+  auto object = std::make_shared<ServiceObject>(fsm_sid());
+  EXPECT_THROW(object->dispatch("s", "Open", {}), NotFound);
+}
+
+TEST(ServiceObject, FsmEnforcedPerSession) {
+  auto object = door();
+  // Session A opens the door; session B's view is still CLOSED.
+  object->dispatch("A", "Open", {});
+  EXPECT_EQ(object->session_state("A"), "OPEN");
+  EXPECT_EQ(object->session_state("B"), "CLOSED");
+  // B cannot Close a door it never opened.
+  EXPECT_THROW(object->dispatch("B", "Close", {}), ProtocolError);
+  // A can.
+  EXPECT_NO_THROW(object->dispatch("A", "Close", {}));
+  EXPECT_EQ(object->session_state("A"), "CLOSED");
+}
+
+TEST(ServiceObject, FsmViolationDetailsInError) {
+  auto object = door();
+  try {
+    object->dispatch("s", "Close", {});
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.state(), "CLOSED");
+    EXPECT_EQ(e.operation(), "Close");
+  }
+  EXPECT_EQ(object->fsm_rejections(), 1u);
+}
+
+TEST(ServiceObject, UnrestrictedOperationBypassesFsm) {
+  auto object = door();
+  // Peek appears in no transition: callable in any state.
+  EXPECT_EQ(object->dispatch("s", "Peek", {}).as_string(), "ajar");
+  object->dispatch("s", "Open", {});
+  EXPECT_EQ(object->dispatch("s", "Peek", {}).as_string(), "ajar");
+}
+
+TEST(ServiceObject, EnforcementCanBeDisabled) {
+  ServiceObjectOptions options;
+  options.enforce_fsm = false;
+  auto object = door(options);
+  EXPECT_NO_THROW(object->dispatch("s", "Close", {}));
+  EXPECT_EQ(object->fsm_rejections(), 0u);
+}
+
+TEST(ServiceObject, ResetSessionReturnsToInitial) {
+  auto object = door();
+  object->dispatch("s", "Open", {});
+  object->reset_session("s");
+  EXPECT_EQ(object->session_state("s"), "CLOSED");
+  EXPECT_NO_THROW(object->dispatch("s", "Open", {}));
+}
+
+TEST(ServiceObject, FailedHandlerDoesNotAdvanceState) {
+  auto object = std::make_shared<ServiceObject>(fsm_sid());
+  object->on("Open", [](const std::vector<Value>&) -> Value {
+    throw RemoteFault("jammed");
+  });
+  EXPECT_THROW(object->dispatch("s", "Open", {}), RemoteFault);
+  EXPECT_EQ(object->session_state("s"), "CLOSED");
+}
+
+TEST(ServiceObject, CountsDispatches) {
+  auto object = door();
+  object->dispatch("s", "Open", {});
+  object->dispatch("s", "Peek", {});
+  EXPECT_EQ(object->dispatch_count(), 2u);
+}
+
+TEST(ServiceObject, ImplementsQueries) {
+  auto object = door();
+  EXPECT_TRUE(object->implements("Open"));
+  EXPECT_FALSE(object->implements("Missing"));
+}
+
+TEST(ServiceObject, NoFsmMeansNoRestrictions) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { void A(); void B(); }; };"));
+  auto object = std::make_shared<ServiceObject>(sid);
+  object->on("A", [](const std::vector<Value>&) { return Value(); });
+  object->on("B", [](const std::vector<Value>&) { return Value(); });
+  EXPECT_NO_THROW(object->dispatch("s", "B", {}));
+  EXPECT_NO_THROW(object->dispatch("s", "A", {}));
+  EXPECT_EQ(object->session_state("s"), "");
+}
+
+}  // namespace
+}  // namespace cosm::rpc

@@ -1,0 +1,179 @@
+#include "trader/service_type.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::trader {
+namespace {
+
+using sidl::TypeDesc;
+using wire::Value;
+
+ServiceType rental_type() {
+  ServiceType t;
+  t.name = "CarRentalService";
+  t.attributes = {
+      {"CarModel", TypeDesc::enum_("CarModel_t", {"AUDI", "FIAT_Uno"}), true},
+      {"ChargePerDay", TypeDesc::float_(), true},
+      {"Notes", TypeDesc::string_(), false},
+  };
+  return t;
+}
+
+AttrMap good_attrs() {
+  return {{"CarModel", Value::enumerated("CarModel_t", "AUDI")},
+          {"ChargePerDay", Value::real(80.0)}};
+}
+
+TEST(ServiceTypeManager, AddAndGet) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  EXPECT_TRUE(m.has("CarRentalService"));
+  EXPECT_EQ(m.get("CarRentalService").attributes.size(), 3u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ServiceTypeManager, DuplicateAndBadTypesRejected) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  EXPECT_THROW(m.add(rental_type()), ContractError);
+  ServiceType anon;
+  EXPECT_THROW(m.add(anon), ContractError);
+  ServiceType null_attr;
+  null_attr.name = "X";
+  null_attr.attributes = {{"a", nullptr, true}};
+  EXPECT_THROW(m.add(null_attr), ContractError);
+}
+
+TEST(ServiceTypeManager, UnknownSupertypeRejected) {
+  ServiceTypeManager m;
+  ServiceType sub;
+  sub.name = "LuxuryRental";
+  sub.supertype = "CarRentalService";
+  EXPECT_THROW(m.add(sub), ContractError);
+  m.add(rental_type());
+  EXPECT_NO_THROW(m.add(sub));
+}
+
+TEST(ServiceTypeManager, RemoveGuardsDerivedTypes) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  ServiceType sub;
+  sub.name = "LuxuryRental";
+  sub.supertype = "CarRentalService";
+  m.add(sub);
+  EXPECT_THROW(m.remove("CarRentalService"), ContractError);
+  m.remove("LuxuryRental");
+  EXPECT_NO_THROW(m.remove("CarRentalService"));
+  EXPECT_THROW(m.remove("CarRentalService"), NotFound);
+}
+
+TEST(ServiceTypeManager, SubtypeChainQueries) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  ServiceType mid;
+  mid.name = "LuxuryRental";
+  mid.supertype = "CarRentalService";
+  m.add(mid);
+  ServiceType leaf;
+  leaf.name = "ChauffeuredRental";
+  leaf.supertype = "LuxuryRental";
+  m.add(leaf);
+
+  EXPECT_TRUE(m.is_subtype("ChauffeuredRental", "CarRentalService"));
+  EXPECT_TRUE(m.is_subtype("CarRentalService", "CarRentalService"));
+  EXPECT_FALSE(m.is_subtype("CarRentalService", "LuxuryRental"));
+  EXPECT_FALSE(m.is_subtype("Unknown", "CarRentalService"));
+
+  auto subs = m.subtypes_of("CarRentalService");
+  EXPECT_EQ(subs.size(), 3u);
+  EXPECT_EQ(m.subtypes_of("ChauffeuredRental").size(), 1u);
+}
+
+TEST(ServiceTypeManager, CheckOfferAcceptsConforming) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  EXPECT_NO_THROW(m.check_offer("CarRentalService", good_attrs()));
+  // Optional attribute may be present too.
+  AttrMap with_notes = good_attrs();
+  with_notes["Notes"] = Value::string("weekend special");
+  EXPECT_NO_THROW(m.check_offer("CarRentalService", with_notes));
+}
+
+TEST(ServiceTypeManager, CheckOfferMissingRequired) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  AttrMap attrs = good_attrs();
+  attrs.erase("ChargePerDay");
+  EXPECT_THROW(m.check_offer("CarRentalService", attrs), TypeError);
+}
+
+TEST(ServiceTypeManager, CheckOfferOptionalMayBeAbsent) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  EXPECT_NO_THROW(m.check_offer("CarRentalService", good_attrs()));
+}
+
+TEST(ServiceTypeManager, CheckOfferWrongValueType) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  AttrMap attrs = good_attrs();
+  attrs["ChargePerDay"] = Value::string("eighty");
+  EXPECT_THROW(m.check_offer("CarRentalService", attrs), TypeError);
+}
+
+TEST(ServiceTypeManager, CheckOfferUndeclaredLabel) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  AttrMap attrs = good_attrs();
+  attrs["CarModel"] = Value::enumerated("CarModel_t", "TRABANT");
+  EXPECT_THROW(m.check_offer("CarRentalService", attrs), TypeError);
+}
+
+TEST(ServiceTypeManager, CheckOfferUndeclaredAttributeRejected) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  AttrMap attrs = good_attrs();
+  attrs["Bogus"] = Value::integer(1);
+  EXPECT_THROW(m.check_offer("CarRentalService", attrs), TypeError);
+}
+
+TEST(ServiceTypeManager, SubtypeInheritsBaseSchema) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+  ServiceType sub;
+  sub.name = "LuxuryRental";
+  sub.supertype = "CarRentalService";
+  sub.attributes = {{"Chauffeur", TypeDesc::bool_(), true}};
+  m.add(sub);
+
+  AttrMap attrs = good_attrs();
+  attrs["Chauffeur"] = Value::boolean(true);
+  EXPECT_NO_THROW(m.check_offer("LuxuryRental", attrs));
+  // Base attribute still required for the subtype.
+  attrs.erase("ChargePerDay");
+  EXPECT_THROW(m.check_offer("LuxuryRental", attrs), TypeError);
+}
+
+TEST(ServiceTypeManager, CheckOfferUnknownType) {
+  ServiceTypeManager m;
+  EXPECT_THROW(m.check_offer("Ghost", {}), NotFound);
+}
+
+TEST(ServiceType, FindAttribute) {
+  ServiceType t = rental_type();
+  ASSERT_NE(t.find_attribute("CarModel"), nullptr);
+  EXPECT_FALSE(t.find_attribute("CarModel")->type->labels().empty());
+  EXPECT_EQ(t.find_attribute("Ghost"), nullptr);
+}
+
+TEST(Attributes, WireRoundTrip) {
+  AttrMap attrs = good_attrs();
+  attrs["Notes"] = Value::string("x");
+  EXPECT_EQ(attrs_from_value(attrs_to_value(attrs)), attrs);
+  EXPECT_EQ(attrs_from_value(attrs_to_value({})), AttrMap{});
+}
+
+}  // namespace
+}  // namespace cosm::trader

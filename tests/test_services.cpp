@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/generic_client.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "services/car_rental.h"
+#include "services/image_conversion.h"
+#include "services/market.h"
+#include "services/stock_quote.h"
+#include "services/weather.h"
+#include "sidl/parser.h"
+
+namespace cosm::services {
+namespace {
+
+using wire::Value;
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  ServicesTest() : server(net, "host"), client(net) {}
+  rpc::InProcNetwork net;
+  rpc::RpcServer server;
+  core::GenericClient client;
+};
+
+// --- car rental ---
+
+TEST_F(ServicesTest, CarRentalQuoteAndBook) {
+  auto ref = server.add(make_car_rental_service({}));
+  core::Binding rental = client.bind(ref);
+
+  Value quote = rental.invoke(
+      "SelectCar",
+      {Value::structure("SelectCar_t",
+                        {{"model", Value::enumerated("CarModel_t", "VW_Golf")},
+                         {"booking_date", Value::string("1994-06-21")},
+                         {"days", Value::integer(3)}})});
+  EXPECT_TRUE(quote.at("available").as_bool());
+  EXPECT_DOUBLE_EQ(quote.at("total_charge").as_real(), 240.0);  // 3 * 80
+
+  Value booking = rental.invoke(
+      "BookCar",
+      {Value::structure("BookCar_t",
+                        {{"offer_code", quote.at("offer_code")},
+                         {"customer", Value::string("K. Mueller")}})});
+  EXPECT_TRUE(booking.at("confirmed").as_bool());
+  EXPECT_GT(booking.at("booking_id").as_int(), 0);
+}
+
+TEST_F(ServicesTest, CarRentalRejectsNonPositiveDays) {
+  auto ref = server.add(make_car_rental_service({}));
+  core::Binding rental = client.bind(ref);
+  Value quote = rental.invoke(
+      "SelectCar",
+      {Value::structure("SelectCar_t",
+                        {{"model", Value::enumerated("CarModel_t", "AUDI")},
+                         {"booking_date", Value::string("x")},
+                         {"days", Value::integer(0)}})});
+  EXPECT_FALSE(quote.at("available").as_bool());
+  EXPECT_TRUE(quote.at("offer_code").as_string().empty());
+}
+
+TEST_F(ServicesTest, CarRentalBookingWithBogusOfferCodeFails) {
+  auto ref = server.add(make_car_rental_service({}));
+  core::Binding rental = client.bind(ref);
+  rental.invoke("SelectCar",
+                {Value::structure(
+                    "SelectCar_t",
+                    {{"model", Value::enumerated("CarModel_t", "AUDI")},
+                     {"booking_date", Value::string("x")},
+                     {"days", Value::integer(1)}})});
+  Value booking = rental.invoke(
+      "BookCar", {Value::structure("BookCar_t",
+                                   {{"offer_code", Value::string("forged")},
+                                    {"customer", Value::string("x")}})});
+  EXPECT_FALSE(booking.at("confirmed").as_bool());
+}
+
+TEST_F(ServicesTest, CarRentalFleetDepletes) {
+  CarRentalConfig config;
+  config.models = {"AUDI"};
+  config.fleet_per_model = 1;
+  auto ref = server.add(make_car_rental_service(config));
+  core::Binding rental = client.bind(ref);
+
+  auto book_once = [&](bool expect_ok) {
+    Value quote = rental.invoke(
+        "SelectCar",
+        {Value::structure("SelectCar_t",
+                          {{"model", Value::enumerated("CarModel_t", "AUDI")},
+                           {"booking_date", Value::string("d")},
+                           {"days", Value::integer(1)}})});
+    if (!expect_ok && !quote.at("available").as_bool()) return;  // sold out
+    Value booking = rental.invoke(
+        "BookCar", {Value::structure("BookCar_t",
+                                     {{"offer_code", quote.at("offer_code")},
+                                      {"customer", Value::string("c")}})});
+    EXPECT_EQ(booking.at("confirmed").as_bool(), expect_ok);
+  };
+  book_once(true);
+  book_once(false);  // fleet exhausted
+}
+
+TEST_F(ServicesTest, CarRentalFsmEnforced) {
+  auto ref = server.add(make_car_rental_service({}));
+  core::Binding rental = client.bind(ref);
+  EXPECT_EQ(rental.state(), "INIT");
+  // BookCar before SelectCar is rejected locally.
+  EXPECT_THROW(rental.invoke("BookCar",
+                             {Value::structure(
+                                 "BookCar_t",
+                                 {{"offer_code", Value::string("x")},
+                                  {"customer", Value::string("y")}})}),
+               ProtocolError);
+  // ListModels is unrestricted.
+  EXPECT_NO_THROW(rental.invoke("ListModels", {}));
+}
+
+TEST(CarRentalSidl, GeneratedTextParsesAndValidates) {
+  CarRentalConfig config;
+  config.tradable = true;
+  config.extra_fields = 2;
+  config.charge_per_day = 65.5;
+  sidl::Sid sid = sidl::parse_sid(car_rental_sidl(config));
+  EXPECT_EQ(sid.name, "CarRentalService");
+  ASSERT_TRUE(sid.trader_export.has_value());
+  EXPECT_DOUBLE_EQ(sid.trader_export->find("ChargePerDay")->as_float(), 65.5);
+  ASSERT_TRUE(sid.fsm.has_value());
+  // Extra fields present as optionals (record-subtype drift).
+  auto select = sid.find_type("SelectCar_t");
+  EXPECT_EQ(select->fields().size(), 5u);
+  EXPECT_THROW(car_rental_sidl(CarRentalConfig{.models = {}}), ContractError);
+}
+
+TEST(CarRentalSidl, CanonicalTypeCoversGeneratedProviders) {
+  trader::ServiceType canonical = canonical_car_rental_type();
+  EXPECT_EQ(canonical.name, car_rental_service_type_name());
+  EXPECT_EQ(canonical.attributes.size(), 4u);
+  for (const auto& model : car_model_pool()) {
+    EXPECT_GE(canonical.find_attribute("CarModel")->type->label_index(model), 0);
+  }
+}
+
+// --- weather ---
+
+TEST_F(ServicesTest, WeatherDeterministicPerSeed) {
+  auto ref = server.add(make_weather_service({"W", 7}));
+  core::Binding weather = client.bind(ref);
+  Value f1 = weather.invoke("GetForecast",
+                            {Value::string("Hamburg"), Value::integer(2)});
+  Value f2 = weather.invoke("GetForecast",
+                            {Value::string("Hamburg"), Value::integer(2)});
+  EXPECT_EQ(f1, f2);
+  Value other = weather.invoke("GetForecast",
+                               {Value::string("Paris"), Value::integer(2)});
+  EXPECT_EQ(other.at("city").as_string(), "Paris");
+  EXPECT_FALSE(weather.invoke("Cities", {}).elements().empty());
+}
+
+// --- stock quote ---
+
+TEST_F(ServicesTest, StockQuoteRequiresLogin) {
+  auto ref = server.add(make_stock_quote_service({}));
+  core::Binding ticker = client.bind(ref);
+  EXPECT_THROW(ticker.invoke("GetQuote", {Value::string("IBM")}), ProtocolError);
+  EXPECT_TRUE(ticker.invoke("Login", {Value::string("u")}).as_bool());
+  Value quote = ticker.invoke("GetQuote", {Value::string("IBM")});
+  EXPECT_GT(quote.at("price").as_real(), 0.0);
+  // Same symbol, same seed => same quote (deterministic market).
+  EXPECT_EQ(ticker.invoke("GetQuote", {Value::string("IBM")}), quote);
+}
+
+// --- image conversion ---
+
+TEST(ImageConversion, ConvertSwapsAlphabet) {
+  EXPECT_EQ(convert_image_data("%%..%", "PGM", "XBM"), "@@..@");
+  EXPECT_EQ(convert_image_data("###", "PBM", "PBM"), "###");
+  EXPECT_THROW(convert_image_data("x", "JPEG", "PBM"), ContractError);
+}
+
+TEST_F(ServicesTest, ImageServerServesDeterministicImages) {
+  ImageServerConfig config;
+  config.width = 8;
+  config.height = 2;
+  auto ref = server.add(make_image_server(config));
+  core::Binding archive = client.bind(ref);
+  Value img = archive.invoke("GetImage", {Value::string("lena")});
+  EXPECT_EQ(img.at("format").as_string(), "PGM");
+  EXPECT_EQ(img.at("data").as_string().size(), 16u);
+  EXPECT_EQ(archive.invoke("GetImage", {Value::string("lena")}), img);
+}
+
+TEST_F(ServicesTest, ConverterChainsToUpstream) {
+  ImageServerConfig archive_config;
+  archive_config.width = 4;
+  archive_config.height = 1;
+  auto archive_ref = server.add(make_image_server(archive_config));
+  auto converter_ref =
+      server.add(make_format_converter(net, archive_ref, {}));
+
+  core::Binding converter = client.bind(converter_ref);
+  Value converted = converter.invoke(
+      "GetImageAs", {Value::string("lena"), Value::string("XBM")});
+  EXPECT_EQ(converted.at("format").as_string(), "XBM");
+  EXPECT_EQ(converted.at("data").as_string().find('%'), std::string::npos);
+
+  // The chain is discoverable.
+  Value upstream = converter.invoke("Upstream", {});
+  EXPECT_EQ(upstream.as_ref().id, archive_ref.id);
+}
+
+// --- market generator ---
+
+TEST(Market, DeterministicPerSeed) {
+  MarketConfig config;
+  config.providers = 10;
+  config.seed = 99;
+  auto a = generate_market(config);
+  auto b = generate_market(config);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].models, b[i].models);
+    EXPECT_DOUBLE_EQ(a[i].charge_per_day, b[i].charge_per_day);
+    EXPECT_EQ(a[i].currency, b[i].currency);
+  }
+  config.seed = 100;
+  auto c = generate_market(config);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].charge_per_day != c[i].charge_per_day) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Market, RespectsBounds) {
+  MarketConfig config;
+  config.providers = 50;
+  config.tradable_fraction = 1.0;
+  config.max_extra_fields = 2;
+  for (const auto& p : generate_market(config)) {
+    EXPECT_FALSE(p.models.empty());
+    EXPECT_GE(p.charge_per_day, 30.0);
+    EXPECT_LT(p.charge_per_day, 150.0);
+    EXPECT_TRUE(p.tradable);
+    EXPECT_LE(p.extra_fields, 2);
+    EXPECT_GE(p.fleet_per_model, 5);
+    // Models drawn without replacement: no duplicates.
+    std::set<std::string> unique(p.models.begin(), p.models.end());
+    EXPECT_EQ(unique.size(), p.models.size());
+  }
+}
+
+TEST(Market, TradableFractionZero) {
+  MarketConfig config;
+  config.providers = 20;
+  config.tradable_fraction = 0.0;
+  for (const auto& p : generate_market(config)) EXPECT_FALSE(p.tradable);
+}
+
+TEST(Market, GeneratedProvidersProduceValidSidl) {
+  MarketConfig config;
+  config.providers = 8;
+  for (const auto& p : generate_market(config)) {
+    EXPECT_NO_THROW(sidl::parse_sid(car_rental_sidl(p))) << p.name;
+  }
+}
+
+// --- establishment model (§2.2) ---
+
+TEST(Establishment, TraderPathDominatedByStandardisation) {
+  EstablishmentModel model;
+  auto fresh = trader_path_establishment(model, 3, 1, false);
+  auto mature = trader_path_establishment(model, 3, 1, true);
+  EXPECT_GT(fresh.total_hours(), mature.total_hours());
+  EXPECT_GE(fresh.total_hours(), model.type_standardisation_hours);
+}
+
+TEST(Establishment, FederationMultipliesRegistration) {
+  EstablishmentModel model;
+  auto one = trader_path_establishment(model, 3, 1, true);
+  auto five = trader_path_establishment(model, 3, 5, true);
+  EXPECT_EQ(five.total_hours() - one.total_hours(),
+            model.type_registration_hours * 4);
+}
+
+TEST(Establishment, MediationPathIsOrdersOfMagnitudeFaster) {
+  EstablishmentModel model;
+  auto trader_path = trader_path_establishment(model, 3, 1, false);
+  auto mediation = mediation_path_establishment(model);
+  EXPECT_GT(trader_path.total_hours(), 100 * mediation.total_hours());
+  EXPECT_EQ(mediation.phases.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cosm::services

@@ -1,0 +1,149 @@
+#include "sidl/sid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+#include "sidl/service_ref.h"
+
+namespace cosm::sidl {
+namespace {
+
+Sid base_sid() {
+  return parse_sid(R"(
+    module Svc {
+      typedef enum { A, B } E_t;
+      typedef struct { long x; } In_t;
+      typedef struct { string s; } Out_t;
+      interface I {
+        Out_t Op([in] In_t v);
+        void Ping();
+      };
+    };
+  )");
+}
+
+TEST(FsmSpec, FindAndAllowed) {
+  FsmSpec fsm;
+  fsm.states = {"S0", "S1"};
+  fsm.initial = "S0";
+  fsm.transitions = {{"S0", "go", "S1"}, {"S1", "go", "S1"}, {"S1", "stop", "S0"}};
+  EXPECT_TRUE(fsm.has_state("S1"));
+  EXPECT_FALSE(fsm.has_state("S9"));
+  ASSERT_NE(fsm.find("S0", "go"), nullptr);
+  EXPECT_EQ(fsm.find("S0", "go")->to, "S1");
+  EXPECT_EQ(fsm.find("S0", "stop"), nullptr);
+  auto allowed = fsm.allowed("S1");
+  EXPECT_EQ(allowed.size(), 2u);
+}
+
+TEST(Sid, LookupsAndExtensionCount) {
+  Sid sid = base_sid();
+  EXPECT_NE(sid.find_operation("Op"), nullptr);
+  EXPECT_EQ(sid.find_operation("Nope"), nullptr);
+  EXPECT_TRUE(sid.find_type("E_t"));
+  EXPECT_FALSE(sid.find_type("Nope_t"));
+  EXPECT_EQ(sid.extension_count(), 0u);
+
+  sid.annotations["Op"] = "x";
+  sid.unknown_extensions.push_back({"X", " "});
+  EXPECT_EQ(sid.extension_count(), 2u);
+}
+
+TEST(SidConformance, IdenticalSidsConform) {
+  EXPECT_TRUE(conforms_to(base_sid(), base_sid()));
+}
+
+TEST(SidConformance, ExtraOperationsAllowed) {
+  Sid sub = base_sid();
+  sub.operations.push_back({"Extra", TypeDesc::void_(), {}});
+  EXPECT_TRUE(conforms_to(sub, base_sid()));
+  EXPECT_FALSE(conforms_to(base_sid(), sub));
+}
+
+TEST(SidConformance, MissingOperationBreaks) {
+  Sid sub = base_sid();
+  sub.operations.pop_back();
+  EXPECT_FALSE(conforms_to(sub, base_sid()));
+}
+
+TEST(SidConformance, ExtensionsNeverBreakConformance) {
+  Sid sub = base_sid();
+  sub.fsm = FsmSpec{{"S"}, "S", {}};
+  sub.trader_export = TraderExport{"T", {}};
+  sub.annotations["Op"] = "note";
+  sub.unknown_extensions.push_back({"X", "stuff"});
+  EXPECT_TRUE(conforms_to(sub, base_sid()));
+}
+
+TEST(SidConformance, CovariantResult) {
+  Sid base = base_sid();
+  Sid sub = base_sid();
+  // Sub returns a *wider* struct (extra field): still conforms.
+  sub.types[2].second = TypeDesc::struct_(
+      "Out_t", {{"s", TypeDesc::string_()}, {"extra", TypeDesc::int_()}});
+  sub.operations[0].result = sub.types[2].second;
+  EXPECT_TRUE(conforms_to(sub, base));
+  // The other direction fails: base's result lacks the field.
+  EXPECT_FALSE(conforms_to(base, sub));
+}
+
+TEST(SidConformance, ContravariantInParams) {
+  Sid base = base_sid();
+  Sid sub = base_sid();
+  // Sub accepts a *narrower* requirement (fewer required fields): its
+  // parameter type has fewer fields, so everything the base accepts
+  // conforms to it.
+  sub.types[1].second = TypeDesc::struct_("In_t", {});
+  sub.operations[0].params[0].type = sub.types[1].second;
+  EXPECT_TRUE(conforms_to(sub, base));
+  EXPECT_FALSE(conforms_to(base, sub));
+}
+
+TEST(SidConformance, ParamCountMustMatch) {
+  Sid sub = base_sid();
+  sub.operations[0].params.push_back(
+      {ParamDir::In, "extra", TypeDesc::int_()});
+  EXPECT_FALSE(conforms_to(sub, base_sid()));
+}
+
+TEST(SidConformance, ParamDirectionMustMatch) {
+  Sid sub = base_sid();
+  sub.operations[0].params[0].dir = ParamDir::InOut;
+  EXPECT_FALSE(conforms_to(sub, base_sid()));
+}
+
+TEST(SidConformance, MissingNamedTypeBreaks) {
+  Sid sub = base_sid();
+  sub.types.erase(sub.types.begin());  // drop E_t
+  EXPECT_FALSE(conforms_to(sub, base_sid()));
+}
+
+TEST(TraderExport, FindAttribute) {
+  TraderExport te;
+  te.service_type = "T";
+  te.attributes.emplace_back("Price", Literal(9.5));
+  ASSERT_NE(te.find("Price"), nullptr);
+  EXPECT_EQ(te.find("Missing"), nullptr);
+}
+
+TEST(ServiceRef, StringRoundTrip) {
+  ServiceRef ref{"svc-1", "tcp://127.0.0.1:9000", "CarRentalService"};
+  EXPECT_EQ(ServiceRef::from_string(ref.to_string()), ref);
+  EXPECT_TRUE(ref.valid());
+  EXPECT_FALSE(ServiceRef{}.valid());
+}
+
+TEST(ServiceRef, MalformedStringsThrow) {
+  EXPECT_THROW(ServiceRef::from_string("no-pipes"), WireError);
+  EXPECT_THROW(ServiceRef::from_string("one|pipe"), WireError);
+}
+
+TEST(ParamDir, ToString) {
+  EXPECT_EQ(to_string(ParamDir::In), "in");
+  EXPECT_EQ(to_string(ParamDir::Out), "out");
+  EXPECT_EQ(to_string(ParamDir::InOut), "inout");
+}
+
+}  // namespace
+}  // namespace cosm::sidl

@@ -1,0 +1,103 @@
+#include "trader/sid_export.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::trader {
+namespace {
+
+sidl::Sid tradable_sid() {
+  return sidl::parse_sid(R"(
+    module Rental {
+      typedef enum { AUDI, FIAT_Uno } CarModel_t;
+      interface I { void SelectCar(); void BookCar(); };
+      module COSM_TraderExport {
+        const string TOD = "CarRentalService";
+        const CarModel_t Model = FIAT_Uno;
+        const double ChargePerDay = 80.0;
+        const long AverageMilage = 12000;
+        const string Currency = "USD";
+        const boolean Insured = true;
+      };
+    };
+  )");
+}
+
+TEST(SidExport, ExtractsTypeAndAttributes) {
+  auto [type_name, attrs] = trader_export_from_sid(tradable_sid());
+  EXPECT_EQ(type_name, "CarRentalService");
+  EXPECT_EQ(attrs.size(), 5u);
+  EXPECT_DOUBLE_EQ(attrs.at("ChargePerDay").as_real(), 80.0);
+  EXPECT_EQ(attrs.at("AverageMilage").as_int(), 12000);
+  EXPECT_EQ(attrs.at("Currency").as_string(), "USD");
+  EXPECT_TRUE(attrs.at("Insured").as_bool());
+  // The enum label is tagged with the declaring enum type.
+  EXPECT_EQ(attrs.at("Model").type_name(), "CarModel_t");
+  EXPECT_EQ(attrs.at("Model").enum_label(), "FIAT_Uno");
+}
+
+TEST(SidExport, MissingExportModuleThrows) {
+  sidl::Sid bare = sidl::parse_sid("module M { interface I { void Op(); }; };");
+  EXPECT_THROW(trader_export_from_sid(bare), NotFound);
+  EXPECT_THROW(service_type_from_sid(bare), NotFound);
+}
+
+TEST(SidExport, DerivedServiceTypeSchemaShapes) {
+  ServiceType type = service_type_from_sid(tradable_sid());
+  EXPECT_EQ(type.name, "CarRentalService");
+  EXPECT_EQ(type.attributes.size(), 5u);
+  EXPECT_EQ(type.find_attribute("ChargePerDay")->type->kind(),
+            sidl::TypeKind::Float);
+  EXPECT_EQ(type.find_attribute("AverageMilage")->type->kind(),
+            sidl::TypeKind::Int);
+  EXPECT_EQ(type.find_attribute("Model")->type->kind(), sidl::TypeKind::Enum);
+  EXPECT_EQ(type.find_attribute("Insured")->type->kind(), sidl::TypeKind::Bool);
+  // Signature carried over from the SID.
+  EXPECT_EQ(type.signature.size(), 2u);
+}
+
+TEST(SidExport, AmbiguousEnumLabelFallsBackToAny) {
+  sidl::Sid sid = sidl::parse_sid(R"(
+    module M {
+      typedef enum { SAME } A_t;
+      typedef enum { SAME } B_t;
+      interface I { void Op(); };
+      module COSM_TraderExport {
+        const string TOD = "T";
+        const A_t Which = SAME;
+      };
+    };
+  )");
+  ServiceType type = service_type_from_sid(sid);
+  EXPECT_EQ(type.find_attribute("Which")->type->kind(), sidl::TypeKind::Any);
+  // The value itself carries no enum type tag either.
+  auto [name, attrs] = trader_export_from_sid(sid);
+  EXPECT_TRUE(attrs.at("Which").type_name().empty());
+}
+
+TEST(SidExport, ExportSidOfferDerivesTypeWhenMissing) {
+  Trader trader("t");
+  sidl::Sid sid = tradable_sid();
+  sidl::ServiceRef ref{"svc", "inproc://p", "Rental"};
+  std::string offer_id = export_sid_offer(trader, sid, ref);
+  EXPECT_FALSE(offer_id.empty());
+  EXPECT_TRUE(trader.types().has("CarRentalService"));
+  EXPECT_EQ(trader.list_offers("CarRentalService").size(), 1u);
+}
+
+TEST(SidExport, ExportSidOfferUsesExistingType) {
+  Trader trader("t");
+  // Pre-register a wider canonical type; the SID's offer must check against it.
+  ServiceType canonical = service_type_from_sid(tradable_sid());
+  trader.types().add(canonical);
+  sidl::ServiceRef ref{"svc", "inproc://p", "Rental"};
+  export_sid_offer(trader, tradable_sid(), ref);
+  export_sid_offer(trader, tradable_sid(), ref);  // second provider, same type
+  EXPECT_EQ(trader.list_offers("CarRentalService").size(), 2u);
+  EXPECT_EQ(trader.types().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cosm::trader

@@ -1,0 +1,140 @@
+// End-to-end tests for the sidlc command-line tool: the binary path is
+// injected at build time (SIDLC_PATH) and driven through std::system with
+// output captured to temp files.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class SidlcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir = fs::temp_directory_path() /
+          ("cosm-sidlc-" + std::to_string(::getpid()) + "-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir);
+  }
+  void TearDown() override { fs::remove_all(dir); }
+
+  fs::path write(const std::string& name, const std::string& content) {
+    fs::path file = dir / name;
+    std::ofstream(file) << content;
+    return file;
+  }
+
+  /// Run sidlc; returns exit code, fills `output` with stdout+stderr.
+  int run(const std::string& args, std::string* output = nullptr) {
+    fs::path out_file = dir / "out.txt";
+    std::string cmd = std::string(SIDLC_PATH) + " " + args + " > " +
+                      out_file.string() + " 2>&1";
+    int status = std::system(cmd.c_str());
+    if (output) {
+      std::ifstream in(out_file);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      *output = buffer.str();
+    }
+    return WEXITSTATUS(status);
+  }
+
+  fs::path dir;
+};
+
+const char* kGoodSid = R"(
+module Demo {
+  typedef enum { A, B } E_t;
+  interface I { E_t Flip([in] E_t v); };
+  module COSM_Annotations { annotate Flip "flip the switch"; };
+  module VendorBits { const long X = 1; };
+};
+)";
+
+TEST_F(SidlcTest, CheckAcceptsValidSid) {
+  auto file = write("demo.sidl", kGoodSid);
+  std::string out;
+  EXPECT_EQ(run("check " + file.string(), &out), 0);
+  EXPECT_NE(out.find("OK"), std::string::npos);
+}
+
+TEST_F(SidlcTest, CheckReportsValidationIssues) {
+  auto file = write("bad.sidl", R"(
+    module Bad {
+      interface I { void Op(); };
+      module COSM_FSM { states { S }; initial GHOST; };
+    };
+  )");
+  std::string out;
+  EXPECT_EQ(run("check " + file.string(), &out), 1);
+  EXPECT_NE(out.find("GHOST"), std::string::npos);
+}
+
+TEST_F(SidlcTest, CheckRejectsSyntaxErrors) {
+  auto file = write("broken.sidl", "module Broken {");
+  std::string out;
+  EXPECT_EQ(run("check " + file.string(), &out), 1);
+  EXPECT_NE(out.find("sidlc:"), std::string::npos);
+}
+
+TEST_F(SidlcTest, PrintRoundTripsThroughCheck) {
+  auto file = write("demo.sidl", kGoodSid);
+  std::string printed;
+  EXPECT_EQ(run("print " + file.string(), &printed), 0);
+  auto reprinted = write("reprinted.sidl", printed);
+  EXPECT_EQ(run("check " + reprinted.string()), 0);
+}
+
+TEST_F(SidlcTest, InfoShowsSummary) {
+  auto file = write("demo.sidl", kGoodSid);
+  std::string out;
+  EXPECT_EQ(run("info " + file.string(), &out), 0);
+  EXPECT_NE(out.find("module Demo"), std::string::npos);
+  EXPECT_NE(out.find("Flip/1"), std::string::npos);
+  EXPECT_NE(out.find("VendorBits"), std::string::npos);
+}
+
+TEST_F(SidlcTest, FormRendersUi) {
+  auto file = write("demo.sidl", kGoodSid);
+  std::string out;
+  EXPECT_EQ(run("form " + file.string(), &out), 0);
+  EXPECT_NE(out.find("INVOKE Flip"), std::string::npos);
+  EXPECT_NE(out.find("flip the switch"), std::string::npos);
+}
+
+TEST_F(SidlcTest, ConformsChecksSubtyping) {
+  auto base = write("base.sidl",
+                    "module Base { interface I { void Op(); }; };");
+  auto sub = write("sub.sidl",
+                   "module Sub { interface I { void Op(); void More(); }; };");
+  EXPECT_EQ(run("conforms " + base.string() + " " + sub.string()), 0);
+  EXPECT_EQ(run("conforms " + sub.string() + " " + base.string()), 1);
+}
+
+TEST_F(SidlcTest, StripDropsUnknownExtensions) {
+  auto file = write("demo.sidl", kGoodSid);
+  std::string out;
+  EXPECT_EQ(run("strip " + file.string(), &out), 0);
+  EXPECT_EQ(out.find("VendorBits"), std::string::npos);
+  EXPECT_NE(out.find("COSM_Annotations"), std::string::npos);  // known kept
+}
+
+TEST_F(SidlcTest, UsageOnBadInvocation) {
+  std::string out;
+  EXPECT_EQ(run("bogus-command x.sidl", &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  EXPECT_EQ(run("conforms only-one.sidl", &out), 2);
+}
+
+TEST_F(SidlcTest, MissingFileReported) {
+  std::string out;
+  EXPECT_EQ(run("check " + (dir / "nope.sidl").string(), &out), 1);
+  EXPECT_NE(out.find("cannot open"), std::string::npos);
+}
+
+}  // namespace

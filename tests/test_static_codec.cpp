@@ -1,0 +1,63 @@
+#include "wire/static_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::wire::static_stub {
+namespace {
+
+TEST(StaticCodec, SelectCarRequestRoundTrip) {
+  SelectCarRequest m{CarModel::VW_Golf, "1994-06-21", 3};
+  ByteWriter w;
+  encode(w, m);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(decode_select_car_request(r), m);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(StaticCodec, SelectCarReplyRoundTrip) {
+  SelectCarReply m{true, 195.0, "offer-1"};
+  ByteWriter w;
+  encode(w, m);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(decode_select_car_reply(r), m);
+}
+
+TEST(StaticCodec, BookCarRequestWithExtras) {
+  BookCarRequest m{"offer-1", "K. Mueller", {"gps", "child-seat"}};
+  ByteWriter w;
+  encode(w, m);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(decode_book_car_request(r), m);
+}
+
+TEST(StaticCodec, BookCarReplyRoundTrip) {
+  BookCarReply m{true, 4711};
+  ByteWriter w;
+  encode(w, m);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(decode_book_car_reply(r), m);
+}
+
+TEST(StaticCodec, InvalidModelDiscriminantRejected) {
+  ByteWriter w;
+  w.u8(9);  // out-of-range CarModel
+  w.str("d");
+  w.svarint(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(decode_select_car_request(r), WireError);
+}
+
+TEST(StaticCodec, TruncatedInputRejected) {
+  SelectCarRequest m{CarModel::AUDI, "date", 2};
+  ByteWriter w;
+  encode(w, m);
+  Bytes b = w.bytes();
+  b.resize(b.size() - 2);
+  ByteReader r(b);
+  EXPECT_THROW(decode_select_car_request(r), WireError);
+}
+
+}  // namespace
+}  // namespace cosm::wire::static_stub

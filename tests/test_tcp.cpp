@@ -1,0 +1,115 @@
+#include "rpc/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+namespace {
+
+TEST(Tcp, ListenAssignsLoopbackEndpoint) {
+  TcpNetwork net;
+  std::string ep = net.listen("ignored", [](const Bytes& b) { return b; });
+  EXPECT_EQ(ep.rfind("tcp://127.0.0.1:", 0), 0u);
+}
+
+TEST(Tcp, EchoRoundTrip) {
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes& b) { return b; });
+  Bytes payload = {10, 20, 30};
+  EXPECT_EQ(net.call(ep, payload, std::chrono::milliseconds(2000)), payload);
+}
+
+TEST(Tcp, EmptyFramesSupported) {
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes&) { return Bytes{}; });
+  EXPECT_EQ(net.call(ep, {}, std::chrono::milliseconds(2000)), Bytes{});
+}
+
+TEST(Tcp, LargeFrameRoundTrip) {
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes& b) { return b; });
+  Bytes big(1 << 20);  // 1 MiB
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  EXPECT_EQ(net.call(ep, big, std::chrono::milliseconds(10000)), big);
+}
+
+TEST(Tcp, SequentialCallsReuseConnection) {
+  TcpNetwork net;
+  int served = 0;
+  auto ep = net.listen("", [&served](const Bytes& b) {
+    ++served;
+    return b;
+  });
+  for (int i = 0; i < 20; ++i) {
+    net.call(ep, {static_cast<std::uint8_t>(i)}, std::chrono::milliseconds(2000));
+  }
+  EXPECT_EQ(served, 20);
+}
+
+TEST(Tcp, UnknownPortFailsWithRpcError) {
+  TcpNetwork net;
+  // Reserve a port, then close it so nothing listens there.
+  std::string ep = net.listen("", [](const Bytes& b) { return b; });
+  net.unlisten(ep);
+  EXPECT_THROW(net.call(ep, {1}, std::chrono::milliseconds(500)), RpcError);
+}
+
+TEST(Tcp, MultipleListenersCoexist) {
+  TcpNetwork net;
+  auto a = net.listen("", [](const Bytes&) { return Bytes{1}; });
+  auto b = net.listen("", [](const Bytes&) { return Bytes{2}; });
+  EXPECT_EQ(net.call(a, {}, std::chrono::milliseconds(2000)), Bytes{1});
+  EXPECT_EQ(net.call(b, {}, std::chrono::milliseconds(2000)), Bytes{2});
+}
+
+TEST(Tcp, ConcurrentClientsFromThreads) {
+  TcpNetwork server_net;
+  auto ep = server_net.listen("", [](const Bytes& b) { return b; });
+
+  constexpr int kThreads = 4;
+  constexpr int kCalls = 10;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TcpNetwork client_net;  // own connection cache per thread
+      for (int i = 0; i < kCalls; ++i) {
+        Bytes payload = {static_cast<std::uint8_t>(t), static_cast<std::uint8_t>(i)};
+        if (client_net.call(ep, payload, std::chrono::milliseconds(5000)) ==
+            payload) {
+          ++ok[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], kCalls);
+}
+
+TEST(Tcp, MalformedEndpointRejected) {
+  TcpNetwork net;
+  EXPECT_THROW(net.call("inproc://nope", {}, std::chrono::milliseconds(100)),
+               RpcError);
+  EXPECT_THROW(net.call("tcp://noport", {}, std::chrono::milliseconds(100)),
+               RpcError);
+}
+
+TEST(Tcp, SchemeIsTcp) {
+  TcpNetwork net;
+  EXPECT_EQ(net.scheme(), "tcp");
+}
+
+TEST(Tcp, UnlistenTwiceIsNoop) {
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes& b) { return b; });
+  net.unlisten(ep);
+  EXPECT_NO_THROW(net.unlisten(ep));
+}
+
+}  // namespace
+}  // namespace cosm::rpc

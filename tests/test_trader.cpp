@@ -1,0 +1,190 @@
+#include "trader/trader.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cosm::trader {
+namespace {
+
+using sidl::TypeDesc;
+using wire::Value;
+
+sidl::ServiceRef mk_ref(const std::string& id) {
+  return {id, "inproc://host", "CarRentalService"};
+}
+
+ServiceType rental_type() {
+  ServiceType t;
+  t.name = "CarRentalService";
+  t.attributes = {{"ChargePerDay", TypeDesc::float_(), true},
+                  {"ChargeCurrency", TypeDesc::string_(), true}};
+  return t;
+}
+
+AttrMap attrs(double charge, const std::string& currency) {
+  return {{"ChargePerDay", Value::real(charge)},
+          {"ChargeCurrency", Value::string(currency)}};
+}
+
+class TraderTest : public ::testing::Test {
+ protected:
+  TraderTest() {
+    trader.types().add(rental_type());
+  }
+  Trader trader{"t1"};
+};
+
+TEST_F(TraderTest, ExportAssignsIds) {
+  auto id1 = trader.export_offer("CarRentalService", mk_ref("a"), attrs(80, "USD"));
+  auto id2 = trader.export_offer("CarRentalService", mk_ref("b"), attrs(60, "DEM"));
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(trader.offer_count(), 2u);
+  EXPECT_EQ(trader.exports_total(), 2u);
+}
+
+TEST_F(TraderTest, ExportValidation) {
+  EXPECT_THROW(trader.export_offer("Ghost", mk_ref("a"), {}), NotFound);
+  EXPECT_THROW(trader.export_offer("CarRentalService", mk_ref("a"), {}), TypeError);
+  EXPECT_THROW(trader.export_offer("CarRentalService", sidl::ServiceRef{},
+                                   attrs(80, "USD")),
+               ContractError);
+}
+
+TEST_F(TraderTest, WithdrawRemoves) {
+  auto id = trader.export_offer("CarRentalService", mk_ref("a"), attrs(80, "USD"));
+  trader.withdraw(id);
+  EXPECT_EQ(trader.offer_count(), 0u);
+  EXPECT_THROW(trader.withdraw(id), NotFound);
+}
+
+TEST_F(TraderTest, ModifyReplacesAttributes) {
+  auto id = trader.export_offer("CarRentalService", mk_ref("a"), attrs(80, "USD"));
+  trader.modify(id, attrs(75, "USD"));
+  auto offers = trader.list_offers("CarRentalService");
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_DOUBLE_EQ(offers[0].attributes.at("ChargePerDay").as_real(), 75.0);
+  EXPECT_THROW(trader.modify("ghost", attrs(1, "USD")), NotFound);
+  EXPECT_THROW(trader.modify(id, {}), TypeError);  // schema still enforced
+}
+
+TEST_F(TraderTest, ImportFiltersByConstraint) {
+  trader.export_offer("CarRentalService", mk_ref("a"), attrs(80, "USD"));
+  trader.export_offer("CarRentalService", mk_ref("b"), attrs(40, "DEM"));
+  trader.export_offer("CarRentalService", mk_ref("c"), attrs(120, "USD"));
+
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "ChargePerDay < 100 && ChargeCurrency == USD";
+  auto offers = trader.import(request);
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].ref.id, "a");
+  EXPECT_EQ(trader.imports_total(), 1u);
+  EXPECT_EQ(trader.offers_evaluated(), 3u);
+}
+
+TEST_F(TraderTest, ImportRanksByPreference) {
+  trader.export_offer("CarRentalService", mk_ref("mid"), attrs(80, "USD"));
+  trader.export_offer("CarRentalService", mk_ref("cheap"), attrs(40, "USD"));
+  trader.export_offer("CarRentalService", mk_ref("dear"), attrs(120, "USD"));
+
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.preference = "min ChargePerDay";
+  auto offers = trader.import(request);
+  ASSERT_EQ(offers.size(), 3u);
+  EXPECT_EQ(offers[0].ref.id, "cheap");
+  EXPECT_EQ(offers[2].ref.id, "dear");
+
+  request.preference = "max ChargePerDay";
+  EXPECT_EQ(trader.import(request)[0].ref.id, "dear");
+}
+
+TEST_F(TraderTest, ImportCapsMatches) {
+  for (int i = 0; i < 10; ++i) {
+    trader.export_offer("CarRentalService", mk_ref("r" + std::to_string(i)),
+                        attrs(10.0 * i, "USD"));
+  }
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.preference = "min ChargePerDay";
+  request.max_matches = 3;
+  auto offers = trader.import(request);
+  ASSERT_EQ(offers.size(), 3u);
+  EXPECT_EQ(offers[0].ref.id, "r0");
+}
+
+TEST_F(TraderTest, ImportErrors) {
+  ImportRequest request;
+  request.service_type = "Ghost";
+  EXPECT_THROW(trader.import(request), NotFound);
+  request.service_type = "CarRentalService";
+  request.constraint = "((";
+  EXPECT_THROW(trader.import(request), ParseError);
+  request.constraint = "";
+  request.preference = "bogus";
+  EXPECT_THROW(trader.import(request), ParseError);
+}
+
+TEST_F(TraderTest, SubtypeOffersMatchBaseImports) {
+  ServiceType sub;
+  sub.name = "LuxuryRental";
+  sub.supertype = "CarRentalService";
+  trader.types().add(sub);
+  trader.export_offer("LuxuryRental", mk_ref("lux"), attrs(300, "USD"));
+  trader.export_offer("CarRentalService", mk_ref("plain"), attrs(50, "USD"));
+
+  ImportRequest base;
+  base.service_type = "CarRentalService";
+  EXPECT_EQ(trader.import(base).size(), 2u);
+
+  ImportRequest lux;
+  lux.service_type = "LuxuryRental";
+  auto lux_offers = trader.import(lux);
+  ASSERT_EQ(lux_offers.size(), 1u);
+  EXPECT_EQ(lux_offers[0].ref.id, "lux");
+  EXPECT_EQ(trader.list_offers("CarRentalService").size(), 2u);
+}
+
+TEST_F(TraderTest, ListOffersUnknownTypeThrows) {
+  EXPECT_THROW(trader.list_offers("Ghost"), NotFound);
+}
+
+TEST_F(TraderTest, RandomPreferenceIsDeterministicPerTraderSeed) {
+  for (int i = 0; i < 5; ++i) {
+    trader.export_offer("CarRentalService", mk_ref("r" + std::to_string(i)),
+                        attrs(10, "USD"));
+  }
+  Trader twin("t1", 42);
+  twin.types().add(rental_type());
+  for (int i = 0; i < 5; ++i) {
+    twin.export_offer("CarRentalService", mk_ref("r" + std::to_string(i)),
+                      attrs(10, "USD"));
+  }
+  ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.preference = "random";
+  auto a = trader.import(request);
+  auto b = twin.import(request);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].ref.id, b[i].ref.id);
+}
+
+TEST(TraderBasics, NeedsName) {
+  EXPECT_THROW(Trader{""}, ContractError);
+}
+
+TEST(TraderBasics, LinkManagement) {
+  Trader a("a"), b("b");
+  a.link("to-b", std::make_shared<LocalTraderGateway>(b));
+  EXPECT_EQ(a.links(), std::vector<std::string>{"to-b"});
+  EXPECT_THROW(a.link("to-b", std::make_shared<LocalTraderGateway>(b)),
+               ContractError);
+  EXPECT_THROW(a.link("null", nullptr), ContractError);
+  a.unlink("to-b");
+  EXPECT_TRUE(a.links().empty());
+  EXPECT_THROW(a.unlink("to-b"), NotFound);
+}
+
+}  // namespace
+}  // namespace cosm::trader

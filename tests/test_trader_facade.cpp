@@ -1,0 +1,133 @@
+#include "trader/facade.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+
+namespace cosm::trader {
+namespace {
+
+using wire::Value;
+
+Value attr(const std::string& name, Value v) {
+  return Value::structure("Attribute_t",
+                          {{"name", Value::string(name)}, {"value", std::move(v)}});
+}
+
+Value attr_def(const std::string& name, const std::string& spec, bool required) {
+  return Value::structure("AttributeDef_t",
+                          {{"name", Value::string(name)},
+                           {"type_spec", Value::string(spec)},
+                           {"required", Value::boolean(required)}});
+}
+
+class TraderFacadeTest : public ::testing::Test {
+ protected:
+  TraderFacadeTest() : server(net, "host") {
+    trader_ref = server.add(make_trader_service(trader));
+    channel = std::make_unique<rpc::RpcChannel>(net, trader_ref);
+    // Management interface: register the service type over RPC.
+    channel->call("AddType",
+                  {Value::string("CarRentalService"), Value::string(""),
+                   Value::sequence({attr_def("ChargePerDay", "double", true),
+                                    attr_def("Notes", "string", false)})});
+  }
+
+  Value export_offer(const std::string& id, double charge) {
+    sidl::ServiceRef ref{id, "inproc://provider", "CarRentalService"};
+    return channel->call("Export",
+                         {Value::string("CarRentalService"),
+                          Value::service_ref(ref),
+                          Value::sequence({attr("ChargePerDay", Value::real(charge))})});
+  }
+
+  rpc::InProcNetwork net;
+  Trader trader{"t"};
+  rpc::RpcServer server;
+  sidl::ServiceRef trader_ref;
+  std::unique_ptr<rpc::RpcChannel> channel;
+};
+
+TEST_F(TraderFacadeTest, SidlParsesAndDeclaresFullInterface) {
+  sidl::Sid sid = sidl::parse_sid(trader_sidl());
+  EXPECT_EQ(sid.name, "TraderService");
+  for (const char* op : {"Export", "Withdraw", "Modify", "Import", "ListOffers",
+                         "AddType", "RemoveType", "TypeNames"}) {
+    EXPECT_NE(sid.find_operation(op), nullptr) << op;
+  }
+}
+
+TEST_F(TraderFacadeTest, AddTypeRegisteredType) {
+  EXPECT_TRUE(trader.types().has("CarRentalService"));
+  Value names = channel->call("TypeNames", {});
+  ASSERT_EQ(names.elements().size(), 1u);
+  EXPECT_EQ(names.elements()[0].as_string(), "CarRentalService");
+}
+
+TEST_F(TraderFacadeTest, ExportImportRoundTrip) {
+  export_offer("cheap", 40);
+  export_offer("dear", 90);
+
+  Value offers = channel->call(
+      "Import", {Value::string("CarRentalService"),
+                 Value::string("ChargePerDay < 50"), Value::string(""),
+                 Value::integer(0), Value::integer(0)});
+  ASSERT_EQ(offers.elements().size(), 1u);
+  Offer offer = offer_from_value(offers.elements()[0]);
+  EXPECT_EQ(offer.ref.id, "cheap");
+  EXPECT_DOUBLE_EQ(offer.attributes.at("ChargePerDay").as_real(), 40.0);
+}
+
+TEST_F(TraderFacadeTest, WithdrawAndModifyOverRpc) {
+  std::string id = export_offer("x", 70).as_string();
+  channel->call("Modify",
+                {Value::string(id),
+                 Value::sequence({attr("ChargePerDay", Value::real(65))})});
+  Value listed = channel->call("ListOffers", {Value::string("CarRentalService")});
+  ASSERT_EQ(listed.elements().size(), 1u);
+  EXPECT_DOUBLE_EQ(offer_from_value(listed.elements()[0])
+                       .attributes.at("ChargePerDay")
+                       .as_real(),
+                   65.0);
+  channel->call("Withdraw", {Value::string(id)});
+  EXPECT_TRUE(channel->call("ListOffers", {Value::string("CarRentalService")})
+                  .elements()
+                  .empty());
+}
+
+TEST_F(TraderFacadeTest, RemoveTypeOverRpc) {
+  channel->call("RemoveType", {Value::string("CarRentalService")});
+  EXPECT_FALSE(trader.types().has("CarRentalService"));
+}
+
+TEST_F(TraderFacadeTest, NegativeLimitsRejected) {
+  EXPECT_THROW(channel->call("Import", {Value::string("CarRentalService"),
+                                        Value::string(""), Value::string(""),
+                                        Value::integer(-1), Value::integer(0)}),
+               RemoteFault);
+}
+
+TEST_F(TraderFacadeTest, ApplicationErrorsBecomeFaults) {
+  EXPECT_THROW(channel->call("Withdraw", {Value::string("ghost")}), RemoteFault);
+  EXPECT_THROW(channel->call("Import", {Value::string("GhostType"),
+                                        Value::string(""), Value::string(""),
+                                        Value::integer(0), Value::integer(0)}),
+               RemoteFault);
+}
+
+TEST_F(TraderFacadeTest, OfferValueRoundTrip) {
+  Offer offer;
+  offer.id = "t/offer-1";
+  offer.service_type = "CarRentalService";
+  offer.ref = {"svc", "inproc://p", "CarRentalService"};
+  offer.attributes = {{"ChargePerDay", Value::real(12.5)},
+                      {"Tags", Value::sequence({Value::string("x")})}};
+  EXPECT_EQ(offer_from_value(offer_to_value(offer)), offer);
+}
+
+}  // namespace
+}  // namespace cosm::trader

@@ -1,0 +1,141 @@
+#include "rpc/txn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "sidl/parser.h"
+
+namespace cosm::rpc {
+namespace {
+
+using wire::Value;
+
+/// A participant that records what happened to it.
+struct Account {
+  bool vote = true;
+  int prepared = 0, committed = 0, aborted = 0;
+};
+
+ServiceObjectPtr account_service(Account& account) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module Account { interface I { long Balance(); }; };"));
+  auto object = std::make_shared<ServiceObject>(sid);
+  object->on("Balance", [](const std::vector<Value>&) { return Value::integer(0); });
+  install_txn_participant(
+      *object, TxnHooks{
+                   [&account](const std::string&) {
+                     ++account.prepared;
+                     return account.vote;
+                   },
+                   [&account](const std::string&) { ++account.committed; },
+                   [&account](const std::string&) { ++account.aborted; },
+               });
+  return object;
+}
+
+class TxnTest : public ::testing::Test {
+ protected:
+  InProcNetwork net;
+  RpcServer server{net, "host"};
+  TxnCoordinator coordinator{net};
+};
+
+TEST_F(TxnTest, AllYesCommits) {
+  Account a, b;
+  auto ra = server.add(account_service(a));
+  auto rb = server.add(account_service(b));
+  auto report = coordinator.run({ra, rb}, "txn-1");
+  EXPECT_EQ(report.outcome, TxnOutcome::Committed);
+  EXPECT_TRUE(report.dissenters.empty());
+  EXPECT_EQ(a.committed, 1);
+  EXPECT_EQ(b.committed, 1);
+  EXPECT_EQ(a.aborted, 0);
+  EXPECT_EQ(coordinator.committed(), 1u);
+}
+
+TEST_F(TxnTest, OneNoAbortsEveryone) {
+  Account a, b, c;
+  b.vote = false;
+  auto ra = server.add(account_service(a));
+  auto rb = server.add(account_service(b));
+  auto rc = server.add(account_service(c));
+  auto report = coordinator.run({ra, rb, rc}, "txn-2");
+  EXPECT_EQ(report.outcome, TxnOutcome::Aborted);
+  ASSERT_EQ(report.dissenters.size(), 1u);
+  EXPECT_EQ(report.dissenters[0], rb.id);
+  // Prepared participants must be told to abort; the dissenter never
+  // prepared so its abort hook is not invoked.
+  EXPECT_EQ(a.aborted, 1);
+  EXPECT_EQ(c.aborted, 1);
+  EXPECT_EQ(b.aborted, 0);
+  EXPECT_EQ(a.committed + b.committed + c.committed, 0);
+}
+
+TEST_F(TxnTest, UnreachableParticipantCountsAsNo) {
+  Account a;
+  auto ra = server.add(account_service(a));
+  sidl::ServiceRef ghost{"ghost", "inproc://nowhere", "Account"};
+  auto report = coordinator.run({ra, ghost}, "txn-3");
+  EXPECT_EQ(report.outcome, TxnOutcome::Aborted);
+  EXPECT_EQ(a.aborted, 1);
+  EXPECT_EQ(coordinator.aborted(), 1u);
+}
+
+TEST_F(TxnTest, EmptyParticipantListAborts) {
+  auto report = coordinator.run({}, "txn-4");
+  EXPECT_EQ(report.outcome, TxnOutcome::Aborted);
+}
+
+TEST_F(TxnTest, SequentialTransactionsIndependent) {
+  Account a;
+  auto ra = server.add(account_service(a));
+  coordinator.run({ra}, "txn-5");
+  coordinator.run({ra}, "txn-6");
+  EXPECT_EQ(a.committed, 2);
+  EXPECT_EQ(a.prepared, 2);
+}
+
+TEST_F(TxnTest, CommitForUnpreparedTransactionFaults) {
+  Account a;
+  auto ra = server.add(account_service(a));
+  RpcChannel channel(net, ra);
+  EXPECT_THROW(channel.call("_commit", {Value::string("never-prepared")}),
+               RemoteFault);
+  EXPECT_EQ(a.committed, 0);
+}
+
+TEST_F(TxnTest, AbortForUnknownTransactionIsIdempotent) {
+  Account a;
+  auto ra = server.add(account_service(a));
+  RpcChannel channel(net, ra);
+  EXPECT_NO_THROW(channel.call("_abort", {Value::string("never-prepared")}));
+  EXPECT_EQ(a.aborted, 0);
+}
+
+TEST_F(TxnTest, DoubleCommitRejected) {
+  Account a;
+  auto ra = server.add(account_service(a));
+  RpcChannel channel(net, ra);
+  channel.call("_prepare", {Value::string("t")});
+  channel.call("_commit", {Value::string("t")});
+  EXPECT_THROW(channel.call("_commit", {Value::string("t")}), RemoteFault);
+  EXPECT_EQ(a.committed, 1);
+}
+
+TEST(TxnHooksTest, MissingHooksRejected) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { void Op(); }; };"));
+  ServiceObject object(sid);
+  EXPECT_THROW(install_txn_participant(object, TxnHooks{}), ContractError);
+}
+
+TEST(TxnOutcomeTest, ToString) {
+  EXPECT_EQ(to_string(TxnOutcome::Committed), "committed");
+  EXPECT_EQ(to_string(TxnOutcome::Aborted), "aborted");
+}
+
+}  // namespace
+}  // namespace cosm::rpc

@@ -1,0 +1,151 @@
+#include "sidl/type_desc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "support/generators.h"
+
+namespace cosm::sidl {
+namespace {
+
+TEST(TypeDesc, PrimitiveSingletonsShareIdentity) {
+  EXPECT_EQ(TypeDesc::int_().get(), TypeDesc::int_().get());
+  EXPECT_EQ(TypeDesc::string_().get(), TypeDesc::string_().get());
+}
+
+TEST(TypeDesc, KindsReportCorrectly) {
+  EXPECT_TRUE(TypeDesc::void_()->is(TypeKind::Void));
+  EXPECT_TRUE(TypeDesc::bool_()->is(TypeKind::Bool));
+  EXPECT_TRUE(TypeDesc::any()->is(TypeKind::Any));
+  EXPECT_TRUE(TypeDesc::sid()->is(TypeKind::Sid));
+  EXPECT_TRUE(TypeDesc::service_ref()->is(TypeKind::ServiceRef));
+}
+
+TEST(TypeDesc, EnumRequiresLabels) {
+  EXPECT_THROW(TypeDesc::enum_("E", {}), ContractError);
+}
+
+TEST(TypeDesc, EnumLabelIndex) {
+  auto e = TypeDesc::enum_("E", {"A", "B", "C"});
+  EXPECT_EQ(e->label_index("A"), 0);
+  EXPECT_EQ(e->label_index("C"), 2);
+  EXPECT_EQ(e->label_index("Z"), -1);
+}
+
+TEST(TypeDesc, StructFieldLookup) {
+  auto s = TypeDesc::struct_("S", {{"x", TypeDesc::int_()},
+                                   {"y", TypeDesc::string_()}});
+  ASSERT_NE(s->find_field("x"), nullptr);
+  EXPECT_TRUE(s->find_field("x")->type->is(TypeKind::Int));
+  EXPECT_EQ(s->find_field("nope"), nullptr);
+}
+
+TEST(TypeDesc, StructRejectsNullFieldType) {
+  EXPECT_THROW(TypeDesc::struct_("S", {{"x", nullptr}}), ContractError);
+}
+
+TEST(TypeDesc, SequenceAndOptionalRejectNullElement) {
+  EXPECT_THROW(TypeDesc::sequence(nullptr), ContractError);
+  EXPECT_THROW(TypeDesc::optional(nullptr), ContractError);
+}
+
+TEST(TypeDesc, StructuralEquality) {
+  auto a = TypeDesc::struct_("S", {{"x", TypeDesc::int_()}});
+  auto b = TypeDesc::struct_("S", {{"x", TypeDesc::int_()}});
+  auto c = TypeDesc::struct_("S", {{"x", TypeDesc::float_()}});
+  auto d = TypeDesc::struct_("T", {{"x", TypeDesc::int_()}});
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+  EXPECT_FALSE(a->equals(*d));
+}
+
+TEST(TypeDesc, SequenceEqualityIsElementwise) {
+  EXPECT_TRUE(TypeDesc::sequence(TypeDesc::int_())
+                  ->equals(*TypeDesc::sequence(TypeDesc::int_())));
+  EXPECT_FALSE(TypeDesc::sequence(TypeDesc::int_())
+                   ->equals(*TypeDesc::sequence(TypeDesc::bool_())));
+  EXPECT_FALSE(TypeDesc::sequence(TypeDesc::int_())
+                   ->equals(*TypeDesc::optional(TypeDesc::int_())));
+}
+
+TEST(TypeDesc, DescribeMentionsStructure) {
+  auto s = TypeDesc::struct_("Point", {{"x", TypeDesc::float_()}});
+  EXPECT_NE(s->describe().find("Point"), std::string::npos);
+  EXPECT_NE(s->describe().find("x"), std::string::npos);
+  EXPECT_EQ(TypeDesc::sequence(TypeDesc::int_())->describe(), "sequence<long>");
+}
+
+// --- conformance (the Fig. 2 width-subtyping rules) ---
+
+TEST(Conformance, IdenticalPrimitivesConform) {
+  EXPECT_TRUE(conforms_to(TypeDesc::int_(), TypeDesc::int_()));
+  EXPECT_FALSE(conforms_to(TypeDesc::int_(), TypeDesc::float_()));
+}
+
+TEST(Conformance, AnyIsTopType) {
+  EXPECT_TRUE(conforms_to(TypeDesc::int_(), TypeDesc::any()));
+  EXPECT_TRUE(conforms_to(TypeDesc::struct_("S", {}), TypeDesc::any()));
+  // But Any does not conform to concrete types.
+  EXPECT_FALSE(conforms_to(TypeDesc::any(), TypeDesc::int_()));
+}
+
+TEST(Conformance, EnumSubtypeMayAddLabels) {
+  auto base = TypeDesc::enum_("E", {"A", "B"});
+  auto wider = TypeDesc::enum_("E", {"A", "B", "C"});
+  auto narrower = TypeDesc::enum_("E", {"A"});
+  EXPECT_TRUE(conforms_to(wider, base));
+  EXPECT_FALSE(conforms_to(narrower, base));
+}
+
+TEST(Conformance, StructSubtypeMayAddFields) {
+  auto base = TypeDesc::struct_("S", {{"x", TypeDesc::int_()}});
+  auto wider = TypeDesc::struct_(
+      "S", {{"x", TypeDesc::int_()}, {"y", TypeDesc::string_()}});
+  auto missing = TypeDesc::struct_("S", {{"y", TypeDesc::string_()}});
+  EXPECT_TRUE(conforms_to(wider, base));
+  EXPECT_FALSE(conforms_to(missing, base));
+}
+
+TEST(Conformance, StructFieldTypesMustConformRecursively) {
+  auto base = TypeDesc::struct_(
+      "S", {{"e", TypeDesc::enum_("E", {"A"})}});
+  auto ok = TypeDesc::struct_(
+      "S", {{"e", TypeDesc::enum_("E", {"A", "B"})}});
+  auto bad = TypeDesc::struct_(
+      "S", {{"e", TypeDesc::enum_("E", {"B"})}});
+  EXPECT_TRUE(conforms_to(ok, base));
+  EXPECT_FALSE(conforms_to(bad, base));
+}
+
+TEST(Conformance, SequenceAndOptionalAreCovariant) {
+  auto narrow = TypeDesc::enum_("E", {"A"});
+  auto wide = TypeDesc::enum_("E", {"A", "B"});
+  EXPECT_TRUE(conforms_to(TypeDesc::sequence(wide), TypeDesc::sequence(narrow)));
+  EXPECT_FALSE(conforms_to(TypeDesc::sequence(narrow), TypeDesc::sequence(wide)));
+  EXPECT_TRUE(conforms_to(TypeDesc::optional(wide), TypeDesc::optional(narrow)));
+}
+
+TEST(Conformance, ReflexiveOnRandomTypes) {
+  Rng rng(101);
+  for (int i = 0; i < 50; ++i) {
+    auto t = cosm::testing::random_type(rng);
+    EXPECT_TRUE(conforms_to(*t, *t)) << t->describe();
+    EXPECT_TRUE(t->equals(*t));
+  }
+}
+
+TEST(Conformance, EqualityImpliesMutualConformance) {
+  Rng rng(103);
+  for (int i = 0; i < 50; ++i) {
+    auto t = cosm::testing::random_type(rng);
+    auto u = cosm::testing::random_type(rng);
+    if (t->equals(*u)) {
+      EXPECT_TRUE(conforms_to(*t, *u));
+      EXPECT_TRUE(conforms_to(*u, *t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cosm::sidl

@@ -1,0 +1,138 @@
+#include "sidl/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::sidl {
+namespace {
+
+Sid valid_sid() {
+  return parse_sid(R"(
+    module Svc {
+      interface I { void Go(); void Stop(); };
+      module COSM_FSM {
+        states { IDLE, RUNNING };
+        initial IDLE;
+        transition IDLE Go RUNNING;
+        transition RUNNING Stop IDLE;
+      };
+    };
+  )");
+}
+
+TEST(Validate, ValidSidHasNoIssues) {
+  EXPECT_TRUE(validate_sid(valid_sid()).empty());
+  EXPECT_NO_THROW(ensure_valid(valid_sid()));
+}
+
+TEST(Validate, EmptyNameFlagged) {
+  Sid sid = valid_sid();
+  sid.name.clear();
+  EXPECT_FALSE(validate_sid(sid).empty());
+}
+
+TEST(Validate, DuplicateParamNamesFlagged) {
+  Sid sid = valid_sid();
+  sid.operations[0].params = {{ParamDir::In, "x", TypeDesc::int_()},
+                              {ParamDir::In, "x", TypeDesc::int_()}};
+  auto issues = validate_sid(sid);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("duplicate parameter"), std::string::npos);
+}
+
+TEST(Validate, FsmUndeclaredInitial) {
+  Sid sid = valid_sid();
+  sid.fsm->initial = "GHOST";
+  EXPECT_FALSE(validate_sid(sid).empty());
+}
+
+TEST(Validate, FsmUndeclaredTransitionStates) {
+  Sid sid = valid_sid();
+  sid.fsm->transitions.push_back({"GHOST", "Go", "IDLE"});
+  EXPECT_FALSE(validate_sid(sid).empty());
+  sid = valid_sid();
+  sid.fsm->transitions.push_back({"IDLE", "Stop", "GHOST"});
+  EXPECT_FALSE(validate_sid(sid).empty());
+}
+
+TEST(Validate, FsmUnknownOperation) {
+  Sid sid = valid_sid();
+  sid.fsm->transitions.push_back({"IDLE", "Teleport", "RUNNING"});
+  auto issues = validate_sid(sid);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("Teleport"), std::string::npos);
+}
+
+TEST(Validate, FsmNondeterminismFlagged) {
+  Sid sid = valid_sid();
+  // Second transition for (IDLE, Go) — conflicting target.
+  sid.fsm->transitions.push_back({"IDLE", "Go", "IDLE"});
+  auto issues = validate_sid(sid);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("deterministic"), std::string::npos);
+}
+
+TEST(Validate, FsmDuplicateStatesFlagged) {
+  Sid sid = valid_sid();
+  sid.fsm->states.push_back("IDLE");
+  EXPECT_FALSE(validate_sid(sid).empty());
+}
+
+TEST(Validate, FsmNoStatesFlagged) {
+  Sid sid = valid_sid();
+  sid.fsm->states.clear();
+  sid.fsm->transitions.clear();
+  sid.fsm->initial.clear();
+  EXPECT_FALSE(validate_sid(sid).empty());
+}
+
+TEST(Validate, TraderExportDuplicateAttribute) {
+  Sid sid = valid_sid();
+  TraderExport te;
+  te.service_type = "T";
+  te.attributes.emplace_back("Price", Literal(1.0));
+  te.attributes.emplace_back("Price", Literal(2.0));
+  sid.trader_export = te;
+  EXPECT_FALSE(validate_sid(sid).empty());
+}
+
+TEST(Validate, AnnotationTargetsChecked) {
+  Sid sid = valid_sid();
+  sid.annotations["Go"] = "fine";           // operation
+  sid.annotations["Svc"] = "fine";          // service itself
+  sid.annotations["IDLE"] = "fine";         // FSM state
+  EXPECT_TRUE(validate_sid(sid).empty());
+  sid.annotations["Bogus"] = "dangling";
+  auto issues = validate_sid(sid);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("Bogus"), std::string::npos);
+}
+
+TEST(Validate, ParameterAnnotationAccepted) {
+  Sid sid = parse_sid(R"(
+    module M {
+      interface I { void Op([in] long amount); };
+      module COSM_Annotations { annotate amount "how much"; };
+    };
+  )");
+  EXPECT_TRUE(validate_sid(sid).empty());
+}
+
+TEST(Validate, EnsureValidListsAllIssues) {
+  Sid sid = valid_sid();
+  sid.fsm->initial = "GHOST";
+  sid.annotations["Bogus"] = "x";
+  try {
+    ensure_valid(sid);
+    FAIL() << "expected TypeError";
+  } catch (const TypeError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("GHOST"), std::string::npos);
+    EXPECT_NE(msg.find("Bogus"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cosm::sidl

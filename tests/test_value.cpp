@@ -1,0 +1,133 @@
+#include "wire/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+
+namespace cosm::wire {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::Null);
+}
+
+TEST(Value, ScalarFactoriesAndAccessors) {
+  EXPECT_TRUE(Value::boolean(true).as_bool());
+  EXPECT_EQ(Value::integer(-42).as_int(), -42);
+  EXPECT_DOUBLE_EQ(Value::real(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value::string("hi").as_string(), "hi");
+}
+
+TEST(Value, WrongAccessorThrowsTypeError) {
+  EXPECT_THROW(Value::integer(1).as_bool(), TypeError);
+  EXPECT_THROW(Value::boolean(true).as_string(), TypeError);
+  EXPECT_THROW(Value::string("x").elements(), TypeError);
+  EXPECT_THROW(Value::null().field_count(), TypeError);
+}
+
+TEST(Value, EnumCarriesTypeNameAndLabel) {
+  Value e = Value::enumerated("CarModel_t", "VW_Golf");
+  EXPECT_EQ(e.type_name(), "CarModel_t");
+  EXPECT_EQ(e.enum_label(), "VW_Golf");
+  EXPECT_THROW(Value::enumerated("E", ""), ContractError);
+}
+
+TEST(Value, StructFieldAccess) {
+  Value s = Value::structure("P", {{"x", Value::integer(1)},
+                                   {"y", Value::string("two")}});
+  EXPECT_EQ(s.field_count(), 2u);
+  EXPECT_EQ(s.field_name(0), "x");
+  EXPECT_EQ(s.field(1).as_string(), "two");
+  ASSERT_NE(s.find_field("y"), nullptr);
+  EXPECT_EQ(s.find_field("z"), nullptr);
+  EXPECT_EQ(s.at("x").as_int(), 1);
+  EXPECT_THROW(s.at("z"), TypeError);
+  EXPECT_THROW(s.field(2), TypeError);
+}
+
+TEST(Value, SequenceElements) {
+  Value seq = Value::sequence({Value::integer(1), Value::integer(2)});
+  EXPECT_EQ(seq.elements().size(), 2u);
+  EXPECT_EQ(seq.elements()[1].as_int(), 2);
+}
+
+TEST(Value, OptionalPresenceAndPayload) {
+  Value absent = Value::optional_absent();
+  EXPECT_FALSE(absent.has_payload());
+  EXPECT_THROW(absent.payload(), TypeError);
+  Value present = Value::optional_of(Value::string("x"));
+  EXPECT_TRUE(present.has_payload());
+  EXPECT_EQ(present.payload().as_string(), "x");
+}
+
+TEST(Value, ServiceRefValue) {
+  sidl::ServiceRef ref{"id", "inproc://ep", "I"};
+  EXPECT_EQ(Value::service_ref(ref).as_ref(), ref);
+}
+
+TEST(Value, SidValueRejectsNull) {
+  EXPECT_THROW(Value::sid(nullptr), ContractError);
+}
+
+TEST(Value, SidValueHoldsDescription) {
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { void Op(); }; };"));
+  Value v = Value::sid(sid);
+  EXPECT_EQ(v.as_sid()->name, "M");
+}
+
+TEST(Value, EqualityPerKind) {
+  EXPECT_EQ(Value::integer(5), Value::integer(5));
+  EXPECT_NE(Value::integer(5), Value::integer(6));
+  EXPECT_NE(Value::integer(5), Value::real(5.0));
+  EXPECT_EQ(Value::enumerated("E", "A"), Value::enumerated("E", "A"));
+  EXPECT_NE(Value::enumerated("E", "A"), Value::enumerated("F", "A"));
+  EXPECT_EQ(Value::null(), Value::null());
+  EXPECT_EQ(Value::sequence({Value::integer(1)}),
+            Value::sequence({Value::integer(1)}));
+  EXPECT_NE(Value::sequence({Value::integer(1)}), Value::sequence({}));
+}
+
+TEST(Value, StructEqualityIsOrderSensitive) {
+  Value a = Value::structure("S", {{"x", Value::integer(1)},
+                                   {"y", Value::integer(2)}});
+  Value b = Value::structure("S", {{"y", Value::integer(2)},
+                                   {"x", Value::integer(1)}});
+  EXPECT_NE(a, b);  // field order is part of the wire form
+}
+
+TEST(Value, SidEqualityIsStructural) {
+  auto s1 = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { void Op(); }; };"));
+  auto s2 = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { void Op(); }; };"));
+  EXPECT_EQ(Value::sid(s1), Value::sid(s2));
+}
+
+TEST(Value, DebugStrings) {
+  EXPECT_EQ(Value::integer(7).to_debug_string(), "7");
+  EXPECT_EQ(Value::string("a").to_debug_string(), "\"a\"");
+  EXPECT_EQ(Value::enumerated("E", "A").to_debug_string(), "E.A");
+  EXPECT_EQ(Value::optional_absent().to_debug_string(), "absent");
+  Value s = Value::structure("S", {{"x", Value::boolean(false)}});
+  EXPECT_EQ(s.to_debug_string(), "S{ x: false }");
+  EXPECT_EQ(Value::sequence({Value::integer(1), Value::integer(2)}).to_debug_string(),
+            "[1, 2]");
+}
+
+TEST(FromLiteral, AllFlavours) {
+  using sidl::EnumLabel;
+  using sidl::Literal;
+  EXPECT_EQ(from_literal(Literal(true)), Value::boolean(true));
+  EXPECT_EQ(from_literal(Literal(std::int64_t{9})), Value::integer(9));
+  EXPECT_EQ(from_literal(Literal(1.5)), Value::real(1.5));
+  EXPECT_EQ(from_literal(Literal(std::string("s"))), Value::string("s"));
+  EXPECT_EQ(from_literal(Literal(EnumLabel{"A"}), "E_t"),
+            Value::enumerated("E_t", "A"));
+}
+
+}  // namespace
+}  // namespace cosm::wire

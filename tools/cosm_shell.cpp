@@ -1,0 +1,189 @@
+// cosm_shell — the interactive generic client.
+//
+// The paper's mediation story puts a *human user* in the loop: browsing,
+// reading generated forms, entering typed values, binding onward.  This
+// shell is that user interface, driving a demo COSM market (car rental,
+// weather, stock ticker, image conversion chain) entirely through the
+// generic client — no compiled-in service knowledge.
+//
+// Commands (also `help`):
+//   ls                      browse the current browser
+//   search <keyword>        keyword search (deep across cascades)
+//   info <entry>            summary of an entry's SID
+//   form <entry>            render the generated UI (Fig. 7)
+//   bind <entry>            bind; the binding becomes current
+//   state                   FSM state + allowed operations
+//   op <operation>          open the form editor for an operation
+//   set <path> <value...>   fill a form field (e.g. set selection.days 3)
+//   invoke                  invoke the currently edited operation
+//   call <operation>        invoke a no-argument operation directly
+//   quit
+//
+// Reads commands from stdin, so it works interactively and scripted:
+//   printf 'ls\nbind HanseRentACar\nstate\nquit\n' | cosm_shell
+
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/mediation.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "services/image_conversion.h"
+#include "services/stock_quote.h"
+#include "services/weather.h"
+#include "uims/editor.h"
+#include "uims/form.h"
+
+using namespace cosm;
+
+namespace {
+
+void build_demo_market(core::CosmRuntime& runtime, rpc::Network& net) {
+  services::CarRentalConfig rental;
+  rental.name = "HanseRentACar";
+  rental.charge_per_day = 65.0;
+  rental.currency = "DEM";
+  rental.tradable = true;
+  auto [rental_ref, offer] =
+      runtime.offer_traded(services::make_car_rental_service(rental));
+  (void)offer;
+  runtime.browser().register_service(
+      "HanseRentACar", runtime.repository().get(rental_ref.id), rental_ref);
+
+  runtime.offer_mediated("WeatherOracle", services::make_weather_service({}));
+  runtime.offer_mediated("TickerService", services::make_stock_quote_service({}));
+
+  auto archive_ref =
+      runtime.offer_mediated("ImageArchive", services::make_image_server({}));
+  runtime.offer_mediated(
+      "ImageConverter", services::make_format_converter(net, archive_ref, {}));
+}
+
+class Shell {
+ public:
+  Shell(core::GenericClient& client, const sidl::ServiceRef& browser_ref)
+      : client_(client), session_(client, browser_ref) {}
+
+  int run(std::istream& in, std::ostream& out) {
+    out << "COSM generic client — type 'help' for commands\n";
+    std::string line;
+    while (out << "cosm> " << std::flush, std::getline(in, line)) {
+      std::istringstream words(line);
+      std::string command;
+      words >> command;
+      if (command.empty()) continue;
+      if (command == "quit" || command == "exit") break;
+      try {
+        dispatch(command, words, out);
+      } catch (const Error& e) {
+        out << "error: " << e.what() << "\n";
+      }
+    }
+    out << "bye\n";
+    return 0;
+  }
+
+ private:
+  void dispatch(const std::string& command, std::istringstream& words,
+                std::ostream& out) {
+    if (command == "help") {
+      out << "ls | search <kw> | info <entry> | form <entry> | bind <entry>\n"
+             "state | op <operation> | set <path> <value> | invoke | "
+             "call <operation> | quit\n";
+    } else if (command == "ls") {
+      for (const auto& item : session_.browse()) {
+        out << "  " << item.name << "\n";
+      }
+    } else if (command == "search") {
+      std::string keyword;
+      words >> keyword;
+      for (const auto& hit : session_.deep_search(keyword)) {
+        out << "  " << hit.path << "\n";
+      }
+    } else if (command == "info") {
+      std::string entry = arg(words, "info <entry>");
+      sidl::SidPtr sid = session_.describe(entry);
+      out << "  module " << sid->name << ": " << sid->operations.size()
+          << " operation(s)";
+      if (sid->fsm) out << ", FSM initial " << sid->fsm->initial;
+      if (sid->trader_export) {
+        out << ", tradable as " << sid->trader_export->service_type;
+      }
+      out << "\n";
+      for (const auto& op : sid->operations) {
+        out << "    " << op.name << "/" << op.params.size();
+        if (const std::string* note = sid->find_annotation(op.name)) {
+          out << " — " << *note;
+        }
+        out << "\n";
+      }
+    } else if (command == "form") {
+      out << uims::render_text(
+          uims::generate_form(*session_.describe(arg(words, "form <entry>"))));
+    } else if (command == "bind") {
+      std::string entry = arg(words, "bind <entry>");
+      binding_.emplace(session_.select(entry));
+      editor_.reset();
+      out << "bound to " << binding_->sid()->name << " ("
+          << binding_->ref().to_string() << ")\n";
+    } else if (command == "state") {
+      core::Binding& binding = current();
+      out << "  state: " << (binding.state().empty() ? "(no FSM)" : binding.state())
+          << "\n  allowed:";
+      for (const auto& op : binding.allowed_operations()) out << " " << op;
+      out << "\n";
+    } else if (command == "op") {
+      editor_.emplace(current().edit(arg(words, "op <operation>")));
+      out << uims::render_text(editor_->form());
+    } else if (command == "set") {
+      if (!editor_) throw ContractError("no operation opened — use 'op' first");
+      std::string path = arg(words, "set <path> <value>");
+      std::string value;
+      std::getline(words, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      editor_->set(path, value);
+      out << "  " << path << " = " << editor_->get(path).to_debug_string() << "\n";
+    } else if (command == "invoke") {
+      if (!editor_) throw ContractError("no operation opened — use 'op' first");
+      wire::Value result = current().invoke_form(*editor_);
+      out << "  => " << result.to_debug_string() << "\n";
+    } else if (command == "call") {
+      wire::Value result = current().invoke(arg(words, "call <operation>"), {});
+      out << "  => " << result.to_debug_string() << "\n";
+    } else {
+      throw ContractError("unknown command '" + command + "' — try 'help'");
+    }
+  }
+
+  static std::string arg(std::istringstream& words, const std::string& usage) {
+    std::string value;
+    words >> value;
+    if (value.empty()) throw ContractError("usage: " + usage);
+    return value;
+  }
+
+  core::Binding& current() {
+    if (!binding_) throw ContractError("no binding — use 'bind <entry>' first");
+    return *binding_;
+  }
+
+  core::GenericClient& client_;
+  core::MediationSession session_;
+  std::optional<core::Binding> binding_;
+  std::optional<uims::FormEditor> editor_;
+};
+
+}  // namespace
+
+int main() {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  build_demo_market(runtime, net);
+
+  core::GenericClient client = runtime.make_client();
+  Shell shell(client, runtime.browser_ref());
+  return shell.run(std::cin, std::cout);
+}

@@ -1,0 +1,145 @@
+// sidlc — the SIDL command-line processor.
+//
+//   sidlc check <file.sidl>              parse + validate, report issues
+//   sidlc print <file.sidl>              canonical pretty-print
+//   sidlc info <file.sidl>               summary: types, ops, extensions
+//   sidlc form <file.sidl>               render the generated UI (Fig. 7)
+//   sidlc conforms <base.sidl> <sub.sidl>   SID subtype check (Fig. 2)
+//   sidlc strip <file.sidl>              drop unknown extension modules
+//
+// Exit code 0 on success / conformance, 1 on failure, 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "sidl/parser.h"
+#include "sidl/printer.h"
+#include "sidl/validate.h"
+#include "uims/form.h"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: sidlc <command> <file.sidl> [file2.sidl]\n"
+      "commands:\n"
+      "  check     parse and validate; list well-formedness issues\n"
+      "  print     canonical pretty-print\n"
+      "  info      summary of types, operations and extensions\n"
+      "  form      render the generated user interface\n"
+      "  conforms  <base> <sub>: does sub conform to base?\n"
+      "  strip     re-emit without unknown extension modules\n";
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw cosm::Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+cosm::sidl::Sid load(const std::string& path) {
+  return cosm::sidl::parse_sid(slurp(path));
+}
+
+int cmd_check(const std::string& path) {
+  cosm::sidl::Sid sid = load(path);
+  auto issues = cosm::sidl::validate_sid(sid);
+  if (issues.empty()) {
+    std::cout << path << ": OK (module " << sid.name << ", "
+              << sid.operations.size() << " operation(s))\n";
+    return 0;
+  }
+  std::cout << path << ": " << issues.size() << " issue(s):\n";
+  for (const auto& issue : issues) std::cout << "  - " << issue << "\n";
+  return 1;
+}
+
+int cmd_print(const std::string& path) {
+  std::cout << cosm::sidl::print_sid(load(path));
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  cosm::sidl::Sid sid = load(path);
+  std::cout << "module " << sid.name << "\n";
+  std::cout << "  types (" << sid.types.size() << "):\n";
+  for (const auto& [name, type] : sid.types) {
+    std::cout << "    " << name << " = " << type->describe() << "\n";
+  }
+  std::cout << "  operations (" << sid.operations.size() << "):\n";
+  for (const auto& op : sid.operations) {
+    std::cout << "    " << op.name << "/" << op.params.size();
+    if (const std::string* note = sid.find_annotation(op.name)) {
+      std::cout << "  — " << *note;
+    }
+    std::cout << "\n";
+  }
+  if (sid.fsm) {
+    std::cout << "  FSM: " << sid.fsm->states.size() << " state(s), "
+              << sid.fsm->transitions.size() << " transition(s), initial "
+              << sid.fsm->initial << "\n";
+  }
+  if (sid.trader_export) {
+    std::cout << "  tradable as: " << sid.trader_export->service_type << " ("
+              << sid.trader_export->attributes.size() << " propert"
+              << (sid.trader_export->attributes.size() == 1 ? "y" : "ies")
+              << ")\n";
+  }
+  if (!sid.unknown_extensions.empty()) {
+    std::cout << "  unknown extensions:";
+    for (const auto& ext : sid.unknown_extensions) std::cout << " " << ext.name;
+    std::cout << "\n";
+  }
+  std::cout << "  extension count: " << sid.extension_count() << "\n";
+  return 0;
+}
+
+int cmd_form(const std::string& path) {
+  cosm::sidl::Sid sid = load(path);
+  cosm::sidl::ensure_valid(sid);
+  std::cout << cosm::uims::render_text(cosm::uims::generate_form(sid));
+  return 0;
+}
+
+int cmd_conforms(const std::string& base_path, const std::string& sub_path) {
+  cosm::sidl::Sid base = load(base_path);
+  cosm::sidl::Sid sub = load(sub_path);
+  bool ok = cosm::sidl::conforms_to(sub, base);
+  std::cout << sub.name << (ok ? " CONFORMS to " : " does NOT conform to ")
+            << base.name << "\n";
+  return ok ? 0 : 1;
+}
+
+int cmd_strip(const std::string& path) {
+  cosm::sidl::Sid sid = load(path);
+  sid.unknown_extensions.clear();
+  std::cout << cosm::sidl::print_sid(sid);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string command = argv[1];
+  try {
+    if (command == "check") return cmd_check(argv[2]);
+    if (command == "print") return cmd_print(argv[2]);
+    if (command == "info") return cmd_info(argv[2]);
+    if (command == "form") return cmd_form(argv[2]);
+    if (command == "strip") return cmd_strip(argv[2]);
+    if (command == "conforms") {
+      if (argc < 4) return usage();
+      return cmd_conforms(argv[2], argv[3]);
+    }
+    return usage();
+  } catch (const cosm::Error& e) {
+    std::cerr << "sidlc: " << e.what() << "\n";
+    return 1;
+  }
+}
