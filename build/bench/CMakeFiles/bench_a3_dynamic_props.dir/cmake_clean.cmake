@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_dynamic_props.dir/bench_a3_dynamic_props.cpp.o"
+  "CMakeFiles/bench_a3_dynamic_props.dir/bench_a3_dynamic_props.cpp.o.d"
+  "bench_a3_dynamic_props"
+  "bench_a3_dynamic_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_dynamic_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_time_to_market.dir/bench_c1_time_to_market.cpp.o"
+  "CMakeFiles/bench_c1_time_to_market.dir/bench_c1_time_to_market.cpp.o.d"
+  "bench_c1_time_to_market"
+  "bench_c1_time_to_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_time_to_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_c1_time_to_market.
+# This may be replaced when dependencies are built.

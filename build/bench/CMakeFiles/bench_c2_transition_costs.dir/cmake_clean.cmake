@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_transition_costs.dir/bench_c2_transition_costs.cpp.o"
+  "CMakeFiles/bench_c2_transition_costs.dir/bench_c2_transition_costs.cpp.o.d"
+  "bench_c2_transition_costs"
+  "bench_c2_transition_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_transition_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_marshalling.dir/bench_c3_marshalling.cpp.o"
+  "CMakeFiles/bench_c3_marshalling.dir/bench_c3_marshalling.cpp.o.d"
+  "bench_c3_marshalling"
+  "bench_c3_marshalling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_marshalling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

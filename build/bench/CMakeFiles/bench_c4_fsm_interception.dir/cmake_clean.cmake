@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_fsm_interception.dir/bench_c4_fsm_interception.cpp.o"
+  "CMakeFiles/bench_c4_fsm_interception.dir/bench_c4_fsm_interception.cpp.o.d"
+  "bench_c4_fsm_interception"
+  "bench_c4_fsm_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_fsm_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

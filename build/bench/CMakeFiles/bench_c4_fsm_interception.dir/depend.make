@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c4_fsm_interception.
+# This may be replaced when dependencies are built.

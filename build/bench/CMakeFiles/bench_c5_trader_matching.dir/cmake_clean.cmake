@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_trader_matching.dir/bench_c5_trader_matching.cpp.o"
+  "CMakeFiles/bench_c5_trader_matching.dir/bench_c5_trader_matching.cpp.o.d"
+  "bench_c5_trader_matching"
+  "bench_c5_trader_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_trader_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

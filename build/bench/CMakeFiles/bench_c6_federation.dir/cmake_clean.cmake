@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_federation.dir/bench_c6_federation.cpp.o"
+  "CMakeFiles/bench_c6_federation.dir/bench_c6_federation.cpp.o.d"
+  "bench_c6_federation"
+  "bench_c6_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_trading.dir/bench_fig1_trading.cpp.o"
+  "CMakeFiles/bench_fig1_trading.dir/bench_fig1_trading.cpp.o.d"
+  "bench_fig1_trading"
+  "bench_fig1_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sid_subtyping.dir/bench_fig2_sid_subtyping.cpp.o"
+  "CMakeFiles/bench_fig2_sid_subtyping.dir/bench_fig2_sid_subtyping.cpp.o.d"
+  "bench_fig2_sid_subtyping"
+  "bench_fig2_sid_subtyping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sid_subtyping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

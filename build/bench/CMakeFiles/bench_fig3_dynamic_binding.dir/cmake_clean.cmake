@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dynamic_binding.dir/bench_fig3_dynamic_binding.cpp.o"
+  "CMakeFiles/bench_fig3_dynamic_binding.dir/bench_fig3_dynamic_binding.cpp.o.d"
+  "bench_fig3_dynamic_binding"
+  "bench_fig3_dynamic_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dynamic_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

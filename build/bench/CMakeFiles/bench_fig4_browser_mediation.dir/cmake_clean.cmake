@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_browser_mediation.dir/bench_fig4_browser_mediation.cpp.o"
+  "CMakeFiles/bench_fig4_browser_mediation.dir/bench_fig4_browser_mediation.cpp.o.d"
+  "bench_fig4_browser_mediation"
+  "bench_fig4_browser_mediation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_browser_mediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

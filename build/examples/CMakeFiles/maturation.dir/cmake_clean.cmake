@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maturation.dir/maturation.cpp.o"
+  "CMakeFiles/maturation.dir/maturation.cpp.o.d"
+  "maturation"
+  "maturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediation_browser.dir/mediation_browser.cpp.o"
+  "CMakeFiles/mediation_browser.dir/mediation_browser.cpp.o.d"
+  "mediation_browser"
+  "mediation_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediation_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_market.dir/trading_market.cpp.o"
+  "CMakeFiles/trading_market.dir/trading_market.cpp.o.d"
+  "trading_market"
+  "trading_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

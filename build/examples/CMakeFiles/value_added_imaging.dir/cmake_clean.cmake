@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_added_imaging.dir/value_added_imaging.cpp.o"
+  "CMakeFiles/value_added_imaging.dir/value_added_imaging.cpp.o.d"
+  "value_added_imaging"
+  "value_added_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_added_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

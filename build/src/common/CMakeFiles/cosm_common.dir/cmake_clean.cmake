@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_common.dir/bytes.cpp.o"
+  "CMakeFiles/cosm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/cosm_common.dir/error.cpp.o"
+  "CMakeFiles/cosm_common.dir/error.cpp.o.d"
+  "CMakeFiles/cosm_common.dir/id.cpp.o"
+  "CMakeFiles/cosm_common.dir/id.cpp.o.d"
+  "CMakeFiles/cosm_common.dir/rng.cpp.o"
+  "CMakeFiles/cosm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cosm_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/cosm_common.dir/sim_clock.cpp.o.d"
+  "libcosm_common.a"
+  "libcosm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

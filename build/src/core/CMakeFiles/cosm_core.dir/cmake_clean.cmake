@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_core.dir/browser.cpp.o"
+  "CMakeFiles/cosm_core.dir/browser.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/cost_meter.cpp.o"
+  "CMakeFiles/cosm_core.dir/cost_meter.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/generic_client.cpp.o"
+  "CMakeFiles/cosm_core.dir/generic_client.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/mediation.cpp.o"
+  "CMakeFiles/cosm_core.dir/mediation.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/runtime.cpp.o"
+  "CMakeFiles/cosm_core.dir/runtime.cpp.o.d"
+  "libcosm_core.a"
+  "libcosm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/naming/binder.cpp" "src/naming/CMakeFiles/cosm_naming.dir/binder.cpp.o" "gcc" "src/naming/CMakeFiles/cosm_naming.dir/binder.cpp.o.d"
+  "/root/repo/src/naming/facades.cpp" "src/naming/CMakeFiles/cosm_naming.dir/facades.cpp.o" "gcc" "src/naming/CMakeFiles/cosm_naming.dir/facades.cpp.o.d"
+  "/root/repo/src/naming/group_manager.cpp" "src/naming/CMakeFiles/cosm_naming.dir/group_manager.cpp.o" "gcc" "src/naming/CMakeFiles/cosm_naming.dir/group_manager.cpp.o.d"
+  "/root/repo/src/naming/interface_repository.cpp" "src/naming/CMakeFiles/cosm_naming.dir/interface_repository.cpp.o" "gcc" "src/naming/CMakeFiles/cosm_naming.dir/interface_repository.cpp.o.d"
+  "/root/repo/src/naming/name_server.cpp" "src/naming/CMakeFiles/cosm_naming.dir/name_server.cpp.o" "gcc" "src/naming/CMakeFiles/cosm_naming.dir/name_server.cpp.o.d"
+  "/root/repo/src/naming/persistence.cpp" "src/naming/CMakeFiles/cosm_naming.dir/persistence.cpp.o" "gcc" "src/naming/CMakeFiles/cosm_naming.dir/persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/cosm_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/cosm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidl/CMakeFiles/cosm_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

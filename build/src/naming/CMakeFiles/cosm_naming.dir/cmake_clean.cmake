@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_naming.dir/binder.cpp.o"
+  "CMakeFiles/cosm_naming.dir/binder.cpp.o.d"
+  "CMakeFiles/cosm_naming.dir/facades.cpp.o"
+  "CMakeFiles/cosm_naming.dir/facades.cpp.o.d"
+  "CMakeFiles/cosm_naming.dir/group_manager.cpp.o"
+  "CMakeFiles/cosm_naming.dir/group_manager.cpp.o.d"
+  "CMakeFiles/cosm_naming.dir/interface_repository.cpp.o"
+  "CMakeFiles/cosm_naming.dir/interface_repository.cpp.o.d"
+  "CMakeFiles/cosm_naming.dir/name_server.cpp.o"
+  "CMakeFiles/cosm_naming.dir/name_server.cpp.o.d"
+  "CMakeFiles/cosm_naming.dir/persistence.cpp.o"
+  "CMakeFiles/cosm_naming.dir/persistence.cpp.o.d"
+  "libcosm_naming.a"
+  "libcosm_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/activity.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/activity.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/activity.cpp.o.d"
+  "/root/repo/src/rpc/activity_facade.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/activity_facade.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/activity_facade.cpp.o.d"
+  "/root/repo/src/rpc/channel.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/channel.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/channel.cpp.o.d"
+  "/root/repo/src/rpc/inproc.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/inproc.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/inproc.cpp.o.d"
+  "/root/repo/src/rpc/message.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/message.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/message.cpp.o.d"
+  "/root/repo/src/rpc/multicast.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/multicast.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/multicast.cpp.o.d"
+  "/root/repo/src/rpc/server.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/server.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/server.cpp.o.d"
+  "/root/repo/src/rpc/service_object.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/service_object.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/service_object.cpp.o.d"
+  "/root/repo/src/rpc/tcp.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/tcp.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/tcp.cpp.o.d"
+  "/root/repo/src/rpc/txn.cpp" "src/rpc/CMakeFiles/cosm_rpc.dir/txn.cpp.o" "gcc" "src/rpc/CMakeFiles/cosm_rpc.dir/txn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/cosm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidl/CMakeFiles/cosm_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_rpc.dir/activity.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/activity.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/activity_facade.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/activity_facade.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/channel.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/channel.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/inproc.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/inproc.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/message.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/message.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/multicast.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/multicast.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/server.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/server.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/service_object.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/service_object.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/tcp.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/tcp.cpp.o.d"
+  "CMakeFiles/cosm_rpc.dir/txn.cpp.o"
+  "CMakeFiles/cosm_rpc.dir/txn.cpp.o.d"
+  "libcosm_rpc.a"
+  "libcosm_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

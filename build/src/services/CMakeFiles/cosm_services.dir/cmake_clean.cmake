@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_services.dir/car_rental.cpp.o"
+  "CMakeFiles/cosm_services.dir/car_rental.cpp.o.d"
+  "CMakeFiles/cosm_services.dir/image_conversion.cpp.o"
+  "CMakeFiles/cosm_services.dir/image_conversion.cpp.o.d"
+  "CMakeFiles/cosm_services.dir/market.cpp.o"
+  "CMakeFiles/cosm_services.dir/market.cpp.o.d"
+  "CMakeFiles/cosm_services.dir/stock_quote.cpp.o"
+  "CMakeFiles/cosm_services.dir/stock_quote.cpp.o.d"
+  "CMakeFiles/cosm_services.dir/weather.cpp.o"
+  "CMakeFiles/cosm_services.dir/weather.cpp.o.d"
+  "libcosm_services.a"
+  "libcosm_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

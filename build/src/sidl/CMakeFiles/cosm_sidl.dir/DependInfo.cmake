@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sidl/lexer.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/lexer.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/lexer.cpp.o.d"
+  "/root/repo/src/sidl/literal.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/literal.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/literal.cpp.o.d"
+  "/root/repo/src/sidl/parser.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/parser.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/parser.cpp.o.d"
+  "/root/repo/src/sidl/printer.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/printer.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/printer.cpp.o.d"
+  "/root/repo/src/sidl/service_ref.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/service_ref.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/service_ref.cpp.o.d"
+  "/root/repo/src/sidl/sid.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/sid.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/sid.cpp.o.d"
+  "/root/repo/src/sidl/type_desc.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/type_desc.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/type_desc.cpp.o.d"
+  "/root/repo/src/sidl/validate.cpp" "src/sidl/CMakeFiles/cosm_sidl.dir/validate.cpp.o" "gcc" "src/sidl/CMakeFiles/cosm_sidl.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

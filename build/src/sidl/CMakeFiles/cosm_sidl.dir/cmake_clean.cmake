@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_sidl.dir/lexer.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/lexer.cpp.o.d"
+  "CMakeFiles/cosm_sidl.dir/literal.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/literal.cpp.o.d"
+  "CMakeFiles/cosm_sidl.dir/parser.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/parser.cpp.o.d"
+  "CMakeFiles/cosm_sidl.dir/printer.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/printer.cpp.o.d"
+  "CMakeFiles/cosm_sidl.dir/service_ref.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/service_ref.cpp.o.d"
+  "CMakeFiles/cosm_sidl.dir/sid.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/sid.cpp.o.d"
+  "CMakeFiles/cosm_sidl.dir/type_desc.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/type_desc.cpp.o.d"
+  "CMakeFiles/cosm_sidl.dir/validate.cpp.o"
+  "CMakeFiles/cosm_sidl.dir/validate.cpp.o.d"
+  "libcosm_sidl.a"
+  "libcosm_sidl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_sidl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trader/attributes.cpp" "src/trader/CMakeFiles/cosm_trader.dir/attributes.cpp.o" "gcc" "src/trader/CMakeFiles/cosm_trader.dir/attributes.cpp.o.d"
+  "/root/repo/src/trader/constraint.cpp" "src/trader/CMakeFiles/cosm_trader.dir/constraint.cpp.o" "gcc" "src/trader/CMakeFiles/cosm_trader.dir/constraint.cpp.o.d"
+  "/root/repo/src/trader/facade.cpp" "src/trader/CMakeFiles/cosm_trader.dir/facade.cpp.o" "gcc" "src/trader/CMakeFiles/cosm_trader.dir/facade.cpp.o.d"
+  "/root/repo/src/trader/preference.cpp" "src/trader/CMakeFiles/cosm_trader.dir/preference.cpp.o" "gcc" "src/trader/CMakeFiles/cosm_trader.dir/preference.cpp.o.d"
+  "/root/repo/src/trader/service_type.cpp" "src/trader/CMakeFiles/cosm_trader.dir/service_type.cpp.o" "gcc" "src/trader/CMakeFiles/cosm_trader.dir/service_type.cpp.o.d"
+  "/root/repo/src/trader/sid_export.cpp" "src/trader/CMakeFiles/cosm_trader.dir/sid_export.cpp.o" "gcc" "src/trader/CMakeFiles/cosm_trader.dir/sid_export.cpp.o.d"
+  "/root/repo/src/trader/trader.cpp" "src/trader/CMakeFiles/cosm_trader.dir/trader.cpp.o" "gcc" "src/trader/CMakeFiles/cosm_trader.dir/trader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/cosm_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/cosm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidl/CMakeFiles/cosm_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_trader.dir/attributes.cpp.o"
+  "CMakeFiles/cosm_trader.dir/attributes.cpp.o.d"
+  "CMakeFiles/cosm_trader.dir/constraint.cpp.o"
+  "CMakeFiles/cosm_trader.dir/constraint.cpp.o.d"
+  "CMakeFiles/cosm_trader.dir/facade.cpp.o"
+  "CMakeFiles/cosm_trader.dir/facade.cpp.o.d"
+  "CMakeFiles/cosm_trader.dir/preference.cpp.o"
+  "CMakeFiles/cosm_trader.dir/preference.cpp.o.d"
+  "CMakeFiles/cosm_trader.dir/service_type.cpp.o"
+  "CMakeFiles/cosm_trader.dir/service_type.cpp.o.d"
+  "CMakeFiles/cosm_trader.dir/sid_export.cpp.o"
+  "CMakeFiles/cosm_trader.dir/sid_export.cpp.o.d"
+  "CMakeFiles/cosm_trader.dir/trader.cpp.o"
+  "CMakeFiles/cosm_trader.dir/trader.cpp.o.d"
+  "libcosm_trader.a"
+  "libcosm_trader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_trader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cosm_trader.
+# This may be replaced when dependencies are built.

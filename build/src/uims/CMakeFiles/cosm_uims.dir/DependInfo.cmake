@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uims/editor.cpp" "src/uims/CMakeFiles/cosm_uims.dir/editor.cpp.o" "gcc" "src/uims/CMakeFiles/cosm_uims.dir/editor.cpp.o.d"
+  "/root/repo/src/uims/form.cpp" "src/uims/CMakeFiles/cosm_uims.dir/form.cpp.o" "gcc" "src/uims/CMakeFiles/cosm_uims.dir/form.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/cosm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidl/CMakeFiles/cosm_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

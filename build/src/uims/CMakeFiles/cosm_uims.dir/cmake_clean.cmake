@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_uims.dir/editor.cpp.o"
+  "CMakeFiles/cosm_uims.dir/editor.cpp.o.d"
+  "CMakeFiles/cosm_uims.dir/form.cpp.o"
+  "CMakeFiles/cosm_uims.dir/form.cpp.o.d"
+  "libcosm_uims.a"
+  "libcosm_uims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_uims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/codec.cpp" "src/wire/CMakeFiles/cosm_wire.dir/codec.cpp.o" "gcc" "src/wire/CMakeFiles/cosm_wire.dir/codec.cpp.o.d"
+  "/root/repo/src/wire/marshal.cpp" "src/wire/CMakeFiles/cosm_wire.dir/marshal.cpp.o" "gcc" "src/wire/CMakeFiles/cosm_wire.dir/marshal.cpp.o.d"
+  "/root/repo/src/wire/static_codec.cpp" "src/wire/CMakeFiles/cosm_wire.dir/static_codec.cpp.o" "gcc" "src/wire/CMakeFiles/cosm_wire.dir/static_codec.cpp.o.d"
+  "/root/repo/src/wire/value.cpp" "src/wire/CMakeFiles/cosm_wire.dir/value.cpp.o" "gcc" "src/wire/CMakeFiles/cosm_wire.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sidl/CMakeFiles/cosm_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_wire.dir/codec.cpp.o"
+  "CMakeFiles/cosm_wire.dir/codec.cpp.o.d"
+  "CMakeFiles/cosm_wire.dir/marshal.cpp.o"
+  "CMakeFiles/cosm_wire.dir/marshal.cpp.o.d"
+  "CMakeFiles/cosm_wire.dir/static_codec.cpp.o"
+  "CMakeFiles/cosm_wire.dir/static_codec.cpp.o.d"
+  "CMakeFiles/cosm_wire.dir/value.cpp.o"
+  "CMakeFiles/cosm_wire.dir/value.cpp.o.d"
+  "libcosm_wire.a"
+  "libcosm_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_test_support.dir/support/generators.cpp.o"
+  "CMakeFiles/cosm_test_support.dir/support/generators.cpp.o.d"
+  "libcosm_test_support.a"
+  "libcosm_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosm_shell.dir/test_cosm_shell.cpp.o"
+  "CMakeFiles/test_cosm_shell.dir/test_cosm_shell.cpp.o.d"
+  "test_cosm_shell"
+  "test_cosm_shell.pdb"
+  "test_cosm_shell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_properties.dir/test_dynamic_properties.cpp.o"
+  "CMakeFiles/test_dynamic_properties.dir/test_dynamic_properties.cpp.o.d"
+  "test_dynamic_properties"
+  "test_dynamic_properties.pdb"
+  "test_dynamic_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

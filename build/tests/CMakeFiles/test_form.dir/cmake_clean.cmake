@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_form.dir/test_form.cpp.o"
+  "CMakeFiles/test_form.dir/test_form.cpp.o.d"
+  "test_form"
+  "test_form.pdb"
+  "test_form[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generic_client.dir/test_generic_client.cpp.o"
+  "CMakeFiles/test_generic_client.dir/test_generic_client.cpp.o.d"
+  "test_generic_client"
+  "test_generic_client.pdb"
+  "test_generic_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generic_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inproc.dir/test_inproc.cpp.o"
+  "CMakeFiles/test_inproc.dir/test_inproc.cpp.o.d"
+  "test_inproc"
+  "test_inproc.pdb"
+  "test_inproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interface_repository.dir/test_interface_repository.cpp.o"
+  "CMakeFiles/test_interface_repository.dir/test_interface_repository.cpp.o.d"
+  "test_interface_repository"
+  "test_interface_repository.pdb"
+  "test_interface_repository[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interface_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

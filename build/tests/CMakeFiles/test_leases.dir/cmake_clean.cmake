@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leases.dir/test_leases.cpp.o"
+  "CMakeFiles/test_leases.dir/test_leases.cpp.o.d"
+  "test_leases"
+  "test_leases.pdb"
+  "test_leases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

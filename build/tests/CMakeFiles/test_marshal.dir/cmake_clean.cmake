@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marshal.dir/test_marshal.cpp.o"
+  "CMakeFiles/test_marshal.dir/test_marshal.cpp.o.d"
+  "test_marshal"
+  "test_marshal.pdb"
+  "test_marshal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

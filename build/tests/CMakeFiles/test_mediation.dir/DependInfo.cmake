@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mediation.cpp" "tests/CMakeFiles/test_mediation.dir/test_mediation.cpp.o" "gcc" "tests/CMakeFiles/test_mediation.dir/test_mediation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/cosm_test_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/cosm_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cosm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trader/CMakeFiles/cosm_trader.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/cosm_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/uims/CMakeFiles/cosm_uims.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/cosm_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/cosm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidl/CMakeFiles/cosm_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mediation.dir/test_mediation.cpp.o"
+  "CMakeFiles/test_mediation.dir/test_mediation.cpp.o.d"
+  "test_mediation"
+  "test_mediation.pdb"
+  "test_mediation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

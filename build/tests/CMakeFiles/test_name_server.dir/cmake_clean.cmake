@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name_server.dir/test_name_server.cpp.o"
+  "CMakeFiles/test_name_server.dir/test_name_server.cpp.o.d"
+  "test_name_server"
+  "test_name_server.pdb"
+  "test_name_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

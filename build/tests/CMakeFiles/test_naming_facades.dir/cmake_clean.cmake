@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naming_facades.dir/test_naming_facades.cpp.o"
+  "CMakeFiles/test_naming_facades.dir/test_naming_facades.cpp.o.d"
+  "test_naming_facades"
+  "test_naming_facades.pdb"
+  "test_naming_facades[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naming_facades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preference.dir/test_preference.cpp.o"
+  "CMakeFiles/test_preference.dir/test_preference.cpp.o.d"
+  "test_preference"
+  "test_preference.pdb"
+  "test_preference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

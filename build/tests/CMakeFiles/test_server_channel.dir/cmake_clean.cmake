@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_channel.dir/test_server_channel.cpp.o"
+  "CMakeFiles/test_server_channel.dir/test_server_channel.cpp.o.d"
+  "test_server_channel"
+  "test_server_channel.pdb"
+  "test_server_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

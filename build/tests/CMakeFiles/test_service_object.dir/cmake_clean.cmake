@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_object.dir/test_service_object.cpp.o"
+  "CMakeFiles/test_service_object.dir/test_service_object.cpp.o.d"
+  "test_service_object"
+  "test_service_object.pdb"
+  "test_service_object[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

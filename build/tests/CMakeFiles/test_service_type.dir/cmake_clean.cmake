@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_type.dir/test_service_type.cpp.o"
+  "CMakeFiles/test_service_type.dir/test_service_type.cpp.o.d"
+  "test_service_type"
+  "test_service_type.pdb"
+  "test_service_type[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

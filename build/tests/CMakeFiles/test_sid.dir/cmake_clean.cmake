@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sid.dir/test_sid.cpp.o"
+  "CMakeFiles/test_sid.dir/test_sid.cpp.o.d"
+  "test_sid"
+  "test_sid.pdb"
+  "test_sid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

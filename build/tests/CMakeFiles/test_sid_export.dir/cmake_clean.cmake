@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sid_export.dir/test_sid_export.cpp.o"
+  "CMakeFiles/test_sid_export.dir/test_sid_export.cpp.o.d"
+  "test_sid_export"
+  "test_sid_export.pdb"
+  "test_sid_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sid_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidlc.dir/test_sidlc.cpp.o"
+  "CMakeFiles/test_sidlc.dir/test_sidlc.cpp.o.d"
+  "test_sidlc"
+  "test_sidlc.pdb"
+  "test_sidlc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_codec.dir/test_static_codec.cpp.o"
+  "CMakeFiles/test_static_codec.dir/test_static_codec.cpp.o.d"
+  "test_static_codec"
+  "test_static_codec.pdb"
+  "test_static_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trader.dir/test_trader.cpp.o"
+  "CMakeFiles/test_trader.dir/test_trader.cpp.o.d"
+  "test_trader"
+  "test_trader.pdb"
+  "test_trader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

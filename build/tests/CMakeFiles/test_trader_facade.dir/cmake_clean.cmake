@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trader_facade.dir/test_trader_facade.cpp.o"
+  "CMakeFiles/test_trader_facade.dir/test_trader_facade.cpp.o.d"
+  "test_trader_facade"
+  "test_trader_facade.pdb"
+  "test_trader_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trader_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type_desc.dir/test_type_desc.cpp.o"
+  "CMakeFiles/test_type_desc.dir/test_type_desc.cpp.o.d"
+  "test_type_desc"
+  "test_type_desc.pdb"
+  "test_type_desc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

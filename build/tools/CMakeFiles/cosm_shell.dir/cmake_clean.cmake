@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_shell.dir/cosm_shell.cpp.o"
+  "CMakeFiles/cosm_shell.dir/cosm_shell.cpp.o.d"
+  "cosm_shell"
+  "cosm_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

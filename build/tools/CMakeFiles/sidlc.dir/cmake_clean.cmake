@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidlc.dir/sidlc.cpp.o"
+  "CMakeFiles/sidlc.dir/sidlc.cpp.o.d"
+  "sidlc"
+  "sidlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
