@@ -88,7 +88,7 @@ Binding GenericClient::bind(const sidl::ServiceRef& ref) {
       network_, ref, rpc::ChannelOptions{options_.timeout});
   sidl::SidPtr sid = channel->fetch_sid();  // SID transfer, Fig. 3
   sidl::ensure_valid(*sid);
-  ++bindings_;
+  bindings_.fetch_add(1, std::memory_order_relaxed);
   return Binding(std::move(channel), std::move(sid), options_);
 }
 

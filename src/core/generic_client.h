@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -105,7 +106,9 @@ class GenericClient {
   /// service reference").
   Binding bind(const wire::Value& ref_value) { return bind(ref_value.as_ref()); }
 
-  std::uint64_t bindings_established() const noexcept { return bindings_; }
+  std::uint64_t bindings_established() const noexcept {
+    return bindings_.load(std::memory_order_relaxed);
+  }
 
   rpc::Network& network() noexcept { return network_; }
   const GenericClientOptions& options() const noexcept { return options_; }
@@ -113,7 +116,8 @@ class GenericClient {
  private:
   rpc::Network& network_;
   GenericClientOptions options_;
-  std::uint64_t bindings_ = 0;
+  // bind() may run concurrently (parallel deep search binds per subtree).
+  std::atomic<std::uint64_t> bindings_{0};
 };
 
 }  // namespace cosm::core

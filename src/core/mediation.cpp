@@ -1,5 +1,8 @@
 #include "core/mediation.h"
 
+#include <iterator>
+#include <thread>
+
 #include "common/error.h"
 
 namespace cosm::core {
@@ -74,14 +77,24 @@ bool browser_shaped(const sidl::Sid& sid) {
 void MediationSession::deep_search_into(const std::string& keyword,
                                         std::size_t remaining_depth,
                                         const std::string& prefix,
+                                        std::mutex& visited_mutex,
                                         std::set<std::string>& visited,
                                         std::vector<DeepHit>& hits) {
   for (const auto& item : search(keyword)) {
     hits.push_back({prefix + item.name, item.ref});
   }
   if (remaining_depth == 0) return;
+
+  // Claim every unvisited browser-shaped child in entry order *before* any
+  // descent starts: claiming is the only shared-state mutation, so doing it
+  // up front keeps which-subtree-owns-which-browser deterministic.  The
+  // browse/describe calls run on this thread — a Binding is single-threaded.
+  std::vector<BrowseItem> children;
   for (const auto& item : browse()) {
-    if (!visited.insert(item.ref.id).second) continue;  // cycle / revisit
+    {
+      std::lock_guard lock(visited_mutex);
+      if (!visited.insert(item.ref.id).second) continue;  // cycle / revisit
+    }
     sidl::SidPtr entry_sid;
     try {
       entry_sid = describe(item.name);
@@ -89,22 +102,46 @@ void MediationSession::deep_search_into(const std::string& keyword,
       continue;  // entry vanished between browse and describe
     }
     if (!browser_shaped(*entry_sid)) continue;
+    children.push_back(item);
+  }
+  if (children.empty()) return;
+
+  // Descend into sibling subtrees in parallel, one session (and therefore
+  // one binding) per thread; merge their hits in entry order.
+  std::vector<std::vector<DeepHit>> child_hits(children.size());
+  auto descend = [&](std::size_t i) {
     try {
-      MediationSession nested(client_, item.ref, depth_ + 1);
+      MediationSession nested(client_, children[i].ref, depth_ + 1);
       nested.deep_search_into(keyword, remaining_depth - 1,
-                              prefix + item.name + "/", visited, hits);
+                              prefix + children[i].name + "/", visited_mutex,
+                              visited, child_hits[i]);
     } catch (const Error&) {
       // Unreachable cascaded browser: skip its subtree.
     }
+  };
+  if (children.size() == 1) {
+    descend(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      threads.emplace_back(descend, i);
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (auto& sub : child_hits) {
+    hits.insert(hits.end(), std::make_move_iterator(sub.begin()),
+                std::make_move_iterator(sub.end()));
   }
 }
 
 std::vector<DeepHit> MediationSession::deep_search(const std::string& keyword,
                                                    std::size_t max_depth) {
   std::vector<DeepHit> hits;
+  std::mutex visited_mutex;
   std::set<std::string> visited;
   visited.insert(browser_.ref().id);
-  deep_search_into(keyword, max_depth, "", visited, hits);
+  deep_search_into(keyword, max_depth, "", visited_mutex, visited, hits);
   return hits;
 }
 

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -47,7 +48,11 @@ class MediationSession {
   /// Recursive keyword search across the browser cascade: hits from this
   /// browser plus, up to `max_depth` levels down, from every entry that is
   /// itself browser-shaped.  Cycles (browsers registered at each other) are
-  /// broken by tracking visited browser references.
+  /// broken by tracking visited browser references.  Sibling subtrees are
+  /// descended on parallel threads (each with its own session/binding);
+  /// children are claimed against the visited set in entry order before any
+  /// descent starts and hits merge in entry order, so results are
+  /// deterministic for tree-plus-cycle cascades.
   std::vector<DeepHit> deep_search(const std::string& keyword,
                                    std::size_t max_depth = 4);
 
@@ -72,7 +77,7 @@ class MediationSession {
   sidl::ServiceRef find_ref(const std::string& entry_name);
 
   void deep_search_into(const std::string& keyword, std::size_t remaining_depth,
-                        const std::string& prefix,
+                        const std::string& prefix, std::mutex& visited_mutex,
                         std::set<std::string>& visited,
                         std::vector<DeepHit>& hits);
 

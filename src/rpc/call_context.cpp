@@ -1,0 +1,53 @@
+#include "rpc/call_context.h"
+
+#include <algorithm>
+
+namespace cosm::rpc {
+
+namespace {
+
+thread_local CallContext g_current_context;
+
+constexpr std::chrono::milliseconds kNoDeadlineSentinel =
+    std::chrono::hours(24);
+
+}  // namespace
+
+std::chrono::milliseconds CallContext::remaining() const noexcept {
+  if (!has_deadline()) return kNoDeadlineSentinel;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return std::max(left, std::chrono::milliseconds(0));
+}
+
+CallContext CallContext::with_timeout(std::chrono::milliseconds timeout) {
+  CallContext ctx;
+  if (timeout.count() > 0) ctx.deadline = Clock::now() + timeout;
+  return ctx;
+}
+
+CallContext CallContext::shrunk(std::chrono::milliseconds cap) const {
+  CallContext ctx = *this;
+  if (cap.count() > 0) {
+    auto capped = Clock::now() + cap;
+    if (!ctx.has_deadline() || capped < ctx.deadline) ctx.deadline = capped;
+  }
+  return ctx;
+}
+
+CallContext CallContext::after_hop() const {
+  CallContext ctx = *this;
+  if (ctx.hop_budget > 0) --ctx.hop_budget;
+  return ctx;
+}
+
+CallContext current_call_context() noexcept { return g_current_context; }
+
+CallContextScope::CallContextScope(const CallContext& ctx) noexcept
+    : previous_(g_current_context) {
+  g_current_context = ctx;
+}
+
+CallContextScope::~CallContextScope() { g_current_context = previous_; }
+
+}  // namespace cosm::rpc

@@ -1,0 +1,68 @@
+// Per-call context: deadline and hop budget, propagated along the call path.
+//
+// A CallContext travels with every RPC: the client stamps the remaining
+// deadline budget (milliseconds) into the request frame, the server
+// reconstructs an absolute deadline on arrival and installs it in a
+// thread-local scope around dispatch.  Any call the handler issues downstream
+// (trader federation hops, dynamic-property fetches, cascaded browsers)
+// inherits the shrunken remainder automatically — a chain of hops shares one
+// budget instead of multiplying per-hop timeouts.
+//
+// The hop budget mirrors the trader's federation hop limit at the transport
+// level: each forwarded hop decrements it, and a server refuses requests
+// whose budget is exhausted, bounding propagation even if an upper layer
+// forgets to.
+
+#pragma once
+
+#include <chrono>
+
+namespace cosm::rpc {
+
+struct CallContext {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute deadline; time_point{} (the epoch) means "no deadline".
+  Clock::time_point deadline{};
+  /// Remaining federation/forwarding hops; negative means "unlimited".
+  int hop_budget = -1;
+
+  bool has_deadline() const noexcept { return deadline != Clock::time_point{}; }
+  bool expired() const noexcept {
+    return has_deadline() && Clock::now() >= deadline;
+  }
+
+  /// Budget left on the clock; a large sentinel (24 h) when no deadline is
+  /// set, zero when already expired.
+  std::chrono::milliseconds remaining() const noexcept;
+
+  /// Context expiring `timeout` from now (non-positive timeout = none).
+  static CallContext with_timeout(std::chrono::milliseconds timeout);
+
+  /// This context tightened so its deadline is at most `cap` from now.
+  /// A context with no deadline gains one; a nearer deadline is kept.
+  CallContext shrunk(std::chrono::milliseconds cap) const;
+
+  /// This context with one hop consumed (no-op when unlimited).
+  CallContext after_hop() const;
+};
+
+/// The context of the request currently being dispatched on this thread
+/// (default-constructed when outside any dispatch).  Set by the RpcServer
+/// around handler execution so downstream calls inherit the deadline.
+CallContext current_call_context() noexcept;
+
+/// RAII: installs `ctx` as the thread's current call context.
+class CallContextScope {
+ public:
+  explicit CallContextScope(const CallContext& ctx) noexcept;
+  ~CallContextScope();
+
+  CallContextScope(const CallContextScope&) = delete;
+  CallContextScope& operator=(const CallContextScope&) = delete;
+
+ private:
+  CallContext previous_;
+};
+
+}  // namespace cosm::rpc

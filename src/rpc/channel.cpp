@@ -8,24 +8,21 @@
 
 namespace cosm::rpc {
 
-RpcChannel::RpcChannel(Network& network, sidl::ServiceRef ref, ChannelOptions options)
-    : network_(network),
-      ref_(std::move(ref)),
-      options_(options),
-      session_(next_name("sess")) {
-  if (!ref_.valid()) throw ContractError("RpcChannel needs a valid service reference");
-}
+PendingReply::PendingReply(PendingCallPtr pending, CallContext ctx,
+                           sidl::TypePtr result_type)
+    : pending_(std::move(pending)),
+      ctx_(ctx),
+      result_type_(std::move(result_type)) {}
 
-wire::Value RpcChannel::roundtrip(const std::string& operation, Bytes body) {
-  Message request =
-      Message::request(next_request_++, ref_.id, operation, std::move(body));
-  request.session = session_;
-  Bytes reply_frame = network_.call(ref_.endpoint, request.encode(), options_.timeout);
+wire::Value PendingReply::get() {
+  Bytes reply_frame = pending_->get(ctx_);
   Message reply = Message::decode(reply_frame);
-  ++calls_;
   switch (reply.type) {
-    case MsgType::Response:
-      return wire::decode_value(reply.body);
+    case MsgType::Response: {
+      wire::Value result = wire::decode_value(reply.body);
+      if (result_type_) wire::ensure_conforms(result, *result_type_);
+      return result;
+    }
     case MsgType::Fault:
       throw RemoteFault(reply.fault);
     case MsgType::Request:
@@ -34,18 +31,58 @@ wire::Value RpcChannel::roundtrip(const std::string& operation, Bytes body) {
   throw RpcError("unexpected message type in reply");
 }
 
+RpcChannel::RpcChannel(Network& network, sidl::ServiceRef ref, ChannelOptions options)
+    : network_(network),
+      ref_(std::move(ref)),
+      options_(options),
+      session_(next_name("sess")) {
+  if (!ref_.valid()) throw ContractError("RpcChannel needs a valid service reference");
+}
+
+PendingReplyPtr RpcChannel::issue(const std::string& operation, Bytes body,
+                                  sidl::TypePtr result_type) {
+  // Effective budget: whatever deadline this thread already operates under,
+  // tightened to at most the channel timeout from now.
+  CallContext ctx = current_call_context().shrunk(options_.timeout);
+  if (ctx.expired()) {
+    throw RpcError("deadline exceeded before call to '" + operation + "'");
+  }
+  Message request =
+      Message::request(next_request_.fetch_add(1, std::memory_order_relaxed),
+                       ref_.id, operation, std::move(body));
+  request.session = session_;
+  request.deadline_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(ctx.remaining())
+          .count());
+  if (request.deadline_ms == 0) request.deadline_ms = 1;
+  request.hop_budget = ctx.hop_budget;
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  PendingCallPtr pending = network_.call_async(ref_.endpoint, request.encode(), ctx);
+  return std::make_shared<PendingReply>(std::move(pending), ctx,
+                                        std::move(result_type));
+}
+
+PendingReplyPtr RpcChannel::call_async(const std::string& operation,
+                                       std::vector<wire::Value> args) {
+  return issue(operation,
+               wire::encode_value(wire::Value::sequence(std::move(args))),
+               nullptr);
+}
+
+PendingReplyPtr RpcChannel::call_async(const sidl::OperationDesc& op,
+                                       std::vector<wire::Value> args) {
+  Bytes body = wire::marshal_arguments(op, args);
+  return issue(op.name, std::move(body), op.result);
+}
+
 wire::Value RpcChannel::call(const std::string& operation,
                              std::vector<wire::Value> args) {
-  return roundtrip(operation,
-                   wire::encode_value(wire::Value::sequence(std::move(args))));
+  return call_async(operation, std::move(args))->get();
 }
 
 wire::Value RpcChannel::call(const sidl::OperationDesc& op,
                              std::vector<wire::Value> args) {
-  Bytes body = wire::marshal_arguments(op, args);
-  wire::Value result = roundtrip(op.name, std::move(body));
-  wire::ensure_conforms(result, *op.result);
-  return result;
+  return call_async(op, std::move(args))->get();
 }
 
 sidl::SidPtr RpcChannel::fetch_sid() {

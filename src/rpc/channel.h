@@ -11,14 +11,25 @@
 //   * typed   — an OperationDesc (usually from a transferred SID) validates
 //     arguments before encoding and the result after decoding.  This is the
 //     path the generic client uses.
+//
+// Both flavours have an async form returning a PendingReply; the blocking
+// forms are implemented on top of it.  Every outbound request inherits the
+// calling thread's CallContext (see call_context.h): the effective deadline
+// is the tighter of the inherited one and this channel's timeout, and its
+// remaining budget is stamped into the request so the server — and anything
+// the server calls — sees the same shrinking deadline.  A channel is safe
+// to share across threads.
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "rpc/call_context.h"
 #include "rpc/network.h"
 #include "sidl/service_ref.h"
 #include "sidl/sid.h"
@@ -29,6 +40,26 @@ namespace cosm::rpc {
 struct ChannelOptions {
   std::chrono::milliseconds timeout{5000};
 };
+
+/// An in-flight channel call.  get() blocks for the reply frame, decodes it
+/// and throws RemoteFault / RpcError exactly like the blocking call paths.
+class PendingReply {
+ public:
+  PendingReply(PendingCallPtr pending, CallContext ctx,
+               sidl::TypePtr result_type);
+
+  /// Blocks until reply or deadline; decodes the result (validating it when
+  /// the call was typed).  Throws RemoteFault on a fault reply, RpcError on
+  /// timeout or transport failure.
+  wire::Value get();
+
+ private:
+  PendingCallPtr pending_;
+  CallContext ctx_;
+  sidl::TypePtr result_type_;  // nullptr for untyped calls
+};
+
+using PendingReplyPtr = std::shared_ptr<PendingReply>;
 
 class RpcChannel {
  public:
@@ -41,6 +72,13 @@ class RpcChannel {
   /// result against op.result after receiving.
   wire::Value call(const sidl::OperationDesc& op, std::vector<wire::Value> args);
 
+  /// Async forms of the two call flavours: the request is on the wire when
+  /// they return; collect the result with PendingReply::get().
+  PendingReplyPtr call_async(const std::string& operation,
+                             std::vector<wire::Value> args);
+  PendingReplyPtr call_async(const sidl::OperationDesc& op,
+                             std::vector<wire::Value> args);
+
   /// Fetch the service's SID via the built-in "_get_sid" operation — the
   /// SID-transfer arrow of Fig. 3.
   sidl::SidPtr fetch_sid();
@@ -49,17 +87,20 @@ class RpcChannel {
   const std::string& session() const noexcept { return session_; }
 
   /// Calls issued on this channel (instrumentation).
-  std::uint64_t calls_made() const noexcept { return calls_; }
+  std::uint64_t calls_made() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
 
  private:
-  wire::Value roundtrip(const std::string& operation, Bytes body);
+  PendingReplyPtr issue(const std::string& operation, Bytes body,
+                        sidl::TypePtr result_type);
 
   Network& network_;
   sidl::ServiceRef ref_;
   ChannelOptions options_;
   std::string session_;
-  std::uint64_t next_request_ = 1;
-  std::uint64_t calls_ = 0;
+  std::atomic<std::uint64_t> next_request_{1};
+  std::atomic<std::uint64_t> calls_{0};
 };
 
 }  // namespace cosm::rpc

@@ -1,0 +1,66 @@
+#include "rpc/executor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+
+namespace {
+
+std::size_t default_workers() {
+  // Workers exist to overlap waiting (simulated LAN latency, nested round
+  // trips), so size past the core count; clamp to keep small test fixtures
+  // cheap.
+  std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw * 2, 8, 32);
+}
+
+}  // namespace
+
+Executor::Executor(std::size_t workers) {
+  if (workers == 0) workers = default_workers();
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+  // Drain stragglers submitted after the workers left (none should remain in
+  // normal shutdown, but an unsettled task would hang its waiter forever).
+  for (auto& task : queue_) task->run_if_unclaimed();
+}
+
+Executor::TaskPtr Executor::submit(std::function<void()> fn) {
+  if (!fn) throw ContractError("Executor::submit: task must be callable");
+  auto task = std::make_shared<Task>(std::move(fn));
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(task);
+  }
+  work_cv_.notify_one();
+  return task;
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    TaskPtr task;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task->run_if_unclaimed();
+  }
+}
+
+}  // namespace cosm::rpc

@@ -1,0 +1,83 @@
+// A small worker pool with claimable tasks.
+//
+// A submitted task is normally executed by a pool worker, but any thread
+// holding the TaskPtr can claim it first: run_if_unclaimed() executes it on
+// the claiming thread, cancel() claims it without executing (a timed-out
+// caller abandoning work that never started).  Whoever claims first wins;
+// the loser sees a no-op.  The in-proc transport uses cancel() so an
+// expired call that is still queued costs nothing, while calls already
+// running are simply abandoned — mirroring how a network client walks away
+// from a slow server.
+//
+// Destruction drains: queued tasks still run (on the destructor's thread if
+// need be) so no PendingCall is left unsettled.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cosm::rpc {
+
+class Executor {
+ public:
+  /// A unit of queued work; shared between the queue and any caller that
+  /// wants the option of running it inline.
+  class Task {
+   public:
+    explicit Task(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+    /// Run the task on the calling thread unless a worker already claimed
+    /// it.  Returns true when this call executed it.
+    bool run_if_unclaimed() {
+      if (claimed_.exchange(true, std::memory_order_acq_rel)) return false;
+      fn_();
+      fn_ = nullptr;  // release captures promptly
+      return true;
+    }
+
+    /// Claim the task without running it; true when the cancel won (the
+    /// task will now never execute).  Only the claim winner touches fn_, so
+    /// this needs no lock.
+    bool cancel() {
+      if (claimed_.exchange(true, std::memory_order_acq_rel)) return false;
+      fn_ = nullptr;
+      return true;
+    }
+
+   private:
+    std::atomic<bool> claimed_{false};
+    std::function<void()> fn_;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  /// `workers` == 0 picks a default sized for overlapping blocking work
+  /// (simulated latency, socket waits), not just CPU parallelism.
+  explicit Executor(std::size_t workers = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  TaskPtr submit(std::function<void()> fn);
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<TaskPtr> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cosm::rpc

@@ -1,5 +1,7 @@
 #include "rpc/inproc.h"
 
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "common/error.h"
@@ -7,43 +9,108 @@
 
 namespace cosm::rpc {
 
+struct InProcNetwork::Gate {
+  std::mutex m;
+  std::condition_variable cv;
+  int in_flight = 0;
+
+  void enter() {
+    std::lock_guard lock(m);
+    ++in_flight;
+  }
+  void leave() {
+    {
+      std::lock_guard lock(m);
+      --in_flight;
+    }
+    cv.notify_all();
+  }
+  void wait_idle() {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return in_flight == 0; });
+  }
+};
+
 std::string InProcNetwork::listen(const std::string& hint, FrameHandler handler) {
   if (!handler) throw ContractError("listen: handler must be callable");
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   std::string endpoint = "inproc://" + (hint.empty() ? "ep" : hint);
   if (endpoints_.count(endpoint)) {
     endpoint = "inproc://" + (hint.empty() ? "ep" : hint) + "-" +
                std::to_string(next_id());
   }
-  endpoints_.emplace(endpoint, std::move(handler));
+  endpoints_.emplace(endpoint,
+                     Endpoint{std::move(handler), std::make_shared<Gate>()});
   return endpoint;
 }
 
 void InProcNetwork::unlisten(const std::string& endpoint) {
-  std::lock_guard lock(mutex_);
-  endpoints_.erase(endpoint);
+  std::shared_ptr<Gate> gate;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) return;
+    gate = std::move(it->second.gate);
+    endpoints_.erase(it);
+  }
+  // Block until every delivery that copied this endpoint's handler has
+  // finished (or was cancelled): the caller may destroy the handler's
+  // captures the moment we return.
+  gate->wait_idle();
 }
 
-Bytes InProcNetwork::call(const std::string& endpoint, const Bytes& request,
-                          std::chrono::milliseconds timeout) {
-  (void)timeout;  // in-proc handlers are synchronous; they cannot hang
+PendingCallPtr InProcNetwork::call_async(const std::string& endpoint,
+                                         const Bytes& request,
+                                         const CallContext& ctx) {
   FrameHandler handler;
+  std::shared_ptr<Gate> gate;
   {
-    std::lock_guard lock(mutex_);
+    std::shared_lock lock(mutex_);
     auto it = endpoints_.find(endpoint);
     if (it == endpoints_.end()) {
-      throw RpcError("no endpoint bound at '" + endpoint + "'");
+      return failed_call(std::make_exception_ptr(
+          RpcError("no endpoint bound at '" + endpoint + "'")));
     }
     // Copy the handler so the registry lock is not held during the call
     // (handlers may themselves issue calls — browsers call traders, etc.).
-    handler = it->second;
+    handler = it->second.handler;
+    gate = it->second.gate;
+    // Enter the gate under the registry lock: unlisten's erase (unique lock)
+    // can then only run strictly before this call saw the endpoint or
+    // strictly after it is counted in flight — never in between.
+    gate->enter();
   }
-  if (options_.latency.count() > 0) {
-    std::this_thread::sleep_for(options_.latency);
-  }
-  frames_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(request.size(), std::memory_order_relaxed);
-  return handler(request);
+
+  // Leaves the gate when the delivery lambda is destroyed — after it ran,
+  // when it is cancelled, or when the executor drains at shutdown.
+  auto gate_guard = std::shared_ptr<void>(
+      nullptr, [gate = std::move(gate)](void*) { gate->leave(); });
+
+  auto pending = std::make_shared<PendingCall>();
+  auto deliver = [this, handler = std::move(handler), request, ctx, pending,
+                  gate_guard] {
+    if (ctx.expired()) {
+      pending->fail(std::make_exception_ptr(
+          RpcError("call timed out (deadline exceeded before delivery)")));
+      return;
+    }
+    if (options_.latency.count() > 0) {
+      std::this_thread::sleep_for(options_.latency);
+    }
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(request.size(), std::memory_order_relaxed);
+    try {
+      pending->complete(handler(request));
+    } catch (...) {
+      // Frame handlers must not throw; tolerate raw test handlers anyway.
+      pending->fail(std::current_exception());
+    }
+  };
+  Executor::TaskPtr task = executor_.submit(std::move(deliver));
+  // A caller that times out retracts the delivery if it is still queued, so
+  // expired calls never occupy a worker.
+  pending->set_cancel_hook([task] { task->cancel(); });
+  return pending;
 }
 
 }  // namespace cosm::rpc

@@ -1,17 +1,30 @@
 // In-process loopback network.
 //
-// Endpoints live in a registry guarded by a mutex; call() invokes the
-// handler on the caller's thread.  Optional simulated latency and a frame
-// counter make it a measurable stand-in for the paper's workstation-cluster
-// LAN in deterministic benchmarks.
+// Endpoints live in a registry guarded by a reader/writer lock.  Delivery is
+// executor-backed: call_async() queues a delivery task on the worker pool,
+// so independent calls — blocking callers on their own threads as much as
+// async fan-out (parallel federation, multicast, cascaded search) — overlap
+// exactly like requests to a multithreaded remote server.  A caller that
+// gives up on its deadline cancels the delivery if it has not started yet.
+//
+// unlisten() drains: it returns only when no delivery is still running (or
+// queued) against the endpoint's handler, so a server can be destroyed the
+// moment it has unlistened — the loopback equivalent of the TCP transport
+// joining its per-connection serving threads.
+//
+// Optional simulated latency and a frame counter make it a measurable
+// stand-in for the paper's workstation-cluster LAN in deterministic
+// benchmarks.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 
+#include "rpc/executor.h"
 #include "rpc/network.h"
 
 namespace cosm::rpc {
@@ -20,17 +33,21 @@ struct InProcOptions {
   /// Added to every round trip (sleep), modelling network latency; zero by
   /// default so unit tests run at full speed.
   std::chrono::microseconds latency{0};
+  /// Worker threads delivering calls (0 = auto).  Also the cap on
+  /// simultaneously executing handlers.
+  std::size_t workers = 0;
 };
 
 class InProcNetwork final : public Network {
  public:
-  InProcNetwork() = default;
-  explicit InProcNetwork(InProcOptions options) : options_(options) {}
+  InProcNetwork() : InProcNetwork(InProcOptions{}) {}
+  explicit InProcNetwork(InProcOptions options)
+      : options_(options), executor_(options.workers) {}
 
   std::string listen(const std::string& hint, FrameHandler handler) override;
   void unlisten(const std::string& endpoint) override;
-  Bytes call(const std::string& endpoint, const Bytes& request,
-             std::chrono::milliseconds timeout) override;
+  PendingCallPtr call_async(const std::string& endpoint, const Bytes& request,
+                            const CallContext& ctx) override;
   std::string scheme() const override { return "inproc"; }
 
   /// Total round trips served (instrumentation for experiments).
@@ -39,11 +56,22 @@ class InProcNetwork final : public Network {
   std::uint64_t bytes_carried() const noexcept { return bytes_.load(); }
 
  private:
+  /// Counts deliveries in flight against one endpoint so unlisten can wait
+  /// for them (defined in inproc.cpp).
+  struct Gate;
+  struct Endpoint {
+    FrameHandler handler;
+    std::shared_ptr<Gate> gate;
+  };
+
   InProcOptions options_;
-  std::mutex mutex_;
-  std::map<std::string, FrameHandler> endpoints_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Endpoint> endpoints_;
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  // Last member: destroyed first, draining queued deliveries while the
+  // endpoint registry is still alive.
+  Executor executor_;
 };
 
 }  // namespace cosm::rpc

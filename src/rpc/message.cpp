@@ -20,6 +20,9 @@ Bytes Message::encode() const {
   w.str(target);
   w.str(operation);
   w.str(session);
+  w.varint(deadline_ms);
+  // Biased by one so "unlimited" (-1) encodes as 0 in an unsigned varint.
+  w.varint(static_cast<std::uint64_t>(hop_budget + 1));
   w.varint(body.size());
   w.raw(body);
   w.str(fault);
@@ -38,6 +41,8 @@ Message Message::decode(const Bytes& frame) {
   m.target = r.str();
   m.operation = r.str();
   m.session = r.str();
+  m.deadline_ms = r.varint();
+  m.hop_budget = static_cast<std::int32_t>(r.varint()) - 1;
   std::uint64_t n = r.varint();
   m.body = r.raw(n);
   m.fault = r.str();

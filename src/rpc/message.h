@@ -32,6 +32,13 @@ struct Message {
   /// Client session id; the server tracks per-session FSM communication
   /// state under this key (requests only).
   std::string session;
+  /// Remaining deadline budget in milliseconds at send time (requests only;
+  /// 0 = no deadline).  The server turns it back into an absolute deadline
+  /// on arrival, so the budget shrinks across every hop of a call chain.
+  std::uint64_t deadline_ms = 0;
+  /// Remaining forwarding hops (requests only; negative = unlimited).  Each
+  /// federated/forwarded hop decrements it.
+  std::int32_t hop_budget = -1;
   /// Encoded argument sequence (requests) or encoded result value
   /// (responses); empty for faults.
   Bytes body;

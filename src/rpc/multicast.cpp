@@ -1,5 +1,7 @@
 #include "rpc/multicast.h"
 
+#include <memory>
+
 #include "common/error.h"
 #include "rpc/channel.h"
 
@@ -10,18 +12,46 @@ std::vector<MulticastOutcome> multicast_call(Network& network,
                                              const std::string& operation,
                                              const std::vector<wire::Value>& args,
                                              MulticastOptions options) {
+  // Fan out: issue every member's request before collecting any reply.  A
+  // channel per member keeps sessions (and server-side FSM state) distinct,
+  // exactly as the sequential sweep did.
+  struct InFlight {
+    std::unique_ptr<RpcChannel> channel;  // keeps the session alive
+    PendingReplyPtr reply;
+    std::string issue_error;  // non-empty when the request never launched
+  };
+  std::vector<InFlight> calls;
+  calls.reserve(members.size());
+  for (const auto& member : members) {
+    InFlight in_flight;
+    try {
+      in_flight.channel = std::make_unique<RpcChannel>(
+          network, member, ChannelOptions{options.timeout});
+      in_flight.reply = in_flight.channel->call_async(operation, args);
+    } catch (const Error& e) {
+      in_flight.issue_error = e.what();
+    }
+    calls.push_back(std::move(in_flight));
+  }
+
+  // Collect in member order and cut at the quorum point, so the outcome
+  // list is identical to a sequential sweep's regardless of completion
+  // order.
   std::vector<MulticastOutcome> outcomes;
   outcomes.reserve(members.size());
   std::size_t successes = 0;
-  for (const auto& member : members) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
     MulticastOutcome outcome;
-    outcome.member = member;
-    try {
-      RpcChannel channel(network, member, ChannelOptions{options.timeout});
-      outcome.result = channel.call(operation, args);
-      ++successes;
-    } catch (const Error& e) {
-      outcome.error = e.what();
+    outcome.member = members[i];
+    if (!calls[i].issue_error.empty()) {
+      outcome.error = calls[i].issue_error;
+    } else {
+      try {
+        outcome.result = calls[i].reply->get();
+        ++successes;
+      } catch (const Error& e) {
+        outcome.error = e.what();
+      }
     }
     outcomes.push_back(std::move(outcome));
     if (options.quorum > 0 && successes >= options.quorum) break;

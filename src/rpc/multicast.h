@@ -4,6 +4,13 @@
 // broadcasting withdrawals.  This implementation delivers the same request
 // to every member reference and gathers per-member outcomes; a failing
 // member never aborts the sweep.
+//
+// Delivery is concurrent: every member's request is issued asynchronously
+// up front, then outcomes are collected in member order.  Results are
+// deterministic — the outcome list is truncated at the member whose success
+// satisfies the quorum, exactly where a sequential sweep would have
+// stopped — but the wall-clock cost is one round trip, not members-count
+// round trips.
 
 #pragma once
 
@@ -31,12 +38,14 @@ struct MulticastOutcome {
 struct MulticastOptions {
   std::chrono::milliseconds timeout{5000};
   /// Stop after this many successful responses (0 = all members).  A "first
-  /// responder wins" pattern uses 1.
+  /// responder wins" pattern uses 1.  Members are still contacted in
+  /// parallel; the outcome list is truncated at the quorum point in member
+  /// order, matching what a sequential sweep would return.
   std::size_t quorum = 0;
 };
 
-/// Deliver `operation(args)` to every member in order; returns one outcome
-/// per contacted member.  Delivery is sequential and deterministic.
+/// Deliver `operation(args)` to every member concurrently; returns one
+/// outcome per member up to the quorum point, in member order.
 std::vector<MulticastOutcome> multicast_call(Network& network,
                                              const std::vector<sidl::ServiceRef>& members,
                                              const std::string& operation,

@@ -1,0 +1,11 @@
+#include "rpc/network.h"
+
+namespace cosm::rpc {
+
+Bytes Network::call(const std::string& endpoint, const Bytes& request,
+                    std::chrono::milliseconds timeout) {
+  CallContext ctx = CallContext::with_timeout(timeout);
+  return call_async(endpoint, request, ctx)->get(ctx);
+}
+
+}  // namespace cosm::rpc

@@ -1,12 +1,16 @@
 // Transport abstraction (the "Communication Level" of Fig. 6).
 //
-// A Network binds frame handlers to endpoint addresses and performs
-// synchronous round trips.  Two implementations exist:
-//   * InProcNetwork — a loopback bus inside one process; deterministic and
-//     fast, used by tests and most benchmarks, with optional simulated
-//     per-call latency so experiments can model LAN round trips;
-//   * TcpNetwork — real sockets on 127.0.0.1 with length-prefixed frames,
-//     used to validate the mechanisms over genuine I/O (ablation A2).
+// A Network binds frame handlers to endpoint addresses and carries request/
+// response round trips.  The primitive is asynchronous: call_async() hands
+// back a PendingCall the transport settles when the response arrives; the
+// blocking call() is implemented on top of it.  Two implementations exist:
+//   * InProcNetwork — a loopback bus inside one process; blocking calls run
+//     the handler inline on the caller's thread (deterministic), async calls
+//     are delivered by an executor-backed worker pool, with optional
+//     simulated per-call latency so experiments can model LAN round trips;
+//   * TcpNetwork — real sockets on 127.0.0.1 with length-prefixed,
+//     correlation-tagged frames over pooled persistent connections, used to
+//     validate the mechanisms over genuine I/O (ablation A2).
 //
 // Endpoint addresses are URLs: "inproc://name" or "tcp://127.0.0.1:port".
 
@@ -17,12 +21,15 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "rpc/call_context.h"
+#include "rpc/pending_call.h"
 
 namespace cosm::rpc {
 
 /// Server-side frame handler: consumes a request frame, produces the
 /// response frame.  Handlers must not throw; RPC-level faults are encoded
-/// into the returned frame by the RpcServer.
+/// into the returned frame by the RpcServer.  Handlers may run concurrently
+/// on transport threads — server-side state must be synchronised.
 using FrameHandler = std::function<Bytes(const Bytes&)>;
 
 class Network {
@@ -40,10 +47,18 @@ class Network {
   /// Remove a binding; subsequent calls to the endpoint fail.
   virtual void unlisten(const std::string& endpoint) = 0;
 
-  /// Synchronous round trip.  Throws cosm::RpcError on unknown endpoint,
-  /// connection failure or timeout.
-  virtual Bytes call(const std::string& endpoint, const Bytes& request,
-                     std::chrono::milliseconds timeout) = 0;
+  /// Issue a round trip without blocking.  Never throws: synchronous
+  /// failures (unknown endpoint, bad address, expired deadline) settle the
+  /// returned PendingCall with the error.  `ctx` carries the caller's
+  /// deadline; the transport refuses delivery once it has expired.
+  virtual PendingCallPtr call_async(const std::string& endpoint,
+                                    const Bytes& request,
+                                    const CallContext& ctx) = 0;
+
+  /// Synchronous round trip: call_async + wait.  Throws cosm::RpcError on
+  /// unknown endpoint, connection failure or timeout.
+  Bytes call(const std::string& endpoint, const Bytes& request,
+             std::chrono::milliseconds timeout);
 
   /// Scheme prefix this network serves ("inproc" or "tcp").
   virtual std::string scheme() const = 0;

@@ -1,0 +1,76 @@
+#include "rpc/pending_call.h"
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+
+void PendingCall::settle(Bytes response, std::exception_ptr error) {
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard lock(mutex_);
+    if (settled_) return;  // first settlement wins
+    settled_ = true;
+    response_ = std::move(response);
+    error_ = error;
+    callbacks.swap(callbacks_);
+  }
+  settled_cv_.notify_all();
+  for (auto& callback : callbacks) {
+    callback(error_ ? nullptr : &response_, error_);
+  }
+}
+
+void PendingCall::complete(Bytes response) { settle(std::move(response), nullptr); }
+
+void PendingCall::fail(std::exception_ptr error) { settle({}, error); }
+
+void PendingCall::set_cancel_hook(std::function<void()> hook) {
+  std::lock_guard lock(mutex_);
+  cancel_hook_ = std::move(hook);
+}
+
+bool PendingCall::done() const {
+  std::lock_guard lock(mutex_);
+  return settled_;
+}
+
+Bytes PendingCall::get(const CallContext& ctx) {
+  std::unique_lock lock(mutex_);
+  if (ctx.has_deadline()) {
+    if (!settled_cv_.wait_until(lock, ctx.deadline, [&] { return settled_; })) {
+      // Give the transport a chance to retract work that never started;
+      // work already running is simply abandoned.
+      std::function<void()> cancel = cancel_hook_;
+      lock.unlock();
+      if (cancel) cancel();
+      throw RpcError("call timed out (deadline exceeded while waiting)");
+    }
+  } else {
+    settled_cv_.wait(lock, [&] { return settled_; });
+  }
+  if (error_) std::rethrow_exception(error_);
+  return response_;
+}
+
+Bytes PendingCall::get(std::chrono::milliseconds timeout) {
+  return get(CallContext::with_timeout(timeout));
+}
+
+void PendingCall::on_complete(Callback callback) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!settled_) {
+      callbacks_.push_back(std::move(callback));
+      return;
+    }
+  }
+  callback(error_ ? nullptr : &response_, error_);
+}
+
+PendingCallPtr failed_call(std::exception_ptr error) {
+  auto pending = std::make_shared<PendingCall>();
+  pending->fail(error);
+  return pending;
+}
+
+}  // namespace cosm::rpc

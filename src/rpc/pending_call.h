@@ -1,0 +1,81 @@
+// The client-side handle of an in-flight call: a small future.
+//
+// A transport's call_async() returns a PendingCall immediately; the transport
+// later settles it exactly once with either the response frame or an error.
+// Callers can block on get() (with a deadline) or attach a completion
+// callback; both styles compose, and the blocking Network::call() is just
+// call_async() + get().
+//
+// A timed-out get() abandons the call without tearing anything down: the
+// transport still settles the handle when the response eventually arrives (or
+// the connection dies), and the late result is simply dropped.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+#include "rpc/call_context.h"
+
+namespace cosm::rpc {
+
+class PendingCall {
+ public:
+  /// Called exactly once on settlement: `response` is non-null on success,
+  /// `error` non-null on failure.  May run on a transport thread.
+  using Callback = std::function<void(const Bytes* response,
+                                      std::exception_ptr error)>;
+
+  PendingCall() = default;
+  PendingCall(const PendingCall&) = delete;
+  PendingCall& operator=(const PendingCall&) = delete;
+
+  // --- transport side ---
+
+  /// Settle with a response.  Later settlements are ignored.
+  void complete(Bytes response);
+  /// Settle with an error.  Later settlements are ignored.
+  void fail(std::exception_ptr error);
+  /// Hook run when a blocking get() gives up on the deadline; lets the
+  /// transport retract work that has not started yet (e.g. cancel a queued
+  /// loopback delivery) so abandoned calls do not clog the pool.
+  void set_cancel_hook(std::function<void()> hook);
+
+  // --- caller side ---
+
+  bool done() const;
+
+  /// Wait for settlement until `ctx`'s deadline; returns the response or
+  /// rethrows the transport/remote error.  Throws cosm::RpcError("… timed
+  /// out") when the deadline passes first; the call stays in flight.
+  Bytes get(const CallContext& ctx);
+  Bytes get(std::chrono::milliseconds timeout);
+
+  /// Attach a completion callback; runs inline when already settled.
+  void on_complete(Callback callback);
+
+ private:
+  void settle(Bytes response, std::exception_ptr error);
+
+  mutable std::mutex mutex_;
+  std::condition_variable settled_cv_;
+  std::function<void()> cancel_hook_;
+  std::vector<Callback> callbacks_;
+  Bytes response_;
+  std::exception_ptr error_;
+  bool settled_ = false;
+};
+
+using PendingCallPtr = std::shared_ptr<PendingCall>;
+
+/// A PendingCall already settled with an error (for synchronous failures
+/// inside call_async, which must never throw).
+PendingCallPtr failed_call(std::exception_ptr error);
+
+}  // namespace cosm::rpc

@@ -1,0 +1,42 @@
+#include "rpc/replay_cache.h"
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+
+ReplayCache::ReplayCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw ContractError("ReplayCache capacity must be > 0");
+}
+
+bool ReplayCache::lookup(const Key& key, Bytes* frame_out) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency, O(1)
+  ++hits_;
+  if (frame_out != nullptr) *frame_out = it->second->frame;
+  return true;
+}
+
+void ReplayCache::insert(const Key& key, Bytes frame) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;  // keep the original response
+  }
+  lru_.push_front(Entry{key, std::move(frame)});
+  index_[key] = lru_.begin();
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ReplayCache::size() const {
+  std::lock_guard lock(mutex_);
+  return index_.size();
+}
+
+}  // namespace cosm::rpc

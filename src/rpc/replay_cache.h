@@ -1,0 +1,63 @@
+// O(1) LRU replay cache for at-most-once RPC execution.
+//
+// Keys are (session, request id); values are the fully encoded response
+// frames, so a retried request is answered byte-identically without
+// re-executing the handler ("Transactional RPC", Fig. 6).  Lookup refreshes
+// recency; insertion over capacity evicts the least recently used entry.
+// Internally synchronised: the server consults it concurrently from every
+// dispatch thread.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace cosm::rpc {
+
+class ReplayCache {
+ public:
+  using Key = std::pair<std::string, std::uint64_t>;  // (session, request id)
+
+  explicit ReplayCache(std::size_t capacity);
+
+  /// Cached response for `key`, refreshing its recency; false when absent.
+  bool lookup(const Key& key, Bytes* frame_out);
+
+  /// Record a response; evicts the LRU entry when full.  A key already
+  /// present keeps its first response (at-most-once: the original answer
+  /// must not change under a racing duplicate).
+  void insert(const Key& key, Bytes frame);
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  struct Entry {
+    Key key;
+    Bytes frame;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::size_t h = std::hash<std::string>{}(key.first);
+      return h ^ (std::hash<std::uint64_t>{}(key.second) + 0x9e3779b97f4a7c15ull +
+                  (h << 6) + (h >> 2));
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace cosm::rpc

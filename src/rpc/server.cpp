@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/id.h"
+#include "rpc/call_context.h"
 #include "wire/codec.h"
 #include "wire/marshal.h"
 
@@ -10,6 +11,9 @@ namespace cosm::rpc {
 RpcServer::RpcServer(Network& network, const std::string& host_hint,
                      ServerOptions options)
     : network_(network), options_(options) {
+  if (options_.at_most_once) {
+    replay_ = std::make_unique<ReplayCache>(options_.replay_cache_capacity);
+  }
   endpoint_ = network_.listen(host_hint, [this](const Bytes& frame) {
     return handle(frame);
   });
@@ -23,18 +27,18 @@ sidl::ServiceRef RpcServer::add(ServiceObjectPtr object) {
   ref.id = next_name("svc");
   ref.endpoint = endpoint_;
   ref.interface_name = object->sid()->name;
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(services_mutex_);
   services_[ref.id] = std::move(object);
   return ref;
 }
 
 void RpcServer::remove(const sidl::ServiceRef& ref) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(services_mutex_);
   services_.erase(ref.id);
 }
 
 ServiceObjectPtr RpcServer::find(const std::string& service_id) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(services_mutex_);
   auto it = services_.find(service_id);
   return it == services_.end() ? nullptr : it->second;
 }
@@ -49,24 +53,33 @@ Bytes RpcServer::handle(const Bytes& frame) {
     }
     return handle_message(request);
   } catch (const std::exception& e) {
-    {
-      std::lock_guard lock(mutex_);
-      ++faults_;
-    }
+    faults_.fetch_add(1, std::memory_order_relaxed);
     return Message::make_fault(request_id, e.what()).encode();
   }
 }
 
 Bytes RpcServer::handle_message(const Message& request) {
-  {
-    std::lock_guard lock(mutex_);
-    ++requests_;
-    if (options_.at_most_once) {
-      auto key = std::make_pair(request.session, request.request_id);
-      auto it = replay_.find(key);
-      if (it != replay_.end()) return it->second;
-    }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ReplayCache::Key replay_key{request.session, request.request_id};
+  if (replay_) {
+    Bytes cached;
+    if (replay_->lookup(replay_key, &cached)) return cached;
   }
+
+  // Rebuild the caller's remaining budget from the wire fields and make it
+  // the current context for the duration of dispatch, so nested outbound
+  // calls made by the handler inherit it.
+  CallContext ctx;
+  if (request.deadline_ms > 0) {
+    ctx.deadline = CallContext::Clock::now() +
+                   std::chrono::milliseconds(request.deadline_ms);
+  }
+  ctx.hop_budget = request.hop_budget;
+  if (ctx.expired()) {
+    throw RpcError("deadline exceeded before dispatch of '" +
+                   request.operation + "'");
+  }
+  CallContextScope scope(ctx);
 
   ServiceObjectPtr service = find(request.target);
   if (!service) {
@@ -99,17 +112,7 @@ Bytes RpcServer::handle_message(const Message& request) {
 
   Bytes encoded = Message::response(request.request_id, wire::encode_value(result)).encode();
 
-  if (options_.at_most_once) {
-    std::lock_guard lock(mutex_);
-    auto key = std::make_pair(request.session, request.request_id);
-    if (replay_.emplace(key, encoded).second) {
-      replay_order_.push_back(key);
-      if (replay_order_.size() > options_.replay_cache_capacity) {
-        replay_.erase(replay_order_.front());
-        replay_order_.erase(replay_order_.begin());
-      }
-    }
-  }
+  if (replay_) replay_->insert(replay_key, encoded);
   return encoded;
 }
 

@@ -6,20 +6,33 @@
 // checked) result.  All failures become Fault messages — a server never
 // kills a connection over an application error.
 //
-// With `at_most_once` enabled the server keeps a per-session replay cache of
-// response frames keyed by request id, giving transactional-RPC semantics
+// The frame handler is fully re-entrant: transports invoke it concurrently
+// (one thread per TCP connection, executor workers in-proc).  The service
+// registry is a read-mostly map behind a shared mutex; dispatch itself runs
+// without any server-wide lock, so independent requests proceed in parallel
+// (per-session FSM state is serialised inside ServiceObject).
+//
+// Requests that arrive with their deadline already exceeded are rejected
+// with a "deadline exceeded" fault before dispatch; otherwise the remaining
+// budget is installed as the thread's current CallContext so any downstream
+// calls the handler makes inherit the shrunken deadline (see call_context.h).
+//
+// With `at_most_once` enabled the server keeps a replay cache of response
+// frames keyed by (session, request id), giving transactional-RPC semantics
 // over retrying transports (the "Transactional RPC" box of Fig. 6).
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "rpc/message.h"
 #include "rpc/network.h"
+#include "rpc/replay_cache.h"
 #include "rpc/service_object.h"
 #include "sidl/service_ref.h"
 
@@ -28,7 +41,7 @@ namespace cosm::rpc {
 struct ServerOptions {
   /// Enable the replay cache (at-most-once execution for retried requests).
   bool at_most_once = false;
-  /// Replay-cache capacity per server (entries evicted FIFO).
+  /// Replay-cache capacity per server (least-recently-used entries evicted).
   std::size_t replay_cache_capacity = 4096;
 };
 
@@ -53,8 +66,16 @@ class RpcServer {
 
   const std::string& endpoint() const noexcept { return endpoint_; }
 
-  std::uint64_t requests_handled() const noexcept { return requests_; }
-  std::uint64_t faults_returned() const noexcept { return faults_; }
+  std::uint64_t requests_handled() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t faults_returned() const noexcept {
+    return faults_.load(std::memory_order_relaxed);
+  }
+  /// Replay-cache entries evicted so far (0 when at_most_once is off).
+  std::uint64_t replay_evictions() const noexcept {
+    return replay_ ? replay_->evictions() : 0;
+  }
 
  private:
   Bytes handle(const Bytes& frame);
@@ -64,13 +85,11 @@ class RpcServer {
   ServerOptions options_;
   std::string endpoint_;
 
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex services_mutex_;
   std::map<std::string, ServiceObjectPtr> services_;  // id -> object
-  // Replay cache: (session, request id) -> encoded response frame.
-  std::map<std::pair<std::string, std::uint64_t>, Bytes> replay_;
-  std::vector<std::pair<std::string, std::uint64_t>> replay_order_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t faults_ = 0;
+  std::unique_ptr<ReplayCache> replay_;  // set iff at_most_once
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 }  // namespace cosm::rpc

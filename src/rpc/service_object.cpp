@@ -49,7 +49,7 @@ wire::Value ServiceObject::dispatch(const std::string& session,
         state_it == session_states_.end() ? sid_->fsm->initial : state_it->second;
     transition = sid_->fsm->find(state, operation);
     if (transition == nullptr) {
-      ++rejections_;
+      rejections_.fetch_add(1, std::memory_order_relaxed);
       throw ProtocolError("operation '" + operation +
                               "' is not allowed in communication state '" +
                               state + "'",
@@ -59,10 +59,10 @@ wire::Value ServiceObject::dispatch(const std::string& session,
 
   wire::Value result = it->second(args);
 
-  {
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  if (transition != nullptr) {
     std::lock_guard lock(mutex_);
-    ++dispatches_;
-    if (transition != nullptr) session_states_[session] = transition->to;
+    session_states_[session] = transition->to;
   }
   return result;
 }

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -59,9 +60,13 @@ class ServiceObject {
   bool implements(const std::string& operation) const;
 
   /// Total successful dispatches (instrumentation).
-  std::uint64_t dispatch_count() const noexcept { return dispatches_; }
+  std::uint64_t dispatch_count() const noexcept {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
   /// Total FSM rejections (instrumentation for C4).
-  std::uint64_t fsm_rejections() const noexcept { return rejections_; }
+  std::uint64_t fsm_rejections() const noexcept {
+    return rejections_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Is the operation restricted by the FSM (appears in some transition)?
@@ -71,10 +76,12 @@ class ServiceObject {
   ServiceObjectOptions options_;
   std::map<std::string, OpHandler> handlers_;
 
+  // Per-session FSM state; handlers themselves run outside this lock, so
+  // independent sessions dispatch concurrently.
   mutable std::mutex mutex_;
   std::map<std::string, std::string> session_states_;
-  std::uint64_t dispatches_ = 0;
-  std::uint64_t rejections_ = 0;
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> rejections_{0};
 };
 
 using ServiceObjectPtr = std::shared_ptr<ServiceObject>;

@@ -3,17 +3,21 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
 
 #include "common/error.h"
+#include "common/id.h"
 
 namespace cosm::rpc {
 
 namespace {
+
+/// At most this many pooled connections per endpoint; beyond it calls share
+/// (multiplex over) the least-loaded connection.
+constexpr std::size_t kMaxConnsPerEndpoint = 16;
 
 /// Read exactly n bytes; returns false on orderly EOF at a frame boundary,
 /// throws on mid-frame EOF or socket error.
@@ -37,7 +41,9 @@ bool read_exact(int fd, std::uint8_t* buf, std::size_t n, bool allow_eof_at_star
 void write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
-    ssize_t r = ::write(fd, buf + sent, n - sent);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE, not
+    // kill the process with SIGPIPE (the server closes idle connections).
+    ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
       throw RpcError(std::string("tcp: write failed: ") + std::strerror(errno));
@@ -46,20 +52,23 @@ void write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
   }
 }
 
-void write_frame(int fd, const Bytes& payload) {
-  std::uint8_t header[4];
+/// Frame: [u32 payload length][u64 correlation id][payload bytes].
+void write_frame(int fd, std::uint64_t corr, const Bytes& payload) {
+  std::uint8_t header[12];
   std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
-  write_exact(fd, header, 4);
+  for (int i = 0; i < 8; ++i) header[4 + i] = static_cast<std::uint8_t>(corr >> (8 * i));
+  write_exact(fd, header, sizeof(header));
   if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
 }
 
-/// Returns empty optional-like flag via bool; fills `out`.
-bool read_frame(int fd, Bytes& out, bool allow_eof_at_start) {
-  std::uint8_t header[4];
-  if (!read_exact(fd, header, 4, allow_eof_at_start)) return false;
+bool read_frame(int fd, std::uint64_t& corr, Bytes& out, bool allow_eof_at_start) {
+  std::uint8_t header[12];
+  if (!read_exact(fd, header, sizeof(header), allow_eof_at_start)) return false;
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  corr = 0;
+  for (int i = 0; i < 8; ++i) corr |= static_cast<std::uint64_t>(header[4 + i]) << (8 * i);
   constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
   if (len > kMaxFrame) throw RpcError("tcp: frame exceeds 64 MiB bound");
   out.resize(len);
@@ -67,24 +76,117 @@ bool read_frame(int fd, Bytes& out, bool allow_eof_at_start) {
   return true;
 }
 
-/// Timeout is reported as a distinct type: a timed-out call must NOT be
-/// retried on a fresh connection (the server may already be executing it).
-struct TimeoutError : RpcError {
-  TimeoutError() : RpcError("tcp: call timed out") {}
-};
+int connect_loopback(const std::string& endpoint) {
+  constexpr const char* kPrefix = "tcp://";
+  if (endpoint.rfind(kPrefix, 0) != 0) {
+    throw RpcError("tcp: bad endpoint '" + endpoint + "'");
+  }
+  std::string hostport = endpoint.substr(std::strlen(kPrefix));
+  auto colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    throw RpcError("tcp: endpoint missing port: '" + endpoint + "'");
+  }
+  std::string host = hostport.substr(0, colon);
+  int port = std::stoi(hostport.substr(colon + 1));
 
-void wait_readable(int fd, std::chrono::milliseconds timeout) {
-  struct pollfd pfd{fd, POLLIN, 0};
-  int ms = timeout.count() <= 0 ? -1 : static_cast<int>(timeout.count());
-  int r = ::poll(&pfd, 1, ms);
-  if (r == 0) throw TimeoutError();
-  if (r < 0) throw RpcError(std::string("tcp: poll failed: ") + std::strerror(errno));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw RpcError(std::string("tcp: socket failed: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw RpcError("tcp: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int err = errno;
+    ::close(fd);
+    throw RpcError("tcp: connect to " + endpoint + " failed: " + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
 }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Client connection: persistent socket + reader thread + pending map.
+
+struct TcpNetwork::ClientConn {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::mutex pending_mutex;
+  std::map<std::uint64_t, PendingCallPtr> pending;
+  std::atomic<std::size_t> in_flight{0};
+  std::atomic<bool> dead{false};
+  std::thread reader;
+
+  void register_pending(std::uint64_t corr, const PendingCallPtr& call) {
+    std::lock_guard lock(pending_mutex);
+    pending.emplace(corr, call);
+    in_flight.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PendingCallPtr take_pending(std::uint64_t corr) {
+    std::lock_guard lock(pending_mutex);
+    auto it = pending.find(corr);
+    if (it == pending.end()) return nullptr;
+    PendingCallPtr call = std::move(it->second);
+    pending.erase(it);
+    in_flight.fetch_sub(1, std::memory_order_relaxed);
+    return call;
+  }
+
+  void fail_all(std::exception_ptr error) {
+    std::map<std::uint64_t, PendingCallPtr> orphans;
+    {
+      std::lock_guard lock(pending_mutex);
+      orphans.swap(pending);
+      in_flight.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [corr, call] : orphans) call->fail(error);
+  }
+
+  /// Reader: settles pendings by correlation id until the socket dies.
+  /// Responses for abandoned (timed-out) calls are settled too — their
+  /// waiters are gone, so the result is simply dropped.
+  void reader_loop() {
+    try {
+      for (;;) {
+        std::uint64_t corr = 0;
+        Bytes response;
+        if (!read_frame(fd, corr, response, /*allow_eof_at_start=*/true)) break;
+        if (PendingCallPtr call = take_pending(corr)) {
+          call->complete(std::move(response));
+        }
+      }
+      dead.store(true);
+      fail_all(std::make_exception_ptr(RpcError("tcp: server closed connection")));
+    } catch (const Error&) {
+      dead.store(true);
+      fail_all(std::current_exception());
+    }
+  }
+
+  void shutdown_and_join() {
+    dead.store(true);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    if (reader.joinable()) reader.join();
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  ~ClientConn() { shutdown_and_join(); }
+};
+
+// ---------------------------------------------------------------------------
+// Server listener: accept loop + one serving thread per connection.
+
 struct TcpNetwork::Listener {
-  int listen_fd = -1;
+  std::atomic<int> listen_fd{-1};
   std::string endpoint;
   FrameHandler handler;
   std::thread accept_thread;
@@ -94,11 +196,12 @@ struct TcpNetwork::Listener {
   std::atomic<bool> stopping{false};
 
   void serve_connection(int fd) {
+    std::uint64_t corr = 0;
     Bytes request;
     try {
-      while (read_frame(fd, request, /*allow_eof_at_start=*/true)) {
+      while (read_frame(fd, corr, request, /*allow_eof_at_start=*/true)) {
         Bytes response = handler(request);
-        write_frame(fd, response);
+        write_frame(fd, corr, response);
       }
     } catch (const Error&) {
       // Connection torn down (peer reset or shutdown); drop it.
@@ -108,7 +211,9 @@ struct TcpNetwork::Listener {
 
   void accept_loop() {
     for (;;) {
-      int fd = ::accept(listen_fd, nullptr, nullptr);
+      int lfd = listen_fd.load();
+      if (lfd < 0) return;
+      int fd = ::accept(lfd, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
         return;  // listener closed
@@ -127,12 +232,12 @@ struct TcpNetwork::Listener {
 
   void stop() {
     stopping.store(true);
-    if (listen_fd >= 0) {
-      ::shutdown(listen_fd, SHUT_RDWR);
-      ::close(listen_fd);
-      listen_fd = -1;
-    }
+    // Wake the accept loop with shutdown(); close only after the join so
+    // the fd number cannot be reused while accept_loop still holds it.
+    int lfd = listen_fd.exchange(-1);
+    if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
     if (accept_thread.joinable()) accept_thread.join();
+    if (lfd >= 0) ::close(lfd);
     {
       std::lock_guard lock(conn_mutex);
       for (int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
@@ -145,17 +250,21 @@ struct TcpNetwork::Listener {
   ~Listener() { stop(); }
 };
 
+// ---------------------------------------------------------------------------
+
 TcpNetwork::~TcpNetwork() { close_all(); }
 
 void TcpNetwork::close_all() {
   std::map<std::string, std::shared_ptr<Listener>> listeners;
-  std::map<std::string, int> connections;
+  std::map<std::string, std::vector<std::shared_ptr<ClientConn>>> pools;
   {
     std::lock_guard lock(mutex_);
     listeners.swap(listeners_);
-    connections.swap(connections_);
+    pools.swap(pools_);
   }
-  for (auto& [ep, fd] : connections) ::close(fd);
+  for (auto& [ep, conns] : pools) {
+    for (auto& conn : conns) conn->shutdown_and_join();
+  }
   for (auto& [ep, l] : listeners) l->stop();
 }
 
@@ -175,7 +284,7 @@ std::string TcpNetwork::listen(const std::string& hint, FrameHandler handler) {
     ::close(fd);
     throw RpcError(std::string("tcp: bind failed: ") + std::strerror(err));
   }
-  if (::listen(fd, 64) < 0) {
+  if (::listen(fd, 128) < 0) {
     int err = errno;
     ::close(fd);
     throw RpcError(std::string("tcp: listen failed: ") + std::strerror(err));
@@ -211,75 +320,81 @@ void TcpNetwork::unlisten(const std::string& endpoint) {
   listener->stop();
 }
 
-Bytes TcpNetwork::call(const std::string& endpoint, const Bytes& request,
-                       std::chrono::milliseconds timeout) {
-  constexpr const char* kPrefix = "tcp://";
-  if (endpoint.rfind(kPrefix, 0) != 0) {
-    throw RpcError("tcp: bad endpoint '" + endpoint + "'");
-  }
-  std::string hostport = endpoint.substr(std::strlen(kPrefix));
-  auto colon = hostport.rfind(':');
-  if (colon == std::string::npos) {
-    throw RpcError("tcp: endpoint missing port: '" + endpoint + "'");
-  }
-  std::string host = hostport.substr(0, colon);
-  int port = std::stoi(hostport.substr(colon + 1));
-
-  auto connect_fresh = [&]() -> int {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw RpcError(std::string("tcp: socket failed: ") + std::strerror(errno));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-      ::close(fd);
-      throw RpcError("tcp: bad host '" + host + "'");
-    }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      int err = errno;
-      ::close(fd);
-      throw RpcError("tcp: connect to " + endpoint + " failed: " + std::strerror(err));
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    return fd;
-  };
-
-  // The per-network mutex serialises calls; acceptable for this substrate's
-  // purpose (realistic I/O path, not peak concurrency).
+std::size_t TcpNetwork::pooled_connections(const std::string& endpoint) const {
   std::lock_guard lock(mutex_);
-  auto it = connections_.find(endpoint);
-  int fd = it == connections_.end() ? -1 : it->second;
+  auto it = pools_.find(endpoint);
+  return it == pools_.end() ? 0 : it->second.size();
+}
 
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (fd < 0) {
-      fd = connect_fresh();
-      connections_[endpoint] = fd;
-    }
-    try {
-      write_frame(fd, request);
-      wait_readable(fd, timeout);
-      Bytes response;
-      if (!read_frame(fd, response, /*allow_eof_at_start=*/true)) {
-        throw RpcError("tcp: server closed connection");
+/// Pick an idle pooled connection, reaping dead ones; dial a fresh one when
+/// every pooled connection is busy and the pool has room; otherwise
+/// multiplex over the least-loaded survivor.
+std::shared_ptr<TcpNetwork::ClientConn> TcpNetwork::checkout_conn(
+    const std::string& endpoint) {
+  {
+    std::lock_guard lock(mutex_);
+    auto& pool = pools_[endpoint];
+    std::erase_if(pool, [](const auto& c) { return c->dead.load(); });
+    std::shared_ptr<ClientConn> least_loaded;
+    for (const auto& conn : pool) {
+      std::size_t load = conn->in_flight.load(std::memory_order_relaxed);
+      if (load == 0) return conn;  // idle: reuse immediately
+      if (!least_loaded ||
+          load < least_loaded->in_flight.load(std::memory_order_relaxed)) {
+        least_loaded = conn;
       }
-      return response;
-    } catch (const TimeoutError&) {
-      // The server may still execute the request; drop the connection so a
-      // late response cannot be mistaken for the next call's, and surface
-      // the timeout — retrying would risk duplicate execution.
-      ::close(fd);
-      connections_.erase(endpoint);
-      throw;
-    } catch (const RpcError&) {
-      ::close(fd);
-      connections_.erase(endpoint);
-      fd = -1;
-      if (attempt == 1) throw;
-      // Retry once with a fresh connection (the cached one may be stale).
+    }
+    if (least_loaded && pool.size() >= kMaxConnsPerEndpoint) return least_loaded;
+  }
+
+  // Dial outside the lock (connect can block).
+  auto conn = std::make_shared<ClientConn>();
+  conn->fd = connect_loopback(endpoint);
+  conn->reader = std::thread([c = conn.get()] { c->reader_loop(); });
+  std::lock_guard lock(mutex_);
+  pools_[endpoint].push_back(conn);
+  return conn;
+}
+
+PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
+                                      const Bytes& request,
+                                      const CallContext& ctx) {
+  auto pending = std::make_shared<PendingCall>();
+  if (ctx.expired()) {
+    pending->fail(std::make_exception_ptr(
+        RpcError("call timed out (deadline exceeded before send)")));
+    return pending;
+  }
+
+  // Two attempts: a pooled connection may have died since checkout (server
+  // restarted, idle reset) — retry once on a fresh dial.  A call whose write
+  // succeeded is never reissued (at-most-once stays with the replay cache).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::shared_ptr<ClientConn> conn;
+    try {
+      conn = checkout_conn(endpoint);
+    } catch (const Error&) {
+      pending->fail(std::current_exception());
+      return pending;
+    }
+    std::uint64_t corr = next_id();
+    conn->register_pending(corr, pending);
+    try {
+      std::lock_guard write_lock(conn->write_mutex);
+      write_frame(conn->fd, corr, request);
+      return pending;
+    } catch (const Error&) {
+      conn->take_pending(corr);
+      conn->dead.store(true);
+      ::shutdown(conn->fd, SHUT_RDWR);  // reader will reap the rest
+      if (attempt == 1) {
+        pending->fail(std::current_exception());
+        return pending;
+      }
     }
   }
-  throw RpcError("tcp: unreachable");
+  pending->fail(std::make_exception_ptr(RpcError("tcp: unreachable")));
+  return pending;
 }
 
 }  // namespace cosm::rpc

@@ -1,11 +1,21 @@
 // TCP loopback network: real sockets, length-prefixed frames.
 //
-// Each listen() binds an ephemeral port on 127.0.0.1 and serves connections
-// on dedicated threads; each connection carries a sequence of
-// (u32-length-prefixed) request/response frames.  The client side caches one
-// connection per endpoint.  This transport exists to demonstrate the COSM
-// mechanisms over genuine socket I/O (ablation A2) — the in-proc bus is the
-// default everywhere determinism matters.
+// Wire format: every frame is [u32 length][u64 correlation id][payload].
+// The correlation id lets a client multiplex many in-flight calls over one
+// connection and match responses regardless of completion order.
+//
+// Server side: each listen() binds an ephemeral port on 127.0.0.1 and serves
+// every accepted connection on a dedicated thread (read frame -> handler ->
+// write response; sequential per connection, concurrent across connections).
+//
+// Client side: per endpoint, a pool of persistent connections, each with a
+// dedicated reader thread settling PendingCalls by correlation id.  A call
+// picks an idle pooled connection (or dials a new one up to a small cap), so
+// N concurrent callers fan out over up to N connections — and therefore N
+// server threads — instead of serialising behind one socket.  A timed-out
+// call is abandoned, not torn down: the correlation id guarantees its late
+// response cannot be mistaken for another call's, so the connection stays
+// pooled (the seed implementation had to close it).
 
 #pragma once
 
@@ -28,19 +38,24 @@ class TcpNetwork final : public Network {
 
   std::string listen(const std::string& hint, FrameHandler handler) override;
   void unlisten(const std::string& endpoint) override;
-  Bytes call(const std::string& endpoint, const Bytes& request,
-             std::chrono::milliseconds timeout) override;
+  PendingCallPtr call_async(const std::string& endpoint, const Bytes& request,
+                            const CallContext& ctx) override;
   std::string scheme() const override { return "tcp"; }
+
+  /// Currently pooled client connections to `endpoint` (instrumentation).
+  std::size_t pooled_connections(const std::string& endpoint) const;
 
  private:
   struct Listener;
+  struct ClientConn;
 
+  std::shared_ptr<ClientConn> checkout_conn(const std::string& endpoint);
   void close_all();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Listener>> listeners_;
-  /// Cached client connections: endpoint -> connected fd.
-  std::map<std::string, int> connections_;
+  /// Pooled client connections: endpoint -> live connections.
+  std::map<std::string, std::vector<std::shared_ptr<ClientConn>>> pools_;
 };
 
 }  // namespace cosm::rpc

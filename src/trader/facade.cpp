@@ -1,6 +1,7 @@
 #include "trader/facade.h"
 
 #include "common/error.h"
+#include "rpc/call_context.h"
 #include "rpc/channel.h"
 #include "sidl/parser.h"
 
@@ -115,6 +116,11 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
     }
     request.max_matches = static_cast<std::size_t>(max_matches);
     request.hop_limit = static_cast<int>(hop_limit);
+    // The server installed the caller's remaining budget as this thread's
+    // CallContext; pin it onto the request so the federation sweep (which
+    // fans out on other threads) still honours it.
+    rpc::CallContext ctx = rpc::current_call_context();
+    if (ctx.has_deadline()) request.deadline = ctx.deadline;
     return offers_to_value(trader.import(request));
   });
   object->on("ListOffers", [&trader](const std::vector<Value>& args) {
@@ -155,7 +161,20 @@ RemoteTraderGateway::RemoteTraderGateway(rpc::Network& network,
 }
 
 std::vector<Offer> RemoteTraderGateway::import(const ImportRequest& request) {
-  rpc::RpcChannel channel(network_, ref_);
+  // Translate the request's absolute deadline back into this hop's call
+  // budget.  The sweep runs on worker threads with no inherited thread-local
+  // context, so the ImportRequest field is the only carrier.
+  rpc::ChannelOptions options;
+  if (request.has_deadline()) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        request.deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      throw RpcError("deadline exceeded before federated import via " +
+                     describe());
+    }
+    options.timeout = remaining;
+  }
+  rpc::RpcChannel channel(network_, ref_, options);
   Value result = channel.call(
       "Import", {Value::string(request.service_type),
                  Value::string(request.constraint),

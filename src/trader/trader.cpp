@@ -1,6 +1,7 @@
 #include "trader/trader.h"
 
 #include <set>
+#include <thread>
 
 #include "common/error.h"
 #include "wire/marshal.h"
@@ -42,7 +43,7 @@ std::string Trader::export_offer(const std::string& service_type,
   offer.attributes = std::move(attributes);
   offer.dynamic_attrs = std::move(dynamic_attrs);
   offers_.push_back(std::move(offer));
-  ++exports_;
+  exports_.fetch_add(1, std::memory_order_relaxed);
   return offers_.back().id;
 }
 
@@ -58,10 +59,7 @@ bool Trader::resolve_dynamic(const Offer& offer, AttrMap& merged) {
     wire::Value value;
     try {
       value = fetcher(offer.ref, operation);
-      {
-        std::lock_guard lock(mutex_);
-        ++dynamic_fetches_;
-      }
+      dynamic_fetches_.fetch_add(1, std::memory_order_relaxed);
     } catch (const Error&) {
       return false;  // exporter unreachable or faulted
     }
@@ -99,7 +97,7 @@ std::size_t Trader::advance_clock(std::uint64_t hours) {
       ++it;
     }
   }
-  expired_ += swept;
+  expired_.fetch_add(swept, std::memory_order_relaxed);
   return swept;
 }
 
@@ -168,7 +166,7 @@ std::vector<Offer> Trader::match_local(const ImportRequest& request,
     std::lock_guard lock(mutex_);
     for (const auto& offer : offers_) {
       if (!types_.is_subtype(offer.service_type, request.service_type)) continue;
-      ++evaluated_;
+      evaluated_.fetch_add(1, std::memory_order_relaxed);
       candidates.push_back(offer);
     }
   }
@@ -194,33 +192,54 @@ std::vector<Offer> Trader::import(const ImportRequest& request) {
     throw NotFound("trader '" + name_ + "' has no service type '" +
                    request.service_type + "'");
   }
+  if (request.expired()) {
+    throw RpcError("deadline exceeded before import at trader '" + name_ + "'");
+  }
   Constraint constraint = Constraint::parse(request.constraint);
   Preference preference = Preference::parse(request.preference);
 
   std::vector<Offer> matched = match_local(request, constraint);
 
   // Federation sweep: forward with a decremented hop budget; duplicate
-  // offers (diamond topologies) collapse on offer id.
+  // offers (diamond topologies) collapse on offer id.  All links are
+  // queried concurrently — in a federation every hop is a network round
+  // trip, so a sequential sweep costs the sum of the link latencies where
+  // this costs the maximum.  Merging in link order keeps the result
+  // deterministic.
   if (request.hop_limit > 0) {
     std::vector<std::pair<std::string, std::shared_ptr<TraderGateway>>> links;
     {
       std::lock_guard lock(mutex_);
       links = links_;
     }
-    std::set<std::string> seen;
-    for (const auto& offer : matched) seen.insert(offer.id);
     ImportRequest forwarded = request;
     forwarded.hop_limit = request.hop_limit - 1;
     forwarded.max_matches = 0;       // rank after the merge, not per trader
     forwarded.preference.clear();    // remote ranking would be wasted work
-    for (const auto& [link_name, gateway] : links) {
+    std::vector<std::vector<Offer>> per_link(links.size());
+    auto query = [&](std::size_t i) {
       try {
-        for (Offer& offer : gateway->import(forwarded)) {
-          if (seen.insert(offer.id).second) matched.push_back(std::move(offer));
-        }
+        per_link[i] = links[i].second->import(forwarded);
       } catch (const Error&) {
         // An unreachable federated trader reduces the result set; it must
         // not fail the local import.
+      }
+    };
+    if (links.size() == 1) {
+      query(0);
+    } else if (!links.empty()) {
+      std::vector<std::thread> sweep;
+      sweep.reserve(links.size());
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        sweep.emplace_back(query, i);
+      }
+      for (auto& t : sweep) t.join();
+    }
+    std::set<std::string> seen;
+    for (const auto& offer : matched) seen.insert(offer.id);
+    for (auto& link_offers : per_link) {
+      for (Offer& offer : link_offers) {
+        if (seen.insert(offer.id).second) matched.push_back(std::move(offer));
       }
     }
   }
@@ -231,10 +250,10 @@ std::vector<Offer> Trader::import(const ImportRequest& request) {
   for (const auto& offer : matched) attr_ptrs.push_back(&offer.attributes);
   std::vector<std::size_t> order;
   {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(rng_mutex_);
     order = preference.rank(attr_ptrs, rng_);
-    ++imports_;
   }
+  imports_.fetch_add(1, std::memory_order_relaxed);
 
   std::vector<Offer> ranked;
   ranked.reserve(matched.size());

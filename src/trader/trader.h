@@ -11,6 +11,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -54,6 +56,19 @@ struct ImportRequest {
   std::size_t max_matches = 0;
   /// Federation propagation budget: 0 = local only.
   int hop_limit = 0;
+  /// Absolute deadline for the whole import, including federated hops
+  /// (default-constructed = none).  Carried explicitly — not via the
+  /// thread-local CallContext — because the federation sweep fans out on
+  /// worker threads; the RPC facade translates it back into each forwarded
+  /// call's budget.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const noexcept {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool expired() const noexcept {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
 /// Abstract link target for federation: another trader reachable either
@@ -115,7 +130,9 @@ class Trader {
   std::size_t advance_clock(std::uint64_t hours);
 
   std::uint64_t clock_hours() const;
-  std::uint64_t offers_expired_total() const noexcept { return expired_; }
+  std::uint64_t offers_expired_total() const noexcept {
+    return expired_.load(std::memory_order_relaxed);
+  }
 
   /// Replace an offer's attributes; throws cosm::NotFound / cosm::TypeError.
   void modify(const std::string& offer_id, AttrMap attributes);
@@ -124,8 +141,11 @@ class Trader {
   std::vector<Offer> list_offers(const std::string& service_type) const;
 
   /// Match + rank (Fig. 1 steps 2–3), consulting federation links within
-  /// the request's hop limit.  Throws cosm::ParseError on a bad constraint
-  /// or preference and cosm::NotFound for an unknown service type.
+  /// the request's hop limit.  Links are queried concurrently (one thread
+  /// per additional link); results merge in link order, so the outcome is
+  /// deterministic.  Throws cosm::ParseError on a bad constraint or
+  /// preference, cosm::NotFound for an unknown service type, and
+  /// cosm::RpcError when the request's deadline has already passed.
   std::vector<Offer> import(const ImportRequest& request);
 
   // --- federation ---
@@ -134,10 +154,18 @@ class Trader {
   std::vector<std::string> links() const;
 
   // --- instrumentation ---
-  std::uint64_t exports_total() const noexcept { return exports_; }
-  std::uint64_t imports_total() const noexcept { return imports_; }
-  std::uint64_t offers_evaluated() const noexcept { return evaluated_; }
-  std::uint64_t dynamic_fetches() const noexcept { return dynamic_fetches_; }
+  std::uint64_t exports_total() const noexcept {
+    return exports_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t imports_total() const noexcept {
+    return imports_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t offers_evaluated() const noexcept {
+    return evaluated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dynamic_fetches() const noexcept {
+    return dynamic_fetches_.load(std::memory_order_relaxed);
+  }
   std::size_t offer_count() const;
 
  private:
@@ -156,14 +184,17 @@ class Trader {
   std::vector<Offer> offers_;  // export order
   std::vector<std::pair<std::string, std::shared_ptr<TraderGateway>>> links_;
   DynamicFetcher dynamic_fetcher_;
+  // Ranking may happen on any importer thread; the rng has its own lock so
+  // a Random-preference rank never serialises against offer mutation.
+  mutable std::mutex rng_mutex_;
   Rng rng_;
-  std::uint64_t exports_ = 0;
-  std::uint64_t imports_ = 0;
-  std::uint64_t evaluated_ = 0;
-  std::uint64_t dynamic_fetches_ = 0;
+  std::atomic<std::uint64_t> exports_{0};
+  std::atomic<std::uint64_t> imports_{0};
+  std::atomic<std::uint64_t> evaluated_{0};
+  std::atomic<std::uint64_t> dynamic_fetches_{0};
   std::uint64_t next_offer_ = 1;
   std::uint64_t clock_hours_ = 0;
-  std::uint64_t expired_ = 0;
+  std::atomic<std::uint64_t> expired_{0};
 };
 
 /// In-process gateway wrapping a local trader (unit tests, single-process

@@ -1,0 +1,102 @@
+#include "rpc/call_context.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cosm::rpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(CallContext, DefaultHasNoDeadline) {
+  CallContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_EQ(ctx.hop_budget, -1);
+  // "No deadline" still reports a usable (sentinel) remaining budget.
+  EXPECT_GT(ctx.remaining(), 1h);
+}
+
+TEST(CallContext, WithTimeoutSetsDeadline) {
+  CallContext ctx = CallContext::with_timeout(50ms);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_LE(ctx.remaining(), 50ms);
+  EXPECT_GT(ctx.remaining(), 0ms);
+}
+
+TEST(CallContext, NonPositiveTimeoutMeansNone) {
+  EXPECT_FALSE(CallContext::with_timeout(0ms).has_deadline());
+  EXPECT_FALSE(CallContext::with_timeout(-5ms).has_deadline());
+}
+
+TEST(CallContext, ExpiresAfterDeadlinePasses) {
+  CallContext ctx = CallContext::with_timeout(1ms);
+  std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(ctx.expired());
+  EXPECT_EQ(ctx.remaining(), 0ms);
+}
+
+TEST(CallContext, ShrunkTightensButNeverExtends) {
+  // No deadline + cap: gains the cap.
+  CallContext none;
+  EXPECT_TRUE(none.shrunk(100ms).has_deadline());
+  EXPECT_LE(none.shrunk(100ms).remaining(), 100ms);
+
+  // Far deadline + near cap: cap wins.
+  CallContext far = CallContext::with_timeout(10min);
+  EXPECT_LE(far.shrunk(100ms).remaining(), 100ms);
+
+  // Near deadline + far cap: the existing deadline is kept.
+  CallContext near = CallContext::with_timeout(50ms);
+  EXPECT_LE(near.shrunk(10min).remaining(), 50ms);
+}
+
+TEST(CallContext, ShrunkPreservesHopBudget) {
+  CallContext ctx;
+  ctx.hop_budget = 3;
+  EXPECT_EQ(ctx.shrunk(100ms).hop_budget, 3);
+}
+
+TEST(CallContext, AfterHopDecrements) {
+  CallContext ctx;
+  ctx.hop_budget = 2;
+  EXPECT_EQ(ctx.after_hop().hop_budget, 1);
+  EXPECT_EQ(ctx.after_hop().after_hop().hop_budget, 0);
+  // Unlimited stays unlimited.
+  CallContext unlimited;
+  EXPECT_EQ(unlimited.after_hop().hop_budget, -1);
+}
+
+TEST(CallContext, ScopeInstallsAndRestores) {
+  EXPECT_FALSE(current_call_context().has_deadline());
+  {
+    CallContextScope outer(CallContext::with_timeout(1h));
+    EXPECT_TRUE(current_call_context().has_deadline());
+    {
+      CallContext inner_ctx;
+      inner_ctx.hop_budget = 5;
+      CallContextScope inner(inner_ctx);
+      EXPECT_EQ(current_call_context().hop_budget, 5);
+      EXPECT_FALSE(current_call_context().has_deadline());
+    }
+    // Inner scope restored the outer context.
+    EXPECT_TRUE(current_call_context().has_deadline());
+    EXPECT_EQ(current_call_context().hop_budget, -1);
+  }
+  EXPECT_FALSE(current_call_context().has_deadline());
+}
+
+TEST(CallContext, ContextIsPerThread) {
+  CallContextScope scope(CallContext::with_timeout(1h));
+  bool other_thread_has_deadline = true;
+  std::thread([&] {
+    other_thread_has_deadline = current_call_context().has_deadline();
+  }).join();
+  EXPECT_FALSE(other_thread_has_deadline);
+  EXPECT_TRUE(current_call_context().has_deadline());
+}
+
+}  // namespace
+}  // namespace cosm::rpc

@@ -1,0 +1,275 @@
+// Concurrency behaviour of the async call core: parallel dispatch on both
+// transports, deadline expiry and propagation, parallel federation fan-out
+// and parallel multicast.  Run under -DCOSM_SANITIZE=thread by
+// tools/run_sanitizers.sh.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/multicast.h"
+#include "rpc/server.h"
+#include "rpc/tcp.h"
+#include "sidl/parser.h"
+#include "trader/trader.h"
+
+namespace cosm::rpc {
+namespace {
+
+using wire::Value;
+using namespace std::chrono_literals;
+
+/// Tracks how many handler executions overlap in time.
+struct ConcurrencyGauge {
+  std::atomic<int> current{0};
+  std::atomic<int> peak{0};
+
+  void enter() {
+    int now = current.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int seen = peak.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak.compare_exchange_weak(seen, now, std::memory_order_acq_rel)) {
+    }
+  }
+  void leave() { current.fetch_sub(1, std::memory_order_acq_rel); }
+};
+
+sidl::SidPtr conc_sid() {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(R"(
+    module Conc {
+      interface I {
+        long Add([in] long a, [in] long b);
+        long Work([in] long ms);
+      };
+    };
+  )"));
+}
+
+ServiceObjectPtr conc_service(ConcurrencyGauge* gauge = nullptr) {
+  auto object = std::make_shared<ServiceObject>(conc_sid());
+  object->on("Add", [](const std::vector<Value>& args) {
+    return Value::integer(args.at(0).as_int() + args.at(1).as_int());
+  });
+  object->on("Work", [gauge](const std::vector<Value>& args) {
+    if (gauge) gauge->enter();
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.at(0).as_int()));
+    if (gauge) gauge->leave();
+    return Value::integer(args.at(0).as_int());
+  });
+  return object;
+}
+
+/// N client threads, each with its own channel, hammering one server.
+void hammer(Network& net, std::size_t threads, std::size_t calls_per_thread) {
+  RpcServer server(net, "host");
+  auto ref = server.add(conc_service());
+  std::atomic<std::size_t> wrong{0};
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&net, &ref, &wrong, t, calls_per_thread] {
+      RpcChannel channel(net, ref);
+      for (std::size_t i = 0; i < calls_per_thread; ++i) {
+        auto a = static_cast<std::int64_t>(t), b = static_cast<std::int64_t>(i);
+        Value sum = channel.call("Add", {Value::integer(a), Value::integer(b)});
+        if (sum.as_int() != a + b) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(server.requests_handled(), threads * calls_per_thread);
+  EXPECT_EQ(server.faults_returned(), 0u);
+}
+
+TEST(Concurrency, ManyClientsOneServerInProc) {
+  InProcNetwork net;
+  hammer(net, 8, 25);
+}
+
+TEST(Concurrency, ManyClientsOneServerTcp) {
+  TcpNetwork net;
+  hammer(net, 8, 10);
+}
+
+/// Blocking callers must overlap inside the server, not serialise.
+void expect_overlap(Network& net) {
+  ConcurrencyGauge gauge;
+  RpcServer server(net, "host");
+  auto ref = server.add(conc_service(&gauge));
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&net, &ref] {
+      RpcChannel channel(net, ref);
+      channel.call("Work", {Value::integer(100)});
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_GE(gauge.peak.load(), 2);
+}
+
+TEST(Concurrency, DispatchOverlapsInProc) {
+  InProcNetwork net;
+  expect_overlap(net);
+}
+
+TEST(Concurrency, DispatchOverlapsTcp) {
+  TcpNetwork net;
+  expect_overlap(net);
+}
+
+/// A call whose deadline passes must return a timeout error, not hang, and
+/// must not tear down the transport for later calls.
+void expect_timeout(Network& net) {
+  RpcServer server(net, "host");
+  auto ref = server.add(conc_service());
+  RpcChannel slow(net, ref, ChannelOptions{50ms});
+  auto start = std::chrono::steady_clock::now();
+  try {
+    slow.call("Work", {Value::integer(400)});
+    FAIL() << "expected a timeout";
+  } catch (const RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 350ms);  // returned before the handler even finished
+
+  // The transport survives the abandoned call.
+  RpcChannel ok(net, ref);
+  EXPECT_EQ(ok.call("Add", {Value::integer(2), Value::integer(3)}).as_int(), 5);
+}
+
+TEST(Concurrency, DeadlineExpiryReturnsTimeoutInProc) {
+  InProcNetwork net;
+  expect_timeout(net);
+}
+
+TEST(Concurrency, DeadlineExpiryReturnsTimeoutTcp) {
+  TcpNetwork net;
+  expect_timeout(net);
+}
+
+TEST(Concurrency, DeadlineShrinksAcrossNestedCalls) {
+  // front's handler calls back over a channel with the default (5 s)
+  // timeout.  The client gives the whole chain 150 ms; the propagated
+  // context must shrink the nested call's budget so the chain fails fast
+  // instead of waiting out the nested timeout.
+  InProcNetwork net;
+  RpcServer server(net, "host");
+  auto back_ref = server.add(conc_service());
+
+  auto front = std::make_shared<ServiceObject>(conc_sid());
+  front->on("Add", [](const std::vector<Value>&) { return Value::integer(0); });
+  front->on("Work", [&net, &back_ref](const std::vector<Value>& args) {
+    RpcChannel nested(net, back_ref);  // default 5 s timeout
+    return nested.call("Work", {args.at(0)});
+  });
+  auto front_ref = server.add(front);
+
+  RpcChannel channel(net, front_ref, ChannelOptions{150ms});
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(channel.call("Work", {Value::integer(2000)}), Error);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 1500ms);  // far below the nested 5 s / 2 s sleep
+}
+
+TEST(Concurrency, ParallelMulticastOverlaps) {
+  InProcNetwork net;
+  ConcurrencyGauge gauge;
+  RpcServer server(net, "host");
+  std::vector<sidl::ServiceRef> members;
+  for (int i = 0; i < 3; ++i) members.push_back(server.add(conc_service(&gauge)));
+
+  auto start = std::chrono::steady_clock::now();
+  auto outcomes = multicast_call(net, members, "Work", {Value::integer(100)});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& outcome : outcomes) EXPECT_TRUE(outcome.ok());
+  EXPECT_GE(gauge.peak.load(), 2);
+  EXPECT_LT(elapsed, 290ms);  // three sequential 100 ms sleeps would exceed
+}
+
+// --- federation fan-out ---
+
+/// Gateway stub: sleeps, records overlap and the forwarded hop limit, then
+/// returns canned offers.
+class StubGateway final : public trader::TraderGateway {
+ public:
+  StubGateway(std::string offer_id, ConcurrencyGauge& gauge,
+              std::atomic<int>& seen_hop_limit)
+      : offer_id_(std::move(offer_id)),
+        gauge_(gauge),
+        seen_hop_limit_(seen_hop_limit) {}
+
+  std::vector<trader::Offer> import(const trader::ImportRequest& request) override {
+    gauge_.enter();
+    std::this_thread::sleep_for(100ms);
+    gauge_.leave();
+    seen_hop_limit_.store(request.hop_limit);
+    trader::Offer offer;
+    offer.id = offer_id_;
+    offer.service_type = request.service_type;
+    offer.ref = sidl::ServiceRef{"svc-" + offer_id_, "inproc://x", "I"};
+    return {offer};
+  }
+  std::string describe() const override { return "stub:" + offer_id_; }
+
+ private:
+  std::string offer_id_;
+  ConcurrencyGauge& gauge_;
+  std::atomic<int>& seen_hop_limit_;
+};
+
+TEST(Concurrency, ParallelFederationFanOut) {
+  trader::Trader root("root");
+  root.types().add({"Svc", "", {}});
+  ConcurrencyGauge gauge;
+  std::atomic<int> hop_a{-7}, hop_b{-7}, hop_c{-7};
+  root.link("a", std::make_shared<StubGateway>("A/1", gauge, hop_a));
+  root.link("b", std::make_shared<StubGateway>("B/1", gauge, hop_b));
+  root.link("c", std::make_shared<StubGateway>("C/1", gauge, hop_c));
+
+  trader::ImportRequest request;
+  request.service_type = "Svc";
+  request.hop_limit = 3;
+  auto start = std::chrono::steady_clock::now();
+  auto offers = root.import(request);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // All three links answered, merged in link order, hop budget decremented.
+  ASSERT_EQ(offers.size(), 3u);
+  EXPECT_EQ(offers[0].id, "A/1");
+  EXPECT_EQ(offers[1].id, "B/1");
+  EXPECT_EQ(offers[2].id, "C/1");
+  EXPECT_EQ(hop_a.load(), 2);
+  EXPECT_EQ(hop_b.load(), 2);
+  EXPECT_EQ(hop_c.load(), 2);
+  // ...and they were queried concurrently, not one after another.
+  EXPECT_GE(gauge.peak.load(), 2);
+  EXPECT_LT(elapsed, 290ms);
+
+  // hop_limit 0 keeps the import local: the stubs are not consulted again.
+  hop_a.store(-7);
+  request.hop_limit = 0;
+  EXPECT_EQ(root.import(request).size(), 0u);
+  EXPECT_EQ(hop_a.load(), -7);
+}
+
+TEST(Concurrency, ExpiredImportDeadlineThrows) {
+  trader::Trader root("root");
+  root.types().add({"Svc", "", {}});
+  trader::ImportRequest request;
+  request.service_type = "Svc";
+  request.deadline = std::chrono::steady_clock::now() - 1ms;
+  EXPECT_THROW(root.import(request), RpcError);
+}
+
+}  // namespace
+}  // namespace cosm::rpc

@@ -1,0 +1,105 @@
+#include "rpc/replay_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+namespace {
+
+Bytes frame(std::uint8_t tag) { return Bytes{tag, tag, tag}; }
+
+TEST(ReplayCache, ZeroCapacityRejected) {
+  EXPECT_THROW(ReplayCache(0), ContractError);
+}
+
+TEST(ReplayCache, MissThenHit) {
+  ReplayCache cache(4);
+  Bytes out;
+  EXPECT_FALSE(cache.lookup({"s", 1}, &out));
+  cache.insert({"s", 1}, frame(7));
+  ASSERT_TRUE(cache.lookup({"s", 1}, &out));
+  EXPECT_EQ(out, frame(7));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReplayCache, EvictsLeastRecentlyUsedAtCapacity) {
+  ReplayCache cache(3);
+  cache.insert({"s", 1}, frame(1));
+  cache.insert({"s", 2}, frame(2));
+  cache.insert({"s", 3}, frame(3));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // A fourth entry pushes out the oldest (request 1).
+  cache.insert({"s", 4}, frame(4));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  Bytes out;
+  EXPECT_FALSE(cache.lookup({"s", 1}, &out));
+  EXPECT_TRUE(cache.lookup({"s", 2}, &out));
+  EXPECT_TRUE(cache.lookup({"s", 4}, &out));
+}
+
+TEST(ReplayCache, LookupRefreshesRecency) {
+  ReplayCache cache(2);
+  cache.insert({"s", 1}, frame(1));
+  cache.insert({"s", 2}, frame(2));
+  // Touch 1 so 2 becomes the LRU entry...
+  Bytes out;
+  ASSERT_TRUE(cache.lookup({"s", 1}, &out));
+  cache.insert({"s", 3}, frame(3));
+  // ...and is the one evicted.
+  EXPECT_TRUE(cache.lookup({"s", 1}, &out));
+  EXPECT_FALSE(cache.lookup({"s", 2}, &out));
+  EXPECT_TRUE(cache.lookup({"s", 3}, &out));
+}
+
+TEST(ReplayCache, DuplicateInsertKeepsOriginalResponse) {
+  // At-most-once: a racing duplicate must not change the recorded answer.
+  ReplayCache cache(4);
+  cache.insert({"s", 1}, frame(1));
+  cache.insert({"s", 1}, frame(9));
+  Bytes out;
+  ASSERT_TRUE(cache.lookup({"s", 1}, &out));
+  EXPECT_EQ(out, frame(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReplayCache, SessionsAreDistinct) {
+  ReplayCache cache(4);
+  cache.insert({"a", 1}, frame(1));
+  cache.insert({"b", 1}, frame(2));
+  Bytes out;
+  ASSERT_TRUE(cache.lookup({"a", 1}, &out));
+  EXPECT_EQ(out, frame(1));
+  ASSERT_TRUE(cache.lookup({"b", 1}, &out));
+  EXPECT_EQ(out, frame(2));
+}
+
+TEST(ReplayCache, ConcurrentInsertLookupStaysConsistent) {
+  ReplayCache cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::string session = "s" + std::to_string(t);
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        cache.insert({session, i}, frame(static_cast<std::uint8_t>(i)));
+        Bytes out;
+        if (cache.lookup({session, i}, &out)) {
+          EXPECT_EQ(out, frame(static_cast<std::uint8_t>(i)));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_EQ(cache.evictions(), 4 * 500 - cache.size());
+}
+
+}  // namespace
+}  // namespace cosm::rpc

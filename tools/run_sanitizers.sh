@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Build and run the test suite under the sanitizers wired to COSM_SANITIZE.
+#
+#   tools/run_sanitizers.sh            # thread + address/undefined
+#   tools/run_sanitizers.sh thread     # just ThreadSanitizer
+#   tools/run_sanitizers.sh address    # just AddressSanitizer + UBSan
+#
+# Each sanitizer gets its own build tree (build-tsan / build-asan) next to
+# the source so the regular build stays untouched.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+modes=("$@")
+if [ ${#modes[@]} -eq 0 ]; then
+  modes=(thread address)
+fi
+
+for mode in "${modes[@]}"; do
+  case "$mode" in
+    thread)  dir="$root/build-tsan" ;;
+    address) dir="$root/build-asan" ;;
+    *) echo "unknown sanitizer '$mode' (expected: thread, address)" >&2; exit 2 ;;
+  esac
+  echo "=== $mode sanitizer: configuring $dir ==="
+  cmake -B "$dir" -S "$root" -DCOSM_SANITIZE="$mode" >/dev/null
+  echo "=== $mode sanitizer: building ==="
+  cmake --build "$dir" -j "$(nproc)" >/dev/null
+  echo "=== $mode sanitizer: running tests ==="
+  ctest --test-dir "$dir" --output-on-failure
+done
