@@ -85,7 +85,8 @@ GenericClient::GenericClient(rpc::Network& network, GenericClientOptions options
 Binding GenericClient::bind(const sidl::ServiceRef& ref) {
   if (!ref.valid()) throw ContractError("cannot bind an invalid reference");
   auto channel = std::make_unique<rpc::RpcChannel>(
-      network_, ref, rpc::ChannelOptions{options_.timeout});
+      network_, ref,
+      rpc::ChannelOptions{options_.timeout, options_.retry, options_.idempotent});
   sidl::SidPtr sid = channel->fetch_sid();  // SID transfer, Fig. 3
   sidl::ensure_valid(*sid);
   bindings_.fetch_add(1, std::memory_order_relaxed);

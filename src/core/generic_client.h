@@ -33,6 +33,12 @@ struct GenericClientOptions {
   /// the cost of server-side-only rejection.
   bool enforce_fsm = true;
   std::chrono::milliseconds timeout{5000};
+  /// Per-invocation retry on transport failure (see ChannelOptions::retry).
+  /// Disabled by default; gated on `idempotent` unless the policy says
+  /// otherwise.
+  rpc::RetryPolicy retry{};
+  /// Declares every operation invoked through this client safe to reissue.
+  bool idempotent = false;
 };
 
 class GenericClient;

@@ -7,12 +7,17 @@
 namespace cosm::core {
 
 CosmRuntime::CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options)
+    : CosmRuntime(network, RuntimeOptions{server_options, {}, {}}) {}
+
+CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
     : network_(network),
+      retry_(options.retry),
       trader_("trader"),
       browser_("browser"),
-      server_(network, "cosm", server_options),
+      server_(network, "cosm", options.server),
       binder_(network),
       activities_(network) {
+  trader_.set_federation_options(options.federation);
   trader_ref_ = server_.add(trader::make_trader_service(trader_));
   browser_ref_ = server_.add(make_browser_service(browser_));
   names_ref_ = server_.add(naming::make_name_server_service(names_));
@@ -28,10 +33,14 @@ CosmRuntime::CosmRuntime(rpc::Network& network, rpc::ServerOptions server_option
   names_.bind_name(WellKnownNames::kActivityManager, activities_ref_);
 
   // ODP dynamic properties: the trader evaluates them by invoking the named
-  // operation on the exporter over this runtime's network.
+  // operation on the exporter over this runtime's network.  Fetches are
+  // reads, so the runtime's retry policy applies.
   trader_.set_dynamic_fetcher(
       [this](const sidl::ServiceRef& exporter, const std::string& operation) {
-        rpc::RpcChannel channel(network_, exporter);
+        rpc::ChannelOptions channel_options;
+        channel_options.retry = retry_;
+        channel_options.idempotent = true;
+        rpc::RpcChannel channel(network_, exporter, channel_options);
         return channel.call(operation, {});
       });
 
@@ -66,6 +75,12 @@ std::pair<sidl::ServiceRef, std::string> CosmRuntime::offer_traded(
   sidl::ServiceRef ref = host(std::move(object));
   std::string offer_id = trader::export_sid_offer(trader_, *sid, ref);
   return {ref, offer_id};
+}
+
+void CosmRuntime::link_trader(const std::string& link_name,
+                              const sidl::ServiceRef& remote_trader_ref) {
+  trader_.link(link_name, std::make_shared<trader::RemoteTraderGateway>(
+                              network_, remote_trader_ref, retry_));
 }
 
 }  // namespace cosm::core

@@ -42,10 +42,20 @@ struct WellKnownNames {
   static constexpr const char* kActivityManager = "cosm/activities";
 };
 
+/// Knobs for the assembled stack.  `retry` governs the runtime's own
+/// outbound calls (dynamic-property fetches, link_trader gateways); callers
+/// opt individual clients in via GenericClientOptions.
+struct RuntimeOptions {
+  rpc::ServerOptions server{};
+  rpc::RetryPolicy retry{};
+  trader::FederationOptions federation{};
+};
+
 class CosmRuntime {
  public:
   /// Assemble the stack on a network the caller owns.
   explicit CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options = {});
+  CosmRuntime(rpc::Network& network, RuntimeOptions options);
 
   // --- local access to the components ---
   naming::NameServer& names() noexcept { return names_; }
@@ -86,8 +96,16 @@ class CosmRuntime {
     return GenericClient(network_, options);
   }
 
+  /// Federate with a remote trader: adds a RemoteTraderGateway link using
+  /// this runtime's retry policy, so federated imports survive transient
+  /// link faults (and repeat offenders are quarantined per
+  /// RuntimeOptions::federation).
+  void link_trader(const std::string& link_name,
+                   const sidl::ServiceRef& remote_trader_ref);
+
  private:
   rpc::Network& network_;
+  rpc::RetryPolicy retry_;
   naming::NameServer names_;
   naming::GroupManager groups_;
   naming::InterfaceRepository repository_;

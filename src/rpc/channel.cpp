@@ -1,5 +1,7 @@
 #include "rpc/channel.h"
 
+#include <thread>
+
 #include "common/error.h"
 #include "common/id.h"
 #include "rpc/message.h"
@@ -14,8 +16,45 @@ PendingReply::PendingReply(PendingCallPtr pending, CallContext ctx,
       ctx_(ctx),
       result_type_(std::move(result_type)) {}
 
+PendingReply::PendingReply(PendingCallPtr pending, CallContext ctx,
+                           sidl::TypePtr result_type, ReissueFn reissue,
+                           RetryPolicy retry, bool idempotent,
+                           std::uint64_t jitter_seed)
+    : pending_(std::move(pending)),
+      ctx_(ctx),
+      result_type_(std::move(result_type)),
+      reissue_(std::move(reissue)),
+      retry_(retry),
+      idempotent_(idempotent),
+      rng_(jitter_seed) {}
+
+Bytes PendingReply::get_frame() {
+  const bool retryable = reissue_ && retry_.enabled() &&
+                         (idempotent_ || !retry_.only_idempotent);
+  for (int attempt = 1;; ++attempt) {
+    attempts_ = attempt;
+    // An attempt cap turns a *dropped* request into a bounded wait; without
+    // it the first attempt would consume the whole remaining deadline.
+    CallContext attempt_ctx = ctx_;
+    if (retryable && retry_.attempt_timeout.count() > 0) {
+      attempt_ctx = ctx_.shrunk(retry_.attempt_timeout);
+    }
+    try {
+      return pending_->get(attempt_ctx);
+    } catch (const RpcError&) {
+      if (!retryable || attempt >= retry_.max_attempts || ctx_.expired()) {
+        throw;
+      }
+      std::chrono::milliseconds backoff = retry_.backoff_for(attempt, rng_);
+      if (ctx_.has_deadline() && backoff >= ctx_.remaining()) throw;
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      pending_ = reissue_();
+    }
+  }
+}
+
 wire::Value PendingReply::get() {
-  Bytes reply_frame = pending_->get(ctx_);
+  Bytes reply_frame = get_frame();
   Message reply = Message::decode(reply_frame);
   switch (reply.type) {
     case MsgType::Response: {
@@ -58,8 +97,24 @@ PendingReplyPtr RpcChannel::issue(const std::string& operation, Bytes body,
   request.hop_budget = ctx.hop_budget;
   calls_.fetch_add(1, std::memory_order_relaxed);
   PendingCallPtr pending = network_.call_async(ref_.endpoint, request.encode(), ctx);
-  return std::make_shared<PendingReply>(std::move(pending), ctx,
-                                        std::move(result_type));
+  if (!options_.retry.enabled()) {
+    return std::make_shared<PendingReply>(std::move(pending), ctx,
+                                          std::move(result_type));
+  }
+  // Reissue closure for the retry driver: same request id and session (the
+  // replay-cache key), but the stamped deadline budget is recomputed so the
+  // server sees the genuinely remaining time, not the original snapshot.
+  auto reissue = [network = &network_, endpoint = ref_.endpoint,
+                  message = request, ctx]() mutable {
+    message.deadline_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(ctx.remaining())
+            .count());
+    if (message.deadline_ms == 0) message.deadline_ms = 1;
+    return network->call_async(endpoint, message.encode(), ctx);
+  };
+  return std::make_shared<PendingReply>(
+      std::move(pending), ctx, std::move(result_type), std::move(reissue),
+      options_.retry, options_.idempotent, request.request_id ^ 0x9e3779b9u);
 }
 
 PendingReplyPtr RpcChannel::call_async(const std::string& operation,

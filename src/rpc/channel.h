@@ -29,8 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "rpc/call_context.h"
 #include "rpc/network.h"
+#include "rpc/retry.h"
 #include "sidl/service_ref.h"
 #include "sidl/sid.h"
 #include "wire/value.h"
@@ -39,24 +41,55 @@ namespace cosm::rpc {
 
 struct ChannelOptions {
   std::chrono::milliseconds timeout{5000};
+  /// Request-level retry: on a transport failure or attempt timeout the
+  /// whole request is reissued with the *same* request id and session, so an
+  /// at-most-once server answers duplicates from its replay cache.
+  /// Disabled by default (max_attempts == 1).
+  RetryPolicy retry{};
+  /// Declares this channel's requests safe to reissue — either the
+  /// operations are idempotent or the server runs at-most-once dispatch.
+  /// With `retry.only_idempotent` (the default) retries only engage when
+  /// this is set.
+  bool idempotent = false;
 };
 
 /// An in-flight channel call.  get() blocks for the reply frame, decodes it
 /// and throws RemoteFault / RpcError exactly like the blocking call paths.
+///
+/// When the owning channel has a retry policy, get() drives it: a transport
+/// failure or per-attempt timeout reissues the request (same request id /
+/// session) after a jittered backoff, while the overall deadline holds.
+/// Remote faults are never retried — the server answered.
 class PendingReply {
  public:
+  /// Reissues the request and returns the fresh in-flight call.
+  using ReissueFn = std::function<PendingCallPtr()>;
+
   PendingReply(PendingCallPtr pending, CallContext ctx,
                sidl::TypePtr result_type);
+  PendingReply(PendingCallPtr pending, CallContext ctx,
+               sidl::TypePtr result_type, ReissueFn reissue, RetryPolicy retry,
+               bool idempotent, std::uint64_t jitter_seed);
 
   /// Blocks until reply or deadline; decodes the result (validating it when
   /// the call was typed).  Throws RemoteFault on a fault reply, RpcError on
-  /// timeout or transport failure.
+  /// timeout or transport failure (after exhausting any retry budget).
   wire::Value get();
 
+  /// Attempts made so far (instrumentation; 1 on an un-retried success).
+  int attempts() const noexcept { return attempts_; }
+
  private:
+  Bytes get_frame();
+
   PendingCallPtr pending_;
   CallContext ctx_;
   sidl::TypePtr result_type_;  // nullptr for untyped calls
+  ReissueFn reissue_;          // null when retries are disabled
+  RetryPolicy retry_;
+  bool idempotent_ = false;
+  Rng rng_{0};
+  int attempts_ = 1;
 };
 
 using PendingReplyPtr = std::shared_ptr<PendingReply>;

@@ -1,0 +1,87 @@
+#include "rpc/fault_injection.h"
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+
+void FaultInjectingNetwork::set_default_profile(FaultProfile profile) {
+  std::lock_guard lock(mutex_);
+  default_profile_ = profile;
+}
+
+void FaultInjectingNetwork::set_profile(const std::string& endpoint,
+                                        FaultProfile profile) {
+  std::lock_guard lock(mutex_);
+  per_endpoint_[endpoint] = profile;
+}
+
+void FaultInjectingNetwork::clear_profiles() {
+  std::lock_guard lock(mutex_);
+  per_endpoint_.clear();
+  default_profile_ = FaultProfile{};
+}
+
+void FaultInjectingNetwork::fail_next(int calls) {
+  fail_next_.store(calls < 0 ? 0 : calls);
+}
+
+PendingCallPtr FaultInjectingNetwork::call_async(const std::string& endpoint,
+                                                 const Bytes& request,
+                                                 const CallContext& ctx) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+
+  int scheduled = fail_next_.load();
+  while (scheduled > 0 &&
+         !fail_next_.compare_exchange_weak(scheduled, scheduled - 1)) {
+  }
+  if (scheduled > 0) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return failed_call(std::make_exception_ptr(
+        RpcError("injected fault: connection reset to '" + endpoint + "'")));
+  }
+
+  bool fail = false, drop = false, duplicate = false, delayed = false;
+  std::chrono::milliseconds delay_for{0};
+  {
+    std::lock_guard lock(mutex_);
+    auto it = per_endpoint_.find(endpoint);
+    const FaultProfile& profile =
+        it == per_endpoint_.end() ? default_profile_ : it->second;
+    if (!profile.quiet()) {
+      // One die per hazard, rolled in fixed order so a seed fully determines
+      // the fault schedule regardless of which hazards are enabled.
+      fail = rng_.chance(profile.fail);
+      drop = rng_.chance(profile.drop) && !fail;
+      duplicate = rng_.chance(profile.duplicate);
+      delayed = rng_.chance(profile.delay);
+      delay_for = profile.delay_for;
+    }
+  }
+
+  if (delayed) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(delay_for);
+  }
+  if (fail) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return failed_call(std::make_exception_ptr(
+        RpcError("injected fault: connection reset to '" + endpoint + "'")));
+  }
+  if (drop) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    // A lost request: nothing ever settles this call.  The caller's
+    // deadline (or the retry policy's attempt_timeout) is the only way out.
+    return std::make_shared<PendingCall>();
+  }
+  if (duplicate) {
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    // Shadow delivery: same frame, result dropped.  Against an at-most-once
+    // server the replay cache must make this invisible.
+    inner_.call_async(endpoint, request, ctx);
+  }
+  return inner_.call_async(endpoint, request, ctx);
+}
+
+}  // namespace cosm::rpc

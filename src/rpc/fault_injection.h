@@ -1,0 +1,98 @@
+// Deterministic fault injection for any Network (testing decorator).
+//
+// FaultInjectingNetwork wraps an inner transport and, per call, rolls a
+// seeded SplitMix64 die against a FaultProfile: the request may be failed
+// immediately (injected connection error), dropped (the PendingCall is never
+// settled — the caller sees only its own deadline, exactly like a lost
+// datagram), duplicated (the frame is delivered twice, exercising the
+// at-most-once replay cache) or delayed.  Profiles can differ per endpoint,
+// so one flaky federation link can live next to healthy ones.
+//
+// All randomness flows through one explicitly seeded Rng, so a given seed
+// yields the same fault schedule on every run — failure paths become
+// ordinary deterministic tests.  `fail_next(n)` bypasses the dice entirely
+// for tests that need an exact failure count.
+//
+// CAUTION: a *dropped* call never settles.  Callers must carry a deadline
+// (every COSM channel does); a deadline-free blocking get() on a dropped
+// call would wait forever.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "rpc/network.h"
+
+namespace cosm::rpc {
+
+/// Per-endpoint fault probabilities; all default to "no faults".
+struct FaultProfile {
+  /// Probability the request vanishes (PendingCall never settles).
+  double drop = 0.0;
+  /// Probability the call fails immediately with an injected RpcError.
+  double fail = 0.0;
+  /// Probability the frame is delivered twice (duplicate request).
+  double duplicate = 0.0;
+  /// Probability of an added `delay_for` pause before delivery.
+  double delay = 0.0;
+  std::chrono::milliseconds delay_for{10};
+
+  bool quiet() const noexcept {
+    return drop <= 0 && fail <= 0 && duplicate <= 0 && delay <= 0;
+  }
+};
+
+class FaultInjectingNetwork final : public Network {
+ public:
+  FaultInjectingNetwork(Network& inner, std::uint64_t seed,
+                        FaultProfile profile = {})
+      : inner_(inner), rng_(seed), default_profile_(profile) {}
+
+  std::string listen(const std::string& hint, FrameHandler handler) override {
+    return inner_.listen(hint, std::move(handler));
+  }
+  void unlisten(const std::string& endpoint) override {
+    inner_.unlisten(endpoint);
+  }
+  PendingCallPtr call_async(const std::string& endpoint, const Bytes& request,
+                            const CallContext& ctx) override;
+  std::string scheme() const override { return inner_.scheme(); }
+
+  /// Profile applied to endpoints without a specific override.
+  void set_default_profile(FaultProfile profile);
+  /// Override the profile for one endpoint (e.g. one bad federation link).
+  void set_profile(const std::string& endpoint, FaultProfile profile);
+  void clear_profiles();
+
+  /// Deterministically fail the next `calls` calls (any endpoint),
+  /// regardless of profiles.  For exact-failure-count tests.
+  void fail_next(int calls);
+
+  // --- instrumentation ---
+  std::uint64_t calls_total() const noexcept { return calls_.load(); }
+  std::uint64_t injected_drops() const noexcept { return drops_.load(); }
+  std::uint64_t injected_failures() const noexcept { return failures_.load(); }
+  std::uint64_t injected_duplicates() const noexcept { return duplicates_.load(); }
+  std::uint64_t injected_delays() const noexcept { return delays_.load(); }
+
+ private:
+  Network& inner_;
+  mutable std::mutex mutex_;  // guards rng_ and the profile maps
+  Rng rng_;
+  FaultProfile default_profile_;
+  std::map<std::string, FaultProfile> per_endpoint_;
+  std::atomic<int> fail_next_{0};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> delays_{0};
+};
+
+}  // namespace cosm::rpc

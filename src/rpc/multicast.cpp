@@ -26,7 +26,8 @@ std::vector<MulticastOutcome> multicast_call(Network& network,
     InFlight in_flight;
     try {
       in_flight.channel = std::make_unique<RpcChannel>(
-          network, member, ChannelOptions{options.timeout});
+          network, member,
+          ChannelOptions{options.timeout, options.retry, options.idempotent});
       in_flight.reply = in_flight.channel->call_async(operation, args);
     } catch (const Error& e) {
       in_flight.issue_error = e.what();
@@ -52,6 +53,7 @@ std::vector<MulticastOutcome> multicast_call(Network& network,
       } catch (const Error& e) {
         outcome.error = e.what();
       }
+      outcome.attempts = calls[i].reply->attempts();
     }
     outcomes.push_back(std::move(outcome));
     if (options.quorum > 0 && successes >= options.quorum) break;

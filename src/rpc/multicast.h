@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "rpc/network.h"
+#include "rpc/retry.h"
 #include "sidl/service_ref.h"
 #include "wire/value.h"
 
@@ -31,6 +32,8 @@ struct MulticastOutcome {
   std::optional<wire::Value> result;
   /// Non-empty on failure (fault text or transport error).
   std::string error;
+  /// Call attempts made for this member (> 1 when the retry policy fired).
+  int attempts = 1;
 
   bool ok() const noexcept { return result.has_value(); }
 };
@@ -42,6 +45,12 @@ struct MulticastOptions {
   /// parallel; the outcome list is truncated at the quorum point in member
   /// order, matching what a sequential sweep would return.
   std::size_t quorum = 0;
+  /// Per-member retry: a member that fails transiently is retried within
+  /// its share of the timeout instead of surfacing a failed outcome.
+  /// Disabled by default.
+  RetryPolicy retry{};
+  /// Marks the multicast operation safe to reissue (see ChannelOptions).
+  bool idempotent = false;
 };
 
 /// Deliver `operation(args)` to every member concurrently; returns one

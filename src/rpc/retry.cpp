@@ -1,0 +1,34 @@
+#include "rpc/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosm::rpc {
+
+std::chrono::milliseconds RetryPolicy::backoff_for(int attempt, Rng& rng) const {
+  if (attempt < 1) attempt = 1;
+  double nominal = static_cast<double>(initial_backoff.count()) *
+                   std::pow(multiplier, attempt - 1);
+  nominal = std::min(nominal, static_cast<double>(max_backoff.count()));
+  double j = std::clamp(jitter, 0.0, 1.0);
+  double factor = 1.0 - j + 2.0 * j * rng.uniform();
+  auto ms = static_cast<std::int64_t>(nominal * factor);
+  return std::chrono::milliseconds(std::max<std::int64_t>(ms, 0));
+}
+
+RetryPolicy RetryPolicy::standard() {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  return policy;
+}
+
+RetryPolicy RetryPolicy::transport() {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(20);
+  policy.only_idempotent = false;
+  return policy;
+}
+
+}  // namespace cosm::rpc

@@ -1,0 +1,69 @@
+// Deadline-aware retry with jittered exponential backoff.
+//
+// A RetryPolicy describes how a failed call may be reissued: how many
+// attempts in total, how the backoff between them grows, how much jitter
+// de-synchronises retrying clients, and whether non-idempotent requests are
+// eligible at all.  Every decision honours the caller's CallContext — a
+// retry is never attempted once the deadline has passed, and a backoff that
+// would sleep past the deadline aborts instead, surfacing the last failure.
+//
+// Two layers use it differently:
+//   * TcpNetwork retries *sends* (dial + frame write).  A request that never
+//     reached the wire is always safe to reissue, so the transport policy
+//     ignores the idempotency flag.
+//   * RpcChannel retries whole round trips.  A reissued request re-uses the
+//     original request id and session, so against an at-most-once server
+//     (ServerOptions::at_most_once) the replay cache answers duplicates from
+//     the cached response frame and the handler runs at most once.  Without
+//     that guarantee only calls marked idempotent are retried (the
+//     `only_idempotent` flag).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace cosm::rpc {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = retries disabled.
+  int max_attempts = 1;
+  /// Backoff before the first retry; doubles (see `multiplier`) per retry.
+  std::chrono::milliseconds initial_backoff{5};
+  /// Growth factor of the backoff between consecutive retries.
+  double multiplier = 2.0;
+  /// Upper bound on a single backoff sleep.
+  std::chrono::milliseconds max_backoff{250};
+  /// Jitter fraction: the actual sleep is uniform in
+  /// [nominal*(1-jitter), nominal*(1+jitter)).
+  double jitter = 0.5;
+  /// Cap on how long any single attempt may wait before it is abandoned and
+  /// retried (0 = each attempt may consume the whole remaining deadline).
+  /// Without it a *dropped* request burns the entire budget on attempt one.
+  std::chrono::milliseconds attempt_timeout{0};
+  /// When true, requests not marked idempotent are never reissued.
+  bool only_idempotent = true;
+
+  bool enabled() const noexcept { return max_attempts > 1; }
+
+  /// Jittered backoff before the retry following attempt number `attempt`
+  /// (1-based count of attempts already made).
+  std::chrono::milliseconds backoff_for(int attempt, Rng& rng) const;
+
+  /// Sensible default for request-level retries: 3 attempts, 5 ms..250 ms.
+  static RetryPolicy standard();
+
+  /// Default for transport send retries (dial + write): 3 quick attempts,
+  /// 1 ms..20 ms, idempotency irrelevant (the request never hit the wire).
+  static RetryPolicy transport();
+};
+
+/// Outcome bookkeeping for one retried call (instrumentation).
+struct RetryStats {
+  int attempts = 0;
+  std::chrono::milliseconds backoff_total{0};
+};
+
+}  // namespace cosm::rpc

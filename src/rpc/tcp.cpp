@@ -76,6 +76,25 @@ bool read_frame(int fd, std::uint64_t& corr, Bytes& out, bool allow_eof_at_start
   return true;
 }
 
+/// Parse the port digits of an endpoint; throws RpcError (never std::stoi's
+/// std::invalid_argument / std::out_of_range) on anything but 1..65535.
+int parse_port(const std::string& digits, const std::string& endpoint) {
+  if (digits.empty() || digits.size() > 5) {
+    throw RpcError("tcp: bad port in endpoint '" + endpoint + "'");
+  }
+  int port = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      throw RpcError("tcp: bad port in endpoint '" + endpoint + "'");
+    }
+    port = port * 10 + (c - '0');
+  }
+  if (port < 1 || port > 65535) {
+    throw RpcError("tcp: port out of range in endpoint '" + endpoint + "'");
+  }
+  return port;
+}
+
 int connect_loopback(const std::string& endpoint) {
   constexpr const char* kPrefix = "tcp://";
   if (endpoint.rfind(kPrefix, 0) != 0) {
@@ -87,7 +106,8 @@ int connect_loopback(const std::string& endpoint) {
     throw RpcError("tcp: endpoint missing port: '" + endpoint + "'");
   }
   std::string host = hostport.substr(0, colon);
-  int port = std::stoi(hostport.substr(colon + 1));
+  // Parse before any fd exists so a malformed port cannot leak a socket.
+  int port = parse_port(hostport.substr(colon + 1), endpoint);
 
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw RpcError(std::string("tcp: socket failed: ") + std::strerror(errno));
@@ -186,27 +206,56 @@ struct TcpNetwork::ClientConn {
 // Server listener: accept loop + one serving thread per connection.
 
 struct TcpNetwork::Listener {
+  /// One accepted connection: its socket and the thread serving it.  The
+  /// serving thread closes the fd itself (under conn_mutex, so stop()'s
+  /// shutdown can never race a close and hit a recycled descriptor) and
+  /// raises `done`; the accept loop joins and erases done entries before
+  /// every new accept, so a long-lived server holds O(live connections)
+  /// threads instead of one per connection ever accepted.
+  struct ConnEntry {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
   std::atomic<int> listen_fd{-1};
   std::string endpoint;
   FrameHandler handler;
   std::thread accept_thread;
   std::mutex conn_mutex;
-  std::vector<int> conn_fds;
-  std::vector<std::thread> conn_threads;
+  std::vector<std::shared_ptr<ConnEntry>> conns;
   std::atomic<bool> stopping{false};
 
-  void serve_connection(int fd) {
+  void serve_connection(ConnEntry& entry) {
     std::uint64_t corr = 0;
     Bytes request;
     try {
-      while (read_frame(fd, corr, request, /*allow_eof_at_start=*/true)) {
+      while (read_frame(entry.fd, corr, request, /*allow_eof_at_start=*/true)) {
         Bytes response = handler(request);
-        write_frame(fd, corr, response);
+        write_frame(entry.fd, corr, response);
       }
     } catch (const Error&) {
       // Connection torn down (peer reset or shutdown); drop it.
+    } catch (...) {
+      // A handler leaked a non-COSM exception.  Letting it escape would
+      // std::terminate the whole server from this connection thread; the
+      // connection is forfeit, the server is not.
     }
-    ::close(fd);
+    {
+      std::lock_guard lock(conn_mutex);
+      ::close(entry.fd);
+      entry.fd = -1;
+    }
+    entry.done.store(true);
+  }
+
+  /// Join and drop finished serving threads.  Caller holds conn_mutex.
+  void reap_finished_locked() {
+    std::erase_if(conns, [](const std::shared_ptr<ConnEntry>& entry) {
+      if (!entry->done.load()) return false;
+      if (entry->thread.joinable()) entry->thread.join();
+      return true;
+    });
   }
 
   void accept_loop() {
@@ -225,8 +274,12 @@ struct TcpNetwork::Listener {
         ::close(fd);
         return;
       }
-      conn_fds.push_back(fd);
-      conn_threads.emplace_back([this, fd] { serve_connection(fd); });
+      reap_finished_locked();
+      auto entry = std::make_shared<ConnEntry>();
+      entry->fd = fd;
+      entry->thread =
+          std::thread([this, entry] { serve_connection(*entry); });
+      conns.push_back(std::move(entry));
     }
   }
 
@@ -238,13 +291,24 @@ struct TcpNetwork::Listener {
     if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
     if (accept_thread.joinable()) accept_thread.join();
     if (lfd >= 0) ::close(lfd);
+    std::vector<std::shared_ptr<ConnEntry>> draining;
     {
       std::lock_guard lock(conn_mutex);
-      for (int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
+      for (auto& entry : conns) {
+        if (entry->fd >= 0) ::shutdown(entry->fd, SHUT_RDWR);
+      }
+      draining.swap(conns);
     }
-    for (auto& t : conn_threads) {
-      if (t.joinable()) t.join();
+    // Join without conn_mutex: the serving threads take it to close.
+    for (auto& entry : draining) {
+      if (entry->thread.joinable()) entry->thread.join();
     }
+  }
+
+  std::size_t live_threads() {
+    std::lock_guard lock(conn_mutex);
+    reap_finished_locked();
+    return conns.size();
   }
 
   ~Listener() { stop(); }
@@ -326,26 +390,56 @@ std::size_t TcpNetwork::pooled_connections(const std::string& endpoint) const {
   return it == pools_.end() ? 0 : it->second.size();
 }
 
+std::size_t TcpNetwork::serving_threads(const std::string& endpoint) const {
+  std::shared_ptr<Listener> listener;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = listeners_.find(endpoint);
+    if (it == listeners_.end()) return 0;
+    listener = it->second;
+  }
+  return listener->live_threads();
+}
+
 /// Pick an idle pooled connection, reaping dead ones; dial a fresh one when
 /// every pooled connection is busy and the pool has room; otherwise
 /// multiplex over the least-loaded survivor.
 std::shared_ptr<TcpNetwork::ClientConn> TcpNetwork::checkout_conn(
     const std::string& endpoint) {
+  std::shared_ptr<ClientConn> chosen;
+  // Dead connections are moved out under the lock but destroyed after it:
+  // ~ClientConn joins the reader thread, and that join must not stall every
+  // caller to every endpoint behind the pool mutex.
+  std::vector<std::shared_ptr<ClientConn>> reaped;
   {
     std::lock_guard lock(mutex_);
     auto& pool = pools_[endpoint];
-    std::erase_if(pool, [](const auto& c) { return c->dead.load(); });
+    for (auto it = pool.begin(); it != pool.end();) {
+      if ((*it)->dead.load()) {
+        reaped.push_back(std::move(*it));
+        it = pool.erase(it);
+      } else {
+        ++it;
+      }
+    }
     std::shared_ptr<ClientConn> least_loaded;
     for (const auto& conn : pool) {
       std::size_t load = conn->in_flight.load(std::memory_order_relaxed);
-      if (load == 0) return conn;  // idle: reuse immediately
+      if (load == 0) {
+        chosen = conn;  // idle: reuse immediately
+        break;
+      }
       if (!least_loaded ||
           load < least_loaded->in_flight.load(std::memory_order_relaxed)) {
         least_loaded = conn;
       }
     }
-    if (least_loaded && pool.size() >= kMaxConnsPerEndpoint) return least_loaded;
+    if (!chosen && least_loaded && pool.size() >= kMaxConnsPerEndpoint) {
+      chosen = least_loaded;
+    }
   }
+  reaped.clear();  // joins dead readers, lock-free for everyone else
+  if (chosen) return chosen;
 
   // Dial outside the lock (connect can block).
   auto conn = std::make_shared<ClientConn>();
@@ -354,6 +448,17 @@ std::shared_ptr<TcpNetwork::ClientConn> TcpNetwork::checkout_conn(
   std::lock_guard lock(mutex_);
   pools_[endpoint].push_back(conn);
   return conn;
+}
+
+void TcpNetwork::set_send_retry_policy(RetryPolicy policy) {
+  std::lock_guard lock(mutex_);
+  if (policy.max_attempts < 1) policy.max_attempts = 1;
+  send_retry_ = policy;
+}
+
+RetryPolicy TcpNetwork::send_retry_policy() const {
+  std::lock_guard lock(mutex_);
+  return send_retry_;
 }
 
 PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
@@ -366,35 +471,51 @@ PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
     return pending;
   }
 
-  // Two attempts: a pooled connection may have died since checkout (server
-  // restarted, idle reset) — retry once on a fresh dial.  A call whose write
-  // succeeded is never reissued (at-most-once stays with the replay cache).
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  // Send retries: a pooled connection may have died since checkout (server
+  // restarted, idle reset) and a dial can hit a transient refusal.  Every
+  // failure handled here happened before the request reached the wire, so
+  // reissuing is always safe; a call whose write succeeded is never
+  // reissued (at-most-once stays with the replay cache).  Backoff between
+  // attempts is jittered and never sleeps past the caller's deadline.
+  RetryPolicy policy = send_retry_policy();
+  for (int attempt = 1;; ++attempt) {
+    std::exception_ptr failure;
     std::shared_ptr<ClientConn> conn;
     try {
       conn = checkout_conn(endpoint);
     } catch (const Error&) {
-      pending->fail(std::current_exception());
-      return pending;
+      failure = std::current_exception();
     }
-    std::uint64_t corr = next_id();
-    conn->register_pending(corr, pending);
-    try {
-      std::lock_guard write_lock(conn->write_mutex);
-      write_frame(conn->fd, corr, request);
-      return pending;
-    } catch (const Error&) {
-      conn->take_pending(corr);
-      conn->dead.store(true);
-      ::shutdown(conn->fd, SHUT_RDWR);  // reader will reap the rest
-      if (attempt == 1) {
-        pending->fail(std::current_exception());
+    if (conn) {
+      std::uint64_t corr = next_id();
+      conn->register_pending(corr, pending);
+      try {
+        std::lock_guard write_lock(conn->write_mutex);
+        write_frame(conn->fd, corr, request);
         return pending;
+      } catch (const Error&) {
+        conn->take_pending(corr);
+        conn->dead.store(true);
+        ::shutdown(conn->fd, SHUT_RDWR);  // reader will reap the rest
+        failure = std::current_exception();
       }
     }
+    if (attempt >= policy.max_attempts || ctx.expired()) {
+      pending->fail(failure);
+      return pending;
+    }
+    std::chrono::milliseconds backoff;
+    {
+      std::lock_guard lock(rng_mutex_);
+      backoff = policy.backoff_for(attempt, rng_);
+    }
+    if (ctx.has_deadline() && backoff >= ctx.remaining()) {
+      pending->fail(failure);
+      return pending;
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    send_retries_.fetch_add(1, std::memory_order_relaxed);
   }
-  pending->fail(std::make_exception_ptr(RpcError("tcp: unreachable")));
-  return pending;
 }
 
 }  // namespace cosm::rpc

@@ -27,7 +27,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "rpc/network.h"
+#include "rpc/retry.h"
 
 namespace cosm::rpc {
 
@@ -42,8 +44,24 @@ class TcpNetwork final : public Network {
                             const CallContext& ctx) override;
   std::string scheme() const override { return "tcp"; }
 
+  /// Policy for *send* retries (dial + frame write).  A request that failed
+  /// to reach the wire is always safe to reissue, so `only_idempotent` is
+  /// ignored here; at-most-once for requests that *did* reach the server
+  /// stays with the replay cache.  Defaults to RetryPolicy::transport().
+  void set_send_retry_policy(RetryPolicy policy);
+  RetryPolicy send_retry_policy() const;
+
   /// Currently pooled client connections to `endpoint` (instrumentation).
   std::size_t pooled_connections(const std::string& endpoint) const;
+  /// Live per-connection serving threads of the listener bound at
+  /// `endpoint`; finished threads are reaped on the next accept
+  /// (instrumentation).
+  std::size_t serving_threads(const std::string& endpoint) const;
+  /// Send attempts that were retried after a dial/write failure
+  /// (instrumentation).
+  std::uint64_t send_retries() const noexcept {
+    return send_retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Listener;
@@ -56,6 +74,12 @@ class TcpNetwork final : public Network {
   std::map<std::string, std::shared_ptr<Listener>> listeners_;
   /// Pooled client connections: endpoint -> live connections.
   std::map<std::string, std::vector<std::shared_ptr<ClientConn>>> pools_;
+  RetryPolicy send_retry_ = RetryPolicy::transport();
+  // Jitter for send-retry backoff; its own lock so backoff sleep decisions
+  // never contend with pool checkout.
+  mutable std::mutex rng_mutex_;
+  Rng rng_{0x7c9};
+  std::atomic<std::uint64_t> send_retries_{0};
 };
 
 }  // namespace cosm::rpc

@@ -153,8 +153,9 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
 }
 
 RemoteTraderGateway::RemoteTraderGateway(rpc::Network& network,
-                                         sidl::ServiceRef trader_ref)
-    : network_(network), ref_(std::move(trader_ref)) {
+                                         sidl::ServiceRef trader_ref,
+                                         rpc::RetryPolicy retry)
+    : network_(network), ref_(std::move(trader_ref)), retry_(retry) {
   if (!ref_.valid()) {
     throw ContractError("RemoteTraderGateway needs a valid trader reference");
   }
@@ -165,6 +166,8 @@ std::vector<Offer> RemoteTraderGateway::import(const ImportRequest& request) {
   // budget.  The sweep runs on worker threads with no inherited thread-local
   // context, so the ImportRequest field is the only carrier.
   rpc::ChannelOptions options;
+  options.retry = retry_;
+  options.idempotent = true;  // Import mutates nothing
   if (request.has_deadline()) {
     auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         request.deadline - std::chrono::steady_clock::now());

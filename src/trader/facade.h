@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "rpc/network.h"
+#include "rpc/retry.h"
 #include "rpc/service_object.h"
 #include "trader/trader.h"
 
@@ -26,10 +27,13 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader);
 wire::Value offer_to_value(const Offer& offer);
 Offer offer_from_value(const wire::Value& value);
 
-/// Federation link target reachable over RPC.
+/// Federation link target reachable over RPC.  Import is read-only, so a
+/// retry policy (when given) reissues it on transport failure; the server's
+/// replay cache dedupes any request that did reach it.
 class RemoteTraderGateway final : public TraderGateway {
  public:
-  RemoteTraderGateway(rpc::Network& network, sidl::ServiceRef trader_ref);
+  RemoteTraderGateway(rpc::Network& network, sidl::ServiceRef trader_ref,
+                      rpc::RetryPolicy retry = {});
 
   std::vector<Offer> import(const ImportRequest& request) override;
   std::string describe() const override;
@@ -37,6 +41,7 @@ class RemoteTraderGateway final : public TraderGateway {
  private:
   rpc::Network& network_;
   sidl::ServiceRef ref_;
+  rpc::RetryPolicy retry_;
 };
 
 }  // namespace cosm::trader

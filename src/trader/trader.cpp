@@ -188,6 +188,10 @@ std::vector<Offer> Trader::match_local(const ImportRequest& request,
 }
 
 std::vector<Offer> Trader::import(const ImportRequest& request) {
+  return import_ex(request).offers;
+}
+
+ImportResult Trader::import_ex(const ImportRequest& request) {
   if (!types_.has(request.service_type)) {
     throw NotFound("trader '" + name_ + "' has no service type '" +
                    request.service_type + "'");
@@ -198,6 +202,7 @@ std::vector<Offer> Trader::import(const ImportRequest& request) {
   Constraint constraint = Constraint::parse(request.constraint);
   Preference preference = Preference::parse(request.preference);
 
+  ImportResult result;
   std::vector<Offer> matched = match_local(request, constraint);
 
   // Federation sweep: forward with a decremented hop budget; duplicate
@@ -205,36 +210,68 @@ std::vector<Offer> Trader::import(const ImportRequest& request) {
   // queried concurrently — in a federation every hop is a network round
   // trip, so a sequential sweep costs the sum of the link latencies where
   // this costs the maximum.  Merging in link order keeps the result
-  // deterministic.
+  // deterministic.  A failing link yields a Failed outcome and a reduced
+  // result set, never a failed import; a link over its failure threshold is
+  // quarantined and skipped entirely until its TTL expires.
   if (request.hop_limit > 0) {
-    std::vector<std::pair<std::string, std::shared_ptr<TraderGateway>>> links;
+    struct SweepTarget {
+      std::string name;
+      std::shared_ptr<TraderGateway> gateway;  // null when quarantined
+    };
+    std::vector<SweepTarget> targets;
     {
       std::lock_guard lock(mutex_);
-      links = links_;
+      auto now = std::chrono::steady_clock::now();
+      targets.reserve(links_.size());
+      for (const auto& link : links_) {
+        bool quarantined = link.quarantined_until > now;
+        targets.push_back({link.name, quarantined ? nullptr : link.gateway});
+      }
     }
     ImportRequest forwarded = request;
     forwarded.hop_limit = request.hop_limit - 1;
     forwarded.max_matches = 0;       // rank after the merge, not per trader
     forwarded.preference.clear();    // remote ranking would be wasted work
-    std::vector<std::vector<Offer>> per_link(links.size());
+    std::vector<std::vector<Offer>> per_link(targets.size());
+    std::vector<std::string> per_link_error(targets.size());
     auto query = [&](std::size_t i) {
       try {
-        per_link[i] = links[i].second->import(forwarded);
-      } catch (const Error&) {
+        per_link[i] = targets[i].gateway->import(forwarded);
+      } catch (const Error& e) {
         // An unreachable federated trader reduces the result set; it must
         // not fail the local import.
+        per_link_error[i] = e.what();
       }
     };
-    if (links.size() == 1) {
-      query(0);
-    } else if (!links.empty()) {
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (targets[i].gateway) active.push_back(i);
+    }
+    if (active.size() == 1) {
+      query(active.front());
+    } else if (!active.empty()) {
       std::vector<std::thread> sweep;
-      sweep.reserve(links.size());
-      for (std::size_t i = 0; i < links.size(); ++i) {
-        sweep.emplace_back(query, i);
-      }
+      sweep.reserve(active.size());
+      for (std::size_t i : active) sweep.emplace_back(query, i);
       for (auto& t : sweep) t.join();
     }
+
+    result.links.reserve(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      LinkOutcome outcome;
+      outcome.link = targets[i].name;
+      if (!targets[i].gateway) {
+        outcome.status = LinkOutcome::Status::Quarantined;
+      } else if (!per_link_error[i].empty()) {
+        outcome.status = LinkOutcome::Status::Failed;
+        outcome.error = per_link_error[i];
+      } else {
+        outcome.offers = per_link[i].size();
+      }
+      result.links.push_back(std::move(outcome));
+    }
+    note_link_outcomes(result.links);
+
     std::set<std::string> seen;
     for (const auto& offer : matched) seen.insert(offer.id);
     for (auto& link_offers : per_link) {
@@ -261,26 +298,52 @@ std::vector<Offer> Trader::import(const ImportRequest& request) {
   if (request.max_matches > 0 && ranked.size() > request.max_matches) {
     ranked.resize(request.max_matches);
   }
-  return ranked;
+  result.offers = std::move(ranked);
+  return result;
+}
+
+/// Fold one sweep's outcomes into the links' failure counters: success
+/// resets, failure increments, and crossing the threshold starts a
+/// quarantine window.  A link unlinked mid-sweep is simply skipped.
+void Trader::note_link_outcomes(const std::vector<LinkOutcome>& outcomes) {
+  std::lock_guard lock(mutex_);
+  auto now = std::chrono::steady_clock::now();
+  for (const auto& outcome : outcomes) {
+    if (outcome.status == LinkOutcome::Status::Quarantined) continue;
+    for (auto& link : links_) {
+      if (link.name != outcome.link) continue;
+      if (outcome.status == LinkOutcome::Status::Ok) {
+        link.consecutive_failures = 0;
+      } else {
+        ++link.consecutive_failures;
+        if (link.consecutive_failures >= federation_.quarantine_threshold) {
+          link.quarantined_until = now + federation_.quarantine_ttl;
+          link.consecutive_failures = 0;
+          quarantined_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      break;
+    }
+  }
 }
 
 void Trader::link(const std::string& link_name,
                   std::shared_ptr<TraderGateway> gateway) {
   if (!gateway) throw ContractError("link needs a gateway");
   std::lock_guard lock(mutex_);
-  for (const auto& [existing, g] : links_) {
-    if (existing == link_name) {
+  for (const auto& existing : links_) {
+    if (existing.name == link_name) {
       throw ContractError("trader '" + name_ + "' already has a link '" +
                           link_name + "'");
     }
   }
-  links_.emplace_back(link_name, std::move(gateway));
+  links_.push_back(Link{link_name, std::move(gateway), 0, {}});
 }
 
 void Trader::unlink(const std::string& link_name) {
   std::lock_guard lock(mutex_);
   for (auto it = links_.begin(); it != links_.end(); ++it) {
-    if (it->first == link_name) {
+    if (it->name == link_name) {
       links_.erase(it);
       return;
     }
@@ -292,8 +355,32 @@ std::vector<std::string> Trader::links() const {
   std::lock_guard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(links_.size());
-  for (const auto& [link_name, gateway] : links_) out.push_back(link_name);
+  for (const auto& link : links_) out.push_back(link.name);
   return out;
+}
+
+void Trader::set_federation_options(FederationOptions options) {
+  std::lock_guard lock(mutex_);
+  if (options.quarantine_threshold < 1) options.quarantine_threshold = 1;
+  federation_ = options;
+}
+
+FederationOptions Trader::federation_options() const {
+  std::lock_guard lock(mutex_);
+  return federation_;
+}
+
+LinkHealth Trader::link_health(const std::string& link_name) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& link : links_) {
+    if (link.name != link_name) continue;
+    LinkHealth health;
+    health.consecutive_failures = link.consecutive_failures;
+    health.quarantined =
+        link.quarantined_until > std::chrono::steady_clock::now();
+    return health;
+  }
+  throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
 }
 
 std::size_t Trader::offer_count() const {

@@ -80,6 +80,53 @@ class TraderGateway {
   virtual std::string describe() const = 0;
 };
 
+/// How federation survives misbehaving links (graceful degradation).
+struct FederationOptions {
+  /// Consecutive failures before a link is quarantined.
+  int quarantine_threshold = 3;
+  /// How long a quarantined link is skipped before it is probed again.
+  std::chrono::milliseconds quarantine_ttl{2000};
+};
+
+/// Per-link result of one federated sweep.
+struct LinkOutcome {
+  enum class Status {
+    Ok,           ///< link answered; `offers` merged
+    Failed,       ///< link raised; `error` holds the reason
+    Quarantined,  ///< link skipped: still inside its negative-TTL window
+  };
+
+  std::string link;
+  Status status = Status::Ok;
+  /// Failure reason (Status::Failed only).
+  std::string error;
+  /// Offers the link returned before deduplication (Status::Ok only).
+  std::size_t offers = 0;
+
+  bool ok() const noexcept { return status == Status::Ok; }
+};
+
+/// A federated import's answer: the merged, ranked offers plus what happened
+/// on every federation link consulted (empty when the import stayed local).
+/// A dead link degrades the result set; it never fails the import.
+struct ImportResult {
+  std::vector<Offer> offers;
+  std::vector<LinkOutcome> links;
+
+  bool degraded() const noexcept {
+    for (const auto& outcome : links) {
+      if (!outcome.ok()) return true;
+    }
+    return false;
+  }
+};
+
+/// Health snapshot of one federation link (instrumentation).
+struct LinkHealth {
+  int consecutive_failures = 0;
+  bool quarantined = false;
+};
+
 class Trader {
  public:
   explicit Trader(std::string name, std::uint64_t rng_seed = 42);
@@ -148,10 +195,22 @@ class Trader {
   /// cosm::RpcError when the request's deadline has already passed.
   std::vector<Offer> import(const ImportRequest& request);
 
+  /// import() plus per-link outcomes: a failing federated link degrades the
+  /// result set (tagged Failed) instead of failing the import, and a link
+  /// that keeps failing is quarantined for FederationOptions::quarantine_ttl
+  /// (tagged Quarantined, not queried at all) before being probed again.
+  ImportResult import_ex(const ImportRequest& request);
+
   // --- federation ---
   void link(const std::string& link_name, std::shared_ptr<TraderGateway> gateway);
   void unlink(const std::string& link_name);
   std::vector<std::string> links() const;
+
+  void set_federation_options(FederationOptions options);
+  FederationOptions federation_options() const;
+
+  /// Failure/quarantine state of one link; throws cosm::NotFound.
+  LinkHealth link_health(const std::string& link_name) const;
 
   // --- instrumentation ---
   std::uint64_t exports_total() const noexcept {
@@ -166,11 +225,23 @@ class Trader {
   std::uint64_t dynamic_fetches() const noexcept {
     return dynamic_fetches_.load(std::memory_order_relaxed);
   }
+  std::uint64_t links_quarantined_total() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
   std::size_t offer_count() const;
 
  private:
+  /// A federation link plus its failure-tracking state (guarded by mutex_).
+  struct Link {
+    std::string name;
+    std::shared_ptr<TraderGateway> gateway;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point quarantined_until{};
+  };
+
   std::vector<Offer> match_local(const ImportRequest& request,
                                  const Constraint& constraint);
+  void note_link_outcomes(const std::vector<LinkOutcome>& outcomes);
 
   std::string name_;
   ServiceTypeManager types_;
@@ -182,7 +253,8 @@ class Trader {
 
   mutable std::mutex mutex_;
   std::vector<Offer> offers_;  // export order
-  std::vector<std::pair<std::string, std::shared_ptr<TraderGateway>>> links_;
+  std::vector<Link> links_;
+  FederationOptions federation_;
   DynamicFetcher dynamic_fetcher_;
   // Ranking may happen on any importer thread; the rng has its own lock so
   // a Random-preference rank never serialises against offer mutation.
@@ -192,6 +264,7 @@ class Trader {
   std::atomic<std::uint64_t> imports_{0};
   std::atomic<std::uint64_t> evaluated_{0};
   std::atomic<std::uint64_t> dynamic_fetches_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
   std::uint64_t next_offer_ = 1;
   std::uint64_t clock_hours_ = 0;
   std::atomic<std::uint64_t> expired_{0};

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common/error.h"
 #include "rpc/inproc.h"
 #include "rpc/server.h"
@@ -158,6 +162,144 @@ TEST(Federation, UnreachableRemoteTraderSkipped) {
 TEST(Federation, GatewayDescribe) {
   auto t = make_trader("x");
   EXPECT_EQ(LocalTraderGateway(*t).describe(), "local:x");
+}
+
+// --- import_ex: per-link outcomes, degradation, quarantine ---
+
+/// Gateway that fails a configurable number of times, counting invocations.
+class FlakyGateway final : public TraderGateway {
+ public:
+  explicit FlakyGateway(Trader& trader, int failures = 0)
+      : trader_(trader), failures_left_(failures) {}
+
+  std::vector<Offer> import(const ImportRequest& request) override {
+    ++invocations_;
+    if (failures_left_ > 0) {
+      --failures_left_;
+      throw RpcError("flaky gateway down");
+    }
+    return trader_.import(request);
+  }
+  std::string describe() const override { return "flaky:" + trader_.name(); }
+
+  int invocations() const noexcept { return invocations_; }
+  void fail_for(int failures) noexcept { failures_left_ = failures; }
+
+ private:
+  Trader& trader_;
+  std::atomic<int> invocations_{0};
+  std::atomic<int> failures_left_;
+};
+
+const LinkOutcome* outcome_for(const ImportResult& r, const std::string& link) {
+  for (const auto& o : r.links) {
+    if (o.link == link) return &o;
+  }
+  return nullptr;
+}
+
+TEST(ImportEx, ReportsPerLinkOutcomes) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto c = make_trader("c");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  a->link("c", std::make_shared<LocalTraderGateway>(*c));
+  a->export_offer("CarRentalService", mk_ref("local"), charge(1));
+  b->export_offer("CarRentalService", mk_ref("b1"), charge(2));
+  b->export_offer("CarRentalService", mk_ref("b2"), charge(3));
+
+  ImportResult r = a->import_ex(all_rentals(1));
+  EXPECT_EQ(r.offers.size(), 3u);
+  EXPECT_FALSE(r.degraded());
+  ASSERT_EQ(r.links.size(), 2u);
+  ASSERT_NE(outcome_for(r, "b"), nullptr);
+  EXPECT_TRUE(outcome_for(r, "b")->ok());
+  EXPECT_EQ(outcome_for(r, "b")->offers, 2u);
+  EXPECT_EQ(outcome_for(r, "c")->offers, 0u);
+}
+
+TEST(ImportEx, LocalImportHasNoLinkOutcomes) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  a->export_offer("CarRentalService", mk_ref("local"), charge(1));
+  ImportResult r = a->import_ex(all_rentals(0));  // hop_limit 0: no sweep
+  EXPECT_EQ(r.offers.size(), 1u);
+  EXPECT_TRUE(r.links.empty());
+  EXPECT_FALSE(r.degraded());
+}
+
+TEST(ImportEx, FailingLinkYieldsPartialResults) {
+  auto a = make_trader("a");
+  auto good = make_trader("good");
+  auto bad = make_trader("bad");
+  good->export_offer("CarRentalService", mk_ref("survivor"), charge(4));
+  a->link("good", std::make_shared<LocalTraderGateway>(*good));
+  auto flaky = std::make_shared<FlakyGateway>(*bad, 1);
+  a->link("bad", flaky);
+
+  ImportResult r = a->import_ex(all_rentals(1));
+  ASSERT_EQ(r.offers.size(), 1u);
+  EXPECT_EQ(r.offers[0].ref.id, "survivor");
+  EXPECT_TRUE(r.degraded());
+  EXPECT_EQ(outcome_for(r, "bad")->status, LinkOutcome::Status::Failed);
+  EXPECT_NE(outcome_for(r, "bad")->error.find("flaky gateway down"),
+            std::string::npos);
+  EXPECT_TRUE(outcome_for(r, "good")->ok());
+}
+
+TEST(ImportEx, SuccessResetsFailureCount) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto flaky = std::make_shared<FlakyGateway>(*b, 2);
+  a->link("b", flaky);
+  FederationOptions fed;
+  fed.quarantine_threshold = 3;
+  a->set_federation_options(fed);
+
+  a->import_ex(all_rentals(1));  // failure 1
+  a->import_ex(all_rentals(1));  // failure 2
+  EXPECT_EQ(a->link_health("b").consecutive_failures, 2);
+  a->import_ex(all_rentals(1));  // success: counter resets
+  EXPECT_EQ(a->link_health("b").consecutive_failures, 0);
+  EXPECT_FALSE(a->link_health("b").quarantined);
+  EXPECT_EQ(a->links_quarantined_total(), 0u);
+}
+
+TEST(ImportEx, QuarantinedLinkIsNotQueriedUntilTtlExpires) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  b->export_offer("CarRentalService", mk_ref("back"), charge(9));
+  auto flaky = std::make_shared<FlakyGateway>(*b, 2);
+  a->link("b", flaky);
+  FederationOptions fed;
+  fed.quarantine_threshold = 2;
+  fed.quarantine_ttl = std::chrono::milliseconds(150);
+  a->set_federation_options(fed);
+
+  a->import_ex(all_rentals(1));                 // failure 1
+  ImportResult r2 = a->import_ex(all_rentals(1));  // failure 2 -> quarantine
+  EXPECT_EQ(outcome_for(r2, "b")->status, LinkOutcome::Status::Failed);
+  EXPECT_TRUE(a->link_health("b").quarantined);
+  EXPECT_EQ(a->links_quarantined_total(), 1u);
+
+  int before = flaky->invocations();
+  ImportResult r3 = a->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(r3, "b")->status, LinkOutcome::Status::Quarantined);
+  EXPECT_EQ(flaky->invocations(), before);  // skipped, not queried
+  EXPECT_TRUE(r3.offers.empty());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // TTL expired: the link is probed again and has recovered.
+  ImportResult r4 = a->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(r4, "b")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(r4.offers.size(), 1u);
+  EXPECT_FALSE(a->link_health("b").quarantined);
+}
+
+TEST(ImportEx, LinkHealthUnknownLinkThrows) {
+  auto a = make_trader("a");
+  EXPECT_THROW(a->link_health("nope"), NotFound);
 }
 
 }  // namespace

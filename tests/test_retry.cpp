@@ -1,0 +1,92 @@
+#include "rpc/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cosm::rpc {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(RetryPolicy, DisabledByDefault) {
+  RetryPolicy p;
+  EXPECT_EQ(p.max_attempts, 1);
+  EXPECT_FALSE(p.enabled());
+  p.max_attempts = 2;
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(RetryPolicy, FactoriesEnableRetries) {
+  RetryPolicy standard = RetryPolicy::standard();
+  EXPECT_TRUE(standard.enabled());
+  EXPECT_EQ(standard.max_attempts, 3);
+  EXPECT_TRUE(standard.only_idempotent);
+
+  RetryPolicy transport = RetryPolicy::transport();
+  EXPECT_TRUE(transport.enabled());
+  // The transport reissues only requests that never hit the wire, so
+  // idempotency is irrelevant there.
+  EXPECT_FALSE(transport.only_idempotent);
+  EXPECT_LE(transport.max_backoff, standard.max_backoff);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(10);
+  p.multiplier = 2.0;
+  p.max_backoff = milliseconds(1000);
+  p.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(p.backoff_for(1, rng), milliseconds(10));
+  EXPECT_EQ(p.backoff_for(2, rng), milliseconds(20));
+  EXPECT_EQ(p.backoff_for(3, rng), milliseconds(40));
+}
+
+TEST(RetryPolicy, BackoffIsCapped) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(100);
+  p.multiplier = 10.0;
+  p.max_backoff = milliseconds(250);
+  p.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(p.backoff_for(5, rng), milliseconds(250));
+}
+
+TEST(RetryPolicy, JitterStaysWithinBounds) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(100);
+  p.jitter = 0.5;
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    milliseconds b = p.backoff_for(1, rng);
+    EXPECT_GE(b, milliseconds(50));
+    EXPECT_LE(b, milliseconds(150));
+  }
+}
+
+TEST(RetryPolicy, BackoffIsDeterministicPerSeed) {
+  RetryPolicy p = RetryPolicy::standard();
+  Rng a(7), b(7);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_EQ(p.backoff_for(attempt, a), p.backoff_for(attempt, b));
+  }
+}
+
+TEST(RetryPolicy, OutOfRangeInputsClamped) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(10);
+  p.jitter = 0.0;
+  Rng rng(1);
+  // Attempt below 1 behaves like attempt 1.
+  EXPECT_EQ(p.backoff_for(0, rng), milliseconds(10));
+  EXPECT_EQ(p.backoff_for(-3, rng), milliseconds(10));
+  // Jitter outside [0,1] is clamped, never negative sleeps.
+  p.jitter = 5.0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GE(p.backoff_for(1, rng), milliseconds(0));
+  }
+}
+
+}  // namespace
+}  // namespace cosm::rpc

@@ -99,6 +99,102 @@ TEST(Tcp, MalformedEndpointRejected) {
                RpcError);
 }
 
+TEST(Tcp, MalformedPortRejectedWithRpcError) {
+  TcpNetwork net;
+  // std::stoi failure modes must never leak std::invalid_argument /
+  // std::out_of_range out of the transport.
+  for (const char* ep : {"tcp://127.0.0.1:notaport", "tcp://127.0.0.1:",
+                         "tcp://127.0.0.1:99999999999999999999",
+                         "tcp://127.0.0.1:70000", "tcp://127.0.0.1:0",
+                         "tcp://127.0.0.1:12ab"}) {
+    EXPECT_THROW(net.call(ep, {1}, std::chrono::milliseconds(100)), RpcError)
+        << ep;
+  }
+}
+
+TEST(Tcp, ThrowingHandlerDoesNotKillServer) {
+  TcpNetwork net;
+  // A handler leaking a non-COSM exception used to escape the serving
+  // thread's catch(const Error&) and std::terminate the whole process.  Now
+  // it drops that connection only; the listener keeps accepting.
+  auto ep = net.listen("", [](const Bytes& b) -> Bytes {
+    if (!b.empty() && b[0] == 0xFF) throw std::runtime_error("not a cosm::Error");
+    return b;
+  });
+  TcpNetwork poison_client;
+  EXPECT_THROW(
+      poison_client.call(ep, {0xFF}, std::chrono::milliseconds(2000)),
+      RpcError);
+  // Fresh client: the server must still answer.
+  TcpNetwork healthy_client;
+  Bytes payload = {1, 2, 3};
+  EXPECT_EQ(healthy_client.call(ep, payload, std::chrono::milliseconds(2000)),
+            payload);
+}
+
+TEST(Tcp, SendRetryRedialsAfterConnectionDeath) {
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes& b) -> Bytes {
+    if (!b.empty() && b[0] == 0xFF) throw std::runtime_error("poison");
+    return b;
+  });
+  TcpNetwork client;
+  Bytes payload = {7};
+  ASSERT_EQ(client.call(ep, payload, std::chrono::milliseconds(2000)), payload);
+  // Poison the pooled connection: the server drops it.
+  EXPECT_THROW(client.call(ep, {0xFF}, std::chrono::milliseconds(2000)),
+               RpcError);
+  // Give the reader thread a moment to observe the hangup and mark the
+  // pooled connection dead, so the next call hits the write-failure path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // The next call must succeed — dead connection reaped or write retried.
+  EXPECT_EQ(client.call(ep, payload, std::chrono::milliseconds(2000)), payload);
+}
+
+TEST(Tcp, FinishedServingThreadsAreReaped) {
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes& b) { return b; });
+  // Each short-lived client strands one serving thread; before the fix they
+  // accumulated until unlisten().
+  for (int i = 0; i < 8; ++i) {
+    TcpNetwork client;
+    Bytes payload = {static_cast<std::uint8_t>(i)};
+    ASSERT_EQ(client.call(ep, payload, std::chrono::milliseconds(2000)),
+              payload);
+  }  // client destructor closes its connections
+  // One more connection forces an accept, which reaps the finished threads.
+  TcpNetwork prober;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(prober.call(ep, {9}, std::chrono::milliseconds(2000)), Bytes{9});
+    if (net.serving_threads(ep) <= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(net.serving_threads(ep), 2u);
+}
+
+TEST(Tcp, UnlistenMidCallFailsCleanly) {
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes& b) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return b;
+  });
+  TcpNetwork client;
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    net.unlisten(ep);
+  });
+  // The server goes away mid-call; the client must surface an error (or a
+  // served reply that raced the shutdown), never hang or crash.
+  try {
+    client.call(ep, {1}, std::chrono::milliseconds(3000));
+  } catch (const RpcError&) {
+    // expected in the common interleaving
+  }
+  stopper.join();
+  // The endpoint is really gone.
+  EXPECT_THROW(client.call(ep, {2}, std::chrono::milliseconds(500)), RpcError);
+}
+
 TEST(Tcp, SchemeIsTcp) {
   TcpNetwork net;
   EXPECT_EQ(net.scheme(), "tcp");
