@@ -3,13 +3,32 @@
 // Import cost as a function of (a) the offer population, (b) the constraint
 // complexity (number of comparison terms), and (c) the preference policy.
 // Offers are exported directly (no live service objects) so only the
-// matching engine is measured.  Expected shape: linear in population
-// (unindexed scan, as in the 1994 prototype), linear in terms, and a
-// modest ranking surcharge for min/max.
+// matching engine is measured.
+//
+// The binary first runs the C5 *sweep* — population scales crossed with
+// {indexed, scan} matching modes on the selective reference constraint —
+// and writes BENCH_c5_trader_matching.json (ops/s, p50/p99 latency,
+// candidates evaluated per import).  The scan mode disables the offer
+// store's secondary indexes, i.e. the 1994-prototype linear bucket scan the
+// paper's cost model assumes; the indexed mode is the engine's default.
+// After the sweep it falls through to the usual google-benchmark suites.
+//
+// Flags (stripped before google-benchmark sees argv):
+//   --sweep-only              run the sweep, skip the BM_ suites
+//   --no-sweep                skip the sweep (BM_ suites only)
+//   --sweep-scales=1000,...   override the population scales
+//   --sweep-out=FILE          JSON destination (default
+//                             BENCH_c5_trader_matching.json)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "trader/trader.h"
@@ -48,11 +67,159 @@ std::unique_ptr<trader::Trader> populated_trader(std::size_t offers) {
   return t;
 }
 
+// ---------------------------------------------------------------------------
+// C5 sweep: scales x {scan, indexed} on the selective reference constraint.
+
+constexpr const char* kSweepConstraint =
+    "ChargePerDay < 100 && ChargeCurrency == USD";
+
+/// Sweep constraints: speedup from index narrowing depends on selectivity,
+/// because the per-match result-copy cost is shared by both modes.  The
+/// "moderate" query matches ~9% of the population, the "selective" one ~1%.
+struct SweepQuery {
+  const char* label;
+  const char* constraint;
+};
+constexpr SweepQuery kSweepQueries[] = {
+    {"moderate", kSweepConstraint},
+    {"selective", "ChargePerDay < 30 && ChargeCurrency == USD"},
+};
+
+struct SweepResult {
+  std::size_t offers = 0;
+  std::string query;
+  std::string mode;
+  std::size_t iterations = 0;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t matched = 0;
+  double evaluated_per_import = 0.0;
+  double scanned_per_import = 0.0;
+};
+
+double percentile(std::vector<double> sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+SweepResult run_mode(trader::Trader& t, std::size_t offers,
+                     const SweepQuery& query, bool indexed) {
+  t.set_tuning({.enable_indexes = indexed});
+  trader::ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = query.constraint;
+
+  std::size_t iterations = std::max<std::size_t>(
+      15, std::min<std::size_t>(150, 10'000'000 / std::max<std::size_t>(offers, 1)));
+
+  SweepResult result;
+  result.offers = offers;
+  result.query = query.label;
+  result.mode = indexed ? "indexed" : "scan";
+  result.iterations = iterations;
+  result.matched = t.import(request).size();  // warm-up (caches, snapshot)
+
+  std::uint64_t evaluated0 = t.offers_evaluated();
+  std::uint64_t scanned0 = t.offers_scanned();
+  std::vector<double> samples_us;
+  samples_us.reserve(iterations);
+  auto sweep_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto matches = t.import(request);
+    auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(matches);
+    samples_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  double total_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  std::sort(samples_us.begin(), samples_us.end());
+  result.ops_per_sec = static_cast<double>(iterations) / total_sec;
+  result.p50_us = percentile(samples_us, 0.50);
+  result.p99_us = percentile(samples_us, 0.99);
+  result.evaluated_per_import =
+      static_cast<double>(t.offers_evaluated() - evaluated0) /
+      static_cast<double>(iterations);
+  result.scanned_per_import =
+      static_cast<double>(t.offers_scanned() - scanned0) /
+      static_cast<double>(iterations);
+  return result;
+}
+
+int run_sweep(const std::vector<std::size_t>& scales, const std::string& out_path) {
+  std::vector<SweepResult> results;
+  for (std::size_t offers : scales) {
+    std::fprintf(stderr, "[c5-sweep] populating %zu offers...\n", offers);
+    auto t = populated_trader(offers);
+    for (const SweepQuery& query : kSweepQueries) {
+      // Scan first so the indexed numbers cannot benefit from extra warm-up.
+      results.push_back(run_mode(*t, offers, query, /*indexed=*/false));
+      results.push_back(run_mode(*t, offers, query, /*indexed=*/true));
+      const SweepResult& scan = results[results.size() - 2];
+      const SweepResult& indexed = results.back();
+      std::fprintf(stderr,
+                   "[c5-sweep] %8zu offers %-9s: scan %9.0f ops/s (p50 %8.1f us)"
+                   "  indexed %9.0f ops/s (p50 %8.1f us)  speedup %.1fx\n",
+                   offers, query.label, scan.ops_per_sec, scan.p50_us,
+                   indexed.ops_per_sec, indexed.p50_us,
+                   indexed.ops_per_sec / scan.ops_per_sec);
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"experiment\": \"C5_trader_matching\",\n"
+       << "  \"constraints\": {";
+  for (std::size_t i = 0; i < std::size(kSweepQueries); ++i) {
+    json << (i ? ", " : "") << "\"" << kSweepQueries[i].label << "\": \""
+         << kSweepQueries[i].constraint << "\"";
+  }
+  json << "},\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    json << "    {\"offers\": " << r.offers << ", \"query\": \"" << r.query
+         << "\", \"mode\": \"" << r.mode
+         << "\", \"iterations\": " << r.iterations
+         << ", \"ops_per_sec\": " << r.ops_per_sec
+         << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+         << ", \"matched\": " << r.matched
+         << ", \"evaluated_per_import\": " << r.evaluated_per_import
+         << ", \"scanned_per_import\": " << r.scanned_per_import << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speedup_indexed_vs_scan\": {";
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    json << (i ? ", " : "") << "\"" << results[i].offers << "/"
+         << results[i].query
+         << "\": " << results[i + 1].ops_per_sec / results[i].ops_per_sec;
+  }
+  json << "}\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "[c5-sweep] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::fprintf(stderr, "[c5-sweep] wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suites (unchanged shape; now measuring the indexed
+// engine by default).
+
 void BM_ImportVsPopulation(benchmark::State& state) {
   auto t = populated_trader(static_cast<std::size_t>(state.range(0)));
   trader::ImportRequest request;
   request.service_type = "CarRentalService";
-  request.constraint = "ChargePerDay < 100 && ChargeCurrency == USD";
+  request.constraint = kSweepConstraint;
   std::size_t matched = 0;
   for (auto _ : state) {
     auto offers = t->import(request);
@@ -118,6 +285,50 @@ void BM_ConstraintParseOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_ConstraintParseOnly);
 
+std::vector<std::size_t> parse_scales(const std::string& csv) {
+  std::vector<std::size_t> scales;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) scales.push_back(std::stoull(item));
+  }
+  return scales;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep_only = false;
+  bool no_sweep = false;
+  std::vector<std::size_t> scales = {1000, 10000, 100000};
+  std::string out_path = "BENCH_c5_trader_matching.json";
+
+  std::vector<char*> bench_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sweep-only") {
+      sweep_only = true;
+    } else if (arg == "--no-sweep") {
+      no_sweep = true;
+    } else if (arg.rfind("--sweep-scales=", 0) == 0) {
+      scales = parse_scales(arg.substr(15));
+    } else if (arg.rfind("--sweep-out=", 0) == 0) {
+      out_path = arg.substr(12);
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+
+  int rc = 0;
+  if (!no_sweep) rc = run_sweep(scales, out_path);
+  if (sweep_only || rc != 0) return rc;
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@ CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
       binder_(network),
       activities_(network) {
   trader_.set_federation_options(options.federation);
+  trader_.set_tuning(options.trader_tuning);
   trader_ref_ = server_.add(trader::make_trader_service(trader_));
   browser_ref_ = server_.add(make_browser_service(browser_));
   names_ref_ = server_.add(naming::make_name_server_service(names_));

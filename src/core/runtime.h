@@ -49,6 +49,7 @@ struct RuntimeOptions {
   rpc::ServerOptions server{};
   rpc::RetryPolicy retry{};
   trader::FederationOptions federation{};
+  trader::TraderTuning trader_tuning{};
 };
 
 class CosmRuntime {

@@ -411,6 +411,88 @@ class ConstraintParser {
   std::size_t pos_ = 0;
 };
 
+// ---- index-hint extraction ----
+
+CmpOp flip_cmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::Lt: return CmpOp::Gt;
+    case CmpOp::Le: return CmpOp::Ge;
+    case CmpOp::Gt: return CmpOp::Lt;
+    case CmpOp::Ge: return CmpOp::Le;
+    default: return op;  // Eq/Ne are symmetric
+  }
+}
+
+/// Emit a hint for `subject op key` when the subject is an identifier and
+/// the key is literal-ish.  Bare-identifier keys are emitted but flagged:
+/// per-offer resolution could turn them into attribute reads, so the store
+/// only uses them against buckets where the name is not a schema attribute.
+void try_emit_hint(const Operand& subject, CmpOp op, const Operand& key,
+                   std::vector<IndexHint>& out) {
+  if (subject.kind != Operand::Kind::Ident) return;
+  if (subject.text == "true" || subject.text == "false") return;
+  IndexHint hint;
+  hint.attr = subject.text;
+  if (op == CmpOp::Eq) {
+    hint.kind = IndexHint::Kind::Equality;
+    switch (key.kind) {
+      case Operand::Kind::Int:
+        hint.key_kind = IndexHint::KeyKind::Number;
+        hint.number = static_cast<double>(key.i);
+        break;
+      case Operand::Kind::Float:
+        hint.key_kind = IndexHint::KeyKind::Number;
+        hint.number = key.f;
+        break;
+      case Operand::Kind::String:
+        hint.key_kind = IndexHint::KeyKind::Text;
+        hint.text = key.text;
+        break;
+      case Operand::Kind::Ident:
+        if (key.text == "true" || key.text == "false") {
+          hint.key_kind = IndexHint::KeyKind::Boolean;
+          hint.boolean = key.text == "true";
+        } else {
+          hint.key_kind = IndexHint::KeyKind::Text;
+          hint.text = key.text;
+          hint.text_is_bare_ident = true;
+        }
+        break;
+    }
+    out.push_back(std::move(hint));
+    return;
+  }
+  // Range: only numeric literal bounds index exactly (an identifier bound
+  // could resolve to another attribute per offer).
+  if (op == CmpOp::Ne) return;
+  if (key.kind != Operand::Kind::Int && key.kind != Operand::Kind::Float) return;
+  hint.kind = IndexHint::Kind::Range;
+  hint.number = key.kind == Operand::Kind::Int ? static_cast<double>(key.i) : key.f;
+  switch (op) {
+    case CmpOp::Lt: hint.bound = IndexHint::Bound::Lt; break;
+    case CmpOp::Le: hint.bound = IndexHint::Bound::Le; break;
+    case CmpOp::Gt: hint.bound = IndexHint::Bound::Gt; break;
+    case CmpOp::Ge: hint.bound = IndexHint::Bound::Ge; break;
+    default: return;
+  }
+  out.push_back(std::move(hint));
+}
+
+/// Walk the top-level AND spine only: a conjunct there must hold for the
+/// whole expression to hold, so narrowing by it is exact.  Anything under
+/// Or/Not must not narrow.
+void collect_index_hints(const Node* n, std::vector<IndexHint>& out) {
+  if (n == nullptr) return;
+  if (n->kind == NodeKind::And) {
+    collect_index_hints(n->lhs.get(), out);
+    collect_index_hints(n->rhs.get(), out);
+    return;
+  }
+  if (n->kind != NodeKind::Cmp) return;
+  try_emit_hint(n->a, n->op, n->b, out);
+  try_emit_hint(n->b, flip_cmp(n->op), n->a, out);
+}
+
 }  // namespace
 }  // namespace detail
 
@@ -428,6 +510,7 @@ Constraint Constraint::parse(const std::string& text) {
   }
   if (blank) return c;
   c.root_ = detail::ConstraintParser(detail::lex(text)).parse();
+  detail::collect_index_hints(c.root_.get(), c.hints_);
   return c;
 }
 
@@ -439,6 +522,49 @@ std::vector<std::string> Constraint::referenced_attributes() const {
   std::set<std::string> set;
   if (root_) detail::collect_attrs(*root_, set);
   return {set.begin(), set.end()};
+}
+
+ConstraintCache::ConstraintCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const Constraint> ConstraintCache::get(const std::string& text) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(text);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.constraint;
+    }
+  }
+  // Parse outside the lock: compilation is the expensive part, and two
+  // threads racing on the same text just means one redundant parse.
+  auto compiled = std::make_shared<const Constraint>(Constraint::parse(text));
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  if (capacity_ == 0) return compiled;
+  auto it = entries_.find(text);
+  if (it != entries_.end()) return it->second.constraint;  // lost the race
+  lru_.push_front(text);
+  entries_.emplace(text, Entry{compiled, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return compiled;
+}
+
+void ConstraintCache::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+std::size_t ConstraintCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace cosm::trader

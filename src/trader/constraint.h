@@ -27,8 +27,13 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "trader/attributes.h"
@@ -38,6 +43,35 @@ namespace cosm::trader {
 namespace detail {
 struct Node;
 }
+
+/// One top-level AND conjunct the offer store's index planner can serve
+/// from a secondary index instead of evaluating per offer.  Extracted once
+/// at parse time; whether a hint is actually *usable* depends on the
+/// bucket it is applied to (the subject must be an attribute every static
+/// offer carries, and a bare-identifier key must not collide with an
+/// attribute name), so eligibility is decided by the store per bucket.
+struct IndexHint {
+  enum class Kind { Equality, Range };
+  enum class KeyKind { Number, Text, Boolean };
+  enum class Bound { Lt, Le, Gt, Ge };
+
+  Kind kind = Kind::Equality;
+  /// Subject attribute name.
+  std::string attr;
+
+  // Equality key (KeyKind selects which member is meaningful).
+  KeyKind key_kind = KeyKind::Number;
+  double number = 0.0;  // also the Range bound
+  std::string text;
+  bool boolean = false;
+  /// Text key came from an unquoted identifier (`Currency == USD`): only
+  /// usable against a bucket whose schema declares no attribute `USD`,
+  /// because per-offer identifier resolution would otherwise differ.
+  bool text_is_bare_ident = false;
+
+  /// Range comparison direction, subject on the left (Range only).
+  Bound bound = Bound::Lt;
+};
 
 class Constraint {
  public:
@@ -58,11 +92,54 @@ class Constraint {
   /// Attribute names the expression references (for match diagnostics).
   std::vector<std::string> referenced_attributes() const;
 
+  /// Indexable top-level AND conjuncts, extracted at parse time.
+  const std::vector<IndexHint>& index_hints() const noexcept { return hints_; }
+
   const std::string& text() const noexcept { return text_; }
 
  private:
   std::string text_;
   std::unique_ptr<detail::Node> root_;  // null = always true
+  std::vector<IndexHint> hints_;
+};
+
+/// LRU cache of compiled constraints, keyed by constraint text.  Imports —
+/// local or federation-forwarded (the facade hands the constraint text
+/// through verbatim, so a forwarded import presents the byte-identical
+/// key) — share one compiled AST instead of re-parsing per request.
+/// Compiled constraints are immutable, so the shared_ptr handed out stays
+/// valid after eviction.  Thread-safe; parse errors are not cached.
+class ConstraintCache {
+ public:
+  explicit ConstraintCache(std::size_t capacity = 128);
+
+  /// Compiled constraint for `text`; parses (and caches) on miss.
+  /// Throws cosm::ParseError like Constraint::parse.  With capacity 0 the
+  /// cache is disabled and every call parses.
+  std::shared_ptr<const Constraint> get(const std::string& text);
+
+  void set_capacity(std::size_t capacity);
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Constraint> constraint;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace cosm::trader

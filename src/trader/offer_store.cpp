@@ -1,0 +1,469 @@
+#include "trader/offer_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosm::trader {
+
+namespace {
+
+/// First ord-index position with value >= v.
+std::size_t lower_pos(const std::vector<std::pair<double, std::uint32_t>>& ord,
+                      double v) {
+  return static_cast<std::size_t>(
+      std::lower_bound(ord.begin(), ord.end(), v,
+                       [](const auto& entry, double value) {
+                         return entry.first < value;
+                       }) -
+      ord.begin());
+}
+
+/// First ord-index position with value > v.
+std::size_t upper_pos(const std::vector<std::pair<double, std::uint32_t>>& ord,
+                      double v) {
+  return static_cast<std::size_t>(
+      std::upper_bound(ord.begin(), ord.end(), v,
+                       [](double value, const auto& entry) {
+                         return value < entry.first;
+                       }) -
+      ord.begin());
+}
+
+}  // namespace
+
+std::size_t OfferStore::IndexKeyHash::operator()(const IndexKey& k) const {
+  std::size_t h = static_cast<std::size_t>(k.tag);
+  switch (k.tag) {
+    case IndexKey::Tag::Number:
+      h ^= std::hash<double>{}(k.number) + 0x9e3779b97f4a7c15ull;
+      break;
+    case IndexKey::Tag::Text:
+      h ^= std::hash<std::string>{}(k.text) + 0x9e3779b97f4a7c15ull;
+      break;
+    case IndexKey::Tag::Boolean:
+      h ^= std::hash<bool>{}(k.boolean) + 0x9e3779b97f4a7c15ull;
+      break;
+  }
+  return h;
+}
+
+/// Normalise an attribute value into its equality-index key, mirroring the
+/// constraint language's comparison semantics: int/float collapse to one
+/// number line, enums compare by label, structured values are incomparable
+/// (they satisfy no comparison, so they are simply not indexed).
+OfferStore::IndexKey OfferStore::key_of(const wire::Value& value,
+                                        bool* indexable) {
+  using wire::ValueKind;
+  IndexKey key;
+  *indexable = true;
+  switch (value.kind()) {
+    case ValueKind::Int:
+      key.tag = IndexKey::Tag::Number;
+      key.number = static_cast<double>(value.as_int());
+      break;
+    case ValueKind::Float:
+      key.tag = IndexKey::Tag::Number;
+      key.number = value.as_real();
+      if (std::isnan(key.number)) *indexable = false;  // NaN matches nothing
+      break;
+    case ValueKind::String:
+      key.tag = IndexKey::Tag::Text;
+      key.text = value.as_string();
+      break;
+    case ValueKind::Enum:
+      key.tag = IndexKey::Tag::Text;
+      key.text = value.enum_label();
+      break;
+    case ValueKind::Bool:
+      key.tag = IndexKey::Tag::Boolean;
+      key.boolean = value.as_bool();
+      break;
+    default:
+      *indexable = false;
+      break;
+  }
+  if (key.tag == IndexKey::Tag::Number && key.number == 0.0) {
+    key.number = 0.0;  // collapse -0.0 onto +0.0 (they compare equal)
+  }
+  return key;
+}
+
+OfferStore::IndexedBasePtr OfferStore::rebuild_base(const Bucket& bucket) {
+  auto next = std::make_shared<IndexedBase>();
+  auto& slots = next->slots;
+  if (bucket.base) {
+    slots.reserve(bucket.base->slots.size() + bucket.delta.size());
+    for (const StoredOffer& so : bucket.base->slots) {
+      if (bucket.dead.empty() || bucket.dead.count(so.offer->id) == 0) {
+        slots.push_back(so);
+      }
+    }
+  }
+  slots.insert(slots.end(), bucket.delta.begin(), bucket.delta.end());
+  // modify() keeps an offer's original sequence number, so delta entries
+  // are not necessarily newer than every base entry.
+  std::sort(slots.begin(), slots.end(),
+            [](const StoredOffer& a, const StoredOffer& b) {
+              return a.seq < b.seq;
+            });
+
+  for (std::uint32_t slot = 0; slot < slots.size(); ++slot) {
+    const Offer& offer = *slots[slot].offer;
+    next->slot_of_id.emplace(offer.id, slot);
+    if (!offer.dynamic_attrs.empty()) {
+      // Values fetched at import time cannot be pre-indexed; these offers
+      // bypass narrowing entirely.
+      next->dynamic_slots.push_back(slot);
+      continue;
+    }
+    for (const auto& [name, value] : offer.attributes) {
+      bool indexable = false;
+      IndexKey key = key_of(value, &indexable);
+      if (!indexable) continue;
+      next->eq[name][key].push_back(slot);
+      if (key.tag == IndexKey::Tag::Number) {
+        next->ord[name].emplace_back(key.number, slot);
+      }
+    }
+  }
+  for (auto& [name, entries] : next->ord) {
+    std::sort(entries.begin(), entries.end());
+  }
+  return next;
+}
+
+bool OfferStore::maybe_merge(Bucket& bucket) {
+  std::size_t base_size = bucket.base ? bucket.base->slots.size() : 0;
+  std::size_t threshold =
+      std::max(tuning_.min_delta, base_size / std::max<std::size_t>(
+                                                  1, tuning_.delta_fraction));
+  bool delta_full = bucket.delta.size() > threshold;
+  bool too_dead = !bucket.dead.empty() && bucket.dead.size() > base_size / 4;
+  if (!delta_full && !too_dead) return false;
+  bucket.base = rebuild_base(bucket);
+  bucket.delta.clear();
+  bucket.dead.clear();
+  base_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void OfferStore::publish(std::shared_ptr<Snapshot> next) {
+  std::lock_guard lock(snapshot_mutex_);
+  snapshot_ = std::move(next);
+}
+
+void OfferStore::insert(OfferPtr offer,
+                        const std::vector<AttributeDef>& schema) {
+  std::lock_guard lock(writer_mutex_);
+  auto snap = snapshot();
+  auto next = std::make_shared<Snapshot>(*snap);
+
+  const std::string& type = offer->service_type;
+  auto existing = next->buckets.find(type);
+  auto bucket = existing == next->buckets.end()
+                    ? std::make_shared<Bucket>()
+                    : std::make_shared<Bucket>(*existing->second);
+  if (!bucket->base) bucket->base = std::make_shared<IndexedBase>();
+
+  // Index eligibility rests on "every static offer of this bucket carries
+  // the attribute": keep the intersection of required names across the
+  // schemas seen (a type re-registered with a laxer schema narrows it).
+  std::unordered_set<std::string> required;
+  for (const auto& def : schema) {
+    bucket->declared_attrs.insert(def.name);
+    if (def.required) required.insert(def.name);
+  }
+  if (bucket->live == 0 && bucket->delta.empty()) {
+    bucket->required_attrs = std::move(required);
+  } else {
+    for (auto it = bucket->required_attrs.begin();
+         it != bucket->required_attrs.end();) {
+      it = required.count(*it) ? std::next(it)
+                               : bucket->required_attrs.erase(it);
+    }
+  }
+
+  type_of_id_.emplace(offer->id, type);
+  bucket->delta.push_back(StoredOffer{next_seq_++, std::move(offer)});
+  bucket->live += 1;
+  maybe_merge(*bucket);
+  next->buckets[type] = std::move(bucket);
+  publish(std::move(next));
+}
+
+OfferPtr OfferStore::find(const std::string& id) const {
+  std::lock_guard lock(writer_mutex_);
+  auto type_it = type_of_id_.find(id);
+  if (type_it == type_of_id_.end()) return nullptr;
+  auto snap = snapshot();
+  auto bucket_it = snap->buckets.find(type_it->second);
+  if (bucket_it == snap->buckets.end()) return nullptr;
+  const Bucket& bucket = *bucket_it->second;
+  for (const StoredOffer& so : bucket.delta) {
+    if (so.offer->id == id) return so.offer;
+  }
+  auto slot_it = bucket.base->slot_of_id.find(id);
+  if (slot_it == bucket.base->slot_of_id.end()) return nullptr;
+  return bucket.base->slots[slot_it->second].offer;
+}
+
+bool OfferStore::erase(const std::string& id) {
+  std::lock_guard lock(writer_mutex_);
+  auto type_it = type_of_id_.find(id);
+  if (type_it == type_of_id_.end()) return false;
+  auto snap = snapshot();
+  auto next = std::make_shared<Snapshot>(*snap);
+  auto bucket_it = next->buckets.find(type_it->second);
+  if (bucket_it == next->buckets.end()) return false;
+  auto bucket = std::make_shared<Bucket>(*bucket_it->second);
+
+  auto delta_it = std::find_if(
+      bucket->delta.begin(), bucket->delta.end(),
+      [&](const StoredOffer& so) { return so.offer->id == id; });
+  if (delta_it != bucket->delta.end()) {
+    bucket->delta.erase(delta_it);
+  } else if (bucket->base->slot_of_id.count(id)) {
+    bucket->dead.insert(id);
+  } else {
+    return false;  // map and bucket disagree — defensive, cannot happen
+  }
+  bucket->live -= 1;
+  type_of_id_.erase(type_it);
+  maybe_merge(*bucket);
+  bucket_it->second = std::move(bucket);
+  publish(std::move(next));
+  return true;
+}
+
+bool OfferStore::replace(const std::string& id, OfferPtr next_offer) {
+  std::lock_guard lock(writer_mutex_);
+  auto type_it = type_of_id_.find(id);
+  if (type_it == type_of_id_.end()) return false;
+  auto snap = snapshot();
+  auto next = std::make_shared<Snapshot>(*snap);
+  auto bucket_it = next->buckets.find(type_it->second);
+  if (bucket_it == next->buckets.end()) return false;
+  auto bucket = std::make_shared<Bucket>(*bucket_it->second);
+
+  auto delta_it = std::find_if(
+      bucket->delta.begin(), bucket->delta.end(),
+      [&](const StoredOffer& so) { return so.offer->id == id; });
+  if (delta_it != bucket->delta.end()) {
+    delta_it->offer = std::move(next_offer);
+  } else {
+    auto slot_it = bucket->base->slot_of_id.find(id);
+    if (slot_it == bucket->base->slot_of_id.end()) return false;
+    // Keep the original sequence number so export order is stable.
+    std::uint64_t seq = bucket->base->slots[slot_it->second].seq;
+    bucket->dead.insert(id);
+    bucket->delta.push_back(StoredOffer{seq, std::move(next_offer)});
+  }
+  maybe_merge(*bucket);
+  bucket_it->second = std::move(bucket);
+  publish(std::move(next));
+  return true;
+}
+
+std::size_t OfferStore::erase_if(
+    const std::function<bool(const Offer&)>& pred) {
+  std::lock_guard lock(writer_mutex_);
+  auto snap = snapshot();
+  auto next = std::make_shared<Snapshot>(*snap);
+  std::size_t erased = 0;
+  for (auto& [type, bucket_ptr] : next->buckets) {
+    std::vector<std::string> victims;
+    for (const StoredOffer& so : bucket_ptr->base->slots) {
+      if ((bucket_ptr->dead.empty() ||
+           bucket_ptr->dead.count(so.offer->id) == 0) &&
+          pred(*so.offer)) {
+        victims.push_back(so.offer->id);
+      }
+    }
+    bool delta_hit = std::any_of(
+        bucket_ptr->delta.begin(), bucket_ptr->delta.end(),
+        [&](const StoredOffer& so) { return pred(*so.offer); });
+    if (victims.empty() && !delta_hit) continue;
+
+    auto bucket = std::make_shared<Bucket>(*bucket_ptr);
+    for (auto& id : victims) {
+      bucket->dead.insert(id);
+      type_of_id_.erase(id);
+    }
+    std::erase_if(bucket->delta, [&](const StoredOffer& so) {
+      if (!pred(*so.offer)) return false;
+      victims.push_back(so.offer->id);  // count only; id already unique
+      type_of_id_.erase(so.offer->id);
+      return true;
+    });
+    erased += victims.size();
+    bucket->live -= victims.size();
+    maybe_merge(*bucket);
+    bucket_ptr = std::move(bucket);
+  }
+  if (erased > 0) publish(std::move(next));
+  return erased;
+}
+
+std::size_t OfferStore::size() const {
+  std::lock_guard lock(writer_mutex_);
+  return type_of_id_.size();
+}
+
+void OfferStore::collect_bucket(const Bucket& bucket,
+                                const Constraint* constraint,
+                                std::vector<StoredOffer>& out,
+                                MatchStats* stats) const {
+  const IndexedBase& base = *bucket.base;
+  if (stats) stats->type_candidates += bucket.live;
+  std::size_t before = out.size();
+
+  auto emit = [&](std::uint32_t slot) {
+    const StoredOffer& so = base.slots[slot];
+    if (!bucket.dead.empty() && bucket.dead.count(so.offer->id)) return;
+    out.push_back(so);
+  };
+
+  // The planner: keep the hints this bucket can serve exactly, seed from
+  // the most selective, intersect the rest via a vote array.
+  struct Selection {
+    const std::vector<std::uint32_t>* posting = nullptr;  // Equality
+    const std::vector<std::pair<double, std::uint32_t>>* ord = nullptr;
+    std::size_t lo = 0, hi = 0;  // Range half-open span into *ord
+    std::size_t size() const { return posting ? posting->size() : hi - lo; }
+  };
+  static const std::vector<std::uint32_t> kEmptyPosting;
+
+  std::vector<Selection> selections;
+  if (indexes_enabled() && constraint != nullptr && !base.slots.empty()) {
+    for (const IndexHint& hint : constraint->index_hints()) {
+      // Intersecting a subset of the filters still yields a superset of
+      // the matches; capping also keeps the vote counters from wrapping.
+      if (selections.size() >= 16) break;
+      if (bucket.required_attrs.count(hint.attr) == 0) continue;
+      if (hint.kind == IndexHint::Kind::Equality) {
+        if (hint.key_kind == IndexHint::KeyKind::Text &&
+            hint.text_is_bare_ident && bucket.declared_attrs.count(hint.text)) {
+          continue;  // the "literal" may resolve as an attribute per offer
+        }
+        IndexKey key;
+        switch (hint.key_kind) {
+          case IndexHint::KeyKind::Number:
+            key.tag = IndexKey::Tag::Number;
+            key.number = hint.number == 0.0 ? 0.0 : hint.number;
+            break;
+          case IndexHint::KeyKind::Text:
+            key.tag = IndexKey::Tag::Text;
+            key.text = hint.text;
+            break;
+          case IndexHint::KeyKind::Boolean:
+            key.tag = IndexKey::Tag::Boolean;
+            key.boolean = hint.boolean;
+            break;
+        }
+        Selection sel;
+        sel.posting = &kEmptyPosting;
+        if (auto attr_it = base.eq.find(hint.attr); attr_it != base.eq.end()) {
+          if (auto key_it = attr_it->second.find(key);
+              key_it != attr_it->second.end()) {
+            sel.posting = &key_it->second;
+          }
+        }
+        selections.push_back(sel);
+      } else {
+        Selection sel;
+        auto attr_it = base.ord.find(hint.attr);
+        if (attr_it == base.ord.end()) {
+          sel.posting = &kEmptyPosting;  // no static offer has a number here
+          selections.push_back(sel);
+          continue;
+        }
+        sel.ord = &attr_it->second;
+        switch (hint.bound) {
+          case IndexHint::Bound::Lt:
+            sel.lo = 0;
+            sel.hi = lower_pos(*sel.ord, hint.number);
+            break;
+          case IndexHint::Bound::Le:
+            sel.lo = 0;
+            sel.hi = upper_pos(*sel.ord, hint.number);
+            break;
+          case IndexHint::Bound::Gt:
+            sel.lo = upper_pos(*sel.ord, hint.number);
+            sel.hi = sel.ord->size();
+            break;
+          case IndexHint::Bound::Ge:
+            sel.lo = lower_pos(*sel.ord, hint.number);
+            sel.hi = sel.ord->size();
+            break;
+        }
+        selections.push_back(sel);
+      }
+    }
+  }
+
+  if (!selections.empty()) {
+    if (stats) stats->index_used = true;
+    index_lookups_.fetch_add(1, std::memory_order_relaxed);
+    auto primary = std::min_element(
+        selections.begin(), selections.end(),
+        [](const Selection& a, const Selection& b) { return a.size() < b.size(); });
+    auto for_each_slot = [](const Selection& sel, auto&& fn) {
+      if (sel.posting) {
+        for (std::uint32_t slot : *sel.posting) fn(slot);
+      } else {
+        for (std::size_t i = sel.lo; i < sel.hi; ++i) fn((*sel.ord)[i].second);
+      }
+    };
+    if (primary->size() > 0) {
+      if (selections.size() == 1) {
+        for_each_slot(*primary, emit);
+      } else {
+        // Every selection is an exact filter; a slot survives only with a
+        // vote from each.  The vote array costs one zeroed byte per base
+        // slot — far below the per-candidate constraint evaluation saved.
+        std::vector<std::uint8_t> votes(base.slots.size(), 0);
+        for (const Selection& sel : selections) {
+          for_each_slot(sel, [&](std::uint32_t slot) { ++votes[slot]; });
+        }
+        auto wanted = static_cast<std::uint8_t>(
+            std::min<std::size_t>(selections.size(), 255));
+        for_each_slot(*primary, [&](std::uint32_t slot) {
+          if (votes[slot] >= wanted) emit(slot);
+        });
+      }
+    }
+    // Dynamic offers fetch their values at import time: always candidates.
+    for (std::uint32_t slot : base.dynamic_slots) emit(slot);
+  } else {
+    for (std::uint32_t slot = 0; slot < base.slots.size(); ++slot) emit(slot);
+  }
+  out.insert(out.end(), bucket.delta.begin(), bucket.delta.end());
+  if (stats) stats->scanned += out.size() - before;
+}
+
+std::vector<StoredOffer> OfferStore::collect(
+    const std::vector<std::string>& types, const Constraint& constraint,
+    MatchStats* stats) const {
+  auto snap = snapshot();
+  std::vector<StoredOffer> out;
+  for (const std::string& type : types) {
+    auto it = snap->buckets.find(type);
+    if (it == snap->buckets.end()) continue;
+    collect_bucket(*it->second, &constraint, out, stats);
+  }
+  return out;
+}
+
+std::vector<StoredOffer> OfferStore::collect_all(
+    const std::vector<std::string>& types) const {
+  auto snap = snapshot();
+  std::vector<StoredOffer> out;
+  for (const std::string& type : types) {
+    auto it = snap->buckets.find(type);
+    if (it == snap->buckets.end()) continue;
+    collect_bucket(*it->second, nullptr, out, nullptr);
+  }
+  return out;
+}
+
+}  // namespace cosm::trader

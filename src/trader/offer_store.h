@@ -1,0 +1,246 @@
+// Indexed, snapshot-concurrent service-offer store — the engine under
+// every local, federated, and mediated lookup (§2.1's matching loop).
+//
+// Layout: offers live in per-service-type buckets.  Each bucket is an
+// immutable indexed *base* (export-ordered slots, an equality hash index
+// and an ordered numeric index over static attributes, an id->slot map)
+// plus a small unindexed *delta* of recent writes; when the delta outgrows
+// max(min_delta, base/delta_fraction) it is merged into a fresh base, so
+// writes stay amortised-cheap and reads scan at most a bounded tail
+// linearly.  Withdrawn base offers are tombstoned by id until the next
+// merge, making withdraw/modify O(1).
+//
+// Concurrency: the whole store state is one immutable Snapshot behind a
+// shared pointer that a tiny mutex guards for the copy/swap only.  Writers
+// serialise on their own mutex, clone the (cheap, structurally-shared)
+// spine outside the pointer lock, and swap; readers copy the pointer and
+// scan without any lock — an import never waits on an export's rebuild
+// work, and never copies an offer it does not return.
+//
+// Matching: the planner takes the constraint's pre-extracted IndexHints
+// (top-level AND conjuncts), keeps those the bucket can serve exactly —
+// the subject must be an attribute every static offer of the bucket
+// carries, and a bare-identifier key must not collide with a schema
+// attribute name (identifier resolution is per offer) — seeds the
+// candidate set from the most selective index lookup, intersects the rest,
+// and leaves the residual constraint evaluation to the caller on the
+// narrowed set.  Offers with dynamic attributes cannot be pre-indexed on
+// values fetched at import time, so they always remain candidates.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sidl/service_ref.h"
+#include "trader/attributes.h"
+#include "trader/constraint.h"
+#include "trader/service_type.h"
+
+namespace cosm::trader {
+
+struct Offer {
+  std::string id;
+  std::string service_type;
+  sidl::ServiceRef ref;
+  AttrMap attributes;
+  /// ODP dynamic properties: attribute name -> operation to invoke on the
+  /// exporter at import time to obtain the current value (e.g. live
+  /// availability).  Matching merges fetched values into `attributes`.
+  std::map<std::string, std::string> dynamic_attrs;
+  /// Lease expiry on the trader's logical clock, in hours (0 = no lease).
+  std::uint64_t lease_expires_at = 0;
+
+  bool operator==(const Offer&) const = default;
+};
+
+/// Published offers are immutable and shared between snapshots; a write
+/// replaces the pointer, never the pointee.
+using OfferPtr = std::shared_ptr<const Offer>;
+
+/// A stored offer plus its export-order sequence number (total order
+/// across all buckets — candidates from several buckets merge on it).
+struct StoredOffer {
+  std::uint64_t seq = 0;
+  OfferPtr offer;
+};
+
+/// What one matching pass touched (feeds the trader's instrumentation).
+struct MatchStats {
+  /// Live offers in all conforming buckets (what a type-filtered linear
+  /// scan would have evaluated).
+  std::size_t type_candidates = 0;
+  /// Candidates actually emitted after index narrowing.
+  std::size_t scanned = 0;
+  /// At least one bucket was served from a secondary index.
+  bool index_used = false;
+};
+
+class OfferStore {
+ public:
+  struct Tuning {
+    /// Master switch: off = every lookup scans its buckets linearly
+    /// (the pre-index path, kept for benchmarking and as a safety valve).
+    bool enable_indexes = true;
+    /// Delta merge threshold: max(min_delta, base_size / delta_fraction).
+    std::size_t min_delta = 48;
+    std::size_t delta_fraction = 32;
+  };
+
+  OfferStore() = default;
+  explicit OfferStore(Tuning tuning) : tuning_(tuning) {}
+
+  void set_indexes_enabled(bool enabled) noexcept {
+    indexes_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool indexes_enabled() const noexcept {
+    return indexes_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // ---- writers (serialised on an internal mutex) ----
+
+  /// Publish an offer.  `schema` is the offer's full type schema; the
+  /// bucket keeps the intersection of required attributes seen across
+  /// exports, which is what index eligibility relies on.
+  void insert(OfferPtr offer, const std::vector<AttributeDef>& schema);
+
+  /// The stored offer, or null when unknown.  O(1).
+  OfferPtr find(const std::string& id) const;
+
+  /// Remove by id; false when unknown.  O(1) amortised.
+  bool erase(const std::string& id);
+
+  /// Swap the offer stored under `id` for `next` (same id, same type),
+  /// keeping its export-order position; false when unknown.
+  bool replace(const std::string& id, OfferPtr next);
+
+  /// Remove every offer satisfying `pred` (lease sweeps); returns count.
+  std::size_t erase_if(const std::function<bool(const Offer&)>& pred);
+
+  std::size_t size() const;
+
+  // ---- readers (lock-free snapshot; never blocked by writers) ----
+
+  /// Candidates of the given concrete types, narrowed by the constraint's
+  /// indexable conjuncts.  The caller still evaluates the constraint on
+  /// every returned candidate (the narrowed set is a superset of the
+  /// static matches, and dynamic offers need their fetch first).  Order is
+  /// unspecified; merge on StoredOffer::seq.
+  std::vector<StoredOffer> collect(const std::vector<std::string>& types,
+                                   const Constraint& constraint,
+                                   MatchStats* stats = nullptr) const;
+
+  /// All live offers of the given types (no narrowing).
+  std::vector<StoredOffer> collect_all(
+      const std::vector<std::string>& types) const;
+
+  // ---- instrumentation ----
+
+  /// Bucket lookups served from a secondary index.
+  std::uint64_t index_lookups() const noexcept {
+    return index_lookups_.load(std::memory_order_relaxed);
+  }
+  /// Delta-into-base merges (index rebuilds).
+  std::uint64_t base_rebuilds() const noexcept {
+    return base_rebuilds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Normalised attribute value used as an equality-index key; mirrors the
+  /// constraint language's comparison semantics (numbers collapse across
+  /// int/float, enums compare by label).
+  struct IndexKey {
+    enum class Tag : std::uint8_t { Number, Text, Boolean };
+    Tag tag = Tag::Number;
+    double number = 0.0;
+    std::string text;
+    bool boolean = false;
+
+    bool operator==(const IndexKey&) const = default;
+  };
+  struct IndexKeyHash {
+    std::size_t operator()(const IndexKey& k) const;
+  };
+
+  /// Immutable indexed core of a bucket; rebuilt by delta merges, shared
+  /// between snapshots in between.
+  struct IndexedBase {
+    std::vector<StoredOffer> slots;  // seq-ascending (export order)
+    /// Slots of offers carrying dynamic attributes (never index-narrowed).
+    std::vector<std::uint32_t> dynamic_slots;
+    std::unordered_map<std::string, std::uint32_t> slot_of_id;
+    /// attr -> value key -> slots (ascending), static offers only.
+    std::unordered_map<
+        std::string,
+        std::unordered_map<IndexKey, std::vector<std::uint32_t>, IndexKeyHash>>
+        eq;
+    /// attr -> (numeric value, slot) sorted by value, static offers only.
+    std::unordered_map<std::string,
+                       std::vector<std::pair<double, std::uint32_t>>>
+        ord;
+  };
+  using IndexedBasePtr = std::shared_ptr<const IndexedBase>;
+
+  /// One service type's offers: shared immutable base + small mutable-by-
+  /// clone delta.  Buckets themselves are immutable once published.
+  struct Bucket {
+    IndexedBasePtr base;
+    std::vector<StoredOffer> delta;        // recent writes, scanned linearly
+    std::unordered_set<std::string> dead;  // base ids withdrawn since merge
+    std::size_t live = 0;
+    /// Attributes required by every schema this bucket has seen (present
+    /// in every static offer — the planner's eligibility precondition).
+    std::unordered_set<std::string> required_attrs;
+    /// Every attribute name any schema declared (bare-ident collision set).
+    std::unordered_set<std::string> declared_attrs;
+  };
+  using BucketPtr = std::shared_ptr<const Bucket>;
+
+  struct Snapshot {
+    std::map<std::string, BucketPtr> buckets;  // by service type
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  static IndexKey key_of(const wire::Value& value, bool* indexable);
+  static IndexedBasePtr rebuild_base(const Bucket& bucket);
+  /// Merge the delta when it outgrew its threshold; returns true if merged.
+  bool maybe_merge(Bucket& bucket);
+  void publish(std::shared_ptr<Snapshot> next);
+  SnapshotPtr snapshot() const {
+    // Held only for the shared_ptr copy (std::atomic<shared_ptr> would be
+    // the natural fit, but libstdc++ 12's _Sp_atomic::load unlocks its
+    // internal spin lock with a relaxed RMW, which leaves no formal
+    // happens-before edge to the next writer — TSan rightly flags it).
+    std::lock_guard lock(snapshot_mutex_);
+    return snapshot_;
+  }
+
+  void collect_bucket(const Bucket& bucket, const Constraint* constraint,
+                      std::vector<StoredOffer>& out, MatchStats* stats) const;
+
+  Tuning tuning_{};
+  std::atomic<bool> indexes_enabled_{true};
+
+  mutable std::mutex writer_mutex_;
+  /// id -> service type (writer-side only; readers never look up by id).
+  std::unordered_map<std::string, std::string> type_of_id_;
+  std::uint64_t next_seq_ = 1;
+  /// Guards only the published pointer: writers swap it after all rebuild
+  /// work, readers copy it before any scan work.  Neither side ever holds
+  /// it while touching offer data, so imports do not wait on exports.
+  mutable std::mutex snapshot_mutex_;
+  SnapshotPtr snapshot_ = std::make_shared<Snapshot>();
+
+  mutable std::atomic<std::uint64_t> index_lookups_{0};
+  std::atomic<std::uint64_t> base_rebuilds_{0};
+};
+
+}  // namespace cosm::trader

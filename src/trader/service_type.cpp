@@ -29,6 +29,7 @@ void ServiceTypeManager::add(ServiceType type) {
                         "' is not registered");
   }
   types_.emplace(type.name, std::move(type));
+  closure_cache_.clear();
 }
 
 void ServiceTypeManager::remove(const std::string& name) {
@@ -41,6 +42,7 @@ void ServiceTypeManager::remove(const std::string& name) {
     }
   }
   types_.erase(name);
+  closure_cache_.clear();
 }
 
 bool ServiceTypeManager::has(const std::string& name) const {
@@ -77,20 +79,44 @@ bool ServiceTypeManager::is_subtype_locked(const std::string& sub,
   return false;
 }
 
+SubtypeClosurePtr ServiceTypeManager::subtype_closure_locked(
+    const std::string& base) const {
+  auto cached = closure_cache_.find(base);
+  if (cached != closure_cache_.end()) {
+    closure_hits_.fetch_add(1, std::memory_order_relaxed);
+    return cached->second;
+  }
+  auto closure = std::make_shared<SubtypeClosure>();
+  for (const auto& [name, type] : types_) {
+    if (is_subtype_locked(name, base)) {
+      closure->types.push_back(name);
+      closure->members.insert(name);
+    }
+  }
+  closure_builds_.fetch_add(1, std::memory_order_relaxed);
+  closure_cache_.emplace(base, closure);
+  return closure;
+}
+
+SubtypeClosurePtr ServiceTypeManager::subtype_closure(
+    const std::string& base) const {
+  std::lock_guard lock(mutex_);
+  return subtype_closure_locked(base);
+}
+
 bool ServiceTypeManager::is_subtype(const std::string& sub,
                                     const std::string& base) const {
+  // The reflexive case holds even for names that were never registered
+  // (matching the plain chain walk); the closure covers registered types.
+  if (sub == base) return true;
   std::lock_guard lock(mutex_);
-  return is_subtype_locked(sub, base);
+  return subtype_closure_locked(base)->members.count(sub) > 0;
 }
 
 std::vector<std::string> ServiceTypeManager::subtypes_of(
     const std::string& base) const {
   std::lock_guard lock(mutex_);
-  std::vector<std::string> out;
-  for (const auto& [name, type] : types_) {
-    if (is_subtype_locked(name, base)) out.push_back(name);
-  }
-  return out;
+  return subtype_closure_locked(base)->types;
 }
 
 std::vector<AttributeDef> ServiceTypeManager::schema_of(

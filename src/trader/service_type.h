@@ -9,10 +9,15 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sidl/sid.h"
@@ -42,6 +47,19 @@ struct ServiceType {
   const AttributeDef* find_attribute(const std::string& attr_name) const;
 };
 
+/// Memoized answer to "which registered types conform to this base?" —
+/// the set every import and list consults before touching any offer.
+/// Immutable once built; shared so the offer store can hold it across an
+/// entire matching pass without re-locking the type manager.
+struct SubtypeClosure {
+  /// All registered types T with is_subtype(T, base), in sorted name order
+  /// (the manager's iteration order, so matching stays deterministic).
+  std::vector<std::string> types;
+  /// Same content as `types`, for O(1) membership checks.
+  std::unordered_set<std::string> members;
+};
+using SubtypeClosurePtr = std::shared_ptr<const SubtypeClosure>;
+
 class ServiceTypeManager {
  public:
   /// Register a type; throws cosm::ContractError for duplicates or an
@@ -60,11 +78,27 @@ class ServiceTypeManager {
   /// Sorted list of all type names.
   std::vector<std::string> names() const;
 
-  /// Reflexive-transitive subtype check along supertype chains.
+  /// Reflexive-transitive subtype check along supertype chains.  Served
+  /// from the memoized closure cache (built per base on first use,
+  /// invalidated by add/remove).
   bool is_subtype(const std::string& sub, const std::string& base) const;
 
   /// All types T with is_subtype(T, base), including base itself.
   std::vector<std::string> subtypes_of(const std::string& base) const;
+
+  /// Memoized closure of `base` under subtyping.  The returned object is
+  /// immutable and safe to hold after the manager mutates — it describes
+  /// the type graph as of the call.
+  SubtypeClosurePtr subtype_closure(const std::string& base) const;
+
+  /// How many closures were computed from scratch (cache misses, i.e.
+  /// first queries plus rebuilds forced by add/remove invalidation).
+  std::uint64_t closure_builds() const noexcept {
+    return closure_builds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t closure_hits() const noexcept {
+    return closure_hits_.load(std::memory_order_relaxed);
+  }
 
   /// The full attribute schema of a type, including attributes inherited
   /// along the supertype chain.  Throws cosm::NotFound.
@@ -83,9 +117,14 @@ class ServiceTypeManager {
 
  private:
   bool is_subtype_locked(const std::string& sub, const std::string& base) const;
+  SubtypeClosurePtr subtype_closure_locked(const std::string& base) const;
 
   mutable std::mutex mutex_;
   std::map<std::string, ServiceType> types_;
+  /// base -> memoized closure; cleared whenever the type graph changes.
+  mutable std::unordered_map<std::string, SubtypeClosurePtr> closure_cache_;
+  mutable std::atomic<std::uint64_t> closure_builds_{0};
+  mutable std::atomic<std::uint64_t> closure_hits_{0};
 };
 
 /// Verify an exporter's SID implements the service type's operational

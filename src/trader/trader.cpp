@@ -1,5 +1,6 @@
 #include "trader/trader.h"
 
+#include <algorithm>
 #include <set>
 #include <thread>
 
@@ -11,6 +12,11 @@ namespace cosm::trader {
 Trader::Trader(std::string name, std::uint64_t rng_seed)
     : name_(std::move(name)), rng_(rng_seed) {
   if (name_.empty()) throw ContractError("trader needs a name");
+}
+
+void Trader::set_tuning(const TraderTuning& tuning) {
+  store_.set_indexes_enabled(tuning.enable_indexes);
+  constraint_cache_.set_capacity(tuning.constraint_cache_capacity);
 }
 
 void Trader::set_dynamic_fetcher(DynamicFetcher fetcher) {
@@ -35,16 +41,18 @@ std::string Trader::export_offer(const std::string& service_type,
     dynamic_names.insert(attr);
   }
   types_.check_offer(service_type, attributes, dynamic_names);
-  std::lock_guard lock(mutex_);
   Offer offer;
-  offer.id = name_ + "/offer-" + std::to_string(next_offer_++);
+  offer.id = name_ + "/offer-" +
+             std::to_string(next_offer_.fetch_add(1, std::memory_order_relaxed));
   offer.service_type = service_type;
   offer.ref = ref;
   offer.attributes = std::move(attributes);
   offer.dynamic_attrs = std::move(dynamic_attrs);
-  offers_.push_back(std::move(offer));
+  std::string id = offer.id;
+  store_.insert(std::make_shared<const Offer>(std::move(offer)),
+                types_.schema_of(service_type));
   exports_.fetch_add(1, std::memory_order_relaxed);
-  return offers_.back().id;
+  return id;
 }
 
 bool Trader::resolve_dynamic(const Offer& offer, AttrMap& merged) {
@@ -75,28 +83,27 @@ bool Trader::resolve_dynamic(const Offer& offer, AttrMap& merged) {
 
 void Trader::set_lease(const std::string& offer_id,
                        std::uint64_t expires_at_hours) {
-  std::lock_guard lock(mutex_);
-  for (auto& offer : offers_) {
-    if (offer.id == offer_id) {
-      offer.lease_expires_at = expires_at_hours;
-      return;
-    }
+  OfferPtr current = store_.find(offer_id);
+  if (!current) {
+    throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
   }
-  throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
+  Offer leased = *current;
+  leased.lease_expires_at = expires_at_hours;
+  if (!store_.replace(offer_id, std::make_shared<const Offer>(std::move(leased)))) {
+    throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
+  }
 }
 
 std::size_t Trader::advance_clock(std::uint64_t hours) {
-  std::lock_guard lock(mutex_);
-  clock_hours_ += hours;
-  std::size_t swept = 0;
-  for (auto it = offers_.begin(); it != offers_.end();) {
-    if (it->lease_expires_at != 0 && it->lease_expires_at <= clock_hours_) {
-      it = offers_.erase(it);
-      ++swept;
-    } else {
-      ++it;
-    }
+  std::uint64_t now;
+  {
+    std::lock_guard lock(mutex_);
+    clock_hours_ += hours;
+    now = clock_hours_;
   }
+  std::size_t swept = store_.erase_if([now](const Offer& offer) {
+    return offer.lease_expires_at != 0 && offer.lease_expires_at <= now;
+  });
   expired_.fetch_add(swept, std::memory_order_relaxed);
   return swept;
 }
@@ -107,81 +114,75 @@ std::uint64_t Trader::clock_hours() const {
 }
 
 void Trader::withdraw(const std::string& offer_id) {
-  std::lock_guard lock(mutex_);
-  for (auto it = offers_.begin(); it != offers_.end(); ++it) {
-    if (it->id == offer_id) {
-      offers_.erase(it);
-      return;
-    }
+  if (!store_.erase(offer_id)) {
+    throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
   }
-  throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
 }
 
 void Trader::modify(const std::string& offer_id, AttrMap attributes) {
-  std::string type;
-  {
-    std::lock_guard lock(mutex_);
-    for (auto& offer : offers_) {
-      if (offer.id == offer_id) {
-        type = offer.service_type;
-        break;
-      }
-    }
-  }
-  if (type.empty()) {
+  OfferPtr current = store_.find(offer_id);
+  if (!current) {
     throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
   }
-  types_.check_offer(type, attributes);
-  std::lock_guard lock(mutex_);
-  for (auto& offer : offers_) {
-    if (offer.id == offer_id) {
-      offer.attributes = std::move(attributes);
-      return;
-    }
+  types_.check_offer(current->service_type, attributes);
+  Offer modified = *current;
+  modified.attributes = std::move(attributes);
+  if (!store_.replace(offer_id,
+                      std::make_shared<const Offer>(std::move(modified)))) {
+    throw NotFound("offer '" + offer_id + "' vanished during modify");
   }
-  throw NotFound("offer '" + offer_id + "' vanished during modify");
 }
 
 std::vector<Offer> Trader::list_offers(const std::string& service_type) const {
   if (!types_.has(service_type)) {
     throw NotFound("unknown service type '" + service_type + "'");
   }
-  std::lock_guard lock(mutex_);
+  std::vector<StoredOffer> stored =
+      store_.collect_all(types_.subtype_closure(service_type)->types);
+  std::sort(stored.begin(), stored.end(),
+            [](const StoredOffer& a, const StoredOffer& b) {
+              return a.seq < b.seq;
+            });
   std::vector<Offer> out;
-  for (const auto& offer : offers_) {
-    if (types_.is_subtype(offer.service_type, service_type)) {
-      out.push_back(offer);
-    }
-  }
+  out.reserve(stored.size());
+  for (const StoredOffer& so : stored) out.push_back(*so.offer);
   return out;
 }
 
 std::vector<Offer> Trader::match_local(const ImportRequest& request,
                                        const Constraint& constraint) {
-  // Snapshot under the lock, evaluate outside it: dynamic-property fetches
-  // issue RPCs and must not hold the trader lock (the exporter might be
-  // served by the same thread pool).
-  std::vector<Offer> candidates;
-  {
-    std::lock_guard lock(mutex_);
-    for (const auto& offer : offers_) {
-      if (!types_.is_subtype(offer.service_type, request.service_type)) continue;
-      evaluated_.fetch_add(1, std::memory_order_relaxed);
-      candidates.push_back(offer);
-    }
-  }
+  // Candidates come out of a copy-free store snapshot — concurrent
+  // exports/withdraws never block this, and dynamic-property fetches (RPCs
+  // to exporters) happen with no trader lock held.  The store narrows by
+  // type bucket and secondary index; the constraint is (re-)evaluated on
+  // every candidate, so narrowing only has to be a superset of the truth.
+  SubtypeClosurePtr closure = types_.subtype_closure(request.service_type);
+  MatchStats stats;
+  std::vector<StoredOffer> candidates =
+      store_.collect(closure->types, constraint, &stats);
+  evaluated_.fetch_add(stats.type_candidates, std::memory_order_relaxed);
+  scanned_.fetch_add(stats.scanned, std::memory_order_relaxed);
+  // Export order across buckets — keeps ranking deterministic and
+  // identical to the pre-index linear scan.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const StoredOffer& a, const StoredOffer& b) {
+              return a.seq < b.seq;
+            });
   std::vector<Offer> matched;
-  for (Offer& offer : candidates) {
+  for (const StoredOffer& candidate : candidates) {
+    const Offer& offer = *candidate.offer;
     if (offer.dynamic_attrs.empty()) {
-      if (constraint.eval(offer.attributes)) matched.push_back(std::move(offer));
+      // Only matching offers are ever copied out of the snapshot.
+      if (constraint.eval(offer.attributes)) matched.push_back(offer);
       continue;
     }
     AttrMap merged = offer.attributes;
     if (!resolve_dynamic(offer, merged)) continue;
     if (constraint.eval(merged)) {
       // The importer sees the fetched values (they are what matched).
-      offer.attributes = std::move(merged);
-      matched.push_back(std::move(offer));
+      Offer fresh = offer;
+      fresh.attributes = std::move(merged);
+      matched.push_back(std::move(fresh));
     }
   }
   return matched;
@@ -199,11 +200,15 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
   if (request.expired()) {
     throw RpcError("deadline exceeded before import at trader '" + name_ + "'");
   }
-  Constraint constraint = Constraint::parse(request.constraint);
+  // Compiled constraints are cached by text: repeated local imports and
+  // federation-forwarded imports (which carry the text verbatim) share one
+  // AST and its pre-extracted index hints.
+  std::shared_ptr<const Constraint> constraint =
+      constraint_cache_.get(request.constraint);
   Preference preference = Preference::parse(request.preference);
 
   ImportResult result;
-  std::vector<Offer> matched = match_local(request, constraint);
+  std::vector<Offer> matched = match_local(request, *constraint);
 
   // Federation sweep: forward with a decremented hop budget; duplicate
   // offers (diamond topologies) collapse on offer id.  All links are
@@ -383,9 +388,6 @@ LinkHealth Trader::link_health(const std::string& link_name) const {
   throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
 }
 
-std::size_t Trader::offer_count() const {
-  std::lock_guard lock(mutex_);
-  return offers_.size();
-}
+std::size_t Trader::offer_count() const { return store_.size(); }
 
 }  // namespace cosm::trader

@@ -25,25 +25,14 @@
 #include "sidl/service_ref.h"
 #include "trader/attributes.h"
 #include "trader/constraint.h"
+#include "trader/offer_store.h"
 #include "trader/preference.h"
 #include "trader/service_type.h"
 
 namespace cosm::trader {
 
-struct Offer {
-  std::string id;
-  std::string service_type;
-  sidl::ServiceRef ref;
-  AttrMap attributes;
-  /// ODP dynamic properties: attribute name -> operation to invoke on the
-  /// exporter at import time to obtain the current value (e.g. live
-  /// availability).  Matching merges fetched values into `attributes`.
-  std::map<std::string, std::string> dynamic_attrs;
-  /// Lease expiry on the trader's logical clock, in hours (0 = no lease).
-  std::uint64_t lease_expires_at = 0;
-
-  bool operator==(const Offer&) const = default;
-};
+// struct Offer lives in trader/offer_store.h (re-exported here: the store
+// owns the published representation, the trader owns the protocol).
 
 struct ImportRequest {
   /// Service type to match (offers of subtypes match too).
@@ -127,9 +116,23 @@ struct LinkHealth {
   bool quarantined = false;
 };
 
+/// Matching-engine knobs (benchmarking, ops overrides).  Defaults are what
+/// production runs with.
+struct TraderTuning {
+  /// Secondary attribute indexes on the offer store; off = linear bucket
+  /// scans (the pre-index behaviour, kept as baseline and safety valve).
+  bool enable_indexes = true;
+  /// Compiled-constraint LRU entries (0 disables the cache).
+  std::size_t constraint_cache_capacity = 128;
+};
+
 class Trader {
  public:
   explicit Trader(std::string name, std::uint64_t rng_seed = 42);
+
+  /// Apply matching-engine tuning; safe at any point, takes effect for
+  /// subsequent imports.
+  void set_tuning(const TraderTuning& tuning);
 
   const std::string& name() const noexcept { return name_; }
 
@@ -219,8 +222,25 @@ class Trader {
   std::uint64_t imports_total() const noexcept {
     return imports_.load(std::memory_order_relaxed);
   }
+  /// Type-conforming offers considered per import (what a linear scan of
+  /// the conforming buckets would have evaluated) — the pre-index metric.
   std::uint64_t offers_evaluated() const noexcept {
     return evaluated_.load(std::memory_order_relaxed);
+  }
+  /// Candidates the constraint was actually evaluated on, after index
+  /// narrowing.  scanned << evaluated is the index paying off.
+  std::uint64_t offers_scanned() const noexcept {
+    return scanned_.load(std::memory_order_relaxed);
+  }
+  /// Bucket lookups served from a secondary index.
+  std::uint64_t index_lookups() const noexcept {
+    return store_.index_lookups();
+  }
+  std::uint64_t constraint_cache_hits() const noexcept {
+    return constraint_cache_.hits();
+  }
+  std::uint64_t constraint_cache_misses() const noexcept {
+    return constraint_cache_.misses();
   }
   std::uint64_t dynamic_fetches() const noexcept {
     return dynamic_fetches_.load(std::memory_order_relaxed);
@@ -251,8 +271,12 @@ class Trader {
   /// offer then does not match).
   bool resolve_dynamic(const Offer& offer, AttrMap& merged);
 
+  // Offers live in the snapshot-concurrent indexed store; mutex_ guards
+  // only the trader's control plane (links, options, fetcher, clock).
+  OfferStore store_;
+  ConstraintCache constraint_cache_;
+
   mutable std::mutex mutex_;
-  std::vector<Offer> offers_;  // export order
   std::vector<Link> links_;
   FederationOptions federation_;
   DynamicFetcher dynamic_fetcher_;
@@ -263,9 +287,10 @@ class Trader {
   std::atomic<std::uint64_t> exports_{0};
   std::atomic<std::uint64_t> imports_{0};
   std::atomic<std::uint64_t> evaluated_{0};
+  std::atomic<std::uint64_t> scanned_{0};
   std::atomic<std::uint64_t> dynamic_fetches_{0};
   std::atomic<std::uint64_t> quarantined_{0};
-  std::uint64_t next_offer_ = 1;
+  std::atomic<std::uint64_t> next_offer_{1};
   std::uint64_t clock_hours_ = 0;
   std::atomic<std::uint64_t> expired_{0};
 };

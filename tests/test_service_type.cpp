@@ -91,6 +91,41 @@ TEST(ServiceTypeManager, SubtypeChainQueries) {
   EXPECT_EQ(m.subtypes_of("ChauffeuredRental").size(), 1u);
 }
 
+TEST(ServiceTypeManager, SubtypeClosureMemoizedAndInvalidated) {
+  ServiceTypeManager m;
+  m.add(rental_type());
+
+  SubtypeClosurePtr first = m.subtype_closure("CarRentalService");
+  EXPECT_EQ(first->types, std::vector<std::string>{"CarRentalService"});
+  EXPECT_EQ(m.closure_builds(), 1u);
+  EXPECT_EQ(m.subtype_closure("CarRentalService"), first);  // memoized object
+  EXPECT_GE(m.closure_hits(), 1u);
+
+  // Registration invalidates: the closure is rebuilt and sees the new type.
+  ServiceType sub;
+  sub.name = "LuxuryRental";
+  sub.supertype = "CarRentalService";
+  m.add(sub);
+  SubtypeClosurePtr rebuilt = m.subtype_closure("CarRentalService");
+  EXPECT_NE(rebuilt, first);
+  EXPECT_EQ(m.closure_builds(), 2u);
+  EXPECT_TRUE(rebuilt->members.count("LuxuryRental"));
+  // The old closure still describes the graph as of its build (immutable).
+  EXPECT_FALSE(first->members.count("LuxuryRental"));
+
+  // is_subtype is served from the memoized closure: no further builds.
+  std::uint64_t builds = m.closure_builds();
+  EXPECT_TRUE(m.is_subtype("LuxuryRental", "CarRentalService"));
+  EXPECT_TRUE(m.is_subtype("LuxuryRental", "CarRentalService"));
+  EXPECT_EQ(m.closure_builds(), builds);
+
+  // Removal invalidates too.
+  m.remove("LuxuryRental");
+  SubtypeClosurePtr after_remove = m.subtype_closure("CarRentalService");
+  EXPECT_FALSE(after_remove->members.count("LuxuryRental"));
+  EXPECT_FALSE(m.is_subtype("LuxuryRental", "CarRentalService"));
+}
+
 TEST(ServiceTypeManager, CheckOfferAcceptsConforming) {
   ServiceTypeManager m;
   m.add(rental_type());

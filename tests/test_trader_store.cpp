@@ -1,0 +1,582 @@
+// Differential and concurrency tests for the indexed offer store.
+//
+// The indexed matcher (per-type buckets + secondary indexes + delta tail)
+// must return exactly what a naive "evaluate the constraint on every
+// type-conforming offer, in export order" scan returns — including offers
+// with dynamic attributes, federated merges, and every planner trap we
+// know of (optional attributes, bare-identifier collisions with schema
+// names, flipped operands, conjuncts hidden under ||/!).  The randomized
+// test drives both engines over the same offer population and compares.
+
+#include "trader/offer_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+namespace {
+
+using sidl::TypeDesc;
+using wire::Value;
+
+// ---------------------------------------------------------------------------
+// Shared fixture material: a two-level type hierarchy with a float, string,
+// int and bool required attribute (one per index key kind), an optional
+// attribute (index-ineligible), and a subtype adding its own required attr.
+
+ServiceType sensor_type() {
+  ServiceType t;
+  t.name = "SensorService";
+  t.attributes = {
+      {"Price", TypeDesc::float_(), true},
+      {"Region", TypeDesc::string_(), true},
+      {"Capacity", TypeDesc::int_(), true},
+      {"Active", TypeDesc::bool_(), true},
+      {"Note", TypeDesc::string_(), false},
+  };
+  return t;
+}
+
+ServiceType edge_sensor_type() {
+  ServiceType t;
+  t.name = "EdgeSensorService";
+  t.supertype = "SensorService";
+  t.attributes = {{"Tier", TypeDesc::int_(), true}};
+  return t;
+}
+
+sidl::ServiceRef mk_ref(std::uint64_t n) {
+  return {"ref-" + std::to_string(n), "inproc://host", "SensorService"};
+}
+
+/// Deterministic stand-in for the runtime's RPC dynamic-property fetch.
+double dynamic_price_of(const sidl::ServiceRef& ref) {
+  std::uint64_t n = std::stoull(ref.id.substr(ref.id.find('-') + 1));
+  return static_cast<double>((n * 37) % 100);
+}
+
+Value test_fetcher(const sidl::ServiceRef& ref, const std::string& operation) {
+  if (operation == "price_fail") throw RpcError("exporter down");
+  EXPECT_EQ(operation, "price_now");
+  return Value::real(dynamic_price_of(ref));
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference model: offers mirrored in export order, matched by
+// evaluating the full constraint on every type-conforming offer.
+
+struct MirrorOffer {
+  std::string id;
+  std::string type;
+  AttrMap attrs;     // static attributes as exported / last modified
+  AttrMap resolved;  // attrs + fetched dynamic values (== attrs when static)
+  bool dynamic = false;
+  bool dynamic_fails = false;
+};
+
+bool naive_conforms(const std::string& offer_type, const std::string& requested) {
+  return offer_type == requested ||
+         (requested == "SensorService" && offer_type == "EdgeSensorService");
+}
+
+std::vector<std::string> naive_import(const std::vector<MirrorOffer>& mirror,
+                                      const std::string& type,
+                                      const std::string& constraint_text) {
+  Constraint constraint = Constraint::parse(constraint_text);
+  std::vector<std::string> ids;
+  for (const auto& offer : mirror) {
+    if (!naive_conforms(offer.type, type)) continue;
+    if (offer.dynamic && offer.dynamic_fails) continue;
+    if (constraint.eval(offer.resolved)) ids.push_back(offer.id);
+  }
+  return ids;
+}
+
+std::vector<std::string> ids_of(const std::vector<Offer>& offers) {
+  std::vector<std::string> ids;
+  ids.reserve(offers.size());
+  for (const auto& offer : offers) ids.push_back(offer.id);
+  return ids;
+}
+
+const std::vector<std::string> kRegions = {"east", "west", "north", "south"};
+const std::vector<std::string> kNotes = {"hello", "world"};
+
+/// Random offer population with interleaved withdraw/modify, mirrored.
+void populate(Trader& trader, std::vector<MirrorOffer>& mirror, Rng& rng,
+              std::size_t count) {
+  std::uint64_t ref_counter = mirror.size() * 1000 + 7;
+  for (std::size_t i = 0; i < count; ++i) {
+    bool sub = rng.chance(0.3);
+    const std::string type = sub ? "EdgeSensorService" : "SensorService";
+    AttrMap attrs;
+    attrs["Region"] = Value::string(rng.pick(kRegions));
+    attrs["Capacity"] = Value::integer(rng.range(0, 1000));
+    attrs["Active"] = Value::boolean(rng.chance(0.5));
+    if (rng.chance(0.3)) attrs["Note"] = Value::string(rng.pick(kNotes));
+    if (sub) attrs["Tier"] = Value::integer(rng.range(0, 4));
+
+    MirrorOffer mirrored;
+    mirrored.type = type;
+    mirrored.dynamic = rng.chance(0.2);
+    mirrored.dynamic_fails = mirrored.dynamic && rng.chance(0.25);
+    sidl::ServiceRef ref = mk_ref(ref_counter++);
+    if (mirrored.dynamic) {
+      const std::string op = mirrored.dynamic_fails ? "price_fail" : "price_now";
+      mirrored.id = trader.export_offer(type, ref, attrs, {{"Price", op}});
+      mirrored.resolved = attrs;
+      mirrored.resolved["Price"] = Value::real(dynamic_price_of(ref));
+    } else {
+      attrs["Price"] = Value::real(static_cast<double>(rng.range(0, 1000)) / 10.0);
+      mirrored.id = trader.export_offer(type, ref, attrs);
+      mirrored.resolved = attrs;
+    }
+    mirrored.attrs = attrs;
+    mirror.push_back(std::move(mirrored));
+
+    if (!mirror.empty() && rng.chance(0.08)) {
+      std::size_t victim = rng.below(mirror.size());
+      trader.withdraw(mirror[victim].id);
+      mirror.erase(mirror.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    if (!mirror.empty() && rng.chance(0.08)) {
+      std::size_t victim = rng.below(mirror.size());
+      MirrorOffer& target = mirror[victim];
+      if (!target.dynamic) {
+        target.attrs["Price"] =
+            Value::real(static_cast<double>(rng.range(0, 1000)) / 10.0);
+        target.attrs["Region"] = Value::string(rng.pick(kRegions));
+        trader.modify(target.id, target.attrs);
+        target.resolved = target.attrs;
+      }
+    }
+  }
+}
+
+/// Constraints covering every planner path and trap:
+///  - eq/range conjuncts the indexes can serve,
+///  - optional attribute subjects (ineligible: not in required_attrs),
+///  - bare-identifier keys colliding with schema names (Region == Capacity),
+///  - flipped operands, ||/! sub-exprs (no top-level hints), in-sets,
+///  - attr-vs-attr comparisons, subtype-only attributes, empty constraint.
+const std::vector<std::string> kConstraints = {
+    "",
+    "Region == east && Price < 50",
+    "Price >= 10 && Price <= 90",
+    "Capacity > 500",
+    "Region in { east, west }",
+    "exists Note",
+    "Note == hello || Price < 20",
+    "Active == true && Region != north",
+    "Tier == 2",
+    "Price < Capacity",
+    "Region == Capacity",
+    "east == Region",
+    "Note == hello",
+    "Price == 50",
+    "Active == false",
+    "!(Region == east)",
+    "Region == east || Region == west",
+    "50 > Price && Region == west",
+};
+
+void expect_differential(Trader& trader, const std::vector<MirrorOffer>& mirror,
+                         const std::string& label) {
+  for (const std::string& type : {std::string("SensorService"),
+                                  std::string("EdgeSensorService")}) {
+    for (const std::string& text : kConstraints) {
+      SCOPED_TRACE(label + " type=" + type + " constraint='" + text + "'");
+      ImportRequest request;
+      request.service_type = type;
+      request.constraint = text;
+      std::vector<Offer> got = trader.import(request);
+      EXPECT_EQ(ids_of(got), naive_import(mirror, type, text));
+      // Importers must see the values that matched (fetched ones included).
+      for (const auto& offer : got) {
+        for (const auto& mirrored : mirror) {
+          if (mirrored.id == offer.id) {
+            EXPECT_EQ(offer.attributes, mirrored.resolved);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TraderStoreDifferential, IndexedMatchesNaiveScan) {
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    Trader trader{"diff"};
+    trader.types().add(sensor_type());
+    trader.types().add(edge_sensor_type());
+    trader.set_dynamic_fetcher(test_fetcher);
+
+    std::vector<MirrorOffer> mirror;
+    populate(trader, mirror, rng, 300);
+    ASSERT_EQ(trader.offer_count(), mirror.size());
+
+    expect_differential(trader, mirror, "indexed");
+
+    // The linear-scan safety valve must agree bit-for-bit too.
+    trader.set_tuning({.enable_indexes = false});
+    expect_differential(trader, mirror, "scan");
+    trader.set_tuning({.enable_indexes = true});
+
+    // More churn after the first comparison pass, then compare again, so
+    // tombstones/delta merges from withdraw+modify are exercised both ways.
+    populate(trader, mirror, rng, 150);
+    expect_differential(trader, mirror, "indexed-after-churn");
+  }
+}
+
+TEST(TraderStoreDifferential, FederatedMergeMatchesNaive) {
+  Rng rng(7);
+  Trader local{"ta"};
+  Trader remote{"tb"};
+  for (Trader* trader : {&local, &remote}) {
+    trader->types().add(sensor_type());
+    trader->types().add(edge_sensor_type());
+    trader->set_dynamic_fetcher(test_fetcher);
+  }
+  std::vector<MirrorOffer> local_mirror;
+  std::vector<MirrorOffer> remote_mirror;
+  populate(local, local_mirror, rng, 120);
+  populate(remote, remote_mirror, rng, 120);
+  local.link("tb", std::make_shared<LocalTraderGateway>(remote));
+
+  for (const std::string& text : kConstraints) {
+    SCOPED_TRACE("constraint='" + text + "'");
+    ImportRequest request;
+    request.service_type = "SensorService";
+    request.constraint = text;
+    request.hop_limit = 1;
+    ImportResult result = local.import_ex(request);
+    EXPECT_FALSE(result.degraded());
+    // Merge order: local offers first, then link results, dedup by id
+    // (ids are globally unique here, so it is plain concatenation).
+    std::vector<std::string> expected =
+        naive_import(local_mirror, "SensorService", text);
+    for (std::string& id : naive_import(remote_mirror, "SensorService", text)) {
+      expected.push_back(std::move(id));
+    }
+    EXPECT_EQ(ids_of(result.offers), expected);
+  }
+  // The forwarded constraint text is byte-identical, so the remote trader's
+  // compiled-constraint cache serves repeats of the same federated import.
+  std::uint64_t misses_before = remote.constraint_cache_misses();
+  ImportRequest repeat;
+  repeat.service_type = "SensorService";
+  repeat.constraint = "Region == east && Price < 50";
+  repeat.hop_limit = 1;
+  local.import_ex(repeat);
+  local.import_ex(repeat);
+  EXPECT_EQ(remote.constraint_cache_misses(), misses_before);
+  EXPECT_GE(remote.constraint_cache_hits(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Index effectiveness: narrowing shows up in the instrumentation, and the
+// pre-index metric (offers_evaluated) keeps its historical meaning.
+
+TEST(TraderIndexing, NarrowingShrinksScanAndCacheServesRepeats) {
+  Trader trader{"idx"};
+  trader.types().add(sensor_type());
+  for (int i = 0; i < 400; ++i) {
+    AttrMap attrs;
+    attrs["Price"] = Value::real(static_cast<double>(i % 100));
+    attrs["Region"] = Value::string(kRegions[i % kRegions.size()]);
+    attrs["Capacity"] = Value::integer(i);
+    attrs["Active"] = Value::boolean(i % 2 == 0);
+    trader.export_offer("SensorService", mk_ref(static_cast<std::uint64_t>(i)),
+                        attrs);
+  }
+
+  ImportRequest request;
+  request.service_type = "SensorService";
+  request.constraint = "Region == east && Price < 10";
+  std::vector<Offer> first = trader.import(request);
+  EXPECT_EQ(trader.offers_evaluated(), 400u);  // type-conforming candidates
+  std::uint64_t narrowed = trader.offers_scanned();
+  EXPECT_LT(narrowed, 200u);  // far fewer actually evaluated
+  EXPECT_GT(trader.index_lookups(), 0u);
+  EXPECT_EQ(trader.constraint_cache_misses(), 1u);
+
+  std::vector<Offer> second = trader.import(request);
+  EXPECT_EQ(ids_of(second), ids_of(first));
+  EXPECT_EQ(trader.constraint_cache_hits(), 1u);
+
+  // With indexes off the same import degenerates to the full bucket scan.
+  trader.set_tuning({.enable_indexes = false});
+  std::uint64_t scanned_before = trader.offers_scanned();
+  std::vector<Offer> scanned = trader.import(request);
+  EXPECT_EQ(ids_of(scanned), ids_of(first));
+  EXPECT_EQ(trader.offers_scanned() - scanned_before, 400u);
+}
+
+// ---------------------------------------------------------------------------
+// OfferStore unit behaviour: O(1) withdraw via tombstones, replace keeping
+// export order, delta merges rebuilding the index.
+
+std::vector<AttributeDef> sensor_schema() {
+  return sensor_type().attributes;
+}
+
+OfferPtr store_offer(std::uint64_t n, double price, const std::string& region) {
+  Offer offer;
+  offer.id = "o" + std::to_string(n);
+  offer.service_type = "SensorService";
+  offer.ref = mk_ref(n);
+  offer.attributes = {{"Price", Value::real(price)},
+                      {"Region", Value::string(region)},
+                      {"Capacity", Value::integer(static_cast<std::int64_t>(n))},
+                      {"Active", Value::boolean(true)}};
+  return std::make_shared<const Offer>(std::move(offer));
+}
+
+TEST(OfferStore, ReplaceKeepsExportOrderAndEraseTombstones) {
+  OfferStore store;
+  auto schema = sensor_schema();
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    store.insert(store_offer(n, 10.0 * static_cast<double>(n + 1), "east"),
+                 schema);
+  }
+  ASSERT_TRUE(store.replace("o1", store_offer(1, 99.0, "west")));
+  std::vector<StoredOffer> all = store.collect_all({"SensorService"});
+  ASSERT_EQ(all.size(), 3u);
+  std::sort(all.begin(), all.end(),
+            [](const StoredOffer& a, const StoredOffer& b) { return a.seq < b.seq; });
+  EXPECT_EQ(all[1].offer->id, "o1");  // replace kept its slot in the order
+  EXPECT_DOUBLE_EQ(all[1].offer->attributes.at("Price").as_real(), 99.0);
+
+  EXPECT_TRUE(store.erase("o0"));
+  EXPECT_FALSE(store.erase("o0"));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.find("o0"), nullptr);
+  EXPECT_NE(store.find("o2"), nullptr);
+  EXPECT_FALSE(store.replace("o0", store_offer(0, 1.0, "east")));
+}
+
+TEST(OfferStore, DeltaMergesBuildIndexesAndNarrowLookups) {
+  OfferStore store;
+  auto schema = sensor_schema();
+  for (std::uint64_t n = 0; n < 200; ++n) {
+    store.insert(store_offer(n, static_cast<double>(n % 10),
+                             kRegions[n % kRegions.size()]),
+                 schema);
+  }
+  EXPECT_GE(store.base_rebuilds(), 1u);  // delta outgrew its threshold
+
+  Constraint constraint = Constraint::parse("Price == 5");
+  MatchStats stats;
+  std::vector<StoredOffer> candidates =
+      store.collect({"SensorService"}, constraint, &stats);
+  EXPECT_TRUE(stats.index_used);
+  EXPECT_EQ(stats.type_candidates, 200u);
+  EXPECT_LT(stats.scanned, 100u);  // equality posting + unindexed delta tail
+  EXPECT_GT(store.index_lookups(), 0u);
+  std::size_t matches = 0;
+  for (const auto& candidate : candidates) {
+    if (constraint.eval(candidate.offer->attributes)) ++matches;
+  }
+  EXPECT_EQ(matches, 20u);
+
+  std::size_t swept = store.erase_if([](const Offer& offer) {
+    return offer.attributes.at("Capacity").as_int() < 100;
+  });
+  EXPECT_EQ(swept, 100u);
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_EQ(store.collect_all({"SensorService"}).size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-constraint extraction and the LRU cache.
+
+TEST(ConstraintHints, ExtractedFromTopLevelConjunctsOnly) {
+  Constraint c = Constraint::parse("Price < 50 && Region == east && Active == true");
+  // ident == ident emits both orientations (either side may be the
+  // attribute in a given bucket), so Region == east contributes two hints.
+  ASSERT_EQ(c.index_hints().size(), 4u);
+  EXPECT_EQ(c.index_hints()[0].kind, IndexHint::Kind::Range);
+  EXPECT_EQ(c.index_hints()[0].attr, "Price");
+  EXPECT_EQ(c.index_hints()[0].bound, IndexHint::Bound::Lt);
+  EXPECT_DOUBLE_EQ(c.index_hints()[0].number, 50.0);
+  EXPECT_EQ(c.index_hints()[1].kind, IndexHint::Kind::Equality);
+  EXPECT_EQ(c.index_hints()[1].attr, "Region");
+  EXPECT_EQ(c.index_hints()[1].key_kind, IndexHint::KeyKind::Text);
+  EXPECT_TRUE(c.index_hints()[1].text_is_bare_ident);
+  EXPECT_EQ(c.index_hints()[2].attr, "east");
+  EXPECT_EQ(c.index_hints()[2].text, "Region");
+  EXPECT_EQ(c.index_hints()[3].key_kind, IndexHint::KeyKind::Boolean);
+  EXPECT_TRUE(c.index_hints()[3].boolean);
+
+  // Flipped operands normalise to subject-on-the-left.
+  Constraint flipped = Constraint::parse("50 > Price");
+  ASSERT_EQ(flipped.index_hints().size(), 1u);
+  EXPECT_EQ(flipped.index_hints()[0].attr, "Price");
+  EXPECT_EQ(flipped.index_hints()[0].bound, IndexHint::Bound::Lt);
+
+  // Quoted string keys are not bare identifiers.
+  Constraint quoted = Constraint::parse("Region == \"east\"");
+  ASSERT_EQ(quoted.index_hints().size(), 1u);
+  EXPECT_FALSE(quoted.index_hints()[0].text_is_bare_ident);
+
+  // Nothing under ||, !, !=, or non-literal bounds.
+  EXPECT_TRUE(Constraint::parse("Region == east || Price < 5").index_hints().empty());
+  EXPECT_TRUE(Constraint::parse("!(Price < 5)").index_hints().empty());
+  EXPECT_TRUE(Constraint::parse("Price != 5").index_hints().empty());
+  EXPECT_TRUE(Constraint::parse("Price < Capacity").index_hints().empty());
+  EXPECT_TRUE(Constraint::parse("").index_hints().empty());
+}
+
+TEST(ConstraintCache, LruEvictionAndSharing) {
+  ConstraintCache cache(2);
+  auto a = cache.get("Price < 1");
+  auto a_again = cache.get("Price < 1");
+  EXPECT_EQ(a, a_again);  // shared compiled object
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cache.get("Price < 2");
+  cache.get("Price < 3");  // evicts "Price < 1" (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  cache.get("Price < 1");
+  EXPECT_EQ(cache.misses(), 4u);
+
+  // Evicted compiled constraints stay usable by holders.
+  EXPECT_TRUE(a->eval({{"Price", Value::real(0.5)}}));
+
+  // Parse errors propagate and are never cached.
+  EXPECT_THROW(cache.get("Price <"), ParseError);
+  EXPECT_THROW(cache.get("Price <"), ParseError);
+  EXPECT_EQ(cache.size(), 2u);
+
+  ConstraintCache disabled(0);
+  disabled.get("Price < 1");
+  disabled.get("Price < 1");
+  EXPECT_EQ(disabled.size(), 0u);
+  EXPECT_EQ(disabled.hits(), 0u);
+  EXPECT_EQ(disabled.misses(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: exports, withdraws, modifies, lease sweeps and imports race
+// on one trader.  Run under TSan via tools/run_sanitizers.sh; the snapshot
+// design means importers read a consistent store at every instant.
+
+TEST(TraderStoreStress, ConcurrentExportImportWithdrawModify) {
+  Trader trader{"stress"};
+  trader.types().add(sensor_type());
+  trader.types().add(edge_sensor_type());
+  trader.set_dynamic_fetcher(test_fetcher);
+
+  std::vector<std::string> seeded;
+  for (std::uint64_t n = 0; n < 200; ++n) {
+    AttrMap attrs;
+    attrs["Price"] = Value::real(static_cast<double>(n % 100));
+    attrs["Region"] = Value::string(kRegions[n % kRegions.size()]);
+    attrs["Capacity"] = Value::integer(static_cast<std::int64_t>(n));
+    attrs["Active"] = Value::boolean(true);
+    seeded.push_back(trader.export_offer("SensorService", mk_ref(n), attrs));
+  }
+
+  std::atomic<std::size_t> imports_ok{0};
+  std::vector<std::thread> threads;
+
+  for (int worker = 0; worker < 2; ++worker) {
+    threads.emplace_back([&trader, worker] {
+      for (std::uint64_t i = 0; i < 250; ++i) {
+        std::uint64_t n = 1000 + static_cast<std::uint64_t>(worker) * 1000 + i;
+        AttrMap attrs;
+        attrs["Region"] = Value::string(kRegions[n % kRegions.size()]);
+        attrs["Capacity"] = Value::integer(static_cast<std::int64_t>(n));
+        attrs["Active"] = Value::boolean(n % 2 == 0);
+        if (i % 10 == 0) {
+          trader.export_offer("SensorService", mk_ref(n), attrs,
+                              {{"Price", "price_now"}});
+        } else {
+          attrs["Price"] = Value::real(static_cast<double>(n % 100));
+          trader.export_offer("SensorService", mk_ref(n), attrs);
+        }
+      }
+    });
+  }
+
+  threads.emplace_back([&trader, &seeded] {
+    for (std::size_t i = 0; i < 100; ++i) {
+      try {
+        trader.withdraw(seeded[i]);
+      } catch (const NotFound&) {
+      }
+    }
+  });
+
+  threads.emplace_back([&trader, &seeded] {
+    for (int round = 0; round < 3; ++round) {
+      for (std::size_t i = 100; i < 180; ++i) {
+        AttrMap attrs;
+        attrs["Price"] = Value::real(static_cast<double>(round * 10 + 1));
+        attrs["Region"] = Value::string(kRegions[i % kRegions.size()]);
+        attrs["Capacity"] = Value::integer(static_cast<std::int64_t>(i));
+        attrs["Active"] = Value::boolean(false);
+        try {
+          trader.modify(seeded[i], attrs);
+        } catch (const NotFound&) {
+        }
+      }
+    }
+  });
+
+  threads.emplace_back([&trader, &seeded] {
+    for (std::size_t i = 180; i < 200; ++i) {
+      try {
+        trader.set_lease(seeded[i], 1);
+      } catch (const NotFound&) {
+      }
+    }
+    trader.advance_clock(2);  // sweeps the leased offers
+  });
+
+  for (int worker = 0; worker < 2; ++worker) {
+    threads.emplace_back([&trader, &imports_ok] {
+      const std::vector<std::string> constraints = {
+          "", "Region == east && Price < 50", "Capacity > 500",
+          "Active == true"};
+      for (int i = 0; i < 150; ++i) {
+        ImportRequest request;
+        request.service_type = "SensorService";
+        request.constraint = constraints[static_cast<std::size_t>(i) %
+                                         constraints.size()];
+        std::vector<Offer> offers = trader.import(request);
+        for (const auto& offer : offers) {
+          // Every result is a complete, consistent offer snapshot.
+          ASSERT_EQ(offer.service_type, "SensorService");
+          ASSERT_TRUE(offer.attributes.count("Price"));
+          ASSERT_TRUE(offer.attributes.count("Region"));
+        }
+        imports_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(imports_ok.load(), 300u);
+
+  // Quiescent consistency: an unconstrained import sees exactly the live
+  // offers (the dynamic fetcher always succeeds here).
+  ImportRequest everything;
+  everything.service_type = "SensorService";
+  EXPECT_EQ(trader.import(everything).size(), trader.offer_count());
+  EXPECT_EQ(trader.offers_expired_total(), 20u);
+}
+
+}  // namespace
+}  // namespace cosm::trader
