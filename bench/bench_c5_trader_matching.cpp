@@ -122,8 +122,7 @@ SweepResult run_mode(trader::Trader& t, std::size_t offers,
   result.iterations = iterations;
   result.matched = t.import(request).size();  // warm-up (caches, snapshot)
 
-  std::uint64_t evaluated0 = t.offers_evaluated();
-  std::uint64_t scanned0 = t.offers_scanned();
+  t.reset_stats();  // count only the timed sweep, no delta bookkeeping
   std::vector<double> samples_us;
   samples_us.reserve(iterations);
   auto sweep_start = std::chrono::steady_clock::now();
@@ -144,11 +143,9 @@ SweepResult run_mode(trader::Trader& t, std::size_t offers,
   result.p50_us = percentile(samples_us, 0.50);
   result.p99_us = percentile(samples_us, 0.99);
   result.evaluated_per_import =
-      static_cast<double>(t.offers_evaluated() - evaluated0) /
-      static_cast<double>(iterations);
+      static_cast<double>(t.offers_evaluated()) / static_cast<double>(iterations);
   result.scanned_per_import =
-      static_cast<double>(t.offers_scanned() - scanned0) /
-      static_cast<double>(iterations);
+      static_cast<double>(t.offers_scanned()) / static_cast<double>(iterations);
   return result;
 }
 

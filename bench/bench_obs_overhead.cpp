@@ -1,0 +1,137 @@
+// Observability overhead gate: the F1 trading cycle (trader import over
+// RPC, SID-transfer bind, dynamic invoke) runs three phases on one process:
+//
+//   1. observability disabled  — the shipping default,
+//   2. metrics + tracing on    — every hot-path instrument live,
+//   3. disabled again          — the same relaxed-load-only code path.
+//
+// Phase 3 vs phase 1 isolates the *disabled-mode* cost of the
+// instrumentation sites (one relaxed atomic load each) from ordinary run
+// order / cache-warmth noise: both phases execute the identical
+// branch-not-taken path, so any systematic gap would mean the sites are not
+// actually free when off.  The harness exits nonzero when the best phase-3
+// throughput falls more than kMaxRegression below the best phase-1
+// throughput, and writes the enabled-phase metrics snapshot as JSON for CI
+// to archive.
+//
+// Usage: bench_obs_overhead [metrics-json-out]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "services/car_rental.h"
+#include "wire/value.h"
+
+using namespace cosm;
+using Clock = std::chrono::steady_clock;
+using wire::Value;
+
+namespace {
+
+constexpr int kCyclesPerRep = 200;
+constexpr int kRepsPerPhase = 5;
+constexpr double kMaxRegression = 0.03;
+
+struct Deployment {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime{net};
+  sidl::ServiceRef service_ref;
+
+  Deployment() {
+    runtime.trader().types().add(services::canonical_car_rental_type());
+    services::CarRentalConfig config;
+    config.tradable = true;
+    service_ref =
+        runtime.offer_traded(services::make_car_rental_service(config)).first;
+  }
+
+  /// One F1 cycle: import over the wire, bind (SID transfer), invoke.
+  void cycle() {
+    rpc::RpcChannel channel(net, runtime.trader_ref());
+    Value offers = channel.call(
+        "Import",
+        {Value::string(services::car_rental_service_type_name()),
+         Value::string(""), Value::string(""), Value::integer(0),
+         Value::integer(0)});
+    if (offers.elements().empty()) throw std::runtime_error("no offers");
+    core::GenericClient client = runtime.make_client();
+    core::Binding rental =
+        client.bind(trader::offer_from_value(offers.elements()[0]).ref);
+    rental.invoke("ListModels", {});
+  }
+};
+
+/// Best-of-N cycles/second (best-of suppresses scheduler noise, which only
+/// ever subtracts throughput).
+double best_throughput(Deployment& dep) {
+  double best = 0.0;
+  for (int rep = 0; rep < kRepsPerPhase; ++rep) {
+    auto start = Clock::now();
+    for (int i = 0; i < kCyclesPerRep; ++i) dep.cycle();
+    double sec = std::chrono::duration<double>(Clock::now() - start).count();
+    best = std::max(best, kCyclesPerRep / sec);
+  }
+  return best;
+}
+
+void set_observability(bool on) {
+  obs::metrics().set_enabled(on);
+  obs::tracer().set_enabled(on);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Deployment dep;
+  set_observability(false);
+  for (int i = 0; i < 50; ++i) dep.cycle();  // warm caches, pools, JIT-y paths
+
+  double disabled_before = best_throughput(dep);
+
+  set_observability(true);
+  obs::metrics().reset();
+  obs::tracer().clear();
+  double enabled = best_throughput(dep);
+  std::string snapshot = dep.runtime.metrics_snapshot();
+  set_observability(false);
+
+  double disabled_after = best_throughput(dep);
+
+  double enabled_tax = 1.0 - enabled / disabled_before;
+  double regression = 1.0 - disabled_after / disabled_before;
+
+  std::printf("phase                cycles/sec\n");
+  std::printf("disabled (before)    %10.0f\n", disabled_before);
+  std::printf("enabled              %10.0f   (tax %.1f%%)\n", enabled,
+              100.0 * enabled_tax);
+  std::printf("disabled (after)     %10.0f   (regression %.1f%%)\n",
+              disabled_after, 100.0 * regression);
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << snapshot << "\n";
+    std::printf("metrics snapshot written to %s\n", argv[1]);
+  } else {
+    std::printf("%s\n", snapshot.c_str());
+  }
+
+  if (regression > kMaxRegression) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-mode throughput regressed %.1f%% after the "
+                 "observability toggle (budget %.0f%%)\n",
+                 100.0 * regression, 100.0 * kMaxRegression);
+    return 1;
+  }
+  std::printf("OK: disabled-mode overhead within %.0f%% budget\n",
+              100.0 * kMaxRegression);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/generic_client.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "sidl/validate.h"
 
 namespace cosm::core {
@@ -59,6 +60,13 @@ wire::Value Binding::invoke(const std::string& operation,
 
   wire::Value result = channel_->call(*op, std::move(args));
   ++invocations_;
+  {
+    auto& reg = obs::metrics();
+    if (reg.enabled()) {
+      static obs::Counter& invocations = reg.counter("client.invocations");
+      invocations.add();
+    }
+  }
   if (transition != nullptr) {
     state_ = transition->to;
   } else if (!options_.enforce_fsm && sid_->fsm && fsm_restricted(operation)) {
@@ -84,12 +92,23 @@ GenericClient::GenericClient(rpc::Network& network, GenericClientOptions options
 
 Binding GenericClient::bind(const sidl::ServiceRef& ref) {
   if (!ref.valid()) throw ContractError("cannot bind an invalid reference");
+  auto& reg = obs::metrics();
+  std::chrono::steady_clock::time_point started{};
+  if (reg.enabled()) started = std::chrono::steady_clock::now();
   auto channel = std::make_unique<rpc::RpcChannel>(
       network_, ref,
       rpc::ChannelOptions{options_.timeout, options_.retry, options_.idempotent});
   sidl::SidPtr sid = channel->fetch_sid();  // SID transfer, Fig. 3
   sidl::ensure_valid(*sid);
   bindings_.fetch_add(1, std::memory_order_relaxed);
+  if (reg.enabled()) {
+    static obs::Counter& binds = reg.counter("client.binds");
+    binds.add();
+    if (started != std::chrono::steady_clock::time_point{}) {
+      static obs::Histogram& latency = reg.histogram("client.bind_latency_us");
+      latency.record_us(obs::elapsed_us(started));
+    }
+  }
   return Binding(std::move(channel), std::move(sid), options_);
 }
 

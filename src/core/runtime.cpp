@@ -1,10 +1,30 @@
 #include "core/runtime.h"
 
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/activity_facade.h"
 #include "rpc/channel.h"
 #include "trader/sid_export.h"
 
 namespace cosm::core {
+
+namespace {
+
+// Offer ids embed the minting trader's name (trader.cpp), and federation
+// dedups merged results by offer id.  Two runtimes in one process whose
+// traders share a name would therefore mint colliding ids and silently drop
+// each other's offers on federated imports — so every runtime gets a
+// process-unique trader name.
+std::string unique_trader_name() {
+  static std::atomic<std::uint64_t> next{0};
+  std::uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+  return n == 0 ? "trader" : "trader-" + std::to_string(n);
+}
+
+}  // namespace
 
 CosmRuntime::CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options)
     : CosmRuntime(network, RuntimeOptions{server_options, {}, {}}) {}
@@ -12,11 +32,18 @@ CosmRuntime::CosmRuntime(rpc::Network& network, rpc::ServerOptions server_option
 CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
     : network_(network),
       retry_(options.retry),
-      trader_("trader"),
+      trader_(unique_trader_name()),
       browser_("browser"),
       server_(network, "cosm", options.server),
       binder_(network),
       activities_(network) {
+  // Process-global switches: turning observability on for one runtime turns
+  // it on everywhere (off stays off — another runtime may have enabled it).
+  if (options.observability.metrics) obs::metrics().set_enabled(true);
+  if (options.observability.tracing) {
+    obs::tracer().set_capacity(options.observability.trace_capacity);
+    obs::tracer().set_enabled(true);
+  }
   trader_.set_federation_options(options.federation);
   trader_.set_tuning(options.trader_tuning);
   trader_ref_ = server_.add(trader::make_trader_service(trader_));
@@ -83,5 +110,46 @@ void CosmRuntime::link_trader(const std::string& link_name,
   trader_.link(link_name, std::make_shared<trader::RemoteTraderGateway>(
                               network_, remote_trader_ref, retry_));
 }
+
+std::string CosmRuntime::metrics_snapshot() {
+  // Push-model counters cover events while metrics were enabled; the
+  // lifetime stats below are kept unconditionally by each component, so
+  // fold them in as gauges at snapshot time (pull model).  The two views
+  // together survive enable/disable toggling mid-run.
+  auto& reg = obs::metrics();
+  reg.gauge("trader.exports_total")
+      .set(static_cast<std::int64_t>(trader_.exports_total()));
+  reg.gauge("trader.imports_total")
+      .set(static_cast<std::int64_t>(trader_.imports_total()));
+  reg.gauge("trader.offers_evaluated_total")
+      .set(static_cast<std::int64_t>(trader_.offers_evaluated()));
+  reg.gauge("trader.offers_scanned_total")
+      .set(static_cast<std::int64_t>(trader_.offers_scanned()));
+  reg.gauge("trader.index_lookups_total")
+      .set(static_cast<std::int64_t>(trader_.index_lookups()));
+  reg.gauge("trader.constraint_cache_hits_total")
+      .set(static_cast<std::int64_t>(trader_.constraint_cache_hits()));
+  reg.gauge("trader.constraint_cache_misses_total")
+      .set(static_cast<std::int64_t>(trader_.constraint_cache_misses()));
+  reg.gauge("trader.closure_builds_total")
+      .set(static_cast<std::int64_t>(trader_.types().closure_builds()));
+  reg.gauge("trader.closure_hits_total")
+      .set(static_cast<std::int64_t>(trader_.types().closure_hits()));
+  reg.gauge("trader.dynamic_fetches_total")
+      .set(static_cast<std::int64_t>(trader_.dynamic_fetches()));
+  reg.gauge("trader.links_quarantined_total")
+      .set(static_cast<std::int64_t>(trader_.links_quarantined_total()));
+  reg.gauge("trader.offers_expired_total")
+      .set(static_cast<std::int64_t>(trader_.offers_expired_total()));
+  reg.gauge("server.requests_total")
+      .set(static_cast<std::int64_t>(server_.requests_handled()));
+  reg.gauge("server.faults_total")
+      .set(static_cast<std::int64_t>(server_.faults_returned()));
+  reg.gauge("server.replay_evictions_total")
+      .set(static_cast<std::int64_t>(server_.replay_evictions()));
+  return reg.to_json();
+}
+
+std::string CosmRuntime::dump_traces() const { return obs::tracer().dump_json(); }
 
 }  // namespace cosm::core

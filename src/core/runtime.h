@@ -42,6 +42,19 @@ struct WellKnownNames {
   static constexpr const char* kActivityManager = "cosm/activities";
 };
 
+/// Observability switches.  Both default off: the instrumentation sites
+/// then cost one relaxed atomic load each and take no clocks or locks.
+/// The metrics registry and tracer are process-wide singletons, so enabling
+/// them on any runtime enables them for every runtime in the process.
+struct ObservabilityOptions {
+  /// Registry counters/gauges/latency histograms on the hot paths.
+  bool metrics = false;
+  /// Span recording + trace-context propagation across hops.
+  bool tracing = false;
+  /// Span ring capacity when tracing is on (oldest spans overwritten).
+  std::size_t trace_capacity = 4096;
+};
+
 /// Knobs for the assembled stack.  `retry` governs the runtime's own
 /// outbound calls (dynamic-property fetches, link_trader gateways); callers
 /// opt individual clients in via GenericClientOptions.
@@ -50,6 +63,7 @@ struct RuntimeOptions {
   rpc::RetryPolicy retry{};
   trader::FederationOptions federation{};
   trader::TraderTuning trader_tuning{};
+  ObservabilityOptions observability{};
 };
 
 class CosmRuntime {
@@ -103,6 +117,18 @@ class CosmRuntime {
   /// RuntimeOptions::federation).
   void link_trader(const std::string& link_name,
                    const sidl::ServiceRef& remote_trader_ref);
+
+  // --- observability (see ObservabilityOptions / src/obs) ---
+
+  /// JSON snapshot of the process-wide metrics registry, with this
+  /// runtime's lifetime stats (trader matching counters, server totals)
+  /// folded in as gauges at snapshot time.  Works with metrics disabled —
+  /// the folded gauges are then the only populated section.
+  std::string metrics_snapshot();
+
+  /// JSON dump of the recorded span ring (empty array when tracing was
+  /// never enabled).
+  std::string dump_traces() const;
 
  private:
   rpc::Network& network_;

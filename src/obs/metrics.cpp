@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace cosm::obs {
+
+namespace {
+
+/// Bucket index for a sample: 0 for 0..1 us, otherwise bit width clamped to
+/// the last bucket, so bucket i covers [2^(i-1), 2^i).
+int bucket_of(std::uint64_t us) noexcept {
+  if (us <= 1) return 0;
+  int idx = std::bit_width(us - 1);
+  return idx < Histogram::kBuckets ? idx : Histogram::kBuckets - 1;
+}
+
+/// Upper bound (us) of bucket i — what percentiles report.
+std::uint64_t bucket_bound(int i) noexcept { return std::uint64_t{1} << i; }
+
+}  // namespace
+
+void Histogram::record_us(std::uint64_t us) noexcept {
+  buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  std::uint64_t counts[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += counts[i];
+  }
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  auto quantile = [&](double q) {
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(s.count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return bucket_bound(i);
+    }
+    return bucket_bound(kBuckets - 1);
+  };
+  s.p50_us = quantile(0.50);
+  s.p90_us = quantile(0.90);
+  s.p99_us = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    Histogram::Snapshot s = h->snapshot();
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+        << s.count << ", \"sum_us\": " << s.sum_us << ", \"max_us\": "
+        << s.max_us << ", \"p50_us\": " << s.p50_us << ", \"p90_us\": "
+        << s.p90_us << ", \"p99_us\": " << s.p99_us << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}";
+  return out.str();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    Histogram::Snapshot s = h->snapshot();
+    out << name << " count=" << s.count << " p50=" << s.p50_us
+        << "us p90=" << s.p90_us << "us p99=" << s.p99_us
+        << "us max=" << s.max_us << "us\n";
+  }
+  return out.str();
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace cosm::obs

@@ -1,0 +1,132 @@
+// Lock-cheap metrics registry (the observability pillar).
+//
+// Instruments are registered by name once and then updated through stable
+// references with relaxed atomics — no lock is ever taken on a hot path.
+// The registry's mutex guards only name->instrument registration and
+// snapshot serialisation.  Three instrument kinds:
+//   * Counter   — monotonically increasing u64 (resettable for benches);
+//   * Gauge     — last-written i64 (pool sizes, quarantine flags, folded
+//                 lifetime totals at snapshot time);
+//   * Histogram — fixed power-of-two latency buckets in microseconds with
+//                 approximate p50/p90/p99 read off the bucket bounds.
+//
+// The registry is process-global and *disabled by default*: every
+// instrumentation site checks `metrics().enabled()` (one relaxed load)
+// before touching an instrument or reading a clock, so the disabled-mode
+// overhead is a branch per event — near-zero against an RPC round trip.
+// Instrument references stay valid for the process lifetime; reset() zeroes
+// values without invalidating them.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace cosm::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram.  Bucket i holds samples whose value in
+/// microseconds is in [2^(i-1), 2^i); percentiles report the upper bound of
+/// the bucket the quantile falls into, so they are exact to within 2x —
+/// plenty for "which federation link is degrading" questions.
+class Histogram {
+ public:
+  /// 1 us .. ~2^26 us (~67 s); larger samples land in the last bucket.
+  static constexpr int kBuckets = 28;
+
+  void record_us(std::uint64_t us) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::uint64_t max_us = 0;
+    std::uint64_t p50_us = 0;
+    std::uint64_t p90_us = 0;
+    std::uint64_t p99_us = 0;
+  };
+  Snapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumentation site uses.
+  static MetricsRegistry& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create by name; the returned reference is stable forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every registered instrument (references stay valid).
+  void reset();
+
+  /// Serialise all instruments: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum_us,max_us,p50_us,p90_us,p99_us}}}.
+  std::string to_json() const;
+  /// One instrument per line, for human eyes.
+  std::string to_text() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::global().
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+/// Microseconds elapsed since `start` (helper for latency instruments).
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) noexcept;
+
+}  // namespace cosm::obs

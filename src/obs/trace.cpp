@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace cosm::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_capacity(std::size_t spans) {
+  if (spans == 0) spans = 1;
+  std::lock_guard lock(mutex_);
+  ring_capacity_ = spans;
+  // Re-shape the ring conservatively: keep the newest spans that still fit.
+  if (ring_.size() > ring_capacity_) {
+    std::vector<Span> kept(ring_.end() - static_cast<std::ptrdiff_t>(ring_capacity_),
+                           ring_.end());
+    ring_ = std::move(kept);
+    ring_full_ = true;
+    ring_next_ = 0;
+  }
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard lock(mutex_);
+  return ring_capacity_;
+}
+
+std::uint64_t Tracer::mint_id() noexcept {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Span Tracer::start_span(std::string name, std::uint64_t trace_id,
+                        std::uint64_t parent_span_id) {
+  Span span;
+  span.trace_id = trace_id != 0 ? trace_id : mint_id();
+  span.span_id = mint_id();
+  span.parent_span_id = parent_span_id;
+  span.name = std::move(name);
+  span.start = std::chrono::steady_clock::now();
+  return span;
+}
+
+void Tracer::finish(Span&& span) { finish(std::move(span), {}); }
+
+void Tracer::finish(Span&& span, std::string note) {
+  if (!span.valid()) return;
+  span.duration_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - span.start)
+          .count());
+  span.note = std::move(note);
+  push(std::move(span));
+}
+
+void Tracer::finish_error(Span&& span, std::string what) {
+  if (!span.valid()) return;
+  span.error = true;
+  finish(std::move(span), std::move(what));
+}
+
+void Tracer::push(Span&& span) {
+  std::lock_guard lock(mutex_);
+  if (!ring_full_) {
+    ring_.push_back(std::move(span));
+    if (ring_.size() >= ring_capacity_) {
+      ring_full_ = true;
+      ring_next_ = 0;
+    }
+    return;
+  }
+  ring_[ring_next_] = std::move(span);
+  ring_next_ = (ring_next_ + 1) % ring_capacity_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard lock(mutex_);
+  if (!ring_full_) return ring_;
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_));
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  ring_full_ = false;
+  ring_next_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void escape_into(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::dump_json() const {
+  std::vector<Span> snapshot = spans();
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Span& span : snapshot) {
+    out << (first ? "" : ",") << "\n  {\"trace\": " << span.trace_id
+        << ", \"span\": " << span.span_id << ", \"parent\": "
+        << span.parent_span_id << ", \"name\": \"";
+    escape_into(out, span.name);
+    out << "\", \"us\": " << span.duration_us << ", \"error\": "
+        << (span.error ? "true" : "false") << ", \"note\": \"";
+    escape_into(out, span.note);
+    out << "\"}";
+    first = false;
+  }
+  out << (first ? "]" : "\n]");
+  return out.str();
+}
+
+std::string Tracer::dump_text() const {
+  std::vector<Span> snapshot = spans();
+  std::ostringstream out;
+  for (const Span& span : snapshot) {
+    out << "trace=" << span.trace_id << " span=" << span.span_id
+        << " parent=" << span.parent_span_id << " " << span.name << " "
+        << span.duration_us << "us" << (span.error ? " ERROR" : "");
+    if (!span.note.empty()) out << " (" << span.note << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cosm::obs

@@ -1,0 +1,103 @@
+// Distributed tracing: trace/span ids minted here, propagated through the
+// CallContext (thread-local) and the RPC wire header (Message.trace_id /
+// parent_span_id), recorded to a bounded in-memory ring.
+//
+// Model: a *trace* is one logical operation end to end (a client call and
+// everything it triggers — server dispatch, trader matching, federation
+// hops); a *span* is one timed step inside it.  Every span names its parent
+// span, so client -> server -> federated-hop chains reconstruct exactly.
+// Retried RPC attempts reuse the trace but get a fresh span per attempt —
+// retries are visible, not conflated.
+//
+// Span lifecycle: start_span() stamps ids + start time; finish()/
+// finish_error() compute the duration and push the completed span into the
+// ring (oldest entries overwritten at capacity).  Like the metrics
+// registry, the tracer is process-global and disabled by default; when
+// disabled, start_span() is never called and the only cost on a call path
+// is one relaxed load (ids still ride the existing context/wire fields).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cosm::obs {
+
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  /// 0 = root span of its trace.
+  std::uint64_t parent_span_id = 0;
+  /// e.g. "rpc.client:Import", "rpc.server:Import", "trader.import".
+  std::string name;
+  std::chrono::steady_clock::time_point start{};
+  std::uint64_t duration_us = 0;
+  bool error = false;
+  /// Error text or short annotation ("replay-hit", attempt number).
+  std::string note;
+
+  bool valid() const noexcept { return span_id != 0; }
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Completed spans the ring retains before overwriting the oldest.
+  void set_capacity(std::size_t spans);
+  std::size_t capacity() const;
+
+  /// Fresh nonzero id (shared space for trace and span ids).
+  std::uint64_t mint_id() noexcept;
+
+  /// Begin a span: `trace_id` 0 starts a new trace; `parent_span_id` 0
+  /// makes it a root span.  The span is not visible until finished.
+  Span start_span(std::string name, std::uint64_t trace_id,
+                  std::uint64_t parent_span_id);
+
+  void finish(Span&& span);
+  void finish(Span&& span, std::string note);
+  void finish_error(Span&& span, std::string what);
+
+  /// Completed spans, oldest first (copy; safe while tracing continues).
+  std::vector<Span> spans() const;
+  std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  /// JSON array of spans: [{"trace":..,"span":..,"parent":..,"name":..,
+  /// "us":..,"error":..,"note":..}, ...].
+  std::string dump_json() const;
+  /// One span per line, indented is-a-child-of order not attempted — the
+  /// ids carry the structure.
+  std::string dump_text() const;
+
+ private:
+  void push(Span&& span);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<Span> ring_;
+  std::size_t ring_capacity_ = 4096;
+  std::size_t ring_next_ = 0;   // next slot to overwrite once full
+  bool ring_full_ = false;
+};
+
+/// Shorthand for Tracer::global().
+inline Tracer& tracer() { return Tracer::global(); }
+
+}  // namespace cosm::obs

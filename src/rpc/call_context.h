@@ -16,6 +16,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace cosm::rpc {
 
@@ -26,6 +27,13 @@ struct CallContext {
   Clock::time_point deadline{};
   /// Remaining federation/forwarding hops; negative means "unlimited".
   int hop_budget = -1;
+  /// Trace correlation (see obs/trace.h); 0 = no active trace.  The ids
+  /// ride the context exactly like the deadline: the client stamps them
+  /// into the wire header, the server installs them around dispatch, so
+  /// every downstream call joins the same trace.
+  std::uint64_t trace_id = 0;
+  /// The enclosing span downstream spans should name as parent; 0 = root.
+  std::uint64_t span_id = 0;
 
   bool has_deadline() const noexcept { return deadline != Clock::time_point{}; }
   bool expired() const noexcept {

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/id.h"
+#include "obs/metrics.h"
 #include "rpc/message.h"
 #include "wire/codec.h"
 #include "wire/marshal.h"
@@ -31,6 +32,8 @@ PendingReply::PendingReply(PendingCallPtr pending, CallContext ctx,
 Bytes PendingReply::get_frame() {
   const bool retryable = reissue_ && retry_.enabled() &&
                          (idempotent_ || !retry_.only_idempotent);
+  auto& tr = obs::tracer();
+  auto& reg = obs::metrics();
   for (int attempt = 1;; ++attempt) {
     attempts_ = attempt;
     // An attempt cap turns a *dropped* request into a bounded wait; without
@@ -40,15 +43,40 @@ Bytes PendingReply::get_frame() {
       attempt_ctx = ctx_.shrunk(retry_.attempt_timeout);
     }
     try {
-      return pending_->get(attempt_ctx);
-    } catch (const RpcError&) {
-      if (!retryable || attempt >= retry_.max_attempts || ctx_.expired()) {
+      Bytes frame = pending_->get(attempt_ctx);
+      if (span_.valid()) {
+        tr.finish(std::move(span_),
+                  attempt > 1 ? "attempt " + std::to_string(attempt) : "");
+      }
+      if (reg.enabled() &&
+          started_ != std::chrono::steady_clock::time_point{}) {
+        static obs::Histogram& latency = reg.histogram("rpc.channel.latency_us");
+        latency.record_us(obs::elapsed_us(started_));
+      }
+      return frame;
+    } catch (const RpcError& e) {
+      // Decide the retry *before* surrendering the span, so an aborted
+      // backoff and an exhausted budget both close the attempt as an error.
+      bool final = !retryable || attempt >= retry_.max_attempts || ctx_.expired();
+      std::chrono::milliseconds backoff{0};
+      if (!final) {
+        backoff = retry_.backoff_for(attempt, rng_);
+        if (ctx_.has_deadline() && backoff >= ctx_.remaining()) final = true;
+      }
+      if (span_.valid()) tr.finish_error(std::move(span_), e.what());
+      if (final) {
+        if (reg.enabled()) {
+          static obs::Counter& failures = reg.counter("rpc.channel.failures");
+          failures.add();
+        }
         throw;
       }
-      std::chrono::milliseconds backoff = retry_.backoff_for(attempt, rng_);
-      if (ctx_.has_deadline() && backoff >= ctx_.remaining()) throw;
+      if (reg.enabled()) {
+        static obs::Counter& retries = reg.counter("rpc.channel.retries");
+        retries.add();
+      }
       if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-      pending_ = reissue_();
+      pending_ = reissue_(span_);  // mints the fresh attempt span (if traced)
     }
   }
 }
@@ -95,26 +123,66 @@ PendingReplyPtr RpcChannel::issue(const std::string& operation, Bytes body,
           .count());
   if (request.deadline_ms == 0) request.deadline_ms = 1;
   request.hop_budget = ctx.hop_budget;
+
+  auto& tr = obs::tracer();
+  auto& reg = obs::metrics();
+  obs::Span span;
+  std::chrono::steady_clock::time_point started{};
+  if (reg.enabled()) {
+    static obs::Counter& calls = reg.counter("rpc.channel.calls");
+    calls.add();
+    started = std::chrono::steady_clock::now();
+  }
+  if (tr.enabled()) {
+    // Join the enclosing trace (server dispatch, outer client call) or
+    // start a fresh one; the server's dispatch span hangs under this
+    // attempt's span via the wire header.
+    if (ctx.trace_id == 0) ctx.trace_id = tr.mint_id();
+    span = tr.start_span("rpc.client:" + operation, ctx.trace_id, ctx.span_id);
+    request.trace_id = ctx.trace_id;
+    request.parent_span_id = span.span_id;
+  } else {
+    // Untraced: still forward inherited ids so hops that record spans stay
+    // correlated under one trace.
+    request.trace_id = ctx.trace_id;
+    request.parent_span_id = ctx.span_id;
+  }
+
   calls_.fetch_add(1, std::memory_order_relaxed);
   PendingCallPtr pending = network_.call_async(ref_.endpoint, request.encode(), ctx);
   if (!options_.retry.enabled()) {
-    return std::make_shared<PendingReply>(std::move(pending), ctx,
-                                          std::move(result_type));
+    auto reply = std::make_shared<PendingReply>(std::move(pending), ctx,
+                                                std::move(result_type));
+    reply->attach_obs(std::move(span), started);
+    return reply;
   }
   // Reissue closure for the retry driver: same request id and session (the
   // replay-cache key), but the stamped deadline budget is recomputed so the
-  // server sees the genuinely remaining time, not the original snapshot.
+  // server sees the genuinely remaining time, not the original snapshot —
+  // and each reissue gets a fresh attempt span under the same trace.
   auto reissue = [network = &network_, endpoint = ref_.endpoint,
-                  message = request, ctx]() mutable {
+                  message = request, ctx,
+                  op = operation](obs::Span& attempt_span) mutable {
+    auto& tracer = obs::tracer();
+    if (tracer.enabled()) {
+      if (message.trace_id == 0) message.trace_id = tracer.mint_id();
+      attempt_span =
+          tracer.start_span("rpc.client:" + op, message.trace_id, ctx.span_id);
+      message.parent_span_id = attempt_span.span_id;
+    } else {
+      attempt_span = obs::Span{};
+    }
     message.deadline_ms = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(ctx.remaining())
             .count());
     if (message.deadline_ms == 0) message.deadline_ms = 1;
     return network->call_async(endpoint, message.encode(), ctx);
   };
-  return std::make_shared<PendingReply>(
+  auto reply = std::make_shared<PendingReply>(
       std::move(pending), ctx, std::move(result_type), std::move(reissue),
       options_.retry, options_.idempotent, request.request_id ^ 0x9e3779b9u);
+  reply->attach_obs(std::move(span), started);
+  return reply;
 }
 
 PendingReplyPtr RpcChannel::call_async(const std::string& operation,

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "rpc/call_context.h"
 #include "rpc/network.h"
 #include "rpc/retry.h"
@@ -62,8 +63,11 @@ struct ChannelOptions {
 /// Remote faults are never retried — the server answered.
 class PendingReply {
  public:
-  /// Reissues the request and returns the fresh in-flight call.
-  using ReissueFn = std::function<PendingCallPtr()>;
+  /// Reissues the request and returns the fresh in-flight call.  When
+  /// tracing is enabled the reissuer mints a fresh attempt span (same trace
+  /// id, new span id, restamped into the wire header) into `attempt_span`;
+  /// otherwise it clears it.
+  using ReissueFn = std::function<PendingCallPtr(obs::Span& attempt_span)>;
 
   PendingReply(PendingCallPtr pending, CallContext ctx,
                sidl::TypePtr result_type);
@@ -79,6 +83,13 @@ class PendingReply {
   /// Attempts made so far (instrumentation; 1 on an un-retried success).
   int attempts() const noexcept { return attempts_; }
 
+  /// Attach the client-side attempt span and latency-start for this call
+  /// (set by RpcChannel::issue when observability is enabled).
+  void attach_obs(obs::Span span, std::chrono::steady_clock::time_point started) {
+    span_ = std::move(span);
+    started_ = started;
+  }
+
  private:
   Bytes get_frame();
 
@@ -90,6 +101,8 @@ class PendingReply {
   bool idempotent_ = false;
   Rng rng_{0};
   int attempts_ = 1;
+  obs::Span span_{};  // current attempt's client span (invalid = untraced)
+  std::chrono::steady_clock::time_point started_{};  // set iff metrics on
 };
 
 using PendingReplyPtr = std::shared_ptr<PendingReply>;

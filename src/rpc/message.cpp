@@ -23,6 +23,8 @@ Bytes Message::encode() const {
   w.varint(deadline_ms);
   // Biased by one so "unlimited" (-1) encodes as 0 in an unsigned varint.
   w.varint(static_cast<std::uint64_t>(hop_budget + 1));
+  w.varint(trace_id);
+  w.varint(parent_span_id);
   w.varint(body.size());
   w.raw(body);
   w.str(fault);
@@ -43,6 +45,8 @@ Message Message::decode(const Bytes& frame) {
   m.session = r.str();
   m.deadline_ms = r.varint();
   m.hop_budget = static_cast<std::int32_t>(r.varint()) - 1;
+  m.trace_id = r.varint();
+  m.parent_span_id = r.varint();
   std::uint64_t n = r.varint();
   m.body = r.raw(n);
   m.fault = r.str();

@@ -39,6 +39,12 @@ struct Message {
   /// Remaining forwarding hops (requests only; negative = unlimited).  Each
   /// federated/forwarded hop decrements it.
   std::int32_t hop_budget = -1;
+  /// Trace-context propagation (requests only; 0 = untraced).  The trace id
+  /// names the end-to-end operation; parent_span_id is the client-side
+  /// attempt span the server's dispatch span hangs under.  A retried
+  /// request keeps its trace id but carries a fresh parent span per attempt.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   /// Encoded argument sequence (requests) or encoded result value
   /// (responses); empty for faults.
   Bytes body;

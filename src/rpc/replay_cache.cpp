@@ -1,6 +1,7 @@
 #include "rpc/replay_cache.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace cosm::rpc {
 
@@ -9,28 +10,65 @@ ReplayCache::ReplayCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool ReplayCache::lookup(const Key& key, Bytes* frame_out) {
-  std::lock_guard lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency, O(1)
-  ++hits_;
-  if (frame_out != nullptr) *frame_out = it->second->frame;
-  return true;
+  bool hit;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      hit = false;
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency, O(1)
+      ++hits_;
+      if (frame_out != nullptr) *frame_out = it->second->frame;
+      hit = true;
+    }
+  }
+  auto& reg = obs::metrics();
+  if (reg.enabled()) {
+    static obs::Counter& hits = reg.counter("replay.hits");
+    static obs::Counter& misses = reg.counter("replay.misses");
+    (hit ? hits : misses).add();
+  }
+  return hit;
 }
 
 void ReplayCache::insert(const Key& key, Bytes frame) {
-  std::lock_guard lock(mutex_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;  // keep the original response
+  bool duplicate = false;
+  bool evicted = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      // Keep the original response, but record the save: a duplicate that
+      // raced past the pre-dispatch lookup was still answered exactly once.
+      ++duplicates_;
+      duplicate = true;
+    } else {
+      lru_.push_front(Entry{key, std::move(frame)});
+      index_[key] = lru_.begin();
+      if (index_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+        evicted = true;
+      }
+    }
   }
-  lru_.push_front(Entry{key, std::move(frame)});
-  index_[key] = lru_.begin();
-  if (index_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
+  auto& reg = obs::metrics();
+  if (reg.enabled()) {
+    if (duplicate) {
+      static obs::Counter& dups = reg.counter("replay.duplicates_suppressed");
+      dups.add();
+    } else {
+      static obs::Counter& inserts = reg.counter("replay.inserts");
+      inserts.add();
+    }
+    if (evicted) {
+      static obs::Counter& evictions = reg.counter("replay.evictions");
+      evictions.add();
+    }
   }
 }
 

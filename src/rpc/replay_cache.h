@@ -31,13 +31,18 @@ class ReplayCache {
 
   /// Record a response; evicts the LRU entry when full.  A key already
   /// present keeps its first response (at-most-once: the original answer
-  /// must not change under a racing duplicate).
+  /// must not change under a racing duplicate) and counts as a suppressed
+  /// duplicate — an at-most-once save just like a lookup hit.
   void insert(const Key& key, Bytes frame);
 
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
   std::uint64_t hits() const noexcept { return hits_; }
+  /// Lookups that found nothing (first-time requests).
+  std::uint64_t misses() const noexcept { return misses_; }
+  /// Duplicate inserts whose racing re-execution was suppressed.
+  std::uint64_t duplicates_suppressed() const noexcept { return duplicates_; }
 
  private:
   struct Entry {
@@ -58,6 +63,8 @@ class ReplayCache {
   std::size_t capacity_;
   std::uint64_t evictions_ = 0;
   std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t duplicates_ = 0;
 };
 
 }  // namespace cosm::rpc

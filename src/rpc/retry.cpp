@@ -13,6 +13,10 @@ std::chrono::milliseconds RetryPolicy::backoff_for(int attempt, Rng& rng) const 
   double j = std::clamp(jitter, 0.0, 1.0);
   double factor = 1.0 - j + 2.0 * j * rng.uniform();
   auto ms = static_cast<std::int64_t>(nominal * factor);
+  // A jitter factor near 0 (e.g. jitter=1.0 with an unlucky draw) would
+  // truncate a nonzero nominal backoff to 0 ms — a hot zero-delay retry
+  // loop.  Floor the jittered sleep at 1 ms whenever backoff was asked for.
+  if (nominal > 0.0 && ms < 1) ms = 1;
   return std::chrono::milliseconds(std::max<std::int64_t>(ms, 0));
 }
 

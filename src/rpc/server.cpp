@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "common/id.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/call_context.h"
 #include "wire/codec.h"
 #include "wire/marshal.h"
@@ -54,16 +56,36 @@ Bytes RpcServer::handle(const Bytes& frame) {
     return handle_message(request);
   } catch (const std::exception& e) {
     faults_.fetch_add(1, std::memory_order_relaxed);
+    auto& reg = obs::metrics();
+    if (reg.enabled()) {
+      static obs::Counter& faults = reg.counter("rpc.server.faults");
+      faults.add();
+    }
     return Message::make_fault(request_id, e.what()).encode();
   }
 }
 
 Bytes RpcServer::handle_message(const Message& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  auto& reg = obs::metrics();
+  auto& tr = obs::tracer();
+  if (reg.enabled()) {
+    static obs::Counter& requests = reg.counter("rpc.server.requests");
+    requests.add();
+  }
   ReplayCache::Key replay_key{request.session, request.request_id};
   if (replay_) {
     Bytes cached;
-    if (replay_->lookup(replay_key, &cached)) return cached;
+    if (replay_->lookup(replay_key, &cached)) {
+      if (tr.enabled()) {
+        // A replayed duplicate still shows up in the trace: a zero-work
+        // server span under the retrying attempt that triggered it.
+        tr.finish(tr.start_span("rpc.server:" + request.operation,
+                                request.trace_id, request.parent_span_id),
+                  "replay-hit");
+      }
+      return cached;
+    }
   }
 
   // Rebuild the caller's remaining budget from the wire fields and make it
@@ -79,41 +101,64 @@ Bytes RpcServer::handle_message(const Message& request) {
     throw RpcError("deadline exceeded before dispatch of '" +
                    request.operation + "'");
   }
+
+  obs::Span span;
+  std::chrono::steady_clock::time_point started{};
+  if (reg.enabled()) started = std::chrono::steady_clock::now();
+  if (tr.enabled()) {
+    span = tr.start_span("rpc.server:" + request.operation, request.trace_id,
+                         request.parent_span_id);
+  }
+  // The dispatch context carries the request's trace downstream: nested
+  // outbound calls (federation hops, dynamic-property fetches) parent their
+  // client spans under this server span.
+  ctx.trace_id = span.valid() ? span.trace_id : request.trace_id;
+  ctx.span_id = span.valid() ? span.span_id : request.parent_span_id;
   CallContextScope scope(ctx);
 
-  ServiceObjectPtr service = find(request.target);
-  if (!service) {
-    throw NotFound("no service instance '" + request.target +
-                   "' at this endpoint");
-  }
-
-  const bool infrastructure =
-      !request.operation.empty() && request.operation[0] == '_';
-
-  wire::Value result;
-  if (request.operation == "_get_sid") {
-    // Built-in SID transfer (Fig. 3): every hosted service can hand out its
-    // interface description without the implementor writing anything.
-    result = wire::Value::sid(service->sid());
-  } else if (infrastructure) {
-    wire::Value args_value = wire::decode_value(request.body);
-    result = service->dispatch(request.session, request.operation,
-                               args_value.elements());
-  } else {
-    const sidl::OperationDesc* op = service->sid()->find_operation(request.operation);
-    if (op == nullptr) {
-      throw NotFound("service '" + service->sid()->name +
-                     "' has no operation '" + request.operation + "'");
+  try {
+    ServiceObjectPtr service = find(request.target);
+    if (!service) {
+      throw NotFound("no service instance '" + request.target +
+                     "' at this endpoint");
     }
-    std::vector<wire::Value> args = wire::unmarshal_arguments(*op, request.body);
-    result = service->dispatch(request.session, request.operation, args);
-    wire::ensure_conforms(result, *op->result);
+
+    const bool infrastructure =
+        !request.operation.empty() && request.operation[0] == '_';
+
+    wire::Value result;
+    if (request.operation == "_get_sid") {
+      // Built-in SID transfer (Fig. 3): every hosted service can hand out its
+      // interface description without the implementor writing anything.
+      result = wire::Value::sid(service->sid());
+    } else if (infrastructure) {
+      wire::Value args_value = wire::decode_value(request.body);
+      result = service->dispatch(request.session, request.operation,
+                                 args_value.elements());
+    } else {
+      const sidl::OperationDesc* op = service->sid()->find_operation(request.operation);
+      if (op == nullptr) {
+        throw NotFound("service '" + service->sid()->name +
+                       "' has no operation '" + request.operation + "'");
+      }
+      std::vector<wire::Value> args = wire::unmarshal_arguments(*op, request.body);
+      result = service->dispatch(request.session, request.operation, args);
+      wire::ensure_conforms(result, *op->result);
+    }
+
+    Bytes encoded = Message::response(request.request_id, wire::encode_value(result)).encode();
+
+    if (replay_) replay_->insert(replay_key, encoded);
+    if (span.valid()) tr.finish(std::move(span));
+    if (reg.enabled() && started != std::chrono::steady_clock::time_point{}) {
+      static obs::Histogram& dispatch = reg.histogram("rpc.server.dispatch_us");
+      dispatch.record_us(obs::elapsed_us(started));
+    }
+    return encoded;
+  } catch (const std::exception& e) {
+    if (span.valid()) tr.finish_error(std::move(span), e.what());
+    throw;
   }
-
-  Bytes encoded = Message::response(request.request_id, wire::encode_value(result)).encode();
-
-  if (replay_) replay_->insert(replay_key, encoded);
-  return encoded;
 }
 
 }  // namespace cosm::rpc

@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/id.h"
+#include "obs/metrics.h"
 
 namespace cosm::rpc {
 
@@ -208,10 +209,13 @@ struct TcpNetwork::ClientConn {
 struct TcpNetwork::Listener {
   /// One accepted connection: its socket and the thread serving it.  The
   /// serving thread closes the fd itself (under conn_mutex, so stop()'s
-  /// shutdown can never race a close and hit a recycled descriptor) and
-  /// raises `done`; the accept loop joins and erases done entries before
-  /// every new accept, so a long-lived server holds O(live connections)
-  /// threads instead of one per connection ever accepted.
+  /// shutdown can never race a close and hit a recycled descriptor), reaps
+  /// *other* finished entries, and only then raises `done`; the accept loop
+  /// reaps before every new accept as well.  A long-lived server therefore
+  /// holds O(live connections) threads even when no further connections
+  /// arrive — the seed only reaped on accept, so an idle listener kept every
+  /// thread it had ever served.  (The last connection to close cannot join
+  /// itself, so up to one finished entry may linger until the next reap.)
   struct ConnEntry {
     int fd = -1;
     std::atomic<bool> done{false};
@@ -246,16 +250,39 @@ struct TcpNetwork::Listener {
       ::close(entry.fd);
       entry.fd = -1;
     }
+    // Reap other finished threads *before* raising our own done flag: a
+    // thread that is still joining peers must not itself be collectible,
+    // or two concurrently-closing connections could join each other and
+    // deadlock.  Once `done` is set the only remaining work is returning,
+    // so whoever collects this entry joins promptly.
+    reap_finished();
     entry.done.store(true);
   }
 
-  /// Join and drop finished serving threads.  Caller holds conn_mutex.
-  void reap_finished_locked() {
-    std::erase_if(conns, [](const std::shared_ptr<ConnEntry>& entry) {
-      if (!entry->done.load()) return false;
+  /// Join and drop finished serving threads.  Finished entries are moved
+  /// out under conn_mutex but joined outside it: a joined thread may be
+  /// blocked acquiring conn_mutex (closing its fd), and joining it while
+  /// holding the lock would deadlock.
+  void reap_finished() {
+    std::vector<std::shared_ptr<ConnEntry>> finished;
+    {
+      std::lock_guard lock(conn_mutex);
+      std::erase_if(conns, [&finished](const std::shared_ptr<ConnEntry>& entry) {
+        if (!entry->done.load()) return false;
+        finished.push_back(entry);
+        return true;
+      });
+    }
+    for (auto& entry : finished) {
       if (entry->thread.joinable()) entry->thread.join();
-      return true;
-    });
+    }
+    if (!finished.empty()) {
+      auto& reg = obs::metrics();
+      if (reg.enabled()) {
+        static obs::Counter& reaped = reg.counter("tcp.conns_reaped");
+        reaped.add(finished.size());
+      }
+    }
   }
 
   void accept_loop() {
@@ -269,12 +296,19 @@ struct TcpNetwork::Listener {
       }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      reap_finished();
+      {
+        auto& reg = obs::metrics();
+        if (reg.enabled()) {
+          static obs::Counter& accepts = reg.counter("tcp.accepts");
+          accepts.add();
+        }
+      }
       std::lock_guard lock(conn_mutex);
       if (stopping.load()) {
         ::close(fd);
         return;
       }
-      reap_finished_locked();
       auto entry = std::make_shared<ConnEntry>();
       entry->fd = fd;
       entry->thread =
@@ -305,9 +339,10 @@ struct TcpNetwork::Listener {
     }
   }
 
+  /// Pure observer: counts tracked entries without reaping, so tests can
+  /// see whether the close-time reap actually ran.
   std::size_t live_threads() {
     std::lock_guard lock(conn_mutex);
-    reap_finished_locked();
     return conns.size();
   }
 
@@ -444,6 +479,13 @@ std::shared_ptr<TcpNetwork::ClientConn> TcpNetwork::checkout_conn(
   // Dial outside the lock (connect can block).
   auto conn = std::make_shared<ClientConn>();
   conn->fd = connect_loopback(endpoint);
+  {
+    auto& reg = obs::metrics();
+    if (reg.enabled()) {
+      static obs::Counter& dials = reg.counter("tcp.dials");
+      dials.add();
+    }
+  }
   conn->reader = std::thread([c = conn.get()] { c->reader_loop(); });
   std::lock_guard lock(mutex_);
   pools_[endpoint].push_back(conn);
@@ -515,6 +557,13 @@ PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
     }
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
     send_retries_.fetch_add(1, std::memory_order_relaxed);
+    {
+      auto& reg = obs::metrics();
+      if (reg.enabled()) {
+        static obs::Counter& retries = reg.counter("tcp.send_retries");
+        retries.add();
+      }
+    }
   }
 }
 

@@ -126,6 +126,11 @@ class ConstraintCache {
   std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Zero the hit/miss counters (cached entries stay).
+  void reset_stats() noexcept {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
   std::size_t size() const;
 
  private:

@@ -37,6 +37,7 @@ module TraderService {
                  [in] sequence<AttributeDef_t> schema);
     void RemoveType([in] string name);
     sequence<string> TypeNames();
+    void ResetStats();
   };
   module COSM_Annotations {
     annotate TraderService "ODP trader: typed service offers, constraint matching, federation";
@@ -117,10 +118,13 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
     request.max_matches = static_cast<std::size_t>(max_matches);
     request.hop_limit = static_cast<int>(hop_limit);
     // The server installed the caller's remaining budget as this thread's
-    // CallContext; pin it onto the request so the federation sweep (which
-    // fans out on other threads) still honours it.
+    // CallContext; pin it (and the trace correlation) onto the request so
+    // the federation sweep (which fans out on other threads) still honours
+    // the deadline and stays in the caller's trace.
     rpc::CallContext ctx = rpc::current_call_context();
     if (ctx.has_deadline()) request.deadline = ctx.deadline;
+    request.trace_id = ctx.trace_id;
+    request.parent_span_id = ctx.span_id;
     return offers_to_value(trader.import(request));
   });
   object->on("ListOffers", [&trader](const std::vector<Value>& args) {
@@ -148,6 +152,10 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
     std::vector<Value> out;
     for (auto& name : trader.types().names()) out.push_back(Value::string(name));
     return Value::sequence(std::move(out));
+  });
+  object->on("ResetStats", [&trader](const std::vector<Value>&) {
+    trader.reset_stats();
+    return Value::null();
   });
   return object;
 }
@@ -177,6 +185,13 @@ std::vector<Offer> RemoteTraderGateway::import(const ImportRequest& request) {
     }
     options.timeout = remaining;
   }
+  // Re-install the request's correlation as this worker thread's context so
+  // the channel's client span parents under the forwarding trader's import
+  // span (the deadline is already in options.timeout).
+  rpc::CallContext hop_ctx;
+  hop_ctx.trace_id = request.trace_id;
+  hop_ctx.span_id = request.parent_span_id;
+  rpc::CallContextScope hop_scope(hop_ctx);
   rpc::RpcChannel channel(network_, ref_, options);
   Value result = channel.call(
       "Import", {Value::string(request.service_type),

@@ -152,6 +152,11 @@ class OfferStore {
   std::uint64_t base_rebuilds() const noexcept {
     return base_rebuilds_.load(std::memory_order_relaxed);
   }
+  /// Zero the instrumentation counters (stored offers stay).
+  void reset_stats() noexcept {
+    index_lookups_.store(0, std::memory_order_relaxed);
+    base_rebuilds_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   /// Normalised attribute value used as an equality-index key; mirrors the

@@ -99,6 +99,11 @@ class ServiceTypeManager {
   std::uint64_t closure_hits() const noexcept {
     return closure_hits_.load(std::memory_order_relaxed);
   }
+  /// Zero the closure-cache counters (memoized closures stay).
+  void reset_stats() noexcept {
+    closure_builds_.store(0, std::memory_order_relaxed);
+    closure_hits_.store(0, std::memory_order_relaxed);
+  }
 
   /// The full attribute schema of a type, including attributes inherited
   /// along the supertype chain.  Throws cosm::NotFound.

@@ -5,6 +5,9 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rpc/call_context.h"
 #include "wire/marshal.h"
 
 namespace cosm::trader {
@@ -52,6 +55,11 @@ std::string Trader::export_offer(const std::string& service_type,
   store_.insert(std::make_shared<const Offer>(std::move(offer)),
                 types_.schema_of(service_type));
   exports_.fetch_add(1, std::memory_order_relaxed);
+  auto& reg = obs::metrics();
+  if (reg.enabled()) {
+    static obs::Counter& exports = reg.counter("trader.exports");
+    exports.add();
+  }
   return id;
 }
 
@@ -200,6 +208,24 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
   if (request.expired()) {
     throw RpcError("deadline exceeded before import at trader '" + name_ + "'");
   }
+  auto& reg = obs::metrics();
+  auto& tr = obs::tracer();
+  std::chrono::steady_clock::time_point started{};
+  if (reg.enabled()) started = std::chrono::steady_clock::now();
+  obs::Span span;
+  if (tr.enabled()) {
+    // Parent preference: ids carried on the request (RPC facade / federated
+    // hop), falling back to the calling thread's context (local import made
+    // from inside a traced dispatch).
+    std::uint64_t trace = request.trace_id;
+    std::uint64_t parent = request.parent_span_id;
+    if (trace == 0) {
+      const rpc::CallContext& ctx = rpc::current_call_context();
+      trace = ctx.trace_id;
+      parent = ctx.span_id;
+    }
+    span = tr.start_span("trader.import:" + request.service_type, trace, parent);
+  }
   // Compiled constraints are cached by text: repeated local imports and
   // federation-forwarded imports (which carry the text verbatim) share one
   // AST and its pre-extracted index hints.
@@ -237,15 +263,26 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
     forwarded.hop_limit = request.hop_limit - 1;
     forwarded.max_matches = 0;       // rank after the merge, not per trader
     forwarded.preference.clear();    // remote ranking would be wasted work
+    if (span.valid()) {
+      // Federated hops hang under this trader's import span.
+      forwarded.trace_id = span.trace_id;
+      forwarded.parent_span_id = span.span_id;
+    }
     std::vector<std::vector<Offer>> per_link(targets.size());
     std::vector<std::string> per_link_error(targets.size());
+    std::vector<std::uint64_t> per_link_us(targets.size(), 0);
     auto query = [&](std::size_t i) {
+      std::chrono::steady_clock::time_point t0{};
+      if (reg.enabled()) t0 = std::chrono::steady_clock::now();
       try {
         per_link[i] = targets[i].gateway->import(forwarded);
       } catch (const Error& e) {
         // An unreachable federated trader reduces the result set; it must
         // not fail the local import.
         per_link_error[i] = e.what();
+      }
+      if (reg.enabled() && t0 != std::chrono::steady_clock::time_point{}) {
+        per_link_us[i] = obs::elapsed_us(t0);
       }
     };
     std::vector<std::size_t> active;
@@ -273,9 +310,39 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
       } else {
         outcome.offers = per_link[i].size();
       }
+      if (reg.enabled()) {
+        // Per-link instruments are looked up by name (registry map, not a
+        // static handle) — link sets are dynamic and the sweep already paid
+        // for a network round trip.
+        const std::string base = "trader.link." + targets[i].name;
+        switch (outcome.status) {
+          case LinkOutcome::Status::Ok:
+            reg.counter(base + ".ok").add();
+            break;
+          case LinkOutcome::Status::Failed:
+            reg.counter(base + ".failed").add();
+            break;
+          case LinkOutcome::Status::Quarantined:
+            reg.counter(base + ".quarantined").add();
+            break;
+        }
+        if (targets[i].gateway) {
+          reg.histogram(base + ".latency_us").record_us(per_link_us[i]);
+        }
+      }
       result.links.push_back(std::move(outcome));
     }
     note_link_outcomes(result.links);
+    if (reg.enabled()) {
+      static obs::Gauge& quarantined = reg.gauge("trader.links_quarantined");
+      std::lock_guard lock(mutex_);
+      auto now = std::chrono::steady_clock::now();
+      std::int64_t active = 0;
+      for (const auto& link : links_) {
+        if (link.quarantined_until > now) ++active;
+      }
+      quarantined.set(active);
+    }
 
     std::set<std::string> seen;
     for (const auto& offer : matched) seen.insert(offer.id);
@@ -304,7 +371,28 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
     ranked.resize(request.max_matches);
   }
   result.offers = std::move(ranked);
+  if (span.valid()) {
+    tr.finish(std::move(span),
+              std::to_string(result.offers.size()) + " offers");
+  }
+  if (reg.enabled()) {
+    static obs::Counter& imports = reg.counter("trader.imports");
+    imports.add();
+    if (started != std::chrono::steady_clock::time_point{}) {
+      static obs::Histogram& latency = reg.histogram("trader.import_latency_us");
+      latency.record_us(obs::elapsed_us(started));
+    }
+  }
   return result;
+}
+
+void Trader::reset_stats() {
+  evaluated_.store(0, std::memory_order_relaxed);
+  scanned_.store(0, std::memory_order_relaxed);
+  dynamic_fetches_.store(0, std::memory_order_relaxed);
+  store_.reset_stats();
+  constraint_cache_.reset_stats();
+  types_.reset_stats();
 }
 
 /// Fold one sweep's outcomes into the links' failure counters: success

@@ -51,6 +51,13 @@ struct ImportRequest {
   /// worker threads; the RPC facade translates it back into each forwarded
   /// call's budget.
   std::chrono::steady_clock::time_point deadline{};
+  /// Trace correlation, carried explicitly for the same reason as the
+  /// deadline: sweep worker threads have no thread-local CallContext to
+  /// inherit from.  0 = untraced.  The facade stamps these from the
+  /// dispatching server's context; the trader parents its import span here
+  /// and forwards its own span id to federated hops.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 
   bool has_deadline() const noexcept {
     return deadline != std::chrono::steady_clock::time_point{};
@@ -249,6 +256,13 @@ class Trader {
     return quarantined_.load(std::memory_order_relaxed);
   }
   std::size_t offer_count() const;
+
+  /// Zero the matching-engine instrumentation counters (offers_evaluated,
+  /// offers_scanned, dynamic_fetches, index lookups, constraint-cache and
+  /// closure-cache hit/miss) so a measurement window can read absolute
+  /// values instead of deltas.  Lifecycle totals (exports/imports/expired/
+  /// quarantined) and all cached state are untouched.
+  void reset_stats();
 
  private:
   /// A federation link plus its failure-tracking state (guarded by mutex_).

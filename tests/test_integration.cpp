@@ -189,6 +189,29 @@ TEST(Integration, FullFlowOverTcpSockets) {
   EXPECT_EQ(runtime.trader().import(request).size(), 1u);
 }
 
+TEST(Integration, CoHostedRuntimesFederateWithoutOfferIdCollision) {
+  // Regression: every runtime used to name its trader "trader", so two
+  // runtimes in one process minted identical offer ids ("trader/offer-N")
+  // and the federation merge — which dedups by id — silently dropped the
+  // remote trader's offers.
+  rpc::InProcNetwork net;
+  core::CosmRuntime a(net);
+  core::CosmRuntime b(net);
+  a.trader().types().add(services::canonical_car_rental_type());
+  b.trader().types().add(services::canonical_car_rental_type());
+  a.link_trader("b", b.trader_ref());
+
+  services::CarRentalConfig config;
+  config.tradable = true;
+  a.offer_traded(services::make_car_rental_service(config));
+  b.offer_traded(services::make_car_rental_service(config));
+
+  trader::ImportRequest request;
+  request.service_type = services::car_rental_service_type_name();
+  request.hop_limit = 1;
+  EXPECT_EQ(a.trader().import(request).size(), 2u);
+}
+
 TEST(Integration, MulticastWithdrawalAcrossGroup) {
   rpc::InProcNetwork net;
   core::CosmRuntime runtime(net);

@@ -1,0 +1,368 @@
+// Observability layer: metrics registry, tracer, and end-to-end trace
+// propagation across client -> server -> federated trader hops (the ids
+// ride the CallContext and the wire header exactly like the deadline).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rpc/channel.h"
+#include "rpc/fault_injection.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "rpc/tcp.h"
+#include "sidl/parser.h"
+#include "trader/facade.h"
+#include "trader/trader.h"
+
+namespace cosm {
+namespace {
+
+using std::chrono::milliseconds;
+using wire::Value;
+
+/// Every test in this file toggles the process-global registry/tracer, so
+/// leave both exactly as found: disabled and empty.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::metrics().set_enabled(false);
+    obs::metrics().reset();
+    obs::tracer().set_enabled(false);
+    obs::tracer().clear();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+// ---------------------------------------------------------------------------
+// Registry instruments.
+
+using ObsMetrics = ObsTest;
+using ObsTrace = ObsTest;
+using ObsPropagation = ObsTest;
+
+TEST_F(ObsMetrics, CounterGaugeBasics) {
+  auto& reg = obs::metrics();
+  obs::Counter& c = reg.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Find-or-create returns the same instrument.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+
+  obs::Gauge& g = reg.gauge("test.gauge");
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+  g.add(5);
+  EXPECT_EQ(g.value(), 2);
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // reference survives reset
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST_F(ObsMetrics, HistogramPercentilesExactWithinTwoX) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record_us(100);  // bucket (64,128]
+  h.record_us(100000);                             // one outlier
+  obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_EQ(s.max_us, 100000u);
+  EXPECT_EQ(s.sum_us, 100u * 100u + 100000u);
+  // Power-of-two buckets report the bucket's upper bound: exact within 2x.
+  EXPECT_GE(s.p50_us, 100u);
+  EXPECT_LE(s.p50_us, 200u);
+  EXPECT_GE(s.p99_us, 100u);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(ObsMetrics, JsonSnapshotNamesEveryInstrument) {
+  auto& reg = obs::metrics();
+  reg.counter("snap.counter").add(7);
+  reg.gauge("snap.gauge").set(9);
+  reg.histogram("snap.hist").record_us(42);
+  std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"snap.counter\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"snap.gauge\": 9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"snap.hist\""), std::string::npos) << json;
+  EXPECT_NE(reg.to_text().find("snap.counter"), std::string::npos);
+}
+
+TEST_F(ObsMetrics, DisabledByDefault) {
+  // Fresh processes must pay only the relaxed-load branch.
+  EXPECT_FALSE(obs::metrics().enabled());
+  EXPECT_FALSE(obs::tracer().enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer ring.
+
+TEST_F(ObsTrace, SpanLifecycle) {
+  auto& tr = obs::tracer();
+  tr.set_enabled(true);
+  std::uint64_t trace = tr.mint_id();
+  obs::Span root = tr.start_span("root", trace, 0);
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(root.trace_id, trace);
+  obs::Span child = tr.start_span("child", trace, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  tr.finish(std::move(child));
+  tr.finish_error(std::move(root), "boom");
+
+  std::vector<obs::Span> spans = tr.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "child");       // completion order, oldest first
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);
+  EXPECT_FALSE(spans[0].error);
+  EXPECT_TRUE(spans[1].error);
+  EXPECT_EQ(spans[1].note, "boom");
+  EXPECT_NE(tr.dump_json().find("\"boom\""), std::string::npos);
+}
+
+TEST_F(ObsTrace, StartSpanMintsTraceWhenAbsent) {
+  auto& tr = obs::tracer();
+  tr.set_enabled(true);
+  obs::Span s = tr.start_span("orphan", 0, 0);
+  EXPECT_NE(s.trace_id, 0u);
+  tr.finish(std::move(s));
+}
+
+TEST_F(ObsTrace, RingOverwritesOldestAndCountsDropped) {
+  auto& tr = obs::tracer();
+  tr.set_capacity(4);
+  tr.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    tr.finish(tr.start_span("s" + std::to_string(i), 1, 0));
+  }
+  std::vector<obs::Span> spans = tr.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s6");  // oldest retained
+  EXPECT_EQ(spans.back().name, "s9");
+  EXPECT_EQ(tr.dropped(), 6u);
+  tr.clear();
+  EXPECT_TRUE(tr.spans().empty());
+  EXPECT_EQ(tr.dropped(), 0u);
+  tr.set_capacity(4096);  // restore the default for later tests
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end propagation: one trace id from the importing client through the
+// local trader to the federated hop, spans parent-linked at every step.
+
+trader::ServiceType rental_type() {
+  trader::ServiceType t;
+  t.name = "CarRentalService";
+  t.attributes = {{"ChargePerDay", sidl::TypeDesc::float_(), true}};
+  return t;
+}
+
+const obs::Span* find_span(const std::vector<obs::Span>& spans,
+                           const std::string& name, std::uint64_t parent) {
+  for (const auto& s : spans) {
+    if (s.name == name && s.parent_span_id == parent) return &s;
+  }
+  return nullptr;
+}
+
+void expect_federated_trace_chain(rpc::Network& net) {
+  core::RuntimeOptions opts;
+  opts.observability.metrics = true;
+  opts.observability.tracing = true;
+  core::CosmRuntime a(net, opts);
+  core::CosmRuntime b(net, opts);
+  a.trader().types().add(rental_type());
+  b.trader().types().add(rental_type());
+  a.link_trader("b", b.trader_ref());
+  sidl::ServiceRef local{"p-local", "inproc://x", "CarRentalService"};
+  sidl::ServiceRef remote{"p-remote", "inproc://y", "CarRentalService"};
+  a.trader().export_offer("CarRentalService", local,
+                          {{"ChargePerDay", Value::real(10)}});
+  b.trader().export_offer("CarRentalService", remote,
+                          {{"ChargePerDay", Value::real(20)}});
+
+  obs::tracer().clear();
+  rpc::RpcChannel channel(net, a.trader_ref());
+  Value offers = channel.call(
+      "Import", {Value::string("CarRentalService"), Value::string(""),
+                 Value::string(""), Value::integer(0), Value::integer(1)});
+  ASSERT_EQ(offers.elements().size(), 2u);
+
+  std::vector<obs::Span> spans = obs::tracer().spans();
+  // Root: the importing client's attempt span.
+  const obs::Span* client = find_span(spans, "rpc.client:Import", 0);
+  ASSERT_NE(client, nullptr) << obs::tracer().dump_text();
+  // Trader A's server dispatch hangs under it via the wire header.
+  const obs::Span* server_a =
+      find_span(spans, "rpc.server:Import", client->span_id);
+  ASSERT_NE(server_a, nullptr) << obs::tracer().dump_text();
+  // The trader's matching span hangs under the dispatch.
+  const obs::Span* import_a =
+      find_span(spans, "trader.import:CarRentalService", server_a->span_id);
+  ASSERT_NE(import_a, nullptr) << obs::tracer().dump_text();
+  // The federated hop's client span hangs under the import (the ids crossed
+  // to the sweep worker thread inside the ImportRequest).
+  const obs::Span* fed_client =
+      find_span(spans, "rpc.client:Import", import_a->span_id);
+  ASSERT_NE(fed_client, nullptr) << obs::tracer().dump_text();
+  // And trader B's dispatch + matching close the chain.
+  const obs::Span* server_b =
+      find_span(spans, "rpc.server:Import", fed_client->span_id);
+  ASSERT_NE(server_b, nullptr) << obs::tracer().dump_text();
+  const obs::Span* import_b =
+      find_span(spans, "trader.import:CarRentalService", server_b->span_id);
+  ASSERT_NE(import_b, nullptr) << obs::tracer().dump_text();
+
+  // One trace end to end.
+  for (const obs::Span* s :
+       {client, server_a, import_a, fed_client, server_b, import_b}) {
+    EXPECT_EQ(s->trace_id, client->trace_id);
+  }
+}
+
+TEST_F(ObsPropagation, FederatedImportSharesOneTraceInProc) {
+  rpc::InProcNetwork net;
+  expect_federated_trace_chain(net);
+}
+
+TEST_F(ObsPropagation, FederatedImportSharesOneTraceOverTcp) {
+  rpc::TcpNetwork net;
+  expect_federated_trace_chain(net);
+}
+
+TEST_F(ObsPropagation, RetryReusesTraceWithFreshAttemptSpan) {
+  rpc::InProcNetwork inner;
+  rpc::FaultInjectingNetwork net(inner, 7);
+  rpc::ServerOptions so;
+  so.at_most_once = true;
+  rpc::RpcServer server(net, "host", so);
+  auto sid = std::make_shared<sidl::Sid>(
+      sidl::parse_sid("module M { interface I { long Bump(); }; };"));
+  auto object = std::make_shared<rpc::ServiceObject>(sid);
+  int executions = 0;
+  object->on("Bump", [&executions](const std::vector<Value>&) {
+    return Value::integer(++executions);
+  });
+  auto ref = server.add(object);
+
+  obs::tracer().set_enabled(true);
+  obs::metrics().set_enabled(true);
+
+  rpc::ChannelOptions copts;
+  copts.retry = rpc::RetryPolicy::standard();
+  copts.retry.initial_backoff = milliseconds(1);
+  copts.idempotent = true;
+  rpc::RpcChannel channel(net, ref, copts);
+
+  net.fail_next(1);
+  auto reply = channel.call_async("Bump", {});
+  EXPECT_EQ(reply->get().as_int(), 1);
+  EXPECT_EQ(reply->attempts(), 2);
+
+  std::vector<obs::Span> spans = obs::tracer().spans();
+  std::vector<const obs::Span*> attempts;
+  for (const auto& s : spans) {
+    if (s.name == "rpc.client:Bump") attempts.push_back(&s);
+  }
+  ASSERT_EQ(attempts.size(), 2u);
+  // Same trace, distinct span per attempt; the injected failure closed the
+  // first attempt as an error, the reissue succeeded.
+  EXPECT_EQ(attempts[0]->trace_id, attempts[1]->trace_id);
+  EXPECT_NE(attempts[0]->span_id, attempts[1]->span_id);
+  EXPECT_TRUE(attempts[0]->error);
+  EXPECT_FALSE(attempts[1]->error);
+  EXPECT_GE(obs::metrics().counter("rpc.channel.retries").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Full F1 trading cycle with metrics on: the snapshot must report nonzero
+// rpc, transport, replay-cache and trader activity.
+
+TEST_F(ObsPropagation, MetricsSnapshotCoversFullTradingCycleOverTcp) {
+  rpc::TcpNetwork net;
+  core::RuntimeOptions opts;
+  opts.observability.metrics = true;
+  opts.server.at_most_once = true;
+  core::CosmRuntime runtime(net, opts);
+  runtime.trader().types().add(rental_type());
+
+  // F1 cycle driven over the wire: export via the facade, import, bind to
+  // the winner, invoke.
+  auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(
+      "module Rental { interface I { sequence<string> ListModels(); }; };"));
+  auto object = std::make_shared<rpc::ServiceObject>(sid);
+  object->on("ListModels", [](const std::vector<Value>&) {
+    return Value::sequence({Value::string("golf")});
+  });
+  sidl::ServiceRef provider = runtime.host(object);
+
+  rpc::RpcChannel channel(net, runtime.trader_ref());
+  channel.call("Export",
+               {Value::string("CarRentalService"), Value::service_ref(provider),
+                Value::sequence({Value::structure(
+                    "Attribute_t", {{"name", Value::string("ChargePerDay")},
+                                    {"value", Value::real(30)}})})});
+  Value offers = channel.call(
+      "Import", {Value::string("CarRentalService"), Value::string(""),
+                 Value::string(""), Value::integer(0), Value::integer(0)});
+  ASSERT_EQ(offers.elements().size(), 1u);
+  core::GenericClient client = runtime.make_client();
+  core::Binding binding = client.bind(trader::offer_from_value(offers.elements()[0]).ref);
+  EXPECT_FALSE(binding.invoke("ListModels", {}).elements().empty());
+
+  auto& reg = obs::metrics();
+  EXPECT_GT(reg.counter("rpc.channel.calls").value(), 0u);       // rpc
+  EXPECT_GT(reg.counter("rpc.server.requests").value(), 0u);     // rpc
+  EXPECT_GT(reg.counter("tcp.accepts").value(), 0u);             // transport
+  EXPECT_GT(reg.counter("replay.misses").value(), 0u);           // replay cache
+  EXPECT_GT(reg.counter("trader.exports").value(), 0u);          // trader
+  EXPECT_GT(reg.counter("trader.imports").value(), 0u);          // trader
+  EXPECT_GT(reg.counter("client.binds").value(), 0u);            // client
+
+  std::string snapshot = runtime.metrics_snapshot();
+  EXPECT_NE(snapshot.find("\"rpc.channel.calls\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"tcp.accepts\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"replay.misses\""), std::string::npos);
+  // Lifetime stats folded in as gauges at snapshot time.
+  EXPECT_NE(snapshot.find("\"trader.imports_total\": 1"), std::string::npos)
+      << snapshot;
+  EXPECT_NE(snapshot.find("\"trader.exports_total\": 1"), std::string::npos)
+      << snapshot;
+}
+
+TEST_F(ObsPropagation, ResetStatsZeroesMatchingCountersOverRpc) {
+  rpc::InProcNetwork net;
+  core::CosmRuntime runtime(net);
+  runtime.trader().types().add(rental_type());
+  sidl::ServiceRef ref{"p", "inproc://x", "CarRentalService"};
+  runtime.trader().export_offer("CarRentalService", ref,
+                                {{"ChargePerDay", Value::real(10)}});
+  trader::ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "ChargePerDay < 50";
+  ASSERT_EQ(runtime.trader().import(request).size(), 1u);
+  EXPECT_GT(runtime.trader().offers_scanned(), 0u);
+  EXPECT_GT(runtime.trader().constraint_cache_misses(), 0u);
+
+  rpc::RpcChannel channel(net, runtime.trader_ref());
+  channel.call("ResetStats", {});
+  EXPECT_EQ(runtime.trader().offers_scanned(), 0u);
+  EXPECT_EQ(runtime.trader().offers_evaluated(), 0u);
+  EXPECT_EQ(runtime.trader().constraint_cache_misses(), 0u);
+  EXPECT_EQ(runtime.trader().constraint_cache_hits(), 0u);
+  EXPECT_EQ(runtime.trader().index_lookups(), 0u);
+  // Lifecycle totals survive a stats reset.
+  EXPECT_EQ(runtime.trader().exports_total(), 1u);
+  EXPECT_EQ(runtime.trader().imports_total(), 1u);
+}
+
+}  // namespace
+}  // namespace cosm

@@ -60,14 +60,31 @@ TEST(ReplayCache, LookupRefreshesRecency) {
 }
 
 TEST(ReplayCache, DuplicateInsertKeepsOriginalResponse) {
-  // At-most-once: a racing duplicate must not change the recorded answer.
+  // At-most-once: a racing duplicate must not change the recorded answer —
+  // and the suppression is counted, so the save is observable.
   ReplayCache cache(4);
+  EXPECT_EQ(cache.duplicates_suppressed(), 0u);
   cache.insert({"s", 1}, frame(1));
+  EXPECT_EQ(cache.duplicates_suppressed(), 0u);
   cache.insert({"s", 1}, frame(9));
+  EXPECT_EQ(cache.duplicates_suppressed(), 1u);
   Bytes out;
   ASSERT_TRUE(cache.lookup({"s", 1}, &out));
   EXPECT_EQ(out, frame(1));
   EXPECT_EQ(cache.size(), 1u);
+  cache.insert({"s", 1}, frame(9));
+  EXPECT_EQ(cache.duplicates_suppressed(), 2u);
+}
+
+TEST(ReplayCache, CountsHitsAndMisses) {
+  ReplayCache cache(4);
+  EXPECT_FALSE(cache.lookup({"s", 1}, nullptr));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.insert({"s", 1}, frame(1));
+  EXPECT_TRUE(cache.lookup({"s", 1}, nullptr));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
 }
 
 TEST(ReplayCache, SessionsAreDistinct) {

@@ -73,6 +73,31 @@ TEST(RetryPolicy, BackoffIsDeterministicPerSeed) {
   }
 }
 
+TEST(RetryPolicy, JitteredBackoffNeverTruncatesToZero) {
+  // jitter = 1.0 makes the jitter factor range over [0, 2]; an unlucky draw
+  // near 0 used to truncate a nonzero nominal backoff to 0 ms — a hot
+  // zero-delay retry loop.  The floor keeps every jittered sleep >= 1 ms.
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(1);
+  p.jitter = 1.0;
+  Rng rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(p.backoff_for(1, rng), milliseconds(1));
+  }
+}
+
+TEST(RetryPolicy, ZeroNominalBackoffStaysZero) {
+  // No backoff configured means "retry immediately" — the 1 ms floor only
+  // applies when a nonzero backoff was asked for.
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(0);
+  p.jitter = 1.0;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p.backoff_for(1, rng), milliseconds(0));
+  }
+}
+
 TEST(RetryPolicy, OutOfRangeInputsClamped) {
   RetryPolicy p;
   p.initial_backoff = milliseconds(10);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 
 #include "common/error.h"
@@ -170,6 +171,35 @@ TEST(Tcp, FinishedServingThreadsAreReaped) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   EXPECT_LE(net.serving_threads(ep), 2u);
+}
+
+TEST(Tcp, ServingThreadsReapedWithoutFurtherAccepts) {
+  // Regression: the seed only reaped finished serving threads on the *next*
+  // accept, so a listener that stopped receiving connections kept every
+  // thread it had ever served until unlisten().  Closing connections must
+  // now trigger the reap by itself.  The last thread to close cannot join
+  // itself, so up to one finished entry may remain.
+  TcpNetwork net;
+  auto ep = net.listen("", [](const Bytes& b) { return b; });
+  {
+    // A burst of concurrent connections so the listener holds several
+    // serving threads at once.
+    constexpr int kClients = 6;
+    std::vector<std::unique_ptr<TcpNetwork>> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.push_back(std::make_unique<TcpNetwork>());
+      Bytes payload = {static_cast<std::uint8_t>(i)};
+      ASSERT_EQ(clients.back()->call(ep, payload, std::chrono::milliseconds(2000)),
+                payload);
+    }
+    EXPECT_GE(net.serving_threads(ep), static_cast<std::size_t>(kClients));
+  }  // destructors close every client connection — no further accepts follow
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (net.serving_threads(ep) > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(net.serving_threads(ep), 1u);
 }
 
 TEST(Tcp, UnlistenMidCallFailsCleanly) {
