@@ -115,37 +115,42 @@ std::string CosmRuntime::metrics_snapshot() {
   // Push-model counters cover events while metrics were enabled; the
   // lifetime stats below are kept unconditionally by each component, so
   // fold them in as gauges at snapshot time (pull model).  The two views
-  // together survive enable/disable toggling mid-run.
+  // together survive enable/disable toggling mid-run.  The gauges are
+  // namespaced by this runtime's process-unique trader name so two
+  // runtimes in one process never overwrite each other's folds (the first
+  // runtime's trader is named "trader", so its keys keep the plain
+  // trader.* shape).
   auto& reg = obs::metrics();
-  reg.gauge("trader.exports_total")
+  const std::string prefix = trader_.name() + ".";
+  reg.gauge(prefix + "exports_total")
       .set(static_cast<std::int64_t>(trader_.exports_total()));
-  reg.gauge("trader.imports_total")
+  reg.gauge(prefix + "imports_total")
       .set(static_cast<std::int64_t>(trader_.imports_total()));
-  reg.gauge("trader.offers_evaluated_total")
+  reg.gauge(prefix + "offers_evaluated_total")
       .set(static_cast<std::int64_t>(trader_.offers_evaluated()));
-  reg.gauge("trader.offers_scanned_total")
+  reg.gauge(prefix + "offers_scanned_total")
       .set(static_cast<std::int64_t>(trader_.offers_scanned()));
-  reg.gauge("trader.index_lookups_total")
+  reg.gauge(prefix + "index_lookups_total")
       .set(static_cast<std::int64_t>(trader_.index_lookups()));
-  reg.gauge("trader.constraint_cache_hits_total")
+  reg.gauge(prefix + "constraint_cache_hits_total")
       .set(static_cast<std::int64_t>(trader_.constraint_cache_hits()));
-  reg.gauge("trader.constraint_cache_misses_total")
+  reg.gauge(prefix + "constraint_cache_misses_total")
       .set(static_cast<std::int64_t>(trader_.constraint_cache_misses()));
-  reg.gauge("trader.closure_builds_total")
+  reg.gauge(prefix + "closure_builds_total")
       .set(static_cast<std::int64_t>(trader_.types().closure_builds()));
-  reg.gauge("trader.closure_hits_total")
+  reg.gauge(prefix + "closure_hits_total")
       .set(static_cast<std::int64_t>(trader_.types().closure_hits()));
-  reg.gauge("trader.dynamic_fetches_total")
+  reg.gauge(prefix + "dynamic_fetches_total")
       .set(static_cast<std::int64_t>(trader_.dynamic_fetches()));
-  reg.gauge("trader.links_quarantined_total")
+  reg.gauge(prefix + "links_quarantined_total")
       .set(static_cast<std::int64_t>(trader_.links_quarantined_total()));
-  reg.gauge("trader.offers_expired_total")
+  reg.gauge(prefix + "offers_expired_total")
       .set(static_cast<std::int64_t>(trader_.offers_expired_total()));
-  reg.gauge("server.requests_total")
+  reg.gauge(prefix + "server.requests_total")
       .set(static_cast<std::int64_t>(server_.requests_handled()));
-  reg.gauge("server.faults_total")
+  reg.gauge(prefix + "server.faults_total")
       .set(static_cast<std::int64_t>(server_.faults_returned()));
-  reg.gauge("server.replay_evictions_total")
+  reg.gauge(prefix + "server.replay_evictions_total")
       .set(static_cast<std::int64_t>(server_.replay_evictions()));
   return reg.to_json();
 }

@@ -122,8 +122,11 @@ class CosmRuntime {
 
   /// JSON snapshot of the process-wide metrics registry, with this
   /// runtime's lifetime stats (trader matching counters, server totals)
-  /// folded in as gauges at snapshot time.  Works with metrics disabled —
-  /// the folded gauges are then the only populated section.
+  /// folded in as gauges at snapshot time, namespaced by the runtime's
+  /// process-unique trader name (`<trader-name>.exports_total`, ...) so
+  /// co-resident runtimes never overwrite each other's folds.  Works with
+  /// metrics disabled — the folded gauges are then the only populated
+  /// section.
   std::string metrics_snapshot();
 
   /// JSON dump of the recorded span ring (empty array when tracing was

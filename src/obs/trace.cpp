@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace cosm::obs {
@@ -12,13 +14,27 @@ Tracer& Tracer::global() {
 void Tracer::set_capacity(std::size_t spans) {
   if (spans == 0) spans = 1;
   std::lock_guard lock(mutex_);
+  if (spans == ring_capacity_) return;
+  // Restore logical (oldest-first) order before re-shaping: once the ring
+  // has wrapped, insertion order is ring_next_..end then begin..ring_next_,
+  // so trimming raw vector ends would discard some of the newest spans.
+  if (ring_full_ && ring_next_ != 0) {
+    std::rotate(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_),
+                ring_.end());
+  }
   ring_capacity_ = spans;
-  // Re-shape the ring conservatively: keep the newest spans that still fit.
   if (ring_.size() > ring_capacity_) {
-    std::vector<Span> kept(ring_.end() - static_cast<std::ptrdiff_t>(ring_capacity_),
-                           ring_.end());
-    ring_ = std::move(kept);
+    ring_.erase(ring_.begin(),
+                ring_.end() - static_cast<std::ptrdiff_t>(ring_capacity_));
+  }
+  if (ring_.size() >= ring_capacity_) {
     ring_full_ = true;
+    ring_next_ = 0;
+  } else {
+    // Growing (or shrinking with slack left) returns to append mode;
+    // push() resumes push_back until the new capacity is reached.
+    ring_full_ = false;
     ring_next_ = 0;
   }
 }
@@ -99,12 +115,24 @@ void Tracer::clear() {
 namespace {
 
 void escape_into(std::ostringstream& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out << '\\';
-    if (c == '\n') {
-      out << "\\n";
-    } else {
-      out << c;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          // Exception text can carry arbitrary control bytes; JSON requires
+          // every char below 0x20 escaped.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << raw;
+        }
     }
   }
 }

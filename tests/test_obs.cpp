@@ -154,6 +154,69 @@ TEST_F(ObsTrace, RingOverwritesOldestAndCountsDropped) {
   tr.set_capacity(4096);  // restore the default for later tests
 }
 
+TEST_F(ObsTrace, GrowingCapacityAfterRingFilledResumesAppendMode) {
+  // Regression: growing while full used to leave ring_full_ set with a
+  // short backing vector, so the next push indexed past the vector's end.
+  auto& tr = obs::tracer();
+  tr.set_capacity(3);
+  tr.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    tr.finish(tr.start_span("s" + std::to_string(i), 1, 0));
+  }
+  ASSERT_EQ(tr.spans().size(), 3u);  // full and wrapped (next slot != 0)
+  tr.set_capacity(6);
+  for (int i = 5; i < 8; ++i) {
+    tr.finish(tr.start_span("s" + std::to_string(i), 1, 0));
+  }
+  std::vector<obs::Span> spans = tr.spans();
+  ASSERT_EQ(spans.size(), 6u);
+  // Oldest-first order survives the grow: the three survivors of the small
+  // ring, then the three appended after it.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(spans[i].name, "s" + std::to_string(i + 2));
+  }
+  // One more push wraps at the *new* capacity.
+  tr.finish(tr.start_span("s8", 1, 0));
+  spans = tr.spans();
+  ASSERT_EQ(spans.size(), 6u);
+  EXPECT_EQ(spans.front().name, "s3");
+  EXPECT_EQ(spans.back().name, "s8");
+  tr.clear();
+  tr.set_capacity(4096);
+}
+
+TEST_F(ObsTrace, ShrinkingWrappedRingKeepsNewestSpans) {
+  // Regression: shrinking used to trim the raw vector's front, which in a
+  // wrapped ring holds some of the *newest* spans.
+  auto& tr = obs::tracer();
+  tr.set_capacity(4);
+  tr.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {  // wrapped: next slot is mid-vector
+    tr.finish(tr.start_span("s" + std::to_string(i), 1, 0));
+  }
+  tr.set_capacity(2);
+  std::vector<obs::Span> spans = tr.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "s4");
+  EXPECT_EQ(spans[1].name, "s5");
+  tr.clear();
+  tr.set_capacity(4096);
+}
+
+TEST_F(ObsTrace, DumpJsonEscapesControlCharacters) {
+  auto& tr = obs::tracer();
+  tr.set_enabled(true);
+  tr.finish_error(tr.start_span("quote\"name", 1, 0),
+                  std::string("tab\there\rcr\x01raw"));
+  std::string json = tr.dump_json();
+  EXPECT_NE(json.find("quote\\\"name"), std::string::npos) << json;
+  EXPECT_NE(json.find("tab\\there\\rcr\\u0001raw"), std::string::npos) << json;
+  // No raw control bytes survive anywhere in the dump.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n') << json;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end propagation: one trace id from the importing client through the
 // local trader to the federated hop, spans parent-linked at every step.
@@ -331,10 +394,15 @@ TEST_F(ObsPropagation, MetricsSnapshotCoversFullTradingCycleOverTcp) {
   EXPECT_NE(snapshot.find("\"rpc.channel.calls\""), std::string::npos);
   EXPECT_NE(snapshot.find("\"tcp.accepts\""), std::string::npos);
   EXPECT_NE(snapshot.find("\"replay.misses\""), std::string::npos);
-  // Lifetime stats folded in as gauges at snapshot time.
-  EXPECT_NE(snapshot.find("\"trader.imports_total\": 1"), std::string::npos)
+  // Lifetime stats folded in as gauges at snapshot time, namespaced by the
+  // runtime's process-unique trader name.
+  const std::string prefix = "\"" + runtime.trader().name() + ".";
+  EXPECT_NE(snapshot.find(prefix + "imports_total\": 1"), std::string::npos)
       << snapshot;
-  EXPECT_NE(snapshot.find("\"trader.exports_total\": 1"), std::string::npos)
+  EXPECT_NE(snapshot.find(prefix + "exports_total\": 1"), std::string::npos)
+      << snapshot;
+  EXPECT_NE(snapshot.find(prefix + "server.requests_total\""),
+            std::string::npos)
       << snapshot;
 }
 
