@@ -1,0 +1,216 @@
+// RPC pipelining gate: throughput of the reactor transport at 1 / 8 / 64
+// in-flight calls over a single client connection, plus a 1k-idle-connection
+// scalability probe.
+//
+// The sweep models a service with ~1 ms of real work (the handler sleeps):
+// with the old thread-per-connection transport a shared connection
+// serialised calls, so deeper pipelines bought nothing; the reactor
+// dispatches every decoded frame to the executor pool and returns responses
+// by correlation id, so throughput should scale with the window until the
+// dispatch pool saturates.  The harness exits nonzero when 64-deep
+// pipelining is not at least kMinSpeedup x the sequential throughput.
+//
+// The idle probe opens 1000 extra client connections to the same listener
+// and verifies they cost file descriptors, not threads: the process thread
+// count must not grow at all (connections are parked in epoll interest
+// sets), and the RSS delta is reported for the record.
+//
+// Usage: bench_rpc_pipeline [json-out]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/tcp.h"
+
+using namespace cosm;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr double kMinSpeedup = 4.0;
+constexpr int kIdleConns = 1000;
+const std::vector<int> kWindows = {1, 8, 64};
+
+/// /proc/self/status fields for the idle probe.
+struct ProcStatus {
+  long threads = 0;
+  long vm_rss_kb = 0;
+};
+
+ProcStatus read_proc_status() {
+  ProcStatus s;
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      s.threads = std::strtol(line.c_str() + 8, nullptr, 10);
+    } else if (line.rfind("VmRSS:", 0) == 0) {
+      s.vm_rss_kb = std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return s;
+}
+
+/// Closed-loop throughput with `window` concurrent callers multiplexed over
+/// ONE pooled connection (client_pool_cap = 1).
+double sweep_throughput(rpc::TcpNetwork& client, const std::string& ep,
+                        int window, int calls_per_caller) {
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  auto start = Clock::now();
+  for (int w = 0; w < window; ++w) {
+    callers.emplace_back([&, w] {
+      for (int i = 0; i < calls_per_caller; ++i) {
+        Bytes payload = {static_cast<std::uint8_t>(w),
+                         static_cast<std::uint8_t>(i)};
+        try {
+          if (client.call(ep, payload, std::chrono::milliseconds(30000)) !=
+              payload) {
+            failures.fetch_add(1);
+          }
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  double sec = std::chrono::duration<double>(Clock::now() - start).count();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "FAIL: %d calls failed at window %d\n",
+                 failures.load(), window);
+    std::exit(1);
+  }
+  return (window * calls_per_caller) / sec;
+}
+
+int dial_raw(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rpc::TransportOptions server_opts;
+  server_opts.event_loop_threads = 2;
+  server_opts.dispatch_workers = 64;  // let the 64-deep window run concurrently
+  rpc::TcpNetwork server(server_opts);
+  auto ep = server.listen("", [](const Bytes& b) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // ~service time
+    return b;
+  });
+
+  rpc::TransportOptions client_opts;
+  client_opts.client_pool_cap = 1;  // everything rides one socket
+  rpc::TcpNetwork client(client_opts);
+
+  // Warm up: establish the connection, fault in code paths.
+  for (int i = 0; i < 20; ++i) client.call(ep, {0}, std::chrono::milliseconds(5000));
+
+  std::printf("in-flight   calls/sec   speedup\n");
+  std::vector<double> rates;
+  for (int window : kWindows) {
+    int per_caller = window == 1 ? 200 : (window == 8 ? 75 : 20);
+    double rate = sweep_throughput(client, ep, window, per_caller);
+    rates.push_back(rate);
+    std::printf("%9d   %9.0f   %6.2fx\n", window, rate, rate / rates.front());
+  }
+  double speedup = rates.back() / rates.front();
+
+  // --- 1k idle connection probe ---------------------------------------
+  int port = std::atoi(ep.substr(ep.rfind(':') + 1).c_str());
+  ProcStatus before = read_proc_status();
+  std::vector<int> idle_fds;
+  idle_fds.reserve(kIdleConns);
+  for (int i = 0; i < kIdleConns; ++i) {
+    int fd = dial_raw(port);
+    if (fd < 0) {
+      std::fprintf(stderr, "FAIL: idle dial %d failed: %s\n", i,
+                   std::strerror(errno));
+      return 1;
+    }
+    idle_fds.push_back(fd);
+  }
+  // Let the reactor drain the accept backlog.
+  for (int i = 0; i < 100; ++i) {
+    if (server.stats().connections >= static_cast<std::size_t>(kIdleConns)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ProcStatus after = read_proc_status();
+  std::size_t accepted = server.stats().connections;
+  long thread_growth = after.threads - before.threads;
+  std::printf("idle probe: %d connections accepted=%zu threads %ld -> %ld "
+              "(growth %ld) rss %ld kB -> %ld kB\n",
+              kIdleConns, accepted, before.threads, after.threads,
+              thread_growth, before.vm_rss_kb, after.vm_rss_kb);
+  for (int fd : idle_fds) ::close(fd);
+
+  // The sweep still works after the idle flood (reactor not wedged).
+  client.call(ep, {1}, std::chrono::milliseconds(5000));
+
+  std::ostringstream json;
+  json << "{\"in_flight_sweep\":[";
+  for (std::size_t i = 0; i < kWindows.size(); ++i) {
+    if (i) json << ",";
+    json << "{\"window\":" << kWindows[i] << ",\"calls_per_sec\":"
+         << static_cast<long>(rates[i]) << "}";
+  }
+  json << "],\"speedup_64_vs_1\":" << speedup
+       << ",\"idle_probe\":{\"connections\":" << kIdleConns
+       << ",\"accepted\":" << accepted
+       << ",\"thread_growth\":" << thread_growth
+       << ",\"vm_rss_kb_before\":" << before.vm_rss_kb
+       << ",\"vm_rss_kb_after\":" << after.vm_rss_kb << "}}";
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << json.str() << "\n";
+    std::printf("results written to %s\n", argv[1]);
+  } else {
+    std::printf("%s\n", json.str().c_str());
+  }
+
+  bool ok = true;
+  if (speedup < kMinSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: 64-deep pipelining speedup %.2fx below the %.0fx gate\n",
+                 speedup, kMinSpeedup);
+    ok = false;
+  }
+  if (accepted < static_cast<std::size_t>(kIdleConns)) {
+    std::fprintf(stderr, "FAIL: only %zu of %d idle connections accepted\n",
+                 accepted, kIdleConns);
+    ok = false;
+  }
+  if (thread_growth > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld threads appeared for idle connections (must be 0)\n",
+                 thread_growth);
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("OK: %.2fx speedup at depth 64; %d idle connections cost 0 threads\n",
+              speedup, kIdleConns);
+  return 0;
+}

@@ -27,7 +27,7 @@ std::string unique_trader_name() {
 }  // namespace
 
 CosmRuntime::CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options)
-    : CosmRuntime(network, RuntimeOptions{server_options, {}, {}}) {}
+    : CosmRuntime(network, RuntimeOptions{.server = server_options}) {}
 
 CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
     : network_(network),
@@ -152,6 +152,19 @@ std::string CosmRuntime::metrics_snapshot() {
       .set(static_cast<std::int64_t>(server_.faults_returned()));
   reg.gauge(prefix + "server.replay_evictions_total")
       .set(static_cast<std::int64_t>(server_.replay_evictions()));
+  const rpc::NetworkStats net = network_.stats();
+  reg.gauge(prefix + "net.connections")
+      .set(static_cast<std::int64_t>(net.connections));
+  reg.gauge(prefix + "net.in_flight_frames")
+      .set(static_cast<std::int64_t>(net.in_flight_frames));
+  reg.gauge(prefix + "net.frames_total")
+      .set(static_cast<std::int64_t>(net.frames));
+  reg.gauge(prefix + "net.send_retries_total")
+      .set(static_cast<std::int64_t>(net.send_retries));
+  reg.gauge(prefix + "net.bytes_in_total")
+      .set(static_cast<std::int64_t>(net.bytes_in));
+  reg.gauge(prefix + "net.bytes_out_total")
+      .set(static_cast<std::int64_t>(net.bytes_out));
   return reg.to_json();
 }
 

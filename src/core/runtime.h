@@ -27,6 +27,7 @@
 #include "rpc/activity.h"
 #include "rpc/network.h"
 #include "rpc/server.h"
+#include "rpc/transport_options.h"
 #include "trader/facade.h"
 #include "trader/trader.h"
 
@@ -57,13 +58,17 @@ struct ObservabilityOptions {
 
 /// Knobs for the assembled stack.  `retry` governs the runtime's own
 /// outbound calls (dynamic-property fetches, link_trader gateways); callers
-/// opt individual clients in via GenericClientOptions.
+/// opt individual clients in via GenericClientOptions.  `transport` rides
+/// along for callers constructing the network themselves
+/// (`rpc::TcpNetwork net(opts.transport)`) — the runtime does not own the
+/// network, so it cannot apply these itself.
 struct RuntimeOptions {
   rpc::ServerOptions server{};
   rpc::RetryPolicy retry{};
   trader::FederationOptions federation{};
   trader::TraderTuning trader_tuning{};
   ObservabilityOptions observability{};
+  rpc::TransportOptions transport{};
 };
 
 class CosmRuntime {

@@ -7,7 +7,10 @@
 // the loser sees a no-op.  The in-proc transport uses cancel() so an
 // expired call that is still queued costs nothing, while calls already
 // running are simply abandoned — mirroring how a network client walks away
-// from a slow server.
+// from a slow server.  The TCP transport uses a second Executor as its
+// dispatch pool: the reactor decodes frames on event-loop threads and
+// submits each to the pool, whose worker runs the handler and queues the
+// response — so handler concurrency is sized here, not by connection count.
 //
 // Destruction drains: queued tasks still run (on the destructor's thread if
 // need be) so no PendingCall is left unsettled.

@@ -63,6 +63,9 @@ class FaultInjectingNetwork final : public Network {
   PendingCallPtr call_async(const std::string& endpoint, const Bytes& request,
                             const CallContext& ctx) override;
   std::string scheme() const override { return inner_.scheme(); }
+  /// Decorators are transparent to instrumentation: the wrapped
+  /// transport's counters, untouched by injected faults.
+  NetworkStats stats() const override { return inner_.stats(); }
 
   /// Profile applied to endpoints without a specific override.
   void set_default_profile(FaultProfile profile);

@@ -59,6 +59,20 @@ void InProcNetwork::unlisten(const std::string& endpoint) {
   gate->wait_idle();
 }
 
+NetworkStats InProcNetwork::stats() const {
+  NetworkStats s;
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_.load(std::memory_order_relaxed);
+  s.event_loop_threads = executor_.worker_count();
+  std::shared_lock lock(mutex_);
+  s.connections = endpoints_.size();  // loopback "connections" = bindings
+  for (const auto& [name, ep] : endpoints_) {
+    std::lock_guard gate_lock(ep.gate->m);
+    s.in_flight_frames += static_cast<std::size_t>(ep.gate->in_flight);
+  }
+  return s;
+}
+
 PendingCallPtr InProcNetwork::call_async(const std::string& endpoint,
                                          const Bytes& request,
                                          const CallContext& ctx) {

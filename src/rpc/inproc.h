@@ -50,9 +50,13 @@ class InProcNetwork final : public Network {
                             const CallContext& ctx) override;
   std::string scheme() const override { return "inproc"; }
 
-  /// Total round trips served (instrumentation for experiments).
+  /// Endpoints, delivery workers, in-flight deliveries and frame/byte
+  /// totals in one snapshot (defined in inproc.cpp).
+  NetworkStats stats() const override;
+
+  /// DEPRECATED: read stats().frames.
   std::uint64_t frames_served() const noexcept { return frames_.load(); }
-  /// Total request bytes carried (instrumentation for experiments).
+  /// DEPRECATED: read stats().bytes_in.
   std::uint64_t bytes_carried() const noexcept { return bytes_.load(); }
 
  private:

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -25,6 +27,30 @@
 #include "rpc/pending_call.h"
 
 namespace cosm::rpc {
+
+/// One snapshot of a transport's health, shared by every Network
+/// implementation (`Network::stats()`).  Replaces the old per-class ad-hoc
+/// getters (`TcpNetwork::pooled_connections/serving_threads/send_retries`,
+/// `InProcNetwork::frames_served/bytes_carried`), which remain as thin
+/// deprecated shims over this struct.
+struct NetworkStats {
+  /// Live transport connections (client pool + accepted server side).
+  std::size_t connections = 0;
+  /// Threads owning sockets / delivering frames (reactor loops for TCP,
+  /// executor workers in-proc).
+  std::size_t event_loop_threads = 0;
+  /// Request frames currently in flight (client calls awaiting a response
+  /// plus server dispatches not yet answered).
+  std::size_t in_flight_frames = 0;
+  /// Request frames carried since construction.
+  std::uint64_t frames = 0;
+  /// Sends reissued after a dial/write failure (TCP only).
+  std::uint64_t send_retries = 0;
+  /// Bytes received, including frame headers (TCP only).
+  std::uint64_t bytes_in = 0;
+  /// Bytes sent, including frame headers (TCP only).
+  std::uint64_t bytes_out = 0;
+};
 
 /// Server-side frame handler: consumes a request frame, produces the
 /// response frame.  Handlers must not throw; RPC-level faults are encoded
@@ -62,6 +88,10 @@ class Network {
 
   /// Scheme prefix this network serves ("inproc" or "tcp").
   virtual std::string scheme() const = 0;
+
+  /// Snapshot of the transport's instrumentation counters.  Decorators
+  /// (fault injection) delegate to the wrapped transport.
+  virtual NetworkStats stats() const { return {}; }
 };
 
 }  // namespace cosm::rpc

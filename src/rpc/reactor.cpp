@@ -1,0 +1,502 @@
+#include "rpc/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace cosm::rpc {
+
+namespace {
+
+/// Frame layout: [u32 payload length][u64 correlation id][payload].
+constexpr std::size_t kFrameHeader = 12;
+constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
+
+/// Per-wakeup read budget: with level-triggered epoll the kernel re-reports
+/// a socket that still has data, so capping one connection's turn keeps the
+/// loop fair without losing anything.
+constexpr std::size_t kMaxReadPerWakeup = 1u << 20;
+
+void encode_frame_header(std::uint8_t* header, std::uint64_t corr,
+                         std::uint32_t len) {
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    header[4 + i] = static_cast<std::uint8_t>(corr >> (8 * i));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Event loop
+
+struct Reactor::Loop {
+  int epfd = -1;
+  int wakefd = -1;
+  std::thread thread;
+  std::mutex ops_mutex;
+  bool stopped = false;  // under ops_mutex: no further posts accepted
+  std::vector<std::function<void()>> ops;
+  std::vector<ConnectionPtr> pending_adds;
+  /// Registered connections by fd.  Touched only by the loop thread while
+  /// it runs, and by the reactor destructor after the join.
+  std::unordered_map<int, ConnectionPtr> conns;
+
+  /// Run `op` on the loop thread; false when the loop already stopped (the
+  /// destructor's sweep then covers whatever the op would have done).
+  bool post(std::function<void()> op) {
+    {
+      std::lock_guard lock(ops_mutex);
+      if (stopped) return false;
+      ops.push_back(std::move(op));
+    }
+    wake();
+    return true;
+  }
+
+  void wake() {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wakefd, &one, sizeof(one));
+  }
+
+  void register_conn(const ConnectionPtr& conn) {
+    int fd = -1;
+    {
+      std::lock_guard lock(conn->io_mutex_);
+      if (!conn->closed_.load(std::memory_order_relaxed) && conn->fd_ >= 0) {
+        epoll_event ev{};
+        ev.events = 0;
+        if (!conn->paused_) ev.events |= EPOLLIN;
+        if (conn->want_write_) ev.events |= EPOLLOUT;
+        ev.data.fd = conn->fd_;
+        if (::epoll_ctl(epfd, EPOLL_CTL_ADD, conn->fd_, &ev) == 0) {
+          conn->registered_ = true;
+          fd = conn->fd_;
+        }
+      }
+    }
+    if (fd >= 0) {
+      conns[fd] = conn;
+    } else {
+      Reactor::close_now(conn);  // closed while queued, or epoll refused
+    }
+  }
+
+  void run() {
+    std::vector<epoll_event> events(128);
+    for (;;) {
+      int n = ::epoll_wait(epfd, events.data(), static_cast<int>(events.size()),
+                           -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == wakefd) {
+          std::uint64_t drained;
+          while (::read(wakefd, &drained, sizeof(drained)) > 0) {
+          }
+          continue;
+        }
+        auto it = conns.find(fd);
+        if (it == conns.end()) continue;  // closed earlier in this batch
+        ConnectionPtr conn = it->second;  // keep alive across callbacks
+        std::uint32_t e = events[i].events;
+        if (e & (EPOLLERR | EPOLLHUP)) {
+          Reactor::close_now(conn);
+          continue;
+        }
+        if ((e & EPOLLOUT) && conn->flush_ready()) {
+          Reactor::close_now(conn);
+          continue;
+        }
+        if ((e & EPOLLIN) && !conn->handle_readable()) {
+          Reactor::close_now(conn);
+        }
+      }
+      std::vector<std::function<void()>> ops_local;
+      std::vector<ConnectionPtr> adds_local;
+      bool stop;
+      {
+        std::lock_guard lock(ops_mutex);
+        ops_local.swap(ops);
+        adds_local.swap(pending_adds);
+        stop = stopped;
+      }
+      for (auto& conn : adds_local) register_conn(conn);
+      for (auto& op : ops_local) op();
+      if (stop) return;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reactor
+
+Reactor::Reactor(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  loops_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wakefd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (loop->epfd < 0 || loop->wakefd < 0) {
+      int err = errno;
+      if (loop->epfd >= 0) ::close(loop->epfd);
+      if (loop->wakefd >= 0) ::close(loop->wakefd);
+      for (auto& started : loops_) {
+        {
+          std::lock_guard lock(started->ops_mutex);
+          started->stopped = true;
+        }
+        started->wake();
+        started->thread.join();
+        ::close(started->epfd);
+        ::close(started->wakefd);
+      }
+      loops_.clear();
+      throw RpcError(std::string("reactor: cannot create event loop: ") +
+                     std::strerror(err));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wakefd;
+    ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wakefd, &ev);
+    loop->thread = std::thread([l = loop.get()] { l->run(); });
+    loops_.push_back(std::move(loop));
+  }
+}
+
+Reactor::~Reactor() {
+  for (auto& loop : loops_) {
+    {
+      std::lock_guard lock(loop->ops_mutex);
+      loop->stopped = true;
+    }
+    loop->wake();
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Loops are down: close everything still registered, plus adds that
+  // raced the shutdown and never reached the epoll set.  on_closed() runs
+  // on this thread — that is how client connections fail their pendings
+  // when a network is destroyed mid-call.
+  for (auto& loop : loops_) {
+    std::vector<ConnectionPtr> leftovers;
+    {
+      std::lock_guard lock(loop->ops_mutex);
+      leftovers.swap(loop->pending_adds);
+      loop->ops.clear();
+    }
+    for (auto& conn : leftovers) close_now(conn);
+    std::vector<ConnectionPtr> live;
+    live.reserve(loop->conns.size());
+    for (auto& [fd, conn] : loop->conns) live.push_back(conn);
+    for (auto& conn : live) close_now(conn);
+    loop->conns.clear();
+    if (loop->epfd >= 0) ::close(loop->epfd);
+    if (loop->wakefd >= 0) ::close(loop->wakefd);
+  }
+}
+
+void Reactor::add(const ConnectionPtr& conn) {
+  Loop* loop =
+      loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size()]
+          .get();
+  conn->reactor_ = this;
+  conn->loop_ = loop;
+  bool posted = false;
+  {
+    std::lock_guard lock(loop->ops_mutex);
+    if (!loop->stopped) {
+      loop->pending_adds.push_back(conn);
+      posted = true;
+    }
+  }
+  if (posted) {
+    loop->wake();
+  } else {
+    close_now(conn);  // reactor shutting down
+  }
+}
+
+void Reactor::request_close(const ConnectionPtr& conn) {
+  Loop* loop = static_cast<Loop*>(conn->loop_);
+  if (!loop) {
+    close_now(conn);  // never added: nothing else references it
+    return;
+  }
+  // A failed post means the loop stopped; the destructor sweep closes it.
+  loop->post([conn] { close_now(conn); });
+}
+
+void Reactor::request_close_after_flush(const ConnectionPtr& conn) {
+  Loop* loop = static_cast<Loop*>(conn->loop_);
+  if (!loop) {
+    close_now(conn);
+    return;
+  }
+  loop->post([conn] {
+    bool close_immediately;
+    {
+      std::lock_guard lock(conn->io_mutex_);
+      if (conn->closed_.load(std::memory_order_relaxed)) return;
+      conn->close_after_flush_ = true;
+      conn->paused_ = true;  // draining: no new frames in
+      conn->sync_interest_locked();
+      close_immediately = (conn->out_off_ == conn->outbuf_.size());
+    }
+    if (close_immediately) close_now(conn);
+  });
+}
+
+void Reactor::close_now(const ConnectionPtr& conn) {
+  Loop* loop = static_cast<Loop*>(conn->loop_);
+  int fd = -1;
+  {
+    std::lock_guard lock(conn->io_mutex_);
+    if (conn->closed_.load(std::memory_order_relaxed)) return;
+    fd = conn->fd_;
+    if (conn->registered_ && loop && loop->epfd >= 0) {
+      ::epoll_ctl(loop->epfd, EPOLL_CTL_DEL, fd, nullptr);
+    }
+    conn->registered_ = false;
+    if (fd >= 0) ::close(fd);
+    conn->fd_ = -1;
+    conn->outbuf_.clear();
+    conn->out_off_ = 0;
+    conn->closed_.store(true, std::memory_order_release);
+  }
+  if (loop && fd >= 0) loop->conns.erase(fd);
+  conn->on_closed();
+  {
+    std::lock_guard lock(conn->io_mutex_);
+    conn->close_done_ = true;
+  }
+  conn->closed_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Connection
+
+Reactor::Connection::Connection(int fd, ReactorCounters* counters)
+    : fd_(fd), counters_(counters) {}
+
+Reactor::Connection::~Connection() {
+  // Registered connections are closed by the reactor; one that never made
+  // it that far still owns its descriptor.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Reactor::Connection::wait_closed() {
+  std::unique_lock lock(io_mutex_);
+  closed_cv_.wait(lock, [&] { return close_done_; });
+}
+
+std::size_t Reactor::Connection::pending_write_bytes() const {
+  std::lock_guard lock(io_mutex_);
+  return outbuf_.size() - out_off_;
+}
+
+bool Reactor::Connection::queue_write_frame(std::uint64_t corr,
+                                            const Bytes& payload) {
+  std::uint8_t header[kFrameHeader];
+  encode_frame_header(header, corr,
+                      static_cast<std::uint32_t>(payload.size()));
+
+  std::unique_lock lock(io_mutex_);
+  if (closed_.load(std::memory_order_relaxed)) return false;
+  const bool queue_was_empty = (out_off_ == outbuf_.size());
+  std::size_t sent_header = 0;
+  std::size_t sent_payload = 0;
+  bool hard_error = false;
+  if (queue_was_empty) {
+    // Opportunistic send: most frames fit the socket buffer outright and
+    // never touch the queue or wake the event loop.  MSG_NOSIGNAL: a peer
+    // gone mid-write must surface as EPIPE, not kill the process.
+    while (sent_header < kFrameHeader) {
+      ssize_t r = ::send(fd_, header + sent_header, kFrameHeader - sent_header,
+                         MSG_NOSIGNAL);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) hard_error = true;
+        break;
+      }
+      sent_header += static_cast<std::size_t>(r);
+    }
+    while (!hard_error && sent_header == kFrameHeader &&
+           sent_payload < payload.size()) {
+      ssize_t r = ::send(fd_, payload.data() + sent_payload,
+                         payload.size() - sent_payload, MSG_NOSIGNAL);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) hard_error = true;
+        break;
+      }
+      sent_payload += static_cast<std::size_t>(r);
+    }
+    if (counters_ && sent_header + sent_payload > 0) {
+      counters_->bytes_out.fetch_add(sent_header + sent_payload,
+                                     std::memory_order_relaxed);
+    }
+  }
+  if (hard_error) {
+    // The stream broke mid-frame; the peer drops a partial frame without
+    // dispatching it, so the caller may safely reissue elsewhere.
+    outbuf_.clear();
+    out_off_ = 0;
+    Reactor* reactor = reactor_;
+    lock.unlock();
+    if (reactor) reactor->request_close(shared_from_this());
+    return false;
+  }
+  if (sent_header == kFrameHeader && sent_payload == payload.size()) {
+    return true;  // fully on the wire
+  }
+  outbuf_.insert(outbuf_.end(), header + sent_header, header + kFrameHeader);
+  outbuf_.insert(outbuf_.end(), payload.begin() + sent_payload, payload.end());
+  if (!want_write_) {
+    want_write_ = true;
+    sync_interest_locked();
+  }
+  return true;
+}
+
+bool Reactor::Connection::flush_ready() {
+  std::lock_guard lock(io_mutex_);
+  if (closed_.load(std::memory_order_relaxed)) return false;
+  while (out_off_ < outbuf_.size()) {
+    ssize_t r = ::send(fd_, outbuf_.data() + out_off_,
+                       outbuf_.size() - out_off_, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;  // stay armed
+      return true;  // hard error: close (pendings fail via on_closed)
+    }
+    out_off_ += static_cast<std::size_t>(r);
+    if (counters_) {
+      counters_->bytes_out.fetch_add(static_cast<std::size_t>(r),
+                                     std::memory_order_relaxed);
+    }
+  }
+  outbuf_.clear();
+  out_off_ = 0;
+  if (want_write_) {
+    want_write_ = false;
+    sync_interest_locked();
+  }
+  return close_after_flush_;
+}
+
+bool Reactor::Connection::handle_readable() {
+  std::uint8_t buf[65536];
+  std::size_t total = 0;
+  bool eof = false;
+  for (;;) {
+    ssize_t r = ::read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      inbuf_.insert(inbuf_.end(), buf, buf + r);
+      if (counters_) {
+        counters_->bytes_in.fetch_add(static_cast<std::size_t>(r),
+                                      std::memory_order_relaxed);
+      }
+      total += static_cast<std::size_t>(r);
+      if (total >= kMaxReadPerWakeup) break;
+      continue;
+    }
+    if (r == 0) {
+      eof = true;  // deliver what arrived before the EOF, then close
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // socket error: close (a partial frame is dropped)
+  }
+  if (!deliver_buffered()) return false;
+  return !eof;
+}
+
+bool Reactor::Connection::deliver_buffered() {
+  for (;;) {
+    {
+      std::lock_guard lock(io_mutex_);
+      if (paused_ || closed_.load(std::memory_order_relaxed)) break;
+    }
+    std::size_t avail = inbuf_.size() - in_off_;
+    if (avail < kFrameHeader) break;
+    const std::uint8_t* p = inbuf_.data() + in_off_;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    }
+    if (len > kMaxFrame) return false;  // protocol violation: drop the peer
+    if (avail < kFrameHeader + len) break;
+    std::uint64_t corr = 0;
+    for (int i = 0; i < 8; ++i) {
+      corr |= static_cast<std::uint64_t>(p[4 + i]) << (8 * i);
+    }
+    Bytes payload(p + kFrameHeader, p + kFrameHeader + len);
+    in_off_ += kFrameHeader + len;
+    on_frame(corr, std::move(payload));
+  }
+  // Compact the consumed prefix so long-lived connections stay small.
+  if (in_off_ == inbuf_.size()) {
+    inbuf_.clear();
+    in_off_ = 0;
+  } else if (in_off_ > (64u << 10)) {
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<std::ptrdiff_t>(in_off_));
+    in_off_ = 0;
+  }
+  return true;
+}
+
+void Reactor::Connection::pause_reads() {
+  std::lock_guard lock(io_mutex_);
+  if (paused_ || closed_.load(std::memory_order_relaxed)) return;
+  paused_ = true;
+  sync_interest_locked();
+}
+
+void Reactor::Connection::resume_reads() {
+  {
+    std::lock_guard lock(io_mutex_);
+    if (!paused_ || closed_.load(std::memory_order_relaxed)) return;
+    if (close_after_flush_) return;  // draining: stay paused
+    paused_ = false;
+    sync_interest_locked();
+  }
+  // Frames may already sit fully assembled in the buffer; deliver them on
+  // the owning loop (read state is loop-thread-only).
+  Loop* loop = static_cast<Loop*>(loop_);
+  if (!loop) return;
+  auto self = shared_from_this();
+  loop->post([self] {
+    if (!self->closed() && !self->deliver_buffered()) close_now(self);
+  });
+}
+
+void Reactor::Connection::sync_interest_locked() {
+  if (!registered_ || fd_ < 0) return;
+  Loop* loop = static_cast<Loop*>(loop_);
+  if (!loop || loop->epfd < 0) return;
+  epoll_event ev{};
+  ev.events = 0;
+  if (!paused_) ev.events |= EPOLLIN;
+  if (want_write_) ev.events |= EPOLLOUT;
+  ev.data.fd = fd_;
+  ::epoll_ctl(loop->epfd, EPOLL_CTL_MOD, fd_, &ev);
+}
+
+}  // namespace cosm::rpc

@@ -1,0 +1,180 @@
+// Epoll reactor: a small pool of event-loop threads owning many sockets.
+//
+// A Reactor runs N event-loop threads, each with its own epoll instance and
+// an eventfd wake channel.  Registered connections are distributed over the
+// loops round-robin; every socket belongs to exactly one loop, so there is
+// no thundering herd and per-connection read state needs no locking (only
+// its owning loop touches it).
+//
+// A Connection is a non-blocking socket plus a frame-reassembly buffer.  The
+// loop reads whatever is available, slices complete
+// [u32 length][u64 correlation id][payload] frames out of the buffer and
+// hands each to the subclass's on_frame() — which must not block: server
+// connections forward to an executor pool, client connections settle a
+// PendingCall.  Writes go through a per-connection queue: queue_write_frame()
+// attempts an immediate non-blocking send when the queue is empty and parks
+// the remainder for the loop to flush on EPOLLOUT, so slow peers cost memory,
+// not a stuck thread.
+//
+// Backpressure: a subclass may pause_reads() (drop read interest — the
+// kernel's receive window then throttles the peer) and resume_reads() later
+// from any thread; frames already buffered are delivered when reading
+// resumes.
+//
+// Lifecycle: closes are asynchronous (request_close / request_close_after_
+// flush post to the owning loop); on_closed() runs exactly once, on the loop
+// thread (or on the destructor's thread for connections still registered at
+// teardown).  wait_closed() blocks until that has happened.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace cosm::rpc {
+
+/// Byte counters shared by every connection of one transport; feeds
+/// NetworkStats::bytes_in / bytes_out.
+struct ReactorCounters {
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+};
+
+class Reactor {
+ public:
+  class Connection;
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  /// `threads` event loops (minimum 1), started immediately.
+  explicit Reactor(std::size_t threads);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  std::size_t thread_count() const noexcept { return loops_.size(); }
+
+  /// Register a connected non-blocking socket; the reactor takes shared
+  /// ownership and starts delivering its read events on one of the loops.
+  /// A reactor already shutting down closes the connection instead.
+  void add(const ConnectionPtr& conn);
+
+  /// Asynchronously close; queued but unflushed writes are dropped.
+  /// Idempotent.
+  void request_close(const ConnectionPtr& conn);
+
+  /// Asynchronously stop reading, flush the write queue, then close.
+  /// Idempotent (and degrades to an immediate close when the queue is
+  /// empty).
+  void request_close_after_flush(const ConnectionPtr& conn);
+
+  class Connection : public std::enable_shared_from_this<Connection> {
+   public:
+    /// Takes ownership of `fd`, which must already be non-blocking.
+    explicit Connection(int fd, ReactorCounters* counters = nullptr);
+    virtual ~Connection();
+
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    /// True once the socket is closed (no further frames in or out).
+    bool closed() const noexcept {
+      return closed_.load(std::memory_order_acquire);
+    }
+
+    /// Queue one frame for sending; thread-safe.  Sends immediately when
+    /// the write queue is empty, otherwise appends and lets the owning loop
+    /// flush.  Returns false when the connection is (or just became) closed
+    /// and the frame cannot reach the wire — the caller may safely reissue
+    /// it elsewhere, because a partially-sent frame makes the peer drop the
+    /// connection without dispatching it.
+    bool queue_write_frame(std::uint64_t corr, const Bytes& payload);
+
+    /// Block until on_closed() has run (teardown synchronisation).
+    void wait_closed();
+
+    /// Bytes queued but not yet on the wire (instrumentation).
+    std::size_t pending_write_bytes() const;
+
+   protected:
+    /// A complete frame arrived.  Runs on the owning loop thread; must not
+    /// block.
+    virtual void on_frame(std::uint64_t corr, Bytes payload) = 0;
+
+    /// The socket is closed and deregistered.  Runs exactly once.
+    virtual void on_closed() = 0;
+
+    /// Socket became readable.  The default implementation reads and
+    /// reassembles frames; listen sockets override it to accept instead.
+    /// Runs on the owning loop thread.  Returns false to close the
+    /// connection.
+    virtual bool handle_readable();
+
+    /// Drop read interest (kernel receive window then throttles the peer).
+    /// Call only from on_frame() / the owning loop thread.
+    void pause_reads();
+    /// Restore read interest and deliver any frames already buffered; safe
+    /// from any thread.
+    void resume_reads();
+
+    /// The reactor this connection is registered with (null before add()).
+    Reactor* reactor() const noexcept { return reactor_; }
+
+    int fd() const noexcept { return fd_; }
+
+   private:
+    friend class Reactor;
+
+    /// Flush the write queue on EPOLLOUT; returns true when the connection
+    /// should close (flush finished a close_after_flush, or a hard write
+    /// error).  Loop thread only.
+    bool flush_ready();
+    /// Slice and dispatch complete frames from inbuf_.  Returns false to
+    /// close (oversized frame).  Loop thread only.
+    bool deliver_buffered();
+    /// Re-sync the epoll interest mask with want_write_/paused_.  Requires
+    /// io_mutex_.
+    void sync_interest_locked();
+
+    Reactor* reactor_ = nullptr;
+    void* loop_ = nullptr;  // Reactor::Loop*, opaque here
+
+    mutable std::mutex io_mutex_;
+    int fd_ = -1;
+    bool registered_ = false;        // epoll ADD done
+    bool want_write_ = false;        // EPOLLOUT armed (outbuf_ non-empty)
+    bool paused_ = false;            // read interest dropped
+    bool close_after_flush_ = false;
+    std::vector<std::uint8_t> outbuf_;
+    std::size_t out_off_ = 0;  // consumed prefix of outbuf_
+    std::atomic<bool> closed_{false};
+    bool close_done_ = false;  // on_closed() ran
+    std::condition_variable closed_cv_;
+
+    // Read-side reassembly state: owning loop thread only.
+    std::vector<std::uint8_t> inbuf_;
+    std::size_t in_off_ = 0;
+
+    ReactorCounters* counters_ = nullptr;
+  };
+
+ private:
+  struct Loop;
+
+  /// Close `conn` now (caller must be the owning loop thread, or hold the
+  /// joined-loops guarantee of the destructor).  Safe to call repeatedly.
+  static void close_now(const ConnectionPtr& conn);
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<std::size_t> next_loop_{0};
+};
+
+}  // namespace cosm::rpc

@@ -7,7 +7,8 @@
 // kills a connection over an application error.
 //
 // The frame handler is fully re-entrant: transports invoke it concurrently
-// (one thread per TCP connection, executor workers in-proc).  The service
+// (dispatch-executor workers for TCP — many per connection, since the
+// reactor pipelines frames — and executor workers in-proc).  The service
 // registry is a read-mostly map behind a shared mutex; dispatch itself runs
 // without any server-wide lock, so independent requests proceed in parallel
 // (per-session FSM state is serialised inside ServiceObject).

@@ -1,12 +1,15 @@
 #include "rpc/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.h"
 #include "common/id.h"
@@ -15,67 +18,6 @@
 namespace cosm::rpc {
 
 namespace {
-
-/// At most this many pooled connections per endpoint; beyond it calls share
-/// (multiplex over) the least-loaded connection.
-constexpr std::size_t kMaxConnsPerEndpoint = 16;
-
-/// Read exactly n bytes; returns false on orderly EOF at a frame boundary,
-/// throws on mid-frame EOF or socket error.
-bool read_exact(int fd, std::uint8_t* buf, std::size_t n, bool allow_eof_at_start) {
-  std::size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::read(fd, buf + got, n - got);
-    if (r == 0) {
-      if (got == 0 && allow_eof_at_start) return false;
-      throw RpcError("tcp: connection closed mid-frame");
-    }
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw RpcError(std::string("tcp: read failed: ") + std::strerror(errno));
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-void write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
-  std::size_t sent = 0;
-  while (sent < n) {
-    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE, not
-    // kill the process with SIGPIPE (the server closes idle connections).
-    ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw RpcError(std::string("tcp: write failed: ") + std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(r);
-  }
-}
-
-/// Frame: [u32 payload length][u64 correlation id][payload bytes].
-void write_frame(int fd, std::uint64_t corr, const Bytes& payload) {
-  std::uint8_t header[12];
-  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
-  for (int i = 0; i < 8; ++i) header[4 + i] = static_cast<std::uint8_t>(corr >> (8 * i));
-  write_exact(fd, header, sizeof(header));
-  if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
-}
-
-bool read_frame(int fd, std::uint64_t& corr, Bytes& out, bool allow_eof_at_start) {
-  std::uint8_t header[12];
-  if (!read_exact(fd, header, sizeof(header), allow_eof_at_start)) return false;
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  corr = 0;
-  for (int i = 0; i < 8; ++i) corr |= static_cast<std::uint64_t>(header[4 + i]) << (8 * i);
-  constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
-  if (len > kMaxFrame) throw RpcError("tcp: frame exceeds 64 MiB bound");
-  out.resize(len);
-  if (len > 0) read_exact(fd, out.data(), len, false);
-  return true;
-}
 
 /// Parse the port digits of an endpoint; throws RpcError (never std::stoi's
 /// std::invalid_argument / std::out_of_range) on anything but 1..65535.
@@ -96,6 +38,8 @@ int parse_port(const std::string& digits, const std::string& endpoint) {
   return port;
 }
 
+/// Dial an endpoint; returns a connected *non-blocking* socket (the reactor
+/// owns it from here on).
 int connect_loopback(const std::string& endpoint) {
   constexpr const char* kPrefix = "tcp://";
   if (endpoint.rfind(kPrefix, 0) != 0) {
@@ -110,7 +54,7 @@ int connect_loopback(const std::string& endpoint) {
   // Parse before any fd exists so a malformed port cannot leak a socket.
   int port = parse_port(hostport.substr(colon + 1), endpoint);
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) throw RpcError(std::string("tcp: socket failed: ") + std::strerror(errno));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -126,177 +70,189 @@ int connect_loopback(const std::string& endpoint) {
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    int err = errno;
+    ::close(fd);
+    throw RpcError(std::string("tcp: fcntl failed: ") + std::strerror(err));
+  }
   return fd;
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Client connection: persistent socket + reader thread + pending map.
+// Listener state: shared by the accept socket and every accepted connection.
 
-struct TcpNetwork::ClientConn {
-  int fd = -1;
-  std::mutex write_mutex;
-  std::mutex pending_mutex;
-  std::map<std::uint64_t, PendingCallPtr> pending;
-  std::atomic<std::size_t> in_flight{0};
-  std::atomic<bool> dead{false};
-  std::thread reader;
+struct TcpNetwork::ListenerState {
+  std::string endpoint;
+  FrameHandler handler;
+  /// Set at the start of unlisten: frames decoded from here on are dropped
+  /// instead of dispatched, so once the gate drains the handler can never
+  /// run again (the caller may destroy its captures the moment unlisten
+  /// returns).
+  std::atomic<bool> stopping{false};
+  std::shared_ptr<AcceptSocket> acceptor;
 
-  void register_pending(std::uint64_t corr, const PendingCallPtr& call) {
-    std::lock_guard lock(pending_mutex);
-    pending.emplace(corr, call);
-    in_flight.fetch_add(1, std::memory_order_relaxed);
+  // Gate counting in-flight dispatches (decoded frame -> response queued).
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  std::size_t gate_count = 0;
+
+  /// Enter the gate unless the listener is draining.  The stopping check
+  /// and the increment share the gate mutex with begin_drain() /
+  /// gate_wait_idle(), so a frame decoded concurrently with unlisten either
+  /// is counted before the drain waits or is dropped — it can never slip
+  /// through after the wait saw zero.
+  bool try_enter_gate() {
+    std::lock_guard lock(gate_mutex);
+    if (stopping.load(std::memory_order_relaxed)) return false;
+    ++gate_count;
+    return true;
   }
-
-  PendingCallPtr take_pending(std::uint64_t corr) {
-    std::lock_guard lock(pending_mutex);
-    auto it = pending.find(corr);
-    if (it == pending.end()) return nullptr;
-    PendingCallPtr call = std::move(it->second);
-    pending.erase(it);
-    in_flight.fetch_sub(1, std::memory_order_relaxed);
-    return call;
+  void begin_drain() {
+    std::lock_guard lock(gate_mutex);
+    stopping.store(true, std::memory_order_release);
   }
-
-  void fail_all(std::exception_ptr error) {
-    std::map<std::uint64_t, PendingCallPtr> orphans;
+  void gate_leave() {
     {
-      std::lock_guard lock(pending_mutex);
-      orphans.swap(pending);
-      in_flight.store(0, std::memory_order_relaxed);
+      std::lock_guard lock(gate_mutex);
+      --gate_count;
     }
-    for (auto& [corr, call] : orphans) call->fail(error);
+    gate_cv.notify_all();
+  }
+  void gate_wait_idle() {
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_count == 0; });
   }
 
-  /// Reader: settles pendings by correlation id until the socket dies.
-  /// Responses for abandoned (timed-out) calls are settled too — their
-  /// waiters are gone, so the result is simply dropped.
-  void reader_loop() {
-    try {
-      for (;;) {
-        std::uint64_t corr = 0;
-        Bytes response;
-        if (!read_frame(fd, corr, response, /*allow_eof_at_start=*/true)) break;
-        if (PendingCallPtr call = take_pending(corr)) {
-          call->complete(std::move(response));
-        }
-      }
-      dead.store(true);
-      fail_all(std::make_exception_ptr(RpcError("tcp: server closed connection")));
-    } catch (const Error&) {
-      dead.store(true);
-      fail_all(std::current_exception());
-    }
-  }
+  // Live accepted connections (the unlisten drain closes them; the
+  // deprecated serving_threads() shim counts them).
+  std::mutex conns_mutex;
+  std::condition_variable conns_cv;
+  std::vector<std::shared_ptr<ServerConn>> conns;
 
-  void shutdown_and_join() {
-    dead.store(true);
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-    if (reader.joinable()) reader.join();
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
+  void register_conn(std::shared_ptr<ServerConn> conn) {
+    std::lock_guard lock(conns_mutex);
+    conns.push_back(std::move(conn));
   }
-
-  ~ClientConn() { shutdown_and_join(); }
+  void unregister_conn(const void* conn) {
+    {
+      std::lock_guard lock(conns_mutex);
+      std::erase_if(conns, [conn](const std::shared_ptr<ServerConn>& c) {
+        return static_cast<const void*>(c.get()) == conn;
+      });
+    }
+    conns_cv.notify_all();
+  }
+  std::vector<std::shared_ptr<ServerConn>> snapshot_conns() {
+    std::lock_guard lock(conns_mutex);
+    return conns;
+  }
+  std::size_t live_conns() {
+    std::lock_guard lock(conns_mutex);
+    return conns.size();
+  }
+  bool wait_conns_closed_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(conns_mutex);
+    return conns_cv.wait_for(lock, timeout, [&] { return conns.empty(); });
+  }
 };
 
 // ---------------------------------------------------------------------------
-// Server listener: accept loop + one serving thread per connection.
+// Server connection: reassembled frames fan out to the dispatch executor;
+// responses come back by correlation id from whichever worker finishes
+// first.
 
-struct TcpNetwork::Listener {
-  /// One accepted connection: its socket and the thread serving it.  The
-  /// serving thread closes the fd itself (under conn_mutex, so stop()'s
-  /// shutdown can never race a close and hit a recycled descriptor), reaps
-  /// *other* finished entries, and only then raises `done`; the accept loop
-  /// reaps before every new accept as well.  A long-lived server therefore
-  /// holds O(live connections) threads even when no further connections
-  /// arrive — the seed only reaped on accept, so an idle listener kept every
-  /// thread it had ever served.  (The last connection to close cannot join
-  /// itself, so up to one finished entry may linger until the next reap.)
-  struct ConnEntry {
-    int fd = -1;
-    std::atomic<bool> done{false};
-    std::thread thread;
-  };
+class TcpNetwork::ServerConn final : public Reactor::Connection {
+ public:
+  ServerConn(int fd, TcpNetwork* net, std::shared_ptr<ListenerState> listener)
+      : Connection(fd, &net->counters_),
+        net_(net),
+        listener_(std::move(listener)) {}
 
-  std::atomic<int> listen_fd{-1};
-  std::string endpoint;
-  FrameHandler handler;
-  std::thread accept_thread;
-  std::mutex conn_mutex;
-  std::vector<std::shared_ptr<ConnEntry>> conns;
-  std::atomic<bool> stopping{false};
+  std::size_t dispatching() const noexcept {
+    return dispatching_.load(std::memory_order_relaxed);
+  }
 
-  void serve_connection(ConnEntry& entry) {
-    std::uint64_t corr = 0;
-    Bytes request;
+ private:
+  void on_frame(std::uint64_t corr, Bytes payload) override {
+    if (!listener_->try_enter_gate()) return;  // draining: drop the frame
+    net_->in_flight_.fetch_add(1, std::memory_order_relaxed);
+    net_->frames_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t cap = net_->options_.max_in_flight_per_connection;
+    const std::size_t now = dispatching_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (now >= cap) pause_reads();
+    auto self = std::static_pointer_cast<ServerConn>(shared_from_this());
+    net_->dispatcher_->submit(
+        [self, corr, request = std::move(payload)] { self->dispatch(corr, request); });
+    // A completion may have raced the pause; if the count already dropped
+    // back under the cap, reopen reads ourselves (resume is idempotent).
+    if (now >= cap && dispatching_.load(std::memory_order_acquire) < cap) {
+      resume_reads();
+    }
+  }
+
+  void dispatch(std::uint64_t corr, const Bytes& request) {
+    Bytes response;
+    bool ok = true;
     try {
-      while (read_frame(entry.fd, corr, request, /*allow_eof_at_start=*/true)) {
-        Bytes response = handler(request);
-        write_frame(entry.fd, corr, response);
-      }
-    } catch (const Error&) {
-      // Connection torn down (peer reset or shutdown); drop it.
+      response = listener_->handler(request);
     } catch (...) {
-      // A handler leaked a non-COSM exception.  Letting it escape would
-      // std::terminate the whole server from this connection thread; the
-      // connection is forfeit, the server is not.
+      // A handler leaked an exception (they must not throw; RPC faults are
+      // encoded into the response frame).  The connection is forfeit, the
+      // server is not.
+      ok = false;
     }
-    {
-      std::lock_guard lock(conn_mutex);
-      ::close(entry.fd);
-      entry.fd = -1;
+    if (ok) {
+      queue_write_frame(corr, response);
+    } else if (reactor()) {
+      reactor()->request_close(shared_from_this());
     }
-    // Reap other finished threads *before* raising our own done flag: a
-    // thread that is still joining peers must not itself be collectible,
-    // or two concurrently-closing connections could join each other and
-    // deadlock.  Once `done` is set the only remaining work is returning,
-    // so whoever collects this entry joins promptly.
-    reap_finished();
-    entry.done.store(true);
+    const std::size_t cap = net_->options_.max_in_flight_per_connection;
+    const std::size_t prev = dispatching_.fetch_sub(1, std::memory_order_acq_rel);
+    if (prev >= cap) resume_reads();  // dropped below the cap
+    net_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    listener_->gate_leave();
   }
 
-  /// Join and drop finished serving threads.  Finished entries are moved
-  /// out under conn_mutex but joined outside it: a joined thread may be
-  /// blocked acquiring conn_mutex (closing its fd), and joining it while
-  /// holding the lock would deadlock.
-  void reap_finished() {
-    std::vector<std::shared_ptr<ConnEntry>> finished;
-    {
-      std::lock_guard lock(conn_mutex);
-      std::erase_if(conns, [&finished](const std::shared_ptr<ConnEntry>& entry) {
-        if (!entry->done.load()) return false;
-        finished.push_back(entry);
-        return true;
-      });
+  void on_closed() override {
+    net_->connections_.fetch_sub(1, std::memory_order_relaxed);
+    auto& reg = obs::metrics();
+    if (reg.enabled()) {
+      static obs::Counter& closed = reg.counter("tcp.conns_closed");
+      closed.add();
     }
-    for (auto& entry : finished) {
-      if (entry->thread.joinable()) entry->thread.join();
-    }
-    if (!finished.empty()) {
-      auto& reg = obs::metrics();
-      if (reg.enabled()) {
-        static obs::Counter& reaped = reg.counter("tcp.conns_reaped");
-        reaped.add(finished.size());
-      }
-    }
+    listener_->unregister_conn(this);
   }
 
-  void accept_loop() {
+  TcpNetwork* net_;
+  std::shared_ptr<ListenerState> listener_;
+  /// Frames dispatched but not yet answered (backpressure gauge).
+  std::atomic<std::size_t> dispatching_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Accept socket: a reactor-registered listen fd.
+
+class TcpNetwork::AcceptSocket final : public Reactor::Connection {
+ public:
+  AcceptSocket(int fd, TcpNetwork* net, std::shared_ptr<ListenerState> listener)
+      : Connection(fd), net_(net), listener_(std::move(listener)) {}
+
+ private:
+  bool handle_readable() override {
     for (;;) {
-      int lfd = listen_fd.load();
-      if (lfd < 0) return;
-      int fd = ::accept(lfd, nullptr, nullptr);
-      if (fd < 0) {
+      int cfd = ::accept4(fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (cfd < 0) {
         if (errno == EINTR) continue;
-        return;  // listener closed
+        // EAGAIN: backlog drained.  Anything else (EMFILE, ECONNABORTED,
+        // ...) is per-connection trouble; keep the listener alive and let
+        // level-triggered epoll re-report.
+        return true;
       }
       int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      reap_finished();
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       {
         auto& reg = obs::metrics();
         if (reg.enabled()) {
@@ -304,74 +260,114 @@ struct TcpNetwork::Listener {
           accepts.add();
         }
       }
-      std::lock_guard lock(conn_mutex);
-      if (stopping.load()) {
-        ::close(fd);
-        return;
+      if (listener_->stopping.load(std::memory_order_acquire)) {
+        ::close(cfd);
+        continue;
       }
-      auto entry = std::make_shared<ConnEntry>();
-      entry->fd = fd;
-      entry->thread =
-          std::thread([this, entry] { serve_connection(*entry); });
-      conns.push_back(std::move(entry));
+      auto conn = std::make_shared<ServerConn>(cfd, net_, listener_);
+      listener_->register_conn(conn);
+      net_->connections_.fetch_add(1, std::memory_order_relaxed);
+      net_->reactor_->add(conn);
     }
   }
 
-  void stop() {
-    stopping.store(true);
-    // Wake the accept loop with shutdown(); close only after the join so
-    // the fd number cannot be reused while accept_loop still holds it.
-    int lfd = listen_fd.exchange(-1);
-    if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
-    if (accept_thread.joinable()) accept_thread.join();
-    if (lfd >= 0) ::close(lfd);
-    std::vector<std::shared_ptr<ConnEntry>> draining;
+  void on_frame(std::uint64_t, Bytes) override {}  // never reached
+  void on_closed() override {}
+
+  TcpNetwork* net_;
+  std::shared_ptr<ListenerState> listener_;
+};
+
+// ---------------------------------------------------------------------------
+// Client connection: persistent socket + pending map, reader-threadless —
+// responses are settled by the reactor loop that owns the socket.
+
+class TcpNetwork::ClientConn final : public Reactor::Connection {
+ public:
+  ClientConn(int fd, TcpNetwork* net)
+      : Connection(fd, &net->counters_), net_(net) {}
+
+  void register_pending(std::uint64_t corr, const PendingCallPtr& call) {
+    std::lock_guard lock(pending_mutex_);
+    pending_.emplace(corr, call);
+    net_->in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PendingCallPtr take_pending(std::uint64_t corr) {
+    std::lock_guard lock(pending_mutex_);
+    auto it = pending_.find(corr);
+    if (it == pending_.end()) return nullptr;
+    PendingCallPtr call = std::move(it->second);
+    pending_.erase(it);
+    net_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return call;
+  }
+
+  std::size_t load() const {
+    std::lock_guard lock(pending_mutex_);
+    return pending_.size();
+  }
+
+ private:
+  /// Responses for abandoned (timed-out) calls are settled too — their
+  /// waiters are gone, so the result is simply dropped.
+  void on_frame(std::uint64_t corr, Bytes payload) override {
+    if (PendingCallPtr call = take_pending(corr)) {
+      call->complete(std::move(payload));
+    }
+  }
+
+  void on_closed() override {
+    net_->connections_.fetch_sub(1, std::memory_order_relaxed);
+    std::map<std::uint64_t, PendingCallPtr> orphans;
     {
-      std::lock_guard lock(conn_mutex);
-      for (auto& entry : conns) {
-        if (entry->fd >= 0) ::shutdown(entry->fd, SHUT_RDWR);
-      }
-      draining.swap(conns);
+      std::lock_guard lock(pending_mutex_);
+      orphans.swap(pending_);
+      net_->in_flight_.fetch_sub(orphans.size(), std::memory_order_relaxed);
     }
-    // Join without conn_mutex: the serving threads take it to close.
-    for (auto& entry : draining) {
-      if (entry->thread.joinable()) entry->thread.join();
-    }
+    if (orphans.empty()) return;
+    auto error =
+        std::make_exception_ptr(RpcError("tcp: server closed connection"));
+    for (auto& [corr, call] : orphans) call->fail(error);
   }
 
-  /// Pure observer: counts tracked entries without reaping, so tests can
-  /// see whether the close-time reap actually ran.
-  std::size_t live_threads() {
-    std::lock_guard lock(conn_mutex);
-    return conns.size();
-  }
-
-  ~Listener() { stop(); }
+  TcpNetwork* net_;
+  mutable std::mutex pending_mutex_;
+  std::map<std::uint64_t, PendingCallPtr> pending_;
 };
 
 // ---------------------------------------------------------------------------
 
+TcpNetwork::TcpNetwork(TransportOptions options) : options_(options) {
+  if (options_.event_loop_threads == 0) options_.event_loop_threads = 1;
+  if (options_.client_pool_cap == 0) options_.client_pool_cap = 1;
+  if (options_.max_in_flight_per_connection == 0) {
+    options_.max_in_flight_per_connection = 1;
+  }
+  if (options_.send_retry.max_attempts < 1) options_.send_retry.max_attempts = 1;
+  dispatcher_ = std::make_unique<Executor>(options_.dispatch_workers);
+  reactor_ = std::make_unique<Reactor>(options_.event_loop_threads);
+}
+
 TcpNetwork::~TcpNetwork() { close_all(); }
 
 void TcpNetwork::close_all() {
-  std::map<std::string, std::shared_ptr<Listener>> listeners;
-  std::map<std::string, std::vector<std::shared_ptr<ClientConn>>> pools;
+  std::map<std::string, std::shared_ptr<ListenerState>> listeners;
   {
     std::lock_guard lock(mutex_);
     listeners.swap(listeners_);
-    pools.swap(pools_);
+    // Drop pool references; ~Reactor closes the sockets and fails any
+    // still-pending calls.
+    pools_.clear();
   }
-  for (auto& [ep, conns] : pools) {
-    for (auto& conn : conns) conn->shutdown_and_join();
-  }
-  for (auto& [ep, l] : listeners) l->stop();
+  for (auto& [ep, listener] : listeners) shutdown_listener(listener);
 }
 
 std::string TcpNetwork::listen(const std::string& hint, FrameHandler handler) {
   (void)hint;  // TCP endpoints are named by their port
   if (!handler) throw ContractError("listen: handler must be callable");
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) throw RpcError(std::string("tcp: socket failed: ") + std::strerror(errno));
 
   sockaddr_in addr{};
@@ -383,7 +379,7 @@ std::string TcpNetwork::listen(const std::string& hint, FrameHandler handler) {
     ::close(fd);
     throw RpcError(std::string("tcp: bind failed: ") + std::strerror(err));
   }
-  if (::listen(fd, 128) < 0) {
+  if (::listen(fd, 1024) < 0) {
     int err = errno;
     ::close(fd);
     throw RpcError(std::string("tcp: listen failed: ") + std::strerror(err));
@@ -395,20 +391,54 @@ std::string TcpNetwork::listen(const std::string& hint, FrameHandler handler) {
     throw RpcError(std::string("tcp: getsockname failed: ") + std::strerror(err));
   }
 
-  auto listener = std::make_shared<Listener>();
-  listener->listen_fd = fd;
-  listener->handler = std::move(handler);
-  listener->endpoint =
-      "tcp://127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
-  listener->accept_thread = std::thread([l = listener.get()] { l->accept_loop(); });
+  auto state = std::make_shared<ListenerState>();
+  state->endpoint = "tcp://127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+  state->handler = std::move(handler);
+  state->acceptor = std::make_shared<AcceptSocket>(fd, this, state);
 
-  std::lock_guard lock(mutex_);
-  listeners_[listener->endpoint] = listener;
-  return listener->endpoint;
+  {
+    std::lock_guard lock(mutex_);
+    listeners_[state->endpoint] = state;
+  }
+  reactor_->add(state->acceptor);
+  return state->endpoint;
+}
+
+/// Drain: stop accepting, let in-flight dispatches finish, flush their
+/// responses, then close the connections.  After this returns the handler
+/// is guaranteed to never run again.
+void TcpNetwork::shutdown_listener(
+    const std::shared_ptr<ListenerState>& listener) {
+  using namespace std::chrono_literals;
+  listener->begin_drain();
+  reactor_->request_close(listener->acceptor);
+  listener->acceptor->wait_closed();  // no further connections can register
+  // Drop our half of the ListenerState <-> AcceptSocket reference cycle;
+  // the closed acceptor (and the listening fd it owns) is freed here.
+  listener->acceptor.reset();
+  listener->gate_wait_idle();         // in-flight dispatches have finished
+  // Graceful close: responses queued by the drained dispatches flush
+  // first.  Re-snapshot in a loop — a connection accepted just before the
+  // acceptor closed may have registered late — and fall back to a hard
+  // close for peers that refuse to drain.
+  const auto hard_deadline = std::chrono::steady_clock::now() + 2s;
+  for (;;) {
+    auto conns = listener->snapshot_conns();
+    if (conns.empty()) break;
+    const bool patient = std::chrono::steady_clock::now() < hard_deadline;
+    for (auto& conn : conns) {
+      if (patient) {
+        reactor_->request_close_after_flush(conn);
+      } else {
+        reactor_->request_close(conn);
+      }
+    }
+    if (listener->wait_conns_closed_for(patient ? 50ms : 250ms)) break;
+  }
 }
 
 void TcpNetwork::unlisten(const std::string& endpoint) {
-  std::shared_ptr<Listener> listener;
+  std::shared_ptr<ListenerState> listener;
   {
     std::lock_guard lock(mutex_);
     auto it = listeners_.find(endpoint);
@@ -416,69 +446,112 @@ void TcpNetwork::unlisten(const std::string& endpoint) {
     listener = it->second;
     listeners_.erase(it);
   }
-  listener->stop();
+  shutdown_listener(listener);
+}
+
+NetworkStats TcpNetwork::stats() const {
+  NetworkStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.event_loop_threads = reactor_->thread_count();
+  s.in_flight_frames = in_flight_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.send_retries = send_retries_.load(std::memory_order_relaxed);
+  s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  return s;
+}
+
+TransportOptions TcpNetwork::options() const {
+  std::lock_guard lock(mutex_);
+  return options_;
 }
 
 std::size_t TcpNetwork::pooled_connections(const std::string& endpoint) const {
   std::lock_guard lock(mutex_);
   auto it = pools_.find(endpoint);
-  return it == pools_.end() ? 0 : it->second.size();
+  return it == pools_.end() ? 0 : it->second.conns.size();
 }
 
 std::size_t TcpNetwork::serving_threads(const std::string& endpoint) const {
-  std::shared_ptr<Listener> listener;
+  std::shared_ptr<ListenerState> listener;
   {
     std::lock_guard lock(mutex_);
     auto it = listeners_.find(endpoint);
     if (it == listeners_.end()) return 0;
     listener = it->second;
   }
-  return listener->live_threads();
+  return listener->live_conns();
 }
 
-/// Pick an idle pooled connection, reaping dead ones; dial a fresh one when
-/// every pooled connection is busy and the pool has room; otherwise
-/// multiplex over the least-loaded survivor.
+/// Pick an idle pooled connection, reaping closed ones; dial a fresh one
+/// while the pool — dials in progress included, so racing callers cannot
+/// overshoot the cap — has room; otherwise multiplex over the least-loaded
+/// survivor (the reactor server completes out of order, so sharing a socket
+/// no longer serialises callers).
 std::shared_ptr<TcpNetwork::ClientConn> TcpNetwork::checkout_conn(
     const std::string& endpoint) {
+  const std::size_t cap = options_.client_pool_cap;
   std::shared_ptr<ClientConn> chosen;
-  // Dead connections are moved out under the lock but destroyed after it:
-  // ~ClientConn joins the reader thread, and that join must not stall every
-  // caller to every endpoint behind the pool mutex.
   std::vector<std::shared_ptr<ClientConn>> reaped;
+  bool dial = false;
   {
-    std::lock_guard lock(mutex_);
-    auto& pool = pools_[endpoint];
-    for (auto it = pool.begin(); it != pool.end();) {
-      if ((*it)->dead.load()) {
-        reaped.push_back(std::move(*it));
-        it = pool.erase(it);
-      } else {
-        ++it;
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      Pool& pool = pools_[endpoint];
+      for (auto it = pool.conns.begin(); it != pool.conns.end();) {
+        if ((*it)->closed()) {
+          reaped.push_back(std::move(*it));
+          it = pool.conns.erase(it);
+        } else {
+          ++it;
+        }
       }
-    }
-    std::shared_ptr<ClientConn> least_loaded;
-    for (const auto& conn : pool) {
-      std::size_t load = conn->in_flight.load(std::memory_order_relaxed);
-      if (load == 0) {
-        chosen = conn;  // idle: reuse immediately
+      std::shared_ptr<ClientConn> least_loaded;
+      std::size_t least_load = 0;
+      for (const auto& conn : pool.conns) {
+        std::size_t load = conn->load();
+        if (load == 0) {
+          chosen = conn;  // idle: reuse immediately
+          break;
+        }
+        if (!least_loaded || load < least_load) {
+          least_loaded = conn;
+          least_load = load;
+        }
+      }
+      if (chosen) break;
+      if (pool.conns.size() + pool.dialing < cap) {
+        ++pool.dialing;  // reserve the slot before releasing the lock
+        dial = true;
         break;
       }
-      if (!least_loaded ||
-          load < least_loaded->in_flight.load(std::memory_order_relaxed)) {
-        least_loaded = conn;
+      if (least_loaded) {
+        chosen = least_loaded;
+        break;
       }
-    }
-    if (!chosen && least_loaded && pool.size() >= kMaxConnsPerEndpoint) {
-      chosen = least_loaded;
+      // The cap is consumed entirely by dials in progress: wait for one to
+      // land instead of overshooting (the seed raced ahead here and opened
+      // up to one connection per caller).
+      dial_cv_.wait(lock);
     }
   }
-  reaped.clear();  // joins dead readers, lock-free for everyone else
-  if (chosen) return chosen;
+  reaped.clear();  // drop refs; the reactor already closed these sockets
+  if (!dial) return chosen;
 
-  // Dial outside the lock (connect can block).
-  auto conn = std::make_shared<ClientConn>();
-  conn->fd = connect_loopback(endpoint);
+  // Dial outside the lock (connect can block); the reserved `dialing` slot
+  // keeps the cap honest meanwhile.
+  std::shared_ptr<ClientConn> conn;
+  try {
+    int fd = connect_loopback(endpoint);
+    conn = std::make_shared<ClientConn>(fd, this);
+  } catch (...) {
+    {
+      std::lock_guard lock(mutex_);
+      --pools_[endpoint].dialing;
+    }
+    dial_cv_.notify_all();
+    throw;
+  }
   {
     auto& reg = obs::metrics();
     if (reg.enabled()) {
@@ -486,21 +559,27 @@ std::shared_ptr<TcpNetwork::ClientConn> TcpNetwork::checkout_conn(
       dials.add();
     }
   }
-  conn->reader = std::thread([c = conn.get()] { c->reader_loop(); });
-  std::lock_guard lock(mutex_);
-  pools_[endpoint].push_back(conn);
+  connections_.fetch_add(1, std::memory_order_relaxed);
+  reactor_->add(conn);
+  {
+    std::lock_guard lock(mutex_);
+    Pool& pool = pools_[endpoint];
+    --pool.dialing;
+    pool.conns.push_back(conn);
+  }
+  dial_cv_.notify_all();
   return conn;
 }
 
 void TcpNetwork::set_send_retry_policy(RetryPolicy policy) {
   std::lock_guard lock(mutex_);
   if (policy.max_attempts < 1) policy.max_attempts = 1;
-  send_retry_ = policy;
+  options_.send_retry = policy;
 }
 
 RetryPolicy TcpNetwork::send_retry_policy() const {
   std::lock_guard lock(mutex_);
-  return send_retry_;
+  return options_.send_retry;
 }
 
 PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
@@ -515,10 +594,11 @@ PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
 
   // Send retries: a pooled connection may have died since checkout (server
   // restarted, idle reset) and a dial can hit a transient refusal.  Every
-  // failure handled here happened before the request reached the wire, so
-  // reissuing is always safe; a call whose write succeeded is never
-  // reissued (at-most-once stays with the replay cache).  Backoff between
-  // attempts is jittered and never sleeps past the caller's deadline.
+  // failure handled here happened before the request reached the wire
+  // intact, so reissuing is always safe; a call whose frame was fully
+  // queued is never reissued (at-most-once stays with the replay cache).
+  // Backoff between attempts is jittered and never sleeps past the
+  // caller's deadline.
   RetryPolicy policy = send_retry_policy();
   for (int attempt = 1;; ++attempt) {
     std::exception_ptr failure;
@@ -531,16 +611,12 @@ PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
     if (conn) {
       std::uint64_t corr = next_id();
       conn->register_pending(corr, pending);
-      try {
-        std::lock_guard write_lock(conn->write_mutex);
-        write_frame(conn->fd, corr, request);
-        return pending;
-      } catch (const Error&) {
-        conn->take_pending(corr);
-        conn->dead.store(true);
-        ::shutdown(conn->fd, SHUT_RDWR);  // reader will reap the rest
-        failure = std::current_exception();
-      }
+      if (conn->queue_write_frame(corr, request)) return pending;
+      // The connection closed under us before the frame reached the wire
+      // intact; retract the pending and retry on a fresh connection.
+      conn->take_pending(corr);
+      failure = std::make_exception_ptr(
+          RpcError("tcp: connection to " + endpoint + " closed before send"));
     }
     if (attempt >= policy.max_attempts || ctx.expired()) {
       pending->fail(failure);

@@ -1,41 +1,56 @@
-// TCP loopback network: real sockets, length-prefixed frames.
+// TCP loopback network: real sockets, length-prefixed frames, epoll reactor.
 //
 // Wire format: every frame is [u32 length][u64 correlation id][payload].
-// The correlation id lets a client multiplex many in-flight calls over one
-// connection and match responses regardless of completion order.
+// The correlation id lets either side multiplex many in-flight frames over
+// one connection and match responses regardless of completion order.
 //
-// Server side: each listen() binds an ephemeral port on 127.0.0.1 and serves
-// every accepted connection on a dedicated thread (read frame -> handler ->
-// write response; sequential per connection, concurrent across connections).
+// Server side: a shared Reactor (TransportOptions::event_loop_threads epoll
+// loops) owns every socket.  Listen sockets accept non-blocking; accepted
+// connections get a per-connection frame-reassembly buffer, and each decoded
+// request frame is handed to a dispatch Executor whose worker runs the
+// handler and queues the response on the connection's write queue by
+// correlation id.  Slow operations therefore no longer head-of-line-block
+// fast ones on the same connection (out-of-order completion over one
+// socket), and 1k idle connections cost file descriptors, not threads: the
+// process holds event_loop_threads + dispatch_workers threads regardless of
+// connection count.  Per-connection backpressure
+// (max_in_flight_per_connection) pauses reading from a socket whose
+// dispatches pile up.  unlisten() drains: stop accepting, let in-flight
+// dispatches finish, flush their responses, then close.
 //
-// Client side: per endpoint, a pool of persistent connections, each with a
-// dedicated reader thread settling PendingCalls by correlation id.  A call
-// picks an idle pooled connection (or dials a new one up to a small cap), so
-// N concurrent callers fan out over up to N connections — and therefore N
-// server threads — instead of serialising behind one socket.  A timed-out
-// call is abandoned, not torn down: the correlation id guarantees its late
-// response cannot be mistaken for another call's, so the connection stays
-// pooled (the seed implementation had to close it).
+// Client side: per endpoint, a small pool of persistent connections (cap
+// TransportOptions::client_pool_cap) registered with the same reactor —
+// no per-connection reader threads.  A call picks an idle pooled
+// connection, dials while the pool (including dials in progress) is under
+// the cap, and otherwise multiplexes over the least-loaded survivor; since
+// the server completes out of order, a few shared sockets carry many
+// concurrent callers.  A timed-out call is abandoned, not torn down: the
+// correlation id guarantees its late response cannot be mistaken for
+// another call's, so the connection stays pooled.
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "rpc/executor.h"
 #include "rpc/network.h"
+#include "rpc/reactor.h"
 #include "rpc/retry.h"
+#include "rpc/transport_options.h"
 
 namespace cosm::rpc {
 
 class TcpNetwork final : public Network {
  public:
-  TcpNetwork() = default;
+  TcpNetwork() : TcpNetwork(TransportOptions{}) {}
+  explicit TcpNetwork(TransportOptions options);
   ~TcpNetwork() override;
 
   std::string listen(const std::string& hint, FrameHandler handler) override;
@@ -44,42 +59,75 @@ class TcpNetwork final : public Network {
                             const CallContext& ctx) override;
   std::string scheme() const override { return "tcp"; }
 
-  /// Policy for *send* retries (dial + frame write).  A request that failed
-  /// to reach the wire is always safe to reissue, so `only_idempotent` is
-  /// ignored here; at-most-once for requests that *did* reach the server
-  /// stays with the replay cache.  Defaults to RetryPolicy::transport().
-  void set_send_retry_policy(RetryPolicy policy);
-  RetryPolicy send_retry_policy() const;
+  /// Connections, loop threads, in-flight frames, retries and byte totals
+  /// in one snapshot — the documented instrumentation surface.
+  NetworkStats stats() const override;
 
-  /// Currently pooled client connections to `endpoint` (instrumentation).
+  /// The options this network was built with (send_retry reflects any
+  /// set_send_retry_policy() shim call).
+  TransportOptions options() const;
+
+  // --- deprecated shims (prefer stats() / TransportOptions) ---
+
+  /// DEPRECATED: pass TransportOptions::send_retry at construction
+  /// instead.  Kept as a shim mutating the same policy so existing callers
+  /// keep working.
+  void set_send_retry_policy(RetryPolicy policy);
+  /// DEPRECATED: read options().send_retry.
+  RetryPolicy send_retry_policy() const;
+  /// DEPRECATED: per-endpoint slice of stats().connections (client side).
   std::size_t pooled_connections(const std::string& endpoint) const;
-  /// Live per-connection serving threads of the listener bound at
-  /// `endpoint`; finished threads are reaped on the next accept
-  /// (instrumentation).
+  /// DEPRECATED: live accepted connections of the listener bound at
+  /// `endpoint`.  The reactor serves connections without per-connection
+  /// threads, so this now counts connections; the name survives for seed
+  /// tests.
   std::size_t serving_threads(const std::string& endpoint) const;
-  /// Send attempts that were retried after a dial/write failure
-  /// (instrumentation).
+  /// DEPRECATED: stats().send_retries.
   std::uint64_t send_retries() const noexcept {
     return send_retries_.load(std::memory_order_relaxed);
   }
 
  private:
-  struct Listener;
-  struct ClientConn;
+  struct ListenerState;
+  class AcceptSocket;
+  class ServerConn;
+  class ClientConn;
+
+  /// Per-endpoint client pool; `dialing` counts connects in progress so
+  /// concurrent dials cannot overshoot the cap.
+  struct Pool {
+    std::vector<std::shared_ptr<ClientConn>> conns;
+    std::size_t dialing = 0;
+  };
 
   std::shared_ptr<ClientConn> checkout_conn(const std::string& endpoint);
+  void shutdown_listener(const std::shared_ptr<ListenerState>& listener);
   void close_all();
 
   mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Listener>> listeners_;
-  /// Pooled client connections: endpoint -> live connections.
-  std::map<std::string, std::vector<std::shared_ptr<ClientConn>>> pools_;
-  RetryPolicy send_retry_ = RetryPolicy::transport();
+  std::map<std::string, std::shared_ptr<ListenerState>> listeners_;
+  std::map<std::string, Pool> pools_;
+  /// Signalled when a dial finishes (success or failure) so callers waiting
+  /// for a capped-out pool can proceed.
+  std::condition_variable dial_cv_;
+  TransportOptions options_;  // send_retry mutable under mutex_ (shim)
+
   // Jitter for send-retry backoff; its own lock so backoff sleep decisions
   // never contend with pool checkout.
   mutable std::mutex rng_mutex_;
   Rng rng_{0x7c9};
+
   std::atomic<std::uint64_t> send_retries_{0};
+  std::atomic<std::uint64_t> frames_{0};       // request frames dispatched
+  std::atomic<std::size_t> in_flight_{0};      // client pendings + dispatches
+  std::atomic<std::size_t> connections_{0};    // live client + server conns
+  ReactorCounters counters_;                   // bytes in/out
+
+  // Destruction order matters: close_all() drains the listeners first;
+  // then ~Reactor (declared last) closes every remaining socket and fails
+  // client pendings; ~Executor then drains any dispatch task stragglers.
+  std::unique_ptr<Executor> dispatcher_;
+  std::unique_ptr<Reactor> reactor_;
 };
 
 }  // namespace cosm::rpc

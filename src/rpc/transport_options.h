@@ -1,0 +1,59 @@
+// Construction-time knobs for the TCP transport.
+//
+// TransportOptions replaces the old post-construction setter pattern
+// (`TcpNetwork::set_send_retry_policy`): every knob is fixed when the
+// network is built, so there is no window in which callers race a
+// half-configured transport.  The options ride on
+// `core::RuntimeOptions::transport` so one options bundle configures the
+// whole stack:
+//
+//   core::RuntimeOptions opts;
+//   opts.transport.event_loop_threads = 4;
+//   rpc::TcpNetwork net(opts.transport);   // honored at construction
+//   core::CosmRuntime runtime(net, opts);
+//
+// Deprecation path: `set_send_retry_policy()` still exists as a thin shim
+// mutating the same policy (see tcp.h) but new code should pass the policy
+// here instead.
+
+#pragma once
+
+#include <cstddef>
+
+#include "rpc/retry.h"
+
+namespace cosm::rpc {
+
+struct TransportOptions {
+  /// Event-loop (reactor) threads owning all sockets.  Each loop runs its
+  /// own epoll instance; connections are distributed round-robin.  Minimum
+  /// 1.
+  std::size_t event_loop_threads = 2;
+
+  /// Worker threads dispatching decoded request frames to handlers
+  /// (0 = auto, sized like rpc::Executor's default).  Server-side
+  /// parallelism now comes from this pool, not from per-connection
+  /// threads.
+  std::size_t dispatch_workers = 0;
+
+  /// Max pooled client connections per endpoint.  Beyond the cap, calls
+  /// multiplex over the least-loaded pooled connection — correlation ids
+  /// keep interleaved responses sorted, and the reactor server no longer
+  /// head-of-line-blocks a shared socket, so a small pool carries many
+  /// concurrent callers.  Minimum 1.
+  std::size_t client_pool_cap = 8;
+
+  /// Server-side backpressure: with this many frames of one connection
+  /// dispatched but unanswered, the reactor stops reading from that socket
+  /// (the kernel receive window then throttles the peer) until completions
+  /// drain.  Minimum 1.
+  std::size_t max_in_flight_per_connection = 256;
+
+  /// Policy for *send* retries (dial + frame write).  A request that
+  /// failed to reach the wire is always safe to reissue, so
+  /// `only_idempotent` is ignored here; at-most-once for requests that did
+  /// reach the server stays with the replay cache.
+  RetryPolicy send_retry = RetryPolicy::transport();
+};
+
+}  // namespace cosm::rpc

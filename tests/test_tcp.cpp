@@ -145,8 +145,8 @@ TEST(Tcp, SendRetryRedialsAfterConnectionDeath) {
   // Poison the pooled connection: the server drops it.
   EXPECT_THROW(client.call(ep, {0xFF}, std::chrono::milliseconds(2000)),
                RpcError);
-  // Give the reader thread a moment to observe the hangup and mark the
-  // pooled connection dead, so the next call hits the write-failure path.
+  // Give the event loop a moment to observe the hangup and mark the pooled
+  // connection dead, so the next call exercises reap-or-retry.
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   // The next call must succeed — dead connection reaped or write retried.
   EXPECT_EQ(client.call(ep, payload, std::chrono::milliseconds(2000)), payload);
@@ -155,15 +155,17 @@ TEST(Tcp, SendRetryRedialsAfterConnectionDeath) {
 TEST(Tcp, FinishedServingThreadsAreReaped) {
   TcpNetwork net;
   auto ep = net.listen("", [](const Bytes& b) { return b; });
-  // Each short-lived client strands one serving thread; before the fix they
-  // accumulated until unlisten().
+  // serving_threads() is now a deprecated shim counting the listener's
+  // *live connections* (the reactor serves without per-connection threads).
+  // The invariant under test survives the rename: connections of departed
+  // clients must not linger in the listener's registry.
   for (int i = 0; i < 8; ++i) {
     TcpNetwork client;
     Bytes payload = {static_cast<std::uint8_t>(i)};
     ASSERT_EQ(client.call(ep, payload, std::chrono::milliseconds(2000)),
               payload);
   }  // client destructor closes its connections
-  // One more connection forces an accept, which reaps the finished threads.
+  // Probe until the reactor has observed every hangup.
   TcpNetwork prober;
   for (int i = 0; i < 50; ++i) {
     ASSERT_EQ(prober.call(ep, {9}, std::chrono::milliseconds(2000)), Bytes{9});
@@ -174,16 +176,16 @@ TEST(Tcp, FinishedServingThreadsAreReaped) {
 }
 
 TEST(Tcp, ServingThreadsReapedWithoutFurtherAccepts) {
-  // Regression: the seed only reaped finished serving threads on the *next*
-  // accept, so a listener that stopped receiving connections kept every
-  // thread it had ever served until unlisten().  Closing connections must
-  // now trigger the reap by itself.  The last thread to close cannot join
-  // itself, so up to one finished entry may remain.
+  // Regression (kept from the thread-per-connection era, where finished
+  // serving threads were only reaped on the *next* accept): closed
+  // connections must leave the listener's registry without any further
+  // accept.  With the reactor, serving_threads() counts live connections,
+  // so after every client disconnects the count must drain on its own.
   TcpNetwork net;
   auto ep = net.listen("", [](const Bytes& b) { return b; });
   {
     // A burst of concurrent connections so the listener holds several
-    // serving threads at once.
+    // accepted connections at once.
     constexpr int kClients = 6;
     std::vector<std::unique_ptr<TcpNetwork>> clients;
     for (int i = 0; i < kClients; ++i) {

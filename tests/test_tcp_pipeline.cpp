@@ -1,0 +1,279 @@
+// Pipelining semantics of the reactor transport: out-of-order completion
+// over one shared socket, graceful drain on unlisten, the client pool cap
+// under dial races, server-side backpressure, and the NetworkStats /
+// TransportOptions API surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "rpc/fault_injection.h"
+#include "rpc/inproc.h"
+#include "rpc/tcp.h"
+
+namespace cosm::rpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A fast call issued after a slow one on the *same* connection must not
+/// wait for the slow one: frames are dispatched to the executor as they are
+/// decoded and responses return by correlation id, so there is no
+/// head-of-line blocking per connection.
+TEST(TcpPipeline, FastCompletesBeforeSlowOnSharedConnection) {
+  TcpNetwork server;
+  auto ep = server.listen("", [](const Bytes& b) {
+    if (!b.empty() && b[0] == 1) std::this_thread::sleep_for(400ms);
+    return b;
+  });
+
+  TransportOptions copts;
+  copts.client_pool_cap = 1;  // force both calls onto one socket
+  TcpNetwork client(copts);
+
+  auto slow = client.call_async(ep, {1}, CallContext::with_timeout(10000ms));
+  std::this_thread::sleep_for(50ms);  // slow frame is on the wire first
+
+  auto start = std::chrono::steady_clock::now();
+  Bytes fast = client.call(ep, {2}, 10000ms);
+  auto fast_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  EXPECT_EQ(fast, Bytes{2});
+  EXPECT_LT(fast_ms, 300ms) << "fast call was head-of-line blocked";
+  EXPECT_EQ(slow->get(10000ms), Bytes{1});
+  EXPECT_EQ(client.pooled_connections(ep), 1u);
+}
+
+/// Many interleaved calls with descending service times over one socket:
+/// responses come back out of order, and every caller still receives
+/// exactly its own echo (correlation ids, not arrival order, match them).
+TEST(TcpPipeline, OutOfOrderResponsesCorrelateCorrectly) {
+  TcpNetwork server;
+  auto ep = server.listen("", [](const Bytes& b) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(b[0] * 10));
+    return b;
+  });
+
+  TransportOptions copts;
+  copts.client_pool_cap = 1;
+  TcpNetwork client(copts);
+
+  constexpr int kCalls = 8;
+  std::vector<PendingCallPtr> pending;
+  for (int i = kCalls - 1; i >= 0; --i) {  // slowest first
+    pending.push_back(client.call_async(ep, {static_cast<std::uint8_t>(i)},
+                                        CallContext::with_timeout(10000ms)));
+  }
+  for (int i = 0; i < kCalls; ++i) {
+    Bytes expected = {static_cast<std::uint8_t>(kCalls - 1 - i)};
+    EXPECT_EQ(pending[static_cast<std::size_t>(i)]->get(10000ms), expected);
+  }
+}
+
+/// unlisten() with calls in flight: the handler must never run after
+/// unlisten returns (the caller may destroy its captures immediately), and
+/// every in-flight PendingCall must still settle — with the served response
+/// when its dispatch finished before the drain, with an error otherwise.
+TEST(TcpPipeline, DrainOnUnlistenStopsHandlerAndSettlesCalls) {
+  TcpNetwork server;
+  std::atomic<int> running{0};
+  std::atomic<int> served{0};
+  auto ep = server.listen("", [&](const Bytes& b) {
+    running.fetch_add(1);
+    std::this_thread::sleep_for(80ms);
+    served.fetch_add(1);
+    running.fetch_sub(1);
+    return b;
+  });
+
+  TcpNetwork client;
+  std::vector<PendingCallPtr> pending;
+  for (int i = 0; i < 6; ++i) {
+    pending.push_back(client.call_async(ep, {static_cast<std::uint8_t>(i)},
+                                        CallContext::with_timeout(10000ms)));
+  }
+  std::this_thread::sleep_for(30ms);  // let some dispatches start
+  server.unlisten(ep);
+
+  // Drain guarantee: no handler is running once unlisten returned, and none
+  // starts afterwards.
+  EXPECT_EQ(running.load(), 0);
+  int served_at_unlisten = served.load();
+  std::this_thread::sleep_for(150ms);
+  EXPECT_EQ(served.load(), served_at_unlisten);
+
+  // Every in-flight call settles: response or error, never a hang.
+  int completed = 0;
+  int failed = 0;
+  for (auto& p : pending) {
+    try {
+      p->get(5000ms);
+      ++completed;
+    } catch (const RpcError&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(completed + failed, 6);
+  EXPECT_EQ(completed, served_at_unlisten);
+}
+
+/// Regression for the pool-cap overshoot: the seed released the pool lock
+/// around the blocking connect(), so N threads racing an empty pool each
+/// saw size 0 and dialed — up to one connection per caller.  Dial slots now
+/// count toward the cap while the connect is in flight.
+TEST(TcpPipeline, ConcurrentDialsNeverOvershootPoolCap) {
+  TcpNetwork server;
+  auto ep = server.listen("", [](const Bytes& b) {
+    std::this_thread::sleep_for(2ms);  // keep connections busy so callers race
+    return b;
+  });
+
+  constexpr std::size_t kCap = 2;
+  TransportOptions copts;
+  copts.client_pool_cap = kCap;
+  TcpNetwork client(copts);
+
+  constexpr int kThreads = 16;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> max_pooled{0};
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      std::size_t n = client.pooled_connections(ep);
+      std::size_t seen = max_pooled.load();
+      while (n > seen && !max_pooled.compare_exchange_weak(seen, n)) {
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5; ++i) {
+        Bytes payload = {static_cast<std::uint8_t>(t),
+                         static_cast<std::uint8_t>(i)};
+        if (client.call(ep, payload, 10000ms) == payload) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  sampler.join();
+
+  EXPECT_EQ(ok.load(), kThreads * 5);
+  EXPECT_LE(max_pooled.load(), kCap);
+  EXPECT_LE(client.pooled_connections(ep), kCap);
+}
+
+/// Server-side backpressure: with max_in_flight_per_connection = 4, a
+/// client flooding one socket never sees more than 4 of its requests in the
+/// handler simultaneously — the reactor pauses reading that socket until
+/// completions drain.
+TEST(TcpPipeline, InFlightCapBoundsConcurrentDispatches) {
+  TransportOptions sopts;
+  sopts.max_in_flight_per_connection = 4;
+  TcpNetwork server(sopts);
+
+  std::atomic<int> current{0};
+  std::atomic<int> peak{0};
+  auto ep = server.listen("", [&](const Bytes& b) {
+    int now = current.fetch_add(1) + 1;
+    int seen = peak.load();
+    while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(10ms);
+    current.fetch_sub(1);
+    return b;
+  });
+
+  TransportOptions copts;
+  copts.client_pool_cap = 1;  // one socket carries the whole flood
+  TcpNetwork client(copts);
+
+  constexpr int kCalls = 32;
+  std::vector<PendingCallPtr> pending;
+  for (int i = 0; i < kCalls; ++i) {
+    pending.push_back(client.call_async(ep, {static_cast<std::uint8_t>(i)},
+                                        CallContext::with_timeout(30000ms)));
+  }
+  for (auto& p : pending) EXPECT_NO_THROW(p->get(30000ms));
+  EXPECT_LE(peak.load(), 4);
+  EXPECT_GT(peak.load(), 0);
+}
+
+/// The documented instrumentation surface: stats() reflects configuration
+/// and traffic on both sides of a connection.
+TEST(TcpPipeline, StatsReflectConfigurationAndTraffic) {
+  TransportOptions opts;
+  opts.event_loop_threads = 3;
+  TcpNetwork net(opts);
+  auto ep = net.listen("", [](const Bytes& b) { return b; });
+
+  NetworkStats before = net.stats();
+  EXPECT_EQ(before.event_loop_threads, 3u);
+  EXPECT_EQ(before.frames, 0u);
+
+  for (int i = 0; i < 5; ++i) net.call(ep, {1, 2, 3}, 5000ms);
+
+  NetworkStats after = net.stats();
+  EXPECT_EQ(after.frames, 5u);
+  // Same network serves both sides: one pooled client connection plus the
+  // accepted server end of it.
+  EXPECT_EQ(after.connections, 2u);
+  // 5 round trips of 3-byte payloads + 12-byte frame headers, both ways.
+  EXPECT_GE(after.bytes_in, 5u * 15u * 2u);
+  EXPECT_GE(after.bytes_out, 5u * 15u * 2u);
+  EXPECT_EQ(after.in_flight_frames, 0u);
+  EXPECT_EQ(after.send_retries, 0u);
+}
+
+/// TransportOptions are honored at construction and readable back; the
+/// deprecated setter shim mutates the same policy.
+TEST(TcpPipeline, OptionsRoundTripAndShimsAgree) {
+  TransportOptions opts;
+  opts.event_loop_threads = 2;
+  opts.client_pool_cap = 3;
+  opts.max_in_flight_per_connection = 17;
+  opts.send_retry.max_attempts = 5;
+  TcpNetwork net(opts);
+
+  EXPECT_EQ(net.options().event_loop_threads, 2u);
+  EXPECT_EQ(net.options().client_pool_cap, 3u);
+  EXPECT_EQ(net.options().max_in_flight_per_connection, 17u);
+  EXPECT_EQ(net.options().send_retry.max_attempts, 5);
+  EXPECT_EQ(net.send_retry_policy().max_attempts, 5);
+  EXPECT_EQ(net.stats().event_loop_threads, 2u);
+
+  RetryPolicy none;
+  none.max_attempts = 1;
+  net.set_send_retry_policy(none);  // deprecated shim
+  EXPECT_EQ(net.options().send_retry.max_attempts, 1);
+  EXPECT_EQ(net.send_retries(), net.stats().send_retries);
+}
+
+/// Every Network exposes stats(); the in-proc shims agree with it, and the
+/// fault-injection decorator passes the inner transport's stats through.
+TEST(TcpPipeline, StatsUnifiedAcrossNetworkImplementations) {
+  InProcNetwork inproc;
+  auto ep = inproc.listen("svc", [](const Bytes& b) { return b; });
+  for (int i = 0; i < 3; ++i) inproc.call(ep, {9, 9}, 1000ms);
+
+  NetworkStats s = inproc.stats();
+  EXPECT_EQ(s.frames, 3u);
+  EXPECT_EQ(s.frames, inproc.frames_served());
+  EXPECT_EQ(s.bytes_in, inproc.bytes_carried());
+  EXPECT_EQ(s.connections, 1u);  // one binding
+  EXPECT_GT(s.event_loop_threads, 0u);
+
+  FaultInjectingNetwork faulty(inproc, 42);
+  EXPECT_EQ(faulty.stats().frames, s.frames);
+}
+
+}  // namespace
+}  // namespace cosm::rpc
