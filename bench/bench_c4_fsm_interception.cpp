@@ -70,7 +70,7 @@ void BM_LocalInterception(benchmark::State& state) {
   state.counters["invalid_pct"] = static_cast<double>(state.range(0));
   state.counters["rejected_locally"] = static_cast<double>(local);
   state.counters["rejected_remotely"] = static_cast<double>(remote);
-  state.counters["rpc_frames"] = static_cast<double>(fx.net.frames_served());
+  state.counters["rpc_frames"] = static_cast<double>(fx.net.stats().frames);
 }
 BENCHMARK(BM_LocalInterception)->DenseRange(0, 100, 25)->Unit(benchmark::kMillisecond);
 
@@ -84,7 +84,7 @@ void BM_ServerSideRejection(benchmark::State& state) {
   state.counters["invalid_pct"] = static_cast<double>(state.range(0));
   state.counters["rejected_locally"] = static_cast<double>(local);
   state.counters["rejected_remotely"] = static_cast<double>(remote);
-  state.counters["rpc_frames"] = static_cast<double>(fx.net.frames_served());
+  state.counters["rpc_frames"] = static_cast<double>(fx.net.stats().frames);
 }
 BENCHMARK(BM_ServerSideRejection)->DenseRange(0, 100, 25)->Unit(benchmark::kMillisecond);
 

@@ -138,8 +138,9 @@ int main() {
             << kClients << " clients x " << kRoundsPerClient << " rounds)\n";
   std::cout << "  " << std::left << std::setw(28) << "component" << std::setw(34)
             << "metric" << "count\n";
-  row("Communication (in-proc)", "frames served", net.frames_served());
-  row("Communication (in-proc)", "request bytes carried", net.bytes_carried());
+  const cosm::rpc::NetworkStats net_stats = net.stats();
+  row("Communication (in-proc)", "frames served", net_stats.frames);
+  row("Communication (in-proc)", "request bytes carried", net_stats.bytes_in);
   row("Name server", "bindings held", runtime.names().size());
   row("Interface manager", "SIDs stored", runtime.repository().size());
   row("Group manager", "group members (rentals)", runtime.groups().size("rentals"));

@@ -43,6 +43,29 @@ void ByteWriter::raw(const std::uint8_t* data, std::size_t n) {
   bytes_.insert(bytes_.end(), data, data + n);
 }
 
+std::size_t ByteWriter::varint_slot() {
+  std::size_t slot = bytes_.size();
+  bytes_.resize(bytes_.size() + kVarintSlotWidth);
+  return slot;
+}
+
+void ByteWriter::patch_varint(std::size_t slot, std::uint64_t v) {
+  if (slot + kVarintSlotWidth > bytes_.size()) {
+    throw ContractError("patch_varint: slot beyond buffer");
+  }
+  if (v >= (std::uint64_t{1} << (7 * kVarintSlotWidth))) {
+    throw ContractError("patch_varint: value does not fit the slot");
+  }
+  // Padded LEB128: every byte but the last carries a continuation bit, so
+  // the slot always occupies exactly kVarintSlotWidth bytes regardless of
+  // the value.  Readers accept non-minimal varints.
+  for (std::size_t i = 0; i + 1 < kVarintSlotWidth; ++i) {
+    bytes_[slot + i] = static_cast<std::uint8_t>(v & 0x7F) | 0x80;
+    v >>= 7;
+  }
+  bytes_[slot + kVarintSlotWidth - 1] = static_cast<std::uint8_t>(v & 0x7F);
+}
+
 void ByteReader::need(std::size_t n) const {
   if (size_ - pos_ < n) {
     throw WireError("byte reader underrun: need " + std::to_string(n) +
@@ -96,9 +119,15 @@ std::int64_t ByteReader::svarint() {
 }
 
 std::string ByteReader::str() {
+  std::string_view v = str_view();
+  return std::string(v);
+}
+
+std::string_view ByteReader::str_view() {
   std::uint64_t n = varint();
   need(n);
-  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  std::string_view s(reinterpret_cast<const char*>(data_ + pos_),
+                     static_cast<std::size_t>(n));
   pos_ += n;
   return s;
 }
@@ -106,6 +135,13 @@ std::string ByteReader::str() {
 Bytes ByteReader::raw(std::size_t n) {
   need(n);
   Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+BytesView ByteReader::view(std::size_t n) {
+  need(n);
+  BytesView out(data_ + pos_, n);
   pos_ += n;
   return out;
 }

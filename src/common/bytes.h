@@ -1,14 +1,21 @@
 // Byte-buffer primitives shared by the wire and RPC layers.
 //
-// ByteWriter appends primitive values in a fixed little-endian layout;
-// ByteReader consumes them with bounds checking.  Variable-length integers
-// use LEB128-style base-128 encoding, which keeps small lengths (the common
-// case for SIDL-described values) to a single byte.
+// ByteWriter is a growable arena: it appends primitive values in a fixed
+// little-endian layout into one contiguous buffer, supports reserve-and-patch
+// length slots (a frame header and its body can be written into the same
+// buffer in one pass, with lengths patched once known), and can be cleared
+// without releasing capacity so hot paths reuse the allocation.  ByteReader
+// consumes the same layout with bounds checking, and can hand out non-owning
+// views (str_view / view) so decoders avoid copying payload bytes out of a
+// frame buffer that outlives them.  Variable-length integers use
+// LEB128-style base-128 encoding, which keeps small lengths (the common case
+// for SIDL-described values) to a single byte.
 
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,7 +24,11 @@ namespace cosm {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// Appends primitives to a growable byte vector.
+/// Non-owning view over encoded bytes; valid only while the underlying
+/// buffer lives.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends primitives to a growable byte arena.
 class ByteWriter {
  public:
   ByteWriter() = default;
@@ -36,9 +47,31 @@ class ByteWriter {
   void str(std::string_view s);
   void raw(const std::uint8_t* data, std::size_t n);
   void raw(const Bytes& b) { raw(b.data(), b.size()); }
+  void raw(BytesView b) { raw(b.data(), b.size()); }
+
+  /// Reserve a fixed-width varint length slot (kVarintSlotWidth bytes of
+  /// padded LEB128) and return its offset; write the surrounded payload,
+  /// then patch the slot with patch_varint().  Readers decode padded
+  /// varints transparently, so a patched slot is indistinguishable from a
+  /// minimal one at the value level.
+  std::size_t varint_slot();
+  /// Patch a slot from varint_slot() with `v` (must fit kVarintSlotWidth
+  /// LEB128 bytes, i.e. v < 2^35; throws cosm::ContractError otherwise).
+  void patch_varint(std::size_t slot, std::uint64_t v);
+
+  static constexpr std::size_t kVarintSlotWidth = 5;
+
+  /// Grow the arena's capacity ahead of a burst of writes.
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+  /// Drop all content but keep the allocation (arena reuse on hot paths).
+  void clear() noexcept { bytes_.clear(); }
+  /// Roll back to an earlier size (discard a partially written suffix,
+  /// e.g. after a failed in-place marshal).  `n` must not exceed size().
+  void truncate(std::size_t n) { bytes_.resize(n); }
 
   std::size_t size() const noexcept { return bytes_.size(); }
   const Bytes& bytes() const noexcept { return bytes_; }
+  const std::uint8_t* data() const noexcept { return bytes_.data(); }
   Bytes take() { return std::move(bytes_); }
 
  private:
@@ -52,6 +85,7 @@ class ByteReader {
   ByteReader(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
   explicit ByteReader(const Bytes& b) : ByteReader(b.data(), b.size()) {}
+  explicit ByteReader(BytesView b) : ByteReader(b.data(), b.size()) {}
 
   std::uint8_t u8();
   std::uint32_t u32();
@@ -62,6 +96,14 @@ class ByteReader {
   std::int64_t svarint();
   std::string str();
   Bytes raw(std::size_t n);
+
+  /// Non-owning variants: the returned views alias the reader's buffer and
+  /// are valid only while it lives.  Decoders on hot paths use these to
+  /// slice a frame without copying.
+  std::string_view str_view();
+  BytesView view(std::size_t n);
+  /// The unread remainder as a view (does not advance).
+  BytesView remaining_view() const noexcept { return {data_ + pos_, size_ - pos_}; }
 
   std::size_t remaining() const noexcept { return size_ - pos_; }
   bool at_end() const noexcept { return pos_ == size_; }

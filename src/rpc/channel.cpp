@@ -8,6 +8,7 @@
 #include "rpc/message.h"
 #include "wire/codec.h"
 #include "wire/marshal.h"
+#include "wire/plan_cache.h"
 
 namespace cosm::rpc {
 
@@ -83,15 +84,24 @@ Bytes PendingReply::get_frame() {
 
 wire::Value PendingReply::get() {
   Bytes reply_frame = get_frame();
-  Message reply = Message::decode(reply_frame);
+  // Non-owning decode: the body stays a view into the reply frame and is
+  // consumed in place (by the compiled result plan when the call was typed).
+  MessageView reply =
+      MessageView::decode(BytesView(reply_frame.data(), reply_frame.size()));
   switch (reply.type) {
     case MsgType::Response: {
-      wire::Value result = wire::decode_value(reply.body);
+      if (result_plan_) return result_plan_->result().unmarshal(reply.body);
+      ByteReader r(reply.body);
+      wire::Value result = wire::decode_value(r);
+      if (!r.at_end()) {
+        throw WireError("decode_value: " + std::to_string(r.remaining()) +
+                        " trailing bytes");
+      }
       if (result_type_) wire::ensure_conforms(result, *result_type_);
       return result;
     }
     case MsgType::Fault:
-      throw RemoteFault(reply.fault);
+      throw RemoteFault(std::string(reply.fault));
     case MsgType::Request:
       break;
   }
@@ -106,8 +116,10 @@ RpcChannel::RpcChannel(Network& network, sidl::ServiceRef ref, ChannelOptions op
   if (!ref_.valid()) throw ContractError("RpcChannel needs a valid service reference");
 }
 
-PendingReplyPtr RpcChannel::issue(const std::string& operation, Bytes body,
-                                  sidl::TypePtr result_type) {
+PendingReplyPtr RpcChannel::issue(const std::string& operation,
+                                  const std::function<void(ByteWriter&)>& write_body,
+                                  sidl::TypePtr result_type,
+                                  std::shared_ptr<const wire::OperationPlan> plan) {
   // Effective budget: whatever deadline this thread already operates under,
   // tightened to at most the channel timeout from now.
   CallContext ctx = current_call_context().shrunk(options_.timeout);
@@ -116,7 +128,7 @@ PendingReplyPtr RpcChannel::issue(const std::string& operation, Bytes body,
   }
   Message request =
       Message::request(next_request_.fetch_add(1, std::memory_order_relaxed),
-                       ref_.id, operation, std::move(body));
+                       ref_.id, operation, {});
   request.session = session_;
   request.deadline_ms = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(ctx.remaining())
@@ -148,54 +160,103 @@ PendingReplyPtr RpcChannel::issue(const std::string& operation, Bytes body,
     request.parent_span_id = ctx.span_id;
   }
 
+  // The request frame is assembled in ONE arena: message header, a patched
+  // body-length slot, the argument frame marshalled in place, trailing
+  // fault field.
+  ByteWriter w;
+  const std::size_t slot = request.encode_begin_body(w);
+  write_body(w);
+  const std::size_t body_off = slot + ByteWriter::kVarintSlotWidth;
+  const std::size_t body_len = w.size() - body_off;
+  request.encode_end_body(w, slot);
+  Bytes frame = w.take();
+
   calls_.fetch_add(1, std::memory_order_relaxed);
-  PendingCallPtr pending = network_.call_async(ref_.endpoint, request.encode(), ctx);
   if (!options_.retry.enabled()) {
+    PendingCallPtr pending = network_.call_async(ref_.endpoint, frame, ctx);
     auto reply = std::make_shared<PendingReply>(std::move(pending), ctx,
                                                 std::move(result_type));
+    reply->attach_result_plan(std::move(plan));
     reply->attach_obs(std::move(span), started);
     return reply;
   }
   // Reissue closure for the retry driver: same request id and session (the
   // replay-cache key), but the stamped deadline budget is recomputed so the
   // server sees the genuinely remaining time, not the original snapshot —
-  // and each reissue gets a fresh attempt span under the same trace.
+  // and each reissue gets a fresh attempt span under the same trace.  The
+  // header is re-encoded; the body is spliced out of the original frame, so
+  // arguments are never re-marshalled (the copy only happens on retry
+  // attempts, never on the first send).
+  PendingCallPtr pending = network_.call_async(ref_.endpoint, frame, ctx);
   auto reissue = [network = &network_, endpoint = ref_.endpoint,
-                  message = request, ctx,
-                  op = operation](obs::Span& attempt_span) mutable {
+                  header = request, frame = std::move(frame), body_off,
+                  body_len, ctx, op = operation](obs::Span& attempt_span) mutable {
     auto& tracer = obs::tracer();
     if (tracer.enabled()) {
-      if (message.trace_id == 0) message.trace_id = tracer.mint_id();
+      if (header.trace_id == 0) header.trace_id = tracer.mint_id();
       attempt_span =
-          tracer.start_span("rpc.client:" + op, message.trace_id, ctx.span_id);
-      message.parent_span_id = attempt_span.span_id;
+          tracer.start_span("rpc.client:" + op, header.trace_id, ctx.span_id);
+      header.parent_span_id = attempt_span.span_id;
     } else {
       attempt_span = obs::Span{};
     }
-    message.deadline_ms = static_cast<std::uint64_t>(
+    header.deadline_ms = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(ctx.remaining())
             .count());
-    if (message.deadline_ms == 0) message.deadline_ms = 1;
-    return network->call_async(endpoint, message.encode(), ctx);
+    if (header.deadline_ms == 0) header.deadline_ms = 1;
+    ByteWriter rw;
+    std::size_t rslot = header.encode_begin_body(rw);
+    rw.raw(frame.data() + body_off, body_len);
+    header.encode_end_body(rw, rslot);
+    return network->call_async(endpoint, rw.take(), ctx);
   };
   auto reply = std::make_shared<PendingReply>(
       std::move(pending), ctx, std::move(result_type), std::move(reissue),
       options_.retry, options_.idempotent, request.request_id ^ 0x9e3779b9u);
+  reply->attach_result_plan(std::move(plan));
   reply->attach_obs(std::move(span), started);
   return reply;
 }
 
+std::shared_ptr<const wire::OperationPlan> RpcChannel::plan_for(
+    const sidl::OperationDesc& op) {
+  sidl::SidPtr sid;
+  {
+    std::lock_guard lock(sid_mutex_);
+    sid = sid_;
+  }
+  // Pointer identity, not name lookup: the plan path only engages for the
+  // exact OperationDesc objects of the SID this channel fetched, which is
+  // what makes (Sid address, operation name) a sound cache key.
+  if (sid && sid->find_operation(op.name) == &op) {
+    return wire::PlanCache::instance().operation_plan(sid, op);
+  }
+  return nullptr;
+}
+
 PendingReplyPtr RpcChannel::call_async(const std::string& operation,
                                        std::vector<wire::Value> args) {
-  return issue(operation,
-               wire::encode_value(wire::Value::sequence(std::move(args))),
-               nullptr);
+  return issue(
+      operation,
+      [&args](ByteWriter& w) {
+        wire::encode_value(w, wire::Value::sequence(std::move(args)));
+      },
+      nullptr, nullptr);
 }
 
 PendingReplyPtr RpcChannel::call_async(const sidl::OperationDesc& op,
                                        std::vector<wire::Value> args) {
+  if (auto plan = plan_for(op)) {
+    const wire::OperationPlan& p = *plan;
+    return issue(
+        op.name,
+        [&p, &args](ByteWriter& w) { p.marshal_arguments_into(w, args); },
+        op.result, std::move(plan));
+  }
+  // Foreign OperationDesc (not from this channel's SID): interpreted path.
   Bytes body = wire::marshal_arguments(op, args);
-  return issue(op.name, std::move(body), op.result);
+  return issue(op.name, [&body](ByteWriter& w) { w.raw(body); }, op.result,
+               nullptr);
 }
 
 wire::Value RpcChannel::call(const std::string& operation,
@@ -210,7 +271,12 @@ wire::Value RpcChannel::call(const sidl::OperationDesc& op,
 
 sidl::SidPtr RpcChannel::fetch_sid() {
   wire::Value v = call("_get_sid", {});
-  return v.as_sid();
+  sidl::SidPtr sid = v.as_sid();
+  {
+    std::lock_guard lock(sid_mutex_);
+    sid_ = sid;
+  }
+  return sid;
 }
 
 }  // namespace cosm::rpc

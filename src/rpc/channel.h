@@ -25,7 +25,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,7 @@
 #include "rpc/retry.h"
 #include "sidl/service_ref.h"
 #include "sidl/sid.h"
+#include "wire/plan.h"
 #include "wire/value.h"
 
 namespace cosm::rpc {
@@ -75,6 +78,13 @@ class PendingReply {
                sidl::TypePtr result_type, ReissueFn reissue, RetryPolicy retry,
                bool idempotent, std::uint64_t jitter_seed);
 
+  /// Decode the result through a compiled plan instead of the interpreted
+  /// decode+validate pair (set by the typed call path when a plan is
+  /// available; the plan is shared with the cache and outlives the reply).
+  void attach_result_plan(std::shared_ptr<const wire::OperationPlan> plan) {
+    result_plan_ = std::move(plan);
+  }
+
   /// Blocks until reply or deadline; decodes the result (validating it when
   /// the call was typed).  Throws RemoteFault on a fault reply, RpcError on
   /// timeout or transport failure (after exhausting any retry budget).
@@ -96,6 +106,7 @@ class PendingReply {
   PendingCallPtr pending_;
   CallContext ctx_;
   sidl::TypePtr result_type_;  // nullptr for untyped calls
+  std::shared_ptr<const wire::OperationPlan> result_plan_;  // may be null
   ReissueFn reissue_;          // null when retries are disabled
   RetryPolicy retry_;
   bool idempotent_ = false;
@@ -126,7 +137,9 @@ class RpcChannel {
                              std::vector<wire::Value> args);
 
   /// Fetch the service's SID via the built-in "_get_sid" operation — the
-  /// SID-transfer arrow of Fig. 3.
+  /// SID-transfer arrow of Fig. 3.  The channel remembers the SID: typed
+  /// calls whose OperationDesc belongs to it go through cached compiled
+  /// marshal plans.
   sidl::SidPtr fetch_sid();
 
   const sidl::ServiceRef& ref() const noexcept { return ref_; }
@@ -138,13 +151,25 @@ class RpcChannel {
   }
 
  private:
-  PendingReplyPtr issue(const std::string& operation, Bytes body,
-                        sidl::TypePtr result_type);
+  /// Core issue path.  `write_body` marshals the argument frame directly
+  /// into the request arena (between the message header and the trailing
+  /// fault field), so client requests are built in a single buffer.
+  PendingReplyPtr issue(const std::string& operation,
+                        const std::function<void(ByteWriter&)>& write_body,
+                        sidl::TypePtr result_type,
+                        std::shared_ptr<const wire::OperationPlan> plan);
+
+  /// The cached plan for `op` when it belongs to this channel's fetched SID
+  /// (pointer identity — the test that makes (Sid, name) a sound cache
+  /// key); nullptr otherwise.
+  std::shared_ptr<const wire::OperationPlan> plan_for(const sidl::OperationDesc& op);
 
   Network& network_;
   sidl::ServiceRef ref_;
   ChannelOptions options_;
   std::string session_;
+  std::mutex sid_mutex_;
+  sidl::SidPtr sid_;  // set by fetch_sid()
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> calls_{0};
 };

@@ -54,11 +54,6 @@ class InProcNetwork final : public Network {
   /// totals in one snapshot (defined in inproc.cpp).
   NetworkStats stats() const override;
 
-  /// DEPRECATED: read stats().frames.
-  std::uint64_t frames_served() const noexcept { return frames_.load(); }
-  /// DEPRECATED: read stats().bytes_in.
-  std::uint64_t bytes_carried() const noexcept { return bytes_.load(); }
-
  private:
   /// Counts deliveries in flight against one endpoint so unlisten can wait
   /// for them (defined in inproc.cpp).

@@ -13,8 +13,7 @@ std::string to_string(MsgType type) {
   return "?";
 }
 
-Bytes Message::encode() const {
-  ByteWriter w;
+std::size_t Message::encode_begin_body(ByteWriter& w) const {
   w.u8(static_cast<std::uint8_t>(type));
   w.varint(request_id);
   w.str(target);
@@ -25,33 +24,65 @@ Bytes Message::encode() const {
   w.varint(static_cast<std::uint64_t>(hop_budget + 1));
   w.varint(trace_id);
   w.varint(parent_span_id);
-  w.varint(body.size());
-  w.raw(body);
+  // The body length is not known yet: reserve a padded slot.  Decoders
+  // accept non-minimal varints, so a patched slot reads back identically.
+  return w.varint_slot();
+}
+
+void Message::encode_end_body(ByteWriter& w, std::size_t slot) const {
+  w.patch_varint(slot, w.size() - slot - ByteWriter::kVarintSlotWidth);
   w.str(fault);
+}
+
+Bytes Message::encode() const {
+  ByteWriter w;
+  std::size_t slot = encode_begin_body(w);
+  w.raw(body);
+  encode_end_body(w, slot);
   return w.take();
 }
 
-Message Message::decode(const Bytes& frame) {
+MessageView MessageView::decode(BytesView frame) {
   ByteReader r(frame);
-  Message m;
+  MessageView m;
   std::uint8_t t = r.u8();
   if (t > static_cast<std::uint8_t>(MsgType::Fault)) {
     throw WireError("invalid message type " + std::to_string(t));
   }
   m.type = static_cast<MsgType>(t);
   m.request_id = r.varint();
-  m.target = r.str();
-  m.operation = r.str();
-  m.session = r.str();
+  m.target = r.str_view();
+  m.operation = r.str_view();
+  m.session = r.str_view();
   m.deadline_ms = r.varint();
   m.hop_budget = static_cast<std::int32_t>(r.varint()) - 1;
   m.trace_id = r.varint();
   m.parent_span_id = r.varint();
   std::uint64_t n = r.varint();
-  m.body = r.raw(n);
-  m.fault = r.str();
+  m.body = r.view(n);
+  m.fault = r.str_view();
   if (!r.at_end()) throw WireError("trailing bytes after message");
   return m;
+}
+
+Message MessageView::to_message() const {
+  Message m;
+  m.type = type;
+  m.request_id = request_id;
+  m.target = std::string(target);
+  m.operation = std::string(operation);
+  m.session = std::string(session);
+  m.deadline_ms = deadline_ms;
+  m.hop_budget = hop_budget;
+  m.trace_id = trace_id;
+  m.parent_span_id = parent_span_id;
+  m.body = Bytes(body.begin(), body.end());
+  m.fault = std::string(fault);
+  return m;
+}
+
+Message Message::decode(const Bytes& frame) {
+  return MessageView::decode(BytesView(frame.data(), frame.size())).to_message();
 }
 
 Message Message::request(std::uint64_t id, std::string target, std::string op,

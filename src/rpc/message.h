@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.h"
 
@@ -57,10 +58,46 @@ struct Message {
   /// Throws cosm::WireError on malformed frames.
   static Message decode(const Bytes& frame);
 
+  /// Streaming encode: write every header field plus a padded body-length
+  /// slot into `writer` and return the slot offset.  The caller then writes
+  /// the body bytes directly into the same arena (e.g. a compiled marshal
+  /// plan) and closes the frame with encode_end_body() — header and body
+  /// land in one buffer with no intermediate Bytes and no re-concatenation.
+  /// The `body` member is ignored by this pair.
+  std::size_t encode_begin_body(ByteWriter& writer) const;
+  /// Patch the body length (everything written since encode_begin_body) and
+  /// append the trailing fault field, completing the frame.
+  void encode_end_body(ByteWriter& writer, std::size_t slot) const;
+
   static Message request(std::uint64_t id, std::string target, std::string op,
                          Bytes body);
   static Message response(std::uint64_t id, Bytes body);
   static Message make_fault(std::uint64_t id, std::string text);
+};
+
+/// Non-owning decoded view of a message: string fields and the body alias
+/// the frame buffer, which must outlive the view.  This is the zero-copy
+/// receive path — the server dispatches straight from the reactor's frame
+/// without materialising an owned Message.
+struct MessageView {
+  MsgType type = MsgType::Request;
+  std::uint64_t request_id = 0;
+  std::string_view target;
+  std::string_view operation;
+  std::string_view session;
+  std::uint64_t deadline_ms = 0;
+  std::int32_t hop_budget = -1;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  BytesView body;
+  std::string_view fault;
+
+  /// Throws cosm::WireError on malformed frames (same checks as
+  /// Message::decode).
+  static MessageView decode(BytesView frame);
+
+  /// Owned deep copy.
+  Message to_message() const;
 };
 
 }  // namespace cosm::rpc

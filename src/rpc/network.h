@@ -29,10 +29,8 @@
 namespace cosm::rpc {
 
 /// One snapshot of a transport's health, shared by every Network
-/// implementation (`Network::stats()`).  Replaces the old per-class ad-hoc
-/// getters (`TcpNetwork::pooled_connections/serving_threads/send_retries`,
-/// `InProcNetwork::frames_served/bytes_carried`), which remain as thin
-/// deprecated shims over this struct.
+/// implementation (`Network::stats()`) — the sole instrumentation surface
+/// (the old per-class ad-hoc getters are gone).
 struct NetworkStats {
   /// Live transport connections (client pool + accepted server side).
   std::size_t connections = 0;

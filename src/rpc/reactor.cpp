@@ -255,7 +255,7 @@ void Reactor::request_close_after_flush(const ConnectionPtr& conn) {
       conn->close_after_flush_ = true;
       conn->paused_ = true;  // draining: no new frames in
       conn->sync_interest_locked();
-      close_immediately = (conn->out_off_ == conn->outbuf_.size());
+      close_immediately = conn->outq_.empty();
     }
     if (close_immediately) close_now(conn);
   });
@@ -274,8 +274,7 @@ void Reactor::close_now(const ConnectionPtr& conn) {
     conn->registered_ = false;
     if (fd >= 0) ::close(fd);
     conn->fd_ = -1;
-    conn->outbuf_.clear();
-    conn->out_off_ = 0;
+    conn->outq_.clear();
     conn->closed_.store(true, std::memory_order_release);
   }
   if (loop && fd >= 0) loop->conns.erase(fd);
@@ -306,66 +305,83 @@ void Reactor::Connection::wait_closed() {
 
 std::size_t Reactor::Connection::pending_write_bytes() const {
   std::lock_guard lock(io_mutex_);
-  return outbuf_.size() - out_off_;
+  std::size_t total = 0;
+  for (const OutFrame& f : outq_) {
+    total += kFrameHeader + f.payload.size() - f.off;
+  }
+  return total;
 }
 
 bool Reactor::Connection::queue_write_frame(std::uint64_t corr,
                                             const Bytes& payload) {
+  return write_frame(corr, payload, nullptr);
+}
+
+bool Reactor::Connection::queue_write_frame(std::uint64_t corr, Bytes&& payload) {
+  return write_frame(corr, payload, &payload);
+}
+
+bool Reactor::Connection::write_frame(std::uint64_t corr, const Bytes& payload,
+                                      Bytes* movable) {
   std::uint8_t header[kFrameHeader];
-  encode_frame_header(header, corr,
-                      static_cast<std::uint32_t>(payload.size()));
+  encode_frame_header(header, corr, static_cast<std::uint32_t>(payload.size()));
+  const std::size_t total = kFrameHeader + payload.size();
 
   std::unique_lock lock(io_mutex_);
   if (closed_.load(std::memory_order_relaxed)) return false;
-  const bool queue_was_empty = (out_off_ == outbuf_.size());
-  std::size_t sent_header = 0;
-  std::size_t sent_payload = 0;
+  std::size_t sent = 0;
   bool hard_error = false;
-  if (queue_was_empty) {
-    // Opportunistic send: most frames fit the socket buffer outright and
-    // never touch the queue or wake the event loop.  MSG_NOSIGNAL: a peer
-    // gone mid-write must surface as EPIPE, not kill the process.
-    while (sent_header < kFrameHeader) {
-      ssize_t r = ::send(fd_, header + sent_header, kFrameHeader - sent_header,
-                         MSG_NOSIGNAL);
+  if (outq_.empty()) {
+    // Opportunistic gathered send: header and payload leave in one sendmsg
+    // (the payload is never copied into a contiguous frame), and most
+    // frames fit the socket buffer outright without touching the queue or
+    // waking the event loop.  MSG_NOSIGNAL: a peer gone mid-write must
+    // surface as EPIPE, not kill the process (plain writev cannot ask for
+    // that, hence sendmsg).
+    while (sent < total) {
+      iovec iov[2];
+      int niov = 0;
+      if (sent < kFrameHeader) {
+        iov[niov++] = {header + sent, kFrameHeader - sent};
+        if (!payload.empty()) {
+          iov[niov++] = {const_cast<std::uint8_t*>(payload.data()),
+                         payload.size()};
+        }
+      } else {
+        iov[niov++] = {const_cast<std::uint8_t*>(payload.data()) +
+                           (sent - kFrameHeader),
+                       payload.size() - (sent - kFrameHeader)};
+      }
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = static_cast<std::size_t>(niov);
+      ssize_t r = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
       if (r < 0) {
         if (errno == EINTR) continue;
         if (errno != EAGAIN && errno != EWOULDBLOCK) hard_error = true;
         break;
       }
-      sent_header += static_cast<std::size_t>(r);
+      sent += static_cast<std::size_t>(r);
     }
-    while (!hard_error && sent_header == kFrameHeader &&
-           sent_payload < payload.size()) {
-      ssize_t r = ::send(fd_, payload.data() + sent_payload,
-                         payload.size() - sent_payload, MSG_NOSIGNAL);
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        if (errno != EAGAIN && errno != EWOULDBLOCK) hard_error = true;
-        break;
-      }
-      sent_payload += static_cast<std::size_t>(r);
-    }
-    if (counters_ && sent_header + sent_payload > 0) {
-      counters_->bytes_out.fetch_add(sent_header + sent_payload,
-                                     std::memory_order_relaxed);
+    if (counters_ && sent > 0) {
+      counters_->bytes_out.fetch_add(sent, std::memory_order_relaxed);
     }
   }
   if (hard_error) {
     // The stream broke mid-frame; the peer drops a partial frame without
     // dispatching it, so the caller may safely reissue elsewhere.
-    outbuf_.clear();
-    out_off_ = 0;
+    outq_.clear();
     Reactor* reactor = reactor_;
     lock.unlock();
     if (reactor) reactor->request_close(shared_from_this());
     return false;
   }
-  if (sent_header == kFrameHeader && sent_payload == payload.size()) {
-    return true;  // fully on the wire
-  }
-  outbuf_.insert(outbuf_.end(), header + sent_header, header + kFrameHeader);
-  outbuf_.insert(outbuf_.end(), payload.begin() + sent_payload, payload.end());
+  if (sent == total) return true;  // fully on the wire
+  OutFrame frame;
+  std::memcpy(frame.header, header, kFrameHeader);
+  frame.payload = movable ? std::move(*movable) : payload;
+  frame.off = sent;
+  outq_.push_back(std::move(frame));
   if (!want_write_) {
     want_write_ = true;
     sync_interest_locked();
@@ -374,24 +390,51 @@ bool Reactor::Connection::queue_write_frame(std::uint64_t corr,
 }
 
 bool Reactor::Connection::flush_ready() {
+  // Gather up to kFlushBatch parked frames into one sendmsg per round —
+  // header and payload slices straight from the queue, no flat staging
+  // buffer.
+  constexpr std::size_t kFlushBatch = 16;
   std::lock_guard lock(io_mutex_);
   if (closed_.load(std::memory_order_relaxed)) return false;
-  while (out_off_ < outbuf_.size()) {
-    ssize_t r = ::send(fd_, outbuf_.data() + out_off_,
-                       outbuf_.size() - out_off_, MSG_NOSIGNAL);
+  while (!outq_.empty()) {
+    iovec iov[2 * kFlushBatch];
+    std::size_t niov = 0;
+    for (auto it = outq_.begin();
+         it != outq_.end() && niov + 2 <= 2 * kFlushBatch; ++it) {
+      std::size_t off = it->off;
+      if (off < kFrameHeader) {
+        iov[niov++] = {it->header + off, kFrameHeader - off};
+        off = 0;
+      } else {
+        off -= kFrameHeader;
+      }
+      if (off < it->payload.size()) {
+        iov[niov++] = {it->payload.data() + off, it->payload.size() - off};
+      }
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    ssize_t r = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return false;  // stay armed
       return true;  // hard error: close (pendings fail via on_closed)
     }
-    out_off_ += static_cast<std::size_t>(r);
     if (counters_) {
       counters_->bytes_out.fetch_add(static_cast<std::size_t>(r),
                                      std::memory_order_relaxed);
     }
+    std::size_t consumed = static_cast<std::size_t>(r);
+    while (consumed > 0 && !outq_.empty()) {
+      OutFrame& f = outq_.front();
+      const std::size_t remaining = kFrameHeader + f.payload.size() - f.off;
+      const std::size_t take = std::min(remaining, consumed);
+      f.off += take;
+      consumed -= take;
+      if (f.off == kFrameHeader + f.payload.size()) outq_.pop_front();
+    }
   }
-  outbuf_.clear();
-  out_off_ = 0;
   if (want_write_) {
     want_write_ = false;
     sync_interest_locked();

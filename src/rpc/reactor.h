@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -90,13 +91,18 @@ class Reactor {
       return closed_.load(std::memory_order_acquire);
     }
 
-    /// Queue one frame for sending; thread-safe.  Sends immediately when
-    /// the write queue is empty, otherwise appends and lets the owning loop
-    /// flush.  Returns false when the connection is (or just became) closed
-    /// and the frame cannot reach the wire — the caller may safely reissue
-    /// it elsewhere, because a partially-sent frame makes the peer drop the
-    /// connection without dispatching it.
+    /// Queue one frame for sending; thread-safe.  The header and payload go
+    /// out as one gathered sendmsg (scatter/gather — the payload is never
+    /// copied into a contiguous frame) when the write queue is empty,
+    /// otherwise the frame is parked for the owning loop to flush.  Returns
+    /// false when the connection is (or just became) closed and the frame
+    /// cannot reach the wire — the caller may safely reissue it elsewhere,
+    /// because a partially-sent frame makes the peer drop the connection
+    /// without dispatching it.
     bool queue_write_frame(std::uint64_t corr, const Bytes& payload);
+    /// Move overload: a parked payload is adopted, not copied (the path
+    /// server responses take).
+    bool queue_write_frame(std::uint64_t corr, Bytes&& payload);
 
     /// Block until on_closed() has run (teardown synchronisation).
     void wait_closed();
@@ -133,6 +139,19 @@ class Reactor {
    private:
     friend class Reactor;
 
+    /// One parked outbound frame: fixed header bytes + the payload as-is.
+    /// `off` counts consumed bytes across header-then-payload, so a frame
+    /// interrupted mid-send resumes exactly where the socket stopped.
+    struct OutFrame {
+      std::uint8_t header[12];
+      Bytes payload;
+      std::size_t off = 0;
+    };
+
+    /// Shared core of the two queue_write_frame overloads; `movable` (when
+    /// non-null, aliasing `payload`) lets a parked payload be adopted.
+    bool write_frame(std::uint64_t corr, const Bytes& payload, Bytes* movable);
+
     /// Flush the write queue on EPOLLOUT; returns true when the connection
     /// should close (flush finished a close_after_flush, or a hard write
     /// error).  Loop thread only.
@@ -153,8 +172,7 @@ class Reactor {
     bool want_write_ = false;        // EPOLLOUT armed (outbuf_ non-empty)
     bool paused_ = false;            // read interest dropped
     bool close_after_flush_ = false;
-    std::vector<std::uint8_t> outbuf_;
-    std::size_t out_off_ = 0;  // consumed prefix of outbuf_
+    std::deque<OutFrame> outq_;  // parked frames, oldest first
     std::atomic<bool> closed_{false};
     bool close_done_ = false;  // on_closed() ran
     std::condition_variable closed_cv_;

@@ -7,6 +7,7 @@
 #include "rpc/call_context.h"
 #include "wire/codec.h"
 #include "wire/marshal.h"
+#include "wire/plan_cache.h"
 
 namespace cosm::rpc {
 
@@ -29,14 +30,25 @@ sidl::ServiceRef RpcServer::add(ServiceObjectPtr object) {
   ref.id = next_name("svc");
   ref.endpoint = endpoint_;
   ref.interface_name = object->sid()->name;
+  // A (re-)registered SID must never be served by a stale compiled plan —
+  // drop anything the cache may hold for this Sid object (covers address
+  // reuse after a previous instance died).
+  wire::PlanCache::instance().invalidate(object->sid().get());
   std::unique_lock lock(services_mutex_);
   services_[ref.id] = std::move(object);
   return ref;
 }
 
 void RpcServer::remove(const sidl::ServiceRef& ref) {
-  std::unique_lock lock(services_mutex_);
-  services_.erase(ref.id);
+  ServiceObjectPtr object;
+  {
+    std::unique_lock lock(services_mutex_);
+    auto it = services_.find(ref.id);
+    if (it == services_.end()) return;
+    object = std::move(it->second);
+    services_.erase(it);
+  }
+  wire::PlanCache::instance().invalidate(object->sid().get());
 }
 
 ServiceObjectPtr RpcServer::find(const std::string& service_id) const {
@@ -48,7 +60,10 @@ ServiceObjectPtr RpcServer::find(const std::string& service_id) const {
 Bytes RpcServer::handle(const Bytes& frame) {
   std::uint64_t request_id = 0;
   try {
-    Message request = Message::decode(frame);
+    // Non-owning decode: string fields and the body alias `frame`, which
+    // the transport keeps alive for the whole handler call — the request
+    // body is never copied out of the reassembled frame.
+    MessageView request = MessageView::decode(BytesView(frame.data(), frame.size()));
     request_id = request.request_id;
     if (request.type != MsgType::Request) {
       throw RpcError("server received a non-request message");
@@ -65,7 +80,7 @@ Bytes RpcServer::handle(const Bytes& frame) {
   }
 }
 
-Bytes RpcServer::handle_message(const Message& request) {
+Bytes RpcServer::handle_message(const MessageView& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   auto& reg = obs::metrics();
   auto& tr = obs::tracer();
@@ -73,15 +88,20 @@ Bytes RpcServer::handle_message(const Message& request) {
     static obs::Counter& requests = reg.counter("rpc.server.requests");
     requests.add();
   }
-  ReplayCache::Key replay_key{request.session, request.request_id};
+  // The small header fields are materialised (session keys the replay cache
+  // and FSM state; operation/target feed lookups and error texts); the body
+  // stays a view into the frame.
+  const std::string operation(request.operation);
+  const std::string session(request.session);
+  ReplayCache::Key replay_key{session, request.request_id};
   if (replay_) {
     Bytes cached;
     if (replay_->lookup(replay_key, &cached)) {
       if (tr.enabled()) {
         // A replayed duplicate still shows up in the trace: a zero-work
         // server span under the retrying attempt that triggered it.
-        tr.finish(tr.start_span("rpc.server:" + request.operation,
-                                request.trace_id, request.parent_span_id),
+        tr.finish(tr.start_span("rpc.server:" + operation, request.trace_id,
+                                request.parent_span_id),
                   "replay-hit");
       }
       return cached;
@@ -98,15 +118,14 @@ Bytes RpcServer::handle_message(const Message& request) {
   }
   ctx.hop_budget = request.hop_budget;
   if (ctx.expired()) {
-    throw RpcError("deadline exceeded before dispatch of '" +
-                   request.operation + "'");
+    throw RpcError("deadline exceeded before dispatch of '" + operation + "'");
   }
 
   obs::Span span;
   std::chrono::steady_clock::time_point started{};
   if (reg.enabled()) started = std::chrono::steady_clock::now();
   if (tr.enabled()) {
-    span = tr.start_span("rpc.server:" + request.operation, request.trace_id,
+    span = tr.start_span("rpc.server:" + operation, request.trace_id,
                          request.parent_span_id);
   }
   // The dispatch context carries the request's trace downstream: nested
@@ -117,36 +136,53 @@ Bytes RpcServer::handle_message(const Message& request) {
   CallContextScope scope(ctx);
 
   try {
-    ServiceObjectPtr service = find(request.target);
+    const std::string target(request.target);
+    ServiceObjectPtr service = find(target);
     if (!service) {
-      throw NotFound("no service instance '" + request.target +
-                     "' at this endpoint");
+      throw NotFound("no service instance '" + target + "' at this endpoint");
     }
 
-    const bool infrastructure =
-        !request.operation.empty() && request.operation[0] == '_';
+    const bool infrastructure = !operation.empty() && operation[0] == '_';
 
-    wire::Value result;
-    if (request.operation == "_get_sid") {
+    // The response frame is assembled in ONE arena: message header, a
+    // patched body-length slot, the marshalled result, trailing fault field
+    // — no intermediate body Bytes, no re-concatenation.
+    Message response;
+    response.type = MsgType::Response;
+    response.request_id = request.request_id;
+    ByteWriter w;
+    const std::size_t slot = response.encode_begin_body(w);
+
+    if (operation == "_get_sid") {
       // Built-in SID transfer (Fig. 3): every hosted service can hand out its
       // interface description without the implementor writing anything.
-      result = wire::Value::sid(service->sid());
+      wire::encode_value(w, wire::Value::sid(service->sid()));
     } else if (infrastructure) {
-      wire::Value args_value = wire::decode_value(request.body);
-      result = service->dispatch(request.session, request.operation,
-                                 args_value.elements());
+      ByteReader br(request.body);
+      wire::Value args_value = wire::decode_value(br);
+      if (!br.at_end()) {
+        throw WireError("decode_value: " + std::to_string(br.remaining()) +
+                        " trailing bytes");
+      }
+      wire::Value result =
+          service->dispatch(session, operation, args_value.elements());
+      wire::encode_value(w, result);
     } else {
-      const sidl::OperationDesc* op = service->sid()->find_operation(request.operation);
+      const sidl::OperationDesc* op = service->sid()->find_operation(operation);
       if (op == nullptr) {
         throw NotFound("service '" + service->sid()->name +
-                       "' has no operation '" + request.operation + "'");
+                       "' has no operation '" + operation + "'");
       }
-      std::vector<wire::Value> args = wire::unmarshal_arguments(*op, request.body);
-      result = service->dispatch(request.session, request.operation, args);
-      wire::ensure_conforms(result, *op->result);
+      // Compiled path: unmarshal+validate the argument frame and
+      // validate+marshal the result through the cached operation plan.
+      auto plan = wire::PlanCache::instance().operation_plan(service->sid(), *op);
+      std::vector<wire::Value> args = plan->unmarshal_arguments(request.body);
+      wire::Value result = service->dispatch(session, operation, args);
+      plan->result().marshal_into(w, result);
     }
 
-    Bytes encoded = Message::response(request.request_id, wire::encode_value(result)).encode();
+    response.encode_end_body(w, slot);
+    Bytes encoded = w.take();
 
     if (replay_) replay_->insert(replay_key, encoded);
     if (span.valid()) tr.finish(std::move(span));

@@ -80,7 +80,7 @@ class RpcServer {
 
  private:
   Bytes handle(const Bytes& frame);
-  Bytes handle_message(const Message& request);
+  Bytes handle_message(const MessageView& request);
 
   Network& network_;
   ServerOptions options_;

@@ -126,8 +126,7 @@ struct TcpNetwork::ListenerState {
     gate_cv.wait(lock, [&] { return gate_count == 0; });
   }
 
-  // Live accepted connections (the unlisten drain closes them; the
-  // deprecated serving_threads() shim counts them).
+  // Live accepted connections (the unlisten drain closes them).
   std::mutex conns_mutex;
   std::condition_variable conns_cv;
   std::vector<std::shared_ptr<ServerConn>> conns;
@@ -148,10 +147,6 @@ struct TcpNetwork::ListenerState {
   std::vector<std::shared_ptr<ServerConn>> snapshot_conns() {
     std::lock_guard lock(conns_mutex);
     return conns;
-  }
-  std::size_t live_conns() {
-    std::lock_guard lock(conns_mutex);
-    return conns.size();
   }
   bool wait_conns_closed_for(std::chrono::milliseconds timeout) {
     std::unique_lock lock(conns_mutex);
@@ -205,7 +200,9 @@ class TcpNetwork::ServerConn final : public Reactor::Connection {
       ok = false;
     }
     if (ok) {
-      queue_write_frame(corr, response);
+      // Move: a response parked behind a slow peer is adopted by the write
+      // queue, never copied.
+      queue_write_frame(corr, std::move(response));
     } else if (reactor()) {
       reactor()->request_close(shared_from_this());
     }
@@ -338,13 +335,21 @@ class TcpNetwork::ClientConn final : public Reactor::Connection {
 
 // ---------------------------------------------------------------------------
 
-TcpNetwork::TcpNetwork(TransportOptions options) : options_(options) {
-  if (options_.event_loop_threads == 0) options_.event_loop_threads = 1;
-  if (options_.client_pool_cap == 0) options_.client_pool_cap = 1;
-  if (options_.max_in_flight_per_connection == 0) {
-    options_.max_in_flight_per_connection = 1;
+namespace {
+/// Clamp degenerate knobs up front; options_ is const thereafter.
+TransportOptions normalized(TransportOptions options) {
+  if (options.event_loop_threads == 0) options.event_loop_threads = 1;
+  if (options.client_pool_cap == 0) options.client_pool_cap = 1;
+  if (options.max_in_flight_per_connection == 0) {
+    options.max_in_flight_per_connection = 1;
   }
-  if (options_.send_retry.max_attempts < 1) options_.send_retry.max_attempts = 1;
+  if (options.send_retry.max_attempts < 1) options.send_retry.max_attempts = 1;
+  return options;
+}
+}  // namespace
+
+TcpNetwork::TcpNetwork(TransportOptions options)
+    : options_(normalized(options)) {
   dispatcher_ = std::make_unique<Executor>(options_.dispatch_workers);
   reactor_ = std::make_unique<Reactor>(options_.event_loop_threads);
 }
@@ -461,28 +466,6 @@ NetworkStats TcpNetwork::stats() const {
   return s;
 }
 
-TransportOptions TcpNetwork::options() const {
-  std::lock_guard lock(mutex_);
-  return options_;
-}
-
-std::size_t TcpNetwork::pooled_connections(const std::string& endpoint) const {
-  std::lock_guard lock(mutex_);
-  auto it = pools_.find(endpoint);
-  return it == pools_.end() ? 0 : it->second.conns.size();
-}
-
-std::size_t TcpNetwork::serving_threads(const std::string& endpoint) const {
-  std::shared_ptr<ListenerState> listener;
-  {
-    std::lock_guard lock(mutex_);
-    auto it = listeners_.find(endpoint);
-    if (it == listeners_.end()) return 0;
-    listener = it->second;
-  }
-  return listener->live_conns();
-}
-
 /// Pick an idle pooled connection, reaping closed ones; dial a fresh one
 /// while the pool — dials in progress included, so racing callers cannot
 /// overshoot the cap — has room; otherwise multiplex over the least-loaded
@@ -571,17 +554,6 @@ std::shared_ptr<TcpNetwork::ClientConn> TcpNetwork::checkout_conn(
   return conn;
 }
 
-void TcpNetwork::set_send_retry_policy(RetryPolicy policy) {
-  std::lock_guard lock(mutex_);
-  if (policy.max_attempts < 1) policy.max_attempts = 1;
-  options_.send_retry = policy;
-}
-
-RetryPolicy TcpNetwork::send_retry_policy() const {
-  std::lock_guard lock(mutex_);
-  return options_.send_retry;
-}
-
 PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
                                       const Bytes& request,
                                       const CallContext& ctx) {
@@ -599,7 +571,7 @@ PendingCallPtr TcpNetwork::call_async(const std::string& endpoint,
   // queued is never reissued (at-most-once stays with the replay cache).
   // Backoff between attempts is jittered and never sleeps past the
   // caller's deadline.
-  RetryPolicy policy = send_retry_policy();
+  const RetryPolicy& policy = options_.send_retry;
   for (int attempt = 1;; ++attempt) {
     std::exception_ptr failure;
     std::shared_ptr<ClientConn> conn;

@@ -63,29 +63,9 @@ class TcpNetwork final : public Network {
   /// in one snapshot — the documented instrumentation surface.
   NetworkStats stats() const override;
 
-  /// The options this network was built with (send_retry reflects any
-  /// set_send_retry_policy() shim call).
-  TransportOptions options() const;
-
-  // --- deprecated shims (prefer stats() / TransportOptions) ---
-
-  /// DEPRECATED: pass TransportOptions::send_retry at construction
-  /// instead.  Kept as a shim mutating the same policy so existing callers
-  /// keep working.
-  void set_send_retry_policy(RetryPolicy policy);
-  /// DEPRECATED: read options().send_retry.
-  RetryPolicy send_retry_policy() const;
-  /// DEPRECATED: per-endpoint slice of stats().connections (client side).
-  std::size_t pooled_connections(const std::string& endpoint) const;
-  /// DEPRECATED: live accepted connections of the listener bound at
-  /// `endpoint`.  The reactor serves connections without per-connection
-  /// threads, so this now counts connections; the name survives for seed
-  /// tests.
-  std::size_t serving_threads(const std::string& endpoint) const;
-  /// DEPRECATED: stats().send_retries.
-  std::uint64_t send_retries() const noexcept {
-    return send_retries_.load(std::memory_order_relaxed);
-  }
+  /// The options this network was built with.  Immutable after
+  /// construction — every behavioural knob is fixed up front.
+  const TransportOptions& options() const noexcept { return options_; }
 
  private:
   struct ListenerState;
@@ -110,7 +90,7 @@ class TcpNetwork final : public Network {
   /// Signalled when a dial finishes (success or failure) so callers waiting
   /// for a capped-out pool can proceed.
   std::condition_variable dial_cv_;
-  TransportOptions options_;  // send_retry mutable under mutex_ (shim)
+  const TransportOptions options_;  // fixed at construction
 
   // Jitter for send-retry backoff; its own lock so backoff sleep decisions
   // never contend with pool checkout.

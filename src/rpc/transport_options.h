@@ -1,8 +1,7 @@
 // Construction-time knobs for the TCP transport.
 //
-// TransportOptions replaces the old post-construction setter pattern
-// (`TcpNetwork::set_send_retry_policy`): every knob is fixed when the
-// network is built, so there is no window in which callers race a
+// Every knob is fixed when the network is built — TcpNetwork keeps the
+// bundle const — so there is no window in which callers race a
 // half-configured transport.  The options ride on
 // `core::RuntimeOptions::transport` so one options bundle configures the
 // whole stack:
@@ -11,10 +10,6 @@
 //   opts.transport.event_loop_threads = 4;
 //   rpc::TcpNetwork net(opts.transport);   // honored at construction
 //   core::CosmRuntime runtime(net, opts);
-//
-// Deprecation path: `set_send_retry_policy()` still exists as a thin shim
-// mutating the same policy (see tcp.h) but new code should pass the policy
-// here instead.
 
 #pragma once
 

@@ -1,59 +1,40 @@
 #include "wire/codec.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "sidl/parser.h"
 #include "sidl/printer.h"
 
 namespace cosm::wire {
 
-namespace {
-
-// Wire tags; part of the stable wire format — append only.
-enum Tag : std::uint8_t {
-  kNull = 0,
-  kFalse = 1,
-  kTrue = 2,
-  kInt = 3,
-  kFloat = 4,
-  kString = 5,
-  kEnum = 6,
-  kStruct = 7,
-  kSequence = 8,
-  kOptAbsent = 9,
-  kOptPresent = 10,
-  kServiceRef = 11,
-  kSid = 12,
-};
-
-}  // namespace
-
 void encode_value(ByteWriter& w, const Value& v) {
   switch (v.kind()) {
     case ValueKind::Null:
-      w.u8(kNull);
+      w.u8(kTagNull);
       return;
     case ValueKind::Bool:
-      w.u8(v.as_bool() ? kTrue : kFalse);
+      w.u8(v.as_bool() ? kTagTrue : kTagFalse);
       return;
     case ValueKind::Int:
-      w.u8(kInt);
+      w.u8(kTagInt);
       w.svarint(v.as_int());
       return;
     case ValueKind::Float:
-      w.u8(kFloat);
+      w.u8(kTagFloat);
       w.f64(v.as_real());
       return;
     case ValueKind::String:
-      w.u8(kString);
+      w.u8(kTagString);
       w.str(v.as_string());
       return;
     case ValueKind::Enum:
-      w.u8(kEnum);
+      w.u8(kTagEnum);
       w.str(v.type_name());
       w.str(v.enum_label());
       return;
     case ValueKind::Struct: {
-      w.u8(kStruct);
+      w.u8(kTagStruct);
       w.str(v.type_name());
       w.varint(v.field_count());
       for (std::size_t i = 0; i < v.field_count(); ++i) {
@@ -63,25 +44,25 @@ void encode_value(ByteWriter& w, const Value& v) {
       return;
     }
     case ValueKind::Sequence: {
-      w.u8(kSequence);
+      w.u8(kTagSequence);
       w.varint(v.elements().size());
       for (const Value& e : v.elements()) encode_value(w, e);
       return;
     }
     case ValueKind::Optional:
       if (v.has_payload()) {
-        w.u8(kOptPresent);
+        w.u8(kTagOptPresent);
         encode_value(w, v.payload());
       } else {
-        w.u8(kOptAbsent);
+        w.u8(kTagOptAbsent);
       }
       return;
     case ValueKind::ServiceRef:
-      w.u8(kServiceRef);
+      w.u8(kTagServiceRef);
       w.str(v.as_ref().to_string());
       return;
     case ValueKind::Sid:
-      w.u8(kSid);
+      w.u8(kTagSid);
       w.str(sidl::print_sid(*v.as_sid()));
       return;
   }
@@ -94,52 +75,54 @@ Bytes encode_value(const Value& value) {
   return w.take();
 }
 
-Value decode_value(ByteReader& r) {
-  std::uint8_t tag = r.u8();
+Value decode_value_body(std::uint8_t tag, ByteReader& r) {
   switch (tag) {
-    case kNull:
+    case kTagNull:
       return Value::null();
-    case kFalse:
+    case kTagFalse:
       return Value::boolean(false);
-    case kTrue:
+    case kTagTrue:
       return Value::boolean(true);
-    case kInt:
+    case kTagInt:
       return Value::integer(r.svarint());
-    case kFloat:
+    case kTagFloat:
       return Value::real(r.f64());
-    case kString:
+    case kTagString:
       return Value::string(r.str());
-    case kEnum: {
+    case kTagEnum: {
       std::string type_name = r.str();
       std::string label = r.str();
       if (label.empty()) throw WireError("enum value with empty label");
       return Value::enumerated(std::move(type_name), std::move(label));
     }
-    case kStruct: {
+    case kTagStruct: {
       std::string type_name = r.str();
       std::uint64_t n = r.varint();
       std::vector<std::pair<std::string, Value>> fields;
-      fields.reserve(n);
+      // Clamp the reservation: `n` is attacker-controlled and each field
+      // costs at least one byte, so reserving past remaining() could only
+      // serve a frame that is guaranteed to underrun anyway.
+      fields.reserve(std::min<std::uint64_t>(n, r.remaining()));
       for (std::uint64_t i = 0; i < n; ++i) {
         std::string name = r.str();
         fields.emplace_back(std::move(name), decode_value(r));
       }
       return Value::structure(std::move(type_name), std::move(fields));
     }
-    case kSequence: {
+    case kTagSequence: {
       std::uint64_t n = r.varint();
       std::vector<Value> elems;
-      elems.reserve(n);
+      elems.reserve(std::min<std::uint64_t>(n, r.remaining()));
       for (std::uint64_t i = 0; i < n; ++i) elems.push_back(decode_value(r));
       return Value::sequence(std::move(elems));
     }
-    case kOptAbsent:
+    case kTagOptAbsent:
       return Value::optional_absent();
-    case kOptPresent:
+    case kTagOptPresent:
       return Value::optional_of(decode_value(r));
-    case kServiceRef:
+    case kTagServiceRef:
       return Value::service_ref(sidl::ServiceRef::from_string(r.str()));
-    case kSid: {
+    case kTagSid: {
       std::string text = r.str();
       try {
         auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(text));
@@ -152,6 +135,8 @@ Value decode_value(ByteReader& r) {
       throw WireError("decode_value: unknown tag " + std::to_string(tag));
   }
 }
+
+Value decode_value(ByteReader& r) { return decode_value_body(r.u8(), r); }
 
 Value decode_value(const Bytes& bytes) {
   ByteReader r(bytes);

@@ -3,7 +3,8 @@
 // Every value carries a one-byte kind tag, so a receiver can decode without
 // prior knowledge of the type — the property that lets a Browser accept
 // registrations of services it has never heard of.  Type *checking* against
-// a SID happens separately in the marshaller (marshal.h).
+// a SID happens separately in the marshaller (marshal.h) or fused into plan
+// execution (plan.h).
 //
 // SIDs are encoded in their SIDL source form (a string) and re-parsed on
 // decode: this is precisely how the paper keeps extended SIDs processable by
@@ -17,6 +18,25 @@
 
 namespace cosm::wire {
 
+/// Wire tags; part of the stable wire format — append only.  Shared by the
+/// tree-walking codec below and the compiled marshal plans (plan.h), whose
+/// output must stay byte-identical.
+enum Tag : std::uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagFloat = 4,
+  kTagString = 5,
+  kTagEnum = 6,
+  kTagStruct = 7,
+  kTagSequence = 8,
+  kTagOptAbsent = 9,
+  kTagOptPresent = 10,
+  kTagServiceRef = 11,
+  kTagSid = 12,
+};
+
 /// Append the value's TLV encoding to the writer.
 void encode_value(ByteWriter& writer, const Value& value);
 
@@ -26,6 +46,12 @@ Bytes encode_value(const Value& value);
 /// Decode one value; throws cosm::WireError on malformed bytes (including a
 /// SID payload that fails to parse).
 Value decode_value(ByteReader& reader);
+
+/// Decode the payload of a value whose tag byte was already consumed — the
+/// continuation compiled plans fall back to when a tag does not match their
+/// expectation and the value must still be decoded before the type error is
+/// reported.
+Value decode_value_body(std::uint8_t tag, ByteReader& reader);
 
 /// Convenience: decode a byte vector that holds exactly one value.
 Value decode_value(const Bytes& bytes);

@@ -95,19 +95,23 @@ void ensure_conforms(const Value& value, const TypeDesc& type) {
   if (!err.empty()) throw TypeError("value does not conform: " + err);
 }
 
-DynamicMarshaller::DynamicMarshaller(sidl::TypePtr type) : type_(std::move(type)) {
-  if (!type_) throw ContractError("DynamicMarshaller needs a type");
-}
+DynamicMarshaller::DynamicMarshaller(sidl::TypePtr type)
+    : plan_(std::move(type)) {}  // MarshalPlan rejects a null type
 
 Bytes DynamicMarshaller::marshal(const Value& value) const {
-  ensure_conforms(value, *type_);
-  return encode_value(value);
+  return plan_.marshal(value);
+}
+
+void DynamicMarshaller::marshal_into(ByteWriter& writer, const Value& value) const {
+  plan_.marshal_into(writer, value);
 }
 
 Value DynamicMarshaller::unmarshal(const Bytes& bytes) const {
-  Value v = decode_value(bytes);
-  ensure_conforms(v, *type_);
-  return v;
+  return plan_.unmarshal(bytes);
+}
+
+Value DynamicMarshaller::unmarshal(BytesView bytes) const {
+  return plan_.unmarshal(bytes);
 }
 
 Bytes marshal_arguments(const sidl::OperationDesc& op, const std::vector<Value>& args) {

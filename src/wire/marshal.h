@@ -9,11 +9,13 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/bytes.h"
 #include "sidl/sid.h"
 #include "sidl/type_desc.h"
+#include "wire/plan.h"
 #include "wire/value.h"
 
 namespace cosm::wire {
@@ -27,7 +29,9 @@ bool conforms(const Value& value, const sidl::TypeDesc& type);
 /// cosm::TypeError.
 void ensure_conforms(const Value& value, const sidl::TypeDesc& type);
 
-/// Marshaller for a single TypeDesc.
+/// Marshaller for a single TypeDesc.  Compiles the type into a MarshalPlan
+/// (plan.h) at construction; every call then runs the compiled program
+/// instead of re-walking the description tree.
 class DynamicMarshaller {
  public:
   explicit DynamicMarshaller(sidl::TypePtr type);
@@ -35,13 +39,19 @@ class DynamicMarshaller {
   /// Validate + encode.  Throws cosm::TypeError on non-conforming values.
   Bytes marshal(const Value& value) const;
 
+  /// Validate + encode appended into an existing arena (zero-copy caller
+  /// paths; rolled back on failure).
+  void marshal_into(ByteWriter& writer, const Value& value) const;
+
   /// Decode + validate.  Throws cosm::WireError / cosm::TypeError.
   Value unmarshal(const Bytes& bytes) const;
+  Value unmarshal(BytesView bytes) const;
 
-  const sidl::TypePtr& type() const noexcept { return type_; }
+  const sidl::TypePtr& type() const noexcept { return plan_.type(); }
+  const MarshalPlan& plan() const noexcept { return plan_; }
 
  private:
-  sidl::TypePtr type_;
+  MarshalPlan plan_;
 };
 
 /// Marshal a full argument list against an operation signature (in/inout

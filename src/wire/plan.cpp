@@ -1,0 +1,484 @@
+#include "wire/plan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sidl/printer.h"
+#include "wire/codec.h"
+#include "wire/marshal.h"
+
+namespace cosm::wire {
+
+using sidl::TypeDesc;
+using sidl::TypeKind;
+
+namespace {
+
+/// Internal signal: the fast path detected a non-conforming value.  Callers
+/// catch it (as TypeError) and replay through the interpreted reference path
+/// to produce the canonical error message.
+[[noreturn]] void mismatch() { throw TypeError("value does not conform to plan"); }
+
+/// Wire tag of a type whose first encoded byte is value-independent, or -1.
+int constant_tag(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::Void: return kTagNull;
+    case TypeKind::Int: return kTagInt;
+    case TypeKind::Float: return kTagFloat;
+    case TypeKind::String: return kTagString;
+    case TypeKind::ServiceRef: return kTagServiceRef;
+    case TypeKind::Sid: return kTagSid;
+    case TypeKind::Sequence: return kTagSequence;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+int MarshalPlan::StructInfo::find_slot(std::string_view field_name) const noexcept {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+MarshalPlan::MarshalPlan(sidl::TypePtr type) : type_(std::move(type)) {
+  if (!type_) throw ContractError("MarshalPlan needs a type");
+  root_ = compile(*type_);
+}
+
+std::uint32_t MarshalPlan::compile(const TypeDesc& t) {
+  switch (t.kind()) {
+    case TypeKind::Void:
+      ops_.push_back({OpCode::Null, 0});
+      break;
+    case TypeKind::Bool:
+      ops_.push_back({OpCode::Bool, 0});
+      break;
+    case TypeKind::Int:
+      ops_.push_back({OpCode::Int, 0});
+      break;
+    case TypeKind::Float:
+      ops_.push_back({OpCode::Float, 0});
+      break;
+    case TypeKind::String:
+      ops_.push_back({OpCode::String, 0});
+      break;
+    case TypeKind::ServiceRef:
+      ops_.push_back({OpCode::Ref, 0});
+      break;
+    case TypeKind::Sid:
+      ops_.push_back({OpCode::Sid, 0});
+      break;
+    case TypeKind::Any:
+      ops_.push_back({OpCode::Any, 0});
+      break;
+    case TypeKind::Enum: {
+      EnumInfo info;
+      info.name = t.name();
+      ByteWriter header;
+      header.u8(kTagEnum);
+      header.str(info.name);
+      info.header = header.take();
+      for (const std::string& label : t.labels()) info.labels.insert(label);
+      enums_.push_back(std::move(info));
+      ops_.push_back({OpCode::Enum, static_cast<std::uint32_t>(enums_.size() - 1)});
+      break;
+    }
+    case TypeKind::Struct: {
+      StructInfo info;
+      info.name = t.name();
+      ByteWriter header;
+      header.u8(kTagStruct);
+      header.str(info.name);
+      header.varint(t.fields().size());
+      info.header = header.take();
+      info.fields.reserve(t.fields().size());
+      for (const auto& f : t.fields()) {
+        StructField field;
+        field.name = f.name;
+        field.child = compile(*f.type);
+        ByteWriter prefix;
+        prefix.str(field.name);
+        int tag = constant_tag(f.type->kind());
+        if (tag >= 0) {
+          // Fuse the child's constant tag into the field prefix: the fast
+          // path then emits name + tag as one memcpy and the child encodes
+          // its body only.
+          prefix.u8(static_cast<std::uint8_t>(tag));
+          field.fused = true;
+        }
+        field.prefix = prefix.take();
+        info.fields.push_back(std::move(field));
+      }
+      structs_.push_back(std::move(info));
+      ops_.push_back({OpCode::Struct, static_cast<std::uint32_t>(structs_.size() - 1)});
+      break;
+    }
+    case TypeKind::Sequence: {
+      std::uint32_t child = compile(*t.element());
+      ops_.push_back({OpCode::Seq, child});
+      break;
+    }
+    case TypeKind::Optional: {
+      std::uint32_t child = compile(*t.element());
+      ops_.push_back({OpCode::Opt, child});
+      break;
+    }
+  }
+  return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+void MarshalPlan::encode_op(std::uint32_t idx, ByteWriter& w, const Value& v) const {
+  const Op op = ops_[idx];
+  switch (op.code) {
+    case OpCode::Null:
+      if (!v.is_null()) mismatch();
+      w.u8(kTagNull);
+      return;
+    case OpCode::Bool:
+      if (!v.is(ValueKind::Bool)) mismatch();
+      w.u8(v.as_bool() ? kTagTrue : kTagFalse);
+      return;
+    case OpCode::Int:
+      if (!v.is(ValueKind::Int)) mismatch();
+      w.u8(kTagInt);
+      w.svarint(v.as_int());
+      return;
+    case OpCode::Float:
+      if (!v.is(ValueKind::Float)) mismatch();
+      w.u8(kTagFloat);
+      w.f64(v.as_real());
+      return;
+    case OpCode::String:
+      if (!v.is(ValueKind::String)) mismatch();
+      w.u8(kTagString);
+      w.str(v.as_string());
+      return;
+    case OpCode::Ref:
+      if (!v.is(ValueKind::ServiceRef)) mismatch();
+      w.u8(kTagServiceRef);
+      w.str(v.as_ref().to_string());
+      return;
+    case OpCode::Sid:
+      if (!v.is(ValueKind::Sid)) mismatch();
+      w.u8(kTagSid);
+      w.str(sidl::print_sid(*v.as_sid()));
+      return;
+    case OpCode::Any:
+      encode_value(w, v);  // top type: no checking, generic encode
+      return;
+    case OpCode::Enum: {
+      if (!v.is(ValueKind::Enum)) mismatch();
+      const EnumInfo& info = enums_[op.a];
+      const std::string& vname = v.type_name();
+      if (vname == info.name) {
+        w.raw(info.header);
+      } else {
+        if (!vname.empty() && !info.name.empty()) mismatch();
+        w.u8(kTagEnum);
+        w.str(vname);
+      }
+      if (!info.labels.count(v.enum_label())) mismatch();
+      w.str(v.enum_label());
+      return;
+    }
+    case OpCode::Struct: {
+      if (!v.is(ValueKind::Struct)) mismatch();
+      const StructInfo& info = structs_[op.a];
+      const std::size_t n = v.field_count();
+      // Fast path: the value's shape matches the declaration positionally —
+      // every constant byte run was precomputed at compile time.
+      if (n == info.fields.size() && v.type_name() == info.name) {
+        std::size_t i = 0;
+        for (; i < n; ++i) {
+          if (v.field_name(i) != info.fields[i].name) break;
+        }
+        if (i == n) {
+          w.raw(info.header);
+          for (i = 0; i < n; ++i) {
+            const StructField& f = info.fields[i];
+            w.raw(f.prefix);
+            if (f.fused) {
+              encode_op_body(f.child, w, v.field(i));
+            } else {
+              encode_op(f.child, w, v.field(i));
+            }
+          }
+          return;
+        }
+      }
+      // Slow path, still byte-identical to encode_value: fields in VALUE
+      // order, the value's own type name and field count (record width
+      // subtyping admits extras), first occurrence of each declared field
+      // validated by its child plan, extras and duplicates encoded
+      // generically.
+      {
+        const std::string& vname = v.type_name();
+        if (!vname.empty() && !info.name.empty() && vname != info.name) mismatch();
+        w.u8(kTagStruct);
+        w.str(vname);
+        w.varint(n);
+        std::vector<char> seen(info.fields.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+          w.str(v.field_name(i));
+          int slot = info.find_slot(v.field_name(i));
+          if (slot >= 0 && !seen[static_cast<std::size_t>(slot)]) {
+            seen[static_cast<std::size_t>(slot)] = 1;
+            encode_op(info.fields[static_cast<std::size_t>(slot)].child, w, v.field(i));
+          } else {
+            encode_value(w, v.field(i));
+          }
+        }
+        for (char s : seen) {
+          if (!s) mismatch();  // declared field missing from the value
+        }
+      }
+      return;
+    }
+    case OpCode::Seq: {
+      if (!v.is(ValueKind::Sequence)) mismatch();
+      w.u8(kTagSequence);
+      encode_op_body(idx, w, v);
+      return;
+    }
+    case OpCode::Opt:
+      if (!v.is(ValueKind::Optional)) mismatch();
+      if (v.has_payload()) {
+        w.u8(kTagOptPresent);
+        encode_op(op.a, w, v.payload());
+      } else {
+        w.u8(kTagOptAbsent);
+      }
+      return;
+  }
+  throw ContractError("MarshalPlan: unknown opcode");
+}
+
+void MarshalPlan::encode_op_body(std::uint32_t idx, ByteWriter& w, const Value& v) const {
+  const Op op = ops_[idx];
+  switch (op.code) {
+    case OpCode::Null:
+      if (!v.is_null()) mismatch();
+      return;  // the fused kTagNull IS the whole encoding
+    case OpCode::Int:
+      if (!v.is(ValueKind::Int)) mismatch();
+      w.svarint(v.as_int());
+      return;
+    case OpCode::Float:
+      if (!v.is(ValueKind::Float)) mismatch();
+      w.f64(v.as_real());
+      return;
+    case OpCode::String:
+      if (!v.is(ValueKind::String)) mismatch();
+      w.str(v.as_string());
+      return;
+    case OpCode::Ref:
+      if (!v.is(ValueKind::ServiceRef)) mismatch();
+      w.str(v.as_ref().to_string());
+      return;
+    case OpCode::Sid:
+      if (!v.is(ValueKind::Sid)) mismatch();
+      w.str(sidl::print_sid(*v.as_sid()));
+      return;
+    case OpCode::Seq: {
+      if (!v.is(ValueKind::Sequence)) mismatch();
+      const std::vector<Value>& elems = v.elements();
+      w.varint(elems.size());
+      for (const Value& e : elems) encode_op(op.a, w, e);
+      return;
+    }
+    default:
+      throw ContractError("MarshalPlan: opcode has no fused-tag body form");
+  }
+}
+
+Value MarshalPlan::decode_op(std::uint32_t idx, ByteReader& r) const {
+  const Op op = ops_[idx];
+  const std::uint8_t tag = r.u8();
+  switch (op.code) {
+    case OpCode::Null:
+      if (tag != kTagNull) mismatch();
+      return Value::null();
+    case OpCode::Bool:
+      if (tag == kTagTrue) return Value::boolean(true);
+      if (tag == kTagFalse) return Value::boolean(false);
+      mismatch();
+    case OpCode::Int:
+      if (tag != kTagInt) mismatch();
+      return Value::integer(r.svarint());
+    case OpCode::Float:
+      if (tag != kTagFloat) mismatch();
+      return Value::real(r.f64());
+    case OpCode::String:
+      if (tag != kTagString) mismatch();
+      return Value::string(r.str());
+    case OpCode::Ref:
+      if (tag != kTagServiceRef) mismatch();
+      return decode_value_body(kTagServiceRef, r);
+    case OpCode::Sid:
+      if (tag != kTagSid) mismatch();
+      return decode_value_body(kTagSid, r);  // wraps ParseError in WireError
+    case OpCode::Any:
+      return decode_value_body(tag, r);
+    case OpCode::Enum: {
+      if (tag != kTagEnum) mismatch();
+      const EnumInfo& info = enums_[op.a];
+      std::string type_name = r.str();
+      std::string label = r.str();
+      // Decode-level check, same as decode_value — an empty label is a wire
+      // error, not a conformance error.
+      if (label.empty()) throw WireError("enum value with empty label");
+      if (!type_name.empty() && !info.name.empty() && type_name != info.name) mismatch();
+      if (!info.labels.count(label)) mismatch();
+      return Value::enumerated(std::move(type_name), std::move(label));
+    }
+    case OpCode::Struct: {
+      if (tag != kTagStruct) mismatch();
+      const StructInfo& info = structs_[op.a];
+      std::string type_name = r.str();
+      if (!type_name.empty() && !info.name.empty() && type_name != info.name) mismatch();
+      std::uint64_t n = r.varint();
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(std::min<std::uint64_t>(n, r.remaining()));
+      std::vector<char> seen(info.fields.size(), 0);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        int slot = info.find_slot(name);
+        if (slot >= 0 && !seen[static_cast<std::size_t>(slot)]) {
+          // First wire occurrence of a declared field: validated by the
+          // child plan (find_field semantics — later duplicates are
+          // extras and only need to be decodable).
+          seen[static_cast<std::size_t>(slot)] = 1;
+          fields.emplace_back(std::move(name),
+                              decode_op(info.fields[static_cast<std::size_t>(slot)].child, r));
+        } else {
+          fields.emplace_back(std::move(name), decode_value(r));
+        }
+      }
+      for (char s : seen) {
+        if (!s) mismatch();
+      }
+      return Value::structure(std::move(type_name), std::move(fields));
+    }
+    case OpCode::Seq: {
+      if (tag != kTagSequence) mismatch();
+      std::uint64_t n = r.varint();
+      std::vector<Value> elems;
+      elems.reserve(std::min<std::uint64_t>(n, r.remaining()));
+      for (std::uint64_t i = 0; i < n; ++i) elems.push_back(decode_op(op.a, r));
+      return Value::sequence(std::move(elems));
+    }
+    case OpCode::Opt:
+      if (tag == kTagOptAbsent) return Value::optional_absent();
+      if (tag == kTagOptPresent) return Value::optional_of(decode_op(op.a, r));
+      mismatch();
+  }
+  throw ContractError("MarshalPlan: unknown opcode");
+}
+
+void MarshalPlan::marshal_into(ByteWriter& writer, const Value& value) const {
+  const std::size_t base = writer.size();
+  try {
+    encode_op(root_, writer, value);
+  } catch (const Error&) {
+    // Roll back the partial encoding and replay through the interpreted
+    // reference: it throws the canonical TypeError — or, should the plan
+    // ever reject something the reference accepts, produces the bytes.
+    writer.truncate(base);
+    ensure_conforms(value, *type_);
+    encode_value(writer, value);
+  }
+}
+
+Bytes MarshalPlan::marshal(const Value& value) const {
+  ByteWriter w;
+  marshal_into(w, value);
+  return w.take();
+}
+
+Value MarshalPlan::unmarshal(BytesView bytes) const {
+  try {
+    ByteReader r(bytes);
+    Value v = decode_op(root_, r);
+    if (!r.at_end()) {
+      throw WireError("decode_value: " + std::to_string(r.remaining()) +
+                      " trailing bytes");
+    }
+    return v;
+  } catch (const TypeError&) {
+    // Conformance failure detected mid-decode.  Replay the interpreted
+    // path so the error class, message, and ordering (a later wire error
+    // outranks an earlier type error, because the reference decodes the
+    // whole frame before validating) are exactly the reference's.
+    ByteReader r(bytes);
+    Value v = decode_value(r);
+    if (!r.at_end()) {
+      throw WireError("decode_value: " + std::to_string(r.remaining()) +
+                      " trailing bytes");
+    }
+    ensure_conforms(v, *type_);
+    return v;
+  }
+}
+
+OperationPlan::OperationPlan(const sidl::OperationDesc& op)
+    : op_(op), result_(op.result ? op.result : sidl::TypeDesc::void_()) {
+  for (const auto& p : op_.params) {
+    if (p.dir != sidl::ParamDir::Out) params_.emplace_back(p.type);
+  }
+}
+
+void OperationPlan::marshal_arguments_into(ByteWriter& writer,
+                                           const std::vector<Value>& args) const {
+  const std::size_t base = writer.size();
+  if (args.size() != params_.size()) {
+    throw TypeError("operation '" + op_.name + "' expects " +
+                    std::to_string(params_.size()) + " argument(s), got " +
+                    std::to_string(args.size()));
+  }
+  try {
+    writer.u8(kTagSequence);
+    writer.varint(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      params_[i].encode_op(params_[i].root_, writer, args[i]);
+    }
+  } catch (const Error&) {
+    writer.truncate(base);
+    writer.raw(wire::marshal_arguments(op_, args));  // canonical error or bytes
+  }
+}
+
+Bytes OperationPlan::marshal_arguments(const std::vector<Value>& args) const {
+  ByteWriter w;
+  marshal_arguments_into(w, args);
+  return w.take();
+}
+
+std::vector<Value> OperationPlan::unmarshal_arguments(BytesView bytes) const {
+  try {
+    ByteReader r(bytes);
+    if (r.u8() != kTagSequence) return replay_unmarshal(bytes);
+    std::uint64_t n = r.varint();
+    if (n != params_.size()) return replay_unmarshal(bytes);
+    std::vector<Value> args;
+    args.reserve(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      args.push_back(params_[i].decode_op(params_[i].root_, r));
+    }
+    if (!r.at_end()) return replay_unmarshal(bytes);
+    return args;
+  } catch (const TypeError&) {
+    return replay_unmarshal(bytes);
+  }
+}
+
+/// Replay an argument frame through the interpreted reference — only runs
+/// on inputs the fast path rejected, so the copy from view to owned Bytes
+/// is off the hot path.  Behaviour (errors AND the rare case where the plan
+/// was too strict) is the reference's by construction.
+std::vector<Value> OperationPlan::replay_unmarshal(BytesView bytes) const {
+  return wire::unmarshal_arguments(op_, Bytes(bytes.begin(), bytes.end()));
+}
+
+}  // namespace cosm::wire

@@ -1,0 +1,95 @@
+#include "wire/plan_cache.h"
+
+#include "common/error.h"
+
+namespace cosm::wire {
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const OperationPlan> PlanCache::operation_plan(
+    const sidl::SidPtr& sid, const sidl::OperationDesc& op) {
+  if (!sid) throw ContractError("PlanCache::operation_plan needs a SID");
+  const Key key{sid.get(), op.name};
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // The guard must lock AND still be the same object: a dead weak_ptr
+      // is a re-registered SID; a live one at the same address but from a
+      // different control block is ABA reuse.  Either way the entry is
+      // stale.
+      if (auto guard = it->second.guard.lock(); guard.get() == sid.get()) {
+        ++hits_;
+        it->second.last_used = ++tick_;
+        return it->second.plan;
+      }
+      entries_.erase(it);
+    }
+    ++misses_;
+  }
+  // Compile outside the lock: plan compilation walks the whole TypeDesc
+  // tree and must not serialise concurrent callers on unrelated SIDs.
+  auto plan = std::make_shared<const OperationPlan>(op);
+  {
+    std::lock_guard lock(mu_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (!inserted) {
+      // A concurrent first call won the race; prefer its entry if still
+      // valid, else replace.
+      if (auto guard = it->second.guard.lock(); guard.get() == sid.get()) {
+        it->second.last_used = ++tick_;
+        return it->second.plan;
+      }
+    }
+    it->second = Entry{sid, plan, ++tick_};
+    evict_locked();
+    return plan;
+  }
+}
+
+void PlanCache::invalidate(const sidl::Sid* sid) {
+  if (!sid) return;
+  std::lock_guard lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.sid == sid) {
+      it = entries_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  hits_ = misses_ = invalidations_ = evictions_ = 0;
+  tick_ = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard lock(mu_);
+  return Stats{hits_, misses_, invalidations_, evictions_, entries_.size()};
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  evict_locked();
+}
+
+void PlanCache::evict_locked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace cosm::wire

@@ -1,0 +1,91 @@
+// Per-process cache of compiled OperationPlans.
+//
+// Plans are compiled from *transferred* SIDs at runtime (the openness
+// property of §3.1), so the same operation is marshalled many times per
+// process — by the generic client, the RPC channel, and server dispatch.
+// The cache is keyed by (SID identity, operation name) and populated lazily
+// on first call.  Identity is the Sid object's address, guarded by a
+// weak_ptr: an entry only serves a hit while the exact Sid object that
+// produced it is still alive, which defeats both staleness (a re-registered
+// SID is a new object → old entries can never match) and ABA address reuse
+// (the weak_ptr of a freed Sid either fails to lock or locks a different
+// object at the same address, and the pointer comparison catches the
+// latter).  Re-registration sites additionally call invalidate() so dead
+// entries are reclaimed eagerly instead of waiting for LRU pressure.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sidl/sid.h"
+#include "wire/plan.h"
+
+namespace cosm::wire {
+
+class PlanCache {
+ public:
+  /// The process-wide cache.
+  static PlanCache& instance();
+
+  /// The compiled plan for `op` of `sid` — cached, or compiled and inserted
+  /// on first call.  Compilation happens outside the cache lock, so
+  /// concurrent first calls may compile twice; one result wins and both
+  /// callers get a usable plan.
+  std::shared_ptr<const OperationPlan> operation_plan(const sidl::SidPtr& sid,
+                                                      const sidl::OperationDesc& op);
+
+  /// Drop every entry compiled from `sid` (call when a SID is re-registered
+  /// or a service removed).
+  void invalidate(const sidl::Sid* sid);
+
+  /// Drop everything (tests).
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;  // entries dropped via invalidate()
+    std::uint64_t evictions = 0;      // entries dropped by LRU pressure
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// Maximum number of cached plans (default 1024); the least recently used
+  /// entry is evicted beyond it.
+  void set_capacity(std::size_t capacity);
+
+ private:
+  struct Key {
+    const sidl::Sid* sid;
+    std::string operation;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<const void*>()(k.sid) ^
+             (std::hash<std::string>()(k.operation) * 1315423911u);
+    }
+  };
+  struct Entry {
+    std::weak_ptr<const sidl::Sid> guard;
+    std::shared_ptr<const OperationPlan> plan;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::size_t capacity_ = 1024;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace cosm::wire

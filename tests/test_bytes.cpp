@@ -157,5 +157,79 @@ TEST(Bytes, PositionAndRemainingTrackProgress) {
   EXPECT_EQ(r.remaining(), 3u);
 }
 
+TEST(Bytes, VarintSlotPatchedValueReadsBack) {
+  ByteWriter w;
+  w.u8(0x5A);
+  const std::size_t slot = w.varint_slot();
+  EXPECT_EQ(w.size(), 1u + ByteWriter::kVarintSlotWidth);
+  w.raw(Bytes{1, 2, 3});
+  w.patch_varint(slot, 3);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0x5A);
+  EXPECT_EQ(r.varint(), 3u);  // padded LEB128 decodes like a minimal one
+  EXPECT_EQ(r.raw(3), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, VarintSlotLargeValuesAndLimits) {
+  ByteWriter w;
+  const std::size_t slot = w.varint_slot();
+  // Largest value that fits 5 LEB128 bytes.
+  const std::uint64_t max_fit = (1ull << 35) - 1;
+  w.patch_varint(slot, max_fit);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.varint(), max_fit);
+  EXPECT_THROW(w.patch_varint(slot, 1ull << 35), ContractError);
+  EXPECT_THROW(w.patch_varint(w.size(), 1), ContractError);  // out of range
+}
+
+TEST(Bytes, TruncateRollsBackSuffix) {
+  ByteWriter w;
+  w.str("keep");
+  const std::size_t mark = w.size();
+  w.str("discard");
+  w.truncate(mark);
+  EXPECT_EQ(w.size(), mark);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "keep");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, ClearKeepsAllocationForReuse) {
+  ByteWriter w;
+  w.raw(Bytes(1024, 0xCC));
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.u8(1);
+  EXPECT_EQ(w.bytes(), Bytes{1});
+}
+
+TEST(Bytes, NonOwningViewsAliasTheBuffer) {
+  ByteWriter w;
+  w.str("hello");
+  w.raw(Bytes{9, 8, 7});
+  Bytes buffer = w.take();
+  ByteReader r(buffer);
+  std::string_view s = r.str_view();
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(static_cast<const void*>(s.data()),
+            static_cast<const void*>(buffer.data() + 1));  // aliases, no copy
+  BytesView tail = r.view(3);
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0], 9);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.view(1), WireError);  // past the end
+}
+
+TEST(Bytes, RemainingViewDoesNotAdvance) {
+  Bytes buffer = {1, 2, 3};
+  ByteReader r(buffer);
+  r.u8();
+  BytesView rest = r.remaining_view();
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_EQ(r.remaining(), 2u);  // unchanged
+  EXPECT_EQ(rest[0], 2);
+}
+
 }  // namespace
 }  // namespace cosm

@@ -42,10 +42,10 @@ TEST_F(GenericClientTest, InitialFsmStateFromSid) {
 
 TEST_F(GenericClientTest, LocalFsmRejectionWithoutRpc) {
   Binding b = client.bind(ticker_ref);
-  std::uint64_t frames_before = net.frames_served();
+  std::uint64_t frames_before = net.stats().frames;
   EXPECT_THROW(b.invoke("GetQuote", {Value::string("IBM")}), ProtocolError);
   // No RPC was issued — the rejection happened locally (§4.2).
-  EXPECT_EQ(net.frames_served(), frames_before);
+  EXPECT_EQ(net.stats().frames, frames_before);
   EXPECT_EQ(b.local_rejections(), 1u);
 }
 
@@ -68,9 +68,9 @@ TEST_F(GenericClientTest, UnknownOperationRejectedLocally) {
 
 TEST_F(GenericClientTest, ArgumentTypesValidatedLocally) {
   Binding b = client.bind(ticker_ref);
-  std::uint64_t frames_before = net.frames_served();
+  std::uint64_t frames_before = net.stats().frames;
   EXPECT_THROW(b.invoke("Login", {Value::integer(42)}), TypeError);
-  EXPECT_EQ(net.frames_served(), frames_before);
+  EXPECT_EQ(net.stats().frames, frames_before);
 }
 
 TEST_F(GenericClientTest, EnforcementOffGoesToServer) {
@@ -78,10 +78,10 @@ TEST_F(GenericClientTest, EnforcementOffGoesToServer) {
   options.enforce_fsm = false;
   GenericClient lax(net, options);
   Binding b = lax.bind(ticker_ref);
-  std::uint64_t frames_before = net.frames_served();
+  std::uint64_t frames_before = net.stats().frames;
   // The call reaches the server, which rejects it there (defence in depth).
   EXPECT_THROW(b.invoke("GetQuote", {Value::string("IBM")}), RemoteFault);
-  EXPECT_GT(net.frames_served(), frames_before);
+  EXPECT_GT(net.stats().frames, frames_before);
   EXPECT_EQ(b.local_rejections(), 0u);
 }
 

@@ -51,8 +51,9 @@ TEST(InProc, CountsFramesAndBytes) {
   auto ep = net.listen("count", [](const Bytes& b) { return b; });
   net.call(ep, {1, 2, 3}, std::chrono::milliseconds(10));
   net.call(ep, {4}, std::chrono::milliseconds(10));
-  EXPECT_EQ(net.frames_served(), 2u);
-  EXPECT_EQ(net.bytes_carried(), 4u);
+  NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.frames, 2u);
+  EXPECT_EQ(stats.bytes_in, 4u);
 }
 
 TEST(InProc, HandlersMayCallOtherEndpoints) {

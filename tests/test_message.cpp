@@ -63,5 +63,63 @@ TEST(Message, ToStringNames) {
   EXPECT_EQ(to_string(MsgType::Fault), "fault");
 }
 
+TEST(Message, StreamingEncodeMatchesEncode) {
+  // encode_begin_body/encode_end_body assemble the same frame encode()
+  // produces (encode() is implemented on top of them) — header, a padded
+  // body-length slot, the body written in place, trailing fault.
+  Message m = Message::request(123, "svc-2", "Rent", {});
+  m.session = "sess-4";
+  m.deadline_ms = 900;
+  m.hop_budget = 3;
+  m.trace_id = 7;
+  m.parent_span_id = 8;
+  const Bytes body = {0xDE, 0xAD, 0xBE, 0xEF};
+
+  ByteWriter w;
+  const std::size_t slot = m.encode_begin_body(w);
+  w.raw(body);
+  m.encode_end_body(w, slot);
+
+  Message whole = m;
+  whole.body = body;
+  EXPECT_EQ(w.bytes(), whole.encode());
+  Message out = Message::decode(w.bytes());
+  EXPECT_EQ(out, whole);
+}
+
+TEST(Message, ViewDecodeAliasesTheFrame) {
+  Message m = Message::request(9, "svc-7", "GetQuote", {0x11, 0x22});
+  m.session = "sess-1";
+  m.fault = "";
+  Bytes frame = m.encode();
+  MessageView view = MessageView::decode(BytesView(frame.data(), frame.size()));
+  EXPECT_EQ(view.type, MsgType::Request);
+  EXPECT_EQ(view.request_id, 9u);
+  EXPECT_EQ(view.target, "svc-7");
+  EXPECT_EQ(view.operation, "GetQuote");
+  EXPECT_EQ(view.session, "sess-1");
+  ASSERT_EQ(view.body.size(), 2u);
+  EXPECT_EQ(view.body[0], 0x11);
+  // Non-owning: the body view points into the frame, not a copy.
+  EXPECT_GE(static_cast<const void*>(view.body.data()),
+            static_cast<const void*>(frame.data()));
+  EXPECT_LT(static_cast<const void*>(view.body.data()),
+            static_cast<const void*>(frame.data() + frame.size()));
+  // Deep copy materialises an equal Message.
+  EXPECT_EQ(view.to_message(), m);
+}
+
+TEST(Message, ViewRejectsSameMalformedFramesAsDecode) {
+  Bytes good = Message::request(1, "t", "op", {5}).encode();
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(MessageView::decode(BytesView(trailing.data(), trailing.size())),
+               WireError);
+  Bytes bad_type = good;
+  bad_type[0] = 42;
+  EXPECT_THROW(MessageView::decode(BytesView(bad_type.data(), bad_type.size())),
+               WireError);
+}
+
 }  // namespace
 }  // namespace cosm::rpc

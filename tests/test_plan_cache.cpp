@@ -1,0 +1,179 @@
+// PlanCache behaviour: hit/miss accounting, invalidation on SID
+// re-registration, the weak_ptr identity guard, LRU eviction, and
+// concurrent first-call / invalidation races (run under TSan in CI).
+
+#include "wire/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "rpc/channel.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "rpc/service_object.h"
+#include "sidl/parser.h"
+#include "wire/value.h"
+
+namespace cosm::wire {
+namespace {
+
+sidl::SidPtr make_sid(const std::string& result_type) {
+  return std::make_shared<sidl::Sid>(sidl::parse_sid(
+      "module Calc { interface I { " + result_type +
+      " Add([in] long a, [in] long b); }; };"));
+}
+
+TEST(PlanCache, HitReturnsSamePlan) {
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+  sidl::SidPtr sid = make_sid("long");
+  const sidl::OperationDesc& op = sid->operations[0];
+  auto first = cache.operation_plan(sid, op);
+  auto second = cache.operation_plan(sid, op);
+  EXPECT_EQ(first.get(), second.get());
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCache, InvalidateDropsEntries) {
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+  sidl::SidPtr sid = make_sid("long");
+  const sidl::OperationDesc& op = sid->operations[0];
+  auto first = cache.operation_plan(sid, op);
+  cache.invalidate(sid.get());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  auto second = cache.operation_plan(sid, op);
+  EXPECT_NE(first.get(), second.get());  // freshly compiled
+}
+
+TEST(PlanCache, DeadSidNeverServesStalePlan) {
+  // The ABA hazard: a Sid dies, the allocator reuses its address for a
+  // *different* Sid.  The weak_ptr guard must refuse the stale entry and
+  // compile a plan for the new object.
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+  const sidl::Sid* old_address = nullptr;
+  {
+    sidl::SidPtr doomed = make_sid("long");
+    old_address = doomed.get();
+    cache.operation_plan(doomed, doomed->operations[0]);
+  }  // doomed freed; its cache entry's guard is now expired
+  // Whether or not the new SID lands on the reused address, the plan served
+  // for it must describe *its* signature (float result, one string param).
+  sidl::SidPtr fresh = make_sid("float");
+  (void)old_address;
+  auto plan = cache.operation_plan(fresh, fresh->operations[0]);
+  EXPECT_EQ(plan->result().type()->kind(), sidl::TypeKind::Float);
+}
+
+TEST(PlanCache, ReRegisteredSidGetsFreshPlan) {
+  // End-to-end invalidation: a server that re-registers a *changed* SID
+  // must never answer through a plan compiled from the old one.
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+
+  auto v1 = std::make_shared<rpc::ServiceObject>(make_sid("long"));
+  v1->on("Add", [](const std::vector<Value>& args) {
+    return Value::integer(args[0].as_int() + args[1].as_int());
+  });
+  auto v2 = std::make_shared<rpc::ServiceObject>(
+      std::make_shared<sidl::Sid>(sidl::parse_sid(
+          "module Calc { interface I {"
+          " string Add([in] string a, [in] string b); }; };")));
+  v2->on("Add", [](const std::vector<Value>& args) {
+    return Value::string(args[0].as_string() + args[1].as_string());
+  });
+
+  rpc::InProcNetwork net;
+  rpc::RpcServer server(net, "calc");
+  sidl::ServiceRef ref = server.add(v1);
+  {
+    rpc::RpcChannel channel(net, ref);
+    sidl::SidPtr sid = channel.fetch_sid();
+    const sidl::OperationDesc* add = sid->find_operation("Add");
+    ASSERT_NE(add, nullptr);
+    Value sum =
+        channel.call(*add, {Value::integer(2), Value::integer(3)});
+    EXPECT_EQ(sum.as_int(), 5);
+  }
+
+  // Replace the service behind the same id: same operation name, changed
+  // signature.  The add() hook invalidates; new calls must be validated
+  // against the *new* SID.
+  server.remove(ref);
+  sidl::ServiceRef ref2 = server.add(v2);
+  rpc::RpcChannel channel(net, ref2);
+  sidl::SidPtr sid = channel.fetch_sid();
+  const sidl::OperationDesc* add = sid->find_operation("Add");
+  ASSERT_NE(add, nullptr);
+  Value joined =
+      channel.call(*add, {Value::string("ab"), Value::string("cd")});
+  EXPECT_EQ(joined.as_string(), "abcd");
+  // Integer arguments must now be rejected up front by the fresh plan.
+  EXPECT_THROW(channel.call(*add, {Value::integer(2), Value::integer(3)}),
+               TypeError);
+}
+
+TEST(PlanCache, LruEvictionBeyondCapacity) {
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+  cache.set_capacity(2);
+  std::vector<sidl::SidPtr> keep;  // hold owners so guards stay alive
+  for (int i = 0; i < 4; ++i) {
+    keep.push_back(make_sid("long"));
+    cache.operation_plan(keep.back(), keep.back()->operations[0]);
+  }
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, 2u);
+  EXPECT_GE(stats.evictions, 2u);
+  cache.set_capacity(1024);  // restore the default for other tests
+  cache.clear();
+}
+
+TEST(PlanCache, ConcurrentFirstCallsAndInvalidations) {
+  // TSan stress: racing first-time compilations with invalidations and a
+  // re-registration mid-flight.  Every caller must always get a usable plan
+  // for the SID object it holds.
+  PlanCache& cache = PlanCache::instance();
+  cache.clear();
+  std::atomic<bool> stop{false};
+  sidl::SidPtr sid = make_sid("long");
+  const sidl::OperationDesc& op = sid->operations[0];
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto plan = cache.operation_plan(sid, op);
+        if (!plan || plan->operation() != op.name) failures.fetch_add(1);
+        Bytes frame =
+            plan->marshal_arguments({Value::integer(1), Value::integer(2)});
+        if (plan->unmarshal_arguments(frame).size() != 2) failures.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.invalidate(sid.get());
+      std::this_thread::yield();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace cosm::wire

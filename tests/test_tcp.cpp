@@ -152,13 +152,12 @@ TEST(Tcp, SendRetryRedialsAfterConnectionDeath) {
   EXPECT_EQ(client.call(ep, payload, std::chrono::milliseconds(2000)), payload);
 }
 
-TEST(Tcp, FinishedServingThreadsAreReaped) {
+TEST(Tcp, FinishedServingConnectionsAreReaped) {
   TcpNetwork net;
   auto ep = net.listen("", [](const Bytes& b) { return b; });
-  // serving_threads() is now a deprecated shim counting the listener's
-  // *live connections* (the reactor serves without per-connection threads).
-  // The invariant under test survives the rename: connections of departed
-  // clients must not linger in the listener's registry.
+  // `net` is a pure server here, so stats().connections counts its live
+  // accepted connections.  The invariant under test: connections of
+  // departed clients must not linger in the server's accounting.
   for (int i = 0; i < 8; ++i) {
     TcpNetwork client;
     Bytes payload = {static_cast<std::uint8_t>(i)};
@@ -169,18 +168,18 @@ TEST(Tcp, FinishedServingThreadsAreReaped) {
   TcpNetwork prober;
   for (int i = 0; i < 50; ++i) {
     ASSERT_EQ(prober.call(ep, {9}, std::chrono::milliseconds(2000)), Bytes{9});
-    if (net.serving_threads(ep) <= 2) break;
+    if (net.stats().connections <= 2) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  EXPECT_LE(net.serving_threads(ep), 2u);
+  EXPECT_LE(net.stats().connections, 2u);
 }
 
-TEST(Tcp, ServingThreadsReapedWithoutFurtherAccepts) {
+TEST(Tcp, ServingConnectionsReapedWithoutFurtherAccepts) {
   // Regression (kept from the thread-per-connection era, where finished
   // serving threads were only reaped on the *next* accept): closed
-  // connections must leave the listener's registry without any further
-  // accept.  With the reactor, serving_threads() counts live connections,
-  // so after every client disconnects the count must drain on its own.
+  // connections must leave the server's accounting without any further
+  // accept — after every client disconnects the count must drain on its
+  // own.
   TcpNetwork net;
   auto ep = net.listen("", [](const Bytes& b) { return b; });
   {
@@ -194,14 +193,14 @@ TEST(Tcp, ServingThreadsReapedWithoutFurtherAccepts) {
       ASSERT_EQ(clients.back()->call(ep, payload, std::chrono::milliseconds(2000)),
                 payload);
     }
-    EXPECT_GE(net.serving_threads(ep), static_cast<std::size_t>(kClients));
+    EXPECT_GE(net.stats().connections, static_cast<std::size_t>(kClients));
   }  // destructors close every client connection — no further accepts follow
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (net.serving_threads(ep) > 1 &&
+  while (net.stats().connections > 1 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  EXPECT_LE(net.serving_threads(ep), 1u);
+  EXPECT_LE(net.stats().connections, 1u);
 }
 
 TEST(Tcp, UnlistenMidCallFailsCleanly) {

@@ -46,7 +46,7 @@ TEST(TcpPipeline, FastCompletesBeforeSlowOnSharedConnection) {
   EXPECT_EQ(fast, Bytes{2});
   EXPECT_LT(fast_ms, 300ms) << "fast call was head-of-line blocked";
   EXPECT_EQ(slow->get(10000ms), Bytes{1});
-  EXPECT_EQ(client.pooled_connections(ep), 1u);
+  EXPECT_EQ(client.stats().connections, 1u);
 }
 
 /// Many interleaved calls with descending service times over one socket:
@@ -143,7 +143,7 @@ TEST(TcpPipeline, ConcurrentDialsNeverOvershootPoolCap) {
   std::atomic<std::size_t> max_pooled{0};
   std::thread sampler([&] {
     while (!stop.load()) {
-      std::size_t n = client.pooled_connections(ep);
+      std::size_t n = client.stats().connections;
       std::size_t seen = max_pooled.load();
       while (n > seen && !max_pooled.compare_exchange_weak(seen, n)) {
       }
@@ -168,7 +168,7 @@ TEST(TcpPipeline, ConcurrentDialsNeverOvershootPoolCap) {
 
   EXPECT_EQ(ok.load(), kThreads * 5);
   EXPECT_LE(max_pooled.load(), kCap);
-  EXPECT_LE(client.pooled_connections(ep), kCap);
+  EXPECT_LE(client.stats().connections, kCap);
 }
 
 /// Server-side backpressure: with max_in_flight_per_connection = 4, a
@@ -234,8 +234,8 @@ TEST(TcpPipeline, StatsReflectConfigurationAndTraffic) {
 }
 
 /// TransportOptions are honored at construction and readable back; the
-/// deprecated setter shim mutates the same policy.
-TEST(TcpPipeline, OptionsRoundTripAndShimsAgree) {
+/// bundle is immutable thereafter (there is no post-construction setter).
+TEST(TcpPipeline, OptionsRoundTrip) {
   TransportOptions opts;
   opts.event_loop_threads = 2;
   opts.client_pool_cap = 3;
@@ -247,18 +247,23 @@ TEST(TcpPipeline, OptionsRoundTripAndShimsAgree) {
   EXPECT_EQ(net.options().client_pool_cap, 3u);
   EXPECT_EQ(net.options().max_in_flight_per_connection, 17u);
   EXPECT_EQ(net.options().send_retry.max_attempts, 5);
-  EXPECT_EQ(net.send_retry_policy().max_attempts, 5);
   EXPECT_EQ(net.stats().event_loop_threads, 2u);
 
-  RetryPolicy none;
-  none.max_attempts = 1;
-  net.set_send_retry_policy(none);  // deprecated shim
-  EXPECT_EQ(net.options().send_retry.max_attempts, 1);
-  EXPECT_EQ(net.send_retries(), net.stats().send_retries);
+  // Degenerate knobs are clamped up front, not on use.
+  TransportOptions zeros;
+  zeros.event_loop_threads = 0;
+  zeros.client_pool_cap = 0;
+  zeros.max_in_flight_per_connection = 0;
+  zeros.send_retry.max_attempts = 0;
+  TcpNetwork clamped(zeros);
+  EXPECT_EQ(clamped.options().event_loop_threads, 1u);
+  EXPECT_EQ(clamped.options().client_pool_cap, 1u);
+  EXPECT_EQ(clamped.options().max_in_flight_per_connection, 1u);
+  EXPECT_EQ(clamped.options().send_retry.max_attempts, 1);
 }
 
-/// Every Network exposes stats(); the in-proc shims agree with it, and the
-/// fault-injection decorator passes the inner transport's stats through.
+/// Every Network exposes stats(), and the fault-injection decorator passes
+/// the inner transport's stats through.
 TEST(TcpPipeline, StatsUnifiedAcrossNetworkImplementations) {
   InProcNetwork inproc;
   auto ep = inproc.listen("svc", [](const Bytes& b) { return b; });
@@ -266,8 +271,7 @@ TEST(TcpPipeline, StatsUnifiedAcrossNetworkImplementations) {
 
   NetworkStats s = inproc.stats();
   EXPECT_EQ(s.frames, 3u);
-  EXPECT_EQ(s.frames, inproc.frames_served());
-  EXPECT_EQ(s.bytes_in, inproc.bytes_carried());
+  EXPECT_EQ(s.bytes_in, 3u * 2u);
   EXPECT_EQ(s.connections, 1u);  // one binding
   EXPECT_GT(s.event_loop_threads, 0u);
 

@@ -1,0 +1,177 @@
+// Adversarial wire-format fuzz (run under ASan in CI).
+//
+// The decoder trust boundary: any byte string may arrive off the network.
+// Truncated frames must fail with cosm::WireError — never read out of
+// bounds, never surface a non-cosm exception (a std::length_error from an
+// attacker-controlled reserve() once escaped here), never crash.  The same
+// properties must hold for the compiled plan decoders and the message-frame
+// decoder, which share the byte-reader core.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "rpc/message.h"
+#include "support/generators.h"
+#include "wire/codec.h"
+#include "wire/plan.h"
+
+namespace cosm::wire {
+namespace {
+
+using testing::GenOptions;
+using testing::random_type;
+using testing::random_value;
+
+/// decode_value over exactly `bytes` (with the trailing-bytes check the
+/// callers all perform).
+Value strict_decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  Value v = decode_value(r);
+  if (!r.at_end()) {
+    throw WireError("decode_value: " + std::to_string(r.remaining()) +
+                    " trailing bytes");
+  }
+  return v;
+}
+
+TEST(WireFuzz, EveryTruncatedPrefixThrowsWireError) {
+  // A proper prefix of a single value's encoding can never decode: the
+  // decoder deterministically consumes the full encoding, so a prefix runs
+  // out of bytes mid-value.  It must always surface as WireError.
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    Rng rng(seed);
+    GenOptions options;
+    sidl::TypePtr type = random_type(rng, options);
+    Bytes full = encode_value(random_value(rng, *type, options));
+    MarshalPlan plan(type);
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      Bytes prefix(full.begin(), full.begin() + static_cast<long>(cut));
+      EXPECT_THROW(strict_decode(prefix), WireError)
+          << "seed " << seed << " cut " << cut << "/" << full.size();
+      // The compiled decoder shares the failure mode: WireError for the
+      // malformed bytes (never TypeError — the value never materialised —
+      // and never an OOB read).
+      EXPECT_THROW(plan.unmarshal(prefix), WireError)
+          << "seed " << seed << " cut " << cut << "/" << full.size();
+    }
+  }
+}
+
+TEST(WireFuzz, RandomMutationsNeverEscapeCosmErrors) {
+  // Flip random bytes: decode may succeed (the mutation kept the encoding
+  // well-formed) or throw a cosm::Error — anything else (std:: exceptions,
+  // crashes, sanitizer reports) is a decoder bug.
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    Rng rng(seed * 17 + 3);
+    GenOptions options;
+    sidl::TypePtr type = random_type(rng, options);
+    Bytes bytes = encode_value(random_value(rng, *type, options));
+    if (bytes.empty()) continue;
+    std::size_t flips = 1 + rng.below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    MarshalPlan plan(type);
+    try {
+      (void)strict_decode(bytes);
+    } catch (const Error&) {
+      // expected failure class
+    }
+    try {
+      (void)plan.unmarshal(bytes);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(WireFuzz, HostileLengthPrefixesRejected) {
+  // Huge declared counts/lengths with no bytes behind them: the decoder
+  // must reject them without attempting a matching allocation.
+  const std::uint64_t huge[] = {0xFFFFFFFFull, 0xFFFFFFFFFFFFull,
+                                0x7FFFFFFFFFFFFFFFull};
+  for (std::uint8_t tag : {kTagString, kTagStruct, kTagSequence}) {
+    for (std::uint64_t n : huge) {
+      ByteWriter w;
+      w.u8(tag);
+      if (tag == kTagStruct) w.str("S");
+      w.varint(n);
+      Bytes bytes = w.take();
+      EXPECT_THROW(strict_decode(bytes), WireError) << int(tag) << " " << n;
+    }
+  }
+}
+
+TEST(WireFuzz, ArgumentFramePrefixesAlwaysError) {
+  sidl::OperationDesc op;
+  op.name = "Book";
+  op.result = sidl::TypeDesc::string_();
+  op.params.push_back({sidl::ParamDir::In, "code", sidl::TypeDesc::string_()});
+  op.params.push_back({sidl::ParamDir::In, "days", sidl::TypeDesc::int_()});
+  OperationPlan plan(op);
+  Bytes full = plan.marshal_arguments(
+      {Value::string("FIAT-3"), Value::integer(4)});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)plan.unmarshal_arguments(prefix), Error) << cut;
+  }
+}
+
+TEST(WireFuzz, MessageFramePrefixesAlwaysError) {
+  rpc::Message m = rpc::Message::request(77, "svc-1", "Book", {1, 2, 3, 4});
+  m.session = "sess";
+  m.deadline_ms = 1500;
+  m.trace_id = 42;
+  Bytes full = m.encode();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)rpc::Message::decode(prefix), WireError) << cut;
+    EXPECT_THROW(
+        (void)rpc::MessageView::decode(BytesView(prefix.data(), prefix.size())),
+        WireError)
+        << cut;
+  }
+}
+
+TEST(WireFuzz, MessageFrameMutationsNeverEscapeCosmErrors) {
+  rpc::Message m = rpc::Message::request(5, "svc", "Op", {9, 9, 9});
+  Bytes base = m.encode();
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed ^ 0xF00D);
+    Bytes bytes = base;
+    std::size_t flips = 1 + rng.below(3);
+    for (std::size_t i = 0; i < flips; ++i) {
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    try {
+      (void)rpc::Message::decode(bytes);
+    } catch (const Error&) {
+      // cosm::Error is the only acceptable failure class
+    }
+  }
+}
+
+TEST(WireFuzz, PaddedVarintSlotsDecodeTransparently) {
+  // The body-length slot is padded LEB128; readers must accept non-minimal
+  // varints, and a truncated padded varint must still be a WireError.
+  ByteWriter w;
+  const std::size_t slot = w.varint_slot();
+  w.raw(Bytes{0xAA, 0xBB});
+  w.patch_varint(slot, 2);
+  Bytes bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.varint(), 2u);
+  EXPECT_EQ(r.raw(2), (Bytes{0xAA, 0xBB}));
+
+  Bytes cut(bytes.begin(), bytes.begin() + 3);  // mid-slot
+  ByteReader rc(cut);
+  EXPECT_THROW(rc.varint(), WireError);
+}
+
+}  // namespace
+}  // namespace cosm::wire
