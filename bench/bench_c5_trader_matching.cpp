@@ -13,21 +13,40 @@
 // paper's cost model assumes; the indexed mode is the engine's default.
 // After the sweep it falls through to the usual google-benchmark suites.
 //
+// A second, optional phase exercises the sharded offer store under
+// concurrent exporters: N offers pushed by T writer threads (mixed single
+// Export and ExportBatch calls across a hot type and several cold types)
+// while a reader thread issues selective imports the whole time.  The phase
+// runs twice — store_shards=1 (the single-writer baseline) and the sharded
+// configuration — and reports write throughput, export-call latency and
+// concurrent-import latency for both, plus the sharded/single ratios the CI
+// gate checks.
+//
 // Flags (stripped before google-benchmark sees argv):
-//   --sweep-only              run the sweep, skip the BM_ suites
+//   --sweep-only              run the sweep (+ concurrent phase if enabled),
+//                             skip the BM_ suites
 //   --no-sweep                skip the sweep (BM_ suites only)
 //   --sweep-scales=1000,...   override the population scales
 //   --sweep-out=FILE          JSON destination (default
 //                             BENCH_c5_trader_matching.json)
+//   --concurrent-offers=N     enable the concurrent phase with N offers
+//   --concurrent-threads=T    writer threads (default 8)
+//   --concurrent-shards=S     sharded-mode store shards (default 16)
+//   --gate-min-speedup=F      fail unless sharded write throughput is at
+//                             least F x the single-writer baseline
+//   --gate-max-p99-ratio=F    fail unless sharded concurrent-import p99 is
+//                             within F x the baseline's
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -149,7 +168,9 @@ SweepResult run_mode(trader::Trader& t, std::size_t offers,
   return result;
 }
 
-int run_sweep(const std::vector<std::size_t>& scales, const std::string& out_path) {
+/// Runs the sweep and returns its JSON fields (no outer braces) so main()
+/// can splice the optional concurrent section into the same document.
+std::string run_sweep(const std::vector<std::size_t>& scales) {
   std::vector<SweepResult> results;
   for (std::size_t offers : scales) {
     std::fprintf(stderr, "[c5-sweep] populating %zu offers...\n", offers);
@@ -170,9 +191,7 @@ int run_sweep(const std::vector<std::size_t>& scales, const std::string& out_pat
   }
 
   std::ostringstream json;
-  json << "{\n"
-       << "  \"experiment\": \"C5_trader_matching\",\n"
-       << "  \"constraints\": {";
+  json << "  \"constraints\": {";
   for (std::size_t i = 0; i < std::size(kSweepQueries); ++i) {
     json << (i ? ", " : "") << "\"" << kSweepQueries[i].label << "\": \""
          << kSweepQueries[i].constraint << "\"";
@@ -196,16 +215,232 @@ int run_sweep(const std::vector<std::size_t>& scales, const std::string& out_pat
          << results[i].query
          << "\": " << results[i + 1].ops_per_sec / results[i].ops_per_sec;
   }
-  json << "}\n}\n";
+  json << "}";
+  return json.str();
+}
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "[c5-sweep] cannot write %s\n", out_path.c_str());
-    return 1;
+// ---------------------------------------------------------------------------
+// Concurrent-export phase: sharded store vs single-writer baseline.
+
+struct ConcurrentConfig {
+  std::size_t offers = 0;      // 0 disables the phase
+  unsigned threads = 8;
+  unsigned shards = 16;
+  double gate_min_speedup = 0.0;    // 0 disables the gate
+  double gate_max_p99_ratio = 0.0;  // 0 disables the gate
+};
+
+struct ConcurrentResult {
+  std::string mode;
+  unsigned shards = 0;
+  double wall_sec = 0.0;
+  double exports_per_sec = 0.0;
+  double export_call_p50_us = 0.0;
+  double export_call_p99_us = 0.0;
+  std::size_t imports = 0;
+  double import_p50_us = 0.0;
+  double import_p99_us = 0.0;
+};
+
+constexpr std::size_t kConcurrentBatch = 64;
+
+/// One run of the concurrent workload.  Offers are claimed in chunks of
+/// kConcurrentBatch; three of four chunks go through ExportBatch, the
+/// fourth through per-offer Export calls, so both write paths stay hot.
+/// 70% of offers land on one hot type (which the sharded config splits),
+/// the rest spread across three cold types.  A reader thread imports a
+/// selective constraint against the hot type for the whole run.
+ConcurrentResult run_concurrent_mode(const ConcurrentConfig& config,
+                                     unsigned shards) {
+  trader::Trader t("bench-c5c");
+  trader::TraderTuning tuning;
+  tuning.store_shards = shards;
+  // Split the hot type early in the sharded config; the baseline keeps the
+  // classic one-bucket-one-writer layout (0 = never split).
+  tuning.hot_split_threshold = shards > 1 ? 8192 : 0;
+  t.set_tuning(tuning);
+
+  static const char* kTypes[] = {"CarRentalService", "TruckRentalService",
+                                 "BikeRentalService", "VanRentalService"};
+  for (const char* name : kTypes) {
+    trader::ServiceType type;
+    type.name = name;
+    type.attributes = {
+        {"ChargePerDay", sidl::TypeDesc::float_(), true},
+        {"AverageMilage", sidl::TypeDesc::int_(), true},
+        {"ChargeCurrency", sidl::TypeDesc::string_(), true},
+        {"Insured", sidl::TypeDesc::bool_(), true},
+    };
+    t.types().add(type);
   }
-  out << json.str();
-  std::fprintf(stderr, "[c5-sweep] wrote %s\n", out_path.c_str());
-  return 0;
+
+  const std::size_t chunks =
+      (config.offers + kConcurrentBatch - 1) / kConcurrentBatch;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> writers_done{false};
+
+  std::vector<std::vector<double>> export_samples(config.threads);
+  auto writer = [&](unsigned wi) {
+    Rng rng(1000 + wi);
+    static const char* currencies[] = {"USD", "DEM", "FF", "SFR", "GBP"};
+    auto& samples = export_samples[wi];
+    for (;;) {
+      const std::size_t chunk = next_chunk.fetch_add(1);
+      if (chunk >= chunks) break;
+      const std::size_t base = chunk * kConcurrentBatch;
+      const std::size_t count =
+          std::min(kConcurrentBatch, config.offers - base);
+      // 70% hot type, remainder round-robins the cold ones.
+      const char* type = (chunk % 10) < 7 ? kTypes[0] : kTypes[1 + chunk % 3];
+      auto make_attrs = [&]() {
+        return trader::AttrMap{
+            {"ChargePerDay", Value::real(20.0 + rng.uniform() * 180.0)},
+            {"AverageMilage", Value::integer(rng.range(1000, 80000))},
+            {"ChargeCurrency", Value::string(currencies[rng.below(5)])},
+            {"Insured", Value::boolean(rng.chance(0.5))},
+        };
+      };
+      auto make_ref = [&](std::size_t i) {
+        return sidl::ServiceRef{"svc-" + std::to_string(base + i), "inproc://x",
+                                type};
+      };
+      if (chunk % 4 == 0) {
+        for (std::size_t i = 0; i < count; ++i) {
+          auto start = std::chrono::steady_clock::now();
+          t.export_offer(type, make_ref(i), make_attrs());
+          samples.push_back(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+        }
+      } else {
+        std::vector<trader::BatchOfferSpec> specs;
+        specs.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          trader::BatchOfferSpec spec;
+          spec.ref = make_ref(i);
+          spec.attributes = make_attrs();
+          specs.push_back(std::move(spec));
+        }
+        auto start = std::chrono::steady_clock::now();
+        t.export_batch(type, std::move(specs));
+        samples.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      }
+    }
+  };
+
+  std::vector<double> import_samples;
+  auto reader = [&] {
+    trader::ImportRequest request;
+    request.service_type = kTypes[0];
+    request.constraint = "ChargePerDay < 30 && ChargeCurrency == USD";
+    request.max_matches = 64;
+    while (!writers_done.load(std::memory_order_acquire)) {
+      auto start = std::chrono::steady_clock::now();
+      auto matches = t.import(request);
+      benchmark::DoNotOptimize(matches);
+      import_samples.push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+    }
+  };
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::thread import_thread(reader);
+  std::vector<std::thread> writers;
+  for (unsigned wi = 0; wi < config.threads; ++wi) writers.emplace_back(writer, wi);
+  for (auto& w : writers) w.join();
+  const double wall_sec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+  writers_done.store(true, std::memory_order_release);
+  import_thread.join();
+
+  std::vector<double> exports_all;
+  for (auto& s : export_samples) {
+    exports_all.insert(exports_all.end(), s.begin(), s.end());
+  }
+  std::sort(exports_all.begin(), exports_all.end());
+  std::sort(import_samples.begin(), import_samples.end());
+
+  ConcurrentResult result;
+  result.mode = shards > 1 ? "sharded" : "single";
+  result.shards = shards;
+  result.wall_sec = wall_sec;
+  result.exports_per_sec = static_cast<double>(config.offers) / wall_sec;
+  result.export_call_p50_us = percentile(exports_all, 0.50);
+  result.export_call_p99_us = percentile(exports_all, 0.99);
+  result.imports = import_samples.size();
+  result.import_p50_us = percentile(import_samples, 0.50);
+  result.import_p99_us = percentile(import_samples, 0.99);
+  std::fprintf(stderr,
+               "[c5-concurrent] %-7s (%2u shards): %9.0f exports/s in %6.2fs"
+               "  export p99 %8.1f us  import p99 %8.1f us (%zu imports)\n",
+               result.mode.c_str(), shards, result.exports_per_sec, wall_sec,
+               result.export_call_p99_us, result.import_p99_us, result.imports);
+  return result;
+}
+
+/// Runs baseline + sharded, appends the JSON section, and returns 0 unless
+/// an enabled gate failed.
+int run_concurrent(const ConcurrentConfig& config, std::string& json_out) {
+  std::fprintf(stderr,
+               "[c5-concurrent] %zu offers, %u writer threads, 1 import thread\n",
+               config.offers, config.threads);
+  ConcurrentResult single = run_concurrent_mode(config, 1);
+  ConcurrentResult sharded = run_concurrent_mode(config, config.shards);
+
+  const double speedup = sharded.exports_per_sec / single.exports_per_sec;
+  const double p99_ratio =
+      single.import_p99_us > 0.0 ? sharded.import_p99_us / single.import_p99_us
+                                 : 0.0;
+  bool passed = true;
+  if (config.gate_min_speedup > 0.0 && speedup < config.gate_min_speedup) {
+    std::fprintf(stderr,
+                 "[c5-concurrent] GATE FAILED: write speedup %.2fx < %.2fx\n",
+                 speedup, config.gate_min_speedup);
+    passed = false;
+  }
+  if (config.gate_max_p99_ratio > 0.0 && p99_ratio > config.gate_max_p99_ratio) {
+    std::fprintf(stderr,
+                 "[c5-concurrent] GATE FAILED: import p99 ratio %.2fx > %.2fx\n",
+                 p99_ratio, config.gate_max_p99_ratio);
+    passed = false;
+  }
+  if (passed) {
+    std::fprintf(stderr,
+                 "[c5-concurrent] write speedup %.2fx, import p99 ratio %.2fx\n",
+                 speedup, p99_ratio);
+  }
+
+  std::ostringstream json;
+  auto emit = [&](const ConcurrentResult& r, bool comma) {
+    json << "      {\"mode\": \"" << r.mode << "\", \"shards\": " << r.shards
+         << ", \"wall_sec\": " << r.wall_sec
+         << ", \"exports_per_sec\": " << r.exports_per_sec
+         << ", \"export_call_p50_us\": " << r.export_call_p50_us
+         << ", \"export_call_p99_us\": " << r.export_call_p99_us
+         << ", \"imports\": " << r.imports
+         << ", \"import_p50_us\": " << r.import_p50_us
+         << ", \"import_p99_us\": " << r.import_p99_us << "}"
+         << (comma ? "," : "") << "\n";
+  };
+  json << "  \"concurrent_import\": {\n"
+       << "    \"offers\": " << config.offers
+       << ", \"writer_threads\": " << config.threads << ",\n"
+       << "    \"results\": [\n";
+  emit(single, true);
+  emit(sharded, false);
+  json << "    ],\n"
+       << "    \"write_speedup_sharded_vs_single\": " << speedup << ",\n"
+       << "    \"import_p99_ratio_sharded_vs_single\": " << p99_ratio << ",\n"
+       << "    \"gates\": {\"min_speedup\": " << config.gate_min_speedup
+       << ", \"max_p99_ratio\": " << config.gate_max_p99_ratio
+       << ", \"passed\": " << (passed ? "true" : "false") << "}\n"
+       << "  }";
+  json_out = json.str();
+  return passed ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +534,7 @@ int main(int argc, char** argv) {
   bool no_sweep = false;
   std::vector<std::size_t> scales = {1000, 10000, 100000};
   std::string out_path = "BENCH_c5_trader_matching.json";
+  ConcurrentConfig concurrent;
 
   std::vector<char*> bench_argv = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -311,13 +547,42 @@ int main(int argc, char** argv) {
       scales = parse_scales(arg.substr(15));
     } else if (arg.rfind("--sweep-out=", 0) == 0) {
       out_path = arg.substr(12);
+    } else if (arg.rfind("--concurrent-offers=", 0) == 0) {
+      concurrent.offers = std::stoull(arg.substr(20));
+    } else if (arg.rfind("--concurrent-threads=", 0) == 0) {
+      concurrent.threads = static_cast<unsigned>(std::stoul(arg.substr(21)));
+    } else if (arg.rfind("--concurrent-shards=", 0) == 0) {
+      concurrent.shards = static_cast<unsigned>(std::stoul(arg.substr(20)));
+    } else if (arg.rfind("--gate-min-speedup=", 0) == 0) {
+      concurrent.gate_min_speedup = std::stod(arg.substr(19));
+    } else if (arg.rfind("--gate-max-p99-ratio=", 0) == 0) {
+      concurrent.gate_max_p99_ratio = std::stod(arg.substr(21));
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
 
   int rc = 0;
-  if (!no_sweep) rc = run_sweep(scales, out_path);
+  if (!no_sweep || concurrent.offers > 0) {
+    std::vector<std::string> sections;
+    if (!no_sweep) sections.push_back(run_sweep(scales));
+    if (concurrent.offers > 0) {
+      std::string section;
+      rc = run_concurrent(concurrent, section);
+      sections.push_back(std::move(section));
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "[c5-sweep] cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"experiment\": \"C5_trader_matching\",\n";
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+      out << sections[i] << (i + 1 < sections.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    std::fprintf(stderr, "[c5-sweep] wrote %s\n", out_path.c_str());
+  }
   if (sweep_only || rc != 0) return rc;
 
   int bench_argc = static_cast<int>(bench_argv.size());

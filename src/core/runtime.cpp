@@ -146,6 +146,26 @@ std::string CosmRuntime::metrics_snapshot() {
       .set(static_cast<std::int64_t>(trader_.links_quarantined_total()));
   reg.gauge(prefix + "offers_expired_total")
       .set(static_cast<std::int64_t>(trader_.offers_expired_total()));
+  // Offer-store health: publication epoch, how far the oldest pinned
+  // reader trails it (bounds retired-state reclamation), states parked in
+  // limbo, and per-shard delta-merge counts (a skewed shard = a hot type
+  // below its split threshold).
+  reg.gauge(prefix + "store.epoch")
+      .set(static_cast<std::int64_t>(trader_.store_epoch()));
+  reg.gauge(prefix + "store.epoch_lag")
+      .set(static_cast<std::int64_t>(trader_.store_epoch_lag()));
+  {
+    const auto shard_stats = trader_.store_shard_stats();
+    std::int64_t limbo_total = 0;
+    for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+      limbo_total += static_cast<std::int64_t>(shard_stats[s].limbo);
+      reg.gauge(prefix + "store.shard." + std::to_string(s) + ".rebuilds")
+          .set(static_cast<std::int64_t>(shard_stats[s].rebuilds));
+    }
+    reg.gauge(prefix + "store.limbo").set(limbo_total);
+    reg.gauge(prefix + "store.shards")
+        .set(static_cast<std::int64_t>(shard_stats.size()));
+  }
   reg.gauge(prefix + "server.requests_total")
       .set(static_cast<std::int64_t>(server_.requests_handled()));
   reg.gauge(prefix + "server.faults_total")

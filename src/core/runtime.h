@@ -66,6 +66,9 @@ struct RuntimeOptions {
   rpc::ServerOptions server{};
   rpc::RetryPolicy retry{};
   trader::FederationOptions federation{};
+  /// Matching-engine knobs, including the offer store's writer shard count
+  /// and hot-type split threshold (applied at construction, while the
+  /// store is still empty — the only time re-sharding is allowed).
   trader::TraderTuning trader_tuning{};
   ObservabilityOptions observability{};
   rpc::TransportOptions transport{};

@@ -1,8 +1,10 @@
 #include "trader/constraint.h"
 
 #include <cctype>
+#include <cstdlib>
 #include <optional>
 #include <set>
+#include <stdexcept>
 
 #include "common/error.h"
 
@@ -392,11 +394,22 @@ class ConstraintParser {
         return o;
       case CTok::Kind::Int:
         o.kind = Operand::Kind::Int;
-        o.i = std::stoll(advance().text);
+        try {
+          o.i = std::stoll(peek().text);
+        } catch (const std::out_of_range&) {
+          fail("integer literal out of range");
+        }
+        advance();
         return o;
       case CTok::Kind::Float:
         o.kind = Operand::Kind::Float;
-        o.f = std::stod(advance().text);
+        // strtod saturates (±HUGE_VAL on overflow, ~0 on underflow)
+        // instead of throwing like std::stod — a 400-digit literal must
+        // surface as an infinity, never a std::out_of_range escaping the
+        // parser.  (The lexer has no exponent notation, but plain decimals
+        // can still overflow a double.)
+        o.f = std::strtod(peek().text.c_str(), nullptr);
+        advance();
         return o;
       case CTok::Kind::String:
         o.kind = Operand::Kind::String;

@@ -21,14 +21,24 @@ module TraderService {
   } Offer_t;
   typedef struct { string name; string type_spec; boolean required; } AttributeDef_t;
   typedef struct { string name; string operation; } DynamicAttr_t;
+  typedef struct {
+    ServiceReference ref;
+    sequence<Attribute_t> attributes;
+    sequence<DynamicAttr_t> dynamics;
+  } OfferSpec_t;
+  typedef struct { string id; sequence<Attribute_t> attributes; } OfferMod_t;
   interface COSM_Operations {
     string Export([in] string type, [in] ServiceReference ref,
                   [in] sequence<Attribute_t> attributes);
     string ExportDynamic([in] string type, [in] ServiceReference ref,
                          [in] sequence<Attribute_t> attributes,
                          [in] sequence<DynamicAttr_t> dynamics);
+    sequence<string> ExportBatch([in] string type,
+                                 [in] sequence<OfferSpec_t> specs);
     void Withdraw([in] string id);
+    long WithdrawBatch([in] sequence<string> ids);
     void Modify([in] string id, [in] sequence<Attribute_t> attributes);
+    long ModifyBatch([in] sequence<OfferMod_t> changes);
     sequence<Offer_t> Import([in] string type, [in] string constraint,
                              [in] string preference, [in] long max_matches,
                              [in] long hop_limit);
@@ -42,6 +52,7 @@ module TraderService {
   module COSM_Annotations {
     annotate TraderService "ODP trader: typed service offers, constraint matching, federation";
     annotate Export "Register a service offer under a registered service type";
+    annotate ExportBatch "Bulk offer registration: all specs validated before any is applied";
     annotate Import "Retrieve ranked offers matching a constraint";
     annotate AddType "Management interface: register a new service type";
   };
@@ -97,13 +108,52 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
                                              attrs_from_value(args.at(2)),
                                              std::move(dynamics)));
   });
+  object->on("ExportBatch", [&trader](const std::vector<Value>& args) {
+    std::vector<BatchOfferSpec> specs;
+    specs.reserve(args.at(1).elements().size());
+    for (const Value& s : args.at(1).elements()) {
+      BatchOfferSpec spec;
+      spec.ref = s.at("ref").as_ref();
+      spec.attributes = attrs_from_value(s.at("attributes"));
+      for (const Value& d : s.at("dynamics").elements()) {
+        spec.dynamic_attrs[d.at("name").as_string()] =
+            d.at("operation").as_string();
+      }
+      specs.push_back(std::move(spec));
+    }
+    std::vector<Value> ids;
+    for (auto& id :
+         trader.export_batch(args.at(0).as_string(), std::move(specs))) {
+      ids.push_back(Value::string(std::move(id)));
+    }
+    return Value::sequence(std::move(ids));
+  });
   object->on("Withdraw", [&trader](const std::vector<Value>& args) {
     trader.withdraw(args.at(0).as_string());
     return Value::null();
   });
+  object->on("WithdrawBatch", [&trader](const std::vector<Value>& args) {
+    std::vector<std::string> ids;
+    ids.reserve(args.at(0).elements().size());
+    for (const Value& id : args.at(0).elements()) {
+      ids.push_back(id.as_string());
+    }
+    return Value::integer(
+        static_cast<std::int64_t>(trader.withdraw_batch(ids)));
+  });
   object->on("Modify", [&trader](const std::vector<Value>& args) {
     trader.modify(args.at(0).as_string(), attrs_from_value(args.at(1)));
     return Value::null();
+  });
+  object->on("ModifyBatch", [&trader](const std::vector<Value>& args) {
+    std::vector<std::pair<std::string, AttrMap>> changes;
+    changes.reserve(args.at(0).elements().size());
+    for (const Value& c : args.at(0).elements()) {
+      changes.emplace_back(c.at("id").as_string(),
+                           attrs_from_value(c.at("attributes")));
+    }
+    return Value::integer(
+        static_cast<std::int64_t>(trader.modify_batch(std::move(changes))));
   });
   object->on("Import", [&trader](const std::vector<Value>& args) {
     ImportRequest request;

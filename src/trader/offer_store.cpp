@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace cosm::trader {
+
+namespace store_detail {
 
 namespace {
 
@@ -30,6 +33,175 @@ std::size_t upper_pos(const std::vector<std::pair<double, std::uint32_t>>& ord,
 }
 
 }  // namespace
+
+std::pair<std::size_t, std::size_t> ord_range(
+    const std::vector<std::pair<double, std::uint32_t>>& ord, int bound,
+    double value) {
+  // A NaN bound satisfies no comparison, and feeding it to the binary
+  // searches would violate the comparator's strict weak ordering (every
+  // comparison against NaN is false), yielding arbitrary positions.
+  if (std::isnan(value)) return {0, 0};
+  switch (static_cast<IndexHint::Bound>(bound)) {
+    case IndexHint::Bound::Lt:
+      return {0, lower_pos(ord, value)};
+    case IndexHint::Bound::Le:
+      return {0, upper_pos(ord, value)};
+    case IndexHint::Bound::Gt:
+      return {upper_pos(ord, value), ord.size()};
+    case IndexHint::Bound::Ge:
+      return {lower_pos(ord, value), ord.size()};
+  }
+  return {0, 0};
+}
+
+}  // namespace store_detail
+
+namespace {
+
+/// Round-robin starting offset so concurrent readers spread over the
+/// reader-slot array instead of all CASing slot 0.
+std::size_t reader_slot_hint() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t hint =
+      next.fetch_add(1, std::memory_order_relaxed) * 7;
+  return hint;
+}
+
+/// Fold `schema` into the bucket's attribute book-keeping.  Index
+/// eligibility rests on "every static offer of this bucket carries the
+/// attribute": keep the intersection of required names across the schemas
+/// seen (a type re-registered with a laxer schema narrows it).  The reset
+/// branch requires a *fully* empty bucket — live offers, delta entries,
+/// and dead-but-unmerged base slots all pin the old intersection, since
+/// base slots (even tombstoned ones) only leave at the next merge and the
+/// indexes still describe them.
+template <typename BucketT>
+void fold_schema(BucketT& bucket, const std::vector<AttributeDef>& schema) {
+  std::unordered_set<std::string> required;
+  for (const auto& def : schema) {
+    bucket.declared_attrs.insert(def.name);
+    if (def.required) required.insert(def.name);
+  }
+  if (bucket.live == 0 && bucket.delta.empty() && bucket.dead.empty()) {
+    bucket.required_attrs = std::move(required);
+  } else {
+    for (auto it = bucket.required_attrs.begin();
+         it != bucket.required_attrs.end();) {
+      it = required.count(*it) ? std::next(it)
+                               : bucket.required_attrs.erase(it);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ReadGuard
+
+OfferStore::ReadGuard::ReadGuard(const OfferStore& store) : store_(store) {
+  // Claim a reader slot with the current epoch.  Order matters: the pin
+  // must be visible (seq_cst) before any published pointer is loaded, so a
+  // writer that retires a state we might observe is guaranteed to see our
+  // pin when it scans the slots — see publish_shard() for the other half.
+  std::uint64_t e = store_.epoch_.load();
+  const std::size_t start = reader_slot_hint();
+  for (std::size_t i = 0; i < kReaderSlots; ++i) {
+    ReaderSlot& slot = store_.reader_slots_[(start + i) % kReaderSlots];
+    std::uint64_t idle = kIdleEpoch;
+    if (slot.epoch.compare_exchange_strong(idle, e)) {
+      slot_ = &slot;
+      break;
+    }
+  }
+  if (slot_ != nullptr) {
+    table_ = store_.table_raw_.load();
+  } else {
+    // Every slot taken: fall back to reference-counted pins.  Strictly
+    // slower (mutex + shared_ptr traffic) but never blocked by writers.
+    std::lock_guard lock(store_.table_pub_mutex_);
+    table_keepalive_ = store_.table_published_;
+    table_ = table_keepalive_.get();
+  }
+}
+
+OfferStore::ReadGuard::~ReadGuard() {
+  if (slot_ != nullptr) slot_->epoch.store(kIdleEpoch);
+}
+
+const OfferStore::ShardState* OfferStore::ReadGuard::state(
+    std::size_t shard_index) const {
+  Shard& shard = *table_->shards[shard_index];
+  if (slot_ != nullptr) return shard.raw.load();
+  std::lock_guard lock(shard.pub_mutex);
+  state_keepalive_.push_back(shard.published);
+  return state_keepalive_.back().get();
+}
+
+// ------------------------------------------------------------ construction
+
+OfferStore::OfferStore(Tuning tuning) {
+  indexes_enabled_.store(tuning.enable_indexes, std::memory_order_relaxed);
+  min_delta_.store(std::max<std::size_t>(1, tuning.min_delta),
+                   std::memory_order_relaxed);
+  delta_fraction_.store(std::max<std::size_t>(1, tuning.delta_fraction),
+                        std::memory_order_relaxed);
+  hot_split_threshold_.store(tuning.hot_split_threshold,
+                             std::memory_order_relaxed);
+
+  const std::size_t shards = std::clamp<std::size_t>(tuning.shard_count, 1, 64);
+  auto table = std::make_shared<ShardTable>();
+  table->shards.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->published = std::make_shared<ShardState>();
+    shard->raw.store(shard->published.get());
+    table->shards.push_back(std::move(shard));
+  }
+  table_published_ = std::move(table);
+  table_raw_.store(table_published_.get());
+}
+
+OfferStore::~OfferStore() = default;
+
+void OfferStore::set_tuning(const Tuning& tuning) {
+  indexes_enabled_.store(tuning.enable_indexes, std::memory_order_relaxed);
+  min_delta_.store(std::max<std::size_t>(1, tuning.min_delta),
+                   std::memory_order_relaxed);
+  delta_fraction_.store(std::max<std::size_t>(1, tuning.delta_fraction),
+                        std::memory_order_relaxed);
+  hot_split_threshold_.store(tuning.hot_split_threshold,
+                             std::memory_order_relaxed);
+
+  const std::size_t want = std::clamp<std::size_t>(tuning.shard_count, 1, 64);
+  std::lock_guard lock(table_pub_mutex_);
+  if (table_published_->shards.size() == want) return;
+  if (size() != 0) return;  // re-sharding only applies to an empty store
+
+  auto table = std::make_shared<ShardTable>();
+  table->shards.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->published = std::make_shared<ShardState>();
+    shard->raw.store(shard->published.get());
+    table->shards.push_back(std::move(shard));
+  }
+  // Retire the old table through the same epoch protocol as shard states:
+  // a reader pinned before this swap may still walk the old shards.
+  ShardTablePtr old = std::move(table_published_);
+  table_published_ = std::move(table);
+  table_raw_.store(table_published_.get());
+  const std::uint64_t tag = epoch_.fetch_add(1) + 1;
+  table_limbo_.push_back(Retired{tag, std::move(old)});
+  const std::uint64_t floor = min_pinned_epoch();
+  std::erase_if(table_limbo_,
+                [&](const Retired& r) { return r.epoch <= floor; });
+}
+
+std::size_t OfferStore::shard_count() const {
+  ReadGuard guard(*this);
+  return guard.shards();
+}
+
+// ----------------------------------------------------------------- indexes
 
 std::size_t OfferStore::IndexKeyHash::operator()(const IndexKey& k) const {
   std::size_t h = static_cast<std::size_t>(k.tag);
@@ -88,7 +260,7 @@ OfferStore::IndexKey OfferStore::key_of(const wire::Value& value,
   return key;
 }
 
-OfferStore::IndexedBasePtr OfferStore::rebuild_base(const Bucket& bucket) {
+OfferStore::IndexedBasePtr OfferStore::rebuild_base(const Bucket& bucket) const {
   auto next = std::make_shared<IndexedBase>();
   auto& slots = next->slots;
   if (bucket.base) {
@@ -132,11 +304,11 @@ OfferStore::IndexedBasePtr OfferStore::rebuild_base(const Bucket& bucket) {
   return next;
 }
 
-bool OfferStore::maybe_merge(Bucket& bucket) {
+bool OfferStore::maybe_merge(Bucket& bucket, Shard& shard) {
   std::size_t base_size = bucket.base ? bucket.base->slots.size() : 0;
-  std::size_t threshold =
-      std::max(tuning_.min_delta, base_size / std::max<std::size_t>(
-                                                  1, tuning_.delta_fraction));
+  std::size_t threshold = std::max(
+      min_delta_.load(std::memory_order_relaxed),
+      base_size / delta_fraction_.load(std::memory_order_relaxed));
   bool delta_full = bucket.delta.size() > threshold;
   bool too_dead = !bucket.dead.empty() && bucket.dead.size() > base_size / 4;
   if (!delta_full && !too_dead) return false;
@@ -144,104 +316,410 @@ bool OfferStore::maybe_merge(Bucket& bucket) {
   bucket.delta.clear();
   bucket.dead.clear();
   base_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  shard.rebuilds.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void OfferStore::publish(std::shared_ptr<Snapshot> next) {
-  std::lock_guard lock(snapshot_mutex_);
-  snapshot_ = std::move(next);
+// ------------------------------------------------- epoch publication core
+
+std::uint64_t OfferStore::min_pinned_epoch() const {
+  std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+  for (const ReaderSlot& slot : reader_slots_) {
+    const std::uint64_t e = slot.epoch.load();
+    if (e != kIdleEpoch && e < floor) floor = e;
+  }
+  return floor;
+}
+
+void OfferStore::reclaim(Shard& shard) {
+  // Safe to free a state retired at epoch `tag` once every pinned reader
+  // sits at an epoch >= tag: a reader that could still hold the state
+  // pinned *before* the tag was minted, so its pin reads below the tag
+  // (and the seq_cst order of pin -> pointer-load vs publish -> scan
+  // guarantees the scan here observes that pin).
+  const std::uint64_t floor = min_pinned_epoch();
+  std::erase_if(shard.limbo,
+                [&](const Retired& r) { return r.epoch <= floor; });
+  shard.limbo_size.store(shard.limbo.size(), std::memory_order_relaxed);
+}
+
+std::size_t OfferStore::reclaim_retired() {
+  std::size_t parked = 0;
+  ReadGuard guard(*this);  // pins the table, not the states being freed
+  for (std::size_t si = 0; si < guard.shards(); ++si) {
+    Shard& shard = *guard.table().shards[si];
+    std::lock_guard lock(shard.writer_mutex);
+    reclaim(shard);
+    parked += shard.limbo.size();
+  }
+  {
+    std::lock_guard lock(table_pub_mutex_);
+    const std::uint64_t floor = min_pinned_epoch();
+    std::erase_if(table_limbo_,
+                  [&](const Retired& r) { return r.epoch <= floor; });
+    parked += table_limbo_.size();
+  }
+  return parked;
+}
+
+void OfferStore::publish_shard(Shard& shard,
+                               std::shared_ptr<ShardState> next) {
+  ShardStatePtr old;
+  {
+    std::lock_guard lock(shard.pub_mutex);
+    old = std::move(shard.published);
+    shard.published = std::move(next);
+    // seq_cst: the raw swing must precede the epoch tick below in the
+    // single total order the reader pin protocol reasons about.
+    shard.raw.store(shard.published.get());
+  }
+  const std::uint64_t tag = epoch_.fetch_add(1) + 1;
+  shard.limbo.push_back(Retired{tag, std::move(old)});
+  reclaim(shard);
+}
+
+std::shared_ptr<OfferStore::ShardState> OfferStore::clone_state(
+    const Shard& shard) const {
+  // Caller holds the shard's writer mutex, so `published` is stable; the
+  // clone copies one bucket-pointer map, never bucket contents.
+  return std::make_shared<ShardState>(*shard.published);
+}
+
+std::uint64_t OfferStore::epoch_lag() const {
+  const std::uint64_t floor = min_pinned_epoch();
+  if (floor == std::numeric_limits<std::uint64_t>::max()) return 0;
+  const std::uint64_t now = epoch_.load();
+  return now > floor ? now - floor : 0;
+}
+
+// ---------------------------------------------------------------- writers
+
+std::atomic<std::int64_t>& OfferStore::live_counter(const std::string& type) {
+  {
+    std::shared_lock lock(type_live_mutex_);
+    auto it = type_live_.find(type);
+    if (it != type_live_.end()) return *it->second;
+  }
+  std::unique_lock lock(type_live_mutex_);
+  auto [it, inserted] = type_live_.try_emplace(type, nullptr);
+  if (inserted) it->second = std::make_unique<std::atomic<std::int64_t>>(0);
+  return *it->second;
+}
+
+std::size_t OfferStore::placement_shard(const std::string& type,
+                                        const std::string& id,
+                                        std::size_t shards) {
+  if (shards <= 1) return 0;
+  const std::size_t threshold =
+      hot_split_threshold_.load(std::memory_order_relaxed);
+  if (threshold != 0) {
+    const auto live = live_counter(type).load(std::memory_order_relaxed);
+    if (live >= 0 && static_cast<std::size_t>(live) >= threshold) {
+      // Hot type: spread new offers over all shards by offer id so one
+      // popular type scales across writers too.
+      return std::hash<std::string>{}(id) % shards;
+    }
+  }
+  return home_shard_of(type, shards);
+}
+
+void OfferStore::insert_into(
+    std::unordered_map<std::string, BucketPtr>& buckets, Shard& shard,
+    OfferPtr offer, const std::vector<AttributeDef>& schema) {
+  const std::string& type = offer->service_type;
+  auto existing = buckets.find(type);
+  auto bucket = existing == buckets.end()
+                    ? std::make_shared<Bucket>()
+                    : std::make_shared<Bucket>(*existing->second);
+  if (!bucket->base) bucket->base = std::make_shared<IndexedBase>();
+  fold_schema(*bucket, schema);
+  bucket->delta.push_back(StoredOffer{next_seq_.fetch_add(1), std::move(offer)});
+  bucket->live += 1;
+  maybe_merge(*bucket, shard);
+  buckets[type] = std::move(bucket);
 }
 
 void OfferStore::insert(OfferPtr offer,
                         const std::vector<AttributeDef>& schema) {
-  std::lock_guard lock(writer_mutex_);
-  auto snap = snapshot();
-  auto next = std::make_shared<Snapshot>(*snap);
+  const std::string type = offer->service_type;
+  const std::string id = offer->id;
 
-  const std::string& type = offer->service_type;
-  auto existing = next->buckets.find(type);
-  auto bucket = existing == next->buckets.end()
-                    ? std::make_shared<Bucket>()
-                    : std::make_shared<Bucket>(*existing->second);
-  if (!bucket->base) bucket->base = std::make_shared<IndexedBase>();
-
-  // Index eligibility rests on "every static offer of this bucket carries
-  // the attribute": keep the intersection of required names across the
-  // schemas seen (a type re-registered with a laxer schema narrows it).
-  std::unordered_set<std::string> required;
-  for (const auto& def : schema) {
-    bucket->declared_attrs.insert(def.name);
-    if (def.required) required.insert(def.name);
+  ReadGuard guard(*this);
+  const std::uint32_t shard_index = static_cast<std::uint32_t>(
+      placement_shard(type, id, guard.shards()));
+  // The id map leads the bucket publication (a find() in the window simply
+  // reports the offer as not-yet-known): were it the other way around, a
+  // concurrent erase_if sweep could tombstone the fresh offer out of the
+  // bucket and miss the map entry entirely, leaving it stale forever.
+  // Lock order: id-slice and writer mutexes are never held together here.
+  {
+    IdShard& ids = id_shard(id);
+    std::lock_guard lock(ids.mutex);
+    ids.map[id] = IdEntry{type, shard_index};
   }
-  if (bucket->live == 0 && bucket->delta.empty()) {
-    bucket->required_attrs = std::move(required);
-  } else {
-    for (auto it = bucket->required_attrs.begin();
-         it != bucket->required_attrs.end();) {
-      it = required.count(*it) ? std::next(it)
-                               : bucket->required_attrs.erase(it);
+  Shard& shard = *guard.table().shards[shard_index];
+  {
+    std::lock_guard writer(shard.writer_mutex);
+    auto next = clone_state(shard);
+    insert_into(next->buckets, shard, std::move(offer), schema);
+    publish_shard(shard, std::move(next));
+  }
+  live_counter(type).fetch_add(1, std::memory_order_relaxed);
+}
+
+void OfferStore::insert_batch(std::vector<OfferPtr> offers,
+                              const std::vector<AttributeDef>& schema) {
+  if (offers.empty()) return;
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
+
+  // Placement first (hot-split decided once per batch), grouped per shard
+  // so each shard is locked and published exactly once.  Sequence numbers
+  // mint in input order up front — the batch's export order must not
+  // depend on which shard each offer landed on.
+  std::vector<std::vector<std::size_t>> by_shard(shards);
+  std::vector<std::uint32_t> shard_of(offers.size());
+  std::vector<std::uint64_t> seq_of(offers.size());
+  for (std::size_t i = 0; i < offers.size(); ++i) {
+    const auto s = static_cast<std::uint32_t>(placement_shard(
+        offers[i]->service_type, offers[i]->id, shards));
+    shard_of[i] = s;
+    seq_of[i] = next_seq_.fetch_add(1);
+    by_shard[s].push_back(i);
+  }
+
+  // Register ids before any bucket publishes (see insert() for why the
+  // map must lead the publication).
+  for (std::size_t i = 0; i < offers.size(); ++i) {
+    IdShard& ids = id_shard(offers[i]->id);
+    std::lock_guard lock(ids.mutex);
+    ids.map[offers[i]->id] = IdEntry{offers[i]->service_type, shard_of[i]};
+  }
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *guard.table().shards[s];
+    std::lock_guard writer(shard.writer_mutex);
+    auto next = clone_state(shard);
+    // Clone each touched bucket once, push the whole group, merge once.
+    std::unordered_map<std::string, std::shared_ptr<Bucket>> wip;
+    for (std::size_t i : by_shard[s]) {
+      const std::string& type = offers[i]->service_type;
+      auto it = wip.find(type);
+      if (it == wip.end()) {
+        auto existing = next->buckets.find(type);
+        auto bucket = existing == next->buckets.end()
+                          ? std::make_shared<Bucket>()
+                          : std::make_shared<Bucket>(*existing->second);
+        if (!bucket->base) bucket->base = std::make_shared<IndexedBase>();
+        fold_schema(*bucket, schema);
+        it = wip.emplace(type, std::move(bucket)).first;
+      }
+      it->second->delta.push_back(StoredOffer{seq_of[i], offers[i]});
+      it->second->live += 1;
     }
+    for (auto& [type, bucket] : wip) {
+      maybe_merge(*bucket, shard);
+      next->buckets[type] = std::move(bucket);
+    }
+    publish_shard(shard, std::move(next));
   }
 
-  type_of_id_.emplace(offer->id, type);
-  bucket->delta.push_back(StoredOffer{next_seq_++, std::move(offer)});
-  bucket->live += 1;
-  maybe_merge(*bucket);
-  next->buckets[type] = std::move(bucket);
-  publish(std::move(next));
+  std::unordered_map<std::string, std::int64_t> added;
+  for (const auto& offer : offers) added[offer->service_type] += 1;
+  for (const auto& [type, n] : added) {
+    live_counter(type).fetch_add(n, std::memory_order_relaxed);
+  }
 }
 
 OfferPtr OfferStore::find(const std::string& id) const {
-  std::lock_guard lock(writer_mutex_);
-  auto type_it = type_of_id_.find(id);
-  if (type_it == type_of_id_.end()) return nullptr;
-  auto snap = snapshot();
-  auto bucket_it = snap->buckets.find(type_it->second);
-  if (bucket_it == snap->buckets.end()) return nullptr;
+  IdEntry entry;
+  {
+    IdShard& ids = id_shard(id);
+    std::lock_guard lock(ids.mutex);
+    auto it = ids.map.find(id);
+    if (it == ids.map.end()) return nullptr;
+    entry = it->second;
+  }
+  ReadGuard guard(*this);
+  if (entry.shard >= guard.shards()) return nullptr;
+  const ShardState* state = guard.state(entry.shard);
+  auto bucket_it = state->buckets.find(entry.type);
+  if (bucket_it == state->buckets.end()) return nullptr;
   const Bucket& bucket = *bucket_it->second;
   for (const StoredOffer& so : bucket.delta) {
     if (so.offer->id == id) return so.offer;
   }
+  // The id map can trail a withdrawal (erase cleans it after publishing
+  // the tombstone): a dead base slot is not a live offer.
+  if (!bucket.dead.empty() && bucket.dead.count(id)) return nullptr;
   auto slot_it = bucket.base->slot_of_id.find(id);
   if (slot_it == bucket.base->slot_of_id.end()) return nullptr;
   return bucket.base->slots[slot_it->second].offer;
 }
 
 bool OfferStore::erase(const std::string& id) {
-  std::lock_guard lock(writer_mutex_);
-  auto type_it = type_of_id_.find(id);
-  if (type_it == type_of_id_.end()) return false;
-  auto snap = snapshot();
-  auto next = std::make_shared<Snapshot>(*snap);
-  auto bucket_it = next->buckets.find(type_it->second);
-  if (bucket_it == next->buckets.end()) return false;
-  auto bucket = std::make_shared<Bucket>(*bucket_it->second);
-
-  auto delta_it = std::find_if(
-      bucket->delta.begin(), bucket->delta.end(),
-      [&](const StoredOffer& so) { return so.offer->id == id; });
-  if (delta_it != bucket->delta.end()) {
-    bucket->delta.erase(delta_it);
-  } else if (bucket->base->slot_of_id.count(id)) {
-    bucket->dead.insert(id);
-  } else {
-    return false;  // map and bucket disagree — defensive, cannot happen
+  IdEntry entry;
+  {
+    IdShard& ids = id_shard(id);
+    std::lock_guard lock(ids.mutex);
+    auto it = ids.map.find(id);
+    if (it == ids.map.end()) return false;
+    entry = it->second;
   }
-  bucket->live -= 1;
-  type_of_id_.erase(type_it);
-  maybe_merge(*bucket);
-  bucket_it->second = std::move(bucket);
-  publish(std::move(next));
-  return true;
+
+  bool removed = false;
+  {
+    ReadGuard guard(*this);
+    if (entry.shard < guard.shards()) {
+      Shard& shard = *guard.table().shards[entry.shard];
+      std::lock_guard writer(shard.writer_mutex);
+      auto next = clone_state(shard);
+      auto bucket_it = next->buckets.find(entry.type);
+      if (bucket_it != next->buckets.end()) {
+        auto bucket = std::make_shared<Bucket>(*bucket_it->second);
+        auto delta_it = std::find_if(
+            bucket->delta.begin(), bucket->delta.end(),
+            [&](const StoredOffer& so) { return so.offer->id == id; });
+        if (delta_it != bucket->delta.end()) {
+          bucket->delta.erase(delta_it);
+          removed = true;
+        } else if ((bucket->dead.empty() || bucket->dead.count(id) == 0) &&
+                   bucket->base->slot_of_id.count(id)) {
+          // Already-dead slots fall through to the mismatch path below:
+          // treating them as live again would double-count the removal.
+          bucket->dead.insert(id);
+          removed = true;
+        }
+        if (removed) {
+          bucket->live -= 1;
+          maybe_merge(*bucket, shard);
+          bucket_it->second = std::move(bucket);
+          publish_shard(shard, std::move(next));
+        }
+      }
+    }
+  }
+
+  // Whether the buckets knew the offer or not, the map entry is spent: a
+  // mismatch means the entry was stale (the buckets are authoritative),
+  // and leaving it would send every later find/erase of this id to a
+  // bucket that will never know it.
+  {
+    IdShard& ids = id_shard(id);
+    std::lock_guard lock(ids.mutex);
+    ids.map.erase(id);
+  }
+  if (removed) {
+    live_counter(entry.type).fetch_sub(1, std::memory_order_relaxed);
+  }
+  return removed;
+}
+
+std::size_t OfferStore::withdraw_batch(const std::vector<std::string>& ids) {
+  if (ids.empty()) return 0;
+
+  // Phase 1: resolve ids to (type, shard) placements.
+  struct Victim {
+    const std::string* id;
+    IdEntry entry;
+    bool removed = false;
+  };
+  std::vector<Victim> victims;
+  victims.reserve(ids.size());
+  for (const std::string& id : ids) {
+    IdShard& slice = id_shard(id);
+    std::lock_guard lock(slice.mutex);
+    auto it = slice.map.find(id);
+    if (it != slice.map.end()) victims.push_back({&id, it->second});
+  }
+  if (victims.empty()) return 0;
+
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
+  std::vector<std::vector<std::size_t>> by_shard(shards);
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    if (victims[v].entry.shard < shards) {
+      by_shard[victims[v].entry.shard].push_back(v);
+    }
+  }
+
+  // Phase 2: one writer lock + one publication per touched shard.
+  std::size_t removed = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *guard.table().shards[s];
+    std::lock_guard writer(shard.writer_mutex);
+    auto next = clone_state(shard);
+    std::unordered_map<std::string, std::shared_ptr<Bucket>> wip;
+    bool dirty = false;
+    for (std::size_t v : by_shard[s]) {
+      Victim& victim = victims[v];
+      const std::string& id = *victim.id;
+      auto it = wip.find(victim.entry.type);
+      if (it == wip.end()) {
+        auto bucket_it = next->buckets.find(victim.entry.type);
+        if (bucket_it == next->buckets.end()) continue;  // stale map entry
+        it = wip.emplace(victim.entry.type,
+                         std::make_shared<Bucket>(*bucket_it->second))
+                 .first;
+      }
+      Bucket& bucket = *it->second;
+      auto delta_it = std::find_if(
+          bucket.delta.begin(), bucket.delta.end(),
+          [&](const StoredOffer& so) { return so.offer->id == id; });
+      if (delta_it != bucket.delta.end()) {
+        bucket.delta.erase(delta_it);
+      } else if ((bucket.dead.empty() || bucket.dead.count(id) == 0) &&
+                 bucket.base->slot_of_id.count(id)) {
+        bucket.dead.insert(id);
+      } else {
+        continue;  // lost a race with a concurrent withdrawal
+      }
+      bucket.live -= 1;
+      victim.removed = true;
+      removed += 1;
+      dirty = true;
+    }
+    if (!dirty) continue;
+    for (auto& [type, bucket] : wip) {
+      maybe_merge(*bucket, shard);
+      next->buckets[type] = std::move(bucket);
+    }
+    publish_shard(shard, std::move(next));
+  }
+
+  // Phase 3: clean the id map (stale entries too — they are spent either
+  // way) and settle the hot-split counters.
+  std::unordered_map<std::string, std::int64_t> gone;
+  for (const Victim& victim : victims) {
+    IdShard& slice = id_shard(*victim.id);
+    std::lock_guard lock(slice.mutex);
+    slice.map.erase(*victim.id);
+    if (victim.removed) gone[victim.entry.type] += 1;
+  }
+  for (const auto& [type, n] : gone) {
+    live_counter(type).fetch_sub(n, std::memory_order_relaxed);
+  }
+  return removed;
 }
 
 bool OfferStore::replace(const std::string& id, OfferPtr next_offer) {
-  std::lock_guard lock(writer_mutex_);
-  auto type_it = type_of_id_.find(id);
-  if (type_it == type_of_id_.end()) return false;
-  auto snap = snapshot();
-  auto next = std::make_shared<Snapshot>(*snap);
-  auto bucket_it = next->buckets.find(type_it->second);
+  IdEntry entry;
+  {
+    IdShard& ids = id_shard(id);
+    std::lock_guard lock(ids.mutex);
+    auto it = ids.map.find(id);
+    if (it == ids.map.end()) return false;
+    entry = it->second;
+  }
+
+  ReadGuard guard(*this);
+  if (entry.shard >= guard.shards()) return false;
+  Shard& shard = *guard.table().shards[entry.shard];
+  std::lock_guard writer(shard.writer_mutex);
+  auto next = clone_state(shard);
+  auto bucket_it = next->buckets.find(entry.type);
   if (bucket_it == next->buckets.end()) return false;
   auto bucket = std::make_shared<Bucket>(*bucket_it->second);
 
@@ -251,6 +729,7 @@ bool OfferStore::replace(const std::string& id, OfferPtr next_offer) {
   if (delta_it != bucket->delta.end()) {
     delta_it->offer = std::move(next_offer);
   } else {
+    if (!bucket->dead.empty() && bucket->dead.count(id)) return false;
     auto slot_it = bucket->base->slot_of_id.find(id);
     if (slot_it == bucket->base->slot_of_id.end()) return false;
     // Keep the original sequence number so export order is stable.
@@ -258,56 +737,158 @@ bool OfferStore::replace(const std::string& id, OfferPtr next_offer) {
     bucket->dead.insert(id);
     bucket->delta.push_back(StoredOffer{seq, std::move(next_offer)});
   }
-  maybe_merge(*bucket);
+  maybe_merge(*bucket, shard);
   bucket_it->second = std::move(bucket);
-  publish(std::move(next));
+  publish_shard(shard, std::move(next));
   return true;
+}
+
+std::size_t OfferStore::modify_batch(
+    std::vector<std::pair<std::string, OfferPtr>> changes) {
+  if (changes.empty()) return 0;
+
+  struct Change {
+    std::size_t index;
+    IdEntry entry;
+  };
+  std::vector<Change> resolved;
+  resolved.reserve(changes.size());
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    IdShard& slice = id_shard(changes[i].first);
+    std::lock_guard lock(slice.mutex);
+    auto it = slice.map.find(changes[i].first);
+    if (it != slice.map.end()) resolved.push_back({i, it->second});
+  }
+  if (resolved.empty()) return 0;
+
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
+  std::vector<std::vector<std::size_t>> by_shard(shards);
+  for (std::size_t r = 0; r < resolved.size(); ++r) {
+    if (resolved[r].entry.shard < shards) {
+      by_shard[resolved[r].entry.shard].push_back(r);
+    }
+  }
+
+  std::size_t applied = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *guard.table().shards[s];
+    std::lock_guard writer(shard.writer_mutex);
+    auto next = clone_state(shard);
+    std::unordered_map<std::string, std::shared_ptr<Bucket>> wip;
+    bool dirty = false;
+    for (std::size_t r : by_shard[s]) {
+      const Change& change = resolved[r];
+      const std::string& id = changes[change.index].first;
+      OfferPtr& offer = changes[change.index].second;
+      auto it = wip.find(change.entry.type);
+      if (it == wip.end()) {
+        auto bucket_it = next->buckets.find(change.entry.type);
+        if (bucket_it == next->buckets.end()) continue;
+        it = wip.emplace(change.entry.type,
+                         std::make_shared<Bucket>(*bucket_it->second))
+                 .first;
+      }
+      Bucket& bucket = *it->second;
+      auto delta_it = std::find_if(
+          bucket.delta.begin(), bucket.delta.end(),
+          [&](const StoredOffer& so) { return so.offer->id == id; });
+      if (delta_it != bucket.delta.end()) {
+        delta_it->offer = std::move(offer);
+      } else {
+        if (!bucket.dead.empty() && bucket.dead.count(id)) continue;
+        auto slot_it = bucket.base->slot_of_id.find(id);
+        if (slot_it == bucket.base->slot_of_id.end()) continue;
+        std::uint64_t seq = bucket.base->slots[slot_it->second].seq;
+        bucket.dead.insert(id);
+        bucket.delta.push_back(StoredOffer{seq, std::move(offer)});
+      }
+      applied += 1;
+      dirty = true;
+    }
+    if (!dirty) continue;
+    for (auto& [type, bucket] : wip) {
+      maybe_merge(*bucket, shard);
+      next->buckets[type] = std::move(bucket);
+    }
+    publish_shard(shard, std::move(next));
+  }
+  return applied;
 }
 
 std::size_t OfferStore::erase_if(
     const std::function<bool(const Offer&)>& pred) {
-  std::lock_guard lock(writer_mutex_);
-  auto snap = snapshot();
-  auto next = std::make_shared<Snapshot>(*snap);
-  std::size_t erased = 0;
-  for (auto& [type, bucket_ptr] : next->buckets) {
-    std::vector<std::string> victims;
-    for (const StoredOffer& so : bucket_ptr->base->slots) {
-      if ((bucket_ptr->dead.empty() ||
-           bucket_ptr->dead.count(so.offer->id) == 0) &&
-          pred(*so.offer)) {
-        victims.push_back(so.offer->id);
-      }
-    }
-    bool delta_hit = std::any_of(
-        bucket_ptr->delta.begin(), bucket_ptr->delta.end(),
-        [&](const StoredOffer& so) { return pred(*so.offer); });
-    if (victims.empty() && !delta_hit) continue;
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
+  std::vector<std::pair<std::string, std::string>> victims;  // (id, type)
 
-    auto bucket = std::make_shared<Bucket>(*bucket_ptr);
-    for (auto& id : victims) {
-      bucket->dead.insert(id);
-      type_of_id_.erase(id);
+  for (std::size_t s = 0; s < shards; ++s) {
+    Shard& shard = *guard.table().shards[s];
+    std::lock_guard writer(shard.writer_mutex);
+    auto next = clone_state(shard);
+    bool dirty = false;
+    for (auto& [type, bucket_ptr] : next->buckets) {
+      std::vector<std::string> base_victims;
+      for (const StoredOffer& so : bucket_ptr->base->slots) {
+        if ((bucket_ptr->dead.empty() ||
+             bucket_ptr->dead.count(so.offer->id) == 0) &&
+            pred(*so.offer)) {
+          base_victims.push_back(so.offer->id);
+        }
+      }
+      bool delta_hit = std::any_of(
+          bucket_ptr->delta.begin(), bucket_ptr->delta.end(),
+          [&](const StoredOffer& so) { return pred(*so.offer); });
+      if (base_victims.empty() && !delta_hit) continue;
+
+      auto bucket = std::make_shared<Bucket>(*bucket_ptr);
+      std::size_t bucket_removed = 0;
+      for (auto& id : base_victims) {
+        bucket->dead.insert(id);
+        victims.emplace_back(std::move(id), type);
+        bucket_removed += 1;
+      }
+      std::erase_if(bucket->delta, [&](const StoredOffer& so) {
+        if (!pred(*so.offer)) return false;
+        victims.emplace_back(so.offer->id, type);
+        bucket_removed += 1;
+        return true;
+      });
+      bucket->live -= bucket_removed;
+      maybe_merge(*bucket, shard);
+      bucket_ptr = std::move(bucket);
+      dirty = true;
     }
-    std::erase_if(bucket->delta, [&](const StoredOffer& so) {
-      if (!pred(*so.offer)) return false;
-      victims.push_back(so.offer->id);  // count only; id already unique
-      type_of_id_.erase(so.offer->id);
-      return true;
-    });
-    erased += victims.size();
-    bucket->live -= victims.size();
-    maybe_merge(*bucket);
-    bucket_ptr = std::move(bucket);
+    if (dirty) publish_shard(shard, std::move(next));
   }
-  if (erased > 0) publish(std::move(next));
-  return erased;
+
+  // Map cleanup after the writer locks are gone (lock order: never hold a
+  // writer mutex while taking an id-slice mutex).  find() tolerates the
+  // window by checking the tombstones.
+  std::unordered_map<std::string, std::int64_t> gone;
+  for (const auto& [id, type] : victims) {
+    IdShard& slice = id_shard(id);
+    std::lock_guard lock(slice.mutex);
+    slice.map.erase(id);
+    gone[type] += 1;
+  }
+  for (const auto& [type, n] : gone) {
+    live_counter(type).fetch_sub(n, std::memory_order_relaxed);
+  }
+  return victims.size();
 }
 
 std::size_t OfferStore::size() const {
-  std::lock_guard lock(writer_mutex_);
-  return type_of_id_.size();
+  std::size_t total = 0;
+  for (const IdShard& slice : id_shards_) {
+    std::lock_guard lock(slice.mutex);
+    total += slice.map.size();
+  }
+  return total;
 }
+
+// ---------------------------------------------------------------- readers
 
 void OfferStore::collect_bucket(const Bucket& bucket,
                                 const Constraint* constraint,
@@ -362,10 +943,14 @@ void OfferStore::collect_bucket(const Bucket& bucket,
         }
         Selection sel;
         sel.posting = &kEmptyPosting;
-        if (auto attr_it = base.eq.find(hint.attr); attr_it != base.eq.end()) {
-          if (auto key_it = attr_it->second.find(key);
-              key_it != attr_it->second.end()) {
-            sel.posting = &key_it->second;
+        if (hint.key_kind != IndexHint::KeyKind::Number ||
+            !std::isnan(hint.number)) {
+          if (auto attr_it = base.eq.find(hint.attr);
+              attr_it != base.eq.end()) {
+            if (auto key_it = attr_it->second.find(key);
+                key_it != attr_it->second.end()) {
+              sel.posting = &key_it->second;
+            }
           }
         }
         selections.push_back(sel);
@@ -378,24 +963,11 @@ void OfferStore::collect_bucket(const Bucket& bucket,
           continue;
         }
         sel.ord = &attr_it->second;
-        switch (hint.bound) {
-          case IndexHint::Bound::Lt:
-            sel.lo = 0;
-            sel.hi = lower_pos(*sel.ord, hint.number);
-            break;
-          case IndexHint::Bound::Le:
-            sel.lo = 0;
-            sel.hi = upper_pos(*sel.ord, hint.number);
-            break;
-          case IndexHint::Bound::Gt:
-            sel.lo = upper_pos(*sel.ord, hint.number);
-            sel.hi = sel.ord->size();
-            break;
-          case IndexHint::Bound::Ge:
-            sel.lo = lower_pos(*sel.ord, hint.number);
-            sel.hi = sel.ord->size();
-            break;
-        }
+        // NaN-safe: a NaN bound selects the empty span (see ord_range).
+        auto [lo, hi] = store_detail::ord_range(
+            *sel.ord, static_cast<int>(hint.bound), hint.number);
+        sel.lo = lo;
+        sel.hi = hi;
         selections.push_back(sel);
       }
     }
@@ -406,7 +978,9 @@ void OfferStore::collect_bucket(const Bucket& bucket,
     index_lookups_.fetch_add(1, std::memory_order_relaxed);
     auto primary = std::min_element(
         selections.begin(), selections.end(),
-        [](const Selection& a, const Selection& b) { return a.size() < b.size(); });
+        [](const Selection& a, const Selection& b) {
+          return a.size() < b.size();
+        });
     auto for_each_slot = [](const Selection& sel, auto&& fn) {
       if (sel.posting) {
         for (std::uint32_t slot : *sel.posting) fn(slot);
@@ -444,24 +1018,60 @@ void OfferStore::collect_bucket(const Bucket& bucket,
 std::vector<StoredOffer> OfferStore::collect(
     const std::vector<std::string>& types, const Constraint& constraint,
     MatchStats* stats) const {
-  auto snap = snapshot();
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
   std::vector<StoredOffer> out;
-  for (const std::string& type : types) {
-    auto it = snap->buckets.find(type);
-    if (it == snap->buckets.end()) continue;
-    collect_bucket(*it->second, &constraint, out, stats);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const ShardState* state = guard.state(s);
+    for (const std::string& type : types) {
+      auto it = state->buckets.find(type);
+      if (it == state->buckets.end()) continue;
+      collect_bucket(*it->second, &constraint, out, stats);
+    }
   }
   return out;
 }
 
 std::vector<StoredOffer> OfferStore::collect_all(
     const std::vector<std::string>& types) const {
-  auto snap = snapshot();
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
   std::vector<StoredOffer> out;
-  for (const std::string& type : types) {
-    auto it = snap->buckets.find(type);
-    if (it == snap->buckets.end()) continue;
-    collect_bucket(*it->second, nullptr, out, nullptr);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const ShardState* state = guard.state(s);
+    for (const std::string& type : types) {
+      auto it = state->buckets.find(type);
+      if (it == state->buckets.end()) continue;
+      collect_bucket(*it->second, nullptr, out, nullptr);
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------- instrumentation
+
+void OfferStore::reset_stats() noexcept {
+  index_lookups_.store(0, std::memory_order_relaxed);
+  base_rebuilds_.store(0, std::memory_order_relaxed);
+  ReadGuard guard(*this);
+  for (const auto& shard : guard.table().shards) {
+    shard->rebuilds.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<OfferStore::ShardStats> OfferStore::shard_stats() const {
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
+  std::vector<ShardStats> out(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const Shard& shard = *guard.table().shards[s];
+    out[s].rebuilds = shard.rebuilds.load(std::memory_order_relaxed);
+    out[s].limbo = shard.limbo_size.load(std::memory_order_relaxed);
+    const ShardState* state = guard.state(s);
+    out[s].types = state->buckets.size();
+    for (const auto& [type, bucket] : state->buckets) {
+      out[s].offers += bucket->live;
+    }
   }
   return out;
 }

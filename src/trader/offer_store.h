@@ -1,4 +1,4 @@
-// Indexed, snapshot-concurrent service-offer store — the engine under
+// Sharded, indexed, epoch-concurrent service-offer store — the engine under
 // every local, federated, and mediated lookup (§2.1's matching loop).
 //
 // Layout: offers live in per-service-type buckets.  Each bucket is an
@@ -10,12 +10,32 @@
 // linearly.  Withdrawn base offers are tombstoned by id until the next
 // merge, making withdraw/modify O(1).
 //
-// Concurrency: the whole store state is one immutable Snapshot behind a
-// shared pointer that a tiny mutex guards for the copy/swap only.  Writers
-// serialise on their own mutex, clone the (cheap, structurally-shared)
-// spine outside the pointer lock, and swap; readers copy the pointer and
-// scan without any lock — an import never waits on an export's rebuild
-// work, and never copies an offer it does not return.
+// Sharding: buckets are distributed over `Tuning::shard_count` shards by
+// service-type hash, so concurrent publishers of different types never
+// contend — each shard has its own writer mutex, bucket map, and retired-
+// state limbo.  A *hot* type (live offers >= hot_split_threshold) stops
+// homing on one shard: its new offers hash-split by offer id across all
+// shards, so bulk publishers of one hot type scale across writers too and
+// delta merges stay proportional to the sub-shard, not the type.  Readers
+// probe every shard for each requested type (buckets of a split type merge
+// on StoredOffer::seq like any cross-bucket result).
+//
+// Concurrency: writers serialise per shard, clone the shard's (small,
+// structurally shared) bucket-map spine, and publish it via an atomic
+// pointer; the previous spine is *retired* onto the shard's limbo list
+// tagged with a store-wide epoch, not freed.  Readers pin a reader slot
+// with the current epoch and then walk raw published pointers with no lock
+// and no reference-count traffic; a retired spine is reclaimed once every
+// pinned reader epoch has advanced past its retire tag.  There is no
+// whole-store copy-on-write anywhere: a write copies one shard map and one
+// bucket, never O(store).  (Readers that cannot claim one of the fixed
+// reader slots fall back to copying the shard's published shared_ptr under
+// a tiny mutex — always correct, never blocked by writers.)
+//
+// The id -> (type, shard) map is itself split across kIdShards mutex-
+// guarded slices so id-keyed writers (withdraw/modify) of unrelated offers
+// do not contend either.  Lock order, where nested: id-slice mutex before
+// shard writer mutex before shard publish mutex.
 //
 // Matching: the planner takes the constraint's pre-extracted IndexHints
 // (top-level AND conjuncts), keeps those the bucket can serve exactly —
@@ -29,15 +49,18 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sidl/service_ref.h"
@@ -67,7 +90,7 @@ struct Offer {
 using OfferPtr = std::shared_ptr<const Offer>;
 
 /// A stored offer plus its export-order sequence number (total order
-/// across all buckets — candidates from several buckets merge on it).
+/// across all buckets and shards — candidates merge on it).
 struct StoredOffer {
   std::uint64_t seq = 0;
   OfferPtr offer;
@@ -84,6 +107,18 @@ struct MatchStats {
   bool index_used = false;
 };
 
+namespace store_detail {
+/// Half-open [lo, hi) span of a sorted (value, slot) ord-index column
+/// matching `bound value`.  NaN bounds select nothing — a comparison
+/// against NaN is false for every offer, and handing NaN to
+/// lower_bound/upper_bound would break the comparator's strict weak
+/// ordering (mirrors the key_of NaN rule).  Exposed for differential
+/// tests against the naive scan.
+std::pair<std::size_t, std::size_t> ord_range(
+    const std::vector<std::pair<double, std::uint32_t>>& ord,
+    int bound /* IndexHint::Bound */, double value);
+}  // namespace store_detail
+
 class OfferStore {
  public:
   struct Tuning {
@@ -93,10 +128,20 @@ class OfferStore {
     /// Delta merge threshold: max(min_delta, base_size / delta_fraction).
     std::size_t min_delta = 48;
     std::size_t delta_fraction = 32;
+    /// Writer shards (clamped to [1, 64]).  Applied at construction, or by
+    /// set_tuning while the store is empty; ignored otherwise.
+    std::size_t shard_count = 8;
+    /// Live offers of one type before its new offers hash-split across all
+    /// shards instead of homing on one (0 = never split).
+    std::size_t hot_split_threshold = 65536;
   };
 
-  OfferStore() = default;
-  explicit OfferStore(Tuning tuning) : tuning_(tuning) {}
+  OfferStore() : OfferStore(Tuning{}) {}
+  explicit OfferStore(Tuning tuning);
+  ~OfferStore();
+
+  OfferStore(const OfferStore&) = delete;
+  OfferStore& operator=(const OfferStore&) = delete;
 
   void set_indexes_enabled(bool enabled) noexcept {
     indexes_enabled_.store(enabled, std::memory_order_relaxed);
@@ -105,12 +150,26 @@ class OfferStore {
     return indexes_enabled_.load(std::memory_order_relaxed);
   }
 
-  // ---- writers (serialised on an internal mutex) ----
+  /// Apply tuning.  Merge thresholds, the index switch and the hot-split
+  /// threshold take effect immediately; `shard_count` re-shards only while
+  /// the store is empty and no concurrent operations run (it is ignored,
+  /// keeping the current topology, once offers exist).
+  void set_tuning(const Tuning& tuning);
+
+  std::size_t shard_count() const;
+
+  // ---- writers (serialised per shard) ----
 
   /// Publish an offer.  `schema` is the offer's full type schema; the
   /// bucket keeps the intersection of required attributes seen across
   /// exports, which is what index eligibility relies on.
   void insert(OfferPtr offer, const std::vector<AttributeDef>& schema);
+
+  /// Publish a batch of offers of ONE service type, amortising shard
+  /// locking, publication, and index merges: each touched shard is locked
+  /// once and its state published once for the whole batch.
+  void insert_batch(std::vector<OfferPtr> offers,
+                    const std::vector<AttributeDef>& schema);
 
   /// The stored offer, or null when unknown.  O(1).
   OfferPtr find(const std::string& id) const;
@@ -118,16 +177,24 @@ class OfferStore {
   /// Remove by id; false when unknown.  O(1) amortised.
   bool erase(const std::string& id);
 
+  /// Remove a batch of ids (unknown ids are skipped); returns how many
+  /// were removed.  Shard locking and publication amortise per shard.
+  std::size_t withdraw_batch(const std::vector<std::string>& ids);
+
   /// Swap the offer stored under `id` for `next` (same id, same type),
   /// keeping its export-order position; false when unknown.
   bool replace(const std::string& id, OfferPtr next);
+
+  /// replace() over a batch (unknown ids are skipped); returns how many
+  /// were applied.
+  std::size_t modify_batch(std::vector<std::pair<std::string, OfferPtr>> changes);
 
   /// Remove every offer satisfying `pred` (lease sweeps); returns count.
   std::size_t erase_if(const std::function<bool(const Offer&)>& pred);
 
   std::size_t size() const;
 
-  // ---- readers (lock-free snapshot; never blocked by writers) ----
+  // ---- readers (epoch-pinned; never blocked by writers) ----
 
   /// Candidates of the given concrete types, narrowed by the constraint's
   /// indexable conjuncts.  The caller still evaluates the constraint on
@@ -148,17 +215,38 @@ class OfferStore {
   std::uint64_t index_lookups() const noexcept {
     return index_lookups_.load(std::memory_order_relaxed);
   }
-  /// Delta-into-base merges (index rebuilds).
+  /// Delta-into-base merges (index rebuilds), summed over shards.
   std::uint64_t base_rebuilds() const noexcept {
     return base_rebuilds_.load(std::memory_order_relaxed);
   }
   /// Zero the instrumentation counters (stored offers stay).
-  void reset_stats() noexcept {
-    index_lookups_.store(0, std::memory_order_relaxed);
-    base_rebuilds_.store(0, std::memory_order_relaxed);
+  void reset_stats() noexcept;
+
+  struct ShardStats {
+    std::uint64_t rebuilds = 0;   ///< delta merges on this shard
+    std::size_t limbo = 0;        ///< retired states awaiting reclamation
+    std::size_t types = 0;        ///< buckets currently on this shard
+    std::size_t offers = 0;       ///< live offers across those buckets
+  };
+  std::vector<ShardStats> shard_stats() const;
+
+  /// Store-wide publication epoch (one tick per shard publication).
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
   }
+  /// How far the oldest pinned reader trails the current epoch (0 when no
+  /// reader is pinned) — retired state cannot be reclaimed past this.
+  std::uint64_t epoch_lag() const;
+
+  /// Reclamation normally piggy-backs on publication, so a store that goes
+  /// quiescent while readers were pinned keeps whatever those pins parked.
+  /// This sweeps every shard's limbo against the current pin floor without
+  /// publishing anything.  Returns the states still parked afterwards.
+  std::size_t reclaim_retired();
 
  private:
+  friend struct OfferStoreTestPeer;
+
   /// Normalised attribute value used as an equality-index key; mirrors the
   /// constraint language's comparison semantics (numbers collapse across
   /// int/float, enums compare by label).
@@ -176,7 +264,7 @@ class OfferStore {
   };
 
   /// Immutable indexed core of a bucket; rebuilt by delta merges, shared
-  /// between snapshots in between.
+  /// between published states in between.
   struct IndexedBase {
     std::vector<StoredOffer> slots;  // seq-ascending (export order)
     /// Slots of offers carrying dynamic attributes (never index-narrowed).
@@ -194,8 +282,9 @@ class OfferStore {
   };
   using IndexedBasePtr = std::shared_ptr<const IndexedBase>;
 
-  /// One service type's offers: shared immutable base + small mutable-by-
-  /// clone delta.  Buckets themselves are immutable once published.
+  /// One service type's offers on one shard: shared immutable base + small
+  /// mutable-by-clone delta.  Buckets themselves are immutable once
+  /// published.
   struct Bucket {
     IndexedBasePtr base;
     std::vector<StoredOffer> delta;        // recent writes, scanned linearly
@@ -209,40 +298,138 @@ class OfferStore {
   };
   using BucketPtr = std::shared_ptr<const Bucket>;
 
-  struct Snapshot {
-    std::map<std::string, BucketPtr> buckets;  // by service type
+  /// One shard's published spine: its bucket map.  Immutable once
+  /// published; replaced whole by writers.
+  struct ShardState {
+    std::unordered_map<std::string, BucketPtr> buckets;  // by service type
   };
-  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+  using ShardStatePtr = std::shared_ptr<const ShardState>;
+
+  /// A retired published object awaiting epoch reclamation.
+  struct Retired {
+    std::uint64_t epoch = 0;          // store epoch when it was unlinked
+    std::shared_ptr<const void> state;  // owner keeping raw pointers valid
+  };
+
+  struct alignas(64) Shard {
+    /// Serialises writers of this shard (never held during reads).
+    mutable std::mutex writer_mutex;
+    /// Guards `published` for the shared_ptr copy/swap only (fallback
+    /// readers and publication).
+    mutable std::mutex pub_mutex;
+    ShardStatePtr published;
+    /// What epoch-pinned readers dereference; always == published.get().
+    std::atomic<const ShardState*> raw{nullptr};
+    /// Retired states, retire-epoch ascending (guarded by writer_mutex).
+    std::vector<Retired> limbo;
+    std::atomic<std::size_t> limbo_size{0};
+    std::atomic<std::uint64_t> rebuilds{0};
+  };
+
+  struct ShardTable {
+    std::vector<std::unique_ptr<Shard>> shards;
+  };
+  using ShardTablePtr = std::shared_ptr<ShardTable>;
+
+  /// id -> (service type, shard index), split over kIdShards mutex-guarded
+  /// slices keyed by id hash.
+  struct IdEntry {
+    std::string type;
+    std::uint32_t shard = 0;
+  };
+  struct alignas(64) IdShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, IdEntry> map;
+  };
+  static constexpr std::size_t kIdShards = 64;
+
+  static constexpr std::size_t kReaderSlots = 64;
+  static constexpr std::uint64_t kIdleEpoch = 0;  // real epochs start at 1
+  struct alignas(64) ReaderSlot {
+    std::atomic<std::uint64_t> epoch{kIdleEpoch};
+  };
+
+  /// Pins the store's shard table and states for one operation.  Claims a
+  /// reader slot with the current epoch (retired states younger than the
+  /// pin stay unreclaimed); falls back to shared_ptr copies under the tiny
+  /// publish mutexes when every slot is taken.  Writers hold one across
+  /// their whole operation too — it is their table reference.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const OfferStore& store);
+    ~ReadGuard();
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    ShardTable& table() const noexcept { return *table_; }
+    std::size_t shards() const noexcept { return table_->shards.size(); }
+    /// The shard's current published state (pinned or kept alive).
+    const ShardState* state(std::size_t shard_index) const;
+
+   private:
+    const OfferStore& store_;
+    ReaderSlot* slot_ = nullptr;
+    ShardTable* table_ = nullptr;
+    ShardTablePtr table_keepalive_;  // fallback mode only
+    mutable std::vector<ShardStatePtr> state_keepalive_;
+  };
 
   static IndexKey key_of(const wire::Value& value, bool* indexable);
-  static IndexedBasePtr rebuild_base(const Bucket& bucket);
+  IndexedBasePtr rebuild_base(const Bucket& bucket) const;
   /// Merge the delta when it outgrew its threshold; returns true if merged.
-  bool maybe_merge(Bucket& bucket);
-  void publish(std::shared_ptr<Snapshot> next);
-  SnapshotPtr snapshot() const {
-    // Held only for the shared_ptr copy (std::atomic<shared_ptr> would be
-    // the natural fit, but libstdc++ 12's _Sp_atomic::load unlocks its
-    // internal spin lock with a relaxed RMW, which leaves no formal
-    // happens-before edge to the next writer — TSan rightly flags it).
-    std::lock_guard lock(snapshot_mutex_);
-    return snapshot_;
+  bool maybe_merge(Bucket& bucket, Shard& shard);
+  /// Swap in `next` as the shard's published state, retire the old one
+  /// onto the shard's limbo, and reclaim what no pinned reader can reach.
+  /// Caller holds the shard's writer mutex.
+  void publish_shard(Shard& shard, std::shared_ptr<ShardState> next);
+  void reclaim(Shard& shard);
+  std::uint64_t min_pinned_epoch() const;
+
+  /// Clone of the shard's current state for mutation (caller holds the
+  /// shard's writer mutex, so `published` is stable).
+  std::shared_ptr<ShardState> clone_state(const Shard& shard) const;
+
+  IdShard& id_shard(const std::string& id) const {
+    return id_shards_[std::hash<std::string>{}(id) % kIdShards];
   }
+  std::size_t home_shard_of(const std::string& type, std::size_t shards) const {
+    return std::hash<std::string>{}(type) % shards;
+  }
+  /// Placement for a new offer: home shard, or id-hash split when hot.
+  std::size_t placement_shard(const std::string& type, const std::string& id,
+                              std::size_t shards);
+  std::atomic<std::int64_t>& live_counter(const std::string& type);
+
+  /// Apply one insert to a writer-owned mutable bucket map (no locking).
+  void insert_into(std::unordered_map<std::string, BucketPtr>& buckets,
+                   Shard& shard, OfferPtr offer,
+                   const std::vector<AttributeDef>& schema);
 
   void collect_bucket(const Bucket& bucket, const Constraint* constraint,
                       std::vector<StoredOffer>& out, MatchStats* stats) const;
 
-  Tuning tuning_{};
   std::atomic<bool> indexes_enabled_{true};
+  std::atomic<std::size_t> min_delta_{48};
+  std::atomic<std::size_t> delta_fraction_{32};
+  std::atomic<std::size_t> hot_split_threshold_{65536};
 
-  mutable std::mutex writer_mutex_;
-  /// id -> service type (writer-side only; readers never look up by id).
-  std::unordered_map<std::string, std::string> type_of_id_;
-  std::uint64_t next_seq_ = 1;
-  /// Guards only the published pointer: writers swap it after all rebuild
-  /// work, readers copy it before any scan work.  Neither side ever holds
-  /// it while touching offer data, so imports do not wait on exports.
-  mutable std::mutex snapshot_mutex_;
-  SnapshotPtr snapshot_ = std::make_shared<Snapshot>();
+  /// Guards resharding and the table publish pointer swap.
+  mutable std::mutex table_pub_mutex_;
+  ShardTablePtr table_published_;
+  std::atomic<ShardTable*> table_raw_{nullptr};
+  std::vector<Retired> table_limbo_;  // guarded by table_pub_mutex_
+
+  mutable std::array<IdShard, kIdShards> id_shards_;
+  mutable std::array<ReaderSlot, kReaderSlots> reader_slots_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> next_seq_{1};
+
+  /// Per-type live-offer counters driving hot-split placement.  The map
+  /// only ever grows (one counter per type name); the shared_mutex guards
+  /// registration, counters themselves are atomics.
+  mutable std::shared_mutex type_live_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<std::atomic<std::int64_t>>>
+      type_live_;
 
   mutable std::atomic<std::uint64_t> index_lookups_{0};
   std::atomic<std::uint64_t> base_rebuilds_{0};

@@ -18,7 +18,11 @@ Trader::Trader(std::string name, std::uint64_t rng_seed)
 }
 
 void Trader::set_tuning(const TraderTuning& tuning) {
-  store_.set_indexes_enabled(tuning.enable_indexes);
+  OfferStore::Tuning store_tuning;
+  store_tuning.enable_indexes = tuning.enable_indexes;
+  store_tuning.shard_count = tuning.store_shards;
+  store_tuning.hot_split_threshold = tuning.hot_split_threshold;
+  store_.set_tuning(store_tuning);
   constraint_cache_.set_capacity(tuning.constraint_cache_capacity);
 }
 
@@ -61,6 +65,50 @@ std::string Trader::export_offer(const std::string& service_type,
     exports.add();
   }
   return id;
+}
+
+std::vector<std::string> Trader::export_batch(
+    const std::string& service_type, std::vector<BatchOfferSpec> specs) {
+  // Validate every spec before applying any: a bulk publisher with one bad
+  // offer gets a clean failure, not a half-registered batch.
+  for (const BatchOfferSpec& spec : specs) {
+    if (!spec.ref.valid()) {
+      throw ContractError("cannot export an invalid reference");
+    }
+    std::set<std::string> dynamic_names;
+    for (const auto& [attr, operation] : spec.dynamic_attrs) {
+      if (operation.empty()) {
+        throw ContractError("dynamic attribute '" + attr +
+                            "' needs an operation");
+      }
+      dynamic_names.insert(attr);
+    }
+    types_.check_offer(service_type, spec.attributes, dynamic_names);
+  }
+
+  std::vector<std::string> ids;
+  ids.reserve(specs.size());
+  std::vector<OfferPtr> offers;
+  offers.reserve(specs.size());
+  for (BatchOfferSpec& spec : specs) {
+    Offer offer;
+    offer.id = name_ + "/offer-" +
+               std::to_string(next_offer_.fetch_add(1, std::memory_order_relaxed));
+    offer.service_type = service_type;
+    offer.ref = spec.ref;
+    offer.attributes = std::move(spec.attributes);
+    offer.dynamic_attrs = std::move(spec.dynamic_attrs);
+    ids.push_back(offer.id);
+    offers.push_back(std::make_shared<const Offer>(std::move(offer)));
+  }
+  store_.insert_batch(std::move(offers), types_.schema_of(service_type));
+  exports_.fetch_add(ids.size(), std::memory_order_relaxed);
+  auto& reg = obs::metrics();
+  if (reg.enabled()) {
+    static obs::Counter& exports = reg.counter("trader.exports");
+    exports.add(ids.size());
+  }
+  return ids;
 }
 
 bool Trader::resolve_dynamic(const Offer& offer, AttrMap& merged) {
@@ -125,6 +173,28 @@ void Trader::withdraw(const std::string& offer_id) {
   if (!store_.erase(offer_id)) {
     throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
   }
+}
+
+std::size_t Trader::withdraw_batch(const std::vector<std::string>& offer_ids) {
+  return store_.withdraw_batch(offer_ids);
+}
+
+std::size_t Trader::modify_batch(
+    std::vector<std::pair<std::string, AttrMap>> changes) {
+  // Resolve + validate first (throws before anything is applied); unknown
+  // ids drop out here, mirroring withdraw_batch's skip semantics.
+  std::vector<std::pair<std::string, OfferPtr>> resolved;
+  resolved.reserve(changes.size());
+  for (auto& [offer_id, attributes] : changes) {
+    OfferPtr current = store_.find(offer_id);
+    if (!current) continue;
+    types_.check_offer(current->service_type, attributes);
+    Offer modified = *current;
+    modified.attributes = std::move(attributes);
+    resolved.emplace_back(offer_id,
+                          std::make_shared<const Offer>(std::move(modified)));
+  }
+  return store_.modify_batch(std::move(resolved));
 }
 
 void Trader::modify(const std::string& offer_id, AttrMap attributes) {

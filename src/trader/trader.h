@@ -131,6 +131,19 @@ struct TraderTuning {
   bool enable_indexes = true;
   /// Compiled-constraint LRU entries (0 disables the cache).
   std::size_t constraint_cache_capacity = 128;
+  /// Offer-store writer shards (clamped to [1, 64]).  Takes effect while
+  /// the store is empty; ignored once offers exist.
+  std::size_t store_shards = 8;
+  /// Live offers of one service type before its new offers hash-split
+  /// across all shards instead of homing on one (0 = never split).
+  std::size_t hot_split_threshold = 65536;
+};
+
+/// One offer of an export_batch call (the id is minted by the trader).
+struct BatchOfferSpec {
+  sidl::ServiceRef ref;
+  AttrMap attributes;
+  std::map<std::string, std::string> dynamic_attrs;
 };
 
 class Trader {
@@ -170,8 +183,19 @@ class Trader {
                            const sidl::ServiceRef& ref, AttrMap attributes,
                            std::map<std::string, std::string> dynamic_attrs);
 
+  /// Register a batch of offers of one service type, validating every spec
+  /// before any is applied (all-or-nothing on validation errors) and
+  /// amortising store locking and index maintenance across the batch.
+  /// Returns the minted offer ids, in spec order.
+  std::vector<std::string> export_batch(const std::string& service_type,
+                                        std::vector<BatchOfferSpec> specs);
+
   /// Remove an offer; throws cosm::NotFound.
   void withdraw(const std::string& offer_id);
+
+  /// Remove a batch of offers; unknown ids are skipped (bulk callers want
+  /// idempotency, not per-id faults).  Returns how many were removed.
+  std::size_t withdraw_batch(const std::vector<std::string>& offer_ids);
 
   // --- offer leases (ODP-style bounded offer lifetime) ---
   // The trader keeps a logical clock in hours; an offer with a lease is
@@ -193,6 +217,11 @@ class Trader {
 
   /// Replace an offer's attributes; throws cosm::NotFound / cosm::TypeError.
   void modify(const std::string& offer_id, AttrMap attributes);
+
+  /// modify() over a batch: each change is schema-checked (throws
+  /// cosm::TypeError on the first ill-typed one, applying nothing);
+  /// unknown ids are skipped.  Returns how many were applied.
+  std::size_t modify_batch(std::vector<std::pair<std::string, AttrMap>> changes);
 
   /// All offers of a type (and its subtypes), in export order.
   std::vector<Offer> list_offers(const std::string& service_type) const;
@@ -256,6 +285,19 @@ class Trader {
     return quarantined_.load(std::memory_order_relaxed);
   }
   std::size_t offer_count() const;
+
+  // --- offer-store health (feeds the runtime's metrics snapshot) ---
+  std::uint64_t store_base_rebuilds() const noexcept {
+    return store_.base_rebuilds();
+  }
+  std::uint64_t store_epoch() const noexcept { return store_.epoch(); }
+  /// How far the oldest pinned reader trails the store's publication epoch
+  /// (0 = no reader pinned); retired state cannot be reclaimed past this.
+  std::uint64_t store_epoch_lag() const { return store_.epoch_lag(); }
+  std::size_t store_shard_count() const { return store_.shard_count(); }
+  std::vector<OfferStore::ShardStats> store_shard_stats() const {
+    return store_.shard_stats();
+  }
 
   /// Zero the matching-engine instrumentation counters (offers_evaluated,
   /// offers_scanned, dynamic_fetches, index lookups, constraint-cache and

@@ -55,7 +55,8 @@ class TraderFacadeTest : public ::testing::Test {
 TEST_F(TraderFacadeTest, SidlParsesAndDeclaresFullInterface) {
   sidl::Sid sid = sidl::parse_sid(trader_sidl());
   EXPECT_EQ(sid.name, "TraderService");
-  for (const char* op : {"Export", "Withdraw", "Modify", "Import", "ListOffers",
+  for (const char* op : {"Export", "ExportBatch", "Withdraw", "WithdrawBatch",
+                         "Modify", "ModifyBatch", "Import", "ListOffers",
                          "AddType", "RemoveType", "TypeNames"}) {
     EXPECT_NE(sid.find_operation(op), nullptr) << op;
   }
@@ -97,6 +98,76 @@ TEST_F(TraderFacadeTest, WithdrawAndModifyOverRpc) {
   EXPECT_TRUE(channel->call("ListOffers", {Value::string("CarRentalService")})
                   .elements()
                   .empty());
+}
+
+TEST_F(TraderFacadeTest, ExportBatchOverRpc) {
+  auto spec = [](const std::string& id, double charge) {
+    sidl::ServiceRef ref{id, "inproc://provider", "CarRentalService"};
+    return Value::structure(
+        "OfferSpec_t",
+        {{"ref", Value::service_ref(ref)},
+         {"attributes",
+          Value::sequence({attr("ChargePerDay", Value::real(charge))})},
+         {"dynamics", Value::sequence({})}});
+  };
+  Value ids = channel->call(
+      "ExportBatch", {Value::string("CarRentalService"),
+                      Value::sequence({spec("a", 40), spec("b", 60),
+                                       spec("c", 80)})});
+  ASSERT_EQ(ids.elements().size(), 3u);
+  Value listed = channel->call("ListOffers", {Value::string("CarRentalService")});
+  EXPECT_EQ(listed.elements().size(), 3u);
+
+  // All-or-nothing: one invalid spec (missing the required attribute)
+  // fails the whole batch and registers none of it.
+  Value bad = Value::structure(
+      "OfferSpec_t",
+      {{"ref", Value::service_ref({"d", "inproc://provider", "CarRentalService"})},
+       {"attributes", Value::sequence({attr("Notes", Value::string("no price"))})},
+       {"dynamics", Value::sequence({})}});
+  EXPECT_THROW(channel->call("ExportBatch",
+                             {Value::string("CarRentalService"),
+                              Value::sequence({spec("ok", 10), bad})}),
+               RemoteFault);
+  EXPECT_EQ(channel->call("ListOffers", {Value::string("CarRentalService")})
+                .elements()
+                .size(),
+            3u);
+}
+
+TEST_F(TraderFacadeTest, WithdrawBatchOverRpc) {
+  std::string id1 = export_offer("w1", 10).as_string();
+  std::string id2 = export_offer("w2", 20).as_string();
+  // Unknown ids are skipped, not faulted: the count reports what happened.
+  Value count = channel->call(
+      "WithdrawBatch", {Value::sequence({Value::string(id1),
+                                         Value::string("ghost"),
+                                         Value::string(id2)})});
+  EXPECT_EQ(count.as_int(), 2);
+  EXPECT_TRUE(channel->call("ListOffers", {Value::string("CarRentalService")})
+                  .elements()
+                  .empty());
+}
+
+TEST_F(TraderFacadeTest, ModifyBatchOverRpc) {
+  std::string id1 = export_offer("m1", 10).as_string();
+  std::string id2 = export_offer("m2", 20).as_string();
+  auto mod = [](const std::string& id, double charge) {
+    return Value::structure(
+        "OfferMod_t",
+        {{"id", Value::string(id)},
+         {"attributes",
+          Value::sequence({attr("ChargePerDay", Value::real(charge))})}});
+  };
+  Value count = channel->call(
+      "ModifyBatch",
+      {Value::sequence({mod(id1, 11), mod("ghost", 99), mod(id2, 22)})});
+  EXPECT_EQ(count.as_int(), 2);
+  Value offers = channel->call(
+      "Import", {Value::string("CarRentalService"),
+                 Value::string("ChargePerDay > 10"), Value::string(""),
+                 Value::integer(0), Value::integer(0)});
+  EXPECT_EQ(offers.elements().size(), 2u);
 }
 
 TEST_F(TraderFacadeTest, RemoveTypeOverRpc) {
