@@ -1,0 +1,313 @@
+// Experiment C7: scored top-k selection via the constraint/scoring bytecode
+// VM (trader/cexpr_vm.h) against the reference path (tree-walking
+// evaluators, full materialisation, full sort).
+//
+// The trader is populated with N offers (default 1M) and imports run with a
+// `score:` preference and max_matches = k for k in {1, 10, 100}, crossed
+// with {none, selective} hard constraints and {vm, reference} engines.  The
+// reference engine (TraderTuning::enable_selection_vm = false) evaluates
+// constraint and score with the tree walkers, materialises every match and
+// sorts the lot — the cost model a naive top-k pays.  The vm engine runs
+// compiled bytecode under the store's indexes with a bounded heap and
+// monotone score-bound pruning.  Both engines must return byte-identical
+// offer id sequences; the harness checks this before timing.
+//
+// Writes BENCH_c7_topk.json and exits nonzero when the gate fails.
+//
+// Flags:
+//   --offers=N            population size (default 1000000)
+//   --out=FILE            JSON destination (default BENCH_c7_topk.json)
+//   --gate-min-speedup=F  fail unless vm ops/s >= F x reference ops/s at
+//                         k=10 on the selective constraint (0 disables)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trader/trader.h"
+
+namespace {
+
+using namespace cosm;
+using trader::AttrMap;
+using wire::Value;
+
+constexpr const char* kType = "CarRentalService";
+
+struct Pref {
+  const char* label;
+  const char* text;
+};
+constexpr Pref kPrefs[] = {
+    // Affine in one attribute: eligible for the ord-directed walk, which
+    // scores ~k offers instead of every match when no planner selection
+    // narrows the bucket first.
+    {"affine", "score: -ChargePerDay"},
+    // Two attributes: bytecode + bounded heap only (no index walk).
+    {"weighted", "score: -ChargePerDay + AverageMilage / 80000"},
+};
+
+struct Query {
+  const char* label;
+  const char* constraint;
+  std::size_t iterations;
+};
+constexpr Query kQueries[] = {
+    // ~1% of the population: the planner narrows, then the engines diverge.
+    {"selective", "ChargePerDay < 30 && ChargeCurrency == USD", 80},
+    // Whole population: the ord-directed walk's best case.
+    {"none", "", 5},
+};
+
+std::unique_ptr<trader::Trader> populated_trader(std::size_t offers) {
+  auto t = std::make_unique<trader::Trader>("bench-c7");
+  trader::ServiceType type;
+  type.name = kType;
+  type.attributes = {
+      {"ChargePerDay", sidl::TypeDesc::float_(), true},
+      {"AverageMilage", sidl::TypeDesc::int_(), true},
+      {"ChargeCurrency", sidl::TypeDesc::string_(), true},
+      {"Insured", sidl::TypeDesc::bool_(), true},
+  };
+  t->types().add(type);
+
+  Rng rng(7);
+  static const char* currencies[] = {"USD", "DEM", "FF", "SFR", "GBP"};
+  constexpr std::size_t kBatch = 4096;
+  for (std::size_t base = 0; base < offers; base += kBatch) {
+    const std::size_t count = std::min(kBatch, offers - base);
+    std::vector<trader::BatchOfferSpec> specs;
+    specs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      trader::BatchOfferSpec spec;
+      spec.ref = sidl::ServiceRef{"svc-" + std::to_string(base + i),
+                                  "inproc://x", kType};
+      spec.attributes = {
+          {"ChargePerDay", Value::real(20.0 + rng.uniform() * 180.0)},
+          {"AverageMilage", Value::integer(rng.range(1000, 80000))},
+          {"ChargeCurrency", Value::string(currencies[rng.below(5)])},
+          {"Insured", Value::boolean(rng.chance(0.5))},
+      };
+      specs.push_back(std::move(spec));
+    }
+    t->export_batch(kType, std::move(specs));
+  }
+  return t;
+}
+
+struct ModeResult {
+  std::string query;
+  std::string pref;
+  std::size_t k = 0;
+  std::string mode;
+  std::size_t iterations = 0;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t matched = 0;
+  double scored_per_import = 0.0;
+  double pruned_per_import = 0.0;
+};
+
+double percentile(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+std::vector<std::string> ids_of(const std::vector<trader::Offer>& offers) {
+  std::vector<std::string> ids;
+  ids.reserve(offers.size());
+  for (const auto& o : offers) ids.push_back(o.id);
+  return ids;
+}
+
+ModeResult run_mode(trader::Trader& t, const Query& query, const Pref& pref,
+                    std::size_t k, bool vm) {
+  trader::TraderTuning tuning;
+  tuning.enable_selection_vm = vm;
+  t.set_tuning(tuning);
+  trader::ImportRequest request;
+  request.service_type = kType;
+  request.constraint = query.constraint;
+  request.preference = pref.text;
+  request.max_matches = k;
+
+  ModeResult result;
+  result.query = query.label;
+  result.pref = pref.label;
+  result.k = k;
+  result.mode = vm ? "vm" : "reference";
+  result.iterations = query.iterations;
+  result.matched = t.import(request).size();  // warm-up (caches, snapshot)
+
+  t.reset_stats();
+  std::vector<double> samples_us;
+  samples_us.reserve(query.iterations);
+  auto sweep_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < query.iterations; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto matches = t.import(request);
+    auto stop = std::chrono::steady_clock::now();
+    if (matches.size() != result.matched) {
+      std::fprintf(stderr, "[c7-topk] unstable match count\n");
+    }
+    samples_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  double total_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+
+  std::sort(samples_us.begin(), samples_us.end());
+  result.ops_per_sec = static_cast<double>(query.iterations) / total_sec;
+  result.p50_us = percentile(samples_us, 0.50);
+  result.p99_us = percentile(samples_us, 0.99);
+  result.scored_per_import = static_cast<double>(t.offers_scored()) /
+                             static_cast<double>(query.iterations);
+  result.pruned_per_import = static_cast<double>(t.heap_prunes()) /
+                             static_cast<double>(query.iterations);
+  return result;
+}
+
+/// Both engines must agree exactly — offers and order — before any timing
+/// is worth reporting.
+bool verify_identical(trader::Trader& t, const Query& query, const Pref& pref,
+                      std::size_t k) {
+  trader::ImportRequest request;
+  request.service_type = kType;
+  request.constraint = query.constraint;
+  request.preference = pref.text;
+  request.max_matches = k;
+  trader::TraderTuning tuning;
+  tuning.enable_selection_vm = true;
+  t.set_tuning(tuning);
+  auto vm_ids = ids_of(t.import(request));
+  tuning.enable_selection_vm = false;
+  t.set_tuning(tuning);
+  auto ref_ids = ids_of(t.import(request));
+  if (vm_ids != ref_ids) {
+    std::fprintf(stderr,
+                 "[c7-topk] MISMATCH: query=%s pref=%s k=%zu vm=%zu ref=%zu offers\n",
+                 query.label, pref.label, k, vm_ids.size(), ref_ids.size());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t offers = 1'000'000;
+  std::string out_path = "BENCH_c7_topk.json";
+  double gate_min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--offers=", 0) == 0) {
+      offers = std::stoull(arg.substr(9));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--gate-min-speedup=", 0) == 0) {
+      gate_min_speedup = std::stod(arg.substr(19));
+    } else {
+      std::fprintf(stderr, "[c7-topk] unknown flag %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr, "[c7-topk] populating %zu offers...\n", offers);
+  auto t = populated_trader(offers);
+
+  const std::size_t ks[] = {1, 10, 100};
+  std::vector<ModeResult> results;
+  bool identical = true;
+  double gate_speedup = 0.0;
+  for (const Query& query : kQueries) {
+    for (const Pref& pref : kPrefs) {
+      for (std::size_t k : ks) {
+        identical = verify_identical(*t, query, pref, k) && identical;
+        // Reference first so the vm numbers cannot benefit from extra
+        // warm-up.
+        ModeResult ref = run_mode(*t, query, pref, k, /*vm=*/false);
+        ModeResult vm = run_mode(*t, query, pref, k, /*vm=*/true);
+        const double speedup = vm.ops_per_sec / ref.ops_per_sec;
+        std::fprintf(stderr,
+                     "[c7-topk] %-9s %-8s k=%3zu: reference %8.1f ops/s"
+                     " (p50 %9.1f us)  vm %9.1f ops/s (p50 %9.1f us)"
+                     "  speedup %5.1fx  scored/import %.0f"
+                     "  pruned/import %.0f\n",
+                     query.label, pref.label, k, ref.ops_per_sec, ref.p50_us,
+                     vm.ops_per_sec, vm.p50_us, speedup, vm.scored_per_import,
+                     vm.pruned_per_import);
+        if (std::string(query.label) == "selective" &&
+            std::string(pref.label) == "affine" && k == 10) {
+          gate_speedup = speedup;
+        }
+        results.push_back(std::move(ref));
+        results.push_back(std::move(vm));
+      }
+    }
+  }
+
+  bool passed = identical;
+  if (!identical) {
+    std::fprintf(stderr, "[c7-topk] GATE FAILED: engines disagree\n");
+  }
+  if (gate_min_speedup > 0.0 && gate_speedup < gate_min_speedup) {
+    std::fprintf(stderr,
+                 "[c7-topk] GATE FAILED: selective k=10 speedup %.2fx < %.2fx\n",
+                 gate_speedup, gate_min_speedup);
+    passed = false;
+  } else if (gate_min_speedup > 0.0) {
+    std::fprintf(stderr, "[c7-topk] gate passed: selective k=10 speedup %.2fx\n",
+                 gate_speedup);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "[c7-topk] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"experiment\": \"C7_topk_selection\",\n"
+      << "  \"offers\": " << offers << ",\n"
+      << "  \"preferences\": {";
+  for (std::size_t i = 0; i < std::size(kPrefs); ++i) {
+    out << (i ? ", " : "") << "\"" << kPrefs[i].label << "\": \""
+        << kPrefs[i].text << "\"";
+  }
+  out << "},\n  \"constraints\": {";
+  for (std::size_t i = 0; i < std::size(kQueries); ++i) {
+    out << (i ? ", " : "") << "\"" << kQueries[i].label << "\": \""
+        << kQueries[i].constraint << "\"";
+  }
+  out << "},\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    out << "    {\"query\": \"" << r.query << "\", \"pref\": \"" << r.pref
+        << "\", \"k\": " << r.k
+        << ", \"mode\": \"" << r.mode << "\", \"iterations\": " << r.iterations
+        << ", \"ops_per_sec\": " << r.ops_per_sec << ", \"p50_us\": " << r.p50_us
+        << ", \"p99_us\": " << r.p99_us << ", \"matched\": " << r.matched
+        << ", \"scored_per_import\": " << r.scored_per_import
+        << ", \"pruned_per_import\": " << r.pruned_per_import << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedup_vm_vs_reference\": {";
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    out << (i ? ", " : "") << "\"" << results[i].query << "/"
+        << results[i].pref << "/k" << results[i].k
+        << "\": " << results[i + 1].ops_per_sec / results[i].ops_per_sec;
+  }
+  out << "},\n  \"gates\": {\"min_speedup_selective_affine_k10\": " << gate_min_speedup
+      << ", \"speedup_selective_affine_k10\": " << gate_speedup
+      << ", \"identical_results\": " << (identical ? "true" : "false")
+      << ", \"passed\": " << (passed ? "true" : "false") << "}\n}\n";
+  std::fprintf(stderr, "[c7-topk] wrote %s\n", out_path.c_str());
+  return passed ? 0 : 1;
+}

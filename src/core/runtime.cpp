@@ -132,10 +132,26 @@ std::string CosmRuntime::metrics_snapshot() {
       .set(static_cast<std::int64_t>(trader_.offers_scanned()));
   reg.gauge(prefix + "index_lookups_total")
       .set(static_cast<std::int64_t>(trader_.index_lookups()));
+  reg.gauge(prefix + "offers_scored_total")
+      .set(static_cast<std::int64_t>(trader_.offers_scored()));
+  reg.gauge(prefix + "heap_prunes_total")
+      .set(static_cast<std::int64_t>(trader_.heap_prunes()));
   reg.gauge(prefix + "constraint_cache_hits_total")
       .set(static_cast<std::int64_t>(trader_.constraint_cache_hits()));
   reg.gauge(prefix + "constraint_cache_misses_total")
       .set(static_cast<std::int64_t>(trader_.constraint_cache_misses()));
+  reg.gauge(prefix + "constraint_cache_evictions_total")
+      .set(static_cast<std::int64_t>(trader_.constraint_cache_evictions()));
+  reg.gauge(prefix + "constraint_cache_compile_ns_total")
+      .set(static_cast<std::int64_t>(trader_.constraint_cache_compile_ns()));
+  reg.gauge(prefix + "preference_cache_hits_total")
+      .set(static_cast<std::int64_t>(trader_.preference_cache_hits()));
+  reg.gauge(prefix + "preference_cache_misses_total")
+      .set(static_cast<std::int64_t>(trader_.preference_cache_misses()));
+  reg.gauge(prefix + "preference_cache_evictions_total")
+      .set(static_cast<std::int64_t>(trader_.preference_cache_evictions()));
+  reg.gauge(prefix + "preference_cache_compile_ns_total")
+      .set(static_cast<std::int64_t>(trader_.preference_cache_compile_ns()));
   reg.gauge(prefix + "closure_builds_total")
       .set(static_cast<std::int64_t>(trader_.types().closure_builds()));
   reg.gauge(prefix + "closure_hits_total")

@@ -1,0 +1,113 @@
+// Shared intermediate representation of the trader's two expression
+// languages: boolean constraints (trader/constraint.h) and weighted scoring
+// expressions (trader/preference.h's `score:` preferences).  Both the
+// tree-walking reference evaluators and the bytecode compiler in
+// trader/cexpr_vm.h consume these nodes, so the ASTs live in one internal
+// header instead of a .cpp-private namespace.
+//
+// Everything here is an implementation detail of the trader; the public
+// surface stays Constraint / Preference.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trader/attributes.h"
+
+namespace cosm::trader::detail {
+
+// ---- constraint AST ----
+
+enum class NodeKind { And, Or, Not, Exists, Cmp, In, True, False };
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// One operand of a comparison: either a literal or an attribute name that
+/// resolves at evaluation time (falling back to a label literal when the
+/// attribute is absent everywhere).
+struct Operand {
+  enum class Kind { Ident, Int, Float, String };
+  Kind kind = Kind::Ident;
+  std::string text;   // Ident name or String payload
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+struct Node {
+  NodeKind kind;
+  std::unique_ptr<Node> lhs;  // And/Or/Not
+  std::unique_ptr<Node> rhs;  // And/Or
+  std::string attr;           // Exists
+  CmpOp op = CmpOp::Eq;       // Cmp
+  Operand a, b;               // Cmp; `a` also the In subject
+  std::vector<Operand> set;   // In members
+};
+
+/// Tree-walking reference evaluation (the semantics the bytecode VM must
+/// reproduce bit for bit; differential tests compare against this).
+bool eval_node(const Node& n, const AttrMap& attrs);
+
+/// Attribute/identifier names the expression references.
+void collect_attrs(const Node& n, std::set<std::string>& out);
+
+// ---- scoring AST ----
+//
+//   score: 0.7 * inv(latency_ms) + 0.3 * throughput
+//          penalty 0.5 unless (Insured == true)
+//
+// Attributes resolve to their numeric value (int or float); a missing or
+// non-numeric attribute yields NaN, which propagates through arithmetic and
+// collapses to -inf at ranking time (such offers sort last, mirroring the
+// legacy min/max missing-attribute rule).  Each `penalty W unless (C)`
+// clause subtracts W from the score when the boolean constraint C does not
+// hold — soft constraints alongside the hard filter.
+
+struct ScoreNode {
+  enum class Kind {
+    Const, Attr,                    // leaves
+    Neg, Inv, Abs, Sqrt, Log,       // unary (lhs)
+    Add, Sub, Mul, Div, Min, Max,   // binary (lhs, rhs)
+  };
+  Kind kind = Kind::Const;
+  double value = 0.0;               // Const
+  std::string attr;                 // Attr
+  std::unique_ptr<ScoreNode> lhs, rhs;
+};
+
+struct PenaltyClause {
+  double weight = 0.0;
+  std::unique_ptr<Node> unless;
+};
+
+struct ScoreIr {
+  std::unique_ptr<ScoreNode> expr;
+  std::vector<PenaltyClause> penalties;
+};
+
+/// Tree-walking reference scorer (what the score bytecode must match).
+double eval_score(const ScoreIr& ir, const AttrMap& attrs);
+
+/// Ranking key: NaN scores collapse to -inf so they order last,
+/// deterministically.
+double score_rank_key(double score);
+
+/// Attribute names the scoring expression reads (its own expression plus
+/// every penalty constraint).
+void collect_score_attrs(const ScoreIr& ir, std::set<std::string>& out);
+
+/// Parse the body of a `score:` preference (the text after the keyword).
+/// Grammar:
+///   spec    := expr penalty*
+///   penalty := "penalty" number "unless" "(" constraint ")"
+///   expr    := term (("+"|"-") term)*
+///   term    := unary (("*"|"/") unary)*
+///   unary   := "-" unary | primary
+///   primary := NUMBER | IDENT | FUNC "(" expr ("," expr)? ")" | "(" expr ")"
+/// with FUNC one of inv/abs/sqrt/log (unary) and min/max (binary).
+/// Throws cosm::ParseError.
+ScoreIr parse_score(const std::string& text);
+
+}  // namespace cosm::trader::detail

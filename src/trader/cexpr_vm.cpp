@@ -1,0 +1,723 @@
+#include "trader/cexpr_vm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace cosm::trader::cexpr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+using detail::CmpOp;
+using detail::Node;
+using detail::NodeKind;
+using detail::Operand;
+using detail::PenaltyClause;
+using detail::ScoreIr;
+using detail::ScoreNode;
+
+/// Three-way compare + predicate, replicating constraint.cpp's compare()
+/// exactly — including the quirk that a NaN number yields cmp == 0 (both
+/// `<` tests fail), so NaN == x, NaN <= x and NaN >= x all hold.
+bool compare_rt(CmpOp op, const RtVal& a, const RtVal& b) {
+  if (a.tag == RtVal::Tag::Missing || b.tag == RtVal::Tag::Missing) return false;
+  if (a.tag != b.tag) return false;
+  int cmp = 0;
+  switch (a.tag) {
+    case RtVal::Tag::Number:
+      cmp = a.number < b.number ? -1 : (a.number > b.number ? 1 : 0);
+      break;
+    case RtVal::Tag::Text:
+      cmp = a.text.compare(b.text) < 0 ? -1 : (a.text == b.text ? 0 : 1);
+      break;
+    case RtVal::Tag::Boolean:
+      cmp = static_cast<int>(a.boolean) - static_cast<int>(b.boolean);
+      break;
+    default:
+      return false;
+  }
+  switch (op) {
+    case CmpOp::Eq: return cmp == 0;
+    case CmpOp::Ne: return cmp != 0;
+    case CmpOp::Lt: return cmp < 0;
+    case CmpOp::Le: return cmp <= 0;
+    case CmpOp::Gt: return cmp > 0;
+    case CmpOp::Ge: return cmp >= 0;
+  }
+  return false;
+}
+
+/// Shared compiler state for filter and score programs (a score program
+/// embeds boolean code for its penalty constraints).  Sets `ok = false`
+/// instead of emitting when an encoding limit is hit; the entry points then
+/// return nullptr and callers tree-walk.
+class Compiler {
+ public:
+  Compiler(Program& p, const FoldEnv& env) : p_(p), env_(env) {}
+
+  bool ok() const { return ok_; }
+
+  void compile_bool(const Node& n) {
+    switch (n.kind) {
+      case NodeKind::True:
+        emit({Op::ConstBool, 1});
+        return;
+      case NodeKind::False:
+        emit({Op::ConstBool, 0});
+        return;
+      case NodeKind::And: {
+        compile_bool(*n.lhs);
+        std::size_t jmp = emit({Op::JumpIfFalse});
+        compile_bool(*n.rhs);
+        patch(jmp);
+        return;
+      }
+      case NodeKind::Or: {
+        compile_bool(*n.lhs);
+        std::size_t jmp = emit({Op::JumpIfTrue});
+        compile_bool(*n.rhs);
+        patch(jmp);
+        return;
+      }
+      case NodeKind::Not:
+        compile_bool(*n.lhs);
+        emit({Op::Not});
+        return;
+      case NodeKind::Exists:
+        // An attribute no type has ever declared cannot exist on a stored
+        // offer (the type manager rejects it at export).
+        if (folds_away(n.attr)) {
+          emit({Op::ConstBool, 0});
+          return;
+        }
+        emit({Op::Exists, slot_for(n.attr)});
+        return;
+      case NodeKind::Cmp: {
+        std::uint8_t ra = operand_ref(n.a);
+        std::uint8_t rb = operand_ref(n.b);
+        emit({Op::Cmp, static_cast<std::uint8_t>(n.op), ra, rb});
+        return;
+      }
+      case NodeKind::In: {
+        std::uint8_t subject = operand_ref(n.a);
+        if (n.set.size() > 255 ||
+            p_.opnd_pool.size() + n.set.size() > kMaxPool) {
+          ok_ = false;
+          return;
+        }
+        std::uint16_t base = static_cast<std::uint16_t>(p_.opnd_pool.size());
+        for (const Operand& member : n.set) {
+          p_.opnd_pool.push_back(operand_ref(member));
+        }
+        Instr ins{Op::In, subject, static_cast<std::uint8_t>(n.set.size())};
+        ins.d = base;
+        emit(ins);
+        return;
+      }
+    }
+    ok_ = false;
+  }
+
+  void compile_score(const ScoreNode& n, std::size_t dst) {
+    if (dst >= kMaxRegs) {
+      ok_ = false;
+      return;
+    }
+    if (dst > max_reg_) max_reg_ = dst;
+    auto reg = [](std::size_t r) { return static_cast<std::uint8_t>(r); };
+    switch (n.kind) {
+      case ScoreNode::Kind::Const: {
+        Instr ins{Op::LoadConst, reg(dst)};
+        ins.d = dconst(n.value);
+        emit(ins);
+        return;
+      }
+      case ScoreNode::Kind::Attr:
+        // Never folded: score programs also rank offers from remote
+        // traders whose types this process may not know.
+        emit({Op::LoadAttr, reg(dst), slot_for(n.attr)});
+        return;
+      case ScoreNode::Kind::Neg:
+      case ScoreNode::Kind::Inv:
+      case ScoreNode::Kind::Abs:
+      case ScoreNode::Kind::Sqrt:
+      case ScoreNode::Kind::Log: {
+        compile_score(*n.lhs, dst);
+        Op op = n.kind == ScoreNode::Kind::Neg   ? Op::Neg
+                : n.kind == ScoreNode::Kind::Inv ? Op::Inv
+                : n.kind == ScoreNode::Kind::Abs ? Op::Abs
+                : n.kind == ScoreNode::Kind::Sqrt ? Op::Sqrt
+                                                  : Op::Log;
+        emit({op, reg(dst), reg(dst)});
+        return;
+      }
+      case ScoreNode::Kind::Add:
+      case ScoreNode::Kind::Sub:
+      case ScoreNode::Kind::Mul:
+      case ScoreNode::Kind::Div:
+      case ScoreNode::Kind::Min:
+      case ScoreNode::Kind::Max: {
+        compile_score(*n.lhs, dst);
+        compile_score(*n.rhs, dst + 1);
+        Op op = n.kind == ScoreNode::Kind::Add   ? Op::Add
+                : n.kind == ScoreNode::Kind::Sub ? Op::Sub
+                : n.kind == ScoreNode::Kind::Mul ? Op::Mul
+                : n.kind == ScoreNode::Kind::Div ? Op::Div
+                : n.kind == ScoreNode::Kind::Min ? Op::Min
+                                                 : Op::Max;
+        emit({op, reg(dst), reg(dst), reg(dst + 1)});
+        return;
+      }
+    }
+    ok_ = false;
+  }
+
+  void compile_penalty(const PenaltyClause& clause) {
+    compile_bool(*clause.unless);
+    Instr ins{Op::PenaltySub, 0};
+    ins.d = dconst(clause.weight);
+    emit(ins);
+  }
+
+  void finish_score() {
+    p_.num_regs = static_cast<std::uint16_t>(max_reg_ + 1);
+  }
+
+ private:
+  std::size_t emit(Instr ins) {
+    if (p_.code.size() >= kMaxCode) {
+      ok_ = false;
+      return 0;
+    }
+    p_.code.push_back(ins);
+    return p_.code.size() - 1;
+  }
+
+  void patch(std::size_t jmp) {
+    if (!ok_) return;
+    p_.code[jmp].d = static_cast<std::uint16_t>(p_.code.size());
+  }
+
+  bool folds_away(const std::string& name) const {
+    return env_.declared != nullptr && env_.declared->count(name) == 0;
+  }
+
+  std::uint8_t slot_for(const std::string& name) {
+    auto it = slot_of_.find(name);
+    if (it != slot_of_.end()) return it->second;
+    if (p_.attrs.size() >= kMaxSlots) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint8_t slot = static_cast<std::uint8_t>(p_.attrs.size());
+    p_.attrs.push_back(name);
+    slot_of_.emplace(name, slot);
+    return slot;
+  }
+
+  std::uint8_t const_ref(RtVal v, std::uint32_t text_idx) {
+    if (p_.consts.size() >= kMaxConsts) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint8_t idx = static_cast<std::uint8_t>(p_.consts.size());
+    p_.consts.push_back(v);
+    p_.const_text_idx.push_back(text_idx);
+    return idx;
+  }
+
+  std::uint8_t const_number(double v) {
+    RtVal r;
+    r.tag = RtVal::Tag::Number;
+    r.number = v;
+    return const_ref(r, 0);
+  }
+
+  std::uint8_t const_text(const std::string& text) {
+    p_.text_pool.push_back(text);
+    RtVal r;
+    r.tag = RtVal::Tag::Text;
+    return const_ref(r, static_cast<std::uint32_t>(p_.text_pool.size() - 1));
+  }
+
+  std::uint8_t const_boolean(bool v) {
+    RtVal r;
+    r.tag = RtVal::Tag::Boolean;
+    r.boolean = v;
+    return const_ref(r, 0);
+  }
+
+  /// Pre-resolve an operand: literals (and foldable identifiers) go to the
+  /// constant pool, the rest become attribute slots (high bit set).
+  std::uint8_t operand_ref(const Operand& o) {
+    switch (o.kind) {
+      case Operand::Kind::Int:
+        return const_number(static_cast<double>(o.i));
+      case Operand::Kind::Float:
+        return const_number(o.f);
+      case Operand::Kind::String:
+        return const_text(o.text);
+      case Operand::Kind::Ident:
+        // Same precedence as resolve_operand: true/false are booleans
+        // before any attribute lookup.
+        if (o.text == "true" || o.text == "false") {
+          return const_boolean(o.text == "true");
+        }
+        if (folds_away(o.text)) return const_text(o.text);
+        return static_cast<std::uint8_t>(kSlotBit | slot_for(o.text));
+    }
+    ok_ = false;
+    return 0;
+  }
+
+  std::uint16_t dconst(double v) {
+    if (p_.dconsts.size() >= kMaxPool) {
+      ok_ = false;
+      return 0;
+    }
+    p_.dconsts.push_back(v);
+    return static_cast<std::uint16_t>(p_.dconsts.size() - 1);
+  }
+
+  Program& p_;
+  const FoldEnv& env_;
+  bool ok_ = true;
+  std::size_t max_reg_ = 0;
+  std::unordered_map<std::string, std::uint8_t> slot_of_;
+};
+
+}  // namespace
+
+void Program::finalize() {
+  for (std::size_t i = 0; i < consts.size(); ++i) {
+    if (consts[i].tag == RtVal::Tag::Text) {
+      consts[i].text = text_pool[const_text_idx[i]];
+    }
+  }
+}
+
+ProgramPtr compile_filter(const detail::Node* root, const FoldEnv& env) {
+  auto p = std::make_shared<Program>();
+  Compiler c(*p, env);
+  if (root == nullptr) {
+    Instr ins{Op::ConstBool, 1};
+    p->code.push_back(ins);
+  } else {
+    c.compile_bool(*root);
+  }
+  if (!c.ok()) return nullptr;
+  p->finalize();
+  return p;
+}
+
+ProgramPtr compile_score(const detail::ScoreIr& ir) {
+  if (!ir.expr) return nullptr;
+  auto p = std::make_shared<Program>();
+  FoldEnv no_fold;
+  Compiler c(*p, no_fold);
+  c.compile_score(*ir.expr, 0);
+  for (const PenaltyClause& clause : ir.penalties) c.compile_penalty(clause);
+  c.finish_score();
+  if (!c.ok()) return nullptr;
+  p->finalize();
+  return p;
+}
+
+void bind_offer(const Program& p, const AttrMap& attrs, Scratch& s) {
+  s.bind.resize(p.attrs.size());
+  for (std::size_t i = 0; i < p.attrs.size(); ++i) {
+    RtVal& v = s.bind[i];
+    auto it = attrs.find(p.attrs[i]);
+    if (it == attrs.end()) {
+      // Identifier fallback: the name denotes itself as a text literal.
+      v.tag = RtVal::Tag::Text;
+      v.present = false;
+      v.text = p.attrs[i];
+      continue;
+    }
+    v.present = true;
+    using wire::ValueKind;
+    switch (it->second.kind()) {
+      case ValueKind::Int:
+        v.tag = RtVal::Tag::Number;
+        v.number = static_cast<double>(it->second.as_int());
+        break;
+      case ValueKind::Float:
+        v.tag = RtVal::Tag::Number;
+        v.number = it->second.as_real();
+        break;
+      case ValueKind::String:
+        v.tag = RtVal::Tag::Text;
+        v.text = it->second.as_string();
+        break;
+      case ValueKind::Enum:
+        v.tag = RtVal::Tag::Text;
+        v.text = it->second.enum_label();
+        break;
+      case ValueKind::Bool:
+        v.tag = RtVal::Tag::Boolean;
+        v.boolean = it->second.as_bool();
+        break;
+      default:
+        v.tag = RtVal::Tag::Missing;  // structured: exists, compares false
+        break;
+    }
+  }
+}
+
+namespace {
+
+inline const RtVal& deref(const Program& p, const Scratch& s, std::uint8_t r) {
+  return (r & kSlotBit) ? s.bind[r & static_cast<std::uint8_t>(~kSlotBit)]
+                        : p.consts[r];
+}
+
+/// One pass over the instruction stream; boolean and score state both live
+/// here because score programs interleave penalty-constraint boolean code.
+double run(const Program& p, Scratch* s_mut, const Scratch& s) {
+  bool acc = false;
+  const Instr* code = p.code.data();
+  const std::size_t n = p.code.size();
+  double* regs = s_mut ? s_mut->regs.data() : nullptr;
+  std::size_t pc = 0;
+  while (pc < n) {
+    const Instr& ins = code[pc++];
+    switch (ins.op) {
+      case Op::ConstBool:
+        acc = ins.a != 0;
+        break;
+      case Op::Exists:
+        acc = s.bind[ins.a].present;
+        break;
+      case Op::Cmp:
+        acc = compare_rt(static_cast<CmpOp>(ins.a), deref(p, s, ins.b),
+                         deref(p, s, ins.c));
+        break;
+      case Op::In: {
+        const RtVal& subject = deref(p, s, ins.a);
+        acc = false;
+        for (std::size_t j = 0; j < ins.b; ++j) {
+          if (compare_rt(CmpOp::Eq, subject,
+                         deref(p, s, p.opnd_pool[ins.d + j]))) {
+            acc = true;
+            break;
+          }
+        }
+        break;
+      }
+      case Op::Not:
+        acc = !acc;
+        break;
+      case Op::JumpIfFalse:
+        if (!acc) pc = ins.d;
+        break;
+      case Op::JumpIfTrue:
+        if (acc) pc = ins.d;
+        break;
+      case Op::LoadConst:
+        regs[ins.a] = p.dconsts[ins.d];
+        break;
+      case Op::LoadAttr: {
+        const RtVal& v = s.bind[ins.b];
+        regs[ins.a] = v.tag == RtVal::Tag::Number ? v.number : kNaN;
+        break;
+      }
+      case Op::Neg:
+        regs[ins.a] = -regs[ins.b];
+        break;
+      case Op::Inv:
+        regs[ins.a] = 1.0 / regs[ins.b];
+        break;
+      case Op::Abs:
+        regs[ins.a] = std::fabs(regs[ins.b]);
+        break;
+      case Op::Sqrt:
+        regs[ins.a] = std::sqrt(regs[ins.b]);
+        break;
+      case Op::Log:
+        regs[ins.a] = std::log(regs[ins.b]);
+        break;
+      case Op::Add:
+        regs[ins.a] = regs[ins.b] + regs[ins.c];
+        break;
+      case Op::Sub:
+        regs[ins.a] = regs[ins.b] - regs[ins.c];
+        break;
+      case Op::Mul:
+        regs[ins.a] = regs[ins.b] * regs[ins.c];
+        break;
+      case Op::Div:
+        regs[ins.a] = regs[ins.b] / regs[ins.c];
+        break;
+      case Op::Min: {
+        double l = regs[ins.b], r = regs[ins.c];
+        regs[ins.a] = (std::isnan(l) || std::isnan(r)) ? kNaN : std::min(l, r);
+        break;
+      }
+      case Op::Max: {
+        double l = regs[ins.b], r = regs[ins.c];
+        regs[ins.a] = (std::isnan(l) || std::isnan(r)) ? kNaN : std::max(l, r);
+        break;
+      }
+      case Op::PenaltySub:
+        if (!acc) regs[ins.a] -= p.dconsts[ins.d];
+        break;
+    }
+  }
+  return acc ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+bool eval_filter(const Program& p, const Scratch& s) {
+  return run(p, nullptr, s) != 0.0;
+}
+
+double eval_score(const Program& p, Scratch& s) {
+  s.regs.resize(p.num_regs);
+  run(p, &s, s);
+  return p.num_regs > 0 ? s.regs[0] : kNaN;
+}
+
+// ---- score-bound analysis ----
+
+namespace {
+
+/// Over-approximation of a subexpression's *non-NaN* outcomes across the
+/// candidate population.  NaN outcomes need no tracking: every operator
+/// (including Min/Max, by construction) propagates NaN to the root, where
+/// score_rank_key collapses it to -inf — it can never raise an upper bound.
+/// `empty` means no non-NaN outcome is possible at all.
+struct Iv {
+  double lo = 0.0, hi = 0.0;
+  bool empty = true;
+};
+
+Iv iv(double lo, double hi) {
+  Iv r;
+  // Any NaN creeping into a bound (inf - inf and friends) widens to
+  // everything: conservative, never unsound.
+  if (std::isnan(lo) || std::isnan(hi)) {
+    r.lo = -kInf;
+    r.hi = kInf;
+  } else {
+    r.lo = lo;
+    r.hi = hi;
+  }
+  r.empty = false;
+  return r;
+}
+
+Iv iv_full() { return iv(-kInf, kInf); }
+
+Iv bound_node(const ScoreNode& n,
+              const std::function<AttrRange(const std::string&)>& range_of) {
+  switch (n.kind) {
+    case ScoreNode::Kind::Const:
+      if (std::isnan(n.value)) return Iv{};
+      return iv(n.value, n.value);
+    case ScoreNode::Kind::Attr: {
+      AttrRange r = range_of(n.attr);
+      if (r.empty) return Iv{};
+      if (std::isnan(r.lo) || std::isnan(r.hi)) return iv_full();
+      return iv(r.lo, r.hi);
+    }
+    case ScoreNode::Kind::Neg: {
+      Iv u = bound_node(*n.lhs, range_of);
+      if (u.empty) return u;
+      return iv(-u.hi, -u.lo);
+    }
+    case ScoreNode::Kind::Inv: {
+      Iv u = bound_node(*n.lhs, range_of);
+      if (u.empty) return u;
+      if (u.lo <= 0.0 && u.hi >= 0.0) return iv_full();  // spans zero
+      return iv(std::min(1.0 / u.lo, 1.0 / u.hi),
+                std::max(1.0 / u.lo, 1.0 / u.hi));
+    }
+    case ScoreNode::Kind::Abs: {
+      Iv u = bound_node(*n.lhs, range_of);
+      if (u.empty) return u;
+      if (u.lo >= 0.0) return u;
+      if (u.hi <= 0.0) return iv(-u.hi, -u.lo);
+      return iv(0.0, std::max(-u.lo, u.hi));
+    }
+    case ScoreNode::Kind::Sqrt: {
+      Iv u = bound_node(*n.lhs, range_of);
+      if (u.empty) return u;
+      if (u.hi < 0.0) return Iv{};  // every input NaNs out
+      return iv(std::sqrt(std::max(u.lo, 0.0)), std::sqrt(u.hi));
+    }
+    case ScoreNode::Kind::Log: {
+      Iv u = bound_node(*n.lhs, range_of);
+      if (u.empty) return u;
+      if (u.hi < 0.0) return Iv{};
+      // log(0) is -inf (a value); negative inputs NaN out and vanish.
+      double hi = std::log(u.hi);  // log of 0 -> -inf is fine here
+      double lo = u.lo > 0.0 ? std::log(u.lo) : -kInf;
+      return iv(lo, hi);
+    }
+    case ScoreNode::Kind::Add: {
+      Iv l = bound_node(*n.lhs, range_of), r = bound_node(*n.rhs, range_of);
+      if (l.empty || r.empty) return Iv{};
+      return iv(l.lo + r.lo, l.hi + r.hi);
+    }
+    case ScoreNode::Kind::Sub: {
+      Iv l = bound_node(*n.lhs, range_of), r = bound_node(*n.rhs, range_of);
+      if (l.empty || r.empty) return Iv{};
+      return iv(l.lo - r.hi, l.hi - r.lo);
+    }
+    case ScoreNode::Kind::Mul: {
+      Iv l = bound_node(*n.lhs, range_of), r = bound_node(*n.rhs, range_of);
+      if (l.empty || r.empty) return Iv{};
+      double c[4] = {l.lo * r.lo, l.lo * r.hi, l.hi * r.lo, l.hi * r.hi};
+      for (double v : c) {
+        if (std::isnan(v)) return iv_full();  // 0 * inf at a corner
+      }
+      return iv(std::min(std::min(c[0], c[1]), std::min(c[2], c[3])),
+                std::max(std::max(c[0], c[1]), std::max(c[2], c[3])));
+    }
+    case ScoreNode::Kind::Div: {
+      Iv l = bound_node(*n.lhs, range_of), r = bound_node(*n.rhs, range_of);
+      if (l.empty || r.empty) return Iv{};
+      if (r.lo <= 0.0 && r.hi >= 0.0) return iv_full();  // divisor spans 0
+      double c[4] = {l.lo / r.lo, l.lo / r.hi, l.hi / r.lo, l.hi / r.hi};
+      for (double v : c) {
+        if (std::isnan(v)) return iv_full();
+      }
+      return iv(std::min(std::min(c[0], c[1]), std::min(c[2], c[3])),
+                std::max(std::max(c[0], c[1]), std::max(c[2], c[3])));
+    }
+    case ScoreNode::Kind::Min: {
+      Iv l = bound_node(*n.lhs, range_of), r = bound_node(*n.rhs, range_of);
+      if (l.empty || r.empty) return Iv{};  // NaN side poisons the result
+      return iv(std::min(l.lo, r.lo), std::min(l.hi, r.hi));
+    }
+    case ScoreNode::Kind::Max: {
+      Iv l = bound_node(*n.lhs, range_of), r = bound_node(*n.rhs, range_of);
+      if (l.empty || r.empty) return Iv{};
+      return iv(std::max(l.lo, r.lo), std::max(l.hi, r.hi));
+    }
+  }
+  return iv_full();
+}
+
+}  // namespace
+
+double score_upper_bound(
+    const detail::ScoreIr& ir,
+    const std::function<AttrRange(const std::string&)>& range_of) {
+  if (!ir.expr) return kInf;
+  Iv b = bound_node(*ir.expr, range_of);
+  if (b.empty) return -kInf;  // every candidate scores NaN -> -inf key
+  double hi = b.hi;
+  for (const PenaltyClause& clause : ir.penalties) {
+    // A penalty can only raise the score when its weight is negative; the
+    // upper bound assumes whichever branch is higher.
+    hi -= std::min(clause.weight, 0.0);
+  }
+  if (std::isnan(hi)) return kInf;
+  return hi;
+}
+
+namespace {
+
+struct Aff {
+  bool valid = false;
+  bool has_attr = false;
+  std::string attr;
+  double a = 0.0, b = 0.0;
+};
+
+Aff aff_invalid() { return Aff{}; }
+
+Aff aff_node(const ScoreNode& n) {
+  switch (n.kind) {
+    case ScoreNode::Kind::Const: {
+      if (!std::isfinite(n.value)) return aff_invalid();
+      Aff r;
+      r.valid = true;
+      r.b = n.value;
+      return r;
+    }
+    case ScoreNode::Kind::Attr: {
+      Aff r;
+      r.valid = true;
+      r.has_attr = true;
+      r.attr = n.attr;
+      r.a = 1.0;
+      return r;
+    }
+    case ScoreNode::Kind::Neg: {
+      Aff u = aff_node(*n.lhs);
+      if (!u.valid) return u;
+      u.a = -u.a;
+      u.b = -u.b;
+      return u;
+    }
+    case ScoreNode::Kind::Add:
+    case ScoreNode::Kind::Sub: {
+      Aff l = aff_node(*n.lhs), r = aff_node(*n.rhs);
+      if (!l.valid || !r.valid) return aff_invalid();
+      // Exactly-once: two attribute occurrences (even of the same name)
+      // break the monotone-rounding argument at the infinities.
+      if (l.has_attr && r.has_attr) return aff_invalid();
+      double sign = n.kind == ScoreNode::Kind::Add ? 1.0 : -1.0;
+      Aff out;
+      out.valid = true;
+      out.has_attr = l.has_attr || r.has_attr;
+      out.attr = l.has_attr ? l.attr : r.attr;
+      out.a = l.a + sign * r.a;
+      out.b = l.b + sign * r.b;
+      return out;
+    }
+    case ScoreNode::Kind::Mul: {
+      Aff l = aff_node(*n.lhs), r = aff_node(*n.rhs);
+      if (!l.valid || !r.valid) return aff_invalid();
+      if (l.has_attr && r.has_attr) return aff_invalid();
+      if (r.has_attr) std::swap(l, r);
+      // r is now constant-only: scale.
+      Aff out;
+      out.valid = true;
+      out.has_attr = l.has_attr;
+      out.attr = l.attr;
+      out.a = l.a * r.b;
+      out.b = l.b * r.b;
+      return out;
+    }
+    case ScoreNode::Kind::Div: {
+      Aff l = aff_node(*n.lhs), r = aff_node(*n.rhs);
+      if (!l.valid || !r.valid) return aff_invalid();
+      if (r.has_attr || r.b == 0.0 || !std::isfinite(r.b)) return aff_invalid();
+      Aff out;
+      out.valid = true;
+      out.has_attr = l.has_attr;
+      out.attr = l.attr;
+      out.a = l.a / r.b;
+      out.b = l.b / r.b;
+      return out;
+    }
+    default:
+      return aff_invalid();  // functions are not affine
+  }
+}
+
+}  // namespace
+
+AffineForm affine_of(const detail::ScoreIr& ir) {
+  AffineForm out;
+  if (!ir.expr || !ir.penalties.empty()) return out;
+  Aff a = aff_node(*ir.expr);
+  if (!a.valid || !a.has_attr) return out;
+  if (!std::isfinite(a.a) || a.a == 0.0 || !std::isfinite(a.b)) return out;
+  out.valid = true;
+  out.attr = a.attr;
+  out.a = a.a;
+  out.b = a.b;
+  return out;
+}
+
+}  // namespace cosm::trader::cexpr

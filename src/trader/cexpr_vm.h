@@ -1,0 +1,201 @@
+// Bytecode VM for trader constraint and scoring expressions.
+//
+// Constraint ASTs and scoring expressions (trader/cexpr_ir.h) compile into a
+// small flat register program so the offer store's selection loop does no
+// tree walking, no per-offer name hashing, and no allocation:
+//
+//   * literals are pre-resolved into a constant pool at compile time
+//     (including bare identifiers that can never be attributes — see below);
+//   * every referenced attribute gets a *slot*; a per-offer bind step does
+//     exactly one AttrMap::find per slot and the instructions address slots
+//     by index;
+//   * boolean code is an accumulator machine with short-circuit jumps; score
+//     code is a flat double-register machine.
+//
+// Semantics are bit-for-bit those of the tree-walking evaluators in
+// constraint.cpp (differential tests enforce this), including the forgiving
+// corner cases: identifier fallback to a text literal, missing/mismatched
+// kinds comparing false, and the NaN trichotomy quirk (NaN==x, NaN<=x and
+// NaN>=x all hold because the three-way compare yields 0).
+//
+// Identifier folding: when compiling a *filter* for locally stored offers,
+// an identifier operand whose name no registered service type has ever
+// declared can be folded to a text literal outright — the type manager
+// rejects offers carrying undeclared attributes, so per-offer resolution
+// could never find it.  Folded programs are tagged with the type-layout
+// epoch and recompiled when it moves (ConstraintCache handles this).  Score
+// programs are never folded: they also score offers returned by *remote*
+// traders, whose types this process may not know.
+//
+// Compilation is best-effort: a program that exceeds the (generous) encoding
+// limits compiles to nullptr and callers fall back to the tree-walking
+// evaluator, so correctness never depends on compilability.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "trader/attributes.h"
+#include "trader/cexpr_ir.h"
+
+namespace cosm::trader::cexpr {
+
+/// A bound operand value: what resolve_operand produces, with views instead
+/// of owned strings.  Slots bind per offer; constants bind at compile time.
+struct RtVal {
+  enum class Tag : std::uint8_t { Missing, Number, Text, Boolean };
+  Tag tag = Tag::Missing;
+  /// Attribute present on the offer (drives `exists`; structured attributes
+  /// are present but Missing-tagged, i.e. they exist yet compare false).
+  bool present = false;
+  bool boolean = false;
+  double number = 0.0;
+  /// Into the offer's value storage or the program's own string pool —
+  /// valid for the bind's lifetime / the program's lifetime respectively.
+  std::string_view text;
+};
+
+enum class Op : std::uint8_t {
+  // ---- boolean (accumulator) ----
+  ConstBool,     // acc = a
+  Exists,        // acc = bind[a].present
+  Cmp,           // acc = compare(CmpOp(a), ref b, ref c)
+  In,            // acc = any(compare(Eq, ref a, ref pool[d..d+b)))
+  Not,           // acc = !acc
+  JumpIfFalse,   // if (!acc) pc = d
+  JumpIfTrue,    // if (acc) pc = d
+  // ---- score (double registers) ----
+  LoadConst,     // reg[a] = dconst[d]
+  LoadAttr,      // reg[a] = bind[b] as number, else NaN
+  Neg,           // reg[a] = -reg[b]
+  Inv,           // reg[a] = 1.0 / reg[b]
+  Abs,           // reg[a] = fabs(reg[b])
+  Sqrt,          // reg[a] = sqrt(reg[b])
+  Log,           // reg[a] = log(reg[b])
+  Add,           // reg[a] = reg[b] + reg[c]
+  Sub,           // reg[a] = reg[b] - reg[c]
+  Mul,           // reg[a] = reg[b] * reg[c]
+  Div,           // reg[a] = reg[b] / reg[c]
+  Min,           // reg[a] = NaN-propagating min(reg[b], reg[c])
+  Max,           // reg[a] = NaN-propagating max(reg[b], reg[c])
+  PenaltySub,    // if (!acc) reg[a] -= dconst[d]
+};
+
+struct Instr {
+  Op op;
+  std::uint8_t a = 0, b = 0, c = 0;
+  std::uint16_t d = 0;
+};
+
+/// Operand references in Cmp/In pack "constant or slot" into one byte:
+/// high bit set = attribute slot, clear = constant-pool index.
+constexpr std::uint8_t kSlotBit = 0x80;
+constexpr std::size_t kMaxConsts = 128;
+constexpr std::size_t kMaxSlots = 128;
+constexpr std::size_t kMaxRegs = 256;
+constexpr std::size_t kMaxCode = 65535;
+constexpr std::size_t kMaxPool = 65535;
+
+struct Program {
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  std::vector<Instr> code;
+  /// Pre-resolved literal operands (text views into text_pool, fixed up by
+  /// finalize() once the pool stops growing).
+  std::vector<RtVal> consts;
+  std::vector<std::string> text_pool;
+  std::vector<std::uint32_t> const_text_idx;  // consts[i].text = text_pool[idx]
+  /// Attribute slots: bind_offer does one find() per entry.
+  std::vector<std::string> attrs;
+  /// In-set member operand refs, addressed by Instr::d spans.
+  std::vector<std::uint8_t> opnd_pool;
+  std::vector<double> dconsts;
+  std::uint16_t num_regs = 0;
+
+  /// Patch const text views after all pool strings are in place (string
+  /// buffers move while the pool vector grows).
+  void finalize();
+};
+
+using ProgramPtr = std::shared_ptr<const Program>;
+
+/// Per-thread evaluation scratch, reused across offers (no allocation in
+/// the loop once warmed to the program's sizes).
+struct Scratch {
+  std::vector<RtVal> bind;
+  std::vector<double> regs;
+};
+
+/// Identifier-folding environment for compile_filter.  `declared` is the
+/// cumulative set of attribute names any service type has ever declared;
+/// null disables folding (always valid, just less constant-folded).
+struct FoldEnv {
+  const std::unordered_set<std::string>* declared = nullptr;
+};
+
+/// Compile a constraint AST (null root = always true) into a filter
+/// program.  Returns nullptr when the expression exceeds encoding limits —
+/// fall back to Constraint::eval.
+ProgramPtr compile_filter(const detail::Node* root, const FoldEnv& env);
+
+/// Compile a scoring expression.  Never identifier-folds (remote offers).
+/// Returns nullptr when the expression exceeds encoding limits — fall back
+/// to detail::eval_score.
+ProgramPtr compile_score(const detail::ScoreIr& ir);
+
+/// Resolve the program's attribute slots against one offer's attributes:
+/// one map lookup per referenced name.  Must precede eval_* for that offer.
+void bind_offer(const Program& p, const AttrMap& attrs, Scratch& s);
+
+/// Run a filter program; result is the boolean accumulator.
+bool eval_filter(const Program& p, const Scratch& s);
+
+/// Run a score program; result is register 0 (NaN when any referenced
+/// attribute is missing/non-numeric — collapse with detail::score_rank_key).
+double eval_score(const Program& p, Scratch& s);
+
+// ---- score-bound analysis (top-k pruning; operates on the IR) ----
+
+/// Attribute value range across a candidate population.  `empty` means no
+/// candidate carries a numeric value for the attribute.
+struct AttrRange {
+  double lo = 0.0, hi = 0.0;
+  bool empty = true;
+};
+
+/// Upper bound of score_rank_key(eval_score(ir, attrs)) over every offer
+/// population where each referenced attribute's numeric values lie within
+/// the range reported by `range_of` (and offers missing a referenced
+/// attribute score NaN -> -inf, so they never raise the bound).  Always
+/// conservative: returns +inf when the expression defeats interval
+/// analysis.  A bucket whose bound is strictly below the current k-th key
+/// cannot contribute and may be skipped.
+double score_upper_bound(
+    const detail::ScoreIr& ir,
+    const std::function<AttrRange(const std::string&)>& range_of);
+
+/// score == a * attr + b detection for ordered-index-directed walks.  Valid
+/// only when the expression references exactly one attribute exactly once,
+/// combines it with finite constants through +,-,*,/,negation (no
+/// functions, no penalties), and the slope is finite and nonzero — under
+/// those conditions the *rounded* IEEE evaluation is weakly monotone in the
+/// attribute over [-inf, +inf], so walking the ordered index from the
+/// favourable end admits an early stop once the heap is full and the
+/// current score falls strictly below the k-th key.
+struct AffineForm {
+  bool valid = false;
+  std::string attr;
+  double a = 0.0, b = 0.0;
+};
+
+AffineForm affine_of(const detail::ScoreIr& ir);
+
+}  // namespace cosm::trader::cexpr

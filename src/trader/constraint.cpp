@@ -1,40 +1,21 @@
 #include "trader/constraint.h"
 
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <set>
 #include <stdexcept>
 
 #include "common/error.h"
+#include "trader/cexpr_ir.h"
+#include "trader/cexpr_vm.h"
 
 namespace cosm::trader {
 
 namespace detail {
-
-enum class NodeKind { And, Or, Not, Exists, Cmp, In, True, False };
-enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
-
-/// One operand of a comparison: either a literal or an attribute name that
-/// resolves at evaluation time (falling back to a label literal when the
-/// attribute is absent everywhere).
-struct Operand {
-  enum class Kind { Ident, Int, Float, String };
-  Kind kind = Kind::Ident;
-  std::string text;   // Ident name or String payload
-  std::int64_t i = 0;
-  double f = 0.0;
-};
-
-struct Node {
-  NodeKind kind;
-  std::unique_ptr<Node> lhs;  // And/Or/Not
-  std::unique_ptr<Node> rhs;  // And/Or
-  std::string attr;           // Exists
-  CmpOp op = CmpOp::Eq;       // Cmp
-  Operand a, b;               // Cmp; `a` also the In subject
-  std::vector<Operand> set;   // In members
-};
 
 namespace {
 
@@ -142,6 +123,8 @@ bool compare(CmpOp op, const Resolved& a, const Resolved& b) {
   return false;
 }
 
+}  // namespace
+
 bool eval_node(const Node& n, const AttrMap& attrs) {
   switch (n.kind) {
     case NodeKind::True: return true;
@@ -193,11 +176,94 @@ void collect_attrs(const Node& n, std::set<std::string>& out) {
   }
 }
 
+// ---- score evaluation (tree-walking reference) ----
+
+double score_rank_key(double score) {
+  return std::isnan(score) ? -std::numeric_limits<double>::infinity() : score;
+}
+
+namespace {
+
+double eval_score_node(const ScoreNode& n, const AttrMap& attrs) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  switch (n.kind) {
+    case ScoreNode::Kind::Const:
+      return n.value;
+    case ScoreNode::Kind::Attr: {
+      auto it = attrs.find(n.attr);
+      if (it == attrs.end()) return kNaN;
+      switch (it->second.kind()) {
+        case wire::ValueKind::Int:
+          return static_cast<double>(it->second.as_int());
+        case wire::ValueKind::Float:
+          return it->second.as_real();
+        default:
+          return kNaN;
+      }
+    }
+    case ScoreNode::Kind::Neg: return -eval_score_node(*n.lhs, attrs);
+    case ScoreNode::Kind::Inv: return 1.0 / eval_score_node(*n.lhs, attrs);
+    case ScoreNode::Kind::Abs: return std::fabs(eval_score_node(*n.lhs, attrs));
+    case ScoreNode::Kind::Sqrt: return std::sqrt(eval_score_node(*n.lhs, attrs));
+    case ScoreNode::Kind::Log: return std::log(eval_score_node(*n.lhs, attrs));
+    case ScoreNode::Kind::Add:
+      return eval_score_node(*n.lhs, attrs) + eval_score_node(*n.rhs, attrs);
+    case ScoreNode::Kind::Sub:
+      return eval_score_node(*n.lhs, attrs) - eval_score_node(*n.rhs, attrs);
+    case ScoreNode::Kind::Mul:
+      return eval_score_node(*n.lhs, attrs) * eval_score_node(*n.rhs, attrs);
+    case ScoreNode::Kind::Div:
+      return eval_score_node(*n.lhs, attrs) / eval_score_node(*n.rhs, attrs);
+    case ScoreNode::Kind::Min: {
+      // std::min/max would pass a NaN operand through (they pick the other
+      // value); scoring wants NaN to poison the whole expression so a
+      // missing attribute always ranks last.
+      double l = eval_score_node(*n.lhs, attrs);
+      double r = eval_score_node(*n.rhs, attrs);
+      if (std::isnan(l) || std::isnan(r)) return kNaN;
+      return std::min(l, r);
+    }
+    case ScoreNode::Kind::Max: {
+      double l = eval_score_node(*n.lhs, attrs);
+      double r = eval_score_node(*n.rhs, attrs);
+      if (std::isnan(l) || std::isnan(r)) return kNaN;
+      return std::max(l, r);
+    }
+  }
+  return kNaN;
+}
+
+void collect_score_node_attrs(const ScoreNode& n, std::set<std::string>& out) {
+  if (n.kind == ScoreNode::Kind::Attr) out.insert(n.attr);
+  if (n.lhs) collect_score_node_attrs(*n.lhs, out);
+  if (n.rhs) collect_score_node_attrs(*n.rhs, out);
+}
+
+}  // namespace
+
+double eval_score(const ScoreIr& ir, const AttrMap& attrs) {
+  double score = eval_score_node(*ir.expr, attrs);
+  for (const PenaltyClause& clause : ir.penalties) {
+    if (!eval_node(*clause.unless, attrs)) score -= clause.weight;
+  }
+  return score;
+}
+
+void collect_score_attrs(const ScoreIr& ir, std::set<std::string>& out) {
+  if (ir.expr) collect_score_node_attrs(*ir.expr, out);
+  for (const PenaltyClause& clause : ir.penalties) {
+    if (clause.unless) collect_attrs(*clause.unless, out);
+  }
+}
+
 // ---- parsing ----
+
+namespace {
 
 struct CTok {
   enum class Kind { Ident, Int, Float, String, AndAnd, OrOr, Not, LParen, RParen,
-                    LBrace, RBrace, Comma, Eq, Ne, Lt, Le, Gt, Ge, End };
+                    LBrace, RBrace, Comma, Eq, Ne, Lt, Le, Gt, Ge,
+                    Plus, Minus, Star, Slash, End };
   Kind kind;
   std::string text;
   int column;
@@ -221,9 +287,7 @@ std::vector<CTok> lex(const std::string& s) {
       std::size_t j = i;
       while (j < s.size() && (std::isalnum(static_cast<unsigned char>(s[j])) || s[j] == '_')) ++j;
       push(CTok::Kind::Ident, s.substr(i, j - i), j - i);
-    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
-               (c == '-' && i + 1 < s.size() &&
-                std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i + 1;
       bool is_float = false;
       while (j < s.size() &&
@@ -256,6 +320,14 @@ std::vector<CTok> lex(const std::string& s) {
       push(CTok::Kind::Gt, ">", 1);
     } else if (c == '!') {
       push(CTok::Kind::Not, "!", 1);
+    } else if (c == '+') {
+      push(CTok::Kind::Plus, "+", 1);
+    } else if (c == '-') {
+      push(CTok::Kind::Minus, "-", 1);
+    } else if (c == '*') {
+      push(CTok::Kind::Star, "*", 1);
+    } else if (c == '/') {
+      push(CTok::Kind::Slash, "/", 1);
     } else if (c == '(') {
       push(CTok::Kind::LParen, "(", 1);
     } else if (c == ')') {
@@ -282,6 +354,28 @@ class ConstraintParser {
     auto node = parse_or();
     if (!at(CTok::Kind::End)) fail("trailing input after expression");
     return node;
+  }
+
+  ScoreIr parse_score_spec() {
+    ScoreIr ir;
+    ir.expr = parse_sexpr();
+    while (at(CTok::Kind::Ident) && peek().text == "penalty") {
+      advance();
+      PenaltyClause clause;
+      clause.weight = parse_signed_number("penalty weight");
+      if (!(at(CTok::Kind::Ident) && peek().text == "unless")) {
+        fail("expected 'unless' after penalty weight");
+      }
+      advance();
+      if (!accept(CTok::Kind::LParen)) fail("expected '(' after 'unless'");
+      clause.unless = parse_or();
+      if (!accept(CTok::Kind::RParen)) {
+        fail("expected ')' closing the penalty constraint");
+      }
+      ir.penalties.push_back(std::move(clause));
+    }
+    if (!at(CTok::Kind::End)) fail("trailing input after scoring expression");
+    return ir;
   }
 
  private:
@@ -392,6 +486,27 @@ class ConstraintParser {
         o.kind = Operand::Kind::Ident;
         o.text = advance().text;
         return o;
+      case CTok::Kind::Minus:
+        // The lexer tokenises '-' separately (it is also a scoring-language
+        // operator); numeric literals re-absorb it here.
+        advance();
+        if (at(CTok::Kind::Int)) {
+          o.kind = Operand::Kind::Int;
+          try {
+            o.i = std::stoll("-" + peek().text);
+          } catch (const std::out_of_range&) {
+            fail("integer literal out of range");
+          }
+          advance();
+          return o;
+        }
+        if (at(CTok::Kind::Float)) {
+          o.kind = Operand::Kind::Float;
+          o.f = -std::strtod(peek().text.c_str(), nullptr);
+          advance();
+          return o;
+        }
+        fail("expected numeric literal after '-'");
       case CTok::Kind::Int:
         o.kind = Operand::Kind::Int;
         try {
@@ -418,6 +533,107 @@ class ConstraintParser {
       default:
         fail("expected attribute name or literal");
     }
+  }
+
+  // ---- scoring expressions ----
+
+  double parse_signed_number(const char* what) {
+    bool neg = accept(CTok::Kind::Minus);
+    if (!at(CTok::Kind::Int) && !at(CTok::Kind::Float)) {
+      fail(std::string("expected numeric ") + what);
+    }
+    double v = std::strtod(peek().text.c_str(), nullptr);
+    advance();
+    return neg ? -v : v;
+  }
+
+  std::unique_ptr<ScoreNode> parse_sexpr() {
+    auto lhs = parse_sterm();
+    while (at(CTok::Kind::Plus) || at(CTok::Kind::Minus)) {
+      auto kind = at(CTok::Kind::Plus) ? ScoreNode::Kind::Add : ScoreNode::Kind::Sub;
+      advance();
+      auto node = std::make_unique<ScoreNode>();
+      node->kind = kind;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_sterm();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<ScoreNode> parse_sterm() {
+    auto lhs = parse_sunary();
+    while (at(CTok::Kind::Star) || at(CTok::Kind::Slash)) {
+      auto kind = at(CTok::Kind::Star) ? ScoreNode::Kind::Mul : ScoreNode::Kind::Div;
+      advance();
+      auto node = std::make_unique<ScoreNode>();
+      node->kind = kind;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_sunary();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<ScoreNode> parse_sunary() {
+    if (accept(CTok::Kind::Minus)) {
+      auto node = std::make_unique<ScoreNode>();
+      node->kind = ScoreNode::Kind::Neg;
+      node->lhs = parse_sunary();
+      return node;
+    }
+    return parse_sprimary();
+  }
+
+  std::unique_ptr<ScoreNode> parse_sprimary() {
+    if (accept(CTok::Kind::LParen)) {
+      auto node = parse_sexpr();
+      if (!accept(CTok::Kind::RParen)) fail("expected ')'");
+      return node;
+    }
+    if (at(CTok::Kind::Int) || at(CTok::Kind::Float)) {
+      auto node = std::make_unique<ScoreNode>();
+      node->kind = ScoreNode::Kind::Const;
+      node->value = std::strtod(peek().text.c_str(), nullptr);
+      advance();
+      return node;
+    }
+    if (at(CTok::Kind::Ident)) {
+      const std::string name = peek().text;
+      if (name == "penalty" || name == "unless") {
+        fail("'" + name + "' is reserved in scoring expressions");
+      }
+      if (toks_[pos_ + 1].kind == CTok::Kind::LParen) {
+        advance();  // function name
+        advance();  // '('
+        auto node = std::make_unique<ScoreNode>();
+        if (name == "inv" || name == "abs" || name == "sqrt" || name == "log") {
+          node->kind = name == "inv"   ? ScoreNode::Kind::Inv
+                       : name == "abs" ? ScoreNode::Kind::Abs
+                       : name == "sqrt" ? ScoreNode::Kind::Sqrt
+                                        : ScoreNode::Kind::Log;
+          node->lhs = parse_sexpr();
+        } else if (name == "min" || name == "max") {
+          node->kind = name == "min" ? ScoreNode::Kind::Min : ScoreNode::Kind::Max;
+          node->lhs = parse_sexpr();
+          if (!accept(CTok::Kind::Comma)) {
+            fail("expected ',' between " + name + " arguments");
+          }
+          node->rhs = parse_sexpr();
+        } else {
+          fail("unknown function '" + name + "'");
+        }
+        if (!accept(CTok::Kind::RParen)) {
+          fail("expected ')' closing '" + name + "'");
+        }
+        return node;
+      }
+      auto node = std::make_unique<ScoreNode>();
+      node->kind = ScoreNode::Kind::Attr;
+      node->attr = advance().text;
+      return node;
+    }
+    fail("expected number, attribute, or '(' in scoring expression");
   }
 
   std::vector<CTok> toks_;
@@ -506,7 +722,22 @@ void collect_index_hints(const Node* n, std::vector<IndexHint>& out) {
   try_emit_hint(n->b, flip_cmp(n->op), n->a, out);
 }
 
+bool is_blank(const std::string& text) {
+  for (char ch : text) {
+    if (!std::isspace(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+ScoreIr parse_score(const std::string& text) {
+  if (is_blank(text)) {
+    throw ParseError("constraint: empty scoring expression", 1, 1);
+  }
+  return ConstraintParser(lex(text)).parse_score_spec();
+}
+
 }  // namespace detail
 
 Constraint::Constraint() = default;
@@ -539,29 +770,66 @@ std::vector<std::string> Constraint::referenced_attributes() const {
 
 ConstraintCache::ConstraintCache(std::size_t capacity) : capacity_(capacity) {}
 
+std::shared_ptr<const CompiledConstraint> ConstraintCache::build(
+    const std::string& text, std::uint64_t layout_epoch,
+    const std::shared_ptr<const std::unordered_set<std::string>>& declared) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto compiled = std::make_shared<CompiledConstraint>();
+  compiled->constraint = Constraint::parse(text);
+  cexpr::FoldEnv env;
+  env.declared = declared.get();
+  compiled->filter = cexpr::compile_filter(compiled->constraint.root(), env);
+  compiled->layout_epoch = layout_epoch;
+  auto dt = std::chrono::steady_clock::now() - t0;
+  compile_ns_.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
+      std::memory_order_relaxed);
+  return compiled;
+}
+
 std::shared_ptr<const Constraint> ConstraintCache::get(const std::string& text) {
+  auto compiled = get_compiled(text, 0, nullptr);
+  // Aliasing pointer: same control block, so repeated lookups of a cached
+  // entry still compare pointer-equal.
+  return std::shared_ptr<const Constraint>(compiled, &compiled->constraint);
+}
+
+std::shared_ptr<const CompiledConstraint> ConstraintCache::get_compiled(
+    const std::string& text, std::uint64_t layout_epoch,
+    std::shared_ptr<const std::unordered_set<std::string>> declared) {
   {
     std::lock_guard lock(mutex_);
     auto it = entries_.find(text);
-    if (it != entries_.end()) {
+    if (it != entries_.end() &&
+        it->second.compiled->layout_epoch == layout_epoch) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second.constraint;
+      return it->second.compiled;
     }
   }
-  // Parse outside the lock: compilation is the expensive part, and two
-  // threads racing on the same text just means one redundant parse.
-  auto compiled = std::make_shared<const Constraint>(Constraint::parse(text));
+  // Parse + compile outside the lock: compilation is the expensive part,
+  // and two threads racing on the same text just means one redundant build.
+  auto compiled = build(text, layout_epoch, declared);
   misses_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(mutex_);
   if (capacity_ == 0) return compiled;
   auto it = entries_.find(text);
-  if (it != entries_.end()) return it->second.constraint;  // lost the race
+  if (it != entries_.end()) {
+    if (it->second.compiled->layout_epoch == layout_epoch) {
+      return it->second.compiled;  // lost the race to an equivalent build
+    }
+    // Stale layout epoch: replace in place.
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    it->second.compiled = compiled;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return compiled;
+  }
   lru_.push_front(text);
   entries_.emplace(text, Entry{compiled, lru_.begin()});
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   return compiled;
 }
@@ -572,6 +840,7 @@ void ConstraintCache::set_capacity(std::size_t capacity) {
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

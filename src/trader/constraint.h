@@ -13,7 +13,7 @@
 //     primary:= "(" expr ")" | "exists" IDENT | "true" | "false"
 //            |  operand "in" "{" operand ("," operand)* "}" | cmp
 //     cmp    := operand ( "==" | "!=" | "<" | "<=" | ">" | ">=" ) operand
-//     operand:= IDENT | NUMBER | STRING
+//     operand:= IDENT | NUMBER | STRING        (NUMBER may be "-"-prefixed)
 //
 // Semantics (deliberately forgiving — an offer that cannot satisfy a
 // comparison simply does not match):
@@ -34,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "trader/attributes.h"
@@ -42,6 +43,10 @@ namespace cosm::trader {
 
 namespace detail {
 struct Node;
+}
+namespace cexpr {
+struct Program;
+using ProgramPtr = std::shared_ptr<const Program>;
 }
 
 /// One top-level AND conjunct the offer store's index planner can serve
@@ -97,18 +102,35 @@ class Constraint {
 
   const std::string& text() const noexcept { return text_; }
 
+  /// Parsed AST root (null = always true).  Internal: feeds the bytecode
+  /// compiler in trader/cexpr_vm.h.
+  const detail::Node* root() const noexcept { return root_.get(); }
+
  private:
   std::string text_;
   std::unique_ptr<detail::Node> root_;  // null = always true
   std::vector<IndexHint> hints_;
 };
 
+/// A constraint together with its compiled filter bytecode.  The program is
+/// compiled against a type-layout epoch: identifier operands whose names no
+/// registered service type has *ever* declared are folded to text literals
+/// at compile time (per-offer resolution can never turn them into attribute
+/// reads — the type manager rejects offers with undeclared attributes), so
+/// the program must be recompiled when the layout epoch moves.
+struct CompiledConstraint {
+  Constraint constraint;
+  cexpr::ProgramPtr filter;
+  std::uint64_t layout_epoch = 0;
+};
+
 /// LRU cache of compiled constraints, keyed by constraint text.  Imports —
 /// local or federation-forwarded (the facade hands the constraint text
 /// through verbatim, so a forwarded import presents the byte-identical
-/// key) — share one compiled AST instead of re-parsing per request.
-/// Compiled constraints are immutable, so the shared_ptr handed out stays
-/// valid after eviction.  Thread-safe; parse errors are not cached.
+/// key) — share one compiled AST *and* one compiled filter program instead
+/// of re-parsing and re-compiling per request.  Compiled constraints are
+/// immutable, so pointers handed out stay valid after eviction.
+/// Thread-safe; parse errors are not cached.
 class ConstraintCache {
  public:
   explicit ConstraintCache(std::size_t capacity = 128);
@@ -118,6 +140,16 @@ class ConstraintCache {
   /// cache is disabled and every call parses.
   std::shared_ptr<const Constraint> get(const std::string& text);
 
+  /// Like get(), but returns the AST together with its filter bytecode,
+  /// compiled against the caller's type-layout epoch.  `declared` is the
+  /// cumulative set of attribute names any service type has ever declared
+  /// (null compiles without identifier folding, which is always valid); an
+  /// entry compiled at a different epoch is recompiled in place (counted
+  /// as an eviction + miss).
+  std::shared_ptr<const CompiledConstraint> get_compiled(
+      const std::string& text, std::uint64_t layout_epoch,
+      std::shared_ptr<const std::unordered_set<std::string>> declared);
+
   void set_capacity(std::size_t capacity);
 
   std::uint64_t hits() const noexcept {
@@ -126,18 +158,33 @@ class ConstraintCache {
   std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
-  /// Zero the hit/miss counters (cached entries stay).
+  /// Entries dropped by LRU pressure plus entries invalidated by a
+  /// type-layout epoch change.
+  std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Nanoseconds spent parsing + compiling (cache misses only).
+  std::uint64_t compile_ns() const noexcept {
+    return compile_ns_.load(std::memory_order_relaxed);
+  }
+  /// Zero the hit/miss/eviction/compile-time counters (entries stay).
   void reset_stats() noexcept {
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    compile_ns_.store(0, std::memory_order_relaxed);
   }
   std::size_t size() const;
 
  private:
   struct Entry {
-    std::shared_ptr<const Constraint> constraint;
+    std::shared_ptr<const CompiledConstraint> compiled;
     std::list<std::string>::iterator lru_pos;
   };
+
+  std::shared_ptr<const CompiledConstraint> build(
+      const std::string& text, std::uint64_t layout_epoch,
+      const std::shared_ptr<const std::unordered_set<std::string>>& declared);
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
@@ -145,6 +192,8 @@ class ConstraintCache {
   std::unordered_map<std::string, Entry> entries_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> compile_ns_{0};
 };
 
 }  // namespace cosm::trader

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "trader/cexpr_vm.h"
+
 namespace cosm::trader {
 
 namespace store_detail {
@@ -890,6 +892,75 @@ std::size_t OfferStore::size() const {
 
 // ---------------------------------------------------------------- readers
 
+namespace {
+const std::vector<std::uint32_t> kEmptyPosting;
+}
+
+std::vector<OfferStore::Selection> OfferStore::plan_selections(
+    const Bucket& bucket, const Constraint* constraint) const {
+  std::vector<Selection> selections;
+  const IndexedBase& base = *bucket.base;
+  if (!indexes_enabled() || constraint == nullptr || base.slots.empty()) {
+    return selections;
+  }
+  for (const IndexHint& hint : constraint->index_hints()) {
+    // Intersecting a subset of the filters still yields a superset of
+    // the matches; capping also keeps the vote counters from wrapping.
+    if (selections.size() >= 16) break;
+    if (bucket.required_attrs.count(hint.attr) == 0) continue;
+    if (hint.kind == IndexHint::Kind::Equality) {
+      if (hint.key_kind == IndexHint::KeyKind::Text &&
+          hint.text_is_bare_ident && bucket.declared_attrs.count(hint.text)) {
+        continue;  // the "literal" may resolve as an attribute per offer
+      }
+      IndexKey key;
+      switch (hint.key_kind) {
+        case IndexHint::KeyKind::Number:
+          key.tag = IndexKey::Tag::Number;
+          key.number = hint.number == 0.0 ? 0.0 : hint.number;
+          break;
+        case IndexHint::KeyKind::Text:
+          key.tag = IndexKey::Tag::Text;
+          key.text = hint.text;
+          break;
+        case IndexHint::KeyKind::Boolean:
+          key.tag = IndexKey::Tag::Boolean;
+          key.boolean = hint.boolean;
+          break;
+      }
+      Selection sel;
+      sel.posting = &kEmptyPosting;
+      if (hint.key_kind != IndexHint::KeyKind::Number ||
+          !std::isnan(hint.number)) {
+        if (auto attr_it = base.eq.find(hint.attr);
+            attr_it != base.eq.end()) {
+          if (auto key_it = attr_it->second.find(key);
+              key_it != attr_it->second.end()) {
+            sel.posting = &key_it->second;
+          }
+        }
+      }
+      selections.push_back(sel);
+    } else {
+      Selection sel;
+      auto attr_it = base.ord.find(hint.attr);
+      if (attr_it == base.ord.end()) {
+        sel.posting = &kEmptyPosting;  // no static offer has a number here
+        selections.push_back(sel);
+        continue;
+      }
+      sel.ord = &attr_it->second;
+      // NaN-safe: a NaN bound selects the empty span (see ord_range).
+      auto [lo, hi] = store_detail::ord_range(
+          *sel.ord, static_cast<int>(hint.bound), hint.number);
+      sel.lo = lo;
+      sel.hi = hi;
+      selections.push_back(sel);
+    }
+  }
+  return selections;
+}
+
 void OfferStore::collect_bucket(const Bucket& bucket,
                                 const Constraint* constraint,
                                 std::vector<StoredOffer>& out,
@@ -904,108 +975,11 @@ void OfferStore::collect_bucket(const Bucket& bucket,
     out.push_back(so);
   };
 
-  // The planner: keep the hints this bucket can serve exactly, seed from
-  // the most selective, intersect the rest via a vote array.
-  struct Selection {
-    const std::vector<std::uint32_t>* posting = nullptr;  // Equality
-    const std::vector<std::pair<double, std::uint32_t>>* ord = nullptr;
-    std::size_t lo = 0, hi = 0;  // Range half-open span into *ord
-    std::size_t size() const { return posting ? posting->size() : hi - lo; }
-  };
-  static const std::vector<std::uint32_t> kEmptyPosting;
-
-  std::vector<Selection> selections;
-  if (indexes_enabled() && constraint != nullptr && !base.slots.empty()) {
-    for (const IndexHint& hint : constraint->index_hints()) {
-      // Intersecting a subset of the filters still yields a superset of
-      // the matches; capping also keeps the vote counters from wrapping.
-      if (selections.size() >= 16) break;
-      if (bucket.required_attrs.count(hint.attr) == 0) continue;
-      if (hint.kind == IndexHint::Kind::Equality) {
-        if (hint.key_kind == IndexHint::KeyKind::Text &&
-            hint.text_is_bare_ident && bucket.declared_attrs.count(hint.text)) {
-          continue;  // the "literal" may resolve as an attribute per offer
-        }
-        IndexKey key;
-        switch (hint.key_kind) {
-          case IndexHint::KeyKind::Number:
-            key.tag = IndexKey::Tag::Number;
-            key.number = hint.number == 0.0 ? 0.0 : hint.number;
-            break;
-          case IndexHint::KeyKind::Text:
-            key.tag = IndexKey::Tag::Text;
-            key.text = hint.text;
-            break;
-          case IndexHint::KeyKind::Boolean:
-            key.tag = IndexKey::Tag::Boolean;
-            key.boolean = hint.boolean;
-            break;
-        }
-        Selection sel;
-        sel.posting = &kEmptyPosting;
-        if (hint.key_kind != IndexHint::KeyKind::Number ||
-            !std::isnan(hint.number)) {
-          if (auto attr_it = base.eq.find(hint.attr);
-              attr_it != base.eq.end()) {
-            if (auto key_it = attr_it->second.find(key);
-                key_it != attr_it->second.end()) {
-              sel.posting = &key_it->second;
-            }
-          }
-        }
-        selections.push_back(sel);
-      } else {
-        Selection sel;
-        auto attr_it = base.ord.find(hint.attr);
-        if (attr_it == base.ord.end()) {
-          sel.posting = &kEmptyPosting;  // no static offer has a number here
-          selections.push_back(sel);
-          continue;
-        }
-        sel.ord = &attr_it->second;
-        // NaN-safe: a NaN bound selects the empty span (see ord_range).
-        auto [lo, hi] = store_detail::ord_range(
-            *sel.ord, static_cast<int>(hint.bound), hint.number);
-        sel.lo = lo;
-        sel.hi = hi;
-        selections.push_back(sel);
-      }
-    }
-  }
-
+  std::vector<Selection> selections = plan_selections(bucket, constraint);
   if (!selections.empty()) {
     if (stats) stats->index_used = true;
     index_lookups_.fetch_add(1, std::memory_order_relaxed);
-    auto primary = std::min_element(
-        selections.begin(), selections.end(),
-        [](const Selection& a, const Selection& b) {
-          return a.size() < b.size();
-        });
-    auto for_each_slot = [](const Selection& sel, auto&& fn) {
-      if (sel.posting) {
-        for (std::uint32_t slot : *sel.posting) fn(slot);
-      } else {
-        for (std::size_t i = sel.lo; i < sel.hi; ++i) fn((*sel.ord)[i].second);
-      }
-    };
-    if (primary->size() > 0) {
-      if (selections.size() == 1) {
-        for_each_slot(*primary, emit);
-      } else {
-        // Every selection is an exact filter; a slot survives only with a
-        // vote from each.  The vote array costs one zeroed byte per base
-        // slot — far below the per-candidate constraint evaluation saved.
-        std::vector<std::uint8_t> votes(base.slots.size(), 0);
-        for (const Selection& sel : selections) {
-          for_each_slot(sel, [&](std::uint32_t slot) { ++votes[slot]; });
-        }
-        auto wanted = static_cast<std::uint8_t>(
-            std::min<std::size_t>(selections.size(), 255));
-        for_each_slot(*primary, [&](std::uint32_t slot) {
-          if (votes[slot] >= wanted) emit(slot);
-        });
-      }
-    }
+    for_each_selected(base.slots.size(), selections, emit);
     // Dynamic offers fetch their values at import time: always candidates.
     for (std::uint32_t slot : base.dynamic_slots) emit(slot);
   } else {
@@ -1013,6 +987,261 @@ void OfferStore::collect_bucket(const Bucket& bucket,
   }
   out.insert(out.end(), bucket.delta.begin(), bucket.delta.end());
   if (stats) stats->scanned += out.size() - before;
+}
+
+// ------------------------------------------------------------ scored top-k
+
+/// State one collect_top_k pass threads through every bucket it visits:
+/// the shared heap (the k-th key must be global, or cross-bucket pruning
+/// would be wrong), reusable evaluation scratch, and the per-query affine
+/// analysis.  Entries hold raw StoredOffer pointers into the epoch-pinned
+/// snapshot; they are copied out before the guard drops.
+struct OfferStore::TopKCtx {
+  struct Entry {
+    double score = 0.0;
+    double key = 0.0;
+    const StoredOffer* so = nullptr;
+  };
+  /// Final-order comparator: key desc, offer id asc.  Used directly for
+  /// the result sort, and as the heap comparator — under push_heap it
+  /// floats the *worst* kept entry to the front, which is exactly the
+  /// displacement candidate.
+  static bool better(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.so->offer->id < b.so->offer->id;
+  }
+
+  cexpr::AffineForm affine;        // computed once per query
+  std::vector<Entry> heap;         // k > 0: front = worst kept
+  std::vector<Entry> all;          // k == 0: every match
+  std::vector<StoredOffer> dynamic;
+  cexpr::Scratch filter_scratch;
+  cexpr::Scratch score_scratch;
+  std::vector<std::uint8_t> visited;  // ord-walk bitmap, reused per bucket
+  TopKStats stats;
+};
+
+void OfferStore::top_k_bucket(const Bucket& bucket, const TopKQuery& q,
+                              TopKCtx& ctx) const {
+  const IndexedBase& base = *bucket.base;
+  ctx.stats.type_candidates += bucket.live;
+
+  auto is_dead = [&](const StoredOffer& so) {
+    return !bucket.dead.empty() && bucket.dead.count(so.offer->id) != 0;
+  };
+  auto passes = [&](const Offer& offer) {
+    ++ctx.stats.scanned;
+    if (q.filter) {
+      cexpr::bind_offer(*q.filter, offer.attributes, ctx.filter_scratch);
+      return cexpr::eval_filter(*q.filter, ctx.filter_scratch);
+    }
+    return q.constraint == nullptr || q.constraint->eval(offer.attributes);
+  };
+  auto score_of = [&](const Offer& offer) {
+    ++ctx.stats.scored;
+    if (q.score_prog) {
+      cexpr::bind_offer(*q.score_prog, offer.attributes, ctx.score_scratch);
+      return cexpr::eval_score(*q.score_prog, ctx.score_scratch);
+    }
+    return q.score ? detail::eval_score(*q.score, offer.attributes)
+                   : std::numeric_limits<double>::quiet_NaN();
+  };
+  auto admit = [&](double score, const StoredOffer* so) {
+    TopKCtx::Entry e{score, detail::score_rank_key(score), so};
+    if (q.k == 0) {
+      ctx.all.push_back(e);
+      return;
+    }
+    if (ctx.heap.size() < q.k) {
+      ctx.heap.push_back(e);
+      std::push_heap(ctx.heap.begin(), ctx.heap.end(), TopKCtx::better);
+      return;
+    }
+    if (TopKCtx::better(e, ctx.heap.front())) {
+      std::pop_heap(ctx.heap.begin(), ctx.heap.end(), TopKCtx::better);
+      ctx.heap.back() = e;
+      std::push_heap(ctx.heap.begin(), ctx.heap.end(), TopKCtx::better);
+    }
+  };
+  auto consider = [&](const StoredOffer& so) {
+    if (!passes(*so.offer)) return;
+    admit(score_of(*so.offer), &so);
+  };
+
+  // Dynamic offers cannot be filtered or scored here — their values arrive
+  // at import time.  Hand them back whole, before any pruning: pruning
+  // applies to static offers only.
+  for (std::uint32_t slot : base.dynamic_slots) {
+    const StoredOffer& so = base.slots[slot];
+    if (!is_dead(so)) ctx.dynamic.push_back(so);
+  }
+  for (const StoredOffer& so : bucket.delta) {
+    if (so.offer->dynamic_attrs.empty()) {
+      consider(so);
+    } else {
+      ctx.dynamic.push_back(so);
+    }
+  }
+
+  const std::size_t static_total =
+      base.slots.size() - base.dynamic_slots.size();
+  if (static_total == 0) return;
+
+  // Whole-bucket interval bound: each referenced attribute ranges over its
+  // ord column's [min, max] (offers outside the column score NaN -> -inf,
+  // so they never raise the bound; dead slots only widen it).  A bound
+  // *strictly* below the k-th key cannot displace anything — equal keys
+  // still displace on smaller id, so equality is not enough.
+  if (q.k > 0 && ctx.heap.size() == q.k && q.score != nullptr) {
+    auto range_of = [&](const std::string& attr) {
+      cexpr::AttrRange r;
+      auto it = base.ord.find(attr);
+      if (it != base.ord.end() && !it->second.empty()) {
+        r.lo = it->second.front().first;
+        r.hi = it->second.back().first;
+        r.empty = false;
+      }
+      return r;
+    };
+    if (cexpr::score_upper_bound(*q.score, range_of) <
+        ctx.heap.front().key) {
+      ctx.stats.heap_prunes += static_total;
+      return;
+    }
+  }
+
+  // Index narrowing: identical eligibility to collect_bucket.  The eq/ord
+  // indexes cover static offers only, so the narrowed set never contains a
+  // dynamic slot (those were handed back above).
+  std::vector<Selection> selections = plan_selections(bucket, q.constraint);
+
+  // Ordered-index-directed walk: when the score is affine in exactly one
+  // attribute with an ord column, walking from the favourable end visits
+  // candidates in weakly decreasing rank-key order (affine_of guarantees
+  // the rounded IEEE evaluation is weakly monotone).  Once the heap is
+  // full, the first key strictly below the k-th ends the column — and the
+  // off-column rest, which all score NaN -> -inf.  With a selective
+  // constraint the walk still wins whenever matches are dense near the
+  // favourable end, but can lose badly when they are not, so it runs
+  // under a visit budget and hands whatever it has not visited to the
+  // narrowed scan below.
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  bool walk_partial = false;
+  if (q.k > 0 && ctx.affine.valid) {
+    auto it = base.ord.find(ctx.affine.attr);
+    if (it != base.ord.end() && !it->second.empty()) {
+      constexpr std::size_t kWalkBudgetFloor = 512;
+      constexpr std::size_t kWalkBudgetPerK = 8;
+      const auto& col = it->second;
+      ctx.stats.index_used = true;
+      index_lookups_.fetch_add(1, std::memory_order_relaxed);
+      ctx.visited.assign(base.slots.size(), 0);
+      const bool from_high_end = ctx.affine.a > 0.0;
+      const std::size_t n = col.size();
+      const std::size_t budget =
+          selections.empty()
+              ? n
+              : std::max<std::size_t>(kWalkBudgetFloor,
+                                      q.k * kWalkBudgetPerK);
+      std::size_t walked = 0;
+      bool stopped = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (walked >= budget) {
+          walk_partial = true;
+          break;
+        }
+        std::uint32_t slot = col[from_high_end ? n - 1 - i : i].second;
+        ctx.visited[slot] = 1;
+        ++walked;
+        const StoredOffer& so = base.slots[slot];
+        if (is_dead(so)) continue;
+        // Score before filtering: the stop decision needs the key even for
+        // offers the constraint would reject.
+        double score = score_of(*so.offer);
+        double key = detail::score_rank_key(score);
+        if (ctx.heap.size() == q.k && key < ctx.heap.front().key) {
+          stopped = true;
+          break;
+        }
+        if (passes(*so.offer)) admit(score, &so);
+      }
+      if (stopped) {
+        ctx.stats.heap_prunes += static_total - walked;
+        return;
+      }
+      if (!walk_partial) {
+        // Off-column statics (attribute missing, non-numeric, or NaN) score
+        // NaN -> -inf: they only matter while the heap is short of k, or
+        // the k-th key is itself -inf (an id tie can still displace).
+        if (ctx.heap.size() == q.k && ctx.heap.front().key != kNegInf) {
+          ctx.stats.heap_prunes += static_total - walked;
+          return;
+        }
+        if (selections.empty()) {
+          for (std::uint32_t slot = 0; slot < base.slots.size(); ++slot) {
+            if (ctx.visited[slot]) continue;
+            const StoredOffer& so = base.slots[slot];
+            if (!so.offer->dynamic_attrs.empty()) continue;
+            if (!is_dead(so)) consider(so);
+          }
+          return;
+        }
+        walk_partial = true;  // narrowed scan below covers the rest
+      }
+      // Walk incomplete (budget exhausted or off-column stragglers left):
+      // every passing offer is either already visited or inside the index
+      // selection (narrowing is sound), so the scan below finishes the
+      // bucket, skipping the walked prefix.
+    }
+  }
+
+  if (!selections.empty()) {
+    ctx.stats.index_used = true;
+    index_lookups_.fetch_add(1, std::memory_order_relaxed);
+    for_each_selected(base.slots.size(), selections, [&](std::uint32_t slot) {
+      if (walk_partial && ctx.visited[slot]) return;
+      const StoredOffer& so = base.slots[slot];
+      if (!is_dead(so)) consider(so);
+    });
+    return;
+  }
+
+  // Plain scan of the static base.
+  for (std::uint32_t slot = 0; slot < base.slots.size(); ++slot) {
+    const StoredOffer& so = base.slots[slot];
+    if (!so.offer->dynamic_attrs.empty()) continue;
+    if (!is_dead(so)) consider(so);
+  }
+}
+
+TopKResult OfferStore::collect_top_k(const TopKQuery& query) const {
+  TopKCtx ctx;
+  if (query.score != nullptr) ctx.affine = cexpr::affine_of(*query.score);
+  if (query.k > 0) ctx.heap.reserve(query.k);
+
+  ReadGuard guard(*this);
+  const std::size_t shards = guard.shards();
+  for (std::size_t s = 0; s < shards; ++s) {
+    const ShardState* state = guard.state(s);
+    for (const std::string& type : query.types) {
+      auto it = state->buckets.find(type);
+      if (it == state->buckets.end()) continue;
+      top_k_bucket(*it->second, query, ctx);
+    }
+  }
+
+  // Extract in final order while the guard still pins the snapshot — the
+  // entries hold raw pointers into it.
+  std::vector<TopKCtx::Entry>& pool = query.k == 0 ? ctx.all : ctx.heap;
+  std::sort(pool.begin(), pool.end(), TopKCtx::better);
+  TopKResult result;
+  result.ranked.reserve(pool.size());
+  for (const TopKCtx::Entry& e : pool) {
+    result.ranked.push_back(ScoredOffer{e.score, e.key, *e.so});
+  }
+  result.dynamic = std::move(ctx.dynamic);
+  result.stats = ctx.stats;
+  return result;
 }
 
 std::vector<StoredOffer> OfferStore::collect(

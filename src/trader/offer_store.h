@@ -107,6 +107,64 @@ struct MatchStats {
   bool index_used = false;
 };
 
+namespace detail {
+struct ScoreIr;
+}
+
+/// Query description for the scored top-k path (`score:` preferences).
+/// The compiled programs are optional accelerators: a null `filter` falls
+/// back to Constraint::eval, a null `score_prog` to detail::eval_score —
+/// results are identical either way.
+struct TopKQuery {
+  std::vector<std::string> types;
+  /// Hard constraint: index hints for the planner plus the tree-walk
+  /// fallback.  Null = every offer matches.
+  const Constraint* constraint = nullptr;
+  /// Compiled hard-constraint filter (may be null).
+  cexpr::ProgramPtr filter;
+  /// Scoring expression IR; drives the bound/affine pruning analysis and
+  /// the tree-walk fallback.  Required.
+  const detail::ScoreIr* score = nullptr;
+  /// Compiled scoring program (may be null).
+  cexpr::ProgramPtr score_prog;
+  /// Keep the best k static matches (0 = keep every match, fully ranked).
+  std::size_t k = 0;
+};
+
+/// What one top-k pass touched.
+struct TopKStats {
+  /// Live offers in all conforming buckets.
+  std::size_t type_candidates = 0;
+  /// Candidates the hard constraint was evaluated on.
+  std::size_t scanned = 0;
+  /// Score evaluations.
+  std::size_t scored = 0;
+  /// Candidates skipped without scoring because a score bound proved they
+  /// cannot displace the current k-th entry.
+  std::size_t heap_prunes = 0;
+  bool index_used = false;
+};
+
+/// A statically matched offer with its score and rank key
+/// (detail::score_rank_key: NaN collapses to -inf so unscorable offers
+/// sort last, deterministically).
+struct ScoredOffer {
+  double score = 0.0;
+  double key = 0.0;
+  StoredOffer stored;
+};
+
+struct TopKResult {
+  /// Static matches in final order — (key desc, offer id asc) — capped at
+  /// k when k > 0.
+  std::vector<ScoredOffer> ranked;
+  /// Offers carrying dynamic attributes, unfiltered and unscored (their
+  /// values arrive at import time): the caller fetches, filters, scores
+  /// and merges them against `ranked`.
+  std::vector<StoredOffer> dynamic;
+  TopKStats stats;
+};
+
 namespace store_detail {
 /// Half-open [lo, hi) span of a sorted (value, slot) ord-index column
 /// matching `bound value`.  NaN bounds select nothing — a comparison
@@ -208,6 +266,15 @@ class OfferStore {
   /// All live offers of the given types (no narrowing).
   std::vector<StoredOffer> collect_all(
       const std::vector<std::string>& types) const;
+
+  /// Scored top-k selection below the index layer (`score:` preferences):
+  /// the hard-constraint bytecode filters, the scoring bytecode ranks, and
+  /// a bounded max-heap keeps the best k across all shards and buckets.
+  /// Candidates provably unable to beat the current k-th key are pruned
+  /// via monotone score bounds from the ordered secondary indexes — a
+  /// whole-bucket interval bound, and an ordered-index-directed walk with
+  /// early stop when the score is affine in one indexed attribute.
+  TopKResult collect_top_k(const TopKQuery& query) const;
 
   // ---- instrumentation ----
 
@@ -405,8 +472,66 @@ class OfferStore {
                    Shard& shard, OfferPtr offer,
                    const std::vector<AttributeDef>& schema);
 
+  /// One usable index lookup the planner decided to serve: an equality
+  /// posting list, or a half-open span of an ord column.
+  struct Selection {
+    const std::vector<std::uint32_t>* posting = nullptr;  // Equality
+    const std::vector<std::pair<double, std::uint32_t>>* ord = nullptr;
+    std::size_t lo = 0, hi = 0;  // Range half-open span into *ord
+    std::size_t size() const { return posting ? posting->size() : hi - lo; }
+  };
+
+  /// The planner: keep the constraint's hints this bucket can serve
+  /// exactly (capped at 16 so the vote counters cannot wrap).  Empty means
+  /// "no usable index — scan".  Selections reference the bucket's base;
+  /// they must not outlive it.
+  std::vector<Selection> plan_selections(const Bucket& bucket,
+                                         const Constraint* constraint) const;
+
+  template <typename Fn>
+  static void for_each_slot(const Selection& sel, Fn&& fn) {
+    if (sel.posting) {
+      for (std::uint32_t slot : *sel.posting) fn(slot);
+    } else {
+      for (std::size_t i = sel.lo; i < sel.hi; ++i) fn((*sel.ord)[i].second);
+    }
+  }
+
+  /// Enumerate the intersection of the selections (static slots only):
+  /// seed from the most selective, verify the rest with a vote array — one
+  /// zeroed byte per base slot, far below the per-candidate evaluation
+  /// saved.  Every selection is an exact filter, so a slot survives only
+  /// with a vote from each.  `selections` must be non-empty.
+  template <typename Fn>
+  static void for_each_selected(std::size_t slot_count,
+                                const std::vector<Selection>& selections,
+                                Fn&& fn) {
+    const Selection* primary = &selections.front();
+    for (const Selection& sel : selections) {
+      if (sel.size() < primary->size()) primary = &sel;
+    }
+    if (primary->size() == 0) return;
+    if (selections.size() == 1) {
+      for_each_slot(*primary, fn);
+      return;
+    }
+    std::vector<std::uint8_t> votes(slot_count, 0);
+    for (const Selection& sel : selections) {
+      for_each_slot(sel, [&](std::uint32_t slot) { ++votes[slot]; });
+    }
+    const auto wanted = static_cast<std::uint8_t>(selections.size());
+    for_each_slot(*primary, [&](std::uint32_t slot) {
+      if (votes[slot] >= wanted) fn(slot);
+    });
+  }
+
   void collect_bucket(const Bucket& bucket, const Constraint* constraint,
                       std::vector<StoredOffer>& out, MatchStats* stats) const;
+
+  /// Mutable state one collect_top_k pass threads through its buckets.
+  struct TopKCtx;
+  void top_k_bucket(const Bucket& bucket, const TopKQuery& query,
+                    TopKCtx& ctx) const;
 
   std::atomic<bool> indexes_enabled_{true};
   std::atomic<std::size_t> min_delta_{48};

@@ -1,10 +1,13 @@
 #include "trader/preference.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <sstream>
 
 #include "common/error.h"
+#include "trader/cexpr_ir.h"
+#include "trader/cexpr_vm.h"
 
 namespace cosm::trader {
 
@@ -14,11 +17,23 @@ std::string to_string(PreferenceKind kind) {
     case PreferenceKind::Random: return "random";
     case PreferenceKind::Min: return "min";
     case PreferenceKind::Max: return "max";
+    case PreferenceKind::Score: return "score";
   }
   return "?";
 }
 
 Preference Preference::parse(const std::string& text) {
+  // "score:" introduces the scoring language; everything after the keyword
+  // belongs to its own grammar (cexpr_ir.h), not the word-based parser.
+  auto first_nonspace = text.find_first_not_of(" \t\r\n");
+  if (first_nonspace != std::string::npos &&
+      text.compare(first_nonspace, 6, "score:") == 0) {
+    Preference p;
+    p.kind_ = PreferenceKind::Score;
+    p.score_ = std::make_shared<const detail::ScoreIr>(
+        detail::parse_score(text.substr(first_nonspace + 6)));
+    return p;
+  }
   std::istringstream in(text);
   std::string word, attr, extra;
   in >> word >> attr >> extra;
@@ -71,6 +86,7 @@ std::vector<std::size_t> Preference::rank(const std::vector<const AttrMap*>& off
 
   switch (kind_) {
     case PreferenceKind::First:
+    case PreferenceKind::Score:  // ranked by the trader's scored top-k path
       return order;
     case PreferenceKind::Random: {
       // Fisher-Yates with the trader's deterministic generator.
@@ -93,6 +109,69 @@ std::vector<std::size_t> Preference::rank(const std::vector<const AttrMap*>& off
     }
   }
   return order;
+}
+
+PreferenceCache::PreferenceCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const CompiledPreference> PreferenceCache::build(
+    const std::string& text) {
+  auto compiled = std::make_shared<CompiledPreference>();
+  compiled->preference = Preference::parse(text);
+  if (compiled->preference.kind() == PreferenceKind::Score) {
+    compiled->score_prog = cexpr::compile_score(*compiled->preference.score());
+  }
+  return compiled;
+}
+
+std::shared_ptr<const CompiledPreference> PreferenceCache::get(
+    const std::string& text) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(text);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.compiled;
+    }
+  }
+  // Parse + compile outside the lock: two threads racing on the same text
+  // just means one redundant build.
+  auto t0 = std::chrono::steady_clock::now();
+  auto compiled = build(text);
+  auto dt = std::chrono::steady_clock::now() - t0;
+  compile_ns_.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
+      std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  if (capacity_ == 0) return compiled;
+  auto it = entries_.find(text);
+  if (it != entries_.end()) {
+    return it->second.compiled;  // lost the race to an equivalent build
+  }
+  lru_.push_front(text);
+  entries_.emplace(text, Entry{compiled, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return compiled;
+}
+
+void PreferenceCache::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t PreferenceCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace cosm::trader

@@ -2,11 +2,32 @@
 // possible" service (§2.1, Fig. 1 step 3).
 //
 // Syntax:  "first" | "random" | "min <Attr>" | "max <Attr>"
+//       |  "score: <expr> [penalty <W> unless (<constraint>)]..."
 // An empty preference string means "first" (export order).
+//
+// A `score:` preference ranks offers by a weighted arithmetic expression
+// over numeric attributes, highest first (ties broken by offer id so every
+// trader in a federation agrees on the order):
+//
+//     score: 0.7 * inv(latency_ms) + 0.3 * throughput
+//            penalty 0.5 unless (Insured == true)
+//
+// Expressions combine numbers and attribute names with + - * /, unary
+// minus, parentheses and the functions inv/abs/sqrt/log (unary) and
+// min/max (binary).  A missing or non-numeric attribute evaluates to NaN,
+// which poisons the whole score and ranks the offer last.  Each
+// `penalty W unless (C)` clause subtracts W when constraint C fails —
+// soft constraints alongside the import's hard constraint.
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,7 +35,15 @@
 
 namespace cosm::trader {
 
-enum class PreferenceKind { First, Random, Min, Max };
+namespace detail {
+struct ScoreIr;
+}
+namespace cexpr {
+struct Program;
+using ProgramPtr = std::shared_ptr<const Program>;
+}
+
+enum class PreferenceKind { First, Random, Min, Max, Score };
 
 std::string to_string(PreferenceKind kind);
 
@@ -28,15 +57,88 @@ class Preference {
   PreferenceKind kind() const noexcept { return kind_; }
   const std::string& attribute() const noexcept { return attr_; }
 
+  /// Scoring IR for Score preferences (null otherwise).  Shared so
+  /// Preference stays copyable; the IR is immutable after parse.
+  const std::shared_ptr<const detail::ScoreIr>& score() const noexcept {
+    return score_;
+  }
+
   /// Rank offer indices over their attribute maps.  Offers missing the
   /// ranked attribute (or holding a non-numeric value) sort after all
   /// rankable ones, keeping their relative order.  `rng` drives Random.
+  /// Score preferences rank (score desc, then caller-side id asc) in the
+  /// trader itself — here they keep input order.
   std::vector<std::size_t> rank(const std::vector<const AttrMap*>& offers,
                                 Rng& rng) const;
 
  private:
   PreferenceKind kind_ = PreferenceKind::First;
   std::string attr_;
+  std::shared_ptr<const detail::ScoreIr> score_;
+};
+
+/// A parsed preference together with its compiled scoring bytecode.  The
+/// program is null for non-Score kinds and for expressions exceeding the
+/// VM's encoding limits (fall back to detail::eval_score).  Score programs
+/// never identifier-fold — they also score offers from remote traders —
+/// so, unlike compiled constraints, they carry no type-layout epoch.
+struct CompiledPreference {
+  Preference preference;
+  cexpr::ProgramPtr score_prog;
+};
+
+/// LRU cache of compiled preferences keyed by preference text, mirroring
+/// ConstraintCache: repeated imports with the same `score:` spec share one
+/// parsed IR and one bytecode program.  Thread-safe; parse errors are not
+/// cached.  Capacity 0 disables caching (every call parses).
+class PreferenceCache {
+ public:
+  explicit PreferenceCache(std::size_t capacity = 128);
+
+  /// Compiled preference for `text`; parses (and caches) on miss.  Throws
+  /// cosm::ParseError like Preference::parse.
+  std::shared_ptr<const CompiledPreference> get(const std::string& text);
+
+  void set_capacity(std::size_t capacity);
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Nanoseconds spent parsing + compiling (cache misses only).
+  std::uint64_t compile_ns() const noexcept {
+    return compile_ns_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() noexcept {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    compile_ns_.store(0, std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledPreference> compiled;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  static std::shared_ptr<const CompiledPreference> build(
+      const std::string& text);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> compile_ns_{0};
 };
 
 }  // namespace cosm::trader

@@ -28,8 +28,12 @@ void ServiceTypeManager::add(ServiceType type) {
     throw ContractError("supertype '" + type.supertype + "' of '" + type.name +
                         "' is not registered");
   }
+  auto grown = std::make_shared<std::unordered_set<std::string>>(*ever_declared_);
+  for (const auto& a : type.attributes) grown->insert(a.name);
   types_.emplace(type.name, std::move(type));
+  ever_declared_ = std::move(grown);
   closure_cache_.clear();
+  layout_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void ServiceTypeManager::remove(const std::string& name) {
@@ -43,6 +47,14 @@ void ServiceTypeManager::remove(const std::string& name) {
   }
   types_.erase(name);
   closure_cache_.clear();
+  // ever_declared_ is deliberately not shrunk (see header).
+  layout_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const std::unordered_set<std::string>>
+ServiceTypeManager::ever_declared_attrs() const {
+  std::lock_guard lock(mutex_);
+  return ever_declared_;
 }
 
 bool ServiceTypeManager::has(const std::string& name) const {

@@ -120,6 +120,21 @@ class ServiceTypeManager {
 
   std::size_t size() const;
 
+  /// Monotonic counter bumped on every add/remove.  Compiled constraint
+  /// programs fold identifiers against the ever-declared attribute set and
+  /// key their validity on this epoch (trader/constraint.h).
+  std::uint64_t layout_epoch() const noexcept {
+    return layout_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Cumulative set of attribute names any registered type has *ever*
+  /// declared (grows on add, never shrinks — a folded "this name can never
+  /// be an attribute" decision must stay safe across type removal followed
+  /// by unrelated re-registration).  Copy-on-write snapshot: safe to hold
+  /// across manager mutations.
+  std::shared_ptr<const std::unordered_set<std::string>> ever_declared_attrs()
+      const;
+
  private:
   bool is_subtype_locked(const std::string& sub, const std::string& base) const;
   SubtypeClosurePtr subtype_closure_locked(const std::string& base) const;
@@ -130,6 +145,10 @@ class ServiceTypeManager {
   mutable std::unordered_map<std::string, SubtypeClosurePtr> closure_cache_;
   mutable std::atomic<std::uint64_t> closure_builds_{0};
   mutable std::atomic<std::uint64_t> closure_hits_{0};
+  std::atomic<std::uint64_t> layout_epoch_{0};
+  /// COW snapshot (replaced, never mutated, under mutex_).
+  std::shared_ptr<const std::unordered_set<std::string>> ever_declared_ =
+      std::make_shared<const std::unordered_set<std::string>>();
 };
 
 /// Verify an exporter's SID implements the service type's operational

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpc/call_context.h"
+#include "trader/cexpr_ir.h"
 #include "wire/marshal.h"
 
 namespace cosm::trader {
@@ -24,6 +25,9 @@ void Trader::set_tuning(const TraderTuning& tuning) {
   store_tuning.hot_split_threshold = tuning.hot_split_threshold;
   store_.set_tuning(store_tuning);
   constraint_cache_.set_capacity(tuning.constraint_cache_capacity);
+  preference_cache_.set_capacity(tuning.constraint_cache_capacity);
+  selection_vm_enabled_.store(tuning.enable_selection_vm,
+                              std::memory_order_relaxed);
 }
 
 void Trader::set_dynamic_fetcher(DynamicFetcher fetcher) {
@@ -266,6 +270,87 @@ std::vector<Offer> Trader::match_local(const ImportRequest& request,
   return matched;
 }
 
+std::vector<Trader::ScoredMatch> Trader::match_scored(
+    const ImportRequest& request, const CompiledPreference& pref) {
+  SubtypeClosurePtr closure = types_.subtype_closure(request.service_type);
+  const detail::ScoreIr& ir = *pref.preference.score();
+  std::vector<ScoredMatch> out;
+
+  if (selection_vm_enabled_.load(std::memory_order_relaxed)) {
+    // Read the layout epoch BEFORE the ever-declared snapshot: the set only
+    // grows, and each add/remove replaces the set before bumping the epoch,
+    // so the snapshot read second covers at least everything declared as of
+    // the epoch read first — a program cached under that epoch can never
+    // have folded a name the snapshot declares.  The reversed order could.
+    std::uint64_t epoch = types_.layout_epoch();
+    auto declared = types_.ever_declared_attrs();
+    auto compiled =
+        constraint_cache_.get_compiled(request.constraint, epoch, declared);
+
+    TopKQuery query;
+    query.types = closure->types;
+    query.constraint = &compiled->constraint;
+    query.filter = compiled->filter;
+    query.score = &ir;
+    query.score_prog = pref.score_prog;
+    query.k = request.max_matches;
+    TopKResult top = store_.collect_top_k(query);
+    evaluated_.fetch_add(top.stats.type_candidates, std::memory_order_relaxed);
+    scanned_.fetch_add(top.stats.scanned, std::memory_order_relaxed);
+    offers_scored_.fetch_add(top.stats.scored, std::memory_order_relaxed);
+    heap_prunes_.fetch_add(top.stats.heap_prunes, std::memory_order_relaxed);
+
+    out.reserve(top.ranked.size() + top.dynamic.size());
+    for (const ScoredOffer& so : top.ranked) {
+      out.push_back({so.score, so.key, *so.stored.offer});
+    }
+    // Dynamic offers come back unfiltered and unscored — their values only
+    // exist after the fetch.  Resolve, filter on the fetched values, score,
+    // and let the caller's merge re-rank.
+    for (const StoredOffer& so : top.dynamic) {
+      AttrMap merged = so.offer->attributes;
+      if (!resolve_dynamic(*so.offer, merged)) continue;
+      if (!compiled->constraint.eval(merged)) continue;
+      double score = detail::eval_score(ir, merged);
+      offers_scored_.fetch_add(1, std::memory_order_relaxed);
+      Offer fresh = *so.offer;
+      fresh.attributes = std::move(merged);
+      out.push_back({score, detail::score_rank_key(score), std::move(fresh)});
+    }
+    return out;
+  }
+
+  // Reference path (VM off): collect, tree-walk the constraint, score every
+  // match, no pruning.  The caller's final sort produces the same order the
+  // top-k engine would have.
+  std::shared_ptr<const Constraint> constraint =
+      constraint_cache_.get(request.constraint);
+  MatchStats stats;
+  std::vector<StoredOffer> candidates =
+      store_.collect(closure->types, *constraint, &stats);
+  evaluated_.fetch_add(stats.type_candidates, std::memory_order_relaxed);
+  scanned_.fetch_add(stats.scanned, std::memory_order_relaxed);
+  for (const StoredOffer& candidate : candidates) {
+    const Offer& offer = *candidate.offer;
+    if (offer.dynamic_attrs.empty()) {
+      if (!constraint->eval(offer.attributes)) continue;
+      double score = detail::eval_score(ir, offer.attributes);
+      offers_scored_.fetch_add(1, std::memory_order_relaxed);
+      out.push_back({score, detail::score_rank_key(score), offer});
+      continue;
+    }
+    AttrMap merged = offer.attributes;
+    if (!resolve_dynamic(offer, merged)) continue;
+    if (!constraint->eval(merged)) continue;
+    double score = detail::eval_score(ir, merged);
+    offers_scored_.fetch_add(1, std::memory_order_relaxed);
+    Offer fresh = offer;
+    fresh.attributes = std::move(merged);
+    out.push_back({score, detail::score_rank_key(score), std::move(fresh)});
+  }
+  return out;
+}
+
 std::vector<Offer> Trader::import(const ImportRequest& request) {
   return import_ex(request).offers;
 }
@@ -296,147 +381,108 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
     }
     span = tr.start_span("trader.import:" + request.service_type, trace, parent);
   }
-  // Compiled constraints are cached by text: repeated local imports and
-  // federation-forwarded imports (which carry the text verbatim) share one
-  // AST and its pre-extracted index hints.
-  std::shared_ptr<const Constraint> constraint =
-      constraint_cache_.get(request.constraint);
-  Preference preference = Preference::parse(request.preference);
+  // Compiled constraints and preferences are cached by text: repeated
+  // local imports and federation-forwarded imports (which carry both texts
+  // verbatim) share one AST and one bytecode program.
+  std::shared_ptr<const CompiledPreference> pref =
+      preference_cache_.get(request.preference);
+  const bool scored = pref->preference.kind() == PreferenceKind::Score;
 
   ImportResult result;
-  std::vector<Offer> matched = match_local(request, *constraint);
+  std::vector<ScoredMatch> scored_matched;
+  std::vector<Offer> matched;
+  if (scored) {
+    scored_matched = match_scored(request, *pref);
+  } else {
+    std::shared_ptr<const Constraint> constraint =
+        constraint_cache_.get(request.constraint);
+    matched = match_local(request, *constraint);
+  }
 
   // Federation sweep: forward with a decremented hop budget; duplicate
-  // offers (diamond topologies) collapse on offer id.  All links are
-  // queried concurrently — in a federation every hop is a network round
-  // trip, so a sequential sweep costs the sum of the link latencies where
-  // this costs the maximum.  Merging in link order keeps the result
-  // deterministic.  A failing link yields a Failed outcome and a reduced
-  // result set, never a failed import; a link over its failure threshold is
-  // quarantined and skipped entirely until its TTL expires.
+  // offers (diamond topologies) collapse on offer id.  Merging in link
+  // order keeps the result deterministic.  A failing link yields a Failed
+  // outcome and a reduced result set, never a failed import; a link over
+  // its failure threshold is quarantined and skipped entirely until its
+  // TTL expires.
   if (request.hop_limit > 0) {
-    struct SweepTarget {
-      std::string name;
-      std::shared_ptr<TraderGateway> gateway;  // null when quarantined
-    };
-    std::vector<SweepTarget> targets;
-    {
-      std::lock_guard lock(mutex_);
-      auto now = std::chrono::steady_clock::now();
-      targets.reserve(links_.size());
-      for (const auto& link : links_) {
-        bool quarantined = link.quarantined_until > now;
-        targets.push_back({link.name, quarantined ? nullptr : link.gateway});
-      }
-    }
     ImportRequest forwarded = request;
     forwarded.hop_limit = request.hop_limit - 1;
-    forwarded.max_matches = 0;       // rank after the merge, not per trader
-    forwarded.preference.clear();    // remote ranking would be wasted work
+    if (scored) {
+      // Score ranking is deterministic across traders — same expression,
+      // same tie-break on offer id — so every hop ranks with the forwarded
+      // preference and returns only its best max_matches: any offer it
+      // drops is dominated by k it returns, so the global top k is intact.
+    } else {
+      forwarded.max_matches = 0;     // rank after the merge, not per trader
+      forwarded.preference.clear();  // remote ranking would be wasted work
+    }
     if (span.valid()) {
       // Federated hops hang under this trader's import span.
       forwarded.trace_id = span.trace_id;
       forwarded.parent_span_id = span.span_id;
     }
-    std::vector<std::vector<Offer>> per_link(targets.size());
-    std::vector<std::string> per_link_error(targets.size());
-    std::vector<std::uint64_t> per_link_us(targets.size(), 0);
-    auto query = [&](std::size_t i) {
-      std::chrono::steady_clock::time_point t0{};
-      if (reg.enabled()) t0 = std::chrono::steady_clock::now();
-      try {
-        per_link[i] = targets[i].gateway->import(forwarded);
-      } catch (const Error& e) {
-        // An unreachable federated trader reduces the result set; it must
-        // not fail the local import.
-        per_link_error[i] = e.what();
-      }
-      if (reg.enabled() && t0 != std::chrono::steady_clock::time_point{}) {
-        per_link_us[i] = obs::elapsed_us(t0);
-      }
-    };
-    std::vector<std::size_t> active;
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      if (targets[i].gateway) active.push_back(i);
-    }
-    if (active.size() == 1) {
-      query(active.front());
-    } else if (!active.empty()) {
-      std::vector<std::thread> sweep;
-      sweep.reserve(active.size());
-      for (std::size_t i : active) sweep.emplace_back(query, i);
-      for (auto& t : sweep) t.join();
-    }
+    std::vector<std::vector<Offer>> per_link = sweep_links(forwarded, result);
 
-    result.links.reserve(targets.size());
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      LinkOutcome outcome;
-      outcome.link = targets[i].name;
-      if (!targets[i].gateway) {
-        outcome.status = LinkOutcome::Status::Quarantined;
-      } else if (!per_link_error[i].empty()) {
-        outcome.status = LinkOutcome::Status::Failed;
-        outcome.error = per_link_error[i];
-      } else {
-        outcome.offers = per_link[i].size();
-      }
-      if (reg.enabled()) {
-        // Per-link instruments are looked up by name (registry map, not a
-        // static handle) — link sets are dynamic and the sweep already paid
-        // for a network round trip.
-        const std::string base = "trader.link." + targets[i].name;
-        switch (outcome.status) {
-          case LinkOutcome::Status::Ok:
-            reg.counter(base + ".ok").add();
-            break;
-          case LinkOutcome::Status::Failed:
-            reg.counter(base + ".failed").add();
-            break;
-          case LinkOutcome::Status::Quarantined:
-            reg.counter(base + ".quarantined").add();
-            break;
-        }
-        if (targets[i].gateway) {
-          reg.histogram(base + ".latency_us").record_us(per_link_us[i]);
+    if (scored) {
+      // Remote offers are rescored locally — a merge must never depend on
+      // another trader's arithmetic — and deduplicated local-first by id.
+      const detail::ScoreIr& ir = *pref->preference.score();
+      std::set<std::string> seen;
+      for (const auto& m : scored_matched) seen.insert(m.offer.id);
+      for (auto& link_offers : per_link) {
+        for (Offer& offer : link_offers) {
+          if (!seen.insert(offer.id).second) continue;
+          double score = detail::eval_score(ir, offer.attributes);
+          offers_scored_.fetch_add(1, std::memory_order_relaxed);
+          scored_matched.push_back(
+              {score, detail::score_rank_key(score), std::move(offer)});
         }
       }
-      result.links.push_back(std::move(outcome));
-    }
-    note_link_outcomes(result.links);
-    if (reg.enabled()) {
-      static obs::Gauge& quarantined = reg.gauge("trader.links_quarantined");
-      std::lock_guard lock(mutex_);
-      auto now = std::chrono::steady_clock::now();
-      std::int64_t active = 0;
-      for (const auto& link : links_) {
-        if (link.quarantined_until > now) ++active;
-      }
-      quarantined.set(active);
-    }
-
-    std::set<std::string> seen;
-    for (const auto& offer : matched) seen.insert(offer.id);
-    for (auto& link_offers : per_link) {
-      for (Offer& offer : link_offers) {
-        if (seen.insert(offer.id).second) matched.push_back(std::move(offer));
+    } else {
+      std::set<std::string> seen;
+      for (const auto& offer : matched) seen.insert(offer.id);
+      for (auto& link_offers : per_link) {
+        for (Offer& offer : link_offers) {
+          if (seen.insert(offer.id).second) matched.push_back(std::move(offer));
+        }
       }
     }
   }
 
   // Rank and cap.
-  std::vector<const AttrMap*> attr_ptrs;
-  attr_ptrs.reserve(matched.size());
-  for (const auto& offer : matched) attr_ptrs.push_back(&offer.attributes);
-  std::vector<std::size_t> order;
-  {
-    std::lock_guard lock(rng_mutex_);
-    order = preference.rank(attr_ptrs, rng_);
-  }
   imports_.fetch_add(1, std::memory_order_relaxed);
-
   std::vector<Offer> ranked;
-  ranked.reserve(matched.size());
-  for (std::size_t idx : order) ranked.push_back(std::move(matched[idx]));
+  if (scored) {
+    // Deterministic federation-wide order: rank key descending, offer id
+    // ascending — every trader agrees regardless of merge arrival order.
+    std::sort(scored_matched.begin(), scored_matched.end(),
+              [](const ScoredMatch& a, const ScoredMatch& b) {
+                if (a.key != b.key) return a.key > b.key;
+                return a.offer.id < b.offer.id;
+              });
+    if (request.max_matches > 0 &&
+        scored_matched.size() > request.max_matches) {
+      scored_matched.resize(request.max_matches);
+    }
+    ranked.reserve(scored_matched.size());
+    for (ScoredMatch& m : scored_matched) ranked.push_back(std::move(m.offer));
+  } else if (pref->preference.kind() == PreferenceKind::First) {
+    // "first" keeps the merge order as-is: no attribute-pointer vector, no
+    // permutation, no rng traffic — the default preference costs nothing.
+    ranked = std::move(matched);
+  } else {
+    std::vector<const AttrMap*> attr_ptrs;
+    attr_ptrs.reserve(matched.size());
+    for (const auto& offer : matched) attr_ptrs.push_back(&offer.attributes);
+    std::vector<std::size_t> order;
+    {
+      std::lock_guard lock(rng_mutex_);
+      order = pref->preference.rank(attr_ptrs, rng_);
+    }
+    ranked.reserve(matched.size());
+    for (std::size_t idx : order) ranked.push_back(std::move(matched[idx]));
+  }
   if (request.max_matches > 0 && ranked.size() > request.max_matches) {
     ranked.resize(request.max_matches);
   }
@@ -456,12 +502,114 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
   return result;
 }
 
+// All links are queried concurrently — in a federation every hop is a
+// network round trip, so a sequential sweep costs the sum of the link
+// latencies where this costs the maximum.
+std::vector<std::vector<Offer>> Trader::sweep_links(
+    const ImportRequest& forwarded, ImportResult& result) {
+  auto& reg = obs::metrics();
+  struct SweepTarget {
+    std::string name;
+    std::shared_ptr<TraderGateway> gateway;  // null when quarantined
+  };
+  std::vector<SweepTarget> targets;
+  {
+    std::lock_guard lock(mutex_);
+    auto now = std::chrono::steady_clock::now();
+    targets.reserve(links_.size());
+    for (const auto& link : links_) {
+      bool quarantined = link.quarantined_until > now;
+      targets.push_back({link.name, quarantined ? nullptr : link.gateway});
+    }
+  }
+  std::vector<std::vector<Offer>> per_link(targets.size());
+  std::vector<std::string> per_link_error(targets.size());
+  std::vector<std::uint64_t> per_link_us(targets.size(), 0);
+  auto query = [&](std::size_t i) {
+    std::chrono::steady_clock::time_point t0{};
+    if (reg.enabled()) t0 = std::chrono::steady_clock::now();
+    try {
+      per_link[i] = targets[i].gateway->import(forwarded);
+    } catch (const Error& e) {
+      // An unreachable federated trader reduces the result set; it must
+      // not fail the local import.
+      per_link_error[i] = e.what();
+    }
+    if (reg.enabled() && t0 != std::chrono::steady_clock::time_point{}) {
+      per_link_us[i] = obs::elapsed_us(t0);
+    }
+  };
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i].gateway) active.push_back(i);
+  }
+  if (active.size() == 1) {
+    query(active.front());
+  } else if (!active.empty()) {
+    std::vector<std::thread> sweep;
+    sweep.reserve(active.size());
+    for (std::size_t i : active) sweep.emplace_back(query, i);
+    for (auto& t : sweep) t.join();
+  }
+
+  result.links.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    LinkOutcome outcome;
+    outcome.link = targets[i].name;
+    if (!targets[i].gateway) {
+      outcome.status = LinkOutcome::Status::Quarantined;
+    } else if (!per_link_error[i].empty()) {
+      outcome.status = LinkOutcome::Status::Failed;
+      outcome.error = per_link_error[i];
+    } else {
+      outcome.offers = per_link[i].size();
+    }
+    if (reg.enabled()) {
+      // Per-link instruments are looked up by name (registry map, not a
+      // static handle) — link sets are dynamic and the sweep already paid
+      // for a network round trip.
+      const std::string base = "trader.link." + targets[i].name;
+      switch (outcome.status) {
+        case LinkOutcome::Status::Ok:
+          reg.counter(base + ".ok").add();
+          break;
+        case LinkOutcome::Status::Failed:
+          reg.counter(base + ".failed").add();
+          break;
+        case LinkOutcome::Status::Quarantined:
+          reg.counter(base + ".quarantined").add();
+          break;
+      }
+      if (targets[i].gateway) {
+        reg.histogram(base + ".latency_us").record_us(per_link_us[i]);
+      }
+    }
+    result.links.push_back(std::move(outcome));
+  }
+  note_link_outcomes(result.links);
+  if (reg.enabled()) {
+    static obs::Gauge& quarantined = reg.gauge("trader.links_quarantined");
+    std::lock_guard lock(mutex_);
+    auto now = std::chrono::steady_clock::now();
+    std::int64_t active = 0;
+    for (const auto& link : links_) {
+      if (link.quarantined_until > now) ++active;
+    }
+    quarantined.set(active);
+  }
+
+  return per_link;
+}
+
 void Trader::reset_stats() {
   evaluated_.store(0, std::memory_order_relaxed);
   scanned_.store(0, std::memory_order_relaxed);
+  offers_scored_.store(0, std::memory_order_relaxed);
+  heap_prunes_.store(0, std::memory_order_relaxed);
   dynamic_fetches_.store(0, std::memory_order_relaxed);
   store_.reset_stats();
   constraint_cache_.reset_stats();
+  preference_cache_.reset_stats();
   types_.reset_stats();
 }
 

@@ -129,7 +129,13 @@ struct TraderTuning {
   /// Secondary attribute indexes on the offer store; off = linear bucket
   /// scans (the pre-index behaviour, kept as baseline and safety valve).
   bool enable_indexes = true;
-  /// Compiled-constraint LRU entries (0 disables the cache).
+  /// Bytecode-VM top-k selection for `score:` preferences; off = collect
+  /// all candidates, tree-walk the constraint and score, and full-sort —
+  /// the reference path (baseline, safety valve, and the differential
+  /// tests' oracle).  Results are identical either way.
+  bool enable_selection_vm = true;
+  /// Compiled-constraint LRU entries (0 disables the cache).  The compiled-
+  /// preference cache shares this capacity.
   std::size_t constraint_cache_capacity = 128;
   /// Offer-store writer shards (clamped to [1, 64]).  Takes effect while
   /// the store is empty; ignored once offers exist.
@@ -278,6 +284,35 @@ class Trader {
   std::uint64_t constraint_cache_misses() const noexcept {
     return constraint_cache_.misses();
   }
+  /// LRU drops plus type-layout-epoch invalidations of compiled constraints.
+  std::uint64_t constraint_cache_evictions() const noexcept {
+    return constraint_cache_.evictions();
+  }
+  /// Nanoseconds spent parsing + bytecode-compiling constraints (misses).
+  std::uint64_t constraint_cache_compile_ns() const noexcept {
+    return constraint_cache_.compile_ns();
+  }
+  std::uint64_t preference_cache_hits() const noexcept {
+    return preference_cache_.hits();
+  }
+  std::uint64_t preference_cache_misses() const noexcept {
+    return preference_cache_.misses();
+  }
+  std::uint64_t preference_cache_evictions() const noexcept {
+    return preference_cache_.evictions();
+  }
+  std::uint64_t preference_cache_compile_ns() const noexcept {
+    return preference_cache_.compile_ns();
+  }
+  /// Score evaluations on the `score:` import path (VM or tree-walk).
+  std::uint64_t offers_scored() const noexcept {
+    return offers_scored_.load(std::memory_order_relaxed);
+  }
+  /// Candidates the top-k engine skipped without scoring because a score
+  /// bound proved they cannot displace the current k-th entry.
+  std::uint64_t heap_prunes() const noexcept {
+    return heap_prunes_.load(std::memory_order_relaxed);
+  }
   std::uint64_t dynamic_fetches() const noexcept {
     return dynamic_fetches_.load(std::memory_order_relaxed);
   }
@@ -317,6 +352,27 @@ class Trader {
 
   std::vector<Offer> match_local(const ImportRequest& request,
                                  const Constraint& constraint);
+
+  /// A locally matched offer with its score and rank key (the `score:`
+  /// import path; key = detail::score_rank_key(score)).
+  struct ScoredMatch {
+    double score = 0.0;
+    double key = 0.0;
+    Offer offer;
+  };
+  /// Local matching for Score preferences: the store's top-k engine when
+  /// the selection VM is enabled, otherwise collect + tree-walk + score
+  /// everything (the reference path).  Dynamic offers are resolved,
+  /// filtered and scored here either way.
+  std::vector<ScoredMatch> match_scored(const ImportRequest& request,
+                                        const CompiledPreference& pref);
+
+  /// Query every live federation link concurrently with `forwarded`,
+  /// recording per-link outcomes (and quarantine bookkeeping) into
+  /// `result.links`.  Returns each link's offers, in link order.
+  std::vector<std::vector<Offer>> sweep_links(const ImportRequest& forwarded,
+                                              ImportResult& result);
+
   void note_link_outcomes(const std::vector<LinkOutcome>& outcomes);
 
   std::string name_;
@@ -331,6 +387,8 @@ class Trader {
   // only the trader's control plane (links, options, fetcher, clock).
   OfferStore store_;
   ConstraintCache constraint_cache_;
+  PreferenceCache preference_cache_;
+  std::atomic<bool> selection_vm_enabled_{true};
 
   mutable std::mutex mutex_;
   std::vector<Link> links_;
@@ -344,6 +402,8 @@ class Trader {
   std::atomic<std::uint64_t> imports_{0};
   std::atomic<std::uint64_t> evaluated_{0};
   std::atomic<std::uint64_t> scanned_{0};
+  std::atomic<std::uint64_t> offers_scored_{0};
+  std::atomic<std::uint64_t> heap_prunes_{0};
   std::atomic<std::uint64_t> dynamic_fetches_{0};
   std::atomic<std::uint64_t> quarantined_{0};
   std::atomic<std::uint64_t> next_offer_{1};

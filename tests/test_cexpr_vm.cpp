@@ -1,0 +1,719 @@
+// Differential tests for the constraint/scoring bytecode VM
+// (trader/cexpr_vm.h): the compiled programs must reproduce the
+// tree-walking evaluators bit for bit, including the forgiving corner
+// cases (identifier fallback, missing attributes, kind mismatches, the
+// NaN trichotomy quirk), and the trader's VM-backed top-k selection must
+// return exactly the offers — in exactly the order — of the reference
+// path with the VM disabled.
+
+#include "trader/cexpr_vm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "trader/cexpr_ir.h"
+#include "trader/constraint.h"
+#include "trader/preference.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+namespace {
+
+using sidl::TypeDesc;
+using wire::Value;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---- random offer generator (pure AttrMap; no schema) ----
+
+const std::vector<std::string>& attr_pool() {
+  static const std::vector<std::string> pool = {
+      "a", "b", "c", "d", "e", "Currency", "Flag", "Color"};
+  return pool;
+}
+
+const std::vector<std::string>& text_pool() {
+  static const std::vector<std::string> pool = {
+      "USD", "DEM", "red", "green", "true", "false", "", "a", "42"};
+  return pool;
+}
+
+Value random_value(Rng& rng) {
+  switch (rng.below(8)) {
+    case 0: {
+      static const std::vector<std::int64_t> ints = {
+          0, 1, -1, 42, -100, std::numeric_limits<std::int64_t>::min(),
+          std::numeric_limits<std::int64_t>::max()};
+      return Value::integer(rng.chance(0.5) ? ints[rng.below(ints.size())]
+                                            : std::int64_t(rng.below(200)) - 100);
+    }
+    case 1: {
+      static const std::vector<double> reals = {0.0,  -0.0, 1.5,  -2.5, kNan,
+                                                kInf, -kInf, 42.0, 1e300};
+      return Value::real(rng.chance(0.5) ? reals[rng.below(reals.size())]
+                                         : rng.range(-100.0, 100.0));
+    }
+    case 2:
+      return Value::string(text_pool()[rng.below(text_pool().size())]);
+    case 3:
+      return Value::boolean(rng.chance(0.5));
+    case 4:
+      return Value::enumerated("Color", rng.chance(0.5) ? "red" : "green");
+    case 5:
+      // Structured values exist but never compare (Missing-tagged).
+      return Value::sequence({Value::integer(1), Value::integer(2)});
+    case 6:
+      return Value::integer(std::int64_t(rng.below(10)));
+    default:
+      return Value::real(rng.range(0.0, 10.0));
+  }
+}
+
+AttrMap random_offer(Rng& rng) {
+  AttrMap attrs;
+  for (const auto& name : attr_pool()) {
+    if (rng.chance(0.6)) attrs.emplace(name, random_value(rng));
+  }
+  return attrs;
+}
+
+// ---- constraint differential: VM == Constraint::eval ----
+
+const std::vector<std::string>& constraint_corpus() {
+  static const std::vector<std::string> corpus = {
+      "",
+      "true",
+      "false",
+      "!false && true",
+      "a < 3",
+      "a <= 3",
+      "a > 3",
+      "a >= 3",
+      "a == 3",
+      "a != 3",
+      "a == 1.5",
+      "a < -2.5",
+      "a == b",
+      "a != b",
+      "a < b || b < a",
+      "exists a",
+      "exists Ghost",
+      "!exists Color",
+      "Currency == USD",
+      "Currency == \"USD\"",
+      "Currency != DEM",
+      "Flag == true",
+      "Flag != false",
+      "Color == red",
+      "Color in { red, green, blue }",
+      "a in { 1, 2, 3 }",
+      "a in { 1.5, -2.5, 42 }",
+      "Currency in { USD, \"DEM\", 7 }",
+      "a < 3 && b > 2",
+      "a < 3 || b > 2",
+      "!(a == b) || c >= 1.5",
+      "(a < 1 || b < 1) && (exists Currency || Flag == true)",
+      "a == 9223372036854775807",
+      "a == -9223372036854775808",
+      "a >= 100000.5",
+      "e == 42",       // `e` may be any kind; 42 also a text-pool string
+      "d == true",     // `true` resolves to boolean before attr lookup
+      "a == Ghost",    // never-declared ident -> foldable text literal
+      "Ghost == USD",  // both sides fall back to text literals
+  };
+  return corpus;
+}
+
+TEST(CexprVmDifferential, ConstraintsMatchTreeWalkOnRandomOffers) {
+  Rng rng(0xC0FFEE);
+  std::unordered_set<std::string> declared(attr_pool().begin(),
+                                           attr_pool().end());
+  for (const auto& text : constraint_corpus()) {
+    Constraint ref = Constraint::parse(text);
+    cexpr::ProgramPtr plain =
+        cexpr::compile_filter(ref.root(), cexpr::FoldEnv{nullptr});
+    cexpr::ProgramPtr folded =
+        cexpr::compile_filter(ref.root(), cexpr::FoldEnv{&declared});
+    ASSERT_NE(plain, nullptr) << text;
+    ASSERT_NE(folded, nullptr) << text;
+    cexpr::Scratch scratch;
+    for (int i = 0; i < 400; ++i) {
+      AttrMap attrs = random_offer(rng);
+      const bool expected = ref.eval(attrs);
+      cexpr::bind_offer(*plain, attrs, scratch);
+      EXPECT_EQ(cexpr::eval_filter(*plain, scratch), expected)
+          << text << " (unfolded, offer " << i << ")";
+      // Folding is valid because the generator only emits declared names.
+      cexpr::bind_offer(*folded, attrs, scratch);
+      EXPECT_EQ(cexpr::eval_filter(*folded, scratch), expected)
+          << text << " (folded, offer " << i << ")";
+    }
+  }
+}
+
+TEST(CexprVmDifferential, NanTrichotomyQuirk) {
+  // The tree-walk three-way compare yields 0 for NaN vs anything, so
+  // ==, <= and >= all hold.  The VM must reproduce this exactly.
+  AttrMap attrs = {{"a", Value::real(kNan)}};
+  for (const char* text : {"a == 1", "a <= 1", "a >= 1", "a == a", "a <= a"}) {
+    Constraint ref = Constraint::parse(text);
+    ASSERT_TRUE(ref.eval(attrs)) << text;
+    auto prog = cexpr::compile_filter(ref.root(), cexpr::FoldEnv{nullptr});
+    ASSERT_NE(prog, nullptr);
+    cexpr::Scratch s;
+    cexpr::bind_offer(*prog, attrs, s);
+    EXPECT_TRUE(cexpr::eval_filter(*prog, s)) << text;
+  }
+  for (const char* text : {"a < 1", "a > 1", "a != 1"}) {
+    Constraint ref = Constraint::parse(text);
+    ASSERT_FALSE(ref.eval(attrs)) << text;
+    auto prog = cexpr::compile_filter(ref.root(), cexpr::FoldEnv{nullptr});
+    ASSERT_NE(prog, nullptr);
+    cexpr::Scratch s;
+    cexpr::bind_offer(*prog, attrs, s);
+    EXPECT_FALSE(cexpr::eval_filter(*prog, s)) << text;
+  }
+}
+
+// ---- score differential: VM == detail::eval_score ----
+
+const std::vector<std::string>& score_corpus() {
+  static const std::vector<std::string> corpus = {
+      "1",
+      "a",
+      "-a",
+      "a + b",
+      "a - b",
+      "a * b - c / 2",
+      "0.7 * inv(a) + 0.3 * b",
+      "inv(a - a)",
+      "sqrt(abs(a)) + log(b)",
+      "min(a, b) + max(c, 1)",
+      "min(a, inv(b)) * max(-c, sqrt(d))",
+      "-(a + b) * 2",
+      "2 * a + 1 penalty 1.5 unless (Currency == USD)",
+      "a penalty 0.5 unless (Flag == true) penalty 2 unless (b < 3)",
+      "inv(Ghost)",
+      "log(-1) + a",
+  };
+  return corpus;
+}
+
+bool same_score(double x, double y) {
+  return (std::isnan(x) && std::isnan(y)) || x == y;
+}
+
+TEST(CexprVmDifferential, ScoresMatchTreeWalkOnRandomOffers) {
+  Rng rng(0xBEEF);
+  for (const auto& text : score_corpus()) {
+    detail::ScoreIr ir = detail::parse_score(text);
+    cexpr::ProgramPtr prog = cexpr::compile_score(ir);
+    ASSERT_NE(prog, nullptr) << text;
+    cexpr::Scratch scratch;
+    for (int i = 0; i < 400; ++i) {
+      AttrMap attrs = random_offer(rng);
+      const double expected = detail::eval_score(ir, attrs);
+      cexpr::bind_offer(*prog, attrs, scratch);
+      const double got = cexpr::eval_score(*prog, scratch);
+      EXPECT_TRUE(same_score(expected, got))
+          << text << " (offer " << i << "): tree=" << expected
+          << " vm=" << got;
+      EXPECT_EQ(detail::score_rank_key(expected), detail::score_rank_key(got))
+          << text << " (offer " << i << ")";
+    }
+  }
+}
+
+TEST(CexprVm, ScoreParseErrors) {
+  for (const char* bad : {"", "+", "foo(", "min(a)", "inv(a, b)", "a +",
+                          "penalty", "a penalty x unless (b < 1)",
+                          "a penalty 1 unless b < 1", "unknown(a)"}) {
+    EXPECT_THROW(detail::parse_score(bad), ParseError) << bad;
+  }
+}
+
+// ---- score-bound analysis ----
+
+TEST(CexprVm, AffineFormDetection) {
+  auto affine = [](const std::string& text) {
+    return cexpr::affine_of(detail::parse_score(text));
+  };
+  cexpr::AffineForm f = affine("2 * a - 3");
+  ASSERT_TRUE(f.valid);
+  EXPECT_EQ(f.attr, "a");
+  EXPECT_DOUBLE_EQ(f.a, 2.0);
+  EXPECT_DOUBLE_EQ(f.b, -3.0);
+
+  f = affine("a / 2");
+  ASSERT_TRUE(f.valid);
+  EXPECT_DOUBLE_EQ(f.a, 0.5);
+
+  f = affine("-(a + 1)");
+  ASSERT_TRUE(f.valid);
+  EXPECT_DOUBLE_EQ(f.a, -1.0);
+  EXPECT_DOUBLE_EQ(f.b, -1.0);
+
+  EXPECT_FALSE(affine("a + a").valid);      // attr referenced twice
+  EXPECT_FALSE(affine("a * b").valid);      // two attrs
+  EXPECT_FALSE(affine("inv(a)").valid);     // nonlinear function
+  EXPECT_FALSE(affine("0 * a").valid);      // zero slope
+  EXPECT_FALSE(affine("5").valid);          // no attr
+  EXPECT_FALSE(affine("a penalty 1 unless (b < 1)").valid);
+}
+
+TEST(CexprVm, ScoreUpperBoundIsConservative) {
+  Rng rng(0xABCD);
+  for (const auto& text : score_corpus()) {
+    detail::ScoreIr ir = detail::parse_score(text);
+    // Population: numeric a..e confined to known ranges, plus offers with
+    // attributes missing entirely (score NaN -> -inf, never above bound).
+    std::vector<AttrMap> offers;
+    for (int i = 0; i < 200; ++i) {
+      AttrMap attrs;
+      for (const char* name : {"a", "b", "c", "d", "e"}) {
+        if (rng.chance(0.8)) attrs.emplace(name, Value::real(rng.range(-50.0, 50.0)));
+      }
+      if (rng.chance(0.5)) attrs.emplace("Currency", Value::string("USD"));
+      if (rng.chance(0.5)) attrs.emplace("Flag", Value::boolean(true));
+      offers.push_back(std::move(attrs));
+    }
+    auto range_of = [&](const std::string& name) {
+      cexpr::AttrRange r;
+      for (const auto& attrs : offers) {
+        auto it = attrs.find(name);
+        if (it == attrs.end() || it->second.kind() != wire::ValueKind::Float) continue;
+        double v = it->second.as_real();
+        if (std::isnan(v)) continue;
+        if (r.empty) {
+          r.lo = r.hi = v;
+          r.empty = false;
+        } else {
+          r.lo = std::min(r.lo, v);
+          r.hi = std::max(r.hi, v);
+        }
+      }
+      return r;
+    };
+    const double bound = cexpr::score_upper_bound(ir, range_of);
+    for (const auto& attrs : offers) {
+      EXPECT_LE(detail::score_rank_key(detail::eval_score(ir, attrs)), bound)
+          << text;
+    }
+  }
+}
+
+// ---- caches ----
+
+TEST(ConstraintCacheVm, CompilesAndInvalidatesOnEpochChange) {
+  ConstraintCache cache(8);
+  auto declared = std::make_shared<const std::unordered_set<std::string>>(
+      std::unordered_set<std::string>{"a", "b"});
+  auto c1 = cache.get_compiled("a < 3", 1, declared);
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c1->filter, nullptr);
+  EXPECT_EQ(c1->layout_epoch, 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  auto c2 = cache.get_compiled("a < 3", 1, declared);
+  EXPECT_EQ(c1, c2);  // same epoch: shared entry
+  EXPECT_EQ(cache.hits(), 1u);
+
+  auto c3 = cache.get_compiled("a < 3", 2, declared);
+  EXPECT_NE(c1, c3);  // epoch moved: recompiled in place
+  EXPECT_EQ(c3->layout_epoch, 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_GT(cache.compile_ns(), 0u);
+}
+
+TEST(PreferenceCacheVm, CachesCompiledScorePrograms) {
+  PreferenceCache cache(2);
+  auto p1 = cache.get("score: 2 * a");
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->preference.kind(), PreferenceKind::Score);
+  EXPECT_NE(p1->score_prog, nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  auto p2 = cache.get("score: 2 * a");
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  auto first = cache.get("first");
+  EXPECT_EQ(first->preference.kind(), PreferenceKind::First);
+  EXPECT_EQ(first->score_prog, nullptr);  // nothing to compile
+
+  cache.get("min a");  // capacity 2: evicts the LRU entry
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_THROW(cache.get("score: +"), ParseError);
+}
+
+// ---- end-to-end: trader VM path == reference path ----
+
+ServiceType wide_type() {
+  ServiceType t;
+  t.name = "Svc";
+  t.attributes = {{"ChargePerDay", TypeDesc::float_(), true},
+                  {"Rating", TypeDesc::float_(), false},
+                  {"Seats", TypeDesc::int_(), false},
+                  {"Currency", TypeDesc::string_(), false},
+                  {"Insured", TypeDesc::bool_(), false}};
+  return t;
+}
+
+sidl::ServiceRef svc_ref(const std::string& id) {
+  return {id, "inproc://host", "Svc"};
+}
+
+AttrMap random_typed_offer(Rng& rng) {
+  AttrMap attrs;
+  static const std::vector<double> charges = {kNan, kInf, -kInf, 0.0};
+  attrs.emplace("ChargePerDay",
+                Value::real(rng.chance(0.1) ? charges[rng.below(charges.size())]
+                                            : rng.range(1.0, 500.0)));
+  if (rng.chance(0.7)) attrs.emplace("Rating", Value::real(rng.range(0.0, 5.0)));
+  if (rng.chance(0.7)) attrs.emplace("Seats", Value::integer(std::int64_t(rng.below(8))));
+  if (rng.chance(0.8)) {
+    attrs.emplace("Currency", Value::string(rng.chance(0.5) ? "USD" : "DEM"));
+  }
+  if (rng.chance(0.6)) attrs.emplace("Insured", Value::boolean(rng.chance(0.5)));
+  return attrs;
+}
+
+std::vector<std::string> ids_of(const std::vector<Offer>& offers) {
+  std::vector<std::string> ids;
+  ids.reserve(offers.size());
+  for (const auto& o : offers) ids.push_back(o.id);
+  return ids;
+}
+
+class TopKSelectionTest : public ::testing::Test {
+ protected:
+  TopKSelectionTest() {
+    trader.types().add(wide_type());
+    Rng rng(0x5EED);
+    for (int i = 0; i < 250; ++i) {
+      trader.export_offer("Svc", svc_ref("s" + std::to_string(i)),
+                          random_typed_offer(rng));
+    }
+  }
+
+  std::vector<std::string> run(const std::string& constraint,
+                               const std::string& preference, std::size_t k,
+                               bool vm) {
+    TraderTuning tuning;
+    tuning.enable_selection_vm = vm;
+    trader.set_tuning(tuning);
+    ImportRequest request;
+    request.service_type = "Svc";
+    request.constraint = constraint;
+    request.preference = preference;
+    request.max_matches = k;
+    return ids_of(trader.import(request));
+  }
+
+  Trader trader{"t"};
+};
+
+TEST_F(TopKSelectionTest, VmPathMatchesReferencePath) {
+  const std::vector<std::string> constraints = {
+      "",
+      "Currency == USD",
+      "ChargePerDay < 200",
+      "Currency == USD && ChargePerDay < 300 && Insured == true",
+      "Seats >= 4 || Rating > 3",
+  };
+  const std::vector<std::string> preferences = {
+      "score: -ChargePerDay",          // affine: ord-directed walk
+      "score: ChargePerDay",           // affine, other direction
+      "score: inv(ChargePerDay)",      // nonlinear: interval pruning only
+      "score: 0.6 * Rating - 0.4 * ChargePerDay / 100",
+      "score: Rating penalty 1 unless (Insured == true)",
+      "score: min(Rating, Seats) + max(0, 5 - ChargePerDay / 100)",
+  };
+  for (const auto& constraint : constraints) {
+    for (const auto& preference : preferences) {
+      for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{500}}) {
+        auto vm_ids = run(constraint, preference, k, true);
+        auto ref_ids = run(constraint, preference, k, false);
+        EXPECT_EQ(vm_ids, ref_ids)
+            << "constraint='" << constraint << "' pref='" << preference
+            << "' k=" << k;
+      }
+    }
+  }
+}
+
+TEST_F(TopKSelectionTest, ScoredResultsAreOrderedByScoreThenId) {
+  auto offers = trader.import([] {
+    ImportRequest r;
+    r.service_type = "Svc";
+    r.preference = "score: -ChargePerDay";
+    return r;
+  }());
+  ASSERT_EQ(offers.size(), 250u);
+  detail::ScoreIr ir = detail::parse_score("-ChargePerDay");
+  for (std::size_t i = 1; i < offers.size(); ++i) {
+    double prev = detail::score_rank_key(
+        detail::eval_score(ir, offers[i - 1].attributes));
+    double cur =
+        detail::score_rank_key(detail::eval_score(ir, offers[i].attributes));
+    ASSERT_GE(prev, cur) << "offer " << i;
+    if (prev == cur) ASSERT_LT(offers[i - 1].id, offers[i].id);
+  }
+}
+
+TEST_F(TopKSelectionTest, LegacyPreferencesUnaffectedByVmToggle) {
+  // "random" is excluded: the trader's rank RNG advances per import, so two
+  // consecutive imports shuffle differently regardless of the VM toggle.
+  for (const char* pref : {"", "first", "min ChargePerDay", "max Rating"}) {
+    auto vm_ids = run("ChargePerDay < 300", pref, 10, true);
+    auto ref_ids = run("ChargePerDay < 300", pref, 10, false);
+    EXPECT_EQ(vm_ids, ref_ids) << pref;
+  }
+}
+
+TEST_F(TopKSelectionTest, TopKPrunesAndCountsScoring) {
+  trader.reset_stats();
+  auto ids = run("", "score: -ChargePerDay", 3, true);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_GT(trader.offers_scored(), 0u);
+  // The affine walk over the merged base stops early once the heap holds k
+  // strictly-better keys; everything skipped without scoring is a prune.
+  EXPECT_GT(trader.heap_prunes(), 0u);
+  EXPECT_LT(trader.offers_scored(), 250u);
+}
+
+TEST_F(TopKSelectionTest, ScoredPathWorksWithIndexesDisabled) {
+  TraderTuning tuning;
+  tuning.enable_indexes = false;
+  tuning.enable_selection_vm = true;
+  trader.set_tuning(tuning);
+  ImportRequest request;
+  request.service_type = "Svc";
+  request.preference = "score: -ChargePerDay";
+  request.max_matches = 5;
+  auto no_index = ids_of(trader.import(request));
+
+  tuning.enable_indexes = true;
+  trader.set_tuning(tuning);
+  auto with_index = ids_of(trader.import(request));
+  EXPECT_EQ(no_index, with_index);
+}
+
+// The filtered ord-walk runs under a visit budget.  With matches packed at
+// the *unfavourable* end of the score column the walk exhausts its budget
+// without filling the heap and must hand the rest to the narrowed index
+// scan — results have to match the reference path exactly, including the
+// prefix the walk already considered.
+TEST(TopKWalkBudgetTest, BudgetExhaustionFallsBackToIndexScan) {
+  Trader trader("t");
+  trader.types().add(wide_type());
+  for (int i = 0; i < 1600; ++i) {
+    AttrMap attrs;
+    attrs.emplace("ChargePerDay", Value::real(1.0 + i));
+    char id[16];
+    std::snprintf(id, sizeof id, "e%04d", i);
+    trader.export_offer("Svc", svc_ref(id), attrs);
+  }
+  ImportRequest request;
+  request.service_type = "Svc";
+  // score: -ChargePerDay walks from the cheap end; every match sits in the
+  // expensive tail, past the 512-visit budget floor.
+  request.constraint = "ChargePerDay >= 1500";
+  request.preference = "score: -ChargePerDay";
+  request.max_matches = 5;
+
+  TraderTuning tuning;
+  tuning.enable_selection_vm = true;
+  trader.set_tuning(tuning);
+  auto vm_ids = ids_of(trader.import(request));
+  tuning.enable_selection_vm = false;
+  trader.set_tuning(tuning);
+  auto ref_ids = ids_of(trader.import(request));
+  EXPECT_EQ(vm_ids, ref_ids);
+  ASSERT_EQ(vm_ids.size(), 5u);
+  // Exports are numbered from 1, so i=1499 (ChargePerDay 1500, the least
+  // charge that passes) is offer-1500.
+  EXPECT_EQ(vm_ids.front(), "t/offer-1500");
+}
+
+// When matches are dense near the favourable end the filtered walk stops
+// within the budget and skips the rest of the bucket without scoring it.
+TEST(TopKWalkBudgetTest, FilteredWalkStopsEarlyAndPrunes) {
+  Trader trader("t");
+  trader.types().add(wide_type());
+  for (int i = 0; i < 1600; ++i) {
+    AttrMap attrs;
+    attrs.emplace("ChargePerDay", Value::real(1.0 + i));
+    attrs.emplace("Currency", Value::string(i % 2 == 0 ? "USD" : "DEM"));
+    char id[16];
+    std::snprintf(id, sizeof id, "e%04d", i);
+    trader.export_offer("Svc", svc_ref(id), attrs);
+  }
+  TraderTuning tuning;
+  tuning.enable_selection_vm = true;
+  trader.set_tuning(tuning);
+  trader.reset_stats();
+  ImportRequest request;
+  request.service_type = "Svc";
+  request.constraint = "Currency == USD && ChargePerDay < 1000";
+  request.preference = "score: -ChargePerDay";
+  request.max_matches = 5;
+  auto vm_ids = ids_of(trader.import(request));
+  ASSERT_EQ(vm_ids.size(), 5u);
+  EXPECT_EQ(vm_ids.front(), "t/offer-1");  // i=0: cheapest USD offer
+  EXPECT_GT(trader.heap_prunes(), 0u);
+  EXPECT_LT(trader.offers_scored(), 100u);
+
+  tuning.enable_selection_vm = false;
+  trader.set_tuning(tuning);
+  auto ref_ids = ids_of(trader.import(request));
+  EXPECT_EQ(vm_ids, ref_ids);
+}
+
+// ---- dynamic properties through the scored path ----
+
+TEST(TopKDynamicTest, DynamicAttributesScoreIdentically) {
+  Trader trader("t");
+  ServiceType t = wide_type();
+  t.attributes.push_back({"Load", TypeDesc::int_(), false});
+  trader.types().add(t);
+  trader.set_dynamic_fetcher(
+      [](const sidl::ServiceRef& ref, const std::string&) {
+        // Deterministic per-exporter value so both paths see the same data.
+        return Value::integer(static_cast<std::int64_t>(ref.id.size() % 7));
+      });
+  Rng rng(0xD1CE);
+  for (int i = 0; i < 40; ++i) {
+    std::string id(static_cast<std::size_t>(rng.below(12)) + 1, 'x');
+    id += std::to_string(i);
+    if (i % 3 == 0) {
+      trader.export_offer("Svc", svc_ref(id), random_typed_offer(rng),
+                          {{"Load", "CurrentLoad"}});
+    } else {
+      trader.export_offer("Svc", svc_ref(id), random_typed_offer(rng));
+    }
+  }
+  ImportRequest request;
+  request.service_type = "Svc";
+  request.constraint = "ChargePerDay < 400";
+  request.preference = "score: -Load * 10 - ChargePerDay";
+  request.max_matches = 8;
+
+  TraderTuning tuning;
+  tuning.enable_selection_vm = true;
+  trader.set_tuning(tuning);
+  auto vm_ids = ids_of(trader.import(request));
+  tuning.enable_selection_vm = false;
+  trader.set_tuning(tuning);
+  auto ref_ids = ids_of(trader.import(request));
+  EXPECT_EQ(vm_ids, ref_ids);
+}
+
+// ---- federation: scored merge across linked traders ----
+
+TEST(TopKFederationTest, FederatedScoredMergeMatchesReference) {
+  Trader remote("remote");
+  Trader local("local");
+  remote.types().add(wide_type());
+  local.types().add(wide_type());
+  Rng rng(0xFEDE);
+  for (int i = 0; i < 60; ++i) {
+    remote.export_offer("Svc", svc_ref("r" + std::to_string(i)),
+                        random_typed_offer(rng));
+    local.export_offer("Svc", svc_ref("l" + std::to_string(i)),
+                       random_typed_offer(rng));
+  }
+  local.link("up", std::make_shared<LocalTraderGateway>(remote));
+
+  auto run = [&](bool vm) {
+    TraderTuning tuning;
+    tuning.enable_selection_vm = vm;
+    local.set_tuning(tuning);
+    remote.set_tuning(tuning);
+    ImportRequest request;
+    request.service_type = "Svc";
+    request.constraint = "Currency == USD";
+    request.preference = "score: Rating - ChargePerDay / 100";
+    request.max_matches = 10;
+    request.hop_limit = 1;
+    return local.import(request);
+  };
+  auto vm_offers = run(true);
+  auto ref_offers = run(false);
+  EXPECT_EQ(ids_of(vm_offers), ids_of(ref_offers));
+
+  // Merged results honour the global (score desc, id asc) contract so
+  // every trader in a federation agrees on the order.
+  detail::ScoreIr ir = detail::parse_score("Rating - ChargePerDay / 100");
+  for (std::size_t i = 1; i < vm_offers.size(); ++i) {
+    double prev = detail::score_rank_key(
+        detail::eval_score(ir, vm_offers[i - 1].attributes));
+    double cur = detail::score_rank_key(
+        detail::eval_score(ir, vm_offers[i].attributes));
+    ASSERT_GE(prev, cur);
+    if (prev == cur) ASSERT_LT(vm_offers[i - 1].id, vm_offers[i].id);
+  }
+}
+
+// ---- concurrency: compile/invalidate under churn (TSan target) ----
+
+TEST(CexprVmStressTest, ConcurrentScoredImportsUnderTypeChurn) {
+  Trader trader("t");
+  trader.types().add(wide_type());
+  {
+    Rng rng(0x7157);
+    for (int i = 0; i < 64; ++i) {
+      trader.export_offer("Svc", svc_ref("s" + std::to_string(i)),
+                          random_typed_offer(rng));
+    }
+  }
+  std::atomic<bool> stop{false};
+  // Writer: churns an unrelated type, bumping the layout epoch so readers
+  // keep recompiling folded filter programs mid-flight.
+  std::thread churn([&] {
+    for (int i = 0; i < 60 && !stop.load(); ++i) {
+      ServiceType extra;
+      extra.name = "Churn" + std::to_string(i % 4);
+      extra.attributes = {{"Extra" + std::to_string(i % 8),
+                           TypeDesc::float_(), false}};
+      trader.types().add(extra);
+      trader.types().remove(extra.name);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      for (int i = 0; i < 40; ++i) {
+        ImportRequest request;
+        request.service_type = "Svc";
+        request.constraint =
+            (i + r) % 2 == 0 ? "ChargePerDay < 300" : "Currency == USD";
+        request.preference = "score: -ChargePerDay penalty 1 unless "
+                             "(Insured == true)";
+        request.max_matches = 5;
+        auto offers = trader.import(request);
+        EXPECT_LE(offers.size(), 5u);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  churn.join();
+  EXPECT_GT(trader.offers_scored(), 0u);
+}
+
+}  // namespace
+}  // namespace cosm::trader
