@@ -46,7 +46,12 @@ CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
   }
   trader_.set_federation_options(options.federation);
   trader_.set_tuning(options.trader_tuning);
-  trader_ref_ = server_.add(trader::make_trader_service(trader_));
+  trader_.set_replication_options(options.replication);
+  // The network-aware facade serves Subscribe: a remote subscriber hands
+  // over its own trader reference and the publisher pushes deltas back
+  // through it.
+  trader_ref_ =
+      server_.add(trader::make_trader_service(trader_, &network_, retry_));
   browser_ref_ = server_.add(make_browser_service(browser_));
   names_ref_ = server_.add(naming::make_name_server_service(names_));
   repository_ref_ = server_.add(naming::make_interface_repository_service(repository_));
@@ -80,6 +85,8 @@ CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
   repository_.put(repository_ref_.id, server_.find(repository_ref_.id)->sid());
   repository_.put(groups_ref_.id, server_.find(groups_ref_.id)->sid());
   repository_.put(activities_ref_.id, server_.find(activities_ref_.id)->sid());
+
+  if (options.replication_pump) trader_.start_replication_pump();
 }
 
 sidl::ServiceRef CosmRuntime::host(rpc::ServiceObjectPtr object) {
@@ -107,8 +114,18 @@ std::pair<sidl::ServiceRef, std::string> CosmRuntime::offer_traded(
 
 void CosmRuntime::link_trader(const std::string& link_name,
                               const sidl::ServiceRef& remote_trader_ref) {
-  trader_.link(link_name, std::make_shared<trader::RemoteTraderGateway>(
-                              network_, remote_trader_ref, retry_));
+  auto gateway = std::make_shared<trader::RemoteTraderGateway>(
+      network_, remote_trader_ref, retry_);
+  // Pre-arm the subscription path: should the caller later upgrade this
+  // link (subscribe_trader), the publisher pushes back to this runtime's
+  // trader facade.
+  gateway->set_subscriber_ref(trader_ref_);
+  trader_.link(link_name, std::move(gateway));
+}
+
+void CosmRuntime::subscribe_trader(const std::string& link_name,
+                                   trader::SubscriptionScope scope) {
+  trader_.subscribe_link(link_name, std::move(scope));
 }
 
 std::string CosmRuntime::metrics_snapshot() {
@@ -162,6 +179,31 @@ std::string CosmRuntime::metrics_snapshot() {
       .set(static_cast<std::int64_t>(trader_.links_quarantined_total()));
   reg.gauge(prefix + "offers_expired_total")
       .set(static_cast<std::int64_t>(trader_.offers_expired_total()));
+  reg.gauge(prefix + "links_probed_total")
+      .set(static_cast<std::int64_t>(trader_.links_probed_total()));
+  // Federation v2 replication health: push/apply volume, fault-repair
+  // activity, how often covered imports stayed local, and the publisher's
+  // outstanding delta backlog (replication lag).
+  reg.gauge(prefix + "repl.deltas_sent_total")
+      .set(static_cast<std::int64_t>(trader_.replication_deltas_sent()));
+  reg.gauge(prefix + "repl.deltas_applied_total")
+      .set(static_cast<std::int64_t>(trader_.replication_deltas_applied()));
+  reg.gauge(prefix + "repl.snapshots_sent_total")
+      .set(static_cast<std::int64_t>(trader_.replication_snapshots_sent()));
+  reg.gauge(prefix + "repl.digest_repairs_total")
+      .set(static_cast<std::int64_t>(trader_.replication_digest_repairs()));
+  reg.gauge(prefix + "repl.flush_failures_total")
+      .set(static_cast<std::int64_t>(trader_.replication_flush_failures()));
+  reg.gauge(prefix + "repl.local_resolves_total")
+      .set(static_cast<std::int64_t>(trader_.replica_local_resolves()));
+  reg.gauge(prefix + "repl.fanout_resolves_total")
+      .set(static_cast<std::int64_t>(trader_.replica_fanout_resolves()));
+  reg.gauge(prefix + "repl.unknown_type_skips_total")
+      .set(static_cast<std::int64_t>(trader_.replication_unknown_type_skips()));
+  reg.gauge(prefix + "repl.pending")
+      .set(static_cast<std::int64_t>(trader_.replication_pending()));
+  reg.gauge(prefix + "repl.replica_offers")
+      .set(static_cast<std::int64_t>(trader_.replica_offer_count()));
   // Offer-store health: publication epoch, how far the oldest pinned
   // reader trails it (bounds retired-state reclamation), states parked in
   // limbo, and per-shard delta-merge counts (a skewed shard = a hot type

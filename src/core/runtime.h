@@ -70,6 +70,14 @@ struct RuntimeOptions {
   /// and hot-type split threshold (applied at construction, while the
   /// store is still empty — the only time re-sharding is allowed).
   trader::TraderTuning trader_tuning{};
+  /// Federation v2 replication tuning (batch sizes, flush and digest
+  /// cadence) — see trader/replication.h.
+  trader::ReplicationOptions replication{};
+  /// Start the trader's background replication pump at construction.  Off
+  /// by default: a runtime that never subscribes (or drives
+  /// flush_replication()/anti_entropy_tick() itself, as the tests do)
+  /// should not pay for an idle thread.
+  bool replication_pump = false;
   ObservabilityOptions observability{};
   rpc::TransportOptions transport{};
 };
@@ -125,6 +133,14 @@ class CosmRuntime {
   /// RuntimeOptions::federation).
   void link_trader(const std::string& link_name,
                    const sidl::ServiceRef& remote_trader_ref);
+
+  /// Upgrade an existing link_trader() link to a replication subscription
+  /// (Federation v2): the remote trader pushes its in-scope offers here,
+  /// and covered imports resolve against the local replica instead of
+  /// fanning out.  The gateway pushes back to this runtime's trader
+  /// facade, so the link must have been created by link_trader().
+  void subscribe_trader(const std::string& link_name,
+                        trader::SubscriptionScope scope = {});
 
   // --- observability (see ObservabilityOptions / src/obs) ---
 

@@ -13,20 +13,40 @@ const std::string& trader_sidl() {
   static const std::string text = R"(
 module TraderService {
   typedef struct { string name; any value; } Attribute_t;
+  typedef struct { string name; string operation; } DynamicAttr_t;
   typedef struct {
     string id;
     string type;
     ServiceReference ref;
     sequence<Attribute_t> attributes;
+    sequence<DynamicAttr_t> dynamics;
+    long lease;
   } Offer_t;
   typedef struct { string name; string type_spec; boolean required; } AttributeDef_t;
-  typedef struct { string name; string operation; } DynamicAttr_t;
   typedef struct {
     ServiceReference ref;
     sequence<Attribute_t> attributes;
     sequence<DynamicAttr_t> dynamics;
   } OfferSpec_t;
   typedef struct { string id; sequence<Attribute_t> attributes; } OfferMod_t;
+  typedef struct { long id; string publisher; } Subscription_t;
+  typedef struct { long kind; string id; Offer_t offer; } OfferDelta_t;
+  typedef struct {
+    string publisher;
+    long subscription;
+    boolean snapshot;
+    long first_seq;
+    long snapshot_seq;
+    sequence<string> reset_types;
+    sequence<OfferDelta_t> deltas;
+  } DeltaBatch_t;
+  typedef struct { string type; long count; long hash; } TypeDigest_t;
+  typedef struct {
+    string publisher;
+    long subscription;
+    long last_seq;
+    sequence<TypeDigest_t> types;
+  } Digest_t;
   interface COSM_Operations {
     string Export([in] string type, [in] ServiceReference ref,
                   [in] sequence<Attribute_t> attributes);
@@ -48,6 +68,12 @@ module TraderService {
     void RemoveType([in] string name);
     sequence<string> TypeNames();
     void ResetStats();
+    Subscription_t Subscribe([in] ServiceReference subscriber,
+                             [in] sequence<string> scope_types,
+                             [in] string scope_constraint);
+    void Unsubscribe([in] long id);
+    long ReplicaApply([in] DeltaBatch_t batch);
+    sequence<string> ReplicaDigest([in] Digest_t digest);
   };
   module COSM_Annotations {
     annotate TraderService "ODP trader: typed service offers, constraint matching, federation";
@@ -55,6 +81,9 @@ module TraderService {
     annotate ExportBatch "Bulk offer registration: all specs validated before any is applied";
     annotate Import "Retrieve ranked offers matching a constraint";
     annotate AddType "Management interface: register a new service type";
+    annotate Subscribe "Upgrade a federation link to a replication subscription";
+    annotate ReplicaApply "Apply a pushed offer-delta batch to the local replica";
+    annotate ReplicaDigest "Compare an anti-entropy digest against the local replica";
   };
 };
 )";
@@ -62,11 +91,22 @@ module TraderService {
 }
 
 Value offer_to_value(const Offer& offer) {
-  return Value::structure("Offer_t",
-                          {{"id", Value::string(offer.id)},
-                           {"type", Value::string(offer.service_type)},
-                           {"ref", Value::service_ref(offer.ref)},
-                           {"attributes", attrs_to_value(offer.attributes)}});
+  std::vector<Value> dynamics;
+  dynamics.reserve(offer.dynamic_attrs.size());
+  for (const auto& [name, operation] : offer.dynamic_attrs) {
+    dynamics.push_back(
+        Value::structure("DynamicAttr_t", {{"name", Value::string(name)},
+                                           {"operation", Value::string(operation)}}));
+  }
+  return Value::structure(
+      "Offer_t",
+      {{"id", Value::string(offer.id)},
+       {"type", Value::string(offer.service_type)},
+       {"ref", Value::service_ref(offer.ref)},
+       {"attributes", attrs_to_value(offer.attributes)},
+       {"dynamics", Value::sequence(std::move(dynamics))},
+       {"lease",
+        Value::integer(static_cast<std::int64_t>(offer.lease_expires_at))}});
 }
 
 Offer offer_from_value(const Value& value) {
@@ -75,6 +115,12 @@ Offer offer_from_value(const Value& value) {
   offer.service_type = value.at("type").as_string();
   offer.ref = value.at("ref").as_ref();
   offer.attributes = attrs_from_value(value.at("attributes"));
+  for (const Value& d : value.at("dynamics").elements()) {
+    offer.dynamic_attrs[d.at("name").as_string()] =
+        d.at("operation").as_string();
+  }
+  offer.lease_expires_at =
+      static_cast<std::uint64_t>(value.at("lease").as_int());
   return offer;
 }
 
@@ -87,9 +133,111 @@ Value offers_to_value(const std::vector<Offer>& offers) {
   return Value::sequence(std::move(out));
 }
 
+// Replication payload conversions.  Sequence numbers and digest hashes are
+// uint64 in the protocol structs but ride the wire as SIDL long (int64);
+// the static_casts round-trip bit patterns exactly.
+
+Value batch_to_value(const DeltaBatch& batch) {
+  std::vector<Value> reset_types;
+  reset_types.reserve(batch.reset_types.size());
+  for (const auto& type : batch.reset_types) {
+    reset_types.push_back(Value::string(type));
+  }
+  std::vector<Value> deltas;
+  deltas.reserve(batch.deltas.size());
+  for (const OfferDelta& delta : batch.deltas) {
+    deltas.push_back(Value::structure(
+        "OfferDelta_t",
+        {{"kind",
+          Value::integer(delta.kind == OfferDelta::Kind::Remove ? 1 : 0)},
+         {"id", Value::string(delta.id)},
+         {"offer", offer_to_value(delta.offer)}}));
+  }
+  return Value::structure(
+      "DeltaBatch_t",
+      {{"publisher", Value::string(batch.publisher)},
+       {"subscription",
+        Value::integer(static_cast<std::int64_t>(batch.subscription_id))},
+       {"snapshot", Value::boolean(batch.snapshot)},
+       {"first_seq",
+        Value::integer(static_cast<std::int64_t>(batch.first_seq))},
+       {"snapshot_seq",
+        Value::integer(static_cast<std::int64_t>(batch.snapshot_seq))},
+       {"reset_types", Value::sequence(std::move(reset_types))},
+       {"deltas", Value::sequence(std::move(deltas))}});
+}
+
+DeltaBatch batch_from_value(const Value& value) {
+  DeltaBatch batch;
+  batch.publisher = value.at("publisher").as_string();
+  batch.subscription_id =
+      static_cast<std::uint64_t>(value.at("subscription").as_int());
+  batch.snapshot = value.at("snapshot").as_bool();
+  batch.first_seq = static_cast<std::uint64_t>(value.at("first_seq").as_int());
+  batch.snapshot_seq =
+      static_cast<std::uint64_t>(value.at("snapshot_seq").as_int());
+  for (const Value& type : value.at("reset_types").elements()) {
+    batch.reset_types.push_back(type.as_string());
+  }
+  batch.deltas.reserve(value.at("deltas").elements().size());
+  for (const Value& d : value.at("deltas").elements()) {
+    OfferDelta delta;
+    delta.kind = d.at("kind").as_int() == 1 ? OfferDelta::Kind::Remove
+                                            : OfferDelta::Kind::Upsert;
+    delta.id = d.at("id").as_string();
+    if (delta.kind == OfferDelta::Kind::Upsert) {
+      delta.offer = offer_from_value(d.at("offer"));
+    }
+    batch.deltas.push_back(std::move(delta));
+  }
+  return batch;
+}
+
+Value digest_to_value(const ReplicationDigest& digest) {
+  std::vector<Value> types;
+  types.reserve(digest.types.size());
+  for (const TypeDigest& td : digest.types) {
+    types.push_back(Value::structure(
+        "TypeDigest_t",
+        {{"type", Value::string(td.service_type)},
+         {"count", Value::integer(static_cast<std::int64_t>(td.count))},
+         {"hash", Value::integer(static_cast<std::int64_t>(td.hash))}}));
+  }
+  return Value::structure(
+      "Digest_t",
+      {{"publisher", Value::string(digest.publisher)},
+       {"subscription",
+        Value::integer(static_cast<std::int64_t>(digest.subscription_id))},
+       {"last_seq",
+        Value::integer(static_cast<std::int64_t>(digest.last_seq))},
+       {"types", Value::sequence(std::move(types))}});
+}
+
+ReplicationDigest digest_from_value(const Value& value) {
+  ReplicationDigest digest;
+  digest.publisher = value.at("publisher").as_string();
+  digest.subscription_id =
+      static_cast<std::uint64_t>(value.at("subscription").as_int());
+  digest.last_seq = static_cast<std::uint64_t>(value.at("last_seq").as_int());
+  digest.types.reserve(value.at("types").elements().size());
+  for (const Value& t : value.at("types").elements()) {
+    TypeDigest td;
+    td.service_type = t.at("type").as_string();
+    td.count = static_cast<std::uint64_t>(t.at("count").as_int());
+    td.hash = static_cast<std::uint64_t>(t.at("hash").as_int());
+    digest.types.push_back(std::move(td));
+  }
+  return digest;
+}
+
 }  // namespace
 
 rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
+  return make_trader_service(trader, nullptr);
+}
+
+rpc::ServiceObjectPtr make_trader_service(Trader& trader, rpc::Network* network,
+                                          rpc::RetryPolicy sink_retry) {
   auto sid = std::make_shared<sidl::Sid>(sidl::parse_sid(trader_sidl()));
   auto object = std::make_shared<rpc::ServiceObject>(std::move(sid));
 
@@ -207,7 +355,83 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader) {
     trader.reset_stats();
     return Value::null();
   });
+  object->on("Subscribe", [&trader, network,
+                           sink_retry](const std::vector<Value>& args) {
+    if (network == nullptr) {
+      throw ContractError(
+          "Subscribe: trader service was built without a network; the "
+          "publisher cannot reach back to the subscriber");
+    }
+    sidl::ServiceRef subscriber_ref = args.at(0).as_ref();
+    SubscriptionScope scope;
+    for (const Value& type : args.at(1).elements()) {
+      scope.service_types.push_back(type.as_string());
+    }
+    scope.constraint = args.at(2).as_string();
+    SubscriptionInfo info = trader.add_subscription(
+        subscriber_ref.to_string(), scope,
+        std::make_shared<RemoteReplicationSink>(*network, subscriber_ref,
+                                                sink_retry));
+    return Value::structure(
+        "Subscription_t",
+        {{"id", Value::integer(static_cast<std::int64_t>(info.id))},
+         {"publisher", Value::string(info.publisher)}});
+  });
+  object->on("Unsubscribe", [&trader](const std::vector<Value>& args) {
+    trader.remove_subscription(
+        static_cast<std::uint64_t>(args.at(0).as_int()));
+    return Value::null();
+  });
+  object->on("ReplicaApply", [&trader](const std::vector<Value>& args) {
+    return Value::integer(static_cast<std::int64_t>(
+        trader.replica_apply(batch_from_value(args.at(0)))));
+  });
+  object->on("ReplicaDigest", [&trader](const std::vector<Value>& args) {
+    std::vector<Value> out;
+    for (auto& type : trader.replica_digest(digest_from_value(args.at(0)))) {
+      out.push_back(Value::string(std::move(type)));
+    }
+    return Value::sequence(std::move(out));
+  });
   return object;
+}
+
+RemoteReplicationSink::RemoteReplicationSink(rpc::Network& network,
+                                             sidl::ServiceRef subscriber_ref,
+                                             rpc::RetryPolicy retry)
+    : network_(network), ref_(std::move(subscriber_ref)), retry_(retry) {
+  if (!ref_.valid()) {
+    throw ContractError("RemoteReplicationSink needs a valid subscriber "
+                        "reference");
+  }
+}
+
+std::uint64_t RemoteReplicationSink::apply(const DeltaBatch& batch) {
+  rpc::ChannelOptions options;
+  options.retry = retry_;
+  options.idempotent = true;  // subscriber skips already-seen sequences
+  rpc::RpcChannel channel(network_, ref_, options);
+  return static_cast<std::uint64_t>(
+      channel.call("ReplicaApply", {batch_to_value(batch)}).as_int());
+}
+
+std::vector<std::string> RemoteReplicationSink::digest(
+    const ReplicationDigest& digest) {
+  rpc::ChannelOptions options;
+  options.retry = retry_;
+  options.idempotent = true;  // digest comparison mutates nothing
+  rpc::RpcChannel channel(network_, ref_, options);
+  Value result = channel.call("ReplicaDigest", {digest_to_value(digest)});
+  std::vector<std::string> divergent;
+  divergent.reserve(result.elements().size());
+  for (const Value& type : result.elements()) {
+    divergent.push_back(type.as_string());
+  }
+  return divergent;
+}
+
+std::string RemoteReplicationSink::describe() const {
+  return "remote:" + ref_.to_string();
 }
 
 RemoteTraderGateway::RemoteTraderGateway(rpc::Network& network,
@@ -257,6 +481,46 @@ std::vector<Offer> RemoteTraderGateway::import(const ImportRequest& request) {
 
 std::string RemoteTraderGateway::describe() const {
   return "remote:" + ref_.to_string();
+}
+
+void RemoteTraderGateway::set_subscriber_ref(sidl::ServiceRef ref) {
+  subscriber_ref_ = std::move(ref);
+}
+
+SubscriptionInfo RemoteTraderGateway::subscribe(Trader& subscriber,
+                                                const SubscriptionScope& scope) {
+  (void)subscriber;  // reached over RPC via subscriber_ref_, not in-process
+  if (!subscriber_ref_.valid()) {
+    throw ContractError(
+        "RemoteTraderGateway: call set_subscriber_ref() before "
+        "subscribe_link() so the publisher can push back to the subscriber");
+  }
+  // No retry: Subscribe mints a new subscription id on the publisher, so a
+  // blind reissue could leak a second subscription.  A failed subscribe is
+  // surfaced to the caller, who re-invokes subscribe_link explicitly.
+  rpc::RpcChannel channel(network_, ref_, {});
+  std::vector<Value> scope_types;
+  scope_types.reserve(scope.service_types.size());
+  for (const auto& type : scope.service_types) {
+    scope_types.push_back(Value::string(type));
+  }
+  Value result =
+      channel.call("Subscribe", {Value::service_ref(subscriber_ref_),
+                                 Value::sequence(std::move(scope_types)),
+                                 Value::string(scope.constraint)});
+  SubscriptionInfo info;
+  info.id = static_cast<std::uint64_t>(result.at("id").as_int());
+  info.publisher = result.at("publisher").as_string();
+  return info;
+}
+
+void RemoteTraderGateway::unsubscribe(std::uint64_t subscription_id) {
+  rpc::ChannelOptions options;
+  options.retry = retry_;
+  options.idempotent = true;  // removing an absent subscription is a no-op
+  rpc::RpcChannel channel(network_, ref_, options);
+  channel.call("Unsubscribe",
+               {Value::integer(static_cast<std::int64_t>(subscription_id))});
 }
 
 }  // namespace cosm::trader

@@ -5,6 +5,13 @@
 // type insertion/deletion) over the COSM RPC substrate, described in SIDL
 // like any other service.  RemoteTraderGateway lets one trader's federation
 // link point at another trader across the network.
+//
+// Federation v2 additions (replication.h): Subscribe / Unsubscribe upgrade
+// a remote link to a replication subscription, and ReplicaApply /
+// ReplicaDigest are the subscriber-side ops the publisher's
+// RemoteReplicationSink pushes delta batches and anti-entropy digests
+// through.  Offer_t carries dynamic-attribute bindings and the lease on
+// the wire so replicated offers round-trip verbatim.
 
 #pragma once
 
@@ -21,11 +28,36 @@ namespace cosm::trader {
 const std::string& trader_sidl();
 
 /// Wrap a Trader in a ServiceObject.  The trader must outlive the object.
+/// Without a network the replication ops still serve the subscriber side
+/// (ReplicaApply / ReplicaDigest); Subscribe needs `network` to construct
+/// the sink that reaches back to the subscriber, and throws
+/// cosm::ContractError otherwise.
 rpc::ServiceObjectPtr make_trader_service(Trader& trader);
+rpc::ServiceObjectPtr make_trader_service(Trader& trader, rpc::Network* network,
+                                          rpc::RetryPolicy sink_retry = {});
 
 /// Offer <-> wire conversions (shared by facade and gateway).
 wire::Value offer_to_value(const Offer& offer);
 Offer offer_from_value(const wire::Value& value);
+
+/// Publisher -> subscriber replication transport over RPC: pushes delta
+/// batches and digests at the subscriber trader's facade.  Both ops are
+/// idempotent at the subscriber (sequence overlap is skipped on apply), so
+/// the retry policy may reissue them on transport failure.
+class RemoteReplicationSink final : public ReplicationSink {
+ public:
+  RemoteReplicationSink(rpc::Network& network, sidl::ServiceRef subscriber_ref,
+                        rpc::RetryPolicy retry = {});
+
+  std::uint64_t apply(const DeltaBatch& batch) override;
+  std::vector<std::string> digest(const ReplicationDigest& digest) override;
+  std::string describe() const override;
+
+ private:
+  rpc::Network& network_;
+  sidl::ServiceRef ref_;
+  rpc::RetryPolicy retry_;
+};
 
 /// Federation link target reachable over RPC.  Import is read-only, so a
 /// retry policy (when given) reissues it on transport failure; the server's
@@ -38,9 +70,20 @@ class RemoteTraderGateway final : public TraderGateway {
   std::vector<Offer> import(const ImportRequest& request) override;
   std::string describe() const override;
 
+  /// The service reference under which the *subscriber* trader is served —
+  /// what the publisher's replication sink will push to.  Must be set
+  /// before subscribe() (Trader::subscribe_link); there is no in-process
+  /// path back from an arbitrary remote publisher.
+  void set_subscriber_ref(sidl::ServiceRef ref);
+
+  SubscriptionInfo subscribe(Trader& subscriber,
+                             const SubscriptionScope& scope) override;
+  void unsubscribe(std::uint64_t subscription_id) override;
+
  private:
   rpc::Network& network_;
   sidl::ServiceRef ref_;
+  sidl::ServiceRef subscriber_ref_;
   rpc::RetryPolicy retry_;
 };
 

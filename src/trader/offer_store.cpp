@@ -820,7 +820,8 @@ std::size_t OfferStore::modify_batch(
 }
 
 std::size_t OfferStore::erase_if(
-    const std::function<bool(const Offer&)>& pred) {
+    const std::function<bool(const Offer&)>& pred,
+    std::vector<std::pair<std::string, std::string>>* victims_out) {
   ReadGuard guard(*this);
   const std::size_t shards = guard.shards();
   std::vector<std::pair<std::string, std::string>> victims;  // (id, type)
@@ -878,7 +879,24 @@ std::size_t OfferStore::erase_if(
   for (const auto& [type, n] : gone) {
     live_counter(type).fetch_sub(n, std::memory_order_relaxed);
   }
-  return victims.size();
+  const std::size_t removed = victims.size();
+  if (victims_out) *victims_out = std::move(victims);
+  return removed;
+}
+
+std::vector<std::string> OfferStore::type_names() const {
+  ReadGuard guard(*this);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (std::size_t s = 0; s < guard.shards(); ++s) {
+    const ShardState* state = guard.state(s);
+    if (!state) continue;
+    for (const auto& [type, bucket] : state->buckets) {
+      if (bucket->live == 0) continue;
+      if (seen.insert(type).second) out.push_back(type);
+    }
+  }
+  return out;
 }
 
 std::size_t OfferStore::size() const {

@@ -248,9 +248,18 @@ class OfferStore {
   std::size_t modify_batch(std::vector<std::pair<std::string, OfferPtr>> changes);
 
   /// Remove every offer satisfying `pred` (lease sweeps); returns count.
-  std::size_t erase_if(const std::function<bool(const Offer&)>& pred);
+  /// When `victims` is non-null it receives the (id, service type) of every
+  /// removed offer — the replication layer turns lease sweeps into
+  /// withdraw deltas.
+  std::size_t erase_if(
+      const std::function<bool(const Offer&)>& pred,
+      std::vector<std::pair<std::string, std::string>>* victims = nullptr);
 
   std::size_t size() const;
+
+  /// Service types with at least one live offer, across all shards
+  /// (deduplicated; unspecified order).  Feeds anti-entropy digests.
+  std::vector<std::string> type_names() const;
 
   // ---- readers (epoch-pinned; never blocked by writers) ----
 

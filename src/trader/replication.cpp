@@ -1,0 +1,42 @@
+#include "trader/replication.h"
+
+#include "wire/value.h"
+
+namespace cosm::trader {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv(std::uint64_t& h, const std::string& s) {
+  // Length-prefix each field so ("ab","c") never collides with ("a","bc").
+  std::size_t n = s.size();
+  for (std::size_t i = 0; i < sizeof(n); ++i) {
+    h = (h ^ ((n >> (8 * i)) & 0xff)) * kFnvPrime;
+  }
+  for (unsigned char c : s) h = (h ^ c) * kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t offer_content_hash(const Offer& offer) {
+  std::uint64_t h = kFnvOffset;
+  fnv(h, offer.id);
+  fnv(h, offer.service_type);
+  fnv(h, offer.ref.to_string());
+  for (const auto& [name, value] : offer.attributes) {
+    fnv(h, name);
+    // The debug rendering is a stable, total function of the value (kind,
+    // payload, nested structure) — exactly what content equality needs.
+    fnv(h, value.to_debug_string());
+  }
+  for (const auto& [name, operation] : offer.dynamic_attrs) {
+    fnv(h, name);
+    fnv(h, operation);
+  }
+  fnv(h, std::to_string(offer.lease_expires_at));
+  return h;
+}
+
+}  // namespace cosm::trader

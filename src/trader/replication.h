@@ -1,0 +1,167 @@
+// Federation v2: subscription-based offer replication between linked
+// traders (registry cooperation instead of per-query fan-out — the design
+// space of Miraz, "On the Cooperation of Independent Registries", and the
+// Grid Market Directory's hierarchical publication).
+//
+// Protocol (publisher = the trader whose offers are copied, subscriber =
+// the trader holding the replica):
+//
+//   * A subscriber upgrades an existing federation link to a
+//     *subscription*, optionally scoped by service type and/or constraint.
+//     The publisher answers with a subscription id and immediately pushes
+//     a full snapshot.
+//   * From then on the publisher enqueues insert/withdraw/modify deltas
+//     (sequenced per subscription) as its local offers change, and pushes
+//     them in bounded batches through a ReplicationSink — in-process for
+//     LocalTraderGateway federations, over the trader facade RPC for
+//     RemoteTraderGateway links.
+//   * Both sides exchange periodic anti-entropy digests: the publisher
+//     summarises its in-scope offers per service type as (count, hash);
+//     the subscriber compares against its replica and answers with the
+//     divergent types, which the publisher repairs with per-type reset
+//     batches.  Digests catch everything sequencing cannot — dropped
+//     batches past the retry budget, queue overflow on the publisher,
+//     subscriber-side apply failures — so replicas converge after faults
+//     and quarantine windows without operator intervention.
+//
+// Consistency model: a replica is eventually consistent with the
+// publisher, with staleness bounded by the flush interval under normal
+// operation and by one digest interval after a fault.  Sequence gaps are
+// detected on apply (the subscriber reports its high-water mark back) and
+// demoted to a full snapshot; content divergence is detected by digest.
+// Replicated offers keep their origin offer ids, so federated merges and
+// offer-id dedupe behave exactly as they do for deep-search results.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trader/offer_store.h"
+
+namespace cosm::trader {
+
+/// What a subscription replicates.  Empty `service_types` means every
+/// type; a named type covers its whole subtype closure on the publisher.
+/// A non-empty `constraint` restricts replication to statically matching
+/// offers (offers with dynamic attributes always replicate — their values
+/// only exist at import time, so the subscriber re-evaluates them).
+struct SubscriptionScope {
+  std::vector<std::string> service_types;
+  std::string constraint;
+
+  bool everything() const noexcept {
+    return service_types.empty() && constraint.empty();
+  }
+};
+
+/// One replicated mutation.  Upsert carries the full offer (insert and
+/// modify collapse — applying an upsert twice is idempotent); Remove
+/// carries only the id.
+struct OfferDelta {
+  enum class Kind : std::uint8_t { Upsert, Remove };
+  Kind kind = Kind::Upsert;
+  Offer offer;     ///< Upsert payload (Remove leaves it empty).
+  std::string id;  ///< Offer id (set for both kinds).
+};
+
+/// A batch of deltas pushed publisher -> subscriber.
+///
+/// Incremental batches are sequenced: `first_seq` is the subscription
+/// sequence number of deltas.front(), and the subscriber only applies the
+/// batch when it extends its high-water mark contiguously.  A `snapshot`
+/// batch replaces the whole replica (the subscriber clears every bucket of
+/// this subscription first) and resets the high-water mark to
+/// `snapshot_seq`; a batch with non-empty `reset_types` is a digest
+/// repair — the subscriber clears exactly those type buckets, applies the
+/// upserts, and leaves the sequence high-water mark alone.
+struct DeltaBatch {
+  std::string publisher;
+  std::uint64_t subscription_id = 0;
+  bool snapshot = false;
+  std::uint64_t first_seq = 0;
+  std::uint64_t snapshot_seq = 0;
+  std::vector<std::string> reset_types;
+  std::vector<OfferDelta> deltas;
+};
+
+/// Anti-entropy summary of one service type's in-scope offers.
+struct TypeDigest {
+  std::string service_type;
+  std::uint64_t count = 0;
+  std::uint64_t hash = 0;  ///< order-independent fold of offer content hashes
+};
+
+/// Periodic anti-entropy digest, publisher -> subscriber.  `last_seq` is
+/// the publisher's last assigned delta sequence (feeds the subscriber's
+/// replication-lag gauge).
+struct ReplicationDigest {
+  std::string publisher;
+  std::uint64_t subscription_id = 0;
+  std::uint64_t last_seq = 0;
+  std::vector<TypeDigest> types;
+};
+
+/// Publisher -> subscriber transport of one subscription.  In-process
+/// federations use LocalReplicationSink (trader.h); RPC federations use
+/// RemoteReplicationSink (facade.h).  Calls may throw cosm::Error — the
+/// publisher then keeps the queue and retries on the next flush, and the
+/// digest exchange repairs whatever was lost in the meantime.
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+
+  /// Apply a delta batch; returns the subscriber's sequence high-water
+  /// mark afterwards.  A returned mark short of the batch's end signals a
+  /// gap — the publisher demotes the subscription to a full snapshot.
+  virtual std::uint64_t apply(const DeltaBatch& batch) = 0;
+
+  /// Exchange an anti-entropy digest; returns the service types whose
+  /// replica content diverges (the publisher repairs them).
+  virtual std::vector<std::string> digest(const ReplicationDigest& digest) = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+/// Replication tuning (RuntimeOptions::replication / Trader).
+struct ReplicationOptions {
+  /// Deltas per apply() call; bigger batches amortise the wire, smaller
+  /// ones bound per-call latency at the subscriber.
+  std::size_t max_batch = 512;
+  /// Queued deltas per subscription before the queue is dropped and the
+  /// subscription demoted to a full snapshot (publisher memory bound when
+  /// a subscriber is slow or quarantined).
+  std::size_t max_pending = 65536;
+  /// Replication pump cadence (Trader::start_replication_pump): queued
+  /// deltas are flushed every flush_interval, digests exchanged every
+  /// digest_interval.  The pump is opt-in; without it, callers drive
+  /// flush_replication()/anti_entropy_tick() explicitly.
+  std::chrono::milliseconds flush_interval{20};
+  std::chrono::milliseconds digest_interval{1000};
+};
+
+/// Stable content hash of one offer (FNV-1a over id, type, reference,
+/// static attributes, dynamic-attribute operations, and the lease expiry —
+/// offers replicate verbatim, so the hash covers every replicated field).
+/// Both sides of the digest exchange hash the same fields, so equal
+/// replicas hash equal regardless of how the offers got there.
+std::uint64_t offer_content_hash(const Offer& offer);
+
+/// Order-independent fold of offer hashes into a bucket digest: XOR and
+/// wrapping-sum accumulators mixed at the end, so insertion order (which
+/// differs between publisher store and replica) cannot affect the result.
+struct DigestFold {
+  std::uint64_t acc_xor = 0;
+  std::uint64_t acc_sum = 0;
+  void add(std::uint64_t h) noexcept {
+    acc_xor ^= h;
+    acc_sum += h * 0x9e3779b97f4a7c15ULL;
+  }
+  std::uint64_t value() const noexcept {
+    return acc_xor ^ (acc_sum * 0x100000001b3ULL);
+  }
+};
+
+}  // namespace cosm::trader

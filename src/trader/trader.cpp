@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -13,10 +15,33 @@
 
 namespace cosm::trader {
 
+SubscriptionInfo TraderGateway::subscribe(Trader&, const SubscriptionScope&) {
+  throw ContractError("gateway '" + describe() +
+                      "' does not support subscriptions");
+}
+
+void TraderGateway::unsubscribe(std::uint64_t) {
+  throw ContractError("gateway '" + describe() +
+                      "' does not support subscriptions");
+}
+
+SubscriptionInfo LocalTraderGateway::subscribe(Trader& subscriber,
+                                               const SubscriptionScope& scope) {
+  return trader_.add_subscription(
+      subscriber.name(), scope,
+      std::make_shared<LocalReplicationSink>(subscriber));
+}
+
+void LocalTraderGateway::unsubscribe(std::uint64_t subscription_id) {
+  trader_.remove_subscription(subscription_id);
+}
+
 Trader::Trader(std::string name, std::uint64_t rng_seed)
     : name_(std::move(name)), rng_(rng_seed) {
   if (name_.empty()) throw ContractError("trader needs a name");
 }
+
+Trader::~Trader() { stop_replication_pump(); }
 
 void Trader::set_tuning(const TraderTuning& tuning) {
   OfferStore::Tuning store_tuning;
@@ -28,6 +53,8 @@ void Trader::set_tuning(const TraderTuning& tuning) {
   preference_cache_.set_capacity(tuning.constraint_cache_capacity);
   selection_vm_enabled_.store(tuning.enable_selection_vm,
                               std::memory_order_relaxed);
+  replica_resolve_enabled_.store(tuning.enable_replica_resolve,
+                                 std::memory_order_relaxed);
 }
 
 void Trader::set_dynamic_fetcher(DynamicFetcher fetcher) {
@@ -60,8 +87,11 @@ std::string Trader::export_offer(const std::string& service_type,
   offer.attributes = std::move(attributes);
   offer.dynamic_attrs = std::move(dynamic_attrs);
   std::string id = offer.id;
-  store_.insert(std::make_shared<const Offer>(std::move(offer)),
-                types_.schema_of(service_type));
+  OfferPtr published = std::make_shared<const Offer>(std::move(offer));
+  store_.insert(published, types_.schema_of(service_type));
+  if (has_subscriptions_.load(std::memory_order_relaxed)) {
+    replicate_upsert(*published);
+  }
   exports_.fetch_add(1, std::memory_order_relaxed);
   auto& reg = obs::metrics();
   if (reg.enabled()) {
@@ -105,7 +135,10 @@ std::vector<std::string> Trader::export_batch(
     ids.push_back(offer.id);
     offers.push_back(std::make_shared<const Offer>(std::move(offer)));
   }
+  std::vector<OfferPtr> replicate;
+  if (has_subscriptions_.load(std::memory_order_relaxed)) replicate = offers;
   store_.insert_batch(std::move(offers), types_.schema_of(service_type));
+  for (const OfferPtr& published : replicate) replicate_upsert(*published);
   exports_.fetch_add(ids.size(), std::memory_order_relaxed);
   auto& reg = obs::metrics();
   if (reg.enabled()) {
@@ -149,8 +182,12 @@ void Trader::set_lease(const std::string& offer_id,
   }
   Offer leased = *current;
   leased.lease_expires_at = expires_at_hours;
-  if (!store_.replace(offer_id, std::make_shared<const Offer>(std::move(leased)))) {
+  OfferPtr next = std::make_shared<const Offer>(std::move(leased));
+  if (!store_.replace(offer_id, next)) {
     throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
+  }
+  if (has_subscriptions_.load(std::memory_order_relaxed)) {
+    replicate_upsert(*next);
   }
 }
 
@@ -161,9 +198,14 @@ std::size_t Trader::advance_clock(std::uint64_t hours) {
     clock_hours_ += hours;
     now = clock_hours_;
   }
-  std::size_t swept = store_.erase_if([now](const Offer& offer) {
-    return offer.lease_expires_at != 0 && offer.lease_expires_at <= now;
-  });
+  std::vector<std::pair<std::string, std::string>> victims;
+  const bool replicating = has_subscriptions_.load(std::memory_order_relaxed);
+  std::size_t swept = store_.erase_if(
+      [now](const Offer& offer) {
+        return offer.lease_expires_at != 0 && offer.lease_expires_at <= now;
+      },
+      replicating ? &victims : nullptr);
+  for (const auto& [id, type] : victims) replicate_remove(id, type);
   expired_.fetch_add(swept, std::memory_order_relaxed);
   return swept;
 }
@@ -174,13 +216,35 @@ std::uint64_t Trader::clock_hours() const {
 }
 
 void Trader::withdraw(const std::string& offer_id) {
+  OfferPtr prior;
+  if (has_subscriptions_.load(std::memory_order_relaxed)) {
+    prior = store_.find(offer_id);
+  }
   if (!store_.erase(offer_id)) {
     throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
+  }
+  if (has_subscriptions_.load(std::memory_order_relaxed)) {
+    replicate_remove(offer_id, prior ? prior->service_type : std::string{});
   }
 }
 
 std::size_t Trader::withdraw_batch(const std::vector<std::string>& offer_ids) {
-  return store_.withdraw_batch(offer_ids);
+  if (!has_subscriptions_.load(std::memory_order_relaxed)) {
+    return store_.withdraw_batch(offer_ids);
+  }
+  // Capture types before the erase so Remove deltas can be scope-filtered.
+  // A concurrent remove can race the capture; a duplicate Remove delta is
+  // an idempotent no-op at the replica.
+  std::vector<std::pair<std::string, std::string>> present;
+  present.reserve(offer_ids.size());
+  for (const std::string& id : offer_ids) {
+    if (OfferPtr offer = store_.find(id)) {
+      present.emplace_back(id, offer->service_type);
+    }
+  }
+  std::size_t removed = store_.withdraw_batch(offer_ids);
+  for (const auto& [id, type] : present) replicate_remove(id, type);
+  return removed;
 }
 
 std::size_t Trader::modify_batch(
@@ -198,7 +262,14 @@ std::size_t Trader::modify_batch(
     resolved.emplace_back(offer_id,
                           std::make_shared<const Offer>(std::move(modified)));
   }
-  return store_.modify_batch(std::move(resolved));
+  std::vector<OfferPtr> replicate;
+  if (has_subscriptions_.load(std::memory_order_relaxed)) {
+    replicate.reserve(resolved.size());
+    for (const auto& [id, next] : resolved) replicate.push_back(next);
+  }
+  std::size_t applied = store_.modify_batch(std::move(resolved));
+  for (const OfferPtr& next : replicate) replicate_upsert(*next);
+  return applied;
 }
 
 void Trader::modify(const std::string& offer_id, AttrMap attributes) {
@@ -209,9 +280,12 @@ void Trader::modify(const std::string& offer_id, AttrMap attributes) {
   types_.check_offer(current->service_type, attributes);
   Offer modified = *current;
   modified.attributes = std::move(attributes);
-  if (!store_.replace(offer_id,
-                      std::make_shared<const Offer>(std::move(modified)))) {
+  OfferPtr next = std::make_shared<const Offer>(std::move(modified));
+  if (!store_.replace(offer_id, next)) {
     throw NotFound("offer '" + offer_id + "' vanished during modify");
+  }
+  if (has_subscriptions_.load(std::memory_order_relaxed)) {
+    replicate_upsert(*next);
   }
 }
 
@@ -414,8 +488,27 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
       // preference and returns only its best max_matches: any offer it
       // drops is dominated by k it returns, so the global top k is intact.
     } else {
-      forwarded.max_matches = 0;     // rank after the merge, not per trader
-      forwarded.preference.clear();  // remote ranking would be wasted work
+      // Deterministic preferences (first / min / max) rank identically on
+      // every trader, so each hop can rank with the forwarded preference
+      // and return a bounded k instead of its whole match set: any offer a
+      // hop drops is dominated (or preceded, for first) by k offers it did
+      // return.  The slack absorbs offers lost to cross-link duplicates at
+      // the k-boundary — an offer deduplicated away "refunds" a slot the
+      // dominance argument assumed.  `random` has no dominance argument
+      // (the importer's rng must see the full candidate set) and k == 0
+      // means unlimited — both keep the unbounded forward.
+      const PreferenceKind kind = pref->preference.kind();
+      const bool deterministic = kind == PreferenceKind::First ||
+                                 kind == PreferenceKind::Min ||
+                                 kind == PreferenceKind::Max;
+      if (deterministic && request.max_matches > 0) {
+        forwarded.max_matches =
+            request.max_matches +
+            std::min<std::size_t>(request.max_matches, 16);
+      } else {
+        forwarded.max_matches = 0;   // rank after the merge, not per trader
+        forwarded.preference.clear();  // remote ranking would be wasted work
+      }
     }
     if (span.valid()) {
       // Federated hops hang under this trader's import span.
@@ -504,22 +597,79 @@ ImportResult Trader::import_ex(const ImportRequest& request) {
 
 // All links are queried concurrently — in a federation every hop is a
 // network round trip, so a sequential sweep costs the sum of the link
-// latencies where this costs the maximum.
+// latencies where this costs the maximum.  Links whose subscription covers
+// the query skip the round trip entirely and resolve from the local
+// replica (quarantine state is irrelevant for those — no call is made).
 std::vector<std::vector<Offer>> Trader::sweep_links(
     const ImportRequest& forwarded, ImportResult& result) {
   auto& reg = obs::metrics();
   struct SweepTarget {
     std::string name;
-    std::shared_ptr<TraderGateway> gateway;  // null when quarantined
+    std::shared_ptr<TraderGateway> gateway;  // null: quarantined/replicated
+    std::uint64_t subscription_id = 0;
+    ReplicaStatePtr replica;  // non-null: resolve locally
   };
   std::vector<SweepTarget> targets;
   {
     std::lock_guard lock(mutex_);
-    auto now = std::chrono::steady_clock::now();
     targets.reserve(links_.size());
     for (const auto& link : links_) {
-      bool quarantined = link.quarantined_until > now;
-      targets.push_back({link.name, quarantined ? nullptr : link.gateway});
+      targets.push_back({link.name, link.gateway, link.subscription_id, {}});
+    }
+  }
+  // Replica resolution only where the replica IS the remote answer: at
+  // hop_limit 0 the subscribed trader would match purely locally, which is
+  // exactly what its replica holds.  A deeper query must fan out — the
+  // replica knows nothing about the publisher's own links.
+  const bool replica_eligible =
+      forwarded.hop_limit == 0 &&
+      replica_resolve_enabled_.load(std::memory_order_relaxed);
+  for (auto& target : targets) {
+    if (target.subscription_id == 0) continue;
+    ReplicaStatePtr replica;
+    {
+      std::lock_guard lock(replica_mutex_);
+      for (const auto& rep : replicas_) {
+        if (rep->link_name == target.name &&
+            rep->subscription_id == target.subscription_id) {
+          if (rep->synced) replica = rep;
+          break;
+        }
+      }
+    }
+    if (replica && replica_eligible && covers_query(*replica, forwarded)) {
+      target.replica = std::move(replica);
+      target.gateway = nullptr;
+      repl_local_resolves_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      repl_fanout_resolves_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Quarantine pass (only links that would actually be called): inside the
+  // TTL the link is skipped; once the TTL expires exactly one sweep claims
+  // a half-open probe call — concurrent sweeps keep skipping until its
+  // outcome lands in note_link_outcomes.
+  {
+    std::lock_guard lock(mutex_);
+    auto now = std::chrono::steady_clock::now();
+    for (auto& target : targets) {
+      if (!target.gateway) continue;
+      for (auto& link : links_) {
+        if (link.name != target.name) continue;
+        if (link.quarantined_until > now) {
+          target.gateway = nullptr;  // still quarantined
+        } else if (link.quarantined_until !=
+                   std::chrono::steady_clock::time_point{}) {
+          // TTL expired, link not yet readmitted: half-open.
+          if (link.probe_in_flight) {
+            target.gateway = nullptr;  // another sweep owns the probe
+          } else {
+            link.probe_in_flight = true;  // this sweep's call is the probe
+            probes_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        break;
+      }
     }
   }
   std::vector<std::vector<Offer>> per_link(targets.size());
@@ -551,12 +701,22 @@ std::vector<std::vector<Offer>> Trader::sweep_links(
     for (std::size_t i : active) sweep.emplace_back(query, i);
     for (auto& t : sweep) t.join();
   }
+  // Replica-resolved links answer from the local store, on this thread —
+  // no call, no sweep thread.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i].replica) {
+      per_link[i] = resolve_replica(*targets[i].replica, forwarded);
+    }
+  }
 
   result.links.reserve(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i) {
     LinkOutcome outcome;
     outcome.link = targets[i].name;
-    if (!targets[i].gateway) {
+    if (targets[i].replica) {
+      outcome.status = LinkOutcome::Status::Replicated;
+      outcome.offers = per_link[i].size();
+    } else if (!targets[i].gateway) {
       outcome.status = LinkOutcome::Status::Quarantined;
     } else if (!per_link_error[i].empty()) {
       outcome.status = LinkOutcome::Status::Failed;
@@ -578,6 +738,9 @@ std::vector<std::vector<Offer>> Trader::sweep_links(
           break;
         case LinkOutcome::Status::Quarantined:
           reg.counter(base + ".quarantined").add();
+          break;
+        case LinkOutcome::Status::Replicated:
+          reg.counter(base + ".replicated").add();
           break;
       }
       if (targets[i].gateway) {
@@ -607,6 +770,8 @@ void Trader::reset_stats() {
   offers_scored_.store(0, std::memory_order_relaxed);
   heap_prunes_.store(0, std::memory_order_relaxed);
   dynamic_fetches_.store(0, std::memory_order_relaxed);
+  repl_local_resolves_.store(0, std::memory_order_relaxed);
+  repl_fanout_resolves_.store(0, std::memory_order_relaxed);
   store_.reset_stats();
   constraint_cache_.reset_stats();
   preference_cache_.reset_stats();
@@ -615,16 +780,32 @@ void Trader::reset_stats() {
 
 /// Fold one sweep's outcomes into the links' failure counters: success
 /// resets, failure increments, and crossing the threshold starts a
-/// quarantine window.  A link unlinked mid-sweep is simply skipped.
+/// quarantine window.  A half-open probe outcome settles immediately:
+/// success readmits the link to full fan-out, failure re-quarantines it
+/// without re-accumulating the threshold (one bad probe is evidence
+/// enough — the link just spent a whole TTL failing).  A link unlinked
+/// mid-sweep is simply skipped; replica resolutions made no call and are
+/// no evidence either way.
 void Trader::note_link_outcomes(const std::vector<LinkOutcome>& outcomes) {
   std::lock_guard lock(mutex_);
   auto now = std::chrono::steady_clock::now();
   for (const auto& outcome : outcomes) {
-    if (outcome.status == LinkOutcome::Status::Quarantined) continue;
+    if (outcome.status == LinkOutcome::Status::Quarantined ||
+        outcome.status == LinkOutcome::Status::Replicated) {
+      continue;
+    }
     for (auto& link : links_) {
       if (link.name != outcome.link) continue;
       if (outcome.status == LinkOutcome::Status::Ok) {
         link.consecutive_failures = 0;
+        link.probe_in_flight = false;
+        // Probe success (or plain success) fully readmits the link.
+        link.quarantined_until = std::chrono::steady_clock::time_point{};
+      } else if (link.probe_in_flight) {
+        link.probe_in_flight = false;
+        link.quarantined_until = now + federation_.quarantine_ttl;
+        link.consecutive_failures = 0;
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
       } else {
         ++link.consecutive_failures;
         if (link.consecutive_failures >= federation_.quarantine_threshold) {
@@ -652,14 +833,38 @@ void Trader::link(const std::string& link_name,
 }
 
 void Trader::unlink(const std::string& link_name) {
-  std::lock_guard lock(mutex_);
-  for (auto it = links_.begin(); it != links_.end(); ++it) {
-    if (it->name == link_name) {
-      links_.erase(it);
-      return;
+  std::shared_ptr<TraderGateway> gateway;
+  std::uint64_t subscription_id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    bool found = false;
+    for (auto it = links_.begin(); it != links_.end(); ++it) {
+      if (it->name == link_name) {
+        gateway = it->gateway;
+        subscription_id = it->subscription_id;
+        links_.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
     }
   }
-  throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
+  if (subscription_id == 0) return;
+  // The link carried a subscription: it goes down with the link.
+  try {
+    gateway->unsubscribe(subscription_id);
+  } catch (const Error&) {
+  }
+  std::lock_guard lock(replica_mutex_);
+  for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+    if ((*it)->subscription_id == subscription_id &&
+        (*it)->link_name == link_name) {
+      replicas_.erase(it);
+      break;
+    }
+  }
 }
 
 std::vector<std::string> Trader::links() const {
@@ -683,17 +888,747 @@ FederationOptions Trader::federation_options() const {
 
 LinkHealth Trader::link_health(const std::string& link_name) const {
   std::lock_guard lock(mutex_);
+  auto now = std::chrono::steady_clock::now();
   for (const auto& link : links_) {
     if (link.name != link_name) continue;
     LinkHealth health;
     health.consecutive_failures = link.consecutive_failures;
-    health.quarantined =
-        link.quarantined_until > std::chrono::steady_clock::now();
+    health.quarantined = link.quarantined_until > now;
+    health.half_open =
+        link.probe_in_flight ||
+        (link.quarantined_until != std::chrono::steady_clock::time_point{} &&
+         link.quarantined_until <= now);
     return health;
   }
   throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
 }
 
 std::size_t Trader::offer_count() const { return store_.size(); }
+
+// ---------------------------------------------------------------------------
+// Replication (Federation v2) — see replication.h for the protocol.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// True when `type` falls under the scope's type filter (empty filter =
+/// everything; a named scope type covers its whole local subtype closure).
+bool scope_takes_type(const ServiceTypeManager& types,
+                      const SubscriptionScope& scope, const std::string& type) {
+  if (scope.service_types.empty()) return true;
+  for (const std::string& base : scope.service_types) {
+    if (type == base) return true;
+    if (types.has(base) && types.has(type) && types.is_subtype(type, base)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Trader::in_scope(const Subscription& sub, const Offer& offer) const {
+  if (!scope_takes_type(types_, sub.scope, offer.service_type)) return false;
+  if (sub.scope_constraint) {
+    // Dynamic offers always replicate: their matched values only exist at
+    // import time, so the subscriber re-evaluates them there.
+    if (!offer.dynamic_attrs.empty()) return true;
+    return sub.scope_constraint->eval(offer.attributes);
+  }
+  return true;
+}
+
+bool Trader::covers_query(const ReplicaState& replica,
+                          const ImportRequest& request) const {
+  // Type coverage: the query type must sit inside the subscribed scope
+  // (empty scope = the publisher's whole offer space).
+  if (!replica.scope.service_types.empty() &&
+      !scope_takes_type(types_, replica.scope, request.service_type)) {
+    return false;
+  }
+  // Constraint coverage: a constraint-scoped replica holds only matching
+  // offers, so it can answer exactly the query carrying the very same
+  // constraint text — anything else might match offers never replicated.
+  if (!replica.scope.constraint.empty() &&
+      replica.scope.constraint != request.constraint) {
+    return false;
+  }
+  return true;
+}
+
+void Trader::replicate_upsert(const Offer& offer) {
+  std::lock_guard lock(repl_mutex_);
+  for (const auto& sub : subscriptions_) {
+    if (!scope_takes_type(types_, sub->scope, offer.service_type)) continue;
+    OfferDelta delta;
+    delta.id = offer.id;
+    bool takes = true;
+    if (sub->scope_constraint && offer.dynamic_attrs.empty()) {
+      takes = sub->scope_constraint->eval(offer.attributes);
+    }
+    if (takes) {
+      delta.kind = OfferDelta::Kind::Upsert;
+      delta.offer = offer;
+    } else {
+      // Modified out of the constraint scope: retract the replica's copy
+      // (a Remove for an id the replica never held is an idempotent no-op).
+      delta.kind = OfferDelta::Kind::Remove;
+    }
+    enqueue_delta(*sub, std::move(delta));
+  }
+}
+
+void Trader::replicate_remove(const std::string& id, const std::string& type) {
+  std::lock_guard lock(repl_mutex_);
+  for (const auto& sub : subscriptions_) {
+    // An empty type (caller lost the race to capture it) fans the Remove
+    // to every subscription — removing an absent id is a no-op.
+    if (!type.empty() && !scope_takes_type(types_, sub->scope, type)) continue;
+    OfferDelta delta;
+    delta.kind = OfferDelta::Kind::Remove;
+    delta.id = id;
+    enqueue_delta(*sub, std::move(delta));
+  }
+}
+
+void Trader::enqueue_delta(Subscription& sub, OfferDelta delta) {
+  // Caller holds repl_mutex_.  Invariant: queue_first_seq + queue.size()
+  // == next_seq (the queue holds contiguous sequences).
+  if (sub.queue.size() >= repl_options_.max_pending) {
+    // Publisher memory bound: drop the queue (this delta included) and
+    // demote to a full snapshot, which subsumes everything dropped.
+    sub.queue.clear();
+    sub.needs_snapshot = true;
+    sub.queue_first_seq = sub.next_seq;
+    return;
+  }
+  sub.queue.push_back(std::move(delta));
+  ++sub.next_seq;
+}
+
+std::vector<Offer> Trader::scope_snapshot(const Subscription& sub) const {
+  std::vector<std::string> types = store_.type_names();
+  std::vector<std::string> wanted;
+  wanted.reserve(types.size());
+  for (const std::string& type : types) {
+    if (scope_takes_type(types_, sub.scope, type)) wanted.push_back(type);
+  }
+  std::vector<StoredOffer> stored = store_.collect_all(wanted);
+  // Publisher export order: replica insertion order then approximates it,
+  // which keeps merge behaviour close to a deep-search answer.
+  std::sort(stored.begin(), stored.end(),
+            [](const StoredOffer& a, const StoredOffer& b) {
+              return a.seq < b.seq;
+            });
+  std::vector<Offer> out;
+  out.reserve(stored.size());
+  for (const StoredOffer& so : stored) {
+    if (in_scope(sub, *so.offer)) out.push_back(*so.offer);
+  }
+  return out;
+}
+
+SubscriptionInfo Trader::add_subscription(const std::string& subscriber,
+                                          SubscriptionScope scope,
+                                          std::shared_ptr<ReplicationSink> sink) {
+  if (!sink) throw ContractError("subscription needs a sink");
+  auto sub = std::make_shared<Subscription>();
+  sub->subscriber = subscriber;
+  if (!scope.constraint.empty()) {
+    // Parse errors surface here, at subscribe time, not on some later flush.
+    sub->scope_constraint = constraint_cache_.get(scope.constraint);
+  }
+  sub->scope = std::move(scope);
+  sub->sink = std::move(sink);
+  {
+    std::lock_guard lock(repl_mutex_);
+    sub->id = next_subscription_++;
+    subscriptions_.push_back(sub);
+    has_subscriptions_.store(true, std::memory_order_relaxed);
+  }
+  // Initial snapshot, synchronously: when subscribe() returns, covered
+  // imports at the subscriber already resolve locally.  A sink failure
+  // leaves needs_snapshot set and the next flush retries.
+  {
+    std::lock_guard io(repl_io_mutex_);
+    flush_subscription(sub);
+  }
+  return {sub->id, name_};
+}
+
+void Trader::remove_subscription(std::uint64_t subscription_id) {
+  std::lock_guard lock(repl_mutex_);
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
+    if ((*it)->id == subscription_id) {
+      subscriptions_.erase(it);
+      break;
+    }
+  }
+  has_subscriptions_.store(!subscriptions_.empty(), std::memory_order_relaxed);
+}
+
+std::vector<SubscriptionStatus> Trader::subscriptions() const {
+  std::lock_guard lock(repl_mutex_);
+  std::vector<SubscriptionStatus> out;
+  out.reserve(subscriptions_.size());
+  for (const auto& sub : subscriptions_) {
+    SubscriptionStatus status;
+    status.id = sub->id;
+    status.subscriber = sub->subscriber;
+    status.pending = sub->queue.size();
+    status.needs_snapshot = sub->needs_snapshot;
+    status.last_seq = sub->next_seq - 1;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::size_t Trader::flush_replication() {
+  std::vector<std::shared_ptr<Subscription>> subs;
+  {
+    std::lock_guard lock(repl_mutex_);
+    subs = subscriptions_;
+  }
+  if (subs.empty()) return 0;
+  std::lock_guard io(repl_io_mutex_);
+  std::size_t delivered = 0;
+  for (const auto& sub : subs) delivered += flush_subscription(sub);
+  return delivered;
+}
+
+std::size_t Trader::flush_subscription(const std::shared_ptr<Subscription>& sub) {
+  std::size_t delivered = 0;
+  for (;;) {
+    DeltaBatch batch;
+    batch.publisher = name_;
+    batch.subscription_id = sub->id;
+    bool snapshot = false;
+    std::size_t batch_len = 0;
+    std::uint64_t snapshot_marker = 0;
+    {
+      std::lock_guard lock(repl_mutex_);
+      if (sub->needs_snapshot) {
+        snapshot = true;
+        batch.snapshot = true;
+        batch.snapshot_seq = sub->next_seq - 1;
+        // Queued deltas are subsumed: every mutation enqueued before this
+        // point hit the store before its enqueue, so the snapshot we are
+        // about to collect includes it.  Deltas enqueued after this point
+        // stay queued and re-apply idempotently on top of the snapshot.
+        sub->queue.clear();
+        sub->queue_first_seq = sub->next_seq;
+        snapshot_marker = sub->queue_first_seq;
+      } else if (!sub->queue.empty()) {
+        batch.first_seq = sub->queue_first_seq;
+        batch_len = std::min(sub->queue.size(), repl_options_.max_batch);
+        batch.deltas.assign(
+            sub->queue.begin(),
+            sub->queue.begin() + static_cast<std::ptrdiff_t>(batch_len));
+      } else {
+        break;
+      }
+    }
+    if (snapshot) {
+      std::vector<Offer> offers = scope_snapshot(*sub);
+      batch.deltas.reserve(offers.size());
+      for (Offer& offer : offers) {
+        OfferDelta delta;
+        delta.kind = OfferDelta::Kind::Upsert;
+        delta.id = offer.id;
+        delta.offer = std::move(offer);
+        batch.deltas.push_back(std::move(delta));
+      }
+    }
+    std::uint64_t hwm = 0;
+    try {
+      hwm = sub->sink->apply(batch);
+    } catch (const Error&) {
+      // Queue (or the snapshot flag) stays intact; the next flush retries
+      // and the digest exchange repairs whatever stays lost.
+      repl_flush_failures_.fetch_add(1, std::memory_order_relaxed);
+      return delivered;
+    }
+    if (snapshot) {
+      repl_snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+      delivered += batch.deltas.size();
+      std::lock_guard lock(repl_mutex_);
+      // A queue overflow during the store collection re-set the flag and
+      // moved queue_first_seq: the snapshot we sent misses whatever
+      // overflowed, so it must not clear the demotion.
+      if (sub->queue_first_seq == snapshot_marker) sub->needs_snapshot = false;
+      continue;
+    }
+    const std::uint64_t end_seq = batch.first_seq + batch_len - 1;
+    repl_deltas_sent_.fetch_add(batch_len, std::memory_order_relaxed);
+    delivered += batch_len;
+    {
+      std::lock_guard lock(repl_mutex_);
+      if (sub->needs_snapshot) continue;  // overflow raced in; restart
+      if (hwm < end_seq) {
+        // The subscriber reported a sequence gap: demote to a snapshot.
+        sub->needs_snapshot = true;
+        sub->queue.clear();
+        sub->queue_first_seq = sub->next_seq;
+        continue;
+      }
+      // Only the flusher pops (repl_io_mutex_ serialises flush rounds), so
+      // the front batch_len entries are exactly what was sent.
+      for (std::size_t i = 0; i < batch_len; ++i) sub->queue.pop_front();
+      sub->queue_first_seq = end_seq + 1;
+    }
+  }
+  return delivered;
+}
+
+std::size_t Trader::anti_entropy_tick() {
+  flush_replication();
+  std::vector<std::shared_ptr<Subscription>> subs;
+  {
+    std::lock_guard lock(repl_mutex_);
+    subs = subscriptions_;
+  }
+  if (subs.empty()) return 0;
+  std::lock_guard io(repl_io_mutex_);
+  std::size_t repaired = 0;
+  for (const auto& sub : subs) repaired += digest_subscription(sub);
+  return repaired;
+}
+
+std::size_t Trader::digest_subscription(const std::shared_ptr<Subscription>& sub) {
+  ReplicationDigest digest;
+  digest.publisher = name_;
+  digest.subscription_id = sub->id;
+  {
+    std::lock_guard lock(repl_mutex_);
+    digest.last_seq = sub->next_seq - 1;
+  }
+  std::vector<Offer> offers = scope_snapshot(*sub);
+  std::map<std::string, std::pair<std::uint64_t, DigestFold>> per_type;
+  for (const Offer& offer : offers) {
+    auto& [count, fold] = per_type[offer.service_type];
+    ++count;
+    fold.add(offer_content_hash(offer));
+  }
+  digest.types.reserve(per_type.size());
+  for (const auto& [type, entry] : per_type) {
+    digest.types.push_back({type, entry.first, entry.second.value()});
+  }
+  std::vector<std::string> divergent;
+  try {
+    divergent = sub->sink->digest(digest);
+  } catch (const Error&) {
+    repl_flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  if (divergent.empty()) return 0;
+  // Repair from the snapshot the digest was computed over; any mutation
+  // since sits in the queue and re-applies on the next flush — the goal is
+  // convergence, not a point-in-time copy.
+  DeltaBatch repair;
+  repair.publisher = name_;
+  repair.subscription_id = sub->id;
+  repair.reset_types = divergent;
+  std::unordered_set<std::string> wanted(divergent.begin(), divergent.end());
+  for (Offer& offer : offers) {
+    if (!wanted.count(offer.service_type)) continue;
+    OfferDelta delta;
+    delta.kind = OfferDelta::Kind::Upsert;
+    delta.id = offer.id;
+    delta.offer = std::move(offer);
+    repair.deltas.push_back(std::move(delta));
+  }
+  try {
+    sub->sink->apply(repair);
+  } catch (const Error&) {
+    repl_flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  repl_repairs_.fetch_add(divergent.size(), std::memory_order_relaxed);
+  return divergent.size();
+}
+
+void Trader::set_replication_options(const ReplicationOptions& options) {
+  std::lock_guard lock(repl_mutex_);
+  repl_options_ = options;
+  if (repl_options_.max_batch == 0) repl_options_.max_batch = 1;
+  if (repl_options_.max_pending == 0) repl_options_.max_pending = 1;
+}
+
+ReplicationOptions Trader::replication_options() const {
+  std::lock_guard lock(repl_mutex_);
+  return repl_options_;
+}
+
+void Trader::subscribe_link(const std::string& link_name,
+                            SubscriptionScope scope) {
+  std::shared_ptr<TraderGateway> gateway;
+  {
+    std::lock_guard lock(mutex_);
+    bool found = false;
+    for (const auto& link : links_) {
+      if (link.name != link_name) continue;
+      found = true;
+      if (link.subscription_id != 0) {
+        throw ContractError("link '" + link_name + "' is already subscribed");
+      }
+      gateway = link.gateway;
+      break;
+    }
+    if (!found) {
+      throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
+    }
+  }
+  // The publisher pushes the initial snapshot synchronously from inside
+  // subscribe(): replica_apply auto-creates the (publisher, id)-keyed
+  // replica before this side even learns the id — which is why the replica
+  // is bound to the link only afterwards.
+  SubscriptionInfo info = gateway->subscribe(*this, scope);
+  ReplicaStatePtr rep = replica_for(info.publisher, info.id, true);
+  {
+    std::lock_guard lock(replica_mutex_);
+    rep->link_name = link_name;
+    rep->scope = std::move(scope);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& link : links_) {
+      if (link.name == link_name) {
+        link.subscription_id = info.id;
+        return;
+      }
+    }
+  }
+  // The link vanished while subscribing: tear everything back down.
+  try {
+    gateway->unsubscribe(info.id);
+  } catch (const Error&) {
+  }
+  {
+    std::lock_guard lock(replica_mutex_);
+    for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+      if ((*it)->publisher == info.publisher &&
+          (*it)->subscription_id == info.id) {
+        replicas_.erase(it);
+        break;
+      }
+    }
+  }
+  throw NotFound("link '" + link_name + "' vanished during subscribe");
+}
+
+void Trader::unsubscribe_link(const std::string& link_name) {
+  std::shared_ptr<TraderGateway> gateway;
+  std::uint64_t subscription_id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    bool found = false;
+    for (auto& link : links_) {
+      if (link.name != link_name) continue;
+      found = true;
+      subscription_id = link.subscription_id;
+      gateway = link.gateway;
+      link.subscription_id = 0;
+      break;
+    }
+    if (!found) {
+      throw NotFound("trader '" + name_ + "' has no link '" + link_name + "'");
+    }
+  }
+  if (subscription_id == 0) {
+    throw NotFound("link '" + link_name + "' holds no subscription");
+  }
+  try {
+    gateway->unsubscribe(subscription_id);
+  } catch (const Error&) {
+    // Publisher unreachable: drop the replica anyway — tear-down is
+    // idempotent and the publisher's side times out on its own sink faults.
+  }
+  std::lock_guard lock(replica_mutex_);
+  for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+    if ((*it)->subscription_id == subscription_id &&
+        (*it)->link_name == link_name) {
+      replicas_.erase(it);
+      break;
+    }
+  }
+}
+
+ReplicaInfo Trader::replica_info(const std::string& link_name) const {
+  std::lock_guard lock(replica_mutex_);
+  for (const auto& rep : replicas_) {
+    if (rep->link_name != link_name) continue;
+    ReplicaInfo info;
+    info.publisher = rep->publisher;
+    info.subscription_id = rep->subscription_id;
+    info.synced = rep->synced;
+    info.last_seq = rep->last_seq;
+    info.publisher_seq = rep->publisher_seq;
+    info.offers = rep->store->size();
+    info.deltas_applied = rep->deltas_applied;
+    info.digests = rep->digests;
+    info.repairs = rep->repairs;
+    return info;
+  }
+  throw NotFound("trader '" + name_ + "' has no replica for link '" +
+                 link_name + "'");
+}
+
+Trader::ReplicaStatePtr Trader::replica_for(const std::string& publisher,
+                                            std::uint64_t subscription_id,
+                                            bool create) {
+  std::lock_guard lock(replica_mutex_);
+  for (const auto& rep : replicas_) {
+    if (rep->publisher == publisher &&
+        rep->subscription_id == subscription_id) {
+      return rep;
+    }
+  }
+  if (!create) return nullptr;
+  auto rep = std::make_shared<ReplicaState>();
+  rep->publisher = publisher;
+  rep->subscription_id = subscription_id;
+  rep->store = std::make_unique<OfferStore>();
+  replicas_.push_back(rep);
+  return rep;
+}
+
+std::uint64_t Trader::replica_apply(const DeltaBatch& batch) {
+  ReplicaStatePtr rep = replica_for(batch.publisher, batch.subscription_id, true);
+  auto apply_upsert = [&](const OfferDelta& delta) -> bool {
+    const Offer& offer = delta.offer;
+    if (!types_.has(offer.service_type)) {
+      // Type-universe drift: this trader cannot store (or ever serve) the
+      // offer.  Skipping keeps the stream flowing; the digest exchange
+      // excludes unknown types too, so this never repair-loops.
+      repl_unknown_type_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    OfferPtr next = std::make_shared<const Offer>(offer);
+    if (rep->store->find(offer.id)) {
+      rep->store->replace(offer.id, std::move(next));
+    } else {
+      rep->store->insert(std::move(next), types_.schema_of(offer.service_type));
+    }
+    return true;
+  };
+  if (batch.snapshot) {
+    rep->store->erase_if([](const Offer&) { return true; });
+    std::uint64_t applied = 0;
+    for (const OfferDelta& delta : batch.deltas) {
+      if (delta.kind == OfferDelta::Kind::Upsert && apply_upsert(delta)) {
+        ++applied;
+      }
+    }
+    repl_deltas_applied_.fetch_add(applied, std::memory_order_relaxed);
+    std::lock_guard lock(replica_mutex_);
+    rep->last_seq = batch.snapshot_seq;
+    rep->publisher_seq = std::max(rep->publisher_seq, batch.snapshot_seq);
+    rep->synced = true;
+    rep->deltas_applied += applied;
+    return rep->last_seq;
+  }
+  if (!batch.reset_types.empty()) {
+    // Digest repair: rebuild exactly those type buckets; the sequence
+    // stream is untouched.
+    std::unordered_set<std::string> reset(batch.reset_types.begin(),
+                                          batch.reset_types.end());
+    rep->store->erase_if([&reset](const Offer& offer) {
+      return reset.count(offer.service_type) != 0;
+    });
+    std::uint64_t applied = 0;
+    for (const OfferDelta& delta : batch.deltas) {
+      if (delta.kind == OfferDelta::Kind::Upsert && apply_upsert(delta)) {
+        ++applied;
+      }
+    }
+    repl_deltas_applied_.fetch_add(applied, std::memory_order_relaxed);
+    std::lock_guard lock(replica_mutex_);
+    rep->deltas_applied += applied;
+    rep->repairs += batch.reset_types.size();
+    return rep->last_seq;
+  }
+  // Incremental: apply only what extends the high-water mark contiguously.
+  // A batch starting past last_seq + 1 is a gap — report the stale mark so
+  // the publisher demotes to a snapshot; a batch overlapping below it is a
+  // retry — skip the already-applied prefix.
+  std::uint64_t last = 0;
+  {
+    std::lock_guard lock(replica_mutex_);
+    if (!rep->synced) return rep->last_seq;
+    if (batch.first_seq > rep->last_seq + 1) {
+      rep->synced = false;  // missed deltas: stale until the snapshot lands
+      return rep->last_seq;
+    }
+    last = rep->last_seq;
+  }
+  std::uint64_t seq = batch.first_seq;
+  std::uint64_t applied = 0;
+  for (const OfferDelta& delta : batch.deltas) {
+    const std::uint64_t this_seq = seq++;
+    if (this_seq <= last) continue;  // retried overlap: already applied
+    if (delta.kind == OfferDelta::Kind::Upsert) {
+      if (apply_upsert(delta)) ++applied;
+    } else {
+      rep->store->erase(delta.id);  // absent id: idempotent no-op
+      ++applied;
+    }
+  }
+  repl_deltas_applied_.fetch_add(applied, std::memory_order_relaxed);
+  std::lock_guard lock(replica_mutex_);
+  if (!batch.deltas.empty()) {
+    rep->last_seq =
+        std::max(rep->last_seq, batch.first_seq + batch.deltas.size() - 1);
+  }
+  rep->deltas_applied += applied;
+  return rep->last_seq;
+}
+
+std::vector<std::string> Trader::replica_digest(const ReplicationDigest& digest) {
+  ReplicaStatePtr rep = replica_for(digest.publisher, digest.subscription_id, true);
+  {
+    std::lock_guard lock(replica_mutex_);
+    rep->publisher_seq = std::max(rep->publisher_seq, digest.last_seq);
+    ++rep->digests;
+  }
+  // Local per-type (count, hash) over the whole replica.
+  std::vector<StoredOffer> stored =
+      rep->store->collect_all(rep->store->type_names());
+  std::map<std::string, std::pair<std::uint64_t, DigestFold>> local;
+  for (const StoredOffer& so : stored) {
+    auto& [count, fold] = local[so.offer->service_type];
+    ++count;
+    fold.add(offer_content_hash(*so.offer));
+  }
+  std::vector<std::string> divergent;
+  std::unordered_set<std::string> mentioned;
+  for (const TypeDigest& td : digest.types) {
+    mentioned.insert(td.service_type);
+    if (!types_.has(td.service_type)) {
+      // Unknown here: the repair could never be stored, so reporting the
+      // divergence would loop forever.  Count and move on.
+      repl_unknown_type_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto it = local.find(td.service_type);
+    const std::uint64_t count = it == local.end() ? 0 : it->second.first;
+    const std::uint64_t hash =
+        it == local.end() ? DigestFold{}.value() : it->second.second.value();
+    if (count != td.count || hash != td.hash) {
+      divergent.push_back(td.service_type);
+    }
+  }
+  // Types the replica holds that the digest no longer mentions (every
+  // publisher offer of that type withdrawn while we were out of touch)
+  // diverge too — without this they would never be cleaned up.
+  for (const auto& [type, entry] : local) {
+    if (!mentioned.count(type)) divergent.push_back(type);
+  }
+  if (divergent.empty()) {
+    // A clean full digest proves content convergence even when sequence
+    // bookkeeping was lost — readmit local resolution.
+    std::lock_guard lock(replica_mutex_);
+    rep->synced = true;
+  }
+  return divergent;
+}
+
+std::vector<Offer> Trader::resolve_replica(const ReplicaState& replica,
+                                           const ImportRequest& request) {
+  // Emulates the covered remote answer: same constraint, same dynamic
+  // resolution.  The forwarded preference/cap is ignored — the full match
+  // set is a superset of anything the remote would have returned, and the
+  // caller's merge ranks and caps exactly as it would remote results.
+  std::shared_ptr<const Constraint> constraint =
+      constraint_cache_.get(request.constraint);
+  SubtypeClosurePtr closure = types_.subtype_closure(request.service_type);
+  MatchStats stats;
+  std::vector<StoredOffer> candidates =
+      replica.store->collect(closure->types, *constraint, &stats);
+  evaluated_.fetch_add(stats.type_candidates, std::memory_order_relaxed);
+  scanned_.fetch_add(stats.scanned, std::memory_order_relaxed);
+  std::vector<Offer> out;
+  out.reserve(candidates.size());
+  for (const StoredOffer& candidate : candidates) {
+    const Offer& offer = *candidate.offer;
+    if (offer.dynamic_attrs.empty()) {
+      if (constraint->eval(offer.attributes)) out.push_back(offer);
+      continue;
+    }
+    // Dynamic offers replicate unresolved; the fetch happens here, against
+    // the exporter, exactly as the publisher would have done it.
+    AttrMap merged = offer.attributes;
+    if (!resolve_dynamic(offer, merged)) continue;
+    if (constraint->eval(merged)) {
+      Offer fresh = offer;
+      fresh.attributes = std::move(merged);
+      out.push_back(std::move(fresh));
+    }
+  }
+  // Id-ascending: a deterministic merge input regardless of replica
+  // insertion order (snapshots, deltas and repairs interleave).
+  std::sort(out.begin(), out.end(),
+            [](const Offer& a, const Offer& b) { return a.id < b.id; });
+  return out;
+}
+
+std::size_t Trader::replication_pending() const {
+  std::lock_guard lock(repl_mutex_);
+  std::size_t pending = 0;
+  for (const auto& sub : subscriptions_) pending += sub->queue.size();
+  return pending;
+}
+
+std::size_t Trader::replica_offer_count() const {
+  std::lock_guard lock(replica_mutex_);
+  std::size_t offers = 0;
+  for (const auto& rep : replicas_) offers += rep->store->size();
+  return offers;
+}
+
+void Trader::start_replication_pump() {
+  std::lock_guard lock(pump_mutex_);
+  if (pump_running_) return;
+  pump_stop_ = false;
+  pump_running_ = true;
+  pump_thread_ = std::thread([this] { replication_pump_loop(); });
+}
+
+void Trader::stop_replication_pump() {
+  {
+    std::lock_guard lock(pump_mutex_);
+    if (!pump_running_) return;
+    pump_stop_ = true;
+  }
+  pump_cv_.notify_all();
+  pump_thread_.join();
+  std::lock_guard lock(pump_mutex_);
+  pump_running_ = false;
+  pump_thread_ = std::thread{};
+}
+
+void Trader::replication_pump_loop() {
+  auto last_digest = std::chrono::steady_clock::now();
+  for (;;) {
+    ReplicationOptions options = replication_options();
+    {
+      std::unique_lock lock(pump_mutex_);
+      pump_cv_.wait_for(lock, options.flush_interval,
+                        [this] { return pump_stop_; });
+      if (pump_stop_) return;
+    }
+    try {
+      auto now = std::chrono::steady_clock::now();
+      if (now - last_digest >= options.digest_interval) {
+        last_digest = now;
+        anti_entropy_tick();
+      } else {
+        flush_replication();
+      }
+    } catch (const Error&) {
+      // flush/digest swallow sink faults themselves; anything else waits
+      // for the next tick rather than killing the pump.
+    }
+  }
+}
 
 }  // namespace cosm::trader

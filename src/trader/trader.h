@@ -8,17 +8,26 @@
 // Federation (§2.2 "trader federation … for geographic scopes"): a trader
 // holds links to other traders; an import with hop_limit > 0 is propagated
 // with a decremented limit, results are merged and deduplicated by offer id.
+//
+// Federation v2 (replication.h): a link can be upgraded to a
+// *subscription* — the linked trader then pushes offer deltas and
+// anti-entropy digests, and imports the subscription covers resolve
+// against the local replica instead of fanning out, falling back to the
+// per-query deep search otherwise.
 
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -27,6 +36,7 @@
 #include "trader/constraint.h"
 #include "trader/offer_store.h"
 #include "trader/preference.h"
+#include "trader/replication.h"
 #include "trader/service_type.h"
 
 namespace cosm::trader {
@@ -67,6 +77,16 @@ struct ImportRequest {
   }
 };
 
+class Trader;
+
+/// What TraderGateway::subscribe hands back: the publisher-minted
+/// subscription id plus the publisher's trader name (replica batches are
+/// keyed by the pair — ids from different publishers may collide).
+struct SubscriptionInfo {
+  std::uint64_t id = 0;
+  std::string publisher;
+};
+
 /// Abstract link target for federation: another trader reachable either
 /// in-process (tests) or over RPC (see facade.h).
 class TraderGateway {
@@ -74,6 +94,14 @@ class TraderGateway {
   virtual ~TraderGateway() = default;
   virtual std::vector<Offer> import(const ImportRequest& request) = 0;
   virtual std::string describe() const = 0;
+
+  /// Upgrade this link to a replication subscription: the linked trader
+  /// starts pushing offer deltas and digests back to `subscriber`.
+  /// Default: not supported (throws cosm::ContractError) — gateways that
+  /// can reach back opt in.
+  virtual SubscriptionInfo subscribe(Trader& subscriber,
+                                     const SubscriptionScope& scope);
+  virtual void unsubscribe(std::uint64_t subscription_id);
 };
 
 /// How federation survives misbehaving links (graceful degradation).
@@ -90,16 +118,19 @@ struct LinkOutcome {
     Ok,           ///< link answered; `offers` merged
     Failed,       ///< link raised; `error` holds the reason
     Quarantined,  ///< link skipped: still inside its negative-TTL window
+    Replicated,   ///< resolved from the local replica; no call made
   };
 
   std::string link;
   Status status = Status::Ok;
   /// Failure reason (Status::Failed only).
   std::string error;
-  /// Offers the link returned before deduplication (Status::Ok only).
+  /// Offers the link contributed before deduplication (Ok / Replicated).
   std::size_t offers = 0;
 
-  bool ok() const noexcept { return status == Status::Ok; }
+  bool ok() const noexcept {
+    return status == Status::Ok || status == Status::Replicated;
+  }
 };
 
 /// A federated import's answer: the merged, ranked offers plus what happened
@@ -121,6 +152,36 @@ struct ImportResult {
 struct LinkHealth {
   int consecutive_failures = 0;
   bool quarantined = false;
+  /// A quarantine TTL has expired and one probe call is in flight; the
+  /// link rejoins full fan-out only if the probe succeeds (half-open
+  /// circuit breaker), otherwise it is re-quarantined immediately.
+  bool half_open = false;
+};
+
+/// Subscriber-side view of one link's replica (tests, metrics).
+struct ReplicaInfo {
+  std::string publisher;
+  std::uint64_t subscription_id = 0;
+  /// Initial snapshot applied and no known sequence gap: covered imports
+  /// may resolve here.
+  bool synced = false;
+  std::uint64_t last_seq = 0;
+  /// Publisher's last assigned sequence as of the latest digest; minus
+  /// last_seq this is the replication lag in deltas.
+  std::uint64_t publisher_seq = 0;
+  std::size_t offers = 0;
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t digests = 0;
+  std::uint64_t repairs = 0;
+};
+
+/// Publisher-side view of one subscription (tests, metrics).
+struct SubscriptionStatus {
+  std::uint64_t id = 0;
+  std::string subscriber;
+  std::size_t pending = 0;  ///< queued deltas not yet flushed
+  bool needs_snapshot = false;
+  std::uint64_t last_seq = 0;  ///< last sequence assigned
 };
 
 /// Matching-engine knobs (benchmarking, ops overrides).  Defaults are what
@@ -143,6 +204,10 @@ struct TraderTuning {
   /// Live offers of one service type before its new offers hash-split
   /// across all shards instead of homing on one (0 = never split).
   std::size_t hot_split_threshold = 65536;
+  /// Resolve covered imports from link replicas instead of fanning out
+  /// (safety valve and deep-search baseline for benches; subscriptions
+  /// keep replicating either way, only query routing changes).
+  bool enable_replica_resolve = true;
 };
 
 /// One offer of an export_batch call (the id is minted by the trader).
@@ -155,6 +220,10 @@ struct BatchOfferSpec {
 class Trader {
  public:
   explicit Trader(std::string name, std::uint64_t rng_seed = 42);
+  ~Trader();
+
+  Trader(const Trader&) = delete;
+  Trader& operator=(const Trader&) = delete;
 
   /// Apply matching-engine tuning; safe at any point, takes effect for
   /// subsequent imports.
@@ -257,6 +326,69 @@ class Trader {
   /// Failure/quarantine state of one link; throws cosm::NotFound.
   LinkHealth link_health(const std::string& link_name) const;
 
+  // --- replication: subscriber side (see replication.h) ---
+
+  /// Upgrade the named link to a replication subscription.  The publisher
+  /// pushes its initial snapshot synchronously, so on return the replica
+  /// is populated and covered imports resolve locally.  Throws
+  /// cosm::NotFound for an unknown link, cosm::ContractError when the
+  /// link's gateway cannot subscribe or the link already is subscribed.
+  void subscribe_link(const std::string& link_name,
+                      SubscriptionScope scope = {});
+
+  /// Tear the subscription down (publisher stops pushing, replica is
+  /// dropped); throws cosm::NotFound for an unknown link or when the link
+  /// holds no subscription.
+  void unsubscribe_link(const std::string& link_name);
+
+  /// Replica state of one subscribed link; throws cosm::NotFound.
+  ReplicaInfo replica_info(const std::string& link_name) const;
+
+  /// Apply a pushed delta batch (invoked by the publisher's sink, locally
+  /// or via the facade RPC).  Returns this subscriber's sequence
+  /// high-water mark — short of the batch's end when a gap was detected
+  /// (the publisher then demotes to a snapshot).
+  std::uint64_t replica_apply(const DeltaBatch& batch);
+
+  /// Compare an anti-entropy digest against the replica; returns the
+  /// service types whose content diverges (the publisher repairs them).
+  /// Types this trader has never heard of are excluded — they cannot be
+  /// stored locally, and reporting them forever would repair-loop.
+  std::vector<std::string> replica_digest(const ReplicationDigest& digest);
+
+  // --- replication: publisher side ---
+
+  /// Register a subscription pushing through `sink`; pushes the initial
+  /// snapshot before returning.  Called via TraderGateway::subscribe /
+  /// the facade's Subscribe op, not usually directly.
+  SubscriptionInfo add_subscription(const std::string& subscriber,
+                                    SubscriptionScope scope,
+                                    std::shared_ptr<ReplicationSink> sink);
+  /// Drop a subscription; unknown ids are ignored (tear-down is
+  /// idempotent — the subscriber may retry over a flaky wire).
+  void remove_subscription(std::uint64_t subscription_id);
+
+  std::vector<SubscriptionStatus> subscriptions() const;
+
+  /// Push queued deltas to every subscription (bounded batches); returns
+  /// deltas delivered.  A sink failure leaves the queue intact for the
+  /// next flush.
+  std::size_t flush_replication();
+
+  /// Flush, then exchange an anti-entropy digest with every subscription
+  /// and push per-type repair batches for divergent types.  Returns the
+  /// number of types repaired.
+  std::size_t anti_entropy_tick();
+
+  void set_replication_options(const ReplicationOptions& options);
+  ReplicationOptions replication_options() const;
+
+  /// Background replication pump: flushes every flush_interval, digests
+  /// every digest_interval (replication_options()).  Idempotent; the
+  /// destructor stops it.
+  void start_replication_pump();
+  void stop_replication_pump();
+
   // --- instrumentation ---
   std::uint64_t exports_total() const noexcept {
     return exports_.load(std::memory_order_relaxed);
@@ -319,7 +451,46 @@ class Trader {
   std::uint64_t links_quarantined_total() const noexcept {
     return quarantined_.load(std::memory_order_relaxed);
   }
+  /// Half-open probes admitted after a quarantine TTL expired.
+  std::uint64_t links_probed_total() const noexcept {
+    return probes_.load(std::memory_order_relaxed);
+  }
   std::size_t offer_count() const;
+
+  // --- replication instrumentation ---
+  std::uint64_t replication_deltas_sent() const noexcept {
+    return repl_deltas_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replication_deltas_applied() const noexcept {
+    return repl_deltas_applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replication_snapshots_sent() const noexcept {
+    return repl_snapshots_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replication_digest_repairs() const noexcept {
+    return repl_repairs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replication_flush_failures() const noexcept {
+    return repl_flush_failures_.load(std::memory_order_relaxed);
+  }
+  /// Covered federated link resolutions served from a replica.
+  std::uint64_t replica_local_resolves() const noexcept {
+    return repl_local_resolves_.load(std::memory_order_relaxed);
+  }
+  /// Federated link resolutions that went over the wire (deep search).
+  std::uint64_t replica_fanout_resolves() const noexcept {
+    return repl_fanout_resolves_.load(std::memory_order_relaxed);
+  }
+  /// Deltas replication skipped because the subscriber never registered
+  /// the offer's service type (type-universe drift).
+  std::uint64_t replication_unknown_type_skips() const noexcept {
+    return repl_unknown_type_.load(std::memory_order_relaxed);
+  }
+  /// Queued deltas across all subscriptions (replication lag, publisher
+  /// view).
+  std::size_t replication_pending() const;
+  /// Live offers across all link replicas (subscriber view).
+  std::size_t replica_offer_count() const;
 
   // --- offer-store health (feeds the runtime's metrics snapshot) ---
   std::uint64_t store_base_rebuilds() const noexcept {
@@ -336,9 +507,10 @@ class Trader {
 
   /// Zero the matching-engine instrumentation counters (offers_evaluated,
   /// offers_scanned, dynamic_fetches, index lookups, constraint-cache and
-  /// closure-cache hit/miss) so a measurement window can read absolute
-  /// values instead of deltas.  Lifecycle totals (exports/imports/expired/
-  /// quarantined) and all cached state are untouched.
+  /// closure-cache hit/miss, replica local/fan-out resolves) so a
+  /// measurement window can read absolute values instead of deltas.
+  /// Lifecycle totals (exports/imports/expired/quarantined, replication
+  /// traffic) and all cached state are untouched.
   void reset_stats();
 
  private:
@@ -348,7 +520,45 @@ class Trader {
     std::shared_ptr<TraderGateway> gateway;
     int consecutive_failures = 0;
     std::chrono::steady_clock::time_point quarantined_until{};
+    /// Half-open: the TTL expired and exactly one sweep claimed the probe
+    /// call; concurrent sweeps keep skipping until its outcome lands.
+    bool probe_in_flight = false;
+    /// Subscription this trader holds on the link (0 = plain link).
+    std::uint64_t subscription_id = 0;
   };
+
+  /// Publisher side of one subscription (guarded by repl_mutex_; sink
+  /// calls happen with no lock held, serialised by repl_io_mutex_).
+  struct Subscription {
+    std::uint64_t id = 0;
+    std::string subscriber;
+    SubscriptionScope scope;
+    std::shared_ptr<ReplicationSink> sink;
+    std::shared_ptr<const Constraint> scope_constraint;  // null = no filter
+    std::uint64_t next_seq = 1;       ///< sequence for the next delta
+    std::uint64_t queue_first_seq = 1;
+    std::deque<OfferDelta> queue;
+    bool needs_snapshot = true;  ///< initial sync, gap, or overflow
+  };
+
+  /// Subscriber side of one subscription: the origin-tagged replica.
+  /// Keyed by (publisher, subscription id); bound to a link by
+  /// subscribe_link.  The store is internally thread-safe; the scalar
+  /// fields are guarded by replica_mutex_.
+  struct ReplicaState {
+    std::string publisher;
+    std::uint64_t subscription_id = 0;
+    std::string link_name;  ///< empty until bound
+    SubscriptionScope scope;
+    std::unique_ptr<OfferStore> store;
+    bool synced = false;
+    std::uint64_t last_seq = 0;
+    std::uint64_t publisher_seq = 0;
+    std::uint64_t deltas_applied = 0;
+    std::uint64_t digests = 0;
+    std::uint64_t repairs = 0;
+  };
+  using ReplicaStatePtr = std::shared_ptr<ReplicaState>;
 
   std::vector<Offer> match_local(const ImportRequest& request,
                                  const Constraint& constraint);
@@ -369,11 +579,46 @@ class Trader {
 
   /// Query every live federation link concurrently with `forwarded`,
   /// recording per-link outcomes (and quarantine bookkeeping) into
-  /// `result.links`.  Returns each link's offers, in link order.
+  /// `result.links`.  Links whose subscription covers the query resolve
+  /// from the local replica instead of a call.  Returns each link's
+  /// offers, in link order.
   std::vector<std::vector<Offer>> sweep_links(const ImportRequest& forwarded,
                                               ImportResult& result);
 
   void note_link_outcomes(const std::vector<LinkOutcome>& outcomes);
+
+  // --- replication internals ---
+
+  /// True when the subscription's scope takes this offer (type in the
+  /// scope closure, static attributes pass the scope constraint; offers
+  /// with dynamic attributes always pass — their values only exist at
+  /// import time).
+  bool in_scope(const Subscription& sub, const Offer& offer) const;
+  /// True when `replica` can answer an import for (type, constraint)
+  /// without consulting the publisher.
+  bool covers_query(const ReplicaState& replica, const ImportRequest& request) const;
+  /// Enqueue one delta to every subscription whose scope takes it.
+  void replicate_upsert(const Offer& offer);
+  void replicate_remove(const std::string& id, const std::string& type);
+  void enqueue_delta(Subscription& sub, OfferDelta delta);
+  /// All in-scope offers of `sub`, seq-ordered (publisher export order).
+  /// Leases replicate verbatim; the replica is never swept locally — the
+  /// publisher's own lease sweep arrives as Remove deltas.
+  std::vector<Offer> scope_snapshot(const Subscription& sub) const;
+  /// Push `sub`'s pending state (snapshot or queued deltas); caller holds
+  /// repl_io_mutex_.  Returns deltas delivered.
+  std::size_t flush_subscription(const std::shared_ptr<Subscription>& sub);
+  /// Digest + repair one subscription; caller holds repl_io_mutex_.
+  /// Returns types repaired.
+  std::size_t digest_subscription(const std::shared_ptr<Subscription>& sub);
+  /// Replica for (publisher, subscription id), created on first contact.
+  ReplicaStatePtr replica_for(const std::string& publisher,
+                              std::uint64_t subscription_id, bool create);
+  /// Resolve a covered link from its replica: collect, constrain, resolve
+  /// dynamics — offers come back id-ascending (deterministic merge input).
+  std::vector<Offer> resolve_replica(const ReplicaState& replica,
+                                     const ImportRequest& request);
+  void replication_pump_loop();
 
   std::string name_;
   ServiceTypeManager types_;
@@ -389,11 +634,35 @@ class Trader {
   ConstraintCache constraint_cache_;
   PreferenceCache preference_cache_;
   std::atomic<bool> selection_vm_enabled_{true};
+  std::atomic<bool> replica_resolve_enabled_{true};
 
   mutable std::mutex mutex_;
   std::vector<Link> links_;
   FederationOptions federation_;
   DynamicFetcher dynamic_fetcher_;
+
+  // --- replication state ---
+  // Lock order (where nested): repl_io_mutex_ -> repl_mutex_; sink calls
+  // are made with neither held (a sink may reenter another trader).
+  // replica_mutex_ nests under nothing and guards only the replica map
+  // and scalar fields; replica stores synchronise internally.
+  mutable std::mutex repl_io_mutex_;  ///< serialises flush / digest rounds
+  mutable std::mutex repl_mutex_;
+  std::vector<std::shared_ptr<Subscription>> subscriptions_;
+  std::uint64_t next_subscription_ = 1;
+  /// Fast-path guard: export/withdraw/modify skip replication entirely
+  /// while no subscription exists.
+  std::atomic<bool> has_subscriptions_{false};
+  ReplicationOptions repl_options_;
+
+  mutable std::mutex replica_mutex_;
+  std::vector<ReplicaStatePtr> replicas_;
+
+  std::thread pump_thread_;
+  std::mutex pump_mutex_;
+  std::condition_variable pump_cv_;
+  bool pump_stop_ = false;
+  bool pump_running_ = false;
   // Ranking may happen on any importer thread; the rng has its own lock so
   // a Random-preference rank never serialises against offer mutation.
   mutable std::mutex rng_mutex_;
@@ -406,13 +675,24 @@ class Trader {
   std::atomic<std::uint64_t> heap_prunes_{0};
   std::atomic<std::uint64_t> dynamic_fetches_{0};
   std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> repl_deltas_sent_{0};
+  std::atomic<std::uint64_t> repl_deltas_applied_{0};
+  std::atomic<std::uint64_t> repl_snapshots_sent_{0};
+  std::atomic<std::uint64_t> repl_repairs_{0};
+  std::atomic<std::uint64_t> repl_flush_failures_{0};
+  std::atomic<std::uint64_t> repl_local_resolves_{0};
+  std::atomic<std::uint64_t> repl_fanout_resolves_{0};
+  std::atomic<std::uint64_t> repl_unknown_type_{0};
   std::atomic<std::uint64_t> next_offer_{1};
   std::uint64_t clock_hours_ = 0;
   std::atomic<std::uint64_t> expired_{0};
 };
 
 /// In-process gateway wrapping a local trader (unit tests, single-process
-/// federations).
+/// federations).  Supports subscriptions: subscribe() registers a
+/// LocalReplicationSink on the wrapped trader that pushes straight into
+/// the subscriber's replica_apply / replica_digest.
 class LocalTraderGateway final : public TraderGateway {
  public:
   explicit LocalTraderGateway(Trader& trader) : trader_(trader) {}
@@ -421,8 +701,31 @@ class LocalTraderGateway final : public TraderGateway {
   }
   std::string describe() const override { return "local:" + trader_.name(); }
 
+  SubscriptionInfo subscribe(Trader& subscriber,
+                             const SubscriptionScope& scope) override;
+  void unsubscribe(std::uint64_t subscription_id) override;
+
  private:
   Trader& trader_;
+};
+
+/// Publisher -> subscriber transport for in-process federations: calls the
+/// subscriber trader directly.
+class LocalReplicationSink final : public ReplicationSink {
+ public:
+  explicit LocalReplicationSink(Trader& subscriber) : subscriber_(subscriber) {}
+  std::uint64_t apply(const DeltaBatch& batch) override {
+    return subscriber_.replica_apply(batch);
+  }
+  std::vector<std::string> digest(const ReplicationDigest& digest) override {
+    return subscriber_.replica_digest(digest);
+  }
+  std::string describe() const override {
+    return "local:" + subscriber_.name();
+  }
+
+ private:
+  Trader& subscriber_;
 };
 
 }  // namespace cosm::trader

@@ -302,5 +302,262 @@ TEST(ImportEx, LinkHealthUnknownLinkThrows) {
   EXPECT_THROW(a->link_health("nope"), NotFound);
 }
 
+// --- bounded-k forwarding on non-scored federated imports ---
+// Regression: deterministic preferences used to forward max_matches = 0
+// (unbounded) to every link, so remote traders shipped their whole result
+// set only for the importer to discard all but k.
+
+/// Gateway that records the request it forwarded and how many offers the
+/// remote trader answered with.
+class RecordingGateway final : public TraderGateway {
+ public:
+  explicit RecordingGateway(Trader& trader) : trader_(trader) {}
+
+  std::vector<Offer> import(const ImportRequest& request) override {
+    last_request_ = request;
+    auto offers = trader_.import(request);
+    last_result_size_ = offers.size();
+    return offers;
+  }
+  std::string describe() const override { return "recording:" + trader_.name(); }
+
+  const ImportRequest& last_request() const noexcept { return last_request_; }
+  std::size_t last_result_size() const noexcept { return last_result_size_; }
+
+ private:
+  Trader& trader_;
+  ImportRequest last_request_;
+  std::size_t last_result_size_ = 0;
+};
+
+TEST(BoundedForward, DeterministicPreferenceForwardsBoundedK) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto recording = std::make_shared<RecordingGateway>(*b);
+  a->link("b", recording);
+  for (int i = 0; i < 40; ++i) {
+    b->export_offer("CarRentalService", mk_ref("b" + std::to_string(i)),
+                    charge(10 + i));
+  }
+
+  ImportRequest request = all_rentals(1);
+  request.preference = "min ChargePerDay";
+  request.max_matches = 3;
+  auto offers = a->import(request);
+
+  ASSERT_EQ(offers.size(), 3u);
+  // The link got a bounded request (k plus duplicate-collision slack), the
+  // preference rode along, and the remote answered with at most that many
+  // offers instead of all 40.
+  EXPECT_EQ(recording->last_request().max_matches, 6u);
+  EXPECT_EQ(recording->last_request().preference, "min ChargePerDay");
+  EXPECT_LE(recording->last_result_size(), 6u);
+}
+
+TEST(BoundedForward, BoundedResultsEqualUnboundedBaseline) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto c = make_trader("c");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  a->link("c", std::make_shared<LocalTraderGateway>(*c));
+  for (int i = 0; i < 20; ++i) {
+    a->export_offer("CarRentalService", mk_ref("a" + std::to_string(i)),
+                    charge(100 + 3 * i));
+    b->export_offer("CarRentalService", mk_ref("b" + std::to_string(i)),
+                    charge(101 + 3 * i));
+    c->export_offer("CarRentalService", mk_ref("c" + std::to_string(i)),
+                    charge(102 + 3 * i));
+  }
+
+  // Baseline: the importer ranks the full unbounded merge, then caps.
+  ImportRequest unbounded = all_rentals(1);
+  unbounded.preference = "min ChargePerDay";
+  auto full = a->import(unbounded);
+  ASSERT_EQ(full.size(), 60u);
+
+  for (std::size_t k : {1u, 4u, 10u, 25u}) {
+    ImportRequest capped = all_rentals(1);
+    capped.preference = "min ChargePerDay";
+    capped.max_matches = k;
+    auto bounded = a->import(capped);
+    ASSERT_EQ(bounded.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(bounded[i], full[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(BoundedForward, MaxPreferenceAlsoForwardsBound) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto recording = std::make_shared<RecordingGateway>(*b);
+  a->link("b", recording);
+  b->export_offer("CarRentalService", mk_ref("x"), charge(1));
+
+  ImportRequest request = all_rentals(1);
+  request.preference = "max ChargePerDay";
+  request.max_matches = 2;
+  a->import(request);
+  EXPECT_EQ(recording->last_request().max_matches, 4u);
+  EXPECT_EQ(recording->last_request().preference, "max ChargePerDay");
+}
+
+TEST(BoundedForward, RandomPreferenceStaysUnbounded) {
+  // `random` ranks links-local subsets differently than the importer's own
+  // global shuffle would, so the forwarded request must stay uncapped and
+  // unranked for the merge to be a fair sample.
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto recording = std::make_shared<RecordingGateway>(*b);
+  a->link("b", recording);
+  b->export_offer("CarRentalService", mk_ref("x"), charge(1));
+
+  ImportRequest request = all_rentals(1);
+  request.preference = "random";
+  request.max_matches = 2;
+  a->import(request);
+  EXPECT_EQ(recording->last_request().max_matches, 0u);
+  EXPECT_TRUE(recording->last_request().preference.empty());
+}
+
+TEST(BoundedForward, UncappedRequestStaysUnbounded) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto recording = std::make_shared<RecordingGateway>(*b);
+  a->link("b", recording);
+  b->export_offer("CarRentalService", mk_ref("x"), charge(1));
+
+  ImportRequest request = all_rentals(1);
+  request.preference = "min ChargePerDay";
+  a->import(request);  // max_matches = 0: everything
+  EXPECT_EQ(recording->last_request().max_matches, 0u);
+}
+
+TEST(BoundedForward, DuplicateOffersAtBoundaryStillYieldFullK) {
+  // a -> {b, c} where both links front the SAME trader d: every offer
+  // arrives twice and dedupes to one.  With k forwarded verbatim the
+  // importer could come up short after dedupe; the slack absorbs this.
+  auto a = make_trader("a");
+  auto d = make_trader("d");
+  a->link("left", std::make_shared<LocalTraderGateway>(*d));
+  a->link("right", std::make_shared<LocalTraderGateway>(*d));
+  for (int i = 0; i < 12; ++i) {
+    d->export_offer("CarRentalService", mk_ref("d" + std::to_string(i)),
+                    charge(10 + i));
+  }
+
+  ImportRequest request = all_rentals(1);
+  request.preference = "min ChargePerDay";
+  request.max_matches = 5;
+  auto offers = a->import(request);
+  ASSERT_EQ(offers.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(offers[i].ref.id, "d" + std::to_string(i));  // cheapest five
+  }
+}
+
+// --- half-open circuit breaker on quarantine expiry ---
+// Regression: quarantine expiry used to readmit the link unconditionally;
+// now one probe call is admitted and the link only rejoins on success.
+
+TEST(HalfOpen, FailedProbeRequarantinesImmediately) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  b->export_offer("CarRentalService", mk_ref("x"), charge(9));
+  auto flaky = std::make_shared<FlakyGateway>(*b, 2);
+  a->link("b", flaky);
+  FederationOptions fed;
+  fed.quarantine_threshold = 2;
+  fed.quarantine_ttl = std::chrono::milliseconds(100);
+  a->set_federation_options(fed);
+
+  a->import_ex(all_rentals(1));  // failure 1
+  a->import_ex(all_rentals(1));  // failure 2 -> quarantine
+  ASSERT_TRUE(a->link_health("b").quarantined);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_TRUE(a->link_health("b").half_open);
+
+  // TTL expired but the link is still down: the probe fails and the link
+  // goes straight back into quarantine — no threshold re-accumulation.
+  flaky->fail_for(1);
+  int before = flaky->invocations();
+  ImportResult probe = a->import_ex(all_rentals(1));
+  EXPECT_EQ(flaky->invocations(), before + 1);
+  EXPECT_EQ(outcome_for(probe, "b")->status, LinkOutcome::Status::Failed);
+  EXPECT_TRUE(a->link_health("b").quarantined);
+  EXPECT_FALSE(a->link_health("b").half_open);
+  EXPECT_EQ(a->links_probed_total(), 1u);
+
+  // Inside the fresh TTL the link is skipped without being called.
+  before = flaky->invocations();
+  ImportResult skipped = a->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(skipped, "b")->status, LinkOutcome::Status::Quarantined);
+  EXPECT_EQ(flaky->invocations(), before);
+
+  // After another TTL the next probe succeeds and the link rejoins fully.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ImportResult recovered = a->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(recovered, "b")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(recovered.offers.size(), 1u);
+  EXPECT_FALSE(a->link_health("b").quarantined);
+  EXPECT_FALSE(a->link_health("b").half_open);
+  EXPECT_EQ(a->links_probed_total(), 2u);
+}
+
+TEST(HalfOpen, OnlyOneProbeAdmittedConcurrently) {
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  b->export_offer("CarRentalService", mk_ref("x"), charge(9));
+
+  /// Gateway that blocks inside the probe until released, so a second
+  /// import can run while the probe is in flight.
+  class BlockingGateway final : public TraderGateway {
+   public:
+    explicit BlockingGateway(Trader& trader) : trader_(trader) {}
+    std::vector<Offer> import(const ImportRequest& request) override {
+      ++invocations_;
+      if (fail_next_.exchange(false)) throw RpcError("down");
+      started_.store(true);
+      while (hold_.load()) std::this_thread::yield();
+      return trader_.import(request);
+    }
+    std::string describe() const override { return "blocking"; }
+    std::atomic<int> invocations_{0};
+    std::atomic<bool> fail_next_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<bool> hold_{false};
+   private:
+    Trader& trader_;
+  };
+
+  auto gw = std::make_shared<BlockingGateway>(*b);
+  a->link("b", gw);
+  FederationOptions fed;
+  fed.quarantine_threshold = 1;
+  fed.quarantine_ttl = std::chrono::milliseconds(50);
+  a->set_federation_options(fed);
+
+  gw->fail_next_ = true;
+  a->import_ex(all_rentals(1));  // quarantine
+  ASSERT_TRUE(a->link_health("b").quarantined);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // First import claims the (blocking) probe; a concurrent import must
+  // treat the link as still quarantined rather than piling on.
+  gw->hold_.store(true);
+  std::thread prober([&] { a->import_ex(all_rentals(1)); });
+  while (!gw->started_.load()) std::this_thread::yield();
+
+  ImportResult other = a->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(other, "b")->status, LinkOutcome::Status::Quarantined);
+  EXPECT_EQ(gw->invocations_.load(), 2);  // the failure + the one probe
+
+  gw->hold_.store(false);
+  prober.join();
+  EXPECT_FALSE(a->link_health("b").quarantined);
+  EXPECT_EQ(a->links_probed_total(), 1u);
+}
+
 }  // namespace
 }  // namespace cosm::trader

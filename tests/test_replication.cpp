@@ -1,0 +1,721 @@
+// Federation v2: subscription-based offer replication (trader/replication.h).
+//
+// Covers the happy path (snapshot on subscribe, incremental deltas, covered
+// imports resolving from the replica), scoping (by type and by constraint),
+// the fault paths (silent loss repaired by digest, sequence gaps demoted to
+// snapshots, sink failures keeping the queue, queue overflow), dedupe when
+// the same offers arrive via replication AND deep search, and the full RPC
+// round trip through the trader facade.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "rpc/inproc.h"
+#include "rpc/server.h"
+#include "trader/facade.h"
+#include "trader/trader.h"
+
+namespace cosm::trader {
+namespace {
+
+using sidl::TypeDesc;
+using wire::Value;
+
+ServiceType rental_type() {
+  ServiceType t;
+  t.name = "CarRentalService";
+  t.attributes = {{"ChargePerDay", TypeDesc::float_(), true}};
+  return t;
+}
+
+ServiceType printer_type() {
+  ServiceType t;
+  t.name = "PrinterService";
+  t.attributes = {{"PagesPerMinute", TypeDesc::int_(), true}};
+  return t;
+}
+
+AttrMap charge(double c) { return {{"ChargePerDay", Value::real(c)}}; }
+
+sidl::ServiceRef mk_ref(const std::string& id) {
+  return {id, "inproc://host", "CarRentalService"};
+}
+
+std::unique_ptr<Trader> make_trader(const std::string& name) {
+  auto t = std::make_unique<Trader>(name);
+  t->types().add(rental_type());
+  return t;
+}
+
+ImportRequest all_rentals(int hops) {
+  ImportRequest r;
+  r.service_type = "CarRentalService";
+  r.hop_limit = hops;
+  return r;
+}
+
+std::vector<std::string> offer_ids(const std::vector<Offer>& offers) {
+  std::vector<std::string> ids;
+  ids.reserve(offers.size());
+  for (const auto& o : offers) ids.push_back(o.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const LinkOutcome* outcome_for(const ImportResult& r, const std::string& link) {
+  for (const auto& o : r.links) {
+    if (o.link == link) return &o;
+  }
+  return nullptr;
+}
+
+// --- happy path -----------------------------------------------------------
+
+TEST(Replication, SubscribeSnapshotsExistingOffers) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  pub->export_offer("CarRentalService", mk_ref("one"), charge(10));
+  pub->export_offer("CarRentalService", mk_ref("two"), charge(20));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  ReplicaInfo info = sub->replica_info("pub");
+  EXPECT_TRUE(info.synced);
+  EXPECT_EQ(info.publisher, "pub");
+  EXPECT_EQ(info.offers, 2u);
+  EXPECT_EQ(sub->replica_offer_count(), 2u);
+  EXPECT_EQ(pub->replication_snapshots_sent(), 1u);
+}
+
+TEST(Replication, CoveredImportResolvesLocally) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  pub->export_offer("CarRentalService", mk_ref("r1"), charge(10));
+  sub->export_offer("CarRentalService", mk_ref("mine"), charge(5));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  const std::uint64_t pub_imports_before = pub->imports_total();
+  ImportResult r = sub->import_ex(all_rentals(1));
+  EXPECT_EQ(r.offers.size(), 2u);
+  ASSERT_NE(outcome_for(r, "pub"), nullptr);
+  EXPECT_EQ(outcome_for(r, "pub")->status, LinkOutcome::Status::Replicated);
+  EXPECT_EQ(outcome_for(r, "pub")->offers, 1u);
+  // The publisher was never queried: the link resolved from the replica.
+  EXPECT_EQ(pub->imports_total(), pub_imports_before);
+  EXPECT_EQ(sub->replica_local_resolves(), 1u);
+  EXPECT_EQ(sub->replica_fanout_resolves(), 0u);
+}
+
+TEST(Replication, DeeperHopsStillFanOut) {
+  // The replica only mirrors the publisher's own offers, so any query that
+  // would search beyond the publisher (hop_limit > 1) must go on the wire.
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  auto deep = make_trader("deep");
+  pub->link("deep", std::make_shared<LocalTraderGateway>(*deep));
+  deep->export_offer("CarRentalService", mk_ref("far"), charge(9));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  ImportResult r = sub->import_ex(all_rentals(2));
+  EXPECT_EQ(r.offers.size(), 1u);
+  EXPECT_EQ(outcome_for(r, "pub")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(sub->replica_fanout_resolves(), 1u);
+  EXPECT_EQ(sub->replica_local_resolves(), 0u);
+}
+
+TEST(Replication, DeltasFlowOnFlush) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  pub->export_offer("CarRentalService", mk_ref("late"), charge(30));
+  EXPECT_EQ(sub->import(all_rentals(1)).size(), 0u);  // not flushed yet
+  EXPECT_EQ(pub->replication_pending(), 1u);
+
+  EXPECT_EQ(pub->flush_replication(), 1u);
+  EXPECT_EQ(pub->replication_pending(), 0u);
+  auto offers = sub->import(all_rentals(1));
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].ref.id, "late");
+}
+
+TEST(Replication, WithdrawAndModifyReplicate) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  std::string keep = pub->export_offer("CarRentalService", mk_ref("keep"), charge(10));
+  std::string drop = pub->export_offer("CarRentalService", mk_ref("drop"), charge(20));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  pub->withdraw(drop);
+  pub->modify(keep, charge(77));
+  pub->flush_replication();
+
+  auto offers = sub->import(all_rentals(1));
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].ref.id, "keep");
+  EXPECT_DOUBLE_EQ(offers[0].attributes.at("ChargePerDay").as_real(), 77.0);
+}
+
+TEST(Replication, BatchWritePathsReplicate) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  std::vector<BatchOfferSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back({mk_ref("b" + std::to_string(i)), charge(10 + i), {}});
+  }
+  auto ids = pub->export_batch("CarRentalService", specs);
+  pub->flush_replication();
+  EXPECT_EQ(sub->import(all_rentals(1)).size(), 4u);
+
+  pub->withdraw_batch({ids[0], ids[1]});
+  pub->modify_batch({{ids[2], charge(99)}});
+  pub->flush_replication();
+
+  auto offers = sub->import(all_rentals(1));
+  EXPECT_EQ(offers.size(), 2u);
+  EXPECT_EQ(sub->replica_offer_count(), 2u);
+}
+
+TEST(Replication, ReplicatedAndDeepSearchResultsAreIdentical) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  for (int i = 0; i < 10; ++i) {
+    pub->export_offer("CarRentalService", mk_ref("o" + std::to_string(i)),
+                      charge(10 + i));
+  }
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  ImportRequest request = all_rentals(1);
+  request.preference = "min ChargePerDay";
+  request.max_matches = 4;
+  auto replicated = sub->import(request);
+  EXPECT_GE(sub->replica_local_resolves(), 1u);
+
+  TraderTuning deep;
+  deep.enable_replica_resolve = false;
+  sub->set_tuning(deep);
+  auto baseline = sub->import(request);
+  EXPECT_GE(sub->replica_fanout_resolves(), 1u);
+  EXPECT_EQ(replicated, baseline);
+}
+
+// --- scoping --------------------------------------------------------------
+
+TEST(Replication, TypeScopedSubscriptionOnlyCoversItsTypes) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  sub->types().add(printer_type());
+  pub->types().add(printer_type());
+  pub->export_offer("CarRentalService", mk_ref("car"), charge(10));
+  pub->export_offer("PrinterService",
+                    {"prn", "inproc://host", "PrinterService"},
+                    {{"PagesPerMinute", Value::integer(30)}});
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  SubscriptionScope scope;
+  scope.service_types = {"CarRentalService"};
+  sub->subscribe_link("pub", scope);
+
+  // Only the scoped type was snapshotted.
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+
+  ImportResult covered = sub->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(covered, "pub")->status, LinkOutcome::Status::Replicated);
+
+  ImportRequest printers;
+  printers.service_type = "PrinterService";
+  printers.hop_limit = 1;
+  ImportResult uncovered = sub->import_ex(printers);
+  EXPECT_EQ(outcome_for(uncovered, "pub")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(uncovered.offers.size(), 1u);  // deep search still finds it
+}
+
+TEST(Replication, ConstraintScopedSubscriptionCoversExactConstraint) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  pub->export_offer("CarRentalService", mk_ref("cheap"), charge(10));
+  pub->export_offer("CarRentalService", mk_ref("pricey"), charge(90));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  SubscriptionScope scope;
+  scope.constraint = "ChargePerDay < 50";
+  sub->subscribe_link("pub", scope);
+
+  EXPECT_EQ(sub->replica_offer_count(), 1u);  // only the matching offer
+
+  // Exactly the subscription's constraint: covered, resolved locally.
+  ImportRequest same = all_rentals(1);
+  same.constraint = "ChargePerDay < 50";
+  ImportResult covered = sub->import_ex(same);
+  EXPECT_EQ(outcome_for(covered, "pub")->status, LinkOutcome::Status::Replicated);
+  EXPECT_EQ(covered.offers.size(), 1u);
+
+  // Any other constraint could match offers the replica filtered out, so
+  // it must fan out.
+  ImportRequest wider = all_rentals(1);
+  wider.constraint = "ChargePerDay < 100";
+  ImportResult uncovered = sub->import_ex(wider);
+  EXPECT_EQ(outcome_for(uncovered, "pub")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(uncovered.offers.size(), 2u);
+
+  // An unconstrained query is wider still.
+  ImportResult unconstrained = sub->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(unconstrained, "pub")->status, LinkOutcome::Status::Ok);
+}
+
+TEST(Replication, ModifyOutOfScopeRetractsFromReplica) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  std::string id =
+      pub->export_offer("CarRentalService", mk_ref("drift"), charge(10));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  SubscriptionScope scope;
+  scope.constraint = "ChargePerDay < 50";
+  sub->subscribe_link("pub", scope);
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+
+  pub->modify(id, charge(80));  // now out of scope
+  pub->flush_replication();
+  EXPECT_EQ(sub->replica_offer_count(), 0u);
+
+  pub->modify(id, charge(20));  // back in scope
+  pub->flush_replication();
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+}
+
+TEST(Replication, ReplicaResolveCanBeDisabled) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  pub->export_offer("CarRentalService", mk_ref("x"), charge(10));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  TraderTuning tuning;
+  tuning.enable_replica_resolve = false;
+  sub->set_tuning(tuning);
+  ImportResult r = sub->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(r, "pub")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(r.offers.size(), 1u);
+}
+
+// --- subscription lifecycle ----------------------------------------------
+
+TEST(Replication, UnsubscribeDropsReplicaAndStopsPushing) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  pub->export_offer("CarRentalService", mk_ref("x"), charge(10));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+  EXPECT_EQ(pub->subscriptions().size(), 1u);
+
+  sub->unsubscribe_link("pub");
+  EXPECT_TRUE(pub->subscriptions().empty());
+  EXPECT_EQ(sub->replica_offer_count(), 0u);
+  EXPECT_THROW(sub->replica_info("pub"), NotFound);
+
+  // The link itself still works — deep search takes over again.
+  ImportResult r = sub->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(r, "pub")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(r.offers.size(), 1u);
+}
+
+TEST(Replication, UnlinkTearsDownSubscription) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+  sub->unlink("pub");
+  EXPECT_TRUE(pub->subscriptions().empty());
+  EXPECT_EQ(sub->replica_offer_count(), 0u);
+}
+
+TEST(Replication, DoubleSubscribeThrows) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+  EXPECT_THROW(sub->subscribe_link("pub"), ContractError);
+  EXPECT_THROW(sub->subscribe_link("nope"), NotFound);
+  EXPECT_THROW(sub->unsubscribe_link("nope"), NotFound);
+}
+
+TEST(Replication, LeaseExpiryAtPublisherReplicatesRemoval) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  std::string id =
+      pub->export_offer("CarRentalService", mk_ref("leased"), charge(10));
+  pub->set_lease(id, 5);
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+
+  // The subscriber's own clock never sweeps replicated offers — lease
+  // lifecycle is the publisher's job and arrives as Remove deltas.
+  sub->advance_clock(100);
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+
+  pub->advance_clock(10);
+  pub->flush_replication();
+  EXPECT_EQ(sub->replica_offer_count(), 0u);
+}
+
+TEST(Replication, UnknownTypeAtSubscriberIsSkippedWithoutRepairLoop) {
+  auto sub = make_trader("sub");  // never learns PrinterService
+  auto pub = make_trader("pub");
+  pub->types().add(printer_type());
+  pub->export_offer("PrinterService",
+                    {"prn", "inproc://host", "PrinterService"},
+                    {{"PagesPerMinute", Value::integer(30)}});
+  pub->export_offer("CarRentalService", mk_ref("car"), charge(10));
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  EXPECT_EQ(sub->replica_offer_count(), 1u);  // printer skipped
+  EXPECT_GE(sub->replication_unknown_type_skips(), 1u);
+
+  // The digest exchange must not treat the skipped type as divergence —
+  // that would repair-loop forever.
+  EXPECT_EQ(pub->anti_entropy_tick(), 0u);
+  EXPECT_EQ(pub->anti_entropy_tick(), 0u);
+  EXPECT_TRUE(sub->replica_info("pub").synced);
+}
+
+// --- fault injection on the publisher push path --------------------------
+
+/// Sink wrapper with switchable fault modes: pass through, swallow batches
+/// while pretending they applied (silent loss), swallow while reporting a
+/// stale high-water mark (gap), or throw (transport failure).
+class FaultySink final : public ReplicationSink {
+ public:
+  enum class Mode { Pass, SwallowLying, SwallowStaleOnce, Throw };
+
+  explicit FaultySink(std::shared_ptr<ReplicationSink> inner)
+      : inner_(std::move(inner)) {}
+
+  std::uint64_t apply(const DeltaBatch& batch) override {
+    ++applies_;
+    switch (mode_) {
+      case Mode::Pass:
+        return inner_->apply(batch);
+      case Mode::SwallowLying: {
+        // Claim full success: the publisher pops the queue, the replica
+        // silently diverges, and only the digest can notice.
+        std::uint64_t end = batch.first_seq + batch.deltas.size() - 1;
+        return batch.snapshot ? batch.snapshot_seq : end;
+      }
+      case Mode::SwallowStaleOnce:
+        // Drop exactly one batch and report a mark short of it: the
+        // publisher must demote the subscription to a full snapshot (which
+        // this sink then delivers — the fault was transient).
+        mode_ = Mode::Pass;
+        return batch.first_seq > 0 ? batch.first_seq - 1 : 0;
+      case Mode::Throw:
+        throw RpcError("replication sink down");
+    }
+    return 0;
+  }
+
+  std::vector<std::string> digest(const ReplicationDigest& digest) override {
+    return inner_->digest(digest);
+  }
+  std::string describe() const override { return "faulty:" + inner_->describe(); }
+
+  void set_mode(Mode mode) noexcept { mode_ = mode; }
+  int applies() const noexcept { return applies_; }
+
+ private:
+  std::shared_ptr<ReplicationSink> inner_;
+  Mode mode_ = Mode::Pass;
+  int applies_ = 0;
+};
+
+struct FaultyPair {
+  std::unique_ptr<Trader> sub;
+  std::unique_ptr<Trader> pub;
+  std::shared_ptr<FaultySink> sink;
+};
+
+FaultyPair make_faulty_pair() {
+  FaultyPair p;
+  p.sub = make_trader("sub");
+  p.pub = make_trader("pub");
+  p.sink = std::make_shared<FaultySink>(
+      std::make_shared<LocalReplicationSink>(*p.sub));
+  p.pub->add_subscription("sub", {}, p.sink);
+  return p;
+}
+
+TEST(ReplicationFault, SilentLossIsRepairedByDigest) {
+  FaultyPair p = make_faulty_pair();
+  p.pub->export_offer("CarRentalService", mk_ref("seen"), charge(10));
+  p.pub->flush_replication();
+  EXPECT_EQ(p.sub->replica_offer_count(), 1u);
+
+  p.sink->set_mode(FaultySink::Mode::SwallowLying);
+  p.pub->export_offer("CarRentalService", mk_ref("lost1"), charge(20));
+  p.pub->export_offer("CarRentalService", mk_ref("lost2"), charge(30));
+  p.pub->flush_replication();
+  EXPECT_EQ(p.sub->replica_offer_count(), 1u);  // silently diverged
+  EXPECT_EQ(p.pub->replication_pending(), 0u);  // publisher believes it's done
+
+  p.sink->set_mode(FaultySink::Mode::Pass);
+  EXPECT_EQ(p.pub->anti_entropy_tick(), 1u);  // one type repaired
+  EXPECT_EQ(p.sub->replica_offer_count(), 3u);
+  EXPECT_GE(p.pub->replication_digest_repairs(), 1u);
+  // Once converged, further digests are clean.
+  EXPECT_EQ(p.pub->anti_entropy_tick(), 0u);
+}
+
+TEST(ReplicationFault, SequenceGapDemotesToSnapshot) {
+  FaultyPair p = make_faulty_pair();
+  p.pub->export_offer("CarRentalService", mk_ref("base"), charge(10));
+  p.pub->flush_replication();
+  EXPECT_EQ(p.pub->replication_snapshots_sent(), 1u);  // the initial one
+  EXPECT_EQ(p.sub->replica_offer_count(), 1u);
+
+  // One batch is dropped and the subscriber's stale high-water mark comes
+  // back: still inside the same flush, the publisher demotes to a snapshot
+  // and the (healed) sink delivers it — the replica never stays behind.
+  p.sink->set_mode(FaultySink::Mode::SwallowStaleOnce);
+  p.pub->export_offer("CarRentalService", mk_ref("gap"), charge(20));
+  p.pub->flush_replication();
+
+  EXPECT_EQ(p.pub->replication_snapshots_sent(), 2u);
+  EXPECT_EQ(p.sub->replica_offer_count(), 2u);
+  ASSERT_EQ(p.pub->subscriptions().size(), 1u);
+  EXPECT_FALSE(p.pub->subscriptions()[0].needs_snapshot);
+  EXPECT_EQ(p.pub->replication_pending(), 0u);
+}
+
+TEST(ReplicationFault, SinkFailureKeepsQueueForRetry) {
+  FaultyPair p = make_faulty_pair();
+  p.sink->set_mode(FaultySink::Mode::Throw);
+  p.pub->export_offer("CarRentalService", mk_ref("queued"), charge(10));
+  EXPECT_EQ(p.pub->flush_replication(), 0u);
+  EXPECT_GE(p.pub->replication_flush_failures(), 1u);
+  EXPECT_EQ(p.pub->replication_pending(), 1u);  // nothing was lost
+
+  p.sink->set_mode(FaultySink::Mode::Pass);
+  EXPECT_EQ(p.pub->flush_replication(), 1u);
+  EXPECT_EQ(p.pub->replication_pending(), 0u);
+  EXPECT_EQ(p.sub->replica_offer_count(), 1u);
+}
+
+TEST(ReplicationFault, QueueOverflowFallsBackToSnapshot) {
+  FaultyPair p = make_faulty_pair();
+  ReplicationOptions options;
+  options.max_pending = 2;
+  p.pub->set_replication_options(options);
+
+  p.sink->set_mode(FaultySink::Mode::Throw);  // nothing drains
+  for (int i = 0; i < 6; ++i) {
+    p.pub->export_offer("CarRentalService", mk_ref("o" + std::to_string(i)),
+                        charge(10 + i));
+  }
+  ASSERT_EQ(p.pub->subscriptions().size(), 1u);
+  EXPECT_TRUE(p.pub->subscriptions()[0].needs_snapshot);
+  EXPECT_LE(p.pub->replication_pending(), 2u);  // bounded, not 6
+
+  p.sink->set_mode(FaultySink::Mode::Pass);
+  p.pub->flush_replication();
+  EXPECT_EQ(p.sub->replica_offer_count(), 6u);
+}
+
+TEST(ReplicationFault, BatchesAreBounded) {
+  FaultyPair p = make_faulty_pair();
+  ReplicationOptions options;
+  options.max_batch = 3;
+  p.pub->set_replication_options(options);
+
+  for (int i = 0; i < 10; ++i) {
+    p.pub->export_offer("CarRentalService", mk_ref("o" + std::to_string(i)),
+                        charge(10 + i));
+  }
+  int applies_before = p.sink->applies();
+  EXPECT_EQ(p.pub->flush_replication(), 10u);
+  // 10 deltas at <= 3 per call is at least 4 apply calls.
+  EXPECT_GE(p.sink->applies() - applies_before, 4);
+  EXPECT_EQ(p.sub->replica_offer_count(), 10u);
+}
+
+// --- satellite 3: dedupe across replication and deep search ---------------
+
+TEST(Replication, ReplicaAndDeepSearchNeverDuplicateOffers) {
+  // Two links from `a` to the same publisher: one subscribed (resolves
+  // from the replica), one plain (deep search).  The same offers arrive
+  // both ways and must be returned exactly once.
+  auto a = make_trader("a");
+  auto pub = make_trader("pub");
+  for (int i = 0; i < 5; ++i) {
+    pub->export_offer("CarRentalService", mk_ref("o" + std::to_string(i)),
+                      charge(10 + i));
+  }
+  a->link("replicated", std::make_shared<LocalTraderGateway>(*pub));
+  a->link("deep", std::make_shared<LocalTraderGateway>(*pub));
+  a->subscribe_link("replicated");
+
+  ImportResult r = a->import_ex(all_rentals(1));
+  EXPECT_EQ(outcome_for(r, "replicated")->status,
+            LinkOutcome::Status::Replicated);
+  EXPECT_EQ(outcome_for(r, "deep")->status, LinkOutcome::Status::Ok);
+  EXPECT_EQ(r.offers.size(), 5u);
+
+  // The merged ids equal a pure deep-search baseline.
+  TraderTuning deep_only;
+  deep_only.enable_replica_resolve = false;
+  a->set_tuning(deep_only);
+  EXPECT_EQ(offer_ids(r.offers), offer_ids(a->import(all_rentals(1))));
+}
+
+TEST(Replication, DiamondWithReplicationStillDeduplicates) {
+  // a -> {b, c} -> d with a subscribed to b; b's replica does not cover
+  // hop-2 queries, so d's offer arrives via both branches and must dedupe.
+  auto a = make_trader("a");
+  auto b = make_trader("b");
+  auto c = make_trader("c");
+  auto d = make_trader("d");
+  a->link("b", std::make_shared<LocalTraderGateway>(*b));
+  a->link("c", std::make_shared<LocalTraderGateway>(*c));
+  b->link("d", std::make_shared<LocalTraderGateway>(*d));
+  c->link("d", std::make_shared<LocalTraderGateway>(*d));
+  a->subscribe_link("b");
+  d->export_offer("CarRentalService", mk_ref("shared"), charge(7));
+
+  EXPECT_EQ(a->import(all_rentals(2)).size(), 1u);
+}
+
+// --- the RPC round trip ---------------------------------------------------
+
+TEST(ReplicationRpc, SubscribeDeltasAndDigestsOverFacade) {
+  rpc::InProcNetwork net;
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  pub->export_offer("CarRentalService", mk_ref("first"), charge(10));
+
+  rpc::RpcServer pub_server(net, "pub-host");
+  rpc::RpcServer sub_server(net, "sub-host");
+  auto pub_ref = pub_server.add(make_trader_service(*pub, &net));
+  auto sub_ref = sub_server.add(make_trader_service(*sub, &net));
+
+  auto gateway = std::make_shared<RemoteTraderGateway>(net, pub_ref);
+  gateway->set_subscriber_ref(sub_ref);
+  sub->link("pub", gateway);
+  sub->subscribe_link("pub");
+
+  // Snapshot crossed the wire during subscribe.
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+  EXPECT_TRUE(sub->replica_info("pub").synced);
+
+  // Incremental deltas cross the wire on flush.
+  pub->export_offer("CarRentalService", mk_ref("second"), charge(20));
+  pub->flush_replication();
+  EXPECT_EQ(sub->replica_offer_count(), 2u);
+
+  // Covered imports resolve locally without touching the publisher.
+  const std::uint64_t before = pub->imports_total();
+  ImportResult r = sub->import_ex(all_rentals(1));
+  EXPECT_EQ(r.offers.size(), 2u);
+  EXPECT_EQ(outcome_for(r, "pub")->status, LinkOutcome::Status::Replicated);
+  EXPECT_EQ(pub->imports_total(), before);
+
+  // Digests cross the wire and report convergence.
+  EXPECT_EQ(pub->anti_entropy_tick(), 0u);
+  EXPECT_EQ(sub->replica_info("pub").digests, 1u);
+
+  // Unsubscribe tears down on both sides.
+  sub->unsubscribe_link("pub");
+  EXPECT_TRUE(pub->subscriptions().empty());
+  EXPECT_EQ(sub->replica_offer_count(), 0u);
+}
+
+TEST(ReplicationRpc, SubscribeWithoutSubscriberRefThrows) {
+  rpc::InProcNetwork net;
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  rpc::RpcServer server(net, "pub-host");
+  auto pub_ref = server.add(make_trader_service(*pub, &net));
+  sub->link("pub", std::make_shared<RemoteTraderGateway>(net, pub_ref));
+  EXPECT_THROW(sub->subscribe_link("pub"), ContractError);
+}
+
+TEST(ReplicationRpc, SubscribeAgainstNetworklessFacadeFaults) {
+  rpc::InProcNetwork net;
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  rpc::RpcServer pub_server(net, "pub-host");
+  rpc::RpcServer sub_server(net, "sub-host");
+  // Publisher facade built WITHOUT a network: it cannot reach back.
+  auto pub_ref = pub_server.add(make_trader_service(*pub));
+  auto sub_ref = sub_server.add(make_trader_service(*sub));
+  auto gateway = std::make_shared<RemoteTraderGateway>(net, pub_ref);
+  gateway->set_subscriber_ref(sub_ref);
+  sub->link("pub", gateway);
+  EXPECT_THROW(sub->subscribe_link("pub"), Error);
+  EXPECT_TRUE(pub->subscriptions().empty());
+}
+
+TEST(ReplicationRpc, OffersRoundTripVerbatim) {
+  // Dynamic attributes and leases ride the wire, so the replica is
+  // byte-identical to the publisher's offer (the digest hash covers every
+  // field).
+  rpc::InProcNetwork net;
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  std::string id = pub->export_offer(
+      "CarRentalService", mk_ref("dyn"), {},
+      {{"ChargePerDay", "CurrentCharge"}});
+  pub->set_lease(id, 42);
+
+  rpc::RpcServer pub_server(net, "pub-host");
+  rpc::RpcServer sub_server(net, "sub-host");
+  auto pub_ref = pub_server.add(make_trader_service(*pub, &net));
+  auto sub_ref = sub_server.add(make_trader_service(*sub, &net));
+  auto gateway = std::make_shared<RemoteTraderGateway>(net, pub_ref);
+  gateway->set_subscriber_ref(sub_ref);
+  sub->link("pub", gateway);
+  sub->subscribe_link("pub");
+
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+  // Clean digest == identical content, lease and dynamics included.
+  EXPECT_EQ(pub->anti_entropy_tick(), 0u);
+  EXPECT_TRUE(sub->replica_info("pub").synced);
+}
+
+// --- replication pump -----------------------------------------------------
+
+TEST(Replication, PumpFlushesWithoutExplicitCalls) {
+  auto sub = make_trader("sub");
+  auto pub = make_trader("pub");
+  sub->link("pub", std::make_shared<LocalTraderGateway>(*pub));
+  sub->subscribe_link("pub");
+
+  ReplicationOptions options;
+  options.flush_interval = std::chrono::milliseconds(5);
+  options.digest_interval = std::chrono::milliseconds(50);
+  pub->set_replication_options(options);
+  pub->start_replication_pump();
+  pub->start_replication_pump();  // idempotent
+
+  pub->export_offer("CarRentalService", mk_ref("pumped"), charge(10));
+  for (int i = 0; i < 200 && sub->replica_offer_count() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(sub->replica_offer_count(), 1u);
+  pub->stop_replication_pump();
+}
+
+}  // namespace
+}  // namespace cosm::trader
