@@ -1,0 +1,327 @@
+// R1: durable-trader crash/recovery acceptance (ROADMAP item 5).
+//
+// A forked child loads offers into a WAL-backed trader, appending every
+// *acknowledged* offer id (export_batch returned, so the journal accepted
+// the record) to a side file.  The parent SIGKILLs it mid-write — a real
+// crash, no destructors — then recovers the market from the journal and
+// checks the durability contract:
+//
+//   * every acknowledged offer is recovered (no lost acks),
+//   * no offer id is recovered twice (no duplicate executions),
+//   * recovery completes within the gate (default 5 s at 1M offers).
+//
+// A second phase measures the WAL's write-path cost: single-offer export
+// p99 with journalling on vs off, gated at 1.5x by default.
+//
+// Writes BENCH_r1_recovery.json.  Flags:
+//   --offers=N             acked offers before the kill (default 1000000)
+//   --batch=N              export batch size in the child (default 1000)
+//   --lat-samples=N        per-mode export latency samples (default 20000)
+//   --snapshot-mb=N        loader snapshot cadence in MB of journal (default 48)
+//   --gate-recovery-s=S    recovery time budget (default 5.0)
+//   --gate-p99-ratio=R     WAL-on/WAL-off export p99 budget (default 1.5)
+//   --dir=PATH             working directory (default /tmp/cosm-r1-<pid>)
+//   --out=FILE             JSON destination (default BENCH_r1_recovery.json)
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "trader/storage/wal_storage.h"
+#include "trader/trader.h"
+#include "wire/value.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using cosm::trader::BatchOfferSpec;
+using cosm::trader::Trader;
+using cosm::trader::storage::StorageOptions;
+using cosm::trader::storage::WalStorage;
+using cosm::wire::Value;
+using Clock = std::chrono::steady_clock;
+
+cosm::trader::ServiceType rental_type() {
+  cosm::trader::ServiceType t;
+  t.name = "CarRentalService";
+  t.attributes = {{"ChargePerDay", cosm::sidl::TypeDesc::float_(), true},
+                  {"City", cosm::sidl::TypeDesc::string_(), true}};
+  return t;
+}
+
+BatchOfferSpec mk_spec(std::size_t n) {
+  BatchOfferSpec spec;
+  spec.ref = {"prov-" + std::to_string(n % 4096), "inproc://host",
+              "CarRentalService"};
+  spec.attributes = {
+      {"ChargePerDay", Value::real(20.0 + static_cast<double>(n % 200))},
+      {"City", Value::string(n % 2 ? "Karlsruhe" : "Berlin")}};
+  return spec;
+}
+
+std::shared_ptr<WalStorage> make_engine(const std::string& dir,
+                                        std::size_t snapshot_every_bytes) {
+  StorageOptions options;
+  options.directory = dir;
+  options.snapshot_every_bytes = snapshot_every_bytes;
+  return std::make_shared<WalStorage>(options);
+}
+
+/// Child: load batches forever, acking each durable batch's ids to
+/// `acked_path`.  Runs until the parent's SIGKILL lands.
+[[noreturn]] void loader_child(const std::string& dir,
+                               const std::string& acked_path,
+                               std::size_t batch,
+                               std::size_t snapshot_every_bytes) {
+  int fd = ::open(acked_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) _exit(2);
+  Trader trader("r1", 42, make_engine(dir, snapshot_every_bytes));
+  trader.recover();
+  trader.types().add(rental_type());
+  std::string lines;
+  for (std::size_t n = 0;; n += batch) {
+    std::vector<BatchOfferSpec> specs;
+    specs.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) specs.push_back(mk_spec(n + i));
+    std::vector<std::string> ids =
+        trader.export_batch("CarRentalService", std::move(specs));
+    // export_batch returned: the WAL's group commit accepted the record, so
+    // these ids survive any process death.  Ack them.
+    lines.clear();
+    for (const std::string& id : ids) {
+      lines += id;
+      lines += '\n';
+    }
+    const char* data = lines.data();
+    std::size_t left = lines.size();
+    while (left > 0) {
+      ssize_t w = ::write(fd, data, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        _exit(3);
+      }
+      data += w;
+      left -= static_cast<std::size_t>(w);
+    }
+  }
+}
+
+/// Acked ids currently in the side file; a torn final line (the kill cut a
+/// write short) is ignored — it was never fully acknowledged.
+std::vector<std::string> read_acked(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> ids;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (in.eof() && !line.empty()) break;  // no trailing newline: torn
+    if (!line.empty()) ids.push_back(line);
+  }
+  return ids;
+}
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::size_t n = 0;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    n += static_cast<std::size_t>(
+        std::count(buf, buf + in.gcount(), '\n'));
+    if (in.gcount() < static_cast<std::streamsize>(sizeof buf)) break;
+  }
+  return n;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Single-offer export p99 in microseconds, with or without a WAL.
+double export_p99_us(std::size_t samples, const std::string& wal_dir) {
+  std::shared_ptr<WalStorage> engine;
+  if (!wal_dir.empty()) engine = make_engine(wal_dir, 256ull << 20);
+  Trader trader("lat", 42, engine);
+  if (engine) trader.recover();
+  trader.types().add(rental_type());
+  for (std::size_t i = 0; i < 1000; ++i) {  // warmup
+    auto spec = mk_spec(i);
+    trader.export_offer("CarRentalService", spec.ref, spec.attributes);
+  }
+  std::vector<double> us;
+  us.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    auto spec = mk_spec(i);
+    const auto t0 = Clock::now();
+    trader.export_offer("CarRentalService", spec.ref,
+                        std::move(spec.attributes));
+    us.push_back(std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                     .count());
+  }
+  return percentile(us, 0.99);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t offers = 1'000'000;
+  std::size_t batch = 1000;
+  std::size_t lat_samples = 20'000;
+  std::size_t snapshot_mb = 48;
+  double gate_recovery_s = 5.0;
+  double gate_p99_ratio = 1.5;
+  std::string dir;
+  std::string out_path = "BENCH_r1_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--offers=", 0) == 0) {
+      offers = std::stoull(arg.substr(9));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      batch = std::stoull(arg.substr(8));
+    } else if (arg.rfind("--lat-samples=", 0) == 0) {
+      lat_samples = std::stoull(arg.substr(14));
+    } else if (arg.rfind("--snapshot-mb=", 0) == 0) {
+      snapshot_mb = std::stoull(arg.substr(14));
+    } else if (arg.rfind("--gate-recovery-s=", 0) == 0) {
+      gate_recovery_s = std::stod(arg.substr(18));
+    } else if (arg.rfind("--gate-p99-ratio=", 0) == 0) {
+      gate_p99_ratio = std::stod(arg.substr(17));
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "[r1] unknown flag %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (dir.empty()) {
+    dir = (fs::temp_directory_path() /
+           ("cosm-r1-" + std::to_string(::getpid())))
+              .string();
+  }
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string wal_dir = dir + "/wal";
+  const std::string acked_path = dir + "/acked.ids";
+
+  // --- Phase 1: load in a child, SIGKILL it mid-write. ---
+  std::fprintf(stderr, "[r1] loading %zu offers in a child (batch %zu)...\n",
+               offers, batch);
+  pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("[r1] fork");
+    return 1;
+  }
+  if (child == 0) {
+    loader_child(wal_dir, acked_path, batch, snapshot_mb << 20);
+  }
+
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int status = 0;
+    if (::waitpid(child, &status, WNOHANG) != 0) {
+      std::fprintf(stderr, "[r1] child died before reaching %zu offers\n",
+                   offers);
+      return 1;
+    }
+    std::error_code ec;
+    if (fs::exists(acked_path, ec) && count_lines(acked_path) >= offers) break;
+  }
+  ::kill(child, SIGKILL);  // crash, not shutdown: no destructor runs
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  const std::vector<std::string> acked = read_acked(acked_path);
+  std::fprintf(stderr, "[r1] killed loader; %zu acked offers\n", acked.size());
+
+  std::size_t segments = 0;
+  std::size_t snapshots = 0;
+  for (const auto& entry : fs::directory_iterator(wal_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0) ++segments;
+    if (name.rfind("snapshot-", 0) == 0 && name.find(".tmp") == std::string::npos) {
+      ++snapshots;
+    }
+  }
+
+  // --- Phase 2: recover and verify. ---
+  const auto t0 = Clock::now();
+  Trader trader("r1", 42, make_engine(wal_dir, snapshot_mb << 20));
+  const bool had_state = trader.recover();
+  const double recovery_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::size_t recovered = trader.offer_count();
+  std::fprintf(stderr,
+               "[r1] recovered %zu offers in %.3fs (%zu segments, %zu snapshots)\n",
+               recovered, recovery_s, segments, snapshots);
+
+  std::unordered_set<std::string> recovered_ids;
+  recovered_ids.reserve(recovered * 2);
+  std::size_t duplicates = 0;
+  for (const auto& offer : trader.list_offers("CarRentalService")) {
+    if (!recovered_ids.insert(offer.id).second) ++duplicates;
+  }
+  std::size_t missing = 0;
+  for (const std::string& id : acked) {
+    if (recovered_ids.count(id) == 0) ++missing;
+  }
+
+  // --- Phase 3: WAL write-path cost. ---
+  const double p99_off = export_p99_us(lat_samples, "");
+  const double p99_on = export_p99_us(lat_samples, dir + "/wal-lat");
+  const double ratio = p99_off > 0 ? p99_on / p99_off : 0.0;
+  std::fprintf(stderr, "[r1] export p99: wal-off %.2fus, wal-on %.2fus (%.2fx)\n",
+               p99_off, p99_on, ratio);
+
+  const bool passed = had_state && missing == 0 && duplicates == 0 &&
+                      recovered >= acked.size() &&
+                      recovery_s <= gate_recovery_s &&
+                      (gate_p99_ratio <= 0 || ratio <= gate_p99_ratio);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "[r1] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"experiment\": \"R1_recovery\",\n"
+      << "  \"offers_target\": " << offers << ",\n"
+      << "  \"acked\": " << acked.size() << ",\n"
+      << "  \"recovered\": " << recovered << ",\n"
+      << "  \"missing_acked\": " << missing << ",\n"
+      << "  \"duplicate_ids\": " << duplicates << ",\n"
+      << "  \"recovery_s\": " << recovery_s << ",\n"
+      << "  \"gate_recovery_s\": " << gate_recovery_s << ",\n"
+      << "  \"wal_segments\": " << segments << ",\n"
+      << "  \"snapshots\": " << snapshots << ",\n"
+      << "  \"export_p99_us_wal_off\": " << p99_off << ",\n"
+      << "  \"export_p99_us_wal_on\": " << p99_on << ",\n"
+      << "  \"p99_ratio\": " << ratio << ",\n"
+      << "  \"gate_p99_ratio\": " << gate_p99_ratio << ",\n"
+      << "  \"passed\": " << (passed ? "true" : "false") << "\n}\n";
+  std::fprintf(stderr, "[r1] wrote %s\n", out_path.c_str());
+
+  if (!passed) {
+    std::fprintf(stderr, "[r1] GATE FAILED (artifacts kept in %s)\n",
+                 dir.c_str());
+    return 1;
+  }
+  fs::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "core/config.h"
+
+#include "common/error.h"
+
+namespace cosm::core {
+
+CosmConfig CosmConfig::validated(std::size_t* adjusted_out) const {
+  // Hard errors first: these are contradictions, not preferences, and the
+  // old behaviour of silently "fixing" them hid real deployment bugs.
+  if (trader_tuning.store_shards == 0 || trader_tuning.store_shards > 64) {
+    throw ContractError(
+        "CosmConfig: store_shards must be in [1, 64], got " +
+        std::to_string(trader_tuning.store_shards));
+  }
+  if (trader_tuning.enable_selection_vm &&
+      trader_tuning.constraint_cache_capacity == 0) {
+    throw ContractError(
+        "CosmConfig: the selection VM needs a non-zero "
+        "constraint_cache_capacity (compiled constraint/preference "
+        "programs live in that cache); disable enable_selection_vm or "
+        "give the cache capacity");
+  }
+  if (durable && storage.directory.empty()) {
+    throw ContractError(
+        "CosmConfig: durability is enabled but storage.directory is empty");
+  }
+  if (server.at_most_once && server.replay_cache_capacity == 0) {
+    throw ContractError(
+        "CosmConfig: at_most_once needs a non-zero replay_cache_capacity");
+  }
+
+  // Benign clamps: applied to the copy and counted, never silent.
+  CosmConfig out = *this;
+  std::size_t adjusted = 0;
+  if (out.replication.max_batch == 0) {
+    out.replication.max_batch = 1;
+    ++adjusted;
+  }
+  if (out.replication.max_pending == 0) {
+    out.replication.max_pending = 1;
+    ++adjusted;
+  }
+  if (out.observability.tracing && out.observability.trace_capacity == 0) {
+    out.observability.trace_capacity = 4096;
+    ++adjusted;
+  }
+  if (out.durable && out.storage.segment_bytes == 0) {
+    out.storage.segment_bytes = 64ull << 20;
+    ++adjusted;
+  }
+  if (adjusted_out != nullptr) *adjusted_out = adjusted;
+  return out;
+}
+
+}  // namespace cosm::core

@@ -1,0 +1,153 @@
+// CosmConfig: the one validated configuration object for the assembled
+// stack.
+//
+// Historically every layer grew its own options struct (ServerOptions,
+// TraderTuning, FederationOptions, ReplicationOptions, TransportOptions)
+// and RuntimeOptions was a bag of all of them with no cross-field checks:
+// a store_shards of 500 was silently clamped to 64, a zero-capacity
+// constraint cache with the selection VM on silently fell back to the
+// tree-walk path, and a typo'd durability directory surfaced as an fopen
+// error deep inside the WAL.  CosmConfig keeps the per-layer structs (they
+// belong to their components) but owns the *validation*: invalid
+// combinations throw cosm::ContractError up front, and the few remaining
+// benign clamps are counted into the `config.adjusted` metric instead of
+// happening silently.
+//
+// Construction is fluent:
+//
+//   auto cfg = cosm::core::CosmConfig()
+//                  .with_at_most_once()
+//                  .with_durability("/var/lib/cosm/trader")
+//                  .with_store_shards(16)
+//                  .with_replication_pump();
+//   cosm::core::CosmRuntime runtime(network, cfg);
+//
+// `RuntimeOptions` remains as a deprecated alias so existing call sites
+// keep compiling (field names are unchanged).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "rpc/retry.h"
+#include "rpc/server.h"
+#include "rpc/transport_options.h"
+#include "trader/replication.h"
+#include "trader/storage/storage_engine.h"
+#include "trader/trader.h"
+
+namespace cosm::core {
+
+/// Observability switches.  Both default off: the instrumentation sites
+/// then cost one relaxed atomic load each and take no clocks or locks.
+/// The metrics registry and tracer are process-wide singletons, so enabling
+/// them on any runtime enables them for every runtime in the process.
+struct ObservabilityOptions {
+  /// Registry counters/gauges/latency histograms on the hot paths.
+  bool metrics = false;
+  /// Span recording + trace-context propagation across hops.
+  bool tracing = false;
+  /// Span ring capacity when tracing is on (oldest spans overwritten).
+  std::size_t trace_capacity = 4096;
+};
+
+struct CosmConfig {
+  rpc::ServerOptions server{};
+  /// Governs the runtime's own outbound calls (dynamic-property fetches,
+  /// link_trader gateways); callers opt individual clients in via
+  /// GenericClientOptions.
+  rpc::RetryPolicy retry{};
+  trader::FederationOptions federation{};
+  /// Matching-engine knobs, including the offer store's writer shard count
+  /// and hot-type split threshold (applied at construction, while the
+  /// store is still empty — the only time re-sharding is allowed).
+  trader::TraderTuning trader_tuning{};
+  /// Federation v2 replication tuning (batch sizes, flush and digest
+  /// cadence) — see trader/replication.h.
+  trader::ReplicationOptions replication{};
+  /// Start the trader's background replication pump at construction.  Off
+  /// by default: a runtime that never subscribes (or drives
+  /// flush_replication()/anti_entropy_tick() itself, as the tests do)
+  /// should not pay for an idle thread.
+  bool replication_pump = false;
+  ObservabilityOptions observability{};
+  /// Rides along for callers constructing the network themselves
+  /// (`rpc::TcpNetwork net(cfg.transport)`) — the runtime does not own the
+  /// network, so it cannot apply these itself.
+  rpc::TransportOptions transport{};
+  /// Durability: when `durable` is set the runtime journals every trader
+  /// mutation to `storage.directory` (write-ahead log + periodic
+  /// snapshots) and recovers the full market state at construction.  See
+  /// trader/storage/storage_engine.h.
+  bool durable = false;
+  trader::storage::StorageOptions storage{};
+  /// Trader name override ("" = automatic).  Non-durable runtimes auto-mint
+  /// a process-unique name (offer ids embed it, so co-resident traders must
+  /// not collide).  Durable runtimes derive it from storage.directory
+  /// instead: the name is the trader's *replication identity* — subscribers
+  /// key replicas by it — so a restarted trader must come back as the same
+  /// publisher for its re-armed subscriptions to reconcile rather than
+  /// duplicate.  Set this explicitly to pin an identity across machines.
+  std::string trader_name;
+
+  // ---- fluent builders (each returns *this for chaining) ----
+
+  /// Journal trader state under `directory`; `fsync` extends the crash
+  /// model from process death to power loss (at a large latency cost).
+  CosmConfig& with_durability(std::string directory, bool fsync = false) {
+    durable = true;
+    storage.directory = std::move(directory);
+    storage.fsync = fsync;
+    return *this;
+  }
+  /// At-most-once RPC execution backed by a replay cache of this capacity.
+  CosmConfig& with_at_most_once(std::size_t replay_capacity = 4096) {
+    server.at_most_once = true;
+    server.replay_cache_capacity = replay_capacity;
+    return *this;
+  }
+  CosmConfig& with_store_shards(std::size_t shards) {
+    trader_tuning.store_shards = shards;
+    return *this;
+  }
+  CosmConfig& with_replication_pump(bool on = true) {
+    replication_pump = on;
+    return *this;
+  }
+  CosmConfig& with_metrics(bool on = true) {
+    observability.metrics = on;
+    return *this;
+  }
+  CosmConfig& with_tracing(bool on = true, std::size_t capacity = 4096) {
+    observability.tracing = on;
+    observability.trace_capacity = capacity;
+    return *this;
+  }
+  CosmConfig& with_retry(rpc::RetryPolicy policy) {
+    retry = policy;
+    return *this;
+  }
+  CosmConfig& with_trader_name(std::string name) {
+    trader_name = std::move(name);
+    return *this;
+  }
+
+  /// Validate and normalise.  Invalid combinations throw
+  /// cosm::ContractError:
+  ///   * store_shards of 0 or > 64 (the sharded store's hard bound),
+  ///   * the selection VM enabled with a zero-capacity constraint cache
+  ///     (compiled programs would be rebuilt on every import),
+  ///   * durability with an empty directory,
+  ///   * at-most-once with a zero-capacity replay cache.
+  /// The remaining benign clamps (zero replication batch/pending floors,
+  /// zero trace capacity) are applied to the returned copy and counted —
+  /// the runtime surfaces the count as the `config.adjusted` metric.
+  /// `adjusted_out` (optional) receives the number of clamped fields.
+  CosmConfig validated(std::size_t* adjusted_out = nullptr) const;
+};
+
+/// Deprecated spelling kept for source compatibility; use CosmConfig.
+using RuntimeOptions [[deprecated("use cosm::core::CosmConfig")]] = CosmConfig;
+
+}  // namespace cosm::core

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpc/activity_facade.h"
 #include "rpc/channel.h"
 #include "trader/sid_export.h"
+#include "trader/storage/wal_storage.h"
 
 namespace cosm::core {
 
@@ -24,29 +26,77 @@ std::string unique_trader_name() {
   return n == 0 ? "trader" : "trader-" + std::to_string(n);
 }
 
+// A durable trader's name is its replication identity: subscribers key
+// replicas by publisher name, and the journal's subscriptions re-arm under
+// it.  A process-unique name would make every restart look like a brand-new
+// publisher, so durable runtimes derive a stable name from the storage
+// directory instead (one directory = one trader; two writers on one journal
+// are invalid anyway).  CosmConfig::trader_name overrides either scheme.
+std::string trader_name_for(const CosmConfig& cfg) {
+  if (!cfg.trader_name.empty()) return cfg.trader_name;
+  if (cfg.durable) {
+    return "trader@" + std::filesystem::path(cfg.storage.directory)
+                           .lexically_normal()
+                           .string();
+  }
+  return unique_trader_name();
+}
+
+std::shared_ptr<trader::storage::StorageEngine> make_engine(
+    const CosmConfig& cfg) {
+  if (!cfg.durable) return nullptr;  // Trader substitutes a NullStorage
+  return std::make_shared<trader::storage::WalStorage>(cfg.storage);
+}
+
 }  // namespace
 
 CosmRuntime::CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options)
-    : CosmRuntime(network, RuntimeOptions{.server = server_options}) {}
+    : CosmRuntime(network, [&] {
+        CosmConfig cfg;
+        cfg.server = server_options;
+        return cfg;
+      }()) {}
 
-CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
+CosmRuntime::CosmRuntime(rpc::Network& network, CosmConfig config)
     : network_(network),
-      retry_(options.retry),
-      trader_(unique_trader_name()),
+      config_(config.validated(&config_adjusted_)),
+      retry_(config_.retry),
+      storage_engine_(make_engine(config_)),
+      trader_(trader_name_for(config_), 42, storage_engine_),
       browser_("browser"),
-      server_(network, "cosm", options.server),
+      server_(network, "cosm", config_.server),
       binder_(network),
       activities_(network) {
   // Process-global switches: turning observability on for one runtime turns
   // it on everywhere (off stays off — another runtime may have enabled it).
-  if (options.observability.metrics) obs::metrics().set_enabled(true);
-  if (options.observability.tracing) {
-    obs::tracer().set_capacity(options.observability.trace_capacity);
+  if (config_.observability.metrics) obs::metrics().set_enabled(true);
+  if (config_.observability.tracing) {
+    obs::tracer().set_capacity(config_.observability.trace_capacity);
     obs::tracer().set_enabled(true);
   }
-  trader_.set_federation_options(options.federation);
-  trader_.set_tuning(options.trader_tuning);
-  trader_.set_replication_options(options.replication);
+  if (config_adjusted_ != 0) {
+    // Every clamp validated() applied is observable, never silent.
+    obs::metrics().counter("config.adjusted").add(config_adjusted_);
+  }
+  trader_.set_federation_options(config_.federation);
+  trader_.set_tuning(config_.trader_tuning);
+  trader_.set_replication_options(config_.replication);
+  // Recovered subscriptions rebuild their push path from the journalled
+  // sink descriptor (the subscriber's serialised trader reference).
+  trader_.set_subscription_sink_factory(
+      [this](const std::string& desc)
+          -> std::shared_ptr<trader::ReplicationSink> {
+        return std::make_shared<trader::RemoteReplicationSink>(
+            network_, sidl::ServiceRef::from_string(desc), retry_);
+      });
+  if (config_.durable) {
+    // Replay the journal before the stack is reachable: recover() must run
+    // with the trader still empty, and nothing may observe half a market.
+    trader_.recover();
+    if (auto* replay = server_.replay_cache()) {
+      replay->seed_marks(trader_.storage().recovered_replay_marks());
+    }
+  }
   // The network-aware facade serves Subscribe: a remote subscriber hands
   // over its own trader reference and the publisher pushes deltas back
   // through it.
@@ -86,7 +136,7 @@ CosmRuntime::CosmRuntime(rpc::Network& network, RuntimeOptions options)
   repository_.put(groups_ref_.id, server_.find(groups_ref_.id)->sid());
   repository_.put(activities_ref_.id, server_.find(activities_ref_.id)->sid());
 
-  if (options.replication_pump) trader_.start_replication_pump();
+  if (config_.replication_pump) trader_.start_replication_pump();
 }
 
 sidl::ServiceRef CosmRuntime::host(rpc::ServiceObjectPtr object) {

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "core/browser.h"
+#include "core/config.h"
 #include "core/generic_client.h"
 #include "naming/binder.h"
 #include "naming/facades.h"
@@ -43,50 +44,19 @@ struct WellKnownNames {
   static constexpr const char* kActivityManager = "cosm/activities";
 };
 
-/// Observability switches.  Both default off: the instrumentation sites
-/// then cost one relaxed atomic load each and take no clocks or locks.
-/// The metrics registry and tracer are process-wide singletons, so enabling
-/// them on any runtime enables them for every runtime in the process.
-struct ObservabilityOptions {
-  /// Registry counters/gauges/latency histograms on the hot paths.
-  bool metrics = false;
-  /// Span recording + trace-context propagation across hops.
-  bool tracing = false;
-  /// Span ring capacity when tracing is on (oldest spans overwritten).
-  std::size_t trace_capacity = 4096;
-};
-
-/// Knobs for the assembled stack.  `retry` governs the runtime's own
-/// outbound calls (dynamic-property fetches, link_trader gateways); callers
-/// opt individual clients in via GenericClientOptions.  `transport` rides
-/// along for callers constructing the network themselves
-/// (`rpc::TcpNetwork net(opts.transport)`) — the runtime does not own the
-/// network, so it cannot apply these itself.
-struct RuntimeOptions {
-  rpc::ServerOptions server{};
-  rpc::RetryPolicy retry{};
-  trader::FederationOptions federation{};
-  /// Matching-engine knobs, including the offer store's writer shard count
-  /// and hot-type split threshold (applied at construction, while the
-  /// store is still empty — the only time re-sharding is allowed).
-  trader::TraderTuning trader_tuning{};
-  /// Federation v2 replication tuning (batch sizes, flush and digest
-  /// cadence) — see trader/replication.h.
-  trader::ReplicationOptions replication{};
-  /// Start the trader's background replication pump at construction.  Off
-  /// by default: a runtime that never subscribes (or drives
-  /// flush_replication()/anti_entropy_tick() itself, as the tests do)
-  /// should not pay for an idle thread.
-  bool replication_pump = false;
-  ObservabilityOptions observability{};
-  rpc::TransportOptions transport{};
-};
+// Configuration (CosmConfig, the deprecated RuntimeOptions alias, and
+// ObservabilityOptions) lives in core/config.h.
 
 class CosmRuntime {
  public:
   /// Assemble the stack on a network the caller owns.
   explicit CosmRuntime(rpc::Network& network, rpc::ServerOptions server_options = {});
-  CosmRuntime(rpc::Network& network, RuntimeOptions options);
+  /// Assemble from a full configuration.  The config is validated first
+  /// (CosmConfig::validated — invalid combinations throw ContractError);
+  /// with `config.durable` set, the trader recovers its journalled state
+  /// before the stack is exposed, and the at-most-once replay cache is
+  /// seeded with the journal's per-session high-water marks.
+  CosmRuntime(rpc::Network& network, CosmConfig config);
 
   // --- local access to the components ---
   naming::NameServer& names() noexcept { return names_; }
@@ -98,6 +68,16 @@ class CosmRuntime {
   ServiceBrowser& browser() noexcept { return browser_; }
   rpc::RpcServer& server() noexcept { return server_; }
   rpc::Network& network() noexcept { return network_; }
+  /// The validated configuration this runtime was assembled from.
+  const CosmConfig& config() const noexcept { return config_; }
+  /// Fields CosmConfig::validated clamped (also the `config.adjusted`
+  /// metric when metrics are on).
+  std::size_t config_adjustments() const noexcept { return config_adjusted_; }
+  /// The trader's storage engine (a no-op NullStorage unless
+  /// config().durable).
+  trader::storage::StorageEngine& storage() noexcept {
+    return trader_.storage();
+  }
 
   // --- well-known references ---
   const sidl::ServiceRef& trader_ref() const noexcept { return trader_ref_; }
@@ -159,7 +139,12 @@ class CosmRuntime {
 
  private:
   rpc::Network& network_;
+  std::size_t config_adjusted_ = 0;  ///< must precede config_ (out-param)
+  CosmConfig config_;                ///< validated copy
   rpc::RetryPolicy retry_;
+  /// Constructed before trader_ (which holds a reference for its lifetime)
+  /// and only non-null when config_.durable.
+  std::shared_ptr<trader::storage::StorageEngine> storage_engine_;
   naming::NameServer names_;
   naming::GroupManager groups_;
   naming::InterfaceRepository repository_;

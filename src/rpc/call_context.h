@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 namespace cosm::rpc {
 
@@ -34,6 +35,13 @@ struct CallContext {
   std::uint64_t trace_id = 0;
   /// The enclosing span downstream spans should name as parent; 0 = root.
   std::uint64_t span_id = 0;
+  /// Replay identity of the request being dispatched (empty session =
+  /// outside any at-most-once dispatch).  The durable trader tags every
+  /// journalled mutation with these, so a record doubles as the replay
+  /// high-water mark for its session — executing a request and marking it
+  /// executed become one atomic commit.
+  std::string session;
+  std::uint64_t request_id = 0;
 
   bool has_deadline() const noexcept { return deadline != Clock::time_point{}; }
   bool expired() const noexcept {

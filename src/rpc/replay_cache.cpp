@@ -9,28 +9,48 @@ ReplayCache::ReplayCache(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) throw ContractError("ReplayCache capacity must be > 0");
 }
 
-bool ReplayCache::lookup(const Key& key, Bytes* frame_out) {
-  bool hit;
+ReplayCache::Lookup ReplayCache::lookup(const Key& key, Bytes* frame_out) {
+  Lookup outcome;
   {
     std::lock_guard lock(mutex_);
     auto it = index_.find(key);
-    if (it == index_.end()) {
-      ++misses_;
-      hit = false;
-    } else {
+    if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency, O(1)
       ++hits_;
       if (frame_out != nullptr) *frame_out = it->second->frame;
-      hit = true;
+      outcome = Lookup::Hit;
+    } else {
+      // No frame — but a recovered journal mark can still prove the
+      // request executed before the restart.
+      auto mark = recovered_marks_.find(key.first);
+      if (mark != recovered_marks_.end() && key.second <= mark->second) {
+        ++lost_;
+        outcome = Lookup::DuplicateLost;
+      } else {
+        ++misses_;
+        outcome = Lookup::Miss;
+      }
     }
   }
   auto& reg = obs::metrics();
   if (reg.enabled()) {
     static obs::Counter& hits = reg.counter("replay.hits");
     static obs::Counter& misses = reg.counter("replay.misses");
-    (hit ? hits : misses).add();
+    static obs::Counter& lost = reg.counter("replay.duplicates_lost");
+    (outcome == Lookup::Hit ? hits
+                            : outcome == Lookup::DuplicateLost ? lost : misses)
+        .add();
   }
-  return hit;
+  return outcome;
+}
+
+void ReplayCache::seed_marks(
+    const std::unordered_map<std::string, std::uint64_t>& marks) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [session, hwm] : marks) {
+    auto [it, inserted] = recovered_marks_.emplace(session, hwm);
+    if (!inserted && it->second < hwm) it->second = hwm;
+  }
 }
 
 void ReplayCache::insert(const Key& key, Bytes frame) {

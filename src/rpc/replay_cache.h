@@ -24,10 +24,29 @@ class ReplayCache {
  public:
   using Key = std::pair<std::string, std::uint64_t>;  // (session, request id)
 
+  /// Outcome of a pre-dispatch probe.
+  enum class Lookup : std::uint8_t {
+    Miss,          ///< First sighting: dispatch the request.
+    Hit,           ///< Duplicate with a cached response frame: replay it.
+    /// Duplicate of a request executed *before a restart*: the durable
+    /// journal proves it ran (its id sits at or below the session's
+    /// persisted high-water mark), but the response frame died with the
+    /// process.  At-most-once forbids re-execution, so the caller must
+    /// answer with a fault instead.
+    DuplicateLost,
+  };
+
   explicit ReplayCache(std::size_t capacity);
 
-  /// Cached response for `key`, refreshing its recency; false when absent.
-  bool lookup(const Key& key, Bytes* frame_out);
+  /// Probe for `key`, refreshing its recency on a hit (the cached frame is
+  /// copied to `frame_out`); consults the seeded recovery marks on a miss.
+  Lookup lookup(const Key& key, Bytes* frame_out);
+
+  /// Install per-session request-id high-water marks recovered from a
+  /// durable journal (storage::StorageEngine::recovered_replay_marks).
+  /// Ids at or below a session's mark with no cached frame report
+  /// DuplicateLost instead of Miss.
+  void seed_marks(const std::unordered_map<std::string, std::uint64_t>& marks);
 
   /// Record a response; evicts the LRU entry when full.  A key already
   /// present keeps its first response (at-most-once: the original answer
@@ -43,6 +62,8 @@ class ReplayCache {
   std::uint64_t misses() const noexcept { return misses_; }
   /// Duplicate inserts whose racing re-execution was suppressed.
   std::uint64_t duplicates_suppressed() const noexcept { return duplicates_; }
+  /// Pre-restart duplicates refused because their response frame is gone.
+  std::uint64_t duplicates_lost() const noexcept { return lost_; }
 
  private:
   struct Entry {
@@ -60,11 +81,14 @@ class ReplayCache {
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  /// session -> highest journalled request id from before the last restart.
+  std::unordered_map<std::string, std::uint64_t> recovered_marks_;
   std::size_t capacity_;
   std::uint64_t evictions_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t duplicates_ = 0;
+  std::uint64_t lost_ = 0;
 };
 
 }  // namespace cosm::rpc

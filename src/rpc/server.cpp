@@ -96,15 +96,25 @@ Bytes RpcServer::handle_message(const MessageView& request) {
   ReplayCache::Key replay_key{session, request.request_id};
   if (replay_) {
     Bytes cached;
-    if (replay_->lookup(replay_key, &cached)) {
-      if (tr.enabled()) {
-        // A replayed duplicate still shows up in the trace: a zero-work
-        // server span under the retrying attempt that triggered it.
-        tr.finish(tr.start_span("rpc.server:" + operation, request.trace_id,
-                                request.parent_span_id),
-                  "replay-hit");
-      }
-      return cached;
+    switch (replay_->lookup(replay_key, &cached)) {
+      case ReplayCache::Lookup::Hit:
+        if (tr.enabled()) {
+          // A replayed duplicate still shows up in the trace: a zero-work
+          // server span under the retrying attempt that triggered it.
+          tr.finish(tr.start_span("rpc.server:" + operation, request.trace_id,
+                                  request.parent_span_id),
+                    "replay-hit");
+        }
+        return cached;
+      case ReplayCache::Lookup::DuplicateLost:
+        // The journal proves this request ran before a restart, but its
+        // response frame did not survive.  Re-executing would break
+        // at-most-once; a fault is the only honest answer.
+        throw RpcError("request " + std::to_string(request.request_id) +
+                       " of session '" + session +
+                       "' already executed before restart; response lost");
+      case ReplayCache::Lookup::Miss:
+        break;
     }
   }
 
@@ -133,6 +143,11 @@ Bytes RpcServer::handle_message(const MessageView& request) {
   // client spans under this server span.
   ctx.trace_id = span.valid() ? span.trace_id : request.trace_id;
   ctx.span_id = span.valid() ? span.span_id : request.parent_span_id;
+  // Replay identity rides the dispatch context: a durable trader handler
+  // tags every journalled mutation with it, so the persisted replay
+  // high-water mark and the mutation commit atomically (one WAL record).
+  ctx.session = session;
+  ctx.request_id = request.request_id;
   CallContextScope scope(ctx);
 
   try {

@@ -78,6 +78,12 @@ class RpcServer {
     return replay_ ? replay_->evictions() : 0;
   }
 
+  /// The at-most-once replay cache, or nullptr when at_most_once is off.
+  /// Recovery wiring (core::CosmRuntime) seeds it with the journal's
+  /// per-session request-id high-water marks so duplicates of pre-restart
+  /// requests are refused instead of re-executed.
+  ReplayCache* replay_cache() noexcept { return replay_.get(); }
+
  private:
   Bytes handle(const Bytes& frame);
   Bytes handle_message(const MessageView& request);

@@ -37,6 +37,7 @@ module TraderService {
     boolean snapshot;
     long first_seq;
     long snapshot_seq;
+    boolean reset_seq;
     sequence<string> reset_types;
     sequence<OfferDelta_t> deltas;
   } DeltaBatch_t;
@@ -163,6 +164,7 @@ Value batch_to_value(const DeltaBatch& batch) {
         Value::integer(static_cast<std::int64_t>(batch.first_seq))},
        {"snapshot_seq",
         Value::integer(static_cast<std::int64_t>(batch.snapshot_seq))},
+       {"reset_seq", Value::boolean(batch.reset_seq)},
        {"reset_types", Value::sequence(std::move(reset_types))},
        {"deltas", Value::sequence(std::move(deltas))}});
 }
@@ -176,6 +178,7 @@ DeltaBatch batch_from_value(const Value& value) {
   batch.first_seq = static_cast<std::uint64_t>(value.at("first_seq").as_int());
   batch.snapshot_seq =
       static_cast<std::uint64_t>(value.at("snapshot_seq").as_int());
+  batch.reset_seq = value.at("reset_seq").as_bool();
   for (const Value& type : value.at("reset_types").elements()) {
     batch.reset_types.push_back(type.as_string());
   }
@@ -368,10 +371,14 @@ rpc::ServiceObjectPtr make_trader_service(Trader& trader, rpc::Network* network,
       scope.service_types.push_back(type.as_string());
     }
     scope.constraint = args.at(2).as_string();
+    // The serialised subscriber reference doubles as the sink descriptor:
+    // a durable trader journals it and rebuilds this exact sink after a
+    // restart (Trader::set_subscription_sink_factory).
     SubscriptionInfo info = trader.add_subscription(
         subscriber_ref.to_string(), scope,
         std::make_shared<RemoteReplicationSink>(*network, subscriber_ref,
-                                                sink_retry));
+                                                sink_retry),
+        subscriber_ref.to_string());
     return Value::structure(
         "Subscription_t",
         {{"id", Value::integer(static_cast<std::int64_t>(info.id))},

@@ -1,6 +1,7 @@
 #include "trader/offer_store.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -281,6 +282,7 @@ OfferStore::IndexedBasePtr OfferStore::rebuild_base(const Bucket& bucket) const 
               return a.seq < b.seq;
             });
 
+  next->slot_of_id.reserve(slots.size());
   for (std::uint32_t slot = 0; slot < slots.size(); ++slot) {
     const Offer& offer = *slots[slot].offer;
     next->slot_of_id.emplace(offer.id, slot);
@@ -346,6 +348,12 @@ void OfferStore::reclaim(Shard& shard) {
 }
 
 std::size_t OfferStore::reclaim_retired() {
+  // Only safe at quiescence: a reader pinned below the current epoch still
+  // dereferences the states this frees.  Callers (Trader::shutdown, test
+  // teardown) must have stopped every concurrent reader first — catch the
+  // ones that did not while assertions are on.
+  assert(min_pinned_epoch() == std::numeric_limits<std::uint64_t>::max() &&
+         "reclaim_retired() called with readers still pinned");
   std::size_t parked = 0;
   ReadGuard guard(*this);  // pins the table, not the states being freed
   for (std::size_t si = 0; si < guard.shards(); ++si) {
@@ -425,48 +433,13 @@ std::size_t OfferStore::placement_shard(const std::string& type,
   return home_shard_of(type, shards);
 }
 
-void OfferStore::insert_into(
-    std::unordered_map<std::string, BucketPtr>& buckets, Shard& shard,
-    OfferPtr offer, const std::vector<AttributeDef>& schema) {
-  const std::string& type = offer->service_type;
-  auto existing = buckets.find(type);
-  auto bucket = existing == buckets.end()
-                    ? std::make_shared<Bucket>()
-                    : std::make_shared<Bucket>(*existing->second);
-  if (!bucket->base) bucket->base = std::make_shared<IndexedBase>();
-  fold_schema(*bucket, schema);
-  bucket->delta.push_back(StoredOffer{next_seq_.fetch_add(1), std::move(offer)});
-  bucket->live += 1;
-  maybe_merge(*bucket, shard);
-  buckets[type] = std::move(bucket);
-}
-
 void OfferStore::insert(OfferPtr offer,
                         const std::vector<AttributeDef>& schema) {
-  const std::string type = offer->service_type;
-  const std::string id = offer->id;
-
-  ReadGuard guard(*this);
-  const std::uint32_t shard_index = static_cast<std::uint32_t>(
-      placement_shard(type, id, guard.shards()));
-  // The id map leads the bucket publication (a find() in the window simply
-  // reports the offer as not-yet-known): were it the other way around, a
-  // concurrent erase_if sweep could tombstone the fresh offer out of the
-  // bucket and miss the map entry entirely, leaving it stale forever.
-  // Lock order: id-slice and writer mutexes are never held together here.
-  {
-    IdShard& ids = id_shard(id);
-    std::lock_guard lock(ids.mutex);
-    ids.map[id] = IdEntry{type, shard_index};
-  }
-  Shard& shard = *guard.table().shards[shard_index];
-  {
-    std::lock_guard writer(shard.writer_mutex);
-    auto next = clone_state(shard);
-    insert_into(next->buckets, shard, std::move(offer), schema);
-    publish_shard(shard, std::move(next));
-  }
-  live_counter(type).fetch_add(1, std::memory_order_relaxed);
+  // Batch of one: placement, id-map-leads-bucket publication and counter
+  // settlement live once, in insert_batch.
+  std::vector<OfferPtr> one;
+  one.push_back(std::move(offer));
+  insert_batch(std::move(one), schema);
 }
 
 void OfferStore::insert_batch(std::vector<OfferPtr> offers,
@@ -561,61 +534,9 @@ OfferPtr OfferStore::find(const std::string& id) const {
 }
 
 bool OfferStore::erase(const std::string& id) {
-  IdEntry entry;
-  {
-    IdShard& ids = id_shard(id);
-    std::lock_guard lock(ids.mutex);
-    auto it = ids.map.find(id);
-    if (it == ids.map.end()) return false;
-    entry = it->second;
-  }
-
-  bool removed = false;
-  {
-    ReadGuard guard(*this);
-    if (entry.shard < guard.shards()) {
-      Shard& shard = *guard.table().shards[entry.shard];
-      std::lock_guard writer(shard.writer_mutex);
-      auto next = clone_state(shard);
-      auto bucket_it = next->buckets.find(entry.type);
-      if (bucket_it != next->buckets.end()) {
-        auto bucket = std::make_shared<Bucket>(*bucket_it->second);
-        auto delta_it = std::find_if(
-            bucket->delta.begin(), bucket->delta.end(),
-            [&](const StoredOffer& so) { return so.offer->id == id; });
-        if (delta_it != bucket->delta.end()) {
-          bucket->delta.erase(delta_it);
-          removed = true;
-        } else if ((bucket->dead.empty() || bucket->dead.count(id) == 0) &&
-                   bucket->base->slot_of_id.count(id)) {
-          // Already-dead slots fall through to the mismatch path below:
-          // treating them as live again would double-count the removal.
-          bucket->dead.insert(id);
-          removed = true;
-        }
-        if (removed) {
-          bucket->live -= 1;
-          maybe_merge(*bucket, shard);
-          bucket_it->second = std::move(bucket);
-          publish_shard(shard, std::move(next));
-        }
-      }
-    }
-  }
-
-  // Whether the buckets knew the offer or not, the map entry is spent: a
-  // mismatch means the entry was stale (the buckets are authoritative),
-  // and leaving it would send every later find/erase of this id to a
-  // bucket that will never know it.
-  {
-    IdShard& ids = id_shard(id);
-    std::lock_guard lock(ids.mutex);
-    ids.map.erase(id);
-  }
-  if (removed) {
-    live_counter(entry.type).fetch_sub(1, std::memory_order_relaxed);
-  }
-  return removed;
+  // Batch of one: withdraw_batch owns the tombstone/delta logic, the
+  // stale-id-map cleanup and the hot-split counter settlement.
+  return withdraw_batch({id}) != 0;
 }
 
 std::size_t OfferStore::withdraw_batch(const std::vector<std::string>& ids) {
@@ -707,42 +628,11 @@ std::size_t OfferStore::withdraw_batch(const std::vector<std::string>& ids) {
 }
 
 bool OfferStore::replace(const std::string& id, OfferPtr next_offer) {
-  IdEntry entry;
-  {
-    IdShard& ids = id_shard(id);
-    std::lock_guard lock(ids.mutex);
-    auto it = ids.map.find(id);
-    if (it == ids.map.end()) return false;
-    entry = it->second;
-  }
-
-  ReadGuard guard(*this);
-  if (entry.shard >= guard.shards()) return false;
-  Shard& shard = *guard.table().shards[entry.shard];
-  std::lock_guard writer(shard.writer_mutex);
-  auto next = clone_state(shard);
-  auto bucket_it = next->buckets.find(entry.type);
-  if (bucket_it == next->buckets.end()) return false;
-  auto bucket = std::make_shared<Bucket>(*bucket_it->second);
-
-  auto delta_it = std::find_if(
-      bucket->delta.begin(), bucket->delta.end(),
-      [&](const StoredOffer& so) { return so.offer->id == id; });
-  if (delta_it != bucket->delta.end()) {
-    delta_it->offer = std::move(next_offer);
-  } else {
-    if (!bucket->dead.empty() && bucket->dead.count(id)) return false;
-    auto slot_it = bucket->base->slot_of_id.find(id);
-    if (slot_it == bucket->base->slot_of_id.end()) return false;
-    // Keep the original sequence number so export order is stable.
-    std::uint64_t seq = bucket->base->slots[slot_it->second].seq;
-    bucket->dead.insert(id);
-    bucket->delta.push_back(StoredOffer{seq, std::move(next_offer)});
-  }
-  maybe_merge(*bucket, shard);
-  bucket_it->second = std::move(bucket);
-  publish_shard(shard, std::move(next));
-  return true;
+  // Batch of one: modify_batch keeps the original sequence number and owns
+  // the dead-slot bookkeeping.
+  std::vector<std::pair<std::string, OfferPtr>> one;
+  one.emplace_back(id, std::move(next_offer));
+  return modify_batch(std::move(one)) != 0;
 }
 
 std::size_t OfferStore::modify_batch(

@@ -476,11 +476,6 @@ class OfferStore {
                               std::size_t shards);
   std::atomic<std::int64_t>& live_counter(const std::string& type);
 
-  /// Apply one insert to a writer-owned mutable bucket map (no locking).
-  void insert_into(std::unordered_map<std::string, BucketPtr>& buckets,
-                   Shard& shard, OfferPtr offer,
-                   const std::vector<AttributeDef>& schema);
-
   /// One usable index lookup the planner decided to serve: an equality
   /// posting list, or a half-open span of an ord column.
   struct Selection {

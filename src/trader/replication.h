@@ -77,12 +77,20 @@ struct OfferDelta {
 /// `snapshot_seq`; a batch with non-empty `reset_types` is a digest
 /// repair — the subscriber clears exactly those type buckets, applies the
 /// upserts, and leaves the sequence high-water mark alone.
+///
+/// `reset_seq` marks a *re-arm* repair: a publisher recovering from a
+/// restart restarts its delta stream at a sequence past everything the
+/// subscriber may have acked (the recovered counter plus journal-tail
+/// slack), repairs divergent types in this batch, and tells the subscriber
+/// to adopt `snapshot_seq` as its new high-water mark — one anti-entropy
+/// round instead of a full resnapshot.
 struct DeltaBatch {
   std::string publisher;
   std::uint64_t subscription_id = 0;
   bool snapshot = false;
   std::uint64_t first_seq = 0;
   std::uint64_t snapshot_seq = 0;
+  bool reset_seq = false;
   std::vector<std::string> reset_types;
   std::vector<OfferDelta> deltas;
 };

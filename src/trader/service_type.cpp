@@ -20,35 +20,57 @@ void ServiceTypeManager::add(ServiceType type) {
                           "' has no type description");
     }
   }
-  std::lock_guard lock(mutex_);
-  if (types_.count(type.name)) {
-    throw ContractError("service type '" + type.name + "' already registered");
+  std::function<void(const ServiceType&)> notify;
+  ServiceType added;
+  {
+    std::lock_guard lock(mutex_);
+    if (types_.count(type.name)) {
+      throw ContractError("service type '" + type.name + "' already registered");
+    }
+    if (!type.supertype.empty() && !types_.count(type.supertype)) {
+      throw ContractError("supertype '" + type.supertype + "' of '" + type.name +
+                          "' is not registered");
+    }
+    auto grown = std::make_shared<std::unordered_set<std::string>>(*ever_declared_);
+    for (const auto& a : type.attributes) grown->insert(a.name);
+    if (on_add_) {
+      notify = on_add_;
+      added = type;
+    }
+    types_.emplace(type.name, std::move(type));
+    ever_declared_ = std::move(grown);
+    closure_cache_.clear();
+    layout_epoch_.fetch_add(1, std::memory_order_release);
   }
-  if (!type.supertype.empty() && !types_.count(type.supertype)) {
-    throw ContractError("supertype '" + type.supertype + "' of '" + type.name +
-                        "' is not registered");
-  }
-  auto grown = std::make_shared<std::unordered_set<std::string>>(*ever_declared_);
-  for (const auto& a : type.attributes) grown->insert(a.name);
-  types_.emplace(type.name, std::move(type));
-  ever_declared_ = std::move(grown);
-  closure_cache_.clear();
-  layout_epoch_.fetch_add(1, std::memory_order_release);
+  if (notify) notify(added);
 }
 
 void ServiceTypeManager::remove(const std::string& name) {
-  std::lock_guard lock(mutex_);
-  if (!types_.count(name)) throw NotFound("unknown service type '" + name + "'");
-  for (const auto& [other_name, other] : types_) {
-    if (other.supertype == name) {
-      throw ContractError("cannot remove service type '" + name + "': '" +
-                          other_name + "' derives from it");
+  std::function<void(const std::string&)> notify;
+  {
+    std::lock_guard lock(mutex_);
+    if (!types_.count(name)) throw NotFound("unknown service type '" + name + "'");
+    for (const auto& [other_name, other] : types_) {
+      if (other.supertype == name) {
+        throw ContractError("cannot remove service type '" + name + "': '" +
+                            other_name + "' derives from it");
+      }
     }
+    types_.erase(name);
+    closure_cache_.clear();
+    // ever_declared_ is deliberately not shrunk (see header).
+    layout_epoch_.fetch_add(1, std::memory_order_release);
+    notify = on_remove_;
   }
-  types_.erase(name);
-  closure_cache_.clear();
-  // ever_declared_ is deliberately not shrunk (see header).
-  layout_epoch_.fetch_add(1, std::memory_order_release);
+  if (notify) notify(name);
+}
+
+void ServiceTypeManager::set_listener(
+    std::function<void(const ServiceType&)> on_add,
+    std::function<void(const std::string&)> on_remove) {
+  std::lock_guard lock(mutex_);
+  on_add_ = std::move(on_add);
+  on_remove_ = std::move(on_remove);
 }
 
 std::shared_ptr<const std::unordered_set<std::string>>
@@ -74,6 +96,14 @@ std::vector<std::string> ServiceTypeManager::names() const {
   std::vector<std::string> out;
   out.reserve(types_.size());
   for (const auto& [name, type] : types_) out.push_back(name);
+  return out;
+}
+
+std::vector<ServiceType> ServiceTypeManager::all() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ServiceType> out;
+  out.reserve(types_.size());
+  for (const auto& [name, type] : types_) out.push_back(type);
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -77,6 +78,16 @@ class ServiceTypeManager {
 
   /// Sorted list of all type names.
   std::vector<std::string> names() const;
+
+  /// Copies of every registered type, in sorted name order (recovery
+  /// snapshots iterate this).
+  std::vector<ServiceType> all() const;
+
+  /// Observe successful add / remove (the durable trader journals type
+  /// definitions through these).  Callbacks run after the mutation, with
+  /// the manager's lock released; install before concurrent use.
+  void set_listener(std::function<void(const ServiceType&)> on_add,
+                    std::function<void(const std::string&)> on_remove);
 
   /// Reflexive-transitive subtype check along supertype chains.  Served
   /// from the memoized closure cache (built per base on first use,
@@ -149,6 +160,9 @@ class ServiceTypeManager {
   /// COW snapshot (replaced, never mutated, under mutex_).
   std::shared_ptr<const std::unordered_set<std::string>> ever_declared_ =
       std::make_shared<const std::unordered_set<std::string>>();
+  /// Mutation observers (guarded by mutex_; invoked with it released).
+  std::function<void(const ServiceType&)> on_add_;
+  std::function<void(const std::string&)> on_remove_;
 };
 
 /// Verify an exporter's SID implements the service type's operational

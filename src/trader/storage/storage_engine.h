@@ -1,0 +1,191 @@
+// Durability as a constructor-injected policy (ROADMAP item 5).
+//
+// A Trader owns a StorageEngine.  The default NullStorage keeps today's
+// in-memory behaviour: every hook is a no-op, recovery finds nothing, and
+// the trader costs exactly one null check per mutation.  WalStorage
+// (wal_storage.h) journals offer mutations, service-type definitions,
+// subscription registrations and replay-cache high-water marks into a
+// group-committed write-ahead log with periodic snapshots, so a restarted
+// trader recovers its full market state and the at-most-once contract
+// holds across reboot.
+//
+// Write protocol (offer mutations): the trader logs *before* it applies
+// (write-ahead), bracketed by an ApplyScope so the snapshot worker can
+// drain in-flight log→apply windows before it forks the store state —
+// otherwise a record could land in a truncated segment while its effect
+// missed the snapshot.  Management-plane records (types, subscriptions,
+// clock) are logged after apply; anything logged is then already visible
+// to a snapshot, which makes truncation trivially safe for them.
+//
+// Ordering caveat (documented, mirrors the replication layer): two racing
+// conflicting mutations of the same offer id may journal in the opposite
+// order of their in-memory application.  Such races have a
+// scheduler-determined outcome even without a WAL; recovery then lands on
+// one of the two racy outcomes, and subscribers reconcile via the same
+// anti-entropy round that already bounds replication divergence.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trader/offer_store.h"
+#include "trader/replication.h"
+#include "trader/service_type.h"
+
+namespace cosm::trader::storage {
+
+/// Durability knobs (CosmConfig::storage; WalStorage construction).
+struct StorageOptions {
+  /// Journal + snapshot directory; created if absent.  Required.
+  std::string directory;
+  /// Log segment size before rotation.
+  std::size_t segment_bytes = 64ull << 20;
+  /// Journal bytes since the last snapshot before a new one is taken
+  /// (0 = never snapshot automatically).
+  std::size_t snapshot_every_bytes = 256ull << 20;
+  /// fdatasync every group commit.  Off by default: the durability model
+  /// is process-crash survival (a SIGKILLed trader loses nothing once
+  /// write(2) returned — the page cache survives the process); turning
+  /// this on extends it to power failure at a large latency cost.
+  bool fsync = false;
+};
+
+/// Publisher-side subscription state that must survive a restart: enough
+/// to rebuild the sink (sink_desc names the subscriber's service
+/// reference) and to restart the delta sequence past every number the
+/// subscriber may have seen.
+struct SubscriptionRecord {
+  std::uint64_t id = 0;
+  std::string subscriber;
+  /// Sink reconstruction handle — the subscriber trader's ServiceRef
+  /// string for RPC subscriptions, empty when the sink is process-local
+  /// (not reconstructible; such subscriptions drop on recovery).
+  std::string sink_desc;
+  SubscriptionScope scope;
+  /// Upper bound on the publisher's next delta sequence (persisted value
+  /// plus tail-record slack) — never below what the subscriber acked.
+  std::uint64_t next_seq = 1;
+};
+
+/// Everything recovery hands back to the trader.
+struct RecoveredState {
+  std::uint64_t next_offer = 1;
+  std::uint64_t clock_hours = 0;
+  std::vector<ServiceType> types;  ///< unordered; registrant topo-sorts
+  /// Already heap-wrapped: recovery decodes straight into the shared form
+  /// the offer store keeps, so a million-offer restart skips a re-wrap
+  /// pass over every offer.
+  std::vector<OfferPtr> offers;
+  std::vector<SubscriptionRecord> subscriptions;
+  /// Per-session replay high-water marks (max request id whose execution
+  /// was journalled) — seeds the RPC server's replay cache so a duplicate
+  /// reissued across the restart is refused instead of re-executed.
+  std::unordered_map<std::string, std::uint64_t> replay_marks;
+};
+
+/// What the snapshot worker collects through the trader (off the writer
+/// path: the offer fork is an epoch-pinned read).
+struct SnapshotState {
+  std::uint64_t next_offer = 1;
+  std::uint64_t clock_hours = 0;
+  std::vector<ServiceType> types;
+  std::vector<Offer> offers;
+  std::vector<SubscriptionRecord> subscriptions;
+};
+
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+  virtual SnapshotState snapshot_state() = 0;
+};
+
+/// The injected durability policy.  Every hook is a no-op in the base
+/// class, which doubles as NullStorage semantics; WalStorage overrides
+/// them.  Offer-mutation hooks may block for a group commit; management
+/// hooks block for a single append.  All hooks are thread-safe.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// True when this engine persists anything (drives Trader's
+  /// recover-before-mutate contract check).
+  virtual bool durable() const { return false; }
+
+  // --- recovery ---
+
+  /// Load the persisted state (snapshot + journal tail) and arm the
+  /// journal for appends.  Returns false when there is nothing to
+  /// recover (fresh directory / null engine).  Called once, before any
+  /// log hook.
+  virtual bool recover(RecoveredState*) { return false; }
+
+  /// The replay high-water marks recover() found (empty before/without
+  /// recovery) — wired into rpc::ReplayCache::seed_marks by the runtime.
+  virtual std::unordered_map<std::string, std::uint64_t>
+  recovered_replay_marks() const {
+    return {};
+  }
+
+  // --- mutation journal (trader write paths) ---
+
+  /// Journal full-offer upserts (insert / modify / lease change collapse,
+  /// exactly like replication's OfferDelta).  `minted_through` is the
+  /// offer-id counter after minting this batch (0 when no ids were
+  /// minted) so recovery never re-issues an id.  Tagged with the calling
+  /// thread's RPC (session, request id) when inside a dispatch — the
+  /// mutation record and its replay mark are one atomic commit.
+  virtual void log_upserts(const std::vector<OfferPtr>&,
+                           std::uint64_t /*minted_through*/ = 0) {}
+  virtual void log_removes(const std::vector<std::string>& /*ids*/) {}
+  virtual void log_clock(std::uint64_t /*clock_hours*/) {}
+
+  // --- management journal ---
+  virtual void log_type_added(const ServiceType&) {}
+  virtual void log_type_removed(const std::string& /*name*/) {}
+  virtual void log_subscription(const SubscriptionRecord&) {}
+  virtual void log_unsubscription(std::uint64_t /*id*/) {}
+
+  // --- snapshot coordination ---
+
+  /// Register (or clear, with nullptr) the state provider for periodic
+  /// snapshots.  Clearing blocks until any in-progress snapshot stops
+  /// using the source.
+  virtual void set_snapshot_source(SnapshotSource*) {}
+
+  /// Take a snapshot now (tests, shutdown); no-op without a source.
+  virtual bool snapshot_now() { return false; }
+
+  /// Brackets one log→apply window (see file comment).  begin_apply runs
+  /// before the journal append, end_apply after the in-memory apply.
+  virtual void begin_apply() {}
+  virtual void end_apply() {}
+
+  /// Block until everything journalled so far is durable.
+  virtual void flush() {}
+};
+
+/// RAII for the log→apply window.  Null-engine tolerant.
+class ApplyScope {
+ public:
+  explicit ApplyScope(StorageEngine* engine) : engine_(engine) {
+    if (engine_) engine_->begin_apply();
+  }
+  ~ApplyScope() {
+    if (engine_) engine_->end_apply();
+  }
+  ApplyScope(const ApplyScope&) = delete;
+  ApplyScope& operator=(const ApplyScope&) = delete;
+
+ private:
+  StorageEngine* engine_;
+};
+
+/// The explicit "durability off" policy: identical to passing no engine,
+/// spelled out so call sites read as a decision rather than an omission.
+class NullStorage final : public StorageEngine {};
+
+}  // namespace cosm::trader::storage

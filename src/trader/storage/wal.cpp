@@ -1,0 +1,352 @@
+#include "trader/storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/error.h"
+
+namespace cosm::trader::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Eight derived tables for slicing-by-8: table[0] is the classic
+/// CRC-32 (IEEE, reflected) byte table, table[k] advances a byte k
+/// positions further.  Same polynomial and results as byte-at-a-time,
+/// ~4x the throughput — recovery checksums hundreds of MB.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+constexpr std::size_t kFrameHeader = 8;  // u32 crc + u32 len
+
+/// Parse "wal-%08u.log" / "snapshot-%08u.snap"; 0 on mismatch.
+std::uint64_t parse_numbered(const std::string& name, const char* prefix,
+                             const char* suffix) {
+  const std::size_t plen = std::strlen(prefix);
+  const std::size_t slen = std::strlen(suffix);
+  if (name.size() <= plen + slen) return 0;
+  if (name.compare(0, plen, prefix) != 0) return 0;
+  if (name.compare(name.size() - slen, slen, suffix) != 0) return 0;
+  std::uint64_t value = 0;
+  for (std::size_t i = plen; i < name.size() - slen; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    value = value * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return value;
+}
+
+std::string numbered(const char* prefix, std::uint64_t seg, const char* suffix) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%08llu%s", prefix,
+                static_cast<unsigned long long>(seg), suffix);
+  return buf;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("wal: write failed: ") + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      make_crc_tables();
+  const auto& t = tables;
+  std::uint32_t c = 0xFFFFFFFFu;
+  while (size >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(data[0]) |
+                                  (static_cast<std::uint32_t>(data[1]) << 8) |
+                                  (static_cast<std::uint32_t>(data[2]) << 16) |
+                                  (static_cast<std::uint32_t>(data[3]) << 24));
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][data[4]] ^ t[2][data[5]] ^ t[1][data[6]] ^
+        t[0][data[7]];
+    data += 8;
+    size -= 8;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string WriteAheadLog::segment_path(const std::string& dir,
+                                        std::uint64_t seg) {
+  return dir + "/" + numbered("wal-", seg, ".log");
+}
+
+std::string WriteAheadLog::snapshot_path(const std::string& dir,
+                                         std::uint64_t seg) {
+  return dir + "/" + numbered("snapshot-", seg, ".snap");
+}
+
+WriteAheadLog::WriteAheadLog(
+    Options options, const std::function<void(const Replayed&)>& on_record,
+    std::uint64_t* snapshot_segment_out)
+    : options_(std::move(options)) {
+  if (options_.directory.empty()) {
+    throw ContractError("wal: a directory is required");
+  }
+  if (options_.segment_bytes < 4096) {
+    throw ContractError("wal: segment_bytes must be at least 4096");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.directory, ec);
+  if (ec) {
+    throw Error("wal: cannot create '" + options_.directory +
+                "': " + ec.message());
+  }
+
+  // Inventory the directory: segments, and the newest *valid* snapshot
+  // (a crash during snapshot write leaves only a tmp file, which is
+  // ignored and cleaned here — the rename into place is the commit).
+  std::vector<std::uint64_t> segments;
+  std::uint64_t snapshot_seg = 0;
+  for (const auto& entry : fs::directory_iterator(options_.directory)) {
+    const std::string name = entry.path().filename().string();
+    if (std::uint64_t seg = parse_numbered(name, "wal-", ".log")) {
+      segments.push_back(seg);
+    } else if (std::uint64_t snap = parse_numbered(name, "snapshot-", ".snap")) {
+      snapshot_seg = std::max(snapshot_seg, snap);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);  // torn snapshot attempt
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  if (snapshot_segment_out) *snapshot_segment_out = snapshot_seg;
+
+  // Replay segments >= the snapshot mark, stopping each segment at its
+  // first torn/corrupt frame.
+  std::uint64_t last_segment = segments.empty() ? 0 : segments.back();
+  std::uint64_t tail_valid_bytes = 0;
+  Bytes file;
+  for (std::uint64_t seg : segments) {
+    if (seg < snapshot_seg) continue;
+    const std::string path = segment_path(options_.directory, seg);
+    file.clear();
+    {
+      int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) {
+        throw Error("wal: cannot open '" + path + "': " + std::strerror(errno));
+      }
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        file.resize(static_cast<std::size_t>(st.st_size));
+        std::size_t off = 0;
+        while (off < file.size()) {
+          ssize_t n = ::read(fd, file.data() + off, file.size() - off);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) break;
+          off += static_cast<std::size_t>(n);
+        }
+        file.resize(off);
+      }
+      ::close(fd);
+    }
+    std::size_t pos = 0;
+    while (pos + kFrameHeader <= file.size()) {
+      const std::uint32_t crc = read_u32le(file.data() + pos);
+      const std::uint32_t len = read_u32le(file.data() + pos + 4);
+      if (pos + kFrameHeader + len > file.size()) break;  // torn tail
+      const std::uint8_t* payload = file.data() + pos + kFrameHeader;
+      if (crc32(payload, len) != crc) break;  // corrupt: drop the rest
+      if (on_record) on_record({seg, BytesView(payload, len)});
+      pos += kFrameHeader + len;
+    }
+    if (seg == last_segment) tail_valid_bytes = pos;
+  }
+
+  std::unique_lock lock(mutex_);
+  if (last_segment == 0) {
+    open_segment_locked(std::max<std::uint64_t>(snapshot_seg, 1), false);
+  } else {
+    segment_ = last_segment;
+    segment_bytes_written_ = tail_valid_bytes;
+    open_segment_locked(last_segment, true);
+  }
+}
+
+void WriteAheadLog::open_segment_locked(std::uint64_t segment,
+                                        bool truncate_to_valid) {
+  const std::string path = segment_path(options_.directory, segment);
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw Error("wal: cannot open '" + path + "': " + std::strerror(errno));
+  }
+  if (truncate_to_valid) {
+    // Drop the torn tail so new frames never append behind garbage that
+    // replay would stop at.
+    if (::ftruncate(fd, static_cast<off_t>(segment_bytes_written_)) != 0) {
+      ::close(fd);
+      throw Error("wal: cannot truncate '" + path +
+                  "': " + std::strerror(errno));
+    }
+  } else {
+    segment_bytes_written_ = 0;
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  segment_ = segment;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  {
+    std::unique_lock lock(mutex_);
+    durable_cv_.wait(lock, [this] { return !leader_active_; });
+    if (staged_lsn_ > durable_lsn_) leader_commit(lock);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WriteAheadLog::append(BytesView payload) {
+  std::uint8_t header[kFrameHeader];
+  write_u32le(header,
+              crc32(payload.data(), payload.size()));
+  write_u32le(header + 4, static_cast<std::uint32_t>(payload.size()));
+
+  std::unique_lock lock(mutex_);
+  pending_.insert(pending_.end(), header, header + kFrameHeader);
+  pending_.insert(pending_.end(), payload.data(), payload.data() + payload.size());
+  const std::uint64_t my_lsn = ++staged_lsn_;
+  total_bytes_ += kFrameHeader + payload.size();
+  if (leader_active_) {
+    // A leader is writing; it (or a successor) will commit this frame.
+    durable_cv_.wait(lock, [&] { return durable_lsn_ >= my_lsn; });
+    return;
+  }
+  leader_commit(lock);
+}
+
+void WriteAheadLog::leader_commit(std::unique_lock<std::mutex>& lock) {
+  leader_active_ = true;
+  while (staged_lsn_ > durable_lsn_) {
+    Bytes batch = std::move(pending_);
+    pending_ = Bytes{};
+    const std::uint64_t target = staged_lsn_;
+    const int fd = fd_;
+    lock.unlock();
+    write_all(fd, batch.data(), batch.size());
+    if (options_.fsync) {
+#if defined(__APPLE__)
+      ::fsync(fd);
+#else
+      ::fdatasync(fd);
+#endif
+    }
+    lock.lock();
+    segment_bytes_written_ += batch.size();
+    durable_lsn_ = target;
+    ++commits_;
+    if (segment_bytes_written_ >= options_.segment_bytes &&
+        staged_lsn_ == durable_lsn_) {
+      segment_bytes_written_ = 0;
+      open_segment_locked(segment_ + 1, false);
+    }
+    durable_cv_.notify_all();
+  }
+  leader_active_ = false;
+  durable_cv_.notify_all();
+}
+
+std::uint64_t WriteAheadLog::rotate() {
+  std::unique_lock lock(mutex_);
+  durable_cv_.wait(lock, [this] { return !leader_active_; });
+  if (staged_lsn_ > durable_lsn_) leader_commit(lock);
+  segment_bytes_written_ = 0;
+  open_segment_locked(segment_ + 1, false);
+  return segment_;
+}
+
+void WriteAheadLog::truncate_before(std::uint64_t segment) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (std::uint64_t seg = parse_numbered(name, "wal-", ".log")) {
+      if (seg < segment) fs::remove(entry.path(), ec);
+    } else if (std::uint64_t snap = parse_numbered(name, "snapshot-", ".snap")) {
+      if (snap < segment) fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::uint64_t WriteAheadLog::current_segment() const {
+  std::lock_guard lock(mutex_);
+  return segment_;
+}
+
+std::uint64_t WriteAheadLog::bytes_appended() const {
+  std::lock_guard lock(mutex_);
+  return total_bytes_;
+}
+
+void WriteAheadLog::flush() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t target = staged_lsn_;
+  if (durable_lsn_ >= target) return;
+  if (leader_active_) {
+    durable_cv_.wait(lock, [&] { return durable_lsn_ >= target; });
+    return;
+  }
+  leader_commit(lock);
+}
+
+std::uint64_t WriteAheadLog::commits() const {
+  std::lock_guard lock(mutex_);
+  return commits_;
+}
+
+std::uint64_t WriteAheadLog::appends() const {
+  std::lock_guard lock(mutex_);
+  return staged_lsn_;
+}
+
+}  // namespace cosm::trader::storage

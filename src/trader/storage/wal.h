@@ -1,0 +1,119 @@
+// Group-committed, CRC-framed, segmented write-ahead log.
+//
+// On-disk layout (one directory):
+//
+//   wal-00000001.log        record frames, append-only
+//   wal-00000002.log        ...
+//   snapshot-00000002.snap  "state through segment 1; replay segments >= 2"
+//
+// Record frame: u32 CRC32 over the payload, u32 payload length (both
+// little-endian), payload bytes.  Replay walks segments in order and stops
+// at the first frame that is truncated or fails its CRC — a torn tail
+// (the crash cut a group commit mid-write) drops only the un-committed
+// suffix; the committed prefix replays in full.  After replay the tail
+// segment is truncated back to its last valid frame so new appends never
+// land behind garbage.
+//
+// Group commit: concurrent appenders stage frames into a shared pending
+// buffer under the log mutex; the first appender to find no active leader
+// becomes the leader, swaps the buffer out, issues ONE write(2) (plus an
+// optional fdatasync) for everything staged, publishes the new durable
+// LSN and wakes the waiters.  Under contention the syscall cost amortises
+// across every staged frame; single-threaded appends degrade to one
+// write(2) each.
+//
+// Durability model: an append returns once its bytes are accepted by the
+// kernel (write(2)), which survives any process death — SIGKILL included.
+// Options::fsync extends that to machine power loss per group commit.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace cosm::trader::storage {
+
+/// CRC-32 (IEEE, reflected) of a byte range — the frame checksum.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+class WriteAheadLog {
+ public:
+  struct Options {
+    std::string directory;
+    std::size_t segment_bytes = 64ull << 20;
+    bool fsync = false;
+  };
+
+  /// One replayed record with the segment it came from.
+  struct Replayed {
+    std::uint64_t segment = 0;
+    BytesView payload;
+  };
+
+  /// Opens (creating the directory if needed), replays every record of
+  /// every segment at or after the newest valid snapshot mark through
+  /// `on_record`, truncates the torn tail, and arms the log for appends.
+  /// `snapshot_segment_out` receives the snapshot's segment number (0 =
+  /// no snapshot found).  Throws cosm::Error on unusable directories.
+  WriteAheadLog(Options options,
+                const std::function<void(const Replayed&)>& on_record,
+                std::uint64_t* snapshot_segment_out);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Append one record and block until it is durable (group commit).
+  void append(BytesView payload);
+
+  /// Close the current segment and open the next; appends staged before
+  /// the call land in the old segment.  Returns the new segment number.
+  std::uint64_t rotate();
+
+  /// Delete every segment before `segment` and every snapshot file older
+  /// than the one marking `segment`.  Called after a snapshot renamed
+  /// into place.
+  void truncate_before(std::uint64_t segment);
+
+  /// Current segment number (the one appends go to).
+  std::uint64_t current_segment() const;
+
+  /// Bytes appended since construction (snapshot trigger bookkeeping).
+  std::uint64_t bytes_appended() const;
+
+  /// Block until every staged append is durable.
+  void flush();
+
+  /// Group commits issued (leader write+sync rounds).
+  std::uint64_t commits() const;
+  /// Frames appended.
+  std::uint64_t appends() const;
+
+  static std::string segment_path(const std::string& dir, std::uint64_t seg);
+  static std::string snapshot_path(const std::string& dir, std::uint64_t seg);
+
+ private:
+  void open_segment_locked(std::uint64_t segment, bool truncate_to_valid);
+  void leader_commit(std::unique_lock<std::mutex>& lock);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable durable_cv_;
+  Bytes pending_;                  ///< staged frames (guarded by mutex_)
+  std::uint64_t staged_lsn_ = 0;   ///< frames staged
+  std::uint64_t durable_lsn_ = 0;  ///< frames durable
+  bool leader_active_ = false;
+  int fd_ = -1;
+  std::uint64_t segment_ = 0;
+  std::uint64_t segment_bytes_written_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t commits_ = 0;
+};
+
+}  // namespace cosm::trader::storage

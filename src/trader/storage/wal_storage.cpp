@@ -1,0 +1,750 @@
+#include "trader/storage/wal_storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <thread>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "rpc/call_context.h"
+#include "sidl/parser.h"
+#include "sidl/printer.h"
+#include "trader/facade.h"
+#include "wire/codec.h"
+
+namespace cosm::trader::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Record kinds — part of the on-disk format, append only.
+enum RecordKind : std::uint8_t {
+  kOfferUpsert = 1,
+  kOfferRemove = 2,
+  kClock = 3,
+  kTypeAdded = 4,
+  kTypeRemoved = 5,
+  kSubscriptionAdd = 6,
+  kSubscriptionRemove = 7,
+};
+
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Each record leads with the replay identity of the RPC that caused it
+/// (empty session when the mutation came from outside a dispatch, e.g. a
+/// local embedding).  Session + max request id per session rebuild the
+/// replay-cache high-water marks on recovery.
+void write_record_header(ByteWriter& w, RecordKind kind) {
+  const rpc::CallContext ctx = rpc::current_call_context();
+  w.u8(kind);
+  w.str(ctx.session);
+  w.varint(ctx.request_id);
+}
+
+/// Offers encode field-direct rather than through the Offer_t Value form
+/// the RPC surface uses: recovery decodes millions of them, and skipping
+/// the intermediate Value tree (a string-keyed map per offer plus a copy
+/// per field) makes replay several times cheaper.  Attribute values are
+/// wire Values already and use the generic codec as leaves.  The leading
+/// length keeps each offer a skippable slice, so a multi-core recovery
+/// can hop the snapshot's offer section and decode slices in parallel.
+void encode_offer(ByteWriter& w, const Offer& offer) {
+  const std::size_t slot = w.varint_slot();
+  const std::size_t start = w.size();
+  w.str(offer.id);
+  w.str(offer.service_type);
+  w.str(offer.ref.id);
+  w.str(offer.ref.endpoint);
+  w.str(offer.ref.interface_name);
+  w.varint(offer.attributes.size());
+  for (const auto& [name, value] : offer.attributes) {
+    w.str(name);
+    wire::encode_value(w, value);
+  }
+  w.varint(offer.dynamic_attrs.size());
+  for (const auto& [name, operation] : offer.dynamic_attrs) {
+    w.str(name);
+    w.str(operation);
+  }
+  w.varint(offer.lease_expires_at);
+  w.patch_varint(slot, w.size() - start);
+}
+
+Offer decode_offer_body(ByteReader& r) {
+  Offer offer;
+  offer.id = r.str();
+  offer.service_type = r.str();
+  offer.ref.id = r.str();
+  offer.ref.endpoint = r.str();
+  offer.ref.interface_name = r.str();
+  const std::uint64_t nattrs = r.varint();
+  for (std::uint64_t i = 0; i < nattrs; ++i) {
+    std::string name = r.str();
+    offer.attributes.emplace(std::move(name), wire::decode_value(r));
+  }
+  const std::uint64_t ndyn = r.varint();
+  for (std::uint64_t i = 0; i < ndyn; ++i) {
+    std::string name = r.str();
+    offer.dynamic_attrs.emplace(std::move(name), r.str());
+  }
+  offer.lease_expires_at = r.varint();
+  return offer;
+}
+
+Offer decode_offer(ByteReader& r) {
+  const std::uint64_t len = r.varint();
+  ByteReader body(r.view(static_cast<std::size_t>(len)));
+  return decode_offer_body(body);
+}
+
+/// Types serialize through their SIDL source form (print_type /
+/// parse_type), the same trick the wire codec uses for SIDs: the textual
+/// form is the stable representation.
+void encode_type(ByteWriter& w, const ServiceType& type) {
+  w.str(type.name);
+  w.str(type.supertype);
+  w.varint(type.attributes.size());
+  for (const AttributeDef& attr : type.attributes) {
+    w.str(attr.name);
+    w.str(sidl::print_type(*attr.type));
+    w.u8(attr.required ? 1 : 0);
+  }
+  w.varint(type.signature.size());
+  for (const sidl::OperationDesc& op : type.signature) {
+    w.str(op.name);
+    w.str(sidl::print_type(*op.result));
+    w.varint(op.params.size());
+    for (const sidl::ParamDesc& param : op.params) {
+      w.u8(static_cast<std::uint8_t>(param.dir));
+      w.str(param.name);
+      w.str(sidl::print_type(*param.type));
+    }
+  }
+}
+
+ServiceType decode_type(ByteReader& r) {
+  ServiceType type;
+  type.name = r.str();
+  type.supertype = r.str();
+  const std::uint64_t nattrs = r.varint();
+  type.attributes.reserve(nattrs);
+  for (std::uint64_t i = 0; i < nattrs; ++i) {
+    AttributeDef attr;
+    attr.name = r.str();
+    attr.type = sidl::parse_type(r.str());
+    attr.required = r.u8() != 0;
+    type.attributes.push_back(std::move(attr));
+  }
+  const std::uint64_t nops = r.varint();
+  type.signature.reserve(nops);
+  for (std::uint64_t i = 0; i < nops; ++i) {
+    sidl::OperationDesc op;
+    op.name = r.str();
+    op.result = sidl::parse_type(r.str());
+    const std::uint64_t nparams = r.varint();
+    op.params.reserve(nparams);
+    for (std::uint64_t j = 0; j < nparams; ++j) {
+      sidl::ParamDesc param;
+      param.dir = static_cast<sidl::ParamDir>(r.u8());
+      param.name = r.str();
+      param.type = sidl::parse_type(r.str());
+      op.params.push_back(std::move(param));
+    }
+    type.signature.push_back(std::move(op));
+  }
+  return type;
+}
+
+void encode_subscription(ByteWriter& w, const SubscriptionRecord& sub) {
+  w.varint(sub.id);
+  w.str(sub.subscriber);
+  w.str(sub.sink_desc);
+  w.varint(sub.scope.service_types.size());
+  for (const std::string& type : sub.scope.service_types) w.str(type);
+  w.str(sub.scope.constraint);
+  w.varint(sub.next_seq);
+}
+
+SubscriptionRecord decode_subscription(ByteReader& r) {
+  SubscriptionRecord sub;
+  sub.id = r.varint();
+  sub.subscriber = r.str();
+  sub.sink_desc = r.str();
+  const std::uint64_t ntypes = r.varint();
+  sub.scope.service_types.reserve(ntypes);
+  for (std::uint64_t i = 0; i < ntypes; ++i) {
+    sub.scope.service_types.push_back(r.str());
+  }
+  sub.scope.constraint = r.str();
+  sub.next_seq = r.varint();
+  return sub;
+}
+
+void write_file_atomic(const std::string& path, const Bytes& content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw Error("storage: cannot create '" + tmp + "': " + std::strerror(errno));
+  }
+  const std::uint8_t* data = content.data();
+  std::size_t size = content.size();
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw Error(std::string("storage: snapshot write failed: ") +
+                  std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw Error("storage: cannot rename '" + tmp + "' into place: " +
+                std::strerror(errno));
+  }
+}
+
+bool read_whole_file(const std::string& path, Bytes* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return false;
+  }
+  out->resize(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < out->size()) {
+    ssize_t n = ::read(fd, out->data() + off, out->size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  out->resize(off);
+  return true;
+}
+
+}  // namespace
+
+/// Mutable collapse of snapshot + replayed tail.  Upserts and removes fold
+/// by offer id; type and subscription records fold by name/id; counters
+/// fold by max — exactly the idempotence that makes replaying a record
+/// whose effect is already in the snapshot harmless.
+///
+/// Snapshot offers stay in a flat vector and never enter the fold maps:
+/// the tail is small relative to a million-offer snapshot, so the replay
+/// keeps an *overlay* (upserts + removed ids) and the final assembly walks
+/// the snapshot once, skipping entries the tail touched.  This is what
+/// keeps recovery O(snapshot) with tiny constants instead of paying a
+/// map insertion per snapshot offer.
+struct WalStorage::ReplayAccumulator {
+  std::uint64_t next_offer = 1;
+  std::uint64_t clock_hours = 0;
+  std::map<std::string, ServiceType> types;
+  /// Offers decoded straight out of the snapshot body (unique ids).
+  std::vector<OfferPtr> snapshot_offers;
+  /// Tail overlay: last-writer-wins upserts and removed ids.  An id in
+  /// either shadows its snapshot entry.
+  std::unordered_map<std::string, OfferPtr> offers;
+  std::unordered_set<std::string> removed;
+  std::map<std::uint64_t, SubscriptionRecord> subscriptions;
+  std::unordered_map<std::string, std::uint64_t> marks;
+  /// Offer mutations replayed from the log tail — the slack added to every
+  /// recovered subscription's next_seq so the re-armed publisher never
+  /// reuses a sequence number the subscriber may have acked.
+  std::uint64_t tail_mutations = 0;
+
+  void mark(const std::string& session, std::uint64_t request_id) {
+    if (session.empty()) return;
+    std::uint64_t& hwm = marks[session];
+    hwm = std::max(hwm, request_id);
+  }
+
+  /// Collapse snapshot + overlay into one offer list (order: snapshot
+  /// survivors first, then tail upserts).
+  std::vector<OfferPtr> collapse_offers() {
+    std::vector<OfferPtr> out;
+    out.reserve(snapshot_offers.size() + offers.size());
+    const bool tail_touched = !offers.empty() || !removed.empty();
+    for (OfferPtr& offer : snapshot_offers) {
+      if (tail_touched &&
+          (offers.count(offer->id) != 0 ||
+           (!removed.empty() && removed.count(offer->id) != 0))) {
+        continue;  // the tail re-wrote or removed it
+      }
+      out.push_back(std::move(offer));
+    }
+    for (auto& [id, offer] : offers) out.push_back(std::move(offer));
+    return out;
+  }
+
+  void apply_record(BytesView payload) {
+    ByteReader r(payload);
+    const auto kind = static_cast<RecordKind>(r.u8());
+    // Sequenced reads: function-argument evaluation order is unspecified,
+    // so `mark(r.str(), r.varint())` would read the header backwards on
+    // right-to-left compilers.
+    std::string session = r.str();
+    const std::uint64_t request_id = r.varint();
+    mark(session, request_id);
+    switch (kind) {
+      case kOfferUpsert: {
+        const std::uint64_t minted_through = r.varint();
+        if (minted_through > 0) {
+          next_offer = std::max(next_offer, minted_through);
+        }
+        const std::uint64_t count = r.varint();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          auto offer = std::make_shared<const Offer>(decode_offer(r));
+          removed.erase(offer->id);
+          const std::string& id = offer->id;
+          offers.insert_or_assign(id, std::move(offer));
+          ++tail_mutations;
+        }
+        break;
+      }
+      case kOfferRemove: {
+        const std::uint64_t count = r.varint();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          std::string id = r.str();
+          offers.erase(id);
+          removed.insert(std::move(id));
+          ++tail_mutations;
+        }
+        break;
+      }
+      case kClock:
+        clock_hours = std::max(clock_hours, r.varint());
+        break;
+      case kTypeAdded: {
+        ServiceType type = decode_type(r);
+        types.insert_or_assign(type.name, std::move(type));
+        break;
+      }
+      case kTypeRemoved:
+        types.erase(r.str());
+        break;
+      case kSubscriptionAdd: {
+        SubscriptionRecord sub = decode_subscription(r);
+        subscriptions.insert_or_assign(sub.id, std::move(sub));
+        break;
+      }
+      case kSubscriptionRemove:
+        subscriptions.erase(r.varint());
+        break;
+      default:
+        throw WireError("storage: unknown record kind " +
+                        std::to_string(static_cast<int>(kind)));
+    }
+  }
+
+  void load_snapshot_body(ByteReader& r) {
+    if (r.u8() != kSnapshotVersion) {
+      throw WireError("storage: unsupported snapshot version");
+    }
+    next_offer = std::max(next_offer, r.varint());
+    clock_hours = std::max(clock_hours, r.varint());
+    const std::uint64_t ntypes = r.varint();
+    for (std::uint64_t i = 0; i < ntypes; ++i) {
+      ServiceType type = decode_type(r);
+      types.insert_or_assign(type.name, std::move(type));
+    }
+    // Offers are individually length-prefixed, so the section splits into
+    // per-offer slices with cheap varint hops and the expensive part —
+    // wire decode of a million offers — fans out across cores.  Each
+    // worker writes disjoint vector slots; no locking needed.
+    const std::uint64_t noffers = r.varint();
+    std::vector<BytesView> slices;
+    slices.reserve(noffers);
+    for (std::uint64_t i = 0; i < noffers; ++i) {
+      const auto len = static_cast<std::size_t>(r.varint());
+      slices.push_back(r.view(len));
+    }
+    const std::size_t base = snapshot_offers.size();
+    snapshot_offers.resize(base + noffers);
+    const std::size_t workers = std::min<std::size_t>(
+        {noffers / 4096 + 1, std::thread::hardware_concurrency(), 16});
+    auto decode_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        ByteReader body(slices[i]);
+        snapshot_offers[base + i] =
+            std::make_shared<const Offer>(decode_offer_body(body));
+      }
+    };
+    if (workers <= 1) {
+      decode_range(0, noffers);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      std::mutex err_mutex;
+      std::exception_ptr first_error;
+      const std::size_t chunk = (noffers + workers - 1) / workers;
+      for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t lo = w * chunk;
+        const std::size_t hi = std::min<std::size_t>(lo + chunk, noffers);
+        if (lo >= hi) break;
+        pool.emplace_back([&, lo, hi] {
+          try {
+            decode_range(lo, hi);
+          } catch (...) {
+            std::lock_guard lock(err_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+    const std::uint64_t nsubs = r.varint();
+    for (std::uint64_t i = 0; i < nsubs; ++i) {
+      SubscriptionRecord sub = decode_subscription(r);
+      subscriptions.insert_or_assign(sub.id, std::move(sub));
+    }
+    const std::uint64_t nmarks = r.varint();
+    for (std::uint64_t i = 0; i < nmarks; ++i) {
+      std::string session = r.str();
+      const std::uint64_t hwm = r.varint();
+      std::uint64_t& mark = marks[session];
+      mark = std::max(mark, hwm);
+    }
+  }
+};
+
+WalStorage::WalStorage(StorageOptions options) : options_(std::move(options)) {
+  if (options_.directory.empty()) {
+    throw ContractError("storage: WalStorage needs a directory");
+  }
+}
+
+WalStorage::~WalStorage() {
+  {
+    std::unique_lock lock(snap_mutex_);
+    snap_stop_ = true;
+    snap_cv_.notify_all();
+  }
+  if (snap_thread_.joinable()) snap_thread_.join();
+  wal_.reset();  // drains any staged group commit
+}
+
+bool WalStorage::recover(RecoveredState* out) {
+  if (armed_.load(std::memory_order_acquire)) {
+    throw ContractError("storage: recover() may only be called once");
+  }
+
+  ReplayAccumulator acc;
+  bool snapshot_loaded = false;
+  bool any_record = false;
+  std::uint64_t snapshot_seg = 0;
+
+  // The WAL constructor writes snapshot_seg before replaying, so the
+  // callback can lazily pull the snapshot in under the first tail record.
+  auto load_snapshot = [&] {
+    if (snapshot_loaded || snapshot_seg == 0) return;
+    snapshot_loaded = true;
+    Bytes file;
+    const std::string path =
+        WriteAheadLog::snapshot_path(options_.directory, snapshot_seg);
+    if (!read_whole_file(path, &file) || file.size() < 8) {
+      throw Error("storage: snapshot '" + path + "' unreadable");
+    }
+    ByteReader header(file);
+    const std::uint32_t crc = header.u32();
+    const std::uint32_t len = header.u32();
+    if (len != file.size() - 8 || crc32(file.data() + 8, len) != crc) {
+      throw Error("storage: snapshot '" + path + "' fails its checksum");
+    }
+    ByteReader body(file.data() + 8, len);
+    acc.load_snapshot_body(body);
+  };
+
+  wal_ = std::make_unique<WriteAheadLog>(
+      WriteAheadLog::Options{options_.directory, options_.segment_bytes,
+                             options_.fsync},
+      [&](const WriteAheadLog::Replayed& rec) {
+        load_snapshot();
+        acc.apply_record(rec.payload);
+        any_record = true;
+      },
+      &snapshot_seg);
+  load_snapshot();
+
+  if (out) {
+    out->next_offer = acc.next_offer;
+    out->clock_hours = acc.clock_hours;
+    out->types.clear();
+    for (auto& [name, type] : acc.types) out->types.push_back(std::move(type));
+    out->offers = acc.collapse_offers();
+    out->subscriptions.clear();
+    for (auto& [id, sub] : acc.subscriptions) {
+      sub.next_seq += acc.tail_mutations;
+      out->subscriptions.push_back(std::move(sub));
+    }
+    out->replay_marks = acc.marks;
+  }
+  {
+    std::lock_guard lock(marks_mutex_);
+    marks_ = acc.marks;
+    recovered_marks_ = std::move(acc.marks);
+  }
+
+  {
+    std::lock_guard lock(snap_mutex_);
+    last_snapshot_bytes_ = 0;
+  }
+  snap_thread_ = std::thread([this] { snapshot_worker(); });
+  armed_.store(true, std::memory_order_release);
+  return snapshot_loaded || any_record;
+}
+
+std::unordered_map<std::string, std::uint64_t>
+WalStorage::recovered_replay_marks() const {
+  std::lock_guard lock(marks_mutex_);
+  return recovered_marks_;
+}
+
+void WalStorage::append_record(const Bytes& payload) {
+  if (!armed_.load(std::memory_order_acquire)) {
+    throw ContractError("storage: log hook before recover()");
+  }
+  wal_->append(payload);
+  records_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fold the record's replay tag into the live marks (what the next
+  // snapshot persists).  Done after the append so a crash never leaves a
+  // marked-but-unjournalled request.
+  const rpc::CallContext ctx = rpc::current_call_context();
+  if (!ctx.session.empty()) {
+    std::lock_guard lock(marks_mutex_);
+    std::uint64_t& hwm = marks_[ctx.session];
+    hwm = std::max(hwm, ctx.request_id);
+  }
+
+  if (options_.snapshot_every_bytes > 0) {
+    const std::uint64_t appended = wal_->bytes_appended();
+    std::lock_guard lock(snap_mutex_);
+    if (appended - last_snapshot_bytes_ >= options_.snapshot_every_bytes &&
+        source_ != nullptr && !snap_requested_ && !snap_busy_) {
+      snap_requested_ = true;
+      snap_cv_.notify_all();
+    }
+  }
+}
+
+void WalStorage::log_upserts(const std::vector<OfferPtr>& offers,
+                             std::uint64_t minted_through) {
+  if (offers.empty() && minted_through == 0) return;
+  ByteWriter w;
+  write_record_header(w, kOfferUpsert);
+  w.varint(minted_through);
+  w.varint(offers.size());
+  for (const OfferPtr& offer : offers) encode_offer(w, *offer);
+  append_record(w.bytes());
+}
+
+void WalStorage::log_removes(const std::vector<std::string>& ids) {
+  if (ids.empty()) return;
+  ByteWriter w;
+  write_record_header(w, kOfferRemove);
+  w.varint(ids.size());
+  for (const std::string& id : ids) w.str(id);
+  append_record(w.bytes());
+}
+
+void WalStorage::log_clock(std::uint64_t clock_hours) {
+  ByteWriter w;
+  write_record_header(w, kClock);
+  w.varint(clock_hours);
+  append_record(w.bytes());
+}
+
+void WalStorage::log_type_added(const ServiceType& type) {
+  ByteWriter w;
+  write_record_header(w, kTypeAdded);
+  encode_type(w, type);
+  append_record(w.bytes());
+}
+
+void WalStorage::log_type_removed(const std::string& name) {
+  ByteWriter w;
+  write_record_header(w, kTypeRemoved);
+  w.str(name);
+  append_record(w.bytes());
+}
+
+void WalStorage::log_subscription(const SubscriptionRecord& record) {
+  ByteWriter w;
+  write_record_header(w, kSubscriptionAdd);
+  encode_subscription(w, record);
+  append_record(w.bytes());
+}
+
+void WalStorage::log_unsubscription(std::uint64_t id) {
+  ByteWriter w;
+  write_record_header(w, kSubscriptionRemove);
+  w.varint(id);
+  append_record(w.bytes());
+}
+
+void WalStorage::set_snapshot_source(SnapshotSource* source) {
+  std::unique_lock lock(snap_mutex_);
+  snap_cv_.wait(lock, [this] { return !snap_busy_; });
+  source_ = source;
+}
+
+bool WalStorage::snapshot_now() {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::unique_lock lock(snap_mutex_);
+  if (source_ == nullptr) return false;
+  snap_cv_.wait(lock, [this] { return !snap_busy_; });
+  snap_busy_ = true;
+  lock.unlock();
+  bool ok = false;
+  try {
+    ok = take_snapshot();
+  } catch (...) {
+    lock.lock();
+    snap_busy_ = false;
+    snap_cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  snap_busy_ = false;
+  snap_cv_.notify_all();
+  return ok;
+}
+
+void WalStorage::snapshot_worker() {
+  std::unique_lock lock(snap_mutex_);
+  for (;;) {
+    snap_cv_.wait(lock, [this] { return snap_stop_ || snap_requested_; });
+    if (snap_stop_) return;
+    snap_requested_ = false;
+    if (source_ == nullptr || snap_busy_) continue;
+    snap_busy_ = true;
+    lock.unlock();
+    try {
+      take_snapshot();
+    } catch (...) {
+      // A failed periodic snapshot (disk full, unwritable directory) is
+      // not fatal: the log retains everything and the next trigger
+      // retries.
+    }
+    lock.lock();
+    snap_busy_ = false;
+    snap_cv_.notify_all();
+  }
+}
+
+namespace {
+/// The phase this thread's open log→apply window was counted under —
+/// end_apply must decrement the same counter begin_apply incremented,
+/// even if the snapshot worker flips the phase mid-window.
+int& apply_phase_of_thread() {
+  thread_local int phase = 0;
+  return phase;
+}
+}  // namespace
+
+void WalStorage::begin_apply() {
+  const int phase = apply_phase_.load(std::memory_order_acquire);
+  inflight_[phase].fetch_add(1, std::memory_order_acq_rel);
+  apply_phase_of_thread() = phase;
+}
+
+void WalStorage::end_apply() {
+  const int phase = apply_phase_of_thread();
+  if (inflight_[phase].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void WalStorage::drain_applies(int phase) {
+  std::unique_lock lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] {
+    return inflight_[phase].load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool WalStorage::take_snapshot() {
+  // 1. Rotate: everything journalled before this point lives in segments
+  //    < new_seg, which the snapshot will supersede.
+  const std::uint64_t new_seg = wal_->rotate();
+
+  // 2. Drain: flip the apply phase and wait out every log→apply window
+  //    opened under the old phase.  After this, every record in the old
+  //    segments has been applied to the in-memory store, so the fork in
+  //    step 3 covers them all.
+  const int old_phase = apply_phase_.load(std::memory_order_acquire);
+  apply_phase_.store(1 - old_phase, std::memory_order_release);
+  drain_applies(old_phase);
+
+  // 3. Fork the market state off the writer path.
+  SnapshotState state = source_->snapshot_state();
+  std::unordered_map<std::string, std::uint64_t> marks;
+  {
+    std::lock_guard lock(marks_mutex_);
+    marks = marks_;
+  }
+
+  // 4. Encode and atomically publish (tmp + rename).
+  ByteWriter body;
+  body.u8(kSnapshotVersion);
+  body.varint(state.next_offer);
+  body.varint(state.clock_hours);
+  body.varint(state.types.size());
+  for (const ServiceType& type : state.types) encode_type(body, type);
+  body.varint(state.offers.size());
+  for (const Offer& offer : state.offers) encode_offer(body, offer);
+  body.varint(state.subscriptions.size());
+  for (const SubscriptionRecord& sub : state.subscriptions) {
+    encode_subscription(body, sub);
+  }
+  body.varint(marks.size());
+  for (const auto& [session, hwm] : marks) {
+    body.str(session);
+    body.varint(hwm);
+  }
+
+  ByteWriter file;
+  file.u32(crc32(body.data(), body.size()));
+  file.u32(static_cast<std::uint32_t>(body.size()));
+  file.raw(body.bytes());
+  write_file_atomic(WriteAheadLog::snapshot_path(options_.directory, new_seg),
+                    file.bytes());
+
+  // 5. Truncate the superseded prefix.
+  wal_->truncate_before(new_seg);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(snap_mutex_);
+    last_snapshot_bytes_ = wal_->bytes_appended();
+  }
+  return true;
+}
+
+void WalStorage::flush() {
+  if (wal_) wal_->flush();
+}
+
+std::uint64_t WalStorage::group_commits() const {
+  return wal_ ? wal_->commits() : 0;
+}
+
+std::uint64_t WalStorage::bytes_journalled() const {
+  return wal_ ? wal_->bytes_appended() : 0;
+}
+
+}  // namespace cosm::trader::storage

@@ -1,0 +1,122 @@
+// WalStorage: the durable StorageEngine (WAL + snapshot + recovery).
+//
+// Record payloads reuse the trader's wire forms (facade.h offer_to_value /
+// wire::encode_value), so an offer journals byte-for-byte as it travels in
+// a DeltaBatch.  Every record is tagged with the appending thread's RPC
+// (session, request id) — the mutation and its replay high-water mark are
+// one atomic commit, closing the executed-but-unmarked crash window.
+//
+// Snapshot / truncate protocol (all off the writer path):
+//   1. rotate the log — new appends go to segment S; the snapshot will
+//      mark "replay >= S",
+//   2. drain in-flight log→apply windows (phase-tagged ApplyScope
+//      counters), so every record in segments < S is applied,
+//   3. fork the market state through the SnapshotSource (the offer-store
+//      fork is an epoch-pinned read — writers never block),
+//   4. write snapshot to a .tmp file, fsync, rename to
+//      snapshot-<S>.snap (the rename is the commit),
+//   5. delete segments < S and older snapshots.
+// Records in segment S that are also in the fork replay idempotently
+// (upsert/remove/max semantics), so the fork racing post-rotation appends
+// is harmless.
+//
+// Recovery: load the newest valid snapshot, replay the segment tail on
+// top (WriteAheadLog drops the torn suffix), then hand the trader the
+// collapsed state — offers, types, the offer-id counter, the logical
+// clock, subscriptions (with sequence slack so the recovered publisher
+// never re-issues an acked sequence number), and per-session replay
+// high-water marks.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "trader/storage/storage_engine.h"
+#include "trader/storage/wal.h"
+
+namespace cosm::trader::storage {
+
+class WalStorage final : public StorageEngine {
+ public:
+  explicit WalStorage(StorageOptions options);
+  ~WalStorage() override;
+
+  bool durable() const override { return true; }
+
+  bool recover(RecoveredState* out) override;
+  std::unordered_map<std::string, std::uint64_t> recovered_replay_marks()
+      const override;
+
+  void log_upserts(const std::vector<OfferPtr>& offers,
+                   std::uint64_t minted_through = 0) override;
+  void log_removes(const std::vector<std::string>& ids) override;
+  void log_clock(std::uint64_t clock_hours) override;
+  void log_type_added(const ServiceType& type) override;
+  void log_type_removed(const std::string& name) override;
+  void log_subscription(const SubscriptionRecord& record) override;
+  void log_unsubscription(std::uint64_t id) override;
+
+  void set_snapshot_source(SnapshotSource* source) override;
+  bool snapshot_now() override;
+  void begin_apply() override;
+  void end_apply() override;
+  void flush() override;
+
+  // --- instrumentation ---
+  std::uint64_t records_logged() const noexcept {
+    return records_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t group_commits() const;
+  std::uint64_t snapshots_taken() const noexcept {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+  /// Records dropped from the torn tail during recovery (diagnostics).
+  std::uint64_t bytes_journalled() const;
+
+ private:
+  struct ReplayAccumulator;
+
+  void append_record(const Bytes& payload);
+  bool take_snapshot();
+  void snapshot_worker();
+  void drain_applies(int phase);
+
+  StorageOptions options_;
+  std::unique_ptr<WriteAheadLog> wal_;
+
+  /// Armed after recover(); log hooks before that are a contract error.
+  std::atomic<bool> armed_{false};
+  std::unique_ptr<RecoveredState> recovered_;  ///< until recover() hands off
+
+  /// Live replay marks: recovered marks plus every tagged record since.
+  /// Guarded by marks_mutex_ (touched on every tagged append).
+  mutable std::mutex marks_mutex_;
+  std::unordered_map<std::string, std::uint64_t> marks_;
+  std::unordered_map<std::string, std::uint64_t> recovered_marks_;
+
+  /// Phase-tagged in-flight log→apply windows (see file comment).
+  std::atomic<std::uint64_t> inflight_[2] = {{0}, {0}};
+  std::atomic<int> apply_phase_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  /// Snapshot worker state.
+  std::mutex snap_mutex_;
+  std::condition_variable snap_cv_;
+  SnapshotSource* source_ = nullptr;
+  bool snap_requested_ = false;
+  bool snap_stop_ = false;
+  bool snap_busy_ = false;
+  std::thread snap_thread_;
+  std::uint64_t last_snapshot_bytes_ = 0;
+
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+};
+
+}  // namespace cosm::trader::storage

@@ -36,12 +36,173 @@ void LocalTraderGateway::unsubscribe(std::uint64_t subscription_id) {
   trader_.remove_subscription(subscription_id);
 }
 
-Trader::Trader(std::string name, std::uint64_t rng_seed)
-    : name_(std::move(name)), rng_(rng_seed) {
+Trader::Trader(std::string name, std::uint64_t rng_seed,
+               std::shared_ptr<storage::StorageEngine> engine)
+    : name_(std::move(name)),
+      storage_(engine ? std::move(engine)
+                      : std::make_shared<storage::NullStorage>()),
+      rng_(rng_seed) {
   if (name_.empty()) throw ContractError("trader needs a name");
+  // Journal type definitions as the management interface mutates them
+  // (suppressed while recover() replays them back in).
+  types_.set_listener(
+      [this](const ServiceType& type) {
+        if (!recovering_) storage_->log_type_added(type);
+      },
+      [this](const std::string& type_name) {
+        if (!recovering_) storage_->log_type_removed(type_name);
+      });
 }
 
-Trader::~Trader() { stop_replication_pump(); }
+Trader::~Trader() { shutdown(); }
+
+void Trader::shutdown() {
+  {
+    std::lock_guard lock(pump_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  // 1. Pump: no more background flush/digest rounds.
+  stop_replication_pump();
+  // 2. Subscriptions and replicas: no further sink calls or delta queues.
+  {
+    std::lock_guard io(repl_io_mutex_);
+    std::lock_guard lock(repl_mutex_);
+    subscriptions_.clear();
+    has_subscriptions_.store(false, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(replica_mutex_);
+    replicas_.clear();
+  }
+  // 3. Snapshot worker off (it epoch-pins the store), then the store's
+  // retired state: the trader is quiescent now, which is exactly the
+  // precondition reclaim_retired() needs.
+  storage_->set_snapshot_source(nullptr);
+  store_.reclaim_retired();
+  // 4. Journal: everything staged becomes durable before we return.
+  storage_->flush();
+}
+
+void Trader::set_subscription_sink_factory(SinkFactory factory) {
+  std::lock_guard lock(repl_mutex_);
+  sink_factory_ = std::move(factory);
+}
+
+bool Trader::recover() {
+  if (store_.size() != 0 || types_.size() != 0) {
+    throw ContractError("trader '" + name_ +
+                        "' must recover before any mutation");
+  }
+  storage::RecoveredState state;
+  const bool recovered = storage_->recover(&state);
+  if (!recovered) {
+    storage_->set_snapshot_source(this);
+    return false;
+  }
+
+  // Types, supertypes first (the manager validates supertype existence on
+  // add; a type whose supertype never resolves would mean a corrupt
+  // journal — drop it rather than crash the whole recovery).
+  recovering_ = true;
+  std::vector<ServiceType> pending = std::move(state.types);
+  for (std::size_t added = 1; !pending.empty() && added > 0;) {
+    added = 0;
+    std::vector<ServiceType> next_round;
+    for (ServiceType& type : pending) {
+      if (type.supertype.empty() || types_.has(type.supertype)) {
+        types_.add(std::move(type));
+        ++added;
+      } else {
+        next_round.push_back(std::move(type));
+      }
+    }
+    pending = std::move(next_round);
+  }
+  recovering_ = false;
+
+  // Offers, one insert_batch per type (amortised locking exactly like a
+  // bulk export); offers whose type vanished are unservable — skip.
+  std::map<std::string, std::vector<OfferPtr>> by_type;
+  for (OfferPtr& offer : state.offers) {
+    std::vector<OfferPtr>& group = by_type[offer->service_type];
+    group.push_back(std::move(offer));
+  }
+  for (auto& [type, offers] : by_type) {
+    if (!types_.has(type)) continue;
+    store_.insert_batch(std::move(offers), types_.schema_of(type));
+  }
+  next_offer_.store(state.next_offer, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    clock_hours_ = state.clock_hours;
+  }
+
+  // Subscriptions: rebuild each sink from its persisted descriptor; mark
+  // the stream rearm_pending so the first flush runs one reset_seq
+  // digest/repair round instead of a full resnapshot.  Ids of dropped
+  // subscriptions are still burned — a recovered publisher must never
+  // reuse a subscription id a subscriber may still hold.
+  {
+    std::lock_guard lock(repl_mutex_);
+    for (storage::SubscriptionRecord& rec : state.subscriptions) {
+      next_subscription_ = std::max(next_subscription_, rec.id + 1);
+      if (rec.sink_desc.empty() || !sink_factory_) continue;
+      std::shared_ptr<ReplicationSink> sink;
+      try {
+        sink = sink_factory_(rec.sink_desc);
+      } catch (const Error&) {
+        sink = nullptr;
+      }
+      if (!sink) continue;
+      auto sub = std::make_shared<Subscription>();
+      sub->id = rec.id;
+      sub->subscriber = rec.subscriber;
+      sub->sink_desc = rec.sink_desc;
+      if (!rec.scope.constraint.empty()) {
+        sub->scope_constraint = constraint_cache_.get(rec.scope.constraint);
+      }
+      sub->scope = std::move(rec.scope);
+      sub->sink = std::move(sink);
+      sub->next_seq = rec.next_seq;
+      sub->queue_first_seq = rec.next_seq;
+      sub->needs_snapshot = false;
+      sub->rearm_pending = true;
+      subscriptions_.push_back(std::move(sub));
+    }
+    has_subscriptions_.store(!subscriptions_.empty(),
+                             std::memory_order_relaxed);
+  }
+  storage_->set_snapshot_source(this);
+  return true;
+}
+
+storage::SnapshotState Trader::snapshot_state() {
+  storage::SnapshotState state;
+  state.next_offer = next_offer_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    state.clock_hours = clock_hours_;
+  }
+  state.types = types_.all();
+  std::vector<StoredOffer> stored = store_.collect_all(store_.type_names());
+  state.offers.reserve(stored.size());
+  for (const StoredOffer& so : stored) state.offers.push_back(*so.offer);
+  {
+    std::lock_guard lock(repl_mutex_);
+    for (const auto& sub : subscriptions_) {
+      if (sub->sink_desc.empty()) continue;
+      storage::SubscriptionRecord rec;
+      rec.id = sub->id;
+      rec.subscriber = sub->subscriber;
+      rec.sink_desc = sub->sink_desc;
+      rec.scope = sub->scope;
+      rec.next_seq = sub->next_seq;
+      state.subscriptions.push_back(std::move(rec));
+    }
+  }
+  return state;
+}
 
 void Trader::set_tuning(const TraderTuning& tuning) {
   OfferStore::Tuning store_tuning;
@@ -70,35 +231,13 @@ std::string Trader::export_offer(const std::string& service_type,
 std::string Trader::export_offer(const std::string& service_type,
                                  const sidl::ServiceRef& ref, AttrMap attributes,
                                  std::map<std::string, std::string> dynamic_attrs) {
-  if (!ref.valid()) throw ContractError("cannot export an invalid reference");
-  std::set<std::string> dynamic_names;
-  for (const auto& [attr, operation] : dynamic_attrs) {
-    if (operation.empty()) {
-      throw ContractError("dynamic attribute '" + attr + "' needs an operation");
-    }
-    dynamic_names.insert(attr);
-  }
-  types_.check_offer(service_type, attributes, dynamic_names);
-  Offer offer;
-  offer.id = name_ + "/offer-" +
-             std::to_string(next_offer_.fetch_add(1, std::memory_order_relaxed));
-  offer.service_type = service_type;
-  offer.ref = ref;
-  offer.attributes = std::move(attributes);
-  offer.dynamic_attrs = std::move(dynamic_attrs);
-  std::string id = offer.id;
-  OfferPtr published = std::make_shared<const Offer>(std::move(offer));
-  store_.insert(published, types_.schema_of(service_type));
-  if (has_subscriptions_.load(std::memory_order_relaxed)) {
-    replicate_upsert(*published);
-  }
-  exports_.fetch_add(1, std::memory_order_relaxed);
-  auto& reg = obs::metrics();
-  if (reg.enabled()) {
-    static obs::Counter& exports = reg.counter("trader.exports");
-    exports.add();
-  }
-  return id;
+  // Batch of one: the batch path owns validation, id minting, journaling,
+  // store publication and replication — one write path to keep correct.
+  std::vector<BatchOfferSpec> specs(1);
+  specs[0].ref = ref;
+  specs[0].attributes = std::move(attributes);
+  specs[0].dynamic_attrs = std::move(dynamic_attrs);
+  return export_batch(service_type, std::move(specs)).front();
 }
 
 std::vector<std::string> Trader::export_batch(
@@ -135,6 +274,11 @@ std::vector<std::string> Trader::export_batch(
     ids.push_back(offer.id);
     offers.push_back(std::make_shared<const Offer>(std::move(offer)));
   }
+  // Journal before publication; the apply scope spans store insert AND
+  // replication enqueue so a snapshot fork never truncates a record whose
+  // effects it does not contain (storage/wal_storage.h, step 3).
+  storage::ApplyScope apply_scope(storage_.get());
+  storage_->log_upserts(offers, next_offer_.load(std::memory_order_relaxed));
   std::vector<OfferPtr> replicate;
   if (has_subscriptions_.load(std::memory_order_relaxed)) replicate = offers;
   store_.insert_batch(std::move(offers), types_.schema_of(service_type));
@@ -183,6 +327,8 @@ void Trader::set_lease(const std::string& offer_id,
   Offer leased = *current;
   leased.lease_expires_at = expires_at_hours;
   OfferPtr next = std::make_shared<const Offer>(std::move(leased));
+  storage::ApplyScope apply_scope(storage_.get());
+  storage_->log_upserts({next});
   if (!store_.replace(offer_id, next)) {
     throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
   }
@@ -200,12 +346,25 @@ std::size_t Trader::advance_clock(std::uint64_t hours) {
   }
   std::vector<std::pair<std::string, std::string>> victims;
   const bool replicating = has_subscriptions_.load(std::memory_order_relaxed);
+  const bool journaling = storage_->durable();
   std::size_t swept = store_.erase_if(
       [now](const Offer& offer) {
         return offer.lease_expires_at != 0 && offer.lease_expires_at <= now;
       },
-      replicating ? &victims : nullptr);
-  for (const auto& [id, type] : victims) replicate_remove(id, type);
+      (replicating || journaling) ? &victims : nullptr);
+  // Apply-then-log (unlike offer mutations): replaying a clock advance or
+  // a sweep of already-gone offers is idempotent, so truncation on either
+  // side of these records is safe without an apply scope.
+  storage_->log_clock(now);
+  if (journaling && !victims.empty()) {
+    std::vector<std::string> victim_ids;
+    victim_ids.reserve(victims.size());
+    for (const auto& [id, type] : victims) victim_ids.push_back(id);
+    storage_->log_removes(victim_ids);
+  }
+  if (replicating) {
+    for (const auto& [id, type] : victims) replicate_remove(id, type);
+  }
   expired_.fetch_add(swept, std::memory_order_relaxed);
   return swept;
 }
@@ -216,19 +375,15 @@ std::uint64_t Trader::clock_hours() const {
 }
 
 void Trader::withdraw(const std::string& offer_id) {
-  OfferPtr prior;
-  if (has_subscriptions_.load(std::memory_order_relaxed)) {
-    prior = store_.find(offer_id);
-  }
-  if (!store_.erase(offer_id)) {
+  // Batch of one (same single write path as export_offer/modify).
+  if (withdraw_batch({offer_id}) == 0) {
     throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
-  }
-  if (has_subscriptions_.load(std::memory_order_relaxed)) {
-    replicate_remove(offer_id, prior ? prior->service_type : std::string{});
   }
 }
 
 std::size_t Trader::withdraw_batch(const std::vector<std::string>& offer_ids) {
+  storage::ApplyScope apply_scope(storage_.get());
+  storage_->log_removes(offer_ids);
   if (!has_subscriptions_.load(std::memory_order_relaxed)) {
     return store_.withdraw_batch(offer_ids);
   }
@@ -262,6 +417,13 @@ std::size_t Trader::modify_batch(
     resolved.emplace_back(offer_id,
                           std::make_shared<const Offer>(std::move(modified)));
   }
+  storage::ApplyScope apply_scope(storage_.get());
+  if (!resolved.empty()) {
+    std::vector<OfferPtr> journalled;
+    journalled.reserve(resolved.size());
+    for (const auto& [id, next] : resolved) journalled.push_back(next);
+    storage_->log_upserts(journalled);
+  }
   std::vector<OfferPtr> replicate;
   if (has_subscriptions_.load(std::memory_order_relaxed)) {
     replicate.reserve(resolved.size());
@@ -273,19 +435,15 @@ std::size_t Trader::modify_batch(
 }
 
 void Trader::modify(const std::string& offer_id, AttrMap attributes) {
-  OfferPtr current = store_.find(offer_id);
-  if (!current) {
+  // Batch of one; the pre-check keeps the single-op contract (NotFound for
+  // unknown ids) that the batch path deliberately relaxes to a skip.
+  if (!store_.find(offer_id)) {
     throw NotFound("no offer '" + offer_id + "' at trader '" + name_ + "'");
   }
-  types_.check_offer(current->service_type, attributes);
-  Offer modified = *current;
-  modified.attributes = std::move(attributes);
-  OfferPtr next = std::make_shared<const Offer>(std::move(modified));
-  if (!store_.replace(offer_id, next)) {
+  std::vector<std::pair<std::string, AttrMap>> changes;
+  changes.emplace_back(offer_id, std::move(attributes));
+  if (modify_batch(std::move(changes)) == 0) {
     throw NotFound("offer '" + offer_id + "' vanished during modify");
-  }
-  if (has_subscriptions_.load(std::memory_order_relaxed)) {
-    replicate_upsert(*next);
   }
 }
 
@@ -1030,10 +1188,12 @@ std::vector<Offer> Trader::scope_snapshot(const Subscription& sub) const {
 
 SubscriptionInfo Trader::add_subscription(const std::string& subscriber,
                                           SubscriptionScope scope,
-                                          std::shared_ptr<ReplicationSink> sink) {
+                                          std::shared_ptr<ReplicationSink> sink,
+                                          const std::string& sink_desc) {
   if (!sink) throw ContractError("subscription needs a sink");
   auto sub = std::make_shared<Subscription>();
   sub->subscriber = subscriber;
+  sub->sink_desc = sink_desc;
   if (!scope.constraint.empty()) {
     // Parse errors surface here, at subscribe time, not on some later flush.
     sub->scope_constraint = constraint_cache_.get(scope.constraint);
@@ -1045,6 +1205,17 @@ SubscriptionInfo Trader::add_subscription(const std::string& subscriber,
     sub->id = next_subscription_++;
     subscriptions_.push_back(sub);
     has_subscriptions_.store(true, std::memory_order_relaxed);
+    // Journal only reconstructible subscriptions: an empty descriptor means
+    // an in-process sink nobody could rebuild after a restart.
+    if (!sub->sink_desc.empty()) {
+      storage::SubscriptionRecord rec;
+      rec.id = sub->id;
+      rec.subscriber = sub->subscriber;
+      rec.sink_desc = sub->sink_desc;
+      rec.scope = sub->scope;
+      rec.next_seq = sub->next_seq;
+      storage_->log_subscription(rec);
+    }
   }
   // Initial snapshot, synchronously: when subscribe() returns, covered
   // imports at the subscriber already resolve locally.  A sink failure
@@ -1057,14 +1228,19 @@ SubscriptionInfo Trader::add_subscription(const std::string& subscriber,
 }
 
 void Trader::remove_subscription(std::uint64_t subscription_id) {
-  std::lock_guard lock(repl_mutex_);
-  for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
-    if ((*it)->id == subscription_id) {
-      subscriptions_.erase(it);
-      break;
+  bool journal = false;
+  {
+    std::lock_guard lock(repl_mutex_);
+    for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
+      if ((*it)->id == subscription_id) {
+        journal = !(*it)->sink_desc.empty();
+        subscriptions_.erase(it);
+        break;
+      }
     }
+    has_subscriptions_.store(!subscriptions_.empty(), std::memory_order_relaxed);
   }
-  has_subscriptions_.store(!subscriptions_.empty(), std::memory_order_relaxed);
+  if (journal) storage_->log_unsubscription(subscription_id);
 }
 
 std::vector<SubscriptionStatus> Trader::subscriptions() const {
@@ -1097,6 +1273,15 @@ std::size_t Trader::flush_replication() {
 }
 
 std::size_t Trader::flush_subscription(const std::shared_ptr<Subscription>& sub) {
+  bool rearm = false;
+  {
+    std::lock_guard lock(repl_mutex_);
+    rearm = sub->rearm_pending;
+  }
+  // A recovered stream must realign sequence numbers before any
+  // incremental batch goes out; until the re-arm round succeeds the
+  // subscriber would see every post-recovery batch as a gap.
+  if (rearm && !rearm_subscription(sub)) return 0;
   std::size_t delivered = 0;
   for (;;) {
     DeltaBatch batch;
@@ -1245,6 +1430,68 @@ std::size_t Trader::digest_subscription(const std::shared_ptr<Subscription>& sub
   }
   repl_repairs_.fetch_add(divergent.size(), std::memory_order_relaxed);
   return divergent.size();
+}
+
+bool Trader::rearm_subscription(const std::shared_ptr<Subscription>& sub) {
+  // The subscriber holds a faithful copy of some prefix of the pre-crash
+  // delta stream; the recovered publisher restarts its stream at a
+  // sequence past anything the subscriber may have acked (persisted
+  // counter plus journal-tail slack).  One digest finds the divergent
+  // types, one reset_seq repair fixes them AND realigns the subscriber's
+  // high-water mark — a single anti-entropy round instead of a full
+  // resnapshot.  Caller holds repl_io_mutex_ (like every sink I/O path).
+  ReplicationDigest digest;
+  digest.publisher = name_;
+  digest.subscription_id = sub->id;
+  std::uint64_t rearm_seq = 0;
+  {
+    std::lock_guard lock(repl_mutex_);
+    rearm_seq = sub->next_seq - 1;
+    digest.last_seq = rearm_seq;
+  }
+  std::vector<Offer> offers = scope_snapshot(*sub);
+  std::map<std::string, std::pair<std::uint64_t, DigestFold>> per_type;
+  for (const Offer& offer : offers) {
+    auto& [count, fold] = per_type[offer.service_type];
+    ++count;
+    fold.add(offer_content_hash(offer));
+  }
+  digest.types.reserve(per_type.size());
+  for (const auto& [type, entry] : per_type) {
+    digest.types.push_back({type, entry.first, entry.second.value()});
+  }
+  std::vector<std::string> divergent;
+  try {
+    divergent = sub->sink->digest(digest);
+  } catch (const Error&) {
+    repl_flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // rearm_pending stays set; the next flush retries
+  }
+  DeltaBatch repair;
+  repair.publisher = name_;
+  repair.subscription_id = sub->id;
+  repair.reset_seq = true;
+  repair.snapshot_seq = rearm_seq;
+  repair.reset_types = divergent;
+  std::unordered_set<std::string> wanted(divergent.begin(), divergent.end());
+  for (Offer& offer : offers) {
+    if (!wanted.count(offer.service_type)) continue;
+    OfferDelta delta;
+    delta.kind = OfferDelta::Kind::Upsert;
+    delta.id = offer.id;
+    delta.offer = std::move(offer);
+    repair.deltas.push_back(std::move(delta));
+  }
+  try {
+    sub->sink->apply(repair);
+  } catch (const Error&) {
+    repl_flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  repl_repairs_.fetch_add(divergent.size(), std::memory_order_relaxed);
+  std::lock_guard lock(repl_mutex_);
+  sub->rearm_pending = false;
+  return true;
 }
 
 void Trader::set_replication_options(const ReplicationOptions& options) {
@@ -1427,14 +1674,18 @@ std::uint64_t Trader::replica_apply(const DeltaBatch& batch) {
     rep->deltas_applied += applied;
     return rep->last_seq;
   }
-  if (!batch.reset_types.empty()) {
-    // Digest repair: rebuild exactly those type buckets; the sequence
-    // stream is untouched.
+  if (!batch.reset_types.empty() || batch.reset_seq) {
+    // Digest repair: rebuild exactly those type buckets.  A plain repair
+    // leaves the sequence stream untouched; a reset_seq repair additionally
+    // adopts the publisher's post-recovery stream position (see
+    // replication.h — the re-arm protocol).
     std::unordered_set<std::string> reset(batch.reset_types.begin(),
                                           batch.reset_types.end());
-    rep->store->erase_if([&reset](const Offer& offer) {
-      return reset.count(offer.service_type) != 0;
-    });
+    if (!reset.empty()) {
+      rep->store->erase_if([&reset](const Offer& offer) {
+        return reset.count(offer.service_type) != 0;
+      });
+    }
     std::uint64_t applied = 0;
     for (const OfferDelta& delta : batch.deltas) {
       if (delta.kind == OfferDelta::Kind::Upsert && apply_upsert(delta)) {
@@ -1445,6 +1696,11 @@ std::uint64_t Trader::replica_apply(const DeltaBatch& batch) {
     std::lock_guard lock(replica_mutex_);
     rep->deltas_applied += applied;
     rep->repairs += batch.reset_types.size();
+    if (batch.reset_seq) {
+      rep->last_seq = batch.snapshot_seq;
+      rep->publisher_seq = std::max(rep->publisher_seq, batch.snapshot_seq);
+      rep->synced = true;
+    }
     return rep->last_seq;
   }
   // Incremental: apply only what extends the high-water mark contiguously.

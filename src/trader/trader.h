@@ -38,6 +38,7 @@
 #include "trader/preference.h"
 #include "trader/replication.h"
 #include "trader/service_type.h"
+#include "trader/storage/storage_engine.h"
 
 namespace cosm::trader {
 
@@ -217,13 +218,46 @@ struct BatchOfferSpec {
   std::map<std::string, std::string> dynamic_attrs;
 };
 
-class Trader {
+class Trader : public storage::SnapshotSource {
  public:
-  explicit Trader(std::string name, std::uint64_t rng_seed = 42);
-  ~Trader();
+  /// `engine` is the constructor-injected durability policy: nullptr (or a
+  /// NullStorage) keeps the trader purely in-memory; a WalStorage journals
+  /// every mutation and recovers the market on restart — call recover()
+  /// before the first mutation then.
+  explicit Trader(std::string name, std::uint64_t rng_seed = 42,
+                  std::shared_ptr<storage::StorageEngine> engine = nullptr);
+  ~Trader() override;
 
   Trader(const Trader&) = delete;
   Trader& operator=(const Trader&) = delete;
+
+  /// The injected durability policy (never null; NullStorage by default).
+  storage::StorageEngine& storage() noexcept { return *storage_; }
+
+  /// Load persisted state from the storage engine: service types
+  /// (supertypes first), offers, the offer-id counter, the logical clock,
+  /// and persisted subscriptions (re-armed through the sink factory so
+  /// subscribers reconcile via one anti-entropy round).  Must run before
+  /// any mutation, after set_tuning; returns false when there was nothing
+  /// to recover.  Throws cosm::ContractError when the trader already holds
+  /// state.
+  bool recover();
+
+  /// How recover() rebuilds the push sink of a persisted subscription from
+  /// its sink descriptor (a subscriber ServiceRef string for RPC
+  /// subscriptions).  Without a factory, persisted subscriptions are
+  /// dropped on recovery (subscribers then re-subscribe).  Returning null
+  /// drops that subscription.
+  using SinkFactory = std::function<std::shared_ptr<ReplicationSink>(
+      const std::string& sink_desc)>;
+  void set_subscription_sink_factory(SinkFactory factory);
+
+  /// Explicit teardown, in dependency order: replication pump first (no
+  /// more flush/digest rounds), then subscriptions and replicas (no more
+  /// sink calls), then the offer store's retired state (quiescent now, so
+  /// reclaim_retired() is safe), then a final journal flush.  Idempotent;
+  /// the destructor calls it.
+  void shutdown();
 
   /// Apply matching-engine tuning; safe at any point, takes effect for
   /// subsequent imports.
@@ -360,10 +394,14 @@ class Trader {
 
   /// Register a subscription pushing through `sink`; pushes the initial
   /// snapshot before returning.  Called via TraderGateway::subscribe /
-  /// the facade's Subscribe op, not usually directly.
+  /// the facade's Subscribe op, not usually directly.  `sink_desc` is the
+  /// sink's reconstruction handle for durable traders (the subscriber's
+  /// ServiceRef string; empty = not reconstructible, the subscription is
+  /// dropped on recovery).
   SubscriptionInfo add_subscription(const std::string& subscriber,
                                     SubscriptionScope scope,
-                                    std::shared_ptr<ReplicationSink> sink);
+                                    std::shared_ptr<ReplicationSink> sink,
+                                    const std::string& sink_desc = {});
   /// Drop a subscription; unknown ids are ignored (tear-down is
   /// idempotent — the subscriber may retry over a flaky wire).
   void remove_subscription(std::uint64_t subscription_id);
@@ -532,6 +570,7 @@ class Trader {
   struct Subscription {
     std::uint64_t id = 0;
     std::string subscriber;
+    std::string sink_desc;  ///< persisted sink handle ("" = local-only)
     SubscriptionScope scope;
     std::shared_ptr<ReplicationSink> sink;
     std::shared_ptr<const Constraint> scope_constraint;  // null = no filter
@@ -539,6 +578,9 @@ class Trader {
     std::uint64_t queue_first_seq = 1;
     std::deque<OfferDelta> queue;
     bool needs_snapshot = true;  ///< initial sync, gap, or overflow
+    /// Recovered from the journal: before anything streams, one reset_seq
+    /// digest/repair round must realign the subscriber's sequence mark.
+    bool rearm_pending = false;
   };
 
   /// Subscriber side of one subscription: the origin-tagged replica.
@@ -611,6 +653,16 @@ class Trader {
   /// Digest + repair one subscription; caller holds repl_io_mutex_.
   /// Returns types repaired.
   std::size_t digest_subscription(const std::shared_ptr<Subscription>& sub);
+  /// One-round post-recovery reconciliation of a persisted subscription
+  /// (digest, repair divergent types, reset the subscriber's sequence
+  /// mark); caller holds repl_io_mutex_.  Returns success — on failure the
+  /// subscription stays rearm_pending and the next flush retries.
+  bool rearm_subscription(const std::shared_ptr<Subscription>& sub);
+
+  /// storage::SnapshotSource: fork the full market state for the storage
+  /// engine's snapshot writer (offers via the store's epoch-pinned
+  /// collect, so writers never block).
+  storage::SnapshotState snapshot_state() override;
   /// Replica for (publisher, subscription id), created on first contact.
   ReplicaStatePtr replica_for(const std::string& publisher,
                               std::uint64_t subscription_id, bool create);
@@ -622,6 +674,12 @@ class Trader {
 
   std::string name_;
   ServiceTypeManager types_;
+  /// Durability policy; never null (NullStorage when none injected).
+  std::shared_ptr<storage::StorageEngine> storage_;
+  /// Suppresses type-journal callbacks while recover() re-registers
+  /// recovered types (recovery is single-threaded by contract).
+  bool recovering_ = false;
+  bool shut_down_ = false;  ///< shutdown() ran (guarded by pump_mutex_)
 
   /// Resolve an offer's dynamic attributes into a merged attribute map;
   /// returns false when a fetch fails or yields a non-conforming value (the
@@ -650,6 +708,7 @@ class Trader {
   mutable std::mutex repl_mutex_;
   std::vector<std::shared_ptr<Subscription>> subscriptions_;
   std::uint64_t next_subscription_ = 1;
+  SinkFactory sink_factory_;  ///< guarded by repl_mutex_
   /// Fast-path guard: export/withdraw/modify skip replication entirely
   /// while no subscription exists.
   std::atomic<bool> has_subscriptions_{false};

@@ -1,0 +1,200 @@
+// CosmConfig validation: invalid combinations throw up front, benign
+// clamps are applied-and-counted (never silent), the fluent builders
+// compose, and a durable runtime assembled from a config restarts with
+// its market intact.
+
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.h"
+#include "core/runtime.h"
+#include "rpc/inproc.h"
+#include "sidl/type_desc.h"
+
+namespace cosm::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+using sidl::TypeDesc;
+using wire::Value;
+
+TEST(CosmConfig, DefaultIsValidWithZeroAdjustments) {
+  std::size_t adjusted = 99;
+  CosmConfig out = CosmConfig().validated(&adjusted);
+  EXPECT_EQ(adjusted, 0u);
+  EXPECT_FALSE(out.durable);
+  EXPECT_EQ(out.trader_tuning.store_shards, CosmConfig{}.trader_tuning.store_shards);
+}
+
+TEST(CosmConfig, StoreShardsOutOfRangeThrows) {
+  CosmConfig cfg;
+  cfg.trader_tuning.store_shards = 0;
+  EXPECT_THROW(cfg.validated(), ContractError);
+  cfg.trader_tuning.store_shards = 65;
+  EXPECT_THROW(cfg.validated(), ContractError);
+  cfg.trader_tuning.store_shards = 64;
+  EXPECT_NO_THROW(cfg.validated());
+}
+
+TEST(CosmConfig, SelectionVmWithZeroConstraintCacheThrows) {
+  CosmConfig cfg;
+  cfg.trader_tuning.enable_selection_vm = true;
+  cfg.trader_tuning.constraint_cache_capacity = 0;
+  EXPECT_THROW(cfg.validated(), ContractError);
+  // Turning the VM off makes the zero-capacity cache a legal choice.
+  cfg.trader_tuning.enable_selection_vm = false;
+  EXPECT_NO_THROW(cfg.validated());
+}
+
+TEST(CosmConfig, DurableWithoutDirectoryThrows) {
+  CosmConfig cfg;
+  cfg.durable = true;
+  EXPECT_THROW(cfg.validated(), ContractError);
+  cfg.storage.directory = "/tmp/somewhere";
+  EXPECT_NO_THROW(cfg.validated());
+}
+
+TEST(CosmConfig, AtMostOnceWithZeroReplayCapacityThrows) {
+  CosmConfig cfg;
+  cfg.server.at_most_once = true;
+  cfg.server.replay_cache_capacity = 0;
+  EXPECT_THROW(cfg.validated(), ContractError);
+}
+
+TEST(CosmConfig, BenignClampsAreAppliedAndCounted) {
+  CosmConfig cfg;
+  cfg.replication.max_batch = 0;
+  cfg.replication.max_pending = 0;
+  cfg.observability.tracing = true;
+  cfg.observability.trace_capacity = 0;
+  cfg.durable = true;
+  cfg.storage.directory = "/tmp/somewhere";
+  cfg.storage.segment_bytes = 0;
+
+  std::size_t adjusted = 0;
+  CosmConfig out = cfg.validated(&adjusted);
+  EXPECT_EQ(adjusted, 4u);
+  EXPECT_EQ(out.replication.max_batch, 1u);
+  EXPECT_EQ(out.replication.max_pending, 1u);
+  EXPECT_EQ(out.observability.trace_capacity, 4096u);
+  EXPECT_EQ(out.storage.segment_bytes, 64ull << 20);
+  // The original is untouched (validated returns a normalised copy).
+  EXPECT_EQ(cfg.replication.max_batch, 0u);
+}
+
+TEST(CosmConfig, FluentBuildersCompose) {
+  rpc::RetryPolicy retry;
+  retry.max_attempts = 3;
+  auto cfg = CosmConfig()
+                 .with_durability("/var/lib/cosm", /*fsync=*/true)
+                 .with_at_most_once(128)
+                 .with_store_shards(16)
+                 .with_replication_pump()
+                 .with_metrics()
+                 .with_tracing(true, 512)
+                 .with_retry(retry)
+                 .with_trader_name("pinned");
+  EXPECT_TRUE(cfg.durable);
+  EXPECT_EQ(cfg.storage.directory, "/var/lib/cosm");
+  EXPECT_TRUE(cfg.storage.fsync);
+  EXPECT_TRUE(cfg.server.at_most_once);
+  EXPECT_EQ(cfg.server.replay_cache_capacity, 128u);
+  EXPECT_EQ(cfg.trader_tuning.store_shards, 16u);
+  EXPECT_TRUE(cfg.replication_pump);
+  EXPECT_TRUE(cfg.observability.metrics);
+  EXPECT_TRUE(cfg.observability.tracing);
+  EXPECT_EQ(cfg.observability.trace_capacity, 512u);
+  EXPECT_EQ(cfg.retry.max_attempts, 3);
+  EXPECT_EQ(cfg.trader_name, "pinned");
+}
+
+TEST(CosmConfig, RuntimeRejectsInvalidConfig) {
+  rpc::InProcNetwork net;
+  CosmConfig cfg;
+  cfg.trader_tuning.store_shards = 0;
+  EXPECT_THROW(CosmRuntime(net, cfg), ContractError);
+}
+
+TEST(CosmConfig, RuntimeCountsAdjustmentsAndKeepsNormalisedConfig) {
+  rpc::InProcNetwork net;
+  CosmConfig cfg;
+  cfg.replication.max_batch = 0;
+  CosmRuntime runtime(net, cfg);
+  EXPECT_EQ(runtime.config_adjustments(), 1u);
+  EXPECT_EQ(runtime.config().replication.max_batch, 1u);
+}
+
+TEST(CosmConfig, ExplicitTraderNameAppliesToRuntime) {
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net, CosmConfig().with_trader_name("market-7"));
+  EXPECT_EQ(runtime.trader().name(), "market-7");
+}
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(CosmConfig, DeprecatedRuntimeOptionsAliasStillWorks) {
+  // Old call sites keep compiling: RuntimeOptions is CosmConfig with the
+  // same field names.
+  RuntimeOptions options;
+  options.observability.metrics = false;
+  options.trader_tuning.store_shards = 4;
+  rpc::InProcNetwork net;
+  CosmRuntime runtime(net, options);
+  EXPECT_EQ(runtime.config().trader_tuning.store_shards, 4u);
+}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+class DurableRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir = fs::temp_directory_path() /
+          ("cosm-config-" + std::to_string(::getpid()) + "-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir);
+  }
+  void TearDown() override { fs::remove_all(dir); }
+
+  fs::path dir;
+};
+
+TEST_F(DurableRuntimeTest, DurableRuntimeRestartsWithMarketIntact) {
+  rpc::InProcNetwork net;
+  auto cfg = CosmConfig().with_durability(dir.string());
+
+  trader::ServiceType type;
+  type.name = "CarRentalService";
+  type.attributes = {{"ChargePerDay", TypeDesc::float_(), true}};
+  sidl::ServiceRef ref{"p1", "inproc://host", "CarRentalService"};
+
+  std::string durable_name;
+  {
+    CosmRuntime runtime(net, cfg);
+    durable_name = runtime.trader().name();
+    runtime.trader().types().add(type);
+    for (int i = 0; i < 3; ++i) {
+      runtime.trader().export_offer("CarRentalService", ref,
+                                    {{"ChargePerDay", Value::real(40.0 + i)}});
+    }
+    EXPECT_EQ(runtime.trader().offer_count(), 3u);
+  }
+
+  CosmRuntime runtime(net, cfg);
+  // Stable replication identity: the recovered trader is the same publisher.
+  EXPECT_EQ(runtime.trader().name(), durable_name);
+  EXPECT_EQ(runtime.trader().offer_count(), 3u);
+  trader::ImportRequest request;
+  request.service_type = "CarRentalService";
+  request.constraint = "ChargePerDay < 42";
+  EXPECT_EQ(runtime.trader().import(request).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cosm::core

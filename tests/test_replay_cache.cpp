@@ -19,9 +19,9 @@ TEST(ReplayCache, ZeroCapacityRejected) {
 TEST(ReplayCache, MissThenHit) {
   ReplayCache cache(4);
   Bytes out;
-  EXPECT_FALSE(cache.lookup({"s", 1}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Miss, cache.lookup({"s", 1}, &out));
   cache.insert({"s", 1}, frame(7));
-  ASSERT_TRUE(cache.lookup({"s", 1}, &out));
+  ASSERT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 1}, &out));
   EXPECT_EQ(out, frame(7));
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.size(), 1u);
@@ -40,9 +40,9 @@ TEST(ReplayCache, EvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.evictions(), 1u);
   Bytes out;
-  EXPECT_FALSE(cache.lookup({"s", 1}, &out));
-  EXPECT_TRUE(cache.lookup({"s", 2}, &out));
-  EXPECT_TRUE(cache.lookup({"s", 4}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Miss, cache.lookup({"s", 1}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 2}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 4}, &out));
 }
 
 TEST(ReplayCache, LookupRefreshesRecency) {
@@ -51,12 +51,12 @@ TEST(ReplayCache, LookupRefreshesRecency) {
   cache.insert({"s", 2}, frame(2));
   // Touch 1 so 2 becomes the LRU entry...
   Bytes out;
-  ASSERT_TRUE(cache.lookup({"s", 1}, &out));
+  ASSERT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 1}, &out));
   cache.insert({"s", 3}, frame(3));
   // ...and is the one evicted.
-  EXPECT_TRUE(cache.lookup({"s", 1}, &out));
-  EXPECT_FALSE(cache.lookup({"s", 2}, &out));
-  EXPECT_TRUE(cache.lookup({"s", 3}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 1}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Miss, cache.lookup({"s", 2}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 3}, &out));
 }
 
 TEST(ReplayCache, DuplicateInsertKeepsOriginalResponse) {
@@ -69,7 +69,7 @@ TEST(ReplayCache, DuplicateInsertKeepsOriginalResponse) {
   cache.insert({"s", 1}, frame(9));
   EXPECT_EQ(cache.duplicates_suppressed(), 1u);
   Bytes out;
-  ASSERT_TRUE(cache.lookup({"s", 1}, &out));
+  ASSERT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 1}, &out));
   EXPECT_EQ(out, frame(1));
   EXPECT_EQ(cache.size(), 1u);
   cache.insert({"s", 1}, frame(9));
@@ -78,13 +78,33 @@ TEST(ReplayCache, DuplicateInsertKeepsOriginalResponse) {
 
 TEST(ReplayCache, CountsHitsAndMisses) {
   ReplayCache cache(4);
-  EXPECT_FALSE(cache.lookup({"s", 1}, nullptr));
+  EXPECT_EQ(ReplayCache::Lookup::Miss, cache.lookup({"s", 1}, nullptr));
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 0u);
   cache.insert({"s", 1}, frame(1));
-  EXPECT_TRUE(cache.lookup({"s", 1}, nullptr));
+  EXPECT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 1}, nullptr));
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ReplayCache, RecoveredMarksReportLostDuplicates) {
+  // After a restart, the journal's high-water marks prove requests at or
+  // below them executed — but their response frames are gone.  Those must
+  // come back DuplicateLost (refuse), not Miss (re-execute).
+  ReplayCache cache(4);
+  cache.seed_marks({{"s", 5}});
+  Bytes out;
+  EXPECT_EQ(ReplayCache::Lookup::DuplicateLost, cache.lookup({"s", 3}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::DuplicateLost, cache.lookup({"s", 5}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Miss, cache.lookup({"s", 6}, &out));
+  EXPECT_EQ(ReplayCache::Lookup::Miss, cache.lookup({"other", 1}, &out));
+  EXPECT_EQ(cache.duplicates_lost(), 2u);
+  // A post-restart response cached under a marked id replays normally.
+  cache.insert({"s", 6}, frame(6));
+  EXPECT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"s", 6}, &out));
+  // Re-seeding keeps the highest mark per session.
+  cache.seed_marks({{"s", 2}});
+  EXPECT_EQ(ReplayCache::Lookup::DuplicateLost, cache.lookup({"s", 4}, &out));
 }
 
 TEST(ReplayCache, SessionsAreDistinct) {
@@ -92,9 +112,9 @@ TEST(ReplayCache, SessionsAreDistinct) {
   cache.insert({"a", 1}, frame(1));
   cache.insert({"b", 1}, frame(2));
   Bytes out;
-  ASSERT_TRUE(cache.lookup({"a", 1}, &out));
+  ASSERT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"a", 1}, &out));
   EXPECT_EQ(out, frame(1));
-  ASSERT_TRUE(cache.lookup({"b", 1}, &out));
+  ASSERT_EQ(ReplayCache::Lookup::Hit, cache.lookup({"b", 1}, &out));
   EXPECT_EQ(out, frame(2));
 }
 
@@ -107,7 +127,7 @@ TEST(ReplayCache, ConcurrentInsertLookupStaysConsistent) {
       for (std::uint64_t i = 0; i < 500; ++i) {
         cache.insert({session, i}, frame(static_cast<std::uint8_t>(i)));
         Bytes out;
-        if (cache.lookup({session, i}, &out)) {
+        if (cache.lookup({session, i}, &out) == ReplayCache::Lookup::Hit) {
           EXPECT_EQ(out, frame(static_cast<std::uint8_t>(i)));
         }
       }
